@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+//! # vxv-baselines — the paper's comparison systems
+//!
+//! The three alternatives the evaluation (§5) measures the Efficient
+//! pipeline against:
+//!
+//! * [`BaselineEngine`] — materialize the whole view at query time, then
+//!   search it (also the semantic oracle for Theorem 4.1 equality tests);
+//! * [`GtpEngine`] — GTP with TermJoin: structural merge joins over tag
+//!   streams plus base-data value fetches, Timber-style;
+//! * [`proj`] — XML document projection by full scan (Marian & Siméon).
+
+pub mod baseline;
+pub mod gtp;
+pub mod proj;
+
+pub use baseline::{BaselineEngine, BaselineOutcome, BaselineTimings};
+pub use gtp::{GtpEngine, GtpStats};
+pub use proj::{project, project_for_qpt, projection_paths, ProjStats};

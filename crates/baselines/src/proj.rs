@@ -1,0 +1,201 @@
+//! The **Proj** comparison system: projecting XML documents by full scan
+//! (Marian & Siméon, VLDB'03; paper §5.1).
+//!
+//! PROJ walks the *entire* base document once and keeps every element
+//! lying on one of the view's projection paths. Two semantic differences
+//! from PDT generation, both called out in §4:
+//!
+//! * paths are treated in **isolation** — no twig constraints, so e.g.
+//!   `books//book/isbn` keeps *all* books with isbns even when the view's
+//!   `year > 1995` branch would prune them;
+//! * every kept element's value is materialized, not a selective subset.
+//!
+//! The experiments time exactly this projection pass (the paper reports
+//! Proj's projection cost alone, noting query processing would come on
+//! top).
+
+use std::time::{Duration, Instant};
+use vxv_core::qpt::Qpt;
+use vxv_index::pattern::{Axis as PAxis, PathPattern};
+use vxv_xml::{Document, DocumentBuilder};
+
+/// Work counters for one projection run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProjStats {
+    /// Elements visited (always the whole document — that is the point).
+    pub nodes_scanned: usize,
+    /// Elements kept in the projection.
+    pub nodes_kept: usize,
+}
+
+/// The projection paths of a QPT: one root-to-node pattern per probed
+/// node (the paths whose data the view could need).
+pub fn projection_paths(qpt: &Qpt) -> Vec<PathPattern> {
+    qpt.probed_nodes().iter().map(|q| qpt.pattern(*q)).collect()
+}
+
+/// Project `doc` on `paths`: keep every element that lies on a prefix of
+/// some path (isolated-path semantics), materializing its value.
+pub fn project(doc: &Document, paths: &[PathPattern]) -> (Document, ProjStats, Duration) {
+    let t0 = Instant::now();
+    let mut stats = ProjStats::default();
+    let Some(root) = doc.root() else {
+        return (DocumentBuilder::new(doc.name(), 1).finish(), stats, t0.elapsed());
+    };
+    let ordinal = doc.node(root).dewey.components()[0];
+    let mut b = DocumentBuilder::new(doc.name(), ordinal);
+
+    // NFA states per pattern: indices of the next step to match. A state
+    // i on entering an element with tag t advances to i+1 when step i
+    // matches; descendant-axis steps also stay alive.
+    type States = Vec<Vec<usize>>;
+    let initial: States = paths.iter().map(|_| vec![0]).collect();
+
+    fn advance(paths: &[PathPattern], states: &States, tag: &str) -> (States, bool) {
+        let mut next: States = Vec::with_capacity(paths.len());
+        let mut on_path = false;
+        for (p, st) in paths.iter().zip(states) {
+            let mut ns: Vec<usize> = Vec::new();
+            for &i in st {
+                if i >= p.steps.len() {
+                    continue;
+                }
+                let step = &p.steps[i];
+                if step.tag == tag {
+                    on_path = true;
+                    if i < p.steps.len() {
+                        ns.push(i + 1);
+                    }
+                }
+                if step.axis == PAxis::Descendant {
+                    // The step may still match deeper.
+                    ns.push(i);
+                }
+            }
+            ns.sort_unstable();
+            ns.dedup();
+            next.push(ns);
+        }
+        (next, on_path)
+    }
+
+    fn rec(
+        doc: &Document,
+        node: vxv_xml::NodeId,
+        paths: &[PathPattern],
+        states: &States,
+        b: &mut DocumentBuilder,
+        stats: &mut ProjStats,
+        depth: usize,
+    ) {
+        stats.nodes_scanned += 1;
+        let tag = doc.node_tag(node);
+        let (next, on_path) = advance(paths, states, tag);
+        // Keep the root unconditionally (a projected document needs one);
+        // keep other elements only when they lie on a projection path.
+        let keep = depth == 0 || on_path;
+        if keep {
+            stats.nodes_kept += 1;
+            b.begin_with_dewey(tag, doc.node(node).dewey.clone());
+            if let Some(t) = &doc.node(node).text {
+                b.text(t); // PROJ materializes every kept value
+            }
+        }
+        if keep || depth == 0 {
+            for c in doc.children(node) {
+                rec(doc, *c, paths, &next, b, stats, depth + 1);
+            }
+        } else {
+            // Even pruned subtrees are *scanned* — PROJ reads the whole
+            // document (no indices guide it past irrelevant regions).
+            for d in doc.subtree(node) {
+                let _ = doc.node(d);
+                stats.nodes_scanned += 1;
+            }
+        }
+        if keep {
+            b.end();
+        }
+    }
+
+    rec(doc, root, paths, &initial, &mut b, &mut stats, 0);
+    (b.finish(), stats, t0.elapsed())
+}
+
+/// Project every document a QPT needs (convenience wrapper).
+pub fn project_for_qpt(doc: &Document, qpt: &Qpt) -> (Document, ProjStats, Duration) {
+    project(doc, &projection_paths(qpt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vxv_core::qpt::Qpt;
+    use vxv_index::{Axis, ValuePredicate};
+    use vxv_xml::Corpus;
+
+    fn book_qpt() -> Qpt {
+        let mut q = Qpt::new("books.xml");
+        let books = q.add_node(None, Axis::Child, true, "books");
+        let book = q.add_node(Some(books), Axis::Descendant, true, "book");
+        q.node_mut(q.roots()[0]).v_ann = false;
+        let isbn = q.add_node(Some(book), Axis::Child, false, "isbn");
+        q.node_mut(isbn).v_ann = true;
+        let title = q.add_node(Some(book), Axis::Child, false, "title");
+        q.node_mut(title).c_ann = true;
+        let year = q.add_node(Some(book), Axis::Child, true, "year");
+        q.node_mut(year).preds.push(ValuePredicate::Gt("1995".into()));
+        q
+    }
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        c.add_parsed(
+            "books.xml",
+            "<books>\
+               <book><isbn>111</isbn><title>A</title><year>1996</year><extra>zzz</extra></book>\
+               <book><isbn>222</isbn><title>B</title><year>1990</year></book>\
+               <unrelated><noise>n</noise></unrelated>\
+             </books>",
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn keeps_isolated_paths_without_twig_pruning() {
+        let c = corpus();
+        let doc = c.doc("books.xml").unwrap();
+        let (projected, stats, _) = project_for_qpt(doc, &book_qpt());
+        // PROJ keeps BOTH books (no year>1995 twig filtering) — the
+        // difference from PDTs the paper highlights.
+        assert!(projected.node_by_dewey(&"1.1".parse().unwrap()).is_some());
+        assert!(projected.node_by_dewey(&"1.2".parse().unwrap()).is_some());
+        assert!(projected.node_by_dewey(&"1.2.1".parse().unwrap()).is_some());
+        // But off-path elements are dropped.
+        assert!(projected.node_by_dewey(&"1.1.4".parse().unwrap()).is_none()); // extra
+        assert!(projected.node_by_dewey(&"1.3".parse().unwrap()).is_none()); // unrelated
+        // The whole document was scanned.
+        assert!(stats.nodes_scanned >= doc.len());
+        assert!(stats.nodes_kept < doc.len());
+    }
+
+    #[test]
+    fn values_are_materialized_for_kept_nodes() {
+        let c = corpus();
+        let doc = c.doc("books.xml").unwrap();
+        let (projected, _, _) = project_for_qpt(doc, &book_qpt());
+        let isbn = projected.node_by_dewey(&"1.2.1".parse().unwrap()).unwrap();
+        assert_eq!(projected.value(isbn), Some("222"));
+        let year = projected.node_by_dewey(&"1.2.3".parse().unwrap()).unwrap();
+        assert_eq!(projected.value(year), Some("1990"));
+    }
+
+    #[test]
+    fn empty_paths_project_to_root_only() {
+        let c = corpus();
+        let doc = c.doc("books.xml").unwrap();
+        let (projected, _, _) = project(doc, &[]);
+        assert_eq!(projected.len(), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property test: the GTP+TermJoin structural-join matcher constructs
+//! exactly the PDT of Definitions 1–3 (same oracle the index-only sweep
+//! is tested against), on randomized documents × randomized QPTs.
+
+use proptest::prelude::*;
+use vxv_baselines::GtpEngine;
+use vxv_core::oracle::oracle_pdt;
+use vxv_core::qpt::{Qpt, QptNodeId};
+use vxv_index::{Axis, InvertedIndex, ValuePredicate};
+use vxv_xml::{Corpus, DocumentBuilder};
+
+const TAGS: &[&str] = &["a", "b", "c", "d"];
+const WORDS: &[&str] = &["alpha", "beta"];
+
+#[derive(Clone, Debug)]
+struct TreeSpec {
+    tag: usize,
+    value: Option<u8>,
+    word: Option<usize>,
+    children: Vec<TreeSpec>,
+}
+
+fn tree_strategy() -> impl Strategy<Value = TreeSpec> {
+    let leaf = (0..TAGS.len(), proptest::option::of(0u8..6), proptest::option::of(0..WORDS.len()))
+        .prop_map(|(tag, value, word)| TreeSpec { tag, value, word, children: vec![] });
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        (
+            0..TAGS.len(),
+            proptest::option::of(0u8..6),
+            proptest::option::of(0..WORDS.len()),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(tag, value, word, children)| TreeSpec { tag, value, word, children })
+    })
+}
+
+#[derive(Clone, Debug)]
+struct QptSpec {
+    tag: usize,
+    axis: bool,
+    mandatory: bool,
+    pred: Option<(u8, u8)>,
+    v: bool,
+    c: bool,
+    children: Vec<QptSpec>,
+}
+
+fn qpt_strategy() -> impl Strategy<Value = QptSpec> {
+    let leaf = (
+        0..TAGS.len(),
+        any::<bool>(),
+        any::<bool>(),
+        proptest::option::of((0u8..3, 0u8..6)),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(tag, axis, mandatory, pred, v, c)| QptSpec {
+            tag,
+            axis,
+            mandatory,
+            pred,
+            v,
+            c,
+            children: vec![],
+        });
+    leaf.prop_recursive(3, 10, 3, |inner| {
+        (
+            0..TAGS.len(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            prop::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(tag, axis, mandatory, v, c, children)| QptSpec {
+                tag,
+                axis,
+                mandatory,
+                pred: None,
+                v,
+                c,
+                children,
+            })
+    })
+}
+
+fn build_doc(spec: &TreeSpec) -> Corpus {
+    fn rec(b: &mut DocumentBuilder, s: &TreeSpec) {
+        b.begin(TAGS[s.tag]);
+        let mut text = String::new();
+        if let Some(v) = s.value {
+            text.push_str(&v.to_string());
+        }
+        if let Some(w) = s.word {
+            if !text.is_empty() {
+                text.push(' ');
+            }
+            text.push_str(WORDS[w]);
+        }
+        if !text.is_empty() {
+            b.text(&text);
+        }
+        for c in &s.children {
+            rec(b, c);
+        }
+        b.end();
+    }
+    let mut b = DocumentBuilder::new("doc.xml", 1);
+    rec(&mut b, spec);
+    let mut corpus = Corpus::new();
+    corpus.add(b.finish());
+    corpus
+}
+
+fn build_qpt(spec: &QptSpec) -> Qpt {
+    fn rec(q: &mut Qpt, parent: Option<QptNodeId>, s: &QptSpec) {
+        let axis = if s.axis { Axis::Descendant } else { Axis::Child };
+        let id = q.add_node(parent, axis, s.mandatory, TAGS[s.tag]);
+        q.node_mut(id).v_ann = s.v;
+        q.node_mut(id).c_ann = s.c;
+        if let Some((op, val)) = s.pred {
+            let v = val.to_string();
+            q.node_mut(id).preds.push(match op {
+                0 => ValuePredicate::Eq(v),
+                1 => ValuePredicate::Lt(v),
+                _ => ValuePredicate::Gt(v),
+            });
+        }
+        for c in &s.children {
+            rec(q, Some(id), c);
+        }
+    }
+    let mut q = Qpt::new("doc.xml");
+    rec(&mut q, None, spec);
+    q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn gtp_structural_joins_equal_the_oracle(tree in tree_strategy(), qspec in qpt_strategy()) {
+        let corpus = build_doc(&tree);
+        let qpt = build_qpt(&qspec);
+        let keywords: Vec<String> = WORDS.iter().map(|w| w.to_string()).collect();
+        let gtp = GtpEngine::new(&corpus);
+        let (pdt, _, _) = gtp.build_pdt(&qpt, &keywords);
+        let doc = corpus.doc("doc.xml").unwrap();
+        let inverted = InvertedIndex::build(&corpus);
+        let oracle = oracle_pdt(doc, &qpt, &inverted, &keywords);
+
+        let got: Vec<String> = pdt.info.keys().map(|d| d.to_string()).collect();
+        let want: Vec<String> = oracle.info.keys().map(|d| d.to_string()).collect();
+        prop_assert_eq!(&got, &want, "element sets differ\nQPT:\n{}", &qpt);
+        for (d, want_info) in &oracle.info {
+            prop_assert_eq!(pdt.node_info(d).unwrap(), want_info, "info at {}", d);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks for PDT construction: the index-only
+//! streaming sweep vs the base-data oracle vs GTP's structural joins, plus
+//! the probe phase alone (ablating the paper's two claimed advantages:
+//! path-index probes instead of structural joins, and index-side value
+//! retrieval instead of base access).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vxv_baselines::GtpEngine;
+use vxv_core::generate::{generate_pdt, generate_pdt_from_lists, DocMeta};
+use vxv_core::oracle::oracle_pdt;
+use vxv_core::prepare::prepare_lists;
+use vxv_core::{generate_qpts, Qpt};
+use vxv_index::{InvertedIndex, PathIndex};
+use vxv_inex::{generate, ExperimentParams};
+use vxv_xml::Corpus;
+use vxv_xquery::parse_query;
+
+struct Setup {
+    corpus: Corpus,
+    qpt: Qpt,
+    path_index: PathIndex,
+    inverted: InvertedIndex,
+    keywords: Vec<String>,
+    meta: DocMeta,
+}
+
+fn setup(kb: u64) -> Setup {
+    let params = ExperimentParams { data_bytes: kb * 1024, ..ExperimentParams::default() };
+    let corpus = generate(&params.generator_config());
+    let query = parse_query(&params.view()).unwrap();
+    let qpts = generate_qpts(&query).unwrap();
+    let qpt = qpts.into_iter().find(|q| q.doc_name == "inex.xml").unwrap();
+    let path_index = PathIndex::build(&corpus);
+    let inverted = InvertedIndex::build(&corpus);
+    let keywords: Vec<String> = params.keywords().iter().map(|s| s.to_string()).collect();
+    let doc = corpus.doc("inex.xml").unwrap();
+    let root = doc.root().unwrap();
+    let meta = DocMeta {
+        name: "inex.xml".into(),
+        root_tag: doc.node_tag(root).to_string(),
+        root_ordinal: doc.node(root).dewey.components()[0],
+    };
+    Setup { corpus, qpt, path_index, inverted, keywords, meta }
+}
+
+fn bench_pdt_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pdt_construction");
+    for kb in [128u64, 512] {
+        let s = setup(kb);
+        group.bench_with_input(BenchmarkId::new("efficient_sweep", kb), &s, |b, s| {
+            b.iter(|| generate_pdt(&s.qpt, &s.path_index, &s.inverted, &s.keywords, &s.meta))
+        });
+        group.bench_with_input(BenchmarkId::new("prepare_lists_only", kb), &s, |b, s| {
+            b.iter(|| prepare_lists(&s.qpt, &s.path_index, s.meta.root_ordinal))
+        });
+        let lists = prepare_lists(&s.qpt, &s.path_index, s.meta.root_ordinal);
+        group.bench_with_input(BenchmarkId::new("merge_sweep_only", kb), &s, |b, s| {
+            b.iter(|| generate_pdt_from_lists(&s.qpt, &lists, &s.inverted, &s.keywords, &s.meta))
+        });
+        group.bench_with_input(BenchmarkId::new("gtp_structural_joins", kb), &s, |b, s| {
+            let gtp = GtpEngine::new(&s.corpus);
+            b.iter(|| gtp.build_pdt(&s.qpt, &s.keywords))
+        });
+        group.bench_with_input(BenchmarkId::new("oracle_base_scan", kb), &s, |b, s| {
+            let doc = s.corpus.doc("inex.xml").unwrap();
+            b.iter(|| oracle_pdt(doc, &s.qpt, &s.inverted, &s.keywords))
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_probes(c: &mut Criterion) {
+    let s = setup(512);
+    let mut group = c.benchmark_group("index_probes");
+    let pattern = vxv_index::PathPattern::parse("/books//article/fm/au").unwrap();
+    group.bench_function("path_lookup_with_values", |b| {
+        b.iter(|| s.path_index.lookup(&pattern, &[]))
+    });
+    let pred = vxv_index::ValuePredicate::Gt("1995".into());
+    let year_pattern = vxv_index::PathPattern::parse("/books//article/fm/yr").unwrap();
+    group.bench_function("path_lookup_with_predicate", |b| {
+        b.iter(|| s.path_index.lookup(&year_pattern, std::slice::from_ref(&pred)))
+    });
+    let root: vxv_xml::DeweyId = "1".parse().unwrap();
+    group.bench_function("inverted_subtree_tf", |b| {
+        b.iter(|| s.inverted.subtree_tf("thomas", &root))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pdt_strategies, bench_index_probes);
+criterion_main!(benches);

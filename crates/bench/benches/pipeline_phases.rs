@@ -1,0 +1,95 @@
+//! Criterion benchmarks of the end-to-end pipeline and its phases:
+//! whole-query latency for Efficient vs Baseline on in-memory data, view
+//! evaluation over PDTs, and the scoring module in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vxv_baselines::BaselineEngine;
+use vxv_core::scoring::{score_and_rank, ElementStats, KeywordMode};
+use vxv_core::ViewSearchEngine;
+use vxv_inex::{generate, ExperimentParams};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(20);
+    for kb in [128u64, 512] {
+        let params = ExperimentParams { data_bytes: kb * 1024, ..ExperimentParams::default() };
+        let corpus = generate(&params.generator_config());
+        let view = params.view();
+        let keywords = params.keywords();
+        let engine = ViewSearchEngine::new(&corpus);
+        group.bench_with_input(BenchmarkId::new("efficient", kb), &(), |b, _| {
+            b.iter(|| engine.search(&view, &keywords, 10, KeywordMode::Conjunctive).unwrap())
+        });
+        let baseline = BaselineEngine::new(&corpus);
+        group.bench_with_input(BenchmarkId::new("baseline_materialize", kb), &(), |b, _| {
+            b.iter(|| baseline.search(&view, &keywords, 10, KeywordMode::Conjunctive).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the evaluator's equality hash join vs nested loops, on the
+/// default author⋈article view (DESIGN.md calls this choice out — real
+/// engines never nested-loop a value join, and neither did Quark).
+fn bench_join_ablation(c: &mut Criterion) {
+    use vxv_core::generate_qpts;
+    use vxv_core::generate::{generate_pdt, DocMeta};
+    use vxv_index::{InvertedIndex, PathIndex};
+    use vxv_xquery::{parse_query, Evaluator, MapSource};
+
+    let params = ExperimentParams { data_bytes: 256 * 1024, ..ExperimentParams::default() };
+    let corpus = generate(&params.generator_config());
+    let query = parse_query(&params.view()).unwrap();
+    let qpts = generate_qpts(&query).unwrap();
+    let keywords: Vec<String> = params.keywords().iter().map(|s| s.to_string()).collect();
+    let path_index = PathIndex::build(&corpus);
+    let inverted = InvertedIndex::build(&corpus);
+    let pdts: Vec<_> = qpts
+        .iter()
+        .map(|qpt| {
+            let doc = corpus.doc(&qpt.doc_name).unwrap();
+            let root = doc.root().unwrap();
+            let meta = DocMeta {
+                name: qpt.doc_name.clone(),
+                root_tag: doc.node_tag(root).to_string(),
+                root_ordinal: doc.node(root).dewey.components()[0],
+            };
+            generate_pdt(qpt, &path_index, &inverted, &keywords, &meta).0
+        })
+        .collect();
+    let source = MapSource::new(pdts.iter().map(|p| (p.doc_name.clone(), &p.doc)));
+
+    let mut group = c.benchmark_group("join_ablation");
+    group.sample_size(20);
+    group.bench_function("hash_join", |b| {
+        b.iter(|| Evaluator::new(&source, &query).eval_query(&query).unwrap())
+    });
+    group.bench_function("nested_loop", |b| {
+        b.iter(|| {
+            Evaluator::new(&source, &query)
+                .with_naive_joins()
+                .eval_query(&query)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scoring");
+    for n in [1_000usize, 20_000] {
+        let stats: Vec<ElementStats> = (0..n)
+            .map(|i| ElementStats {
+                tf: vec![(i % 7) as u32, (i % 3) as u32],
+                byte_len: 100 + (i % 900) as u64,
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("score_and_rank", n), &stats, |b, s| {
+            b.iter(|| score_and_rank(s, KeywordMode::Conjunctive, 10))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_join_ablation, bench_scoring);
+criterion_main!(benches);

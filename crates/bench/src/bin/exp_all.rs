@@ -1,0 +1,35 @@
+//! Run every experiment in sequence, prefixed by the Table 1 parameter
+//! grid. Equivalent to invoking each `exp_fig*` binary.
+
+use std::process::Command;
+
+fn main() {
+    println!("Table 1: experimental parameters (defaults in [brackets])");
+    println!("  Size of data           : 1x..5x of VXV_BASE_KB          [1x]");
+    println!("  # keywords             : 1, [2], 3, 4, 5");
+    println!("  Selectivity of keywords: Low(ieee, computing), [Medium(thomas, control)], High(moore, burnett)");
+    println!("  # of joins             : 0, [1], 2, 3, 4");
+    println!("  Join selectivity       : [1X], 0.5X, 0.2X, 0.1X");
+    println!("  Level of nestings      : 1, [2], 3, 4");
+    println!("  # of results (top-K)   : 1, [10], 20, 30, 40");
+    println!("  Avg. size of view elem : [1X], 2X, 3X, 4X, 5X");
+    println!();
+
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    for name in [
+        "exp_fig13", "exp_fig14", "exp_fig15", "exp_fig16", "exp_fig17", "exp_fig18",
+        "exp_fig19", "exp_fig20", "exp_extra",
+    ] {
+        let bin = dir.join(name);
+        if !bin.exists() {
+            eprintln!("missing sibling binary {name}; build with `cargo build --release -p vxv-bench`");
+            continue;
+        }
+        let status = Command::new(&bin).status().expect("spawn experiment");
+        if !status.success() {
+            eprintln!("{name} failed: {status}");
+        }
+        println!();
+    }
+}

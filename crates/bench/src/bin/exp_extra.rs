@@ -1,0 +1,48 @@
+//! §5.2.3 "other results": (X1) run time vs average view-element size
+//! (1X–5X), and (X2) PDT size vs data size.
+//!
+//! Paper: the approach stays efficient as element size grows, and PDTs
+//! are tiny relative to the data (~2 MB for the 500 MB collection),
+//! showing the pruning is effective.
+
+use vxv_bench::harness::{base_kb_from_env, measure_point, print_preamble, MeasureOptions};
+use vxv_bench::table::{ms, Table};
+use vxv_inex::ExperimentParams;
+
+fn main() {
+    print_preamble("Extra X1", "run time vs average view-element size");
+    let base = base_kb_from_env() * 1024;
+    let mut table =
+        Table::new(&["elem size", "PDT(ms)", "Evaluator(ms)", "Post(ms)", "total(ms)"]);
+    for s in 1..=5u32 {
+        let params = ExperimentParams {
+            data_bytes: base,
+            elem_size: s,
+            ..ExperimentParams::default()
+        };
+        let m = measure_point(&params, &MeasureOptions::default());
+        table.row(vec![
+            format!("{s}X"),
+            ms(m.efficient.pdt),
+            ms(m.efficient.evaluator),
+            ms(m.efficient.post),
+            ms(m.efficient.total()),
+        ]);
+    }
+    table.print();
+
+    println!();
+    print_preamble("Extra X2", "PDT size vs data size (pruning effectiveness)");
+    let mut table = Table::new(&["data(KB)", "PDT(KB)", "ratio"]);
+    for mult in 1..=5u64 {
+        let params = ExperimentParams { data_bytes: base * mult, ..ExperimentParams::default() };
+        let m = measure_point(&params, &MeasureOptions::default());
+        table.row(vec![
+            (m.corpus_bytes / 1024).to_string(),
+            (m.pdt_bytes / 1024).to_string(),
+            format!("{:.1}%", 100.0 * m.pdt_bytes as f64 / m.corpus_bytes as f64),
+        ]);
+    }
+    table.print();
+    println!("(paper: ~2MB of PDTs for the 500MB collection, i.e. ~0.4%)");
+}

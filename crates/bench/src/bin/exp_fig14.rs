@@ -1,0 +1,27 @@
+//! Figure 14 — cost of the Efficient pipeline's modules vs data size.
+//!
+//! Paper: PDT generation scales gracefully; post-processing (scoring +
+//! top-k materialization) is negligible; the query evaluator dominates as
+//! data grows.
+
+use vxv_bench::harness::{base_kb_from_env, measure_point, print_preamble, MeasureOptions};
+use vxv_bench::table::{ms, Table};
+use vxv_inex::ExperimentParams;
+
+fn main() {
+    print_preamble("Figure 14", "module breakdown (PDT / Evaluator / Post-processing)");
+    let base = base_kb_from_env() * 1024;
+    let mut table = Table::new(&["size(KB)", "PDT(ms)", "Evaluator(ms)", "Post(ms)", "total(ms)"]);
+    for mult in 1..=5u64 {
+        let params = ExperimentParams { data_bytes: base * mult, ..ExperimentParams::default() };
+        let m = measure_point(&params, &MeasureOptions::default());
+        table.row(vec![
+            (m.corpus_bytes / 1024).to_string(),
+            ms(m.efficient.pdt),
+            ms(m.efficient.evaluator),
+            ms(m.efficient.post),
+            ms(m.efficient.total()),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,31 @@
+//! Figure 15 — varying the number of keywords (1–5).
+//!
+//! Paper: run time increases slightly with keyword count because PDT
+//! generation reads more inverted lists for tf values.
+
+use vxv_bench::harness::{base_kb_from_env, measure_point, print_preamble, MeasureOptions};
+use vxv_bench::table::{ms, Table};
+use vxv_inex::ExperimentParams;
+
+fn main() {
+    print_preamble("Figure 15", "run time vs number of keywords");
+    let base = base_kb_from_env() * 1024;
+    let mut table =
+        Table::new(&["#keywords", "PDT(ms)", "Evaluator(ms)", "Post(ms)", "total(ms)"]);
+    for n in 1..=5usize {
+        let params = ExperimentParams {
+            data_bytes: base,
+            num_keywords: n,
+            ..ExperimentParams::default()
+        };
+        let m = measure_point(&params, &MeasureOptions::default());
+        table.row(vec![
+            n.to_string(),
+            ms(m.efficient.pdt),
+            ms(m.efficient.evaluator),
+            ms(m.efficient.post),
+            ms(m.efficient.total()),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,37 @@
+//! Figure 16 — varying keyword selectivity (Low / Medium / High).
+//!
+//! Paper: run time increases slightly as selectivity decreases (more
+//! frequent keywords mean longer inverted lists, so tf retrieval during
+//! PDT generation costs more I/O).
+
+use vxv_bench::harness::{base_kb_from_env, measure_point, print_preamble, MeasureOptions};
+use vxv_bench::table::{ms, Table};
+use vxv_inex::{ExperimentParams, Selectivity};
+
+fn main() {
+    print_preamble("Figure 16", "run time vs keyword selectivity");
+    let base = base_kb_from_env() * 1024;
+    let mut table =
+        Table::new(&["selectivity", "PDT(ms)", "Evaluator(ms)", "Post(ms)", "total(ms)"]);
+    for (label, sel) in [
+        ("Low", Selectivity::Low),
+        ("Medium", Selectivity::Medium),
+        ("High", Selectivity::High),
+    ] {
+        let params = ExperimentParams {
+            data_bytes: base,
+            selectivity: sel,
+            ..ExperimentParams::default()
+        };
+        let m = measure_point(&params, &MeasureOptions::default());
+        table.row(vec![
+            label.to_string(),
+            ms(m.efficient.pdt),
+            ms(m.efficient.evaluator),
+            ms(m.efficient.post),
+            ms(m.efficient.total()),
+        ]);
+    }
+    table.print();
+    println!("(Low selectivity = frequent keywords = long inverted lists, as in the paper)");
+}

@@ -1,0 +1,34 @@
+//! Figure 17 — varying the number of value joins (0–4).
+//!
+//! Paper: run time grows with join count (query evaluation dominates);
+//! the largest jump is 0 → 1 joins, because 0 joins needs a single PDT
+//! and a cheap selection while 1 join needs two PDTs and a value join.
+
+use vxv_bench::harness::{base_kb_from_env, measure_point, print_preamble, MeasureOptions};
+use vxv_bench::table::{ms, Table};
+use vxv_inex::ExperimentParams;
+
+fn main() {
+    print_preamble("Figure 17", "run time vs number of joins");
+    let base = base_kb_from_env() * 1024;
+    let mut table =
+        Table::new(&["#joins", "#PDTs", "PDT(ms)", "Evaluator(ms)", "Post(ms)", "total(ms)"]);
+    for joins in 0..=4usize {
+        let params = ExperimentParams {
+            data_bytes: base,
+            num_joins: joins,
+            ..ExperimentParams::default()
+        };
+        let pdts = if joins == 0 { 1 } else { joins + 1 };
+        let m = measure_point(&params, &MeasureOptions::default());
+        table.row(vec![
+            joins.to_string(),
+            pdts.to_string(),
+            ms(m.efficient.pdt),
+            ms(m.efficient.evaluator),
+            ms(m.efficient.post),
+            ms(m.efficient.total()),
+        ]);
+    }
+    table.print();
+}

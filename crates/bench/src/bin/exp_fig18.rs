@@ -1,0 +1,31 @@
+//! Figure 18 — varying join selectivity (1X / 0.5X / 0.2X / 0.1X).
+//!
+//! Paper: run time increases slightly as selectivity decreases, because
+//! query evaluation cost grows.
+
+use vxv_bench::harness::{base_kb_from_env, measure_point, print_preamble, MeasureOptions};
+use vxv_bench::table::{ms, Table};
+use vxv_inex::ExperimentParams;
+
+fn main() {
+    print_preamble("Figure 18", "run time vs join selectivity");
+    let base = base_kb_from_env() * 1024;
+    let mut table =
+        Table::new(&["selectivity", "PDT(ms)", "Evaluator(ms)", "Post(ms)", "total(ms)"]);
+    for (label, sel) in [("0.1X", 0.1), ("0.2X", 0.2), ("0.5X", 0.5), ("1X", 1.0)] {
+        let params = ExperimentParams {
+            data_bytes: base,
+            join_selectivity: sel,
+            ..ExperimentParams::default()
+        };
+        let m = measure_point(&params, &MeasureOptions::default());
+        table.row(vec![
+            label.to_string(),
+            ms(m.efficient.pdt),
+            ms(m.efficient.evaluator),
+            ms(m.efficient.post),
+            ms(m.efficient.total()),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,31 @@
+//! Figure 19 — varying the level of FLWOR nesting (1–4).
+//!
+//! Paper: run time grows roughly linearly with nesting, the evaluator's
+//! share growing fastest.
+
+use vxv_bench::harness::{base_kb_from_env, measure_point, print_preamble, MeasureOptions};
+use vxv_bench::table::{ms, Table};
+use vxv_inex::ExperimentParams;
+
+fn main() {
+    print_preamble("Figure 19", "run time vs level of nesting");
+    let base = base_kb_from_env() * 1024;
+    let mut table =
+        Table::new(&["nesting", "PDT(ms)", "Evaluator(ms)", "Post(ms)", "total(ms)"]);
+    for nesting in 1..=4usize {
+        let params = ExperimentParams {
+            data_bytes: base,
+            nesting,
+            ..ExperimentParams::default()
+        };
+        let m = measure_point(&params, &MeasureOptions::default());
+        table.row(vec![
+            nesting.to_string(),
+            ms(m.efficient.pdt),
+            ms(m.efficient.evaluator),
+            ms(m.efficient.post),
+            ms(m.efficient.total()),
+        ]);
+    }
+    table.print();
+}

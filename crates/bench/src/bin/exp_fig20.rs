@@ -1,0 +1,34 @@
+//! Figure 20 — varying the number of results (K in top-K).
+//!
+//! Paper: run time is approximately flat in K, because storing and
+//! materializing a few more results is nearly free (only the top-K are
+//! ever fetched from base storage).
+
+use vxv_bench::harness::{base_kb_from_env, measure_point, print_preamble, MeasureOptions};
+use vxv_bench::table::{ms, Table};
+use vxv_inex::ExperimentParams;
+
+fn main() {
+    print_preamble("Figure 20", "run time vs number of results (top-K)");
+    let base = base_kb_from_env() * 1024;
+    let mut table = Table::new(&[
+        "K", "PDT(ms)", "Evaluator(ms)", "Post(ms)", "total(ms)", "base fetches",
+    ]);
+    for k in [1usize, 10, 20, 30, 40] {
+        let params = ExperimentParams {
+            data_bytes: base,
+            top_k: k,
+            ..ExperimentParams::default()
+        };
+        let m = measure_point(&params, &MeasureOptions::default());
+        table.row(vec![
+            k.to_string(),
+            ms(m.efficient.pdt),
+            ms(m.efficient.evaluator),
+            ms(m.efficient.post),
+            ms(m.efficient.total()),
+            m.fetches.to_string(),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,142 @@
+//! `vxv` — command-line keyword search over virtual XML views.
+//!
+//! ```text
+//! vxv search --doc books.xml --doc reviews.xml --view view.xq \
+//!            --keyword xml --keyword search [--top 10] [--any]
+//! vxv inspect --doc books.xml --view view.xq     # show QPTs and PDT stats
+//! ```
+//!
+//! Documents are loaded by file name; the view's `fn:doc(...)` references
+//! must use the same names (base name of the path).
+
+use std::process::ExitCode;
+use vxv_core::{KeywordMode, ViewSearchEngine};
+use vxv_xml::Corpus;
+
+struct Args {
+    docs: Vec<String>,
+    view: Option<String>,
+    keywords: Vec<String>,
+    top: usize,
+    any: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  vxv search  --doc FILE... --view FILE --keyword WORD... [--top N] [--any]\n  vxv inspect --doc FILE... --view FILE"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
+    let _bin = argv.next()?;
+    let cmd = argv.next()?;
+    let mut args = Args { docs: vec![], view: None, keywords: vec![], top: 10, any: false };
+    let mut it = argv;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--doc" => args.docs.push(it.next()?),
+            "--view" => args.view = Some(it.next()?),
+            "--keyword" | "-k" => args.keywords.push(it.next()?),
+            "--top" => args.top = it.next()?.parse().ok()?,
+            "--any" => args.any = true,
+            _ => {
+                eprintln!("unknown flag {flag}");
+                return None;
+            }
+        }
+    }
+    Some((cmd, args))
+}
+
+fn load(args: &Args) -> Result<(Corpus, String), String> {
+    if args.docs.is_empty() {
+        return Err("at least one --doc is required".into());
+    }
+    let view_path = args.view.as_ref().ok_or("--view is required")?;
+    let view = std::fs::read_to_string(view_path)
+        .map_err(|e| format!("cannot read view {view_path}: {e}"))?;
+    let mut corpus = Corpus::new();
+    for path in &args.docs {
+        let xml =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let name = std::path::Path::new(path)
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.clone());
+        corpus.add_parsed(&name, &xml).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok((corpus, view))
+}
+
+fn main() -> ExitCode {
+    let Some((cmd, args)) = parse_args(std::env::args()) else {
+        return usage();
+    };
+    let (corpus, view) = match load(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.as_str() {
+        "search" => {
+            if args.keywords.is_empty() {
+                eprintln!("error: at least one --keyword is required");
+                return ExitCode::FAILURE;
+            }
+            let mode = if args.any { KeywordMode::Disjunctive } else { KeywordMode::Conjunctive };
+            let kws: Vec<&str> = args.keywords.iter().map(|s| s.as_str()).collect();
+            let engine = ViewSearchEngine::new(&corpus);
+            match engine.search(&view, &kws, args.top, mode) {
+                Ok(out) => {
+                    eprintln!(
+                        "view: {} elements, {} match; idf = {:?}",
+                        out.view_size, out.matching, out.idf
+                    );
+                    for hit in &out.hits {
+                        println!("#{}\tscore={:.6}\ttf={:?}", hit.rank, hit.score, hit.tf);
+                        println!("{}", hit.xml);
+                    }
+                    eprintln!(
+                        "timings: pdt {:?}, evaluator {:?}, post {:?}; {} base fetches",
+                        out.timings.pdt, out.timings.evaluator, out.timings.post, out.fetches
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "inspect" => {
+            let engine = ViewSearchEngine::new(&corpus);
+            let kws: Vec<&str> = args.keywords.iter().map(|s| s.as_str()).collect();
+            match engine.explain(&view, &kws) {
+                Ok(out) => {
+                    for q in &out.qpts {
+                        println!("{}", q.rendered);
+                        println!("  pattern nodes: {}", q.nodes);
+                        for p in &q.probes {
+                            println!(
+                                "  probe {} ({} predicate(s)) -> {} data path(s), {} entries",
+                                p.pattern, p.predicates, p.expanded_paths, p.entries
+                            );
+                        }
+                    }
+                    for (kw, len) in &out.keyword_list_lengths {
+                        println!("keyword '{kw}': {len} postings");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,15 @@
+//! # vxv-bench — experiment harness
+//!
+//! Shared machinery for the `exp_fig13` … `exp_fig20` binaries, which
+//! regenerate every figure of the paper's evaluation (§5), plus the
+//! criterion micro-benchmarks.
+//!
+//! Each binary prints a table with the same axes and series as the paper's
+//! figure. Sizes are scaled to the host (`VXV_BASE_KB` overrides the base
+//! corpus size, `VXV_RUNS` the repetitions; the paper averaged 5 runs).
+
+pub mod harness;
+pub mod table;
+
+pub use harness::{measure_point, MeasureOptions, Measurement, SystemSet};
+pub use table::Table;

@@ -1,0 +1,530 @@
+//! The end-to-end engine: the modified query execution path of Fig. 3.
+//!
+//! `parse → GenerateQPT → GeneratePDT (index-only) → regular evaluator
+//! over PDTs → score → materialize top-k from document storage`.
+//!
+//! Base documents are touched exactly once per returned hit — the final
+//! materialization — which the [`vxv_xml::Corpus`] fetch counter lets
+//! tests and experiments verify.
+
+use crate::generate::{generate_pdt, DocMeta, GenerateStats};
+use crate::pdt::Pdt;
+use crate::qpt_gen::{generate_qpts, QptGenError};
+use crate::scoring::{score_and_rank, ElementStats, KeywordMode, ScoringOutcome};
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+use vxv_index::tokenize::normalize_keyword;
+use vxv_index::{InvertedIndex, PathIndex};
+use vxv_xml::{serialize_subtree, Corpus};
+use vxv_xquery::{
+    item_byte_len_with, item_sum_with, parse_query, serialize_item_with, EvalError, Evaluator,
+    MapSource, Query, QueryParseError,
+};
+
+/// Anything that can go wrong while answering a keyword-search-over-view
+/// query.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The view text failed to parse.
+    Parse(QueryParseError),
+    /// The view is outside the supported fragment.
+    QptGen(QptGenError),
+    /// The view failed at evaluation time.
+    Eval(EvalError),
+    /// A `fn:doc(...)` reference names no loaded document.
+    UnknownDocument(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "{e}"),
+            EngineError::QptGen(e) => write!(f, "{e}"),
+            EngineError::Eval(e) => write!(f, "{e}"),
+            EngineError::UnknownDocument(d) => write!(f, "unknown document '{d}'"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<QueryParseError> for EngineError {
+    fn from(e: QueryParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+
+impl From<QptGenError> for EngineError {
+    fn from(e: QptGenError) -> Self {
+        EngineError::QptGen(e)
+    }
+}
+
+impl From<EvalError> for EngineError {
+    fn from(e: EvalError) -> Self {
+        EngineError::Eval(e)
+    }
+}
+
+/// One ranked, fully materialized search hit.
+#[derive(Clone, Debug)]
+pub struct SearchHit {
+    /// 1-based rank.
+    pub rank: usize,
+    /// The normalized TF-IDF score.
+    pub score: f64,
+    /// Per-query-keyword term frequencies.
+    pub tf: Vec<u32>,
+    /// Aggregate byte length of the view element.
+    pub byte_len: u64,
+    /// The materialized XML of the view element.
+    pub xml: String,
+}
+
+/// Wall-clock cost of each pipeline phase (Fig. 14's breakdown).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Parse + QPT generation + PDT generation (the paper's "PDT" bar).
+    pub pdt: Duration,
+    /// View evaluation over the PDTs (the "Evaluator" bar).
+    pub evaluator: Duration,
+    /// Scoring + top-k materialization (the "Post-processing" bar).
+    pub post: Duration,
+}
+
+impl PhaseTimings {
+    /// Total across phases.
+    pub fn total(&self) -> Duration {
+        self.pdt + self.evaluator + self.post
+    }
+}
+
+/// Everything a search run reports.
+#[derive(Debug)]
+pub struct SearchOutcome {
+    /// Ranked, materialized hits.
+    pub hits: Vec<SearchHit>,
+    /// |V(D)| — size of the (virtual) view.
+    pub view_size: usize,
+    /// Matching elements before the top-k cut.
+    pub matching: usize,
+    /// Per-keyword idf over the view.
+    pub idf: Vec<f64>,
+    /// Phase wall-clock costs (Fig. 14's bars).
+    pub timings: PhaseTimings,
+    /// Per-document PDT statistics: (doc name, sweep stats, PDT bytes).
+    pub pdt_stats: Vec<(String, GenerateStats, u64)>,
+    /// Base-data subtree fetches spent on materialization.
+    pub fetches: u64,
+}
+
+/// The keyword-search-over-virtual-views engine.
+pub struct ViewSearchEngine<'c> {
+    corpus: &'c Corpus,
+    path_index: PathIndex,
+    inverted: InvertedIndex,
+    /// When set, top-k materialization reads from disk-backed document
+    /// storage instead of the in-memory corpus (the experiment setting).
+    store: Option<&'c vxv_xml::DiskStore>,
+}
+
+impl<'c> ViewSearchEngine<'c> {
+    /// Build indices over `corpus` and wrap them in an engine.
+    pub fn new(corpus: &'c Corpus) -> Self {
+        ViewSearchEngine {
+            corpus,
+            path_index: PathIndex::build(corpus),
+            inverted: InvertedIndex::build(corpus),
+            store: None,
+        }
+    }
+
+    /// Reuse pre-built indices.
+    pub fn with_indices(corpus: &'c Corpus, path_index: PathIndex, inverted: InvertedIndex) -> Self {
+        ViewSearchEngine { corpus, path_index, inverted, store: None }
+    }
+
+    /// Route top-k materialization through disk-backed document storage.
+    pub fn with_store(mut self, store: &'c vxv_xml::DiskStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The engine's path index (for experiments reporting probe work).
+    pub fn path_index(&self) -> &PathIndex {
+        &self.path_index
+    }
+
+    /// The engine's inverted index.
+    pub fn inverted_index(&self) -> &InvertedIndex {
+        &self.inverted
+    }
+
+    /// Run a ranked keyword search over the virtual view defined by the
+    /// XQuery text `view`.
+    pub fn search(
+        &self,
+        view: &str,
+        keywords: &[&str],
+        k: usize,
+        mode: KeywordMode,
+    ) -> Result<SearchOutcome, EngineError> {
+        let query = parse_query(view)?;
+        self.search_query(&query, keywords, k, mode)
+    }
+
+    /// As [`Self::search`], over a pre-parsed view.
+    pub fn search_query(
+        &self,
+        query: &Query,
+        keywords: &[&str],
+        k: usize,
+        mode: KeywordMode,
+    ) -> Result<SearchOutcome, EngineError> {
+        let keywords: Vec<String> = keywords.iter().map(|s| normalize_keyword(s)).collect();
+
+        // Phase 1+2: QPTs, then index-only PDTs.
+        let t0 = Instant::now();
+        let qpts = generate_qpts(query)?;
+        let mut pdts: Vec<Pdt> = Vec::with_capacity(qpts.len());
+        let mut pdt_stats = Vec::with_capacity(qpts.len());
+        for qpt in &qpts {
+            let doc = self
+                .corpus
+                .doc(&qpt.doc_name)
+                .ok_or_else(|| EngineError::UnknownDocument(qpt.doc_name.clone()))?;
+            let root = doc
+                .root()
+                .ok_or_else(|| EngineError::UnknownDocument(qpt.doc_name.clone()))?;
+            let meta = DocMeta {
+                name: qpt.doc_name.clone(),
+                root_tag: doc.node_tag(root).to_string(),
+                root_ordinal: doc.node(root).dewey.components()[0],
+            };
+            let (pdt, stats) = generate_pdt(qpt, &self.path_index, &self.inverted, &keywords, &meta);
+            pdt_stats.push((qpt.doc_name.clone(), stats, pdt.byte_size()));
+            pdts.push(pdt);
+        }
+        let t_pdt = t0.elapsed();
+
+        // Phase 3a: the regular evaluator, redirected to the PDTs.
+        let t1 = Instant::now();
+        let source = MapSource::new(pdts.iter().map(|p| (p.doc_name.clone(), &p.doc)));
+        let evaluator = Evaluator::new(&source, query);
+        let results = evaluator.eval_query(query)?;
+        let t_eval = t1.elapsed();
+
+        // Phase 3b: score from PDT annotations, rank, materialize top-k.
+        let t2 = Instant::now();
+        let by_name: HashMap<&str, &Pdt> = pdts.iter().map(|p| (p.doc_name.as_str(), p)).collect();
+        let stats: Vec<ElementStats> = results
+            .iter()
+            .map(|item| {
+                let tf: Vec<u32> = (0..keywords.len())
+                    .map(|ki| {
+                        item_sum_with(item, &mut |doc, n| {
+                            by_name
+                                .get(doc.name())
+                                .map(|p| p.tf(&doc.node(n).dewey, ki) as u64)
+                                .unwrap_or(0)
+                        }) as u32
+                    })
+                    .collect();
+                let byte_len = item_byte_len_with(item, &mut |doc, n| {
+                    by_name
+                        .get(doc.name())
+                        .map(|p| p.byte_len(&doc.node(n).dewey) as u64)
+                        .unwrap_or(0)
+                });
+                ElementStats { tf, byte_len }
+            })
+            .collect();
+        let ScoringOutcome { top, matching, idf, view_size } = score_and_rank(&stats, mode, k);
+
+        let fetches_before = match self.store {
+            Some(store) => store.stats().range_reads,
+            None => self.corpus.fetch_count(),
+        };
+        let hits: Vec<SearchHit> = top
+            .into_iter()
+            .enumerate()
+            .map(|(i, scored)| {
+                let xml = serialize_item_with(&results[scored.index], &mut |doc, n, out| {
+                    let dewey = &doc.node(n).dewey;
+                    match self.store {
+                        Some(store) => {
+                            if let Ok(sub) = store.read_subtree_xml(dewey) {
+                                out.push_str(&sub);
+                            }
+                        }
+                        None => {
+                            if let Some((base_doc, base_node)) = self.corpus.fetch_subtree(dewey) {
+                                out.push_str(&serialize_subtree(base_doc, base_node));
+                            }
+                        }
+                    }
+                });
+                SearchHit {
+                    rank: i + 1,
+                    score: scored.score,
+                    tf: scored.tf,
+                    byte_len: scored.byte_len,
+                    xml,
+                }
+            })
+            .collect();
+        let fetches = match self.store {
+            Some(store) => store.stats().range_reads - fetches_before,
+            None => self.corpus.fetch_count() - fetches_before,
+        };
+        let t_post = t2.elapsed();
+
+        Ok(SearchOutcome {
+            hits,
+            view_size,
+            matching,
+            idf,
+            timings: PhaseTimings { pdt: t_pdt, evaluator: t_eval, post: t_post },
+            pdt_stats,
+            fetches,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        c.add_parsed(
+            "books.xml",
+            "<books>\
+               <book><isbn>111</isbn><title>XML Web Services</title><year>2004</year></book>\
+               <book><isbn>222</isbn><title>Artificial Intelligence</title><year>2002</year></book>\
+               <book><isbn>333</isbn><title>Databases</title><year>1990</year></book>\
+             </books>",
+        )
+        .unwrap();
+        c.add_parsed(
+            "reviews.xml",
+            "<reviews>\
+               <review><isbn>111</isbn><content>all about XML search engines</content></review>\
+               <review><isbn>111</isbn><content>easy to read</content></review>\
+               <review><isbn>222</isbn><content>thorough search coverage</content></review>\
+               <review><isbn>333</isbn><content>XML search classics</content></review>\
+             </reviews>",
+        )
+        .unwrap();
+        c
+    }
+
+    const VIEW: &str = "for $book in fn:doc(books.xml)/books//book \
+         where $book/year > 1995 \
+         return <bookrevs> \
+           { <book> {$book/title} </book> } \
+           { for $rev in fn:doc(reviews.xml)/reviews//review \
+             where $rev/isbn = $book/isbn \
+             return $rev/content } \
+         </bookrevs>";
+
+    #[test]
+    fn end_to_end_conjunctive_search_on_the_running_example() {
+        let c = corpus();
+        let engine = ViewSearchEngine::new(&c);
+        let out = engine.search(VIEW, &["XML", "search"], 10, KeywordMode::Conjunctive).unwrap();
+        // View has two elements (books 111 and 222; book 333 fails year).
+        assert_eq!(out.view_size, 2);
+        // Only book 111's bookrevs contains both xml and search.
+        assert_eq!(out.matching, 1);
+        assert_eq!(out.hits.len(), 1);
+        let hit = &out.hits[0];
+        assert!(hit.xml.contains("<title>XML Web Services</title>"), "{}", hit.xml);
+        assert!(hit.xml.contains("all about XML search engines"), "{}", hit.xml);
+        assert!(hit.xml.starts_with("<bookrevs>"), "{}", hit.xml);
+        // tf: xml appears in title (1) + review1 (1) + nothing else = 2;
+        // search appears once in review1.
+        assert_eq!(hit.tf, vec![2, 1]);
+    }
+
+    #[test]
+    fn disjunctive_search_matches_any_keyword() {
+        let c = corpus();
+        let engine = ViewSearchEngine::new(&c);
+        let out = engine.search(VIEW, &["intelligence", "xml"], 10, KeywordMode::Disjunctive).unwrap();
+        assert_eq!(out.matching, 2);
+    }
+
+    #[test]
+    fn base_data_is_fetched_only_for_top_k() {
+        let c = corpus();
+        let engine = ViewSearchEngine::new(&c);
+        c.reset_fetch_count();
+        let out = engine.search(VIEW, &["search"], 1, KeywordMode::Conjunctive).unwrap();
+        assert_eq!(out.hits.len(), 1);
+        // Matching elements: both bookrevs contain "search"; but only the
+        // top-1 result's content nodes were fetched from storage.
+        assert_eq!(out.matching, 2);
+        assert_eq!(c.fetch_count(), out.fetches);
+        assert!(out.fetches <= 3, "fetched {} subtrees", out.fetches);
+    }
+
+    #[test]
+    fn byte_lengths_match_materialized_output() {
+        let c = corpus();
+        let engine = ViewSearchEngine::new(&c);
+        let out = engine.search(VIEW, &["xml"], 10, KeywordMode::Conjunctive).unwrap();
+        for hit in &out.hits {
+            assert_eq!(hit.byte_len, hit.xml.len() as u64, "hit: {}", hit.xml);
+        }
+    }
+
+    #[test]
+    fn unknown_documents_are_reported() {
+        let c = corpus();
+        let engine = ViewSearchEngine::new(&c);
+        let e = engine
+            .search("for $x in fn:doc(zzz.xml)/a return $x", &["k"], 5, KeywordMode::Conjunctive)
+            .unwrap_err();
+        assert!(matches!(e, EngineError::UnknownDocument(_)), "{e}");
+    }
+
+    #[test]
+    fn pdt_stats_are_reported_per_document() {
+        let c = corpus();
+        let engine = ViewSearchEngine::new(&c);
+        let out = engine.search(VIEW, &["xml"], 5, KeywordMode::Conjunctive).unwrap();
+        assert_eq!(out.pdt_stats.len(), 2);
+        assert_eq!(out.pdt_stats[0].0, "books.xml");
+        assert!(out.pdt_stats[0].1.emitted > 0);
+    }
+}
+
+/// One probe the PDT phase would issue for a QPT node.
+#[derive(Clone, Debug)]
+pub struct ProbeReport {
+    /// The root-to-node path pattern sent to the path index.
+    pub pattern: String,
+    /// Number of predicates pushed into the probe.
+    pub predicates: usize,
+    /// Full data paths the pattern expands to in the dictionary.
+    pub expanded_paths: usize,
+    /// Entries the probe returns (relevant-list length).
+    pub entries: usize,
+}
+
+/// Query-plan introspection for one QPT.
+#[derive(Clone, Debug)]
+pub struct QptReport {
+    /// The document this QPT projects.
+    pub doc_name: String,
+    /// Pretty-printed QPT (axes, edges, annotations, predicates).
+    pub rendered: String,
+    /// Pattern nodes in the QPT.
+    pub nodes: usize,
+    /// The probes `PrepareLists` issues — proportional to the query.
+    pub probes: Vec<ProbeReport>,
+}
+
+/// Output of [`ViewSearchEngine::explain`].
+#[derive(Clone, Debug)]
+pub struct ExplainOutput {
+    /// One report per base document the view references.
+    pub qpts: Vec<QptReport>,
+    /// Per-keyword inverted-list lengths (the paper's selectivity knob).
+    pub keyword_list_lengths: Vec<(String, usize)>,
+}
+
+impl<'c> ViewSearchEngine<'c> {
+    /// Explain how a keyword search over `view` would be answered:
+    /// the QPTs, the index probes with their list sizes, and the
+    /// inverted-list lengths of the keywords — without running the query.
+    pub fn explain(&self, view: &str, keywords: &[&str]) -> Result<ExplainOutput, EngineError> {
+        let query = parse_query(view)?;
+        let qpts = generate_qpts(&query)?;
+        let mut reports = Vec::with_capacity(qpts.len());
+        for qpt in &qpts {
+            let doc = self
+                .corpus
+                .doc(&qpt.doc_name)
+                .ok_or_else(|| EngineError::UnknownDocument(qpt.doc_name.clone()))?;
+            let ordinal = doc
+                .root()
+                .map(|r| doc.node(r).dewey.components()[0])
+                .ok_or_else(|| EngineError::UnknownDocument(qpt.doc_name.clone()))?;
+            let lists = crate::prepare::prepare_lists(qpt, &self.path_index, ordinal);
+            let probes = lists
+                .lists
+                .iter()
+                .map(|(q, entries)| {
+                    let pattern = qpt.pattern(*q);
+                    ProbeReport {
+                        expanded_paths: self.path_index.expand_pattern(&pattern).len(),
+                        pattern: pattern.to_string(),
+                        predicates: qpt.node(*q).preds.len(),
+                        entries: entries.len(),
+                    }
+                })
+                .collect();
+            reports.push(QptReport {
+                doc_name: qpt.doc_name.clone(),
+                rendered: qpt.to_string(),
+                nodes: qpt.len(),
+                probes,
+            });
+        }
+        let keyword_list_lengths = keywords
+            .iter()
+            .map(|k| {
+                let norm = normalize_keyword(k);
+                let len = self.inverted.list_len(&norm);
+                (norm, len)
+            })
+            .collect();
+        Ok(ExplainOutput { qpts: reports, keyword_list_lengths })
+    }
+}
+
+#[cfg(test)]
+mod explain_tests {
+    use super::*;
+
+    #[test]
+    fn explain_reports_probes_and_list_lengths() {
+        let mut c = Corpus::new();
+        c.add_parsed(
+            "books.xml",
+            "<books><book><isbn>1</isbn><title>xml xml</title><year>1999</year></book>\
+             <book><isbn>2</isbn><title>other</title><year>1990</year></book></books>",
+        )
+        .unwrap();
+        let engine = ViewSearchEngine::new(&c);
+        let out = engine
+            .explain(
+                "for $b in fn:doc(books.xml)/books//book where $b/year > 1995 \
+                 return <h> { $b/title } </h>",
+                &["XML", "zzz"],
+            )
+            .unwrap();
+        assert_eq!(out.qpts.len(), 1);
+        let r = &out.qpts[0];
+        assert_eq!(r.doc_name, "books.xml");
+        assert!(r.rendered.contains("//book"), "{}", r.rendered);
+        // title and year probed; year carries a pushed predicate.
+        assert_eq!(r.probes.len(), 2, "{:?}", r.probes);
+        let year = r.probes.iter().find(|p| p.pattern.ends_with("/year")).unwrap();
+        assert_eq!(year.predicates, 1);
+        assert_eq!(year.entries, 1, "only the 1999 year passes");
+        // Keyword list lengths are normalized and exact.
+        assert_eq!(out.keyword_list_lengths, vec![("xml".to_string(), 1), ("zzz".to_string(), 0)]);
+    }
+
+    #[test]
+    fn explain_rejects_unknown_documents() {
+        let c = Corpus::new();
+        let engine = ViewSearchEngine::new(&c);
+        let e = engine.explain("for $x in fn:doc(a.xml)/r return $x", &[]).unwrap_err();
+        assert!(matches!(e, EngineError::UnknownDocument(_)));
+    }
+}

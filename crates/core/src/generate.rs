@@ -1,0 +1,890 @@
+//! `GeneratePDT` — the single-pass, index-only PDT construction
+//! (paper §4.2.2 and Appendix E).
+//!
+//! The algorithm merges the Dewey-ordered probe lists of
+//! [`crate::prepare::PreparedLists`]
+//! and sweeps them once in document order. The *Candidate Tree* materializes
+//! as a stack of currently-open elements (the pseudo-code's left-most
+//! path); each open element carries one state per QPT node its ID prefix
+//! aligns to (`CTQNodeSet`), holding the DescendantMap bitmask and the
+//! `InPdt` flag. Closing an element finalizes its candidacy (Definition 1),
+//! notifies ancestors' DescendantMaps, and resolves or defers its ancestor
+//! constraint (Definition 2): elements whose qualifying parent is not yet
+//! decided park in a pending table (the pseudo-code's `PdtCache`s) keyed by
+//! the ancestor states they wait on, and cascade when those resolve.
+//!
+//! Base documents are never read: IDs, atomic values and byte lengths come
+//! from the path index; term frequencies from the inverted index.
+
+use crate::pdt::{Pdt, PdtElem};
+use crate::prepare::{prepare_lists, PreparedLists};
+use crate::qpt::{Qpt, QptNodeId};
+use std::collections::{BTreeMap, HashMap};
+use vxv_index::{Axis, InvertedIndex, PathIndex};
+use vxv_xml::DeweyId;
+
+/// Catalog facts about the projected document (not base data: name, root
+/// tag and root ordinal are schema-level metadata).
+#[derive(Clone, Debug)]
+pub struct DocMeta {
+    /// The document's name (the `fn:doc(...)` key).
+    pub name: String,
+    /// Tag of the document's root element.
+    pub root_tag: String,
+    /// The document's Dewey root ordinal.
+    pub root_ordinal: u32,
+}
+
+/// Work counters of one GeneratePDT run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GenerateStats {
+    /// Probe-list entries consumed.
+    pub entries: usize,
+    /// Peak depth of the candidate stack.
+    pub max_stack: usize,
+    /// Peak number of parked (deferred) elements.
+    pub max_pending: usize,
+    /// Elements emitted into the PDT.
+    pub emitted: usize,
+    /// Path-index probes issued by the prepare phase.
+    pub probes: usize,
+}
+
+type StateKey = (DeweyId, QptNodeId);
+
+#[derive(Clone, Debug)]
+struct CtState {
+    q: QptNodeId,
+    dm: u32,
+    probed_hit: bool,
+    candidate: bool,
+    in_pdt: bool,
+}
+
+#[derive(Debug)]
+struct CtNode {
+    dewey: DeweyId,
+    states: Vec<CtState>,
+    value: Option<String>,
+    byte_len: u32,
+}
+
+impl CtNode {
+    fn state_mut(&mut self, q: QptNodeId) -> Option<&mut CtState> {
+        self.states.iter_mut().find(|s| s.q == q)
+    }
+
+    fn state(&self, q: QptNodeId) -> Option<&CtState> {
+        self.states.iter().find(|s| s.q == q)
+    }
+}
+
+#[derive(Debug)]
+struct Pending {
+    dewey: DeweyId,
+    q: QptNodeId,
+    /// Remaining potential parent states, deepest first.
+    pl: Vec<StateKey>,
+    elem: PdtElem,
+}
+
+struct Sweep<'a> {
+    qpt: &'a Qpt,
+    stack: Vec<CtNode>,
+    emitted: BTreeMap<DeweyId, PdtElem>,
+    pending: Vec<Option<Pending>>,
+    pending_on: HashMap<StateKey, Vec<usize>>,
+    /// Final outcomes, recorded only for states some parked element's
+    /// parent list mentions (`interest`): without deferred elements the
+    /// sweep stores nothing per state.
+    outcomes: HashMap<StateKey, bool>,
+    interest: std::collections::HashSet<StateKey>,
+    live_pending: usize,
+    stats: GenerateStats,
+}
+
+/// Generate the PDT for `qpt` using only the path and inverted indices.
+pub fn generate_pdt(
+    qpt: &Qpt,
+    path_index: &PathIndex,
+    inverted: &InvertedIndex,
+    keywords: &[String],
+    meta: &DocMeta,
+) -> (Pdt, GenerateStats) {
+    let lists = prepare_lists(qpt, path_index, meta.root_ordinal);
+    generate_pdt_from_lists(qpt, &lists, inverted, keywords, meta)
+}
+
+/// As [`generate_pdt`] but over pre-computed probe lists (exposed for
+/// benchmarks that separate probe cost from merge cost).
+pub fn generate_pdt_from_lists(
+    qpt: &Qpt,
+    lists: &PreparedLists,
+    inverted: &InvertedIndex,
+    keywords: &[String],
+    meta: &DocMeta,
+) -> (Pdt, GenerateStats) {
+    let mut sweep = Sweep {
+        qpt,
+        stack: Vec::new(),
+        emitted: BTreeMap::new(),
+        pending: Vec::new(),
+        pending_on: HashMap::new(),
+        outcomes: HashMap::new(),
+        interest: std::collections::HashSet::new(),
+        live_pending: 0,
+        stats: GenerateStats { probes: lists.probes, ..GenerateStats::default() },
+    };
+
+    // K-way merge over the per-node lists, in (dewey, list) order.
+    let mut cursors = vec![0usize; lists.lists.len()];
+    loop {
+        let mut min: Option<usize> = None;
+        for (i, (_, entries)) in lists.lists.iter().enumerate() {
+            if cursors[i] >= entries.len() {
+                continue;
+            }
+            min = match min {
+                None => Some(i),
+                Some(m) => {
+                    if entries[cursors[i]].dewey < lists.lists[m].1[cursors[m]].dewey {
+                        Some(i)
+                    } else {
+                        Some(m)
+                    }
+                }
+            };
+        }
+        let Some(i) = min else { break };
+        let (qnode, entries) = &lists.lists[i];
+        let entry = &entries[cursors[i]];
+        cursors[i] += 1;
+        sweep.stats.entries += 1;
+        let alignment = &lists.alignments[&(*qnode, entry.path_id)];
+        sweep.ingest(entry.dewey.clone(), *qnode, entry, alignment);
+    }
+    while !sweep.stack.is_empty() {
+        sweep.close_top();
+    }
+    debug_assert_eq!(sweep.live_pending, 0, "all deferred elements must resolve");
+
+    sweep.stats.emitted = sweep.emitted.len();
+    let stats = sweep.stats;
+    let mut pdt = Pdt::assemble(
+        &meta.name,
+        &meta.root_tag,
+        meta.root_ordinal,
+        &sweep.emitted,
+        keywords.len(),
+    );
+    for (dewey, info) in pdt.info.iter_mut() {
+        if let Some(tf) = &mut info.tf {
+            for (k, kw) in keywords.iter().enumerate() {
+                tf[k] = inverted.subtree_tf(kw, dewey);
+            }
+        }
+    }
+    (pdt, stats)
+}
+
+impl<'a> Sweep<'a> {
+    fn ingest(
+        &mut self,
+        dewey: DeweyId,
+        qnode: QptNodeId,
+        entry: &crate::prepare::PreparedEntry,
+        alignment: &[Vec<QptNodeId>],
+    ) {
+        // Close elements the sweep has left.
+        while let Some(top) = self.stack.last() {
+            if top.dewey.is_prefix_of(&dewey) {
+                break;
+            }
+            self.close_top();
+        }
+        // Open / merge CT nodes for every aligned prefix depth.
+        let len = dewey.len();
+        for d in 1..=len {
+            let qnodes = &alignment[d - 1];
+            let is_self = d == len;
+            if qnodes.is_empty() {
+                continue;
+            }
+            // Locate the stack slot: stack deweys strictly lengthen, and
+            // every remaining stack node is a prefix of `dewey`, so a
+            // length match IS the prefix match.
+            let pos = self.stack.partition_point(|n| n.dewey.len() < d);
+            let node = if pos < self.stack.len() && self.stack[pos].dewey.len() == d {
+                debug_assert_eq!(self.stack[pos].dewey, dewey.prefix(d));
+                &mut self.stack[pos]
+            } else {
+                self.stack.insert(
+                    pos,
+                    CtNode { dewey: dewey.prefix(d), states: Vec::new(), value: None, byte_len: 0 },
+                );
+                self.stats.max_stack = self.stats.max_stack.max(self.stack.len());
+                &mut self.stack[pos]
+            };
+            for q in qnodes {
+                if node.state(*q).is_none() {
+                    node.states.push(CtState {
+                        q: *q,
+                        dm: 0,
+                        probed_hit: false,
+                        candidate: false,
+                        in_pdt: false,
+                    });
+                }
+            }
+            if is_self {
+                if let Some(s) = node.state_mut(qnode) {
+                    s.probed_hit = true;
+                }
+                if node.value.is_none() {
+                    node.value = entry.value.clone();
+                }
+                node.byte_len = node.byte_len.max(entry.byte_len);
+            }
+        }
+    }
+
+    fn close_top(&mut self) {
+        let mut node = self.stack.pop().expect("close on empty stack");
+        // Phase 1: finalize candidacy.
+        for s in &mut node.states {
+            if !s.candidate {
+                let probed_ok = !self.qpt.probed(s.q) || s.probed_hit;
+                s.candidate = probed_ok && s.dm == full_mask_of(self.qpt, s.q);
+            }
+        }
+        // Phase 2: candidates notify ancestors' DescendantMaps (may flip
+        // ancestors to candidates, and to InPdt early).
+        let candidate_qs: Vec<QptNodeId> =
+            node.states.iter().filter(|s| s.candidate).map(|s| s.q).collect();
+        for q in &candidate_qs {
+            self.propagate_dm(&node.dewey, *q);
+        }
+        // Phase 3: resolve the ancestor constraint per candidate state.
+        // With nothing parked anywhere, resolution has no observers and
+        // only emissions matter — the common case on real data.
+        let quiet = self.pending_on.is_empty() && self.interest.is_empty();
+        for s in &node.states {
+            if !s.candidate {
+                if !quiet {
+                    self.resolve((node.dewey.clone(), s.q), false);
+                }
+                continue;
+            }
+            if s.in_pdt {
+                // Became InPdt early while open (drained then); emit now.
+                let key = (node.dewey.clone(), s.q);
+                self.emit(key.clone(), make_elem(self.qpt, &node, s));
+                if self.interest.contains(&key) {
+                    self.outcomes.insert(key, true);
+                }
+                continue;
+            }
+            match self.check_parents(&node.dewey, s.q) {
+                ParentCheck::InPdt => {
+                    let key = (node.dewey.clone(), s.q);
+                    self.emit(key.clone(), make_elem(self.qpt, &node, s));
+                    if !quiet {
+                        self.resolve(key, true);
+                    }
+                }
+                ParentCheck::Dead => {
+                    if !quiet {
+                        self.resolve((node.dewey.clone(), s.q), false);
+                    }
+                }
+                ParentCheck::Pending(mut pl) => {
+                    let first = pl.remove(0);
+                    self.interest.insert(first.clone());
+                    for k in &pl {
+                        self.interest.insert(k.clone());
+                    }
+                    let idx = self.pending.len();
+                    self.pending.push(Some(Pending {
+                        dewey: node.dewey.clone(),
+                        q: s.q,
+                        pl,
+                        elem: make_elem(self.qpt, &node, s),
+                    }));
+                    self.live_pending += 1;
+                    self.stats.max_pending = self.stats.max_pending.max(self.live_pending);
+                    self.register(first, idx);
+                }
+            }
+        }
+    }
+
+    /// Set the DescendantMap bit for `q` on every qualifying open ancestor;
+    /// ancestors completing their mask become candidates immediately, and
+    /// InPdt if their own ancestor constraint is already settled (the
+    /// `InPdt` optimization of §4.2.2.1).
+    fn propagate_dm(&mut self, dewey: &DeweyId, q: QptNodeId) {
+        let qn = self.qpt.node(q);
+        let Some(parent_q) = qn.parent else { return };
+        let Some(bit) = self.qpt.dm_bit(q) else { return };
+        let parent_dewey = dewey.parent();
+        let mut flipped: Vec<usize> = Vec::new();
+        for (i, anc) in self.stack.iter_mut().enumerate() {
+            match qn.incoming_axis {
+                Axis::Child => {
+                    if Some(&anc.dewey) != parent_dewey.as_ref() {
+                        continue;
+                    }
+                }
+                Axis::Descendant => {} // every stack node is a strict ancestor
+            }
+            if let Some(s) = anc.state_mut(parent_q) {
+                let had = s.dm & (1 << bit) != 0;
+                s.dm |= 1 << bit;
+                if !had && !s.candidate {
+                    flipped.push(i);
+                }
+            }
+        }
+        for i in flipped {
+            self.try_early_candidate(i, parent_q);
+        }
+    }
+
+    /// Re-evaluate candidacy of an *open* state after a DM update, and
+    /// settle InPdt early when its ancestor constraint already holds.
+    fn try_early_candidate(&mut self, stack_idx: usize, q: QptNodeId) {
+        let full = full_mask_of(self.qpt, q);
+        let probed = self.qpt.probed(q);
+        {
+            let node = &mut self.stack[stack_idx];
+            let Some(s) = node.state_mut(q) else { return };
+            if s.candidate || s.dm != full || (probed && !s.probed_hit) {
+                return;
+            }
+            s.candidate = true;
+        }
+        // Early InPdt: top-level, or some open ancestor parent state InPdt.
+        let settled = match self.qpt.node(q).parent {
+            None => true,
+            Some(pq) => {
+                let child_axis = self.qpt.node(q).incoming_axis == Axis::Child;
+                let my_dewey = self.stack[stack_idx].dewey.clone();
+                let parent_dewey = my_dewey.parent();
+                self.stack[..stack_idx].iter().any(|anc| {
+                    if child_axis && Some(&anc.dewey) != parent_dewey.as_ref() {
+                        return false;
+                    }
+                    anc.state(pq).map(|s| s.in_pdt).unwrap_or(false)
+                })
+            }
+        };
+        if settled {
+            self.mark_in_pdt_open(stack_idx, q);
+        }
+    }
+
+    /// Flip an open state to InPdt and wake everything parked on it. Newly
+    /// InPdt ancestors also settle open candidate descendants (cascading
+    /// down the stack).
+    fn mark_in_pdt_open(&mut self, stack_idx: usize, q: QptNodeId) {
+        {
+            let node = &mut self.stack[stack_idx];
+            let Some(s) = node.state_mut(q) else { return };
+            if s.in_pdt {
+                return;
+            }
+            s.in_pdt = true;
+        }
+        if !(self.pending_on.is_empty() && self.interest.is_empty()) {
+            let key = (self.stack[stack_idx].dewey.clone(), q);
+            if self.interest.contains(&key) {
+                self.outcomes.insert(key.clone(), true);
+            }
+            self.resolve_waiters(key, true);
+        }
+        // Cascade down: open descendants whose parent state just settled.
+        for below in stack_idx + 1..self.stack.len() {
+            let found: Vec<QptNodeId> = self.stack[below]
+                .states
+                .iter()
+                .filter(|s| {
+                    s.candidate
+                        && !s.in_pdt
+                        && self.qpt.node(s.q).parent == Some(q)
+                        && match self.qpt.node(s.q).incoming_axis {
+                            Axis::Child => {
+                                self.stack[below].dewey.parent().as_ref()
+                                    == Some(&self.stack[stack_idx].dewey)
+                            }
+                            Axis::Descendant => true,
+                        }
+                })
+                .map(|s| s.q)
+                .collect();
+            for cq in found {
+                self.mark_in_pdt_open(below, cq);
+            }
+        }
+    }
+
+    fn check_parents(&self, dewey: &DeweyId, q: QptNodeId) -> ParentCheck {
+        let qn = self.qpt.node(q);
+        let Some(pq) = qn.parent else { return ParentCheck::InPdt };
+        let parent_dewey = dewey.parent();
+        let mut pl = Vec::new();
+        for anc in self.stack.iter().rev() {
+            if qn.incoming_axis == Axis::Child && Some(&anc.dewey) != parent_dewey.as_ref() {
+                continue;
+            }
+            if let Some(s) = anc.state(pq) {
+                if s.in_pdt {
+                    return ParentCheck::InPdt;
+                }
+                pl.push((anc.dewey.clone(), pq));
+            }
+        }
+        if pl.is_empty() {
+            ParentCheck::Dead
+        } else {
+            ParentCheck::Pending(pl)
+        }
+    }
+
+    /// Record a state's final outcome (when someone may still ask for it)
+    /// and wake everything parked on it.
+    fn resolve(&mut self, key: StateKey, in_pdt: bool) {
+        if self.interest.contains(&key) {
+            self.outcomes.insert(key.clone(), in_pdt);
+        }
+        self.resolve_waiters(key, in_pdt);
+    }
+
+    fn resolve_waiters(&mut self, key: StateKey, in_pdt: bool) {
+        let Some(waiters) = self.pending_on.remove(&key) else { return };
+        for w in waiters {
+            let Some(mut p) = self.pending[w].take() else { continue };
+            self.live_pending -= 1;
+            if in_pdt {
+                let pkey = (p.dewey.clone(), p.q);
+                self.emit(pkey.clone(), p.elem);
+                self.resolve(pkey, true);
+            } else {
+                // Try the next potential parent.
+                loop {
+                    if p.pl.is_empty() {
+                        let pkey = (p.dewey.clone(), p.q);
+                        self.resolve(pkey, false);
+                        break;
+                    }
+                    let next = p.pl.remove(0);
+                    match self.outcomes.get(&next) {
+                        Some(true) => {
+                            let pkey = (p.dewey.clone(), p.q);
+                            self.emit(pkey.clone(), p.elem);
+                            self.resolve(pkey, true);
+                            break;
+                        }
+                        Some(false) => continue,
+                        None => {
+                            self.pending[w] = Some(p);
+                            self.live_pending += 1;
+                            self.register(next, w);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn register(&mut self, key: StateKey, pending_idx: usize) {
+        match self.outcomes.get(&key) {
+            Some(&outcome) => {
+                // The target already settled; resolve inline.
+                let Some(mut p) = self.pending[pending_idx].take() else { return };
+                self.live_pending -= 1;
+                if outcome {
+                    let pkey = (p.dewey.clone(), p.q);
+                    self.emit(pkey.clone(), p.elem);
+                    self.resolve(pkey, true);
+                } else if p.pl.is_empty() {
+                    let pkey = (p.dewey.clone(), p.q);
+                    self.resolve(pkey, false);
+                } else {
+                    let next = p.pl.remove(0);
+                    self.pending[pending_idx] = Some(p);
+                    self.live_pending += 1;
+                    self.register(next, pending_idx);
+                }
+            }
+            None => {
+                self.pending_on.entry(key).or_default().push(pending_idx);
+            }
+        }
+    }
+
+    fn emit(&mut self, key: StateKey, elem: PdtElem) {
+        let (dewey, _) = key;
+        let slot = self.emitted.entry(dewey).or_insert_with(|| PdtElem {
+            tag: elem.tag.clone(),
+            ..PdtElem::default()
+        });
+        debug_assert_eq!(slot.tag, elem.tag);
+        if slot.value.is_none() {
+            slot.value = elem.value;
+        }
+        slot.byte_len = slot.byte_len.max(elem.byte_len);
+        slot.content |= elem.content;
+    }
+}
+
+enum ParentCheck {
+    InPdt,
+    Dead,
+    Pending(Vec<StateKey>),
+}
+
+fn full_mask_of(qpt: &Qpt, q: QptNodeId) -> u32 {
+    let n = qpt.mandatory_child_count(q);
+    if n >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << n) - 1
+    }
+}
+
+fn make_elem(qpt: &Qpt, node: &CtNode, s: &CtState) -> PdtElem {
+    PdtElem {
+        tag: qpt.node(s.q).tag.clone(),
+        value: if qpt.probed(s.q) && s.probed_hit { node.value.clone() } else { None },
+        byte_len: node.byte_len,
+        content: qpt.node(s.q).c_ann,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::oracle_pdt;
+    use vxv_index::ValuePredicate;
+    use vxv_xml::Corpus;
+
+    fn book_qpt() -> Qpt {
+        let mut q = Qpt::new("books.xml");
+        let books = q.add_node(None, Axis::Child, true, "books");
+        let book = q.add_node(Some(books), Axis::Descendant, true, "book");
+        let isbn = q.add_node(Some(book), Axis::Child, false, "isbn");
+        q.node_mut(isbn).v_ann = true;
+        let title = q.add_node(Some(book), Axis::Child, false, "title");
+        q.node_mut(title).c_ann = true;
+        let year = q.add_node(Some(book), Axis::Child, true, "year");
+        q.node_mut(year).preds.push(ValuePredicate::Gt("1995".into()));
+        q
+    }
+
+    fn run_both(corpus: &Corpus, doc: &str, qpt: &Qpt, keywords: &[&str]) -> (Pdt, Pdt) {
+        let path_index = PathIndex::build(corpus);
+        let inverted = InvertedIndex::build(corpus);
+        let kws: Vec<String> = keywords.iter().map(|s| s.to_string()).collect();
+        let document = corpus.doc(doc).unwrap();
+        let root = document.root().unwrap();
+        let meta = DocMeta {
+            name: doc.to_string(),
+            root_tag: document.node_tag(root).to_string(),
+            root_ordinal: document.node(root).dewey.components()[0],
+        };
+        let (pdt, _) = generate_pdt(qpt, &path_index, &inverted, &kws, &meta);
+        let oracle = oracle_pdt(document, qpt, &inverted, &kws);
+        (pdt, oracle)
+    }
+
+    fn assert_equivalent(pdt: &Pdt, oracle: &Pdt) {
+        let got: Vec<String> = pdt.info.keys().map(|d| d.to_string()).collect();
+        let want: Vec<String> = oracle.info.keys().map(|d| d.to_string()).collect();
+        assert_eq!(got, want, "element sets differ");
+        for (d, info) in &oracle.info {
+            let g = pdt.node_info(d).unwrap();
+            assert_eq!(g.byte_len, info.byte_len, "byte_len at {d}");
+            assert_eq!(g.tf, info.tf, "tf at {d}");
+            let gn = pdt.doc.node_by_dewey(d).unwrap();
+            let on = oracle.doc.node_by_dewey(d).unwrap();
+            assert_eq!(pdt.doc.node_tag(gn), oracle.doc.node_tag(on), "tag at {d}");
+            assert_eq!(pdt.doc.value(gn), oracle.doc.value(on), "value at {d}");
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_the_running_example() {
+        let mut c = Corpus::new();
+        c.add_parsed(
+            "books.xml",
+            "<books>\
+               <book><isbn>111</isbn><title>New XML search</title><year>1996</year></book>\
+               <book><isbn>222</isbn><title>Old</title><year>1990</year></book>\
+               <book><title>No Year</title></book>\
+               <shelf><book><isbn>333</isbn><title>XML deep</title><year>2001</year></book></shelf>\
+             </books>",
+        )
+        .unwrap();
+        let (pdt, oracle) = run_both(&c, "books.xml", &book_qpt(), &["xml", "search"]);
+        assert_equivalent(&pdt, &oracle);
+        // Sanity: the qualifying books are 1.1 and 1.4.1 only.
+        assert!(pdt.info.contains_key(&"1.1".parse().unwrap()));
+        assert!(pdt.info.contains_key(&"1.4.1".parse().unwrap()));
+        assert!(!pdt.info.contains_key(&"1.2".parse().unwrap()));
+        assert!(!pdt.info.contains_key(&"1.3".parse().unwrap()));
+    }
+
+    #[test]
+    fn mutual_constraints_are_not_local() {
+        // A content element must be dropped when its parent fails a
+        // *different* mandatory constraint (the paper's "not local" note).
+        let mut c = Corpus::new();
+        c.add_parsed(
+            "reviews.xml",
+            "<reviews>\
+               <review><isbn>1</isbn><content>good</content></review>\
+               <review><content>orphan content</content></review>\
+             </reviews>",
+        )
+        .unwrap();
+        let mut q = Qpt::new("reviews.xml");
+        let reviews = q.add_node(None, Axis::Child, true, "reviews");
+        let review = q.add_node(Some(reviews), Axis::Descendant, true, "review");
+        let isbn = q.add_node(Some(review), Axis::Child, true, "isbn");
+        q.node_mut(isbn).v_ann = true;
+        let content = q.add_node(Some(review), Axis::Child, false, "content");
+        q.node_mut(content).c_ann = true;
+        let (pdt, oracle) = run_both(&c, "reviews.xml", &q, &["good"]);
+        assert_equivalent(&pdt, &oracle);
+        assert!(pdt.info.contains_key(&"1.1.2".parse().unwrap()), "kept content");
+        assert!(!pdt.info.contains_key(&"1.2.1".parse().unwrap()), "orphan content dropped");
+    }
+
+    #[test]
+    fn repeated_tags_with_descendant_axes_match_oracle() {
+        let mut c = Corpus::new();
+        c.add_parsed(
+            "d.xml",
+            "<a><a><b>1</b><a><b>2</b></a></a><x><a><b>3</b></a></x><a><c>no</c></a></a>",
+        )
+        .unwrap();
+        let mut q = Qpt::new("d.xml");
+        let a1 = q.add_node(None, Axis::Descendant, true, "a");
+        let a2 = q.add_node(Some(a1), Axis::Descendant, true, "a");
+        let b = q.add_node(Some(a2), Axis::Child, true, "b");
+        q.node_mut(b).c_ann = true;
+        let (pdt, oracle) = run_both(&c, "d.xml", &q, &["1"]);
+        assert_equivalent(&pdt, &oracle);
+    }
+
+    #[test]
+    fn deep_skipped_levels_are_pruned_but_relations_kept() {
+        let mut c = Corpus::new();
+        c.add_parsed(
+            "d.xml",
+            "<r><wrap><deep><item><k>5</k></item></deep></wrap><item><k>9</k></item></r>",
+        )
+        .unwrap();
+        let mut q = Qpt::new("d.xml");
+        let r = q.add_node(None, Axis::Child, true, "r");
+        let item = q.add_node(Some(r), Axis::Descendant, true, "item");
+        let k = q.add_node(Some(item), Axis::Child, true, "k");
+        q.node_mut(k).v_ann = true;
+        let (pdt, oracle) = run_both(&c, "d.xml", &q, &[]);
+        assert_equivalent(&pdt, &oracle);
+        // wrap/deep are pruned; 1.1.1.1 parents directly to 1.
+        let item1 = pdt.doc.node_by_dewey(&"1.1.1.1".parse().unwrap()).unwrap();
+        let parent = pdt.doc.node(item1).parent.unwrap();
+        assert_eq!(pdt.doc.node(parent).dewey.to_string(), "1");
+    }
+
+    #[test]
+    fn empty_result_when_nothing_qualifies() {
+        let mut c = Corpus::new();
+        c.add_parsed("d.xml", "<r><item><k>1</k></item></r>").unwrap();
+        let mut q = Qpt::new("d.xml");
+        let r = q.add_node(None, Axis::Child, true, "r");
+        let item = q.add_node(Some(r), Axis::Descendant, true, "item");
+        let k = q.add_node(Some(item), Axis::Child, true, "k");
+        q.node_mut(k).preds.push(ValuePredicate::Gt("100".into()));
+        let (pdt, oracle) = run_both(&c, "d.xml", &q, &[]);
+        assert_equivalent(&pdt, &oracle);
+        assert!(pdt.is_empty());
+    }
+
+    #[test]
+    fn optional_only_qpt_keeps_all_matches() {
+        let mut c = Corpus::new();
+        c.add_parsed("d.xml", "<r><item>x</item><item>y</item><other>z</other></r>").unwrap();
+        let mut q = Qpt::new("d.xml");
+        let r = q.add_node(None, Axis::Child, true, "r");
+        let item = q.add_node(Some(r), Axis::Child, false, "item");
+        q.node_mut(item).c_ann = true;
+        let (pdt, oracle) = run_both(&c, "d.xml", &q, &["x"]);
+        assert_equivalent(&pdt, &oracle);
+        assert_eq!(pdt.len(), 3); // r + two items, no <other>
+    }
+
+    #[test]
+    fn stats_reflect_the_sweep() {
+        let mut c = Corpus::new();
+        c.add_parsed(
+            "books.xml",
+            "<books><book><isbn>1</isbn><title>t</title><year>1999</year></book></books>",
+        )
+        .unwrap();
+        let path_index = PathIndex::build(&c);
+        let inverted = InvertedIndex::build(&c);
+        let meta = DocMeta { name: "books.xml".into(), root_tag: "books".into(), root_ordinal: 1 };
+        let (_, stats) = generate_pdt(&book_qpt(), &path_index, &inverted, &[], &meta);
+        assert_eq!(stats.probes, 3);
+        assert_eq!(stats.entries, 3);
+        assert!(stats.emitted >= 4);
+        assert!(stats.max_stack >= 3);
+    }
+}
+
+#[cfg(test)]
+mod pending_tests {
+    //! Targeted tests for the deferred-resolution machinery: elements
+    //! whose ancestor constraint cannot be decided when they close (the
+    //! pseudo-code's PdtCache) and chains of such deferrals.
+
+    use super::*;
+    use crate::oracle::oracle_pdt;
+    use vxv_index::InvertedIndex;
+    use vxv_xml::Corpus;
+
+    fn run(corpus: &Corpus, qpt: &Qpt) -> (Pdt, GenerateStats, Pdt) {
+        let path_index = PathIndex::build(corpus);
+        let inverted = InvertedIndex::build(corpus);
+        let doc = corpus.doc("d.xml").unwrap();
+        let meta = DocMeta {
+            name: "d.xml".into(),
+            root_tag: doc.node_tag(doc.root().unwrap()).to_string(),
+            root_ordinal: 1,
+        };
+        let (pdt, stats) = generate_pdt(qpt, &path_index, &inverted, &[], &meta);
+        let oracle = oracle_pdt(doc, qpt, &inverted, &[]);
+        (pdt, stats, oracle)
+    }
+
+    fn assert_same(pdt: &Pdt, oracle: &Pdt) {
+        let got: Vec<String> = pdt.info.keys().map(|d| d.to_string()).collect();
+        let want: Vec<String> = oracle.info.keys().map(|d| d.to_string()).collect();
+        assert_eq!(got, want);
+    }
+
+    /// A content child closes before the sibling that will satisfy its
+    /// parent's mandatory edge arrives: the child must park, then emit
+    /// when the parent's DescendantMap completes.
+    #[test]
+    fn child_defers_until_parent_candidacy_resolves_positively() {
+        let mut c = Corpus::new();
+        c.add_parsed("d.xml", "<r><a><c>x</c><b>y</b></a></r>").unwrap();
+        let mut q = Qpt::new("d.xml");
+        let r = q.add_node(None, Axis::Child, true, "r");
+        let a = q.add_node(Some(r), Axis::Descendant, true, "a");
+        q.add_node(Some(a), Axis::Descendant, true, "b");
+        let cn = q.add_node(Some(a), Axis::Child, false, "c");
+        q.node_mut(cn).c_ann = true;
+        let (pdt, stats, oracle) = run(&c, &q);
+        assert_same(&pdt, &oracle);
+        assert!(pdt.info.contains_key(&"1.1.1".parse().unwrap()), "c emitted");
+        assert!(stats.max_pending >= 1, "c must have parked while b was pending");
+    }
+
+    /// Same shape but the satisfying sibling never arrives: the parked
+    /// child must be discarded when the parent dies.
+    #[test]
+    fn deferred_child_dies_with_its_parent() {
+        let mut c = Corpus::new();
+        c.add_parsed("d.xml", "<r><a><c>x</c></a><a><c>y</c><b>z</b></a></r>").unwrap();
+        let mut q = Qpt::new("d.xml");
+        let r = q.add_node(None, Axis::Child, true, "r");
+        let a = q.add_node(Some(r), Axis::Descendant, true, "a");
+        q.add_node(Some(a), Axis::Descendant, true, "b");
+        let cn = q.add_node(Some(a), Axis::Child, false, "c");
+        q.node_mut(cn).c_ann = true;
+        let (pdt, _, oracle) = run(&c, &q);
+        assert_same(&pdt, &oracle);
+        assert!(!pdt.info.contains_key(&"1.1.1".parse().unwrap()), "first c dropped");
+        assert!(pdt.info.contains_key(&"1.2.1".parse().unwrap()), "second c kept");
+    }
+
+    /// Deferral chains: a parked element whose potential parent is itself
+    /// parked (the cache-propagation case of Fig. 27).
+    #[test]
+    fn chained_deferrals_resolve_transitively() {
+        // r / a / a / c, with each `a` requiring a descendant b; the b
+        // arrives last, after both a-states and the c have closed deeper
+        // decisions... structure: outer a contains inner a (with c) and
+        // then b; inner a contains c and its own b later.
+        let mut c = Corpus::new();
+        c.add_parsed(
+            "d.xml",
+            "<r><a><a><c>x</c><b>ib</b></a><b>ob</b></a></r>",
+        )
+        .unwrap();
+        let mut q = Qpt::new("d.xml");
+        let r = q.add_node(None, Axis::Child, true, "r");
+        let a1 = q.add_node(Some(r), Axis::Descendant, true, "a");
+        let a2 = q.add_node(Some(a1), Axis::Descendant, true, "a");
+        q.add_node(Some(a2), Axis::Child, true, "b");
+        let cn = q.add_node(Some(a2), Axis::Child, false, "c");
+        q.node_mut(cn).c_ann = true;
+        // a1 additionally requires its own b child.
+        q.add_node(Some(a1), Axis::Child, true, "b");
+        let (pdt, _, oracle) = run(&c, &q);
+        assert_same(&pdt, &oracle);
+        assert!(pdt.info.contains_key(&"1.1.1.1".parse().unwrap()), "deep c kept");
+    }
+
+    /// Repeated tags: one element parked under several potential parents
+    /// (a ParentList longer than one); the nearest dies, a farther one
+    /// succeeds.
+    #[test]
+    fn parent_list_falls_back_to_farther_ancestor() {
+        // Pattern //a//a/c where the middle `a` fails its own mandatory
+        // edge but the outer `a` succeeds through a *different* middle.
+        let mut c = Corpus::new();
+        c.add_parsed(
+            "d.xml",
+            "<a><a><a><c>x</c><k>1</k></a></a><k>1</k></a>",
+        )
+        .unwrap();
+        // a1 = //a (needs descendant a2); a2 = //a (needs child c and k).
+        let mut q = Qpt::new("d.xml");
+        let a1 = q.add_node(None, Axis::Descendant, true, "a");
+        let a2 = q.add_node(Some(a1), Axis::Descendant, true, "a");
+        let cn = q.add_node(Some(a2), Axis::Child, true, "c");
+        q.node_mut(cn).c_ann = true;
+        q.add_node(Some(a2), Axis::Child, true, "k");
+        let (pdt, _, oracle) = run(&c, &q);
+        assert_same(&pdt, &oracle);
+    }
+
+    /// The sweep's counters: pendings drain fully and the stack peaks at
+    /// the document depth of the relevant region.
+    #[test]
+    fn counters_are_sane_on_deep_documents() {
+        let mut xml = String::from("<r>");
+        for i in 0..30 {
+            xml.push_str(&format!("<a><c>v{i}</c><b>k</b></a>"));
+        }
+        xml.push_str("</r>");
+        let mut c = Corpus::new();
+        c.add_parsed("d.xml", &xml).unwrap();
+        let mut q = Qpt::new("d.xml");
+        let r = q.add_node(None, Axis::Child, true, "r");
+        let a = q.add_node(Some(r), Axis::Descendant, true, "a");
+        q.add_node(Some(a), Axis::Descendant, true, "b");
+        let cn = q.add_node(Some(a), Axis::Child, false, "c");
+        q.node_mut(cn).c_ann = true;
+        let (pdt, stats, oracle) = run(&c, &q);
+        assert_same(&pdt, &oracle);
+        assert!(stats.max_stack <= 4, "stack bounded by relevant depth: {stats:?}");
+        assert_eq!(pdt.len(), 1 + 3 * 30);
+    }
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! # vxv-core — Efficient Keyword Search over Virtual XML Views
+//!
+//! A faithful reimplementation of Shao, Guo, Botev, Bhaskar, Chettiar,
+//! Yang & Shanmugasundaram, *Efficient Keyword Search over Virtual XML
+//! Views*, VLDB 2007: ranked keyword search over **unmaterialized** XQuery
+//! views, answered from indices alone.
+//!
+//! The pipeline (Fig. 3 of the paper):
+//!
+//! 1. [`qpt_gen::generate_qpts`] — analyze the view definition into one
+//!    *Query Pattern Tree* per base document (mandatory/optional edges,
+//!    leaf predicates, `v`/`c` annotations);
+//! 2. [`generate::generate_pdt`] — build each *Pruned Document Tree* in a
+//!    single merge pass over path-index and inverted-index probe lists,
+//!    never touching base documents;
+//! 3. the regular XQuery evaluator runs over the PDTs, and
+//!    [`scoring::score_and_rank`] computes TF-IDF scores *identical* to
+//!    the materialized view's (Theorem 4.1) before the top-k hits — and
+//!    only those — are expanded from document storage.
+//!
+//! [`engine::ViewSearchEngine`] wires the phases together:
+//!
+//! ```
+//! use vxv_core::{KeywordMode, ViewSearchEngine};
+//! use vxv_xml::Corpus;
+//!
+//! let mut corpus = Corpus::new();
+//! corpus.add_parsed("books.xml",
+//!     "<books><book><title>XML search in practice</title><year>2004</year></book>\
+//!      <book><title>Cooking</title><year>2001</year></book></books>").unwrap();
+//!
+//! let engine = ViewSearchEngine::new(&corpus);
+//! let out = engine.search(
+//!     "for $b in fn:doc(books.xml)/books/book where $b/year > 2000 \
+//!      return <hit> { $b/title } </hit>",
+//!     &["xml", "search"], 10, KeywordMode::Conjunctive).unwrap();
+//! assert_eq!(out.view_size, 2);
+//! assert_eq!(out.hits.len(), 1);
+//! assert!(out.hits[0].xml.contains("XML search in practice"));
+//! ```
+
+pub mod engine;
+pub mod generate;
+pub mod oracle;
+pub mod pdt;
+pub mod prepare;
+pub mod qpt;
+pub mod qpt_gen;
+pub mod scoring;
+
+pub use engine::{EngineError, ExplainOutput, PhaseTimings, ProbeReport, QptReport, SearchHit, SearchOutcome, ViewSearchEngine};
+pub use generate::{generate_pdt, DocMeta, GenerateStats};
+pub use pdt::{Pdt, PdtElem, PdtNodeInfo};
+pub use qpt::{Qpt, QptEdge, QptNode, QptNodeId};
+pub use qpt_gen::{generate_qpts, QptGenError};
+pub use scoring::{score_and_rank, ElementStats, KeywordMode, ScoredElement, ScoringOutcome};

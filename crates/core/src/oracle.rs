@@ -1,0 +1,303 @@
+//! Reference (oracle) PDT construction straight from Definitions 1–3.
+//!
+//! This implementation reads the *base document* and computes candidate
+//! elements (`CE`, descendant constraints) bottom-up and PDT elements
+//! (`PE`, ancestor constraints) top-down, exactly as the definitions state.
+//! It is deliberately simple and slow; the streaming index-only algorithm
+//! in [`crate::generate`] is property-tested against it, turning the
+//! paper's Theorem F.1 into an executable check.
+
+use crate::pdt::{Pdt, PdtElem};
+use crate::qpt::Qpt;
+use std::collections::BTreeMap;
+use vxv_index::{Axis, InvertedIndex};
+use vxv_xml::{DeweyId, Document, NodeId};
+
+/// The per-element QPT-node match masks of the oracle run.
+pub type OracleElements = BTreeMap<DeweyId, u64>;
+
+/// Compute the PDT element set for `qpt` over `doc`, returning for every
+/// qualifying element the bitmask of QPT nodes it belongs to (`PE`).
+pub fn oracle_pdt_elements(doc: &Document, qpt: &Qpt) -> OracleElements {
+    assert!(qpt.len() <= 64, "oracle supports up to 64 QPT nodes");
+    let n = doc.len();
+    let mut ce = vec![0u64; n];
+
+    // Bottom-up: children appear after parents in the arena, so reverse
+    // document order visits every descendant before its ancestor.
+    for i in (0..n).rev() {
+        let node_id = NodeId(i as u32);
+        let node = doc.node(node_id);
+        for q in qpt.node_ids() {
+            let qn = qpt.node(q);
+            if doc.tag_name(node.tag) != qn.tag {
+                continue;
+            }
+            // Predicates apply to the element's own atomic value.
+            if !qn.preds.is_empty() {
+                let Some(v) = &node.text else { continue };
+                if !qn.preds.iter().all(|p| p.eval(v)) {
+                    continue;
+                }
+            }
+            let mut ok = true;
+            for edge in qpt.mandatory_children(q) {
+                let bit = 1u64 << edge.child.0;
+                let found = match edge.axis {
+                    Axis::Child => doc
+                        .children(node_id)
+                        .iter()
+                        .any(|c| ce[c.0 as usize] & bit != 0),
+                    Axis::Descendant => doc
+                        .descendants(node_id)
+                        .any(|d| ce[d.0 as usize] & bit != 0),
+                };
+                if !found {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                ce[i] |= 1u64 << q.0;
+            }
+        }
+    }
+
+    // Top-down: ancestors appear before descendants, so a forward pass with
+    // an ancestor stack sees every ancestor's PE before the element's.
+    let mut pe = vec![0u64; n];
+    // Stack of (depth, node index); cumulative PE "or" recomputed per node.
+    let mut stack: Vec<usize> = Vec::new();
+    #[allow(clippy::needless_range_loop)] // walks ce and pe in lockstep
+    for i in 0..n {
+        let node_id = NodeId(i as u32);
+        let depth = doc.node(node_id).dewey.len();
+        while stack.len() >= depth {
+            stack.pop();
+        }
+        for q in qpt.node_ids() {
+            if ce[i] & (1u64 << q.0) == 0 {
+                continue;
+            }
+            let qn = qpt.node(q);
+            let ok = match qn.parent {
+                None => match qn.incoming_axis {
+                    // Child of the virtual document root: the root element.
+                    Axis::Child => depth == 1,
+                    Axis::Descendant => true,
+                },
+                Some(qp) => {
+                    let bit = 1u64 << qp.0;
+                    match qn.incoming_axis {
+                        Axis::Child => stack
+                            .last()
+                            .map(|&p| {
+                                doc.node(NodeId(p as u32)).dewey.len() == depth - 1
+                                    && pe[p] & bit != 0
+                            })
+                            .unwrap_or(false),
+                        Axis::Descendant => stack.iter().any(|&p| pe[p] & bit != 0),
+                    }
+                }
+            };
+            if ok {
+                pe[i] |= 1u64 << q.0;
+            }
+        }
+        stack.push(i);
+    }
+
+    let mut out = OracleElements::new();
+    #[allow(clippy::needless_range_loop)] // i doubles as the NodeId
+    for i in 0..n {
+        if pe[i] != 0 {
+            out.insert(doc.node(NodeId(i as u32)).dewey.clone(), pe[i]);
+        }
+    }
+    out
+}
+
+/// Build a full [`Pdt`] from the oracle element set, materializing values
+/// and tf annotations from the base document (oracle-side only; the real
+/// pipeline gets these from indices).
+pub fn oracle_pdt(
+    doc: &Document,
+    qpt: &Qpt,
+    inverted: &InvertedIndex,
+    keywords: &[String],
+) -> Pdt {
+    let elements = oracle_pdt_elements(doc, qpt);
+    let mut map: BTreeMap<DeweyId, PdtElem> = BTreeMap::new();
+    for (dewey, mask) in &elements {
+        let node_id = doc.node_by_dewey(dewey).expect("oracle element exists");
+        let node = doc.node(node_id);
+        let mut value = None;
+        let mut content = false;
+        let mut byte_len = 0;
+        for q in qpt.node_ids() {
+            if mask & (1u64 << q.0) == 0 {
+                continue;
+            }
+            let qn = qpt.node(q);
+            if qpt.probed(q) {
+                // Probed nodes are the ones whose values and byte lengths
+                // the index supplies; mirror that here so the oracle and
+                // the index-only algorithm agree bit-for-bit.
+                value = value.or_else(|| node.text.clone());
+                byte_len = node.byte_len;
+            }
+            content |= qn.c_ann;
+        }
+        map.insert(
+            dewey.clone(),
+            PdtElem { tag: doc.tag_name(node.tag).to_string(), value, byte_len, content },
+        );
+    }
+    let root = doc.root().expect("non-empty document");
+    let root_tag = doc.node_tag(root).to_string();
+    let ordinal = doc.node(root).dewey.components()[0];
+    let mut pdt = Pdt::assemble(doc.name(), &root_tag, ordinal, &map, keywords.len());
+    // Fill tf values for content nodes.
+    for (dewey, info) in pdt.info.iter_mut() {
+        if let Some(tf) = &mut info.tf {
+            for (k, kw) in keywords.iter().enumerate() {
+                tf[k] = inverted.subtree_tf(kw, dewey);
+            }
+        }
+    }
+    pdt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qpt::Qpt;
+    use vxv_index::{Axis, ValuePredicate};
+    use vxv_xml::Corpus;
+
+    /// The book QPT of Fig. 6(a).
+    fn book_qpt() -> Qpt {
+        let mut q = Qpt::new("books.xml");
+        let books = q.add_node(None, Axis::Child, true, "books");
+        let book = q.add_node(Some(books), Axis::Descendant, true, "book");
+        let isbn = q.add_node(Some(book), Axis::Child, false, "isbn");
+        q.node_mut(isbn).v_ann = true;
+        let title = q.add_node(Some(book), Axis::Child, false, "title");
+        q.node_mut(title).c_ann = true;
+        let year = q.add_node(Some(book), Axis::Child, true, "year");
+        q.node_mut(year).preds.push(ValuePredicate::Gt("1995".into()));
+        q
+    }
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        c.add_parsed(
+            "books.xml",
+            "<books>\
+               <book><isbn>111</isbn><title>New XML</title><year>1996</year></book>\
+               <book><isbn>222</isbn><title>Old</title><year>1990</year></book>\
+               <book><title>No Year</title></book>\
+               <shelf><book><isbn>333</isbn><year>2001</year></book></shelf>\
+             </books>",
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn descendant_constraints_prune_books_without_qualifying_year() {
+        let c = corpus();
+        let doc = c.doc("books.xml").unwrap();
+        let elems = oracle_pdt_elements(doc, &book_qpt());
+        let ids: Vec<String> = elems.keys().map(|d| d.to_string()).collect();
+        // book 1.1 qualifies (year 1996); its isbn/title come along.
+        // book 1.2 fails (year 1990), book 1.3 fails (no year),
+        // shelf book 1.4.1 qualifies (year 2001) via the // axis.
+        assert_eq!(ids, vec!["1", "1.1", "1.1.1", "1.1.2", "1.1.3", "1.4.1", "1.4.1.1", "1.4.1.2"]);
+    }
+
+    #[test]
+    fn ancestor_constraints_drop_children_of_failed_parents() {
+        let c = corpus();
+        let doc = c.doc("books.xml").unwrap();
+        let elems = oracle_pdt_elements(doc, &book_qpt());
+        // isbn 222 exists in the data but its book fails the year test.
+        assert!(!elems.contains_key(&"1.2.1".parse().unwrap()));
+    }
+
+    #[test]
+    fn child_axis_at_the_top_only_matches_the_root() {
+        let c = corpus();
+        let doc = c.doc("books.xml").unwrap();
+        let mut q = Qpt::new("books.xml");
+        q.add_node(None, Axis::Child, true, "book"); // root is <books>, not <book>
+        assert!(oracle_pdt_elements(doc, &q).is_empty());
+        let mut q2 = Qpt::new("books.xml");
+        q2.add_node(None, Axis::Descendant, true, "book");
+        assert_eq!(oracle_pdt_elements(doc, &q2).len(), 4);
+    }
+
+    #[test]
+    fn mandatory_child_vs_descendant_axes() {
+        let mut c = Corpus::new();
+        c.add_parsed("d.xml", "<r><a><x>1</x></a><a><m><x>2</x></m></a></r>").unwrap();
+        let doc = c.doc("d.xml").unwrap();
+        // /r//a with mandatory child /x: only the first <a>.
+        let mut q = Qpt::new("d.xml");
+        let r = q.add_node(None, Axis::Child, true, "r");
+        let a = q.add_node(Some(r), Axis::Descendant, true, "a");
+        q.add_node(Some(a), Axis::Child, true, "x");
+        let ids: Vec<String> =
+            oracle_pdt_elements(doc, &q).keys().map(|d| d.to_string()).collect();
+        assert_eq!(ids, vec!["1", "1.1", "1.1.1"]);
+        // With // x both <a>s qualify.
+        let mut q2 = Qpt::new("d.xml");
+        let r = q2.add_node(None, Axis::Child, true, "r");
+        let a = q2.add_node(Some(r), Axis::Descendant, true, "a");
+        q2.add_node(Some(a), Axis::Descendant, true, "x");
+        assert_eq!(oracle_pdt_elements(doc, &q2).len(), 5);
+    }
+
+    #[test]
+    fn repeated_tags_match_multiple_qpt_nodes() {
+        let mut c = Corpus::new();
+        // 1=a{ 1.1=a{ 1.1.1=b, 1.1.2=a{ 1.1.2.1=b } } }
+        c.add_parsed("d.xml", "<a><a><b>1</b><a><b>2</b></a></a></a>").unwrap();
+        let doc = c.doc("d.xml").unwrap();
+        // //a//a/b
+        let mut q = Qpt::new("d.xml");
+        let a1 = q.add_node(None, Axis::Descendant, true, "a");
+        let a2 = q.add_node(Some(a1), Axis::Descendant, true, "a");
+        q.add_node(Some(a2), Axis::Child, true, "b");
+        let elems = oracle_pdt_elements(doc, &q);
+        let ids: Vec<String> = elems.keys().map(|d| d.to_string()).collect();
+        assert_eq!(ids, vec!["1", "1.1", "1.1.1", "1.1.2", "1.1.2.1"]);
+        // 1.1 matches a2 (direct b child) AND a1 (descendant 1.1.2 is an
+        // a2-candidate) — one Dewey ID, two QPT nodes.
+        let m_11 = elems[&"1.1".parse::<DeweyId>().unwrap()];
+        assert_eq!(m_11 & 0b11, 0b11, "1.1 should match both a-nodes");
+        // The outermost a matches only a1 (no direct b child).
+        assert_eq!(elems[&"1".parse::<DeweyId>().unwrap()], 0b01);
+    }
+
+    #[test]
+    fn oracle_pdt_builds_annotated_document() {
+        let c = corpus();
+        let doc = c.doc("books.xml").unwrap();
+        let inv = InvertedIndex::build(&c);
+        let kws = vec!["xml".to_string(), "new".to_string()];
+        let pdt = oracle_pdt(doc, &book_qpt(), &inv, &kws);
+        // Title node 1.1.2 is content-annotated with tf values.
+        let info = pdt.node_info(&"1.1.2".parse().unwrap()).unwrap();
+        assert_eq!(info.tf.as_deref(), Some(&[1u32, 1u32][..]));
+        // isbn value materialized.
+        let isbn = pdt.doc.node_by_dewey(&"1.1.1".parse().unwrap()).unwrap();
+        assert_eq!(pdt.doc.value(isbn), Some("111"));
+        // year value materialized (needed to re-evaluate the predicate).
+        let year = pdt.doc.node_by_dewey(&"1.1.3".parse().unwrap()).unwrap();
+        assert_eq!(pdt.doc.value(year), Some("1996"));
+        // Byte lengths are the base ones.
+        let base_title = doc.node_by_dewey(&"1.1.2".parse().unwrap()).unwrap();
+        assert_eq!(pdt.byte_len(&"1.1.2".parse().unwrap()), doc.node(base_title).byte_len);
+    }
+}

@@ -1,0 +1,224 @@
+//! Pruned Document Trees.
+//!
+//! A PDT is a projection of one base document that (a) contains exactly the
+//! elements satisfying the QPT's mutual ancestor/descendant/predicate
+//! constraints, (b) keeps the *original* Dewey IDs, (c) selectively
+//! materializes atomic values for nodes whose values the view evaluation
+//! needs, and (d) carries term frequencies and original byte lengths for
+//! nodes whose content reaches the view output (the scoring inputs of
+//! Theorem 4.1).
+//!
+//! Structurally a PDT is an ordinary [`Document`] (so the unmodified
+//! evaluator runs over it) plus a side table of per-element annotations.
+
+use std::collections::BTreeMap;
+use vxv_xml::{DeweyId, Document, DocumentBuilder};
+
+/// Scoring annotations for one PDT element.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PdtNodeInfo {
+    /// Original byte length of the element in the base document.
+    pub byte_len: u32,
+    /// Aggregate term frequency per query keyword (indexed like the query's
+    /// keyword list). Present only on content (`c`) nodes.
+    pub tf: Option<Vec<u32>>,
+}
+
+/// One element destined for a PDT, accumulated during generation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PdtElem {
+    /// The element's tag name.
+    pub tag: String,
+    /// Selectively materialized atomic value, if the view needs it.
+    pub value: Option<String>,
+    /// Original byte length in the base document (0 if not probed).
+    pub byte_len: u32,
+    /// Whether any QPT node this element matched is `c`-annotated.
+    pub content: bool,
+}
+
+/// A generated pruned document tree.
+#[derive(Debug)]
+pub struct Pdt {
+    /// The name of the base document this PDT projects.
+    pub doc_name: String,
+    /// The pruned tree, with original Dewey IDs.
+    pub doc: Document,
+    /// Scoring annotations, keyed by Dewey ID.
+    pub info: BTreeMap<DeweyId, PdtNodeInfo>,
+}
+
+impl Pdt {
+    /// Assemble a PDT document from a Dewey-ordered element map. Elements
+    /// are parented to their nearest present ancestor; if the base root is
+    /// absent it is inserted (tag `root_tag`) so the result is a single
+    /// well-formed tree the evaluator can navigate.
+    pub fn assemble(
+        doc_name: &str,
+        root_tag: &str,
+        root_ordinal: u32,
+        elements: &BTreeMap<DeweyId, PdtElem>,
+        keyword_count: usize,
+    ) -> Pdt {
+        let mut b = DocumentBuilder::new(doc_name, root_ordinal);
+        let root_id = DeweyId::root(root_ordinal);
+        let mut open: Vec<DeweyId> = Vec::new();
+        let mut info = BTreeMap::new();
+
+        // Ensure a root exists.
+        if !elements.contains_key(&root_id) {
+            b.begin_with_dewey(root_tag, root_id.clone());
+            open.push(root_id.clone());
+        }
+
+        for (dewey, elem) in elements {
+            while let Some(top) = open.last() {
+                if top.is_prefix_of(dewey) {
+                    break;
+                }
+                b.end();
+                open.pop();
+            }
+            b.begin_with_dewey(&elem.tag, dewey.clone());
+            if let Some(v) = &elem.value {
+                b.text(v);
+            }
+            open.push(dewey.clone());
+            info.insert(
+                dewey.clone(),
+                PdtNodeInfo {
+                    byte_len: elem.byte_len,
+                    tf: if elem.content { Some(vec![0; keyword_count]) } else { None },
+                },
+            );
+        }
+        while open.pop().is_some() {
+            b.end();
+        }
+        Pdt { doc_name: doc_name.to_string(), doc: b.finish(), info }
+    }
+
+    /// Look up annotations by Dewey ID.
+    pub fn node_info(&self, dewey: &DeweyId) -> Option<&PdtNodeInfo> {
+        self.info.get(dewey)
+    }
+
+    /// Original byte length of an element (falls back to 0 for the
+    /// synthetic root anchor, which never reaches the view output).
+    pub fn byte_len(&self, dewey: &DeweyId) -> u32 {
+        self.info.get(dewey).map(|i| i.byte_len).unwrap_or(0)
+    }
+
+    /// The tf of keyword `k` (by index) in the subtree of `dewey`, if the
+    /// element carries tf annotations.
+    pub fn tf(&self, dewey: &DeweyId, k: usize) -> u32 {
+        self.info
+            .get(dewey)
+            .and_then(|i| i.tf.as_ref())
+            .and_then(|v| v.get(k).copied())
+            .unwrap_or(0)
+    }
+
+    /// Number of elements in the PDT (excluding a synthetic root anchor).
+    pub fn len(&self) -> usize {
+        self.info.len()
+    }
+
+    /// True if no elements qualified.
+    pub fn is_empty(&self) -> bool {
+        self.info.is_empty()
+    }
+
+    /// Serialized size of the pruned tree, in bytes (the paper reports
+    /// "PDTs generated with respect to the 500MB collection are about
+    /// 2MB").
+    pub fn byte_size(&self) -> u64 {
+        self.doc.byte_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> DeweyId {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn assemble_parents_to_nearest_ancestor() {
+        let mut elements = BTreeMap::new();
+        elements.insert(
+            d("1"),
+            PdtElem { tag: "books".into(), value: None, byte_len: 100, content: false },
+        );
+        // book at 1.2; its child isbn at 1.2.1 — 1.2's parent is 1 directly.
+        elements.insert(
+            d("1.2"),
+            PdtElem { tag: "book".into(), value: None, byte_len: 50, content: true },
+        );
+        elements.insert(
+            d("1.2.1"),
+            PdtElem { tag: "isbn".into(), value: Some("121-23".into()), byte_len: 20, content: false },
+        );
+        // 1.5.3.2 with no recorded ancestors parents straight to the root.
+        elements.insert(
+            d("1.5.3.2"),
+            PdtElem { tag: "title".into(), value: Some("X".into()), byte_len: 10, content: true },
+        );
+        let pdt = Pdt::assemble("books.xml", "books", 1, &elements, 2);
+        let root = pdt.doc.root().unwrap();
+        assert_eq!(pdt.doc.node_tag(root), "books");
+        let kids: Vec<String> = pdt
+            .doc
+            .children(root)
+            .iter()
+            .map(|n| pdt.doc.node(*n).dewey.to_string())
+            .collect();
+        assert_eq!(kids, vec!["1.2", "1.5.3.2"]);
+        let book = pdt.doc.node_by_dewey(&d("1.2")).unwrap();
+        assert_eq!(pdt.doc.children(book).len(), 1);
+        assert_eq!(pdt.byte_len(&d("1.2")), 50);
+        assert!(pdt.node_info(&d("1.2")).unwrap().tf.is_some());
+        assert!(pdt.node_info(&d("1.2.1")).unwrap().tf.is_none());
+    }
+
+    #[test]
+    fn missing_root_gets_synthesized() {
+        let mut elements = BTreeMap::new();
+        elements.insert(
+            d("3.4"),
+            PdtElem { tag: "item".into(), value: None, byte_len: 5, content: false },
+        );
+        let pdt = Pdt::assemble("d.xml", "catalog", 3, &elements, 0);
+        let root = pdt.doc.root().unwrap();
+        assert_eq!(pdt.doc.node_tag(root), "catalog");
+        assert_eq!(pdt.doc.node(root).dewey, d("3"));
+        assert_eq!(pdt.len(), 1);
+        // Synthetic root carries no annotations.
+        assert_eq!(pdt.byte_len(&d("3")), 0);
+    }
+
+    #[test]
+    fn empty_pdt_still_has_an_anchor_root() {
+        let pdt = Pdt::assemble("d.xml", "books", 1, &BTreeMap::new(), 0);
+        assert!(pdt.is_empty());
+        assert_eq!(pdt.doc.len(), 1);
+    }
+
+    #[test]
+    fn values_become_node_text() {
+        let mut elements = BTreeMap::new();
+        elements.insert(
+            d("1"),
+            PdtElem { tag: "r".into(), value: None, byte_len: 9, content: false },
+        );
+        elements.insert(
+            d("1.6"),
+            PdtElem { tag: "year".into(), value: Some("1996".into()), byte_len: 17, content: false },
+        );
+        let pdt = Pdt::assemble("d", "r", 1, &elements, 0);
+        let y = pdt.doc.node_by_dewey(&d("1.6")).unwrap();
+        assert_eq!(pdt.doc.value(y), Some("1996"));
+    }
+}

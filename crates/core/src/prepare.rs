@@ -1,0 +1,299 @@
+//! `PrepareLists` (paper Fig. 7): the index-probe phase of PDT generation.
+//!
+//! For each QPT node in the probe set (nodes without mandatory child edges,
+//! plus `v`-, predicate- and `c`-annotated nodes) we issue **one** probe of
+//! the path index — a number of probes proportional to the query, never to
+//! the data. Each probe returns a Dewey-ordered entry list that already
+//! carries atomic values (free, because the index keys on (Path, Value))
+//! and byte lengths.
+//!
+//! Every entry also records *which full data path* produced it. Matching
+//! that concrete path against the QPT's root-to-node pattern yields the
+//! **alignment map**: for each Dewey depth, the set of QPT nodes the
+//! prefix at that depth corresponds to. The single-pass merge uses these
+//! maps to type every ID prefix (the pseudo-code's `QNodes(curId)`),
+//! including the `//a//a` repeated-tag case where one prefix maps to
+//! several QPT nodes.
+
+use crate::qpt::{Qpt, QptNodeId};
+use std::collections::HashMap;
+use vxv_index::{Axis, PathIndex, PathPattern};
+use vxv_xml::DeweyId;
+
+/// One probed element occurrence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PreparedEntry {
+    /// The element's Dewey identifier.
+    pub dewey: DeweyId,
+    /// Its atomic value, when the index row carries one.
+    pub value: Option<String>,
+    /// Byte length of its serialized subtree.
+    pub byte_len: u32,
+    /// Dictionary id of the full data path that produced the entry.
+    pub path_id: u32,
+}
+
+/// Per-depth QPT-node sets for one (probed node, full data path) pair.
+/// `alignment[d - 1]` lists the QPT nodes a prefix of length `d` maps to.
+pub type Alignment = Vec<Vec<QptNodeId>>;
+
+/// Output of the probe phase.
+#[derive(Debug, Default)]
+pub struct PreparedLists {
+    /// One Dewey-ordered entry list per probed QPT node.
+    pub lists: Vec<(QptNodeId, Vec<PreparedEntry>)>,
+    /// Alignment maps keyed by (probed node, path id).
+    pub alignments: HashMap<(QptNodeId, u32), Alignment>,
+    /// Number of path-index probes issued (|probe set|, by construction).
+    pub probes: usize,
+}
+
+/// Run the probe phase for `qpt` against documents whose Dewey root
+/// ordinal is `root_ordinal` (the path index is corpus-wide; a QPT
+/// projects one document).
+pub fn prepare_lists(qpt: &Qpt, index: &PathIndex, root_ordinal: u32) -> PreparedLists {
+    let mut out = PreparedLists::default();
+    for q in qpt.probed_nodes() {
+        let pattern = qpt.pattern(q);
+        let chain = qpt.chain(q);
+        let preds = &qpt.node(q).preds;
+        let mut entries: Vec<PreparedEntry> = Vec::new();
+        for pid in index.expand_pattern(&pattern) {
+            let segments: Vec<&str> =
+                index.path_string(pid).split('/').filter(|s| !s.is_empty()).collect();
+            let alignment = align(qpt, &chain, &pattern, &segments);
+            debug_assert!(
+                alignment.iter().any(|s| !s.is_empty()),
+                "matched path must have a non-trivial alignment"
+            );
+            out.alignments.insert((q, pid), alignment);
+            for (e, value) in index.scan_path(pid, preds) {
+                if e.id.components().first() != Some(&root_ordinal) {
+                    continue; // entry belongs to a different document
+                }
+                entries.push(PreparedEntry {
+                    dewey: e.id,
+                    value,
+                    byte_len: e.byte_len,
+                    path_id: pid,
+                });
+            }
+        }
+        // Per-path lists are Dewey-ordered; merge across paths.
+        entries.sort_by(|a, b| a.dewey.cmp(&b.dewey));
+        out.probes += 1;
+        out.lists.push((q, entries));
+    }
+    out
+}
+
+/// Compute the alignment map of a QPT chain (root-to-node pattern) against
+/// a concrete full data path. For each segment depth, the set of chain
+/// nodes that some *valid complete assignment* places at that depth.
+fn align(qpt: &Qpt, chain: &[QptNodeId], pattern: &PathPattern, segments: &[&str]) -> Alignment {
+    let k = chain.len();
+    let m = segments.len();
+    debug_assert_eq!(pattern.steps.len(), k);
+
+    // forward[j][d] = steps 0..=j can match with step j placed at depth d
+    // (1-based depths).
+    let mut forward = vec![vec![false; m + 1]; k];
+    for (j, step) in pattern.steps.iter().enumerate() {
+        for d in 1..=m {
+            if segments[d - 1] != step.tag {
+                continue;
+            }
+            let ok = if j == 0 {
+                match step.axis {
+                    Axis::Child => d == 1,
+                    Axis::Descendant => true,
+                }
+            } else {
+                match step.axis {
+                    Axis::Child => d >= 2 && forward[j - 1][d - 1],
+                    Axis::Descendant => (1..d).any(|p| forward[j - 1][p]),
+                }
+            };
+            forward[j][d] = ok;
+        }
+    }
+
+    // backward[j][d] = from step j at depth d, the remaining steps can be
+    // placed so that the final step lands exactly at depth m.
+    let mut backward = vec![vec![false; m + 1]; k];
+    #[allow(clippy::needless_range_loop)] // 1-based depth indexing
+    for d in 1..=m {
+        backward[k - 1][d] = d == m;
+    }
+    for j in (0..k - 1).rev() {
+        let next = &pattern.steps[j + 1];
+        for d in 1..=m {
+            let ok = match next.axis {
+                Axis::Child => d < m && segments[d] == next.tag && backward[j + 1][d + 1],
+                Axis::Descendant => (d + 1..=m)
+                    .any(|nd| segments[nd - 1] == next.tag && backward[j + 1][nd]),
+            };
+            backward[j][d] = ok;
+        }
+    }
+
+    let mut alignment: Alignment = vec![Vec::new(); m];
+    for j in 0..k {
+        for d in 1..=m {
+            if forward[j][d] && backward[j][d] {
+                alignment[d - 1].push(chain[j]);
+            }
+        }
+    }
+    // Keep each depth's node list deduplicated and stable.
+    for nodes in &mut alignment {
+        nodes.sort();
+        nodes.dedup();
+    }
+    let _ = qpt;
+    alignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qpt::Qpt;
+    use vxv_index::ValuePredicate;
+    use vxv_xml::Corpus;
+
+    fn book_qpt() -> Qpt {
+        let mut q = Qpt::new("books.xml");
+        let books = q.add_node(None, Axis::Child, true, "books");
+        let book = q.add_node(Some(books), Axis::Descendant, true, "book");
+        let isbn = q.add_node(Some(book), Axis::Child, false, "isbn");
+        q.node_mut(isbn).v_ann = true;
+        let title = q.add_node(Some(book), Axis::Child, false, "title");
+        q.node_mut(title).c_ann = true;
+        let year = q.add_node(Some(book), Axis::Child, true, "year");
+        q.node_mut(year).preds.push(ValuePredicate::Gt("1995".into()));
+        q
+    }
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        c.add_parsed(
+            "books.xml",
+            "<books>\
+               <book><isbn>111</isbn><title>XML</title><year>1996</year></book>\
+               <shelf><book><isbn>333</isbn><year>1990</year></book></shelf>\
+             </books>",
+        )
+        .unwrap();
+        c.add_parsed("other.xml", "<books><book><isbn>999</isbn><year>2009</year></book></books>")
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn probe_count_is_query_proportional() {
+        let c = corpus();
+        let idx = PathIndex::build(&c);
+        let lists = prepare_lists(&book_qpt(), &idx, 1);
+        assert_eq!(lists.probes, 3); // isbn, title, year — as in the paper
+        assert_eq!(lists.lists.len(), 3);
+    }
+
+    #[test]
+    fn entries_are_filtered_to_the_target_document() {
+        let c = corpus();
+        let idx = PathIndex::build(&c);
+        let lists = prepare_lists(&book_qpt(), &idx, 1);
+        for (_, entries) in &lists.lists {
+            for e in entries {
+                assert_eq!(e.dewey.components()[0], 1, "leaked {:?}", e.dewey);
+            }
+        }
+    }
+
+    #[test]
+    fn predicates_filter_at_the_index() {
+        let c = corpus();
+        let idx = PathIndex::build(&c);
+        let q = book_qpt();
+        let lists = prepare_lists(&q, &idx, 1);
+        let year = q.node_ids().find(|id| q.node(*id).tag == "year").unwrap();
+        let (_, entries) = lists.lists.iter().find(|(n, _)| *n == year).unwrap();
+        // Only the 1996 year passes > 1995; the 1990 one is pruned.
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].dewey.to_string(), "1.1.3");
+        assert_eq!(entries[0].value.as_deref(), Some("1996"));
+    }
+
+    #[test]
+    fn values_ride_along_with_ids() {
+        let c = corpus();
+        let idx = PathIndex::build(&c);
+        let q = book_qpt();
+        let lists = prepare_lists(&q, &idx, 1);
+        let isbn = q.node_ids().find(|id| q.node(*id).tag == "isbn").unwrap();
+        let (_, entries) = lists.lists.iter().find(|(n, _)| *n == isbn).unwrap();
+        let vals: Vec<Option<&str>> = entries.iter().map(|e| e.value.as_deref()).collect();
+        assert_eq!(vals, vec![Some("111"), Some("333")]);
+    }
+
+    #[test]
+    fn alignment_maps_prefixes_to_qpt_nodes() {
+        let c = corpus();
+        let idx = PathIndex::build(&c);
+        let q = book_qpt();
+        let lists = prepare_lists(&q, &idx, 1);
+        let isbn = q.node_ids().find(|id| q.node(*id).tag == "isbn").unwrap();
+        let book = q.node_ids().find(|id| q.node(*id).tag == "book").unwrap();
+        let books = q.node_ids().find(|id| q.node(*id).tag == "books").unwrap();
+        // /books/book/isbn: depths 1,2,3 -> books, book, isbn.
+        let direct_pid = idx.expand_pattern(&PathPattern::parse("/books/book/isbn").unwrap());
+        let a = &lists.alignments[&(isbn, direct_pid[0])];
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0], vec![books]);
+        assert_eq!(a[1], vec![book]);
+        assert_eq!(a[2], vec![isbn]);
+        // /books/shelf/book/isbn: depth 2 (shelf) maps to nothing.
+        let shelf_pid = idx
+            .expand_pattern(&PathPattern::parse("/books/shelf/book/isbn").unwrap());
+        let a = &lists.alignments[&(isbn, shelf_pid[0])];
+        assert_eq!(a.len(), 4);
+        assert!(a[1].is_empty());
+        assert_eq!(a[2], vec![book]);
+    }
+
+    #[test]
+    fn repeated_tag_alignment_maps_one_depth_to_many_nodes() {
+        let mut c = Corpus::new();
+        c.add_parsed("d.xml", "<a><a><a><b>x</b></a></a></a>").unwrap();
+        let idx = PathIndex::build(&c);
+        // //a//a/b
+        let mut q = Qpt::new("d.xml");
+        let a1 = q.add_node(None, Axis::Descendant, true, "a");
+        let a2 = q.add_node(Some(a1), Axis::Descendant, true, "a");
+        let b = q.add_node(Some(a2), Axis::Child, true, "b");
+        let lists = prepare_lists(&q, &idx, 1);
+        let pid = idx.expand_pattern(&PathPattern::parse("/a/a/a/b").unwrap())[0];
+        let a = &lists.alignments[&(b, pid)];
+        // depth1: a1 only (a2 needs an a above and a b-parent below).
+        assert_eq!(a[0], vec![a1]);
+        // depth2: a1 (with depth3 as a2) — can it also be a2? a2 must be
+        // b's parent at depth 3, so depth2 is a1 only... no: a2 at depth 2
+        // would need b at depth 3 as its child, but b is at depth 4.
+        assert_eq!(a[1], vec![a1]);
+        // depth3: a2 (b's parent), and NOT a1 (a2 must sit strictly below).
+        assert_eq!(a[2], vec![a2]);
+        assert_eq!(a[3], vec![b]);
+    }
+
+    #[test]
+    fn merged_lists_are_dewey_ordered() {
+        let c = corpus();
+        let idx = PathIndex::build(&c);
+        let lists = prepare_lists(&book_qpt(), &idx, 1);
+        for (_, entries) in &lists.lists {
+            for w in entries.windows(2) {
+                assert!(w[0].dewey < w[1].dewey);
+            }
+        }
+    }
+}

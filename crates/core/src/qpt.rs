@@ -1,0 +1,306 @@
+//! Query Pattern Trees (paper §3.3).
+//!
+//! A QPT is a generalized tree pattern over one base document: a twig of
+//! tag tests connected by `/` or `//` edges that are either *mandatory*
+//! (`m` — the parent is irrelevant to the view unless such a child exists)
+//! or *optional* (`o`), with leaf value predicates and two node
+//! annotations:
+//!
+//! * `v` — the node's *value* is required during view evaluation (join
+//!   keys, comparison operands, condition inputs);
+//! * `c` — the node's *content* is propagated to the view output, so the
+//!   PDT must carry its tf values and byte length for scoring.
+
+use std::fmt;
+use vxv_index::{Axis, PathPattern, ValuePredicate};
+
+/// Index of a node within its QPT's arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct QptNodeId(pub u32);
+
+/// An edge to a child pattern node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QptEdge {
+    /// `/` (child) or `//` (descendant).
+    pub axis: Axis,
+    /// `true` = mandatory (`m`), `false` = optional (`o`).
+    pub mandatory: bool,
+    /// The child pattern node.
+    pub child: QptNodeId,
+}
+
+/// One pattern node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QptNode {
+    /// The tag-name test.
+    pub tag: String,
+    /// Leaf value predicates, pushed into index probes.
+    pub preds: Vec<ValuePredicate>,
+    /// `v` — the node's value is needed during view evaluation.
+    pub v_ann: bool,
+    /// `c` — the node's content reaches the view output.
+    pub c_ann: bool,
+    /// Outgoing edges to child pattern nodes.
+    pub children: Vec<QptEdge>,
+    /// Back-reference to the parent (`None` for top-level nodes hanging off
+    /// the virtual document root).
+    pub parent: Option<QptNodeId>,
+    /// Axis of the incoming edge (top-level nodes: axis from the document
+    /// root; `/books` means "the root element is named books").
+    pub incoming_axis: Axis,
+    /// Whether the incoming edge is mandatory.
+    pub incoming_mandatory: bool,
+}
+
+/// A query pattern tree for one base document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Qpt {
+    /// The `fn:doc(...)` name this QPT projects.
+    pub doc_name: String,
+    nodes: Vec<QptNode>,
+    /// Top-level nodes (children of the virtual document root).
+    roots: Vec<QptNodeId>,
+}
+
+impl Qpt {
+    /// An empty QPT for a document.
+    pub fn new(doc_name: impl Into<String>) -> Self {
+        Qpt { doc_name: doc_name.into(), nodes: Vec::new(), roots: Vec::new() }
+    }
+
+    /// Add a node under `parent` (`None` = under the virtual root).
+    pub fn add_node(
+        &mut self,
+        parent: Option<QptNodeId>,
+        axis: Axis,
+        mandatory: bool,
+        tag: &str,
+    ) -> QptNodeId {
+        let id = QptNodeId(self.nodes.len() as u32);
+        self.nodes.push(QptNode {
+            tag: tag.to_string(),
+            preds: Vec::new(),
+            v_ann: false,
+            c_ann: false,
+            children: Vec::new(),
+            parent,
+            incoming_axis: axis,
+            incoming_mandatory: mandatory,
+        });
+        match parent {
+            Some(p) => self.nodes[p.0 as usize].children.push(QptEdge {
+                axis,
+                mandatory,
+                child: id,
+            }),
+            None => self.roots.push(id),
+        }
+        id
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: QptNodeId) -> &QptNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Mutably borrow a node.
+    pub fn node_mut(&mut self, id: QptNodeId) -> &mut QptNode {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// Top-level pattern nodes.
+    pub fn roots(&self) -> &[QptNodeId] {
+        &self.roots
+    }
+
+    /// All node ids, in creation order.
+    pub fn node_ids(&self) -> impl Iterator<Item = QptNodeId> {
+        (0..self.nodes.len() as u32).map(QptNodeId)
+    }
+
+    /// Number of pattern nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the QPT has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Mandatory child edges of a node, in order. The position within this
+    /// list is the node's DescendantMap bit for that edge.
+    pub fn mandatory_children(&self, id: QptNodeId) -> impl Iterator<Item = &QptEdge> {
+        self.node(id).children.iter().filter(|e| e.mandatory)
+    }
+
+    /// The DescendantMap bit index of the edge leading into `child` from
+    /// its parent, if that edge is mandatory.
+    pub fn dm_bit(&self, child: QptNodeId) -> Option<u32> {
+        let node = self.node(child);
+        if !node.incoming_mandatory {
+            return None;
+        }
+        let parent = node.parent?;
+        self.mandatory_children(parent)
+            .position(|e| e.child == child)
+            .map(|i| i as u32)
+    }
+
+    /// Number of mandatory child edges of a node.
+    pub fn mandatory_child_count(&self, id: QptNodeId) -> u32 {
+        self.mandatory_children(id).count() as u32
+    }
+
+    /// The root-to-node chain of QPT node ids (outermost first).
+    pub fn chain(&self, id: QptNodeId) -> Vec<QptNodeId> {
+        let mut out = vec![id];
+        let mut cur = id;
+        while let Some(p) = self.node(cur).parent {
+            out.push(p);
+            cur = p;
+        }
+        out.reverse();
+        out
+    }
+
+    /// The root-to-node [`PathPattern`] for an index probe.
+    pub fn pattern(&self, id: QptNodeId) -> PathPattern {
+        let mut p = PathPattern::new();
+        for n in self.chain(id) {
+            let node = self.node(n);
+            p = p.step(node.incoming_axis, &node.tag);
+        }
+        p
+    }
+
+    /// Whether PDT generation must probe the path index for this node.
+    ///
+    /// Per Fig. 7 we probe nodes without mandatory child edges (their
+    /// elements can enter the PDT with no further descendant evidence) and
+    /// `v`-annotated nodes (values needed). We additionally probe nodes
+    /// with predicates (so the index applies them) and `c`-annotated nodes
+    /// (their byte lengths and presence feed scoring) — both arise for
+    /// interior nodes only through grafted twigs.
+    pub fn probed(&self, id: QptNodeId) -> bool {
+        let n = self.node(id);
+        self.mandatory_child_count(id) == 0 || n.v_ann || n.c_ann || !n.preds.is_empty()
+    }
+
+    /// The probe set, in creation order.
+    pub fn probed_nodes(&self) -> Vec<QptNodeId> {
+        self.node_ids().filter(|id| self.probed(*id)).collect()
+    }
+
+    /// Depth (number of QPT nodes from a root), used by complexity stats.
+    pub fn depth(&self) -> usize {
+        self.node_ids().map(|id| self.chain(id).len()).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Qpt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "QPT for fn:doc({})", self.doc_name)?;
+        fn rec(q: &Qpt, id: QptNodeId, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let n = q.node(id);
+            for _ in 0..depth {
+                write!(f, "  ")?;
+            }
+            let axis = match n.incoming_axis {
+                Axis::Child => "/",
+                Axis::Descendant => "//",
+            };
+            write!(f, "{}{}", axis, n.tag)?;
+            if !n.incoming_mandatory {
+                write!(f, " (o)")?;
+            }
+            if n.v_ann {
+                write!(f, " [v]")?;
+            }
+            if n.c_ann {
+                write!(f, " [c]")?;
+            }
+            for p in &n.preds {
+                match p {
+                    ValuePredicate::Eq(v) => write!(f, " [. = {v}]")?,
+                    ValuePredicate::Lt(v) => write!(f, " [. < {v}]")?,
+                    ValuePredicate::Gt(v) => write!(f, " [. > {v}]")?,
+                }
+            }
+            writeln!(f)?;
+            for e in &n.children {
+                rec(q, e.child, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        for r in &self.roots {
+            rec(self, *r, 1, f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The book QPT of Fig. 6(a).
+    pub(crate) fn book_qpt() -> Qpt {
+        let mut q = Qpt::new("books.xml");
+        let books = q.add_node(None, Axis::Child, true, "books");
+        let book = q.add_node(Some(books), Axis::Descendant, true, "book");
+        let isbn = q.add_node(Some(book), Axis::Child, false, "isbn");
+        q.node_mut(isbn).v_ann = true;
+        let title = q.add_node(Some(book), Axis::Child, false, "title");
+        q.node_mut(title).c_ann = true;
+        let year = q.add_node(Some(book), Axis::Child, true, "year");
+        q.node_mut(year).preds.push(ValuePredicate::Gt("1995".into()));
+        q
+    }
+
+    #[test]
+    fn probe_set_matches_fig7() {
+        let q = book_qpt();
+        // isbn, title, year have no mandatory children -> probed.
+        // books and book have mandatory children and no v/c/preds -> not.
+        let probed: Vec<String> =
+            q.probed_nodes().iter().map(|id| q.node(*id).tag.clone()).collect();
+        assert_eq!(probed, vec!["isbn", "title", "year"]);
+    }
+
+    #[test]
+    fn patterns_follow_root_to_node_chains() {
+        let q = book_qpt();
+        let year = q.node_ids().find(|id| q.node(*id).tag == "year").unwrap();
+        assert_eq!(q.pattern(year).to_string(), "/books//book/year");
+    }
+
+    #[test]
+    fn dm_bits_enumerate_mandatory_edges() {
+        let q = book_qpt();
+        let book = q.node_ids().find(|id| q.node(*id).tag == "book").unwrap();
+        let year = q.node_ids().find(|id| q.node(*id).tag == "year").unwrap();
+        let isbn = q.node_ids().find(|id| q.node(*id).tag == "isbn").unwrap();
+        assert_eq!(q.mandatory_child_count(book), 1);
+        assert_eq!(q.dm_bit(year), Some(0));
+        assert_eq!(q.dm_bit(isbn), None); // optional edge
+    }
+
+    #[test]
+    fn chains_and_depth() {
+        let q = book_qpt();
+        let year = q.node_ids().find(|id| q.node(*id).tag == "year").unwrap();
+        let tags: Vec<&str> = q.chain(year).iter().map(|id| q.node(*id).tag.as_str()).collect();
+        assert_eq!(tags, vec!["books", "book", "year"]);
+        assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn display_renders_annotations() {
+        let s = book_qpt().to_string();
+        assert!(s.contains("//book"), "{s}");
+        assert!(s.contains("[v]"), "{s}");
+        assert!(s.contains("[c]"), "{s}");
+        assert!(s.contains("[. > 1995]"), "{s}");
+    }
+}

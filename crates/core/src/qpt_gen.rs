@@ -1,0 +1,765 @@
+//! `GenerateQPT` — from a view definition to one QPT per base document
+//! (paper §3.3 and Appendix B).
+//!
+//! The generator walks the view's AST producing *fragments*: partial twigs
+//! rooted at a document, or at a variable whose binding is not yet known.
+//! When a `for`/`let` binding is processed (innermost first), every
+//! fragment rooted at its variable is grafted onto the leaf of the
+//! binding's path fragment — the appendix's "bind the set of QPTs to the
+//! variable" step. Annotation rules follow the appendix:
+//!
+//! * binding and `where` paths create **mandatory** edges (they restrict
+//!   which elements are relevant at all); paths in `return` position
+//!   create **optional** edges (a parent appears in the view output even
+//!   when the optional content is absent);
+//! * element constructors and sequences make the *top* edges of
+//!   variable-rooted fragments optional (Fig. 24 lines 46–49) — this is
+//!   what turns the outer side of a join key optional while the inner side
+//!   stays mandatory, exactly as in Fig. 6(a);
+//! * comparison-to-literal leaves get the predicate pushed into the index
+//!   probe; path-to-path comparison leaves get the `v` annotation (both
+//!   sides need materialized values for the join);
+//! * `if` conditions may not restrict existence (the `else` branch still
+//!   needs failing elements), so their fragments get optional edges and
+//!   `v` annotations instead of pushed predicates — a deliberate, safe
+//!   refinement of the appendix, which is silent on the point;
+//! * content leaves (paths whose result reaches the output, and bare-`$v`
+//!   returns) get the `c` annotation.
+
+use crate::qpt::{Qpt, QptNodeId};
+use std::collections::BTreeMap;
+use std::fmt;
+use vxv_index::{Axis, ValuePredicate};
+use vxv_xquery::ast::{
+    self, CompOp, Expr, FlworExpr, PathExpr, PathSource, Predicate, Query,
+};
+
+/// Error for views outside the supported fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QptGenError {
+    /// Human-readable description of the unsupported construct.
+    pub message: String,
+}
+
+impl fmt::Display for QptGenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QPT generation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for QptGenError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, QptGenError> {
+    Err(QptGenError { message: message.into() })
+}
+
+/// What a fragment hangs off.
+#[derive(Clone, PartialEq, Debug)]
+enum FragSource {
+    Doc(String),
+    Var(String),
+    /// `.` inside a bracket predicate — resolved by grafting onto the
+    /// predicate's anchor node; must not survive to the top level.
+    Context,
+}
+
+#[derive(Clone, Debug, Default)]
+struct FNode {
+    tag: String,
+    preds: Vec<ValuePredicate>,
+    v: bool,
+    c: bool,
+    children: Vec<FEdge>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct FEdge {
+    axis: Axis,
+    mandatory: bool,
+    child: usize,
+}
+
+/// A partial twig. `nodes[0]` is the source root (its `tag` is unused; its
+/// annotations describe bare-source usages such as `where $x = 'v'`).
+#[derive(Clone, Debug)]
+struct Frag {
+    source: FragSource,
+    nodes: Vec<FNode>,
+}
+
+impl Frag {
+    fn new(source: FragSource) -> Self {
+        Frag { source, nodes: vec![FNode::default()] }
+    }
+
+    fn is_bare(&self) -> bool {
+        self.nodes[0].children.is_empty()
+    }
+
+    fn add_node(&mut self, parent: usize, axis: Axis, mandatory: bool, tag: &str) -> usize {
+        let idx = self.nodes.len();
+        self.nodes.push(FNode { tag: tag.to_string(), ..FNode::default() });
+        self.nodes[parent].children.push(FEdge { axis, mandatory, child: idx });
+        idx
+    }
+
+    /// Copy `sub`'s twig under `at`, merging `sub`'s root annotations into
+    /// the target node (`c` only for bare fragments, per Fig. 24 ll.21-27).
+    fn graft(&mut self, at: usize, sub: &Frag) {
+        let sroot = &sub.nodes[0];
+        self.nodes[at].v |= sroot.v;
+        self.nodes[at].preds.extend(sroot.preds.iter().cloned());
+        if sub.is_bare() {
+            self.nodes[at].c |= sroot.c;
+        }
+        let edges = sroot.children.clone();
+        for e in edges {
+            let child = self.copy_subtree(sub, e.child);
+            self.nodes[at].children.push(FEdge { axis: e.axis, mandatory: e.mandatory, child });
+        }
+    }
+
+    fn copy_subtree(&mut self, sub: &Frag, idx: usize) -> usize {
+        let src = sub.nodes[idx].clone();
+        let new_idx = self.nodes.len();
+        self.nodes.push(FNode {
+            tag: src.tag,
+            preds: src.preds,
+            v: src.v,
+            c: src.c,
+            children: Vec::new(),
+        });
+        for e in src.children {
+            let child = self.copy_subtree(sub, e.child);
+            self.nodes[new_idx].children.push(FEdge {
+                axis: e.axis,
+                mandatory: e.mandatory,
+                child,
+            });
+        }
+        new_idx
+    }
+
+    /// Make top edges optional (constructor / sequence escape rule).
+    fn optionalize_top(&mut self) {
+        for e in &mut self.nodes[0].children {
+            e.mandatory = false;
+        }
+    }
+}
+
+/// Edge discipline for the context a path appears in.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Mode {
+    /// `for`/`let` binding or `where` clause: mandatory edges.
+    Restrict,
+    /// `return` content: optional edges, leaf gets `c`.
+    Output,
+    /// `if` condition: optional edges, comparison leaves get `v`.
+    Condition,
+}
+
+struct Gen<'q> {
+    query: &'q Query,
+    depth: u32,
+}
+
+const MAX_FN_DEPTH: u32 = 64;
+
+impl<'q> Gen<'q> {
+    /// Build a fragment for a path expression. Returns the fragment, the
+    /// index of its leaf node, and any extra fragments produced by
+    /// non-relative operands inside its bracket predicates.
+    fn frag_from_path(
+        &mut self,
+        p: &PathExpr,
+        mode: Mode,
+    ) -> Result<(Frag, usize, Vec<Frag>), QptGenError> {
+        let source = match &p.source {
+            PathSource::Doc(d) => FragSource::Doc(d.clone()),
+            PathSource::Var(v) => FragSource::Var(v.clone()),
+            PathSource::ContextItem => FragSource::Context,
+        };
+        let mut frag = Frag::new(source);
+        let mandatory = matches!(mode, Mode::Restrict);
+        let mut leaf = 0usize;
+        for step in &p.steps {
+            let axis = convert_axis(step.axis);
+            leaf = frag.add_node(leaf, axis, mandatory, &step.tag);
+        }
+        let mut extras = Vec::new();
+        for pred in &p.predicates {
+            // Bracket predicates always restrict the elements the path
+            // addresses, regardless of the enclosing mode.
+            self.apply_predicate(pred, Mode::Restrict, &mut frag, leaf, &mut extras)?;
+        }
+        Ok((frag, leaf, extras))
+    }
+
+    /// Handle one predicate whose relative (`.`-rooted) operands graft onto
+    /// `anchor` within `frag`; var/doc-rooted operands become `extras`.
+    fn apply_predicate(
+        &mut self,
+        pred: &Predicate,
+        mode: Mode,
+        frag: &mut Frag,
+        anchor: usize,
+        extras: &mut Vec<Frag>,
+    ) -> Result<(), QptGenError> {
+        match pred {
+            Predicate::Exists(p) => {
+                let (sub, leaf, sub_extras) = self.frag_from_path(p, mode)?;
+                extras.extend(sub_extras);
+                self.place_operand(sub, leaf, None, false, mode, frag, anchor, extras);
+            }
+            Predicate::CompareLiteral(p, op, lit) => {
+                let (sub, leaf, sub_extras) = self.frag_from_path(p, mode)?;
+                extras.extend(sub_extras);
+                if mode == Mode::Condition {
+                    // Cannot push the predicate: the else-branch still
+                    // needs elements that fail it. Materialize the value.
+                    self.place_operand(sub, leaf, None, true, mode, frag, anchor, extras);
+                } else {
+                    let vp = to_value_predicate(*op, &lit.as_atomic());
+                    self.place_operand(sub, leaf, Some(vp), false, mode, frag, anchor, extras);
+                }
+            }
+            Predicate::ComparePaths(l, op, r) => {
+                let _ = op;
+                for side in [l, r] {
+                    let (sub, leaf, sub_extras) = self.frag_from_path(side, mode)?;
+                    extras.extend(sub_extras);
+                    // Both operands of a value join need values (Fig. 22
+                    // ll.42-45).
+                    self.place_operand(sub, leaf, None, true, mode, frag, anchor, extras);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Attach a predicate-operand fragment: relative operands graft onto
+    /// the anchor; var/doc-rooted operands are emitted as free fragments.
+    #[allow(clippy::too_many_arguments)]
+    fn place_operand(
+        &mut self,
+        mut sub: Frag,
+        sub_leaf: usize,
+        leaf_pred: Option<ValuePredicate>,
+        leaf_v: bool,
+        mode: Mode,
+        frag: &mut Frag,
+        anchor: usize,
+        extras: &mut Vec<Frag>,
+    ) {
+        sub.nodes[sub_leaf].v |= leaf_v;
+        if let Some(p) = leaf_pred {
+            sub.nodes[sub_leaf].preds.push(p);
+        }
+        if mode == Mode::Condition {
+            sub.optionalize_top();
+        }
+        match sub.source {
+            FragSource::Context => frag.graft(anchor, &sub),
+            _ => extras.push(sub),
+        }
+    }
+
+    /// Generate fragments for an expression in `mode`.
+    fn gen_expr(&mut self, expr: &Expr, mode: Mode) -> Result<Vec<Frag>, QptGenError> {
+        match expr {
+            Expr::Path(p) => {
+                let (mut frag, leaf, extras) = self.frag_from_path(p, mode)?;
+                if mode == Mode::Output {
+                    if leaf == 0 {
+                        frag.nodes[0].c = true; // bare `$v` return
+                    } else {
+                        frag.nodes[leaf].c = true;
+                    }
+                }
+                let mut out = vec![frag];
+                out.extend(extras);
+                Ok(out)
+            }
+            Expr::Flwor(f) => self.gen_flwor(f),
+            Expr::Cond { cond, then_branch, else_branch } => {
+                let mut frags = Vec::new();
+                // Condition fragments: c=false everywhere, optional edges,
+                // values materialized for comparisons.
+                let mut dummy = Frag::new(FragSource::Context);
+                let mut extras = Vec::new();
+                self.apply_predicate(cond, Mode::Condition, &mut dummy, 0, &mut extras)?;
+                if !dummy.is_bare() || dummy.nodes[0].v || !dummy.nodes[0].preds.is_empty() {
+                    return err("context item '.' used in an if-condition outside a predicate");
+                }
+                frags.extend(extras);
+                frags.extend(self.gen_expr(then_branch, mode)?);
+                frags.extend(self.gen_expr(else_branch, mode)?);
+                Ok(frags)
+            }
+            Expr::Element { content, .. } => {
+                let mut frags = Vec::new();
+                for cexpr in content {
+                    frags.extend(self.gen_expr(cexpr, Mode::Output)?);
+                }
+                // Escape rule: var-rooted fragments' top edges go optional.
+                for f in &mut frags {
+                    if matches!(f.source, FragSource::Var(_)) {
+                        f.optionalize_top();
+                    }
+                }
+                Ok(frags)
+            }
+            Expr::Sequence(es) => {
+                let mut frags = Vec::new();
+                for e in es {
+                    frags.extend(self.gen_expr(e, mode)?);
+                }
+                for f in &mut frags {
+                    if matches!(f.source, FragSource::Var(_)) {
+                        f.optionalize_top();
+                    }
+                }
+                Ok(frags)
+            }
+            Expr::FunctionCall { name, args } => {
+                if self.depth >= MAX_FN_DEPTH {
+                    return err(format!("recursive function '{name}' is not supported"));
+                }
+                let Some(func) = self.query.function(name) else {
+                    return err(format!("undefined function '{name}'"));
+                };
+                if func.params.len() != args.len() {
+                    return err(format!("function '{name}' arity mismatch"));
+                }
+                self.depth += 1;
+                let mut frags = self.gen_expr(&func.body, mode)?;
+                self.depth -= 1;
+                // Bind parameters like let clauses, innermost first.
+                for (param, arg) in func.params.iter().zip(args).rev() {
+                    frags = self.bind_var(frags, param, arg)?;
+                }
+                Ok(frags)
+            }
+        }
+    }
+
+    fn gen_flwor(&mut self, f: &FlworExpr) -> Result<Vec<Frag>, QptGenError> {
+        let mut frags = Vec::new();
+        // Where clauses (Fig. 24 ll.6-10): restrictive, no content.
+        for w in &f.where_clauses {
+            let mut dummy = Frag::new(FragSource::Context);
+            let mut extras = Vec::new();
+            self.apply_predicate(w, Mode::Restrict, &mut dummy, 0, &mut extras)?;
+            if !dummy.is_bare() || dummy.nodes[0].v || !dummy.nodes[0].preds.is_empty() {
+                return err("context item '.' used in a where clause");
+            }
+            frags.extend(extras);
+        }
+        // Return expression (Fig. 24 ll.11-12).
+        frags.extend(self.gen_expr(&f.return_expr, Mode::Output)?);
+        // Bindings, innermost (last) first (Fig. 24 ll.13-35).
+        for b in f.bindings.iter().rev() {
+            frags = self.bind_var(frags, &b.var, &b.expr)?;
+            let _ = b.kind; // `for` and `let` bind identically for QPTs.
+        }
+        Ok(frags)
+    }
+
+    /// Graft every fragment rooted at `$var` onto the leaf of the binding
+    /// path `expr`; keep the rest.
+    fn bind_var(
+        &mut self,
+        frags: Vec<Frag>,
+        var: &str,
+        expr: &PathExpr,
+    ) -> Result<Vec<Frag>, QptGenError> {
+        let (mut path_frag, leaf, extras) = self.frag_from_path(expr, Mode::Restrict)?;
+        let mut rest = Vec::new();
+        for fr in frags {
+            if fr.source == FragSource::Var(var.to_string()) {
+                path_frag.graft(leaf, &fr);
+            } else {
+                rest.push(fr);
+            }
+        }
+        let mut out = vec![path_frag];
+        out.extend(rest);
+        out.extend(extras);
+        Ok(out)
+    }
+}
+
+fn convert_axis(a: ast::Axis) -> Axis {
+    match a {
+        ast::Axis::Child => Axis::Child,
+        ast::Axis::Descendant => Axis::Descendant,
+    }
+}
+
+fn to_value_predicate(op: CompOp, value: &str) -> ValuePredicate {
+    match op {
+        CompOp::Eq => ValuePredicate::Eq(value.to_string()),
+        CompOp::Lt => ValuePredicate::Lt(value.to_string()),
+        CompOp::Gt => ValuePredicate::Gt(value.to_string()),
+    }
+}
+
+/// Generate one QPT per referenced base document.
+///
+/// Errors on views that reference unbound variables or use `.` outside
+/// bracket predicates (the constructs the supported grammar excludes).
+pub fn generate_qpts(query: &Query) -> Result<Vec<Qpt>, QptGenError> {
+    let mut gen = Gen { query, depth: 0 };
+    let frags = gen.gen_expr(&query.body, Mode::Output)?;
+    let mut by_doc: BTreeMap<String, Vec<Frag>> = BTreeMap::new();
+    for f in frags {
+        match &f.source {
+            FragSource::Doc(d) => by_doc.entry(d.clone()).or_default().push(f),
+            FragSource::Var(v) => return err(format!("unbound variable '${v}' in view")),
+            FragSource::Context => return err("context item '.' used outside a predicate"),
+        }
+    }
+    let mut out = Vec::new();
+    for (doc, frags) in by_doc {
+        let mut qpt = Qpt::new(doc);
+        for f in &frags {
+            for e in &f.nodes[0].children {
+                merge_into_qpt(&mut qpt, None, f, *e);
+            }
+        }
+        out.push(qpt);
+    }
+    Ok(out)
+}
+
+/// Merge one fragment edge (and its subtree) into the QPT under `parent`,
+/// reusing an existing node when tag, axis, edge kind and predicates all
+/// agree (so twigs grafted onto a shared spine stay a single twig).
+fn merge_into_qpt(qpt: &mut Qpt, parent: Option<QptNodeId>, frag: &Frag, edge: FEdge) {
+    let fnode = &frag.nodes[edge.child];
+    let existing = match parent {
+        Some(p) => qpt
+            .node(p)
+            .children
+            .iter()
+            .find(|e| {
+                e.axis == edge.axis
+                    && e.mandatory == edge.mandatory
+                    && qpt.node(e.child).tag == fnode.tag
+                    && qpt.node(e.child).preds == fnode.preds
+            })
+            .map(|e| e.child),
+        None => qpt
+            .roots()
+            .iter()
+            .copied()
+            .find(|r| {
+                let n = qpt.node(*r);
+                n.incoming_axis == edge.axis
+                    && n.incoming_mandatory == edge.mandatory
+                    && n.tag == fnode.tag
+                    && n.preds == fnode.preds
+            }),
+    };
+    let id = match existing {
+        Some(id) => id,
+        None => {
+            let id = qpt.add_node(parent, edge.axis, edge.mandatory, &fnode.tag);
+            qpt.node_mut(id).preds = fnode.preds.clone();
+            id
+        }
+    };
+    qpt.node_mut(id).v_ann |= fnode.v;
+    qpt.node_mut(id).c_ann |= fnode.c;
+    for e in &fnode.children {
+        merge_into_qpt(qpt, Some(id), frag, *e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vxv_xquery::parse_query;
+
+    fn qpts_for(src: &str) -> Vec<Qpt> {
+        generate_qpts(&parse_query(src).unwrap()).unwrap()
+    }
+
+    fn find<'a>(q: &'a Qpt, tag: &str) -> (&'a Qpt, QptNodeId) {
+        let id = q.node_ids().find(|id| q.node(*id).tag == tag).unwrap();
+        (q, id)
+    }
+
+    /// The running example of Fig. 2, expected to produce the QPTs of
+    /// Fig. 6(a).
+    #[test]
+    fn running_example_matches_fig6a() {
+        let qpts = qpts_for(
+            "for $book in fn:doc(books.xml)/books//book \
+             where $book/year > 1995 \
+             return <bookrevs> \
+               { <book> {$book/title} </book> } \
+               { for $rev in fn:doc(reviews.xml)/reviews//review \
+                 where $rev/isbn = $book/isbn \
+                 return $rev/content } \
+             </bookrevs>",
+        );
+        assert_eq!(qpts.len(), 2);
+        let bq = &qpts[0];
+        assert_eq!(bq.doc_name, "books.xml");
+
+        // Spine: /books//book, both mandatory.
+        let (_, book) = find(bq, "book");
+        assert!(bq.node(book).incoming_mandatory);
+        assert_eq!(bq.node(book).incoming_axis, Axis::Descendant);
+
+        // year: mandatory edge, predicate > 1995, no v (pushed to index).
+        let (_, year) = find(bq, "year");
+        assert!(bq.node(year).incoming_mandatory, "{bq}");
+        assert_eq!(bq.node(year).preds, vec![ValuePredicate::Gt("1995".into())]);
+        assert!(!bq.node(year).v_ann);
+
+        // isbn: OPTIONAL edge (outer join side), v-annotated.
+        let (_, isbn) = find(bq, "isbn");
+        assert!(!bq.node(isbn).incoming_mandatory, "{bq}");
+        assert!(bq.node(isbn).v_ann);
+
+        // title: optional edge, c-annotated.
+        let (_, title) = find(bq, "title");
+        assert!(!bq.node(title).incoming_mandatory);
+        assert!(bq.node(title).c_ann);
+
+        let rq = &qpts[1];
+        assert_eq!(rq.doc_name, "reviews.xml");
+        // review isbn: MANDATORY (inner join side), v-annotated.
+        let (_, risbn) = find(rq, "isbn");
+        assert!(rq.node(risbn).incoming_mandatory, "{rq}");
+        assert!(rq.node(risbn).v_ann);
+        // content: c-annotated.
+        let (_, content) = find(rq, "content");
+        assert!(rq.node(content).c_ann);
+    }
+
+    #[test]
+    fn bare_var_return_propagates_c_to_binding_leaf() {
+        let qpts = qpts_for("for $b in fn:doc(d.xml)/r//item return $b");
+        let q = &qpts[0];
+        let (_, item) = find(q, "item");
+        assert!(q.node(item).c_ann, "{q}");
+    }
+
+    #[test]
+    fn bracket_predicates_become_mandatory_twig_branches() {
+        let qpts = qpts_for("for $b in fn:doc(d.xml)/r/item[year > 2000] return $b/name");
+        let q = &qpts[0];
+        let (_, year) = find(q, "year");
+        assert!(q.node(year).incoming_mandatory);
+        assert_eq!(q.node(year).preds, vec![ValuePredicate::Gt("2000".into())]);
+        let (_, name) = find(q, "name");
+        assert!(!q.node(name).incoming_mandatory);
+        assert!(q.node(name).c_ann);
+    }
+
+    #[test]
+    fn where_exists_is_mandatory_without_annotations() {
+        let qpts = qpts_for("for $b in fn:doc(d.xml)/r/item where $b/flag return $b/name");
+        let q = &qpts[0];
+        let (_, flag) = find(q, "flag");
+        assert!(q.node(flag).incoming_mandatory);
+        assert!(!q.node(flag).v_ann && !q.node(flag).c_ann && q.node(flag).preds.is_empty());
+    }
+
+    #[test]
+    fn condition_fragments_are_optional_with_values() {
+        let qpts = qpts_for(
+            "for $b in fn:doc(d.xml)/r/item \
+             return if ($b/price > 10) then $b/name else $b/id",
+        );
+        let q = &qpts[0];
+        let (_, price) = find(q, "price");
+        assert!(!q.node(price).incoming_mandatory, "{q}");
+        assert!(q.node(price).v_ann, "condition values must be materialized");
+        assert!(q.node(price).preds.is_empty(), "predicate must not be pushed");
+        let (_, name) = find(q, "name");
+        assert!(q.node(name).c_ann);
+        let (_, id) = find(q, "id");
+        assert!(q.node(id).c_ann);
+    }
+
+    #[test]
+    fn chained_variable_bindings_compose() {
+        let qpts = qpts_for(
+            "for $r in fn:doc(d.xml)/catalog for $i in $r/section//item \
+             where $i/price > 5 return $i/name",
+        );
+        let q = &qpts[0];
+        assert_eq!(q.len(), 5, "{q}"); // catalog, section, item, price, name
+        let (_, item) = find(q, "item");
+        let chain: Vec<&str> =
+            q.chain(item).iter().map(|id| q.node(*id).tag.as_str()).collect();
+        assert_eq!(chain, vec!["catalog", "section", "item"]);
+    }
+
+    #[test]
+    fn functions_inline_like_let_bindings() {
+        let qpts = qpts_for(
+            "declare function nm($x) { $x/name } \
+             for $i in fn:doc(d.xml)/r/item return nm($i)",
+        );
+        let q = &qpts[0];
+        let (_, name) = find(q, "name");
+        assert!(q.node(name).c_ann, "{q}");
+        let chain: Vec<&str> =
+            q.chain(name).iter().map(|id| q.node(*id).tag.as_str()).collect();
+        assert_eq!(chain, vec!["r", "item", "name"]);
+    }
+
+    #[test]
+    fn shared_spines_merge_into_one_twig() {
+        let qpts = qpts_for(
+            "for $b in fn:doc(d.xml)/r/item where $b/x > 1 and $b/y = 'q' \
+             return <o> { $b/z } </o>",
+        );
+        let q = &qpts[0];
+        // r, item, x, y, z — not three separate item spines.
+        assert_eq!(q.len(), 5, "{q}");
+    }
+
+    #[test]
+    fn unbound_variables_are_rejected() {
+        let e = generate_qpts(&parse_query("for $b in $nope/x return $b").unwrap()).unwrap_err();
+        assert!(e.message.contains("unbound"), "{e}");
+    }
+
+    #[test]
+    fn multiple_docs_produce_multiple_qpts() {
+        let qpts = qpts_for(
+            "for $a in fn:doc(a.xml)/r/x for $b in fn:doc(b.xml)/s/y \
+             where $a/k = $b/k return <o> { $a/v } </o>",
+        );
+        assert_eq!(qpts.len(), 2);
+        assert_eq!(qpts[0].doc_name, "a.xml");
+        assert_eq!(qpts[1].doc_name, "b.xml");
+    }
+
+    #[test]
+    fn recursive_functions_are_rejected() {
+        let e = generate_qpts(
+            &parse_query("declare function f($x) { f($x) } f(fn:doc(d)/r)").unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.message.contains("recursive"), "{e}");
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use vxv_xquery::parse_query;
+
+    fn qpts_for(src: &str) -> Vec<Qpt> {
+        generate_qpts(&parse_query(src).unwrap()).unwrap()
+    }
+
+    fn node<'a>(q: &'a Qpt, tag: &str) -> &'a crate::qpt::QptNode {
+        let id = q.node_ids().find(|id| q.node(*id).tag == tag).unwrap();
+        q.node(id)
+    }
+
+    #[test]
+    fn let_bindings_graft_like_for() {
+        let qpts = qpts_for(
+            "let $items := fn:doc(d.xml)/r/list \
+             for $i in $items/item where $i/p > 3 return $i/name",
+        );
+        let q = &qpts[0];
+        let item = q.node_ids().find(|id| q.node(*id).tag == "item").unwrap();
+        let chain: Vec<&str> =
+            q.chain(item).iter().map(|id| q.node(*id).tag.as_str()).collect();
+        assert_eq!(chain, vec!["r", "list", "item"], "{q}");
+        assert!(node(q, "p").incoming_mandatory);
+        assert!(node(q, "name").c_ann);
+    }
+
+    #[test]
+    fn equality_and_range_predicates_both_push_down() {
+        let qpts = qpts_for(
+            "for $b in fn:doc(d.xml)/r/item where $b/cat = 'tools' and $b/price < 100 \
+             return $b/name",
+        );
+        let q = &qpts[0];
+        assert_eq!(node(q, "cat").preds, vec![ValuePredicate::Eq("tools".into())]);
+        assert_eq!(node(q, "price").preds, vec![ValuePredicate::Lt("100".into())]);
+        assert!(!node(q, "cat").v_ann, "pushed predicates need no v annotation");
+    }
+
+    #[test]
+    fn sequences_in_returns_optionalize_var_fragments() {
+        let qpts = qpts_for("for $b in fn:doc(d.xml)/r/item return ($b/name, $b/id)");
+        let q = &qpts[0];
+        assert!(!node(q, "name").incoming_mandatory, "{q}");
+        assert!(!node(q, "id").incoming_mandatory, "{q}");
+        assert!(node(q, "name").c_ann && node(q, "id").c_ann);
+    }
+
+    #[test]
+    fn plain_path_return_edges_are_optional() {
+        // Output-position paths always get optional edges (matching
+        // Fig. 6(a), where review→content is dotted): an item without a
+        // name stays in the PDT. That is a safe superset — the evaluator
+        // simply produces nothing from it — and keeps the annotation rule
+        // uniform whether or not a constructor wraps the return.
+        let qpts = qpts_for("for $b in fn:doc(d.xml)/r/item return $b/name");
+        let q = &qpts[0];
+        assert!(!node(q, "name").incoming_mandatory, "{q}");
+        assert!(node(q, "name").c_ann);
+    }
+
+    #[test]
+    fn multi_parameter_functions_bind_each_argument() {
+        let qpts = qpts_for(
+            "declare function pick($a, $b) { <p> { $a/name } { $b/title } </p> } \
+             for $x in fn:doc(d.xml)/r/item for $y in fn:doc(d.xml)/r/article \
+             return pick($x, $y)",
+        );
+        let q = &qpts[0];
+        let name = q.node_ids().find(|id| q.node(*id).tag == "name").unwrap();
+        let chain: Vec<&str> = q.chain(name).iter().map(|id| q.node(*id).tag.as_str()).collect();
+        assert_eq!(chain, vec!["r", "item", "name"], "{q}");
+        let title = q.node_ids().find(|id| q.node(*id).tag == "title").unwrap();
+        let chain: Vec<&str> = q.chain(title).iter().map(|id| q.node(*id).tag.as_str()).collect();
+        assert_eq!(chain, vec!["r", "article", "title"]);
+    }
+
+    #[test]
+    fn exists_predicate_in_brackets_restricts() {
+        let qpts = qpts_for("for $b in fn:doc(d.xml)/r/item[flag] return $b/name");
+        let q = &qpts[0];
+        assert!(node(q, "flag").incoming_mandatory);
+        assert!(!node(q, "flag").v_ann && node(q, "flag").preds.is_empty());
+    }
+
+    #[test]
+    fn top_level_descendant_axis_is_preserved() {
+        let qpts = qpts_for("for $b in fn:doc(d.xml)//item return $b/name");
+        let q = &qpts[0];
+        let item = q.roots()[0];
+        assert_eq!(q.node(item).incoming_axis, Axis::Descendant);
+        assert_eq!(q.node(item).tag, "item");
+    }
+
+    #[test]
+    fn join_inside_same_flwor_keeps_both_sides_mandatory() {
+        // Without an intervening constructor, both join sides restrict.
+        let qpts = qpts_for(
+            "for $a in fn:doc(x.xml)/r/a for $b in fn:doc(y.xml)/s/b \
+             where $a/k = $b/k return $a/v",
+        );
+        let xq = qpts.iter().find(|q| q.doc_name == "x.xml").unwrap();
+        let yq = qpts.iter().find(|q| q.doc_name == "y.xml").unwrap();
+        assert!(node(xq, "k").incoming_mandatory, "{xq}");
+        assert!(node(yq, "k").incoming_mandatory, "{yq}");
+        assert!(node(xq, "k").v_ann && node(yq, "k").v_ann);
+    }
+}

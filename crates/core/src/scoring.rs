@@ -1,0 +1,186 @@
+//! Scoring & Materialization module (paper §4.2.2.2).
+//!
+//! Scores are element-level TF-IDF as defined in §2.2:
+//!
+//! * `tf(e, k)` — occurrences of `k` in `e` and its descendants, obtained
+//!   by *aggregating the tf values of the base elements copied into `e`*
+//!   (the Efficient pipeline reads them off PDT annotations; the Baseline
+//!   tokenizes the materialized result — Theorem 4.1 says, and our tests
+//!   check, that the numbers coincide);
+//! * `idf(k) = |V(D)| / |{e ∈ V(D) : contains(e, k)}|` — computed over the
+//!   whole view sequence, which is why the pipeline produces *all* pruned
+//!   view elements before ranking;
+//! * `score(e, Q) = Σ_k tf(e,k) · idf(k)`, normalized by the element's
+//!   aggregate byte length (we divide by the byte length — the classic
+//!   document-length normalization from the similarity space the paper
+//!   cites [Zobel & Moffat], turning the score into keyword density; any
+//!   fixed choice preserves the paper's materialized-vs-virtual
+//!   equivalence as long as both sides share it).
+
+/// Conjunctive (`k1 & k2`) or disjunctive (`k1 | k2`) keyword semantics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KeywordMode {
+    /// Every keyword must occur in a matching element.
+    Conjunctive,
+    /// At least one keyword must occur.
+    Disjunctive,
+}
+
+/// The tf vector and byte length of one view element, in view order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ElementStats {
+    /// Per-query-keyword term frequencies.
+    pub tf: Vec<u32>,
+    /// Aggregate byte length of the element.
+    pub byte_len: u64,
+}
+
+/// One scored view element.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScoredElement {
+    /// Position in the view result sequence (stable tie-breaker).
+    pub index: usize,
+    /// The normalized TF-IDF score.
+    pub score: f64,
+    /// Per-query-keyword term frequencies.
+    pub tf: Vec<u32>,
+    /// Aggregate byte length.
+    pub byte_len: u64,
+}
+
+/// Output of the scoring phase.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScoringOutcome {
+    /// Elements that satisfy the keyword semantics, best score first
+    /// (ties broken by view order), truncated to `k`.
+    pub top: Vec<ScoredElement>,
+    /// Number of matching elements before the top-k cut.
+    pub matching: usize,
+    /// Per-keyword idf over the whole view.
+    pub idf: Vec<f64>,
+    /// |V(D)| — total view elements (matching or not).
+    pub view_size: usize,
+}
+
+/// Score every view element and keep the top `k` under `mode` semantics.
+///
+/// `stats` must cover the *entire* view result sequence (idf is a
+/// view-level statistic).
+pub fn score_and_rank(stats: &[ElementStats], mode: KeywordMode, k: usize) -> ScoringOutcome {
+    let view_size = stats.len();
+    let keyword_count = stats.first().map(|s| s.tf.len()).unwrap_or(0);
+
+    let mut df = vec![0usize; keyword_count];
+    for s in stats {
+        for (i, tf) in s.tf.iter().enumerate() {
+            if *tf > 0 {
+                df[i] += 1;
+            }
+        }
+    }
+    let idf: Vec<f64> = df
+        .iter()
+        .map(|d| if *d == 0 { 0.0 } else { view_size as f64 / *d as f64 })
+        .collect();
+
+    let mut matches: Vec<ScoredElement> = Vec::new();
+    for (index, s) in stats.iter().enumerate() {
+        let ok = match mode {
+            KeywordMode::Conjunctive => s.tf.iter().all(|t| *t > 0),
+            KeywordMode::Disjunctive => s.tf.iter().any(|t| *t > 0),
+        };
+        // A query with no keywords matches everything (pure view browse).
+        if !ok && keyword_count > 0 {
+            continue;
+        }
+        let raw: f64 = s.tf.iter().zip(&idf).map(|(t, i)| *t as f64 * i).sum();
+        let norm = (s.byte_len as f64).max(1.0);
+        matches.push(ScoredElement {
+            index,
+            score: raw / norm,
+            tf: s.tf.clone(),
+            byte_len: s.byte_len,
+        });
+    }
+    let matching = matches.len();
+    matches.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.index.cmp(&b.index))
+    });
+    matches.truncate(k);
+    ScoringOutcome { top: matches, matching, idf, view_size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn es(tf: &[u32], len: u64) -> ElementStats {
+        ElementStats { tf: tf.to_vec(), byte_len: len }
+    }
+
+    #[test]
+    fn idf_is_view_size_over_document_frequency() {
+        let stats = vec![es(&[1, 0], 10), es(&[2, 1], 10), es(&[0, 0], 10), es(&[1, 0], 10)];
+        let out = score_and_rank(&stats, KeywordMode::Disjunctive, 10);
+        assert_eq!(out.view_size, 4);
+        assert_eq!(out.idf, vec![4.0 / 3.0, 4.0]);
+    }
+
+    #[test]
+    fn conjunctive_requires_all_keywords() {
+        let stats = vec![es(&[1, 0], 10), es(&[2, 1], 10), es(&[0, 3], 10)];
+        let out = score_and_rank(&stats, KeywordMode::Conjunctive, 10);
+        assert_eq!(out.matching, 1);
+        assert_eq!(out.top[0].index, 1);
+    }
+
+    #[test]
+    fn disjunctive_requires_any_keyword() {
+        let stats = vec![es(&[1, 0], 10), es(&[0, 0], 10), es(&[0, 3], 10)];
+        let out = score_and_rank(&stats, KeywordMode::Disjunctive, 10);
+        assert_eq!(out.matching, 2);
+    }
+
+    #[test]
+    fn ranking_is_score_desc_with_stable_ties() {
+        // Same byte length; higher tf wins. Equal elements keep view order.
+        let stats = vec![es(&[1], 100), es(&[5], 100), es(&[1], 100)];
+        let out = score_and_rank(&stats, KeywordMode::Conjunctive, 10);
+        let order: Vec<usize> = out.top.iter().map(|t| t.index).collect();
+        assert_eq!(order, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn byte_length_normalization_penalizes_long_elements() {
+        let stats = vec![es(&[2], 10_000), es(&[2], 10)];
+        let out = score_and_rank(&stats, KeywordMode::Conjunctive, 10);
+        assert_eq!(out.top[0].index, 1, "shorter element should rank first");
+    }
+
+    #[test]
+    fn top_k_truncates_but_matching_counts_all() {
+        let stats: Vec<ElementStats> = (1..=20).map(|i| es(&[i], 50)).collect();
+        let out = score_and_rank(&stats, KeywordMode::Conjunctive, 5);
+        assert_eq!(out.top.len(), 5);
+        assert_eq!(out.matching, 20);
+        assert_eq!(out.top[0].index, 19); // highest tf
+    }
+
+    #[test]
+    fn zero_keywords_matches_everything_with_zero_scores() {
+        let stats = vec![es(&[], 10), es(&[], 20)];
+        let out = score_and_rank(&stats, KeywordMode::Conjunctive, 10);
+        assert_eq!(out.matching, 2);
+        assert_eq!(out.top[0].score, 0.0);
+    }
+
+    #[test]
+    fn unmatched_keyword_gets_zero_idf() {
+        let stats = vec![es(&[1, 0], 10), es(&[2, 0], 10)];
+        let out = score_and_rank(&stats, KeywordMode::Disjunctive, 10);
+        assert_eq!(out.idf[1], 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! XML inverted-list indices (paper Fig. 4b).
+//!
+//! For each keyword we store the Dewey-ordered list of elements that
+//! *directly* contain the keyword, with its term frequency in that
+//! element's own text. A search structure over each list (here: binary
+//! search over the sorted vector, standing in for the B-tree the paper
+//! builds on top of each list) answers:
+//!
+//! * point probes — does element `e` directly contain `k`?
+//! * subtree range probes — aggregate tf of `k` anywhere under `e`
+//!   (descendant postings are contiguous because the lists are in Dewey
+//!   order).
+
+use crate::tokenize::token_counts;
+use std::cell::Cell;
+use std::collections::HashMap;
+use vxv_xml::{Corpus, DeweyId, Document};
+
+/// One posting: an element that directly contains the keyword `tf` times.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Posting {
+    /// The element that directly contains the keyword.
+    pub id: DeweyId,
+    /// Occurrences within that element's own text.
+    pub tf: u32,
+}
+
+/// Work counters for experiments (I/O-cost proxy).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InvertedIndexStats {
+    /// Number of lookup/range calls.
+    pub lookups: u64,
+    /// Total postings touched.
+    pub postings_scanned: u64,
+}
+
+/// The corpus-wide inverted keyword index.
+#[derive(Debug, Default)]
+pub struct InvertedIndex {
+    lists: HashMap<String, Vec<Posting>>,
+    lookups: Cell<u64>,
+    postings_scanned: Cell<u64>,
+}
+
+impl InvertedIndex {
+    /// Build the index over every document in the corpus.
+    pub fn build(corpus: &Corpus) -> Self {
+        let mut idx = InvertedIndex::default();
+        for doc in corpus.docs() {
+            idx.add_document(doc);
+        }
+        idx.finalize();
+        idx
+    }
+
+    /// Index one document's text content.
+    pub fn add_document(&mut self, doc: &Document) {
+        for node_id in doc.iter() {
+            let node = doc.node(node_id);
+            let Some(text) = &node.text else { continue };
+            for (token, count) in token_counts(text) {
+                self.lists
+                    .entry(token)
+                    .or_default()
+                    .push(Posting { id: node.dewey.clone(), tf: count });
+            }
+        }
+    }
+
+    /// Sort every list in Dewey order (documents may interleave ordinals).
+    pub fn finalize(&mut self) {
+        for list in self.lists.values_mut() {
+            list.sort_by(|a, b| a.id.cmp(&b.id));
+        }
+    }
+
+    /// The full posting list for a keyword (lowercased token form), in
+    /// Dewey order. Empty slice if the keyword never occurs.
+    pub fn postings(&self, keyword: &str) -> &[Posting] {
+        self.lookups.set(self.lookups.get() + 1);
+        let list = self.lists.get(keyword).map(|v| v.as_slice()).unwrap_or(&[]);
+        self.postings_scanned
+            .set(self.postings_scanned.get() + list.len() as u64);
+        list
+    }
+
+    /// Document frequency: number of elements directly containing `keyword`.
+    pub fn list_len(&self, keyword: &str) -> usize {
+        self.lists.get(keyword).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Aggregate term frequency of `keyword` in the subtree rooted at the
+    /// element with Dewey ID `root` (inclusive) — a binary-search range
+    /// probe, O(log n + occurrences).
+    pub fn subtree_tf(&self, keyword: &str, root: &DeweyId) -> u32 {
+        self.lookups.set(self.lookups.get() + 1);
+        let Some(list) = self.lists.get(keyword) else { return 0 };
+        let lo = list.partition_point(|p| p.id < *root);
+        let hi_bound = root.subtree_upper_bound();
+        let mut total = 0;
+        let mut scanned = 0u64;
+        for p in &list[lo..] {
+            if p.id >= hi_bound {
+                break;
+            }
+            scanned += 1;
+            total += p.tf;
+        }
+        self.postings_scanned.set(self.postings_scanned.get() + scanned);
+        total
+    }
+
+    /// Does the subtree rooted at `root` contain `keyword` anywhere?
+    pub fn contains_in_subtree(&self, keyword: &str, root: &DeweyId) -> bool {
+        self.subtree_tf(keyword, root) > 0
+    }
+
+    /// All distinct indexed keywords (unordered).
+    pub fn keywords(&self) -> impl Iterator<Item = &str> {
+        self.lists.keys().map(|s| s.as_str())
+    }
+
+    /// Snapshot of the work counters.
+    pub fn stats(&self) -> InvertedIndexStats {
+        InvertedIndexStats {
+            lookups: self.lookups.get(),
+            postings_scanned: self.postings_scanned.get(),
+        }
+    }
+
+    /// Reset the work counters.
+    pub fn reset_stats(&self) {
+        self.lookups.set(0);
+        self.postings_scanned.set(0);
+    }
+
+    /// Approximate in-memory size, in bytes.
+    pub fn approx_byte_size(&self) -> u64 {
+        self.lists
+            .iter()
+            .map(|(k, l)| {
+                k.len() as u64
+                    + l.iter().map(|p| 4 * p.id.len() as u64 + 4).sum::<u64>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        c.add_parsed(
+            "books.xml",
+            "<books>\
+               <book><title>XML Web Services</title>\
+                     <review><content>all about search and XML search</content></review></book>\
+               <book><title>Artificial Intelligence</title></book>\
+             </books>",
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn postings_record_direct_containment_with_tf() {
+        let idx = InvertedIndex::build(&corpus());
+        let xml = idx.postings("xml");
+        assert_eq!(xml.len(), 2);
+        assert_eq!(xml[0].id.to_string(), "1.1.1");
+        assert_eq!(xml[0].tf, 1);
+        assert_eq!(xml[1].id.to_string(), "1.1.2.1");
+        assert_eq!(xml[1].tf, 1);
+        let search = idx.postings("search");
+        assert_eq!(search.len(), 1);
+        assert_eq!(search[0].tf, 2);
+    }
+
+    #[test]
+    fn subtree_tf_aggregates_descendants() {
+        let idx = InvertedIndex::build(&corpus());
+        let book1: DeweyId = "1.1".parse().unwrap();
+        assert_eq!(idx.subtree_tf("xml", &book1), 2);
+        assert_eq!(idx.subtree_tf("search", &book1), 2);
+        let book2: DeweyId = "1.2".parse().unwrap();
+        assert_eq!(idx.subtree_tf("xml", &book2), 0);
+        let root: DeweyId = "1".parse().unwrap();
+        assert_eq!(idx.subtree_tf("intelligence", &root), 1);
+    }
+
+    #[test]
+    fn subtree_range_does_not_leak_into_siblings() {
+        // 1.1 vs 1.10 prefix confusion must not occur.
+        let mut c = Corpus::new();
+        let mut xml = String::from("<r>");
+        for i in 0..12 {
+            xml.push_str(&format!("<e><t>word{i} target</t></e>"));
+        }
+        xml.push_str("</r>");
+        c.add_parsed("d", &xml).unwrap();
+        let idx = InvertedIndex::build(&c);
+        let e1: DeweyId = "1.1".parse().unwrap();
+        assert_eq!(idx.subtree_tf("target", &e1), 1);
+        assert_eq!(idx.subtree_tf("word0", &e1), 1);
+        assert_eq!(idx.subtree_tf("word9", &e1), 0);
+    }
+
+    #[test]
+    fn unknown_keyword_is_empty() {
+        let idx = InvertedIndex::build(&corpus());
+        assert!(idx.postings("nonexistent").is_empty());
+        assert_eq!(idx.subtree_tf("nonexistent", &"1".parse().unwrap()), 0);
+        assert!(!idx.contains_in_subtree("nonexistent", &"1".parse().unwrap()));
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let idx = InvertedIndex::build(&corpus());
+        idx.reset_stats();
+        idx.postings("xml");
+        idx.subtree_tf("search", &"1".parse().unwrap());
+        let s = idx.stats();
+        assert_eq!(s.lookups, 2);
+        assert!(s.postings_scanned >= 3);
+    }
+}

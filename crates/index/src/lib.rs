@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! # vxv-index — index substrate
+//!
+//! The two index families the paper's PDT-generation phase consumes
+//! (Fig. 3's "Structure (Path/Tag) Indices" and "Inverted List Indices"):
+//!
+//! * [`PathIndex`] — the (Path, Value) table of Fig. 5, probed by path
+//!   prefix or composite key; supplies Dewey IDs, atomic values, and byte
+//!   lengths without touching base documents.
+//! * [`InvertedIndex`] — per-keyword Dewey-ordered posting lists of
+//!   Fig. 4(b), with point and subtree-range tf probes.
+//! * [`TagIndex`] — plain per-tag element streams, the access path of the
+//!   structural-join (GTP+TermJoin) comparison system.
+//!
+//! All indices carry work counters so the experiments can report probe
+//! costs.
+
+pub mod inverted;
+pub mod path_index;
+pub mod pattern;
+pub mod tag_index;
+pub mod tokenize;
+
+pub use inverted::{InvertedIndex, InvertedIndexStats, Posting};
+pub use path_index::{IdEntry, PathIndex, PathIndexStats, ProbeResult, ValuePredicate};
+pub use pattern::{Axis, PathPattern, Step};
+pub use tag_index::TagIndex;

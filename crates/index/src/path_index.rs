@@ -1,0 +1,418 @@
+//! The Path-Values index (paper Fig. 5).
+//!
+//! One row per unique *(Path, Value)* pair; each row stores the sorted list
+//! of Dewey IDs of elements on that path with that atomic value (elements
+//! without an atomic value go into the row with a `None` value). A B-tree
+//! over the composite `(Path, Value)` key supports:
+//!
+//! * exact probes `(path, 'Jane')` for equality predicates,
+//! * prefix scans by `path` alone (retrieving *all* rows for the path,
+//!   which yields both IDs and values in one probe — the observation that
+//!   lets PDT generation materialize `v`-annotated values for free),
+//! * range filtering for `<`/`>` predicates.
+//!
+//! Patterns with `//` axes are expanded against the *path dictionary* of
+//! distinct full data paths, and per-path lists are merged in Dewey order.
+
+use crate::pattern::PathPattern;
+use std::cell::Cell;
+use std::collections::{BTreeMap, HashMap};
+use vxv_xml::value::compare_atomic;
+use vxv_xml::{Corpus, DeweyId, Document};
+
+/// One indexed element occurrence: its Dewey ID plus the byte length of its
+/// serialized subtree (stored index-side so PDTs can carry `len(e)` without
+/// touching base data).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IdEntry {
+    /// The element's Dewey identifier.
+    pub id: DeweyId,
+    /// Byte length of the element's serialized subtree.
+    pub byte_len: u32,
+}
+
+/// A value predicate pushed into an index probe (QPT leaf predicate).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValuePredicate {
+    /// Value equals the operand (under [`compare_atomic`] semantics).
+    Eq(String),
+    /// Value is less than the operand.
+    Lt(String),
+    /// Value is greater than the operand.
+    Gt(String),
+}
+
+impl ValuePredicate {
+    /// Does an atomic value satisfy this predicate?
+    pub fn eval(&self, value: &str) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            ValuePredicate::Eq(v) => compare_atomic(value, v) == Equal,
+            ValuePredicate::Lt(v) => compare_atomic(value, v) == Less,
+            ValuePredicate::Gt(v) => compare_atomic(value, v) == Greater,
+        }
+    }
+}
+
+/// The result of a probe: Dewey-ordered entries, each optionally carrying
+/// the element's atomic value.
+pub type ProbeResult = Vec<(IdEntry, Option<String>)>;
+
+#[derive(Clone, Debug, Default)]
+struct PathRows {
+    /// Rows keyed by value; `None` collects elements without atomic values.
+    /// Each row's ID list is sorted in Dewey (document) order.
+    rows: BTreeMap<Option<String>, Vec<IdEntry>>,
+}
+
+/// Counters exposing how much work probes performed (an I/O-cost proxy for
+/// the experiments).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PathIndexStats {
+    /// Number of `lookup_*` calls.
+    pub probes: u64,
+    /// Number of (Path, Value) rows read.
+    pub rows_read: u64,
+    /// Number of ID entries returned.
+    pub entries_returned: u64,
+}
+
+/// The corpus-wide Path-Values index.
+#[derive(Debug, Default)]
+pub struct PathIndex {
+    /// Distinct full data paths, e.g. `/books/book/isbn`.
+    paths: Vec<String>,
+    path_ids: HashMap<String, u32>,
+    tables: Vec<PathRows>,
+    probes: Cell<u64>,
+    rows_read: Cell<u64>,
+    entries_returned: Cell<u64>,
+}
+
+impl PathIndex {
+    /// Build the index over every document in the corpus.
+    pub fn build(corpus: &Corpus) -> Self {
+        let mut idx = PathIndex::default();
+        for doc in corpus.docs() {
+            idx.add_document(doc);
+        }
+        idx
+    }
+
+    /// Index a single document (exposed for incremental tests).
+    pub fn add_document(&mut self, doc: &Document) {
+        let Some(root) = doc.root() else { return };
+        // Walk in document order, maintaining the current path string.
+        let mut path_stack: Vec<u32> = Vec::new();
+        let mut path_buf = String::new();
+        let mut depth_stack: Vec<usize> = Vec::new();
+        let mut last_depth = 0usize;
+        for node_id in doc.subtree(root) {
+            let node = doc.node(node_id);
+            let depth = node.dewey.len();
+            while last_depth >= depth {
+                path_buf.truncate(depth_stack.pop().unwrap());
+                path_stack.pop();
+                last_depth -= 1;
+            }
+            depth_stack.push(path_buf.len());
+            path_buf.push('/');
+            path_buf.push_str(doc.tag_name(node.tag));
+            let pid = self.intern_path(&path_buf);
+            path_stack.push(pid);
+            last_depth = depth;
+
+            let value = node.text.clone();
+            let entry = IdEntry { id: node.dewey.clone(), byte_len: node.byte_len };
+            self.tables[pid as usize]
+                .rows
+                .entry(value)
+                .or_default()
+                .push(entry);
+        }
+        // Re-sort rows: multiple documents may interleave ordinals.
+        for t in &mut self.tables {
+            for row in t.rows.values_mut() {
+                row.sort_by(|a, b| a.id.cmp(&b.id));
+            }
+        }
+    }
+
+    fn intern_path(&mut self, path: &str) -> u32 {
+        if let Some(id) = self.path_ids.get(path) {
+            return *id;
+        }
+        let id = self.paths.len() as u32;
+        self.paths.push(path.to_string());
+        self.path_ids.insert(path.to_string(), id);
+        self.tables.push(PathRows::default());
+        id
+    }
+
+    /// Distinct full data paths in the dictionary.
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.paths.iter().map(|s| s.as_str())
+    }
+
+    /// All full data paths matching a pattern (dictionary expansion).
+    pub fn expand_pattern(&self, pattern: &PathPattern) -> Vec<u32> {
+        (0..self.paths.len() as u32)
+            .filter(|pid| pattern.matches_path_string(&self.paths[*pid as usize]))
+            .collect()
+    }
+
+    /// `LookUpID(p)` of Fig. 7: all element IDs on paths matching `pattern`
+    /// that satisfy every predicate in `preds`, merged in Dewey order.
+    /// Values are returned too when present — the index stores them in the
+    /// key, so they are free.
+    pub fn lookup(&self, pattern: &PathPattern, preds: &[ValuePredicate]) -> ProbeResult {
+        self.probes.set(self.probes.get() + 1);
+        let mut lists: Vec<ProbeResult> = Vec::new();
+        for pid in self.expand_pattern(pattern) {
+            lists.push(self.scan_rows(pid, preds));
+        }
+        let merged = merge_dewey_ordered(lists);
+        self.entries_returned
+            .set(self.entries_returned.get() + merged.len() as u64);
+        merged
+    }
+
+    /// Probe a single full data path (by dictionary id) under predicates.
+    /// Exposed so PDT generation can keep per-path provenance (which full
+    /// path produced each entry) for QPT-node alignment.
+    pub fn scan_path(&self, path_id: u32, preds: &[ValuePredicate]) -> ProbeResult {
+        self.probes.set(self.probes.get() + 1);
+        let out = self.scan_rows(path_id, preds);
+        self.entries_returned
+            .set(self.entries_returned.get() + out.len() as u64);
+        out
+    }
+
+    /// The dictionary string for a path id.
+    pub fn path_string(&self, path_id: u32) -> &str {
+        &self.paths[path_id as usize]
+    }
+
+    fn scan_rows(&self, pid: u32, preds: &[ValuePredicate]) -> ProbeResult {
+        let table = &self.tables[pid as usize];
+        // Equality probes hit the composite (Path, Value) key directly —
+        // a point lookup, not a scan.
+        if let [ValuePredicate::Eq(v)] = preds {
+            let mut lists: Vec<ProbeResult> = Vec::new();
+            if let Some(row) = table.rows.get(&Some(v.clone())) {
+                self.rows_read.set(self.rows_read.get() + 1);
+                lists.push(row.iter().map(|e| (e.clone(), Some(v.clone()))).collect());
+            }
+            // Numeric aliases ("07" = "7") require a scan; only do it when
+            // the probe value is numeric.
+            if v.trim().parse::<f64>().is_ok() {
+                let mut extra: ProbeResult = Vec::new();
+                for (val, row) in &table.rows {
+                    let Some(val) = val else { continue };
+                    if val != v && ValuePredicate::Eq(v.clone()).eval(val) {
+                        self.rows_read.set(self.rows_read.get() + 1);
+                        extra.extend(row.iter().map(|e| (e.clone(), Some(val.clone()))));
+                    }
+                }
+                if !extra.is_empty() {
+                    lists.push(extra);
+                }
+            }
+            return merge_dewey_ordered(lists);
+        }
+        let mut out: ProbeResult = Vec::new();
+        for (val, row) in &table.rows {
+            self.rows_read.set(self.rows_read.get() + 1);
+            if preds.is_empty() {
+                out.extend(row.iter().map(|e| (e.clone(), val.clone())));
+            } else {
+                let Some(val) = val else { continue };
+                if preds.iter().all(|p| p.eval(val)) {
+                    out.extend(row.iter().map(|e| (e.clone(), Some(val.clone()))));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.id.cmp(&b.0.id));
+        out
+    }
+
+    /// Convenience: IDs only.
+    pub fn lookup_ids(&self, pattern: &PathPattern) -> Vec<DeweyId> {
+        self.lookup(pattern, &[]).into_iter().map(|(e, _)| e.id).collect()
+    }
+
+    /// Snapshot of the probe-work counters.
+    pub fn stats(&self) -> PathIndexStats {
+        PathIndexStats {
+            probes: self.probes.get(),
+            rows_read: self.rows_read.get(),
+            entries_returned: self.entries_returned.get(),
+        }
+    }
+
+    /// Reset the probe-work counters.
+    pub fn reset_stats(&self) {
+        self.probes.set(0);
+        self.rows_read.set(0);
+        self.entries_returned.set(0);
+    }
+
+    /// Approximate in-memory size of the index, in bytes.
+    pub fn approx_byte_size(&self) -> u64 {
+        let mut total = 0u64;
+        for (p, t) in self.paths.iter().zip(&self.tables) {
+            total += p.len() as u64;
+            for (v, row) in &t.rows {
+                total += v.as_ref().map(|s| s.len() as u64).unwrap_or(0);
+                total += row
+                    .iter()
+                    .map(|e| 4 * e.id.len() as u64 + 4)
+                    .sum::<u64>();
+            }
+        }
+        total
+    }
+}
+
+/// K-way merge of Dewey-ordered lists.
+fn merge_dewey_ordered(mut lists: Vec<ProbeResult>) -> ProbeResult {
+    lists.retain(|l| !l.is_empty());
+    match lists.len() {
+        0 => Vec::new(),
+        1 => lists.pop().unwrap(),
+        _ => {
+            let total = lists.iter().map(|l| l.len()).sum();
+            let mut out: ProbeResult = Vec::with_capacity(total);
+            let mut cursors = vec![0usize; lists.len()];
+            loop {
+                let mut min: Option<usize> = None;
+                for (i, l) in lists.iter().enumerate() {
+                    if cursors[i] < l.len()
+                        && min
+                            .map(|m| l[cursors[i]].0.id < lists[m][cursors[m]].0.id)
+                            .unwrap_or(true)
+                    {
+                        min = Some(i);
+                    }
+                }
+                match min {
+                    Some(i) => {
+                        out.push(lists[i][cursors[i]].clone());
+                        cursors[i] += 1;
+                    }
+                    None => break,
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        c.add_parsed(
+            "books.xml",
+            "<books>\
+               <book><isbn>111</isbn><title>XML Web Services</title><year>1996</year></book>\
+               <book><isbn>222</isbn><title>AI</title><year>2002</year></book>\
+               <shelf><book><isbn>333</isbn><year>1990</year></book></shelf>\
+             </books>",
+        )
+        .unwrap();
+        c
+    }
+
+    fn pat(s: &str) -> PathPattern {
+        PathPattern::parse(s).unwrap()
+    }
+
+    #[test]
+    fn plain_path_probe_returns_ids_and_values_in_dewey_order() {
+        let idx = PathIndex::build(&corpus());
+        let res = idx.lookup(&pat("/books/book/isbn"), &[]);
+        let got: Vec<(String, Option<String>)> =
+            res.iter().map(|(e, v)| (e.id.to_string(), v.clone())).collect();
+        assert_eq!(
+            got,
+            vec![
+                ("1.1.1".to_string(), Some("111".to_string())),
+                ("1.2.1".to_string(), Some("222".to_string())),
+            ]
+        );
+    }
+
+    #[test]
+    fn descendant_axis_expands_against_path_dictionary() {
+        let idx = PathIndex::build(&corpus());
+        let ids: Vec<String> = idx
+            .lookup_ids(&pat("/books//book/isbn"))
+            .iter()
+            .map(|d| d.to_string())
+            .collect();
+        assert_eq!(ids, vec!["1.1.1", "1.2.1", "1.3.1.1"]);
+    }
+
+    #[test]
+    fn equality_predicate_is_a_point_probe() {
+        let idx = PathIndex::build(&corpus());
+        idx.reset_stats();
+        let res = idx.lookup(&pat("/books/book/isbn"), std::slice::from_ref(&ValuePredicate::Eq("222".into())));
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].0.id.to_string(), "1.2.1");
+        // Point probe reads at most the matching row(s), not the whole path.
+        assert!(idx.stats().rows_read <= 2, "stats: {:?}", idx.stats());
+    }
+
+    #[test]
+    fn range_predicates_filter_numerically() {
+        let idx = PathIndex::build(&corpus());
+        let res = idx.lookup(&pat("/books//book/year"), std::slice::from_ref(&ValuePredicate::Gt("1995".into())));
+        let ids: Vec<String> = res.iter().map(|(e, _)| e.id.to_string()).collect();
+        assert_eq!(ids, vec!["1.1.3", "1.2.3"]);
+        let res = idx.lookup(&pat("/books//book/year"), std::slice::from_ref(&ValuePredicate::Lt("1995".into())));
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].1.as_deref(), Some("1990"));
+    }
+
+    #[test]
+    fn non_leaf_rows_have_null_values() {
+        let idx = PathIndex::build(&corpus());
+        let res = idx.lookup(&pat("/books/book"), &[]);
+        assert_eq!(res.len(), 2);
+        assert!(res.iter().all(|(_, v)| v.is_none()));
+    }
+
+    #[test]
+    fn byte_lengths_are_carried_in_entries() {
+        let c = corpus();
+        let idx = PathIndex::build(&c);
+        let res = idx.lookup(&pat("/books/book/isbn"), &[]);
+        let doc = c.doc("books.xml").unwrap();
+        for (e, _) in &res {
+            let n = doc.node_by_dewey(&e.id).unwrap();
+            assert_eq!(e.byte_len, doc.node(n).byte_len);
+        }
+    }
+
+    #[test]
+    fn unknown_path_returns_empty() {
+        let idx = PathIndex::build(&corpus());
+        assert!(idx.lookup(&pat("/books/magazine"), &[]).is_empty());
+    }
+
+    #[test]
+    fn multi_document_merge_is_globally_dewey_ordered() {
+        let mut c = corpus();
+        c.add_parsed("more.xml", "<books><book><isbn>999</isbn></book></books>").unwrap();
+        let idx = PathIndex::build(&c);
+        let ids = idx.lookup_ids(&pat("/books/book/isbn"));
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted);
+        assert_eq!(ids.len(), 3);
+    }
+}

@@ -1,0 +1,193 @@
+//! Linear path patterns with child (`/`) and descendant (`//`) axes.
+//!
+//! A [`PathPattern`] describes one root-to-node path of a QPT (e.g.
+//! `/books//book/isbn`). The path index evaluates a pattern by matching it
+//! against its dictionary of *full data paths* (paper §3.2: "for path
+//! queries with descendant axes the index is probed for each full data
+//! path") and merging the per-path ID lists.
+
+use std::fmt;
+
+/// An XPath axis between two steps.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Axis {
+    /// `/` — parent/child.
+    Child,
+    /// `//` — ancestor/descendant.
+    Descendant,
+}
+
+/// One step: an axis followed by a tag-name test.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Step {
+    /// The axis connecting this step to the previous one.
+    pub axis: Axis,
+    /// The tag-name test.
+    pub tag: String,
+}
+
+/// A linear root-anchored path pattern.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct PathPattern {
+    /// The steps, outermost first.
+    pub steps: Vec<Step>,
+}
+
+impl PathPattern {
+    /// The empty pattern (matches only the super-root; rarely useful).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a step, builder style.
+    pub fn step(mut self, axis: Axis, tag: &str) -> Self {
+        self.steps.push(Step { axis, tag: tag.to_string() });
+        self
+    }
+
+    /// Parse a textual pattern such as `/books//book/isbn`.
+    ///
+    /// Returns `None` for syntactically empty or malformed input.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut steps = Vec::new();
+        let mut rest = s;
+        while !rest.is_empty() {
+            let axis = if let Some(r) = rest.strip_prefix("//") {
+                rest = r;
+                Axis::Descendant
+            } else if let Some(r) = rest.strip_prefix('/') {
+                rest = r;
+                Axis::Child
+            } else if steps.is_empty() {
+                // Leading axis is implicit-child if omitted.
+                Axis::Child
+            } else {
+                return None;
+            };
+            let end = rest.find('/').unwrap_or(rest.len());
+            let tag = &rest[..end];
+            if tag.is_empty() {
+                return None;
+            }
+            steps.push(Step { axis, tag: tag.to_string() });
+            rest = &rest[end..];
+        }
+        if steps.is_empty() {
+            None
+        } else {
+            Some(PathPattern { steps })
+        }
+    }
+
+    /// Match this pattern against a full data path given as root-first tag
+    /// segments. The entire path must be consumed (the pattern addresses
+    /// elements *at* the path, not below it).
+    pub fn matches(&self, segments: &[&str]) -> bool {
+        fn rec(steps: &[Step], segs: &[&str]) -> bool {
+            match steps.split_first() {
+                None => segs.is_empty(),
+                Some((step, rest_steps)) => match step.axis {
+                    Axis::Child => {
+                        !segs.is_empty() && segs[0] == step.tag && rec(rest_steps, &segs[1..])
+                    }
+                    Axis::Descendant => {
+                        // The step's tag may match at any depth >= 1 further in.
+                        (0..segs.len()).any(|skip| {
+                            segs[skip] == step.tag && rec(rest_steps, &segs[skip + 1..])
+                        })
+                    }
+                },
+            }
+        }
+        rec(&self.steps, segments)
+    }
+
+    /// Match against a `/`-joined full path string like `/books/book/isbn`.
+    pub fn matches_path_string(&self, path: &str) -> bool {
+        let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        self.matches(&segments)
+    }
+
+    /// The tag of the final step (the node the pattern addresses).
+    pub fn leaf_tag(&self) -> Option<&str> {
+        self.steps.last().map(|s| s.tag.as_str())
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if the pattern has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+impl fmt::Display for PathPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.steps {
+            match s.axis {
+                Axis::Child => write!(f, "/{}", s.tag)?,
+                Axis::Descendant => write!(f, "//{}", s.tag)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pat(s: &str) -> PathPattern {
+        PathPattern::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["/books/book", "/books//book/isbn", "//a//a"] {
+            assert_eq!(pat(s).to_string(), s);
+        }
+        assert!(PathPattern::parse("").is_none());
+        assert!(PathPattern::parse("/a//").is_none());
+    }
+
+    #[test]
+    fn child_axis_matches_exact_paths() {
+        assert!(pat("/books/book/isbn").matches(&["books", "book", "isbn"]));
+        assert!(!pat("/books/book/isbn").matches(&["books", "journal", "book", "isbn"]));
+        assert!(!pat("/books/book").matches(&["books", "book", "isbn"])); // must consume all
+    }
+
+    #[test]
+    fn descendant_axis_skips_levels() {
+        assert!(pat("/books//isbn").matches(&["books", "book", "isbn"]));
+        assert!(pat("/books//isbn").matches(&["books", "isbn"]));
+        assert!(!pat("/books//isbn").matches(&["books", "book", "title"]));
+    }
+
+    #[test]
+    fn repeated_tags_with_descendant_axes() {
+        // //a//a matches /a/a and /a/b/a and /a/a/a (the paper's tricky case).
+        assert!(pat("//a//a").matches(&["a", "a"]));
+        assert!(pat("//a//a").matches(&["a", "b", "a"]));
+        assert!(pat("//a//a").matches(&["a", "a", "a"]));
+        assert!(!pat("//a//a").matches(&["a"]));
+    }
+
+    #[test]
+    fn path_string_matching() {
+        assert!(pat("/books//book/isbn").matches_path_string("/books/shelf/book/isbn"));
+        assert!(!pat("/books//book/isbn").matches_path_string("/books/shelf/book"));
+    }
+
+    #[test]
+    fn builder_api() {
+        let p = PathPattern::new()
+            .step(Axis::Child, "books")
+            .step(Axis::Descendant, "book");
+        assert_eq!(p.to_string(), "/books//book");
+        assert_eq!(p.leaf_tag(), Some("book"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Tag (element-stream) index.
+//!
+//! Maps each tag name to the Dewey-ordered list of all elements with that
+//! tag. This is the access path that structural-join engines such as
+//! Timber consume (one sorted element stream per query node); our
+//! GTP+TermJoin comparison system is built on it, while the Efficient
+//! pipeline deliberately uses the richer path index instead — that
+//! difference is one of the paper's two explanations for its speedup.
+
+use std::collections::HashMap;
+use vxv_xml::{Corpus, DeweyId, Document};
+
+/// Tag → Dewey-ordered element list.
+#[derive(Debug, Default)]
+pub struct TagIndex {
+    lists: HashMap<String, Vec<DeweyId>>,
+}
+
+impl TagIndex {
+    /// Build over every document in the corpus.
+    pub fn build(corpus: &Corpus) -> Self {
+        let mut idx = TagIndex::default();
+        for doc in corpus.docs() {
+            idx.add_document(doc);
+        }
+        for list in idx.lists.values_mut() {
+            list.sort();
+        }
+        idx
+    }
+
+    fn add_document(&mut self, doc: &Document) {
+        for node_id in doc.iter() {
+            let node = doc.node(node_id);
+            self.lists
+                .entry(doc.tag_name(node.tag).to_string())
+                .or_default()
+                .push(node.dewey.clone());
+        }
+    }
+
+    /// The element stream for a tag, in Dewey order.
+    pub fn stream(&self, tag: &str) -> &[DeweyId] {
+        self.lists.get(tag).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of elements bearing `tag`.
+    pub fn count(&self, tag: &str) -> usize {
+        self.stream(tag).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_dewey_ordered_per_tag() {
+        let mut c = Corpus::new();
+        c.add_parsed("d", "<a><b/><c><b/></c><b/></a>").unwrap();
+        let idx = TagIndex::build(&c);
+        let ids: Vec<String> = idx.stream("b").iter().map(|d| d.to_string()).collect();
+        assert_eq!(ids, vec!["1.1", "1.2.1", "1.3"]);
+        assert_eq!(idx.count("c"), 1);
+        assert_eq!(idx.count("zzz"), 0);
+    }
+}

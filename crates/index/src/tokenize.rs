@@ -1,0 +1,68 @@
+//! Keyword tokenization.
+//!
+//! One tokenizer is shared by index construction, the Baseline system
+//! (which tokenizes materialized views), and the scoring module, so that
+//! every strategy agrees on what a keyword occurrence is.
+//!
+//! Tokens are maximal alphanumeric runs, lowercased. We index text content
+//! only (not tag names) — a simplification relative to the paper's
+//! `contains` definition that applies identically to every compared
+//! system, so relative results are unaffected.
+
+/// Iterate over the lowercased tokens of `text`.
+pub fn tokens(text: &str) -> impl Iterator<Item = String> + '_ {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+}
+
+/// Count occurrences of each token in `text`, in first-seen order.
+pub fn token_counts(text: &str) -> Vec<(String, u32)> {
+    let mut out: Vec<(String, u32)> = Vec::new();
+    for t in tokens(text) {
+        match out.iter_mut().find(|(w, _)| *w == t) {
+            Some((_, c)) => *c += 1,
+            None => out.push((t, 1)),
+        }
+    }
+    out
+}
+
+/// Number of occurrences of `keyword` (already lowercased) in `text`.
+pub fn count_keyword(text: &str, keyword: &str) -> u32 {
+    tokens(text).filter(|t| t == keyword).count() as u32
+}
+
+/// Normalize a user-supplied query keyword to token form.
+pub fn normalize_keyword(keyword: &str) -> String {
+    keyword.to_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_non_alphanumeric_and_lowercases() {
+        let t: Vec<String> = tokens("XML-based Web  Services, 2004!").collect();
+        assert_eq!(t, vec!["xml", "based", "web", "services", "2004"]);
+    }
+
+    #[test]
+    fn counts_repeated_tokens() {
+        let c = token_counts("search and search again");
+        assert_eq!(c, vec![("search".into(), 2), ("and".into(), 1), ("again".into(), 1)]);
+    }
+
+    #[test]
+    fn keyword_counting_is_case_insensitive() {
+        assert_eq!(count_keyword("XML xml Xml", "xml"), 3);
+        assert_eq!(count_keyword("nothing here", "xml"), 0);
+    }
+
+    #[test]
+    fn empty_text_yields_no_tokens() {
+        assert_eq!(tokens("").count(), 0);
+        assert_eq!(tokens("  ,.- ").count(), 0);
+    }
+}

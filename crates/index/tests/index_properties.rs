@@ -1,0 +1,159 @@
+//! Property tests for the index substrate, each pitting the indexed
+//! access path against a naive scan of the same documents.
+
+use proptest::prelude::*;
+use vxv_index::tokenize::{count_keyword, tokens};
+use vxv_index::{Axis, InvertedIndex, PathIndex, PathPattern, Step, TagIndex, ValuePredicate};
+use vxv_xml::{Corpus, DocumentBuilder};
+
+const TAGS: &[&str] = &["a", "b", "c"];
+const WORDS: &[&str] = &["red", "blue", "green"];
+
+#[derive(Clone, Debug)]
+struct Spec {
+    tag: usize,
+    words: Vec<usize>,
+    value: Option<u8>,
+    children: Vec<Spec>,
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    let leaf = (
+        0..TAGS.len(),
+        prop::collection::vec(0..WORDS.len(), 0..4),
+        proptest::option::of(0u8..5),
+    )
+        .prop_map(|(tag, words, value)| Spec { tag, words, value, children: vec![] });
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        (
+            0..TAGS.len(),
+            prop::collection::vec(0..WORDS.len(), 0..4),
+            proptest::option::of(0u8..5),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(tag, words, value, children)| Spec { tag, words, value, children })
+    })
+}
+
+fn build(spec: &Spec) -> Corpus {
+    fn rec(b: &mut DocumentBuilder, s: &Spec) {
+        b.begin(TAGS[s.tag]);
+        let mut text = s.words.iter().map(|w| WORDS[*w]).collect::<Vec<_>>().join(" ");
+        if let Some(v) = s.value {
+            if !text.is_empty() {
+                text.push(' ');
+            }
+            text.push_str(&v.to_string());
+        }
+        if !text.is_empty() {
+            b.text(&text);
+        }
+        for c in &s.children {
+            rec(b, c);
+        }
+        b.end();
+    }
+    let mut b = DocumentBuilder::new("doc.xml", 1);
+    rec(&mut b, spec);
+    let mut c = Corpus::new();
+    c.add(b.finish());
+    c
+}
+
+fn pattern_strategy() -> impl Strategy<Value = PathPattern> {
+    prop::collection::vec((any::<bool>(), 0..TAGS.len()), 1..4).prop_map(|steps| PathPattern {
+        steps: steps
+            .into_iter()
+            .map(|(desc, tag)| Step {
+                axis: if desc { Axis::Descendant } else { Axis::Child },
+                tag: TAGS[tag].to_string(),
+            })
+            .collect(),
+    })
+}
+
+proptest! {
+    /// Inverted-index subtree tf == counting tokens in the subtree text.
+    #[test]
+    fn subtree_tf_matches_naive_count(spec in spec_strategy(), w in 0..WORDS.len()) {
+        let corpus = build(&spec);
+        let idx = InvertedIndex::build(&corpus);
+        let doc = corpus.doc("doc.xml").unwrap();
+        for n in doc.iter() {
+            let naive = count_keyword(&doc.full_text(n), WORDS[w]);
+            prop_assert_eq!(idx.subtree_tf(WORDS[w], &doc.node(n).dewey), naive);
+        }
+    }
+
+    /// Path-index lookups == naive scans matching the pattern per node.
+    #[test]
+    fn path_lookup_matches_naive_scan(spec in spec_strategy(), pat in pattern_strategy()) {
+        let corpus = build(&spec);
+        let idx = PathIndex::build(&corpus);
+        let doc = corpus.doc("doc.xml").unwrap();
+        let mut naive: Vec<String> = doc
+            .iter()
+            .filter(|n| pat.matches_path_string(&doc.path_of(*n)))
+            .map(|n| doc.node(n).dewey.to_string())
+            .collect();
+        naive.sort();
+        let got: Vec<String> =
+            idx.lookup_ids(&pat).iter().map(|d| d.to_string()).collect();
+        prop_assert_eq!(got, naive);
+    }
+
+    /// Predicate probes == scan + filter on the element's own value.
+    #[test]
+    fn predicate_lookup_matches_filtered_scan(
+        spec in spec_strategy(),
+        pat in pattern_strategy(),
+        op in 0u8..3,
+        operand in 0u8..5,
+    ) {
+        let corpus = build(&spec);
+        let idx = PathIndex::build(&corpus);
+        let doc = corpus.doc("doc.xml").unwrap();
+        let pred = match op {
+            0 => ValuePredicate::Eq(operand.to_string()),
+            1 => ValuePredicate::Lt(operand.to_string()),
+            _ => ValuePredicate::Gt(operand.to_string()),
+        };
+        let naive: Vec<String> = doc
+            .iter()
+            .filter(|n| pat.matches_path_string(&doc.path_of(*n)))
+            .filter(|n| doc.value(*n).map(|v| pred.eval(v)).unwrap_or(false))
+            .map(|n| doc.node(n).dewey.to_string())
+            .collect();
+        let got: Vec<String> = idx
+            .lookup(&pat, std::slice::from_ref(&pred))
+            .iter()
+            .map(|(e, _)| e.id.to_string())
+            .collect();
+        prop_assert_eq!(got, naive);
+    }
+
+    /// Tag streams are exactly the elements bearing the tag, in order.
+    #[test]
+    fn tag_streams_match_naive(spec in spec_strategy(), t in 0..TAGS.len()) {
+        let corpus = build(&spec);
+        let idx = TagIndex::build(&corpus);
+        let doc = corpus.doc("doc.xml").unwrap();
+        let naive: Vec<String> = doc
+            .iter()
+            .filter(|n| doc.node_tag(*n) == TAGS[t])
+            .map(|n| doc.node(n).dewey.to_string())
+            .collect();
+        let got: Vec<String> = idx.stream(TAGS[t]).iter().map(|d| d.to_string()).collect();
+        prop_assert_eq!(got, naive);
+    }
+
+    /// Tokenization is stable under re-joining (idempotent normal form).
+    #[test]
+    fn tokenize_idempotent(words in prop::collection::vec(0..WORDS.len(), 0..12)) {
+        let text = words.iter().map(|w| WORDS[*w]).collect::<Vec<_>>().join("  ,  ");
+        let once: Vec<String> = tokens(&text).collect();
+        let rejoined = once.join(" ");
+        let twice: Vec<String> = tokens(&rejoined).collect();
+        prop_assert_eq!(once, twice);
+    }
+}

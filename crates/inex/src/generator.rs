@@ -1,0 +1,321 @@
+//! Synthetic INEX-like corpus generator.
+//!
+//! The paper evaluates on the 500 MB INEX publication collection, whose
+//! relevant DTD excerpt it prints (§5.1):
+//!
+//! ```text
+//! <!ELEMENT books (journal*)>
+//! <!ELEMENT journal (title, (sec1|article|sbt)*)>
+//! <!ELEMENT article (fno, doi?, fm, bdy)>
+//! <!ELEMENT fm (hdr?, (edinfo|au|kwd|fig)*)>
+//! ```
+//!
+//! INEX is not redistributable, so we synthesize a corpus with that shape
+//! plus the side collections the join experiments need (authors,
+//! citations, venues, publishers), with seeded determinism, calibrated
+//! keyword selectivities ([`crate::vocab`]) and a join-selectivity knob
+//! matching Table 1. What the experiments actually exercise — bytes
+//! scanned, inverted-list lengths, join fan-out — is controlled directly,
+//! which is why the substitution preserves every curve's shape.
+
+use crate::vocab::sentence;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vxv_xml::{Corpus, DocumentBuilder};
+
+/// Generator knobs (the data-shaped rows of Table 1).
+#[derive(Clone, Debug)]
+pub struct GeneratorConfig {
+    /// Approximate corpus size in bytes (across all documents).
+    pub target_bytes: u64,
+    /// Articles joined per author: 1.0 = the paper's 1X default; smaller
+    /// values spread articles over proportionally more authors.
+    pub join_selectivity: f64,
+    /// View-element size multiplier (1–5): scales article body text.
+    pub elem_size: u32,
+    /// RNG seed; equal configs generate identical corpora.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            target_bytes: 2 * 1024 * 1024,
+            join_selectivity: 1.0,
+            elem_size: 1,
+            seed: 42,
+        }
+    }
+}
+
+/// Approximate serialized bytes of one generated article.
+fn approx_article_bytes(elem_size: u32) -> u64 {
+    260 + 420 * elem_size as u64
+}
+
+/// Articles a config will generate.
+pub fn article_count(cfg: &GeneratorConfig) -> usize {
+    ((cfg.target_bytes as f64 / approx_article_bytes(cfg.elem_size) as f64) as usize).max(4)
+}
+
+/// Author-pool size: at 1X roughly one author per 8 articles; lower join
+/// selectivity grows the pool (fewer articles per author).
+pub fn author_count(cfg: &GeneratorConfig) -> usize {
+    let articles = article_count(cfg);
+    (((articles as f64 / 8.0) / cfg.join_selectivity).ceil() as usize).clamp(2, articles.max(2))
+}
+
+/// Deterministic author name for index `i` (also used as the join key).
+pub fn author_name(i: usize) -> String {
+    format!("author{i:05}")
+}
+
+/// Generate the full corpus: `inex.xml`, `authors.xml`, `citations.xml`,
+/// `venues.xml`, `publishers.xml`.
+pub fn generate(cfg: &GeneratorConfig) -> Corpus {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let articles = article_count(cfg);
+    let authors = author_count(cfg);
+    let venues = (articles / 20).clamp(2, 500);
+    let publishers = (venues / 4).clamp(2, 100);
+
+    let mut corpus = Corpus::new();
+    corpus.add(gen_inex(&mut rng, cfg, articles, authors, 1));
+    corpus.add(gen_authors(&mut rng, authors, 2));
+    corpus.add(gen_citations(&mut rng, articles, venues, 3));
+    corpus.add(gen_venues(&mut rng, venues, publishers, 4));
+    corpus.add(gen_publishers(&mut rng, publishers, 5));
+    corpus
+}
+
+fn gen_inex(
+    rng: &mut StdRng,
+    cfg: &GeneratorConfig,
+    articles: usize,
+    authors: usize,
+    ordinal: u32,
+) -> vxv_xml::Document {
+    let per_journal = 12usize;
+    let mut b = DocumentBuilder::new("inex.xml", ordinal);
+    b.begin("books");
+    let mut emitted = 0usize;
+    while emitted < articles {
+        b.begin("journal");
+        b.leaf("title", &sentence(rng, 3));
+        let in_this = per_journal.min(articles - emitted);
+        for _ in 0..in_this {
+            gen_article(rng, cfg, emitted, authors, &mut b);
+            emitted += 1;
+        }
+        b.end();
+    }
+    b.end();
+    b.finish()
+}
+
+fn gen_article(
+    rng: &mut StdRng,
+    cfg: &GeneratorConfig,
+    index: usize,
+    authors: usize,
+    b: &mut DocumentBuilder,
+) {
+    b.begin("article");
+    b.leaf("fno", &format!("fno{index:06}"));
+    if rng.gen_bool(0.3) {
+        b.leaf("doi", &format!("10.1000/{index}"));
+    }
+    b.begin("fm");
+    if rng.gen_bool(0.4) {
+        b.leaf("hdr", &sentence(rng, 2));
+    }
+    b.leaf("tl", &sentence(rng, 5));
+    b.leaf("yr", &(1990 + rng.gen_range(0..16)).to_string());
+    // 1–3 authors per article, skewed toward the front of the pool so
+    // author productivity is non-uniform (like real venues).
+    let n_au = rng.gen_range(1..=3usize);
+    for _ in 0..n_au {
+        let skew: f64 = rng.gen::<f64>().powi(2);
+        let ai = ((skew * authors as f64) as usize).min(authors - 1);
+        b.leaf("au", &crate::generator::author_name(ai));
+    }
+    for _ in 0..rng.gen_range(1..=3usize) {
+        b.leaf("kwd", &sentence(rng, 1));
+    }
+    b.end(); // fm
+    b.begin("bdy");
+    let sections = rng.gen_range(1..=2usize) + cfg.elem_size as usize / 3;
+    for _ in 0..sections {
+        b.begin("sec");
+        b.leaf("st", &sentence(rng, 3));
+        let paragraphs = 1 + cfg.elem_size as usize;
+        for _ in 0..paragraphs {
+            let words = 18 + rng.gen_range(0..18);
+            b.leaf("p", &sentence(rng, words));
+        }
+        b.end();
+    }
+    b.end(); // bdy
+    b.end(); // article
+}
+
+fn gen_authors(rng: &mut StdRng, authors: usize, ordinal: u32) -> vxv_xml::Document {
+    let mut b = DocumentBuilder::new("authors.xml", ordinal);
+    b.begin("authors");
+    for i in 0..authors {
+        b.begin("author");
+        b.leaf("name", &author_name(i));
+        if rng.gen_bool(0.5) {
+            b.leaf("bio", &sentence(rng, 8));
+        }
+        b.end();
+    }
+    b.end();
+    b.finish()
+}
+
+fn gen_citations(
+    rng: &mut StdRng,
+    articles: usize,
+    venues: usize,
+    ordinal: u32,
+) -> vxv_xml::Document {
+    let mut b = DocumentBuilder::new("citations.xml", ordinal);
+    b.begin("citations");
+    for i in 0..articles {
+        for _ in 0..rng.gen_range(0..=2usize) {
+            b.begin("cite");
+            b.leaf("fno", &format!("fno{i:06}"));
+            b.leaf("venue", &format!("v{:04}", rng.gen_range(0..venues)));
+            b.leaf("note", &sentence(rng, 6));
+            b.end();
+        }
+    }
+    b.end();
+    b.finish()
+}
+
+fn gen_venues(rng: &mut StdRng, venues: usize, publishers: usize, ordinal: u32) -> vxv_xml::Document {
+    let mut b = DocumentBuilder::new("venues.xml", ordinal);
+    b.begin("venues");
+    for i in 0..venues {
+        b.begin("venue");
+        b.leaf("vid", &format!("v{i:04}"));
+        b.leaf("vname", &sentence(rng, 3));
+        b.leaf("pub", &format!("p{:03}", rng.gen_range(0..publishers)));
+        b.end();
+    }
+    b.end();
+    b.finish()
+}
+
+fn gen_publishers(rng: &mut StdRng, publishers: usize, ordinal: u32) -> vxv_xml::Document {
+    let mut b = DocumentBuilder::new("publishers.xml", ordinal);
+    b.begin("publishers");
+    for i in 0..publishers {
+        b.begin("publisher");
+        b.leaf("pid", &format!("p{i:03}"));
+        b.leaf("pname", &sentence(rng, 2));
+        b.end();
+    }
+    b.end();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_size_tracks_target() {
+        for target in [256 * 1024u64, 1024 * 1024] {
+            let cfg = GeneratorConfig { target_bytes: target, ..GeneratorConfig::default() };
+            let corpus = generate(&cfg);
+            let size = corpus.byte_size();
+            assert!(
+                size > target / 2 && size < target * 3,
+                "target {target}, got {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GeneratorConfig { target_bytes: 128 * 1024, ..GeneratorConfig::default() };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.byte_size(), b.byte_size());
+        assert_eq!(a.doc("inex.xml").unwrap().len(), b.doc("inex.xml").unwrap().len());
+    }
+
+    #[test]
+    fn structure_follows_the_dtd_excerpt() {
+        let cfg = GeneratorConfig { target_bytes: 64 * 1024, ..GeneratorConfig::default() };
+        let corpus = generate(&cfg);
+        let inex = corpus.doc("inex.xml").unwrap();
+        let root = inex.root().unwrap();
+        assert_eq!(inex.node_tag(root), "books");
+        let journal = inex.children(root)[0];
+        assert_eq!(inex.node_tag(journal), "journal");
+        assert_eq!(inex.node_tag(inex.children(journal)[0]), "title");
+        let article = inex
+            .descendants(root)
+            .find(|n| inex.node_tag(*n) == "article")
+            .expect("articles exist");
+        let kids: Vec<&str> =
+            inex.children(article).iter().map(|n| inex.node_tag(*n)).collect();
+        assert_eq!(kids[0], "fno");
+        assert!(kids.contains(&"fm"));
+        assert!(kids.contains(&"bdy"));
+    }
+
+    #[test]
+    fn join_keys_connect_the_collections() {
+        let cfg = GeneratorConfig { target_bytes: 64 * 1024, ..GeneratorConfig::default() };
+        let corpus = generate(&cfg);
+        let inex = corpus.doc("inex.xml").unwrap();
+        let authors = corpus.doc("authors.xml").unwrap();
+        let names: Vec<String> = authors
+            .iter()
+            .filter(|n| authors.node_tag(*n) == "name")
+            .map(|n| authors.value(n).unwrap().to_string())
+            .collect();
+        let root = inex.root().unwrap();
+        let some_au = inex
+            .descendants(root)
+            .find(|n| inex.node_tag(*n) == "au")
+            .map(|n| inex.value(n).unwrap().to_string())
+            .expect("au exists");
+        assert!(names.contains(&some_au), "au '{some_au}' must be a known author");
+    }
+
+    #[test]
+    fn lower_join_selectivity_means_more_authors() {
+        let base = GeneratorConfig { target_bytes: 256 * 1024, ..GeneratorConfig::default() };
+        let sparse =
+            GeneratorConfig { join_selectivity: 0.1, ..base.clone() };
+        assert!(author_count(&sparse) > 5 * author_count(&base));
+    }
+
+    #[test]
+    fn elem_size_scales_articles() {
+        let small = GeneratorConfig { target_bytes: 128 * 1024, elem_size: 1, ..Default::default() };
+        let big = GeneratorConfig { target_bytes: 128 * 1024, elem_size: 5, ..Default::default() };
+        // Same corpus size target, so fewer but fatter articles.
+        assert!(article_count(&big) < article_count(&small));
+        let c_small = generate(&small);
+        let c_big = generate(&big);
+        let avg = |c: &Corpus| {
+            let d = c.doc("inex.xml").unwrap();
+            let (mut total, mut n) = (0u64, 0u64);
+            for node in d.iter() {
+                if d.node_tag(node) == "article" {
+                    total += d.node(node).byte_len as u64;
+                    n += 1;
+                }
+            }
+            total / n.max(1)
+        };
+        assert!(avg(&c_big) > 2 * avg(&c_small));
+    }
+}

@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+//! # vxv-inex — synthetic INEX-like corpus and Table-1 workloads
+//!
+//! The paper evaluates on the 500 MB INEX publication collection, which is
+//! not redistributable. This crate synthesizes a corpus with the DTD shape
+//! the paper prints, planted keywords at the three selectivity classes of
+//! Table 1, and the side collections (authors, citations, venues,
+//! publishers) that the join-count sweep needs — all seeded and
+//! deterministic. [`ExperimentParams`] mirrors Table 1 and produces the
+//! generator configuration, keyword list and XQuery view for each
+//! experiment point.
+
+pub mod generator;
+pub mod vocab;
+pub mod workload;
+
+pub use generator::{article_count, author_count, author_name, generate, GeneratorConfig};
+pub use vocab::{query_keywords, Selectivity};
+pub use workload::{build_view, ExperimentParams};

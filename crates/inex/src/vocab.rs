@@ -1,0 +1,143 @@
+//! Vocabulary with controlled keyword selectivities.
+//!
+//! The paper's Table 1 classes query keywords by selectivity on INEX:
+//! *Low* (IEEE, Computing — very frequent, long inverted lists), *Medium*
+//! (Thomas, Control) and *High* (Moore, Burnett — rare). The generator
+//! plants stand-ins for each class at calibrated rates and draws
+//! background text from a Zipf-distributed vocabulary, so inverted-list
+//! lengths scale the same way the paper's do.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Keyword selectivity classes of Table 1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Selectivity {
+    /// Frequent terms — long inverted lists (paper: IEEE, Computing).
+    Low,
+    /// Mid-frequency terms (paper: Thomas, Control).
+    Medium,
+    /// Rare terms — short inverted lists (paper: Moore, Burnett).
+    High,
+}
+
+/// Planted low-selectivity (frequent) keywords (Fig. 15 sweeps 1–5).
+pub const LOW_KEYWORDS: [&str; 5] = ["ieee", "computing", "system", "data", "model"];
+/// Planted medium-selectivity keywords.
+pub const MEDIUM_KEYWORDS: [&str; 5] = ["thomas", "control", "fuzzy", "neural", "logic"];
+/// Planted high-selectivity (rare) keywords.
+pub const HIGH_KEYWORDS: [&str; 5] = ["moore", "burnett", "quantum", "kalman", "weibull"];
+
+/// Per-word injection probability for each class.
+const LOW_RATE: f64 = 0.06;
+const MEDIUM_RATE: f64 = 0.012;
+const HIGH_RATE: f64 = 0.0015;
+
+/// The first `n` query keywords of a class.
+pub fn query_keywords(selectivity: Selectivity, n: usize) -> Vec<&'static str> {
+    let pool: &[&str; 5] = match selectivity {
+        Selectivity::Low => &LOW_KEYWORDS,
+        Selectivity::Medium => &MEDIUM_KEYWORDS,
+        Selectivity::High => &HIGH_KEYWORDS,
+    };
+    pool[..n.min(5)].to_vec()
+}
+
+/// Background vocabulary size.
+const BACKGROUND: usize = 1200;
+
+/// Draw one word: a planted keyword with class-calibrated probability,
+/// otherwise a Zipf-ish background word.
+pub fn draw_word(rng: &mut StdRng) -> String {
+    let roll: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (rate, pool) in [
+        (LOW_RATE, &LOW_KEYWORDS),
+        (MEDIUM_RATE, &MEDIUM_KEYWORDS),
+        (HIGH_RATE, &HIGH_KEYWORDS),
+    ] {
+        let total = rate * pool.len() as f64;
+        if roll < acc + total {
+            let i = ((roll - acc) / rate) as usize;
+            return pool[i.min(pool.len() - 1)].to_string();
+        }
+        acc += total;
+    }
+    // Zipf-ish background: log-uniform ranks spread occurrences across
+    // the vocabulary while keeping a long tail.
+    let u: f64 = rng.gen();
+    let rank = ((BACKGROUND as f64).powf(u) as usize).min(BACKGROUND) - 1;
+    background_word(rank)
+}
+
+/// The `rank`-th background word (deterministic synthesis, no table).
+pub fn background_word(rank: usize) -> String {
+    const SYLLABLES: [&str; 16] = [
+        "ta", "re", "mi", "con", "ver", "lo", "san", "del", "pra", "ku", "zen", "for", "bi",
+        "nor", "gal", "hu",
+    ];
+    let mut w = String::new();
+    let mut r = rank + 17;
+    for _ in 0..3 {
+        w.push_str(SYLLABLES[r % SYLLABLES.len()]);
+        r /= SYLLABLES.len();
+    }
+    w
+}
+
+/// A sentence of `len` words.
+pub fn sentence(rng: &mut StdRng, len: usize) -> String {
+    let mut out = String::with_capacity(len * 6);
+    for i in 0..len {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&draw_word(rng));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn keyword_pools_are_disjoint() {
+        for low in LOW_KEYWORDS {
+            assert!(!MEDIUM_KEYWORDS.contains(&low));
+            assert!(!HIGH_KEYWORDS.contains(&low));
+        }
+        for med in MEDIUM_KEYWORDS {
+            assert!(!HIGH_KEYWORDS.contains(&med));
+        }
+    }
+
+    #[test]
+    fn selectivity_classes_order_by_frequency() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let text = sentence(&mut rng, 200_000);
+        let count = |w: &str| text.split(' ').filter(|t| *t == w).count();
+        let low: usize = LOW_KEYWORDS.iter().map(|w| count(w)).sum();
+        let medium: usize = MEDIUM_KEYWORDS.iter().map(|w| count(w)).sum();
+        let high: usize = HIGH_KEYWORDS.iter().map(|w| count(w)).sum();
+        assert!(low > 4 * medium, "low={low} medium={medium}");
+        assert!(medium > 4 * high, "medium={medium} high={high}");
+        assert!(high > 0, "rare keywords must still occur at this scale");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = sentence(&mut StdRng::seed_from_u64(3), 50);
+        let b = sentence(&mut StdRng::seed_from_u64(3), 50);
+        let c = sentence(&mut StdRng::seed_from_u64(4), 50);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn query_keywords_truncate_to_pool() {
+        assert_eq!(query_keywords(Selectivity::High, 2), vec!["moore", "burnett"]);
+        assert_eq!(query_keywords(Selectivity::Low, 9).len(), 5);
+    }
+}

@@ -1,0 +1,265 @@
+//! Experiment workloads: Table 1 parameters and the view definitions they
+//! induce.
+//!
+//! The paper's default view nests articles under their authors (§5.1); the
+//! sweeps vary data size, keyword count/selectivity, number of value
+//! joins (a chain through citations → venues → publishers), join
+//! selectivity, FLWOR nesting depth, top-K, and view-element size.
+
+use crate::generator::GeneratorConfig;
+use crate::vocab::{query_keywords, Selectivity};
+
+/// One experiment configuration (Table 1; defaults in bold there).
+#[derive(Clone, Debug)]
+pub struct ExperimentParams {
+    /// Corpus size in bytes. The paper sweeps 100–500 MB; the harness
+    /// scales this down — curve shapes are size-relative.
+    pub data_bytes: u64,
+    /// Number of query keywords (1–5, default 2).
+    pub num_keywords: usize,
+    /// Keyword selectivity class (default Medium).
+    pub selectivity: Selectivity,
+    /// Number of value joins in the view (0–4, default 1).
+    pub num_joins: usize,
+    /// Join selectivity 1X/0.5X/0.2X/0.1X (default 1X).
+    pub join_selectivity: f64,
+    /// FLWOR nesting levels (1–4, default 2).
+    pub nesting: usize,
+    /// K in top-K (default 10).
+    pub top_k: usize,
+    /// Average view-element size multiplier (1–5X, default 1X).
+    pub elem_size: u32,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentParams {
+    fn default() -> Self {
+        ExperimentParams {
+            data_bytes: 2 * 1024 * 1024,
+            num_keywords: 2,
+            selectivity: Selectivity::Medium,
+            num_joins: 1,
+            join_selectivity: 1.0,
+            nesting: 2,
+            top_k: 10,
+            elem_size: 1,
+            seed: 42,
+        }
+    }
+}
+
+impl ExperimentParams {
+    /// The generator configuration this experiment needs.
+    pub fn generator_config(&self) -> GeneratorConfig {
+        GeneratorConfig {
+            target_bytes: self.data_bytes,
+            join_selectivity: self.join_selectivity,
+            elem_size: self.elem_size,
+            seed: self.seed,
+        }
+    }
+
+    /// The query keywords this experiment searches for.
+    pub fn keywords(&self) -> Vec<&'static str> {
+        query_keywords(self.selectivity, self.num_keywords)
+    }
+
+    /// The XQuery view definition this experiment searches over.
+    pub fn view(&self) -> String {
+        build_view(self.num_joins, self.nesting)
+    }
+}
+
+/// Build the experiment view for a given join count and nesting depth.
+///
+/// * `joins = 0` (or `nesting = 1`): a selection-only view over articles
+///   (`yr > 1995`), producing a single PDT — the paper's no-join case.
+/// * `joins ≥ 1`: articles nested under their authors via the
+///   `au = name` value join (the paper's default view).
+/// * `joins ≥ 2..4`: each additional join nests another collection:
+///   citations on `fno`, venues on `venue = vid`, publishers on
+///   `pub = pid`.
+/// * `nesting ≥ 3..4`: additional *navigational* FLWOR levels over the
+///   article body (sections, then paragraphs), deepening the view without
+///   adding joins.
+pub fn build_view(joins: usize, nesting: usize) -> String {
+    // Innermost: what an article contributes to the view.
+    let mut article_content = String::from("{ $art/fm/tl } ");
+    match nesting {
+        0..=2 => article_content.push_str("{ $art/bdy }"),
+        3 => article_content.push_str(
+            "{ for $s in $art/bdy/sec return <section> { $s/st } { $s/p } </section> }",
+        ),
+        _ => article_content.push_str(
+            "{ for $s in $art/bdy/sec return <section> { $s/st } \
+               { for $pp in $s/p return <para> { $pp } </para> } </section> }",
+        ),
+    }
+    let citation_part = match joins {
+        0 | 1 => String::new(),
+        2 => "{ for $c in fn:doc(citations.xml)/citations/cite \
+               where $c/fno = $art/fno return <cnote> { $c/note } </cnote> }"
+            .to_string(),
+        3 => "{ for $c in fn:doc(citations.xml)/citations/cite \
+               where $c/fno = $art/fno return <cnote> { $c/note } \
+                 { for $v in fn:doc(venues.xml)/venues/venue \
+                   where $v/vid = $c/venue return <vn> { $v/vname } </vn> } </cnote> }"
+            .to_string(),
+        _ => "{ for $c in fn:doc(citations.xml)/citations/cite \
+               where $c/fno = $art/fno return <cnote> { $c/note } \
+                 { for $v in fn:doc(venues.xml)/venues/venue \
+                   where $v/vid = $c/venue return <vn> { $v/vname } \
+                     { for $pb in fn:doc(publishers.xml)/publishers/publisher \
+                       where $pb/pid = $v/pub return $pb/pname } </vn> } </cnote> }"
+            .to_string(),
+    };
+
+    if joins == 0 || nesting <= 1 {
+        // Selection-only view: single document, single PDT.
+        return format!(
+            "for $art in fn:doc(inex.xml)/books//article \
+             where $art/fm/yr > 1995 \
+             return <pub> {article_content} {citation_part} </pub>"
+        );
+    }
+    format!(
+        "for $auth in fn:doc(authors.xml)/authors/author \
+         return <arec> {{ <nm> {{ $auth/name }} </nm> }} \
+           {{ for $art in fn:doc(inex.xml)/books//article \
+              where $art/fm/au = $auth/name and $art/fm/yr > 1995 \
+              return <pub> {article_content} {citation_part} </pub> }} \
+         </arec>"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+    use vxv_core::{generate_qpts, KeywordMode, ViewSearchEngine};
+    use vxv_xquery::parse_query;
+
+    #[test]
+    fn every_table1_view_parses_and_generates_qpts() {
+        for joins in 0..=4 {
+            for nesting in 1..=4 {
+                let view = build_view(joins, nesting);
+                let q = parse_query(&view)
+                    .unwrap_or_else(|e| panic!("joins={joins} nesting={nesting}: {e}\n{view}"));
+                let qpts = generate_qpts(&q)
+                    .unwrap_or_else(|e| panic!("joins={joins} nesting={nesting}: {e}"));
+                let expected_docs = if joins == 0 || nesting <= 1 {
+                    1 + joins.saturating_sub(1).min(3)
+                } else {
+                    2 + joins.saturating_sub(1).min(3)
+                };
+                assert_eq!(qpts.len(), expected_docs, "joins={joins} nesting={nesting}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_experiment_runs_end_to_end() {
+        let params = ExperimentParams {
+            data_bytes: 96 * 1024,
+            ..ExperimentParams::default()
+        };
+        let corpus = generate(&params.generator_config());
+        let engine = ViewSearchEngine::new(&corpus);
+        let out = engine
+            .search(&params.view(), &params.keywords(), params.top_k, KeywordMode::Conjunctive)
+            .unwrap();
+        assert!(out.view_size > 0, "view must not be empty");
+    }
+
+    #[test]
+    fn selection_only_view_produces_one_pdt() {
+        let params = ExperimentParams {
+            data_bytes: 64 * 1024,
+            num_joins: 0,
+            nesting: 1,
+            ..ExperimentParams::default()
+        };
+        let corpus = generate(&params.generator_config());
+        let engine = ViewSearchEngine::new(&corpus);
+        let out = engine
+            .search(&params.view(), &["data"], 5, KeywordMode::Conjunctive)
+            .unwrap();
+        assert_eq!(out.pdt_stats.len(), 1);
+    }
+
+    #[test]
+    fn four_join_view_touches_five_documents() {
+        let params = ExperimentParams {
+            data_bytes: 64 * 1024,
+            num_joins: 4,
+            ..ExperimentParams::default()
+        };
+        let corpus = generate(&params.generator_config());
+        let engine = ViewSearchEngine::new(&corpus);
+        let out = engine
+            .search(&params.view(), &["data"], 5, KeywordMode::Conjunctive)
+            .unwrap();
+        assert_eq!(out.pdt_stats.len(), 5);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::generator::{article_count, generate};
+
+    #[test]
+    fn keywords_follow_selectivity_and_count() {
+        let p = ExperimentParams {
+            selectivity: Selectivity::High,
+            num_keywords: 3,
+            ..ExperimentParams::default()
+        };
+        assert_eq!(p.keywords(), vec!["moore", "burnett", "quantum"]);
+    }
+
+    #[test]
+    fn generator_config_mirrors_params() {
+        let p = ExperimentParams {
+            data_bytes: 123,
+            join_selectivity: 0.2,
+            elem_size: 3,
+            seed: 9,
+            ..ExperimentParams::default()
+        };
+        let g = p.generator_config();
+        assert_eq!(g.target_bytes, 123);
+        assert_eq!(g.join_selectivity, 0.2);
+        assert_eq!(g.elem_size, 3);
+        assert_eq!(g.seed, 9);
+    }
+
+    #[test]
+    fn planted_keywords_actually_occur_in_generated_text() {
+        let p = ExperimentParams { data_bytes: 256 * 1024, ..ExperimentParams::default() };
+        let corpus = generate(&p.generator_config());
+        let inex = corpus.doc("inex.xml").unwrap();
+        let text = inex.full_text(inex.root().unwrap());
+        for kw in ["ieee", "thomas", "data"] {
+            assert!(text.contains(kw), "{kw} must occur in a 256KB corpus");
+        }
+    }
+
+    #[test]
+    fn article_count_scales_with_target() {
+        let small = ExperimentParams { data_bytes: 64 * 1024, ..ExperimentParams::default() };
+        let large = ExperimentParams { data_bytes: 512 * 1024, ..ExperimentParams::default() };
+        let a = article_count(&small.generator_config());
+        let b = article_count(&large.generator_config());
+        assert!(b > 6 * a, "{a} vs {b}");
+    }
+
+    #[test]
+    fn nesting_one_and_joins_zero_coincide() {
+        assert!(!build_view(0, 2).contains("authors.xml"));
+        assert!(!build_view(3, 1).contains("authors.xml"));
+        assert!(build_view(1, 2).contains("authors.xml"));
+    }
+}

@@ -1,0 +1,211 @@
+//! Dewey identifiers (hierarchical element numbering).
+//!
+//! A Dewey ID encodes the position of an element in a document: the ID of an
+//! element contains the ID of its parent as a prefix (paper §3.2, Fig. 4a).
+//! Ordering Dewey IDs lexicographically by component — with a proper prefix
+//! sorting before its extensions — yields document order, which is the
+//! property the single-pass PDT merge algorithm relies on.
+
+use std::fmt;
+
+/// A hierarchical Dewey identifier such as `1.2.3`.
+///
+/// The first component identifies the document root (documents loaded into
+/// the same corpus get distinct root ordinals, mirroring the paper's
+/// examples where book elements live under `1.*` and reviews under `2.*`).
+/// Each further component is the 1-based ordinal of a child under its
+/// parent.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DeweyId(Vec<u32>);
+
+impl DeweyId {
+    /// The root ID for a document with the given root ordinal.
+    pub fn root(ordinal: u32) -> Self {
+        DeweyId(vec![ordinal])
+    }
+
+    /// Builds an ID directly from components. Empty component lists are
+    /// permitted and denote the virtual "super-root" above all documents.
+    pub fn from_components(components: Vec<u32>) -> Self {
+        DeweyId(components)
+    }
+
+    /// The components of this ID, outermost first.
+    pub fn components(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Number of components; equals 1 + depth below the document root.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the zero-component super-root ID.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The ID of the `ordinal`-th (1-based) child of this element.
+    pub fn child(&self, ordinal: u32) -> Self {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.extend_from_slice(&self.0);
+        v.push(ordinal);
+        DeweyId(v)
+    }
+
+    /// The parent ID, or `None` for a root / super-root ID.
+    pub fn parent(&self) -> Option<Self> {
+        if self.0.len() <= 1 {
+            None
+        } else {
+            Some(DeweyId(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// The prefix of this ID with `len` components.
+    ///
+    /// # Panics
+    /// Panics if `len > self.len()`.
+    pub fn prefix(&self, len: usize) -> Self {
+        assert!(len <= self.0.len(), "prefix longer than id");
+        DeweyId(self.0[..len].to_vec())
+    }
+
+    /// True iff `self` is a (non-strict) prefix of `other`, i.e. `self`
+    /// identifies `other` or one of its ancestors.
+    pub fn is_prefix_of(&self, other: &DeweyId) -> bool {
+        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// True iff `self` is a strict ancestor of `other`.
+    pub fn is_ancestor_of(&self, other: &DeweyId) -> bool {
+        other.0.len() > self.0.len() && self.is_prefix_of(other)
+    }
+
+    /// True iff `self` is the parent of `other`.
+    pub fn is_parent_of(&self, other: &DeweyId) -> bool {
+        other.0.len() == self.0.len() + 1 && self.is_prefix_of(other)
+    }
+
+    /// The smallest ID that is strictly greater than every descendant of
+    /// `self`; `[a, b, c]` maps to `[a, b, c + 1]`. Used for subtree range
+    /// scans over sorted posting lists.
+    ///
+    /// # Panics
+    /// Panics on the super-root ID.
+    pub fn subtree_upper_bound(&self) -> Self {
+        let mut v = self.0.clone();
+        let last = v.last_mut().expect("super-root has no subtree bound");
+        *last += 1;
+        DeweyId(v)
+    }
+
+    /// Length of the longest common prefix with `other`, in components.
+    pub fn common_prefix_len(&self, other: &DeweyId) -> usize {
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+}
+
+impl fmt::Display for DeweyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for c in &self.0 {
+            if !first {
+                write!(f, ".")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for DeweyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DeweyId({self})")
+    }
+}
+
+impl std::str::FromStr for DeweyId {
+    type Err = std::num::ParseIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Ok(DeweyId(Vec::new()));
+        }
+        s.split('.')
+            .map(|c| c.parse::<u32>())
+            .collect::<Result<Vec<_>, _>>()
+            .map(DeweyId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(s: &str) -> DeweyId {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn document_order_is_lexicographic_with_prefix_first() {
+        let mut ids = [id("1.2"), id("1.1.1"), id("1"), id("1.10"), id("1.2.1"), id("1.1")];
+        ids.sort();
+        let rendered: Vec<String> = ids.iter().map(|d| d.to_string()).collect();
+        assert_eq!(rendered, vec!["1", "1.1", "1.1.1", "1.2", "1.2.1", "1.10"]);
+    }
+
+    #[test]
+    fn prefix_relations() {
+        assert!(id("1.2").is_prefix_of(&id("1.2")));
+        assert!(id("1.2").is_prefix_of(&id("1.2.3")));
+        assert!(id("1.2").is_ancestor_of(&id("1.2.3.4")));
+        assert!(!id("1.2").is_ancestor_of(&id("1.2")));
+        assert!(!id("1.2").is_prefix_of(&id("1.20")));
+        assert!(id("1.2").is_parent_of(&id("1.2.7")));
+        assert!(!id("1.2").is_parent_of(&id("1.2.7.1")));
+    }
+
+    #[test]
+    fn parent_and_child() {
+        assert_eq!(id("1.2.3").parent(), Some(id("1.2")));
+        assert_eq!(id("1").parent(), None);
+        assert_eq!(id("1.2").child(3), id("1.2.3"));
+        assert_eq!(DeweyId::root(4), id("4"));
+    }
+
+    #[test]
+    fn subtree_upper_bound_covers_exactly_the_subtree() {
+        let d = id("1.2");
+        let hi = d.subtree_upper_bound();
+        assert_eq!(hi, id("1.3"));
+        assert!(id("1.2.99") < hi);
+        assert!(id("1.2") < hi);
+        assert!((id("1.3") >= hi));
+    }
+
+    #[test]
+    fn prefix_extraction() {
+        assert_eq!(id("1.2.3").prefix(2), id("1.2"));
+        assert_eq!(id("1.2.3").prefix(0), DeweyId::from_components(vec![]));
+    }
+
+    #[test]
+    fn common_prefix_len() {
+        assert_eq!(id("1.2.3").common_prefix_len(&id("1.2.9")), 2);
+        assert_eq!(id("1.2").common_prefix_len(&id("3.4")), 0);
+        assert_eq!(id("1.2").common_prefix_len(&id("1.2")), 2);
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for s in ["1", "1.2.3", "7.1.19.2"] {
+            assert_eq!(id(s).to_string(), s);
+        }
+    }
+}

@@ -1,0 +1,567 @@
+//! Disk-backed document storage.
+//!
+//! The paper's experiments run against a database whose base documents
+//! live in (disk) document storage; only the indices are cheap to consult.
+//! An in-memory corpus would flatten exactly the cost structure the paper
+//! measures — "avoid accessing the base data" is only a win when base
+//! data access costs something — so the experiment harness persists every
+//! document to a file and routes each system's base-data accesses through
+//! this store:
+//!
+//! * the Efficient pipeline reads only the top-k hit subtrees (positioned
+//!   range reads via the per-element offset map);
+//! * Baseline and Proj must read and parse whole documents;
+//! * GTP issues one small read per join/predicate value.
+//!
+//! All reads are counted, so experiments can report access volumes next
+//! to wall-clock times.
+
+use crate::dewey::DeweyId;
+use crate::doc::Document;
+use crate::parse::{parse_document, ParseError};
+use crate::storage::Corpus;
+use crate::write::serialize_with_offsets;
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// Per-document storage map: element Dewey ID → (offset, length) in the
+/// serialized file. This is storage metadata (Quark keeps the same), not
+/// base data.
+#[derive(Debug, Default)]
+struct DocCatalog {
+    path: PathBuf,
+    root_ordinal: u32,
+    offsets: BTreeMap<DeweyId, (u64, u32)>,
+}
+
+/// Read-access counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiskStoreStats {
+    /// Positioned subtree / value reads.
+    pub range_reads: u64,
+    /// Whole-document reads.
+    pub full_reads: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written (Baseline's view materialization).
+    pub bytes_written: u64,
+    /// Simulated I/O time accrued by the cost model.
+    pub simulated_io: std::time::Duration,
+}
+
+/// A simulated storage device, for experiments.
+///
+/// The paper's testbed (2007: data and ~2 GB of indices on a spinning
+/// disk, 2 GB RAM) made base-data access genuinely expensive; on a modern
+/// page-cached filesystem it is nearly free, which would erase exactly
+/// the cost the paper's design avoids. When a cost model is installed,
+/// every store access *blocks* for the time the modelled device would
+/// take: a positioning latency per discontiguous read, plus transfer time
+/// at the sequential rate. Reads within `seq_window` bytes after the
+/// previous read on the same file count as sequential (the head reads
+/// through the gap; no positioning cost).
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Positioning (seek/rotation) latency per discontiguous access.
+    pub read_latency: std::time::Duration,
+    /// Sequential transfer rate, bytes per second.
+    pub bytes_per_sec: f64,
+    /// Forward gap still treated as one sequential pass.
+    pub seq_window: u64,
+    /// Buffer-pool page size; pages already read this session cost
+    /// nothing again (0 disables the buffer pool).
+    pub page_bytes: u64,
+}
+
+impl CostModel {
+    /// Constants matching the paper's 2007-era testbed disk:
+    /// ~8 ms positioning, ~60 MB/s sequential transfer, 8 KB pages
+    /// cached in a buffer pool.
+    pub fn disk_2007() -> Self {
+        CostModel {
+            read_latency: std::time::Duration::from_micros(8000),
+            bytes_per_sec: 60.0 * 1024.0 * 1024.0,
+            seq_window: 256 * 1024,
+            page_bytes: 8 * 1024,
+        }
+    }
+}
+
+/// A directory of serialized documents with positioned-read access.
+#[derive(Debug, Default)]
+pub struct DiskStore {
+    docs: BTreeMap<String, DocCatalog>,
+    range_reads: Cell<u64>,
+    full_reads: Cell<u64>,
+    bytes_read: Cell<u64>,
+    bytes_written: Cell<u64>,
+    simulated_io: Cell<std::time::Duration>,
+    cost_model: Option<CostModel>,
+    /// Last byte position touched per document root ordinal (for the
+    /// sequential-window heuristic of the cost model).
+    head_pos: std::cell::RefCell<std::collections::HashMap<u32, u64>>,
+    /// Buffer pool: (ordinal, page) pairs already paid for.
+    pool: std::cell::RefCell<std::collections::HashSet<(u32, u64)>>,
+}
+
+impl DiskStore {
+    /// Persist every document of `corpus` into `dir` (created if needed).
+    pub fn persist(corpus: &Corpus, dir: &Path) -> io::Result<DiskStore> {
+        std::fs::create_dir_all(dir)?;
+        let mut store = DiskStore::default();
+        for (i, doc) in corpus.docs().enumerate() {
+            let (xml, offsets) = serialize_with_offsets(doc);
+            let file_name = format!("doc{:04}.xml", i);
+            let path = dir.join(file_name);
+            std::fs::write(&path, xml.as_bytes())?;
+            let root_ordinal = doc
+                .root()
+                .map(|r| doc.node(r).dewey.components()[0])
+                .unwrap_or(0);
+            store.docs.insert(
+                doc.name().to_string(),
+                DocCatalog {
+                    path,
+                    root_ordinal,
+                    offsets: offsets.into_iter().map(|(d, o, l)| (d, (o, l))).collect(),
+                },
+            );
+        }
+        Ok(store)
+    }
+
+    /// Install (or clear) the simulated device cost model.
+    pub fn set_cost_model(&mut self, model: Option<CostModel>) {
+        self.cost_model = model;
+    }
+
+    /// Builder form of [`Self::set_cost_model`].
+    pub fn with_cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = Some(model);
+        self
+    }
+
+    /// Charge a read of `len` bytes at `offset` within `file` against the
+    /// cost model (blocking for the simulated duration), and update the
+    /// head position.
+    #[allow(clippy::manual_checked_ops)]
+    fn charge_read(&self, file: u32, offset: u64, len: u64) {
+        let Some(m) = &self.cost_model else { return };
+        // Buffer pool: pages paid for once this session are memory hits.
+        if m.page_bytes > 0 {
+            let first = offset / m.page_bytes;
+            let last = (offset + len.max(1) - 1) / m.page_bytes;
+            let mut pool = self.pool.borrow_mut();
+            let mut uncached = 0u64;
+            for p in first..=last {
+                if pool.insert((file, p)) {
+                    uncached += 1;
+                }
+            }
+            if uncached == 0 {
+                return;
+            }
+            drop(pool);
+            // Pay for the uncached pages (devices read whole pages).
+            let mut heads = self.head_pos.borrow_mut();
+            let head = heads.entry(file).or_insert(u64::MAX);
+            let sequential =
+                *head != u64::MAX && offset >= *head && offset - *head <= m.seq_window;
+            let mut d = std::time::Duration::from_secs_f64(
+                (uncached * m.page_bytes) as f64 / m.bytes_per_sec,
+            );
+            if !sequential {
+                d += m.read_latency;
+            }
+            *head = offset + len;
+            drop(heads);
+            self.block_for(d);
+            return;
+        }
+        let mut heads = self.head_pos.borrow_mut();
+        let head = heads.entry(file).or_insert(u64::MAX);
+        let sequential = *head != u64::MAX && offset >= *head && offset - *head <= m.seq_window;
+        let transfer_bytes = if sequential { offset - *head + len } else { len };
+        let mut d = std::time::Duration::from_secs_f64(transfer_bytes as f64 / m.bytes_per_sec);
+        if !sequential {
+            d += m.read_latency;
+        }
+        *head = offset + len;
+        drop(heads);
+        self.block_for(d);
+    }
+
+    /// Charge a sequential write of `len` bytes (Baseline's materialized
+    /// view goes back into document storage).
+    pub fn charge_write(&self, len: u64) {
+        self.bytes_written.set(self.bytes_written.get() + len);
+        let Some(m) = &self.cost_model else { return };
+        let d = m.read_latency
+            + std::time::Duration::from_secs_f64(len as f64 / m.bytes_per_sec);
+        self.block_for(d);
+    }
+
+    fn block_for(&self, d: std::time::Duration) {
+        self.simulated_io.set(self.simulated_io.get() + d);
+        // Spin for accuracy at microsecond scales; sleep for long waits.
+        if d > std::time::Duration::from_millis(2) {
+            std::thread::sleep(d);
+        } else {
+            let t0 = std::time::Instant::now();
+            while t0.elapsed() < d {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Document names in the store.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.docs.keys().map(|s| s.as_str())
+    }
+
+    /// Read and parse a whole document (what Baseline and Proj must do).
+    pub fn read_document(&self, name: &str) -> Result<Document, StoreError> {
+        let cat = self.docs.get(name).ok_or_else(|| StoreError::unknown(name))?;
+        let bytes = std::fs::read(&cat.path).map_err(StoreError::Io)?;
+        self.charge_read(cat.root_ordinal, 0, bytes.len() as u64);
+        self.full_reads.set(self.full_reads.get() + 1);
+        self.bytes_read.set(self.bytes_read.get() + bytes.len() as u64);
+        let text = String::from_utf8(bytes).map_err(|_| StoreError::corrupt(name))?;
+        parse_document(name, &text, cat.root_ordinal).map_err(StoreError::Parse)
+    }
+
+    /// Read the full corpus back (Baseline's "access everything" path).
+    pub fn read_all(&self) -> Result<Corpus, StoreError> {
+        let mut corpus = Corpus::new();
+        for name in self.docs.keys() {
+            corpus.add(self.read_document(name)?);
+        }
+        Ok(corpus)
+    }
+
+    /// Positioned read of one element's serialized subtree (the Efficient
+    /// pipeline's top-k materialization; one small read per hit element).
+    pub fn read_subtree_xml(&self, dewey: &DeweyId) -> Result<String, StoreError> {
+        let (cat, off, len) = self.locate(dewey)?;
+        self.charge_read(cat.root_ordinal, off, len as u64);
+        let mut f = File::open(&cat.path).map_err(StoreError::Io)?;
+        f.seek(SeekFrom::Start(off)).map_err(StoreError::Io)?;
+        let mut buf = vec![0u8; len as usize];
+        f.read_exact(&mut buf).map_err(StoreError::Io)?;
+        self.range_reads.set(self.range_reads.get() + 1);
+        self.bytes_read.set(self.bytes_read.get() + len as u64);
+        String::from_utf8(buf).map_err(|_| StoreError::corrupt(&cat.path.display().to_string()))
+    }
+
+    /// Positioned read of one element's direct text value (what GTP does
+    /// per join key / predicate check).
+    pub fn read_value(&self, dewey: &DeweyId) -> Result<Option<String>, StoreError> {
+        let xml = self.read_subtree_xml(dewey)?;
+        // `<tag>value</tag>` — direct text runs from the first '>' to the
+        // first '<' after it. Elements with child elements have no direct
+        // value in this data model.
+        let Some(gt) = xml.find('>') else { return Ok(None) };
+        let rest = &xml[gt + 1..];
+        let Some(lt) = rest.find('<') else { return Ok(None) };
+        if rest[lt..].starts_with("</") && lt > 0 {
+            Ok(Some(rest[..lt].to_string()))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Byte length of an element's serialization (storage metadata).
+    pub fn subtree_len(&self, dewey: &DeweyId) -> Option<u32> {
+        self.locate(dewey).ok().map(|(_, _, len)| len)
+    }
+
+    fn locate(&self, dewey: &DeweyId) -> Result<(&DocCatalog, u64, u32), StoreError> {
+        let ord = dewey.components().first().copied().unwrap_or(0);
+        let cat = self
+            .docs
+            .values()
+            .find(|c| c.root_ordinal == ord)
+            .ok_or_else(|| StoreError::unknown(&format!("ordinal {ord}")))?;
+        let (off, len) = cat
+            .offsets
+            .get(dewey)
+            .copied()
+            .ok_or_else(|| StoreError::unknown(&dewey.to_string()))?;
+        Ok((cat, off, len))
+    }
+
+    /// Snapshot of the access counters.
+    pub fn stats(&self) -> DiskStoreStats {
+        DiskStoreStats {
+            range_reads: self.range_reads.get(),
+            full_reads: self.full_reads.get(),
+            bytes_read: self.bytes_read.get(),
+            bytes_written: self.bytes_written.get(),
+            simulated_io: self.simulated_io.get(),
+        }
+    }
+
+    /// Reset the access counters (and the simulated head positions).
+    pub fn reset_stats(&self) {
+        self.range_reads.set(0);
+        self.full_reads.set(0);
+        self.bytes_read.set(0);
+        self.bytes_written.set(0);
+        self.simulated_io.set(std::time::Duration::ZERO);
+        self.head_pos.borrow_mut().clear();
+        self.pool.borrow_mut().clear();
+    }
+}
+
+/// Errors of the disk store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An operating-system I/O failure.
+    Io(io::Error),
+    /// The stored bytes no longer parse as XML.
+    Parse(ParseError),
+    /// The requested document or element is not in the store.
+    Unknown(String),
+    /// The stored bytes are not valid UTF-8.
+    Corrupt(String),
+}
+
+impl StoreError {
+    fn unknown(what: &str) -> Self {
+        StoreError::Unknown(what.to_string())
+    }
+
+    fn corrupt(what: &str) -> Self {
+        StoreError::Corrupt(what.to_string())
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Parse(e) => write!(f, "store parse error: {e}"),
+            StoreError::Unknown(w) => write!(f, "not in store: {w}"),
+            StoreError::Corrupt(w) => write!(f, "corrupt store entry: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("vxv-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        c.add_parsed(
+            "books.xml",
+            "<books><book><isbn>111</isbn><title>XML Web</title></book><book><isbn>222</isbn></book></books>",
+        )
+        .unwrap();
+        c.add_parsed("reviews.xml", "<reviews><review><isbn>111</isbn></review></reviews>")
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn round_trips_documents_through_disk() {
+        let dir = tmpdir("roundtrip");
+        let c = corpus();
+        let store = DiskStore::persist(&c, &dir).unwrap();
+        let doc = store.read_document("books.xml").unwrap();
+        assert_eq!(doc.len(), c.doc("books.xml").unwrap().len());
+        let back = store.read_all().unwrap();
+        assert_eq!(back.byte_size(), c.byte_size());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn range_reads_return_exact_subtrees() {
+        let dir = tmpdir("range");
+        let c = corpus();
+        let store = DiskStore::persist(&c, &dir).unwrap();
+        let xml = store.read_subtree_xml(&"1.1".parse().unwrap()).unwrap();
+        assert_eq!(xml, "<book><isbn>111</isbn><title>XML Web</title></book>");
+        let xml = store.read_subtree_xml(&"2.1.1".parse().unwrap()).unwrap();
+        assert_eq!(xml, "<isbn>111</isbn>");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn value_reads_extract_leaf_text_only() {
+        let dir = tmpdir("value");
+        let c = corpus();
+        let store = DiskStore::persist(&c, &dir).unwrap();
+        assert_eq!(
+            store.read_value(&"1.1.1".parse().unwrap()).unwrap(),
+            Some("111".to_string())
+        );
+        // Non-leaf element: no direct value.
+        assert_eq!(store.read_value(&"1.1".parse().unwrap()).unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn access_counters_track_reads() {
+        let dir = tmpdir("stats");
+        let c = corpus();
+        let store = DiskStore::persist(&c, &dir).unwrap();
+        store.read_document("books.xml").unwrap();
+        store.read_subtree_xml(&"1.1".parse().unwrap()).unwrap();
+        let s = store.stats();
+        assert_eq!(s.full_reads, 1);
+        assert_eq!(s.range_reads, 1);
+        assert!(s.bytes_read > 0);
+        store.reset_stats();
+        assert_eq!(store.stats(), DiskStoreStats::default());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let dir = tmpdir("unknown");
+        let c = corpus();
+        let store = DiskStore::persist(&c, &dir).unwrap();
+        assert!(store.read_subtree_xml(&"9.1".parse().unwrap()).is_err());
+        assert!(store.read_document("zzz.xml").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn byte_lengths_match_node_metadata() {
+        let dir = tmpdir("lens");
+        let c = corpus();
+        let store = DiskStore::persist(&c, &dir).unwrap();
+        let doc = c.doc("books.xml").unwrap();
+        for n in doc.iter() {
+            let node = doc.node(n);
+            assert_eq!(store.subtree_len(&node.dewey), Some(node.byte_len));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod cost_model_tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("vxv-cost-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn big_corpus() -> Corpus {
+        let mut xml = String::from("<r>");
+        for i in 0..200 {
+            xml.push_str(&format!("<e><v>{i}</v><t>padding text for element {i}</t></e>"));
+        }
+        xml.push_str("</r>");
+        let mut c = Corpus::new();
+        c.add_parsed("d.xml", &xml).unwrap();
+        c
+    }
+
+    fn model() -> CostModel {
+        CostModel {
+            read_latency: std::time::Duration::from_micros(200),
+            bytes_per_sec: 64.0 * 1024.0 * 1024.0,
+            seq_window: 4096,
+            // Small pages so individual elements span distinct pages in
+            // these tests.
+            page_bytes: 64,
+        }
+    }
+
+    #[test]
+    fn simulated_io_accrues_and_blocks() {
+        let dir = tmpdir("accrue");
+        let c = big_corpus();
+        let store = DiskStore::persist(&c, &dir).unwrap().with_cost_model(model());
+        let t0 = std::time::Instant::now();
+        store.read_document("d.xml").unwrap();
+        let wall = t0.elapsed();
+        let sim = store.stats().simulated_io;
+        assert!(sim > std::time::Duration::ZERO);
+        assert!(wall >= sim, "reads must block for at least the simulated time");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn buffer_pool_makes_repeat_reads_free() {
+        let dir = tmpdir("pool");
+        let c = big_corpus();
+        let store = DiskStore::persist(&c, &dir).unwrap().with_cost_model(model());
+        let id: DeweyId = "1.50".parse().unwrap();
+        store.read_subtree_xml(&id).unwrap();
+        let first = store.stats().simulated_io;
+        assert!(first > std::time::Duration::ZERO);
+        store.read_subtree_xml(&id).unwrap();
+        let second = store.stats().simulated_io;
+        assert_eq!(first, second, "second read of the same pages must be a pool hit");
+        // reset_stats clears the pool, so the next read pays again.
+        store.reset_stats();
+        store.read_subtree_xml(&id).unwrap();
+        assert!(store.stats().simulated_io > std::time::Duration::ZERO);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sequential_reads_skip_positioning_latency() {
+        let dir = tmpdir("seq");
+        let c = big_corpus();
+        // Sequential forward reads of consecutive elements: first pays the
+        // seek, the rest ride the window.
+        let store = DiskStore::persist(&c, &dir).unwrap().with_cost_model(model());
+        for i in 1..=20u32 {
+            let id = DeweyId::from_components(vec![1, i]);
+            store.read_subtree_xml(&id).unwrap();
+        }
+        let seq_time = store.stats().simulated_io;
+        // Scattered backwards reads of the same count pay a seek each.
+        let store2 = DiskStore::persist(&c, &tmpdir("scatter")).unwrap().with_cost_model(model());
+        for i in (180..200u32).rev() {
+            let id = DeweyId::from_components(vec![1, i]);
+            store2.read_subtree_xml(&id).unwrap();
+        }
+        let scatter_time = store2.stats().simulated_io;
+        assert!(
+            scatter_time > seq_time * 3,
+            "scattered {scatter_time:?} vs sequential {seq_time:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writes_are_charged() {
+        let dir = tmpdir("write");
+        let c = big_corpus();
+        let store = DiskStore::persist(&c, &dir).unwrap().with_cost_model(model());
+        store.charge_write(100_000);
+        let s = store.stats();
+        assert_eq!(s.bytes_written, 100_000);
+        assert!(s.simulated_io >= std::time::Duration::from_micros(200));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn no_cost_model_means_no_simulated_io() {
+        let dir = tmpdir("nomodel");
+        let c = big_corpus();
+        let store = DiskStore::persist(&c, &dir).unwrap();
+        store.read_document("d.xml").unwrap();
+        assert_eq!(store.stats().simulated_io, std::time::Duration::ZERO);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

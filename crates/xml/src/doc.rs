@@ -1,0 +1,416 @@
+//! Arena-based XML document model.
+//!
+//! Documents are immutable once built. Nodes live in a flat arena in
+//! document order (parents before children, siblings left to right), so the
+//! node vector is sorted by Dewey ID and lookups by ID are binary searches.
+//! Attributes are modelled as leading subelements, as the paper does
+//! (§2.1: "we treat attributes as though they are subelements").
+
+use crate::dewey::DeweyId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interned tag name. Cheap to copy and compare; resolved via [`Document::tag_name`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TagId(pub u32);
+
+/// Index of a node within its document's arena.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+/// One element node. Text content is stored on the node itself; an element
+/// holding only text is a *leaf* with an atomic value.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Interned tag name.
+    pub tag: TagId,
+    /// The parent element, if any.
+    pub parent: Option<NodeId>,
+    /// Child elements, in document order.
+    pub children: Vec<NodeId>,
+    /// Atomic text value (concatenated character data), if any.
+    pub text: Option<String>,
+    /// The element's Dewey identifier.
+    pub dewey: DeweyId,
+    /// Byte length of the element's serialized form, `len(e)` in the paper.
+    pub byte_len: u32,
+}
+
+/// An immutable XML document with interned tags and Dewey-identified nodes.
+#[derive(Clone, Debug, Default)]
+pub struct Document {
+    name: String,
+    nodes: Vec<Node>,
+    tags: Vec<String>,
+    tag_ids: HashMap<String, TagId>,
+}
+
+impl Document {
+    /// The document name (e.g. `books.xml`), used by `fn:doc(...)`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The root node, if the document is non-empty.
+    pub fn root(&self) -> Option<NodeId> {
+        if self.nodes.is_empty() {
+            None
+        } else {
+            Some(NodeId(0))
+        }
+    }
+
+    /// Number of element nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the document holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Resolve an interned tag.
+    pub fn tag_name(&self, tag: TagId) -> &str {
+        &self.tags[tag.0 as usize]
+    }
+
+    /// Tag name of a node.
+    pub fn node_tag(&self, id: NodeId) -> &str {
+        self.tag_name(self.node(id).tag)
+    }
+
+    /// Look up the interned id for a tag name, if the tag occurs at all.
+    pub fn lookup_tag(&self, name: &str) -> Option<TagId> {
+        self.tag_ids.get(name).copied()
+    }
+
+    /// All distinct tag names in the document.
+    pub fn tag_names(&self) -> impl Iterator<Item = &str> {
+        self.tags.iter().map(|s| s.as_str())
+    }
+
+    /// Children of a node, in document order.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).children
+    }
+
+    /// Iterate over all nodes in document order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterate over the subtree rooted at `id` (inclusive) in document order.
+    ///
+    /// Because the arena is laid out in document order, a subtree is the
+    /// contiguous index range starting at `id` whose Dewey IDs have
+    /// `id.dewey` as prefix.
+    pub fn subtree(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let root_dewey = self.node(id).dewey.clone();
+        (id.0..self.nodes.len() as u32)
+            .map(NodeId)
+            .take_while(move |n| root_dewey.is_prefix_of(&self.node(*n).dewey))
+    }
+
+    /// Strict descendants of `id` in document order.
+    pub fn descendants(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.subtree(id).skip(1)
+    }
+
+    /// Binary-search a node by its Dewey ID.
+    pub fn node_by_dewey(&self, dewey: &DeweyId) -> Option<NodeId> {
+        self.nodes
+            .binary_search_by(|n| n.dewey.cmp(dewey))
+            .ok()
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// The atomic value of a node (text content), if it is a leaf with text.
+    pub fn value(&self, id: NodeId) -> Option<&str> {
+        self.node(id).text.as_deref()
+    }
+
+    /// Concatenated text content of the subtree rooted at `id`, in document
+    /// order, segments separated by a single space.
+    pub fn full_text(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        for n in self.subtree(id) {
+            if let Some(t) = &self.node(n).text {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Root-to-node path of tag names, e.g. `/books/book/isbn`.
+    pub fn path_of(&self, id: NodeId) -> String {
+        let mut tags = Vec::new();
+        let mut cur = Some(id);
+        while let Some(n) = cur {
+            tags.push(self.node_tag(n));
+            cur = self.node(n).parent;
+        }
+        let mut out = String::new();
+        for t in tags.iter().rev() {
+            out.push('/');
+            out.push_str(t);
+        }
+        out
+    }
+
+    /// Total serialized byte length of the document (the root's byte length).
+    pub fn byte_size(&self) -> u64 {
+        self.root().map(|r| self.node(r).byte_len as u64).unwrap_or(0)
+    }
+}
+
+/// Incremental builder emitting nodes in document order.
+///
+/// `begin`/`end` pairs open and close elements; `text` appends character
+/// data to the currently open element; `leaf` is `begin` + `text` + `end`.
+/// Dewey IDs are assigned contiguously (first child = parent ID + `.1`).
+pub struct DocumentBuilder {
+    doc: Document,
+    /// Stack of open element node indices.
+    stack: Vec<NodeId>,
+    /// Per-open-element count of children assigned so far.
+    child_counts: Vec<u32>,
+    root_ordinal: u32,
+}
+
+impl DocumentBuilder {
+    /// Start building a document whose root Dewey component is `root_ordinal`.
+    pub fn new(name: impl Into<String>, root_ordinal: u32) -> Self {
+        DocumentBuilder {
+            doc: Document {
+                name: name.into(),
+                nodes: Vec::new(),
+                tags: Vec::new(),
+                tag_ids: HashMap::new(),
+            },
+            stack: Vec::new(),
+            child_counts: Vec::new(),
+            root_ordinal,
+        }
+    }
+
+    fn intern(&mut self, tag: &str) -> TagId {
+        if let Some(id) = self.doc.tag_ids.get(tag) {
+            return *id;
+        }
+        let id = TagId(self.doc.tags.len() as u32);
+        self.doc.tags.push(tag.to_string());
+        self.doc.tag_ids.insert(tag.to_string(), id);
+        id
+    }
+
+    /// Open a new element under the current element (or as the root).
+    pub fn begin(&mut self, tag: &str) -> NodeId {
+        let dewey = match self.stack.last() {
+            None => {
+                assert!(self.doc.nodes.is_empty(), "document already has a root");
+                DeweyId::root(self.root_ordinal)
+            }
+            Some(parent) => {
+                let cnt = self.child_counts.last_mut().unwrap();
+                *cnt += 1;
+                self.doc.node(*parent).dewey.child(*cnt)
+            }
+        };
+        self.begin_with_dewey(tag, dewey)
+    }
+
+    /// Open a new element with an explicit Dewey ID. Used when building
+    /// pruned document trees, which keep the *original* base-data IDs.
+    /// The ID must be strictly greater (document order) than every ID
+    /// emitted so far and must extend the currently open element's ID.
+    pub fn begin_with_dewey(&mut self, tag: &str, dewey: DeweyId) -> NodeId {
+        if let Some(parent) = self.stack.last() {
+            debug_assert!(
+                self.doc.node(*parent).dewey.is_ancestor_of(&dewey),
+                "dewey {dewey} does not extend open element {}",
+                self.doc.node(*parent).dewey
+            );
+        }
+        if let Some(last) = self.doc.nodes.last() {
+            debug_assert!(last.dewey < dewey, "nodes must be emitted in document order");
+        }
+        let tag = self.intern(tag);
+        let id = NodeId(self.doc.nodes.len() as u32);
+        let parent = self.stack.last().copied();
+        self.doc.nodes.push(Node {
+            tag,
+            parent,
+            children: Vec::new(),
+            text: None,
+            dewey,
+            byte_len: 0,
+        });
+        if let Some(p) = parent {
+            self.doc.nodes[p.0 as usize].children.push(id);
+        }
+        self.stack.push(id);
+        self.child_counts.push(0);
+        id
+    }
+
+    /// Append character data to the currently open element.
+    pub fn text(&mut self, text: &str) {
+        let cur = *self.stack.last().expect("text outside any element");
+        let node = &mut self.doc.nodes[cur.0 as usize];
+        match &mut node.text {
+            Some(existing) => {
+                existing.push(' ');
+                existing.push_str(text);
+            }
+            None => node.text = Some(text.to_string()),
+        }
+    }
+
+    /// Close the currently open element.
+    pub fn end(&mut self) {
+        self.stack.pop().expect("end without begin");
+        self.child_counts.pop();
+    }
+
+    /// Convenience: a leaf element with a text value.
+    pub fn leaf(&mut self, tag: &str, value: &str) -> NodeId {
+        let id = self.begin(tag);
+        self.text(value);
+        self.end();
+        id
+    }
+
+    /// Finish building; computes byte lengths bottom-up.
+    ///
+    /// # Panics
+    /// Panics if elements remain open.
+    pub fn finish(mut self) -> Document {
+        assert!(self.stack.is_empty(), "unclosed elements at finish");
+        // Nodes are in document order, so iterating in reverse visits every
+        // child before its parent.
+        for i in (0..self.doc.nodes.len()).rev() {
+            let mut len = 0u32;
+            {
+                let n = &self.doc.nodes[i];
+                // <tag> + </tag>
+                let tag_len = self.doc.tags[n.tag.0 as usize].len() as u32;
+                len += 2 * tag_len + 5;
+                if let Some(t) = &n.text {
+                    len += t.len() as u32;
+                }
+                for c in &n.children {
+                    len += self.doc.nodes[c.0 as usize].byte_len;
+                }
+            }
+            self.doc.nodes[i].byte_len = len;
+        }
+        self.doc
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.root() {
+            Some(r) => write!(f, "{}", crate::write::serialize_subtree(self, r)),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Document {
+        let mut b = DocumentBuilder::new("books.xml", 1);
+        b.begin("books");
+        b.begin("book");
+        b.leaf("isbn", "111");
+        b.leaf("title", "XML Web Services");
+        b.end();
+        b.begin("book");
+        b.leaf("isbn", "222");
+        b.end();
+        b.end();
+        b.finish()
+    }
+
+    #[test]
+    fn builder_assigns_contiguous_dewey_ids() {
+        let d = sample();
+        let ids: Vec<String> = d.iter().map(|n| d.node(n).dewey.to_string()).collect();
+        assert_eq!(ids, vec!["1", "1.1", "1.1.1", "1.1.2", "1.2", "1.2.1"]);
+    }
+
+    #[test]
+    fn node_lookup_by_dewey() {
+        let d = sample();
+        let n = d.node_by_dewey(&"1.1.2".parse().unwrap()).unwrap();
+        assert_eq!(d.node_tag(n), "title");
+        assert_eq!(d.value(n), Some("XML Web Services"));
+        assert!(d.node_by_dewey(&"1.9".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn subtree_iteration_is_contiguous() {
+        let d = sample();
+        let book1 = d.node_by_dewey(&"1.1".parse().unwrap()).unwrap();
+        let tags: Vec<&str> = d.subtree(book1).map(|n| d.node_tag(n)).collect();
+        assert_eq!(tags, vec!["book", "isbn", "title"]);
+        let desc: Vec<&str> = d.descendants(book1).map(|n| d.node_tag(n)).collect();
+        assert_eq!(desc, vec!["isbn", "title"]);
+    }
+
+    #[test]
+    fn path_of_walks_to_root() {
+        let d = sample();
+        let isbn = d.node_by_dewey(&"1.2.1".parse().unwrap()).unwrap();
+        assert_eq!(d.path_of(isbn), "/books/book/isbn");
+    }
+
+    #[test]
+    fn full_text_concatenates_in_document_order() {
+        let d = sample();
+        let root = d.root().unwrap();
+        assert_eq!(d.full_text(root), "111 XML Web Services 222");
+    }
+
+    #[test]
+    fn byte_lengths_are_monotone_in_the_tree() {
+        let d = sample();
+        let root = d.root().unwrap();
+        let book1 = d.node_by_dewey(&"1.1".parse().unwrap()).unwrap();
+        assert!(d.node(root).byte_len > d.node(book1).byte_len);
+        // Leaf: <isbn>111</isbn> = 2*4+5+3 = 16
+        let isbn = d.node_by_dewey(&"1.1.1".parse().unwrap()).unwrap();
+        assert_eq!(d.node(isbn).byte_len, 16);
+    }
+
+    #[test]
+    fn explicit_dewey_builder_supports_sparse_ids() {
+        let mut b = DocumentBuilder::new("pdt", 1);
+        b.begin_with_dewey("books", "1".parse().unwrap());
+        b.begin_with_dewey("book", "1.2".parse().unwrap());
+        b.begin_with_dewey("isbn", "1.2.1".parse().unwrap());
+        b.text("121-23");
+        b.end();
+        b.begin_with_dewey("year", "1.2.6".parse().unwrap());
+        b.text("1996");
+        b.end();
+        b.end();
+        b.end();
+        let d = b.finish();
+        let year = d.node_by_dewey(&"1.2.6".parse().unwrap()).unwrap();
+        assert_eq!(d.node_tag(year), "year");
+        assert_eq!(d.children(d.root().unwrap()).len(), 1);
+    }
+}

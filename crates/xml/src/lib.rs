@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # vxv-xml — XML data model substrate
+//!
+//! The storage layer underneath *Efficient Keyword Search over Virtual XML
+//! Views* (Shao et al., VLDB 2007): Dewey-identified arena documents, a
+//! parser/serializer pair for the paper's XML subset, and the base-data
+//! [`Corpus`] that the top-k materialization step (and only that step)
+//! reads from.
+//!
+//! ```
+//! use vxv_xml::{parse_document, serialize_subtree};
+//! let doc = parse_document("books.xml", "<books><book><isbn>1</isbn></book></books>", 1).unwrap();
+//! let book = doc.node_by_dewey(&"1.1".parse().unwrap()).unwrap();
+//! assert_eq!(serialize_subtree(&doc, book), "<book><isbn>1</isbn></book>");
+//! ```
+
+pub mod dewey;
+pub mod diskstore;
+pub mod doc;
+pub mod parse;
+pub mod storage;
+pub mod value;
+pub mod write;
+
+pub use dewey::DeweyId;
+pub use diskstore::{DiskStore, DiskStoreStats, StoreError};
+pub use doc::{Document, DocumentBuilder, Node, NodeId, TagId};
+pub use parse::{parse_document, ParseError};
+pub use storage::Corpus;
+pub use write::{serialize_pretty, serialize_subtree, serialize_with_offsets};

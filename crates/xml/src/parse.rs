@@ -1,0 +1,344 @@
+//! A small XML parser for the document subset the system stores.
+//!
+//! Supports elements, attributes (rewritten as leading subelements, per the
+//! paper's data model), character data, comments, processing instructions,
+//! and the five predefined entities. It does not support namespaces, CDATA,
+//! or DTD-internal subsets — none of which the paper's data model uses.
+
+use crate::doc::{Document, DocumentBuilder};
+use std::fmt;
+
+/// Parse error with byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse `input` into a [`Document`] named `name` with the given Dewey root
+/// ordinal (documents in a corpus get distinct ordinals).
+pub fn parse_document(name: &str, input: &str, root_ordinal: u32) -> Result<Document, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        builder: DocumentBuilder::new(name, root_ordinal),
+        depth: 0,
+    };
+    p.skip_prolog();
+    p.parse_element()?;
+    p.skip_misc();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after root element"));
+    }
+    Ok(p.builder.finish())
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    builder: DocumentBuilder,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { offset: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_prolog(&mut self) {
+        self.skip_misc();
+    }
+
+    /// Skip whitespace, comments and processing instructions.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                if let Some(end) = find(self.bytes, self.pos + 4, "-->") {
+                    self.pos = end + 3;
+                    continue;
+                }
+                self.pos = self.bytes.len();
+                return;
+            }
+            if self.starts_with("<?") {
+                if let Some(end) = find(self.bytes, self.pos + 2, "?>") {
+                    self.pos = end + 2;
+                    continue;
+                }
+                self.pos = self.bytes.len();
+                return;
+            }
+            if self.starts_with("<!DOCTYPE") {
+                if let Some(end) = find(self.bytes, self.pos, ">") {
+                    self.pos = end + 1;
+                    continue;
+                }
+            }
+            return;
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap().to_string())
+    }
+
+    fn parse_element(&mut self) -> Result<(), ParseError> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let tag = self.read_name()?;
+        self.builder.begin(&tag);
+        self.depth += 1;
+
+        // Attributes -> leading subelements.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    self.builder.end();
+                    self.depth -= 1;
+                    return Ok(());
+                }
+                Some(_) => {
+                    let attr = self.read_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err("expected '=' in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = self.peek().ok_or_else(|| self.err("unterminated attribute"))?;
+                    if quote != b'"' && quote != b'\'' {
+                        return Err(self.err("expected quoted attribute value"));
+                    }
+                    self.pos += 1;
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == quote {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(quote) {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let raw = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+                    let value = unescape(raw);
+                    self.pos += 1;
+                    self.builder.leaf(&attr, &value);
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+
+        // Content.
+        loop {
+            if self.starts_with("<!--") {
+                match find(self.bytes, self.pos + 4, "-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => return Err(self.err("unterminated comment")),
+                }
+                continue;
+            }
+            match self.peek() {
+                Some(b'<') => {
+                    if self.starts_with("</") {
+                        self.pos += 2;
+                        let close = self.read_name()?;
+                        if close != tag {
+                            return Err(self.err(format!("mismatched close tag </{close}> for <{tag}>")));
+                        }
+                        self.skip_ws();
+                        if self.peek() != Some(b'>') {
+                            return Err(self.err("expected '>' in close tag"));
+                        }
+                        self.pos += 1;
+                        self.builder.end();
+                        self.depth -= 1;
+                        return Ok(());
+                    }
+                    self.parse_element()?;
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'<' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid utf-8 text"))?;
+                    let text = unescape(raw);
+                    let trimmed = text.trim();
+                    if !trimmed.is_empty() {
+                        self.builder.text(trimmed);
+                    }
+                }
+                None => return Err(self.err(format!("unterminated element <{tag}>"))),
+            }
+        }
+    }
+}
+
+fn find(bytes: &[u8], from: usize, needle: &str) -> Option<usize> {
+    let n = needle.as_bytes();
+    bytes[from..]
+        .windows(n.len())
+        .position(|w| w == n)
+        .map(|i| from + i)
+}
+
+/// Replace the five predefined XML entities.
+fn unescape(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        rest = &rest[i..];
+        let (rep, consumed) = if rest.starts_with("&amp;") {
+            ('&', 5)
+        } else if rest.starts_with("&lt;") {
+            ('<', 4)
+        } else if rest.starts_with("&gt;") {
+            ('>', 4)
+        } else if rest.starts_with("&quot;") {
+            ('"', 6)
+        } else if rest.starts_with("&apos;") {
+            ('\'', 6)
+        } else {
+            out.push('&');
+            rest = &rest[1..];
+            continue;
+        };
+        out.push(rep);
+        rest = &rest[consumed..];
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements_with_text() {
+        let d = parse_document(
+            "b.xml",
+            "<books><book><isbn>111</isbn><title>XML</title></book></books>",
+            1,
+        )
+        .unwrap();
+        assert_eq!(d.len(), 4);
+        let isbn = d.node_by_dewey(&"1.1.1".parse().unwrap()).unwrap();
+        assert_eq!(d.node_tag(isbn), "isbn");
+        assert_eq!(d.value(isbn), Some("111"));
+    }
+
+    #[test]
+    fn attributes_become_leading_subelements() {
+        let d = parse_document("b.xml", r#"<book isbn="111-11"><title>X</title></book>"#, 1).unwrap();
+        let kids: Vec<&str> = d.children(d.root().unwrap()).iter().map(|n| d.node_tag(*n)).collect();
+        assert_eq!(kids, vec!["isbn", "title"]);
+        let isbn = d.node_by_dewey(&"1.1".parse().unwrap()).unwrap();
+        assert_eq!(d.value(isbn), Some("111-11"));
+    }
+
+    #[test]
+    fn self_closing_and_comments_and_prolog() {
+        let d = parse_document(
+            "t",
+            "<?xml version=\"1.0\"?><!-- hi --><a><b/><!-- inner --><c>x</c></a>",
+            1,
+        )
+        .unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.node_tag(d.node_by_dewey(&"1.1".parse().unwrap()).unwrap()), "b");
+    }
+
+    #[test]
+    fn entity_unescaping() {
+        let d = parse_document("t", "<a>x &amp; y &lt;z&gt;</a>", 1).unwrap();
+        assert_eq!(d.value(d.root().unwrap()), Some("x & y <z>"));
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let d = parse_document("t", "<a>\n  <b>x</b>\n</a>", 1).unwrap();
+        assert_eq!(d.node(d.root().unwrap()).text, None);
+    }
+
+    #[test]
+    fn mismatched_close_tag_is_an_error() {
+        let e = parse_document("t", "<a><b>x</a></b>", 1).unwrap_err();
+        assert!(e.message.contains("mismatched"), "{e}");
+    }
+
+    #[test]
+    fn truncated_document_is_an_error() {
+        assert!(parse_document("t", "<a><b>x</b>", 1).is_err());
+        assert!(parse_document("t", "", 1).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        assert!(parse_document("t", "<a/>junk", 1).is_err());
+    }
+
+    #[test]
+    fn round_trip_through_serializer() {
+        let src = "<books><book><isbn>111</isbn><title>XML and search</title></book></books>";
+        let d = parse_document("t", src, 1).unwrap();
+        assert_eq!(crate::write::serialize_subtree(&d, d.root().unwrap()), src);
+    }
+}

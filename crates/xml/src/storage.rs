@@ -1,0 +1,160 @@
+//! Document storage: the base-data store of Fig. 3.
+//!
+//! A [`Corpus`] holds the named base documents. During normal query
+//! processing only the indices are consulted; the corpus itself is touched
+//! exclusively by the final materialization step (fetching the full content
+//! of top-k results) and by the Baseline/Proj comparison systems, which is
+//! exactly the access discipline the paper's architecture prescribes.
+
+use crate::dewey::DeweyId;
+use crate::doc::{Document, NodeId};
+use std::collections::BTreeMap;
+
+/// A named collection of XML documents with distinct Dewey root ordinals.
+#[derive(Debug, Default, Clone)]
+pub struct Corpus {
+    docs: BTreeMap<String, Document>,
+    /// Counts every subtree fetch, so experiments can verify that the
+    /// Efficient pipeline touches base data only for top-k results.
+    fetches: std::cell::Cell<u64>,
+}
+
+impl Corpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a document. Its name must be unique within the corpus and its
+    /// root ordinal must not collide with an existing document's.
+    ///
+    /// # Panics
+    /// Panics on duplicate names or root ordinals.
+    pub fn add(&mut self, doc: Document) {
+        if let Some(root) = doc.root() {
+            let ord = doc.node(root).dewey.components()[0];
+            for d in self.docs.values() {
+                if let Some(r) = d.root() {
+                    assert_ne!(
+                        d.node(r).dewey.components()[0],
+                        ord,
+                        "root ordinal {ord} already used by {}",
+                        d.name()
+                    );
+                }
+            }
+        }
+        let name = doc.name().to_string();
+        let prev = self.docs.insert(name.clone(), doc);
+        assert!(prev.is_none(), "duplicate document name {name}");
+    }
+
+    /// Parse and add a document, assigning the next free root ordinal.
+    pub fn add_parsed(&mut self, name: &str, xml: &str) -> Result<(), crate::parse::ParseError> {
+        let ordinal = self.next_root_ordinal();
+        let doc = crate::parse::parse_document(name, xml, ordinal)?;
+        self.add(doc);
+        Ok(())
+    }
+
+    /// The next unused Dewey root ordinal.
+    pub fn next_root_ordinal(&self) -> u32 {
+        self.docs
+            .values()
+            .filter_map(|d| d.root().map(|r| d.node(r).dewey.components()[0]))
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(1)
+    }
+
+    /// Look up a document by name (`fn:doc(name)`).
+    pub fn doc(&self, name: &str) -> Option<&Document> {
+        self.docs.get(name)
+    }
+
+    /// Iterate over all documents.
+    pub fn docs(&self) -> impl Iterator<Item = &Document> {
+        self.docs.values()
+    }
+
+    /// Resolve a Dewey ID to its owning document by root ordinal.
+    pub fn doc_of_dewey(&self, id: &DeweyId) -> Option<&Document> {
+        let ord = *id.components().first()?;
+        self.docs.values().find(|d| {
+            d.root()
+                .map(|r| d.node(r).dewey.components()[0] == ord)
+                .unwrap_or(false)
+        })
+    }
+
+    /// Fetch the full content of the element with the given Dewey ID from
+    /// base storage (counted; used only for top-k materialization).
+    pub fn fetch_subtree(&self, id: &DeweyId) -> Option<(&Document, NodeId)> {
+        self.fetches.set(self.fetches.get() + 1);
+        let doc = self.doc_of_dewey(id)?;
+        let node = doc.node_by_dewey(id)?;
+        Some((doc, node))
+    }
+
+    /// Number of base-data subtree fetches performed so far.
+    pub fn fetch_count(&self) -> u64 {
+        self.fetches.get()
+    }
+
+    /// Reset the fetch counter (used between experiment runs).
+    pub fn reset_fetch_count(&self) {
+        self.fetches.set(0);
+    }
+
+    /// Total serialized size of all documents, in bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.docs.values().map(|d| d.byte_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        c.add_parsed("books.xml", "<books><book><isbn>1</isbn></book></books>").unwrap();
+        c.add_parsed("reviews.xml", "<reviews><review><isbn>1</isbn></review></reviews>").unwrap();
+        c
+    }
+
+    #[test]
+    fn documents_get_distinct_root_ordinals() {
+        let c = corpus();
+        let b = c.doc("books.xml").unwrap();
+        let r = c.doc("reviews.xml").unwrap();
+        assert_eq!(b.node(b.root().unwrap()).dewey.to_string(), "1");
+        assert_eq!(r.node(r.root().unwrap()).dewey.to_string(), "2");
+    }
+
+    #[test]
+    fn dewey_resolves_to_owning_document() {
+        let c = corpus();
+        let d = c.doc_of_dewey(&"2.1.1".parse().unwrap()).unwrap();
+        assert_eq!(d.name(), "reviews.xml");
+        assert!(c.doc_of_dewey(&"9.1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn fetches_are_counted() {
+        let c = corpus();
+        assert_eq!(c.fetch_count(), 0);
+        let (_, n) = c.fetch_subtree(&"1.1".parse().unwrap()).unwrap();
+        assert_eq!(c.doc("books.xml").unwrap().node_tag(n), "book");
+        assert_eq!(c.fetch_count(), 1);
+        c.reset_fetch_count();
+        assert_eq!(c.fetch_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate document name")]
+    fn duplicate_names_rejected() {
+        let mut c = corpus();
+        c.add_parsed("books.xml", "<x/>").unwrap();
+    }
+}

@@ -1,0 +1,45 @@
+//! Atomic value comparison semantics shared by the query evaluator, the
+//! path-index predicate probes, and the QPT leaf predicates.
+//!
+//! XQuery general comparisons on untyped data compare numerically when both
+//! operands parse as numbers, otherwise by string. Keeping one definition
+//! here guarantees that index-side predicate evaluation (used while
+//! building PDTs) agrees exactly with evaluator-side predicate evaluation
+//! (used by the Baseline system), which Theorem 4.1's equivalence needs.
+
+use std::cmp::Ordering;
+
+/// Compare two atomic values: numerically if both parse as `f64`
+/// (NaN never does), otherwise lexicographically as strings.
+pub fn compare_atomic(a: &str, b: &str) -> Ordering {
+    match (a.trim().parse::<f64>(), b.trim().parse::<f64>()) {
+        (Ok(x), Ok(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+        _ => a.cmp(b),
+    }
+}
+
+/// Equality under [`compare_atomic`].
+pub fn atomic_eq(a: &str, b: &str) -> bool {
+    compare_atomic(a, b) == Ordering::Equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_comparison_when_both_numeric() {
+        assert_eq!(compare_atomic("1995", "2004"), Ordering::Less);
+        assert_eq!(compare_atomic("10", "9"), Ordering::Greater);
+        assert_eq!(compare_atomic("07", "7"), Ordering::Equal);
+        assert_eq!(compare_atomic(" 3.5 ", "3.50"), Ordering::Equal);
+    }
+
+    #[test]
+    fn string_comparison_otherwise() {
+        assert_eq!(compare_atomic("10", "9a"), Ordering::Less); // "10" < "9a" as strings
+        assert_eq!(compare_atomic("apple", "banana"), Ordering::Less);
+        assert!(atomic_eq("Jane", "Jane"));
+        assert!(!atomic_eq("Jane", "jane"));
+    }
+}

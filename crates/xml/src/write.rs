@@ -1,0 +1,149 @@
+//! Serialization of documents and subtrees back to XML text.
+//!
+//! The byte lengths recorded on nodes correspond exactly to the output of
+//! [`serialize_subtree`], which keeps `len(e)` (paper Appendix C) a
+//! well-defined, testable quantity.
+
+use crate::doc::{Document, NodeId};
+
+/// Serialize the subtree rooted at `id` to a compact XML string
+/// (no insignificant whitespace, matching the recorded byte lengths).
+pub fn serialize_subtree(doc: &Document, id: NodeId) -> String {
+    let mut out = String::with_capacity(doc.node(id).byte_len as usize);
+    write_node(doc, id, &mut out);
+    out
+}
+
+/// Serialize a whole document and record, for every element, the byte
+/// offset and length of its serialization — the storage map a disk-backed
+/// document store needs for direct subtree reads.
+pub fn serialize_with_offsets(doc: &Document) -> (String, Vec<(crate::DeweyId, u64, u32)>) {
+    let Some(root) = doc.root() else { return (String::new(), Vec::new()) };
+    let mut out = String::with_capacity(doc.node(root).byte_len as usize);
+    let mut offsets = Vec::with_capacity(doc.len());
+    fn rec(
+        doc: &Document,
+        id: NodeId,
+        out: &mut String,
+        offsets: &mut Vec<(crate::DeweyId, u64, u32)>,
+    ) {
+        let start = out.len() as u64;
+        let node = doc.node(id);
+        let tag = doc.tag_name(node.tag);
+        out.push('<');
+        out.push_str(tag);
+        out.push('>');
+        if let Some(t) = &node.text {
+            out.push_str(t);
+        }
+        for c in &node.children {
+            rec(doc, *c, out, offsets);
+        }
+        out.push_str("</");
+        out.push_str(tag);
+        out.push('>');
+        offsets.push((node.dewey.clone(), start, (out.len() as u64 - start) as u32));
+    }
+    rec(doc, root, &mut out, &mut offsets);
+    offsets.sort_by(|a, b| a.0.cmp(&b.0));
+    (out, offsets)
+}
+
+/// Serialize with two-space indentation, for human-readable output.
+pub fn serialize_pretty(doc: &Document, id: NodeId) -> String {
+    let mut out = String::new();
+    write_pretty(doc, id, 0, &mut out);
+    out
+}
+
+fn write_node(doc: &Document, id: NodeId, out: &mut String) {
+    let node = doc.node(id);
+    let tag = doc.tag_name(node.tag);
+    out.push('<');
+    out.push_str(tag);
+    out.push('>');
+    if let Some(t) = &node.text {
+        out.push_str(t);
+    }
+    for c in &node.children {
+        write_node(doc, *c, out);
+    }
+    out.push('<');
+    out.push('/');
+    out.push_str(tag);
+    out.push('>');
+}
+
+fn write_pretty(doc: &Document, id: NodeId, depth: usize, out: &mut String) {
+    let node = doc.node(id);
+    let tag = doc.tag_name(node.tag);
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push('<');
+    out.push_str(tag);
+    out.push('>');
+    if let Some(t) = &node.text {
+        out.push_str(t);
+    }
+    if node.children.is_empty() {
+        out.push_str(&format!("</{tag}>\n"));
+    } else {
+        out.push('\n');
+        for c in &node.children {
+            write_pretty(doc, *c, depth + 1, out);
+        }
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&format!("</{tag}>\n"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc::DocumentBuilder;
+
+    #[test]
+    fn serialized_length_matches_recorded_byte_len() {
+        let mut b = DocumentBuilder::new("t", 1);
+        b.begin("books");
+        b.begin("book");
+        b.leaf("isbn", "111-11");
+        b.leaf("title", "XML Web Services");
+        b.end();
+        b.end();
+        let d = b.finish();
+        for n in d.iter() {
+            let s = serialize_subtree(&d, n);
+            assert_eq!(s.len() as u32, d.node(n).byte_len, "node {}", d.node(n).dewey);
+        }
+    }
+
+    #[test]
+    fn compact_serialization_round_trips_structure() {
+        let mut b = DocumentBuilder::new("t", 1);
+        b.begin("a");
+        b.leaf("b", "x");
+        b.begin("c");
+        b.leaf("d", "y");
+        b.end();
+        b.end();
+        let d = b.finish();
+        assert_eq!(
+            serialize_subtree(&d, d.root().unwrap()),
+            "<a><b>x</b><c><d>y</d></c></a>"
+        );
+    }
+
+    #[test]
+    fn pretty_serialization_indents() {
+        let mut b = DocumentBuilder::new("t", 1);
+        b.begin("a");
+        b.leaf("b", "x");
+        b.end();
+        let d = b.finish();
+        assert_eq!(serialize_pretty(&d, d.root().unwrap()), "<a>\n  <b>x</b>\n</a>\n");
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the XML substrate: Dewey-order laws, document
+//! builder invariants, parse/serialize round trips, and disk-store
+//! equivalence with in-memory access.
+
+use proptest::prelude::*;
+use vxv_xml::{parse_document, serialize_subtree, Corpus, DeweyId, DiskStore, DocumentBuilder};
+
+fn dewey_strategy() -> impl Strategy<Value = DeweyId> {
+    prop::collection::vec(1u32..6, 1..6).prop_map(DeweyId::from_components)
+}
+
+proptest! {
+    /// Document order: an ancestor sorts before every descendant, and the
+    /// subtree upper bound separates the subtree from the rest.
+    #[test]
+    fn dewey_order_laws(a in dewey_strategy(), b in dewey_strategy()) {
+        if a.is_ancestor_of(&b) {
+            prop_assert!(a < b);
+            prop_assert!(b < a.subtree_upper_bound());
+        }
+        if a < b && !a.is_prefix_of(&b) {
+            prop_assert!(a.subtree_upper_bound() <= b || a.common_prefix_len(&b) > 0);
+        }
+        // is_prefix_of is reflexive and antisymmetric-with-equality.
+        prop_assert!(a.is_prefix_of(&a));
+        if a.is_prefix_of(&b) && b.is_prefix_of(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+        // parent ∘ child is the identity.
+        let child_parent = a.child(3).parent();
+        prop_assert_eq!(child_parent.as_ref(), Some(&a));
+    }
+
+    /// Display → FromStr is the identity.
+    #[test]
+    fn dewey_display_round_trip(a in dewey_strategy()) {
+        let s = a.to_string();
+        let back: DeweyId = s.parse().unwrap();
+        prop_assert_eq!(a, back);
+    }
+}
+
+/// A recipe for a random small document.
+#[derive(Clone, Debug)]
+struct Spec {
+    tag: usize,
+    text: Option<u16>,
+    children: Vec<Spec>,
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    let leaf = (0..5usize, proptest::option::of(any::<u16>()))
+        .prop_map(|(tag, text)| Spec { tag, text, children: vec![] });
+    leaf.prop_recursive(4, 32, 5, |inner| {
+        (0..5usize, proptest::option::of(any::<u16>()), prop::collection::vec(inner, 0..5))
+            .prop_map(|(tag, text, children)| Spec { tag, text, children })
+    })
+}
+
+const TAGS: &[&str] = &["alpha", "beta", "gamma", "delta", "eps"];
+
+fn build(spec: &Spec) -> vxv_xml::Document {
+    fn rec(b: &mut DocumentBuilder, s: &Spec) {
+        b.begin(TAGS[s.tag]);
+        if let Some(t) = s.text {
+            b.text(&format!("v{t}"));
+        }
+        for c in &s.children {
+            rec(b, c);
+        }
+        b.end();
+    }
+    let mut b = DocumentBuilder::new("doc.xml", 1);
+    rec(&mut b, spec);
+    b.finish()
+}
+
+proptest! {
+    /// serialize → parse → serialize is a fixpoint, and byte lengths match
+    /// the serializer exactly at every node.
+    #[test]
+    fn parse_serialize_round_trip(spec in spec_strategy()) {
+        let doc = build(&spec);
+        let xml = serialize_subtree(&doc, doc.root().unwrap());
+        let reparsed = parse_document("doc.xml", &xml, 1).unwrap();
+        prop_assert_eq!(reparsed.len(), doc.len());
+        let xml2 = serialize_subtree(&reparsed, reparsed.root().unwrap());
+        prop_assert_eq!(&xml, &xml2);
+        for n in doc.iter() {
+            prop_assert_eq!(
+                serialize_subtree(&doc, n).len() as u32,
+                doc.node(n).byte_len
+            );
+        }
+    }
+
+    /// Arena order is document order; subtree ranges are contiguous.
+    #[test]
+    fn builder_invariants(spec in spec_strategy()) {
+        let doc = build(&spec);
+        let deweys: Vec<DeweyId> = doc.iter().map(|n| doc.node(n).dewey.clone()).collect();
+        let mut sorted = deweys.clone();
+        sorted.sort();
+        prop_assert_eq!(&deweys, &sorted, "arena must be in document order");
+        for n in doc.iter() {
+            prop_assert_eq!(doc.node_by_dewey(&doc.node(n).dewey), Some(n));
+        }
+    }
+
+    /// Every subtree read from the disk store equals the in-memory
+    /// serialization of that subtree.
+    #[test]
+    fn disk_store_subtree_reads_match_memory(spec in spec_strategy()) {
+        let doc = build(&spec);
+        let mut corpus = Corpus::new();
+        corpus.add(doc);
+        let dir = std::env::temp_dir()
+            .join(format!("vxv-prop-{}-{:x}", std::process::id(), rand_suffix()));
+        let store = DiskStore::persist(&corpus, &dir).unwrap();
+        let doc = corpus.doc("doc.xml").unwrap();
+        for n in doc.iter() {
+            let want = serialize_subtree(doc, n);
+            let got = store.read_subtree_xml(&doc.node(n).dewey).unwrap();
+            prop_assert_eq!(want, got);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+fn rand_suffix() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now().duration_since(UNIX_EPOCH).unwrap().subsec_nanos() as u64
+}

@@ -1,0 +1,377 @@
+//! Abstract syntax for the XQuery subset of the paper (Appendix A).
+//!
+//! The grammar covers exactly what the paper's view-definition language
+//! supports: rooted path expressions with `/` and `//` axes and
+//! predicates, FLWOR expressions, conditionals, element constructors,
+//! sequence concatenation, and non-recursive user functions.
+
+use std::fmt;
+
+/// A comparison operator in a predicate (`Comp :- '=' | '<' | '>'`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CompOp {
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+}
+
+impl fmt::Display for CompOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CompOp::Eq => "=",
+            CompOp::Lt => "<",
+            CompOp::Gt => ">",
+        })
+    }
+}
+
+/// A literal operand.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Literal {
+    /// A quoted string literal.
+    String(String),
+    /// A numeric literal.
+    Number(f64),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::String(s) => write!(f, "'{s}'"),
+            Literal::Number(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl Literal {
+    /// The atomic string form used in comparisons.
+    pub fn as_atomic(&self) -> String {
+        match self {
+            Literal::String(s) => s.clone(),
+            Literal::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+        }
+    }
+}
+
+/// Where a path expression starts.
+#[derive(Clone, PartialEq, Debug)]
+pub enum PathSource {
+    /// `fn:doc(name)`
+    Doc(String),
+    /// `$var`
+    Var(String),
+    /// `.` — the context item.
+    ContextItem,
+}
+
+/// An axis between path steps.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Axis {
+    /// `/` — parent/child.
+    Child,
+    /// `//` — ancestor/descendant.
+    Descendant,
+}
+
+/// One name-test step.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PathStep {
+    /// The axis connecting this step to the previous one.
+    pub axis: Axis,
+    /// The tag-name test.
+    pub tag: String,
+}
+
+/// A path expression: a source, a sequence of steps, and trailing
+/// predicates (the grammar allows `PathExpr '[' PredExpr ']'` at the end
+/// of any path; we normalize nests of filters into an ordered list).
+#[derive(Clone, PartialEq, Debug)]
+pub struct PathExpr {
+    /// Where the path starts (document, variable, or context item).
+    pub source: PathSource,
+    /// The navigation steps, outermost first.
+    pub steps: Vec<PathStep>,
+    /// Trailing bracket predicates (the grammar allows none mid-path).
+    pub predicates: Vec<Predicate>,
+}
+
+impl PathExpr {
+    /// A bare variable reference `$v`.
+    pub fn var(name: &str) -> Self {
+        PathExpr { source: PathSource::Var(name.into()), steps: Vec::new(), predicates: Vec::new() }
+    }
+
+    /// A bare `fn:doc(name)` source.
+    pub fn doc(name: &str) -> Self {
+        PathExpr { source: PathSource::Doc(name.into()), steps: Vec::new(), predicates: Vec::new() }
+    }
+
+    /// Append a step, builder style.
+    pub fn step(mut self, axis: Axis, tag: &str) -> Self {
+        self.steps.push(PathStep { axis, tag: tag.into() });
+        self
+    }
+}
+
+/// A predicate expression (`PredExpr`).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Predicate {
+    /// `PathExpr` — existence test.
+    Exists(PathExpr),
+    /// `PathExpr Comp Literal`
+    CompareLiteral(PathExpr, CompOp, Literal),
+    /// `PathExpr Comp PathExpr` — value join.
+    ComparePaths(PathExpr, CompOp, PathExpr),
+}
+
+/// A `for` or `let` binding clause.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BindingClause {
+    /// `for` (iterate) or `let` (alias).
+    pub kind: BindingKind,
+    /// The bound variable's name, without the `$`.
+    pub var: String,
+    /// The path expression being bound.
+    pub expr: PathExpr,
+}
+
+/// Whether a binding iterates (`for`) or aliases (`let`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BindingKind {
+    /// Iterate item by item.
+    For,
+    /// Bind the whole sequence.
+    Let,
+}
+
+/// A FLWOR expression: one or more bindings, an optional `where` holding a
+/// conjunction of predicates (the `and` connective is a small extension
+/// over the paper's grammar; each conjunct is handled independently by QPT
+/// generation exactly as a separate where clause would be), and a `return`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FlworExpr {
+    /// The `for`/`let` clauses, outermost first.
+    pub bindings: Vec<BindingClause>,
+    /// Conjunction of `where` predicates (empty = no where clause).
+    pub where_clauses: Vec<Predicate>,
+    /// The `return` expression.
+    pub return_expr: Box<Expr>,
+}
+
+/// Any expression of the supported grammar.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// A path expression.
+    Path(PathExpr),
+    /// A FLWOR expression.
+    Flwor(FlworExpr),
+    /// `if Expr then Expr else Expr`. The condition is a predicate in this
+    /// grammar (paths and comparisons are the only boolean-valued forms).
+    Cond {
+        /// The branch condition.
+        cond: Predicate,
+        /// Taken when the condition holds.
+        then_branch: Box<Expr>,
+        /// Taken otherwise.
+        else_branch: Box<Expr>,
+    },
+    /// `<tag> {e1} {e2} ... </tag>`
+    Element {
+        /// The constructed element's tag.
+        tag: String,
+        /// The enclosed expressions, in order.
+        content: Vec<Expr>,
+    },
+    /// `e1, e2`
+    Sequence(Vec<Expr>),
+    /// `name(arg, ...)` — call of a declared non-recursive function.
+    FunctionCall {
+        /// The function's (possibly prefixed) name.
+        name: String,
+        /// Argument path expressions, positional.
+        args: Vec<PathExpr>,
+    },
+}
+
+/// `declare function name($p1, $p2) { body }`
+#[derive(Clone, PartialEq, Debug)]
+pub struct FunctionDecl {
+    /// The declared (possibly prefixed) name.
+    pub name: String,
+    /// Parameter names, without the `$`.
+    pub params: Vec<String>,
+    /// The function body.
+    pub body: Expr,
+}
+
+/// A parsed query: optional function declarations followed by a body.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Query {
+    /// Declared functions, in declaration order.
+    pub functions: Vec<FunctionDecl>,
+    /// The query body.
+    pub body: Expr,
+}
+
+impl Query {
+    /// Look up a declared function.
+    pub fn function(&self, name: &str) -> Option<&FunctionDecl> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Display (unparsing) — used for workload construction and error messages.
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for PathSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathSource::Doc(name) => write!(f, "fn:doc({name})"),
+            PathSource::Var(v) => write!(f, "${v}"),
+            PathSource::ContextItem => write!(f, "."),
+        }
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.source)?;
+        for s in &self.steps {
+            match s.axis {
+                Axis::Child => write!(f, "/{}", s.tag)?,
+                Axis::Descendant => write!(f, "//{}", s.tag)?,
+            }
+        }
+        for p in &self.predicates {
+            write!(f, "[{p}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Exists(p) => write!(f, "{p}"),
+            Predicate::CompareLiteral(p, op, l) => write!(f, "{p} {op} {l}"),
+            Predicate::ComparePaths(a, op, b) => write!(f, "{a} {op} {b}"),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Path(p) => write!(f, "{p}"),
+            Expr::Flwor(fl) => {
+                for b in &fl.bindings {
+                    match b.kind {
+                        BindingKind::For => write!(f, "for ${} in {} ", b.var, b.expr)?,
+                        BindingKind::Let => write!(f, "let ${} := {} ", b.var, b.expr)?,
+                    }
+                }
+                if !fl.where_clauses.is_empty() {
+                    write!(f, "where ")?;
+                    let mut first = true;
+                    for w in &fl.where_clauses {
+                        if !first {
+                            write!(f, "and ")?;
+                        }
+                        write!(f, "{w} ")?;
+                        first = false;
+                    }
+                }
+                write!(f, "return {}", fl.return_expr)
+            }
+            Expr::Cond { cond, then_branch, else_branch } => {
+                write!(f, "if ({cond}) then {then_branch} else {else_branch}")
+            }
+            Expr::Element { tag, content } => {
+                write!(f, "<{tag}>")?;
+                for c in content {
+                    write!(f, " {{ {c} }}")?;
+                }
+                write!(f, " </{tag}>")
+            }
+            Expr::Sequence(es) => {
+                let mut first = true;
+                for e in es {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                    first = false;
+                }
+                Ok(())
+            }
+            Expr::FunctionCall { name, args } => {
+                write!(f, "{name}(")?;
+                let mut first = true;
+                for a in args {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                    first = false;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for func in &self.functions {
+            write!(f, "declare function {}(", func.name)?;
+            let mut first = true;
+            for p in &func.params {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "${p}")?;
+                first = false;
+            }
+            writeln!(f, ") {{ {} }}", func.body)?;
+        }
+        write!(f, "{}", self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_display() {
+        let p = PathExpr::doc("books.xml").step(Axis::Child, "books").step(Axis::Descendant, "book");
+        assert_eq!(p.to_string(), "fn:doc(books.xml)/books//book");
+    }
+
+    #[test]
+    fn predicate_display() {
+        let p = Predicate::CompareLiteral(
+            PathExpr::var("book").step(Axis::Child, "year"),
+            CompOp::Gt,
+            Literal::Number(1995.0),
+        );
+        assert_eq!(p.to_string(), "$book/year > 1995");
+    }
+
+    #[test]
+    fn literal_atomic_form() {
+        assert_eq!(Literal::Number(1995.0).as_atomic(), "1995");
+        assert_eq!(Literal::Number(1.5).as_atomic(), "1.5");
+        assert_eq!(Literal::String("Jane".into()).as_atomic(), "Jane");
+    }
+}

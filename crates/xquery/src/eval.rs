@@ -1,0 +1,925 @@
+//! The "regular, unmodified" XQuery evaluator of Fig. 3.
+//!
+//! Evaluation is generic over a [`DocSource`], so the very same code runs
+//! over base documents (Baseline system) and over pruned document trees
+//! (the Efficient pipeline) — reproducing the paper's architectural claim
+//! that keyword search over views requires *no* evaluator changes.
+//!
+//! Results are sequences of [`Item`]s. Constructed elements keep
+//! *references* to the source nodes they copy instead of eagerly
+//! materializing them; those references are the provenance that the
+//! scoring and materialization module consumes.
+
+use crate::ast::*;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use vxv_xml::value::compare_atomic;
+use vxv_xml::{Corpus, Document, NodeId};
+
+/// Supplies documents to `fn:doc(...)`.
+pub trait DocSource {
+    /// Resolve a document by name.
+    fn doc(&self, name: &str) -> Option<&Document>;
+}
+
+impl DocSource for Corpus {
+    fn doc(&self, name: &str) -> Option<&Document> {
+        Corpus::doc(self, name)
+    }
+}
+
+/// A map-backed source, handy for running queries over PDTs.
+pub struct MapSource<'a> {
+    docs: HashMap<String, &'a Document>,
+}
+
+impl<'a> MapSource<'a> {
+    /// Build from (name, document) pairs.
+    pub fn new(entries: impl IntoIterator<Item = (String, &'a Document)>) -> Self {
+        MapSource { docs: entries.into_iter().collect() }
+    }
+}
+
+impl DocSource for MapSource<'_> {
+    fn doc(&self, name: &str) -> Option<&Document> {
+        self.docs.get(name).copied()
+    }
+}
+
+/// A constructed element: a new tag wrapping copied content.
+#[derive(Clone, Debug)]
+pub struct ConstructedElem<'a> {
+    /// The constructed element's tag name.
+    pub tag: String,
+    /// Content items, in construction order.
+    pub children: Vec<Item<'a>>,
+}
+
+/// One item of a result sequence.
+#[derive(Clone, Debug)]
+pub enum Item<'a> {
+    /// A node of a source document (base data or PDT) — a deferred copy.
+    Node(&'a Document, NodeId),
+    /// A constructed element.
+    Elem(Rc<ConstructedElem<'a>>),
+}
+
+impl PartialEq for Item<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Item::Node(da, na), Item::Node(db, nb)) => std::ptr::eq(*da, *db) && na == nb,
+            (Item::Elem(a), Item::Elem(b)) => a.tag == b.tag && a.children == b.children,
+            _ => false,
+        }
+    }
+}
+
+impl PartialEq for ConstructedElem<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.tag == other.tag && self.children == other.children
+    }
+}
+
+/// A sequence of items.
+pub type Seq<'a> = Vec<Item<'a>>;
+
+/// Runtime evaluation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evaluation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, EvalError> {
+    Err(EvalError { message: message.into() })
+}
+
+/// Variable environment (lexically scoped stack).
+#[derive(Default)]
+struct Env<'a> {
+    frames: Vec<(String, Seq<'a>)>,
+}
+
+impl<'a> Env<'a> {
+    fn lookup(&self, var: &str) -> Option<&Seq<'a>> {
+        self.frames.iter().rev().find(|(n, _)| n == var).map(|(_, s)| s)
+    }
+
+    fn push(&mut self, var: &str, seq: Seq<'a>) {
+        self.frames.push((var.to_string(), seq));
+    }
+
+    fn pop(&mut self) {
+        self.frames.pop();
+    }
+}
+
+const MAX_CALL_DEPTH: u32 = 64;
+
+/// The evaluator. Stateless between calls apart from the function table
+/// and a per-evaluator cache of document-rooted path scans (re-scanning
+/// `fn:doc(x)/a//b` on every iteration of an enclosing `for` would make
+/// every join quadratic in document size; real engines never do that).
+pub struct Evaluator<'a> {
+    source: &'a dyn DocSource,
+    functions: HashMap<&'a str, &'a FunctionDecl>,
+    doc_path_cache: std::cell::RefCell<HashMap<String, Seq<'a>>>,
+    join_cache: std::cell::RefCell<HashMap<String, Rc<JoinIndex<'a>>>>,
+    hash_joins: bool,
+}
+
+/// A hash index over a binding sequence for equality joins.
+struct JoinIndex<'a> {
+    items: Seq<'a>,
+    map: HashMap<String, Vec<u32>>,
+}
+
+/// Join-key normalization matching [`compare_atomic`] equality: numeric
+/// values share a canonical key; everything else compares byte-wise.
+fn join_key(value: &str) -> String {
+    match value.trim().parse::<f64>() {
+        Ok(x) => format!("\u{1}num:{x}"),
+        Err(_) => value.to_string(),
+    }
+}
+
+/// Does a path's source or any of its predicate operands reference `$var`?
+fn path_mentions_var(p: &PathExpr, var: &str) -> bool {
+    if p.source == PathSource::Var(var.to_string()) {
+        return true;
+    }
+    p.predicates.iter().any(|pred| match pred {
+        Predicate::Exists(q) => path_mentions_var(q, var),
+        Predicate::CompareLiteral(q, _, _) => path_mentions_var(q, var),
+        Predicate::ComparePaths(a, _, b) => path_mentions_var(a, var) || path_mentions_var(b, var),
+    })
+}
+
+/// Can the outer join side be evaluated right now?
+fn outer_resolvable(p: &PathExpr, env: &Env<'_>) -> bool {
+    match &p.source {
+        PathSource::Doc(_) | PathSource::ContextItem => true,
+        PathSource::Var(v) => env.lookup(v).is_some(),
+    }
+}
+
+impl<'a> Evaluator<'a> {
+    /// Create an evaluator over `source` with the query's declared
+    /// functions in scope.
+    pub fn new(source: &'a dyn DocSource, query: &'a Query) -> Self {
+        Evaluator {
+            source,
+            functions: query.functions.iter().map(|f| (f.name.as_str(), f)).collect(),
+            doc_path_cache: std::cell::RefCell::new(HashMap::new()),
+            join_cache: std::cell::RefCell::new(HashMap::new()),
+            hash_joins: true,
+        }
+    }
+
+    /// Create an evaluator with no functions (for bare expressions).
+    pub fn without_functions(source: &'a dyn DocSource) -> Self {
+        Evaluator {
+            source,
+            functions: HashMap::new(),
+            doc_path_cache: std::cell::RefCell::new(HashMap::new()),
+            join_cache: std::cell::RefCell::new(HashMap::new()),
+            hash_joins: true,
+        }
+    }
+
+    /// Disable the equality hash-join optimization, forcing nested-loop
+    /// evaluation of `where` joins (ablation / differential testing).
+    pub fn with_naive_joins(mut self) -> Self {
+        self.hash_joins = false;
+        self
+    }
+
+    /// Evaluate a query body to a result sequence.
+    pub fn eval_query(&self, query: &Query) -> Result<Seq<'a>, EvalError> {
+        let mut env = Env::default();
+        self.eval_expr(&query.body, &mut env, None, 0)
+    }
+
+    /// Evaluate an arbitrary expression in an empty environment.
+    pub fn eval(&self, expr: &Expr) -> Result<Seq<'a>, EvalError> {
+        let mut env = Env::default();
+        self.eval_expr(expr, &mut env, None, 0)
+    }
+
+    fn eval_expr(
+        &self,
+        expr: &Expr,
+        env: &mut Env<'a>,
+        ctx: Option<&Item<'a>>,
+        depth: u32,
+    ) -> Result<Seq<'a>, EvalError> {
+        match expr {
+            Expr::Path(p) => self.eval_path(p, env, ctx, depth),
+            Expr::Flwor(f) => {
+                let mut out = Vec::new();
+                let mut consumed = vec![false; f.where_clauses.len()];
+                self.eval_flwor(f, 0, env, ctx, depth, &mut consumed, &mut out)?;
+                Ok(out)
+            }
+            Expr::Cond { cond, then_branch, else_branch } => {
+                if self.eval_predicate(cond, env, ctx, depth)? {
+                    self.eval_expr(then_branch, env, ctx, depth)
+                } else {
+                    self.eval_expr(else_branch, env, ctx, depth)
+                }
+            }
+            Expr::Element { tag, content } => {
+                let mut children = Vec::new();
+                for c in content {
+                    children.extend(self.eval_expr(c, env, ctx, depth)?);
+                }
+                Ok(vec![Item::Elem(Rc::new(ConstructedElem { tag: tag.clone(), children }))])
+            }
+            Expr::Sequence(es) => {
+                let mut out = Vec::new();
+                for e in es {
+                    out.extend(self.eval_expr(e, env, ctx, depth)?);
+                }
+                Ok(out)
+            }
+            Expr::FunctionCall { name, args } => {
+                if depth >= MAX_CALL_DEPTH {
+                    return err(format!("call depth exceeded in '{name}' (recursive functions are not supported)"));
+                }
+                let func = self
+                    .functions
+                    .get(name.as_str())
+                    .ok_or_else(|| EvalError { message: format!("undefined function '{name}'") })?;
+                if func.params.len() != args.len() {
+                    return err(format!(
+                        "function '{name}' expects {} arguments, got {}",
+                        func.params.len(),
+                        args.len()
+                    ));
+                }
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(self.eval_path(a, env, ctx, depth)?);
+                }
+                // Functions see only their parameters.
+                let mut callee_env = Env::default();
+                for (p, v) in func.params.iter().zip(values) {
+                    callee_env.push(p, v);
+                }
+                self.eval_expr(&func.body, &mut callee_env, None, depth + 1)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn eval_flwor(
+        &self,
+        f: &FlworExpr,
+        binding_idx: usize,
+        env: &mut Env<'a>,
+        ctx: Option<&Item<'a>>,
+        depth: u32,
+        consumed: &mut Vec<bool>,
+        out: &mut Seq<'a>,
+    ) -> Result<(), EvalError> {
+        if binding_idx == f.bindings.len() {
+            for (i, w) in f.where_clauses.iter().enumerate() {
+                if consumed[i] {
+                    continue; // already enforced by a hash join
+                }
+                if !self.eval_predicate(w, env, ctx, depth)? {
+                    return Ok(());
+                }
+            }
+            out.extend(self.eval_expr(&f.return_expr, env, ctx, depth)?);
+            return Ok(());
+        }
+        let b = &f.bindings[binding_idx];
+        let seq = self.eval_path(&b.expr, env, ctx, depth)?;
+        match b.kind {
+            BindingKind::For => {
+                // Equality where-clauses over this variable become hash
+                // joins: index the binding sequence by the join key once,
+                // probe with the outer side's values per iteration.
+                if let Some((widx, inner, outer)) = self.plan_hash_join(f, binding_idx, env) {
+                    if !consumed[widx] {
+                        let index = self.join_index(&b.expr, seq, inner, &b.var, env, ctx, depth)?;
+                        let outer_vals = self.eval_path(outer, env, ctx, depth)?;
+                        let mut idxs: Vec<u32> = Vec::new();
+                        for ov in &outer_vals {
+                            if let Some(hits) = index.map.get(&join_key(&atomize(ov))) {
+                                idxs.extend_from_slice(hits);
+                            }
+                        }
+                        idxs.sort_unstable();
+                        idxs.dedup();
+                        consumed[widx] = true;
+                        for i in idxs {
+                            env.push(&b.var, vec![index.items[i as usize].clone()]);
+                            let r = self
+                                .eval_flwor(f, binding_idx + 1, env, ctx, depth, consumed, out);
+                            env.pop();
+                            r?;
+                        }
+                        consumed[widx] = false;
+                        return Ok(());
+                    }
+                }
+                for item in seq {
+                    env.push(&b.var, vec![item]);
+                    let r = self.eval_flwor(f, binding_idx + 1, env, ctx, depth, consumed, out);
+                    env.pop();
+                    r?;
+                }
+            }
+            BindingKind::Let => {
+                env.push(&b.var, seq);
+                let r = self.eval_flwor(f, binding_idx + 1, env, ctx, depth, consumed, out);
+                env.pop();
+                r?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Find a `where` clause of the form `$bound/path = other` (either
+    /// side) where `other` does not depend on the variable being bound and
+    /// is resolvable in the current environment.
+    fn plan_hash_join<'f>(
+        &self,
+        f: &'f FlworExpr,
+        binding_idx: usize,
+        env: &Env<'a>,
+    ) -> Option<(usize, &'f PathExpr, &'f PathExpr)> {
+        if !self.hash_joins {
+            return None;
+        }
+        let b = &f.bindings[binding_idx];
+        // Where clauses see the *innermost* binding of a name; if a later
+        // clause shadows this variable, no where clause can refer to this
+        // binding and joining here would filter the wrong loop.
+        if f.bindings[binding_idx + 1..].iter().any(|later| later.var == b.var) {
+            return None;
+        }
+        for (i, w) in f.where_clauses.iter().enumerate() {
+            let Predicate::ComparePaths(l, CompOp::Eq, r) = w else { continue };
+            for (inner, outer) in [(l, r), (r, l)] {
+                if inner.source == PathSource::Var(b.var.clone())
+                    && inner.predicates.is_empty()
+                    && !path_mentions_var(outer, &b.var)
+                    && outer_resolvable(outer, env)
+                {
+                    return Some((i, inner, outer));
+                }
+            }
+        }
+        None
+    }
+
+    /// Build (or fetch from cache) the hash index of `seq` keyed by the
+    /// atomized values of `inner` evaluated relative to each item.
+    #[allow(clippy::too_many_arguments)]
+    fn join_index(
+        &self,
+        binding: &PathExpr,
+        seq: Seq<'a>,
+        inner: &PathExpr,
+        var: &str,
+        env: &mut Env<'a>,
+        ctx: Option<&Item<'a>>,
+        depth: u32,
+    ) -> Result<Rc<JoinIndex<'a>>, EvalError> {
+        let cacheable =
+            matches!(binding.source, PathSource::Doc(_)) && binding.predicates.is_empty();
+        let key = format!("{binding}\u{1f}{inner}");
+        if cacheable {
+            if let Some(hit) = self.join_cache.borrow().get(&key) {
+                return Ok(hit.clone());
+            }
+        }
+        let mut map: HashMap<String, Vec<u32>> = HashMap::new();
+        for (i, item) in seq.iter().enumerate() {
+            env.push(var, vec![item.clone()]);
+            let vals = self.eval_path(inner, env, ctx, depth);
+            env.pop();
+            for v in vals? {
+                map.entry(join_key(&atomize(&v))).or_default().push(i as u32);
+            }
+        }
+        let index = Rc::new(JoinIndex { items: seq, map });
+        if cacheable {
+            self.join_cache.borrow_mut().insert(key, index.clone());
+        }
+        Ok(index)
+    }
+
+    fn eval_path(
+        &self,
+        p: &PathExpr,
+        env: &mut Env<'a>,
+        ctx: Option<&Item<'a>>,
+        depth: u32,
+    ) -> Result<Seq<'a>, EvalError> {
+        // Document-rooted, predicate-free paths depend on nothing but the
+        // source documents — memoize them across loop iterations.
+        let cache_key = if matches!(p.source, PathSource::Doc(_)) && p.predicates.is_empty() {
+            let key = p.to_string();
+            if let Some(hit) = self.doc_path_cache.borrow().get(&key) {
+                return Ok(hit.clone());
+            }
+            Some(key)
+        } else {
+            None
+        };
+        let result = self.eval_path_uncached(p, env, ctx, depth)?;
+        if let Some(key) = cache_key {
+            self.doc_path_cache.borrow_mut().insert(key, result.clone());
+        }
+        Ok(result)
+    }
+
+    fn eval_path_uncached(
+        &self,
+        p: &PathExpr,
+        env: &mut Env<'a>,
+        ctx: Option<&Item<'a>>,
+        depth: u32,
+    ) -> Result<Seq<'a>, EvalError> {
+        let mut seq: Seq<'a> = match &p.source {
+            PathSource::Doc(name) => {
+                let doc = self
+                    .source
+                    .doc(name)
+                    .ok_or_else(|| EvalError { message: format!("unknown document '{name}'") })?;
+                match doc.root() {
+                    // A virtual document node above the root element, so
+                    // that `/books` addresses the root itself (XPath's
+                    // document-node semantics).
+                    Some(r) => vec![Item::Elem(Rc::new(ConstructedElem {
+                        tag: "#document".to_string(),
+                        children: vec![Item::Node(doc, r)],
+                    }))],
+                    None => vec![],
+                }
+            }
+            PathSource::Var(v) => env
+                .lookup(v)
+                .cloned()
+                .ok_or_else(|| EvalError { message: format!("unbound variable '${v}'") })?,
+            PathSource::ContextItem => match ctx {
+                Some(item) => vec![item.clone()],
+                None => return err("context item '.' used outside a predicate"),
+            },
+        };
+        for step in &p.steps {
+            let mut next: Seq<'a> = Vec::new();
+            for item in &seq {
+                match step.axis {
+                    Axis::Child => collect_children(item, &step.tag, &mut next),
+                    Axis::Descendant => collect_descendants(item, &step.tag, &mut next),
+                }
+            }
+            normalize_node_sequence(&mut next);
+            seq = next;
+        }
+        if !p.predicates.is_empty() {
+            let mut filtered = Vec::with_capacity(seq.len());
+            for item in seq {
+                let mut keep = true;
+                for pred in &p.predicates {
+                    if !self.eval_predicate(pred, env, Some(&item), depth)? {
+                        keep = false;
+                        break;
+                    }
+                }
+                if keep {
+                    filtered.push(item);
+                }
+            }
+            seq = filtered;
+        }
+        Ok(seq)
+    }
+
+    fn eval_predicate(
+        &self,
+        pred: &Predicate,
+        env: &mut Env<'a>,
+        ctx: Option<&Item<'a>>,
+        depth: u32,
+    ) -> Result<bool, EvalError> {
+        match pred {
+            Predicate::Exists(p) => Ok(!self.eval_path(p, env, ctx, depth)?.is_empty()),
+            Predicate::CompareLiteral(p, op, lit) => {
+                let seq = self.eval_path(p, env, ctx, depth)?;
+                let rhs = lit.as_atomic();
+                Ok(seq.iter().any(|i| compare_ok(&atomize(i), *op, &rhs)))
+            }
+            Predicate::ComparePaths(l, op, r) => {
+                let ls = self.eval_path(l, env, ctx, depth)?;
+                if ls.is_empty() {
+                    return Ok(false);
+                }
+                let rs = self.eval_path(r, env, ctx, depth)?;
+                // Existential (general comparison) semantics.
+                let rvals: Vec<String> = rs.iter().map(atomize).collect();
+                Ok(ls
+                    .iter()
+                    .any(|li| rvals.iter().any(|rv| compare_ok(&atomize(li), *op, rv))))
+            }
+        }
+    }
+}
+
+fn compare_ok(lhs: &str, op: CompOp, rhs: &str) -> bool {
+    use std::cmp::Ordering::*;
+    matches!(
+        (op, compare_atomic(lhs, rhs)),
+        (CompOp::Eq, Equal) | (CompOp::Lt, Less) | (CompOp::Gt, Greater)
+    )
+}
+
+fn collect_children<'a>(item: &Item<'a>, tag: &str, out: &mut Seq<'a>) {
+    match item {
+        Item::Node(doc, n) => {
+            for c in doc.children(*n) {
+                if doc.node_tag(*c) == tag {
+                    out.push(Item::Node(doc, *c));
+                }
+            }
+        }
+        Item::Elem(e) => {
+            for c in &e.children {
+                if item_tag(c) == Some(tag) {
+                    out.push(c.clone());
+                }
+            }
+        }
+    }
+}
+
+fn collect_descendants<'a>(item: &Item<'a>, tag: &str, out: &mut Seq<'a>) {
+    match item {
+        Item::Node(doc, n) => {
+            for d in doc.descendants(*n) {
+                if doc.node_tag(d) == tag {
+                    out.push(Item::Node(doc, d));
+                }
+            }
+        }
+        Item::Elem(e) => {
+            for c in &e.children {
+                if item_tag(c) == Some(tag) {
+                    out.push(c.clone());
+                }
+                collect_descendants(c, tag, out);
+            }
+        }
+    }
+}
+
+/// The element name an item presents to name tests.
+pub fn item_tag<'a>(item: &'a Item<'a>) -> Option<&'a str> {
+    match item {
+        Item::Node(doc, n) => Some(doc.node_tag(*n)),
+        Item::Elem(e) => Some(e.tag.as_str()),
+    }
+}
+
+/// Sort a pure-node sequence into document order and remove duplicates.
+/// Dewey IDs are corpus-unique (documents get distinct root ordinals), so
+/// the ID alone is a global sort key. Sequences containing constructed
+/// elements keep their construction order.
+fn normalize_node_sequence(seq: &mut Seq<'_>) {
+    if seq.iter().all(|i| matches!(i, Item::Node(..))) {
+        seq.sort_by(|a, b| match (a, b) {
+            (Item::Node(da, na), Item::Node(db, nb)) => {
+                da.node(*na).dewey.cmp(&db.node(*nb).dewey)
+            }
+            _ => unreachable!(),
+        });
+        seq.dedup_by(|a, b| match (a, b) {
+            (Item::Node(da, na), Item::Node(db, nb)) => {
+                da.node(*na).dewey == db.node(*nb).dewey
+            }
+            _ => unreachable!(),
+        });
+    }
+}
+
+/// The atomic string value of an item: concatenated descendant text in
+/// document order (matches [`Document::full_text`]).
+pub fn atomize(item: &Item<'_>) -> String {
+    fn rec(item: &Item<'_>, out: &mut String) {
+        match item {
+            Item::Node(doc, n) => {
+                let t = doc.full_text(*n);
+                if !t.is_empty() {
+                    if !out.is_empty() {
+                        out.push(' ');
+                    }
+                    out.push_str(&t);
+                }
+            }
+            Item::Elem(e) => {
+                for c in &e.children {
+                    rec(c, out);
+                }
+            }
+        }
+    }
+    let mut s = String::new();
+    rec(item, &mut s);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_query};
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        c.add_parsed(
+            "books.xml",
+            "<books>\
+               <book><isbn>111</isbn><title>XML Web Services</title><year>2004</year></book>\
+               <book><isbn>222</isbn><title>Artificial Intelligence</title><year>2002</year></book>\
+               <book><isbn>333</isbn><title>Old Book</title><year>1990</year></book>\
+             </books>",
+        )
+        .unwrap();
+        c.add_parsed(
+            "reviews.xml",
+            "<reviews>\
+               <review><isbn>111</isbn><content>about search</content></review>\
+               <review><isbn>111</isbn><content>easy to read</content></review>\
+               <review><isbn>222</isbn><content>thorough</content></review>\
+             </reviews>",
+        )
+        .unwrap();
+        c
+    }
+
+    fn eval_str<'a>(c: &'a Corpus, q: &str) -> Seq<'a> {
+        let query = parse_query(q).unwrap();
+        // Leak the query for test lifetimes; tests are short-lived.
+        let query: &'static Query = Box::leak(Box::new(query));
+        Evaluator::new(c, query).eval_query(query).unwrap()
+    }
+
+    #[test]
+    fn path_navigation_child_and_descendant() {
+        let c = corpus();
+        let r = eval_str(&c, "fn:doc(books.xml)/books/book/title");
+        assert_eq!(r.len(), 3);
+        let r = eval_str(&c, "fn:doc(books.xml)//title");
+        assert_eq!(r.len(), 3);
+        let r = eval_str(&c, "fn:doc(books.xml)/books//isbn");
+        let texts: Vec<String> = r.iter().map(atomize).collect();
+        assert_eq!(texts, vec!["111", "222", "333"]);
+    }
+
+    #[test]
+    fn predicates_filter_with_comparison_semantics() {
+        let c = corpus();
+        let r = eval_str(&c, "fn:doc(books.xml)/books/book[year > 1995]");
+        assert_eq!(r.len(), 2);
+        let r = eval_str(&c, "fn:doc(books.xml)/books/book[isbn = '333']");
+        assert_eq!(r.len(), 1);
+        let r = eval_str(&c, "fn:doc(books.xml)/books/book[title]");
+        assert_eq!(r.len(), 3);
+        let r = eval_str(&c, "fn:doc(books.xml)/books/book[year < 1991]");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn flwor_with_where_and_join() {
+        let c = corpus();
+        let r = eval_str(
+            &c,
+            "for $b in fn:doc(books.xml)/books/book \
+             where $b/year > 1995 \
+             return <out> { $b/title } \
+               { for $r in fn:doc(reviews.xml)/reviews/review \
+                 where $r/isbn = $b/isbn return $r/content } </out>",
+        );
+        assert_eq!(r.len(), 2);
+        let Item::Elem(first) = &r[0] else { panic!() };
+        // title + 2 reviews for isbn 111.
+        assert_eq!(first.children.len(), 3);
+        assert_eq!(atomize(&r[0]), "XML Web Services about search easy to read");
+        assert_eq!(atomize(&r[1]), "Artificial Intelligence thorough");
+    }
+
+    #[test]
+    fn let_binds_whole_sequences() {
+        let c = corpus();
+        let r = eval_str(
+            &c,
+            "let $ts := fn:doc(books.xml)//title return <all> { $ts } </all>",
+        );
+        assert_eq!(r.len(), 1);
+        let Item::Elem(e) = &r[0] else { panic!() };
+        assert_eq!(e.children.len(), 3);
+    }
+
+    #[test]
+    fn conditionals_branch_on_predicates() {
+        let c = corpus();
+        let r = eval_str(
+            &c,
+            "for $b in fn:doc(books.xml)/books/book \
+             return if ($b/year > 2000) then $b/title else $b/isbn",
+        );
+        let texts: Vec<String> = r.iter().map(atomize).collect();
+        assert_eq!(texts, vec!["XML Web Services", "Artificial Intelligence", "333"]);
+    }
+
+    #[test]
+    fn function_calls_bind_parameters() {
+        let c = corpus();
+        let r = eval_str(
+            &c,
+            "declare function titles($b) { $b/title } \
+             for $x in fn:doc(books.xml)/books/book return titles($x)",
+        );
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn recursion_is_rejected() {
+        let c = corpus();
+        let q = parse_query("declare function f($x) { f($x) } f(fn:doc(books.xml)/books)").unwrap();
+        let ev = Evaluator::new(&c, &q);
+        let e = ev.eval_query(&q).unwrap_err();
+        assert!(e.message.contains("recursive"), "{e}");
+    }
+
+    #[test]
+    fn unknown_doc_and_unbound_var_error() {
+        let c = corpus();
+        let q = parse_query("fn:doc(zzz.xml)/a").unwrap();
+        assert!(Evaluator::new(&c, &q).eval_query(&q).is_err());
+        let q = parse_query("$nope/a").unwrap();
+        assert!(Evaluator::new(&c, &q).eval_query(&q).is_err());
+    }
+
+    #[test]
+    fn duplicate_nodes_are_removed_in_document_order() {
+        let c = corpus();
+        // //book//isbn via two overlapping routes stays deduplicated.
+        let e = parse_expr("fn:doc(books.xml)//books//isbn").unwrap();
+        let q = Query { functions: vec![], body: e };
+        let r = Evaluator::new(&c, &q).eval_query(&q).unwrap();
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn navigation_into_constructed_elements() {
+        let c = corpus();
+        let r = eval_str(
+            &c,
+            "for $v in fn:doc(books.xml)/books \
+             return <wrap> { for $b in $v/book return <entry> { $b/title } </entry> } </wrap>",
+        );
+        assert_eq!(r.len(), 1);
+        // Navigate into the constructed tree through a let binding.
+        let r = eval_str(
+            &c,
+            "let $w := fn:doc(books.xml)/books return <x> { $w/book } </x>",
+        );
+        let Item::Elem(e) = &r[0] else { panic!() };
+        assert_eq!(e.children.len(), 3);
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        c.add_parsed(
+            "d.xml",
+            "<r><item><k>1</k><tags><t>a</t><t>b</t></tags></item>\
+               <item><k>2</k></item><empty/></r>",
+        )
+        .unwrap();
+        c
+    }
+
+    fn run<'a>(c: &'a Corpus, q: &'a Query) -> Seq<'a> {
+        Evaluator::new(c, q).eval_query(q).unwrap()
+    }
+
+    #[test]
+    fn empty_sequences_propagate_through_flwor() {
+        let c = corpus();
+        let q = parse_query("for $x in fn:doc(d.xml)/r/nothing return $x/k").unwrap();
+        assert!(run(&c, &q).is_empty());
+        let q = parse_query("for $x in fn:doc(d.xml)/r/item where $x/k > 99 return $x").unwrap();
+        assert!(run(&c, &q).is_empty());
+    }
+
+    #[test]
+    fn existential_comparison_over_multi_valued_paths() {
+        let c = corpus();
+        // tags/t has two values; '= b' holds existentially.
+        let q = parse_query("for $x in fn:doc(d.xml)/r/item where $x/tags/t = 'b' return $x/k")
+            .unwrap();
+        let r = run(&c, &q);
+        assert_eq!(r.len(), 1);
+        assert_eq!(atomize(&r[0]), "1");
+    }
+
+    #[test]
+    fn elements_without_text_atomize_to_empty() {
+        let c = corpus();
+        let q = parse_query("fn:doc(d.xml)/r/empty").unwrap();
+        let r = run(&c, &q);
+        assert_eq!(r.len(), 1);
+        assert_eq!(atomize(&r[0]), "");
+    }
+
+    #[test]
+    fn constructed_empty_elements_serialize() {
+        let c = corpus();
+        let q = parse_query("for $x in fn:doc(d.xml)/r/item return <w></w>").unwrap();
+        let r = run(&c, &q);
+        assert_eq!(r.len(), 2, "one wrapper per iteration even when empty");
+        assert_eq!(crate::result::serialize_item(&r[0]), "<w></w>");
+    }
+
+    #[test]
+    fn let_of_empty_sequence_is_fine() {
+        let c = corpus();
+        let q = parse_query(
+            "let $n := fn:doc(d.xml)/r/nothing return <o> { $n } </o>",
+        )
+        .unwrap();
+        let r = run(&c, &q);
+        assert_eq!(crate::result::serialize_item(&r[0]), "<o></o>");
+    }
+
+    #[test]
+    fn numeric_and_string_comparisons_differ() {
+        let mut c = Corpus::new();
+        c.add_parsed("d.xml", "<r><x><v>10</v></x><x><v>9</v></x></r>").unwrap();
+        // Numeric: 9 < 10.
+        let q = parse_query("for $x in fn:doc(d.xml)/r/x where $x/v < 10 return $x/v").unwrap();
+        let r = run(&c, &q);
+        assert_eq!(r.len(), 1);
+        assert_eq!(atomize(&r[0]), "9");
+        // String compare kicks in when one side is non-numeric.
+        let q = parse_query("for $x in fn:doc(d.xml)/r/x where $x/v < 'z' return $x/v").unwrap();
+        assert_eq!(run(&c, &q).len(), 2);
+    }
+
+    #[test]
+    fn function_calls_do_not_leak_caller_scope() {
+        let c = corpus();
+        let q = parse_query(
+            "declare function f($a) { $a/k } \
+             for $x in fn:doc(d.xml)/r/item for $hidden in $x/k return f($x)",
+        )
+        .unwrap();
+        assert_eq!(run(&c, &q).len(), 2);
+        // Referencing a caller variable inside the body is an error.
+        let q = parse_query(
+            "declare function g($a) { $x/k } \
+             for $x in fn:doc(d.xml)/r/item return g($x)",
+        )
+        .unwrap();
+        let err = Evaluator::new(&c, &q).eval_query(&q).unwrap_err();
+        assert!(err.message.contains("unbound"), "{err}");
+    }
+
+    #[test]
+    fn doc_path_cache_is_consistent_across_iterations() {
+        let c = corpus();
+        // The same doc-rooted path evaluated inside a loop must return the
+        // same sequence every time (memoized or not).
+        let q = parse_query(
+            "for $x in fn:doc(d.xml)/r/item \
+             return <o> { for $y in fn:doc(d.xml)/r/item return $y/k } </o>",
+        )
+        .unwrap();
+        let r = run(&c, &q);
+        assert_eq!(r.len(), 2);
+        let a = crate::result::serialize_item(&r[0]);
+        let b = crate::result::serialize_item(&r[1]);
+        assert_eq!(a, b);
+        assert_eq!(a, "<o><k>1</k><k>2</k></o>");
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # vxv-xquery — XQuery-subset engine
+//!
+//! The query-language substrate of the paper: the Appendix-A grammar
+//! (FLWOR expressions, `/`-and-`//` path expressions with predicates,
+//! element constructors, conditionals, non-recursive functions), a
+//! recursive-descent parser, and an evaluator that is generic over its
+//! document source so the *same* code evaluates views over base documents
+//! and over pruned document trees.
+//!
+//! ```
+//! use vxv_xml::Corpus;
+//! use vxv_xquery::{parse_query, Evaluator, atomize};
+//!
+//! let mut corpus = Corpus::new();
+//! corpus.add_parsed("books.xml", "<books><book><title>XML</title></book></books>").unwrap();
+//! let query = parse_query("for $b in fn:doc(books.xml)/books/book return $b/title").unwrap();
+//! let results = Evaluator::new(&corpus, &query).eval_query(&query).unwrap();
+//! assert_eq!(atomize(&results[0]), "XML");
+//! ```
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+pub mod result;
+
+pub use ast::{
+    Axis, BindingClause, BindingKind, CompOp, Expr, FlworExpr, FunctionDecl, Literal, PathExpr,
+    PathSource, PathStep, Predicate, Query,
+};
+pub use eval::{atomize, item_tag, ConstructedElem, DocSource, EvalError, Evaluator, Item, MapSource, Seq};
+pub use parser::{parse_expr, parse_query, QueryParseError};
+pub use result::{item_byte_len_with, item_sum_with, node_refs, serialize_item, serialize_item_with};

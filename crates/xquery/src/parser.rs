@@ -1,0 +1,803 @@
+//! Recursive-descent parser for the Appendix-A grammar.
+//!
+//! Small extensions over the printed grammar, each conventional and
+//! explicitly supported by the implementation described in the paper's
+//! tech report: `and`-conjunctions in `where` clauses, relative paths
+//! inside bracket predicates (implicit `.` source), parenthesized `if`
+//! conditions, and numeric literals with an optional decimal point.
+
+use crate::ast::*;
+use std::fmt;
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryParseError {
+    /// Byte offset into the query text.
+    pub offset: usize,
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+/// Parse a complete query (function declarations followed by a body).
+pub fn parse_query(input: &str) -> Result<Query, QueryParseError> {
+    let mut p = P { b: input.as_bytes(), pos: 0 };
+    let mut functions = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.peek_keyword("declare") {
+            functions.push(p.parse_function_decl()?);
+        } else {
+            break;
+        }
+    }
+    let body = p.parse_expr_sequence()?;
+    p.skip_ws();
+    if p.pos != p.b.len() {
+        return Err(p.err("trailing input after query body"));
+    }
+    Ok(Query { functions, body })
+}
+
+/// Parse a single expression (no function declarations).
+pub fn parse_expr(input: &str) -> Result<Expr, QueryParseError> {
+    let q = parse_query(input)?;
+    if !q.functions.is_empty() {
+        let mut p = P { b: input.as_bytes(), pos: 0 };
+        return Err(p.err_at(0, "unexpected function declaration"));
+    }
+    Ok(q.body)
+}
+
+struct P<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+const KEYWORDS: &[&str] = &[
+    "for", "let", "in", "where", "return", "if", "then", "else", "declare", "function", "and",
+];
+
+impl<'a> P<'a> {
+    fn err(&self, message: impl Into<String>) -> QueryParseError {
+        QueryParseError { offset: self.pos, message: message.into() }
+    }
+
+    fn err_at(&mut self, offset: usize, message: impl Into<String>) -> QueryParseError {
+        QueryParseError { offset, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.b.get(self.pos + off).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                self.pos += 1;
+            }
+            // XQuery comments: (: ... :), nestable.
+            if self.peek() == Some(b'(') && self.peek_at(1) == Some(b':') {
+                let mut depth = 0usize;
+                while self.pos < self.b.len() {
+                    if self.peek() == Some(b'(') && self.peek_at(1) == Some(b':') {
+                        depth += 1;
+                        self.pos += 2;
+                    } else if self.peek() == Some(b':') && self.peek_at(1) == Some(b')') {
+                        depth -= 1;
+                        self.pos += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        self.pos += 1;
+                    }
+                }
+                continue;
+            }
+            return;
+        }
+    }
+
+    fn is_name_byte(c: u8) -> bool {
+        c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.')
+    }
+
+    /// Peek the identifier starting at the cursor, if any.
+    fn peek_word(&self) -> Option<&'a str> {
+        let c = self.peek()?;
+        if !(c.is_ascii_alphabetic() || c == b'_') {
+            return None;
+        }
+        let mut end = self.pos;
+        while end < self.b.len() && Self::is_name_byte(self.b[end]) {
+            end += 1;
+        }
+        Some(std::str::from_utf8(&self.b[self.pos..end]).unwrap())
+    }
+
+    fn peek_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        self.peek_word() == Some(kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), QueryParseError> {
+        self.skip_ws();
+        if self.peek_word() == Some(kw) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword '{kw}'")))
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), QueryParseError> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn try_eat(&mut self, c: u8) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, QueryParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if Self::is_name_byte(c) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(std::str::from_utf8(&self.b[start..self.pos]).unwrap().to_string())
+    }
+
+    /// A tag name: like a name but must not be a keyword.
+    fn parse_tag(&mut self) -> Result<String, QueryParseError> {
+        let n = self.parse_name()?;
+        if KEYWORDS.contains(&n.as_str()) {
+            return Err(self.err(format!("keyword '{n}' used as a name")));
+        }
+        Ok(n)
+    }
+
+    fn parse_var(&mut self) -> Result<String, QueryParseError> {
+        self.eat(b'$')?;
+        self.parse_name()
+    }
+
+    // -- expressions --------------------------------------------------------
+
+    fn parse_expr_sequence(&mut self) -> Result<Expr, QueryParseError> {
+        let first = self.parse_single_expr()?;
+        let mut items = vec![first];
+        while self.try_eat(b',') {
+            items.push(self.parse_single_expr()?);
+        }
+        Ok(if items.len() == 1 { items.pop().unwrap() } else { Expr::Sequence(items) })
+    }
+
+    fn parse_single_expr(&mut self) -> Result<Expr, QueryParseError> {
+        self.skip_ws();
+        match self.peek_word() {
+            Some("for") | Some("let") => return self.parse_flwor(),
+            Some("if") => return self.parse_cond(),
+            _ => {}
+        }
+        match self.peek() {
+            Some(b'<') => self.parse_element_ctor(),
+            Some(b'(') => {
+                self.eat(b'(')?;
+                let e = self.parse_expr_sequence()?;
+                self.eat(b')')?;
+                Ok(e)
+            }
+            Some(b'$') | Some(b'.') | Some(b'/') => Ok(Expr::Path(self.parse_path_expr()?)),
+            _ => {
+                // fn:doc(...), a function call, or an error.
+                let save = self.pos;
+                if self.peek_word().is_some() {
+                    let name = self.parse_qname()?;
+                    self.skip_ws();
+                    if name == "fn:doc" || name == "doc" || self.peek() != Some(b'(') {
+                        self.pos = save;
+                        return Ok(Expr::Path(self.parse_path_expr()?));
+                    }
+                    self.eat(b'(')?;
+                    let mut args = Vec::new();
+                    self.skip_ws();
+                    if self.peek() != Some(b')') {
+                        args.push(self.parse_path_expr()?);
+                        while self.try_eat(b',') {
+                            args.push(self.parse_path_expr()?);
+                        }
+                    }
+                    self.eat(b')')?;
+                    return Ok(Expr::FunctionCall { name, args });
+                }
+                Err(self.err("expected an expression"))
+            }
+        }
+    }
+
+    /// A possibly-prefixed name like `local:fib` or `fn:doc`.
+    fn parse_qname(&mut self) -> Result<String, QueryParseError> {
+        let mut n = self.parse_name()?;
+        if self.peek() == Some(b':') && self.peek_at(1).map(P::is_name_byte).unwrap_or(false) {
+            self.pos += 1;
+            n.push(':');
+            n.push_str(&self.parse_name()?);
+        }
+        Ok(n)
+    }
+
+    fn parse_flwor(&mut self) -> Result<Expr, QueryParseError> {
+        let mut bindings = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek_word() {
+                Some("for") => {
+                    self.eat_keyword("for")?;
+                    loop {
+                        let var = self.parse_var()?;
+                        self.eat_keyword("in")?;
+                        let expr = self.parse_path_expr()?;
+                        bindings.push(BindingClause { kind: BindingKind::For, var, expr });
+                        if !self.try_eat(b',') {
+                            break;
+                        }
+                    }
+                }
+                Some("let") => {
+                    self.eat_keyword("let")?;
+                    loop {
+                        let var = self.parse_var()?;
+                        self.skip_ws();
+                        // ':=' (also accept 'in' per the printed grammar).
+                        if self.peek() == Some(b':') && self.peek_at(1) == Some(b'=') {
+                            self.pos += 2;
+                        } else {
+                            self.eat_keyword("in")?;
+                        }
+                        let expr = self.parse_path_expr()?;
+                        bindings.push(BindingClause { kind: BindingKind::Let, var, expr });
+                        if !self.try_eat(b',') {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        if bindings.is_empty() {
+            return Err(self.err("expected 'for' or 'let'"));
+        }
+        let mut where_clauses = Vec::new();
+        if self.peek_keyword("where") {
+            self.eat_keyword("where")?;
+            where_clauses.push(self.parse_predicate()?);
+            while self.peek_keyword("and") {
+                self.eat_keyword("and")?;
+                where_clauses.push(self.parse_predicate()?);
+            }
+        }
+        self.eat_keyword("return")?;
+        let return_expr = Box::new(self.parse_single_expr()?);
+        Ok(Expr::Flwor(FlworExpr { bindings, where_clauses, return_expr }))
+    }
+
+    fn parse_cond(&mut self) -> Result<Expr, QueryParseError> {
+        self.eat_keyword("if")?;
+        let parenthesized = self.try_eat(b'(');
+        let cond = self.parse_predicate()?;
+        if parenthesized {
+            self.eat(b')')?;
+        }
+        self.eat_keyword("then")?;
+        let then_branch = Box::new(self.parse_single_expr()?);
+        self.eat_keyword("else")?;
+        let else_branch = Box::new(self.parse_single_expr()?);
+        Ok(Expr::Cond { cond, then_branch, else_branch })
+    }
+
+    fn parse_element_ctor(&mut self) -> Result<Expr, QueryParseError> {
+        self.eat(b'<')?;
+        let tag = self.parse_tag()?;
+        self.eat(b'>')?;
+        let mut content = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'{') {
+                self.eat(b'{')?;
+                content.push(self.parse_expr_sequence()?);
+                self.eat(b'}')?;
+            } else if self.peek() == Some(b'<') && self.peek_at(1) == Some(b'/') {
+                self.pos += 2;
+                let close = self.parse_tag()?;
+                if close != tag {
+                    return Err(self.err(format!("mismatched </{close}> for <{tag}>")));
+                }
+                self.eat(b'>')?;
+                return Ok(Expr::Element { tag, content });
+            } else if self.peek() == Some(b'<') {
+                // Nested direct constructor.
+                content.push(self.parse_element_ctor()?);
+            } else if self.try_eat(b',') {
+                // Tolerate commas between enclosed expressions.
+                continue;
+            } else {
+                return Err(self.err(format!("unterminated element constructor <{tag}>")));
+            }
+        }
+    }
+
+    // -- paths & predicates --------------------------------------------------
+
+    fn parse_path_expr(&mut self) -> Result<PathExpr, QueryParseError> {
+        self.parse_path_expr_inner(false)
+    }
+
+    /// When `relative_ok` is set (inside bracket predicates) a path may
+    /// start directly with a tag name, meaning `./tag`.
+    fn parse_path_expr_inner(&mut self, relative_ok: bool) -> Result<PathExpr, QueryParseError> {
+        self.skip_ws();
+        let source = match self.peek() {
+            Some(b'$') => PathSource::Var(self.parse_var()?),
+            Some(b'.') => {
+                self.pos += 1;
+                PathSource::ContextItem
+            }
+            Some(b'/') => PathSource::ContextItem, // leading axis: relative to context
+            _ => {
+                let save = self.pos;
+                if let Some(word) = self.peek_word() {
+                    let word = word.to_string();
+                    let name = self.parse_qname()?;
+                    if name == "fn:doc" || name == "doc" {
+                        self.eat(b'(')?;
+                        self.skip_ws();
+                        let doc_name = if matches!(self.peek(), Some(b'\'' | b'"')) {
+                            self.parse_string_literal()?
+                        } else {
+                            // Bare names like books.xml are allowed, as in Fig. 2.
+                            let mut n = String::new();
+                            while let Some(c) = self.peek() {
+                                if Self::is_name_byte(c) || c == b'/' {
+                                    n.push(c as char);
+                                    self.pos += 1;
+                                } else {
+                                    break;
+                                }
+                            }
+                            if n.is_empty() {
+                                return Err(self.err("expected document name"));
+                            }
+                            n
+                        };
+                        self.eat(b')')?;
+                        PathSource::Doc(doc_name)
+                    } else if relative_ok {
+                        // `year > 1995` style relative path: rewind so the
+                        // name becomes the first step.
+                        self.pos = save;
+                        let mut pe = PathExpr {
+                            source: PathSource::ContextItem,
+                            steps: Vec::new(),
+                            predicates: Vec::new(),
+                        };
+                        let tag = self.parse_tag()?;
+                        pe.steps.push(PathStep { axis: Axis::Child, tag });
+                        return self.parse_path_tail(pe);
+                    } else {
+                        return Err(self.err_at(save, format!("unexpected name in path: {word}")));
+                    }
+                } else {
+                    return Err(self.err("expected a path expression"));
+                }
+            }
+        };
+        let pe = PathExpr { source, steps: Vec::new(), predicates: Vec::new() };
+        self.parse_path_tail(pe)
+    }
+
+    fn parse_path_tail(&mut self, mut pe: PathExpr) -> Result<PathExpr, QueryParseError> {
+        loop {
+            // No whitespace skipping before '/': paths are lexically tight,
+            // but we tolerate spaces for readability.
+            self.skip_ws();
+            if self.peek() == Some(b'/') {
+                if !pe.predicates.is_empty() {
+                    // Grammar: predicates terminate a path (`PathExpr '['
+                    // PredExpr ']'` has no continuation production).
+                    return Err(self.err("path steps after a predicate are not supported"));
+                }
+                let axis = if self.peek_at(1) == Some(b'/') {
+                    self.pos += 2;
+                    Axis::Descendant
+                } else {
+                    self.pos += 1;
+                    Axis::Child
+                };
+                let tag = self.parse_tag()?;
+                pe.steps.push(PathStep { axis, tag });
+            } else if self.peek() == Some(b'[') {
+                self.eat(b'[')?;
+                let pred = self.parse_predicate_relative()?;
+                self.eat(b']')?;
+                pe.predicates.push(pred);
+            } else {
+                return Ok(pe);
+            }
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<Predicate, QueryParseError> {
+        let parenthesized = {
+            self.skip_ws();
+            // A '(' here could be a comment (handled by skip_ws) or a
+            // parenthesized predicate.
+            self.peek() == Some(b'(') && self.peek_at(1) != Some(b':')
+        };
+        if parenthesized {
+            self.eat(b'(')?;
+            let p = self.parse_predicate()?;
+            self.eat(b')')?;
+            return Ok(p);
+        }
+        self.parse_predicate_inner(false)
+    }
+
+    fn parse_predicate_relative(&mut self) -> Result<Predicate, QueryParseError> {
+        self.parse_predicate_inner(true)
+    }
+
+    fn parse_predicate_inner(&mut self, relative_ok: bool) -> Result<Predicate, QueryParseError> {
+        let left = self.parse_path_expr_inner(relative_ok)?;
+        self.skip_ws();
+        let op = match self.peek() {
+            Some(b'=') => {
+                self.pos += 1;
+                CompOp::Eq
+            }
+            Some(b'<') => {
+                self.pos += 1;
+                CompOp::Lt
+            }
+            Some(b'>') => {
+                self.pos += 1;
+                CompOp::Gt
+            }
+            _ => return Ok(Predicate::Exists(left)),
+        };
+        self.skip_ws();
+        match self.peek() {
+            Some(b'\'') | Some(b'"') => {
+                let s = self.parse_string_literal()?;
+                Ok(Predicate::CompareLiteral(left, op, Literal::String(s)))
+            }
+            Some(c) if c.is_ascii_digit() || c == b'-' => {
+                let n = self.parse_number()?;
+                Ok(Predicate::CompareLiteral(left, op, Literal::Number(n)))
+            }
+            _ => {
+                let right = self.parse_path_expr_inner(relative_ok)?;
+                Ok(Predicate::ComparePaths(left, op, right))
+            }
+        }
+    }
+
+    fn parse_string_literal(&mut self) -> Result<String, QueryParseError> {
+        self.skip_ws();
+        let quote = self.peek().ok_or_else(|| self.err("expected string literal"))?;
+        if quote != b'\'' && quote != b'"' {
+            return Err(self.err("expected string literal"));
+        }
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                let s = std::str::from_utf8(&self.b[start..self.pos]).unwrap().to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated string literal"))
+    }
+
+    fn parse_number(&mut self) -> Result<f64, QueryParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') && matches!(self.peek_at(1), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a number"));
+        }
+        std::str::from_utf8(&self.b[start..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|_| self.err("invalid number"))
+    }
+
+    fn parse_function_decl(&mut self) -> Result<FunctionDecl, QueryParseError> {
+        self.eat_keyword("declare")?;
+        self.eat_keyword("function")?;
+        let name = self.parse_qname()?;
+        self.eat(b'(')?;
+        let mut params = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'$') {
+            params.push(self.parse_var()?);
+            while self.try_eat(b',') {
+                params.push(self.parse_var()?);
+            }
+        }
+        self.eat(b')')?;
+        self.eat(b'{')?;
+        let body = self.parse_expr_sequence()?;
+        self.eat(b'}')?;
+        Ok(FunctionDecl { name, params, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_running_example_view() {
+        let q = parse_query(
+            "for $book in fn:doc(books.xml)/books//book \
+             where $book/year > 1995 \
+             return <bookrevs> \
+               { <book> {$book/title} </book> } \
+               { for $rev in fn:doc(reviews.xml)/reviews//review \
+                 where $rev/isbn = $book/isbn \
+                 return $rev/content } \
+             </bookrevs>",
+        )
+        .unwrap();
+        let Expr::Flwor(f) = &q.body else { panic!("expected flwor") };
+        assert_eq!(f.bindings.len(), 1);
+        assert_eq!(f.bindings[0].var, "book");
+        assert_eq!(f.bindings[0].expr.to_string(), "fn:doc(books.xml)/books//book");
+        assert_eq!(f.where_clauses.len(), 1);
+        assert_eq!(f.where_clauses[0].to_string(), "$book/year > 1995");
+        let Expr::Element { tag, content } = f.return_expr.as_ref() else { panic!() };
+        assert_eq!(tag, "bookrevs");
+        assert_eq!(content.len(), 2);
+    }
+
+    #[test]
+    fn rejects_steps_after_predicates() {
+        // `PathExpr '[' PredExpr ']'` has no continuation in the grammar.
+        assert!(parse_expr("fn:doc(b.xml)/books//book[year > 1995]/title").is_err());
+    }
+
+    #[test]
+    fn predicate_position_is_preserved() {
+        // `[...]` applies to the path parsed so far; trailing steps after a
+        // predicate are not part of this grammar subset, so `p[x]/y` keeps
+        // the predicate on the full path — verify what we actually build.
+        let e = parse_expr("fn:doc(b.xml)/books//book[year > 1995]").unwrap();
+        let Expr::Path(p) = e else { panic!() };
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.predicates.len(), 1);
+        assert_eq!(p.predicates[0].to_string(), "./year > 1995");
+    }
+
+    #[test]
+    fn parses_let_and_multiple_bindings() {
+        let q = parse_query(
+            "let $b := fn:doc(x.xml)/r for $a in $b/item, $c in $b/other return $a",
+        )
+        .unwrap();
+        let Expr::Flwor(f) = &q.body else { panic!() };
+        assert_eq!(f.bindings.len(), 3);
+        assert_eq!(f.bindings[0].kind, BindingKind::Let);
+        assert_eq!(f.bindings[1].kind, BindingKind::For);
+    }
+
+    #[test]
+    fn parses_where_with_and() {
+        let q = parse_query(
+            "for $a in fn:doc(x)/r/a where $a/y > 3 and $a/z = 'q' return $a",
+        )
+        .unwrap();
+        let Expr::Flwor(f) = &q.body else { panic!() };
+        assert_eq!(f.where_clauses.len(), 2);
+    }
+
+    #[test]
+    fn parses_if_then_else() {
+        let e = parse_expr("if ($a/x = 'y') then $a/b else $a/c").unwrap();
+        assert!(matches!(e, Expr::Cond { .. }));
+        let e = parse_expr("if $a/x then $a/b else $a/c").unwrap();
+        assert!(matches!(e, Expr::Cond { .. }));
+    }
+
+    #[test]
+    fn parses_function_declarations_and_calls() {
+        let q = parse_query(
+            "declare function local:titles($b) { $b/title } \
+             for $x in fn:doc(d)/r//book return local:titles($x)",
+        )
+        .unwrap();
+        assert_eq!(q.functions.len(), 1);
+        assert_eq!(q.functions[0].params, vec!["b"]);
+        let Expr::Flwor(f) = &q.body else { panic!() };
+        assert!(matches!(f.return_expr.as_ref(), Expr::FunctionCall { .. }));
+    }
+
+    #[test]
+    fn parses_sequences_and_nested_constructors() {
+        let e = parse_expr("<a> { $x/b, $x/c } <d> { $x/e } </d> </a>").unwrap();
+        let Expr::Element { content, .. } = e else { panic!() };
+        assert_eq!(content.len(), 2);
+        assert!(matches!(content[0], Expr::Sequence(_)));
+        assert!(matches!(content[1], Expr::Element { .. }));
+    }
+
+    #[test]
+    fn parses_comments() {
+        let e = parse_expr("(: a comment (: nested :) :) $x/y").unwrap();
+        assert!(matches!(e, Expr::Path(_)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_query("for $x in").is_err());
+        assert!(parse_query("$x/y extra!").is_err());
+        assert!(parse_query("<a> {$x} </b>").is_err());
+        assert!(parse_query("").is_err());
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let src = "for $book in fn:doc(books.xml)/books//book where $book/year > 1995 \
+                   return <out> { $book/title } </out>";
+        let q = parse_query(src).unwrap();
+        let q2 = parse_query(&q.to_string()).unwrap();
+        assert_eq!(q, q2);
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+
+    #[test]
+    fn numbers_with_decimals_and_negatives() {
+        let e = parse_expr("fn:doc(d)/r/x[v > 3.25]").unwrap();
+        let Expr::Path(p) = e else { panic!() };
+        let Predicate::CompareLiteral(_, CompOp::Gt, Literal::Number(n)) = &p.predicates[0]
+        else {
+            panic!()
+        };
+        assert_eq!(*n, 3.25);
+        let e = parse_expr("fn:doc(d)/r/x[v < -2]").unwrap();
+        let Expr::Path(p) = e else { panic!() };
+        let Predicate::CompareLiteral(_, _, Literal::Number(n)) = &p.predicates[0] else {
+            panic!()
+        };
+        assert_eq!(*n, -2.0);
+    }
+
+    #[test]
+    fn both_quote_styles_for_strings() {
+        for q in ["fn:doc(d)/r/x[v = 'abc']", "fn:doc(d)/r/x[v = \"abc\"]"] {
+            let e = parse_expr(q).unwrap();
+            let Expr::Path(p) = e else { panic!() };
+            assert_eq!(p.predicates.len(), 1);
+        }
+    }
+
+    #[test]
+    fn doc_names_with_quotes_and_slashes() {
+        let e = parse_expr("fn:doc('data/books.xml')/r").unwrap();
+        let Expr::Path(p) = e else { panic!() };
+        assert_eq!(p.source, PathSource::Doc("data/books.xml".into()));
+        let e = parse_expr("fn:doc(data/books.xml)/r").unwrap();
+        let Expr::Path(p) = e else { panic!() };
+        assert_eq!(p.source, PathSource::Doc("data/books.xml".into()));
+    }
+
+    #[test]
+    fn doc_alias_without_prefix() {
+        let e = parse_expr("doc(books.xml)/r//x").unwrap();
+        let Expr::Path(p) = e else { panic!() };
+        assert_eq!(p.source, PathSource::Doc("books.xml".into()));
+        assert_eq!(p.steps.len(), 2);
+    }
+
+    #[test]
+    fn multiple_bracket_predicates_stack() {
+        let e = parse_expr("fn:doc(d)/r/x[a = 1][b > 2]").unwrap();
+        let Expr::Path(p) = e else { panic!() };
+        assert_eq!(p.predicates.len(), 2);
+    }
+
+    #[test]
+    fn whitespace_everywhere() {
+        let q = parse_query(
+            "  for   $b \n in \t fn:doc( d.xml )/r//item \n where\n $b/x  >  1 \
+             \n return\n <o>\n { $b/y }\n </o>  ",
+        )
+        .unwrap();
+        assert!(matches!(q.body, Expr::Flwor(_)));
+    }
+
+    #[test]
+    fn keywords_cannot_be_tag_names() {
+        assert!(parse_expr("fn:doc(d)/return").is_err());
+        assert!(parse_expr("fn:doc(d)/r/for").is_err());
+    }
+
+    #[test]
+    fn deeply_nested_constructors() {
+        let e = parse_expr(
+            "<a> { <b> { <c> { $x/y } </c> } </b> } <d></d> </a>",
+        )
+        .unwrap();
+        let Expr::Element { content, .. } = e else { panic!() };
+        assert_eq!(content.len(), 2);
+    }
+
+    #[test]
+    fn error_offsets_point_into_the_input() {
+        let err = parse_query("for $x in fn:doc(d)/r return").unwrap_err();
+        assert!(err.offset >= 22, "offset {} should be at/after 'return'", err.offset);
+        let err = parse_query("for $x in fn:doc(d)/r !!").unwrap_err();
+        assert!(err.offset >= 20);
+    }
+
+    #[test]
+    fn unterminated_strings_and_comments() {
+        assert!(parse_expr("fn:doc(d)/r[x = 'oops]").is_err());
+        // An unterminated comment consumes to EOF and then errors cleanly.
+        assert!(parse_query("(: never closed  for $x in fn:doc(d)/r return $x").is_err());
+    }
+
+    #[test]
+    fn empty_function_parameter_lists() {
+        let q = parse_query("declare function f() { fn:doc(d)/r } f()").unwrap();
+        assert_eq!(q.functions[0].params.len(), 0);
+        assert!(matches!(q.body, Expr::FunctionCall { .. }));
+    }
+}

@@ -1,0 +1,156 @@
+//! Helpers over result sequences: provenance extraction, serialization
+//! with pluggable node expansion, and length/term-frequency aggregation.
+//!
+//! A result item built by the evaluator holds *references* to source nodes
+//! rather than copies. The functions here walk that structure once and let
+//! the caller decide what a referenced node contributes:
+//!
+//! * the Baseline system expands nodes from the base documents directly;
+//! * the Efficient pipeline's scoring module charges each node its
+//!   index-recorded byte length / tf and only expands the top-k winners
+//!   from document storage.
+
+use crate::eval::{ConstructedElem, Item};
+use vxv_xml::{Document, NodeId};
+
+/// All source-node references copied (transitively) into `item`, in
+/// encounter order. If the item itself is a node, that single reference.
+pub fn node_refs<'a>(item: &Item<'a>) -> Vec<(&'a Document, NodeId)> {
+    let mut out = Vec::new();
+    collect_node_refs(item, &mut out);
+    out
+}
+
+fn collect_node_refs<'a>(item: &Item<'a>, out: &mut Vec<(&'a Document, NodeId)>) {
+    match item {
+        Item::Node(doc, n) => out.push((doc, *n)),
+        Item::Elem(e) => {
+            for c in &e.children {
+                collect_node_refs(c, out);
+            }
+        }
+    }
+}
+
+/// Serialize an item, expanding each referenced source node with `expand`.
+pub fn serialize_item_with(
+    item: &Item<'_>,
+    expand: &mut dyn FnMut(&Document, NodeId, &mut String),
+) -> String {
+    let mut out = String::new();
+    write_item(item, expand, &mut out);
+    out
+}
+
+fn write_item(
+    item: &Item<'_>,
+    expand: &mut dyn FnMut(&Document, NodeId, &mut String),
+    out: &mut String,
+) {
+    match item {
+        Item::Node(doc, n) => expand(doc, *n, out),
+        Item::Elem(e) => write_elem(e, expand, out),
+    }
+}
+
+fn write_elem(
+    e: &ConstructedElem<'_>,
+    expand: &mut dyn FnMut(&Document, NodeId, &mut String),
+    out: &mut String,
+) {
+    out.push('<');
+    out.push_str(&e.tag);
+    out.push('>');
+    for c in &e.children {
+        write_item(c, expand, out);
+    }
+    out.push_str("</");
+    out.push_str(&e.tag);
+    out.push('>');
+}
+
+/// Serialize an item by inlining the referenced nodes from the documents
+/// they point into (the Baseline materialization).
+pub fn serialize_item(item: &Item<'_>) -> String {
+    serialize_item_with(item, &mut |doc, n, out| {
+        out.push_str(&vxv_xml::serialize_subtree(doc, n))
+    })
+}
+
+/// Total byte length of the item under a caller-supplied per-node length
+/// (constructed wrappers contribute their own tag overhead, matching the
+/// serializer).
+pub fn item_byte_len_with(item: &Item<'_>, node_len: &mut dyn FnMut(&Document, NodeId) -> u64) -> u64 {
+    match item {
+        Item::Node(doc, n) => node_len(doc, *n),
+        Item::Elem(e) => {
+            let mut total = 2 * e.tag.len() as u64 + 5;
+            for c in &e.children {
+                total += item_byte_len_with(c, node_len);
+            }
+            total
+        }
+    }
+}
+
+/// Aggregate a per-node quantity (e.g. a term frequency) over the item.
+pub fn item_sum_with(item: &Item<'_>, node_value: &mut dyn FnMut(&Document, NodeId) -> u64) -> u64 {
+    match item {
+        Item::Node(doc, n) => node_value(doc, *n),
+        Item::Elem(e) => e.children.iter().map(|c| item_sum_with(c, node_value)).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Query;
+    use crate::eval::Evaluator;
+    use crate::parser::parse_query;
+    use vxv_xml::Corpus;
+
+    fn run<'a>(c: &'a Corpus, q: &'a Query) -> Vec<Item<'a>> {
+        Evaluator::new(c, q).eval_query(q).unwrap()
+    }
+
+    #[test]
+    fn serialization_matches_byte_length_accounting() {
+        let mut c = Corpus::new();
+        c.add_parsed("b.xml", "<books><book><t>hi</t></book><book><t>yo</t></book></books>")
+            .unwrap();
+        let q = parse_query("for $b in fn:doc(b.xml)/books/book return <out> { $b/t } </out>")
+            .unwrap();
+        let items = run(&c, &q);
+        for item in &items {
+            let s = serialize_item(item);
+            let len = item_byte_len_with(item, &mut |doc, n| doc.node(n).byte_len as u64);
+            assert_eq!(s.len() as u64, len, "serialized: {s}");
+        }
+    }
+
+    #[test]
+    fn node_refs_are_the_copied_leaves() {
+        let mut c = Corpus::new();
+        c.add_parsed("b.xml", "<books><book><t>hi</t><u>x</u></book></books>").unwrap();
+        let q = parse_query("for $b in fn:doc(b.xml)/books/book return <o> { $b/t } { $b/u } </o>")
+            .unwrap();
+        let items = run(&c, &q);
+        let refs = node_refs(&items[0]);
+        let tags: Vec<&str> = refs.iter().map(|(d, n)| d.node_tag(*n)).collect();
+        assert_eq!(tags, vec!["t", "u"]);
+    }
+
+    #[test]
+    fn item_sum_aggregates_over_structure() {
+        let mut c = Corpus::new();
+        c.add_parsed("b.xml", "<books><book><t>a b</t><u>c</u></book></books>").unwrap();
+        let q = parse_query("for $b in fn:doc(b.xml)/books/book return <o> { $b/t } { $b/u } </o>")
+            .unwrap();
+        let items = run(&c, &q);
+        // Count tokens per referenced node.
+        let total = item_sum_with(&items[0], &mut |doc, n| {
+            doc.full_text(n).split_whitespace().count() as u64
+        });
+        assert_eq!(total, 3);
+    }
+}

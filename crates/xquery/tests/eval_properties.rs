@@ -1,0 +1,258 @@
+//! Property tests for the XQuery engine:
+//!
+//! * pretty-printed ASTs re-parse to the same AST (parser ↔ Display);
+//! * the hash-join optimization is semantically invisible — joins
+//!   evaluate to identical result sequences with and without it.
+
+use proptest::prelude::*;
+use vxv_xml::{Corpus, DocumentBuilder};
+use vxv_xquery::ast::*;
+use vxv_xquery::{parse_query, serialize_item, Evaluator};
+
+// --- parser round trip ------------------------------------------------------
+
+const TAGS: &[&str] = &["item", "name", "price", "cat"];
+
+fn path_strategy() -> impl Strategy<Value = PathExpr> {
+    (
+        prop_oneof![
+            Just(PathSource::Doc("d.xml".into())),
+            Just(PathSource::Var("v".into())),
+        ],
+        prop::collection::vec((any::<bool>(), 0..TAGS.len()), 1..4),
+    )
+        .prop_map(|(source, steps)| PathExpr {
+            source,
+            steps: steps
+                .into_iter()
+                .map(|(desc, t)| PathStep {
+                    axis: if desc { Axis::Descendant } else { Axis::Child },
+                    tag: TAGS[t].to_string(),
+                })
+                .collect(),
+            predicates: vec![],
+        })
+}
+
+fn predicate_strategy() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        path_strategy().prop_map(Predicate::Exists),
+        (path_strategy(), 0u8..3, 0i64..100).prop_map(|(p, op, n)| {
+            let op = match op {
+                0 => CompOp::Eq,
+                1 => CompOp::Lt,
+                _ => CompOp::Gt,
+            };
+            Predicate::CompareLiteral(p, op, Literal::Number(n as f64))
+        }),
+        (path_strategy(), path_strategy())
+            .prop_map(|(a, b)| Predicate::ComparePaths(a, CompOp::Eq, b)),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = path_strategy().prop_map(Expr::Path);
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            // FLWOR
+            (
+                prop::collection::vec(
+                    (any::<bool>(), path_strategy()),
+                    1..3
+                ),
+                prop::collection::vec(predicate_strategy(), 0..2),
+                inner.clone(),
+            )
+                .prop_map(|(bindings, where_clauses, ret)| {
+                    Expr::Flwor(FlworExpr {
+                        bindings: bindings
+                            .into_iter()
+                            .enumerate()
+                            .map(|(i, (is_let, expr))| BindingClause {
+                                kind: if is_let { BindingKind::Let } else { BindingKind::For },
+                                var: format!("x{i}"),
+                                expr,
+                            })
+                            .collect(),
+                        where_clauses,
+                        return_expr: Box::new(ret),
+                    })
+                }),
+            // element constructor
+            (0..TAGS.len(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(t, content)| Expr::Element {
+                    tag: format!("out{t}"),
+                    content,
+                }),
+            // conditional
+            (predicate_strategy(), inner.clone(), inner.clone()).prop_map(
+                |(cond, a, b)| Expr::Cond {
+                    cond,
+                    then_branch: Box::new(a),
+                    else_branch: Box::new(b),
+                }
+            ),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Display → parse is the identity on ASTs.
+    #[test]
+    fn pretty_printed_queries_reparse_identically(body in expr_strategy()) {
+        let q = Query { functions: vec![], body };
+        let text = q.to_string();
+        let back = parse_query(&text)
+            .unwrap_or_else(|e| panic!("failed to reparse: {e}\n{text}"));
+        prop_assert_eq!(q, back);
+    }
+}
+
+// --- hash-join transparency --------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct Row {
+    key: u8,
+    tag2_key: u8,
+    word: u8,
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<Row>> {
+    prop::collection::vec(
+        (0u8..6, 0u8..6, 0u8..4).prop_map(|(key, tag2_key, word)| Row { key, tag2_key, word }),
+        0..10,
+    )
+}
+
+fn build_join_corpus(left: &[Row], right: &[Row]) -> Corpus {
+    let mut b = DocumentBuilder::new("l.xml", 1);
+    b.begin("ls");
+    for r in left {
+        b.begin("l");
+        b.leaf("k", &r.key.to_string());
+        b.leaf("w", &format!("word{}", r.word));
+        b.end();
+    }
+    b.end();
+    let ldoc = b.finish();
+    let mut b = DocumentBuilder::new("r.xml", 2);
+    b.begin("rs");
+    for r in right {
+        b.begin("r");
+        b.leaf("k", &r.tag2_key.to_string());
+        b.leaf("w", &format!("word{}", r.word));
+        b.end();
+    }
+    b.end();
+    let rdoc = b.finish();
+    let mut c = Corpus::new();
+    c.add(ldoc);
+    c.add(rdoc);
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Join queries produce byte-identical materialized results whether
+    /// evaluated with hash joins or nested loops.
+    #[test]
+    fn hash_join_is_semantically_invisible(left in rows_strategy(), right in rows_strategy()) {
+        let corpus = build_join_corpus(&left, &right);
+        let q = parse_query(
+            "for $l in fn:doc(l.xml)/ls/l \
+             return <pair> { $l/w } \
+               { for $r in fn:doc(r.xml)/rs/r where $r/k = $l/k return $r/w } \
+             </pair>",
+        )
+        .unwrap();
+        let fast = Evaluator::new(&corpus, &q).eval_query(&q).unwrap();
+        let slow = Evaluator::new(&corpus, &q).with_naive_joins().eval_query(&q).unwrap();
+        prop_assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert_eq!(serialize_item(a), serialize_item(b));
+        }
+    }
+
+    /// Same transparency when the join key is on the outer side and the
+    /// where clause also carries a selection.
+    #[test]
+    fn hash_join_with_extra_conjuncts(left in rows_strategy(), right in rows_strategy()) {
+        let corpus = build_join_corpus(&left, &right);
+        let q = parse_query(
+            "for $l in fn:doc(l.xml)/ls/l \
+             return <pair> \
+               { for $r in fn:doc(r.xml)/rs/r \
+                 where $l/k = $r/k and $r/k > 1 return $r/w } \
+             </pair>",
+        )
+        .unwrap();
+        let fast = Evaluator::new(&corpus, &q).eval_query(&q).unwrap();
+        let slow = Evaluator::new(&corpus, &q).with_naive_joins().eval_query(&q).unwrap();
+        prop_assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert_eq!(serialize_item(a), serialize_item(b));
+        }
+    }
+}
+
+#[test]
+fn shadowed_variables_do_not_confuse_the_join_planner() {
+    // The where clause refers to the INNER $x; the outer $x binding must
+    // not hash-join on it.
+    let mut corpus = Corpus::new();
+    {
+        let mut b = DocumentBuilder::new("l.xml", 1);
+        b.begin("ls");
+        for k in [1u8, 2] {
+            b.begin("l");
+            b.leaf("k", &k.to_string());
+            b.end();
+        }
+        b.end();
+        corpus.add(b.finish());
+        let mut b = DocumentBuilder::new("r.xml", 2);
+        b.begin("rs");
+        for k in [2u8, 3] {
+            b.begin("r");
+            b.leaf("k", &k.to_string());
+            b.end();
+        }
+        b.end();
+        corpus.add(b.finish());
+    }
+    let q = parse_query(
+        "for $x in fn:doc(l.xml)/ls/l \
+         return <o> { for $x in fn:doc(r.xml)/rs/r where $x/k = '2' return $x/k } </o>",
+    )
+    .unwrap();
+    let fast = Evaluator::new(&corpus, &q).eval_query(&q).unwrap();
+    let slow = Evaluator::new(&corpus, &q).with_naive_joins().eval_query(&q).unwrap();
+    let f: Vec<String> = fast.iter().map(serialize_item).collect();
+    let s: Vec<String> = slow.iter().map(serialize_item).collect();
+    assert_eq!(f, s);
+    // Two outer iterations, each wrapping the single matching inner k.
+    assert_eq!(f, vec!["<o><k>2</k></o>".to_string(), "<o><k>2</k></o>".to_string()]);
+
+    // The genuinely ambiguous case: one FLWOR rebinds $x, and the join
+    // clause must apply to the *inner* $x. Without the shadowing guard the
+    // planner would hash-join the outer $x binding on this clause.
+    let q = parse_query(
+        "for $y in fn:doc(l.xml)/ls/l \
+         for $x in fn:doc(l.xml)/ls/l \
+         for $x in fn:doc(r.xml)/rs/r \
+         where $x/k = $y/k \
+         return $x/k",
+    )
+    .unwrap();
+    let fast = Evaluator::new(&corpus, &q).eval_query(&q).unwrap();
+    let slow = Evaluator::new(&corpus, &q).with_naive_joins().eval_query(&q).unwrap();
+    let f: Vec<String> = fast.iter().map(serialize_item).collect();
+    let s: Vec<String> = slow.iter().map(serialize_item).collect();
+    assert_eq!(f, s, "shadowed join must match nested-loop semantics");
+    // l keys {1,2}, r keys {2,3}: $y=2 joins inner $x=2, and the middle $x
+    // binding multiplies the match by |ls| = 2.
+    assert_eq!(f, vec!["<k>2</k>".to_string(), "<k>2</k>".to_string()]);
+}

@@ -1,0 +1,62 @@
+//! Enterprise search with permission levels (the paper's second
+//! motivating application, §1): employees may only search documents at or
+//! below their clearance, so each permission level is a *virtual view*
+//! over the shared repository — and scores (idf!) are computed over the
+//! visible view, not the whole corpus, exactly as the semantics demand.
+//!
+//! ```sh
+//! cargo run -p vxv-bench --example enterprise_search
+//! ```
+
+use vxv_core::{KeywordMode, ViewSearchEngine};
+use vxv_xml::Corpus;
+
+fn main() {
+    let mut corpus = Corpus::new();
+    corpus
+        .add_parsed(
+            "repo.xml",
+            r#"<repo>
+                 <doc><level>1</level><title>Cafeteria menu update</title>
+                      <body>new menu with budget friendly lunch options</body></doc>
+                 <doc><level>1</level><title>Parking policy</title>
+                      <body>garage access and visitor parking policy</body></doc>
+                 <doc><level>2</level><title>Quarterly budget</title>
+                      <body>departmental budget allocations and forecast</body></doc>
+                 <doc><level>2</level><title>Hiring plan</title>
+                      <body>headcount budget for the platform team</body></doc>
+                 <doc><level>3</level><title>Acquisition memo</title>
+                      <body>confidential budget for the pending acquisition</body></doc>
+               </repo>"#,
+        )
+        .unwrap();
+
+    let engine = ViewSearchEngine::new(&corpus);
+
+    // A clearance-L view exposes documents with level < L+1 (i.e. <= L).
+    let view_for = |clearance: u32| {
+        format!(
+            "for $d in fn:doc(repo.xml)/repo/doc where $d/level < {} \
+             return <res> {{ $d/title }} {{ $d/body }} </res>",
+            clearance + 1
+        )
+    };
+
+    for clearance in [1u32, 2, 3] {
+        let out = engine
+            .search(&view_for(clearance), &["budget"], 10, KeywordMode::Conjunctive)
+            .unwrap();
+        println!(
+            "clearance {clearance}: sees {} docs, {} mention 'budget' (idf = {:.3})",
+            out.view_size, out.matching, out.idf[0]
+        );
+        for hit in &out.hits {
+            println!("   #{} score={:.5} {}", hit.rank, hit.score, hit.xml);
+        }
+        println!();
+    }
+
+    // The same query scores differently per level: idf is a property of
+    // the *view*, so a level-1 user never learns that higher-clearance
+    // budget documents even exist.
+}

@@ -1,0 +1,43 @@
+//! Quickstart: ranked keyword search over a virtual XML view in ~30 lines.
+//!
+//! ```sh
+//! cargo run -p vxv-bench --example quickstart
+//! ```
+
+use vxv_core::{KeywordMode, ViewSearchEngine};
+use vxv_xml::Corpus;
+
+fn main() {
+    // 1. Load base documents into the store (indices build automatically).
+    let mut corpus = Corpus::new();
+    corpus
+        .add_parsed(
+            "books.xml",
+            r#"<books>
+                 <book><isbn>111</isbn><title>XML Web Services</title><year>2004</year></book>
+                 <book><isbn>222</isbn><title>Artificial Intelligence</title><year>2002</year></book>
+                 <book><isbn>333</isbn><title>Vintage Compilers</title><year>1989</year></book>
+               </books>"#,
+        )
+        .expect("well-formed XML");
+
+    // 2. Define a *virtual* view — never materialized.
+    let view = "for $b in fn:doc(books.xml)/books/book \
+                where $b/year > 1995 \
+                return <hit> { $b/title } </hit>";
+
+    // 3. Search the view. Only the top-k results are ever materialized.
+    let engine = ViewSearchEngine::new(&corpus);
+    let out = engine
+        .search(view, &["xml", "services"], 5, KeywordMode::Conjunctive)
+        .expect("query evaluates");
+
+    println!("view contains {} elements; {} match the keywords", out.view_size, out.matching);
+    for hit in &out.hits {
+        println!("#{} score={:.4} tf={:?}\n    {}", hit.rank, hit.score, hit.tf, hit.xml);
+    }
+    println!(
+        "phases: PDT {:?}, evaluator {:?}, scoring+materialization {:?}",
+        out.timings.pdt, out.timings.evaluator, out.timings.post
+    );
+}

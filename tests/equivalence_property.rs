@@ -1,0 +1,132 @@
+//! Randomized end-to-end equivalence: on arbitrary small book/review
+//! corpora (random structure, values and text), the Efficient pipeline
+//! and the Baseline return identical ranked results for the paper's
+//! running-example view — Theorem 4.1 beyond the INEX workloads.
+
+use proptest::prelude::*;
+use vxv_baselines::BaselineEngine;
+use vxv_core::{KeywordMode, ViewSearchEngine};
+use vxv_xml::{Corpus, DocumentBuilder};
+
+const WORDS: &[&str] = &["xml", "search", "data", "easy", "thorough"];
+
+#[derive(Clone, Debug)]
+struct BookSpec {
+    isbn: Option<u8>,
+    year: Option<u16>,
+    title_words: Vec<usize>,
+    in_shelf: bool,
+}
+
+#[derive(Clone, Debug)]
+struct ReviewSpec {
+    isbn: Option<u8>,
+    content_words: Vec<usize>,
+}
+
+fn book_strategy() -> impl Strategy<Value = BookSpec> {
+    (
+        proptest::option::of(0u8..6),
+        proptest::option::of(1990u16..2006),
+        prop::collection::vec(0..WORDS.len(), 0..4),
+        any::<bool>(),
+    )
+        .prop_map(|(isbn, year, title_words, in_shelf)| BookSpec {
+            isbn,
+            year,
+            title_words,
+            in_shelf,
+        })
+}
+
+fn review_strategy() -> impl Strategy<Value = ReviewSpec> {
+    (proptest::option::of(0u8..6), prop::collection::vec(0..WORDS.len(), 0..5))
+        .prop_map(|(isbn, content_words)| ReviewSpec { isbn, content_words })
+}
+
+fn build(books: &[BookSpec], reviews: &[ReviewSpec]) -> Corpus {
+    let mut b = DocumentBuilder::new("books.xml", 1);
+    b.begin("books");
+    for spec in books {
+        if spec.in_shelf {
+            b.begin("shelf");
+        }
+        b.begin("book");
+        if let Some(i) = spec.isbn {
+            b.leaf("isbn", &i.to_string());
+        }
+        if !spec.title_words.is_empty() {
+            let t: Vec<&str> = spec.title_words.iter().map(|w| WORDS[*w]).collect();
+            b.leaf("title", &t.join(" "));
+        }
+        if let Some(y) = spec.year {
+            b.leaf("year", &y.to_string());
+        }
+        b.end();
+        if spec.in_shelf {
+            b.end();
+        }
+    }
+    b.end();
+    let books_doc = b.finish();
+
+    let mut b = DocumentBuilder::new("reviews.xml", 2);
+    b.begin("reviews");
+    for spec in reviews {
+        b.begin("review");
+        if let Some(i) = spec.isbn {
+            b.leaf("isbn", &i.to_string());
+        }
+        if !spec.content_words.is_empty() {
+            let t: Vec<&str> = spec.content_words.iter().map(|w| WORDS[*w]).collect();
+            b.leaf("content", &t.join(" "));
+        }
+        b.end();
+    }
+    b.end();
+    let reviews_doc = b.finish();
+
+    let mut c = Corpus::new();
+    c.add(books_doc);
+    c.add(reviews_doc);
+    c
+}
+
+const VIEW: &str = "for $book in fn:doc(books.xml)/books//book \
+     where $book/year > 1995 \
+     return <bookrevs> \
+       { <book> {$book/title} </book> } \
+       { for $rev in fn:doc(reviews.xml)/reviews//review \
+         where $rev/isbn = $book/isbn \
+         return $rev/content } \
+     </bookrevs>";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn efficient_equals_baseline_on_random_corpora(
+        books in prop::collection::vec(book_strategy(), 0..8),
+        reviews in prop::collection::vec(review_strategy(), 0..8),
+        kw in prop::collection::vec(0..WORDS.len(), 1..3),
+        disjunctive in any::<bool>(),
+    ) {
+        let corpus = build(&books, &reviews);
+        let keywords: Vec<&str> = kw.iter().map(|w| WORDS[*w]).collect();
+        let mode = if disjunctive { KeywordMode::Disjunctive } else { KeywordMode::Conjunctive };
+
+        let eff = ViewSearchEngine::new(&corpus).search(VIEW, &keywords, 5, mode).unwrap();
+        let base = BaselineEngine::new(&corpus).search(VIEW, &keywords, 5, mode).unwrap();
+
+        prop_assert_eq!(eff.view_size, base.view_size, "|V(D)|");
+        prop_assert_eq!(eff.matching, base.matching, "matching");
+        prop_assert_eq!(&eff.idf, &base.idf, "idf");
+        prop_assert_eq!(eff.hits.len(), base.hits.len(), "hit count");
+        for (e, b) in eff.hits.iter().zip(&base.hits) {
+            prop_assert_eq!(&e.tf, &b.tf, "tf at rank {}", e.rank);
+            prop_assert_eq!(e.byte_len, b.byte_len, "byte_len at rank {}", e.rank);
+            prop_assert_eq!(e.score, b.score, "score at rank {}", e.rank);
+            prop_assert_eq!(&e.xml, &b.xml, "xml at rank {}", e.rank);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! End-to-end invariants of the Efficient pipeline, including the
+//! disk-backed configuration: base data is touched only for top-k
+//! materialization, results are identical with and without the disk
+//! store, and index probe counts stay query-proportional.
+
+use vxv_core::{generate_qpts, KeywordMode, ViewSearchEngine};
+use vxv_inex::{generate, ExperimentParams};
+use vxv_xml::DiskStore;
+use vxv_xquery::parse_query;
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("vxv-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn disk_backed_and_in_memory_results_are_identical() {
+    let params = ExperimentParams { data_bytes: 64 * 1024, ..ExperimentParams::default() };
+    let corpus = generate(&params.generator_config());
+    let dir = tmpdir("eq");
+    let store = DiskStore::persist(&corpus, &dir).unwrap();
+
+    let mem = ViewSearchEngine::new(&corpus)
+        .search(&params.view(), &params.keywords(), 10, KeywordMode::Conjunctive)
+        .unwrap();
+    let disk = ViewSearchEngine::new(&corpus)
+        .with_store(&store)
+        .search(&params.view(), &params.keywords(), 10, KeywordMode::Conjunctive)
+        .unwrap();
+
+    assert_eq!(mem.view_size, disk.view_size);
+    assert_eq!(mem.hits.len(), disk.hits.len());
+    for (a, b) in mem.hits.iter().zip(&disk.hits) {
+        assert_eq!(a.score, b.score);
+        assert_eq!(a.xml, b.xml);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn base_data_reads_happen_only_for_top_k() {
+    let params = ExperimentParams { data_bytes: 64 * 1024, ..ExperimentParams::default() };
+    let corpus = generate(&params.generator_config());
+    let dir = tmpdir("topk");
+    let store = DiskStore::persist(&corpus, &dir).unwrap();
+    let engine = ViewSearchEngine::new(&corpus).with_store(&store);
+
+    store.reset_stats();
+    let out = engine
+        .search(&params.view(), &params.keywords(), 3, KeywordMode::Conjunctive)
+        .unwrap();
+    let stats = store.stats();
+    // No whole-document reads, ever.
+    assert_eq!(stats.full_reads, 0, "the pipeline must not scan base documents");
+    // Only the hits' content is ranged in; the amount read is tied to the
+    // hits, not the corpus.
+    assert_eq!(stats.range_reads, out.fetches);
+    let hit_bytes: u64 = out.hits.iter().map(|h| h.xml.len() as u64).sum();
+    assert!(
+        stats.bytes_read <= 2 * hit_bytes + 4096,
+        "read {} bytes for {} bytes of hits",
+        stats.bytes_read,
+        hit_bytes
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn zero_hits_means_zero_base_reads() {
+    let params = ExperimentParams { data_bytes: 48 * 1024, ..ExperimentParams::default() };
+    let corpus = generate(&params.generator_config());
+    let dir = tmpdir("zero");
+    let store = DiskStore::persist(&corpus, &dir).unwrap();
+    let engine = ViewSearchEngine::new(&corpus).with_store(&store);
+    store.reset_stats();
+    let out = engine
+        .search(&params.view(), &["qqqnonexistent"], 10, KeywordMode::Conjunctive)
+        .unwrap();
+    assert!(out.hits.is_empty());
+    assert_eq!(store.stats().range_reads, 0);
+    assert_eq!(store.stats().full_reads, 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn probe_counts_are_query_proportional_not_data_proportional() {
+    let small = ExperimentParams { data_bytes: 48 * 1024, ..ExperimentParams::default() };
+    let large = ExperimentParams { data_bytes: 256 * 1024, ..ExperimentParams::default() };
+    let probes = |p: &ExperimentParams| {
+        let corpus = generate(&p.generator_config());
+        let engine = ViewSearchEngine::new(&corpus);
+        engine.path_index().reset_stats();
+        engine.search(&p.view(), &p.keywords(), 10, KeywordMode::Conjunctive).unwrap();
+        engine.path_index().stats().probes
+    };
+    let a = probes(&small);
+    let b = probes(&large);
+    assert_eq!(a, b, "probe count must depend on the query, not the data");
+}
+
+#[test]
+fn view_size_scales_with_data_but_pdts_stay_proportionally_small() {
+    let params = ExperimentParams { data_bytes: 128 * 1024, ..ExperimentParams::default() };
+    let corpus = generate(&params.generator_config());
+    let engine = ViewSearchEngine::new(&corpus);
+    let out = engine
+        .search(&params.view(), &params.keywords(), 10, KeywordMode::Conjunctive)
+        .unwrap();
+    assert!(out.view_size > 0);
+    let pdt_bytes: u64 = out.pdt_stats.iter().map(|(_, _, b)| *b).sum();
+    assert!(pdt_bytes < corpus.byte_size() / 4);
+    // Every PDT reported per document the view references.
+    assert_eq!(out.pdt_stats.len(), 2);
+}
+
+#[test]
+fn all_table1_views_run_end_to_end_on_one_corpus() {
+    let params = ExperimentParams { data_bytes: 64 * 1024, ..ExperimentParams::default() };
+    let corpus = generate(&params.generator_config());
+    let engine = ViewSearchEngine::new(&corpus);
+    for joins in 0..=4 {
+        for nesting in 1..=4 {
+            let view = vxv_inex::build_view(joins, nesting);
+            let q = parse_query(&view).unwrap();
+            let qpts = generate_qpts(&q).unwrap();
+            assert!(!qpts.is_empty());
+            let out = engine
+                .search(&view, &["data"], 5, KeywordMode::Conjunctive)
+                .unwrap_or_else(|e| panic!("joins={joins} nesting={nesting}: {e}"));
+            assert!(out.view_size > 0, "joins={joins} nesting={nesting}");
+        }
+    }
+}

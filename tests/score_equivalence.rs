@@ -1,0 +1,141 @@
+//! Theorem 4.1 as an executable test: keyword search over the *virtual*
+//! view (Efficient pipeline, index-only PDTs) returns exactly the same
+//! results — same view size, same idf, same per-hit tf vectors, byte
+//! lengths, scores, ranking, and materialized XML — as searching the
+//! fully *materialized* view (Baseline).
+//!
+//! Runs over every Table-1 view shape on generated INEX-like corpora,
+//! with both conjunctive and disjunctive semantics and every keyword
+//! selectivity class.
+
+use vxv_baselines::BaselineEngine;
+use vxv_core::{KeywordMode, ViewSearchEngine};
+use vxv_inex::{generate, ExperimentParams, Selectivity};
+
+fn assert_equivalent(params: &ExperimentParams, keywords: &[&str], mode: KeywordMode) {
+    let corpus = generate(&params.generator_config());
+    let view = params.view();
+
+    let efficient = ViewSearchEngine::new(&corpus)
+        .search(&view, keywords, params.top_k, mode)
+        .unwrap_or_else(|e| panic!("efficient failed on {view}: {e}"));
+    let baseline = BaselineEngine::new(&corpus)
+        .search(&view, keywords, params.top_k, mode)
+        .unwrap_or_else(|e| panic!("baseline failed on {view}: {e}"));
+
+    let ctx = format!(
+        "joins={} nesting={} mode={mode:?} keywords={keywords:?}",
+        params.num_joins, params.nesting
+    );
+    assert_eq!(efficient.view_size, baseline.view_size, "|V(D)| differs: {ctx}");
+    assert_eq!(efficient.matching, baseline.matching, "match count differs: {ctx}");
+    assert_eq!(efficient.idf, baseline.idf, "idf differs: {ctx}");
+    assert_eq!(efficient.hits.len(), baseline.hits.len(), "hit count differs: {ctx}");
+    for (e, b) in efficient.hits.iter().zip(&baseline.hits) {
+        assert_eq!(e.rank, b.rank, "{ctx}");
+        assert_eq!(e.tf, b.tf, "tf differs at rank {}: {ctx}", e.rank);
+        assert_eq!(e.byte_len, b.byte_len, "byte_len differs at rank {}: {ctx}", e.rank);
+        assert_eq!(e.score, b.score, "score differs at rank {}: {ctx}", e.rank);
+        assert_eq!(e.xml, b.xml, "materialized XML differs at rank {}: {ctx}", e.rank);
+    }
+}
+
+fn small(params: ExperimentParams) -> ExperimentParams {
+    ExperimentParams { data_bytes: 72 * 1024, top_k: 8, ..params }
+}
+
+#[test]
+fn default_view_conjunctive() {
+    let p = small(ExperimentParams::default());
+    assert_equivalent(&p, &p.keywords(), KeywordMode::Conjunctive);
+}
+
+#[test]
+fn default_view_disjunctive() {
+    let p = small(ExperimentParams::default());
+    assert_equivalent(&p, &p.keywords(), KeywordMode::Disjunctive);
+}
+
+#[test]
+fn every_join_count_matches() {
+    for joins in 0..=4 {
+        let p = small(ExperimentParams { num_joins: joins, ..ExperimentParams::default() });
+        assert_equivalent(&p, &p.keywords(), KeywordMode::Conjunctive);
+    }
+}
+
+#[test]
+fn every_nesting_level_matches() {
+    for nesting in 1..=4 {
+        let p = small(ExperimentParams { nesting, ..ExperimentParams::default() });
+        assert_equivalent(&p, &p.keywords(), KeywordMode::Conjunctive);
+    }
+}
+
+#[test]
+fn every_selectivity_class_matches() {
+    for sel in [Selectivity::Low, Selectivity::Medium, Selectivity::High] {
+        for n in [1, 3, 5] {
+            let p = small(ExperimentParams {
+                selectivity: sel,
+                num_keywords: n,
+                ..ExperimentParams::default()
+            });
+            assert_equivalent(&p, &p.keywords(), KeywordMode::Disjunctive);
+        }
+    }
+}
+
+#[test]
+fn join_selectivity_sweep_matches() {
+    for js in [1.0, 0.5, 0.2, 0.1] {
+        let p = small(ExperimentParams { join_selectivity: js, ..ExperimentParams::default() });
+        assert_equivalent(&p, &p.keywords(), KeywordMode::Conjunctive);
+    }
+}
+
+#[test]
+fn element_size_sweep_matches() {
+    for s in [1, 3, 5] {
+        let p = small(ExperimentParams { elem_size: s, ..ExperimentParams::default() });
+        assert_equivalent(&p, &p.keywords(), KeywordMode::Conjunctive);
+    }
+}
+
+#[test]
+fn different_seeds_match() {
+    for seed in [7, 99, 12345] {
+        let p = small(ExperimentParams { seed, ..ExperimentParams::default() });
+        assert_equivalent(&p, &p.keywords(), KeywordMode::Conjunctive);
+    }
+}
+
+#[test]
+fn rare_keywords_with_empty_results_match() {
+    let p = small(ExperimentParams::default());
+    // A keyword that never occurs: both must agree on emptiness.
+    assert_equivalent(&p, &["zzzznonexistent"], KeywordMode::Conjunctive);
+    assert_equivalent(&p, &["moore", "zzzznonexistent"], KeywordMode::Disjunctive);
+}
+
+#[test]
+fn hand_written_view_with_predicates_matches() {
+    let corpus = {
+        let p = small(ExperimentParams::default());
+        generate(&p.generator_config())
+    };
+    let view = "for $art in fn:doc(inex.xml)/books//article[fm] \
+                where $art/fm/yr > 2000 and $art/fm/yr < 2004 \
+                return <res> { $art/fm/tl } { $art/fm/kwd } </res>";
+    let eff = ViewSearchEngine::new(&corpus)
+        .search(view, &["data", "model"], 10, KeywordMode::Disjunctive)
+        .unwrap();
+    let base = BaselineEngine::new(&corpus)
+        .search(view, &["data", "model"], 10, KeywordMode::Disjunctive)
+        .unwrap();
+    assert_eq!(eff.view_size, base.view_size);
+    assert_eq!(eff.hits.len(), base.hits.len());
+    for (e, b) in eff.hits.iter().zip(&base.hits) {
+        assert_eq!((e.score, &e.xml), (b.score, &b.xml));
+    }
+}

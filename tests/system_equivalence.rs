@@ -1,0 +1,96 @@
+//! Cross-system structural equivalence: the GTP+TermJoin comparison
+//! system answers the same QPT-matching problem as the index-only sweep,
+//! so on any corpus both must construct identical PDTs (element sets,
+//! values, tf annotations) — and both must equal the oracle built
+//! straight from Definitions 1–3.
+
+use vxv_baselines::GtpEngine;
+use vxv_core::generate_qpts;
+use vxv_core::generate::{generate_pdt, DocMeta};
+use vxv_core::oracle::oracle_pdt;
+use vxv_inex::{generate, ExperimentParams};
+use vxv_index::{InvertedIndex, PathIndex};
+use vxv_xquery::parse_query;
+
+#[test]
+fn gtp_and_efficient_build_identical_pdts_on_generated_data() {
+    for (joins, nesting) in [(1usize, 2usize), (2, 2), (0, 1), (4, 3)] {
+        let params = ExperimentParams {
+            data_bytes: 64 * 1024,
+            num_joins: joins,
+            nesting,
+            ..ExperimentParams::default()
+        };
+        let corpus = generate(&params.generator_config());
+        let query = parse_query(&params.view()).unwrap();
+        let qpts = generate_qpts(&query).unwrap();
+        let keywords: Vec<String> = params.keywords().iter().map(|s| s.to_string()).collect();
+
+        let path_index = PathIndex::build(&corpus);
+        let inverted = InvertedIndex::build(&corpus);
+        let gtp = GtpEngine::new(&corpus);
+
+        for qpt in &qpts {
+            let doc = corpus.doc(&qpt.doc_name).unwrap();
+            let root = doc.root().unwrap();
+            let meta = DocMeta {
+                name: qpt.doc_name.clone(),
+                root_tag: doc.node_tag(root).to_string(),
+                root_ordinal: doc.node(root).dewey.components()[0],
+            };
+            let (efficient, _) = generate_pdt(qpt, &path_index, &inverted, &keywords, &meta);
+            let (via_gtp, _, _) = gtp.build_pdt(qpt, &keywords);
+            let oracle = oracle_pdt(doc, qpt, &inverted, &keywords);
+
+            let ctx = format!("joins={joins} nesting={nesting} doc={}", qpt.doc_name);
+            let eff_keys: Vec<String> = efficient.info.keys().map(|d| d.to_string()).collect();
+            let gtp_keys: Vec<String> = via_gtp.info.keys().map(|d| d.to_string()).collect();
+            let ora_keys: Vec<String> = oracle.info.keys().map(|d| d.to_string()).collect();
+            assert_eq!(eff_keys, ora_keys, "efficient vs oracle: {ctx}");
+            assert_eq!(gtp_keys, ora_keys, "gtp vs oracle: {ctx}");
+            for (dewey, want) in &oracle.info {
+                assert_eq!(
+                    efficient.node_info(dewey).unwrap(),
+                    want,
+                    "efficient info at {dewey}: {ctx}"
+                );
+                assert_eq!(
+                    via_gtp.node_info(dewey).unwrap(),
+                    want,
+                    "gtp info at {dewey}: {ctx}"
+                );
+                let en = efficient.doc.node_by_dewey(dewey).unwrap();
+                let gn = via_gtp.doc.node_by_dewey(dewey).unwrap();
+                assert_eq!(efficient.doc.value(en), via_gtp.doc.value(gn), "value at {dewey}: {ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn pdts_are_much_smaller_than_the_data() {
+    let params = ExperimentParams { data_bytes: 256 * 1024, ..ExperimentParams::default() };
+    let corpus = generate(&params.generator_config());
+    let query = parse_query(&params.view()).unwrap();
+    let qpts = generate_qpts(&query).unwrap();
+    let keywords: Vec<String> = params.keywords().iter().map(|s| s.to_string()).collect();
+    let path_index = PathIndex::build(&corpus);
+    let inverted = InvertedIndex::build(&corpus);
+    let mut total_pdt = 0u64;
+    for qpt in &qpts {
+        let doc = corpus.doc(&qpt.doc_name).unwrap();
+        let root = doc.root().unwrap();
+        let meta = DocMeta {
+            name: qpt.doc_name.clone(),
+            root_tag: doc.node_tag(root).to_string(),
+            root_ordinal: doc.node(root).dewey.components()[0],
+        };
+        let (pdt, _) = generate_pdt(qpt, &path_index, &inverted, &keywords, &meta);
+        total_pdt += pdt.byte_size();
+    }
+    let corpus_bytes = corpus.byte_size();
+    assert!(
+        total_pdt * 4 < corpus_bytes,
+        "PDTs ({total_pdt}B) should be well under a quarter of the data ({corpus_bytes}B)"
+    );
+}
