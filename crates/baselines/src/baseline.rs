@@ -73,9 +73,7 @@ impl<'c> BaselineEngine<'c> {
         mode: KeywordMode,
     ) -> Result<BaselineOutcome, EngineError> {
         let t0 = Instant::now();
-        let corpus = store
-            .read_all()
-            .map_err(|e| EngineError::UnknownDocument(e.to_string()))?;
+        let corpus = store.read_all().map_err(|e| EngineError::UnknownDocument(e.to_string()))?;
         let load = t0.elapsed();
         let engine = BaselineEngine::new(&corpus);
         let mut out = engine.search(view, keywords, k, mode)?;

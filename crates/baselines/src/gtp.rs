@@ -139,10 +139,9 @@ impl<'c> GtpEngine<'c> {
             let probed = qpt.probed(q);
             for d in &matched[&q] {
                 let node_id = doc.node_by_dewey(d).expect("matched element exists");
-                let slot = elements.entry(d.clone()).or_insert_with(|| PdtElem {
-                    tag: qn.tag.clone(),
-                    ..PdtElem::default()
-                });
+                let slot = elements
+                    .entry(d.clone())
+                    .or_insert_with(|| PdtElem { tag: qn.tag.clone(), ..PdtElem::default() });
                 if probed {
                     if slot.value.is_none() {
                         stats.base_value_fetches += 1;
@@ -235,8 +234,7 @@ fn keep_with_matched_ancestor(list: &[DeweyId], parents: &[DeweyId], axis: Axis)
             stack.pop();
         }
         let ok = match axis {
-            Axis::Child => stack.last().map(|p| p.is_parent_of(d)).unwrap_or(false)
-                || stack.iter().any(|p| p.is_parent_of(d)),
+            Axis::Child => stack.iter().any(|p| p.is_parent_of(d)),
             Axis::Descendant => stack.iter().any(|p| p.is_ancestor_of(d)),
         };
         if ok {
@@ -315,10 +313,7 @@ mod tests {
         let d = |s: &str| s.parse::<DeweyId>().unwrap();
         let outer = vec![d("1"), d("1.1")];
         let inner = vec![d("1.1.1")];
-        assert_eq!(
-            structural_semi_join(&outer, &inner, Axis::Descendant),
-            vec![d("1"), d("1.1")]
-        );
+        assert_eq!(structural_semi_join(&outer, &inner, Axis::Descendant), vec![d("1"), d("1.1")]);
     }
 
     #[test]

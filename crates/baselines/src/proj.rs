@@ -175,7 +175,7 @@ mod tests {
         // But off-path elements are dropped.
         assert!(projected.node_by_dewey(&"1.1.4".parse().unwrap()).is_none()); // extra
         assert!(projected.node_by_dewey(&"1.3".parse().unwrap()).is_none()); // unrelated
-        // The whole document was scanned.
+                                                                             // The whole document was scanned.
         assert!(stats.nodes_scanned >= doc.len());
         assert!(stats.nodes_kept < doc.len());
     }

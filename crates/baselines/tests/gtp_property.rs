@@ -30,7 +30,12 @@ fn tree_strategy() -> impl Strategy<Value = TreeSpec> {
             proptest::option::of(0..WORDS.len()),
             prop::collection::vec(inner, 0..4),
         )
-            .prop_map(|(tag, value, word, children)| TreeSpec { tag, value, word, children })
+            .prop_map(|(tag, value, word, children)| TreeSpec {
+                tag,
+                value,
+                word,
+                children,
+            })
     })
 }
 

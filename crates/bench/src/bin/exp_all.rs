@@ -18,12 +18,21 @@ fn main() {
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
     for name in [
-        "exp_fig13", "exp_fig14", "exp_fig15", "exp_fig16", "exp_fig17", "exp_fig18",
-        "exp_fig19", "exp_fig20", "exp_extra",
+        "exp_fig13",
+        "exp_fig14",
+        "exp_fig15",
+        "exp_fig16",
+        "exp_fig17",
+        "exp_fig18",
+        "exp_fig19",
+        "exp_fig20",
+        "exp_extra",
     ] {
         let bin = dir.join(name);
         if !bin.exists() {
-            eprintln!("missing sibling binary {name}; build with `cargo build --release -p vxv-bench`");
+            eprintln!(
+                "missing sibling binary {name}; build with `cargo build --release -p vxv-bench`"
+            );
             continue;
         }
         let status = Command::new(&bin).status().expect("spawn experiment");

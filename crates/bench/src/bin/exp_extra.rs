@@ -12,14 +12,10 @@ use vxv_inex::ExperimentParams;
 fn main() {
     print_preamble("Extra X1", "run time vs average view-element size");
     let base = base_kb_from_env() * 1024;
-    let mut table =
-        Table::new(&["elem size", "PDT(ms)", "Evaluator(ms)", "Post(ms)", "total(ms)"]);
+    let mut table = Table::new(&["elem size", "PDT(ms)", "Evaluator(ms)", "Post(ms)", "total(ms)"]);
     for s in 1..=5u32 {
-        let params = ExperimentParams {
-            data_bytes: base,
-            elem_size: s,
-            ..ExperimentParams::default()
-        };
+        let params =
+            ExperimentParams { data_bytes: base, elem_size: s, ..ExperimentParams::default() };
         let m = measure_point(&params, &MeasureOptions::default());
         table.row(vec![
             format!("{s}X"),

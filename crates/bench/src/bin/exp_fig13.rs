@@ -10,28 +10,23 @@
 //! Baseline is run only up to `VXV_BASELINE_CAP_X` (default 2×) of the
 //! base size, mirroring the paper's own 13 MB cutoff for it.
 
-use vxv_bench::harness::{base_kb_from_env, measure_point, print_preamble, MeasureOptions, SystemSet};
+use vxv_bench::harness::{
+    base_kb_from_env, measure_point, print_preamble, MeasureOptions, SystemSet,
+};
 use vxv_bench::table::{ms, Table};
 use vxv_inex::ExperimentParams;
 
 fn main() {
     print_preamble("Figure 13", "run time vs data size, all four systems");
     let base = base_kb_from_env() * 1024;
-    let baseline_cap: u64 = std::env::var("VXV_BASELINE_CAP_X")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2);
-    let mut table = Table::new(&[
-        "size(KB)", "Baseline(ms)", "GTP(ms)", "Proj(ms)", "Efficient(ms)",
-    ]);
+    let baseline_cap: u64 =
+        std::env::var("VXV_BASELINE_CAP_X").ok().and_then(|v| v.parse().ok()).unwrap_or(2);
+    let mut table =
+        Table::new(&["size(KB)", "Baseline(ms)", "GTP(ms)", "Proj(ms)", "Efficient(ms)"]);
     for mult in 1..=5u64 {
         let params = ExperimentParams { data_bytes: base * mult, ..ExperimentParams::default() };
         let opts = MeasureOptions {
-            systems: SystemSet {
-                baseline: mult <= baseline_cap,
-                gtp: true,
-                proj: true,
-            },
+            systems: SystemSet { baseline: mult <= baseline_cap, gtp: true, proj: true },
             ..MeasureOptions::default()
         };
         let m = measure_point(&params, &opts);

@@ -10,14 +10,10 @@ use vxv_inex::ExperimentParams;
 fn main() {
     print_preamble("Figure 15", "run time vs number of keywords");
     let base = base_kb_from_env() * 1024;
-    let mut table =
-        Table::new(&["#keywords", "PDT(ms)", "Evaluator(ms)", "Post(ms)", "total(ms)"]);
+    let mut table = Table::new(&["#keywords", "PDT(ms)", "Evaluator(ms)", "Post(ms)", "total(ms)"]);
     for n in 1..=5usize {
-        let params = ExperimentParams {
-            data_bytes: base,
-            num_keywords: n,
-            ..ExperimentParams::default()
-        };
+        let params =
+            ExperimentParams { data_bytes: base, num_keywords: n, ..ExperimentParams::default() };
         let m = measure_point(&params, &MeasureOptions::default());
         table.row(vec![
             n.to_string(),

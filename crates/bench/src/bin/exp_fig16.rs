@@ -13,16 +13,11 @@ fn main() {
     let base = base_kb_from_env() * 1024;
     let mut table =
         Table::new(&["selectivity", "PDT(ms)", "Evaluator(ms)", "Post(ms)", "total(ms)"]);
-    for (label, sel) in [
-        ("Low", Selectivity::Low),
-        ("Medium", Selectivity::Medium),
-        ("High", Selectivity::High),
-    ] {
-        let params = ExperimentParams {
-            data_bytes: base,
-            selectivity: sel,
-            ..ExperimentParams::default()
-        };
+    for (label, sel) in
+        [("Low", Selectivity::Low), ("Medium", Selectivity::Medium), ("High", Selectivity::High)]
+    {
+        let params =
+            ExperimentParams { data_bytes: base, selectivity: sel, ..ExperimentParams::default() };
         let m = measure_point(&params, &MeasureOptions::default());
         table.row(vec![
             label.to_string(),

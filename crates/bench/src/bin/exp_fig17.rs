@@ -14,11 +14,8 @@ fn main() {
     let mut table =
         Table::new(&["#joins", "#PDTs", "PDT(ms)", "Evaluator(ms)", "Post(ms)", "total(ms)"]);
     for joins in 0..=4usize {
-        let params = ExperimentParams {
-            data_bytes: base,
-            num_joins: joins,
-            ..ExperimentParams::default()
-        };
+        let params =
+            ExperimentParams { data_bytes: base, num_joins: joins, ..ExperimentParams::default() };
         let pdts = if joins == 0 { 1 } else { joins + 1 };
         let m = measure_point(&params, &MeasureOptions::default());
         table.row(vec![

@@ -10,14 +10,9 @@ use vxv_inex::ExperimentParams;
 fn main() {
     print_preamble("Figure 19", "run time vs level of nesting");
     let base = base_kb_from_env() * 1024;
-    let mut table =
-        Table::new(&["nesting", "PDT(ms)", "Evaluator(ms)", "Post(ms)", "total(ms)"]);
+    let mut table = Table::new(&["nesting", "PDT(ms)", "Evaluator(ms)", "Post(ms)", "total(ms)"]);
     for nesting in 1..=4usize {
-        let params = ExperimentParams {
-            data_bytes: base,
-            nesting,
-            ..ExperimentParams::default()
-        };
+        let params = ExperimentParams { data_bytes: base, nesting, ..ExperimentParams::default() };
         let m = measure_point(&params, &MeasureOptions::default());
         table.row(vec![
             nesting.to_string(),

@@ -11,15 +11,10 @@ use vxv_inex::ExperimentParams;
 fn main() {
     print_preamble("Figure 20", "run time vs number of results (top-K)");
     let base = base_kb_from_env() * 1024;
-    let mut table = Table::new(&[
-        "K", "PDT(ms)", "Evaluator(ms)", "Post(ms)", "total(ms)", "base fetches",
-    ]);
+    let mut table =
+        Table::new(&["K", "PDT(ms)", "Evaluator(ms)", "Post(ms)", "total(ms)", "base fetches"]);
     for k in [1usize, 10, 20, 30, 40] {
-        let params = ExperimentParams {
-            data_bytes: base,
-            top_k: k,
-            ..ExperimentParams::default()
-        };
+        let params = ExperimentParams { data_bytes: base, top_k: k, ..ExperimentParams::default() };
         let m = measure_point(&params, &MeasureOptions::default());
         table.row(vec![
             k.to_string(),

@@ -10,7 +10,7 @@
 //! must use the same names (base name of the path).
 
 use std::process::ExitCode;
-use vxv_core::{KeywordMode, ViewSearchEngine};
+use vxv_core::{KeywordMode, SearchRequest, ViewSearchEngine};
 use vxv_xml::Corpus;
 
 struct Args {
@@ -58,8 +58,7 @@ fn load(args: &Args) -> Result<(Corpus, String), String> {
         .map_err(|e| format!("cannot read view {view_path}: {e}"))?;
     let mut corpus = Corpus::new();
     for path in &args.docs {
-        let xml =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let xml = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let name = std::path::Path::new(path)
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
@@ -87,9 +86,9 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             let mode = if args.any { KeywordMode::Disjunctive } else { KeywordMode::Conjunctive };
-            let kws: Vec<&str> = args.keywords.iter().map(|s| s.as_str()).collect();
             let engine = ViewSearchEngine::new(&corpus);
-            match engine.search(&view, &kws, args.top, mode) {
+            let request = SearchRequest::new(&args.keywords).top_k(args.top).mode(mode);
+            match engine.prepare(&view).and_then(|v| v.search(&request)) {
                 Ok(out) => {
                     eprintln!(
                         "view: {} elements, {} match; idf = {:?}",
@@ -99,10 +98,12 @@ fn main() -> ExitCode {
                         println!("#{}\tscore={:.6}\ttf={:?}", hit.rank, hit.score, hit.tf);
                         println!("{}", hit.xml);
                     }
-                    eprintln!(
-                        "timings: pdt {:?}, evaluator {:?}, post {:?}; {} base fetches",
-                        out.timings.pdt, out.timings.evaluator, out.timings.post, out.fetches
-                    );
+                    if let Some(t) = out.timings {
+                        eprintln!(
+                            "timings: pdt {:?}, evaluator {:?}, post {:?}; {} base fetches",
+                            t.pdt, t.evaluator, t.post, out.fetches
+                        );
+                    }
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
@@ -113,9 +114,9 @@ fn main() -> ExitCode {
         }
         "inspect" => {
             let engine = ViewSearchEngine::new(&corpus);
-            let kws: Vec<&str> = args.keywords.iter().map(|s| s.as_str()).collect();
-            match engine.explain(&view, &kws) {
-                Ok(out) => {
+            match engine.prepare(&view) {
+                Ok(prepared) => {
+                    let out = prepared.plan(&args.keywords);
                     for q in &out.qpts {
                         println!("{}", q.rendered);
                         println!("  pattern nodes: {}", q.nodes);

@@ -3,7 +3,7 @@
 
 use std::time::{Duration, Instant};
 use vxv_baselines::{BaselineEngine, GtpEngine};
-use vxv_core::{generate_qpts, KeywordMode, ViewSearchEngine};
+use vxv_core::{generate_qpts, KeywordMode, SearchRequest, ViewSearchEngine};
 use vxv_inex::{generate, ExperimentParams};
 use vxv_xml::{Corpus, DiskStore};
 use vxv_xquery::parse_query;
@@ -64,21 +64,14 @@ pub fn base_kb_from_env() -> u64 {
 /// Tune with `VXV_DISK_LAT_US` / `VXV_DISK_MBPS`; set both to 0 to
 /// measure raw page-cache speed.
 pub fn cost_model_from_env() -> Option<vxv_xml::diskstore::CostModel> {
-    let lat_us: u64 = std::env::var("VXV_DISK_LAT_US")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(400);
-    let mbps: f64 = std::env::var("VXV_DISK_MBPS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(8.0);
+    let lat_us: u64 =
+        std::env::var("VXV_DISK_LAT_US").ok().and_then(|v| v.parse().ok()).unwrap_or(400);
+    let mbps: f64 = std::env::var("VXV_DISK_MBPS").ok().and_then(|v| v.parse().ok()).unwrap_or(8.0);
     if lat_us == 0 && mbps == 0.0 {
         return None;
     }
-    let page_bytes: u64 = std::env::var("VXV_DISK_PAGE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2048);
+    let page_bytes: u64 =
+        std::env::var("VXV_DISK_PAGE").ok().and_then(|v| v.parse().ok()).unwrap_or(2048);
     Some(vxv_xml::diskstore::CostModel {
         read_latency: Duration::from_micros(lat_us),
         bytes_per_sec: if mbps > 0.0 { mbps * 1024.0 * 1024.0 } else { f64::INFINITY },
@@ -161,7 +154,11 @@ pub fn measure_on_corpus(
     store.set_cost_model(cost_model_from_env());
     let view = params.view();
     let keywords = params.keywords();
-    let engine = ViewSearchEngine::new(corpus).with_store(&store);
+    let engine = ViewSearchEngine::new(corpus).with_source(&store);
+    // View analysis is paid once, like index construction: plans exist
+    // before queries arrive.
+    let prepared = engine.prepare(&view).expect("prepare view");
+    let request = SearchRequest::new(&keywords).top_k(params.top_k).mode(KeywordMode::Conjunctive);
 
     let mut m = Measurement { corpus_bytes: corpus.byte_size(), ..Measurement::default() };
 
@@ -169,15 +166,14 @@ pub fn measure_on_corpus(
     for _ in 0..opts.runs {
         store.reset_stats(); // cold buffer pool per query, per the paper's
                              // larger-than-memory regime
-        let out = engine
-            .search(&view, &keywords, params.top_k, KeywordMode::Conjunctive)
-            .expect("efficient search");
-        acc.0 += out.timings.pdt;
-        acc.1 += out.timings.evaluator;
-        acc.2 += out.timings.post;
+        let out = prepared.search(&request).expect("efficient search");
+        let timings = out.timings.expect("timings requested");
+        acc.0 += timings.pdt;
+        acc.1 += timings.evaluator;
+        acc.2 += timings.post;
         m.view_size = out.view_size;
         m.matching = out.matching;
-        m.pdt_bytes = out.pdt_stats.iter().map(|(_, _, b)| *b).sum();
+        m.pdt_bytes = out.pdt_bytes();
         m.fetches = out.fetches;
     }
     m.efficient = PhaseAverages {

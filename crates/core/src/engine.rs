@@ -1,26 +1,28 @@
 //! The end-to-end engine: the modified query execution path of Fig. 3.
 //!
-//! `parse → GenerateQPT → GeneratePDT (index-only) → regular evaluator
-//! over PDTs → score → materialize top-k from document storage`.
+//! `prepare (parse → GenerateQPT → PrepareLists) → search (GeneratePDT
+//! index-only → regular evaluator over PDTs → score → materialize top-k
+//! from document storage)`.
+//!
+//! [`ViewSearchEngine`] owns the indices and is generic over its
+//! [`DocumentSource`] — the in-memory [`Corpus`], the disk-backed
+//! [`vxv_xml::DiskStore`], or any embedder-supplied backend. The
+//! view-proportional work happens once in [`ViewSearchEngine::prepare`];
+//! the returned [`PreparedView`] answers [`SearchRequest`]s concurrently
+//! (engine and prepared view are `Send + Sync`).
 //!
 //! Base documents are touched exactly once per returned hit — the final
-//! materialization — which the [`vxv_xml::Corpus`] fetch counter lets
-//! tests and experiments verify.
+//! materialization — which the [`DocumentSource::fetch_count`] counter
+//! lets tests and experiments verify.
 
-use crate::generate::{generate_pdt, DocMeta, GenerateStats};
-use crate::pdt::Pdt;
-use crate::qpt_gen::{generate_qpts, QptGenError};
-use crate::scoring::{score_and_rank, ElementStats, KeywordMode, ScoringOutcome};
-use std::collections::HashMap;
+use crate::prepared::PreparedView;
+use crate::qpt_gen::QptGenError;
+use crate::request::{PhaseTimings, SearchHit, SearchRequest};
+use crate::scoring::KeywordMode;
 use std::fmt;
-use std::time::{Duration, Instant};
-use vxv_index::tokenize::normalize_keyword;
 use vxv_index::{InvertedIndex, PathIndex};
-use vxv_xml::{serialize_subtree, Corpus};
-use vxv_xquery::{
-    item_byte_len_with, item_sum_with, parse_query, serialize_item_with, EvalError, Evaluator,
-    MapSource, Query, QueryParseError,
-};
+use vxv_xml::{Corpus, DocumentSource};
+use vxv_xquery::{parse_query, EvalError, Query, QueryParseError};
 
 /// Anything that can go wrong while answering a keyword-search-over-view
 /// query.
@@ -34,6 +36,8 @@ pub enum EngineError {
     Eval(EvalError),
     /// A `fn:doc(...)` reference names no loaded document.
     UnknownDocument(String),
+    /// The document source failed while materializing a hit.
+    Source(vxv_xml::source::SourceError),
 }
 
 impl fmt::Display for EngineError {
@@ -43,6 +47,7 @@ impl fmt::Display for EngineError {
             EngineError::QptGen(e) => write!(f, "{e}"),
             EngineError::Eval(e) => write!(f, "{e}"),
             EngineError::UnknownDocument(d) => write!(f, "unknown document '{d}'"),
+            EngineError::Source(e) => write!(f, "{e}"),
         }
     }
 }
@@ -67,40 +72,159 @@ impl From<EvalError> for EngineError {
     }
 }
 
-/// One ranked, fully materialized search hit.
-#[derive(Clone, Debug)]
-pub struct SearchHit {
-    /// 1-based rank.
-    pub rank: usize,
-    /// The normalized TF-IDF score.
-    pub score: f64,
-    /// Per-query-keyword term frequencies.
-    pub tf: Vec<u32>,
-    /// Aggregate byte length of the view element.
-    pub byte_len: u64,
-    /// The materialized XML of the view element.
-    pub xml: String,
+/// The keyword-search-over-virtual-views engine, generic over where the
+/// top-k hits are materialized from.
+///
+/// Indices are always built over the in-memory corpus (they are
+/// query-time metadata); `S` decides where *base data* is read during
+/// materialization — the corpus itself by default, or any other
+/// [`DocumentSource`] via [`Self::with_source`].
+pub struct ViewSearchEngine<'c, S: DocumentSource = Corpus> {
+    corpus: &'c Corpus,
+    path_index: PathIndex,
+    inverted: InvertedIndex,
+    source: &'c S,
 }
 
-/// Wall-clock cost of each pipeline phase (Fig. 14's breakdown).
-#[derive(Clone, Copy, Debug, Default)]
-pub struct PhaseTimings {
-    /// Parse + QPT generation + PDT generation (the paper's "PDT" bar).
-    pub pdt: Duration,
-    /// View evaluation over the PDTs (the "Evaluator" bar).
-    pub evaluator: Duration,
-    /// Scoring + top-k materialization (the "Post-processing" bar).
-    pub post: Duration,
-}
+impl<'c> ViewSearchEngine<'c, Corpus> {
+    /// Build indices over `corpus` and materialize from it.
+    pub fn new(corpus: &'c Corpus) -> Self {
+        ViewSearchEngine {
+            corpus,
+            path_index: PathIndex::build(corpus),
+            inverted: InvertedIndex::build(corpus),
+            source: corpus,
+        }
+    }
 
-impl PhaseTimings {
-    /// Total across phases.
-    pub fn total(&self) -> Duration {
-        self.pdt + self.evaluator + self.post
+    /// Reuse pre-built indices.
+    pub fn with_indices(
+        corpus: &'c Corpus,
+        path_index: PathIndex,
+        inverted: InvertedIndex,
+    ) -> Self {
+        ViewSearchEngine { corpus, path_index, inverted, source: corpus }
     }
 }
 
-/// Everything a search run reports.
+impl<'c, S: DocumentSource> ViewSearchEngine<'c, S> {
+    /// Materialize top-k hits from `source` instead of the current
+    /// backend. Indices and prepared plans are unaffected — only the
+    /// final per-hit base-data reads move.
+    pub fn with_source<T: DocumentSource>(self, source: &'c T) -> ViewSearchEngine<'c, T> {
+        ViewSearchEngine {
+            corpus: self.corpus,
+            path_index: self.path_index,
+            inverted: self.inverted,
+            source,
+        }
+    }
+
+    /// Route top-k materialization through disk-backed document storage.
+    #[deprecated(since = "0.1.0", note = "use `with_source(store)`")]
+    pub fn with_store(
+        self,
+        store: &'c vxv_xml::DiskStore,
+    ) -> ViewSearchEngine<'c, vxv_xml::DiskStore> {
+        self.with_source(store)
+    }
+
+    /// The corpus the indices were built over.
+    pub fn corpus(&self) -> &'c Corpus {
+        self.corpus
+    }
+
+    /// The engine's path index (for experiments reporting probe work).
+    pub fn path_index(&self) -> &PathIndex {
+        &self.path_index
+    }
+
+    /// The engine's inverted index.
+    pub fn inverted_index(&self) -> &InvertedIndex {
+        &self.inverted
+    }
+
+    /// The base-data backend hits are materialized from.
+    pub fn source(&self) -> &'c S {
+        self.source
+    }
+
+    /// Analyze the view text once — parse, QPT generation, and the
+    /// `PrepareLists` probe phase — into a [`PreparedView`] that answers
+    /// many [`SearchRequest`]s.
+    pub fn prepare(&self, view: &str) -> Result<PreparedView<'_, 'c, S>, EngineError> {
+        self.prepare_query(parse_query(view)?)
+    }
+
+    /// As [`Self::prepare`], over an already-parsed view.
+    pub fn prepare_query(&self, query: Query) -> Result<PreparedView<'_, 'c, S>, EngineError> {
+        PreparedView::build(self, query)
+    }
+
+    /// One-shot convenience: prepare and run a single request.
+    pub fn search_once(
+        &self,
+        view: &str,
+        request: &SearchRequest,
+    ) -> Result<crate::request::SearchResponse, EngineError> {
+        self.prepare(view)?.search(request)
+    }
+
+    /// Run a ranked keyword search over the virtual view defined by the
+    /// XQuery text `view`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `prepare(view)` + `PreparedView::search(&SearchRequest)`; \
+                this shim re-prepares the view on every call"
+    )]
+    pub fn search(
+        &self,
+        view: &str,
+        keywords: &[&str],
+        k: usize,
+        mode: KeywordMode,
+    ) -> Result<SearchOutcome, EngineError> {
+        let response =
+            self.prepare(view)?.search(&SearchRequest::new(keywords).top_k(k).mode(mode))?;
+        Ok(SearchOutcome::from_response(response))
+    }
+
+    /// As the deprecated `search`, over a pre-parsed view.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `prepare_query(query)` + `PreparedView::search(&SearchRequest)`"
+    )]
+    pub fn search_query(
+        &self,
+        query: &Query,
+        keywords: &[&str],
+        k: usize,
+        mode: KeywordMode,
+    ) -> Result<SearchOutcome, EngineError> {
+        let response = self
+            .prepare_query(query.clone())?
+            .search(&SearchRequest::new(keywords).top_k(k).mode(mode))?;
+        Ok(SearchOutcome::from_response(response))
+    }
+
+    /// Explain how a keyword search over `view` would be answered —
+    /// without running the query.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `prepare(view)` + `PreparedView::plan(keywords)`, or \
+                `SearchRequest::with_plan(true)`"
+    )]
+    pub fn explain(
+        &self,
+        view: &str,
+        keywords: &[&str],
+    ) -> Result<crate::prepared::QueryPlan, EngineError> {
+        Ok(self.prepare(view)?.plan(keywords))
+    }
+}
+
+/// What the deprecated one-shot `search` reports (the prepared API's
+/// [`crate::request::SearchResponse`] supersedes this).
 #[derive(Debug)]
 pub struct SearchOutcome {
     /// Ranked, materialized hits.
@@ -114,181 +238,22 @@ pub struct SearchOutcome {
     /// Phase wall-clock costs (Fig. 14's bars).
     pub timings: PhaseTimings,
     /// Per-document PDT statistics: (doc name, sweep stats, PDT bytes).
-    pub pdt_stats: Vec<(String, GenerateStats, u64)>,
+    pub pdt_stats: Vec<(String, crate::generate::GenerateStats, u64)>,
     /// Base-data subtree fetches spent on materialization.
     pub fetches: u64,
 }
 
-/// The keyword-search-over-virtual-views engine.
-pub struct ViewSearchEngine<'c> {
-    corpus: &'c Corpus,
-    path_index: PathIndex,
-    inverted: InvertedIndex,
-    /// When set, top-k materialization reads from disk-backed document
-    /// storage instead of the in-memory corpus (the experiment setting).
-    store: Option<&'c vxv_xml::DiskStore>,
-}
-
-impl<'c> ViewSearchEngine<'c> {
-    /// Build indices over `corpus` and wrap them in an engine.
-    pub fn new(corpus: &'c Corpus) -> Self {
-        ViewSearchEngine {
-            corpus,
-            path_index: PathIndex::build(corpus),
-            inverted: InvertedIndex::build(corpus),
-            store: None,
+impl SearchOutcome {
+    fn from_response(r: crate::request::SearchResponse) -> Self {
+        SearchOutcome {
+            hits: r.hits,
+            view_size: r.view_size,
+            matching: r.matching,
+            idf: r.idf,
+            timings: r.timings.unwrap_or_default(),
+            pdt_stats: r.pdt_stats,
+            fetches: r.fetches,
         }
-    }
-
-    /// Reuse pre-built indices.
-    pub fn with_indices(corpus: &'c Corpus, path_index: PathIndex, inverted: InvertedIndex) -> Self {
-        ViewSearchEngine { corpus, path_index, inverted, store: None }
-    }
-
-    /// Route top-k materialization through disk-backed document storage.
-    pub fn with_store(mut self, store: &'c vxv_xml::DiskStore) -> Self {
-        self.store = Some(store);
-        self
-    }
-
-    /// The engine's path index (for experiments reporting probe work).
-    pub fn path_index(&self) -> &PathIndex {
-        &self.path_index
-    }
-
-    /// The engine's inverted index.
-    pub fn inverted_index(&self) -> &InvertedIndex {
-        &self.inverted
-    }
-
-    /// Run a ranked keyword search over the virtual view defined by the
-    /// XQuery text `view`.
-    pub fn search(
-        &self,
-        view: &str,
-        keywords: &[&str],
-        k: usize,
-        mode: KeywordMode,
-    ) -> Result<SearchOutcome, EngineError> {
-        let query = parse_query(view)?;
-        self.search_query(&query, keywords, k, mode)
-    }
-
-    /// As [`Self::search`], over a pre-parsed view.
-    pub fn search_query(
-        &self,
-        query: &Query,
-        keywords: &[&str],
-        k: usize,
-        mode: KeywordMode,
-    ) -> Result<SearchOutcome, EngineError> {
-        let keywords: Vec<String> = keywords.iter().map(|s| normalize_keyword(s)).collect();
-
-        // Phase 1+2: QPTs, then index-only PDTs.
-        let t0 = Instant::now();
-        let qpts = generate_qpts(query)?;
-        let mut pdts: Vec<Pdt> = Vec::with_capacity(qpts.len());
-        let mut pdt_stats = Vec::with_capacity(qpts.len());
-        for qpt in &qpts {
-            let doc = self
-                .corpus
-                .doc(&qpt.doc_name)
-                .ok_or_else(|| EngineError::UnknownDocument(qpt.doc_name.clone()))?;
-            let root = doc
-                .root()
-                .ok_or_else(|| EngineError::UnknownDocument(qpt.doc_name.clone()))?;
-            let meta = DocMeta {
-                name: qpt.doc_name.clone(),
-                root_tag: doc.node_tag(root).to_string(),
-                root_ordinal: doc.node(root).dewey.components()[0],
-            };
-            let (pdt, stats) = generate_pdt(qpt, &self.path_index, &self.inverted, &keywords, &meta);
-            pdt_stats.push((qpt.doc_name.clone(), stats, pdt.byte_size()));
-            pdts.push(pdt);
-        }
-        let t_pdt = t0.elapsed();
-
-        // Phase 3a: the regular evaluator, redirected to the PDTs.
-        let t1 = Instant::now();
-        let source = MapSource::new(pdts.iter().map(|p| (p.doc_name.clone(), &p.doc)));
-        let evaluator = Evaluator::new(&source, query);
-        let results = evaluator.eval_query(query)?;
-        let t_eval = t1.elapsed();
-
-        // Phase 3b: score from PDT annotations, rank, materialize top-k.
-        let t2 = Instant::now();
-        let by_name: HashMap<&str, &Pdt> = pdts.iter().map(|p| (p.doc_name.as_str(), p)).collect();
-        let stats: Vec<ElementStats> = results
-            .iter()
-            .map(|item| {
-                let tf: Vec<u32> = (0..keywords.len())
-                    .map(|ki| {
-                        item_sum_with(item, &mut |doc, n| {
-                            by_name
-                                .get(doc.name())
-                                .map(|p| p.tf(&doc.node(n).dewey, ki) as u64)
-                                .unwrap_or(0)
-                        }) as u32
-                    })
-                    .collect();
-                let byte_len = item_byte_len_with(item, &mut |doc, n| {
-                    by_name
-                        .get(doc.name())
-                        .map(|p| p.byte_len(&doc.node(n).dewey) as u64)
-                        .unwrap_or(0)
-                });
-                ElementStats { tf, byte_len }
-            })
-            .collect();
-        let ScoringOutcome { top, matching, idf, view_size } = score_and_rank(&stats, mode, k);
-
-        let fetches_before = match self.store {
-            Some(store) => store.stats().range_reads,
-            None => self.corpus.fetch_count(),
-        };
-        let hits: Vec<SearchHit> = top
-            .into_iter()
-            .enumerate()
-            .map(|(i, scored)| {
-                let xml = serialize_item_with(&results[scored.index], &mut |doc, n, out| {
-                    let dewey = &doc.node(n).dewey;
-                    match self.store {
-                        Some(store) => {
-                            if let Ok(sub) = store.read_subtree_xml(dewey) {
-                                out.push_str(&sub);
-                            }
-                        }
-                        None => {
-                            if let Some((base_doc, base_node)) = self.corpus.fetch_subtree(dewey) {
-                                out.push_str(&serialize_subtree(base_doc, base_node));
-                            }
-                        }
-                    }
-                });
-                SearchHit {
-                    rank: i + 1,
-                    score: scored.score,
-                    tf: scored.tf,
-                    byte_len: scored.byte_len,
-                    xml,
-                }
-            })
-            .collect();
-        let fetches = match self.store {
-            Some(store) => store.stats().range_reads - fetches_before,
-            None => self.corpus.fetch_count() - fetches_before,
-        };
-        let t_post = t2.elapsed();
-
-        Ok(SearchOutcome {
-            hits,
-            view_size,
-            matching,
-            idf,
-            timings: PhaseTimings { pdt: t_pdt, evaluator: t_eval, post: t_post },
-            pdt_stats,
-            fetches,
-        })
     }
 }
 
@@ -333,7 +298,8 @@ mod tests {
     fn end_to_end_conjunctive_search_on_the_running_example() {
         let c = corpus();
         let engine = ViewSearchEngine::new(&c);
-        let out = engine.search(VIEW, &["XML", "search"], 10, KeywordMode::Conjunctive).unwrap();
+        let view = engine.prepare(VIEW).unwrap();
+        let out = view.search(&SearchRequest::new(["XML", "search"])).unwrap();
         // View has two elements (books 111 and 222; book 333 fails year).
         assert_eq!(out.view_size, 2);
         // Only book 111's bookrevs contains both xml and search.
@@ -352,7 +318,10 @@ mod tests {
     fn disjunctive_search_matches_any_keyword() {
         let c = corpus();
         let engine = ViewSearchEngine::new(&c);
-        let out = engine.search(VIEW, &["intelligence", "xml"], 10, KeywordMode::Disjunctive).unwrap();
+        let view = engine.prepare(VIEW).unwrap();
+        let out = view
+            .search(&SearchRequest::new(["intelligence", "xml"]).mode(KeywordMode::Disjunctive))
+            .unwrap();
         assert_eq!(out.matching, 2);
     }
 
@@ -360,8 +329,9 @@ mod tests {
     fn base_data_is_fetched_only_for_top_k() {
         let c = corpus();
         let engine = ViewSearchEngine::new(&c);
+        let view = engine.prepare(VIEW).unwrap();
         c.reset_fetch_count();
-        let out = engine.search(VIEW, &["search"], 1, KeywordMode::Conjunctive).unwrap();
+        let out = view.search(&SearchRequest::new(["search"]).top_k(1)).unwrap();
         assert_eq!(out.hits.len(), 1);
         // Matching elements: both bookrevs contain "search"; but only the
         // top-1 result's content nodes were fetched from storage.
@@ -371,22 +341,47 @@ mod tests {
     }
 
     #[test]
+    fn skipping_materialization_touches_no_base_data() {
+        let c = corpus();
+        let engine = ViewSearchEngine::new(&c);
+        let view = engine.prepare(VIEW).unwrap();
+        c.reset_fetch_count();
+        let out = view.search(&SearchRequest::new(["search"]).materialize(false)).unwrap();
+        assert_eq!(out.fetches, 0);
+        assert_eq!(c.fetch_count(), 0);
+        assert!(!out.hits.is_empty());
+        for hit in &out.hits {
+            assert!(hit.xml.is_empty());
+            assert!(hit.byte_len > 0, "stats still come from the PDT annotations");
+        }
+    }
+
+    #[test]
+    fn timing_collection_can_be_disabled() {
+        let c = corpus();
+        let engine = ViewSearchEngine::new(&c);
+        let view = engine.prepare(VIEW).unwrap();
+        let with = view.search(&SearchRequest::new(["xml"])).unwrap();
+        assert!(with.timings.is_some());
+        let without = view.search(&SearchRequest::new(["xml"]).collect_timings(false)).unwrap();
+        assert!(without.timings.is_none());
+    }
+
+    #[test]
     fn byte_lengths_match_materialized_output() {
         let c = corpus();
         let engine = ViewSearchEngine::new(&c);
-        let out = engine.search(VIEW, &["xml"], 10, KeywordMode::Conjunctive).unwrap();
+        let out = engine.prepare(VIEW).unwrap().search(&SearchRequest::new(["xml"])).unwrap();
         for hit in &out.hits {
             assert_eq!(hit.byte_len, hit.xml.len() as u64, "hit: {}", hit.xml);
         }
     }
 
     #[test]
-    fn unknown_documents_are_reported() {
+    fn unknown_documents_are_reported_at_prepare_time() {
         let c = corpus();
         let engine = ViewSearchEngine::new(&c);
-        let e = engine
-            .search("for $x in fn:doc(zzz.xml)/a return $x", &["k"], 5, KeywordMode::Conjunctive)
-            .unwrap_err();
+        let e = engine.prepare("for $x in fn:doc(zzz.xml)/a return $x").unwrap_err();
         assert!(matches!(e, EngineError::UnknownDocument(_)), "{e}");
     }
 
@@ -394,104 +389,73 @@ mod tests {
     fn pdt_stats_are_reported_per_document() {
         let c = corpus();
         let engine = ViewSearchEngine::new(&c);
-        let out = engine.search(VIEW, &["xml"], 5, KeywordMode::Conjunctive).unwrap();
+        let out = engine.prepare(VIEW).unwrap().search(&SearchRequest::new(["xml"])).unwrap();
         assert_eq!(out.pdt_stats.len(), 2);
         assert_eq!(out.pdt_stats[0].0, "books.xml");
         assert!(out.pdt_stats[0].1.emitted > 0);
     }
-}
 
-/// One probe the PDT phase would issue for a QPT node.
-#[derive(Clone, Debug)]
-pub struct ProbeReport {
-    /// The root-to-node path pattern sent to the path index.
-    pub pattern: String,
-    /// Number of predicates pushed into the probe.
-    pub predicates: usize,
-    /// Full data paths the pattern expands to in the dictionary.
-    pub expanded_paths: usize,
-    /// Entries the probe returns (relevant-list length).
-    pub entries: usize,
-}
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_one_shot_search_matches_prepared_search() {
+        let c = corpus();
+        let engine = ViewSearchEngine::new(&c);
+        let legacy = engine.search(VIEW, &["XML", "search"], 10, KeywordMode::Conjunctive).unwrap();
+        let prepared =
+            engine.prepare(VIEW).unwrap().search(&SearchRequest::new(["XML", "search"])).unwrap();
+        assert_eq!(legacy.view_size, prepared.view_size);
+        assert_eq!(legacy.matching, prepared.matching);
+        assert_eq!(legacy.idf, prepared.idf);
+        assert_eq!(legacy.hits.len(), prepared.hits.len());
+        for (a, b) in legacy.hits.iter().zip(&prepared.hits) {
+            assert_eq!(a.score, b.score);
+            assert_eq!(a.tf, b.tf);
+            assert_eq!(a.xml, b.xml);
+        }
+    }
 
-/// Query-plan introspection for one QPT.
-#[derive(Clone, Debug)]
-pub struct QptReport {
-    /// The document this QPT projects.
-    pub doc_name: String,
-    /// Pretty-printed QPT (axes, edges, annotations, predicates).
-    pub rendered: String,
-    /// Pattern nodes in the QPT.
-    pub nodes: usize,
-    /// The probes `PrepareLists` issues — proportional to the query.
-    pub probes: Vec<ProbeReport>,
-}
+    #[test]
+    fn engine_and_prepared_view_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ViewSearchEngine<'_, Corpus>>();
+        assert_send_sync::<ViewSearchEngine<'_, vxv_xml::DiskStore>>();
+        assert_send_sync::<PreparedView<'_, '_, Corpus>>();
+        assert_send_sync::<SearchRequest>();
+        assert_send_sync::<crate::request::SearchResponse>();
+    }
 
-/// Output of [`ViewSearchEngine::explain`].
-#[derive(Clone, Debug)]
-pub struct ExplainOutput {
-    /// One report per base document the view references.
-    pub qpts: Vec<QptReport>,
-    /// Per-keyword inverted-list lengths (the paper's selectivity knob).
-    pub keyword_list_lengths: Vec<(String, usize)>,
-}
-
-impl<'c> ViewSearchEngine<'c> {
-    /// Explain how a keyword search over `view` would be answered:
-    /// the QPTs, the index probes with their list sizes, and the
-    /// inverted-list lengths of the keywords — without running the query.
-    pub fn explain(&self, view: &str, keywords: &[&str]) -> Result<ExplainOutput, EngineError> {
-        let query = parse_query(view)?;
-        let qpts = generate_qpts(&query)?;
-        let mut reports = Vec::with_capacity(qpts.len());
-        for qpt in &qpts {
-            let doc = self
-                .corpus
-                .doc(&qpt.doc_name)
-                .ok_or_else(|| EngineError::UnknownDocument(qpt.doc_name.clone()))?;
-            let ordinal = doc
-                .root()
-                .map(|r| doc.node(r).dewey.components()[0])
-                .ok_or_else(|| EngineError::UnknownDocument(qpt.doc_name.clone()))?;
-            let lists = crate::prepare::prepare_lists(qpt, &self.path_index, ordinal);
-            let probes = lists
-                .lists
-                .iter()
-                .map(|(q, entries)| {
-                    let pattern = qpt.pattern(*q);
-                    ProbeReport {
-                        expanded_paths: self.path_index.expand_pattern(&pattern).len(),
-                        pattern: pattern.to_string(),
-                        predicates: qpt.node(*q).preds.len(),
-                        entries: entries.len(),
-                    }
+    #[test]
+    fn concurrent_searches_share_one_prepared_view() {
+        let c = corpus();
+        let engine = ViewSearchEngine::new(&c);
+        let view = engine.prepare(VIEW).unwrap();
+        let baseline = view.search(&SearchRequest::new(["XML", "search"])).unwrap();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let view = &view;
+                    s.spawn(move || view.search(&SearchRequest::new(["XML", "search"])).unwrap())
                 })
                 .collect();
-            reports.push(QptReport {
-                doc_name: qpt.doc_name.clone(),
-                rendered: qpt.to_string(),
-                nodes: qpt.len(),
-                probes,
-            });
-        }
-        let keyword_list_lengths = keywords
-            .iter()
-            .map(|k| {
-                let norm = normalize_keyword(k);
-                let len = self.inverted.list_len(&norm);
-                (norm, len)
-            })
-            .collect();
-        Ok(ExplainOutput { qpts: reports, keyword_list_lengths })
+            for h in handles {
+                let out = h.join().unwrap();
+                assert_eq!(out.matching, baseline.matching);
+                assert_eq!(out.hits.len(), baseline.hits.len());
+                for (a, b) in out.hits.iter().zip(&baseline.hits) {
+                    assert_eq!(a.score, b.score);
+                    assert_eq!(a.xml, b.xml);
+                }
+            }
+        });
     }
 }
 
 #[cfg(test)]
-mod explain_tests {
+mod plan_tests {
     use super::*;
 
     #[test]
-    fn explain_reports_probes_and_list_lengths() {
+    fn plan_reports_probes_and_list_lengths() {
         let mut c = Corpus::new();
         c.add_parsed(
             "books.xml",
@@ -500,13 +464,13 @@ mod explain_tests {
         )
         .unwrap();
         let engine = ViewSearchEngine::new(&c);
-        let out = engine
-            .explain(
+        let view = engine
+            .prepare(
                 "for $b in fn:doc(books.xml)/books//book where $b/year > 1995 \
                  return <h> { $b/title } </h>",
-                &["XML", "zzz"],
             )
             .unwrap();
+        let out = view.plan(&["XML", "zzz"]);
         assert_eq!(out.qpts.len(), 1);
         let r = &out.qpts[0];
         assert_eq!(r.doc_name, "books.xml");
@@ -521,10 +485,23 @@ mod explain_tests {
     }
 
     #[test]
-    fn explain_rejects_unknown_documents() {
+    fn plan_rides_along_with_a_search_when_requested() {
+        let mut c = Corpus::new();
+        c.add_parsed("d.xml", "<r><e><v>xml data</v></e></r>").unwrap();
+        let engine = ViewSearchEngine::new(&c);
+        let view = engine.prepare("for $e in fn:doc(d.xml)/r/e return $e/v").unwrap();
+        let out = view.search(&SearchRequest::new(["xml"]).with_plan(true)).unwrap();
+        let plan = out.plan.expect("plan requested");
+        assert_eq!(plan.qpts.len(), 1);
+        let out2 = view.search(&SearchRequest::new(["xml"])).unwrap();
+        assert!(out2.plan.is_none());
+    }
+
+    #[test]
+    fn prepare_rejects_unknown_documents() {
         let c = Corpus::new();
         let engine = ViewSearchEngine::new(&c);
-        let e = engine.explain("for $x in fn:doc(a.xml)/r return $x", &[]).unwrap_err();
+        let e = engine.prepare("for $x in fn:doc(a.xml)/r return $x").unwrap_err();
         assert!(matches!(e, EngineError::UnknownDocument(_)));
     }
 }

@@ -525,10 +525,10 @@ impl<'a> Sweep<'a> {
 
     fn emit(&mut self, key: StateKey, elem: PdtElem) {
         let (dewey, _) = key;
-        let slot = self.emitted.entry(dewey).or_insert_with(|| PdtElem {
-            tag: elem.tag.clone(),
-            ..PdtElem::default()
-        });
+        let slot = self
+            .emitted
+            .entry(dewey)
+            .or_insert_with(|| PdtElem { tag: elem.tag.clone(), ..PdtElem::default() });
         debug_assert_eq!(slot.tag, elem.tag);
         if slot.value.is_none() {
             slot.value = elem.value;
@@ -822,11 +822,7 @@ mod pending_tests {
         // decisions... structure: outer a contains inner a (with c) and
         // then b; inner a contains c and its own b later.
         let mut c = Corpus::new();
-        c.add_parsed(
-            "d.xml",
-            "<r><a><a><c>x</c><b>ib</b></a><b>ob</b></a></r>",
-        )
-        .unwrap();
+        c.add_parsed("d.xml", "<r><a><a><c>x</c><b>ib</b></a><b>ob</b></a></r>").unwrap();
         let mut q = Qpt::new("d.xml");
         let r = q.add_node(None, Axis::Child, true, "r");
         let a1 = q.add_node(Some(r), Axis::Descendant, true, "a");
@@ -849,11 +845,7 @@ mod pending_tests {
         // Pattern //a//a/c where the middle `a` fails its own mandatory
         // edge but the outer `a` succeeds through a *different* middle.
         let mut c = Corpus::new();
-        c.add_parsed(
-            "d.xml",
-            "<a><a><a><c>x</c><k>1</k></a></a><k>1</k></a>",
-        )
-        .unwrap();
+        c.add_parsed("d.xml", "<a><a><a><c>x</c><k>1</k></a></a><k>1</k></a>").unwrap();
         // a1 = //a (needs descendant a2); a2 = //a (needs child c and k).
         let mut q = Qpt::new("d.xml");
         let a1 = q.add_node(None, Axis::Descendant, true, "a");

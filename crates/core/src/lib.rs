@@ -6,23 +6,32 @@
 //! Views*, VLDB 2007: ranked keyword search over **unmaterialized** XQuery
 //! views, answered from indices alone.
 //!
-//! The pipeline (Fig. 3 of the paper):
+//! ## The prepared-view API
 //!
-//! 1. [`qpt_gen::generate_qpts`] — analyze the view definition into one
-//!    *Query Pattern Tree* per base document (mandatory/optional edges,
-//!    leaf predicates, `v`/`c` annotations);
-//! 2. [`generate::generate_pdt`] — build each *Pruned Document Tree* in a
-//!    single merge pass over path-index and inverted-index probe lists,
-//!    never touching base documents;
-//! 3. the regular XQuery evaluator runs over the PDTs, and
-//!    [`scoring::score_and_rank`] computes TF-IDF scores *identical* to
-//!    the materialized view's (Theorem 4.1) before the top-k hits — and
-//!    only those — are expanded from document storage.
+//! Work is split by what it is proportional to:
 //!
-//! [`engine::ViewSearchEngine`] wires the phases together:
+//! 1. [`ViewSearchEngine::prepare`] — everything proportional to the
+//!    *view definition*, paid once: parse, *Query Pattern Tree*
+//!    generation ([`qpt_gen::generate_qpts`]), and the `PrepareLists`
+//!    probe phase (one path-index probe per QPT node, with pattern
+//!    expansion against the path dictionary);
+//! 2. [`PreparedView::search`] — everything proportional to the *query*,
+//!    paid per request: the single-pass index-only *Pruned Document Tree*
+//!    merge ([`generate::generate_pdt_from_lists`]), the regular XQuery
+//!    evaluator over the PDTs, TF-IDF scoring *identical* to the
+//!    materialized view's (Theorem 4.1), and top-k materialization —
+//!    the only step that touches base documents.
+//!
+//! A [`SearchRequest`] carries keywords, `k`, conjunctive/disjunctive
+//! [`KeywordMode`], and switches for materialization, timing collection,
+//! and plan reporting; a [`SearchResponse`] carries the ranked hits plus
+//! everything the experiments report. The engine is generic over a
+//! [`DocumentSource`] — [`vxv_xml::Corpus`] in memory or
+//! [`vxv_xml::DiskStore`] on disk — and both engine and prepared view are
+//! `Send + Sync`, so one prepared view serves concurrent searches.
 //!
 //! ```
-//! use vxv_core::{KeywordMode, ViewSearchEngine};
+//! use vxv_core::{SearchRequest, ViewSearchEngine};
 //! use vxv_xml::Corpus;
 //!
 //! let mut corpus = Corpus::new();
@@ -31,10 +40,12 @@
 //!      <book><title>Cooking</title><year>2001</year></book></books>").unwrap();
 //!
 //! let engine = ViewSearchEngine::new(&corpus);
-//! let out = engine.search(
+//! // Pay the view analysis once...
+//! let view = engine.prepare(
 //!     "for $b in fn:doc(books.xml)/books/book where $b/year > 2000 \
-//!      return <hit> { $b/title } </hit>",
-//!     &["xml", "search"], 10, KeywordMode::Conjunctive).unwrap();
+//!      return <hit> { $b/title } </hit>").unwrap();
+//! // ...then answer any number of keyword searches against it.
+//! let out = view.search(&SearchRequest::new(["xml", "search"]).top_k(10)).unwrap();
 //! assert_eq!(out.view_size, 2);
 //! assert_eq!(out.hits.len(), 1);
 //! assert!(out.hits[0].xml.contains("XML search in practice"));
@@ -45,13 +56,23 @@ pub mod generate;
 pub mod oracle;
 pub mod pdt;
 pub mod prepare;
+pub mod prepared;
 pub mod qpt;
 pub mod qpt_gen;
+pub mod request;
 pub mod scoring;
 
-pub use engine::{EngineError, ExplainOutput, PhaseTimings, ProbeReport, QptReport, SearchHit, SearchOutcome, ViewSearchEngine};
+pub use engine::{EngineError, SearchOutcome, ViewSearchEngine};
 pub use generate::{generate_pdt, DocMeta, GenerateStats};
 pub use pdt::{Pdt, PdtElem, PdtNodeInfo};
+pub use prepared::{PreparedView, ProbeReport, QptReport, QueryPlan};
 pub use qpt::{Qpt, QptEdge, QptNode, QptNodeId};
 pub use qpt_gen::{generate_qpts, QptGenError};
+pub use request::{PhaseTimings, SearchHit, SearchRequest, SearchResponse};
 pub use scoring::{score_and_rank, ElementStats, KeywordMode, ScoredElement, ScoringOutcome};
+
+/// What [`ViewSearchEngine::explain`] used to return.
+#[deprecated(since = "0.1.0", note = "renamed to `QueryPlan`")]
+pub type ExplainOutput = QueryPlan;
+
+pub use vxv_xml::DocumentSource;

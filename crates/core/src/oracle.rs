@@ -44,13 +44,12 @@ pub fn oracle_pdt_elements(doc: &Document, qpt: &Qpt) -> OracleElements {
             for edge in qpt.mandatory_children(q) {
                 let bit = 1u64 << edge.child.0;
                 let found = match edge.axis {
-                    Axis::Child => doc
-                        .children(node_id)
-                        .iter()
-                        .any(|c| ce[c.0 as usize] & bit != 0),
-                    Axis::Descendant => doc
-                        .descendants(node_id)
-                        .any(|d| ce[d.0 as usize] & bit != 0),
+                    Axis::Child => {
+                        doc.children(node_id).iter().any(|c| ce[c.0 as usize] & bit != 0)
+                    }
+                    Axis::Descendant => {
+                        doc.descendants(node_id).any(|d| ce[d.0 as usize] & bit != 0)
+                    }
                 };
                 if !found {
                     ok = false;
@@ -120,12 +119,7 @@ pub fn oracle_pdt_elements(doc: &Document, qpt: &Qpt) -> OracleElements {
 /// Build a full [`Pdt`] from the oracle element set, materializing values
 /// and tf annotations from the base document (oracle-side only; the real
 /// pipeline gets these from indices).
-pub fn oracle_pdt(
-    doc: &Document,
-    qpt: &Qpt,
-    inverted: &InvertedIndex,
-    keywords: &[String],
-) -> Pdt {
+pub fn oracle_pdt(doc: &Document, qpt: &Qpt, inverted: &InvertedIndex, keywords: &[String]) -> Pdt {
     let elements = oracle_pdt_elements(doc, qpt);
     let mut map: BTreeMap<DeweyId, PdtElem> = BTreeMap::new();
     for (dewey, mask) in &elements {
@@ -247,8 +241,7 @@ mod tests {
         let r = q.add_node(None, Axis::Child, true, "r");
         let a = q.add_node(Some(r), Axis::Descendant, true, "a");
         q.add_node(Some(a), Axis::Child, true, "x");
-        let ids: Vec<String> =
-            oracle_pdt_elements(doc, &q).keys().map(|d| d.to_string()).collect();
+        let ids: Vec<String> = oracle_pdt_elements(doc, &q).keys().map(|d| d.to_string()).collect();
         assert_eq!(ids, vec!["1", "1.1", "1.1.1"]);
         // With // x both <a>s qualify.
         let mut q2 = Qpt::new("d.xml");

@@ -159,7 +159,12 @@ mod tests {
         );
         elements.insert(
             d("1.2.1"),
-            PdtElem { tag: "isbn".into(), value: Some("121-23".into()), byte_len: 20, content: false },
+            PdtElem {
+                tag: "isbn".into(),
+                value: Some("121-23".into()),
+                byte_len: 20,
+                content: false,
+            },
         );
         // 1.5.3.2 with no recorded ancestors parents straight to the root.
         elements.insert(
@@ -169,12 +174,8 @@ mod tests {
         let pdt = Pdt::assemble("books.xml", "books", 1, &elements, 2);
         let root = pdt.doc.root().unwrap();
         assert_eq!(pdt.doc.node_tag(root), "books");
-        let kids: Vec<String> = pdt
-            .doc
-            .children(root)
-            .iter()
-            .map(|n| pdt.doc.node(*n).dewey.to_string())
-            .collect();
+        let kids: Vec<String> =
+            pdt.doc.children(root).iter().map(|n| pdt.doc.node(*n).dewey.to_string()).collect();
         assert_eq!(kids, vec!["1.2", "1.5.3.2"]);
         let book = pdt.doc.node_by_dewey(&d("1.2")).unwrap();
         assert_eq!(pdt.doc.children(book).len(), 1);
@@ -209,13 +210,16 @@ mod tests {
     #[test]
     fn values_become_node_text() {
         let mut elements = BTreeMap::new();
-        elements.insert(
-            d("1"),
-            PdtElem { tag: "r".into(), value: None, byte_len: 9, content: false },
-        );
+        elements
+            .insert(d("1"), PdtElem { tag: "r".into(), value: None, byte_len: 9, content: false });
         elements.insert(
             d("1.6"),
-            PdtElem { tag: "year".into(), value: Some("1996".into()), byte_len: 17, content: false },
+            PdtElem {
+                tag: "year".into(),
+                value: Some("1996".into()),
+                byte_len: 17,
+                content: false,
+            },
         );
         let pdt = Pdt::assemble("d", "r", 1, &elements, 0);
         let y = pdt.doc.node_by_dewey(&d("1.6")).unwrap();

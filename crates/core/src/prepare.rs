@@ -46,6 +46,10 @@ pub struct PreparedLists {
     pub alignments: HashMap<(QptNodeId, u32), Alignment>,
     /// Number of path-index probes issued (|probe set|, by construction).
     pub probes: usize,
+    /// Per probed node (parallel to `lists`): how many full data paths
+    /// its pattern expanded to in the dictionary. Cached here so plan
+    /// reporting never re-expands patterns.
+    pub expanded_paths: Vec<usize>,
 }
 
 /// Run the probe phase for `qpt` against documents whose Dewey root
@@ -58,7 +62,9 @@ pub fn prepare_lists(qpt: &Qpt, index: &PathIndex, root_ordinal: u32) -> Prepare
         let chain = qpt.chain(q);
         let preds = &qpt.node(q).preds;
         let mut entries: Vec<PreparedEntry> = Vec::new();
-        for pid in index.expand_pattern(&pattern) {
+        let pids = index.expand_pattern(&pattern);
+        out.expanded_paths.push(pids.len());
+        for pid in pids {
             let segments: Vec<&str> =
                 index.path_string(pid).split('/').filter(|s| !s.is_empty()).collect();
             let alignment = align(qpt, &chain, &pattern, &segments);
@@ -130,8 +136,9 @@ fn align(qpt: &Qpt, chain: &[QptNodeId], pattern: &PathPattern, segments: &[&str
         for d in 1..=m {
             let ok = match next.axis {
                 Axis::Child => d < m && segments[d] == next.tag && backward[j + 1][d + 1],
-                Axis::Descendant => (d + 1..=m)
-                    .any(|nd| segments[nd - 1] == next.tag && backward[j + 1][nd]),
+                Axis::Descendant => {
+                    (d + 1..=m).any(|nd| segments[nd - 1] == next.tag && backward[j + 1][nd])
+                }
             };
             backward[j][d] = ok;
         }
@@ -253,8 +260,7 @@ mod tests {
         assert_eq!(a[1], vec![book]);
         assert_eq!(a[2], vec![isbn]);
         // /books/shelf/book/isbn: depth 2 (shelf) maps to nothing.
-        let shelf_pid = idx
-            .expand_pattern(&PathPattern::parse("/books/shelf/book/isbn").unwrap());
+        let shelf_pid = idx.expand_pattern(&PathPattern::parse("/books/shelf/book/isbn").unwrap());
         let a = &lists.alignments[&(isbn, shelf_pid[0])];
         assert_eq!(a.len(), 4);
         assert!(a[1].is_empty());

@@ -1,0 +1,293 @@
+//! [`PreparedView`] — a view analyzed once, searched many times.
+//!
+//! The paper's core claim is that per-query work should be proportional
+//! to the *query*, not the data. Preparing a view takes that one step
+//! further: the work proportional to the *view definition* — parsing,
+//! QPT generation (`GenerateQPT`), and the `PrepareLists` probe phase
+//! with its pattern expansion against the path dictionary — happens once,
+//! at [`crate::engine::ViewSearchEngine::prepare`] time. Each subsequent
+//! [`PreparedView::search`] pays only for what depends on the keywords:
+//! the single-pass PDT merge, view evaluation over the PDTs, scoring, and
+//! top-k materialization.
+//!
+//! A `PreparedView` is `Send + Sync`; clone-free concurrent searches from
+//! many threads are the intended use (see the engine tests).
+
+use crate::engine::{EngineError, ViewSearchEngine};
+use crate::generate::{generate_pdt_from_lists, DocMeta};
+use crate::pdt::Pdt;
+use crate::prepare::{prepare_lists, PreparedLists};
+use crate::qpt::Qpt;
+use crate::qpt_gen::generate_qpts;
+use crate::request::{PhaseTimings, SearchHit, SearchRequest, SearchResponse};
+use crate::scoring::{score_and_rank, ElementStats, ScoringOutcome};
+use std::collections::HashMap;
+use std::time::Instant;
+use vxv_index::tokenize::normalize_keyword;
+use vxv_xml::DocumentSource;
+use vxv_xquery::{
+    item_byte_len_with, item_sum_with, serialize_item_with, Evaluator, MapSource, Query,
+};
+
+/// One QPT with everything its searches reuse: catalog metadata and the
+/// Dewey-ordered probe lists (keyword-independent by construction).
+#[derive(Debug)]
+pub(crate) struct QptPlan {
+    pub(crate) qpt: Qpt,
+    pub(crate) meta: DocMeta,
+    pub(crate) lists: PreparedLists,
+}
+
+/// A view with its analysis done: parse + QPT generation + index-probe
+/// planning, ready to answer [`SearchRequest`]s.
+pub struct PreparedView<'e, 'c, S: DocumentSource> {
+    engine: &'e ViewSearchEngine<'c, S>,
+    query: Query,
+    plans: Vec<QptPlan>,
+}
+
+impl<S: DocumentSource> std::fmt::Debug for PreparedView<'_, '_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedView")
+            .field("qpts", &self.plans.len())
+            .field("probes", &self.probe_count())
+            .field("source", &self.engine.source().kind())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'e, 'c, S: DocumentSource> PreparedView<'e, 'c, S> {
+    /// Analyze `query` against `engine`'s indices. Called via
+    /// [`ViewSearchEngine::prepare`] / [`ViewSearchEngine::prepare_query`].
+    pub(crate) fn build(
+        engine: &'e ViewSearchEngine<'c, S>,
+        query: Query,
+    ) -> Result<Self, EngineError> {
+        let qpts = generate_qpts(&query)?;
+        let mut plans = Vec::with_capacity(qpts.len());
+        for qpt in qpts {
+            let doc = engine
+                .corpus()
+                .doc(&qpt.doc_name)
+                .ok_or_else(|| EngineError::UnknownDocument(qpt.doc_name.clone()))?;
+            let root =
+                doc.root().ok_or_else(|| EngineError::UnknownDocument(qpt.doc_name.clone()))?;
+            let meta = DocMeta {
+                name: qpt.doc_name.clone(),
+                root_tag: doc.node_tag(root).to_string(),
+                root_ordinal: doc.node(root).dewey.components()[0],
+            };
+            let lists = prepare_lists(&qpt, engine.path_index(), meta.root_ordinal);
+            plans.push(QptPlan { qpt, meta, lists });
+        }
+        Ok(PreparedView { engine, query, plans })
+    }
+
+    /// The engine this view was prepared against.
+    pub fn engine(&self) -> &'e ViewSearchEngine<'c, S> {
+        self.engine
+    }
+
+    /// The parsed view definition.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Number of base documents the view projects (= number of QPTs).
+    pub fn qpt_count(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Logical index probes planned at prepare time — one per probed QPT
+    /// node, proportional to the query, never to the data. (A pattern
+    /// that expands to several concrete data paths still counts once
+    /// here; the path index's own `stats().probes` counter tracks the
+    /// per-path scans.)
+    pub fn probe_count(&self) -> usize {
+        self.plans.iter().map(|p| p.lists.probes).sum()
+    }
+
+    /// Answer one keyword search. Only keyword-dependent work happens
+    /// here; the view analysis is reused from prepare time.
+    pub fn search(&self, request: &SearchRequest) -> Result<SearchResponse, EngineError> {
+        let keywords: Vec<String> =
+            request.keywords().iter().map(|s| normalize_keyword(s)).collect();
+
+        // Phase 1: index-only PDTs from the prepared probe lists.
+        let t0 = Instant::now();
+        let inverted = self.engine.inverted_index();
+        let mut pdts: Vec<Pdt> = Vec::with_capacity(self.plans.len());
+        let mut pdt_stats = Vec::with_capacity(self.plans.len());
+        for plan in &self.plans {
+            let (pdt, stats) =
+                generate_pdt_from_lists(&plan.qpt, &plan.lists, inverted, &keywords, &plan.meta);
+            pdt_stats.push((plan.qpt.doc_name.clone(), stats, pdt.byte_size()));
+            pdts.push(pdt);
+        }
+        let t_pdt = t0.elapsed();
+
+        // Phase 2: the regular evaluator, redirected to the PDTs.
+        let t1 = Instant::now();
+        let source = MapSource::new(pdts.iter().map(|p| (p.doc_name.clone(), &p.doc)));
+        let evaluator = Evaluator::new(&source, &self.query);
+        let results = evaluator.eval_query(&self.query)?;
+        let t_eval = t1.elapsed();
+
+        // Phase 3: score from PDT annotations, rank, materialize top-k.
+        let t2 = Instant::now();
+        let by_name: HashMap<&str, &Pdt> = pdts.iter().map(|p| (p.doc_name.as_str(), p)).collect();
+        let stats: Vec<ElementStats> = results
+            .iter()
+            .map(|item| {
+                let tf: Vec<u32> = (0..keywords.len())
+                    .map(|ki| {
+                        item_sum_with(item, &mut |doc, n| {
+                            by_name
+                                .get(doc.name())
+                                .map(|p| p.tf(&doc.node(n).dewey, ki) as u64)
+                                .unwrap_or(0)
+                        }) as u32
+                    })
+                    .collect();
+                let byte_len = item_byte_len_with(item, &mut |doc, n| {
+                    by_name
+                        .get(doc.name())
+                        .map(|p| p.byte_len(&doc.node(n).dewey) as u64)
+                        .unwrap_or(0)
+                });
+                ElementStats { tf, byte_len }
+            })
+            .collect();
+        let ScoringOutcome { top, matching, idf, view_size } =
+            score_and_rank(&stats, request.keyword_mode(), request.k());
+
+        let storage = self.engine.source();
+        // Fetches are counted locally (not by diffing the source's global
+        // counter) so concurrent searches on one source each report
+        // exactly their own base-data work.
+        let mut fetches = 0u64;
+        let mut source_error: Option<vxv_xml::source::SourceError> = None;
+        let mut hits: Vec<SearchHit> = Vec::with_capacity(top.len());
+        for (i, scored) in top.into_iter().enumerate() {
+            let xml = if request.materializes() {
+                serialize_item_with(&results[scored.index], &mut |doc, n, out| match storage
+                    .subtree_xml(&doc.node(n).dewey)
+                {
+                    Ok(Some(sub)) => {
+                        fetches += 1;
+                        out.push_str(&sub);
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        if source_error.is_none() {
+                            source_error = Some(e);
+                        }
+                    }
+                })
+            } else {
+                String::new()
+            };
+            if let Some(e) = source_error.take() {
+                return Err(EngineError::Source(e));
+            }
+            hits.push(SearchHit {
+                rank: i + 1,
+                score: scored.score,
+                tf: scored.tf,
+                byte_len: scored.byte_len,
+                xml,
+            });
+        }
+        let t_post = t2.elapsed();
+
+        Ok(SearchResponse {
+            hits,
+            view_size,
+            matching,
+            idf,
+            timings: request.collects_timings().then_some(PhaseTimings {
+                pdt: t_pdt,
+                evaluator: t_eval,
+                post: t_post,
+            }),
+            pdt_stats,
+            fetches,
+            plan: request.wants_plan().then(|| self.plan(request.keywords())),
+        })
+    }
+
+    /// The query plan: per-QPT probe reports from the cached prepare-time
+    /// lists, plus the keywords' posting-list lengths — without running
+    /// the query.
+    pub fn plan<K: AsRef<str>>(&self, keywords: &[K]) -> QueryPlan {
+        let qpts = self
+            .plans
+            .iter()
+            .map(|plan| {
+                let probes = plan
+                    .lists
+                    .lists
+                    .iter()
+                    .zip(&plan.lists.expanded_paths)
+                    .map(|((q, entries), expanded)| ProbeReport {
+                        expanded_paths: *expanded,
+                        pattern: plan.qpt.pattern(*q).to_string(),
+                        predicates: plan.qpt.node(*q).preds.len(),
+                        entries: entries.len(),
+                    })
+                    .collect();
+                QptReport {
+                    doc_name: plan.qpt.doc_name.clone(),
+                    rendered: plan.qpt.to_string(),
+                    nodes: plan.qpt.len(),
+                    probes,
+                }
+            })
+            .collect();
+        let keyword_list_lengths = keywords
+            .iter()
+            .map(|k| {
+                let norm = normalize_keyword(k.as_ref());
+                let len = self.engine.inverted_index().list_len(&norm);
+                (norm, len)
+            })
+            .collect();
+        QueryPlan { qpts, keyword_list_lengths }
+    }
+}
+
+/// One probe the prepare phase issued for a QPT node.
+#[derive(Clone, Debug)]
+pub struct ProbeReport {
+    /// The root-to-node path pattern sent to the path index.
+    pub pattern: String,
+    /// Number of predicates pushed into the probe.
+    pub predicates: usize,
+    /// Full data paths the pattern expands to in the dictionary.
+    pub expanded_paths: usize,
+    /// Entries the probe returned (relevant-list length).
+    pub entries: usize,
+}
+
+/// Query-plan introspection for one QPT.
+#[derive(Clone, Debug)]
+pub struct QptReport {
+    /// The document this QPT projects.
+    pub doc_name: String,
+    /// Pretty-printed QPT (axes, edges, annotations, predicates).
+    pub rendered: String,
+    /// Pattern nodes in the QPT.
+    pub nodes: usize,
+    /// The probes `PrepareLists` issued — proportional to the query.
+    pub probes: Vec<ProbeReport>,
+}
+
+/// How a search over a prepared view is answered: the QPTs, the index
+/// probes with their list sizes, and the keywords' inverted-list lengths.
+#[derive(Clone, Debug)]
+pub struct QueryPlan {
+    /// One report per base document the view references.
+    pub qpts: Vec<QptReport>,
+    /// Per-keyword inverted-list lengths (the paper's selectivity knob).
+    pub keyword_list_lengths: Vec<(String, usize)>,
+}

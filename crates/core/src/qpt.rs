@@ -88,11 +88,9 @@ impl Qpt {
             incoming_mandatory: mandatory,
         });
         match parent {
-            Some(p) => self.nodes[p.0 as usize].children.push(QptEdge {
-                axis,
-                mandatory,
-                child: id,
-            }),
+            Some(p) => {
+                self.nodes[p.0 as usize].children.push(QptEdge { axis, mandatory, child: id })
+            }
             None => self.roots.push(id),
         }
         id
@@ -142,9 +140,7 @@ impl Qpt {
             return None;
         }
         let parent = node.parent?;
-        self.mandatory_children(parent)
-            .position(|e| e.child == child)
-            .map(|i| i as u32)
+        self.mandatory_children(parent).position(|e| e.child == child).map(|i| i as u32)
     }
 
     /// Number of mandatory child edges of a node.

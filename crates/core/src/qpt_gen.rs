@@ -30,9 +30,7 @@ use crate::qpt::{Qpt, QptNodeId};
 use std::collections::BTreeMap;
 use std::fmt;
 use vxv_index::{Axis, ValuePredicate};
-use vxv_xquery::ast::{
-    self, CompOp, Expr, FlworExpr, PathExpr, PathSource, Predicate, Query,
-};
+use vxv_xquery::ast::{self, CompOp, Expr, FlworExpr, PathExpr, PathSource, Predicate, Query};
 
 /// Error for views outside the supported fragment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -450,17 +448,13 @@ fn merge_into_qpt(qpt: &mut Qpt, parent: Option<QptNodeId>, frag: &Frag, edge: F
                     && qpt.node(e.child).preds == fnode.preds
             })
             .map(|e| e.child),
-        None => qpt
-            .roots()
-            .iter()
-            .copied()
-            .find(|r| {
-                let n = qpt.node(*r);
-                n.incoming_axis == edge.axis
-                    && n.incoming_mandatory == edge.mandatory
-                    && n.tag == fnode.tag
-                    && n.preds == fnode.preds
-            }),
+        None => qpt.roots().iter().copied().find(|r| {
+            let n = qpt.node(*r);
+            n.incoming_axis == edge.axis
+                && n.incoming_mandatory == edge.mandatory
+                && n.tag == fnode.tag
+                && n.preds == fnode.preds
+        }),
     };
     let id = match existing {
         Some(id) => id,
@@ -596,8 +590,7 @@ mod tests {
         let q = &qpts[0];
         assert_eq!(q.len(), 5, "{q}"); // catalog, section, item, price, name
         let (_, item) = find(q, "item");
-        let chain: Vec<&str> =
-            q.chain(item).iter().map(|id| q.node(*id).tag.as_str()).collect();
+        let chain: Vec<&str> = q.chain(item).iter().map(|id| q.node(*id).tag.as_str()).collect();
         assert_eq!(chain, vec!["catalog", "section", "item"]);
     }
 
@@ -610,8 +603,7 @@ mod tests {
         let q = &qpts[0];
         let (_, name) = find(q, "name");
         assert!(q.node(name).c_ann, "{q}");
-        let chain: Vec<&str> =
-            q.chain(name).iter().map(|id| q.node(*id).tag.as_str()).collect();
+        let chain: Vec<&str> = q.chain(name).iter().map(|id| q.node(*id).tag.as_str()).collect();
         assert_eq!(chain, vec!["r", "item", "name"]);
     }
 
@@ -645,10 +637,9 @@ mod tests {
 
     #[test]
     fn recursive_functions_are_rejected() {
-        let e = generate_qpts(
-            &parse_query("declare function f($x) { f($x) } f(fn:doc(d)/r)").unwrap(),
-        )
-        .unwrap_err();
+        let e =
+            generate_qpts(&parse_query("declare function f($x) { f($x) } f(fn:doc(d)/r)").unwrap())
+                .unwrap_err();
         assert!(e.message.contains("recursive"), "{e}");
     }
 }
@@ -675,8 +666,7 @@ mod more_tests {
         );
         let q = &qpts[0];
         let item = q.node_ids().find(|id| q.node(*id).tag == "item").unwrap();
-        let chain: Vec<&str> =
-            q.chain(item).iter().map(|id| q.node(*id).tag.as_str()).collect();
+        let chain: Vec<&str> = q.chain(item).iter().map(|id| q.node(*id).tag.as_str()).collect();
         assert_eq!(chain, vec!["r", "list", "item"], "{q}");
         assert!(node(q, "p").incoming_mandatory);
         assert!(node(q, "name").c_ann);

@@ -1,0 +1,179 @@
+//! The request/response halves of the prepared-view search API.
+//!
+//! A [`SearchRequest`] carries everything that varies *per search* —
+//! keywords, `k`, keyword semantics, and output options — while the
+//! expensive per-view work (parsing, QPT generation, probe planning)
+//! lives in [`crate::prepared::PreparedView`]. One prepared view answers
+//! many requests, concurrently.
+
+use crate::generate::GenerateStats;
+use crate::prepared::QueryPlan;
+use crate::scoring::KeywordMode;
+use std::time::Duration;
+
+/// One keyword search over a prepared view: what to look for and what to
+/// report back. Build with [`SearchRequest::new`] and chain the setters.
+///
+/// ```
+/// use vxv_core::{KeywordMode, SearchRequest};
+/// let req = SearchRequest::new(["xml", "search"])
+///     .top_k(5)
+///     .mode(KeywordMode::Disjunctive)
+///     .materialize(false)
+///     .collect_timings(false);
+/// assert_eq!(req.keywords(), ["xml", "search"]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SearchRequest {
+    keywords: Vec<String>,
+    top_k: usize,
+    mode: KeywordMode,
+    materialize: bool,
+    collect_timings: bool,
+    with_plan: bool,
+}
+
+impl SearchRequest {
+    /// A conjunctive top-10 search for `keywords`, with materialization
+    /// and timing collection on and plan reporting off.
+    pub fn new<I, K>(keywords: I) -> Self
+    where
+        I: IntoIterator<Item = K>,
+        K: AsRef<str>,
+    {
+        SearchRequest {
+            keywords: keywords.into_iter().map(|k| k.as_ref().to_string()).collect(),
+            top_k: 10,
+            mode: KeywordMode::Conjunctive,
+            materialize: true,
+            collect_timings: true,
+            with_plan: false,
+        }
+    }
+
+    /// How many top-ranked hits to return (and to materialize).
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.top_k = k;
+        self
+    }
+
+    /// Conjunctive (all keywords) or disjunctive (any keyword) matching.
+    pub fn mode(mut self, mode: KeywordMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Whether to expand the top-k hits from base storage into XML.
+    /// With `false`, hits carry scores, tf vectors and byte lengths but an
+    /// empty `xml`, and the search touches **no** base data at all.
+    pub fn materialize(mut self, on: bool) -> Self {
+        self.materialize = on;
+        self
+    }
+
+    /// Whether to record per-phase wall-clock timings in the response.
+    pub fn collect_timings(mut self, on: bool) -> Self {
+        self.collect_timings = on;
+        self
+    }
+
+    /// Whether to attach the query plan (QPTs, probes, posting-list
+    /// lengths) to the response.
+    pub fn with_plan(mut self, on: bool) -> Self {
+        self.with_plan = on;
+        self
+    }
+
+    /// The raw (un-normalized) keywords.
+    pub fn keywords(&self) -> &[String] {
+        &self.keywords
+    }
+
+    /// The `k` of top-k.
+    pub fn k(&self) -> usize {
+        self.top_k
+    }
+
+    /// The keyword semantics.
+    pub fn keyword_mode(&self) -> KeywordMode {
+        self.mode
+    }
+
+    /// Whether hits will be materialized.
+    pub fn materializes(&self) -> bool {
+        self.materialize
+    }
+
+    /// Whether timings will be collected.
+    pub fn collects_timings(&self) -> bool {
+        self.collect_timings
+    }
+
+    /// Whether the plan will be attached.
+    pub fn wants_plan(&self) -> bool {
+        self.with_plan
+    }
+}
+
+/// One ranked search hit.
+#[derive(Clone, Debug)]
+pub struct SearchHit {
+    /// 1-based rank.
+    pub rank: usize,
+    /// The normalized TF-IDF score.
+    pub score: f64,
+    /// Per-query-keyword term frequencies.
+    pub tf: Vec<u32>,
+    /// Aggregate byte length of the view element.
+    pub byte_len: u64,
+    /// The materialized XML of the view element (empty when the request
+    /// disabled materialization).
+    pub xml: String,
+}
+
+/// Wall-clock cost of each pipeline phase (Fig. 14's breakdown).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// PDT generation from the prepared probe lists (the paper's "PDT"
+    /// bar; view parsing and probe planning are paid at prepare time).
+    pub pdt: Duration,
+    /// View evaluation over the PDTs (the "Evaluator" bar).
+    pub evaluator: Duration,
+    /// Scoring + top-k materialization (the "Post-processing" bar).
+    pub post: Duration,
+}
+
+impl PhaseTimings {
+    /// Total across phases.
+    pub fn total(&self) -> Duration {
+        self.pdt + self.evaluator + self.post
+    }
+}
+
+/// Everything one search reports back.
+#[derive(Debug)]
+pub struct SearchResponse {
+    /// Ranked hits, materialized if the request asked for it.
+    pub hits: Vec<SearchHit>,
+    /// |V(D)| — size of the (virtual) view.
+    pub view_size: usize,
+    /// Matching elements before the top-k cut.
+    pub matching: usize,
+    /// Per-keyword idf over the view.
+    pub idf: Vec<f64>,
+    /// Phase wall-clock costs, when the request collected them.
+    pub timings: Option<PhaseTimings>,
+    /// Per-document PDT statistics: (doc name, sweep stats, PDT bytes).
+    pub pdt_stats: Vec<(String, GenerateStats, u64)>,
+    /// Base-data subtree fetches spent on materialization.
+    pub fetches: u64,
+    /// The query plan, when the request asked for it.
+    pub plan: Option<QueryPlan>,
+}
+
+impl SearchResponse {
+    /// Total bytes across all generated PDTs.
+    pub fn pdt_bytes(&self) -> u64 {
+        self.pdt_stats.iter().map(|(_, _, b)| *b).sum()
+    }
+}

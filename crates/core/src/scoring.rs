@@ -78,10 +78,8 @@ pub fn score_and_rank(stats: &[ElementStats], mode: KeywordMode, k: usize) -> Sc
             }
         }
     }
-    let idf: Vec<f64> = df
-        .iter()
-        .map(|d| if *d == 0 { 0.0 } else { view_size as f64 / *d as f64 })
-        .collect();
+    let idf: Vec<f64> =
+        df.iter().map(|d| if *d == 0 { 0.0 } else { view_size as f64 / *d as f64 }).collect();
 
     let mut matches: Vec<ScoredElement> = Vec::new();
     for (index, s) in stats.iter().enumerate() {

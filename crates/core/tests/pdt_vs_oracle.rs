@@ -32,7 +32,12 @@ fn tree_strategy(depth: u32) -> impl Strategy<Value = TreeSpec> {
             proptest::option::of(0..WORDS.len()),
             prop::collection::vec(inner, 0..4),
         )
-            .prop_map(|(tag, value, word, children)| TreeSpec { tag, value, word, children })
+            .prop_map(|(tag, value, word, children)| TreeSpec {
+                tag,
+                value,
+                word,
+                children,
+            })
     })
 }
 
@@ -68,7 +73,7 @@ fn build_doc(spec: &TreeSpec) -> Corpus {
 #[derive(Clone, Debug)]
 struct QptSpec {
     tag: usize,
-    axis: bool,      // true = descendant
+    axis: bool, // true = descendant
     mandatory: bool,
     pred: Option<(u8, u8)>, // (op 0..3, operand)
     v: bool,

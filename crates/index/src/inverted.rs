@@ -12,8 +12,8 @@
 //!   order).
 
 use crate::tokenize::token_counts;
-use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use vxv_xml::{Corpus, DeweyId, Document};
 
 /// One posting: an element that directly contains the keyword `tf` times.
@@ -38,8 +38,8 @@ pub struct InvertedIndexStats {
 #[derive(Debug, Default)]
 pub struct InvertedIndex {
     lists: HashMap<String, Vec<Posting>>,
-    lookups: Cell<u64>,
-    postings_scanned: Cell<u64>,
+    lookups: AtomicU64,
+    postings_scanned: AtomicU64,
 }
 
 impl InvertedIndex {
@@ -77,10 +77,9 @@ impl InvertedIndex {
     /// The full posting list for a keyword (lowercased token form), in
     /// Dewey order. Empty slice if the keyword never occurs.
     pub fn postings(&self, keyword: &str) -> &[Posting] {
-        self.lookups.set(self.lookups.get() + 1);
+        self.lookups.fetch_add(1, Ordering::Relaxed);
         let list = self.lists.get(keyword).map(|v| v.as_slice()).unwrap_or(&[]);
-        self.postings_scanned
-            .set(self.postings_scanned.get() + list.len() as u64);
+        self.postings_scanned.fetch_add(list.len() as u64, Ordering::Relaxed);
         list
     }
 
@@ -93,7 +92,7 @@ impl InvertedIndex {
     /// element with Dewey ID `root` (inclusive) — a binary-search range
     /// probe, O(log n + occurrences).
     pub fn subtree_tf(&self, keyword: &str, root: &DeweyId) -> u32 {
-        self.lookups.set(self.lookups.get() + 1);
+        self.lookups.fetch_add(1, Ordering::Relaxed);
         let Some(list) = self.lists.get(keyword) else { return 0 };
         let lo = list.partition_point(|p| p.id < *root);
         let hi_bound = root.subtree_upper_bound();
@@ -106,7 +105,7 @@ impl InvertedIndex {
             scanned += 1;
             total += p.tf;
         }
-        self.postings_scanned.set(self.postings_scanned.get() + scanned);
+        self.postings_scanned.fetch_add(scanned, Ordering::Relaxed);
         total
     }
 
@@ -123,25 +122,22 @@ impl InvertedIndex {
     /// Snapshot of the work counters.
     pub fn stats(&self) -> InvertedIndexStats {
         InvertedIndexStats {
-            lookups: self.lookups.get(),
-            postings_scanned: self.postings_scanned.get(),
+            lookups: self.lookups.load(Ordering::Relaxed),
+            postings_scanned: self.postings_scanned.load(Ordering::Relaxed),
         }
     }
 
     /// Reset the work counters.
     pub fn reset_stats(&self) {
-        self.lookups.set(0);
-        self.postings_scanned.set(0);
+        self.lookups.store(0, Ordering::Relaxed);
+        self.postings_scanned.store(0, Ordering::Relaxed);
     }
 
     /// Approximate in-memory size, in bytes.
     pub fn approx_byte_size(&self) -> u64 {
         self.lists
             .iter()
-            .map(|(k, l)| {
-                k.len() as u64
-                    + l.iter().map(|p| 4 * p.id.len() as u64 + 4).sum::<u64>()
-            })
+            .map(|(k, l)| k.len() as u64 + l.iter().map(|p| 4 * p.id.len() as u64 + 4).sum::<u64>())
             .sum()
     }
 }

@@ -15,8 +15,8 @@
 //! distinct full data paths, and per-path lists are merged in Dewey order.
 
 use crate::pattern::PathPattern;
-use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use vxv_xml::value::compare_atomic;
 use vxv_xml::{Corpus, DeweyId, Document};
 
@@ -84,9 +84,9 @@ pub struct PathIndex {
     paths: Vec<String>,
     path_ids: HashMap<String, u32>,
     tables: Vec<PathRows>,
-    probes: Cell<u64>,
-    rows_read: Cell<u64>,
-    entries_returned: Cell<u64>,
+    probes: AtomicU64,
+    rows_read: AtomicU64,
+    entries_returned: AtomicU64,
 }
 
 impl PathIndex {
@@ -124,11 +124,7 @@ impl PathIndex {
 
             let value = node.text.clone();
             let entry = IdEntry { id: node.dewey.clone(), byte_len: node.byte_len };
-            self.tables[pid as usize]
-                .rows
-                .entry(value)
-                .or_default()
-                .push(entry);
+            self.tables[pid as usize].rows.entry(value).or_default().push(entry);
         }
         // Re-sort rows: multiple documents may interleave ordinals.
         for t in &mut self.tables {
@@ -166,14 +162,13 @@ impl PathIndex {
     /// Values are returned too when present — the index stores them in the
     /// key, so they are free.
     pub fn lookup(&self, pattern: &PathPattern, preds: &[ValuePredicate]) -> ProbeResult {
-        self.probes.set(self.probes.get() + 1);
+        self.probes.fetch_add(1, Ordering::Relaxed);
         let mut lists: Vec<ProbeResult> = Vec::new();
         for pid in self.expand_pattern(pattern) {
             lists.push(self.scan_rows(pid, preds));
         }
         let merged = merge_dewey_ordered(lists);
-        self.entries_returned
-            .set(self.entries_returned.get() + merged.len() as u64);
+        self.entries_returned.fetch_add(merged.len() as u64, Ordering::Relaxed);
         merged
     }
 
@@ -181,10 +176,9 @@ impl PathIndex {
     /// Exposed so PDT generation can keep per-path provenance (which full
     /// path produced each entry) for QPT-node alignment.
     pub fn scan_path(&self, path_id: u32, preds: &[ValuePredicate]) -> ProbeResult {
-        self.probes.set(self.probes.get() + 1);
+        self.probes.fetch_add(1, Ordering::Relaxed);
         let out = self.scan_rows(path_id, preds);
-        self.entries_returned
-            .set(self.entries_returned.get() + out.len() as u64);
+        self.entries_returned.fetch_add(out.len() as u64, Ordering::Relaxed);
         out
     }
 
@@ -200,7 +194,7 @@ impl PathIndex {
         if let [ValuePredicate::Eq(v)] = preds {
             let mut lists: Vec<ProbeResult> = Vec::new();
             if let Some(row) = table.rows.get(&Some(v.clone())) {
-                self.rows_read.set(self.rows_read.get() + 1);
+                self.rows_read.fetch_add(1, Ordering::Relaxed);
                 lists.push(row.iter().map(|e| (e.clone(), Some(v.clone()))).collect());
             }
             // Numeric aliases ("07" = "7") require a scan; only do it when
@@ -210,7 +204,7 @@ impl PathIndex {
                 for (val, row) in &table.rows {
                     let Some(val) = val else { continue };
                     if val != v && ValuePredicate::Eq(v.clone()).eval(val) {
-                        self.rows_read.set(self.rows_read.get() + 1);
+                        self.rows_read.fetch_add(1, Ordering::Relaxed);
                         extra.extend(row.iter().map(|e| (e.clone(), Some(val.clone()))));
                     }
                 }
@@ -222,7 +216,7 @@ impl PathIndex {
         }
         let mut out: ProbeResult = Vec::new();
         for (val, row) in &table.rows {
-            self.rows_read.set(self.rows_read.get() + 1);
+            self.rows_read.fetch_add(1, Ordering::Relaxed);
             if preds.is_empty() {
                 out.extend(row.iter().map(|e| (e.clone(), val.clone())));
             } else {
@@ -244,17 +238,17 @@ impl PathIndex {
     /// Snapshot of the probe-work counters.
     pub fn stats(&self) -> PathIndexStats {
         PathIndexStats {
-            probes: self.probes.get(),
-            rows_read: self.rows_read.get(),
-            entries_returned: self.entries_returned.get(),
+            probes: self.probes.load(Ordering::Relaxed),
+            rows_read: self.rows_read.load(Ordering::Relaxed),
+            entries_returned: self.entries_returned.load(Ordering::Relaxed),
         }
     }
 
     /// Reset the probe-work counters.
     pub fn reset_stats(&self) {
-        self.probes.set(0);
-        self.rows_read.set(0);
-        self.entries_returned.set(0);
+        self.probes.store(0, Ordering::Relaxed);
+        self.rows_read.store(0, Ordering::Relaxed);
+        self.entries_returned.store(0, Ordering::Relaxed);
     }
 
     /// Approximate in-memory size of the index, in bytes.
@@ -264,10 +258,7 @@ impl PathIndex {
             total += p.len() as u64;
             for (v, row) in &t.rows {
                 total += v.as_ref().map(|s| s.len() as u64).unwrap_or(0);
-                total += row
-                    .iter()
-                    .map(|e| 4 * e.id.len() as u64 + 4)
-                    .sum::<u64>();
+                total += row.iter().map(|e| 4 * e.id.len() as u64 + 4).sum::<u64>();
             }
         }
         total
@@ -348,11 +339,8 @@ mod tests {
     #[test]
     fn descendant_axis_expands_against_path_dictionary() {
         let idx = PathIndex::build(&corpus());
-        let ids: Vec<String> = idx
-            .lookup_ids(&pat("/books//book/isbn"))
-            .iter()
-            .map(|d| d.to_string())
-            .collect();
+        let ids: Vec<String> =
+            idx.lookup_ids(&pat("/books//book/isbn")).iter().map(|d| d.to_string()).collect();
         assert_eq!(ids, vec!["1.1.1", "1.2.1", "1.3.1.1"]);
     }
 
@@ -360,7 +348,10 @@ mod tests {
     fn equality_predicate_is_a_point_probe() {
         let idx = PathIndex::build(&corpus());
         idx.reset_stats();
-        let res = idx.lookup(&pat("/books/book/isbn"), std::slice::from_ref(&ValuePredicate::Eq("222".into())));
+        let res = idx.lookup(
+            &pat("/books/book/isbn"),
+            std::slice::from_ref(&ValuePredicate::Eq("222".into())),
+        );
         assert_eq!(res.len(), 1);
         assert_eq!(res[0].0.id.to_string(), "1.2.1");
         // Point probe reads at most the matching row(s), not the whole path.
@@ -370,10 +361,16 @@ mod tests {
     #[test]
     fn range_predicates_filter_numerically() {
         let idx = PathIndex::build(&corpus());
-        let res = idx.lookup(&pat("/books//book/year"), std::slice::from_ref(&ValuePredicate::Gt("1995".into())));
+        let res = idx.lookup(
+            &pat("/books//book/year"),
+            std::slice::from_ref(&ValuePredicate::Gt("1995".into())),
+        );
         let ids: Vec<String> = res.iter().map(|(e, _)| e.id.to_string()).collect();
         assert_eq!(ids, vec!["1.1.3", "1.2.3"]);
-        let res = idx.lookup(&pat("/books//book/year"), std::slice::from_ref(&ValuePredicate::Lt("1995".into())));
+        let res = idx.lookup(
+            &pat("/books//book/year"),
+            std::slice::from_ref(&ValuePredicate::Lt("1995".into())),
+        );
         assert_eq!(res.len(), 1);
         assert_eq!(res[0].1.as_deref(), Some("1990"));
     }

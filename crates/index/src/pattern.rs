@@ -184,9 +184,7 @@ mod tests {
 
     #[test]
     fn builder_api() {
-        let p = PathPattern::new()
-            .step(Axis::Child, "books")
-            .step(Axis::Descendant, "book");
+        let p = PathPattern::new().step(Axis::Child, "books").step(Axis::Descendant, "book");
         assert_eq!(p.to_string(), "/books//book");
         assert_eq!(p.leaf_tag(), Some("book"));
     }

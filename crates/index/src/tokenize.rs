@@ -11,9 +11,7 @@
 
 /// Iterate over the lowercased tokens of `text`.
 pub fn tokens(text: &str) -> impl Iterator<Item = String> + '_ {
-    text.split(|c: char| !c.is_alphanumeric())
-        .filter(|t| !t.is_empty())
-        .map(|t| t.to_lowercase())
+    text.split(|c: char| !c.is_alphanumeric()).filter(|t| !t.is_empty()).map(|t| t.to_lowercase())
 }
 
 /// Count occurrences of each token in `text`, in first-seen order.

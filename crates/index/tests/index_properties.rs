@@ -18,12 +18,9 @@ struct Spec {
 }
 
 fn spec_strategy() -> impl Strategy<Value = Spec> {
-    let leaf = (
-        0..TAGS.len(),
-        prop::collection::vec(0..WORDS.len(), 0..4),
-        proptest::option::of(0u8..5),
-    )
-        .prop_map(|(tag, words, value)| Spec { tag, words, value, children: vec![] });
+    let leaf =
+        (0..TAGS.len(), prop::collection::vec(0..WORDS.len(), 0..4), proptest::option::of(0u8..5))
+            .prop_map(|(tag, words, value)| Spec { tag, words, value, children: vec![] });
     leaf.prop_recursive(4, 24, 4, |inner| {
         (
             0..TAGS.len(),

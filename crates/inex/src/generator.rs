@@ -195,7 +195,12 @@ fn gen_citations(
     b.finish()
 }
 
-fn gen_venues(rng: &mut StdRng, venues: usize, publishers: usize, ordinal: u32) -> vxv_xml::Document {
+fn gen_venues(
+    rng: &mut StdRng,
+    venues: usize,
+    publishers: usize,
+    ordinal: u32,
+) -> vxv_xml::Document {
     let mut b = DocumentBuilder::new("venues.xml", ordinal);
     b.begin("venues");
     for i in 0..venues {
@@ -232,10 +237,7 @@ mod tests {
             let cfg = GeneratorConfig { target_bytes: target, ..GeneratorConfig::default() };
             let corpus = generate(&cfg);
             let size = corpus.byte_size();
-            assert!(
-                size > target / 2 && size < target * 3,
-                "target {target}, got {size}"
-            );
+            assert!(size > target / 2 && size < target * 3, "target {target}, got {size}");
         }
     }
 
@@ -262,8 +264,7 @@ mod tests {
             .descendants(root)
             .find(|n| inex.node_tag(*n) == "article")
             .expect("articles exist");
-        let kids: Vec<&str> =
-            inex.children(article).iter().map(|n| inex.node_tag(*n)).collect();
+        let kids: Vec<&str> = inex.children(article).iter().map(|n| inex.node_tag(*n)).collect();
         assert_eq!(kids[0], "fno");
         assert!(kids.contains(&"fm"));
         assert!(kids.contains(&"bdy"));
@@ -292,14 +293,14 @@ mod tests {
     #[test]
     fn lower_join_selectivity_means_more_authors() {
         let base = GeneratorConfig { target_bytes: 256 * 1024, ..GeneratorConfig::default() };
-        let sparse =
-            GeneratorConfig { join_selectivity: 0.1, ..base.clone() };
+        let sparse = GeneratorConfig { join_selectivity: 0.1, ..base.clone() };
         assert!(author_count(&sparse) > 5 * author_count(&base));
     }
 
     #[test]
     fn elem_size_scales_articles() {
-        let small = GeneratorConfig { target_bytes: 128 * 1024, elem_size: 1, ..Default::default() };
+        let small =
+            GeneratorConfig { target_bytes: 128 * 1024, elem_size: 1, ..Default::default() };
         let big = GeneratorConfig { target_bytes: 128 * 1024, elem_size: 5, ..Default::default() };
         // Same corpus size target, so fewer but fatter articles.
         assert!(article_count(&big) < article_count(&small));

@@ -51,11 +51,9 @@ const BACKGROUND: usize = 1200;
 pub fn draw_word(rng: &mut StdRng) -> String {
     let roll: f64 = rng.gen();
     let mut acc = 0.0;
-    for (rate, pool) in [
-        (LOW_RATE, &LOW_KEYWORDS),
-        (MEDIUM_RATE, &MEDIUM_KEYWORDS),
-        (HIGH_RATE, &HIGH_KEYWORDS),
-    ] {
+    for (rate, pool) in
+        [(LOW_RATE, &LOW_KEYWORDS), (MEDIUM_RATE, &MEDIUM_KEYWORDS), (HIGH_RATE, &HIGH_KEYWORDS)]
+    {
         let total = rate * pool.len() as f64;
         if roll < acc + total {
             let i = ((roll - acc) / rate) as usize;
@@ -73,8 +71,8 @@ pub fn draw_word(rng: &mut StdRng) -> String {
 /// The `rank`-th background word (deterministic synthesis, no table).
 pub fn background_word(rank: usize) -> String {
     const SYLLABLES: [&str; 16] = [
-        "ta", "re", "mi", "con", "ver", "lo", "san", "del", "pra", "ku", "zen", "for", "bi",
-        "nor", "gal", "hu",
+        "ta", "re", "mi", "con", "ver", "lo", "san", "del", "pra", "ku", "zen", "for", "bi", "nor",
+        "gal", "hu",
     ];
     let mut w = String::new();
     let mut r = rank + 17;

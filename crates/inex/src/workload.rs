@@ -88,9 +88,8 @@ pub fn build_view(joins: usize, nesting: usize) -> String {
     let mut article_content = String::from("{ $art/fm/tl } ");
     match nesting {
         0..=2 => article_content.push_str("{ $art/bdy }"),
-        3 => article_content.push_str(
-            "{ for $s in $art/bdy/sec return <section> { $s/st } { $s/p } </section> }",
-        ),
+        3 => article_content
+            .push_str("{ for $s in $art/bdy/sec return <section> { $s/st } { $s/p } </section> }"),
         _ => article_content.push_str(
             "{ for $s in $art/bdy/sec return <section> { $s/st } \
                { for $pp in $s/p return <para> { $pp } </para> } </section> }",
@@ -137,7 +136,7 @@ pub fn build_view(joins: usize, nesting: usize) -> String {
 mod tests {
     use super::*;
     use crate::generator::generate;
-    use vxv_core::{generate_qpts, KeywordMode, ViewSearchEngine};
+    use vxv_core::{generate_qpts, KeywordMode, SearchRequest, ViewSearchEngine};
     use vxv_xquery::parse_query;
 
     #[test]
@@ -161,14 +160,17 @@ mod tests {
 
     #[test]
     fn default_experiment_runs_end_to_end() {
-        let params = ExperimentParams {
-            data_bytes: 96 * 1024,
-            ..ExperimentParams::default()
-        };
+        let params = ExperimentParams { data_bytes: 96 * 1024, ..ExperimentParams::default() };
         let corpus = generate(&params.generator_config());
         let engine = ViewSearchEngine::new(&corpus);
         let out = engine
-            .search(&params.view(), &params.keywords(), params.top_k, KeywordMode::Conjunctive)
+            .prepare(&params.view())
+            .unwrap()
+            .search(
+                &SearchRequest::new(params.keywords())
+                    .top_k(params.top_k)
+                    .mode(KeywordMode::Conjunctive),
+            )
             .unwrap();
         assert!(out.view_size > 0, "view must not be empty");
     }
@@ -184,22 +186,23 @@ mod tests {
         let corpus = generate(&params.generator_config());
         let engine = ViewSearchEngine::new(&corpus);
         let out = engine
-            .search(&params.view(), &["data"], 5, KeywordMode::Conjunctive)
+            .prepare(&params.view())
+            .unwrap()
+            .search(&SearchRequest::new(["data"]).top_k(5))
             .unwrap();
         assert_eq!(out.pdt_stats.len(), 1);
     }
 
     #[test]
     fn four_join_view_touches_five_documents() {
-        let params = ExperimentParams {
-            data_bytes: 64 * 1024,
-            num_joins: 4,
-            ..ExperimentParams::default()
-        };
+        let params =
+            ExperimentParams { data_bytes: 64 * 1024, num_joins: 4, ..ExperimentParams::default() };
         let corpus = generate(&params.generator_config());
         let engine = ViewSearchEngine::new(&corpus);
         let out = engine
-            .search(&params.view(), &["data"], 5, KeywordMode::Conjunctive)
+            .prepare(&params.view())
+            .unwrap()
+            .search(&SearchRequest::new(["data"]).top_k(5))
             .unwrap();
         assert_eq!(out.pdt_stats.len(), 5);
     }

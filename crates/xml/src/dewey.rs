@@ -102,11 +102,7 @@ impl DeweyId {
 
     /// Length of the longest common prefix with `other`, in components.
     pub fn common_prefix_len(&self, other: &DeweyId) -> usize {
-        self.0
-            .iter()
-            .zip(other.0.iter())
-            .take_while(|(a, b)| a == b)
-            .count()
+        self.0.iter().zip(other.0.iter()).take_while(|(a, b)| a == b).count()
     }
 }
 
@@ -137,10 +133,7 @@ impl std::str::FromStr for DeweyId {
         if s.is_empty() {
             return Ok(DeweyId(Vec::new()));
         }
-        s.split('.')
-            .map(|c| c.parse::<u32>())
-            .collect::<Result<Vec<_>, _>>()
-            .map(DeweyId)
+        s.split('.').map(|c| c.parse::<u32>()).collect::<Result<Vec<_>, _>>().map(DeweyId)
     }
 }
 

@@ -21,11 +21,12 @@ use crate::doc::Document;
 use crate::parse::{parse_document, ParseError};
 use crate::storage::Corpus;
 use crate::write::serialize_with_offsets;
-use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{self, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Per-document storage map: element Dewey ID → (offset, length) in the
 /// serialized file. This is storage metadata (Quark keeps the same), not
@@ -91,20 +92,25 @@ impl CostModel {
 }
 
 /// A directory of serialized documents with positioned-read access.
+///
+/// `Sync`: counters are atomic and the cost-model bookkeeping sits behind
+/// mutexes, so one store can serve concurrent searches from multiple
+/// threads (each access is still charged exactly once).
 #[derive(Debug, Default)]
 pub struct DiskStore {
     docs: BTreeMap<String, DocCatalog>,
-    range_reads: Cell<u64>,
-    full_reads: Cell<u64>,
-    bytes_read: Cell<u64>,
-    bytes_written: Cell<u64>,
-    simulated_io: Cell<std::time::Duration>,
+    range_reads: AtomicU64,
+    full_reads: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    /// Simulated I/O accrued, in nanoseconds.
+    simulated_io_ns: AtomicU64,
     cost_model: Option<CostModel>,
     /// Last byte position touched per document root ordinal (for the
     /// sequential-window heuristic of the cost model).
-    head_pos: std::cell::RefCell<std::collections::HashMap<u32, u64>>,
+    head_pos: Mutex<std::collections::HashMap<u32, u64>>,
     /// Buffer pool: (ordinal, page) pairs already paid for.
-    pool: std::cell::RefCell<std::collections::HashSet<(u32, u64)>>,
+    pool: Mutex<std::collections::HashSet<(u32, u64)>>,
 }
 
 impl DiskStore {
@@ -117,10 +123,7 @@ impl DiskStore {
             let file_name = format!("doc{:04}.xml", i);
             let path = dir.join(file_name);
             std::fs::write(&path, xml.as_bytes())?;
-            let root_ordinal = doc
-                .root()
-                .map(|r| doc.node(r).dewey.components()[0])
-                .unwrap_or(0);
+            let root_ordinal = doc.root().map(|r| doc.node(r).dewey.components()[0]).unwrap_or(0);
             store.docs.insert(
                 doc.name().to_string(),
                 DocCatalog {
@@ -154,7 +157,7 @@ impl DiskStore {
         if m.page_bytes > 0 {
             let first = offset / m.page_bytes;
             let last = (offset + len.max(1) - 1) / m.page_bytes;
-            let mut pool = self.pool.borrow_mut();
+            let mut pool = self.pool.lock().unwrap();
             let mut uncached = 0u64;
             for p in first..=last {
                 if pool.insert((file, p)) {
@@ -166,10 +169,9 @@ impl DiskStore {
             }
             drop(pool);
             // Pay for the uncached pages (devices read whole pages).
-            let mut heads = self.head_pos.borrow_mut();
+            let mut heads = self.head_pos.lock().unwrap();
             let head = heads.entry(file).or_insert(u64::MAX);
-            let sequential =
-                *head != u64::MAX && offset >= *head && offset - *head <= m.seq_window;
+            let sequential = *head != u64::MAX && offset >= *head && offset - *head <= m.seq_window;
             let mut d = std::time::Duration::from_secs_f64(
                 (uncached * m.page_bytes) as f64 / m.bytes_per_sec,
             );
@@ -181,7 +183,7 @@ impl DiskStore {
             self.block_for(d);
             return;
         }
-        let mut heads = self.head_pos.borrow_mut();
+        let mut heads = self.head_pos.lock().unwrap();
         let head = heads.entry(file).or_insert(u64::MAX);
         let sequential = *head != u64::MAX && offset >= *head && offset - *head <= m.seq_window;
         let transfer_bytes = if sequential { offset - *head + len } else { len };
@@ -197,15 +199,14 @@ impl DiskStore {
     /// Charge a sequential write of `len` bytes (Baseline's materialized
     /// view goes back into document storage).
     pub fn charge_write(&self, len: u64) {
-        self.bytes_written.set(self.bytes_written.get() + len);
+        self.bytes_written.fetch_add(len, Ordering::Relaxed);
         let Some(m) = &self.cost_model else { return };
-        let d = m.read_latency
-            + std::time::Duration::from_secs_f64(len as f64 / m.bytes_per_sec);
+        let d = m.read_latency + std::time::Duration::from_secs_f64(len as f64 / m.bytes_per_sec);
         self.block_for(d);
     }
 
     fn block_for(&self, d: std::time::Duration) {
-        self.simulated_io.set(self.simulated_io.get() + d);
+        self.simulated_io_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
         // Spin for accuracy at microsecond scales; sleep for long waits.
         if d > std::time::Duration::from_millis(2) {
             std::thread::sleep(d);
@@ -227,8 +228,8 @@ impl DiskStore {
         let cat = self.docs.get(name).ok_or_else(|| StoreError::unknown(name))?;
         let bytes = std::fs::read(&cat.path).map_err(StoreError::Io)?;
         self.charge_read(cat.root_ordinal, 0, bytes.len() as u64);
-        self.full_reads.set(self.full_reads.get() + 1);
-        self.bytes_read.set(self.bytes_read.get() + bytes.len() as u64);
+        self.full_reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes.len() as u64, Ordering::Relaxed);
         let text = String::from_utf8(bytes).map_err(|_| StoreError::corrupt(name))?;
         parse_document(name, &text, cat.root_ordinal).map_err(StoreError::Parse)
     }
@@ -251,8 +252,8 @@ impl DiskStore {
         f.seek(SeekFrom::Start(off)).map_err(StoreError::Io)?;
         let mut buf = vec![0u8; len as usize];
         f.read_exact(&mut buf).map_err(StoreError::Io)?;
-        self.range_reads.set(self.range_reads.get() + 1);
-        self.bytes_read.set(self.bytes_read.get() + len as u64);
+        self.range_reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(len as u64, Ordering::Relaxed);
         String::from_utf8(buf).map_err(|_| StoreError::corrupt(&cat.path.display().to_string()))
     }
 
@@ -296,23 +297,25 @@ impl DiskStore {
     /// Snapshot of the access counters.
     pub fn stats(&self) -> DiskStoreStats {
         DiskStoreStats {
-            range_reads: self.range_reads.get(),
-            full_reads: self.full_reads.get(),
-            bytes_read: self.bytes_read.get(),
-            bytes_written: self.bytes_written.get(),
-            simulated_io: self.simulated_io.get(),
+            range_reads: self.range_reads.load(Ordering::Relaxed),
+            full_reads: self.full_reads.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            simulated_io: std::time::Duration::from_nanos(
+                self.simulated_io_ns.load(Ordering::Relaxed),
+            ),
         }
     }
 
     /// Reset the access counters (and the simulated head positions).
     pub fn reset_stats(&self) {
-        self.range_reads.set(0);
-        self.full_reads.set(0);
-        self.bytes_read.set(0);
-        self.bytes_written.set(0);
-        self.simulated_io.set(std::time::Duration::ZERO);
-        self.head_pos.borrow_mut().clear();
-        self.pool.borrow_mut().clear();
+        self.range_reads.store(0, Ordering::Relaxed);
+        self.full_reads.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.simulated_io_ns.store(0, Ordering::Relaxed);
+        self.head_pos.lock().unwrap().clear();
+        self.pool.lock().unwrap().clear();
     }
 }
 
@@ -403,10 +406,7 @@ mod tests {
         let dir = tmpdir("value");
         let c = corpus();
         let store = DiskStore::persist(&c, &dir).unwrap();
-        assert_eq!(
-            store.read_value(&"1.1.1".parse().unwrap()).unwrap(),
-            Some("111".to_string())
-        );
+        assert_eq!(store.read_value(&"1.1.1".parse().unwrap()).unwrap(), Some("111".to_string()));
         // Non-leaf element: no direct value.
         assert_eq!(store.read_value(&"1.1".parse().unwrap()).unwrap(), None);
         std::fs::remove_dir_all(&dir).unwrap();

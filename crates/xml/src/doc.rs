@@ -124,10 +124,7 @@ impl Document {
 
     /// Binary-search a node by its Dewey ID.
     pub fn node_by_dewey(&self, dewey: &DeweyId) -> Option<NodeId> {
-        self.nodes
-            .binary_search_by(|n| n.dewey.cmp(dewey))
-            .ok()
-            .map(|i| NodeId(i as u32))
+        self.nodes.binary_search_by(|n| n.dewey.cmp(dewey)).ok().map(|i| NodeId(i as u32))
     }
 
     /// The atomic value of a node (text content), if it is a leaf with text.

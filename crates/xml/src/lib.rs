@@ -18,6 +18,7 @@ pub mod dewey;
 pub mod diskstore;
 pub mod doc;
 pub mod parse;
+pub mod source;
 pub mod storage;
 pub mod value;
 pub mod write;
@@ -26,5 +27,6 @@ pub use dewey::DeweyId;
 pub use diskstore::{DiskStore, DiskStoreStats, StoreError};
 pub use doc::{Document, DocumentBuilder, Node, NodeId, TagId};
 pub use parse::{parse_document, ParseError};
+pub use source::{DocumentSource, SourceError};
 pub use storage::Corpus;
 pub use write::{serialize_pretty, serialize_subtree, serialize_with_offsets};

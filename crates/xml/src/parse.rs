@@ -192,7 +192,9 @@ impl<'a> Parser<'a> {
                         self.pos += 2;
                         let close = self.read_name()?;
                         if close != tag {
-                            return Err(self.err(format!("mismatched close tag </{close}> for <{tag}>")));
+                            return Err(
+                                self.err(format!("mismatched close tag </{close}> for <{tag}>"))
+                            );
                         }
                         self.skip_ws();
                         if self.peek() != Some(b'>') {
@@ -229,10 +231,7 @@ impl<'a> Parser<'a> {
 
 fn find(bytes: &[u8], from: usize, needle: &str) -> Option<usize> {
     let n = needle.as_bytes();
-    bytes[from..]
-        .windows(n.len())
-        .position(|w| w == n)
-        .map(|i| from + i)
+    bytes[from..].windows(n.len()).position(|w| w == n).map(|i| from + i)
 }
 
 /// Replace the five predefined XML entities.
@@ -287,8 +286,10 @@ mod tests {
 
     #[test]
     fn attributes_become_leading_subelements() {
-        let d = parse_document("b.xml", r#"<book isbn="111-11"><title>X</title></book>"#, 1).unwrap();
-        let kids: Vec<&str> = d.children(d.root().unwrap()).iter().map(|n| d.node_tag(*n)).collect();
+        let d =
+            parse_document("b.xml", r#"<book isbn="111-11"><title>X</title></book>"#, 1).unwrap();
+        let kids: Vec<&str> =
+            d.children(d.root().unwrap()).iter().map(|n| d.node_tag(*n)).collect();
         assert_eq!(kids, vec!["isbn", "title"]);
         let isbn = d.node_by_dewey(&"1.1".parse().unwrap()).unwrap();
         assert_eq!(d.value(isbn), Some("111-11"));

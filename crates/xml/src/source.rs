@@ -1,0 +1,146 @@
+//! [`DocumentSource`] — pluggable base-data storage for top-k
+//! materialization.
+//!
+//! The search pipeline touches base documents in exactly one place: when
+//! the top-k hits are expanded into XML. This trait is that seam. The
+//! in-memory [`Corpus`] and the disk-backed [`DiskStore`] both implement
+//! it, and an engine generic over `DocumentSource` runs unchanged (and
+//! produces byte-identical hits) against either — or against any other
+//! backend an embedder supplies (a remote blob store, a cache tier, …).
+//!
+//! Implementations must be `Sync`: a prepared view is shared across
+//! threads, and every search materializes through the same source.
+
+use crate::dewey::DeweyId;
+use crate::diskstore::{DiskStore, StoreError};
+use crate::storage::Corpus;
+use crate::write::serialize_subtree;
+use std::fmt;
+
+/// A base-data read failed for a reason other than the element being
+/// absent (I/O error, corrupt storage, …). Absence is not an error: it
+/// is the `Ok(None)` case of [`DocumentSource::subtree_xml`].
+#[derive(Debug)]
+pub struct SourceError {
+    message: String,
+}
+
+impl SourceError {
+    /// Wrap a backend failure description.
+    pub fn new(message: impl Into<String>) -> Self {
+        SourceError { message: message.into() }
+    }
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "document source error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// Base-data storage that can materialize one element subtree at a time.
+pub trait DocumentSource: Sync {
+    /// The serialized XML of the subtree rooted at `dewey`; `Ok(None)` if
+    /// the element is not in storage, `Err` if the read itself failed.
+    /// Each `Ok(Some(_))` counts as one base-data fetch.
+    fn subtree_xml(&self, dewey: &DeweyId) -> Result<Option<String>, SourceError>;
+
+    /// Monotone count of base-data fetches served so far.
+    fn fetch_count(&self) -> u64;
+
+    /// A short label for diagnostics (e.g. `"corpus"`, `"disk"`).
+    fn kind(&self) -> &'static str {
+        "source"
+    }
+}
+
+impl DocumentSource for Corpus {
+    fn subtree_xml(&self, dewey: &DeweyId) -> Result<Option<String>, SourceError> {
+        Ok(self.fetch_subtree(dewey).map(|(doc, node)| serialize_subtree(doc, node)))
+    }
+
+    fn fetch_count(&self) -> u64 {
+        Corpus::fetch_count(self)
+    }
+
+    fn kind(&self) -> &'static str {
+        "corpus"
+    }
+}
+
+impl DocumentSource for DiskStore {
+    fn subtree_xml(&self, dewey: &DeweyId) -> Result<Option<String>, SourceError> {
+        match self.read_subtree_xml(dewey) {
+            Ok(xml) => Ok(Some(xml)),
+            Err(StoreError::Unknown(_)) => Ok(None),
+            Err(e) => Err(SourceError::new(e.to_string())),
+        }
+    }
+
+    fn fetch_count(&self) -> u64 {
+        self.stats().range_reads
+    }
+
+    fn kind(&self) -> &'static str {
+        "disk"
+    }
+}
+
+/// Forwarding impl so `&S` works wherever an owned source is expected.
+impl<S: DocumentSource + ?Sized> DocumentSource for &S {
+    fn subtree_xml(&self, dewey: &DeweyId) -> Result<Option<String>, SourceError> {
+        (**self).subtree_xml(dewey)
+    }
+
+    fn fetch_count(&self) -> u64 {
+        (**self).fetch_count()
+    }
+
+    fn kind(&self) -> &'static str {
+        (**self).kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_and_disk_store_materialize_identically() {
+        let mut c = Corpus::new();
+        c.add_parsed("b.xml", "<books><book><isbn>1</isbn><title>XML</title></book></books>")
+            .unwrap();
+        let dir = std::env::temp_dir().join(format!("vxv-source-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DiskStore::persist(&c, &dir).unwrap();
+
+        let id: DeweyId = "1.1".parse().unwrap();
+        let from_corpus = DocumentSource::subtree_xml(&c, &id).unwrap().unwrap();
+        let from_disk = DocumentSource::subtree_xml(&store, &id).unwrap().unwrap();
+        assert_eq!(from_corpus, from_disk);
+        assert_eq!(from_corpus, "<book><isbn>1</isbn><title>XML</title></book>");
+
+        // Both backends count the fetch.
+        assert_eq!(DocumentSource::fetch_count(&c), 1);
+        assert_eq!(DocumentSource::fetch_count(&store), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_elements_are_none_on_both_backends() {
+        let mut c = Corpus::new();
+        c.add_parsed("b.xml", "<r><e>x</e></r>").unwrap();
+        let dir = std::env::temp_dir().join(format!("vxv-source-miss-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DiskStore::persist(&c, &dir).unwrap();
+        let id: DeweyId = "9.1".parse().unwrap();
+        assert!(DocumentSource::subtree_xml(&c, &id).unwrap().is_none());
+        assert!(DocumentSource::subtree_xml(&store, &id).unwrap().is_none());
+        // Misses are not fetches on either backend.
+        assert_eq!(DocumentSource::fetch_count(&c), 0);
+        assert_eq!(DocumentSource::fetch_count(&store), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -9,14 +9,27 @@
 use crate::dewey::DeweyId;
 use crate::doc::{Document, NodeId};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A named collection of XML documents with distinct Dewey root ordinals.
-#[derive(Debug, Default, Clone)]
+///
+/// `Sync`: the fetch counter is atomic, so one corpus (and any engine
+/// borrowing it) can serve concurrent searches from multiple threads.
+#[derive(Debug, Default)]
 pub struct Corpus {
     docs: BTreeMap<String, Document>,
     /// Counts every subtree fetch, so experiments can verify that the
     /// Efficient pipeline touches base data only for top-k results.
-    fetches: std::cell::Cell<u64>,
+    fetches: AtomicU64,
+}
+
+impl Clone for Corpus {
+    fn clone(&self) -> Self {
+        Corpus {
+            docs: self.docs.clone(),
+            fetches: AtomicU64::new(self.fetches.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Corpus {
@@ -80,30 +93,30 @@ impl Corpus {
     /// Resolve a Dewey ID to its owning document by root ordinal.
     pub fn doc_of_dewey(&self, id: &DeweyId) -> Option<&Document> {
         let ord = *id.components().first()?;
-        self.docs.values().find(|d| {
-            d.root()
-                .map(|r| d.node(r).dewey.components()[0] == ord)
-                .unwrap_or(false)
-        })
+        self.docs
+            .values()
+            .find(|d| d.root().map(|r| d.node(r).dewey.components()[0] == ord).unwrap_or(false))
     }
 
     /// Fetch the full content of the element with the given Dewey ID from
     /// base storage (counted; used only for top-k materialization).
     pub fn fetch_subtree(&self, id: &DeweyId) -> Option<(&Document, NodeId)> {
-        self.fetches.set(self.fetches.get() + 1);
         let doc = self.doc_of_dewey(id)?;
         let node = doc.node_by_dewey(id)?;
+        // Count only served fetches, matching the DiskStore (which pays no
+        // range read for a missing element).
+        self.fetches.fetch_add(1, Ordering::Relaxed);
         Some((doc, node))
     }
 
     /// Number of base-data subtree fetches performed so far.
     pub fn fetch_count(&self) -> u64 {
-        self.fetches.get()
+        self.fetches.load(Ordering::Relaxed)
     }
 
     /// Reset the fetch counter (used between experiment runs).
     pub fn reset_fetch_count(&self) {
-        self.fetches.set(0);
+        self.fetches.store(0, Ordering::Relaxed);
     }
 
     /// Total serialized size of all documents, in bytes.

@@ -131,10 +131,7 @@ mod tests {
         b.end();
         b.end();
         let d = b.finish();
-        assert_eq!(
-            serialize_subtree(&d, d.root().unwrap()),
-            "<a><b>x</b><c><d>y</d></c></a>"
-        );
+        assert_eq!(serialize_subtree(&d, d.root().unwrap()), "<a><b>x</b><c><d>y</d></c></a>");
     }
 
     #[test]

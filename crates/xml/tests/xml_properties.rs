@@ -49,8 +49,11 @@ struct Spec {
 }
 
 fn spec_strategy() -> impl Strategy<Value = Spec> {
-    let leaf = (0..5usize, proptest::option::of(any::<u16>()))
-        .prop_map(|(tag, text)| Spec { tag, text, children: vec![] });
+    let leaf = (0..5usize, proptest::option::of(any::<u16>())).prop_map(|(tag, text)| Spec {
+        tag,
+        text,
+        children: vec![],
+    });
     leaf.prop_recursive(4, 32, 5, |inner| {
         (0..5usize, proptest::option::of(any::<u16>()), prop::collection::vec(inner, 0..5))
             .prop_map(|(tag, text, children)| Spec { tag, text, children })

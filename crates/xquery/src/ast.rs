@@ -354,7 +354,8 @@ mod tests {
 
     #[test]
     fn path_display() {
-        let p = PathExpr::doc("books.xml").step(Axis::Child, "books").step(Axis::Descendant, "book");
+        let p =
+            PathExpr::doc("books.xml").step(Axis::Child, "books").step(Axis::Descendant, "book");
         assert_eq!(p.to_string(), "fn:doc(books.xml)/books//book");
     }
 

@@ -253,7 +253,9 @@ impl<'a> Evaluator<'a> {
             }
             Expr::FunctionCall { name, args } => {
                 if depth >= MAX_CALL_DEPTH {
-                    return err(format!("call depth exceeded in '{name}' (recursive functions are not supported)"));
+                    return err(format!(
+                        "call depth exceeded in '{name}' (recursive functions are not supported)"
+                    ));
                 }
                 let func = self
                     .functions
@@ -312,7 +314,8 @@ impl<'a> Evaluator<'a> {
                 // probe with the outer side's values per iteration.
                 if let Some((widx, inner, outer)) = self.plan_hash_join(f, binding_idx, env) {
                     if !consumed[widx] {
-                        let index = self.join_index(&b.expr, seq, inner, &b.var, env, ctx, depth)?;
+                        let index =
+                            self.join_index(&b.expr, seq, inner, &b.var, env, ctx, depth)?;
                         let outer_vals = self.eval_path(outer, env, ctx, depth)?;
                         let mut idxs: Vec<u32> = Vec::new();
                         for ov in &outer_vals {
@@ -325,8 +328,8 @@ impl<'a> Evaluator<'a> {
                         consumed[widx] = true;
                         for i in idxs {
                             env.push(&b.var, vec![index.items[i as usize].clone()]);
-                            let r = self
-                                .eval_flwor(f, binding_idx + 1, env, ctx, depth, consumed, out);
+                            let r =
+                                self.eval_flwor(f, binding_idx + 1, env, ctx, depth, consumed, out);
                             env.pop();
                             r?;
                         }
@@ -532,9 +535,7 @@ impl<'a> Evaluator<'a> {
                 let rs = self.eval_path(r, env, ctx, depth)?;
                 // Existential (general comparison) semantics.
                 let rvals: Vec<String> = rs.iter().map(atomize).collect();
-                Ok(ls
-                    .iter()
-                    .any(|li| rvals.iter().any(|rv| compare_ok(&atomize(li), *op, rv))))
+                Ok(ls.iter().any(|li| rvals.iter().any(|rv| compare_ok(&atomize(li), *op, rv))))
             }
         }
     }
@@ -602,15 +603,11 @@ pub fn item_tag<'a>(item: &'a Item<'a>) -> Option<&'a str> {
 fn normalize_node_sequence(seq: &mut Seq<'_>) {
     if seq.iter().all(|i| matches!(i, Item::Node(..))) {
         seq.sort_by(|a, b| match (a, b) {
-            (Item::Node(da, na), Item::Node(db, nb)) => {
-                da.node(*na).dewey.cmp(&db.node(*nb).dewey)
-            }
+            (Item::Node(da, na), Item::Node(db, nb)) => da.node(*na).dewey.cmp(&db.node(*nb).dewey),
             _ => unreachable!(),
         });
         seq.dedup_by(|a, b| match (a, b) {
-            (Item::Node(da, na), Item::Node(db, nb)) => {
-                da.node(*na).dewey == db.node(*nb).dewey
-            }
+            (Item::Node(da, na), Item::Node(db, nb)) => da.node(*na).dewey == db.node(*nb).dewey,
             _ => unreachable!(),
         });
     }
@@ -724,10 +721,7 @@ mod tests {
     #[test]
     fn let_binds_whole_sequences() {
         let c = corpus();
-        let r = eval_str(
-            &c,
-            "let $ts := fn:doc(books.xml)//title return <all> { $ts } </all>",
-        );
+        let r = eval_str(&c, "let $ts := fn:doc(books.xml)//title return <all> { $ts } </all>");
         assert_eq!(r.len(), 1);
         let Item::Elem(e) = &r[0] else { panic!() };
         assert_eq!(e.children.len(), 3);
@@ -794,10 +788,7 @@ mod tests {
         );
         assert_eq!(r.len(), 1);
         // Navigate into the constructed tree through a let binding.
-        let r = eval_str(
-            &c,
-            "let $w := fn:doc(books.xml)/books return <x> { $w/book } </x>",
-        );
+        let r = eval_str(&c, "let $w := fn:doc(books.xml)/books return <x> { $w/book } </x>");
         let Item::Elem(e) = &r[0] else { panic!() };
         assert_eq!(e.children.len(), 3);
     }
@@ -864,10 +855,7 @@ mod edge_tests {
     #[test]
     fn let_of_empty_sequence_is_fine() {
         let c = corpus();
-        let q = parse_query(
-            "let $n := fn:doc(d.xml)/r/nothing return <o> { $n } </o>",
-        )
-        .unwrap();
+        let q = parse_query("let $n := fn:doc(d.xml)/r/nothing return <o> { $n } </o>").unwrap();
         let r = run(&c, &q);
         assert_eq!(crate::result::serialize_item(&r[0]), "<o></o>");
     }

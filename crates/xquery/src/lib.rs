@@ -28,6 +28,10 @@ pub use ast::{
     Axis, BindingClause, BindingKind, CompOp, Expr, FlworExpr, FunctionDecl, Literal, PathExpr,
     PathSource, PathStep, Predicate, Query,
 };
-pub use eval::{atomize, item_tag, ConstructedElem, DocSource, EvalError, Evaluator, Item, MapSource, Seq};
+pub use eval::{
+    atomize, item_tag, ConstructedElem, DocSource, EvalError, Evaluator, Item, MapSource, Seq,
+};
 pub use parser::{parse_expr, parse_query, QueryParseError};
-pub use result::{item_byte_len_with, item_sum_with, node_refs, serialize_item, serialize_item_with};
+pub use result::{
+    item_byte_len_with, item_sum_with, node_refs, serialize_item, serialize_item_with,
+};

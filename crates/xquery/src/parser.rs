@@ -61,9 +61,8 @@ struct P<'a> {
     pos: usize,
 }
 
-const KEYWORDS: &[&str] = &[
-    "for", "let", "in", "where", "return", "if", "then", "else", "declare", "function", "and",
-];
+const KEYWORDS: &[&str] =
+    &["for", "let", "in", "where", "return", "if", "then", "else", "declare", "function", "and"];
 
 impl<'a> P<'a> {
     fn err(&self, message: impl Into<String>) -> QueryParseError {
@@ -624,10 +623,9 @@ mod tests {
 
     #[test]
     fn parses_let_and_multiple_bindings() {
-        let q = parse_query(
-            "let $b := fn:doc(x.xml)/r for $a in $b/item, $c in $b/other return $a",
-        )
-        .unwrap();
+        let q =
+            parse_query("let $b := fn:doc(x.xml)/r for $a in $b/item, $c in $b/other return $a")
+                .unwrap();
         let Expr::Flwor(f) = &q.body else { panic!() };
         assert_eq!(f.bindings.len(), 3);
         assert_eq!(f.bindings[0].kind, BindingKind::Let);
@@ -636,10 +634,8 @@ mod tests {
 
     #[test]
     fn parses_where_with_and() {
-        let q = parse_query(
-            "for $a in fn:doc(x)/r/a where $a/y > 3 and $a/z = 'q' return $a",
-        )
-        .unwrap();
+        let q =
+            parse_query("for $a in fn:doc(x)/r/a where $a/y > 3 and $a/z = 'q' return $a").unwrap();
         let Expr::Flwor(f) = &q.body else { panic!() };
         assert_eq!(f.where_clauses.len(), 2);
     }
@@ -706,8 +702,7 @@ mod edge_tests {
     fn numbers_with_decimals_and_negatives() {
         let e = parse_expr("fn:doc(d)/r/x[v > 3.25]").unwrap();
         let Expr::Path(p) = e else { panic!() };
-        let Predicate::CompareLiteral(_, CompOp::Gt, Literal::Number(n)) = &p.predicates[0]
-        else {
+        let Predicate::CompareLiteral(_, CompOp::Gt, Literal::Number(n)) = &p.predicates[0] else {
             panic!()
         };
         assert_eq!(*n, 3.25);
@@ -771,10 +766,7 @@ mod edge_tests {
 
     #[test]
     fn deeply_nested_constructors() {
-        let e = parse_expr(
-            "<a> { <b> { <c> { $x/y } </c> } </b> } <d></d> </a>",
-        )
-        .unwrap();
+        let e = parse_expr("<a> { <b> { <c> { $x/y } </c> } </b> } <d></d> </a>").unwrap();
         let Expr::Element { content, .. } = e else { panic!() };
         assert_eq!(content.len(), 2);
     }

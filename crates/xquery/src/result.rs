@@ -72,15 +72,16 @@ fn write_elem(
 /// Serialize an item by inlining the referenced nodes from the documents
 /// they point into (the Baseline materialization).
 pub fn serialize_item(item: &Item<'_>) -> String {
-    serialize_item_with(item, &mut |doc, n, out| {
-        out.push_str(&vxv_xml::serialize_subtree(doc, n))
-    })
+    serialize_item_with(item, &mut |doc, n, out| out.push_str(&vxv_xml::serialize_subtree(doc, n)))
 }
 
 /// Total byte length of the item under a caller-supplied per-node length
 /// (constructed wrappers contribute their own tag overhead, matching the
 /// serializer).
-pub fn item_byte_len_with(item: &Item<'_>, node_len: &mut dyn FnMut(&Document, NodeId) -> u64) -> u64 {
+pub fn item_byte_len_with(
+    item: &Item<'_>,
+    node_len: &mut dyn FnMut(&Document, NodeId) -> u64,
+) -> u64 {
     match item {
         Item::Node(doc, n) => node_len(doc, *n),
         Item::Elem(e) => {
@@ -118,8 +119,8 @@ mod tests {
         let mut c = Corpus::new();
         c.add_parsed("b.xml", "<books><book><t>hi</t></book><book><t>yo</t></book></books>")
             .unwrap();
-        let q = parse_query("for $b in fn:doc(b.xml)/books/book return <out> { $b/t } </out>")
-            .unwrap();
+        let q =
+            parse_query("for $b in fn:doc(b.xml)/books/book return <out> { $b/t } </out>").unwrap();
         let items = run(&c, &q);
         for item in &items {
             let s = serialize_item(item);

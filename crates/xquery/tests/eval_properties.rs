@@ -15,10 +15,7 @@ const TAGS: &[&str] = &["item", "name", "price", "cat"];
 
 fn path_strategy() -> impl Strategy<Value = PathExpr> {
     (
-        prop_oneof![
-            Just(PathSource::Doc("d.xml".into())),
-            Just(PathSource::Var("v".into())),
-        ],
+        prop_oneof![Just(PathSource::Doc("d.xml".into())), Just(PathSource::Var("v".into())),],
         prop::collection::vec((any::<bool>(), 0..TAGS.len()), 1..4),
     )
         .prop_map(|(source, steps)| PathExpr {
@@ -45,8 +42,11 @@ fn predicate_strategy() -> impl Strategy<Value = Predicate> {
             };
             Predicate::CompareLiteral(p, op, Literal::Number(n as f64))
         }),
-        (path_strategy(), path_strategy())
-            .prop_map(|(a, b)| Predicate::ComparePaths(a, CompOp::Eq, b)),
+        (path_strategy(), path_strategy()).prop_map(|(a, b)| Predicate::ComparePaths(
+            a,
+            CompOp::Eq,
+            b
+        )),
     ]
 }
 
@@ -56,10 +56,7 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
         prop_oneof![
             // FLWOR
             (
-                prop::collection::vec(
-                    (any::<bool>(), path_strategy()),
-                    1..3
-                ),
+                prop::collection::vec((any::<bool>(), path_strategy()), 1..3),
                 prop::collection::vec(predicate_strategy(), 0..2),
                 inner.clone(),
             )
@@ -80,18 +77,11 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                 }),
             // element constructor
             (0..TAGS.len(), prop::collection::vec(inner.clone(), 0..3))
-                .prop_map(|(t, content)| Expr::Element {
-                    tag: format!("out{t}"),
-                    content,
-                }),
+                .prop_map(|(t, content)| Expr::Element { tag: format!("out{t}"), content }),
             // conditional
-            (predicate_strategy(), inner.clone(), inner.clone()).prop_map(
-                |(cond, a, b)| Expr::Cond {
-                    cond,
-                    then_branch: Box::new(a),
-                    else_branch: Box::new(b),
-                }
-            ),
+            (predicate_strategy(), inner.clone(), inner.clone()).prop_map(|(cond, a, b)| {
+                Expr::Cond { cond, then_branch: Box::new(a), else_branch: Box::new(b) }
+            }),
         ]
     })
 }

@@ -9,10 +9,10 @@
 //! it using indices alone, without materializing the view.
 //!
 //! ```sh
-//! cargo run -p vxv-bench --example book_reviews
+//! cargo run --example book_reviews
 //! ```
 
-use vxv_core::{KeywordMode, ViewSearchEngine};
+use vxv_core::{SearchRequest, ViewSearchEngine};
 use vxv_xml::Corpus;
 
 fn main() {
@@ -43,21 +43,25 @@ fn main() {
         .unwrap();
 
     // The aggregation view of Fig. 2: books (year > 1995) with their
-    // reviews' content nested beneath them — virtual, defined in XQuery.
-    let view = "for $book in fn:doc(books.xml)/books//book \
-                where $book/year > 1995 \
-                return <bookrevs> \
-                  { <book> {$book/title} </book> } \
-                  { for $rev in fn:doc(reviews.xml)/reviews//review \
-                    where $rev/isbn = $book/isbn \
-                    return $rev/content } \
-                </bookrevs>";
-
+    // reviews' content nested beneath them — virtual, defined in XQuery,
+    // analyzed once at prepare time.
     let engine = ViewSearchEngine::new(&corpus);
+    let view = engine
+        .prepare(
+            "for $book in fn:doc(books.xml)/books//book \
+             where $book/year > 1995 \
+             return <bookrevs> \
+               { <book> {$book/title} </book> } \
+               { for $rev in fn:doc(reviews.xml)/reviews//review \
+                 where $rev/isbn = $book/isbn \
+                 return $rev/content } \
+             </bookrevs>",
+        )
+        .unwrap();
 
     // Note: 'XML' appears only in the book title, 'search' only in a
     // review. The conjunctive query still matches the joined element.
-    let out = engine.search(view, &["XML", "search"], 10, KeywordMode::Conjunctive).unwrap();
+    let out = view.search(&SearchRequest::new(["XML", "search"])).unwrap();
     println!("ftcontains('XML' & 'search') over the virtual view:");
     for hit in &out.hits {
         println!("  #{} score={:.5}  {}", hit.rank, hit.score, hit.xml);
@@ -73,4 +77,12 @@ fn main() {
             stats.emitted, stats.entries, stats.probes, bytes
         );
     }
+
+    // The prepared view also exposes its plan without running anything.
+    let plan = view.plan(&["XML", "search"]);
+    println!(
+        "\nplan: {} QPT(s), keyword posting lists: {:?}",
+        plan.qpts.len(),
+        plan.keyword_list_lengths
+    );
 }

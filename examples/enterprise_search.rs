@@ -4,11 +4,15 @@
 //! over the shared repository — and scores (idf!) are computed over the
 //! visible view, not the whole corpus, exactly as the semantics demand.
 //!
+//! Each clearance level's view is prepared once, up front — the shape a
+//! production portal would use, with one long-lived [`vxv_core::PreparedView`]
+//! per permission level answering every search at that level.
+//!
 //! ```sh
-//! cargo run -p vxv-bench --example enterprise_search
+//! cargo run --example enterprise_search
 //! ```
 
-use vxv_core::{KeywordMode, ViewSearchEngine};
+use vxv_core::{SearchRequest, ViewSearchEngine};
 use vxv_xml::Corpus;
 
 fn main() {
@@ -34,18 +38,23 @@ fn main() {
     let engine = ViewSearchEngine::new(&corpus);
 
     // A clearance-L view exposes documents with level < L+1 (i.e. <= L).
-    let view_for = |clearance: u32| {
-        format!(
-            "for $d in fn:doc(repo.xml)/repo/doc where $d/level < {} \
-             return <res> {{ $d/title }} {{ $d/body }} </res>",
-            clearance + 1
-        )
-    };
+    // Prepare all three views once; each then serves every search issued
+    // at that clearance.
+    let views: Vec<_> = [1u32, 2, 3]
+        .into_iter()
+        .map(|clearance| {
+            let text = format!(
+                "for $d in fn:doc(repo.xml)/repo/doc where $d/level < {} \
+                 return <res> {{ $d/title }} {{ $d/body }} </res>",
+                clearance + 1
+            );
+            (clearance, engine.prepare(&text).expect("view prepares"))
+        })
+        .collect();
 
-    for clearance in [1u32, 2, 3] {
-        let out = engine
-            .search(&view_for(clearance), &["budget"], 10, KeywordMode::Conjunctive)
-            .unwrap();
+    let request = SearchRequest::new(["budget"]);
+    for (clearance, view) in &views {
+        let out = view.search(&request).unwrap();
         println!(
             "clearance {clearance}: sees {} docs, {} mention 'budget' (idf = {:.3})",
             out.view_size, out.matching, out.idf[0]

@@ -5,14 +5,14 @@
 //!
 //! We generate an INEX-like publication corpus and give each "user" a
 //! view restricted to their interests (a topic keyword filter plus an
-//! author they follow), then run the same keyword query through
-//! different users' views and show the answers differ.
+//! author they follow). Each user's view is prepared once when they sign
+//! in; their searches then share the prepared analysis.
 //!
 //! ```sh
-//! cargo run -p vxv-bench --example personalized_portal
+//! cargo run --example personalized_portal
 //! ```
 
-use vxv_core::{KeywordMode, ViewSearchEngine};
+use vxv_core::{KeywordMode, SearchRequest, ViewSearchEngine};
 use vxv_inex::{author_name, generate, GeneratorConfig};
 
 /// The per-user view: publications after `year_floor` by the followed
@@ -26,23 +26,18 @@ fn user_view(followed_author: &str, year_floor: u32) -> String {
 }
 
 fn main() {
-    let corpus = generate(&GeneratorConfig {
-        target_bytes: 384 * 1024,
-        ..GeneratorConfig::default()
-    });
+    let corpus =
+        generate(&GeneratorConfig { target_bytes: 384 * 1024, ..GeneratorConfig::default() });
     let engine = ViewSearchEngine::new(&corpus);
 
     // Two portal users following different authors, different recency.
-    let users = [
-        ("alice", author_name(0), 1995),
-        ("bob", author_name(3), 2000),
-    ];
+    let users = [("alice", author_name(0), 1995), ("bob", author_name(3), 2000)];
+
+    let request = SearchRequest::new(["data", "model"]).top_k(3).mode(KeywordMode::Disjunctive);
 
     for (user, author, year) in users {
-        let view = user_view(&author, year);
-        let out = engine
-            .search(&view, &["data", "model"], 3, KeywordMode::Disjunctive)
-            .expect("view evaluates");
+        let view = engine.prepare(&user_view(&author, year)).expect("view prepares");
+        let out = view.search(&request).expect("view evaluates");
         println!(
             "user {user}: follows {author}, view holds {} items, {} match 'data|model'",
             out.view_size, out.matching
@@ -51,10 +46,12 @@ fn main() {
             let preview: String = hit.xml.chars().take(96).collect();
             println!("   #{} score={:.5} {preview}...", hit.rank, hit.score);
         }
-        println!(
-            "   (pipeline: PDT {:?} / eval {:?} / post {:?}; {} base fetches)",
-            out.timings.pdt, out.timings.evaluator, out.timings.post, out.fetches
-        );
+        if let Some(t) = out.timings {
+            println!(
+                "   (pipeline: PDT {:?} / eval {:?} / post {:?}; {} base fetches)",
+                t.pdt, t.evaluator, t.post, out.fetches
+            );
+        }
         println!();
     }
 }

@@ -1,10 +1,13 @@
 //! Quickstart: ranked keyword search over a virtual XML view in ~30 lines.
 //!
+//! The flow is `prepare → SearchRequest → SearchResponse`: the view is
+//! analyzed once, then answers any number of keyword searches.
+//!
 //! ```sh
-//! cargo run -p vxv-bench --example quickstart
+//! cargo run --example quickstart
 //! ```
 
-use vxv_core::{KeywordMode, ViewSearchEngine};
+use vxv_core::{SearchRequest, ViewSearchEngine};
 use vxv_xml::Corpus;
 
 fn main() {
@@ -21,23 +24,34 @@ fn main() {
         )
         .expect("well-formed XML");
 
-    // 2. Define a *virtual* view — never materialized.
-    let view = "for $b in fn:doc(books.xml)/books/book \
-                where $b/year > 1995 \
-                return <hit> { $b/title } </hit>";
-
-    // 3. Search the view. Only the top-k results are ever materialized.
+    // 2. Prepare a *virtual* view — parsed, analyzed into query pattern
+    //    trees, and probe-planned exactly once. Never materialized.
     let engine = ViewSearchEngine::new(&corpus);
-    let out = engine
-        .search(view, &["xml", "services"], 5, KeywordMode::Conjunctive)
-        .expect("query evaluates");
+    let view = engine
+        .prepare(
+            "for $b in fn:doc(books.xml)/books/book \
+             where $b/year > 1995 \
+             return <hit> { $b/title } </hit>",
+        )
+        .expect("view is in the supported fragment");
+
+    // 3. Search it — as many times as you like; only the top-k results
+    //    are ever materialized from base data.
+    let out =
+        view.search(&SearchRequest::new(["xml", "services"]).top_k(5)).expect("query evaluates");
 
     println!("view contains {} elements; {} match the keywords", out.view_size, out.matching);
     for hit in &out.hits {
         println!("#{} score={:.4} tf={:?}\n    {}", hit.rank, hit.score, hit.tf, hit.xml);
     }
-    println!(
-        "phases: PDT {:?}, evaluator {:?}, scoring+materialization {:?}",
-        out.timings.pdt, out.timings.evaluator, out.timings.post
-    );
+    if let Some(t) = out.timings {
+        println!(
+            "phases: PDT {:?}, evaluator {:?}, scoring+materialization {:?}",
+            t.pdt, t.evaluator, t.post
+        );
+    }
+
+    // The same prepared view answers a different request for free.
+    let out = view.search(&SearchRequest::new(["intelligence"])).expect("query evaluates");
+    println!("'intelligence' matches {} element(s)", out.matching);
 }

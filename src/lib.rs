@@ -1,0 +1,12 @@
+#![warn(missing_docs)]
+//! # vxv — Efficient Keyword Search over Virtual XML Views
+//!
+//! Umbrella crate re-exporting the whole pipeline. See [`vxv_core`] for
+//! the engine and the `prepare → SearchRequest → SearchResponse` API.
+
+pub use vxv_baselines as baselines;
+pub use vxv_core as core;
+pub use vxv_index as index;
+pub use vxv_inex as inex;
+pub use vxv_xml as xml;
+pub use vxv_xquery as xquery;

@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use vxv_baselines::BaselineEngine;
-use vxv_core::{KeywordMode, ViewSearchEngine};
+use vxv_core::{KeywordMode, SearchRequest, ViewSearchEngine};
 use vxv_xml::{Corpus, DocumentBuilder};
 
 const WORDS: &[&str] = &["xml", "search", "data", "easy", "thorough"];
@@ -115,7 +115,12 @@ proptest! {
         let keywords: Vec<&str> = kw.iter().map(|w| WORDS[*w]).collect();
         let mode = if disjunctive { KeywordMode::Disjunctive } else { KeywordMode::Conjunctive };
 
-        let eff = ViewSearchEngine::new(&corpus).search(VIEW, &keywords, 5, mode).unwrap();
+        let engine = ViewSearchEngine::new(&corpus);
+        let eff = engine
+            .prepare(VIEW)
+            .unwrap()
+            .search(&SearchRequest::new(&keywords).top_k(5).mode(mode))
+            .unwrap();
         let base = BaselineEngine::new(&corpus).search(VIEW, &keywords, 5, mode).unwrap();
 
         prop_assert_eq!(eff.view_size, base.view_size, "|V(D)|");

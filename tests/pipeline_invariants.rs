@@ -3,7 +3,7 @@
 //! materialization, results are identical with and without the disk
 //! store, and index probe counts stay query-proportional.
 
-use vxv_core::{generate_qpts, KeywordMode, ViewSearchEngine};
+use vxv_core::{generate_qpts, SearchRequest, ViewSearchEngine};
 use vxv_inex::{generate, ExperimentParams};
 use vxv_xml::DiskStore;
 use vxv_xquery::parse_query;
@@ -21,13 +21,11 @@ fn disk_backed_and_in_memory_results_are_identical() {
     let dir = tmpdir("eq");
     let store = DiskStore::persist(&corpus, &dir).unwrap();
 
-    let mem = ViewSearchEngine::new(&corpus)
-        .search(&params.view(), &params.keywords(), 10, KeywordMode::Conjunctive)
-        .unwrap();
-    let disk = ViewSearchEngine::new(&corpus)
-        .with_store(&store)
-        .search(&params.view(), &params.keywords(), 10, KeywordMode::Conjunctive)
-        .unwrap();
+    let request = SearchRequest::new(params.keywords());
+    let mem_engine = ViewSearchEngine::new(&corpus);
+    let mem = mem_engine.prepare(&params.view()).unwrap().search(&request).unwrap();
+    let disk_engine = ViewSearchEngine::new(&corpus).with_source(&store);
+    let disk = disk_engine.prepare(&params.view()).unwrap().search(&request).unwrap();
 
     assert_eq!(mem.view_size, disk.view_size);
     assert_eq!(mem.hits.len(), disk.hits.len());
@@ -44,12 +42,11 @@ fn base_data_reads_happen_only_for_top_k() {
     let corpus = generate(&params.generator_config());
     let dir = tmpdir("topk");
     let store = DiskStore::persist(&corpus, &dir).unwrap();
-    let engine = ViewSearchEngine::new(&corpus).with_store(&store);
+    let engine = ViewSearchEngine::new(&corpus).with_source(&store);
+    let prepared = engine.prepare(&params.view()).unwrap();
 
     store.reset_stats();
-    let out = engine
-        .search(&params.view(), &params.keywords(), 3, KeywordMode::Conjunctive)
-        .unwrap();
+    let out = prepared.search(&SearchRequest::new(params.keywords()).top_k(3)).unwrap();
     let stats = store.stats();
     // No whole-document reads, ever.
     assert_eq!(stats.full_reads, 0, "the pipeline must not scan base documents");
@@ -72,11 +69,10 @@ fn zero_hits_means_zero_base_reads() {
     let corpus = generate(&params.generator_config());
     let dir = tmpdir("zero");
     let store = DiskStore::persist(&corpus, &dir).unwrap();
-    let engine = ViewSearchEngine::new(&corpus).with_store(&store);
+    let engine = ViewSearchEngine::new(&corpus).with_source(&store);
+    let prepared = engine.prepare(&params.view()).unwrap();
     store.reset_stats();
-    let out = engine
-        .search(&params.view(), &["qqqnonexistent"], 10, KeywordMode::Conjunctive)
-        .unwrap();
+    let out = prepared.search(&SearchRequest::new(["qqqnonexistent"])).unwrap();
     assert!(out.hits.is_empty());
     assert_eq!(store.stats().range_reads, 0);
     assert_eq!(store.stats().full_reads, 0);
@@ -91,7 +87,8 @@ fn probe_counts_are_query_proportional_not_data_proportional() {
         let corpus = generate(&p.generator_config());
         let engine = ViewSearchEngine::new(&corpus);
         engine.path_index().reset_stats();
-        engine.search(&p.view(), &p.keywords(), 10, KeywordMode::Conjunctive).unwrap();
+        let prepared = engine.prepare(&p.view()).unwrap();
+        prepared.search(&SearchRequest::new(p.keywords())).unwrap();
         engine.path_index().stats().probes
     };
     let a = probes(&small);
@@ -105,7 +102,9 @@ fn view_size_scales_with_data_but_pdts_stay_proportionally_small() {
     let corpus = generate(&params.generator_config());
     let engine = ViewSearchEngine::new(&corpus);
     let out = engine
-        .search(&params.view(), &params.keywords(), 10, KeywordMode::Conjunctive)
+        .prepare(&params.view())
+        .unwrap()
+        .search(&SearchRequest::new(params.keywords()))
         .unwrap();
     assert!(out.view_size > 0);
     let pdt_bytes: u64 = out.pdt_stats.iter().map(|(_, _, b)| *b).sum();
@@ -126,7 +125,8 @@ fn all_table1_views_run_end_to_end_on_one_corpus() {
             let qpts = generate_qpts(&q).unwrap();
             assert!(!qpts.is_empty());
             let out = engine
-                .search(&view, &["data"], 5, KeywordMode::Conjunctive)
+                .prepare(&view)
+                .and_then(|v| v.search(&SearchRequest::new(["data"]).top_k(5)))
                 .unwrap_or_else(|e| panic!("joins={joins} nesting={nesting}: {e}"));
             assert!(out.view_size > 0, "joins={joins} nesting={nesting}");
         }

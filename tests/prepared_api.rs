@@ -1,0 +1,178 @@
+//! Contract tests for the prepared-view request/response API:
+//!
+//! * a [`PreparedView`] reused across many searches returns byte-identical
+//!   results to the legacy one-shot path, while paying the view analysis
+//!   (path-index probes) exactly once;
+//! * the engine generic over [`vxv_xml::DocumentSource`] produces
+//!   identical hits from the in-memory [`Corpus`] and the disk-backed
+//!   [`DiskStore`] backends.
+
+use vxv_core::{KeywordMode, SearchRequest, ViewSearchEngine};
+use vxv_inex::{generate, ExperimentParams};
+use vxv_xml::{Corpus, DiskStore};
+
+fn corpus() -> Corpus {
+    let mut c = Corpus::new();
+    c.add_parsed(
+        "books.xml",
+        "<books>\
+           <book><isbn>111</isbn><title>XML Web Services</title><year>2004</year></book>\
+           <book><isbn>222</isbn><title>Artificial Intelligence</title><year>2002</year></book>\
+           <book><isbn>333</isbn><title>Databases</title><year>1990</year></book>\
+         </books>",
+    )
+    .unwrap();
+    c.add_parsed(
+        "reviews.xml",
+        "<reviews>\
+           <review><isbn>111</isbn><content>all about XML search engines</content></review>\
+           <review><isbn>111</isbn><content>easy to read</content></review>\
+           <review><isbn>222</isbn><content>thorough search coverage</content></review>\
+           <review><isbn>333</isbn><content>XML search classics</content></review>\
+         </reviews>",
+    )
+    .unwrap();
+    c
+}
+
+const VIEW: &str = "for $book in fn:doc(books.xml)/books//book \
+     where $book/year > 1995 \
+     return <bookrevs> \
+       { <book> {$book/title} </book> } \
+       { for $rev in fn:doc(reviews.xml)/reviews//review \
+         where $rev/isbn = $book/isbn \
+         return $rev/content } \
+     </bookrevs>";
+
+#[test]
+#[allow(deprecated)]
+fn repeated_prepared_searches_match_one_shot_byte_for_byte() {
+    let c = corpus();
+    let engine = ViewSearchEngine::new(&c);
+    let prepared = engine.prepare(VIEW).unwrap();
+
+    for (keywords, mode) in [
+        (vec!["XML", "search"], KeywordMode::Conjunctive),
+        (vec!["intelligence", "xml"], KeywordMode::Disjunctive),
+        (vec!["search"], KeywordMode::Conjunctive),
+        (vec!["qqqmissing"], KeywordMode::Conjunctive),
+    ] {
+        let legacy = engine.search(VIEW, &keywords, 10, mode).unwrap();
+        // Run the same request several times against the one prepared view.
+        for _ in 0..3 {
+            let out = prepared.search(&SearchRequest::new(&keywords).top_k(10).mode(mode)).unwrap();
+            assert_eq!(out.view_size, legacy.view_size);
+            assert_eq!(out.matching, legacy.matching);
+            assert_eq!(out.idf, legacy.idf);
+            assert_eq!(out.hits.len(), legacy.hits.len());
+            for (a, b) in out.hits.iter().zip(&legacy.hits) {
+                assert_eq!(a.rank, b.rank);
+                assert_eq!(a.score, b.score);
+                assert_eq!(a.tf, b.tf);
+                assert_eq!(a.byte_len, b.byte_len);
+                assert_eq!(a.xml, b.xml, "keywords {keywords:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn view_analysis_happens_once_per_prepare() {
+    let c = corpus();
+    let engine = ViewSearchEngine::new(&c);
+
+    engine.path_index().reset_stats();
+    let prepared = engine.prepare(VIEW).unwrap();
+    let probes_after_prepare = engine.path_index().stats().probes;
+    assert!(probes_after_prepare > 0, "prepare must plan the index probes");
+    // The index counter tracks one scan per expanded data path, so it is
+    // at least the plan's logical one-per-QPT-node probe count.
+    assert!(probes_after_prepare >= prepared.probe_count() as u64);
+
+    // Searching — any number of times, with any keywords — issues no
+    // further path-index probes: the probe lists are part of the plan.
+    for keywords in [vec!["XML", "search"], vec!["intelligence"], vec!["search"]] {
+        prepared.search(&SearchRequest::new(&keywords)).unwrap();
+    }
+    assert_eq!(
+        engine.path_index().stats().probes,
+        probes_after_prepare,
+        "searches must reuse the prepared probe lists"
+    );
+
+    // The legacy one-shot path pays the analysis on every call.
+    #[allow(deprecated)]
+    {
+        engine.search(VIEW, &["XML"], 10, KeywordMode::Conjunctive).unwrap();
+        assert_eq!(engine.path_index().stats().probes, 2 * probes_after_prepare);
+    }
+}
+
+#[test]
+fn corpus_and_disk_store_backends_produce_identical_hits() {
+    let params = ExperimentParams { data_bytes: 64 * 1024, ..ExperimentParams::default() };
+    let corpus = generate(&params.generator_config());
+    let dir = std::env::temp_dir().join(format!("vxv-prepared-src-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = DiskStore::persist(&corpus, &dir).unwrap();
+
+    let request = SearchRequest::new(params.keywords()).top_k(params.top_k);
+
+    let mem_engine = ViewSearchEngine::new(&corpus);
+    let mem = mem_engine.prepare(&params.view()).unwrap().search(&request).unwrap();
+
+    let disk_engine = ViewSearchEngine::new(&corpus).with_source(&store);
+    let disk = disk_engine.prepare(&params.view()).unwrap().search(&request).unwrap();
+
+    assert_eq!(mem.view_size, disk.view_size);
+    assert_eq!(mem.matching, disk.matching);
+    assert_eq!(mem.idf, disk.idf);
+    assert_eq!(mem.hits.len(), disk.hits.len());
+    assert!(!mem.hits.is_empty(), "the default experiment point must match something");
+    for (a, b) in mem.hits.iter().zip(&disk.hits) {
+        assert_eq!(a.score, b.score);
+        assert_eq!(a.tf, b.tf);
+        assert_eq!(a.byte_len, b.byte_len);
+        assert_eq!(a.xml, b.xml);
+    }
+    // Each backend counted exactly the fetches it served.
+    assert_eq!(mem.fetches, disk.fetches);
+    assert_eq!(store.stats().range_reads, disk.fetches);
+    assert_eq!(store.stats().full_reads, 0, "disk backend must never scan whole documents");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn one_prepared_view_serves_concurrent_requests_across_backends() {
+    let params = ExperimentParams { data_bytes: 48 * 1024, ..ExperimentParams::default() };
+    let corpus = generate(&params.generator_config());
+    let dir = std::env::temp_dir().join(format!("vxv-prepared-conc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = DiskStore::persist(&corpus, &dir).unwrap();
+
+    let engine = ViewSearchEngine::new(&corpus).with_source(&store);
+    let prepared = engine.prepare(&params.view()).unwrap();
+    let request = SearchRequest::new(params.keywords()).top_k(3);
+    let baseline = prepared.search(&request).unwrap();
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (prepared, request) = (&prepared, &request);
+                s.spawn(move || prepared.search(request).unwrap())
+            })
+            .collect();
+        for h in handles {
+            let out = h.join().unwrap();
+            assert_eq!(out.matching, baseline.matching);
+            assert_eq!(out.hits.len(), baseline.hits.len());
+            for (a, b) in out.hits.iter().zip(&baseline.hits) {
+                assert_eq!(a.score, b.score);
+                assert_eq!(a.xml, b.xml);
+            }
+        }
+    });
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

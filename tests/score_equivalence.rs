@@ -9,15 +9,17 @@
 //! selectivity class.
 
 use vxv_baselines::BaselineEngine;
-use vxv_core::{KeywordMode, ViewSearchEngine};
+use vxv_core::{KeywordMode, SearchRequest, ViewSearchEngine};
 use vxv_inex::{generate, ExperimentParams, Selectivity};
 
 fn assert_equivalent(params: &ExperimentParams, keywords: &[&str], mode: KeywordMode) {
     let corpus = generate(&params.generator_config());
     let view = params.view();
 
-    let efficient = ViewSearchEngine::new(&corpus)
-        .search(&view, keywords, params.top_k, mode)
+    let engine = ViewSearchEngine::new(&corpus);
+    let efficient = engine
+        .prepare(&view)
+        .and_then(|v| v.search(&SearchRequest::new(keywords).top_k(params.top_k).mode(mode)))
         .unwrap_or_else(|e| panic!("efficient failed on {view}: {e}"));
     let baseline = BaselineEngine::new(&corpus)
         .search(&view, keywords, params.top_k, mode)
@@ -127,8 +129,11 @@ fn hand_written_view_with_predicates_matches() {
     let view = "for $art in fn:doc(inex.xml)/books//article[fm] \
                 where $art/fm/yr > 2000 and $art/fm/yr < 2004 \
                 return <res> { $art/fm/tl } { $art/fm/kwd } </res>";
-    let eff = ViewSearchEngine::new(&corpus)
-        .search(view, &["data", "model"], 10, KeywordMode::Disjunctive)
+    let engine = ViewSearchEngine::new(&corpus);
+    let eff = engine
+        .prepare(view)
+        .unwrap()
+        .search(&SearchRequest::new(["data", "model"]).mode(KeywordMode::Disjunctive))
         .unwrap();
     let base = BaselineEngine::new(&corpus)
         .search(view, &["data", "model"], 10, KeywordMode::Disjunctive)

@@ -5,11 +5,11 @@
 //! straight from Definitions 1–3.
 
 use vxv_baselines::GtpEngine;
-use vxv_core::generate_qpts;
 use vxv_core::generate::{generate_pdt, DocMeta};
+use vxv_core::generate_qpts;
 use vxv_core::oracle::oracle_pdt;
-use vxv_inex::{generate, ExperimentParams};
 use vxv_index::{InvertedIndex, PathIndex};
+use vxv_inex::{generate, ExperimentParams};
 use vxv_xquery::parse_query;
 
 #[test]
@@ -54,14 +54,14 @@ fn gtp_and_efficient_build_identical_pdts_on_generated_data() {
                     want,
                     "efficient info at {dewey}: {ctx}"
                 );
-                assert_eq!(
-                    via_gtp.node_info(dewey).unwrap(),
-                    want,
-                    "gtp info at {dewey}: {ctx}"
-                );
+                assert_eq!(via_gtp.node_info(dewey).unwrap(), want, "gtp info at {dewey}: {ctx}");
                 let en = efficient.doc.node_by_dewey(dewey).unwrap();
                 let gn = via_gtp.doc.node_by_dewey(dewey).unwrap();
-                assert_eq!(efficient.doc.value(en), via_gtp.doc.value(gn), "value at {dewey}: {ctx}");
+                assert_eq!(
+                    efficient.doc.value(en),
+                    via_gtp.doc.value(gn),
+                    "value at {dewey}: {ctx}"
+                );
             }
         }
     }
