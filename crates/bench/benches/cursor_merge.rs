@@ -1,0 +1,94 @@
+//! Streaming cursor merge vs the seed's materialized-list path, on the
+//! INEX-style workload.
+//!
+//! Measures the per-search PDT merge both ways and prints a bytes-copied
+//! comparison: the cursor plan keeps row handles into the index's
+//! compressed storage, while the materialized path copies every probed
+//! entry into per-node vectors before merging. CI runs this benchmark in
+//! quick mode so regressions in the streaming path fail fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vxv_core::generate::{generate_pdt_from_lists, generate_pdt_from_materialized, DocMeta};
+use vxv_core::prepare::prepare_lists;
+use vxv_core::{generate_qpts, Qpt};
+use vxv_index::{IndexFootprint, InvertedIndex, PathIndex};
+use vxv_inex::{generate, ExperimentParams};
+use vxv_xquery::parse_query;
+
+struct Setup {
+    qpt: Qpt,
+    path_index: PathIndex,
+    inverted: InvertedIndex,
+    keywords: Vec<String>,
+    meta: DocMeta,
+}
+
+fn setup(kb: u64) -> Setup {
+    let params = ExperimentParams { data_bytes: kb * 1024, ..ExperimentParams::default() };
+    let corpus = generate(&params.generator_config());
+    let query = parse_query(&params.view()).unwrap();
+    let qpts = generate_qpts(&query).unwrap();
+    let qpt = qpts.into_iter().find(|q| q.doc_name == "inex.xml").unwrap();
+    let path_index = PathIndex::build(&corpus);
+    let inverted = InvertedIndex::build(&corpus);
+    let keywords: Vec<String> = params.keywords().iter().map(|s| s.to_string()).collect();
+    let doc = corpus.doc("inex.xml").unwrap();
+    let root = doc.root().unwrap();
+    let meta = DocMeta {
+        name: "inex.xml".into(),
+        root_tag: doc.node_tag(root).to_string(),
+        root_ordinal: doc.node(root).dewey.components()[0],
+    };
+    Setup { qpt, path_index, inverted, keywords, meta }
+}
+
+fn bench_cursor_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cursor_merge");
+    for kb in [128u64, 512] {
+        let s = setup(kb);
+        let plan = prepare_lists(&s.qpt, &s.path_index, s.meta.root_ordinal);
+        let materialized = plan.materialize();
+
+        // The comparison the refactor claims: bytes the prepared state
+        // copies out of the index, per prepared view.
+        let plan_bytes = plan.approx_plan_bytes();
+        let copied = materialized.bytes_copied();
+        let fp = s.path_index.footprint();
+        println!(
+            "cursor_merge/{kb}KB: plan holds {plan_bytes} B of row handles vs \
+             {copied} B copied by the materialized path \
+             (index: {} B compressed / {} B uncompressed)",
+            fp.compressed_bytes, fp.uncompressed_bytes
+        );
+        assert!(
+            plan_bytes < copied,
+            "cursor plan must be smaller than the materialized copy \
+             ({plan_bytes} vs {copied})"
+        );
+
+        group.bench_with_input(BenchmarkId::new("streaming_merge", kb), &s, |b, s| {
+            b.iter(|| generate_pdt_from_lists(&s.qpt, &plan, &s.inverted, &s.keywords, &s.meta))
+        });
+        group.bench_with_input(BenchmarkId::new("materialized_merge", kb), &s, |b, s| {
+            b.iter(|| {
+                generate_pdt_from_materialized(
+                    &s.qpt,
+                    &materialized,
+                    &s.inverted,
+                    &s.keywords,
+                    &s.meta,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("materialize_then_merge", kb), &s, |b, s| {
+            b.iter(|| {
+                let m = plan.materialize();
+                generate_pdt_from_materialized(&s.qpt, &m, &s.inverted, &s.keywords, &s.meta)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cursor_merge);
+criterion_main!(benches);

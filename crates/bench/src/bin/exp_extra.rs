@@ -41,4 +41,30 @@ fn main() {
     }
     table.print();
     println!("(paper: ~2MB of PDTs for the 500MB collection, i.e. ~0.4%)");
+
+    println!();
+    print_preamble("Extra X3", "index footprint vs data size (block compression)");
+    let mut table = Table::new(&[
+        "data(KB)",
+        "path idx(KB)",
+        "path raw(KB)",
+        "inv idx(KB)",
+        "inv raw(KB)",
+        "compressed",
+    ]);
+    for mult in 1..=5u64 {
+        let params = ExperimentParams { data_bytes: base * mult, ..ExperimentParams::default() };
+        let m = measure_point(&params, &MeasureOptions::default());
+        let total = m.path_index_footprint + m.inverted_footprint;
+        table.row(vec![
+            (m.corpus_bytes / 1024).to_string(),
+            (m.path_index_footprint.compressed_bytes / 1024).to_string(),
+            (m.path_index_footprint.uncompressed_bytes / 1024).to_string(),
+            (m.inverted_footprint.compressed_bytes / 1024).to_string(),
+            (m.inverted_footprint.uncompressed_bytes / 1024).to_string(),
+            format!("{:.0}%", 100.0 * total.ratio()),
+        ]);
+    }
+    table.print();
+    println!("(compressed = delta-varint blocks actually resident; raw = materialized vectors)");
 }

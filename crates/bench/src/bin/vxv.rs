@@ -1,20 +1,28 @@
 //! `vxv` — command-line keyword search over virtual XML views.
 //!
 //! ```text
-//! vxv search --doc books.xml --doc reviews.xml --view view.xq \
-//!            --keyword xml --keyword search [--top 10] [--any]
-//! vxv inspect --doc books.xml --view view.xq     # show QPTs and PDT stats
+//! vxv search  --doc books.xml --doc reviews.xml --view view.xq \
+//!             --keyword xml --keyword search [--top 10] [--any]
+//! vxv inspect --doc books.xml --view view.xq    # show QPTs and probe plans
+//! vxv persist --doc books.xml --out store/      # write documents + indices
+//! vxv search  --store store/ --view view.xq -k xml   # cold open from disk
 //! ```
 //!
-//! Documents are loaded by file name; the view's `fn:doc(...)` references
-//! must use the same names (base name of the path).
+//! With `--doc`, documents are parsed and indexed in memory; the view's
+//! `fn:doc(...)` references must use the same names (base name of the
+//! path). With `--store`, the engine cold-opens a directory previously
+//! written by `vxv persist`: indices and the document catalog are read
+//! from disk, and base documents are touched only to materialize hits.
 
 use std::process::ExitCode;
-use vxv_core::{KeywordMode, SearchRequest, ViewSearchEngine};
-use vxv_xml::Corpus;
+use vxv_core::{DocumentSource, IndexBundle, SearchRequest, ViewSearchEngine};
+use vxv_core::{KeywordMode, PreparedView};
+use vxv_xml::{Corpus, DiskStore};
 
 struct Args {
     docs: Vec<String>,
+    store: Option<String>,
+    out: Option<String>,
     view: Option<String>,
     keywords: Vec<String>,
     top: usize,
@@ -23,7 +31,7 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  vxv search  --doc FILE... --view FILE --keyword WORD... [--top N] [--any]\n  vxv inspect --doc FILE... --view FILE"
+        "usage:\n  vxv search  (--doc FILE... | --store DIR) --view FILE --keyword WORD... [--top N] [--any]\n  vxv inspect (--doc FILE... | --store DIR) --view FILE\n  vxv persist --doc FILE... --out DIR"
     );
     ExitCode::from(2)
 }
@@ -31,11 +39,21 @@ fn usage() -> ExitCode {
 fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
     let _bin = argv.next()?;
     let cmd = argv.next()?;
-    let mut args = Args { docs: vec![], view: None, keywords: vec![], top: 10, any: false };
+    let mut args = Args {
+        docs: vec![],
+        store: None,
+        out: None,
+        view: None,
+        keywords: vec![],
+        top: 10,
+        any: false,
+    };
     let mut it = argv;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--doc" => args.docs.push(it.next()?),
+            "--store" => args.store = Some(it.next()?),
+            "--out" => args.out = Some(it.next()?),
             "--view" => args.view = Some(it.next()?),
             "--keyword" | "-k" => args.keywords.push(it.next()?),
             "--top" => args.top = it.next()?.parse().ok()?,
@@ -49,13 +67,10 @@ fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
     Some((cmd, args))
 }
 
-fn load(args: &Args) -> Result<(Corpus, String), String> {
+fn load_corpus(args: &Args) -> Result<Corpus, String> {
     if args.docs.is_empty() {
         return Err("at least one --doc is required".into());
     }
-    let view_path = args.view.as_ref().ok_or("--view is required")?;
-    let view = std::fs::read_to_string(view_path)
-        .map_err(|e| format!("cannot read view {view_path}: {e}"))?;
     let mut corpus = Corpus::new();
     for path in &args.docs {
         let xml = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -65,77 +80,159 @@ fn load(args: &Args) -> Result<(Corpus, String), String> {
             .unwrap_or_else(|| path.clone());
         corpus.add_parsed(&name, &xml).map_err(|e| format!("{path}: {e}"))?;
     }
-    Ok((corpus, view))
+    Ok(corpus)
+}
+
+fn load_view(args: &Args) -> Result<String, String> {
+    let view_path = args.view.as_ref().ok_or("--view is required")?;
+    std::fs::read_to_string(view_path).map_err(|e| format!("cannot read view {view_path}: {e}"))
+}
+
+fn run_search<S: DocumentSource>(view: &PreparedView<'_, '_, S>, args: &Args) -> ExitCode {
+    let mode = if args.any { KeywordMode::Disjunctive } else { KeywordMode::Conjunctive };
+    let request = SearchRequest::new(&args.keywords).top_k(args.top).mode(mode);
+    match view.search(&request) {
+        Ok(out) => {
+            eprintln!(
+                "view: {} elements, {} match; idf = {:?}",
+                out.view_size, out.matching, out.idf
+            );
+            for hit in &out.hits {
+                println!("#{}\tscore={:.6}\ttf={:?}", hit.rank, hit.score, hit.tf);
+                println!("{}", hit.xml);
+            }
+            if let Some(t) = out.timings {
+                eprintln!(
+                    "timings: pdt {:?}, evaluator {:?}, post {:?}; {} base fetches",
+                    t.pdt, t.evaluator, t.post, out.fetches
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_inspect<S: DocumentSource>(view: &PreparedView<'_, '_, S>, args: &Args) -> ExitCode {
+    let out = view.plan(&args.keywords);
+    for q in &out.qpts {
+        println!("{}", q.rendered);
+        println!("  pattern nodes: {}", q.nodes);
+        for p in &q.probes {
+            println!(
+                "  probe {} ({} predicate(s)) -> {} data path(s), {} entries",
+                p.pattern, p.predicates, p.expanded_paths, p.entries
+            );
+        }
+    }
+    for (kw, len) in &out.keyword_list_lengths {
+        println!("keyword '{kw}': {len} postings");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Run `search`/`inspect` against a prepared view built over either
+/// backend.
+fn with_prepared<S: DocumentSource>(
+    cmd: &str,
+    engine: &ViewSearchEngine<'_, S>,
+    view_text: &str,
+    args: &Args,
+) -> ExitCode {
+    if cmd == "search" && args.keywords.is_empty() {
+        eprintln!("error: at least one --keyword is required");
+        return ExitCode::FAILURE;
+    }
+    match engine.prepare(view_text) {
+        Ok(prepared) => match cmd {
+            "search" => run_search(&prepared, args),
+            _ => run_inspect(&prepared, args),
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
     let Some((cmd, args)) = parse_args(std::env::args()) else {
         return usage();
     };
-    let (corpus, view) = match load(&args) {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
     match cmd.as_str() {
-        "search" => {
-            if args.keywords.is_empty() {
-                eprintln!("error: at least one --keyword is required");
+        "persist" => {
+            let Some(out_dir) = args.out.as_ref() else {
+                eprintln!("error: --out DIR is required");
+                return ExitCode::FAILURE;
+            };
+            let corpus = match load_corpus(&args) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let dir = std::path::Path::new(out_dir);
+            if let Err(e) = DiskStore::persist(&corpus, dir) {
+                eprintln!("error: persist documents: {e}");
                 return ExitCode::FAILURE;
             }
-            let mode = if args.any { KeywordMode::Disjunctive } else { KeywordMode::Conjunctive };
-            let engine = ViewSearchEngine::new(&corpus);
-            let request = SearchRequest::new(&args.keywords).top_k(args.top).mode(mode);
-            match engine.prepare(&view).and_then(|v| v.search(&request)) {
-                Ok(out) => {
+            let bundle = IndexBundle::build(&corpus);
+            match bundle.save(dir) {
+                Ok(path) => {
                     eprintln!(
-                        "view: {} elements, {} match; idf = {:?}",
-                        out.view_size, out.matching, out.idf
+                        "persisted {} document(s) and indices to {}",
+                        args.docs.len(),
+                        path.parent().unwrap_or(dir).display()
                     );
-                    for hit in &out.hits {
-                        println!("#{}\tscore={:.6}\ttf={:?}", hit.rank, hit.score, hit.tf);
-                        println!("{}", hit.xml);
-                    }
-                    if let Some(t) = out.timings {
-                        eprintln!(
-                            "timings: pdt {:?}, evaluator {:?}, post {:?}; {} base fetches",
-                            t.pdt, t.evaluator, t.post, out.fetches
-                        );
-                    }
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
-                    eprintln!("error: {e}");
+                    eprintln!("error: persist indices: {e}");
                     ExitCode::FAILURE
                 }
             }
         }
-        "inspect" => {
-            let engine = ViewSearchEngine::new(&corpus);
-            match engine.prepare(&view) {
-                Ok(prepared) => {
-                    let out = prepared.plan(&args.keywords);
-                    for q in &out.qpts {
-                        println!("{}", q.rendered);
-                        println!("  pattern nodes: {}", q.nodes);
-                        for p in &q.probes {
-                            println!(
-                                "  probe {} ({} predicate(s)) -> {} data path(s), {} entries",
-                                p.pattern, p.predicates, p.expanded_paths, p.entries
-                            );
-                        }
-                    }
-                    for (kw, len) in &out.keyword_list_lengths {
-                        println!("keyword '{kw}': {len} postings");
-                    }
-                    ExitCode::SUCCESS
-                }
+        "search" | "inspect" => {
+            let view_text = match load_view(&args) {
+                Ok(v) => v,
                 Err(e) => {
                     eprintln!("error: {e}");
-                    ExitCode::FAILURE
+                    return ExitCode::FAILURE;
                 }
+            };
+            if let Some(store_dir) = args.store.as_ref() {
+                // Cold open: indices + catalog from disk, no corpus.
+                let dir = std::path::Path::new(store_dir);
+                let store = match DiskStore::open(dir) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error: open store: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let bundle = match IndexBundle::load(dir) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("error: load indices: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let engine = ViewSearchEngine::open(&store, bundle);
+                with_prepared(&cmd, &engine, &view_text, &args)
+            } else {
+                let corpus = match load_corpus(&args) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let engine = ViewSearchEngine::new(&corpus);
+                with_prepared(&cmd, &engine, &view_text, &args)
             }
         }
         _ => usage(),

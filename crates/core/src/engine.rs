@@ -15,13 +15,15 @@
 //! materialization — which the [`DocumentSource::fetch_count`] counter
 //! lets tests and experiments verify.
 
+use crate::generate::DocMeta;
 use crate::prepared::PreparedView;
 use crate::qpt_gen::QptGenError;
 use crate::request::{PhaseTimings, SearchHit, SearchRequest};
 use crate::scoring::KeywordMode;
+use std::collections::HashMap;
 use std::fmt;
-use vxv_index::{InvertedIndex, PathIndex};
-use vxv_xml::{Corpus, DocumentSource};
+use vxv_index::{IndexBundle, InvertedIndex, PathIndex};
+use vxv_xml::{Corpus, DiskStore, DocumentSource};
 use vxv_xquery::{parse_query, EvalError, Query, QueryParseError};
 
 /// Anything that can go wrong while answering a keyword-search-over-view
@@ -75,22 +77,44 @@ impl From<EvalError> for EngineError {
 /// The keyword-search-over-virtual-views engine, generic over where the
 /// top-k hits are materialized from.
 ///
-/// Indices are always built over the in-memory corpus (they are
-/// query-time metadata); `S` decides where *base data* is read during
-/// materialization — the corpus itself by default, or any other
-/// [`DocumentSource`] via [`Self::with_source`].
+/// Indices are either built over an in-memory corpus or loaded cold from
+/// a persisted [`IndexBundle`] ([`ViewSearchEngine::open`]); `S` decides
+/// where *base data* is read during materialization — the corpus itself
+/// by default, or any other [`DocumentSource`] via [`Self::with_source`].
+/// Prepare-time document metadata (root tag and ordinal per document
+/// name) lives in a small catalog, so a cold engine never touches base
+/// documents outside top-k materialization.
 pub struct ViewSearchEngine<'c, S: DocumentSource = Corpus> {
-    corpus: &'c Corpus,
+    corpus: Option<&'c Corpus>,
+    catalog: HashMap<String, DocMeta>,
     path_index: PathIndex,
     inverted: InvertedIndex,
     source: &'c S,
+}
+
+fn corpus_catalog(corpus: &Corpus) -> HashMap<String, DocMeta> {
+    corpus
+        .docs()
+        .filter_map(|d| {
+            let root = d.root()?;
+            Some((
+                d.name().to_string(),
+                DocMeta {
+                    name: d.name().to_string(),
+                    root_tag: d.node_tag(root).to_string(),
+                    root_ordinal: d.node(root).dewey.components()[0],
+                },
+            ))
+        })
+        .collect()
 }
 
 impl<'c> ViewSearchEngine<'c, Corpus> {
     /// Build indices over `corpus` and materialize from it.
     pub fn new(corpus: &'c Corpus) -> Self {
         ViewSearchEngine {
-            corpus,
+            corpus: Some(corpus),
+            catalog: corpus_catalog(corpus),
             path_index: PathIndex::build(corpus),
             inverted: InvertedIndex::build(corpus),
             source: corpus,
@@ -103,7 +127,43 @@ impl<'c> ViewSearchEngine<'c, Corpus> {
         path_index: PathIndex,
         inverted: InvertedIndex,
     ) -> Self {
-        ViewSearchEngine { corpus, path_index, inverted, source: corpus }
+        ViewSearchEngine {
+            corpus: Some(corpus),
+            catalog: corpus_catalog(corpus),
+            path_index,
+            inverted,
+            source: corpus,
+        }
+    }
+}
+
+impl<'c> ViewSearchEngine<'c, DiskStore> {
+    /// Cold-open an engine over persisted state: indices and document
+    /// catalog from an [`IndexBundle`], base data from a [`DiskStore`].
+    /// No corpus exists — searches are answered without re-tokenizing or
+    /// re-walking any base document.
+    pub fn open(store: &'c DiskStore, bundle: IndexBundle) -> Self {
+        let catalog = bundle
+            .docs
+            .iter()
+            .map(|d| {
+                (
+                    d.name.clone(),
+                    DocMeta {
+                        name: d.name.clone(),
+                        root_tag: d.root_tag.clone(),
+                        root_ordinal: d.root_ordinal,
+                    },
+                )
+            })
+            .collect();
+        ViewSearchEngine {
+            corpus: None,
+            catalog,
+            path_index: bundle.path_index,
+            inverted: bundle.inverted,
+            source: store,
+        }
     }
 }
 
@@ -114,6 +174,7 @@ impl<'c, S: DocumentSource> ViewSearchEngine<'c, S> {
     pub fn with_source<T: DocumentSource>(self, source: &'c T) -> ViewSearchEngine<'c, T> {
         ViewSearchEngine {
             corpus: self.corpus,
+            catalog: self.catalog,
             path_index: self.path_index,
             inverted: self.inverted,
             source,
@@ -129,9 +190,15 @@ impl<'c, S: DocumentSource> ViewSearchEngine<'c, S> {
         self.with_source(store)
     }
 
-    /// The corpus the indices were built over.
-    pub fn corpus(&self) -> &'c Corpus {
+    /// The corpus the indices were built over, if the engine was
+    /// constructed from one (`None` after a cold [`Self::open`]).
+    pub fn corpus(&self) -> Option<&'c Corpus> {
         self.corpus
+    }
+
+    /// Catalog metadata for one document name (root tag and ordinal).
+    pub fn doc_meta(&self, name: &str) -> Option<&DocMeta> {
+        self.catalog.get(name)
     }
 
     /// The engine's path index (for experiments reporting probe work).

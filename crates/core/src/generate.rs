@@ -1,26 +1,39 @@
 //! `GeneratePDT` — the single-pass, index-only PDT construction
 //! (paper §4.2.2 and Appendix E).
 //!
-//! The algorithm merges the Dewey-ordered probe lists of
-//! [`crate::prepare::PreparedLists`]
-//! and sweeps them once in document order. The *Candidate Tree* materializes
-//! as a stack of currently-open elements (the pseudo-code's left-most
-//! path); each open element carries one state per QPT node its ID prefix
-//! aligns to (`CTQNodeSet`), holding the DescendantMap bitmask and the
-//! `InPdt` flag. Closing an element finalizes its candidacy (Definition 1),
-//! notifies ancestors' DescendantMaps, and resolves or defers its ancestor
-//! constraint (Definition 2): elements whose qualifying parent is not yet
-//! decided park in a pending table (the pseudo-code's `PdtCache`s) keyed by
-//! the ancestor states they wait on, and cascade when those resolve.
+//! The algorithm performs a k-way **heap merge** over the streaming
+//! cursors of a [`crate::prepare::PreparedLists`] plan: every selected
+//! index row contributes one [`vxv_index::EntryCursor`] (opened directly
+//! over the index's block-compressed storage, bounded to the projected
+//! document), and a binary heap keyed on `(DeweyId, stream)` pulls
+//! entries incrementally in document order. Nothing is materialized up
+//! front — entries are decoded only as the sweep consumes them.
+//!
+//! The sweep itself is unchanged from the paper: the *Candidate Tree*
+//! materializes as a stack of currently-open elements (the pseudo-code's
+//! left-most path); each open element carries one state per QPT node its
+//! ID prefix aligns to (`CTQNodeSet`), holding the DescendantMap bitmask
+//! and the `InPdt` flag. Closing an element finalizes its candidacy
+//! (Definition 1), notifies ancestors' DescendantMaps, and resolves or
+//! defers its ancestor constraint (Definition 2): elements whose
+//! qualifying parent is not yet decided park in a pending table (the
+//! pseudo-code's `PdtCache`s) keyed by the ancestor states they wait on,
+//! and cascade when those resolve.
 //!
 //! Base documents are never read: IDs, atomic values and byte lengths come
-//! from the path index; term frequencies from the inverted index.
+//! from the path index; term frequencies from the inverted index
+//! (subtree-range probes that `seek` over block skip metadata).
+//!
+//! [`generate_pdt_from_materialized`] keeps the seed's linear merge over
+//! fully decoded entry vectors as the reference implementation; the
+//! property suite asserts both merges produce byte-identical PDTs.
 
 use crate::pdt::{Pdt, PdtElem};
-use crate::prepare::{prepare_lists, PreparedLists};
+use crate::prepare::{prepare_lists, MaterializedLists, PreparedLists};
 use crate::qpt::{Qpt, QptNodeId};
-use std::collections::{BTreeMap, HashMap};
-use vxv_index::{Axis, InvertedIndex, PathIndex};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use vxv_index::{Axis, EntryCursor, InvertedIndex, PathIndex};
 use vxv_xml::DeweyId;
 
 /// Catalog facts about the projected document (not base data: name, root
@@ -115,8 +128,10 @@ pub fn generate_pdt(
     generate_pdt_from_lists(qpt, &lists, inverted, keywords, meta)
 }
 
-/// As [`generate_pdt`] but over pre-computed probe lists (exposed for
-/// benchmarks that separate probe cost from merge cost).
+/// As [`generate_pdt`] but over a pre-computed cursor plan (what
+/// [`crate::prepared::PreparedView`] reuses across searches): a k-way
+/// heap merge that pulls entries from the plan's row cursors
+/// incrementally, decoding only what the sweep consumes.
 pub fn generate_pdt_from_lists(
     qpt: &Qpt,
     lists: &PreparedLists,
@@ -124,19 +139,78 @@ pub fn generate_pdt_from_lists(
     keywords: &[String],
     meta: &DocMeta,
 ) -> (Pdt, GenerateStats) {
-    let mut sweep = Sweep {
-        qpt,
-        stack: Vec::new(),
-        emitted: BTreeMap::new(),
-        pending: Vec::new(),
-        pending_on: HashMap::new(),
-        outcomes: HashMap::new(),
-        interest: std::collections::HashSet::new(),
-        live_pending: 0,
-        stats: GenerateStats { probes: lists.probes, ..GenerateStats::default() },
-    };
+    let mut sweep = new_sweep(qpt, lists.probes);
 
-    // K-way merge over the per-node lists, in (dewey, list) order.
+    // One stream per selected index row, ordered (probed node, row) so
+    // equal Dewey IDs across nodes are consumed in probe order — the
+    // same tie-break as the materialized reference merge (stream index
+    // ascends with probe order, and ties within one node cannot occur:
+    // an element lives in exactly one (path, value) row).
+    struct Stream<'a> {
+        qnode: QptNodeId,
+        path_id: u32,
+        value: Option<&'a str>,
+        cursor: vxv_index::RowCursor<'a>,
+    }
+    /// Heap key carrying its decoded entry — no per-entry ID clones.
+    struct HeapItem {
+        entry: vxv_index::IdEntry,
+        si: usize,
+    }
+    impl PartialEq for HeapItem {
+        fn eq(&self, other: &Self) -> bool {
+            self.entry.id == other.entry.id && self.si == other.si
+        }
+    }
+    impl Eq for HeapItem {}
+    impl PartialOrd for HeapItem {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for HeapItem {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.entry.id.cmp(&other.entry.id).then(self.si.cmp(&other.si))
+        }
+    }
+    let mut streams: Vec<Stream<'_>> = Vec::new();
+    let mut heap: BinaryHeap<Reverse<HeapItem>> = BinaryHeap::new();
+    for (qnode, plan) in &lists.lists {
+        for row in &plan.rows {
+            let mut cursor = row.cursor_for_doc(lists.root_ordinal);
+            let Some(first) = cursor.next() else { continue };
+            heap.push(Reverse(HeapItem { entry: first, si: streams.len() }));
+            streams.push(Stream {
+                qnode: *qnode,
+                path_id: row.path_id,
+                value: row.value.as_deref(),
+                cursor,
+            });
+        }
+    }
+    while let Some(Reverse(HeapItem { entry, si })) = heap.pop() {
+        let s = &mut streams[si];
+        sweep.stats.entries += 1;
+        let alignment = &lists.alignments[&(s.qnode, s.path_id)];
+        sweep.ingest(entry.id, s.qnode, s.value, entry.byte_len, alignment);
+        if let Some(next) = s.cursor.next() {
+            heap.push(Reverse(HeapItem { entry: next, si }));
+        }
+    }
+    finish_sweep(sweep, inverted, keywords, meta)
+}
+
+/// The seed's merge — a linear min-scan over fully materialized entry
+/// vectors. Kept as the reference implementation for equivalence tests
+/// and the allocation-comparison benchmark.
+pub fn generate_pdt_from_materialized(
+    qpt: &Qpt,
+    lists: &MaterializedLists,
+    inverted: &InvertedIndex,
+    keywords: &[String],
+    meta: &DocMeta,
+) -> (Pdt, GenerateStats) {
+    let mut sweep = new_sweep(qpt, lists.probes);
     let mut cursors = vec![0usize; lists.lists.len()];
     loop {
         let mut min: Option<usize> = None;
@@ -161,8 +235,39 @@ pub fn generate_pdt_from_lists(
         cursors[i] += 1;
         sweep.stats.entries += 1;
         let alignment = &lists.alignments[&(*qnode, entry.path_id)];
-        sweep.ingest(entry.dewey.clone(), *qnode, entry, alignment);
+        sweep.ingest(
+            entry.dewey.clone(),
+            *qnode,
+            entry.value.as_deref(),
+            entry.byte_len,
+            alignment,
+        );
     }
+    finish_sweep(sweep, inverted, keywords, meta)
+}
+
+fn new_sweep(qpt: &Qpt, probes: usize) -> Sweep<'_> {
+    Sweep {
+        qpt,
+        stack: Vec::new(),
+        emitted: BTreeMap::new(),
+        pending: Vec::new(),
+        pending_on: HashMap::new(),
+        outcomes: HashMap::new(),
+        interest: std::collections::HashSet::new(),
+        live_pending: 0,
+        stats: GenerateStats { probes, ..GenerateStats::default() },
+    }
+}
+
+/// Drain the candidate stack, annotate term frequencies from the
+/// inverted index, and assemble the PDT.
+fn finish_sweep(
+    mut sweep: Sweep<'_>,
+    inverted: &InvertedIndex,
+    keywords: &[String],
+    meta: &DocMeta,
+) -> (Pdt, GenerateStats) {
     while !sweep.stack.is_empty() {
         sweep.close_top();
     }
@@ -192,7 +297,8 @@ impl<'a> Sweep<'a> {
         &mut self,
         dewey: DeweyId,
         qnode: QptNodeId,
-        entry: &crate::prepare::PreparedEntry,
+        value: Option<&str>,
+        byte_len: u32,
         alignment: &[Vec<QptNodeId>],
     ) {
         // Close elements the sweep has left.
@@ -241,9 +347,9 @@ impl<'a> Sweep<'a> {
                     s.probed_hit = true;
                 }
                 if node.value.is_none() {
-                    node.value = entry.value.clone();
+                    node.value = value.map(str::to_string);
                 }
-                node.byte_len = node.byte_len.max(entry.byte_len);
+                node.byte_len = node.byte_len.max(byte_len);
             }
         }
     }

@@ -14,13 +14,19 @@
 //!    *view definition*, paid once: parse, *Query Pattern Tree*
 //!    generation ([`qpt_gen::generate_qpts`]), and the `PrepareLists`
 //!    probe phase (one path-index probe per QPT node, with pattern
-//!    expansion against the path dictionary);
+//!    expansion against the path dictionary). A probe *selects index
+//!    rows* into a cursor plan ([`prepare::PreparedLists`]) — entries
+//!    stay block-compressed inside the index, nothing is copied;
 //! 2. [`PreparedView::search`] — everything proportional to the *query*,
 //!    paid per request: the single-pass index-only *Pruned Document Tree*
-//!    merge ([`generate::generate_pdt_from_lists`]), the regular XQuery
-//!    evaluator over the PDTs, TF-IDF scoring *identical* to the
-//!    materialized view's (Theorem 4.1), and top-k materialization —
-//!    the only step that touches base documents.
+//!    heap merge ([`generate::generate_pdt_from_lists`]) streaming the
+//!    plan's cursors, the regular XQuery evaluator over the PDTs, TF-IDF
+//!    scoring *identical* to the materialized view's (Theorem 4.1), and
+//!    top-k materialization — the only step that touches base documents.
+//!
+//! Indices persist: [`vxv_index::IndexBundle`] serializes them next to a
+//! [`vxv_xml::DiskStore`], and [`ViewSearchEngine::open`] cold-starts an
+//! engine from disk without re-tokenizing or re-walking base documents.
 //!
 //! A [`SearchRequest`] carries keywords, `k`, conjunctive/disjunctive
 //! [`KeywordMode`], and switches for materialization, timing collection,
@@ -65,6 +71,7 @@ pub mod scoring;
 pub use engine::{EngineError, SearchOutcome, ViewSearchEngine};
 pub use generate::{generate_pdt, DocMeta, GenerateStats};
 pub use pdt::{Pdt, PdtElem, PdtNodeInfo};
+pub use prepare::{prepare_lists, MaterializedLists, NodePlan, PreparedLists};
 pub use prepared::{PreparedView, ProbeReport, QptReport, QueryPlan};
 pub use qpt::{Qpt, QptEdge, QptNode, QptNodeId};
 pub use qpt_gen::{generate_qpts, QptGenError};
@@ -75,4 +82,5 @@ pub use scoring::{score_and_rank, ElementStats, KeywordMode, ScoredElement, Scor
 #[deprecated(since = "0.1.0", note = "renamed to `QueryPlan`")]
 pub type ExplainOutput = QueryPlan;
 
+pub use vxv_index::{Footprint, IndexBundle, IndexFootprint};
 pub use vxv_xml::DocumentSource;

@@ -3,24 +3,34 @@
 //! For each QPT node in the probe set (nodes without mandatory child edges,
 //! plus `v`-, predicate- and `c`-annotated nodes) we issue **one** probe of
 //! the path index — a number of probes proportional to the query, never to
-//! the data. Each probe returns a Dewey-ordered entry list that already
-//! carries atomic values (free, because the index keys on (Path, Value))
-//! and byte lengths.
+//! the data. A probe no longer materializes entries: it *selects rows* of
+//! the (Path, Value) table (predicates are evaluated once per row key,
+//! where the value lives) and keeps [`PlannedRow`] handles into the
+//! index's block-compressed storage. The resulting [`PreparedLists`] is a
+//! **cursor plan**: entries stay compressed in the index until the PDT
+//! merge ([`crate::generate`]) streams them, so per-search memory and
+//! copy cost scale with what the merge consumes, not with list length.
 //!
-//! Every entry also records *which full data path* produced it. Matching
+//! Every row also records *which full data path* produced it. Matching
 //! that concrete path against the QPT's root-to-node pattern yields the
 //! **alignment map**: for each Dewey depth, the set of QPT nodes the
 //! prefix at that depth corresponds to. The single-pass merge uses these
 //! maps to type every ID prefix (the pseudo-code's `QNodes(curId)`),
 //! including the `//a//a` repeated-tag case where one prefix maps to
 //! several QPT nodes.
+//!
+//! The seed's fully materialized probe output survives as
+//! [`MaterializedLists`] — the reference implementation the cursor path
+//! is property-tested against (byte-identical PDTs) and the benchmark
+//! baseline for allocation comparisons.
 
 use crate::qpt::{Qpt, QptNodeId};
 use std::collections::HashMap;
-use vxv_index::{Axis, PathIndex, PathPattern};
+use vxv_index::{Axis, EntryCursor, PathIndex, PathPattern, PlannedRow};
 use vxv_xml::DeweyId;
 
-/// One probed element occurrence.
+/// One probed element occurrence, fully decoded (the materialized
+/// reference representation; the engine itself streams [`PlannedRow`]s).
 #[derive(Clone, Debug, PartialEq)]
 pub struct PreparedEntry {
     /// The element's Dewey identifier.
@@ -37,11 +47,62 @@ pub struct PreparedEntry {
 /// `alignment[d - 1]` lists the QPT nodes a prefix of length `d` maps to.
 pub type Alignment = Vec<Vec<QptNodeId>>;
 
-/// Output of the probe phase.
+/// The cursor plan for one probed QPT node: the index rows its pattern
+/// selected, across every expanded data path.
+#[derive(Debug, Default)]
+pub struct NodePlan {
+    /// Selected rows, ordered by (path id, row key).
+    pub rows: Vec<PlannedRow>,
+}
+
+impl NodePlan {
+    /// Entries this plan holds for the document rooted at
+    /// `root_ordinal`, counted from block metadata (boundary blocks
+    /// decoded, interior blocks counted from the directory).
+    pub fn entry_count(&self, root_ordinal: u32) -> u64 {
+        let lo = DeweyId::root(root_ordinal);
+        let hi = lo.subtree_upper_bound();
+        self.rows.iter().map(|r| r.count_range(&lo, &hi)).sum()
+    }
+
+    /// Decode and merge the plan into Dewey-ordered [`PreparedEntry`]s
+    /// for one document — the materialized reference form.
+    pub fn materialize(&self, root_ordinal: u32) -> Vec<PreparedEntry> {
+        let mut entries: Vec<PreparedEntry> = Vec::new();
+        for row in &self.rows {
+            let mut cur = row.cursor_for_doc(root_ordinal);
+            while let Some(e) = cur.next() {
+                entries.push(PreparedEntry {
+                    dewey: e.id,
+                    value: row.value.clone(),
+                    byte_len: e.byte_len,
+                    path_id: row.path_id,
+                });
+            }
+        }
+        entries.sort_by(|a, b| a.dewey.cmp(&b.dewey));
+        entries
+    }
+
+    /// Approximate resident bytes of the plan itself (row handles and
+    /// value keys — the compressed entry data is shared with the index,
+    /// not copied).
+    pub fn approx_plan_bytes(&self) -> u64 {
+        self.rows
+            .iter()
+            .map(|r| {
+                std::mem::size_of::<PlannedRow>() as u64
+                    + r.value.as_ref().map(|v| v.len() as u64).unwrap_or(0)
+            })
+            .sum()
+    }
+}
+
+/// Output of the probe phase: cursor plans plus alignment maps.
 #[derive(Debug, Default)]
 pub struct PreparedLists {
-    /// One Dewey-ordered entry list per probed QPT node.
-    pub lists: Vec<(QptNodeId, Vec<PreparedEntry>)>,
+    /// One cursor plan per probed QPT node.
+    pub lists: Vec<(QptNodeId, NodePlan)>,
     /// Alignment maps keyed by (probed node, path id).
     pub alignments: HashMap<(QptNodeId, u32), Alignment>,
     /// Number of path-index probes issued (|probe set|, by construction).
@@ -50,18 +111,69 @@ pub struct PreparedLists {
     /// its pattern expanded to in the dictionary. Cached here so plan
     /// reporting never re-expands patterns.
     pub expanded_paths: Vec<usize>,
+    /// Dewey root ordinal of the document this plan projects.
+    pub root_ordinal: u32,
+}
+
+impl PreparedLists {
+    /// Decode the whole plan into the seed's materialized representation.
+    pub fn materialize(&self) -> MaterializedLists {
+        MaterializedLists {
+            lists: self
+                .lists
+                .iter()
+                .map(|(q, plan)| (*q, plan.materialize(self.root_ordinal)))
+                .collect(),
+            alignments: self.alignments.clone(),
+            probes: self.probes,
+        }
+    }
+
+    /// Approximate resident bytes of the plan (handles only; entry data
+    /// is shared with the index).
+    pub fn approx_plan_bytes(&self) -> u64 {
+        self.lists.iter().map(|(_, p)| p.approx_plan_bytes()).sum()
+    }
+}
+
+/// The seed's probe output: per-node entry vectors, fully decoded and
+/// copied. Kept as the reference path for equivalence tests and the
+/// allocation-comparison benchmark; the engine no longer builds this.
+#[derive(Debug, Default)]
+pub struct MaterializedLists {
+    /// One Dewey-ordered entry list per probed QPT node.
+    pub lists: Vec<(QptNodeId, Vec<PreparedEntry>)>,
+    /// Alignment maps keyed by (probed node, path id).
+    pub alignments: HashMap<(QptNodeId, u32), Alignment>,
+    /// Number of path-index probes issued.
+    pub probes: usize,
+}
+
+impl MaterializedLists {
+    /// Bytes copied out of the index to build this representation.
+    pub fn bytes_copied(&self) -> u64 {
+        self.lists
+            .iter()
+            .flat_map(|(_, entries)| entries.iter())
+            .map(|e| {
+                std::mem::size_of::<PreparedEntry>() as u64
+                    + 4 * e.dewey.len() as u64
+                    + e.value.as_ref().map(|v| v.len() as u64).unwrap_or(0)
+            })
+            .sum()
+    }
 }
 
 /// Run the probe phase for `qpt` against documents whose Dewey root
 /// ordinal is `root_ordinal` (the path index is corpus-wide; a QPT
 /// projects one document).
 pub fn prepare_lists(qpt: &Qpt, index: &PathIndex, root_ordinal: u32) -> PreparedLists {
-    let mut out = PreparedLists::default();
+    let mut out = PreparedLists { root_ordinal, ..PreparedLists::default() };
     for q in qpt.probed_nodes() {
         let pattern = qpt.pattern(q);
         let chain = qpt.chain(q);
         let preds = &qpt.node(q).preds;
-        let mut entries: Vec<PreparedEntry> = Vec::new();
+        let mut plan = NodePlan::default();
         let pids = index.expand_pattern(&pattern);
         out.expanded_paths.push(pids.len());
         for pid in pids {
@@ -73,22 +185,10 @@ pub fn prepare_lists(qpt: &Qpt, index: &PathIndex, root_ordinal: u32) -> Prepare
                 "matched path must have a non-trivial alignment"
             );
             out.alignments.insert((q, pid), alignment);
-            for (e, value) in index.scan_path(pid, preds) {
-                if e.id.components().first() != Some(&root_ordinal) {
-                    continue; // entry belongs to a different document
-                }
-                entries.push(PreparedEntry {
-                    dewey: e.id,
-                    value,
-                    byte_len: e.byte_len,
-                    path_id: pid,
-                });
-            }
+            plan.rows.extend(index.select_rows(pid, preds));
         }
-        // Per-path lists are Dewey-ordered; merge across paths.
-        entries.sort_by(|a, b| a.dewey.cmp(&b.dewey));
         out.probes += 1;
-        out.lists.push((q, entries));
+        out.lists.push((q, plan));
     }
     out
 }
@@ -206,10 +306,10 @@ mod tests {
     }
 
     #[test]
-    fn entries_are_filtered_to_the_target_document() {
+    fn materialized_entries_are_filtered_to_the_target_document() {
         let c = corpus();
         let idx = PathIndex::build(&c);
-        let lists = prepare_lists(&book_qpt(), &idx, 1);
+        let lists = prepare_lists(&book_qpt(), &idx, 1).materialize();
         for (_, entries) in &lists.lists {
             for e in entries {
                 assert_eq!(e.dewey.components()[0], 1, "leaked {:?}", e.dewey);
@@ -218,14 +318,17 @@ mod tests {
     }
 
     #[test]
-    fn predicates_filter_at_the_index() {
+    fn predicates_select_rows_at_the_index() {
         let c = corpus();
         let idx = PathIndex::build(&c);
         let q = book_qpt();
         let lists = prepare_lists(&q, &idx, 1);
         let year = q.node_ids().find(|id| q.node(*id).tag == "year").unwrap();
-        let (_, entries) = lists.lists.iter().find(|(n, _)| *n == year).unwrap();
-        // Only the 1996 year passes > 1995; the 1990 one is pruned.
+        let (_, plan) = lists.lists.iter().find(|(n, _)| *n == year).unwrap();
+        // Only the 1996 year passes > 1995; the 1990 one is pruned at row
+        // selection, before any entry is decoded.
+        assert_eq!(plan.entry_count(1), 1);
+        let entries = plan.materialize(1);
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].dewey.to_string(), "1.1.3");
         assert_eq!(entries[0].value.as_deref(), Some("1996"));
@@ -238,9 +341,10 @@ mod tests {
         let q = book_qpt();
         let lists = prepare_lists(&q, &idx, 1);
         let isbn = q.node_ids().find(|id| q.node(*id).tag == "isbn").unwrap();
-        let (_, entries) = lists.lists.iter().find(|(n, _)| *n == isbn).unwrap();
-        let vals: Vec<Option<&str>> = entries.iter().map(|e| e.value.as_deref()).collect();
-        assert_eq!(vals, vec![Some("111"), Some("333")]);
+        let (_, plan) = lists.lists.iter().find(|(n, _)| *n == isbn).unwrap();
+        let vals: Vec<Option<String>> =
+            plan.materialize(1).iter().map(|e| e.value.clone()).collect();
+        assert_eq!(vals, vec![Some("111".to_string()), Some("333".to_string())]);
     }
 
     #[test]
@@ -292,14 +396,51 @@ mod tests {
     }
 
     #[test]
-    fn merged_lists_are_dewey_ordered() {
+    fn materialized_lists_are_dewey_ordered() {
         let c = corpus();
         let idx = PathIndex::build(&c);
-        let lists = prepare_lists(&book_qpt(), &idx, 1);
+        let lists = prepare_lists(&book_qpt(), &idx, 1).materialize();
         for (_, entries) in &lists.lists {
             for w in entries.windows(2) {
                 assert!(w[0].dewey < w[1].dewey);
             }
         }
+    }
+
+    #[test]
+    fn plan_bytes_do_not_scale_with_list_length() {
+        // Two corpora, one 50x the other: the cursor plan stays row-sized
+        // while the materialized copy grows with the data.
+        let mut small = Corpus::new();
+        let mut big = Corpus::new();
+        let make = |n: usize| {
+            let mut xml = String::from("<books>");
+            for i in 0..n {
+                xml.push_str(&format!("<book><isbn>{i}</isbn><year>1996</year></book>"));
+            }
+            xml.push_str("</books>");
+            xml
+        };
+        small.add_parsed("books.xml", &make(4)).unwrap();
+        big.add_parsed("books.xml", &make(200)).unwrap();
+        let mut q = Qpt::new("books.xml");
+        let books = q.add_node(None, Axis::Child, true, "books");
+        let book = q.add_node(Some(books), Axis::Descendant, true, "book");
+        let year = q.add_node(Some(book), Axis::Child, true, "year");
+        q.node_mut(year).preds.push(ValuePredicate::Gt("1990".into()));
+
+        let small_plan = prepare_lists(&q, &PathIndex::build(&small), 1);
+        let big_plan = prepare_lists(&q, &PathIndex::build(&big), 1);
+        let small_copy = small_plan.materialize().bytes_copied();
+        let big_copy = big_plan.materialize().bytes_copied();
+        assert!(big_copy > 10 * small_copy, "{big_copy} vs {small_copy}");
+        // The plan grows with distinct (path, value) rows, far slower
+        // than the materialized copy grows with entries.
+        assert!(
+            big_plan.approx_plan_bytes() < big_copy / 2,
+            "plan {} vs copy {}",
+            big_plan.approx_plan_bytes(),
+            big_copy
+        );
     }
 }

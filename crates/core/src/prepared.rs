@@ -30,7 +30,9 @@ use vxv_xquery::{
 };
 
 /// One QPT with everything its searches reuse: catalog metadata and the
-/// Dewey-ordered probe lists (keyword-independent by construction).
+/// cursor plan over the selected index rows (keyword-independent by
+/// construction; entries stay compressed in the index until a search's
+/// merge streams them).
 #[derive(Debug)]
 pub(crate) struct QptPlan {
     pub(crate) qpt: Qpt,
@@ -66,17 +68,12 @@ impl<'e, 'c, S: DocumentSource> PreparedView<'e, 'c, S> {
         let qpts = generate_qpts(&query)?;
         let mut plans = Vec::with_capacity(qpts.len());
         for qpt in qpts {
-            let doc = engine
-                .corpus()
-                .doc(&qpt.doc_name)
+            // Root tag and ordinal are catalog metadata — present whether
+            // the engine was built from a corpus or cold-opened from disk.
+            let meta = engine
+                .doc_meta(&qpt.doc_name)
+                .cloned()
                 .ok_or_else(|| EngineError::UnknownDocument(qpt.doc_name.clone()))?;
-            let root =
-                doc.root().ok_or_else(|| EngineError::UnknownDocument(qpt.doc_name.clone()))?;
-            let meta = DocMeta {
-                name: qpt.doc_name.clone(),
-                root_tag: doc.node_tag(root).to_string(),
-                root_ordinal: doc.node(root).dewey.components()[0],
-            };
             let lists = prepare_lists(&qpt, engine.path_index(), meta.root_ordinal);
             plans.push(QptPlan { qpt, meta, lists });
         }
@@ -229,11 +226,11 @@ impl<'e, 'c, S: DocumentSource> PreparedView<'e, 'c, S> {
                     .lists
                     .iter()
                     .zip(&plan.lists.expanded_paths)
-                    .map(|((q, entries), expanded)| ProbeReport {
+                    .map(|((q, node_plan), expanded)| ProbeReport {
                         expanded_paths: *expanded,
                         pattern: plan.qpt.pattern(*q).to_string(),
                         predicates: plan.qpt.node(*q).preds.len(),
-                        entries: entries.len(),
+                        entries: node_plan.entry_count(plan.meta.root_ordinal) as usize,
                     })
                     .collect();
                 QptReport {
@@ -265,7 +262,8 @@ pub struct ProbeReport {
     pub predicates: usize,
     /// Full data paths the pattern expands to in the dictionary.
     pub expanded_paths: usize,
-    /// Entries the probe returned (relevant-list length).
+    /// Entries the plan holds for the projected document (relevant-list
+    /// length, counted from block metadata without decoding interiors).
     pub entries: usize,
 }
 

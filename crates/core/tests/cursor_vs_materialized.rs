@@ -1,0 +1,196 @@
+//! Property test: the streaming cursor merge produces PDTs
+//! **byte-identical** to the seed's materialized-list merge, on
+//! randomized documents × randomized QPTs.
+//!
+//! [`generate_pdt_from_materialized`] is the seed's path preserved
+//! verbatim (decode every probe into per-node vectors, linear min-scan
+//! merge); [`generate_pdt_from_lists`] is the new heap merge pulling
+//! directly from block-compressed index cursors. Everything observable
+//! must match: element sets, tags, values, byte lengths, tf annotations,
+//! serialized trees, and the sweep's work counters.
+
+use proptest::prelude::*;
+use vxv_core::generate::{generate_pdt_from_lists, generate_pdt_from_materialized, DocMeta};
+use vxv_core::prepare::prepare_lists;
+use vxv_core::qpt::{Qpt, QptNodeId};
+use vxv_index::{Axis, InvertedIndex, PathIndex, ValuePredicate};
+use vxv_xml::{serialize_subtree, Corpus, DocumentBuilder};
+
+const TAGS: &[&str] = &["a", "b", "c", "d"];
+const WORDS: &[&str] = &["alpha", "beta", "gamma"];
+
+/// A recipe for one random element: tag index, optional value, children.
+#[derive(Clone, Debug)]
+struct TreeSpec {
+    tag: usize,
+    value: Option<u8>,
+    word: Option<usize>,
+    children: Vec<TreeSpec>,
+}
+
+fn tree_strategy(depth: u32) -> impl Strategy<Value = TreeSpec> {
+    let leaf = (0..TAGS.len(), proptest::option::of(0u8..6), proptest::option::of(0..WORDS.len()))
+        .prop_map(|(tag, value, word)| TreeSpec { tag, value, word, children: vec![] });
+    leaf.prop_recursive(depth, 30, 5, |inner| {
+        (
+            0..TAGS.len(),
+            proptest::option::of(0u8..6),
+            proptest::option::of(0..WORDS.len()),
+            prop::collection::vec(inner, 0..5),
+        )
+            .prop_map(|(tag, value, word, children)| TreeSpec {
+                tag,
+                value,
+                word,
+                children,
+            })
+    })
+}
+
+fn build_doc(spec: &TreeSpec) -> Corpus {
+    fn rec(b: &mut DocumentBuilder, s: &TreeSpec) {
+        b.begin(TAGS[s.tag]);
+        let mut text = String::new();
+        if let Some(v) = s.value {
+            text.push_str(&v.to_string());
+        }
+        if let Some(w) = s.word {
+            if !text.is_empty() {
+                text.push(' ');
+            }
+            text.push_str(WORDS[w]);
+        }
+        if !text.is_empty() {
+            b.text(&text);
+        }
+        for c in &s.children {
+            rec(b, c);
+        }
+        b.end();
+    }
+    let mut b = DocumentBuilder::new("doc.xml", 1);
+    rec(&mut b, spec);
+    let mut corpus = Corpus::new();
+    corpus.add(b.finish());
+    corpus
+}
+
+/// A recipe for one random QPT node.
+#[derive(Clone, Debug)]
+struct QptSpec {
+    tag: usize,
+    axis: bool, // true = descendant
+    mandatory: bool,
+    pred: Option<(u8, u8)>, // (op 0..3, operand)
+    v: bool,
+    c: bool,
+    children: Vec<QptSpec>,
+}
+
+fn qpt_strategy() -> impl Strategy<Value = QptSpec> {
+    let leaf = (
+        0..TAGS.len(),
+        any::<bool>(),
+        any::<bool>(),
+        proptest::option::of((0u8..3, 0u8..6)),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(tag, axis, mandatory, pred, v, c)| QptSpec {
+            tag,
+            axis,
+            mandatory,
+            pred,
+            v,
+            c,
+            children: vec![],
+        });
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        (
+            0..TAGS.len(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            prop::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(tag, axis, mandatory, v, c, children)| QptSpec {
+                tag,
+                axis,
+                mandatory,
+                pred: None,
+                v,
+                c,
+                children,
+            })
+    })
+}
+
+fn build_qpt(spec: &QptSpec) -> Qpt {
+    fn rec(q: &mut Qpt, parent: Option<QptNodeId>, s: &QptSpec) {
+        let axis = if s.axis { Axis::Descendant } else { Axis::Child };
+        let id = q.add_node(parent, axis, s.mandatory, TAGS[s.tag]);
+        q.node_mut(id).v_ann = s.v;
+        q.node_mut(id).c_ann = s.c;
+        if let Some((op, val)) = s.pred {
+            let v = val.to_string();
+            q.node_mut(id).preds.push(match op {
+                0 => ValuePredicate::Eq(v),
+                1 => ValuePredicate::Lt(v),
+                _ => ValuePredicate::Gt(v),
+            });
+        }
+        for c in &s.children {
+            rec(q, Some(id), c);
+        }
+    }
+    let mut q = Qpt::new("doc.xml");
+    rec(&mut q, None, spec);
+    q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cursor_merge_is_byte_identical_to_materialized_merge(
+        tree in tree_strategy(4),
+        qspec in qpt_strategy(),
+    ) {
+        let corpus = build_doc(&tree);
+        let qpt = build_qpt(&qspec);
+        let path_index = PathIndex::build(&corpus);
+        let inverted = InvertedIndex::build(&corpus);
+        let keywords: Vec<String> = WORDS.iter().map(|w| w.to_string()).collect();
+        let meta = DocMeta { name: "doc.xml".into(), root_tag: TAGS[tree.tag].into(), root_ordinal: 1 };
+
+        let plan = prepare_lists(&qpt, &path_index, 1);
+        let materialized = plan.materialize();
+
+        let (streamed, s_stats) =
+            generate_pdt_from_lists(&qpt, &plan, &inverted, &keywords, &meta);
+        let (reference, r_stats) =
+            generate_pdt_from_materialized(&qpt, &materialized, &inverted, &keywords, &meta);
+
+        // The sweeps consumed the same entries in the same order.
+        prop_assert_eq!(s_stats, r_stats, "work counters diverge\nQPT:\n{}", &qpt);
+
+        // Annotation tables identical (byte lengths, tf vectors).
+        prop_assert_eq!(&streamed.info, &reference.info, "info tables differ\nQPT:\n{}", &qpt);
+
+        // Serialized trees byte-identical.
+        let s_root = streamed.doc.root().expect("pdt has anchor root");
+        let r_root = reference.doc.root().expect("pdt has anchor root");
+        prop_assert_eq!(
+            serialize_subtree(&streamed.doc, s_root),
+            serialize_subtree(&reference.doc, r_root),
+            "serialized PDTs differ\nQPT:\n{}",
+            &qpt
+        );
+
+        // Dewey IDs preserved node for node.
+        for d in reference.info.keys() {
+            prop_assert!(streamed.doc.node_by_dewey(d).is_some(), "missing {} in streamed", d);
+        }
+    }
+}

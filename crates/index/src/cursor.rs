@@ -1,0 +1,203 @@
+//! Streaming cursors — the contract between the index layer and the
+//! engine.
+//!
+//! PDT generation never needs a whole posting list at once: the
+//! single-pass merge consumes entries in Dewey order and subtree probes
+//! consume one bounded range. A cursor exposes exactly that access
+//! pattern — `next()` for ordered consumption and `seek()` for forward
+//! skips — so the engine's memory and copy cost scale with what the
+//! merge actually pulls, not with list length.
+//!
+//! Two cursor families exist, mirroring the two index families:
+//!
+//! * [`PostingCursor`] over keyword postings ([`Posting`]: Dewey ID + tf);
+//! * [`EntryCursor`] over path-index rows ([`IdEntry`]: Dewey ID + byte
+//!   length — the row's value is shared row-level state, not repeated per
+//!   entry).
+//!
+//! Both are implemented by plain in-memory slices (the materialized
+//! reference path) and by the block-compressed lists of
+//! [`crate::postings`] (the default storage). Consumption work is
+//! tallied in [`ScanCounters`]: entries decoded, whole blocks skipped by
+//! `seek`, and compressed bytes decoded — the I/O-cost proxies the
+//! experiments report.
+
+use crate::inverted::Posting;
+use crate::path_index::IdEntry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use vxv_xml::DeweyId;
+
+/// Work performed while *consuming* cursors (shared, thread-safe).
+///
+/// Lookup-time counters (how often a list was opened) stay on the owning
+/// index; these counters only ever grow when a cursor decodes or skips.
+#[derive(Debug, Default)]
+pub struct ScanCounters {
+    /// Entries decoded and handed to the consumer (or scanned past
+    /// inside a block while seeking).
+    pub entries: AtomicU64,
+    /// Whole compressed blocks `seek` jumped over without decoding.
+    pub blocks_skipped: AtomicU64,
+    /// Compressed bytes decoded.
+    pub bytes_decoded: AtomicU64,
+}
+
+impl ScanCounters {
+    /// Add `n` consumed entries.
+    pub fn add_entries(&self, n: u64) {
+        self.entries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add `n` skipped blocks.
+    pub fn add_blocks_skipped(&self, n: u64) {
+        self.blocks_skipped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add `n` decoded bytes.
+    pub fn add_bytes(&self, n: u64) {
+        self.bytes_decoded.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reset all three counters to zero.
+    pub fn reset(&self) {
+        self.entries.store(0, Ordering::Relaxed);
+        self.blocks_skipped.store(0, Ordering::Relaxed);
+        self.bytes_decoded.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A streaming cursor over a Dewey-ordered keyword posting list.
+pub trait PostingCursor {
+    /// The next posting in Dewey order, or `None` when exhausted.
+    fn next(&mut self) -> Option<Posting>;
+
+    /// Position the cursor so the next [`Self::next`] returns the first
+    /// posting with `id >= target`, skipping whole blocks where the
+    /// representation allows. Forward-only: seeking to a target the
+    /// cursor has already passed is a no-op.
+    fn seek(&mut self, target: &DeweyId);
+}
+
+/// A streaming cursor over a Dewey-ordered path-index entry list.
+pub trait EntryCursor {
+    /// The next entry in Dewey order, or `None` when exhausted.
+    fn next(&mut self) -> Option<IdEntry>;
+
+    /// As [`PostingCursor::seek`], over entries.
+    fn seek(&mut self, target: &DeweyId);
+}
+
+/// [`PostingCursor`] over an in-memory sorted slice — the materialized
+/// representation's cursor.
+#[derive(Clone, Debug)]
+pub struct SlicePostingCursor<'a> {
+    items: &'a [Posting],
+    pos: usize,
+}
+
+impl<'a> SlicePostingCursor<'a> {
+    /// Cursor over `items` (must already be in Dewey order).
+    pub fn new(items: &'a [Posting]) -> Self {
+        SlicePostingCursor { items, pos: 0 }
+    }
+}
+
+impl PostingCursor for SlicePostingCursor<'_> {
+    fn next(&mut self) -> Option<Posting> {
+        let p = self.items.get(self.pos)?.clone();
+        self.pos += 1;
+        Some(p)
+    }
+
+    fn seek(&mut self, target: &DeweyId) {
+        let ahead = &self.items[self.pos..];
+        self.pos += ahead.partition_point(|p| p.id < *target);
+    }
+}
+
+/// [`EntryCursor`] over an in-memory sorted slice.
+#[derive(Clone, Debug)]
+pub struct SliceEntryCursor<'a> {
+    items: &'a [IdEntry],
+    pos: usize,
+}
+
+impl<'a> SliceEntryCursor<'a> {
+    /// Cursor over `items` (must already be in Dewey order).
+    pub fn new(items: &'a [IdEntry]) -> Self {
+        SliceEntryCursor { items, pos: 0 }
+    }
+}
+
+impl EntryCursor for SliceEntryCursor<'_> {
+    fn next(&mut self) -> Option<IdEntry> {
+        let e = self.items.get(self.pos)?.clone();
+        self.pos += 1;
+        Some(e)
+    }
+
+    fn seek(&mut self, target: &DeweyId) {
+        let ahead = &self.items[self.pos..];
+        self.pos += ahead.partition_point(|e| e.id < *target);
+    }
+}
+
+/// Drain a posting cursor into a vector (tests and small tools).
+pub fn collect_postings<C: PostingCursor>(mut cursor: C) -> Vec<Posting> {
+    let mut out = Vec::new();
+    while let Some(p) = cursor.next() {
+        out.push(p);
+    }
+    out
+}
+
+/// Drain an entry cursor into a vector (tests and small tools).
+pub fn collect_entries<C: EntryCursor>(mut cursor: C) -> Vec<IdEntry> {
+    let mut out = Vec::new();
+    while let Some(e) = cursor.next() {
+        out.push(e);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn postings(ids: &[&str]) -> Vec<Posting> {
+        ids.iter().map(|s| Posting { id: s.parse().unwrap(), tf: 1 }).collect()
+    }
+
+    #[test]
+    fn slice_cursor_streams_in_order() {
+        let items = postings(&["1.1", "1.2", "1.10"]);
+        let got = collect_postings(SlicePostingCursor::new(&items));
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn slice_seek_is_lower_bound_and_forward_only() {
+        let items = postings(&["1.1", "1.2", "1.2.1", "1.10"]);
+        let mut c = SlicePostingCursor::new(&items);
+        c.seek(&"1.2".parse().unwrap());
+        assert_eq!(c.next().unwrap().id.to_string(), "1.2");
+        // Seeking backwards does not rewind.
+        c.seek(&"1.1".parse().unwrap());
+        assert_eq!(c.next().unwrap().id.to_string(), "1.2.1");
+        // 1.2 vs 1.10: numeric component order, not string order.
+        c.seek(&"1.3".parse().unwrap());
+        assert_eq!(c.next().unwrap().id.to_string(), "1.10");
+        assert!(c.next().is_none());
+    }
+
+    #[test]
+    fn entry_cursor_seeks() {
+        let items: Vec<IdEntry> = ["1.1", "1.9", "1.10", "1.11"]
+            .iter()
+            .map(|s| IdEntry { id: s.parse().unwrap(), byte_len: 3 })
+            .collect();
+        let mut c = SliceEntryCursor::new(&items);
+        c.seek(&"1.10".parse().unwrap());
+        assert_eq!(c.next().unwrap().id.to_string(), "1.10");
+    }
+}

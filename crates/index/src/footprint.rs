@@ -1,0 +1,50 @@
+//! [`IndexFootprint`] — uniform size reporting for the index families.
+//!
+//! Experiments report index size next to access counts; with the block
+//! compression of [`crate::postings`] the interesting number is the pair
+//! (bytes actually held, bytes a materialized representation would
+//! take). Both [`crate::InvertedIndex`] and [`crate::PathIndex`] report
+//! through this trait, and the bench tables print the ratio.
+
+/// One index's size report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// Bytes actually resident: compressed entry data, block
+    /// directories, and key strings.
+    pub compressed_bytes: u64,
+    /// Bytes an uncompressed (materialized vector) representation would
+    /// occupy: 4 bytes per Dewey component + 4 payload bytes per entry,
+    /// plus the same key strings.
+    pub uncompressed_bytes: u64,
+    /// Total entries across all lists.
+    pub entries: u64,
+}
+
+impl Footprint {
+    /// `compressed / uncompressed`, or 1.0 for an empty index.
+    pub fn ratio(&self) -> f64 {
+        if self.uncompressed_bytes == 0 {
+            1.0
+        } else {
+            self.compressed_bytes as f64 / self.uncompressed_bytes as f64
+        }
+    }
+}
+
+impl std::ops::Add for Footprint {
+    type Output = Footprint;
+
+    fn add(self, rhs: Footprint) -> Footprint {
+        Footprint {
+            compressed_bytes: self.compressed_bytes + rhs.compressed_bytes,
+            uncompressed_bytes: self.uncompressed_bytes + rhs.uncompressed_bytes,
+            entries: self.entries + rhs.entries,
+        }
+    }
+}
+
+/// Anything that can report its storage footprint.
+pub trait IndexFootprint {
+    /// Size report over everything the index currently holds.
+    fn footprint(&self) -> Footprint;
+}

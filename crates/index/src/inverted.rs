@@ -2,15 +2,21 @@
 //!
 //! For each keyword we store the Dewey-ordered list of elements that
 //! *directly* contain the keyword, with its term frequency in that
-//! element's own text. A search structure over each list (here: binary
-//! search over the sorted vector, standing in for the B-tree the paper
-//! builds on top of each list) answers:
+//! element's own text. Lists are held block-compressed
+//! ([`crate::postings::BlockList`]); consumers stream them through
+//! [`PostingCursor`]s, whose per-block skip metadata answers:
 //!
 //! * point probes — does element `e` directly contain `k`?
 //! * subtree range probes — aggregate tf of `k` anywhere under `e`
-//!   (descendant postings are contiguous because the lists are in Dewey
-//!   order).
+//!   (`seek` to `e`, then a bounded scan: descendant postings are
+//!   contiguous because the lists are in Dewey order).
+//!
+//! Scan work is charged when a cursor *consumes* postings, not when a
+//! list is opened, so the counters reflect what queries actually read.
 
+use crate::cursor::{PostingCursor, ScanCounters};
+use crate::footprint::{Footprint, IndexFootprint};
+use crate::postings::BlockList;
 use crate::tokenize::token_counts;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -28,18 +34,25 @@ pub struct Posting {
 /// Work counters for experiments (I/O-cost proxy).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct InvertedIndexStats {
-    /// Number of lookup/range calls.
+    /// Number of lookup/range calls (list opens).
     pub lookups: u64,
-    /// Total postings touched.
+    /// Postings decoded by cursor consumption.
     pub postings_scanned: u64,
+    /// Compressed blocks `seek` skipped without decoding.
+    pub blocks_skipped: u64,
+    /// Compressed bytes decoded.
+    pub bytes_decoded: u64,
 }
 
-/// The corpus-wide inverted keyword index.
+/// The corpus-wide inverted keyword index (block-compressed lists).
 #[derive(Debug, Default)]
 pub struct InvertedIndex {
-    lists: HashMap<String, Vec<Posting>>,
+    lists: HashMap<String, BlockList>,
+    /// Raw postings staged by [`Self::add_document`] until
+    /// [`Self::finalize`] sorts and compresses them.
+    staging: HashMap<String, Vec<Posting>>,
     lookups: AtomicU64,
-    postings_scanned: AtomicU64,
+    scan: ScanCounters,
 }
 
 impl InvertedIndex {
@@ -47,19 +60,26 @@ impl InvertedIndex {
     pub fn build(corpus: &Corpus) -> Self {
         let mut idx = InvertedIndex::default();
         for doc in corpus.docs() {
-            idx.add_document(doc);
+            idx.stage_document(doc);
         }
         idx.finalize();
         idx
     }
 
-    /// Index one document's text content.
+    /// Index one document's text content. The index is immediately
+    /// queryable afterwards (bulk loads go through [`Self::build`],
+    /// which compresses once at the end instead of per document).
     pub fn add_document(&mut self, doc: &Document) {
+        self.stage_document(doc);
+        self.finalize();
+    }
+
+    fn stage_document(&mut self, doc: &Document) {
         for node_id in doc.iter() {
             let node = doc.node(node_id);
             let Some(text) = &node.text else { continue };
             for (token, count) in token_counts(text) {
-                self.lists
+                self.staging
                     .entry(token)
                     .or_default()
                     .push(Posting { id: node.dewey.clone(), tf: count });
@@ -67,45 +87,67 @@ impl InvertedIndex {
         }
     }
 
-    /// Sort every list in Dewey order (documents may interleave ordinals).
+    /// Merge staged postings into the compressed lists, in Dewey order
+    /// (documents may interleave ordinals). Idempotent; [`Self::build`]
+    /// and [`Self::add_document`] call it for you.
     pub fn finalize(&mut self) {
-        for list in self.lists.values_mut() {
-            list.sort_by(|a, b| a.id.cmp(&b.id));
+        for (token, staged) in self.staging.drain() {
+            let mut entries: Vec<(DeweyId, u32)> = match self.lists.remove(&token) {
+                Some(existing) => existing.decode_all(),
+                None => Vec::new(),
+            };
+            entries.extend(staged.into_iter().map(|p| (p.id, p.tf)));
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            self.lists.insert(token, BlockList::encode(&entries));
         }
     }
 
-    /// The full posting list for a keyword (lowercased token form), in
-    /// Dewey order. Empty slice if the keyword never occurs.
-    pub fn postings(&self, keyword: &str) -> &[Posting] {
-        self.lookups.fetch_add(1, Ordering::Relaxed);
-        let list = self.lists.get(keyword).map(|v| v.as_slice()).unwrap_or(&[]);
-        self.postings_scanned.fetch_add(list.len() as u64, Ordering::Relaxed);
-        list
+    /// Rebuild an index directly from compressed lists (persistence).
+    pub(crate) fn from_lists(lists: HashMap<String, BlockList>) -> Self {
+        InvertedIndex { lists, ..InvertedIndex::default() }
     }
 
-    /// Document frequency: number of elements directly containing `keyword`.
+    /// The compressed lists (persistence).
+    pub(crate) fn lists(&self) -> &HashMap<String, BlockList> {
+        debug_assert!(self.staging.is_empty(), "finalize before serializing");
+        &self.lists
+    }
+
+    /// Open a streaming cursor over a keyword's posting list (lowercased
+    /// token form), in Dewey order. Counts one lookup; scan work is
+    /// charged as the cursor is consumed. The cursor is empty if the
+    /// keyword never occurs.
+    pub fn postings(&self, keyword: &str) -> PostingsCursor<'_> {
+        debug_assert!(self.staging.is_empty(), "finalize before probing");
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        PostingsCursor { inner: self.lists.get(keyword).map(|l| l.cursor(Some(&self.scan))) }
+    }
+
+    /// Document frequency: number of elements directly containing
+    /// `keyword`. Counts one lookup (the length lives in list metadata;
+    /// no postings are decoded).
     pub fn list_len(&self, keyword: &str) -> usize {
-        self.lists.get(keyword).map(|v| v.len()).unwrap_or(0)
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.lists.get(keyword).map(|l| l.len() as usize).unwrap_or(0)
     }
 
     /// Aggregate term frequency of `keyword` in the subtree rooted at the
-    /// element with Dewey ID `root` (inclusive) — a binary-search range
-    /// probe, O(log n + occurrences).
+    /// element with Dewey ID `root` (inclusive) — a `seek` over the block
+    /// directory plus a bounded scan of the qualifying range.
     pub fn subtree_tf(&self, keyword: &str, root: &DeweyId) -> u32 {
+        debug_assert!(self.staging.is_empty(), "finalize before probing");
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let Some(list) = self.lists.get(keyword) else { return 0 };
-        let lo = list.partition_point(|p| p.id < *root);
-        let hi_bound = root.subtree_upper_bound();
+        let mut cur = list.cursor(Some(&self.scan));
+        cur.seek_raw(root);
+        let hi = root.subtree_upper_bound();
         let mut total = 0;
-        let mut scanned = 0u64;
-        for p in &list[lo..] {
-            if p.id >= hi_bound {
+        while let Some((id, tf)) = cur.next_raw() {
+            if id >= hi {
                 break;
             }
-            scanned += 1;
-            total += p.tf;
+            total += tf;
         }
-        self.postings_scanned.fetch_add(scanned, Ordering::Relaxed);
         total
     }
 
@@ -123,28 +165,54 @@ impl InvertedIndex {
     pub fn stats(&self) -> InvertedIndexStats {
         InvertedIndexStats {
             lookups: self.lookups.load(Ordering::Relaxed),
-            postings_scanned: self.postings_scanned.load(Ordering::Relaxed),
+            postings_scanned: self.scan.entries.load(Ordering::Relaxed),
+            blocks_skipped: self.scan.blocks_skipped.load(Ordering::Relaxed),
+            bytes_decoded: self.scan.bytes_decoded.load(Ordering::Relaxed),
         }
     }
 
     /// Reset the work counters.
     pub fn reset_stats(&self) {
         self.lookups.store(0, Ordering::Relaxed);
-        self.postings_scanned.store(0, Ordering::Relaxed);
+        self.scan.reset();
+    }
+}
+
+impl IndexFootprint for InvertedIndex {
+    fn footprint(&self) -> Footprint {
+        let mut fp = Footprint::default();
+        for (k, l) in &self.lists {
+            fp.compressed_bytes += k.len() as u64 + l.compressed_bytes();
+            fp.uncompressed_bytes += k.len() as u64 + l.uncompressed_bytes();
+            fp.entries += l.len();
+        }
+        fp
+    }
+}
+
+/// [`PostingCursor`] over one keyword's compressed list.
+#[derive(Debug)]
+pub struct PostingsCursor<'a> {
+    inner: Option<crate::postings::BlockCursor<'a>>,
+}
+
+impl PostingCursor for PostingsCursor<'_> {
+    fn next(&mut self) -> Option<Posting> {
+        let (id, tf) = self.inner.as_mut()?.next_raw()?;
+        Some(Posting { id, tf })
     }
 
-    /// Approximate in-memory size, in bytes.
-    pub fn approx_byte_size(&self) -> u64 {
-        self.lists
-            .iter()
-            .map(|(k, l)| k.len() as u64 + l.iter().map(|p| 4 * p.id.len() as u64 + 4).sum::<u64>())
-            .sum()
+    fn seek(&mut self, target: &DeweyId) {
+        if let Some(c) = self.inner.as_mut() {
+            c.seek_raw(target);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cursor::collect_postings;
 
     fn corpus() -> Corpus {
         let mut c = Corpus::new();
@@ -163,13 +231,13 @@ mod tests {
     #[test]
     fn postings_record_direct_containment_with_tf() {
         let idx = InvertedIndex::build(&corpus());
-        let xml = idx.postings("xml");
+        let xml = collect_postings(idx.postings("xml"));
         assert_eq!(xml.len(), 2);
         assert_eq!(xml[0].id.to_string(), "1.1.1");
         assert_eq!(xml[0].tf, 1);
         assert_eq!(xml[1].id.to_string(), "1.1.2.1");
         assert_eq!(xml[1].tf, 1);
-        let search = idx.postings("search");
+        let search = collect_postings(idx.postings("search"));
         assert_eq!(search.len(), 1);
         assert_eq!(search[0].tf, 2);
     }
@@ -206,19 +274,47 @@ mod tests {
     #[test]
     fn unknown_keyword_is_empty() {
         let idx = InvertedIndex::build(&corpus());
-        assert!(idx.postings("nonexistent").is_empty());
+        assert!(collect_postings(idx.postings("nonexistent")).is_empty());
         assert_eq!(idx.subtree_tf("nonexistent", &"1".parse().unwrap()), 0);
         assert!(!idx.contains_in_subtree("nonexistent", &"1".parse().unwrap()));
     }
 
     #[test]
-    fn stats_count_work() {
+    fn stats_charge_scans_at_consumption() {
         let idx = InvertedIndex::build(&corpus());
         idx.reset_stats();
-        idx.postings("xml");
+        // Opening a cursor counts a lookup but scans nothing...
+        let mut cur = idx.postings("xml");
+        assert_eq!(idx.stats().lookups, 1);
+        assert_eq!(idx.stats().postings_scanned, 0);
+        // ...consuming one posting scans exactly one.
+        cur.next().unwrap();
+        assert_eq!(idx.stats().postings_scanned, 1);
+        drop(cur);
         idx.subtree_tf("search", &"1".parse().unwrap());
         let s = idx.stats();
         assert_eq!(s.lookups, 2);
-        assert!(s.postings_scanned >= 3);
+        assert!(s.postings_scanned >= 2);
+        assert!(s.bytes_decoded > 0);
+    }
+
+    #[test]
+    fn list_len_counts_a_lookup() {
+        let idx = InvertedIndex::build(&corpus());
+        idx.reset_stats();
+        assert_eq!(idx.list_len("xml"), 2);
+        assert_eq!(idx.list_len("nonexistent"), 0);
+        let s = idx.stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.postings_scanned, 0, "length probes decode nothing");
+    }
+
+    #[test]
+    fn footprint_reports_both_representations() {
+        let idx = InvertedIndex::build(&corpus());
+        let fp = idx.footprint();
+        assert!(fp.entries > 0);
+        assert!(fp.compressed_bytes > 0);
+        assert!(fp.uncompressed_bytes >= fp.entries * 8);
     }
 }

@@ -2,26 +2,51 @@
 //! # vxv-index — index substrate
 //!
 //! The two index families the paper's PDT-generation phase consumes
-//! (Fig. 3's "Structure (Path/Tag) Indices" and "Inverted List Indices"):
+//! (Fig. 3's "Structure (Path/Tag) Indices" and "Inverted List Indices"),
+//! stored block-compressed and consumed through streaming cursors:
 //!
-//! * [`PathIndex`] — the (Path, Value) table of Fig. 5, probed by path
-//!   prefix or composite key; supplies Dewey IDs, atomic values, and byte
-//!   lengths without touching base documents.
+//! * [`PathIndex`] — the (Path, Value) table of Fig. 5. The engine plans
+//!   probes with [`PathIndex::select_rows`] (predicates evaluated once
+//!   per row key) and streams the selected rows through [`EntryCursor`]s;
+//!   Dewey IDs, atomic values, and byte lengths all come from the index,
+//!   never from base documents.
 //! * [`InvertedIndex`] — per-keyword Dewey-ordered posting lists of
-//!   Fig. 4(b), with point and subtree-range tf probes.
+//!   Fig. 4(b), opened as [`PostingCursor`]s with `seek` + bounded scans
+//!   for subtree-range tf probes.
 //! * [`TagIndex`] — plain per-tag element streams, the access path of the
 //!   structural-join (GTP+TermJoin) comparison system.
 //!
-//! All indices carry work counters so the experiments can report probe
-//! costs.
+//! The probe → cursor contract is defined in [`cursor`]; the
+//! delta-varint block format (with per-block min/max skip metadata) in
+//! [`postings`]; sizes are reported uniformly via [`IndexFootprint`];
+//! and [`persist::IndexBundle`] serializes both indices plus a document
+//! catalog so a cold engine opens them from disk instead of rebuilding
+//! from the corpus.
+//!
+//! All indices carry work counters — charged when cursors *consume*
+//! entries, not when lists are opened — so the experiments can report
+//! probe costs.
 
+pub mod cursor;
+pub mod footprint;
 pub mod inverted;
 pub mod path_index;
 pub mod pattern;
+pub mod persist;
+pub mod postings;
 pub mod tag_index;
 pub mod tokenize;
 
-pub use inverted::{InvertedIndex, InvertedIndexStats, Posting};
-pub use path_index::{IdEntry, PathIndex, PathIndexStats, ProbeResult, ValuePredicate};
+pub use cursor::{
+    collect_entries, collect_postings, EntryCursor, PostingCursor, ScanCounters, SliceEntryCursor,
+    SlicePostingCursor,
+};
+pub use footprint::{Footprint, IndexFootprint};
+pub use inverted::{InvertedIndex, InvertedIndexStats, Posting, PostingsCursor};
+pub use path_index::{
+    IdEntry, PathIndex, PathIndexStats, PlannedRow, ProbeResult, RowCursor, ValuePredicate,
+};
 pub use pattern::{Axis, PathPattern, Step};
+pub use persist::{DocInfo, IndexBundle, PersistError};
+pub use postings::{BlockCursor, BlockList, DEFAULT_BLOCK_ENTRIES};
 pub use tag_index::TagIndex;

@@ -1,9 +1,11 @@
 //! The Path-Values index (paper Fig. 5).
 //!
-//! One row per unique *(Path, Value)* pair; each row stores the sorted list
-//! of Dewey IDs of elements on that path with that atomic value (elements
-//! without an atomic value go into the row with a `None` value). A B-tree
-//! over the composite `(Path, Value)` key supports:
+//! One row per unique *(Path, Value)* pair; each row stores the sorted
+//! list of Dewey IDs of elements on that path with that atomic value
+//! (elements without an atomic value go into the row with a `None`
+//! value), block-compressed ([`crate::postings::BlockList`]) with the
+//! element's subtree byte length as the per-entry payload. A B-tree over
+//! the composite `(Path, Value)` key supports:
 //!
 //! * exact probes `(path, 'Jane')` for equality predicates,
 //! * prefix scans by `path` alone (retrieving *all* rows for the path,
@@ -12,11 +14,23 @@
 //! * range filtering for `<`/`>` predicates.
 //!
 //! Patterns with `//` axes are expanded against the *path dictionary* of
-//! distinct full data paths, and per-path lists are merged in Dewey order.
+//! distinct full data paths.
+//!
+//! Probing has two shapes. [`PathIndex::lookup`] materializes a merged
+//! [`ProbeResult`] (legacy/diagnostic path). The engine instead calls
+//! [`PathIndex::select_rows`], which evaluates value predicates **once
+//! per row** (values live in the key, so this is row metadata, not a
+//! scan) and returns [`PlannedRow`] handles; entries are only decoded
+//! when the returned rows' [`EntryCursor`]s are consumed by the PDT
+//! merge, and that consumption is what the work counters charge.
 
+use crate::cursor::{EntryCursor, ScanCounters};
+use crate::footprint::{Footprint, IndexFootprint};
 use crate::pattern::PathPattern;
+use crate::postings::{BlockCursor, BlockList};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use vxv_xml::value::compare_atomic;
 use vxv_xml::{Corpus, DeweyId, Document};
 
@@ -54,27 +68,32 @@ impl ValuePredicate {
     }
 }
 
-/// The result of a probe: Dewey-ordered entries, each optionally carrying
-/// the element's atomic value.
+/// The result of a materialized probe: Dewey-ordered entries, each
+/// optionally carrying the element's atomic value.
 pub type ProbeResult = Vec<(IdEntry, Option<String>)>;
 
 #[derive(Clone, Debug, Default)]
 struct PathRows {
     /// Rows keyed by value; `None` collects elements without atomic values.
-    /// Each row's ID list is sorted in Dewey (document) order.
-    rows: BTreeMap<Option<String>, Vec<IdEntry>>,
+    /// Each row's ID list is compressed, in Dewey (document) order.
+    rows: BTreeMap<Option<String>, Arc<BlockList>>,
 }
 
 /// Counters exposing how much work probes performed (an I/O-cost proxy for
 /// the experiments).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PathIndexStats {
-    /// Number of `lookup_*` calls.
+    /// Number of `lookup`/`scan_path`/`select_rows` calls.
     pub probes: u64,
-    /// Number of (Path, Value) rows read.
+    /// Number of (Path, Value) rows read or selected.
     pub rows_read: u64,
-    /// Number of ID entries returned.
+    /// Number of ID entries decoded (cursor consumption or materialized
+    /// probes).
     pub entries_returned: u64,
+    /// Compressed blocks skipped by cursor seeks.
+    pub blocks_skipped: u64,
+    /// Compressed bytes decoded.
+    pub bytes_decoded: u64,
 }
 
 /// The corpus-wide Path-Values index.
@@ -84,9 +103,13 @@ pub struct PathIndex {
     paths: Vec<String>,
     path_ids: HashMap<String, u32>,
     tables: Vec<PathRows>,
+    /// Raw rows staged per path until [`Self::finalize`] compresses them.
+    staging: Vec<BTreeMap<Option<String>, Vec<IdEntry>>>,
     probes: AtomicU64,
     rows_read: AtomicU64,
-    entries_returned: AtomicU64,
+    /// Shared with [`PlannedRow`]s so detached cursor plans still charge
+    /// their consumption here.
+    scan: Arc<ScanCounters>,
 }
 
 impl PathIndex {
@@ -94,13 +117,20 @@ impl PathIndex {
     pub fn build(corpus: &Corpus) -> Self {
         let mut idx = PathIndex::default();
         for doc in corpus.docs() {
-            idx.add_document(doc);
+            idx.stage_document(doc);
         }
+        idx.finalize();
         idx
     }
 
-    /// Index a single document (exposed for incremental tests).
+    /// Index a single document (exposed for incremental tests). The
+    /// index is immediately queryable afterwards.
     pub fn add_document(&mut self, doc: &Document) {
+        self.stage_document(doc);
+        self.finalize();
+    }
+
+    fn stage_document(&mut self, doc: &Document) {
         let Some(root) = doc.root() else { return };
         // Walk in document order, maintaining the current path string.
         let mut path_stack: Vec<u32> = Vec::new();
@@ -124,12 +154,23 @@ impl PathIndex {
 
             let value = node.text.clone();
             let entry = IdEntry { id: node.dewey.clone(), byte_len: node.byte_len };
-            self.tables[pid as usize].rows.entry(value).or_default().push(entry);
+            self.staging[pid as usize].entry(value).or_default().push(entry);
         }
-        // Re-sort rows: multiple documents may interleave ordinals.
-        for t in &mut self.tables {
-            for row in t.rows.values_mut() {
-                row.sort_by(|a, b| a.id.cmp(&b.id));
+    }
+
+    /// Compress staged rows into the tables, re-sorting rows that already
+    /// exist (multiple documents may interleave ordinals).
+    fn finalize(&mut self) {
+        for (pid, staged) in self.staging.iter_mut().enumerate() {
+            for (value, new_entries) in std::mem::take(staged) {
+                let table = &mut self.tables[pid];
+                let mut entries: Vec<(DeweyId, u32)> = match table.rows.remove(&value) {
+                    Some(existing) => existing.decode_all(),
+                    None => Vec::new(),
+                };
+                entries.extend(new_entries.into_iter().map(|e| (e.id, e.byte_len)));
+                entries.sort_by(|a, b| a.0.cmp(&b.0));
+                table.rows.insert(value, Arc::new(BlockList::encode(&entries)));
             }
         }
     }
@@ -142,7 +183,30 @@ impl PathIndex {
         self.paths.push(path.to_string());
         self.path_ids.insert(path.to_string(), id);
         self.tables.push(PathRows::default());
+        self.staging.push(BTreeMap::new());
         id
+    }
+
+    /// Rebuild an index from its parts (persistence).
+    pub(crate) fn from_parts(
+        paths: Vec<String>,
+        tables_rows: Vec<Vec<(Option<String>, BlockList)>>,
+    ) -> Self {
+        let path_ids =
+            paths.iter().enumerate().map(|(i, p)| (p.clone(), i as u32)).collect::<HashMap<_, _>>();
+        let tables = tables_rows
+            .into_iter()
+            .map(|rows| PathRows {
+                rows: rows.into_iter().map(|(v, l)| (v, Arc::new(l))).collect(),
+            })
+            .collect::<Vec<_>>();
+        let staging = vec![BTreeMap::new(); tables.len()];
+        PathIndex { paths, path_ids, tables, staging, ..PathIndex::default() }
+    }
+
+    /// The per-path rows (persistence).
+    pub(crate) fn rows_of(&self, pid: u32) -> impl Iterator<Item = (&Option<String>, &BlockList)> {
+        self.tables[pid as usize].rows.iter().map(|(v, l)| (v, l.as_ref()))
     }
 
     /// Distinct full data paths in the dictionary.
@@ -160,74 +224,100 @@ impl PathIndex {
     /// `LookUpID(p)` of Fig. 7: all element IDs on paths matching `pattern`
     /// that satisfy every predicate in `preds`, merged in Dewey order.
     /// Values are returned too when present — the index stores them in the
-    /// key, so they are free.
+    /// key, so they are free. Materializes the result; the engine's PDT
+    /// path uses [`Self::select_rows`] instead.
     pub fn lookup(&self, pattern: &PathPattern, preds: &[ValuePredicate]) -> ProbeResult {
         self.probes.fetch_add(1, Ordering::Relaxed);
-        let mut lists: Vec<ProbeResult> = Vec::new();
+        let mut out: ProbeResult = Vec::new();
         for pid in self.expand_pattern(pattern) {
-            lists.push(self.scan_rows(pid, preds));
+            for row in self.matching_rows(pid, preds) {
+                out.extend(
+                    row.list
+                        .decode_all()
+                        .into_iter()
+                        .map(|(id, byte_len)| (IdEntry { id, byte_len }, row.value.clone())),
+                );
+            }
         }
-        let merged = merge_dewey_ordered(lists);
-        self.entries_returned.fetch_add(merged.len() as u64, Ordering::Relaxed);
-        merged
+        out.sort_by(|a, b| a.0.id.cmp(&b.0.id));
+        self.scan.add_entries(out.len() as u64);
+        out
     }
 
-    /// Probe a single full data path (by dictionary id) under predicates.
-    /// Exposed so PDT generation can keep per-path provenance (which full
-    /// path produced each entry) for QPT-node alignment.
+    /// Probe a single full data path (by dictionary id) under predicates,
+    /// materializing the result.
     pub fn scan_path(&self, path_id: u32, preds: &[ValuePredicate]) -> ProbeResult {
         self.probes.fetch_add(1, Ordering::Relaxed);
-        let out = self.scan_rows(path_id, preds);
-        self.entries_returned.fetch_add(out.len() as u64, Ordering::Relaxed);
+        let mut out: ProbeResult = Vec::new();
+        for row in self.matching_rows(path_id, preds) {
+            out.extend(
+                row.list
+                    .decode_all()
+                    .into_iter()
+                    .map(|(id, byte_len)| (IdEntry { id, byte_len }, row.value.clone())),
+            );
+        }
+        out.sort_by(|a, b| a.0.id.cmp(&b.0.id));
+        self.scan.add_entries(out.len() as u64);
+        out
+    }
+
+    /// Select the rows of one full data path whose value satisfies every
+    /// predicate — the probe the engine plans against. Row selection is
+    /// key-level work (counted in `rows_read`); the entries themselves
+    /// stay compressed until the returned rows' cursors are consumed.
+    pub fn select_rows(&self, path_id: u32, preds: &[ValuePredicate]) -> Vec<PlannedRow> {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        self.matching_rows(path_id, preds)
+    }
+
+    /// Shared row-selection logic: equality probes hit the composite
+    /// (Path, Value) key directly (a point lookup); everything else walks
+    /// the path's row keys.
+    fn matching_rows(&self, pid: u32, preds: &[ValuePredicate]) -> Vec<PlannedRow> {
+        let table = &self.tables[pid as usize];
+        let mut out: Vec<PlannedRow> = Vec::new();
+        let mut push = |value: &Option<String>, list: &Arc<BlockList>| {
+            self.rows_read.fetch_add(1, Ordering::Relaxed);
+            out.push(PlannedRow {
+                path_id: pid,
+                value: value.clone(),
+                list: Arc::clone(list),
+                counters: Arc::clone(&self.scan),
+            });
+        };
+        if let [ValuePredicate::Eq(v)] = preds {
+            if let Some(row) = table.rows.get(&Some(v.clone())) {
+                push(&Some(v.clone()), row);
+            }
+            // Numeric aliases ("07" = "7") require a key scan; only do it
+            // when the probe value is numeric.
+            if v.trim().parse::<f64>().is_ok() {
+                for (val, row) in &table.rows {
+                    let Some(vs) = val else { continue };
+                    if vs != v && ValuePredicate::Eq(v.clone()).eval(vs) {
+                        push(val, row);
+                    }
+                }
+            }
+            return out;
+        }
+        for (val, row) in &table.rows {
+            if preds.is_empty() {
+                push(val, row);
+            } else {
+                let Some(vs) = val else { continue };
+                if preds.iter().all(|p| p.eval(vs)) {
+                    push(val, row);
+                }
+            }
+        }
         out
     }
 
     /// The dictionary string for a path id.
     pub fn path_string(&self, path_id: u32) -> &str {
         &self.paths[path_id as usize]
-    }
-
-    fn scan_rows(&self, pid: u32, preds: &[ValuePredicate]) -> ProbeResult {
-        let table = &self.tables[pid as usize];
-        // Equality probes hit the composite (Path, Value) key directly —
-        // a point lookup, not a scan.
-        if let [ValuePredicate::Eq(v)] = preds {
-            let mut lists: Vec<ProbeResult> = Vec::new();
-            if let Some(row) = table.rows.get(&Some(v.clone())) {
-                self.rows_read.fetch_add(1, Ordering::Relaxed);
-                lists.push(row.iter().map(|e| (e.clone(), Some(v.clone()))).collect());
-            }
-            // Numeric aliases ("07" = "7") require a scan; only do it when
-            // the probe value is numeric.
-            if v.trim().parse::<f64>().is_ok() {
-                let mut extra: ProbeResult = Vec::new();
-                for (val, row) in &table.rows {
-                    let Some(val) = val else { continue };
-                    if val != v && ValuePredicate::Eq(v.clone()).eval(val) {
-                        self.rows_read.fetch_add(1, Ordering::Relaxed);
-                        extra.extend(row.iter().map(|e| (e.clone(), Some(val.clone()))));
-                    }
-                }
-                if !extra.is_empty() {
-                    lists.push(extra);
-                }
-            }
-            return merge_dewey_ordered(lists);
-        }
-        let mut out: ProbeResult = Vec::new();
-        for (val, row) in &table.rows {
-            self.rows_read.fetch_add(1, Ordering::Relaxed);
-            if preds.is_empty() {
-                out.extend(row.iter().map(|e| (e.clone(), val.clone())));
-            } else {
-                let Some(val) = val else { continue };
-                if preds.iter().all(|p| p.eval(val)) {
-                    out.extend(row.iter().map(|e| (e.clone(), Some(val.clone()))));
-                }
-            }
-        }
-        out.sort_by(|a, b| a.0.id.cmp(&b.0.id));
-        out
     }
 
     /// Convenience: IDs only.
@@ -240,7 +330,9 @@ impl PathIndex {
         PathIndexStats {
             probes: self.probes.load(Ordering::Relaxed),
             rows_read: self.rows_read.load(Ordering::Relaxed),
-            entries_returned: self.entries_returned.load(Ordering::Relaxed),
+            entries_returned: self.scan.entries.load(Ordering::Relaxed),
+            blocks_skipped: self.scan.blocks_skipped.load(Ordering::Relaxed),
+            bytes_decoded: self.scan.bytes_decoded.load(Ordering::Relaxed),
         }
     }
 
@@ -248,54 +340,97 @@ impl PathIndex {
     pub fn reset_stats(&self) {
         self.probes.store(0, Ordering::Relaxed);
         self.rows_read.store(0, Ordering::Relaxed);
-        self.entries_returned.store(0, Ordering::Relaxed);
-    }
-
-    /// Approximate in-memory size of the index, in bytes.
-    pub fn approx_byte_size(&self) -> u64 {
-        let mut total = 0u64;
-        for (p, t) in self.paths.iter().zip(&self.tables) {
-            total += p.len() as u64;
-            for (v, row) in &t.rows {
-                total += v.as_ref().map(|s| s.len() as u64).unwrap_or(0);
-                total += row.iter().map(|e| 4 * e.id.len() as u64 + 4).sum::<u64>();
-            }
-        }
-        total
+        self.scan.reset();
     }
 }
 
-/// K-way merge of Dewey-ordered lists.
-fn merge_dewey_ordered(mut lists: Vec<ProbeResult>) -> ProbeResult {
-    lists.retain(|l| !l.is_empty());
-    match lists.len() {
-        0 => Vec::new(),
-        1 => lists.pop().unwrap(),
-        _ => {
-            let total = lists.iter().map(|l| l.len()).sum();
-            let mut out: ProbeResult = Vec::with_capacity(total);
-            let mut cursors = vec![0usize; lists.len()];
-            loop {
-                let mut min: Option<usize> = None;
-                for (i, l) in lists.iter().enumerate() {
-                    if cursors[i] < l.len()
-                        && min
-                            .map(|m| l[cursors[i]].0.id < lists[m][cursors[m]].0.id)
-                            .unwrap_or(true)
-                    {
-                        min = Some(i);
-                    }
-                }
-                match min {
-                    Some(i) => {
-                        out.push(lists[i][cursors[i]].clone());
-                        cursors[i] += 1;
-                    }
-                    None => break,
-                }
+impl IndexFootprint for PathIndex {
+    fn footprint(&self) -> Footprint {
+        let mut fp = Footprint::default();
+        for (p, t) in self.paths.iter().zip(&self.tables) {
+            fp.compressed_bytes += p.len() as u64;
+            fp.uncompressed_bytes += p.len() as u64;
+            for (v, row) in &t.rows {
+                let key = v.as_ref().map(|s| s.len() as u64).unwrap_or(0);
+                fp.compressed_bytes += key + row.compressed_bytes();
+                fp.uncompressed_bytes += key + row.uncompressed_bytes();
+                fp.entries += row.len();
             }
-            out
         }
+        fp
+    }
+}
+
+/// One row selected by [`PathIndex::select_rows`]: a cheap, shareable
+/// handle into the index's compressed storage. The row's value applies
+/// to every entry (it is part of the composite key); entries are decoded
+/// only when a cursor opened from the handle is consumed, and that work
+/// is charged to the owning index's counters even after the index borrow
+/// ends.
+#[derive(Clone, Debug)]
+pub struct PlannedRow {
+    /// Dictionary id of the full data path this row belongs to.
+    pub path_id: u32,
+    /// The row's atomic value (`None` for non-leaf elements).
+    pub value: Option<String>,
+    list: Arc<BlockList>,
+    counters: Arc<ScanCounters>,
+}
+
+impl PlannedRow {
+    /// Total entries in the row (all documents).
+    pub fn len(&self) -> u64 {
+        self.list.len()
+    }
+
+    /// True when the row holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Entries with `lo <= id < hi`, from block metadata plus boundary
+    /// decodes (uncounted: this is plan introspection, not a probe).
+    pub fn count_range(&self, lo: &DeweyId, hi: &DeweyId) -> u64 {
+        self.list.count_range(lo, hi)
+    }
+
+    /// Open a cursor over the whole row.
+    pub fn cursor(&self) -> RowCursor<'_> {
+        RowCursor { inner: self.list.cursor(Some(&self.counters)), end: None }
+    }
+
+    /// Open a cursor restricted to the document with Dewey root
+    /// `root_ordinal`: seeks to the document's range and stops at its
+    /// end.
+    pub fn cursor_for_doc(&self, root_ordinal: u32) -> RowCursor<'_> {
+        let lo = DeweyId::root(root_ordinal);
+        let mut inner = self.list.cursor(Some(&self.counters));
+        inner.seek_raw(&lo);
+        RowCursor { inner, end: Some(lo.subtree_upper_bound()) }
+    }
+}
+
+/// [`EntryCursor`] over one compressed row, optionally bounded.
+#[derive(Debug)]
+pub struct RowCursor<'a> {
+    inner: BlockCursor<'a>,
+    end: Option<DeweyId>,
+}
+
+impl EntryCursor for RowCursor<'_> {
+    fn next(&mut self) -> Option<IdEntry> {
+        let (id, _) = self.inner.peek()?;
+        if let Some(end) = &self.end {
+            if *id >= *end {
+                return None;
+            }
+        }
+        let (id, byte_len) = self.inner.next_raw()?;
+        Some(IdEntry { id, byte_len })
+    }
+
+    fn seek(&mut self, target: &DeweyId) {
+        self.inner.seek_raw(target);
     }
 }
 
@@ -411,5 +546,71 @@ mod tests {
         sorted.sort();
         assert_eq!(ids, sorted);
         assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn incremental_add_document_matches_bulk_build() {
+        let c = {
+            let mut c = corpus();
+            c.add_parsed("more.xml", "<books><book><isbn>999</isbn></book></books>").unwrap();
+            c
+        };
+        let bulk = PathIndex::build(&c);
+        let mut incr = PathIndex::default();
+        for doc in c.docs() {
+            incr.add_document(doc);
+        }
+        let p = pat("/books//book/isbn");
+        assert_eq!(bulk.lookup(&p, &[]), incr.lookup(&p, &[]));
+    }
+
+    #[test]
+    fn selected_rows_stream_the_same_entries_lookup_materializes() {
+        use crate::cursor::collect_entries;
+        let idx = PathIndex::build(&corpus());
+        let pid = idx.expand_pattern(&pat("/books/book/year"))[0];
+        let pred = [ValuePredicate::Gt("1995".into())];
+        let materialized = idx.scan_path(pid, &pred);
+        let mut streamed: Vec<(IdEntry, Option<String>)> = Vec::new();
+        for row in idx.select_rows(pid, &pred) {
+            for e in collect_entries(row.cursor()) {
+                streamed.push((e, row.value.clone()));
+            }
+        }
+        streamed.sort_by(|a, b| a.0.id.cmp(&b.0.id));
+        assert_eq!(materialized, streamed);
+    }
+
+    #[test]
+    fn consumption_is_charged_even_after_the_borrow_ends() {
+        let idx = PathIndex::build(&corpus());
+        let pid = idx.expand_pattern(&pat("/books/book/isbn"))[0];
+        let rows = idx.select_rows(pid, &[]);
+        idx.reset_stats();
+        for row in &rows {
+            let mut cur = row.cursor_for_doc(1);
+            while EntryCursor::next(&mut cur).is_some() {}
+        }
+        assert!(idx.stats().entries_returned >= 2, "stats: {:?}", idx.stats());
+    }
+
+    #[test]
+    fn doc_bounded_cursor_stays_inside_the_document() {
+        let mut c = corpus();
+        c.add_parsed("more.xml", "<books><book><isbn>999</isbn></book></books>").unwrap();
+        let idx = PathIndex::build(&c);
+        let pid = idx.expand_pattern(&pat("/books/book/isbn"))[0];
+        for row in idx.select_rows(pid, &[]) {
+            let mut cur = row.cursor_for_doc(2);
+            let mut seen = Vec::new();
+            while let Some(e) = EntryCursor::next(&mut cur) {
+                seen.push(e.id.to_string());
+            }
+            if row.value.as_deref() == Some("999") {
+                assert_eq!(seen, vec!["2.1.1"]);
+            } else {
+                assert!(seen.is_empty(), "doc-1 row leaked into doc 2: {seen:?}");
+            }
+        }
     }
 }

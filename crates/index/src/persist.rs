@@ -1,0 +1,393 @@
+//! On-disk persistence for the index layer.
+//!
+//! An [`IndexBundle`] packages everything a cold engine needs to answer
+//! searches without re-tokenizing or re-walking base documents: the
+//! block-compressed [`PathIndex`] and [`InvertedIndex`], plus a small
+//! document catalog (name, root tag, root ordinal — schema-level
+//! metadata the prepare phase consults). [`IndexBundle::save`] writes a
+//! single `indices.vxi` file next to the document storage;
+//! [`IndexBundle::load`] reads it back, reconstructing the compressed
+//! lists byte-for-byte — the in-memory block format *is* the disk
+//! format, so loading copies buffers without re-encoding.
+//!
+//! ## File format (`indices.vxi`, little-endian)
+//!
+//! ```text
+//! magic  "VXVIDX01"
+//! u32    doc count          { str name, str root_tag, u32 ordinal }*
+//! u32    keyword count      { str token, blocklist }*
+//! u32    path count         { str path }*
+//! per path: u32 row count   { u8 has_value, [str value], blocklist }*
+//!
+//! blocklist := u64 entry_count, u64 uncompressed_bytes,
+//!              u64 data_len, data bytes,
+//!              u32 block count { u32 offset, u32 count, dewey max }*
+//!              (block count is 0 for single-block lists: the data is
+//!              one implicit block of entry_count entries)
+//! dewey     := u32 component count, u32* components
+//! str       := u32 byte length, utf-8 bytes
+//! ```
+
+use crate::inverted::InvertedIndex;
+use crate::path_index::PathIndex;
+use crate::postings::{BlockList, BlockMeta};
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use vxv_xml::{Corpus, DeweyId};
+
+const MAGIC: &[u8; 8] = b"VXVIDX01";
+
+/// The file name [`IndexBundle::save`] writes inside the store directory.
+pub const INDEX_FILE: &str = "indices.vxi";
+
+/// Catalog metadata for one indexed document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DocInfo {
+    /// The document's name (the `fn:doc(...)` key).
+    pub name: String,
+    /// Tag of the document's root element.
+    pub root_tag: String,
+    /// The document's Dewey root ordinal.
+    pub root_ordinal: u32,
+}
+
+/// Both indices plus the document catalog — everything a cold engine
+/// opens from disk.
+#[derive(Debug)]
+pub struct IndexBundle {
+    /// The (Path, Value) index.
+    pub path_index: PathIndex,
+    /// The keyword inverted index.
+    pub inverted: InvertedIndex,
+    /// Per-document catalog metadata, in corpus order.
+    pub docs: Vec<DocInfo>,
+}
+
+impl IndexBundle {
+    /// Build both indices and the catalog from an in-memory corpus.
+    pub fn build(corpus: &Corpus) -> IndexBundle {
+        let docs = corpus
+            .docs()
+            .filter_map(|d| {
+                let root = d.root()?;
+                Some(DocInfo {
+                    name: d.name().to_string(),
+                    root_tag: d.node_tag(root).to_string(),
+                    root_ordinal: d.node(root).dewey.components()[0],
+                })
+            })
+            .collect();
+        IndexBundle {
+            path_index: PathIndex::build(corpus),
+            inverted: InvertedIndex::build(corpus),
+            docs,
+        }
+    }
+
+    /// Wrap pre-built parts.
+    pub fn from_parts(
+        path_index: PathIndex,
+        inverted: InvertedIndex,
+        docs: Vec<DocInfo>,
+    ) -> IndexBundle {
+        IndexBundle { path_index, inverted, docs }
+    }
+
+    /// Serialize into `dir/indices.vxi` (directory created if needed).
+    /// Returns the written path.
+    pub fn save(&self, dir: &Path) -> io::Result<PathBuf> {
+        let mut out: Vec<u8> = Vec::new();
+        out.extend_from_slice(MAGIC);
+        write_u32(&mut out, self.docs.len() as u32);
+        for d in &self.docs {
+            write_str(&mut out, &d.name);
+            write_str(&mut out, &d.root_tag);
+            write_u32(&mut out, d.root_ordinal);
+        }
+        let lists = self.inverted.lists();
+        let mut tokens: Vec<&String> = lists.keys().collect();
+        tokens.sort();
+        write_u32(&mut out, tokens.len() as u32);
+        for t in tokens {
+            write_str(&mut out, t);
+            write_blocklist(&mut out, &lists[t]);
+        }
+        let paths: Vec<&str> = self.path_index.paths().collect();
+        write_u32(&mut out, paths.len() as u32);
+        for p in &paths {
+            write_str(&mut out, p);
+        }
+        for pid in 0..paths.len() as u32 {
+            let rows: Vec<_> = self.path_index.rows_of(pid).collect();
+            write_u32(&mut out, rows.len() as u32);
+            for (value, list) in rows {
+                match value {
+                    Some(v) => {
+                        out.push(1);
+                        write_str(&mut out, v);
+                    }
+                    None => out.push(0),
+                }
+                write_blocklist(&mut out, list);
+            }
+        }
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(INDEX_FILE);
+        std::fs::write(&path, &out)?;
+        Ok(path)
+    }
+
+    /// Load a bundle previously written by [`Self::save`] into `dir`.
+    pub fn load(dir: &Path) -> Result<IndexBundle, PersistError> {
+        let path = dir.join(INDEX_FILE);
+        let buf = std::fs::read(&path).map_err(PersistError::Io)?;
+        let mut r = Reader { buf: &buf, pos: 0 };
+        if r.take(MAGIC.len())? != MAGIC.as_slice() {
+            return Err(PersistError::bad("magic mismatch"));
+        }
+        let doc_count = r.u32()?;
+        let mut docs = Vec::with_capacity(doc_count as usize);
+        for _ in 0..doc_count {
+            docs.push(DocInfo { name: r.string()?, root_tag: r.string()?, root_ordinal: r.u32()? });
+        }
+        let kw_count = r.u32()?;
+        let mut lists = HashMap::with_capacity(kw_count as usize);
+        for _ in 0..kw_count {
+            let token = r.string()?;
+            lists.insert(token, r.blocklist()?);
+        }
+        let path_count = r.u32()?;
+        let mut paths = Vec::with_capacity(path_count as usize);
+        for _ in 0..path_count {
+            paths.push(r.string()?);
+        }
+        let mut tables = Vec::with_capacity(path_count as usize);
+        for _ in 0..path_count {
+            let row_count = r.u32()?;
+            let mut rows = Vec::with_capacity(row_count as usize);
+            for _ in 0..row_count {
+                let value = if r.u8()? == 1 { Some(r.string()?) } else { None };
+                rows.push((value, r.blocklist()?));
+            }
+            tables.push(rows);
+        }
+        if r.pos != buf.len() {
+            return Err(PersistError::bad("trailing bytes"));
+        }
+        Ok(IndexBundle {
+            path_index: PathIndex::from_parts(paths, tables),
+            inverted: InvertedIndex::from_lists(lists),
+            docs,
+        })
+    }
+}
+
+/// Errors while loading a persisted index bundle.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An operating-system I/O failure.
+    Io(io::Error),
+    /// The file is truncated or structurally invalid.
+    Corrupt(String),
+}
+
+impl PersistError {
+    fn bad(what: &str) -> Self {
+        PersistError::Corrupt(what.to_string())
+    }
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "index persistence I/O error: {e}"),
+            PersistError::Corrupt(w) => write!(f, "corrupt index file: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn write_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn write_dewey(out: &mut Vec<u8>, d: &DeweyId) {
+    write_u32(out, d.len() as u32);
+    for c in d.components() {
+        write_u32(out, *c);
+    }
+}
+
+fn write_blocklist(out: &mut Vec<u8>, list: &BlockList) {
+    write_u64(out, list.len);
+    write_u64(out, list.uncompressed);
+    write_u64(out, list.data.len() as u64);
+    out.extend_from_slice(&list.data);
+    write_u32(out, list.blocks.len() as u32);
+    for b in &list.blocks {
+        write_u32(out, b.offset);
+        write_u32(out, b.count);
+        write_dewey(out, &b.max);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.pos + n > self.buf.len() {
+            return Err(PersistError::bad("truncated file"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, PersistError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| PersistError::bad("non-utf8 string"))
+    }
+
+    fn dewey(&mut self) -> Result<DeweyId, PersistError> {
+        let n = self.u32()? as usize;
+        let mut comps = Vec::with_capacity(n);
+        for _ in 0..n {
+            comps.push(self.u32()?);
+        }
+        Ok(DeweyId::from_components(comps))
+    }
+
+    fn blocklist(&mut self) -> Result<BlockList, PersistError> {
+        let len = self.u64()?;
+        let uncompressed = self.u64()?;
+        let data_len = self.u64()? as usize;
+        let data = self.take(data_len)?.to_vec();
+        let block_count = self.u32()?;
+        let mut blocks = Vec::with_capacity(block_count as usize);
+        let mut decoded = 0u64;
+        for _ in 0..block_count {
+            let offset = self.u32()?;
+            let count = self.u32()?;
+            if offset as usize > data.len() {
+                return Err(PersistError::bad("block directory out of bounds"));
+            }
+            decoded += count as u64;
+            blocks.push(BlockMeta { offset, count, max: self.dewey()? });
+        }
+        if block_count > 0 && decoded != len {
+            return Err(PersistError::bad("directory entry count mismatch"));
+        }
+        let list = BlockList { data, blocks, len, uncompressed };
+        // Full bounds-checked decode: a corrupt-but-parseable list must
+        // fail here, not panic at query time.
+        if !list.validate() {
+            return Err(PersistError::bad("blocklist fails validation"));
+        }
+        Ok(list)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::collect_postings;
+    use crate::pattern::PathPattern;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("vxv-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        c.add_parsed(
+            "books.xml",
+            "<books><book><isbn>111</isbn><title>XML search</title><year>1996</year></book>\
+             <book><isbn>222</isbn><title>AI</title></book></books>",
+        )
+        .unwrap();
+        c.add_parsed("reviews.xml", "<reviews><review><isbn>111</isbn></review></reviews>")
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn bundle_round_trips_through_disk() {
+        let dir = tmpdir("roundtrip");
+        let c = corpus();
+        let bundle = IndexBundle::build(&c);
+        bundle.save(&dir).unwrap();
+        let loaded = IndexBundle::load(&dir).unwrap();
+
+        assert_eq!(loaded.docs, bundle.docs);
+        assert_eq!(loaded.docs[0].root_tag, "books");
+
+        // Inverted lists identical, keyword by keyword.
+        let mut kws: Vec<String> = bundle.inverted.keywords().map(|s| s.to_string()).collect();
+        kws.sort();
+        let mut loaded_kws: Vec<String> =
+            loaded.inverted.keywords().map(|s| s.to_string()).collect();
+        loaded_kws.sort();
+        assert_eq!(kws, loaded_kws);
+        for k in &kws {
+            assert_eq!(
+                collect_postings(bundle.inverted.postings(k)),
+                collect_postings(loaded.inverted.postings(k)),
+                "keyword {k}"
+            );
+        }
+
+        // Path probes identical.
+        let pat = PathPattern::parse("/books//book/isbn").unwrap();
+        assert_eq!(bundle.path_index.lookup(&pat, &[]), loaded.path_index.lookup(&pat, &[]));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_files_fail_cleanly() {
+        let dir = tmpdir("truncated");
+        let c = corpus();
+        let path = IndexBundle::build(&c).save(&dir).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(IndexBundle::load(&dir), Err(PersistError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let dir = tmpdir("missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(IndexBundle::load(&dir), Err(PersistError::Io(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,603 @@
+//! Block-compressed Dewey-ordered lists — the default posting storage.
+//!
+//! Both index families store the same shape of data: a Dewey-ordered
+//! sequence of `(DeweyId, u32)` pairs (tf for inverted postings, subtree
+//! byte length for path-index rows). [`BlockList`] holds such a sequence
+//! as fixed-size blocks of delta-varint-encoded entries with per-block
+//! skip metadata, following the disk-resident posting-list designs the
+//! EMBANKS line of work uses for keyword search over structured data.
+//!
+//! ## Block format
+//!
+//! Entries are grouped into blocks of [`DEFAULT_BLOCK_ENTRIES`] (the
+//! builder accepts other sizes for tests and experiments). Each block is
+//! encoded into a shared byte buffer:
+//!
+//! * the **first entry** of a block stores its Dewey ID in full:
+//!   `varint(component_count)` followed by one varint per component,
+//!   then `varint(payload)`;
+//! * every **subsequent entry** is delta-encoded against its
+//!   predecessor: `varint(lcp)` (shared prefix length in components),
+//!   `varint(suffix_len)`, the suffix components as varints, then
+//!   `varint(payload)`.
+//!
+//! Because sibling ordinals are small integers and consecutive IDs in
+//! document order share long prefixes, most entries cost a few bytes.
+//!
+//! The per-block directory (`BlockMeta`) keeps the block's byte
+//! `offset`, entry `count`, and **max Dewey ID** (its min is implied:
+//! strictly above the previous block's max). Lists that fit in a single
+//! block — the common case for path-index rows keyed by high-cardinality
+//! values — store **no directory at all**: the whole buffer is one
+//! implicit block, so a one-entry row costs only its few delta-encoded
+//! bytes. [`BlockCursor::seek_raw`] binary-searches the directory for
+//! the first block whose `max` is not below the target and decodes only
+//! from there — whole blocks before it are skipped, counted in
+//! [`ScanCounters::blocks_skipped`]. Max comparisons use Dewey component
+//! order, so `1.2 < 1.10` and prefix-vs-extension cases (`1.1` vs
+//! `1.10`) can never cause a qualifying entry to be skipped.
+
+use crate::cursor::ScanCounters;
+use vxv_xml::DeweyId;
+
+/// Default number of entries per compressed block.
+pub const DEFAULT_BLOCK_ENTRIES: usize = 32;
+
+/// Directory entry for one compressed block. A block's minimum ID is
+/// implied: it is strictly greater than the previous block's `max`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct BlockMeta {
+    /// Byte offset of the block in [`BlockList::data`].
+    pub(crate) offset: u32,
+    /// Entries in the block.
+    pub(crate) count: u32,
+    /// Dewey ID of the block's last entry.
+    pub(crate) max: DeweyId,
+}
+
+/// A block-compressed, Dewey-ordered list of `(DeweyId, u32)` entries.
+///
+/// `blocks` is empty for lists that fit in one block; the data buffer is
+/// then a single implicit block of `len` entries.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BlockList {
+    pub(crate) data: Vec<u8>,
+    pub(crate) blocks: Vec<BlockMeta>,
+    pub(crate) len: u64,
+    /// Bytes a materialized representation would occupy
+    /// (4 bytes per Dewey component + 4 payload bytes per entry).
+    pub(crate) uncompressed: u64,
+}
+
+impl BlockList {
+    /// Encode `entries` (already in Dewey order) with the default block
+    /// size.
+    pub fn encode(entries: &[(DeweyId, u32)]) -> BlockList {
+        Self::encode_with_block_size(entries, DEFAULT_BLOCK_ENTRIES)
+    }
+
+    /// As [`Self::encode`] with an explicit block size (tests force tiny
+    /// blocks to exercise boundary handling; experiments tune skip
+    /// granularity).
+    ///
+    /// # Panics
+    /// Panics if `block_entries` is zero or `entries` is not sorted.
+    pub fn encode_with_block_size(entries: &[(DeweyId, u32)], block_entries: usize) -> BlockList {
+        assert!(block_entries > 0, "block size must be positive");
+        let mut list = BlockList::default();
+        let single_block = entries.len() <= block_entries;
+        for chunk in entries.chunks(block_entries) {
+            let offset = list.data.len() as u32;
+            let mut prev: Option<&DeweyId> = None;
+            for (id, payload) in chunk {
+                if let Some(p) = prev {
+                    assert!(p <= id, "entries must be Dewey-ordered");
+                    let lcp = p.common_prefix_len(id);
+                    let suffix = &id.components()[lcp..];
+                    write_varint(&mut list.data, lcp as u64);
+                    write_varint(&mut list.data, suffix.len() as u64);
+                    for c in suffix {
+                        write_varint(&mut list.data, *c as u64);
+                    }
+                } else {
+                    write_varint(&mut list.data, id.len() as u64);
+                    for c in id.components() {
+                        write_varint(&mut list.data, *c as u64);
+                    }
+                }
+                write_varint(&mut list.data, *payload as u64);
+                list.uncompressed += 4 * id.len() as u64 + 4;
+                prev = Some(id);
+            }
+            // Single-block lists carry no directory: the buffer is one
+            // implicit block and tiny rows pay no skip-metadata tax.
+            if !single_block {
+                list.blocks.push(BlockMeta {
+                    offset,
+                    count: chunk.len() as u32,
+                    max: chunk[chunk.len() - 1].0.clone(),
+                });
+            }
+            list.len += chunk.len() as u64;
+        }
+        list
+    }
+
+    /// Number of physical blocks (directory entries, or one implicit
+    /// block for short lists).
+    fn total_blocks(&self) -> usize {
+        if self.blocks.is_empty() {
+            usize::from(self.len > 0)
+        } else {
+            self.blocks.len()
+        }
+    }
+
+    /// `(byte offset, entry count)` of block `b`.
+    fn block_bounds(&self, b: usize) -> (u32, u32) {
+        if self.blocks.is_empty() {
+            debug_assert_eq!(b, 0);
+            (0, self.len as u32)
+        } else {
+            (self.blocks[b].offset, self.blocks[b].count)
+        }
+    }
+
+    /// Total entries in the list.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the list has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Compressed bytes held (entry data plus directory).
+    pub fn compressed_bytes(&self) -> u64 {
+        let dir: u64 = self.blocks.iter().map(|b| 8 + 4 * b.max.len() as u64).sum();
+        self.data.len() as u64 + dir
+    }
+
+    /// Bytes a fully materialized representation would occupy.
+    pub fn uncompressed_bytes(&self) -> u64 {
+        self.uncompressed
+    }
+
+    /// Structurally validate the list with bounds-checked decoding:
+    /// every block starts where the directory says, every entry decodes
+    /// inside the buffer, IDs are Dewey-ordered, directory maxima match
+    /// the data, counts sum to `len`, and the buffer is fully consumed.
+    /// Persistence uses this to reject corrupt-but-parseable files
+    /// instead of panicking at query time.
+    pub fn validate(&self) -> bool {
+        self.validate_inner().is_some()
+    }
+
+    fn validate_inner(&self) -> Option<()> {
+        let mut pos = 0usize;
+        let mut decoded = 0u64;
+        let mut prev: Option<DeweyId> = None;
+        for b in 0..self.total_blocks() {
+            let (offset, count) = self.block_bounds(b);
+            if offset as usize != pos || count == 0 {
+                return None;
+            }
+            for i in 0..count {
+                let id = if i == 0 {
+                    let n = try_read_varint(&self.data, &mut pos)? as usize;
+                    let mut comps = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        comps.push(try_read_varint(&self.data, &mut pos)? as u32);
+                    }
+                    DeweyId::from_components(comps)
+                } else {
+                    let p = prev.as_ref()?;
+                    let lcp = try_read_varint(&self.data, &mut pos)? as usize;
+                    if lcp > p.len() {
+                        return None;
+                    }
+                    let suffix_len = try_read_varint(&self.data, &mut pos)? as usize;
+                    let mut comps = Vec::with_capacity(lcp + suffix_len);
+                    comps.extend_from_slice(&p.components()[..lcp]);
+                    for _ in 0..suffix_len {
+                        comps.push(try_read_varint(&self.data, &mut pos)? as u32);
+                    }
+                    DeweyId::from_components(comps)
+                };
+                try_read_varint(&self.data, &mut pos)?; // payload
+                if prev.as_ref().map(|p| *p > id).unwrap_or(false) {
+                    return None;
+                }
+                prev = Some(id);
+                decoded += 1;
+            }
+            if let Some(meta) = self.blocks.get(b) {
+                if Some(&meta.max) != prev.as_ref() {
+                    return None;
+                }
+            }
+        }
+        (pos == self.data.len() && decoded == self.len).then_some(())
+    }
+
+    /// Open a streaming cursor; consumption work is tallied into
+    /// `counters` when given.
+    pub fn cursor<'a>(&'a self, counters: Option<&'a ScanCounters>) -> BlockCursor<'a> {
+        BlockCursor {
+            list: self,
+            next_block: 0,
+            remaining: 0,
+            pos: 0,
+            prev: DeweyId::default(),
+            fresh: true,
+            peeked: None,
+            counters,
+        }
+    }
+
+    /// Decode every entry (index rebuilds and tests; not a query path).
+    pub fn decode_all(&self) -> Vec<(DeweyId, u32)> {
+        let mut out = Vec::with_capacity(self.len as usize);
+        let mut cur = self.cursor(None);
+        while let Some(e) = cur.next_raw() {
+            out.push(e);
+        }
+        out
+    }
+
+    /// Number of entries with `lo <= id < hi`, using the block directory
+    /// so only boundary blocks are decoded.
+    pub fn count_range(&self, lo: &DeweyId, hi: &DeweyId) -> u64 {
+        if self.len == 0 || lo >= hi {
+            return 0;
+        }
+        let mut total = 0u64;
+        let count_block = |bi: usize, count: u32| -> u64 {
+            let mut cur = self.cursor(None);
+            cur.jump_to_block(bi);
+            let mut n = 0u64;
+            for _ in 0..count {
+                let (id, _) = cur.next_raw().expect("directory count is exact");
+                if id >= *hi {
+                    break;
+                }
+                if id >= *lo {
+                    n += 1;
+                }
+            }
+            n
+        };
+        if self.blocks.is_empty() {
+            // Single implicit block: decode it.
+            return count_block(0, self.len as u32);
+        }
+        // A block's min is strictly above the previous block's max, so
+        // `prev_max >= lo` proves the block lies fully above `lo`.
+        let mut prev_max: Option<&DeweyId> = None;
+        for (bi, meta) in self.blocks.iter().enumerate() {
+            if meta.max < *lo {
+                prev_max = Some(&meta.max);
+                continue;
+            }
+            let min_above_lo = prev_max.map(|m| *m >= *lo).unwrap_or(false);
+            if min_above_lo && meta.max < *hi {
+                total += meta.count as u64;
+            } else {
+                total += count_block(bi, meta.count);
+            }
+            if meta.max >= *hi {
+                break;
+            }
+            prev_max = Some(&meta.max);
+        }
+        total
+    }
+}
+
+/// Streaming decoder over a [`BlockList`], with directory-driven skips.
+#[derive(Clone, Debug)]
+pub struct BlockCursor<'a> {
+    list: &'a BlockList,
+    /// Index of the next block not yet opened.
+    next_block: usize,
+    /// Entries left to decode in the currently open block.
+    remaining: u32,
+    /// Byte position of the next entry.
+    pos: usize,
+    /// Previously decoded ID (delta base).
+    prev: DeweyId,
+    /// True when the next entry is a block's full-ID first entry.
+    fresh: bool,
+    peeked: Option<(DeweyId, u32)>,
+    counters: Option<&'a ScanCounters>,
+}
+
+impl BlockCursor<'_> {
+    /// Decode and return the next `(id, payload)` pair.
+    pub fn next_raw(&mut self) -> Option<(DeweyId, u32)> {
+        if let Some(e) = self.peeked.take() {
+            return Some(e);
+        }
+        self.decode_next()
+    }
+
+    /// The next pair without consuming it.
+    pub fn peek(&mut self) -> Option<&(DeweyId, u32)> {
+        if self.peeked.is_none() {
+            self.peeked = self.decode_next();
+        }
+        self.peeked.as_ref()
+    }
+
+    /// Position at the first entry with `id >= target` (forward only).
+    pub fn seek_raw(&mut self, target: &DeweyId) {
+        if let Some((id, _)) = &self.peeked {
+            if *id >= *target {
+                return;
+            }
+        }
+        if !self.list.blocks.is_empty() {
+            // First candidate block: the first whose max is not below
+            // target.
+            let b = self.list.blocks.partition_point(|m| m.max < *target);
+            if b >= self.list.blocks.len() {
+                // Past the end of the list.
+                self.peeked = None;
+                self.remaining = 0;
+                self.next_block = self.list.blocks.len();
+                return;
+            }
+            // If a block is open and the target may still be inside it,
+            // scan within; otherwise jump, counting fully skipped blocks.
+            let open_block =
+                (self.remaining > 0 || self.peeked.is_some()).then(|| self.next_block - 1);
+            if open_block.map(|ob| b > ob).unwrap_or(true) && b >= self.next_block {
+                let skipped = (b - self.next_block) as u64;
+                if skipped > 0 {
+                    if let Some(c) = self.counters {
+                        c.add_blocks_skipped(skipped);
+                    }
+                }
+                self.jump_to_block(b);
+            }
+        }
+        while let Some((id, _)) = self.peek() {
+            if *id >= *target {
+                break;
+            }
+            self.peeked = None;
+        }
+    }
+
+    pub(crate) fn jump_to_block(&mut self, b: usize) {
+        let (offset, count) = self.list.block_bounds(b);
+        self.pos = offset as usize;
+        self.remaining = count;
+        self.fresh = true;
+        self.next_block = b + 1;
+        self.peeked = None;
+    }
+
+    fn decode_next(&mut self) -> Option<(DeweyId, u32)> {
+        while self.remaining == 0 {
+            if self.next_block >= self.list.total_blocks() {
+                return None;
+            }
+            let b = self.next_block;
+            self.jump_to_block(b);
+        }
+        let start = self.pos;
+        let data = &self.list.data;
+        let id = if self.fresh {
+            let n = read_varint(data, &mut self.pos) as usize;
+            let mut comps = Vec::with_capacity(n);
+            for _ in 0..n {
+                comps.push(read_varint(data, &mut self.pos) as u32);
+            }
+            self.fresh = false;
+            DeweyId::from_components(comps)
+        } else {
+            let lcp = read_varint(data, &mut self.pos) as usize;
+            let suffix_len = read_varint(data, &mut self.pos) as usize;
+            let mut comps = Vec::with_capacity(lcp + suffix_len);
+            comps.extend_from_slice(&self.prev.components()[..lcp]);
+            for _ in 0..suffix_len {
+                comps.push(read_varint(data, &mut self.pos) as u32);
+            }
+            DeweyId::from_components(comps)
+        };
+        let payload = read_varint(data, &mut self.pos) as u32;
+        self.prev = id.clone();
+        self.remaining -= 1;
+        if let Some(c) = self.counters {
+            c.add_entries(1);
+            c.add_bytes((self.pos - start) as u64);
+        }
+        Some((id, payload))
+    }
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Bounds- and overflow-checked variant of [`read_varint`], for
+/// validating untrusted buffers.
+fn try_read_varint(data: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data.get(*pos)?;
+        *pos += 1;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+fn read_varint(data: &[u8], pos: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        let byte = data[*pos];
+        *pos += 1;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(ids: &[&str]) -> Vec<(DeweyId, u32)> {
+        ids.iter().enumerate().map(|(i, s)| (s.parse().unwrap(), i as u32)).collect()
+    }
+
+    #[test]
+    fn round_trips_across_block_sizes() {
+        let input = entries(&["1", "1.1", "1.1.1", "1.2", "1.2.3.4", "1.10", "1.10.1", "2.1"]);
+        for bs in [1, 2, 3, 8, 64] {
+            let list = BlockList::encode_with_block_size(&input, bs);
+            assert_eq!(list.len(), input.len() as u64);
+            assert_eq!(list.decode_all(), input, "block size {bs}");
+        }
+    }
+
+    #[test]
+    fn seek_lands_on_lower_bound_across_blocks() {
+        let input = entries(&["1.1", "1.1.5", "1.2", "1.9", "1.10", "1.10.2", "1.11"]);
+        let list = BlockList::encode_with_block_size(&input, 2);
+        for (target, want) in [
+            ("1", Some("1.1")),
+            ("1.1.6", Some("1.2")),
+            ("1.10", Some("1.10")),
+            ("1.10.3", Some("1.11")),
+            ("1.12", None),
+        ] {
+            let mut cur = list.cursor(None);
+            cur.seek_raw(&target.parse().unwrap());
+            let got = cur.next_raw().map(|(id, _)| id.to_string());
+            assert_eq!(got.as_deref(), want, "seek {target}");
+        }
+    }
+
+    #[test]
+    fn seek_counts_skipped_blocks_and_decoded_bytes() {
+        let input: Vec<(DeweyId, u32)> =
+            (1..=64u32).map(|i| (DeweyId::from_components(vec![1, i]), i)).collect();
+        let list = BlockList::encode_with_block_size(&input, 4);
+        let counters = ScanCounters::default();
+        let mut cur = list.cursor(Some(&counters));
+        cur.seek_raw(&"1.50".parse().unwrap());
+        let (id, _) = cur.next_raw().unwrap();
+        assert_eq!(id.to_string(), "1.50");
+        use std::sync::atomic::Ordering;
+        assert!(counters.blocks_skipped.load(Ordering::Relaxed) >= 10);
+        assert!(counters.bytes_decoded.load(Ordering::Relaxed) > 0);
+        // Only the landing block's prefix was decoded, not 50 entries.
+        assert!(counters.entries.load(Ordering::Relaxed) <= 4);
+    }
+
+    #[test]
+    fn count_range_matches_naive() {
+        let input = entries(&["1.1", "1.1.2", "1.2", "1.9", "1.10", "1.10.1", "1.11", "2.1"]);
+        let list = BlockList::encode_with_block_size(&input, 3);
+        let cases = [("1.1", "1.2"), ("1", "2"), ("1.10", "1.11"), ("1.2", "1.10"), ("3", "4")];
+        for (lo, hi) in cases {
+            let lo: DeweyId = lo.parse().unwrap();
+            let hi: DeweyId = hi.parse().unwrap();
+            let naive = input.iter().filter(|(id, _)| *id >= lo && *id < hi).count() as u64;
+            assert_eq!(list.count_range(&lo, &hi), naive, "range {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn compression_beats_materialized_on_dense_siblings() {
+        let input: Vec<(DeweyId, u32)> =
+            (1..=1000u32).map(|i| (DeweyId::from_components(vec![1, 7, i]), 1)).collect();
+        let list = BlockList::encode(&input);
+        assert!(
+            list.compressed_bytes() * 2 < list.uncompressed_bytes(),
+            "compressed {} vs uncompressed {}",
+            list.compressed_bytes(),
+            list.uncompressed_bytes()
+        );
+    }
+
+    #[test]
+    fn tiny_lists_carry_no_directory_overhead() {
+        // One-entry rows (the common path-index case) must cost fewer
+        // bytes compressed than materialized.
+        let one = BlockList::encode(&[(("1.2.3.4").parse().unwrap(), 42)]);
+        assert!(one.blocks.is_empty(), "single-block list stores no directory");
+        assert!(
+            one.compressed_bytes() < one.uncompressed_bytes(),
+            "compressed {} vs uncompressed {}",
+            one.compressed_bytes(),
+            one.uncompressed_bytes()
+        );
+        // Seek still works without a directory.
+        let mut cur = one.cursor(None);
+        cur.seek_raw(&"1.2".parse().unwrap());
+        assert_eq!(cur.next_raw().unwrap().0.to_string(), "1.2.3.4");
+        let mut cur = one.cursor(None);
+        cur.seek_raw(&"1.3".parse().unwrap());
+        assert!(cur.next_raw().is_none());
+    }
+
+    #[test]
+    fn validate_accepts_encodings_and_rejects_tampering() {
+        let input = entries(&["1.1", "1.2", "1.9", "1.10", "1.10.1", "2.3"]);
+        for bs in [2, 64] {
+            let list = BlockList::encode_with_block_size(&input, bs);
+            assert!(list.validate(), "block size {bs}");
+        }
+        // Inflated entry count: decodes fine but len disagrees.
+        let mut bad = BlockList::encode(&input);
+        bad.len += 1;
+        assert!(!bad.validate(), "inflated len must fail");
+        // Truncated data buffer.
+        let mut bad = BlockList::encode(&input);
+        bad.data.pop();
+        assert!(!bad.validate(), "truncated data must fail");
+        // A never-terminating varint (all continuation bits).
+        let mut bad = BlockList::encode(&input);
+        for b in &mut bad.data {
+            *b |= 0x80;
+        }
+        assert!(!bad.validate(), "unterminated varints must fail");
+        // Directory max no longer matches the data.
+        let mut bad = BlockList::encode_with_block_size(&input, 2);
+        bad.blocks[0].max = "9.9".parse().unwrap();
+        assert!(!bad.validate(), "stale directory max must fail");
+    }
+
+    #[test]
+    fn empty_list_cursor_is_exhausted() {
+        let list = BlockList::encode(&[]);
+        assert!(list.is_empty());
+        let mut cur = list.cursor(None);
+        assert!(cur.next_raw().is_none());
+        cur.seek_raw(&"1".parse().unwrap());
+        assert!(cur.next_raw().is_none());
+        assert_eq!(list.count_range(&"1".parse().unwrap(), &"2".parse().unwrap()), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the block-compressed cursor layer, pitting the
+//! compressed representation against plain sorted vectors.
+//!
+//! The sensitive case is block boundaries around prefix-vs-extension IDs
+//! (`1.1` vs `1.10`): components 1..=12 make such pairs likely, and
+//! block sizes down to 1 force every entry onto its own boundary.
+
+use proptest::prelude::*;
+use vxv_index::cursor::ScanCounters;
+use vxv_index::postings::BlockList;
+use vxv_xml::DeweyId;
+
+fn dewey_strategy() -> impl Strategy<Value = DeweyId> {
+    prop::collection::vec(1u32..13, 1..5).prop_map(DeweyId::from_components)
+}
+
+/// A random sorted, deduplicated Dewey-ordered list with payloads.
+fn list_strategy() -> impl Strategy<Value = Vec<(DeweyId, u32)>> {
+    prop::collection::vec((dewey_strategy(), 0u32..1000), 0..60).prop_map(|mut v| {
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v.dedup_by(|a, b| a.0 == b.0);
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn decode_round_trips(entries in list_strategy(), bs in 1usize..9) {
+        let list = BlockList::encode_with_block_size(&entries, bs);
+        prop_assert_eq!(list.decode_all(), entries.clone());
+        prop_assert_eq!(list.len(), entries.len() as u64);
+    }
+
+    /// `seek` must land exactly on the lower bound — never skipping a
+    /// qualifying posting across a block boundary.
+    #[test]
+    fn seek_never_skips_across_block_boundaries(
+        entries in list_strategy(),
+        target in dewey_strategy(),
+        bs in 1usize..9,
+    ) {
+        let list = BlockList::encode_with_block_size(&entries, bs);
+        let counters = ScanCounters::default();
+        let mut cur = list.cursor(Some(&counters));
+        cur.seek_raw(&target);
+        let got: Vec<DeweyId> = std::iter::from_fn(|| cur.next_raw().map(|(id, _)| id)).collect();
+        let want: Vec<DeweyId> =
+            entries.iter().filter(|(id, _)| *id >= target).map(|(id, _)| id.clone()).collect();
+        prop_assert_eq!(got, want, "seek to {} with block size {}", target, bs);
+    }
+
+    /// Seeking from a mid-stream position (after consuming a prefix)
+    /// also lands on the lower bound of the remaining entries.
+    #[test]
+    fn mid_stream_seek_is_forward_lower_bound(
+        entries in list_strategy(),
+        skip in 0usize..20,
+        target in dewey_strategy(),
+        bs in 1usize..9,
+    ) {
+        let list = BlockList::encode_with_block_size(&entries, bs);
+        let mut cur = list.cursor(None);
+        let mut consumed = Vec::new();
+        for _ in 0..skip {
+            match cur.next_raw() {
+                Some((id, _)) => consumed.push(id),
+                None => break,
+            }
+        }
+        cur.seek_raw(&target);
+        let got: Vec<DeweyId> = std::iter::from_fn(|| cur.next_raw().map(|(id, _)| id)).collect();
+        let want: Vec<DeweyId> = entries
+            .iter()
+            .map(|(id, _)| id.clone())
+            .skip(consumed.len())
+            .filter(|id| *id >= target)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn count_range_matches_naive_filter(
+        entries in list_strategy(),
+        lo in dewey_strategy(),
+        hi in dewey_strategy(),
+        bs in 1usize..9,
+    ) {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let list = BlockList::encode_with_block_size(&entries, bs);
+        let naive = entries.iter().filter(|(id, _)| *id >= lo && *id < hi).count() as u64;
+        prop_assert_eq!(list.count_range(&lo, &hi), naive);
+    }
+
+    /// Compressed storage never loses to the materialized accounting by
+    /// more than the per-block directory overhead allows, and the
+    /// directory's skip metadata is consistent with the data.
+    #[test]
+    fn subtree_ranges_match_slice_partition(entries in list_strategy(), root in dewey_strategy()) {
+        let list = BlockList::encode_with_block_size(&entries, 4);
+        let hi = root.subtree_upper_bound();
+        let mut cur = list.cursor(None);
+        cur.seek_raw(&root);
+        let mut got = Vec::new();
+        while let Some((id, payload)) = cur.next_raw() {
+            if id >= hi {
+                break;
+            }
+            got.push((id, payload));
+        }
+        let want: Vec<(DeweyId, u32)> = entries
+            .iter()
+            .filter(|(id, _)| root.is_prefix_of(id))
+            .cloned()
+            .collect();
+        prop_assert_eq!(got, want, "subtree of {}", root);
+    }
+}

@@ -113,8 +113,15 @@ pub struct DiskStore {
     pool: Mutex<std::collections::HashSet<(u32, u64)>>,
 }
 
+/// File name of the persisted store catalog inside a store directory.
+pub const CATALOG_FILE: &str = "store.vxc";
+
+const CATALOG_MAGIC: &str = "VXVSTOR1";
+
 impl DiskStore {
-    /// Persist every document of `corpus` into `dir` (created if needed).
+    /// Persist every document of `corpus` into `dir` (created if
+    /// needed), together with a catalog file so the store can later be
+    /// [`Self::open`]ed cold — without re-parsing any document.
     pub fn persist(corpus: &Corpus, dir: &Path) -> io::Result<DiskStore> {
         std::fs::create_dir_all(dir)?;
         let mut store = DiskStore::default();
@@ -133,7 +140,77 @@ impl DiskStore {
                 },
             );
         }
+        store.write_catalog(dir)?;
         Ok(store)
+    }
+
+    /// Re-open a store previously written by [`Self::persist`] from its
+    /// catalog alone: document files are located but neither read nor
+    /// parsed (a cold open costs one catalog read, not a corpus walk).
+    pub fn open(dir: &Path) -> Result<DiskStore, StoreError> {
+        let text = std::fs::read_to_string(dir.join(CATALOG_FILE)).map_err(StoreError::Io)?;
+        let mut lines = text.lines();
+        if lines.next() != Some(CATALOG_MAGIC) {
+            return Err(StoreError::corrupt(CATALOG_FILE));
+        }
+        let mut store = DiskStore::default();
+        let mut current: Option<(String, DocCatalog)> = None;
+        for line in lines {
+            let mut fields = line.split('\t');
+            match fields.next() {
+                Some("doc") => {
+                    if let Some((name, cat)) = current.take() {
+                        store.docs.insert(name, cat);
+                    }
+                    let (Some(name), Some(file), Some(ord)) =
+                        (fields.next(), fields.next(), fields.next())
+                    else {
+                        return Err(StoreError::corrupt(CATALOG_FILE));
+                    };
+                    let root_ordinal =
+                        ord.parse().map_err(|_| StoreError::corrupt(CATALOG_FILE))?;
+                    current = Some((
+                        name.to_string(),
+                        DocCatalog { path: dir.join(file), root_ordinal, offsets: BTreeMap::new() },
+                    ));
+                }
+                Some("off") => {
+                    let Some((_, cat)) = current.as_mut() else {
+                        return Err(StoreError::corrupt(CATALOG_FILE));
+                    };
+                    let (Some(dewey), Some(off), Some(len)) =
+                        (fields.next(), fields.next(), fields.next())
+                    else {
+                        return Err(StoreError::corrupt(CATALOG_FILE));
+                    };
+                    let dewey: DeweyId =
+                        dewey.parse().map_err(|_| StoreError::corrupt(CATALOG_FILE))?;
+                    let off = off.parse().map_err(|_| StoreError::corrupt(CATALOG_FILE))?;
+                    let len = len.parse().map_err(|_| StoreError::corrupt(CATALOG_FILE))?;
+                    cat.offsets.insert(dewey, (off, len));
+                }
+                _ => return Err(StoreError::corrupt(CATALOG_FILE)),
+            }
+        }
+        if let Some((name, cat)) = current.take() {
+            store.docs.insert(name, cat);
+        }
+        Ok(store)
+    }
+
+    /// Write the store catalog (document names, file names, root
+    /// ordinals, and per-element offset maps) into `dir`.
+    fn write_catalog(&self, dir: &Path) -> io::Result<()> {
+        let mut out = String::from(CATALOG_MAGIC);
+        out.push('\n');
+        for (name, cat) in &self.docs {
+            let file = cat.path.file_name().map(|f| f.to_string_lossy()).unwrap_or_default();
+            out.push_str(&format!("doc\t{name}\t{file}\t{}\n", cat.root_ordinal));
+            for (dewey, (off, len)) in &cat.offsets {
+                out.push_str(&format!("off\t{dewey}\t{off}\t{len}\n"));
+            }
+        }
+        std::fs::write(dir.join(CATALOG_FILE), out)
     }
 
     /// Install (or clear) the simulated device cost model.
@@ -435,6 +512,40 @@ mod tests {
         let store = DiskStore::persist(&c, &dir).unwrap();
         assert!(store.read_subtree_xml(&"9.1".parse().unwrap()).is_err());
         assert!(store.read_document("zzz.xml").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cold_open_serves_reads_without_reparsing() {
+        let dir = tmpdir("coldopen");
+        let c = corpus();
+        {
+            DiskStore::persist(&c, &dir).unwrap();
+        }
+        // Re-open from the catalog alone.
+        let store = DiskStore::open(&dir).unwrap();
+        assert_eq!(store.names().count(), 2);
+        let xml = store.read_subtree_xml(&"1.1".parse().unwrap()).unwrap();
+        assert_eq!(xml, "<book><isbn>111</isbn><title>XML Web</title></book>");
+        assert_eq!(store.read_value(&"2.1.1".parse().unwrap()).unwrap(), Some("111".to_string()));
+        // Offset maps round-trip exactly.
+        let doc = c.doc("books.xml").unwrap();
+        for n in doc.iter() {
+            let node = doc.node(n);
+            assert_eq!(store.subtree_len(&node.dewey), Some(node.byte_len));
+        }
+        // Counters start cold.
+        assert_eq!(store.stats().full_reads, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_corrupt_catalogs() {
+        let dir = tmpdir("badcat");
+        let c = corpus();
+        DiskStore::persist(&c, &dir).unwrap();
+        std::fs::write(dir.join(CATALOG_FILE), "not a catalog\n").unwrap();
+        assert!(matches!(DiskStore::open(&dir), Err(StoreError::Corrupt(_))));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

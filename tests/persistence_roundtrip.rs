@@ -1,0 +1,120 @@
+//! Round-trip invariant of index persistence: build indices over an
+//! INEX-style corpus, persist them next to a `DiskStore`, re-open
+//! everything cold, and assert the cold engine answers searches
+//! identically to the in-memory-built one — including the probe work
+//! counters — without ever re-tokenizing or re-walking base documents.
+
+use vxv_core::{IndexBundle, SearchRequest, ViewSearchEngine};
+use vxv_inex::{generate, ExperimentParams};
+use vxv_xml::DiskStore;
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("vxv-persist-rt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn cold_open_answers_searches_identically_to_warm_engine() {
+    let params = ExperimentParams { data_bytes: 64 * 1024, ..ExperimentParams::default() };
+    let corpus = generate(&params.generator_config());
+    let dir = tmpdir("eq");
+
+    // Warm path: indices built from the corpus, base data on disk.
+    let warm_store = DiskStore::persist(&corpus, &dir).unwrap();
+    IndexBundle::build(&corpus).save(&dir).unwrap();
+    let warm_engine = ViewSearchEngine::new(&corpus).with_source(&warm_store);
+    let warm_view = warm_engine.prepare(&params.view()).unwrap();
+
+    // Cold path: store catalog + indices from disk, no corpus anywhere.
+    let cold_store = DiskStore::open(&dir).unwrap();
+    let cold_bundle = IndexBundle::load(&dir).unwrap();
+    let cold_engine = ViewSearchEngine::open(&cold_store, cold_bundle);
+    assert!(cold_engine.corpus().is_none(), "cold engine has no corpus");
+    let cold_view = cold_engine.prepare(&params.view()).unwrap();
+
+    let request = SearchRequest::new(params.keywords());
+    warm_engine.path_index().reset_stats();
+    warm_engine.inverted_index().reset_stats();
+    cold_engine.path_index().reset_stats();
+    cold_engine.inverted_index().reset_stats();
+
+    let warm = warm_view.search(&request).unwrap();
+    let cold = cold_view.search(&request).unwrap();
+
+    assert_eq!(warm.view_size, cold.view_size);
+    assert_eq!(warm.matching, cold.matching);
+    assert_eq!(warm.idf, cold.idf);
+    assert_eq!(warm.hits.len(), cold.hits.len());
+    for (a, b) in warm.hits.iter().zip(&cold.hits) {
+        assert_eq!(a.score, b.score);
+        assert_eq!(a.tf, b.tf);
+        assert_eq!(a.xml, b.xml, "materialized hit XML must be byte-identical");
+    }
+    assert_eq!(warm.pdt_stats.len(), cold.pdt_stats.len());
+    for ((an, asweep, abytes), (bn, bsweep, bbytes)) in warm.pdt_stats.iter().zip(&cold.pdt_stats) {
+        assert_eq!(an, bn);
+        assert_eq!(asweep, bsweep, "sweep counters for {an}");
+        assert_eq!(abytes, bbytes, "PDT bytes for {an}");
+    }
+
+    // The probe work is identical index access for index access.
+    assert_eq!(
+        warm_engine.path_index().stats(),
+        cold_engine.path_index().stats(),
+        "path-index probe counters"
+    );
+    assert_eq!(
+        warm_engine.inverted_index().stats(),
+        cold_engine.inverted_index().stats(),
+        "inverted-index probe counters"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn cold_open_touches_base_documents_only_for_top_k() {
+    let params = ExperimentParams { data_bytes: 48 * 1024, ..ExperimentParams::default() };
+    let corpus = generate(&params.generator_config());
+    let dir = tmpdir("lazy");
+    DiskStore::persist(&corpus, &dir).unwrap();
+    IndexBundle::build(&corpus).save(&dir).unwrap();
+    drop(corpus);
+
+    let store = DiskStore::open(&dir).unwrap();
+    let bundle = IndexBundle::load(&dir).unwrap();
+    let engine = ViewSearchEngine::open(&store, bundle);
+    let view = engine.prepare(&params.view()).unwrap();
+    store.reset_stats();
+
+    let out = view.search(&SearchRequest::new(params.keywords()).top_k(2)).unwrap();
+    let stats = store.stats();
+    assert_eq!(stats.full_reads, 0, "cold engine must never scan a base document");
+    assert_eq!(stats.range_reads, out.fetches, "only top-k subtrees are ranged in");
+
+    // Plans and searches work repeatedly off the loaded state.
+    let again = view.search(&SearchRequest::new(params.keywords()).top_k(2)).unwrap();
+    assert_eq!(out.matching, again.matching);
+    let plan = view.plan(&params.keywords());
+    assert!(!plan.qpts.is_empty());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unknown_documents_still_error_on_a_cold_engine() {
+    let params = ExperimentParams { data_bytes: 32 * 1024, ..ExperimentParams::default() };
+    let corpus = generate(&params.generator_config());
+    let dir = tmpdir("unknown");
+    DiskStore::persist(&corpus, &dir).unwrap();
+    IndexBundle::build(&corpus).save(&dir).unwrap();
+
+    let store = DiskStore::open(&dir).unwrap();
+    let bundle = IndexBundle::load(&dir).unwrap();
+    let engine = ViewSearchEngine::open(&store, bundle);
+    let err = engine.prepare("for $x in fn:doc(zzz.xml)/a return $x").unwrap_err();
+    assert!(matches!(err, vxv_core::EngineError::UnknownDocument(_)), "{err}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -353,7 +353,7 @@ pub mod collection {
         VecStrategy { element, min: size.start, max: size.end }
     }
 
-    /// Output of [`vec`].
+    /// Output of [`vec()`].
     #[derive(Clone)]
     pub struct VecStrategy<S> {
         element: S,
