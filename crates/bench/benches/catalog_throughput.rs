@@ -1,0 +1,114 @@
+//! Serving-tier throughput smoke: a shared [`ViewCatalog`] (prepare once,
+//! search many) vs re-preparing the view on every request, on the
+//! INEX-style workload.
+//!
+//! Besides the criterion timings, the benchmark measures queries/sec for
+//! both paths directly and **asserts the catalog wins** — the whole point
+//! of the service tier is that per-request work excludes the
+//! view-proportional analysis. CI runs this in quick mode so a regression
+//! that sneaks prepare-time work into the search path fails fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+use vxv_core::{NamedRequest, SearchRequest, ViewCatalog, ViewSearchEngine};
+use vxv_inex::{generate, ExperimentParams};
+
+struct Setup {
+    catalog: ViewCatalog,
+    view: String,
+    request: SearchRequest,
+}
+
+fn setup(kb: u64) -> Setup {
+    // A prepare-heavy point: the 4-join, nesting-3 Table-1 view projects
+    // five documents (5 QPTs to generate and probe-plan) over a modest
+    // corpus, so the shared-catalog advantage is structural, not noise.
+    let params = ExperimentParams {
+        data_bytes: kb * 1024,
+        num_joins: 4,
+        nesting: 3,
+        ..ExperimentParams::default()
+    };
+    let corpus = generate(&params.generator_config());
+    let catalog = ViewCatalog::new(ViewSearchEngine::new(corpus));
+    catalog.register("bench", &params.view()).expect("view prepares");
+    Setup {
+        catalog,
+        view: params.view(),
+        request: SearchRequest::new(params.keywords()).top_k(params.top_k),
+    }
+}
+
+/// Queries/sec of `f` over at least `min_iters` runs and 150ms (one
+/// measurement window).
+fn qps_window(f: &mut dyn FnMut(), min_iters: u32) -> (u32, f64) {
+    let t0 = Instant::now();
+    let mut iters = 0u32;
+    while iters < min_iters || t0.elapsed().as_millis() < 150 {
+        f();
+        iters += 1;
+    }
+    (iters, t0.elapsed().as_secs_f64())
+}
+
+/// Interleaved queries/sec of two workloads: alternating windows absorb
+/// machine-load drift that back-to-back measurement would attribute to
+/// whichever path ran second.
+fn qps_pair(mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
+    let (mut ia, mut ta, mut ib, mut tb) = (0u32, 0f64, 0u32, 0f64);
+    for _ in 0..3 {
+        let (i, t) = qps_window(&mut a, 5);
+        ia += i;
+        ta += t;
+        let (i, t) = qps_window(&mut b, 5);
+        ib += i;
+        tb += t;
+    }
+    (ia as f64 / ta, ib as f64 / tb)
+}
+
+fn bench_catalog_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("catalog_throughput");
+    group.sample_size(20);
+    {
+        let kb = 16u64;
+        let s = setup(kb);
+
+        // The smoke assertion: shared prepared state must beat paying the
+        // view analysis per request.
+        let (catalog_qps, prepare_qps) = qps_pair(
+            || drop(s.catalog.search("bench", &s.request).unwrap()),
+            || drop(s.catalog.engine().search_once(&s.view, &s.request).unwrap()),
+        );
+        println!(
+            "catalog_throughput/{kb}KB: shared catalog {catalog_qps:.0} q/s vs \
+             per-request prepare {prepare_qps:.0} q/s ({:.2}x)",
+            catalog_qps / prepare_qps
+        );
+        assert!(
+            catalog_qps > prepare_qps,
+            "a shared catalog must outserve per-request prepare \
+             ({catalog_qps:.0} vs {prepare_qps:.0} q/s)"
+        );
+
+        group.bench_with_input(BenchmarkId::new("shared_catalog", kb), &s, |b, s| {
+            b.iter(|| s.catalog.search("bench", &s.request).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("prepare_per_request", kb), &s, |b, s| {
+            b.iter(|| s.catalog.engine().search_once(&s.view, &s.request).unwrap())
+        });
+        let batch: Vec<NamedRequest> =
+            (0..16).map(|_| NamedRequest::new("bench", s.request.clone())).collect();
+        group.bench_with_input(BenchmarkId::new("batch_16_pooled", kb), &s, |b, s| {
+            b.iter(|| {
+                for r in s.catalog.search_batch(&batch) {
+                    r.unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_catalog_throughput);
+criterion_main!(benches);

@@ -13,10 +13,10 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.sample_size(20);
     for kb in [128u64, 512] {
         let params = ExperimentParams { data_bytes: kb * 1024, ..ExperimentParams::default() };
-        let corpus = generate(&params.generator_config());
+        let corpus = std::sync::Arc::new(generate(&params.generator_config()));
         let view = params.view();
         let keywords = params.keywords();
-        let engine = ViewSearchEngine::new(&corpus);
+        let engine = ViewSearchEngine::new(std::sync::Arc::clone(&corpus));
         let request = SearchRequest::new(&keywords);
         // Amortized path: the view analysis is reused across searches.
         let prepared = engine.prepare(&view).unwrap();

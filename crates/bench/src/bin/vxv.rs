@@ -2,10 +2,12 @@
 //!
 //! ```text
 //! vxv search  --doc books.xml --doc reviews.xml --view view.xq \
-//!             --keyword xml --keyword search [--top 10] [--any]
+//!             --keyword xml --keyword search [--top 10] [--any] [--deadline-ms N]
 //! vxv inspect --doc books.xml --view view.xq    # show QPTs and probe plans
 //! vxv persist --doc books.xml --out store/      # write documents + indices
 //! vxv search  --store store/ --view view.xq -k xml   # cold open from disk
+//! vxv serve   --store store/ --register reviews=view.xq   # request loop
+//! vxv batch   --store store/ --register reviews=view.xq --file reqs.txt
 //! ```
 //!
 //! With `--doc`, documents are parsed and indexed in memory; the view's
@@ -13,10 +15,42 @@
 //! path). With `--store`, the engine cold-opens a directory previously
 //! written by `vxv persist`: indices and the document catalog are read
 //! from disk, and base documents are touched only to materialize hits.
+//!
+//! ## `serve` — line-oriented request loop
+//!
+//! `serve` builds a [`ViewCatalog`], registers every `--register
+//! NAME=VIEWFILE`, then reads commands from stdin (one per line) and
+//! writes responses to stdout. Multi-line responses end with a lone `.`:
+//!
+//! ```text
+//! register NAME VIEWFILE     -> registered NAME
+//! search NAME KW [KW...]     -> hits N matching M view V, then one line
+//!                               per hit (RANK SCORE XML), then .
+//! list                       -> one view name per line, then .
+//! stats                      -> stats hits=.. misses=.. prepares=.. ...
+//! quit                       -> (exits; EOF works too)
+//! ```
+//!
+//! Hit XML is emitted on one protocol line: backslash, newline and
+//! carriage return are escaped as `\\`, `\n`, `\r`, so pretty-printed
+//! source documents can never split a hit across lines or fake the `.`
+//! terminator. Clients unescape in the reverse order.
+//!
+//! ## `batch` — fan a request file across the worker pool
+//!
+//! Each non-empty, non-`#` line of `--file` is `NAME KW [KW...]`. The
+//! whole batch executes via [`ViewCatalog::search_batch`] and reports one
+//! summary line per request, in file order.
 
+use std::io::{BufRead, Write};
 use std::process::ExitCode;
-use vxv_core::{DocumentSource, IndexBundle, SearchRequest, ViewSearchEngine};
-use vxv_core::{KeywordMode, PreparedView};
+use std::sync::Arc;
+use std::time::Duration;
+use vxv_core::KeywordMode;
+use vxv_core::{
+    DocumentSource, IndexBundle, NamedRequest, PreparedView, SearchRequest, ViewCatalog,
+    ViewSearchEngine,
+};
 use vxv_xml::{Corpus, DiskStore};
 
 struct Args {
@@ -25,13 +59,16 @@ struct Args {
     out: Option<String>,
     view: Option<String>,
     keywords: Vec<String>,
+    registers: Vec<(String, String)>,
+    file: Option<String>,
     top: usize,
     any: bool,
+    deadline_ms: Option<u64>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  vxv search  (--doc FILE... | --store DIR) --view FILE --keyword WORD... [--top N] [--any]\n  vxv inspect (--doc FILE... | --store DIR) --view FILE\n  vxv persist --doc FILE... --out DIR"
+        "usage:\n  vxv search  (--doc FILE... | --store DIR) --view FILE --keyword WORD... [--top N] [--any] [--deadline-ms N]\n  vxv inspect (--doc FILE... | --store DIR) --view FILE\n  vxv persist --doc FILE... --out DIR\n  vxv serve   (--doc FILE... | --store DIR) [--register NAME=VIEWFILE...] [--top N] [--any] [--deadline-ms N]\n  vxv batch   (--doc FILE... | --store DIR) --register NAME=VIEWFILE... --file REQS [--top N] [--any] [--deadline-ms N]"
     );
     ExitCode::from(2)
 }
@@ -45,8 +82,11 @@ fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
         out: None,
         view: None,
         keywords: vec![],
+        registers: vec![],
+        file: None,
         top: 10,
         any: false,
+        deadline_ms: None,
     };
     let mut it = argv;
     while let Some(flag) = it.next() {
@@ -56,8 +96,15 @@ fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
             "--out" => args.out = Some(it.next()?),
             "--view" => args.view = Some(it.next()?),
             "--keyword" | "-k" => args.keywords.push(it.next()?),
+            "--register" => {
+                let spec = it.next()?;
+                let (name, path) = spec.split_once('=')?;
+                args.registers.push((name.to_string(), path.to_string()));
+            }
+            "--file" => args.file = Some(it.next()?),
             "--top" => args.top = it.next()?.parse().ok()?,
             "--any" => args.any = true,
+            "--deadline-ms" => args.deadline_ms = Some(it.next()?.parse().ok()?),
             _ => {
                 eprintln!("unknown flag {flag}");
                 return None;
@@ -88,9 +135,17 @@ fn load_view(args: &Args) -> Result<String, String> {
     std::fs::read_to_string(view_path).map_err(|e| format!("cannot read view {view_path}: {e}"))
 }
 
-fn run_search<S: DocumentSource>(view: &PreparedView<'_, '_, S>, args: &Args) -> ExitCode {
+fn base_request(args: &Args, keywords: &[String]) -> SearchRequest {
     let mode = if args.any { KeywordMode::Disjunctive } else { KeywordMode::Conjunctive };
-    let request = SearchRequest::new(&args.keywords).top_k(args.top).mode(mode);
+    let mut request = SearchRequest::new(keywords).top_k(args.top).mode(mode);
+    if let Some(ms) = args.deadline_ms {
+        request = request.deadline(Duration::from_millis(ms));
+    }
+    request
+}
+
+fn run_search<S: DocumentSource>(view: &PreparedView<S>, args: &Args) -> ExitCode {
+    let request = base_request(args, &args.keywords);
     match view.search(&request) {
         Ok(out) => {
             eprintln!(
@@ -116,7 +171,7 @@ fn run_search<S: DocumentSource>(view: &PreparedView<'_, '_, S>, args: &Args) ->
     }
 }
 
-fn run_inspect<S: DocumentSource>(view: &PreparedView<'_, '_, S>, args: &Args) -> ExitCode {
+fn run_inspect<S: DocumentSource>(view: &PreparedView<S>, args: &Args) -> ExitCode {
     let out = view.plan(&args.keywords);
     for q in &out.qpts {
         println!("{}", q.rendered);
@@ -138,7 +193,7 @@ fn run_inspect<S: DocumentSource>(view: &PreparedView<'_, '_, S>, args: &Args) -
 /// backend.
 fn with_prepared<S: DocumentSource>(
     cmd: &str,
-    engine: &ViewSearchEngine<'_, S>,
+    engine: &ViewSearchEngine<S>,
     view_text: &str,
     args: &Args,
 ) -> ExitCode {
@@ -155,6 +210,193 @@ fn with_prepared<S: DocumentSource>(
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Build a catalog over `engine` and register every `--register` spec.
+fn build_catalog<S: DocumentSource>(
+    engine: ViewSearchEngine<S>,
+    args: &Args,
+) -> Result<ViewCatalog<S>, String> {
+    let catalog = ViewCatalog::new(engine);
+    for (name, path) in &args.registers {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read view {path}: {e}"))?;
+        catalog.register(name.clone(), &text).map_err(|e| format!("register {name}: {e}"))?;
+    }
+    Ok(catalog)
+}
+
+/// Escape hit XML onto a single protocol line (`\\`, `\n`, `\r`): source
+/// documents may contain literal newlines, which would otherwise split a
+/// hit across lines or fake the `.` response terminator.
+fn escape_protocol_line(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// The `serve` loop: one command per stdin line; see the module docs for
+/// the protocol.
+fn serve_loop<S: DocumentSource>(catalog: &ViewCatalog<S>, args: &Args) -> ExitCode {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    eprintln!(
+        "vxv serve: {} view(s) registered; commands: register/search/list/stats/quit",
+        catalog.len()
+    );
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let reply = match parts.as_slice() {
+            [] => continue,
+            ["quit"] | ["exit"] => break,
+            ["list"] => {
+                for name in catalog.names() {
+                    let _ = writeln!(out, "{name}");
+                }
+                let _ = writeln!(out, ".");
+                Ok(())
+            }
+            ["stats"] => {
+                let s = catalog.stats();
+                let _ = writeln!(
+                    out,
+                    "stats hits={} misses={} prepares={} evictions={} named={} adhoc={}",
+                    s.hits, s.misses, s.prepares, s.evictions, s.named, s.adhoc
+                );
+                Ok(())
+            }
+            ["register", name, path] => match std::fs::read_to_string(path) {
+                Ok(text) => match catalog.register(name.to_string(), &text) {
+                    Ok(_) => {
+                        let _ = writeln!(out, "registered {name}");
+                        Ok(())
+                    }
+                    Err(e) => Err(format!("{e}")),
+                },
+                Err(e) => Err(format!("cannot read view {path}: {e}")),
+            },
+            ["search", name, kws @ ..] if !kws.is_empty() => {
+                let keywords: Vec<String> = kws.iter().map(|s| s.to_string()).collect();
+                match catalog.search(name, &base_request(args, &keywords)) {
+                    Ok(resp) => {
+                        let _ = writeln!(
+                            out,
+                            "hits {} matching {} view {}",
+                            resp.hits.len(),
+                            resp.matching,
+                            resp.view_size
+                        );
+                        for hit in &resp.hits {
+                            let _ = writeln!(
+                                out,
+                                "{} {:.6} {}",
+                                hit.rank,
+                                hit.score,
+                                escape_protocol_line(&hit.xml)
+                            );
+                        }
+                        let _ = writeln!(out, ".");
+                        Ok(())
+                    }
+                    Err(e) => Err(format!("{e}")),
+                }
+            }
+            _ => Err(format!("unrecognized command: {line}")),
+        };
+        if let Err(msg) = reply {
+            let _ = writeln!(out, "error: {msg}");
+        }
+        let _ = out.flush();
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `batch` command: parse the request file, fan it across the
+/// catalog's worker pool, report per-request summaries in order.
+fn run_batch<S: DocumentSource>(catalog: &ViewCatalog<S>, args: &Args) -> ExitCode {
+    let Some(path) = args.file.as_ref() else {
+        eprintln!("error: --file REQS is required");
+        return ExitCode::FAILURE;
+    };
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut requests: Vec<NamedRequest> = Vec::new();
+    for line in content.lines() {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            [] => continue,
+            [first, ..] if first.starts_with('#') => continue,
+            [name, kws @ ..] if !kws.is_empty() => {
+                let keywords: Vec<String> = kws.iter().map(|s| s.to_string()).collect();
+                requests.push(NamedRequest::new(*name, base_request(args, &keywords)));
+            }
+            _ => {
+                eprintln!("error: bad request line (want NAME KW [KW...]): {line}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let results = catalog.search_batch(&requests);
+    let mut failures = 0usize;
+    for (i, (req, result)) in requests.iter().zip(&results).enumerate() {
+        match result {
+            Ok(resp) => {
+                let top = resp.hits.first().map(|h| h.score).unwrap_or(0.0);
+                println!(
+                    "#{} {}: hits={} matching={} top_score={:.6}",
+                    i + 1,
+                    req.view,
+                    resp.hits.len(),
+                    resp.matching,
+                    top
+                );
+            }
+            Err(e) => {
+                failures += 1;
+                println!("#{} {}: error: {e}", i + 1, req.view);
+            }
+        }
+    }
+    eprintln!("batch: {} request(s), {} failed", results.len(), failures);
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Dispatch a catalog-backed command (`serve` / `batch`) over either
+/// backend.
+fn with_catalog<S: DocumentSource>(
+    cmd: &str,
+    engine: ViewSearchEngine<S>,
+    args: &Args,
+) -> ExitCode {
+    let catalog = match build_catalog(engine, args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd {
+        "serve" => serve_loop(&catalog, args),
+        _ => run_batch(&catalog, args),
     }
 }
 
@@ -196,19 +438,24 @@ fn main() -> ExitCode {
                 }
             }
         }
-        "search" | "inspect" => {
-            let view_text = match load_view(&args) {
-                Ok(v) => v,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
+        "search" | "inspect" | "serve" | "batch" => {
+            let catalog_cmd = cmd == "serve" || cmd == "batch";
+            let view_text = if catalog_cmd {
+                String::new()
+            } else {
+                match load_view(&args) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             };
             if let Some(store_dir) = args.store.as_ref() {
                 // Cold open: indices + catalog from disk, no corpus.
                 let dir = std::path::Path::new(store_dir);
                 let store = match DiskStore::open(dir) {
-                    Ok(s) => s,
+                    Ok(s) => Arc::new(s),
                     Err(e) => {
                         eprintln!("error: open store: {e}");
                         return ExitCode::FAILURE;
@@ -221,8 +468,12 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 };
-                let engine = ViewSearchEngine::open(&store, bundle);
-                with_prepared(&cmd, &engine, &view_text, &args)
+                let engine = ViewSearchEngine::open(store, bundle);
+                if catalog_cmd {
+                    with_catalog(&cmd, engine, &args)
+                } else {
+                    with_prepared(&cmd, &engine, &view_text, &args)
+                }
             } else {
                 let corpus = match load_corpus(&args) {
                     Ok(c) => c,
@@ -231,8 +482,12 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 };
-                let engine = ViewSearchEngine::new(&corpus);
-                with_prepared(&cmd, &engine, &view_text, &args)
+                let engine = ViewSearchEngine::new(corpus);
+                if catalog_cmd {
+                    with_catalog(&cmd, engine, &args)
+                } else {
+                    with_prepared(&cmd, &engine, &view_text, &args)
+                }
             }
         }
         _ => usage(),

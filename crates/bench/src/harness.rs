@@ -1,6 +1,7 @@
 //! One-experiment-point measurement: generate the corpus, build indices,
 //! run the selected systems, report averaged wall-clock per phase.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vxv_baselines::{BaselineEngine, GtpEngine};
 use vxv_core::{generate_qpts, KeywordMode, SearchRequest, ViewSearchEngine};
@@ -129,7 +130,7 @@ fn avg(total: Duration, runs: usize) -> Duration {
 /// Generate the corpus for `params`, persist it to disk-backed document
 /// storage, run the selected systems `opts.runs` times each, and average.
 pub fn measure_point(params: &ExperimentParams, opts: &MeasureOptions) -> Measurement {
-    let corpus = generate(&params.generator_config());
+    let corpus = Arc::new(generate(&params.generator_config()));
     measure_on_corpus(&corpus, params, opts)
 }
 
@@ -149,16 +150,18 @@ fn store_dir() -> std::path::PathBuf {
 /// the base-data accesses it performs. Index construction is not timed
 /// (indices exist before queries arrive).
 pub fn measure_on_corpus(
-    corpus: &Corpus,
+    corpus: &Arc<Corpus>,
     params: &ExperimentParams,
     opts: &MeasureOptions,
 ) -> Measurement {
     let dir = store_dir();
     let mut store = DiskStore::persist(corpus, &dir).expect("persist corpus");
     store.set_cost_model(cost_model_from_env());
+    let store = Arc::new(store);
     let view = params.view();
     let keywords = params.keywords();
-    let engine = ViewSearchEngine::new(corpus).with_source(&store);
+    let engine: ViewSearchEngine<DiskStore> =
+        ViewSearchEngine::new(Arc::clone(corpus)).with_source(Arc::clone(&store));
     // View analysis is paid once, like index construction: plans exist
     // before queries arrive.
     let prepared = engine.prepare(&view).expect("prepare view");

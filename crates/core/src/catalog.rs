@@ -1,0 +1,454 @@
+//! [`ViewCatalog`] — the service tier: named prepared views, shared.
+//!
+//! The paper makes view-proportional work a one-time cost; the catalog
+//! makes that cost *shared*. A server owns one `ViewCatalog` (which owns
+//! its engine — everything here is `Send + Sync + 'static`) and:
+//!
+//! * **registers** named views once — `catalog.register("reviews",
+//!   view_text)` pays parse + QPT generation + probe planning a single
+//!   time and parks the resulting [`PreparedView`] behind an `Arc`;
+//! * **serves** any number of concurrent searches against them by name
+//!   ([`ViewCatalog::search`]), each request carrying its own deadline /
+//!   cancel token / output options;
+//! * absorbs **ad-hoc** view texts through a capacity-bounded LRU
+//!   ([`ViewCatalog::search_adhoc`]): repeated ad-hoc texts hit the
+//!   cache, cold ones prepare and may evict the least-recently-used
+//!   entry;
+//! * **fans out batches** ([`ViewCatalog::search_batch`]) across a small
+//!   worker pool, returning per-request results in order.
+//!
+//! Hit / miss / prepare counters ([`ViewCatalog::stats`]) make the cache
+//! observable — the concurrency tests assert "prepared once" through
+//! them.
+
+use crate::engine::{EngineError, ViewSearchEngine};
+use crate::prepared::PreparedView;
+use crate::request::{SearchRequest, SearchResponse};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use vxv_xml::{Corpus, DocumentSource};
+
+/// Default capacity of the ad-hoc LRU (distinct un-named view texts kept
+/// prepared).
+pub const DEFAULT_ADHOC_CAPACITY: usize = 32;
+
+/// One entry of a batch: which named view to search and with what.
+#[derive(Clone, Debug)]
+pub struct NamedRequest {
+    /// The registered view name.
+    pub view: String,
+    /// The per-search request.
+    pub request: SearchRequest,
+}
+
+impl NamedRequest {
+    /// Address `request` at the view registered under `view`.
+    pub fn new(view: impl Into<String>, request: SearchRequest) -> Self {
+        NamedRequest { view: view.into(), request }
+    }
+}
+
+/// A snapshot of the catalog's observability counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CatalogStats {
+    /// Lookups that found a prepared view (named or ad-hoc).
+    pub hits: u64,
+    /// Lookups that found nothing (unknown name, or cold ad-hoc text).
+    pub misses: u64,
+    /// Times view analysis actually ran (`register` + cold ad-hoc).
+    pub prepares: u64,
+    /// Ad-hoc entries evicted by the LRU capacity bound.
+    pub evictions: u64,
+    /// Currently registered named views.
+    pub named: usize,
+    /// Currently cached ad-hoc views.
+    pub adhoc: usize,
+}
+
+struct AdhocEntry<S: DocumentSource> {
+    /// Single-flight slot: exactly one thread prepares (outside the
+    /// cache lock); racers for the same text block on the slot, traffic
+    /// for other texts does not block at all. `None` marks a failed
+    /// prepare (the entry is dropped by whoever observes it).
+    slot: Arc<OnceLock<Option<Arc<PreparedView<S>>>>>,
+    last_used: u64,
+}
+
+struct AdhocCache<S: DocumentSource> {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<String, AdhocEntry<S>>,
+}
+
+/// A registry of named [`PreparedView`]s over one shared engine; see the
+/// module docs.
+pub struct ViewCatalog<S: DocumentSource = Corpus> {
+    engine: ViewSearchEngine<S>,
+    named: RwLock<HashMap<String, Arc<PreparedView<S>>>>,
+    adhoc: Mutex<AdhocCache<S>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    prepares: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<S: DocumentSource> std::fmt::Debug for ViewCatalog<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("ViewCatalog")
+            .field("named", &stats.named)
+            .field("adhoc", &stats.adhoc)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: DocumentSource> ViewCatalog<S> {
+    /// A catalog over `engine` with the default ad-hoc capacity.
+    pub fn new(engine: ViewSearchEngine<S>) -> Self {
+        Self::with_adhoc_capacity(engine, DEFAULT_ADHOC_CAPACITY)
+    }
+
+    /// A catalog whose ad-hoc LRU keeps at most `capacity` prepared
+    /// views (0 disables ad-hoc caching: every ad-hoc search prepares).
+    pub fn with_adhoc_capacity(engine: ViewSearchEngine<S>, capacity: usize) -> Self {
+        ViewCatalog {
+            engine,
+            named: RwLock::new(HashMap::new()),
+            adhoc: Mutex::new(AdhocCache { capacity, tick: 0, entries: HashMap::new() }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            prepares: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared engine the catalog prepares against.
+    pub fn engine(&self) -> &ViewSearchEngine<S> {
+        &self.engine
+    }
+
+    /// Prepare `view_text` once and register it under `name`. Re-using a
+    /// name replaces the previous view (existing `Arc` handles keep
+    /// working). Returns the shared prepared view.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        view_text: &str,
+    ) -> Result<Arc<PreparedView<S>>, EngineError> {
+        self.prepares.fetch_add(1, Ordering::Relaxed);
+        let view = Arc::new(self.engine.prepare(view_text)?);
+        self.named.write().unwrap().insert(name.into(), Arc::clone(&view));
+        Ok(view)
+    }
+
+    /// The prepared view registered under `name`, if any. Counts a
+    /// catalog hit or miss.
+    pub fn get(&self, name: &str) -> Option<Arc<PreparedView<S>>> {
+        let found = self.named.read().unwrap().get(name).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Registered view names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.named.read().unwrap().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered named views.
+    pub fn len(&self) -> usize {
+        self.named.read().unwrap().len()
+    }
+
+    /// True when no named view is registered.
+    pub fn is_empty(&self) -> bool {
+        self.named.read().unwrap().is_empty()
+    }
+
+    /// Drop the named view `name`. Returns whether it existed. In-flight
+    /// `Arc` handles stay valid; only the registration goes away.
+    pub fn evict(&self, name: &str) -> bool {
+        self.named.write().unwrap().remove(name).is_some()
+    }
+
+    /// Search the named view. `EngineError::ViewNotFound` if `name` was
+    /// never registered (or was evicted).
+    pub fn search(
+        &self,
+        name: &str,
+        request: &SearchRequest,
+    ) -> Result<SearchResponse, EngineError> {
+        self.get(name).ok_or_else(|| EngineError::ViewNotFound(name.to_string()))?.search(request)
+    }
+
+    /// Prepare-or-reuse an **ad-hoc** view text through the LRU: repeated
+    /// texts share one prepared view, cold texts prepare (evicting the
+    /// least-recently-used entry at capacity).
+    ///
+    /// Prepares are **single-flight per text** and run *outside* the
+    /// cache lock: concurrent requests for one cold text share a single
+    /// prepare, while traffic for other texts (hits or misses) is never
+    /// blocked behind it.
+    pub fn adhoc(&self, view_text: &str) -> Result<Arc<PreparedView<S>>, EngineError> {
+        // Fast path under the lock: bump the LRU clock and grab (or
+        // install) the text's single-flight slot. Nothing expensive
+        // happens while the lock is held.
+        let slot = {
+            let mut cache = self.adhoc.lock().unwrap();
+            cache.tick += 1;
+            let tick = cache.tick;
+            if let Some(entry) = cache.entries.get_mut(view_text) {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(&entry.slot)
+            } else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let slot = Arc::new(OnceLock::new());
+                if cache.capacity > 0 {
+                    if cache.entries.len() >= cache.capacity {
+                        if let Some(lru) = cache
+                            .entries
+                            .iter()
+                            .min_by_key(|(_, e)| e.last_used)
+                            .map(|(k, _)| k.clone())
+                        {
+                            cache.entries.remove(&lru);
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    cache.entries.insert(
+                        view_text.to_string(),
+                        AdhocEntry { slot: Arc::clone(&slot), last_used: tick },
+                    );
+                }
+                slot
+            }
+        };
+
+        // Exactly one thread initializes the slot; racers for the same
+        // text block here (not on the cache) and share the result.
+        let mut my_error: Option<EngineError> = None;
+        let prepared = slot.get_or_init(|| {
+            self.prepares.fetch_add(1, Ordering::Relaxed);
+            match self.engine.prepare(view_text) {
+                Ok(view) => Some(Arc::new(view)),
+                Err(e) => {
+                    my_error = Some(e);
+                    None
+                }
+            }
+        });
+        match prepared {
+            Some(view) => Ok(Arc::clone(view)),
+            None => {
+                // The prepare failed. Drop the poisoned entry (only if it
+                // is still this slot — a fresh retry may have replaced
+                // it), then surface an error: the thread that ran the
+                // prepare has the real one; observers re-derive theirs by
+                // preparing directly, uncached.
+                let mut cache = self.adhoc.lock().unwrap();
+                if let Some(entry) = cache.entries.get(view_text) {
+                    if Arc::ptr_eq(&entry.slot, &slot) {
+                        cache.entries.remove(view_text);
+                    }
+                }
+                drop(cache);
+                match my_error {
+                    Some(e) => Err(e),
+                    None => {
+                        self.prepares.fetch_add(1, Ordering::Relaxed);
+                        self.engine.prepare(view_text).map(Arc::new)
+                    }
+                }
+            }
+        }
+    }
+
+    /// One-shot ad-hoc search through the LRU.
+    pub fn search_adhoc(
+        &self,
+        view_text: &str,
+        request: &SearchRequest,
+    ) -> Result<SearchResponse, EngineError> {
+        self.adhoc(view_text)?.search(request)
+    }
+
+    /// Execute a batch of named requests across a small worker pool,
+    /// returning per-request results **in request order**. Failures are
+    /// per-request — one bad name or tripped deadline never poisons its
+    /// neighbours. Single-request batches (and single-core hosts) run
+    /// inline.
+    pub fn search_batch(
+        &self,
+        requests: &[NamedRequest],
+    ) -> Vec<Result<SearchResponse, EngineError>> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(requests.len())
+            .min(8);
+        if workers <= 1 {
+            return requests.iter().map(|r| self.search(&r.view, &r.request)).collect();
+        }
+        let slots: Vec<Mutex<Option<Result<SearchResponse, EngineError>>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(req) = requests.get(i) else { break };
+                    let result = self.search(&req.view, &req.request);
+                    *slots[i].lock().unwrap() = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap().expect("worker pool fills every slot"))
+            .collect()
+    }
+
+    /// Counter snapshot; see [`CatalogStats`].
+    pub fn stats(&self) -> CatalogStats {
+        CatalogStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            prepares: self.prepares.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            named: self.named.read().unwrap().len(),
+            adhoc: self.adhoc.lock().unwrap().entries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        c.add_parsed(
+            "books.xml",
+            "<books>\
+               <book><isbn>1</isbn><title>xml search</title><year>2001</year></book>\
+               <book><isbn>2</isbn><title>databases</title><year>1999</year></book>\
+             </books>",
+        )
+        .unwrap();
+        c
+    }
+
+    const VIEW_A: &str =
+        "for $b in fn:doc(books.xml)/books/book where $b/year > 2000 return <a> { $b/title } </a>";
+    const VIEW_B: &str =
+        "for $b in fn:doc(books.xml)/books/book where $b/year > 1990 return <b> { $b/title } </b>";
+
+    #[test]
+    fn register_then_search_by_name() {
+        let catalog = ViewCatalog::new(ViewSearchEngine::new(corpus()));
+        catalog.register("recent", VIEW_A).unwrap();
+        let out = catalog.search("recent", &SearchRequest::new(["xml"])).unwrap();
+        assert_eq!(out.matching, 1);
+        assert!(out.hits[0].xml.contains("xml search"));
+        let err = catalog.search("nope", &SearchRequest::new(["xml"])).unwrap_err();
+        assert!(matches!(err, EngineError::ViewNotFound(_)), "{err}");
+    }
+
+    #[test]
+    fn register_is_once_and_get_is_shared() {
+        let catalog = ViewCatalog::new(ViewSearchEngine::new(corpus()));
+        let registered = catalog.register("v", VIEW_A).unwrap();
+        let got = catalog.get("v").unwrap();
+        assert!(Arc::ptr_eq(&registered, &got), "same prepared view is shared");
+        assert_eq!(catalog.stats().prepares, 1);
+        let _ = catalog.get("v");
+        assert_eq!(catalog.stats().hits, 2);
+        assert!(catalog.get("missing").is_none());
+        assert_eq!(catalog.stats().misses, 1);
+    }
+
+    #[test]
+    fn list_and_evict() {
+        let catalog = ViewCatalog::new(ViewSearchEngine::new(corpus()));
+        catalog.register("b", VIEW_B).unwrap();
+        catalog.register("a", VIEW_A).unwrap();
+        assert_eq!(catalog.names(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(catalog.len(), 2);
+        assert!(catalog.evict("a"));
+        assert!(!catalog.evict("a"));
+        assert_eq!(catalog.names(), vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn adhoc_cache_hits_on_repeat_and_evicts_lru() {
+        let catalog = ViewCatalog::with_adhoc_capacity(ViewSearchEngine::new(corpus()), 2);
+        let first = catalog.adhoc(VIEW_A).unwrap();
+        let again = catalog.adhoc(VIEW_A).unwrap();
+        assert!(Arc::ptr_eq(&first, &again));
+        assert_eq!(catalog.stats().prepares, 1);
+        // Fill past capacity: A (LRU after B touches) gets evicted.
+        catalog.adhoc(VIEW_B).unwrap();
+        let view_c = "for $b in fn:doc(books.xml)/books/book return <c> { $b/isbn } </c>";
+        catalog.adhoc(view_c).unwrap();
+        assert_eq!(catalog.stats().adhoc, 2);
+        assert_eq!(catalog.stats().evictions, 1);
+        // A was evicted → re-preparing counts a new prepare.
+        catalog.adhoc(VIEW_A).unwrap();
+        assert_eq!(catalog.stats().prepares, 4);
+    }
+
+    #[test]
+    fn batch_returns_results_in_request_order() {
+        let catalog = ViewCatalog::new(ViewSearchEngine::new(corpus()));
+        catalog.register("a", VIEW_A).unwrap();
+        catalog.register("b", VIEW_B).unwrap();
+        let batch = vec![
+            NamedRequest::new("b", SearchRequest::new(["databases"])),
+            NamedRequest::new("missing", SearchRequest::new(["xml"])),
+            NamedRequest::new("a", SearchRequest::new(["xml"])),
+        ];
+        let results = catalog.search_batch(&batch);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].as_ref().unwrap().matching, 1);
+        assert!(matches!(results[1], Err(EngineError::ViewNotFound(_))));
+        assert_eq!(results[2].as_ref().unwrap().matching, 1);
+        // Batch results equal sequential results.
+        let seq = catalog.search("b", &SearchRequest::new(["databases"])).unwrap();
+        let b = results[0].as_ref().unwrap();
+        assert_eq!(b.hits.len(), seq.hits.len());
+        for (x, y) in b.hits.iter().zip(&seq.hits) {
+            assert_eq!(x.xml, y.xml);
+            assert_eq!(x.score, y.score);
+        }
+    }
+
+    #[test]
+    fn failed_adhoc_prepare_reports_and_does_not_poison_the_cache() {
+        let catalog = ViewCatalog::new(ViewSearchEngine::new(corpus()));
+        let bad = "for $x in fn:doc(zzz.xml)/a return $x";
+        let err = catalog.adhoc(bad).unwrap_err();
+        assert!(matches!(err, EngineError::ViewNotFound(_) | EngineError::UnknownDocument(_)));
+        // The failed entry was dropped: retrying errors again (fresh
+        // prepare), and valid texts are unaffected.
+        let err = catalog.adhoc(bad).unwrap_err();
+        assert!(matches!(err, EngineError::ViewNotFound(_) | EngineError::UnknownDocument(_)));
+        assert!(catalog.adhoc(VIEW_A).is_ok());
+        assert_eq!(catalog.stats().adhoc, 1, "only the good view is resident");
+    }
+
+    #[test]
+    fn catalog_is_send_sync_static() {
+        fn assert_service_grade<T: Send + Sync + 'static>() {}
+        assert_service_grade::<ViewCatalog<Corpus>>();
+        assert_service_grade::<ViewCatalog<vxv_xml::DiskStore>>();
+        assert_service_grade::<NamedRequest>();
+    }
+}

@@ -1,0 +1,151 @@
+//! Cooperative execution controls: per-request deadlines and
+//! cancellation.
+//!
+//! A service cannot let one expensive view search hold a worker hostage.
+//! Both controls ride on the [`crate::request::SearchRequest`]:
+//!
+//! * a **deadline** ([`crate::request::SearchRequest::deadline`]) turns
+//!   into an absolute instant when the search starts and is checked at
+//!   every phase boundary *and* periodically inside the GeneratePDT
+//!   merge loop — the only place a search can spend unbounded time
+//!   before the next boundary;
+//! * a [`CancelToken`] lets the caller abort from another thread. The
+//!   token is a shared flag; searches poll it at the same checkpoints.
+//!
+//! A tripped control aborts with a typed error —
+//! [`crate::engine::EngineError::DeadlineExceeded`] or
+//! [`crate::engine::EngineError::Cancelled`] — carrying the partial
+//! [`crate::request::PhaseTimings`] accumulated so far, so callers can
+//! tell *where* the budget went. An interrupted search never returns a
+//! silently truncated result.
+
+use crate::request::PhaseTimings;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shareable cancellation handle. Clone it, hand one clone to a
+/// [`crate::request::SearchRequest`], keep the other; `cancel()` makes
+/// every search carrying the token abort at its next checkpoint with
+/// [`crate::engine::EngineError::Cancelled`].
+///
+/// ```
+/// use vxv_core::CancelToken;
+/// let token = CancelToken::new();
+/// let watcher = token.clone();
+/// token.cancel();
+/// assert!(watcher.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; wakes nothing — searches notice
+    /// at their next cooperative checkpoint.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has [`Self::cancel`] been called (on any clone)?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Why a search stopped before finishing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Interrupt {
+    /// The request's deadline passed.
+    Deadline,
+    /// The request's cancel token fired.
+    Cancelled,
+}
+
+impl Interrupt {
+    /// Wrap into the public error, attaching the phase work completed so
+    /// far.
+    pub(crate) fn into_error(self, timings: PhaseTimings) -> crate::engine::EngineError {
+        match self {
+            Interrupt::Deadline => crate::engine::EngineError::DeadlineExceeded { timings },
+            Interrupt::Cancelled => crate::engine::EngineError::Cancelled { timings },
+        }
+    }
+}
+
+/// The per-search control block: the request's deadline resolved to an
+/// absolute instant, plus its cancel token.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ExecControl {
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+}
+
+impl ExecControl {
+    /// Resolve a request's controls at search start.
+    pub(crate) fn new(deadline: Option<Duration>, cancel: Option<&CancelToken>) -> Self {
+        ExecControl { deadline: deadline.map(|d| Instant::now() + d), cancel: cancel.cloned() }
+    }
+
+    /// A control block that never trips (internal callers without a
+    /// request).
+    pub(crate) fn unchecked() -> Self {
+        ExecControl::default()
+    }
+
+    /// One cooperative checkpoint.
+    #[inline]
+    pub(crate) fn check(&self) -> Result<(), Interrupt> {
+        if let Some(c) = &self.cancel {
+            if c.is_cancelled() {
+                return Err(Interrupt::Cancelled);
+            }
+        }
+        if let Some(d) = &self.deadline {
+            if Instant::now() >= *d {
+                return Err(Interrupt::Deadline);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unchecked_control_never_trips() {
+        assert!(ExecControl::unchecked().check().is_ok());
+    }
+
+    #[test]
+    fn elapsed_deadline_trips_as_deadline() {
+        let ctl = ExecControl::new(Some(Duration::ZERO), None);
+        assert_eq!(ctl.check().unwrap_err(), Interrupt::Deadline);
+    }
+
+    #[test]
+    fn cancel_token_trips_as_cancelled_across_clones() {
+        let token = CancelToken::new();
+        let ctl = ExecControl::new(None, Some(&token));
+        assert!(ctl.check().is_ok());
+        token.clone().cancel();
+        assert_eq!(ctl.check().unwrap_err(), Interrupt::Cancelled);
+    }
+
+    #[test]
+    fn cancellation_wins_over_an_elapsed_deadline() {
+        // Both tripped: report the explicit user action, not the timer.
+        let token = CancelToken::new();
+        token.cancel();
+        let ctl = ExecControl::new(Some(Duration::ZERO), Some(&token));
+        assert_eq!(ctl.check().unwrap_err(), Interrupt::Cancelled);
+    }
+}

@@ -4,27 +4,35 @@
 //! index-only → regular evaluator over PDTs → score → materialize top-k
 //! from document storage)`.
 //!
-//! [`ViewSearchEngine`] owns the indices and is generic over its
-//! [`DocumentSource`] — the in-memory [`Corpus`], the disk-backed
-//! [`vxv_xml::DiskStore`], or any embedder-supplied backend. The
-//! view-proportional work happens once in [`ViewSearchEngine::prepare`];
-//! the returned [`PreparedView`] answers [`SearchRequest`]s concurrently
-//! (engine and prepared view are `Send + Sync`).
+//! [`ViewSearchEngine`] **owns** its state — `Arc`-shared indices, the
+//! document catalog, and an `Arc` of its [`DocumentSource`] — so engine,
+//! [`PreparedView`] and [`crate::catalog::ViewCatalog`] are all
+//! `Send + Sync + 'static`: they live in servers, thread pools and async
+//! tasks without borrowing anything. Cloning an engine is an `Arc` bump;
+//! every clone shares the same indices, source and work counters.
 //!
-//! Base documents are touched exactly once per returned hit — the final
-//! materialization — which the [`DocumentSource::fetch_count`] counter
-//! lets tests and experiments verify.
+//! The view-proportional work happens once in
+//! [`ViewSearchEngine::prepare`]; the returned [`PreparedView`] answers
+//! [`crate::request::SearchRequest`]s concurrently. Base documents are
+//! touched exactly once per returned hit — the final materialization —
+//! which the [`DocumentSource::fetch_count`] counter lets tests and
+//! experiments verify.
 
 use crate::generate::DocMeta;
 use crate::prepared::PreparedView;
 use crate::qpt_gen::QptGenError;
-use crate::request::{PhaseTimings, SearchHit, SearchRequest};
-use crate::scoring::KeywordMode;
+use crate::request::{PhaseTimings, SearchRequest};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 use vxv_index::{IndexBundle, InvertedIndex, PathIndex};
 use vxv_xml::{Corpus, DiskStore, DocumentSource};
 use vxv_xquery::{parse_query, EvalError, Query, QueryParseError};
+
+#[cfg(feature = "legacy-api")]
+use crate::request::SearchHit;
+#[cfg(feature = "legacy-api")]
+use crate::scoring::KeywordMode;
 
 /// Anything that can go wrong while answering a keyword-search-over-view
 /// query.
@@ -40,6 +48,22 @@ pub enum EngineError {
     UnknownDocument(String),
     /// The document source failed while materializing a hit.
     Source(vxv_xml::source::SourceError),
+    /// The request carried no non-empty keyword; nothing to rank.
+    EmptyQuery,
+    /// No view with that name is registered in the catalog.
+    ViewNotFound(String),
+    /// The request's deadline passed before the search finished. Carries
+    /// the phase work completed up to the abort.
+    DeadlineExceeded {
+        /// Partial per-phase wall-clock costs at the moment of abort.
+        timings: PhaseTimings,
+    },
+    /// The request's [`crate::CancelToken`] fired. Carries the phase work
+    /// completed up to the abort.
+    Cancelled {
+        /// Partial per-phase wall-clock costs at the moment of abort.
+        timings: PhaseTimings,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -50,6 +74,16 @@ impl fmt::Display for EngineError {
             EngineError::Eval(e) => write!(f, "{e}"),
             EngineError::UnknownDocument(d) => write!(f, "unknown document '{d}'"),
             EngineError::Source(e) => write!(f, "{e}"),
+            EngineError::EmptyQuery => {
+                write!(f, "search request carries no non-empty keyword")
+            }
+            EngineError::ViewNotFound(name) => write!(f, "no view named '{name}' in catalog"),
+            EngineError::DeadlineExceeded { timings } => {
+                write!(f, "deadline exceeded after {:?}", timings.total())
+            }
+            EngineError::Cancelled { timings } => {
+                write!(f, "search cancelled after {:?}", timings.total())
+            }
         }
     }
 }
@@ -74,6 +108,17 @@ impl From<EvalError> for EngineError {
     }
 }
 
+/// The engine's shared state: catalog, indices and source. Everything a
+/// [`PreparedView`] or a [`crate::catalog::ViewCatalog`] needs to answer
+/// searches, behind one `Arc` so prepared state never dangles.
+pub(crate) struct EngineInner<S: DocumentSource> {
+    corpus: Option<Arc<Corpus>>,
+    catalog: HashMap<String, DocMeta>,
+    path_index: Arc<PathIndex>,
+    inverted: Arc<InvertedIndex>,
+    source: Arc<S>,
+}
+
 /// The keyword-search-over-virtual-views engine, generic over where the
 /// top-k hits are materialized from.
 ///
@@ -84,12 +129,28 @@ impl From<EvalError> for EngineError {
 /// Prepare-time document metadata (root tag and ordinal per document
 /// name) lives in a small catalog, so a cold engine never touches base
 /// documents outside top-k materialization.
-pub struct ViewSearchEngine<'c, S: DocumentSource = Corpus> {
-    corpus: Option<&'c Corpus>,
-    catalog: HashMap<String, DocMeta>,
-    path_index: PathIndex,
-    inverted: InvertedIndex,
-    source: &'c S,
+///
+/// The engine is a cheap `Arc` handle: clone it freely, share it across
+/// threads, move it into a server. Constructors accept owned values or
+/// `Arc`s (`impl Into<Arc<_>>`), so callers that still need the corpus or
+/// store afterwards pass an `Arc` clone and keep their handle.
+pub struct ViewSearchEngine<S: DocumentSource = Corpus> {
+    inner: Arc<EngineInner<S>>,
+}
+
+impl<S: DocumentSource> Clone for ViewSearchEngine<S> {
+    fn clone(&self) -> Self {
+        ViewSearchEngine { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<S: DocumentSource> fmt::Debug for ViewSearchEngine<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ViewSearchEngine")
+            .field("documents", &self.inner.catalog.len())
+            .field("source", &self.inner.source.kind())
+            .finish_non_exhaustive()
+    }
 }
 
 fn corpus_catalog(corpus: &Corpus) -> HashMap<String, DocMeta> {
@@ -109,42 +170,50 @@ fn corpus_catalog(corpus: &Corpus) -> HashMap<String, DocMeta> {
         .collect()
 }
 
-impl<'c> ViewSearchEngine<'c, Corpus> {
-    /// Build indices over `corpus` and materialize from it.
-    pub fn new(corpus: &'c Corpus) -> Self {
+impl ViewSearchEngine<Corpus> {
+    /// Build indices over `corpus` and materialize from it. Pass an
+    /// `Arc<Corpus>` (keeping a clone) when the caller still needs the
+    /// corpus — e.g. to read its fetch counters.
+    pub fn new(corpus: impl Into<Arc<Corpus>>) -> Self {
+        let corpus = corpus.into();
         ViewSearchEngine {
-            corpus: Some(corpus),
-            catalog: corpus_catalog(corpus),
-            path_index: PathIndex::build(corpus),
-            inverted: InvertedIndex::build(corpus),
-            source: corpus,
+            inner: Arc::new(EngineInner {
+                catalog: corpus_catalog(&corpus),
+                path_index: Arc::new(PathIndex::build(&corpus)),
+                inverted: Arc::new(InvertedIndex::build(&corpus)),
+                source: Arc::clone(&corpus),
+                corpus: Some(corpus),
+            }),
         }
     }
 
     /// Reuse pre-built indices.
     pub fn with_indices(
-        corpus: &'c Corpus,
-        path_index: PathIndex,
-        inverted: InvertedIndex,
+        corpus: impl Into<Arc<Corpus>>,
+        path_index: impl Into<Arc<PathIndex>>,
+        inverted: impl Into<Arc<InvertedIndex>>,
     ) -> Self {
+        let corpus = corpus.into();
         ViewSearchEngine {
-            corpus: Some(corpus),
-            catalog: corpus_catalog(corpus),
-            path_index,
-            inverted,
-            source: corpus,
+            inner: Arc::new(EngineInner {
+                catalog: corpus_catalog(&corpus),
+                path_index: path_index.into(),
+                inverted: inverted.into(),
+                source: Arc::clone(&corpus),
+                corpus: Some(corpus),
+            }),
         }
     }
 }
 
-impl<'c> ViewSearchEngine<'c, DiskStore> {
+impl ViewSearchEngine<DiskStore> {
     /// Cold-open an engine over persisted state: indices and document
     /// catalog from an [`IndexBundle`], base data from a [`DiskStore`].
     /// No corpus exists — searches are answered without re-tokenizing or
     /// re-walking any base document.
-    pub fn open(store: &'c DiskStore, bundle: IndexBundle) -> Self {
-        let catalog = bundle
-            .docs
+    pub fn open(store: impl Into<Arc<DiskStore>>, bundle: IndexBundle) -> Self {
+        let (path_index, inverted, docs) = bundle.into_shared();
+        let catalog = docs
             .iter()
             .map(|d| {
                 (
@@ -158,73 +227,85 @@ impl<'c> ViewSearchEngine<'c, DiskStore> {
             })
             .collect();
         ViewSearchEngine {
-            corpus: None,
-            catalog,
-            path_index: bundle.path_index,
-            inverted: bundle.inverted,
-            source: store,
+            inner: Arc::new(EngineInner {
+                corpus: None,
+                catalog,
+                path_index,
+                inverted,
+                source: store.into(),
+            }),
         }
     }
 }
 
-impl<'c, S: DocumentSource> ViewSearchEngine<'c, S> {
+impl<S: DocumentSource> ViewSearchEngine<S> {
     /// Materialize top-k hits from `source` instead of the current
     /// backend. Indices and prepared plans are unaffected — only the
-    /// final per-hit base-data reads move.
-    pub fn with_source<T: DocumentSource>(self, source: &'c T) -> ViewSearchEngine<'c, T> {
+    /// final per-hit base-data reads move. The indices stay shared
+    /// (`Arc`), so this is cheap whenever the catalog is.
+    pub fn with_source<T: DocumentSource>(&self, source: impl Into<Arc<T>>) -> ViewSearchEngine<T> {
         ViewSearchEngine {
-            corpus: self.corpus,
-            catalog: self.catalog,
-            path_index: self.path_index,
-            inverted: self.inverted,
-            source,
+            inner: Arc::new(EngineInner {
+                corpus: self.inner.corpus.clone(),
+                catalog: self.inner.catalog.clone(),
+                path_index: Arc::clone(&self.inner.path_index),
+                inverted: Arc::clone(&self.inner.inverted),
+                source: source.into(),
+            }),
         }
     }
 
     /// Route top-k materialization through disk-backed document storage.
+    #[cfg(feature = "legacy-api")]
     #[deprecated(since = "0.1.0", note = "use `with_source(store)`")]
     pub fn with_store(
-        self,
-        store: &'c vxv_xml::DiskStore,
-    ) -> ViewSearchEngine<'c, vxv_xml::DiskStore> {
+        &self,
+        store: impl Into<Arc<vxv_xml::DiskStore>>,
+    ) -> ViewSearchEngine<vxv_xml::DiskStore> {
         self.with_source(store)
     }
 
     /// The corpus the indices were built over, if the engine was
     /// constructed from one (`None` after a cold [`Self::open`]).
-    pub fn corpus(&self) -> Option<&'c Corpus> {
-        self.corpus
+    pub fn corpus(&self) -> Option<&Corpus> {
+        self.inner.corpus.as_deref()
     }
 
     /// Catalog metadata for one document name (root tag and ordinal).
     pub fn doc_meta(&self, name: &str) -> Option<&DocMeta> {
-        self.catalog.get(name)
+        self.inner.catalog.get(name)
     }
 
     /// The engine's path index (for experiments reporting probe work).
     pub fn path_index(&self) -> &PathIndex {
-        &self.path_index
+        &self.inner.path_index
     }
 
     /// The engine's inverted index.
     pub fn inverted_index(&self) -> &InvertedIndex {
-        &self.inverted
+        &self.inner.inverted
     }
 
     /// The base-data backend hits are materialized from.
-    pub fn source(&self) -> &'c S {
-        self.source
+    pub fn source(&self) -> &S {
+        &self.inner.source
+    }
+
+    /// An owned handle to the base-data backend.
+    pub fn source_arc(&self) -> Arc<S> {
+        Arc::clone(&self.inner.source)
     }
 
     /// Analyze the view text once — parse, QPT generation, and the
     /// `PrepareLists` probe phase — into a [`PreparedView`] that answers
-    /// many [`SearchRequest`]s.
-    pub fn prepare(&self, view: &str) -> Result<PreparedView<'_, 'c, S>, EngineError> {
+    /// many [`SearchRequest`]s. The prepared view owns an engine handle;
+    /// it outlives this binding and moves freely across threads.
+    pub fn prepare(&self, view: &str) -> Result<PreparedView<S>, EngineError> {
         self.prepare_query(parse_query(view)?)
     }
 
     /// As [`Self::prepare`], over an already-parsed view.
-    pub fn prepare_query(&self, query: Query) -> Result<PreparedView<'_, 'c, S>, EngineError> {
+    pub fn prepare_query(&self, query: Query) -> Result<PreparedView<S>, EngineError> {
         PreparedView::build(self, query)
     }
 
@@ -239,11 +320,13 @@ impl<'c, S: DocumentSource> ViewSearchEngine<'c, S> {
 
     /// Run a ranked keyword search over the virtual view defined by the
     /// XQuery text `view`.
+    #[cfg(feature = "legacy-api")]
     #[deprecated(
         since = "0.1.0",
         note = "use `prepare(view)` + `PreparedView::search(&SearchRequest)`; \
                 this shim re-prepares the view on every call"
     )]
+    #[allow(deprecated)]
     pub fn search(
         &self,
         view: &str,
@@ -257,10 +340,12 @@ impl<'c, S: DocumentSource> ViewSearchEngine<'c, S> {
     }
 
     /// As the deprecated `search`, over a pre-parsed view.
+    #[cfg(feature = "legacy-api")]
     #[deprecated(
         since = "0.1.0",
         note = "use `prepare_query(query)` + `PreparedView::search(&SearchRequest)`"
     )]
+    #[allow(deprecated)]
     pub fn search_query(
         &self,
         query: &Query,
@@ -276,6 +361,7 @@ impl<'c, S: DocumentSource> ViewSearchEngine<'c, S> {
 
     /// Explain how a keyword search over `view` would be answered —
     /// without running the query.
+    #[cfg(feature = "legacy-api")]
     #[deprecated(
         since = "0.1.0",
         note = "use `prepare(view)` + `PreparedView::plan(keywords)`, or \
@@ -292,6 +378,8 @@ impl<'c, S: DocumentSource> ViewSearchEngine<'c, S> {
 
 /// What the deprecated one-shot `search` reports (the prepared API's
 /// [`crate::request::SearchResponse`] supersedes this).
+#[cfg(feature = "legacy-api")]
+#[deprecated(since = "0.1.0", note = "use the prepared API's `SearchResponse`")]
 #[derive(Debug)]
 pub struct SearchOutcome {
     /// Ranked, materialized hits.
@@ -310,6 +398,8 @@ pub struct SearchOutcome {
     pub fetches: u64,
 }
 
+#[cfg(feature = "legacy-api")]
+#[allow(deprecated)]
 impl SearchOutcome {
     fn from_response(r: crate::request::SearchResponse) -> Self {
         SearchOutcome {
@@ -327,6 +417,7 @@ impl SearchOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scoring::KeywordMode;
 
     fn corpus() -> Corpus {
         let mut c = Corpus::new();
@@ -363,8 +454,7 @@ mod tests {
 
     #[test]
     fn end_to_end_conjunctive_search_on_the_running_example() {
-        let c = corpus();
-        let engine = ViewSearchEngine::new(&c);
+        let engine = ViewSearchEngine::new(corpus());
         let view = engine.prepare(VIEW).unwrap();
         let out = view.search(&SearchRequest::new(["XML", "search"])).unwrap();
         // View has two elements (books 111 and 222; book 333 fails year).
@@ -382,9 +472,20 @@ mod tests {
     }
 
     #[test]
+    fn prepared_view_outlives_the_engine_binding() {
+        // The whole point of the owned API: prepared state keeps the
+        // engine alive, not the other way round.
+        let view = {
+            let engine = ViewSearchEngine::new(corpus());
+            engine.prepare(VIEW).unwrap()
+        };
+        let out = view.search(&SearchRequest::new(["XML", "search"])).unwrap();
+        assert_eq!(out.matching, 1);
+    }
+
+    #[test]
     fn disjunctive_search_matches_any_keyword() {
-        let c = corpus();
-        let engine = ViewSearchEngine::new(&c);
+        let engine = ViewSearchEngine::new(corpus());
         let view = engine.prepare(VIEW).unwrap();
         let out = view
             .search(&SearchRequest::new(["intelligence", "xml"]).mode(KeywordMode::Disjunctive))
@@ -394,8 +495,8 @@ mod tests {
 
     #[test]
     fn base_data_is_fetched_only_for_top_k() {
-        let c = corpus();
-        let engine = ViewSearchEngine::new(&c);
+        let c = Arc::new(corpus());
+        let engine = ViewSearchEngine::new(Arc::clone(&c));
         let view = engine.prepare(VIEW).unwrap();
         c.reset_fetch_count();
         let out = view.search(&SearchRequest::new(["search"]).top_k(1)).unwrap();
@@ -409,8 +510,8 @@ mod tests {
 
     #[test]
     fn skipping_materialization_touches_no_base_data() {
-        let c = corpus();
-        let engine = ViewSearchEngine::new(&c);
+        let c = Arc::new(corpus());
+        let engine = ViewSearchEngine::new(Arc::clone(&c));
         let view = engine.prepare(VIEW).unwrap();
         c.reset_fetch_count();
         let out = view.search(&SearchRequest::new(["search"]).materialize(false)).unwrap();
@@ -425,8 +526,7 @@ mod tests {
 
     #[test]
     fn timing_collection_can_be_disabled() {
-        let c = corpus();
-        let engine = ViewSearchEngine::new(&c);
+        let engine = ViewSearchEngine::new(corpus());
         let view = engine.prepare(VIEW).unwrap();
         let with = view.search(&SearchRequest::new(["xml"])).unwrap();
         assert!(with.timings.is_some());
@@ -436,8 +536,7 @@ mod tests {
 
     #[test]
     fn byte_lengths_match_materialized_output() {
-        let c = corpus();
-        let engine = ViewSearchEngine::new(&c);
+        let engine = ViewSearchEngine::new(corpus());
         let out = engine.prepare(VIEW).unwrap().search(&SearchRequest::new(["xml"])).unwrap();
         for hit in &out.hits {
             assert_eq!(hit.byte_len, hit.xml.len() as u64, "hit: {}", hit.xml);
@@ -446,27 +545,39 @@ mod tests {
 
     #[test]
     fn unknown_documents_are_reported_at_prepare_time() {
-        let c = corpus();
-        let engine = ViewSearchEngine::new(&c);
+        let engine = ViewSearchEngine::new(corpus());
         let e = engine.prepare("for $x in fn:doc(zzz.xml)/a return $x").unwrap_err();
         assert!(matches!(e, EngineError::UnknownDocument(_)), "{e}");
     }
 
     #[test]
+    fn empty_keyword_requests_are_rejected_up_front() {
+        let engine = ViewSearchEngine::new(corpus());
+        let view = engine.prepare(VIEW).unwrap();
+        let no_keywords: [&str; 0] = [];
+        let e = view.search(&SearchRequest::new(no_keywords)).unwrap_err();
+        assert!(matches!(e, EngineError::EmptyQuery), "{e}");
+        // Whitespace-only keywords are just as empty.
+        let e = view.search(&SearchRequest::new(["", "  ", "\t"])).unwrap_err();
+        assert!(matches!(e, EngineError::EmptyQuery), "{e}");
+        // One real keyword among empties is fine.
+        assert!(view.search(&SearchRequest::new(["", "xml"])).is_ok());
+    }
+
+    #[test]
     fn pdt_stats_are_reported_per_document() {
-        let c = corpus();
-        let engine = ViewSearchEngine::new(&c);
+        let engine = ViewSearchEngine::new(corpus());
         let out = engine.prepare(VIEW).unwrap().search(&SearchRequest::new(["xml"])).unwrap();
         assert_eq!(out.pdt_stats.len(), 2);
         assert_eq!(out.pdt_stats[0].0, "books.xml");
         assert!(out.pdt_stats[0].1.emitted > 0);
     }
 
+    #[cfg(feature = "legacy-api")]
     #[test]
     #[allow(deprecated)]
     fn legacy_one_shot_search_matches_prepared_search() {
-        let c = corpus();
-        let engine = ViewSearchEngine::new(&c);
+        let engine = ViewSearchEngine::new(corpus());
         let legacy = engine.search(VIEW, &["XML", "search"], 10, KeywordMode::Conjunctive).unwrap();
         let prepared =
             engine.prepare(VIEW).unwrap().search(&SearchRequest::new(["XML", "search"])).unwrap();
@@ -482,19 +593,20 @@ mod tests {
     }
 
     #[test]
-    fn engine_and_prepared_view_are_send_and_sync() {
-        fn assert_send_sync<T: Send + Sync>() {}
-        assert_send_sync::<ViewSearchEngine<'_, Corpus>>();
-        assert_send_sync::<ViewSearchEngine<'_, vxv_xml::DiskStore>>();
-        assert_send_sync::<PreparedView<'_, '_, Corpus>>();
-        assert_send_sync::<SearchRequest>();
-        assert_send_sync::<crate::request::SearchResponse>();
+    fn engine_and_prepared_view_are_send_sync_and_static() {
+        fn assert_service_grade<T: Send + Sync + 'static>() {}
+        assert_service_grade::<ViewSearchEngine<Corpus>>();
+        assert_service_grade::<ViewSearchEngine<vxv_xml::DiskStore>>();
+        assert_service_grade::<PreparedView<Corpus>>();
+        assert_service_grade::<PreparedView<vxv_xml::DiskStore>>();
+        assert_service_grade::<SearchRequest>();
+        assert_service_grade::<crate::request::SearchResponse>();
+        assert_service_grade::<crate::CancelToken>();
     }
 
     #[test]
     fn concurrent_searches_share_one_prepared_view() {
-        let c = corpus();
-        let engine = ViewSearchEngine::new(&c);
+        let engine = ViewSearchEngine::new(corpus());
         let view = engine.prepare(VIEW).unwrap();
         let baseline = view.search(&SearchRequest::new(["XML", "search"])).unwrap();
         std::thread::scope(|s| {
@@ -515,6 +627,17 @@ mod tests {
             }
         });
     }
+
+    #[test]
+    fn prepared_views_move_across_threads() {
+        // Owned prepared state: prepare here, search over there.
+        let engine = ViewSearchEngine::new(corpus());
+        let view = engine.prepare(VIEW).unwrap();
+        let handle = std::thread::spawn(move || {
+            view.search(&SearchRequest::new(["XML", "search"])).unwrap().matching
+        });
+        assert_eq!(handle.join().unwrap(), 1);
+    }
 }
 
 #[cfg(test)]
@@ -530,7 +653,7 @@ mod plan_tests {
              <book><isbn>2</isbn><title>other</title><year>1990</year></book></books>",
         )
         .unwrap();
-        let engine = ViewSearchEngine::new(&c);
+        let engine = ViewSearchEngine::new(c);
         let view = engine
             .prepare(
                 "for $b in fn:doc(books.xml)/books//book where $b/year > 1995 \
@@ -555,7 +678,7 @@ mod plan_tests {
     fn plan_rides_along_with_a_search_when_requested() {
         let mut c = Corpus::new();
         c.add_parsed("d.xml", "<r><e><v>xml data</v></e></r>").unwrap();
-        let engine = ViewSearchEngine::new(&c);
+        let engine = ViewSearchEngine::new(c);
         let view = engine.prepare("for $e in fn:doc(d.xml)/r/e return $e/v").unwrap();
         let out = view.search(&SearchRequest::new(["xml"]).with_plan(true)).unwrap();
         let plan = out.plan.expect("plan requested");
@@ -566,8 +689,7 @@ mod plan_tests {
 
     #[test]
     fn prepare_rejects_unknown_documents() {
-        let c = Corpus::new();
-        let engine = ViewSearchEngine::new(&c);
+        let engine = ViewSearchEngine::new(Corpus::new());
         let e = engine.prepare("for $x in fn:doc(a.xml)/r return $x").unwrap_err();
         assert!(matches!(e, EngineError::UnknownDocument(_)));
     }

@@ -28,6 +28,7 @@
 //! fully decoded entry vectors as the reference implementation; the
 //! property suite asserts both merges produce byte-identical PDTs.
 
+use crate::control::{ExecControl, Interrupt};
 use crate::pdt::{Pdt, PdtElem};
 use crate::prepare::{prepare_lists, MaterializedLists, PreparedLists};
 use crate::qpt::{Qpt, QptNodeId};
@@ -35,6 +36,11 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use vxv_index::{Axis, EntryCursor, InvertedIndex, PathIndex};
 use vxv_xml::DeweyId;
+
+/// How many merge-loop entries are consumed between cooperative
+/// deadline/cancellation checks. Amortizes the `Instant::now()` cost to
+/// noise while bounding overrun to one small batch.
+const CHECK_EVERY: usize = 1024;
 
 /// Catalog facts about the projected document (not base data: name, root
 /// tag and root ordinal are schema-level metadata).
@@ -139,6 +145,21 @@ pub fn generate_pdt_from_lists(
     keywords: &[String],
     meta: &DocMeta,
 ) -> (Pdt, GenerateStats) {
+    generate_pdt_from_lists_ctl(qpt, lists, inverted, keywords, meta, &ExecControl::unchecked())
+        .expect("unchecked control never interrupts")
+}
+
+/// As [`generate_pdt_from_lists`], polling `ctl` every [`CHECK_EVERY`]
+/// consumed entries — the merge loop is the one place a search can spend
+/// unbounded time between phase boundaries.
+pub(crate) fn generate_pdt_from_lists_ctl(
+    qpt: &Qpt,
+    lists: &PreparedLists,
+    inverted: &InvertedIndex,
+    keywords: &[String],
+    meta: &DocMeta,
+    ctl: &ExecControl,
+) -> Result<(Pdt, GenerateStats), Interrupt> {
     let mut sweep = new_sweep(qpt, lists.probes);
 
     // One stream per selected index row, ordered (probed node, row) so
@@ -191,13 +212,16 @@ pub fn generate_pdt_from_lists(
     while let Some(Reverse(HeapItem { entry, si })) = heap.pop() {
         let s = &mut streams[si];
         sweep.stats.entries += 1;
+        if sweep.stats.entries.is_multiple_of(CHECK_EVERY) {
+            ctl.check()?;
+        }
         let alignment = &lists.alignments[&(s.qnode, s.path_id)];
         sweep.ingest(entry.id, s.qnode, s.value, entry.byte_len, alignment);
         if let Some(next) = s.cursor.next() {
             heap.push(Reverse(HeapItem { entry: next, si }));
         }
     }
-    finish_sweep(sweep, inverted, keywords, meta)
+    finish_sweep_ctl(sweep, inverted, keywords, meta, ctl)
 }
 
 /// The seed's merge — a linear min-scan over fully materialized entry
@@ -263,11 +287,24 @@ fn new_sweep(qpt: &Qpt, probes: usize) -> Sweep<'_> {
 /// Drain the candidate stack, annotate term frequencies from the
 /// inverted index, and assemble the PDT.
 fn finish_sweep(
-    mut sweep: Sweep<'_>,
+    sweep: Sweep<'_>,
     inverted: &InvertedIndex,
     keywords: &[String],
     meta: &DocMeta,
 ) -> (Pdt, GenerateStats) {
+    finish_sweep_ctl(sweep, inverted, keywords, meta, &ExecControl::unchecked())
+        .expect("unchecked control never interrupts")
+}
+
+/// As [`finish_sweep`] with cooperative checks in the tf-annotation loop
+/// (one inverted-index range probe per PDT element).
+fn finish_sweep_ctl(
+    mut sweep: Sweep<'_>,
+    inverted: &InvertedIndex,
+    keywords: &[String],
+    meta: &DocMeta,
+    ctl: &ExecControl,
+) -> Result<(Pdt, GenerateStats), Interrupt> {
     while !sweep.stack.is_empty() {
         sweep.close_top();
     }
@@ -282,14 +319,17 @@ fn finish_sweep(
         &sweep.emitted,
         keywords.len(),
     );
-    for (dewey, info) in pdt.info.iter_mut() {
+    for (i, (dewey, info)) in pdt.info.iter_mut().enumerate() {
+        if (i + 1).is_multiple_of(CHECK_EVERY) {
+            ctl.check()?;
+        }
         if let Some(tf) = &mut info.tf {
             for (k, kw) in keywords.iter().enumerate() {
                 tf[k] = inverted.subtree_tf(kw, dewey);
             }
         }
     }
-    (pdt, stats)
+    Ok((pdt, stats))
 }
 
 impl<'a> Sweep<'a> {

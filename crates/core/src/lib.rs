@@ -4,40 +4,52 @@
 //! A faithful reimplementation of Shao, Guo, Botev, Bhaskar, Chettiar,
 //! Yang & Shanmugasundaram, *Efficient Keyword Search over Virtual XML
 //! Views*, VLDB 2007: ranked keyword search over **unmaterialized** XQuery
-//! views, answered from indices alone.
+//! views, answered from indices alone — grown into an owned,
+//! service-grade API.
 //!
-//! ## The prepared-view API
+//! ## The service API: catalog → prepared view → hit stream
 //!
-//! Work is split by what it is proportional to:
+//! Everything is owned and `Send + Sync + 'static`: an engine is an
+//! `Arc` handle over shared indices and a shared [`DocumentSource`], a
+//! [`PreparedView`] owns its engine handle, and a [`ViewCatalog`] owns
+//! both — so a long-lived server holds the whole stack without a single
+//! borrow. Work is split by what it is proportional to:
 //!
-//! 1. [`ViewSearchEngine::prepare`] — everything proportional to the
-//!    *view definition*, paid once: parse, *Query Pattern Tree*
-//!    generation ([`qpt_gen::generate_qpts`]), and the `PrepareLists`
-//!    probe phase (one path-index probe per QPT node, with pattern
-//!    expansion against the path dictionary). A probe *selects index
-//!    rows* into a cursor plan ([`prepare::PreparedLists`]) — entries
-//!    stay block-compressed inside the index, nothing is copied;
-//! 2. [`PreparedView::search`] — everything proportional to the *query*,
-//!    paid per request: the single-pass index-only *Pruned Document Tree*
-//!    heap merge ([`generate::generate_pdt_from_lists`]) streaming the
-//!    plan's cursors, the regular XQuery evaluator over the PDTs, TF-IDF
-//!    scoring *identical* to the materialized view's (Theorem 4.1), and
-//!    top-k materialization — the only step that touches base documents.
+//! 1. **Register** (view-proportional, paid once) —
+//!    [`ViewCatalog::register`] / [`ViewSearchEngine::prepare`]: parse,
+//!    *Query Pattern Tree* generation ([`qpt_gen::generate_qpts`]), and
+//!    the `PrepareLists` probe phase (one path-index probe per QPT node).
+//!    A probe *selects index rows* into a cursor plan
+//!    ([`prepare::PreparedLists`]) — entries stay block-compressed inside
+//!    the index, nothing is copied. The catalog shares each prepared
+//!    view via `Arc` across any number of threads, and absorbs ad-hoc
+//!    view texts through a capacity-bounded LRU.
+//! 2. **Search** (query-proportional, paid per request) —
+//!    [`PreparedView::search`]: the single-pass index-only *Pruned
+//!    Document Tree* heap merge ([`generate::generate_pdt_from_lists`])
+//!    streaming the plan's cursors, the regular XQuery evaluator over the
+//!    PDTs, TF-IDF scoring *identical* to the materialized view's
+//!    (Theorem 4.1), and top-k materialization — the only step that
+//!    touches base documents. [`PreparedView::hits`] returns the same
+//!    ranking as a pull-based [`HitStream`] that materializes each hit
+//!    on demand instead.
+//!
+//! Requests are service-grade: a [`SearchRequest`] carries keywords, `k`,
+//! conjunctive/disjunctive [`KeywordMode`], output switches, a
+//! [`SearchRequest::deadline`] and a [`CancelToken`]. Deadlines and
+//! cancellation are checked at phase boundaries *and inside the PDT merge
+//! loop*; a tripped control aborts with
+//! [`EngineError::DeadlineExceeded`] / [`EngineError::Cancelled`]
+//! carrying the partial [`PhaseTimings`] — never a silently truncated
+//! result. Batches fan out over [`ViewCatalog::search_batch`]'s worker
+//! pool.
 //!
 //! Indices persist: [`vxv_index::IndexBundle`] serializes them next to a
 //! [`vxv_xml::DiskStore`], and [`ViewSearchEngine::open`] cold-starts an
 //! engine from disk without re-tokenizing or re-walking base documents.
 //!
-//! A [`SearchRequest`] carries keywords, `k`, conjunctive/disjunctive
-//! [`KeywordMode`], and switches for materialization, timing collection,
-//! and plan reporting; a [`SearchResponse`] carries the ranked hits plus
-//! everything the experiments report. The engine is generic over a
-//! [`DocumentSource`] — [`vxv_xml::Corpus`] in memory or
-//! [`vxv_xml::DiskStore`] on disk — and both engine and prepared view are
-//! `Send + Sync`, so one prepared view serves concurrent searches.
-//!
 //! ```
-//! use vxv_core::{SearchRequest, ViewSearchEngine};
+//! use vxv_core::{SearchRequest, ViewCatalog, ViewSearchEngine};
 //! use vxv_xml::Corpus;
 //!
 //! let mut corpus = Corpus::new();
@@ -45,18 +57,37 @@
 //!     "<books><book><title>XML search in practice</title><year>2004</year></book>\
 //!      <book><title>Cooking</title><year>2001</year></book></books>").unwrap();
 //!
-//! let engine = ViewSearchEngine::new(&corpus);
-//! // Pay the view analysis once...
-//! let view = engine.prepare(
+//! // A long-lived service owns the whole stack — no borrows anywhere.
+//! let catalog = ViewCatalog::new(ViewSearchEngine::new(corpus));
+//!
+//! // Pay the view analysis once, under a name...
+//! catalog.register("recent",
 //!     "for $b in fn:doc(books.xml)/books/book where $b/year > 2000 \
 //!      return <hit> { $b/title } </hit>").unwrap();
+//!
 //! // ...then answer any number of keyword searches against it.
-//! let out = view.search(&SearchRequest::new(["xml", "search"]).top_k(10)).unwrap();
+//! let out = catalog.search("recent",
+//!     &SearchRequest::new(["xml", "search"]).top_k(10)).unwrap();
 //! assert_eq!(out.view_size, 2);
 //! assert_eq!(out.hits.len(), 1);
 //! assert!(out.hits[0].xml.contains("XML search in practice"));
+//!
+//! // Or stream the hits, materializing one at a time.
+//! let stream = catalog.get("recent").unwrap()
+//!     .hits(&SearchRequest::new(["xml"])).unwrap();
+//! for hit in stream {
+//!     let hit = hit.unwrap();
+//!     assert!(hit.rank >= 1);
+//! }
 //! ```
+//!
+//! The deprecated PR-1 one-shot surface (`ViewSearchEngine::search`,
+//! `explain`, `SearchOutcome`, …) is gated behind the default-on
+//! `legacy-api` cargo feature for one release; disable default features
+//! to build against the owned API only.
 
+pub mod catalog;
+pub mod control;
 pub mod engine;
 pub mod generate;
 pub mod oracle;
@@ -67,8 +98,11 @@ pub mod qpt;
 pub mod qpt_gen;
 pub mod request;
 pub mod scoring;
+pub mod stream;
 
-pub use engine::{EngineError, SearchOutcome, ViewSearchEngine};
+pub use catalog::{CatalogStats, NamedRequest, ViewCatalog, DEFAULT_ADHOC_CAPACITY};
+pub use control::CancelToken;
+pub use engine::{EngineError, ViewSearchEngine};
 pub use generate::{generate_pdt, DocMeta, GenerateStats};
 pub use pdt::{Pdt, PdtElem, PdtNodeInfo};
 pub use prepare::{prepare_lists, MaterializedLists, NodePlan, PreparedLists};
@@ -77,8 +111,14 @@ pub use qpt::{Qpt, QptEdge, QptNode, QptNodeId};
 pub use qpt_gen::{generate_qpts, QptGenError};
 pub use request::{PhaseTimings, SearchHit, SearchRequest, SearchResponse};
 pub use scoring::{score_and_rank, ElementStats, KeywordMode, ScoredElement, ScoringOutcome};
+pub use stream::HitStream;
+
+#[cfg(feature = "legacy-api")]
+#[allow(deprecated)]
+pub use engine::SearchOutcome;
 
 /// What [`ViewSearchEngine::explain`] used to return.
+#[cfg(feature = "legacy-api")]
 #[deprecated(since = "0.1.0", note = "renamed to `QueryPlan`")]
 pub type ExplainOutput = QueryPlan;
 

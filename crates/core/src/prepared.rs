@@ -10,19 +10,30 @@
 //! the single-pass PDT merge, view evaluation over the PDTs, scoring, and
 //! top-k materialization.
 //!
-//! A `PreparedView` is `Send + Sync`; clone-free concurrent searches from
-//! many threads are the intended use (see the engine tests).
+//! A `PreparedView` **owns** an engine handle (`Arc`-shared state), so it
+//! is `Send + Sync + 'static`: park it in a
+//! [`crate::catalog::ViewCatalog`], share it via `Arc`, move it across
+//! threads — clone-free concurrent searches are the intended use.
+//!
+//! Two execution shapes share one pipeline:
+//!
+//! * [`PreparedView::search`] — run to completion, return a
+//!   [`SearchResponse`];
+//! * [`PreparedView::hits`] — rank, then return a pull-based
+//!   [`HitStream`] that materializes each hit on demand.
 
+use crate::control::ExecControl;
 use crate::engine::{EngineError, ViewSearchEngine};
-use crate::generate::{generate_pdt_from_lists, DocMeta};
+use crate::generate::{generate_pdt_from_lists_ctl, DocMeta, GenerateStats};
 use crate::pdt::Pdt;
 use crate::prepare::{prepare_lists, PreparedLists};
 use crate::qpt::Qpt;
 use crate::qpt_gen::generate_qpts;
 use crate::request::{PhaseTimings, SearchHit, SearchRequest, SearchResponse};
 use crate::scoring::{score_and_rank, ElementStats, ScoringOutcome};
+use crate::stream::{materialize_segments, HitStream, PlannedHit, Segment};
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use vxv_index::tokenize::normalize_keyword;
 use vxv_xml::DocumentSource;
 use vxv_xquery::{
@@ -41,14 +52,15 @@ pub(crate) struct QptPlan {
 }
 
 /// A view with its analysis done: parse + QPT generation + index-probe
-/// planning, ready to answer [`SearchRequest`]s.
-pub struct PreparedView<'e, 'c, S: DocumentSource> {
-    engine: &'e ViewSearchEngine<'c, S>,
+/// planning, ready to answer [`SearchRequest`]s. Owns its engine handle —
+/// no borrows, no lifetimes; see the module docs.
+pub struct PreparedView<S: DocumentSource> {
+    engine: ViewSearchEngine<S>,
     query: Query,
     plans: Vec<QptPlan>,
 }
 
-impl<S: DocumentSource> std::fmt::Debug for PreparedView<'_, '_, S> {
+impl<S: DocumentSource> std::fmt::Debug for PreparedView<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PreparedView")
             .field("qpts", &self.plans.len())
@@ -58,13 +70,24 @@ impl<S: DocumentSource> std::fmt::Debug for PreparedView<'_, '_, S> {
     }
 }
 
-impl<'e, 'c, S: DocumentSource> PreparedView<'e, 'c, S> {
+/// Everything the ranking phases produce, with per-hit materialization
+/// kept symbolic (fully owned — no borrows into the PDTs).
+struct RankedHits {
+    planned: Vec<PlannedHit>,
+    view_size: usize,
+    matching: usize,
+    idf: Vec<f64>,
+    pdt_stats: Vec<(String, GenerateStats, u64)>,
+    t_pdt: Duration,
+    t_eval: Duration,
+    t_score: Duration,
+    plan: Option<QueryPlan>,
+}
+
+impl<S: DocumentSource> PreparedView<S> {
     /// Analyze `query` against `engine`'s indices. Called via
     /// [`ViewSearchEngine::prepare`] / [`ViewSearchEngine::prepare_query`].
-    pub(crate) fn build(
-        engine: &'e ViewSearchEngine<'c, S>,
-        query: Query,
-    ) -> Result<Self, EngineError> {
+    pub(crate) fn build(engine: &ViewSearchEngine<S>, query: Query) -> Result<Self, EngineError> {
         let qpts = generate_qpts(&query)?;
         let mut plans = Vec::with_capacity(qpts.len());
         for qpt in qpts {
@@ -77,12 +100,12 @@ impl<'e, 'c, S: DocumentSource> PreparedView<'e, 'c, S> {
             let lists = prepare_lists(&qpt, engine.path_index(), meta.root_ordinal);
             plans.push(QptPlan { qpt, meta, lists });
         }
-        Ok(PreparedView { engine, query, plans })
+        Ok(PreparedView { engine: engine.clone(), query, plans })
     }
 
-    /// The engine this view was prepared against.
-    pub fn engine(&self) -> &'e ViewSearchEngine<'c, S> {
-        self.engine
+    /// The engine this view was prepared against (a shared handle).
+    pub fn engine(&self) -> &ViewSearchEngine<S> {
+        &self.engine
     }
 
     /// The parsed view definition.
@@ -106,22 +129,112 @@ impl<'e, 'c, S: DocumentSource> PreparedView<'e, 'c, S> {
 
     /// Answer one keyword search. Only keyword-dependent work happens
     /// here; the view analysis is reused from prepare time.
+    ///
+    /// Requests with a [`SearchRequest::deadline`] or
+    /// [`crate::CancelToken`] abort cooperatively with
+    /// [`EngineError::DeadlineExceeded`] / [`EngineError::Cancelled`]
+    /// carrying the partial phase timings — never a panic, never a
+    /// silently truncated response.
     pub fn search(&self, request: &SearchRequest) -> Result<SearchResponse, EngineError> {
+        let ctl = ExecControl::new(request.deadline_budget(), request.cancel());
+        let ranked = self.rank(request, &ctl)?;
+
+        // Final phase: execute each hit's materialization plan.
+        let t3 = Instant::now();
+        let storage = self.engine.source();
+        // Fetches are counted locally (not by diffing the source's global
+        // counter) so concurrent searches on one source each report
+        // exactly their own base-data work.
+        let mut fetches = 0u64;
+        let mut hits: Vec<SearchHit> = Vec::with_capacity(ranked.planned.len());
+        for (i, planned) in ranked.planned.into_iter().enumerate() {
+            ctl.check().map_err(|int| {
+                int.into_error(PhaseTimings {
+                    pdt: ranked.t_pdt,
+                    evaluator: ranked.t_eval,
+                    post: ranked.t_score + t3.elapsed(),
+                })
+            })?;
+            let xml = materialize_segments(&planned.segments, storage, &mut fetches)?;
+            hits.push(SearchHit {
+                rank: i + 1,
+                score: planned.score,
+                tf: planned.tf,
+                byte_len: planned.byte_len,
+                xml,
+            });
+        }
+        let t_post = ranked.t_score + t3.elapsed();
+
+        Ok(SearchResponse {
+            hits,
+            view_size: ranked.view_size,
+            matching: ranked.matching,
+            idf: ranked.idf,
+            timings: request.collects_timings().then_some(PhaseTimings {
+                pdt: ranked.t_pdt,
+                evaluator: ranked.t_eval,
+                post: t_post,
+            }),
+            pdt_stats: ranked.pdt_stats,
+            fetches,
+            plan: ranked.plan,
+        })
+    }
+
+    /// Rank once, then pull hits incrementally: returns a [`HitStream`]
+    /// whose `next()` materializes one scored hit at a time from base
+    /// storage. Hits never pulled never touch base data. Collecting the
+    /// stream yields hits byte-identical to [`Self::search`] on the same
+    /// request; the request's deadline/cancel controls stay armed across
+    /// pulls.
+    pub fn hits(&self, request: &SearchRequest) -> Result<HitStream<S>, EngineError> {
+        let ctl = ExecControl::new(request.deadline_budget(), request.cancel());
+        let ranked = self.rank(request, &ctl)?;
+        Ok(HitStream::new(
+            self.engine.source_arc(),
+            ranked.planned,
+            ranked.view_size,
+            ranked.matching,
+            ranked.idf,
+            PhaseTimings { pdt: ranked.t_pdt, evaluator: ranked.t_eval, post: ranked.t_score },
+            ctl,
+        ))
+    }
+
+    /// The shared ranking pipeline: PDT generation → view evaluation →
+    /// scoring → top-k cut, with each winner's materialization plan kept
+    /// symbolic ([`Segment`]s) instead of expanded.
+    fn rank(&self, request: &SearchRequest, ctl: &ExecControl) -> Result<RankedHits, EngineError> {
         let keywords: Vec<String> =
             request.keywords().iter().map(|s| normalize_keyword(s)).collect();
+        if keywords.iter().all(|k| k.trim().is_empty()) {
+            return Err(EngineError::EmptyQuery);
+        }
 
         // Phase 1: index-only PDTs from the prepared probe lists.
         let t0 = Instant::now();
+        let pdt_timings = |t0: &Instant| PhaseTimings { pdt: t0.elapsed(), ..Default::default() };
         let inverted = self.engine.inverted_index();
         let mut pdts: Vec<Pdt> = Vec::with_capacity(self.plans.len());
         let mut pdt_stats = Vec::with_capacity(self.plans.len());
         for plan in &self.plans {
-            let (pdt, stats) =
-                generate_pdt_from_lists(&plan.qpt, &plan.lists, inverted, &keywords, &plan.meta);
+            ctl.check().map_err(|int| int.into_error(pdt_timings(&t0)))?;
+            let (pdt, stats) = generate_pdt_from_lists_ctl(
+                &plan.qpt,
+                &plan.lists,
+                inverted,
+                &keywords,
+                &plan.meta,
+                ctl,
+            )
+            .map_err(|int| int.into_error(pdt_timings(&t0)))?;
             pdt_stats.push((plan.qpt.doc_name.clone(), stats, pdt.byte_size()));
             pdts.push(pdt);
         }
         let t_pdt = t0.elapsed();
+        ctl.check()
+            .map_err(|int| int.into_error(PhaseTimings { pdt: t_pdt, ..Default::default() }))?;
 
         // Phase 2: the regular evaluator, redirected to the PDTs.
         let t1 = Instant::now();
@@ -129,86 +242,68 @@ impl<'e, 'c, S: DocumentSource> PreparedView<'e, 'c, S> {
         let evaluator = Evaluator::new(&source, &self.query);
         let results = evaluator.eval_query(&self.query)?;
         let t_eval = t1.elapsed();
+        ctl.check().map_err(|int| {
+            int.into_error(PhaseTimings { pdt: t_pdt, evaluator: t_eval, ..Default::default() })
+        })?;
 
-        // Phase 3: score from PDT annotations, rank, materialize top-k.
+        // Phase 3: score from PDT annotations, rank, plan top-k
+        // materialization.
         let t2 = Instant::now();
+        let score_timings =
+            |t2: &Instant| PhaseTimings { pdt: t_pdt, evaluator: t_eval, post: t2.elapsed() };
         let by_name: HashMap<&str, &Pdt> = pdts.iter().map(|p| (p.doc_name.as_str(), p)).collect();
-        let stats: Vec<ElementStats> = results
-            .iter()
-            .map(|item| {
-                let tf: Vec<u32> = (0..keywords.len())
-                    .map(|ki| {
-                        item_sum_with(item, &mut |doc, n| {
-                            by_name
-                                .get(doc.name())
-                                .map(|p| p.tf(&doc.node(n).dewey, ki) as u64)
-                                .unwrap_or(0)
-                        }) as u32
-                    })
-                    .collect();
-                let byte_len = item_byte_len_with(item, &mut |doc, n| {
-                    by_name
-                        .get(doc.name())
-                        .map(|p| p.byte_len(&doc.node(n).dewey) as u64)
-                        .unwrap_or(0)
-                });
-                ElementStats { tf, byte_len }
-            })
-            .collect();
+        let mut stats: Vec<ElementStats> = Vec::with_capacity(results.len());
+        for (i, item) in results.iter().enumerate() {
+            if (i + 1).is_multiple_of(256) {
+                ctl.check().map_err(|int| int.into_error(score_timings(&t2)))?;
+            }
+            let tf: Vec<u32> = (0..keywords.len())
+                .map(|ki| {
+                    item_sum_with(item, &mut |doc, n| {
+                        by_name
+                            .get(doc.name())
+                            .map(|p| p.tf(&doc.node(n).dewey, ki) as u64)
+                            .unwrap_or(0)
+                    }) as u32
+                })
+                .collect();
+            let byte_len = item_byte_len_with(item, &mut |doc, n| {
+                by_name.get(doc.name()).map(|p| p.byte_len(&doc.node(n).dewey) as u64).unwrap_or(0)
+            });
+            stats.push(ElementStats { tf, byte_len });
+        }
         let ScoringOutcome { top, matching, idf, view_size } =
             score_and_rank(&stats, request.keyword_mode(), request.k());
 
-        let storage = self.engine.source();
-        // Fetches are counted locally (not by diffing the source's global
-        // counter) so concurrent searches on one source each report
-        // exactly their own base-data work.
-        let mut fetches = 0u64;
-        let mut source_error: Option<vxv_xml::source::SourceError> = None;
-        let mut hits: Vec<SearchHit> = Vec::with_capacity(top.len());
-        for (i, scored) in top.into_iter().enumerate() {
-            let xml = if request.materializes() {
-                serialize_item_with(&results[scored.index], &mut |doc, n, out| match storage
-                    .subtree_xml(&doc.node(n).dewey)
-                {
-                    Ok(Some(sub)) => {
-                        fetches += 1;
-                        out.push_str(&sub);
-                    }
-                    Ok(None) => {}
-                    Err(e) => {
-                        if source_error.is_none() {
-                            source_error = Some(e);
-                        }
-                    }
-                })
-            } else {
-                String::new()
-            };
-            if let Some(e) = source_error.take() {
-                return Err(EngineError::Source(e));
-            }
-            hits.push(SearchHit {
-                rank: i + 1,
-                score: scored.score,
-                tf: scored.tf,
-                byte_len: scored.byte_len,
-                xml,
-            });
-        }
-        let t_post = t2.elapsed();
+        // Top-k winners become symbolic materialization plans: literal
+        // XML for constructed tags, fetch points for base-data subtrees.
+        let planned: Vec<PlannedHit> = top
+            .into_iter()
+            .map(|scored| {
+                let segments = if request.materializes() {
+                    plan_segments(&results[scored.index])
+                } else {
+                    Vec::new()
+                };
+                PlannedHit {
+                    score: scored.score,
+                    tf: scored.tf,
+                    byte_len: scored.byte_len,
+                    segments,
+                }
+            })
+            .collect();
+        let t_score = t2.elapsed();
 
-        Ok(SearchResponse {
-            hits,
+        Ok(RankedHits {
+            planned,
             view_size,
             matching,
             idf,
-            timings: request.collects_timings().then_some(PhaseTimings {
-                pdt: t_pdt,
-                evaluator: t_eval,
-                post: t_post,
-            }),
             pdt_stats,
-            fetches,
+            t_pdt,
+            t_eval,
+            t_score,
             plan: request.wants_plan().then(|| self.plan(request.keywords())),
         })
     }
@@ -251,6 +346,30 @@ impl<'e, 'c, S: DocumentSource> PreparedView<'e, 'c, S> {
             .collect();
         QueryPlan { qpts, keyword_list_lengths }
     }
+}
+
+/// Split one result item into a symbolic materialization plan: serialize
+/// the constructed skeleton once, record where each base-data subtree
+/// belongs. Executing the plan (in order) reproduces exactly what the
+/// eager path serialized.
+fn plan_segments(item: &vxv_xquery::Item<'_>) -> Vec<Segment> {
+    let mut cuts: Vec<(usize, vxv_xml::DeweyId)> = Vec::new();
+    let skeleton = serialize_item_with(item, &mut |doc, n, out| {
+        cuts.push((out.len(), doc.node(n).dewey.clone()));
+    });
+    let mut segments = Vec::with_capacity(cuts.len() * 2 + 1);
+    let mut prev = 0usize;
+    for (offset, dewey) in cuts {
+        if offset > prev {
+            segments.push(Segment::Text(skeleton[prev..offset].to_string()));
+            prev = offset;
+        }
+        segments.push(Segment::Fetch(dewey));
+    }
+    if prev < skeleton.len() {
+        segments.push(Segment::Text(skeleton[prev..].to_string()));
+    }
+    segments
 }
 
 /// One probe the prepare phase issued for a QPT node.

@@ -6,6 +6,7 @@
 //! lives in [`crate::prepared::PreparedView`]. One prepared view answers
 //! many requests, concurrently.
 
+use crate::control::CancelToken;
 use crate::generate::GenerateStats;
 use crate::prepared::QueryPlan;
 use crate::scoring::KeywordMode;
@@ -31,6 +32,8 @@ pub struct SearchRequest {
     materialize: bool,
     collect_timings: bool,
     with_plan: bool,
+    deadline: Option<Duration>,
+    cancel: Option<CancelToken>,
 }
 
 impl SearchRequest {
@@ -48,6 +51,8 @@ impl SearchRequest {
             materialize: true,
             collect_timings: true,
             with_plan: false,
+            deadline: None,
+            cancel: None,
         }
     }
 
@@ -84,6 +89,24 @@ impl SearchRequest {
         self
     }
 
+    /// Abort the search if it runs longer than `budget`, with
+    /// [`crate::EngineError::DeadlineExceeded`] carrying the partial
+    /// phase timings. The budget is resolved to an absolute instant when
+    /// the search starts and checked at phase boundaries and inside the
+    /// PDT merge loop.
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Attach a cooperative [`CancelToken`]: `cancel()` on any clone of
+    /// the token aborts the search at its next checkpoint with
+    /// [`crate::EngineError::Cancelled`].
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// The raw (un-normalized) keywords.
     pub fn keywords(&self) -> &[String] {
         &self.keywords
@@ -112,6 +135,16 @@ impl SearchRequest {
     /// Whether the plan will be attached.
     pub fn wants_plan(&self) -> bool {
         self.with_plan
+    }
+
+    /// The wall-clock budget, if one was set.
+    pub fn deadline_budget(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The attached cancel token, if any.
+    pub fn cancel(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
     }
 }
 

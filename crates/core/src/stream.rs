@@ -1,0 +1,218 @@
+//! [`HitStream`] — pull-based, incrementally materialized search hits.
+//!
+//! [`crate::PreparedView::search`] answers with a fully materialized
+//! [`crate::SearchResponse`]. A serving tier often wants the opposite
+//! shape: rank once, then pull hits one at a time — fetching base data
+//! *per hit*, stopping early, or interleaving delivery with other work.
+//! [`crate::PreparedView::hits`] returns exactly that.
+//!
+//! The ranking phases (PDT generation, view evaluation, scoring) run
+//! when the stream is created — top-k semantics need the full ranking —
+//! but each hit's **materialization plan** is kept symbolic: a sequence
+//! of literal XML fragments (constructed tags, PDT-resident values)
+//! interleaved with base-data fetch points. Pulling a hit executes its
+//! plan against the engine's [`vxv_xml::DocumentSource`]; hits never
+//! pulled never touch base data.
+//!
+//! Both `search` and the stream execute the same plans, so collecting a
+//! stream yields byte-identical hits to the equivalent `search` call —
+//! the invariant `tests/` pins down. Deadlines and cancel tokens keep
+//! working while pulling: a tripped control yields one `Err` and ends
+//! the stream.
+
+use crate::control::ExecControl;
+use crate::engine::EngineError;
+use crate::request::{PhaseTimings, SearchHit};
+use std::time::{Duration, Instant};
+use vxv_xml::{DeweyId, DocumentSource};
+
+/// One piece of a hit's materialization plan.
+#[derive(Clone, Debug)]
+pub(crate) enum Segment {
+    /// Literal serialized XML (constructed element tags, PDT values).
+    Text(String),
+    /// Expand the base-data subtree rooted at this Dewey ID.
+    Fetch(DeweyId),
+}
+
+/// A ranked hit whose materialization is still pending: scores and
+/// statistics are final, the XML is a plan.
+#[derive(Clone, Debug)]
+pub(crate) struct PlannedHit {
+    pub(crate) score: f64,
+    pub(crate) tf: Vec<u32>,
+    pub(crate) byte_len: u64,
+    pub(crate) segments: Vec<Segment>,
+}
+
+/// Execute one materialization plan against `storage`, counting served
+/// fetches into `fetches`. Shared by [`HitStream`] and
+/// [`crate::PreparedView::search`] so both produce byte-identical XML.
+pub(crate) fn materialize_segments<S: DocumentSource>(
+    segments: &[Segment],
+    storage: &S,
+    fetches: &mut u64,
+) -> Result<String, EngineError> {
+    let mut out = String::new();
+    for seg in segments {
+        match seg {
+            Segment::Text(t) => out.push_str(t),
+            Segment::Fetch(dewey) => match storage.subtree_xml(dewey) {
+                Ok(Some(sub)) => {
+                    *fetches += 1;
+                    out.push_str(&sub);
+                }
+                Ok(None) => {}
+                Err(e) => return Err(EngineError::Source(e)),
+            },
+        }
+    }
+    Ok(out)
+}
+
+/// A pull-based iterator over ranked search hits; see the module docs.
+///
+/// Yields `Result<SearchHit, EngineError>`: materialization reads base
+/// data, and the request's deadline/cancel controls stay armed, so each
+/// pull can fail. After the first `Err` the stream is over. The stream
+/// is `Send + Sync + 'static` — create it on one thread, drain it on
+/// another.
+pub struct HitStream<S: DocumentSource> {
+    storage: std::sync::Arc<S>,
+    planned: std::vec::IntoIter<PlannedHit>,
+    next_rank: usize,
+    fetches: u64,
+    view_size: usize,
+    matching: usize,
+    idf: Vec<f64>,
+    /// Ranking-phase timings (post = scoring only at creation time).
+    base: PhaseTimings,
+    /// Wall-clock spent materializing pulled hits so far.
+    materialize_time: Duration,
+    ctl: ExecControl,
+    done: bool,
+}
+
+impl<S: DocumentSource> HitStream<S> {
+    #[allow(clippy::too_many_arguments)] // crate-internal constructor
+    pub(crate) fn new(
+        storage: std::sync::Arc<S>,
+        planned: Vec<PlannedHit>,
+        view_size: usize,
+        matching: usize,
+        idf: Vec<f64>,
+        base: PhaseTimings,
+        ctl: ExecControl,
+    ) -> Self {
+        HitStream {
+            storage,
+            planned: planned.into_iter(),
+            next_rank: 1,
+            fetches: 0,
+            view_size,
+            matching,
+            idf,
+            base,
+            materialize_time: Duration::ZERO,
+            ctl,
+            done: false,
+        }
+    }
+
+    /// |V(D)| — size of the (virtual) view.
+    pub fn view_size(&self) -> usize {
+        self.view_size
+    }
+
+    /// Matching elements before the top-k cut.
+    pub fn matching(&self) -> usize {
+        self.matching
+    }
+
+    /// Per-keyword idf over the view.
+    pub fn idf(&self) -> &[f64] {
+        &self.idf
+    }
+
+    /// Base-data subtree fetches spent on hits pulled so far.
+    pub fn fetches(&self) -> u64 {
+        self.fetches
+    }
+
+    /// Ranked hits not yet pulled.
+    pub fn remaining(&self) -> usize {
+        self.planned.len()
+    }
+
+    /// Phase timings so far: the ranking phases plus materialization
+    /// time accrued by the hits already pulled.
+    pub fn timings(&self) -> PhaseTimings {
+        PhaseTimings {
+            pdt: self.base.pdt,
+            evaluator: self.base.evaluator,
+            post: self.base.post + self.materialize_time,
+        }
+    }
+}
+
+impl<S: DocumentSource> std::fmt::Debug for HitStream<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HitStream")
+            .field("remaining", &self.planned.len())
+            .field("next_rank", &self.next_rank)
+            .field("matching", &self.matching)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: DocumentSource> Iterator for HitStream<S> {
+    type Item = Result<SearchHit, EngineError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if self.planned.len() == 0 {
+            // Naturally exhausted: fuse, so a later poll (even past the
+            // deadline) stays `None` — a fully delivered result never
+            // turns into an error after the fact.
+            self.done = true;
+            return None;
+        }
+        let t0 = Instant::now();
+        if let Err(int) = self.ctl.check() {
+            self.done = true;
+            return Some(Err(int.into_error(self.timings())));
+        }
+        let planned = self.planned.next()?;
+        let out = materialize_segments(&planned.segments, self.storage.as_ref(), &mut self.fetches);
+        self.materialize_time += t0.elapsed();
+        match out {
+            Ok(xml) => {
+                let rank = self.next_rank;
+                self.next_rank += 1;
+                Some(Ok(SearchHit {
+                    rank,
+                    score: planned.score,
+                    tf: planned.tf,
+                    byte_len: planned.byte_len,
+                    xml,
+                }))
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.done {
+            (0, Some(0))
+        } else {
+            // A pull may yield a control error, so the upper bound gains
+            // one potential item.
+            (0, Some(self.planned.len() + 1))
+        }
+    }
+}

@@ -95,6 +95,15 @@ impl IndexBundle {
         IndexBundle { path_index, inverted, docs }
     }
 
+    /// Split the bundle into `Arc`-shared indices plus the catalog — the
+    /// form a long-lived service owns, where one loaded index backs any
+    /// number of engines, catalogs and prepared views concurrently.
+    pub fn into_shared(
+        self,
+    ) -> (std::sync::Arc<PathIndex>, std::sync::Arc<InvertedIndex>, Vec<DocInfo>) {
+        (std::sync::Arc::new(self.path_index), std::sync::Arc::new(self.inverted), self.docs)
+    }
+
     /// Serialize into `dir/indices.vxi` (directory created if needed).
     /// Returns the written path.
     pub fn save(&self, dir: &Path) -> io::Result<PathBuf> {

@@ -162,7 +162,7 @@ mod tests {
     fn default_experiment_runs_end_to_end() {
         let params = ExperimentParams { data_bytes: 96 * 1024, ..ExperimentParams::default() };
         let corpus = generate(&params.generator_config());
-        let engine = ViewSearchEngine::new(&corpus);
+        let engine = ViewSearchEngine::new(corpus);
         let out = engine
             .prepare(&params.view())
             .unwrap()
@@ -184,7 +184,7 @@ mod tests {
             ..ExperimentParams::default()
         };
         let corpus = generate(&params.generator_config());
-        let engine = ViewSearchEngine::new(&corpus);
+        let engine = ViewSearchEngine::new(corpus);
         let out = engine
             .prepare(&params.view())
             .unwrap()
@@ -198,7 +198,7 @@ mod tests {
         let params =
             ExperimentParams { data_bytes: 64 * 1024, num_joins: 4, ..ExperimentParams::default() };
         let corpus = generate(&params.generator_config());
-        let engine = ViewSearchEngine::new(&corpus);
+        let engine = ViewSearchEngine::new(corpus);
         let out = engine
             .prepare(&params.view())
             .unwrap()

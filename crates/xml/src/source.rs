@@ -8,8 +8,11 @@
 //! produces byte-identical hits) against either — or against any other
 //! backend an embedder supplies (a remote blob store, a cache tier, …).
 //!
-//! Implementations must be `Sync`: a prepared view is shared across
-//! threads, and every search materializes through the same source.
+//! Implementations must be `Send + Sync`: engines and prepared views
+//! *own* their source (shared via `Arc`), live in servers, thread pools
+//! and async tasks, and every search materializes through the same
+//! source concurrently. Owned containers forward the impl — `Arc<S>`,
+//! `Box<S>`, and plain `&S` are all sources whenever `S` is.
 
 use crate::dewey::DeweyId;
 use crate::diskstore::{DiskStore, StoreError};
@@ -41,7 +44,7 @@ impl fmt::Display for SourceError {
 impl std::error::Error for SourceError {}
 
 /// Base-data storage that can materialize one element subtree at a time.
-pub trait DocumentSource: Sync {
+pub trait DocumentSource: Send + Sync {
     /// The serialized XML of the subtree rooted at `dewey`; `Ok(None)` if
     /// the element is not in storage, `Err` if the read itself failed.
     /// Each `Ok(Some(_))` counts as one base-data fetch.
@@ -90,6 +93,37 @@ impl DocumentSource for DiskStore {
 
 /// Forwarding impl so `&S` works wherever an owned source is expected.
 impl<S: DocumentSource + ?Sized> DocumentSource for &S {
+    fn subtree_xml(&self, dewey: &DeweyId) -> Result<Option<String>, SourceError> {
+        (**self).subtree_xml(dewey)
+    }
+
+    fn fetch_count(&self) -> u64 {
+        (**self).fetch_count()
+    }
+
+    fn kind(&self) -> &'static str {
+        (**self).kind()
+    }
+}
+
+/// Shared-ownership forwarding: the service tier hands one source to
+/// many engines/catalogs via `Arc`.
+impl<S: DocumentSource + ?Sized> DocumentSource for std::sync::Arc<S> {
+    fn subtree_xml(&self, dewey: &DeweyId) -> Result<Option<String>, SourceError> {
+        (**self).subtree_xml(dewey)
+    }
+
+    fn fetch_count(&self) -> u64 {
+        (**self).fetch_count()
+    }
+
+    fn kind(&self) -> &'static str {
+        (**self).kind()
+    }
+}
+
+/// Owned forwarding for boxed (possibly type-erased) sources.
+impl<S: DocumentSource + ?Sized> DocumentSource for Box<S> {
     fn subtree_xml(&self, dewey: &DeweyId) -> Result<Option<String>, SourceError> {
         (**self).subtree_xml(dewey)
     }

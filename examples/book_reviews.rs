@@ -45,7 +45,7 @@ fn main() {
     // The aggregation view of Fig. 2: books (year > 1995) with their
     // reviews' content nested beneath them — virtual, defined in XQuery,
     // analyzed once at prepare time.
-    let engine = ViewSearchEngine::new(&corpus);
+    let engine = ViewSearchEngine::new(corpus);
     let view = engine
         .prepare(
             "for $book in fn:doc(books.xml)/books//book \

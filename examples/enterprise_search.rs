@@ -4,15 +4,19 @@
 //! over the shared repository — and scores (idf!) are computed over the
 //! visible view, not the whole corpus, exactly as the semantics demand.
 //!
-//! Each clearance level's view is prepared once, up front — the shape a
-//! production portal would use, with one long-lived [`vxv_core::PreparedView`]
-//! per permission level answering every search at that level.
+//! This is the serving shape [`vxv_core::ViewCatalog`] exists for: one
+//! long-lived catalog owns the engine, each clearance level is a *named*
+//! view registered once, and every search at a level goes through the
+//! shared prepared analysis. A whole shift's worth of queries fans out in
+//! one [`vxv_core::ViewCatalog::search_batch`] call, each request
+//! carrying its own deadline.
 //!
 //! ```sh
 //! cargo run --example enterprise_search
 //! ```
 
-use vxv_core::{SearchRequest, ViewSearchEngine};
+use std::time::Duration;
+use vxv_core::{NamedRequest, SearchRequest, ViewCatalog, ViewSearchEngine};
 use vxv_xml::Corpus;
 
 fn main() {
@@ -35,29 +39,36 @@ fn main() {
         )
         .unwrap();
 
-    let engine = ViewSearchEngine::new(&corpus);
+    // The catalog owns everything; registering a clearance level pays its
+    // view analysis once. A clearance-L view exposes documents with
+    // level < L+1 (i.e. <= L).
+    let catalog = ViewCatalog::new(ViewSearchEngine::new(corpus));
+    for clearance in [1u32, 2, 3] {
+        let text = format!(
+            "for $d in fn:doc(repo.xml)/repo/doc where $d/level < {} \
+             return <res> {{ $d/title }} {{ $d/body }} </res>",
+            clearance + 1
+        );
+        catalog.register(format!("clearance-{clearance}"), &text).expect("view prepares");
+    }
 
-    // A clearance-L view exposes documents with level < L+1 (i.e. <= L).
-    // Prepare all three views once; each then serves every search issued
-    // at that clearance.
-    let views: Vec<_> = [1u32, 2, 3]
+    // One search per clearance level, fanned across the catalog's worker
+    // pool. Every request gets a service-grade deadline.
+    let batch: Vec<NamedRequest> = [1u32, 2, 3]
         .into_iter()
         .map(|clearance| {
-            let text = format!(
-                "for $d in fn:doc(repo.xml)/repo/doc where $d/level < {} \
-                 return <res> {{ $d/title }} {{ $d/body }} </res>",
-                clearance + 1
-            );
-            (clearance, engine.prepare(&text).expect("view prepares"))
+            NamedRequest::new(
+                format!("clearance-{clearance}"),
+                SearchRequest::new(["budget"]).deadline(Duration::from_secs(2)),
+            )
         })
         .collect();
 
-    let request = SearchRequest::new(["budget"]);
-    for (clearance, view) in &views {
-        let out = view.search(&request).unwrap();
+    for (req, result) in batch.iter().zip(catalog.search_batch(&batch)) {
+        let out = result.expect("within deadline");
         println!(
-            "clearance {clearance}: sees {} docs, {} mention 'budget' (idf = {:.3})",
-            out.view_size, out.matching, out.idf[0]
+            "{}: sees {} docs, {} mention 'budget' (idf = {:.3})",
+            req.view, out.view_size, out.matching, out.idf[0]
         );
         for hit in &out.hits {
             println!("   #{} score={:.5} {}", hit.rank, hit.score, hit.xml);
@@ -68,4 +79,9 @@ fn main() {
     // The same query scores differently per level: idf is a property of
     // the *view*, so a level-1 user never learns that higher-clearance
     // budget documents even exist.
+    let stats = catalog.stats();
+    println!(
+        "catalog served {} lookups over {} named views with {} prepares",
+        stats.hits, stats.named, stats.prepares
+    );
 }

@@ -5,14 +5,16 @@
 //!
 //! We generate an INEX-like publication corpus and give each "user" a
 //! view restricted to their interests (a topic keyword filter plus an
-//! author they follow). Each user's view is prepared once when they sign
-//! in; their searches then share the prepared analysis.
+//! author they follow). Per-user views are exactly what the catalog's
+//! **ad-hoc LRU** is for: a user's first search prepares their view, a
+//! returning user hits the cache, and cold users evict whoever has been
+//! idle longest.
 //!
 //! ```sh
 //! cargo run --example personalized_portal
 //! ```
 
-use vxv_core::{KeywordMode, SearchRequest, ViewSearchEngine};
+use vxv_core::{KeywordMode, SearchRequest, ViewCatalog, ViewSearchEngine};
 use vxv_inex::{author_name, generate, GeneratorConfig};
 
 /// The per-user view: publications after `year_floor` by the followed
@@ -28,16 +30,22 @@ fn user_view(followed_author: &str, year_floor: u32) -> String {
 fn main() {
     let corpus =
         generate(&GeneratorConfig { target_bytes: 384 * 1024, ..GeneratorConfig::default() });
-    let engine = ViewSearchEngine::new(&corpus);
+    // The portal keeps at most 8 signed-in users' views prepared.
+    let catalog = ViewCatalog::with_adhoc_capacity(ViewSearchEngine::new(corpus), 8);
 
-    // Two portal users following different authors, different recency.
-    let users = [("alice", author_name(0), 1995), ("bob", author_name(3), 2000)];
+    // Two portal users following different authors, different recency —
+    // and alice comes back for a second session.
+    let users = [
+        ("alice", author_name(0), 1995),
+        ("bob", author_name(3), 2000),
+        ("alice", author_name(0), 1995),
+    ];
 
     let request = SearchRequest::new(["data", "model"]).top_k(3).mode(KeywordMode::Disjunctive);
 
     for (user, author, year) in users {
-        let view = engine.prepare(&user_view(&author, year)).expect("view prepares");
-        let out = view.search(&request).expect("view evaluates");
+        let out =
+            catalog.search_adhoc(&user_view(&author, year), &request).expect("view evaluates");
         println!(
             "user {user}: follows {author}, view holds {} items, {} match 'data|model'",
             out.view_size, out.matching
@@ -54,4 +62,11 @@ fn main() {
         }
         println!();
     }
+
+    // Alice's second session reused her prepared view: 2 prepares, 1 hit.
+    let stats = catalog.stats();
+    println!(
+        "portal cache: {} prepares, {} hits, {} misses ({} views resident)",
+        stats.prepares, stats.hits, stats.misses, stats.adhoc
+    );
 }

@@ -1,13 +1,16 @@
 //! Quickstart: ranked keyword search over a virtual XML view in ~30 lines.
 //!
-//! The flow is `prepare → SearchRequest → SearchResponse`: the view is
-//! analyzed once, then answers any number of keyword searches.
+//! The flow is `ViewCatalog::register → SearchRequest → SearchResponse`:
+//! the view is analyzed once when it is registered under a name, then the
+//! catalog answers any number of keyword searches against it — from any
+//! thread, since catalog, engine and prepared views are all owned and
+//! `Send + Sync`.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use vxv_core::{SearchRequest, ViewSearchEngine};
+use vxv_core::{SearchRequest, ViewCatalog, ViewSearchEngine};
 use vxv_xml::Corpus;
 
 fn main() {
@@ -24,21 +27,25 @@ fn main() {
         )
         .expect("well-formed XML");
 
-    // 2. Prepare a *virtual* view — parsed, analyzed into query pattern
-    //    trees, and probe-planned exactly once. Never materialized.
-    let engine = ViewSearchEngine::new(&corpus);
-    let view = engine
-        .prepare(
+    // 2. Own the stack: the catalog owns the engine, the engine owns the
+    //    indices and the corpus. Register a *virtual* view — parsed,
+    //    analyzed into query pattern trees, and probe-planned exactly
+    //    once. Never materialized.
+    let catalog = ViewCatalog::new(ViewSearchEngine::new(corpus));
+    catalog
+        .register(
+            "modern-books",
             "for $b in fn:doc(books.xml)/books/book \
              where $b/year > 1995 \
              return <hit> { $b/title } </hit>",
         )
         .expect("view is in the supported fragment");
 
-    // 3. Search it — as many times as you like; only the top-k results
-    //    are ever materialized from base data.
-    let out =
-        view.search(&SearchRequest::new(["xml", "services"]).top_k(5)).expect("query evaluates");
+    // 3. Search it by name — as many times as you like; only the top-k
+    //    results are ever materialized from base data.
+    let out = catalog
+        .search("modern-books", &SearchRequest::new(["xml", "services"]).top_k(5))
+        .expect("query evaluates");
 
     println!("view contains {} elements; {} match the keywords", out.view_size, out.matching);
     for hit in &out.hits {
@@ -51,7 +58,20 @@ fn main() {
         );
     }
 
-    // The same prepared view answers a different request for free.
-    let out = view.search(&SearchRequest::new(["intelligence"])).expect("query evaluates");
-    println!("'intelligence' matches {} element(s)", out.matching);
+    // The same registered view answers a different request for free —
+    // here as a pull-based stream that materializes one hit at a time.
+    let view = catalog.get("modern-books").expect("registered above");
+    let stream = view.hits(&SearchRequest::new(["intelligence"])).expect("query evaluates");
+    println!("'intelligence' matches {} element(s):", stream.matching());
+    for hit in stream {
+        let hit = hit.expect("stream pulls cleanly");
+        println!("#{} score={:.4} {}", hit.rank, hit.score, hit.xml);
+    }
+
+    // The catalog kept score: one prepare, two lookups.
+    let stats = catalog.stats();
+    println!(
+        "catalog: {} prepare(s), {} hit(s), {} miss(es)",
+        stats.prepares, stats.hits, stats.misses
+    );
 }

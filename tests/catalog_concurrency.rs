@@ -1,0 +1,185 @@
+//! The catalog under concurrency: N threads × M named views sharing one
+//! `Arc`'d engine must (a) return responses byte-identical to a
+//! single-threaded `search_once` on the same requests, and (b) pay the
+//! view analysis exactly once per registered view — asserted through the
+//! path index's probe counters, which only move when `PrepareLists`
+//! actually probes.
+
+use vxv_core::{
+    CancelToken, HitStream, NamedRequest, SearchRequest, ViewCatalog, ViewSearchEngine,
+};
+use vxv_inex::{generate, ExperimentParams};
+use vxv_xml::{Corpus, DiskStore};
+
+const N_THREADS: usize = 8;
+const ROUNDS: usize = 4;
+
+fn views() -> Vec<(&'static str, String)> {
+    vec![
+        ("flat", vxv_inex::build_view(0, 1)),
+        ("nested", vxv_inex::build_view(0, 3)),
+        ("joined", vxv_inex::build_view(2, 1)),
+        ("deep-joined", vxv_inex::build_view(2, 3)),
+    ]
+}
+
+fn requests() -> Vec<SearchRequest> {
+    vec![
+        SearchRequest::new(["data"]).top_k(5),
+        SearchRequest::new(["data", "model"]).mode(vxv_core::KeywordMode::Disjunctive).top_k(3),
+        SearchRequest::new(["information", "system"]).top_k(10),
+    ]
+}
+
+fn assert_identical(a: &vxv_core::SearchResponse, b: &vxv_core::SearchResponse, ctx: &str) {
+    assert_eq!(a.view_size, b.view_size, "{ctx}");
+    assert_eq!(a.matching, b.matching, "{ctx}");
+    assert_eq!(a.idf, b.idf, "{ctx}");
+    assert_eq!(a.hits.len(), b.hits.len(), "{ctx}");
+    for (x, y) in a.hits.iter().zip(&b.hits) {
+        assert_eq!(x.rank, y.rank, "{ctx}");
+        assert_eq!(x.score, y.score, "{ctx}");
+        assert_eq!(x.tf, y.tf, "{ctx}");
+        assert_eq!(x.byte_len, y.byte_len, "{ctx}");
+        assert_eq!(x.xml, y.xml, "byte-identical hit XML: {ctx}");
+    }
+}
+
+#[test]
+fn n_threads_times_m_views_match_search_once_and_prepare_once() {
+    let params = ExperimentParams { data_bytes: 96 * 1024, ..ExperimentParams::default() };
+    let corpus = generate(&params.generator_config());
+    let engine = ViewSearchEngine::new(corpus);
+    let catalog = ViewCatalog::new(engine.clone());
+
+    // Single-threaded ground truth, computed through the one-shot path
+    // (its own prepare, its own search — fully independent of the
+    // catalog's prepared state).
+    let mut baselines: Vec<Vec<vxv_core::SearchResponse>> = Vec::new();
+    for (_, text) in &views() {
+        baselines.push(requests().iter().map(|r| engine.search_once(text, r).unwrap()).collect());
+    }
+
+    for (name, text) in &views() {
+        catalog.register(*name, text).unwrap();
+    }
+    assert_eq!(catalog.stats().prepares, views().len() as u64);
+    let probes_after_register = engine.path_index().stats().probes;
+
+    std::thread::scope(|s| {
+        for _ in 0..N_THREADS {
+            let catalog = &catalog;
+            let baselines = &baselines;
+            s.spawn(move || {
+                for _ in 0..ROUNDS {
+                    for (vi, (name, _)) in views().iter().enumerate() {
+                        for (ri, request) in requests().iter().enumerate() {
+                            let out = catalog.search(name, request).unwrap();
+                            assert_identical(
+                                &out,
+                                &baselines[vi][ri],
+                                &format!("view {name} request {ri}"),
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Serving N × M × rounds searches re-planned nothing: the path index
+    // was not probed again after registration.
+    assert_eq!(
+        engine.path_index().stats().probes,
+        probes_after_register,
+        "prepare must run once per registered view, never per search"
+    );
+    let stats = catalog.stats();
+    assert_eq!(stats.prepares, views().len() as u64);
+    assert_eq!(
+        stats.hits,
+        (N_THREADS * ROUNDS * views().len() * requests().len()) as u64,
+        "every concurrent search resolved through the shared catalog"
+    );
+}
+
+#[test]
+fn concurrent_batches_match_sequential_search() {
+    let params = ExperimentParams { data_bytes: 64 * 1024, ..ExperimentParams::default() };
+    let corpus = generate(&params.generator_config());
+    let catalog = ViewCatalog::new(ViewSearchEngine::new(corpus));
+    for (name, text) in &views() {
+        catalog.register(*name, text).unwrap();
+    }
+
+    let batch: Vec<NamedRequest> = views()
+        .iter()
+        .flat_map(|(name, _)| requests().into_iter().map(|r| NamedRequest::new(*name, r)))
+        .collect();
+    let sequential: Vec<_> =
+        batch.iter().map(|r| catalog.search(&r.view, &r.request).unwrap()).collect();
+
+    for _ in 0..3 {
+        let results = catalog.search_batch(&batch);
+        assert_eq!(results.len(), batch.len());
+        for ((req, result), baseline) in batch.iter().zip(&results).zip(&sequential) {
+            let out = result.as_ref().unwrap_or_else(|e| panic!("{}: {e}", req.view));
+            assert_identical(out, baseline, &req.view);
+        }
+    }
+}
+
+#[test]
+fn adhoc_lru_prepares_once_under_concurrent_identical_texts() {
+    let params = ExperimentParams { data_bytes: 48 * 1024, ..ExperimentParams::default() };
+    let corpus = generate(&params.generator_config());
+    let catalog = ViewCatalog::new(ViewSearchEngine::new(corpus));
+    let text = vxv_inex::build_view(1, 2);
+    let request = SearchRequest::new(["data"]).top_k(3);
+    let baseline = catalog.search_adhoc(&text, &request).unwrap();
+
+    std::thread::scope(|s| {
+        for _ in 0..N_THREADS {
+            let (catalog, text, request, baseline) = (&catalog, &text, &request, &baseline);
+            s.spawn(move || {
+                for _ in 0..ROUNDS {
+                    let out = catalog.search_adhoc(text, request).unwrap();
+                    assert_identical(&out, baseline, "adhoc");
+                }
+            });
+        }
+    });
+    assert_eq!(catalog.stats().prepares, 1, "identical ad-hoc texts share one prepare");
+}
+
+#[test]
+fn service_types_are_send_sync_and_static() {
+    fn assert_service_grade<T: Send + Sync + 'static>() {}
+    assert_service_grade::<ViewSearchEngine<Corpus>>();
+    assert_service_grade::<ViewSearchEngine<DiskStore>>();
+    assert_service_grade::<vxv_core::PreparedView<Corpus>>();
+    assert_service_grade::<vxv_core::PreparedView<DiskStore>>();
+    assert_service_grade::<ViewCatalog<Corpus>>();
+    assert_service_grade::<ViewCatalog<DiskStore>>();
+    assert_service_grade::<HitStream<Corpus>>();
+    assert_service_grade::<HitStream<DiskStore>>();
+    assert_service_grade::<CancelToken>();
+    assert_service_grade::<NamedRequest>();
+}
+
+#[test]
+fn catalog_moves_into_a_thread_and_outlives_its_creator_scope() {
+    // The ownership redesign in one test: build everything in a scope,
+    // move the catalog (owning engine + indices + corpus) into a thread.
+    let catalog = {
+        let mut corpus = Corpus::new();
+        corpus.add_parsed("d.xml", "<r><e><v>xml data</v></e><e><v>other</v></e></r>").unwrap();
+        let catalog = ViewCatalog::new(ViewSearchEngine::new(corpus));
+        catalog.register("all", "for $e in fn:doc(d.xml)/r/e return $e/v").unwrap();
+        catalog
+    };
+    let handle = std::thread::spawn(move || {
+        catalog.search("all", &SearchRequest::new(["xml"])).unwrap().matching
+    });
+    assert_eq!(handle.join().unwrap(), 1);
+}

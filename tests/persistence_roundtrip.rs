@@ -4,6 +4,7 @@
 //! identically to the in-memory-built one — including the probe work
 //! counters — without ever re-tokenizing or re-walking base documents.
 
+use std::sync::Arc;
 use vxv_core::{IndexBundle, SearchRequest, ViewSearchEngine};
 use vxv_inex::{generate, ExperimentParams};
 use vxv_xml::DiskStore;
@@ -23,13 +24,13 @@ fn cold_open_answers_searches_identically_to_warm_engine() {
     // Warm path: indices built from the corpus, base data on disk.
     let warm_store = DiskStore::persist(&corpus, &dir).unwrap();
     IndexBundle::build(&corpus).save(&dir).unwrap();
-    let warm_engine = ViewSearchEngine::new(&corpus).with_source(&warm_store);
+    let warm_engine = ViewSearchEngine::new(corpus).with_source::<DiskStore>(Arc::new(warm_store));
     let warm_view = warm_engine.prepare(&params.view()).unwrap();
 
     // Cold path: store catalog + indices from disk, no corpus anywhere.
     let cold_store = DiskStore::open(&dir).unwrap();
     let cold_bundle = IndexBundle::load(&dir).unwrap();
-    let cold_engine = ViewSearchEngine::open(&cold_store, cold_bundle);
+    let cold_engine = ViewSearchEngine::open(cold_store, cold_bundle);
     assert!(cold_engine.corpus().is_none(), "cold engine has no corpus");
     let cold_view = cold_engine.prepare(&params.view()).unwrap();
 
@@ -82,9 +83,9 @@ fn cold_open_touches_base_documents_only_for_top_k() {
     IndexBundle::build(&corpus).save(&dir).unwrap();
     drop(corpus);
 
-    let store = DiskStore::open(&dir).unwrap();
+    let store = Arc::new(DiskStore::open(&dir).unwrap());
     let bundle = IndexBundle::load(&dir).unwrap();
-    let engine = ViewSearchEngine::open(&store, bundle);
+    let engine = ViewSearchEngine::open(Arc::clone(&store), bundle);
     let view = engine.prepare(&params.view()).unwrap();
     store.reset_stats();
 
@@ -112,7 +113,7 @@ fn unknown_documents_still_error_on_a_cold_engine() {
 
     let store = DiskStore::open(&dir).unwrap();
     let bundle = IndexBundle::load(&dir).unwrap();
-    let engine = ViewSearchEngine::open(&store, bundle);
+    let engine = ViewSearchEngine::open(store, bundle);
     let err = engine.prepare("for $x in fn:doc(zzz.xml)/a return $x").unwrap_err();
     assert!(matches!(err, vxv_core::EngineError::UnknownDocument(_)), "{err}");
 

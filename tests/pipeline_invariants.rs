@@ -3,6 +3,7 @@
 //! materialization, results are identical with and without the disk
 //! store, and index probe counts stay query-proportional.
 
+use std::sync::Arc;
 use vxv_core::{generate_qpts, SearchRequest, ViewSearchEngine};
 use vxv_inex::{generate, ExperimentParams};
 use vxv_xml::DiskStore;
@@ -17,14 +18,14 @@ fn tmpdir(tag: &str) -> std::path::PathBuf {
 #[test]
 fn disk_backed_and_in_memory_results_are_identical() {
     let params = ExperimentParams { data_bytes: 64 * 1024, ..ExperimentParams::default() };
-    let corpus = generate(&params.generator_config());
+    let corpus = Arc::new(generate(&params.generator_config()));
     let dir = tmpdir("eq");
-    let store = DiskStore::persist(&corpus, &dir).unwrap();
+    let store = Arc::new(DiskStore::persist(&corpus, &dir).unwrap());
 
     let request = SearchRequest::new(params.keywords());
-    let mem_engine = ViewSearchEngine::new(&corpus);
+    let mem_engine = ViewSearchEngine::new(Arc::clone(&corpus));
     let mem = mem_engine.prepare(&params.view()).unwrap().search(&request).unwrap();
-    let disk_engine = ViewSearchEngine::new(&corpus).with_source(&store);
+    let disk_engine = mem_engine.with_source::<DiskStore>(Arc::clone(&store));
     let disk = disk_engine.prepare(&params.view()).unwrap().search(&request).unwrap();
 
     assert_eq!(mem.view_size, disk.view_size);
@@ -39,10 +40,10 @@ fn disk_backed_and_in_memory_results_are_identical() {
 #[test]
 fn base_data_reads_happen_only_for_top_k() {
     let params = ExperimentParams { data_bytes: 64 * 1024, ..ExperimentParams::default() };
-    let corpus = generate(&params.generator_config());
+    let corpus = Arc::new(generate(&params.generator_config()));
     let dir = tmpdir("topk");
-    let store = DiskStore::persist(&corpus, &dir).unwrap();
-    let engine = ViewSearchEngine::new(&corpus).with_source(&store);
+    let store = Arc::new(DiskStore::persist(&corpus, &dir).unwrap());
+    let engine = ViewSearchEngine::new(corpus).with_source::<DiskStore>(Arc::clone(&store));
     let prepared = engine.prepare(&params.view()).unwrap();
 
     store.reset_stats();
@@ -66,10 +67,10 @@ fn base_data_reads_happen_only_for_top_k() {
 #[test]
 fn zero_hits_means_zero_base_reads() {
     let params = ExperimentParams { data_bytes: 48 * 1024, ..ExperimentParams::default() };
-    let corpus = generate(&params.generator_config());
+    let corpus = Arc::new(generate(&params.generator_config()));
     let dir = tmpdir("zero");
-    let store = DiskStore::persist(&corpus, &dir).unwrap();
-    let engine = ViewSearchEngine::new(&corpus).with_source(&store);
+    let store = Arc::new(DiskStore::persist(&corpus, &dir).unwrap());
+    let engine = ViewSearchEngine::new(corpus).with_source::<DiskStore>(Arc::clone(&store));
     let prepared = engine.prepare(&params.view()).unwrap();
     store.reset_stats();
     let out = prepared.search(&SearchRequest::new(["qqqnonexistent"])).unwrap();
@@ -85,7 +86,7 @@ fn probe_counts_are_query_proportional_not_data_proportional() {
     let large = ExperimentParams { data_bytes: 256 * 1024, ..ExperimentParams::default() };
     let probes = |p: &ExperimentParams| {
         let corpus = generate(&p.generator_config());
-        let engine = ViewSearchEngine::new(&corpus);
+        let engine = ViewSearchEngine::new(corpus);
         engine.path_index().reset_stats();
         let prepared = engine.prepare(&p.view()).unwrap();
         prepared.search(&SearchRequest::new(p.keywords())).unwrap();
@@ -99,8 +100,8 @@ fn probe_counts_are_query_proportional_not_data_proportional() {
 #[test]
 fn view_size_scales_with_data_but_pdts_stay_proportionally_small() {
     let params = ExperimentParams { data_bytes: 128 * 1024, ..ExperimentParams::default() };
-    let corpus = generate(&params.generator_config());
-    let engine = ViewSearchEngine::new(&corpus);
+    let corpus = Arc::new(generate(&params.generator_config()));
+    let engine = ViewSearchEngine::new(Arc::clone(&corpus));
     let out = engine
         .prepare(&params.view())
         .unwrap()
@@ -117,7 +118,7 @@ fn view_size_scales_with_data_but_pdts_stay_proportionally_small() {
 fn all_table1_views_run_end_to_end_on_one_corpus() {
     let params = ExperimentParams { data_bytes: 64 * 1024, ..ExperimentParams::default() };
     let corpus = generate(&params.generator_config());
-    let engine = ViewSearchEngine::new(&corpus);
+    let engine = ViewSearchEngine::new(corpus);
     for joins in 0..=4 {
         for nesting in 1..=4 {
             let view = vxv_inex::build_view(joins, nesting);

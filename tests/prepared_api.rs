@@ -7,6 +7,7 @@
 //!   identical hits from the in-memory [`Corpus`] and the disk-backed
 //!   [`DiskStore`] backends.
 
+use std::sync::Arc;
 use vxv_core::{KeywordMode, SearchRequest, ViewSearchEngine};
 use vxv_inex::{generate, ExperimentParams};
 use vxv_xml::{Corpus, DiskStore};
@@ -47,8 +48,7 @@ const VIEW: &str = "for $book in fn:doc(books.xml)/books//book \
 #[test]
 #[allow(deprecated)]
 fn repeated_prepared_searches_match_one_shot_byte_for_byte() {
-    let c = corpus();
-    let engine = ViewSearchEngine::new(&c);
+    let engine = ViewSearchEngine::new(corpus());
     let prepared = engine.prepare(VIEW).unwrap();
 
     for (keywords, mode) in [
@@ -78,8 +78,7 @@ fn repeated_prepared_searches_match_one_shot_byte_for_byte() {
 
 #[test]
 fn view_analysis_happens_once_per_prepare() {
-    let c = corpus();
-    let engine = ViewSearchEngine::new(&c);
+    let engine = ViewSearchEngine::new(corpus());
 
     engine.path_index().reset_stats();
     let prepared = engine.prepare(VIEW).unwrap();
@@ -114,14 +113,14 @@ fn corpus_and_disk_store_backends_produce_identical_hits() {
     let corpus = generate(&params.generator_config());
     let dir = std::env::temp_dir().join(format!("vxv-prepared-src-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let store = DiskStore::persist(&corpus, &dir).unwrap();
+    let store = Arc::new(DiskStore::persist(&corpus, &dir).unwrap());
 
     let request = SearchRequest::new(params.keywords()).top_k(params.top_k);
 
-    let mem_engine = ViewSearchEngine::new(&corpus);
+    let mem_engine = ViewSearchEngine::new(corpus);
     let mem = mem_engine.prepare(&params.view()).unwrap().search(&request).unwrap();
 
-    let disk_engine = ViewSearchEngine::new(&corpus).with_source(&store);
+    let disk_engine = mem_engine.with_source::<DiskStore>(Arc::clone(&store));
     let disk = disk_engine.prepare(&params.view()).unwrap().search(&request).unwrap();
 
     assert_eq!(mem.view_size, disk.view_size);
@@ -149,9 +148,9 @@ fn one_prepared_view_serves_concurrent_requests_across_backends() {
     let corpus = generate(&params.generator_config());
     let dir = std::env::temp_dir().join(format!("vxv-prepared-conc-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let store = DiskStore::persist(&corpus, &dir).unwrap();
+    let store = Arc::new(DiskStore::persist(&corpus, &dir).unwrap());
 
-    let engine = ViewSearchEngine::new(&corpus).with_source(&store);
+    let engine = ViewSearchEngine::new(corpus).with_source::<DiskStore>(store);
     let prepared = engine.prepare(&params.view()).unwrap();
     let request = SearchRequest::new(params.keywords()).top_k(3);
     let baseline = prepared.search(&request).unwrap();

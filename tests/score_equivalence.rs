@@ -8,15 +8,16 @@
 //! with both conjunctive and disjunctive semantics and every keyword
 //! selectivity class.
 
+use std::sync::Arc;
 use vxv_baselines::BaselineEngine;
 use vxv_core::{KeywordMode, SearchRequest, ViewSearchEngine};
 use vxv_inex::{generate, ExperimentParams, Selectivity};
 
 fn assert_equivalent(params: &ExperimentParams, keywords: &[&str], mode: KeywordMode) {
-    let corpus = generate(&params.generator_config());
+    let corpus = Arc::new(generate(&params.generator_config()));
     let view = params.view();
 
-    let engine = ViewSearchEngine::new(&corpus);
+    let engine = ViewSearchEngine::new(Arc::clone(&corpus));
     let efficient = engine
         .prepare(&view)
         .and_then(|v| v.search(&SearchRequest::new(keywords).top_k(params.top_k).mode(mode)))
@@ -122,14 +123,14 @@ fn rare_keywords_with_empty_results_match() {
 
 #[test]
 fn hand_written_view_with_predicates_matches() {
-    let corpus = {
+    let corpus = Arc::new({
         let p = small(ExperimentParams::default());
         generate(&p.generator_config())
-    };
+    });
     let view = "for $art in fn:doc(inex.xml)/books//article[fm] \
                 where $art/fm/yr > 2000 and $art/fm/yr < 2004 \
                 return <res> { $art/fm/tl } { $art/fm/kwd } </res>";
-    let engine = ViewSearchEngine::new(&corpus);
+    let engine = ViewSearchEngine::new(Arc::clone(&corpus));
     let eff = engine
         .prepare(view)
         .unwrap()
