@@ -38,6 +38,7 @@ fn setup(kb: u64) -> Setup {
         name: "inex.xml".into(),
         root_tag: doc.node_tag(root).to_string(),
         root_ordinal: doc.node(root).dewey.components()[0],
+        segment: 0,
     };
     Setup { qpt, path_index, inverted, keywords, meta }
 }

@@ -39,6 +39,7 @@ fn setup(kb: u64) -> Setup {
         name: "inex.xml".into(),
         root_tag: doc.node_tag(root).to_string(),
         root_ordinal: doc.node(root).dewey.components()[0],
+        segment: 0,
     };
     Setup { corpus, qpt, path_index, inverted, keywords, meta }
 }

@@ -60,6 +60,7 @@ fn bench_join_ablation(c: &mut Criterion) {
                 name: qpt.doc_name.clone(),
                 root_tag: doc.node_tag(root).to_string(),
                 root_ordinal: doc.node(root).dewey.components()[0],
+                segment: 0,
             };
             generate_pdt(qpt, &path_index, &inverted, &keywords, &meta).0
         })

@@ -1,0 +1,140 @@
+//! Segmented-engine smoke on the INEX workload: the multi-segment
+//! parallel search path vs the single-segment engine over the same five
+//! documents.
+//!
+//! Besides the criterion timings, the benchmark **asserts** (a) the two
+//! engines answer byte-identically (hits, scores, idf, view size — the
+//! segmentation equivalence contract) and (b) the multi-segment parallel
+//! path is not slower than single-segment beyond a generous noise bound
+//! — per-segment PDT generation fans across a worker pool, so a
+//! regression that serializes it behind a lock or duplicates per-segment
+//! work fails here. CI runs this in quick mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+use vxv_core::{PreparedView, SearchRequest, ViewSearchEngine};
+use vxv_inex::{generate, ExperimentParams};
+use vxv_xml::{serialize_subtree, Corpus};
+
+struct Setup {
+    single: PreparedView<Corpus>,
+    segmented: PreparedView<Corpus>,
+    request: SearchRequest,
+}
+
+fn setup(kb: u64) -> Setup {
+    // The 4-join Table-1 view projects five documents — five QPTs whose
+    // per-segment PDT merges can fan out in parallel.
+    let params = ExperimentParams {
+        data_bytes: kb * 1024,
+        num_joins: 4,
+        nesting: 3,
+        ..ExperimentParams::default()
+    };
+    let corpus = generate(&params.generator_config());
+
+    // Single segment: all five documents in one build.
+    let single = ViewSearchEngine::new(corpus.clone());
+
+    // Multi segment: one document per segment (first seeds the engine,
+    // the rest arrive by ingestion).
+    let docs: Vec<(String, String)> = corpus
+        .docs()
+        .map(|d| (d.name().to_string(), serialize_subtree(d, d.root().expect("root"))))
+        .collect();
+    let mut base = Corpus::new();
+    base.add_parsed(&docs[0].0, &docs[0].1).expect("seed doc");
+    let segmented = ViewSearchEngine::new(base);
+    for (name, xml) in &docs[1..] {
+        segmented.ingest([(name.clone(), xml.clone())]).expect("ingest");
+    }
+    assert_eq!(segmented.segments().len(), docs.len());
+
+    let view = params.view();
+    Setup {
+        single: single.prepare(&view).expect("prepare single"),
+        segmented: segmented.prepare(&view).expect("prepare segmented"),
+        request: SearchRequest::new(params.keywords()).top_k(params.top_k),
+    }
+}
+
+fn assert_equivalent(s: &Setup) {
+    let a = s.single.search(&s.request).expect("single search");
+    let b = s.segmented.search(&s.request).expect("segmented search");
+    assert_eq!(a.view_size, b.view_size, "view_size");
+    assert_eq!(a.matching, b.matching, "matching");
+    assert_eq!(a.idf, b.idf, "idf");
+    assert_eq!(a.hits.len(), b.hits.len(), "hit count");
+    for (x, y) in a.hits.iter().zip(&b.hits) {
+        assert_eq!(x.score.to_bits(), y.score.to_bits(), "score bits at rank {}", x.rank);
+        assert_eq!(x.xml, y.xml, "xml at rank {}", x.rank);
+    }
+}
+
+/// Seconds per search over alternating measurement windows (drift on a
+/// shared machine hits both paths equally).
+fn secs_per_search(a: &mut dyn FnMut(), b: &mut dyn FnMut()) -> (f64, f64) {
+    let window = |f: &mut dyn FnMut()| {
+        let t0 = Instant::now();
+        let mut iters = 0u32;
+        while iters < 5 || t0.elapsed().as_millis() < 150 {
+            f();
+            iters += 1;
+        }
+        (iters, t0.elapsed().as_secs_f64())
+    };
+    let (mut ia, mut ta, mut ib, mut tb) = (0u32, 0f64, 0u32, 0f64);
+    for _ in 0..3 {
+        let (i, t) = window(a);
+        ia += i;
+        ta += t;
+        let (i, t) = window(b);
+        ib += i;
+        tb += t;
+    }
+    (ta / ia as f64, tb / ib as f64)
+}
+
+fn bench_segment_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segment_search");
+    {
+        let kb = 256u64;
+        let s = setup(kb);
+        assert_equivalent(&s);
+
+        let (single_spq, seg_spq) = secs_per_search(
+            &mut || {
+                s.single.search(&s.request).expect("single");
+            },
+            &mut || {
+                s.segmented.search(&s.request).expect("segmented");
+            },
+        );
+        println!(
+            "segment_search/{kb}KB: single-segment {:.3} ms/search, \
+             5-segment parallel {:.3} ms/search ({:.2}x)",
+            single_spq * 1e3,
+            seg_spq * 1e3,
+            seg_spq / single_spq,
+        );
+        // The contract: fanning per-segment PDT merges across workers must
+        // not lose to the sequential single-segment path beyond scheduling
+        // noise (generous bound — this is a regression tripwire, not a
+        // microbenchmark).
+        assert!(
+            seg_spq <= single_spq * 1.5,
+            "multi-segment search regressed: {seg_spq:.6}s vs single {single_spq:.6}s"
+        );
+
+        group.bench_with_input(BenchmarkId::new("single_segment", kb), &s, |b, s| {
+            b.iter(|| s.single.search(&s.request).expect("single"))
+        });
+        group.bench_with_input(BenchmarkId::new("five_segments_parallel", kb), &s, |b, s| {
+            b.iter(|| s.segmented.search(&s.request).expect("segmented"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_segment_search);
+criterion_main!(benches);

@@ -55,13 +55,13 @@ fn main() {
     for mult in 1..=5u64 {
         let params = ExperimentParams { data_bytes: base * mult, ..ExperimentParams::default() };
         let m = measure_point(&params, &MeasureOptions::default());
-        let total = m.path_index_footprint + m.inverted_footprint;
+        let total = m.engine.footprint();
         table.row(vec![
             (m.corpus_bytes / 1024).to_string(),
-            (m.path_index_footprint.compressed_bytes / 1024).to_string(),
-            (m.path_index_footprint.uncompressed_bytes / 1024).to_string(),
-            (m.inverted_footprint.compressed_bytes / 1024).to_string(),
-            (m.inverted_footprint.uncompressed_bytes / 1024).to_string(),
+            (m.engine.path_footprint.compressed_bytes / 1024).to_string(),
+            (m.engine.path_footprint.uncompressed_bytes / 1024).to_string(),
+            (m.engine.inverted_footprint.compressed_bytes / 1024).to_string(),
+            (m.engine.inverted_footprint.uncompressed_bytes / 1024).to_string(),
             format!("{:.0}%", 100.0 * total.ratio()),
         ]);
     }

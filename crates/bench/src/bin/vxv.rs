@@ -8,6 +8,9 @@
 //! vxv search  --store store/ --view view.xq -k xml   # cold open from disk
 //! vxv serve   --store store/ --register reviews=view.xq   # request loop
 //! vxv batch   --store store/ --register reviews=view.xq --file reqs.txt
+//! vxv ingest  --store store/ --doc late.xml      # add docs as a new segment
+//! vxv compact --store store/                     # merge all index segments
+//! vxv inspect --store store/                     # per-segment breakdown only
 //! ```
 //!
 //! With `--doc`, documents are parsed and indexed in memory; the view's
@@ -28,6 +31,12 @@
 //!                               per hit (RANK SCORE XML), then .
 //! list                       -> one view name per line, then .
 //! stats                      -> stats hits=.. misses=.. prepares=.. ...
+//! segments                   -> one line per index segment (id,
+//!                               generation, docs, footprint), then .
+//! add NAME XMLFILE           -> added NAME segment I (builds a new
+//!                               segment; views registered earlier keep
+//!                               their snapshot — re-register to see the
+//!                               new document)
 //! quit                       -> (exits; EOF works too)
 //! ```
 //!
@@ -51,7 +60,8 @@ use vxv_core::{
     DocumentSource, IndexBundle, NamedRequest, PreparedView, SearchRequest, ViewCatalog,
     ViewSearchEngine,
 };
-use vxv_xml::{Corpus, DiskStore};
+use vxv_index::IndexSegment;
+use vxv_xml::{parse_document, Corpus, DiskStore};
 
 struct Args {
     docs: Vec<String>,
@@ -68,7 +78,7 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  vxv search  (--doc FILE... | --store DIR) --view FILE --keyword WORD... [--top N] [--any] [--deadline-ms N]\n  vxv inspect (--doc FILE... | --store DIR) --view FILE\n  vxv persist --doc FILE... --out DIR\n  vxv serve   (--doc FILE... | --store DIR) [--register NAME=VIEWFILE...] [--top N] [--any] [--deadline-ms N]\n  vxv batch   (--doc FILE... | --store DIR) --register NAME=VIEWFILE... --file REQS [--top N] [--any] [--deadline-ms N]"
+        "usage:\n  vxv search  (--doc FILE... | --store DIR) --view FILE --keyword WORD... [--top N] [--any] [--deadline-ms N]\n  vxv inspect (--doc FILE... | --store DIR) --view FILE\n  vxv persist --doc FILE... --out DIR\n  vxv serve   (--doc FILE... | --store DIR) [--register NAME=VIEWFILE...] [--top N] [--any] [--deadline-ms N]\n  vxv batch   (--doc FILE... | --store DIR) --register NAME=VIEWFILE... --file REQS [--top N] [--any] [--deadline-ms N]\n  vxv ingest  --store DIR --doc FILE...\n  vxv compact --store DIR"
     );
     ExitCode::from(2)
 }
@@ -171,11 +181,33 @@ fn run_search<S: DocumentSource>(view: &PreparedView<S>, args: &Args) -> ExitCod
     }
 }
 
+/// The per-segment breakdown `inspect` (and the serve loop's `segments`
+/// command) prints so operators can see ingestion/compaction state.
+fn segment_lines<S: DocumentSource>(engine: &ViewSearchEngine<S>) -> Vec<String> {
+    engine
+        .segments()
+        .iter()
+        .map(|s| {
+            format!(
+                "segment {} gen {} docs {} compressed {} B (raw {} B)",
+                s.id,
+                s.generation,
+                s.documents,
+                s.footprint.compressed_bytes,
+                s.footprint.uncompressed_bytes
+            )
+        })
+        .collect()
+}
+
 fn run_inspect<S: DocumentSource>(view: &PreparedView<S>, args: &Args) -> ExitCode {
+    for line in segment_lines(view.engine()) {
+        println!("{line}");
+    }
     let out = view.plan(&args.keywords);
     for q in &out.qpts {
         println!("{}", q.rendered);
-        println!("  pattern nodes: {}", q.nodes);
+        println!("  pattern nodes: {} (doc {} in segment {})", q.nodes, q.doc_name, q.segment);
         for p in &q.probes {
             println!(
                 "  probe {} ({} predicate(s)) -> {} data path(s), {} entries",
@@ -200,6 +232,13 @@ fn with_prepared<S: DocumentSource>(
     if cmd == "search" && args.keywords.is_empty() {
         eprintln!("error: at least one --keyword is required");
         return ExitCode::FAILURE;
+    }
+    if cmd == "inspect" && view_text.is_empty() {
+        // Segments-only inspection: no view to plan.
+        for line in segment_lines(engine) {
+            println!("{line}");
+        }
+        return ExitCode::SUCCESS;
     }
     match engine.prepare(view_text) {
         Ok(prepared) => match cmd {
@@ -250,7 +289,7 @@ fn serve_loop<S: DocumentSource>(catalog: &ViewCatalog<S>, args: &Args) -> ExitC
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     eprintln!(
-        "vxv serve: {} view(s) registered; commands: register/search/list/stats/quit",
+        "vxv serve: {} view(s) registered; commands: register/search/list/stats/segments/add/quit",
         catalog.len()
     );
     for line in stdin.lock().lines() {
@@ -275,6 +314,23 @@ fn serve_loop<S: DocumentSource>(catalog: &ViewCatalog<S>, args: &Args) -> ExitC
                 );
                 Ok(())
             }
+            ["segments"] => {
+                for line in segment_lines(catalog.engine()) {
+                    let _ = writeln!(out, "{line}");
+                }
+                let _ = writeln!(out, ".");
+                Ok(())
+            }
+            ["add", name, path] => match std::fs::read_to_string(path) {
+                Ok(xml) => match catalog.engine().ingest([(name.to_string(), xml)]) {
+                    Ok(report) => {
+                        let _ = writeln!(out, "added {name} segment {}", report.segment.id);
+                        Ok(())
+                    }
+                    Err(e) => Err(format!("{e}")),
+                },
+                Err(e) => Err(format!("cannot read document {path}: {e}")),
+            },
             ["register", name, path] => match std::fs::read_to_string(path) {
                 Ok(text) => match catalog.register(name.to_string(), &text) {
                     Ok(_) => {
@@ -400,6 +456,135 @@ fn with_catalog<S: DocumentSource>(
     }
 }
 
+/// `vxv ingest --store DIR --doc FILE...`: parse the documents under
+/// fresh root ordinals, build **one new index segment** over them,
+/// persist the documents into the store under the segment's file
+/// namespace, and append the segment to the bundle — existing segments
+/// and document files are never rewritten.
+fn run_ingest(args: &Args) -> ExitCode {
+    let Some(store_dir) = args.store.as_ref() else {
+        eprintln!("error: --store DIR is required");
+        return ExitCode::FAILURE;
+    };
+    if args.docs.is_empty() {
+        eprintln!("error: at least one --doc is required");
+        return ExitCode::FAILURE;
+    }
+    let dir = std::path::Path::new(store_dir);
+    let mut bundle = match IndexBundle::load(dir) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: load indices: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut store = match DiskStore::open(dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: open store: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let first_ordinal = bundle.max_root_ordinal().map(|m| m + 1).unwrap_or(1);
+    let mut corpus = Corpus::new();
+    for (next_ordinal, path) in (first_ordinal..).zip(args.docs.iter()) {
+        let name = std::path::Path::new(path)
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.clone());
+        if bundle.docs().any(|d| d.name == name) || corpus.doc(&name).is_some() {
+            eprintln!("error: document '{name}' is already in the store");
+            return ExitCode::FAILURE;
+        }
+        let xml = match std::fs::read_to_string(path) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match parse_document(&name, &xml, next_ordinal) {
+            Ok(doc) => corpus.add(doc),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let segment = IndexSegment::build(&corpus);
+    // Keep the pre-append catalog so a failed index save can roll the
+    // store back — otherwise the store and the bundle disagree about the
+    // new documents and every retried ingest is rejected as a duplicate.
+    let catalog_backup = std::fs::read(dir.join(vxv_xml::diskstore::CATALOG_FILE)).ok();
+    let namespace = match store.append_segment(&corpus, dir) {
+        Ok(ns) => ns,
+        Err(e) => {
+            eprintln!("error: persist ingested documents: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    bundle.segments.push(segment);
+    match bundle.save(dir) {
+        Ok(_) => {
+            eprintln!(
+                "ingested {} document(s) as a new segment ({} segment(s) total)",
+                args.docs.len(),
+                bundle.segments.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            // Undo the store half so the directory stays consistent and
+            // the ingest can simply be retried.
+            if let Some(backup) = catalog_backup {
+                let _ = std::fs::write(dir.join(vxv_xml::diskstore::CATALOG_FILE), backup);
+            }
+            for i in 0..corpus.docs().count() {
+                let _ = std::fs::remove_file(dir.join(format!("seg{namespace:04}-doc{i:04}.xml")));
+            }
+            eprintln!("error: save indices: {e} (store rolled back; retry the ingest)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `vxv compact --store DIR`: merge every index segment of a persisted
+/// bundle into one (full compaction — the operator asked for it).
+/// Document files are untouched; only `indices.vxi` is rewritten, and
+/// the merged indices are byte-identical to a single build over all
+/// documents.
+fn run_compact(args: &Args) -> ExitCode {
+    let Some(store_dir) = args.store.as_ref() else {
+        eprintln!("error: --store DIR is required");
+        return ExitCode::FAILURE;
+    };
+    let dir = std::path::Path::new(store_dir);
+    let bundle = match IndexBundle::load(dir) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: load indices: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let before = bundle.segments.len();
+    if before < 2 {
+        eprintln!("nothing to compact: {before} segment(s)");
+        return ExitCode::SUCCESS;
+    }
+    let merged = IndexSegment::merge(bundle.segments.iter());
+    let generation = merged.generation();
+    match IndexBundle::from_segments(vec![merged]).save(dir) {
+        Ok(_) => {
+            eprintln!("compacted {before} segments into 1 (generation {generation})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: save indices: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let Some((cmd, args)) = parse_args(std::env::args()) else {
         return usage();
@@ -438,9 +623,11 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "ingest" => run_ingest(&args),
+        "compact" => run_compact(&args),
         "search" | "inspect" | "serve" | "batch" => {
             let catalog_cmd = cmd == "serve" || cmd == "batch";
-            let view_text = if catalog_cmd {
+            let view_text = if catalog_cmd || (cmd == "inspect" && args.view.is_none()) {
                 String::new()
             } else {
                 match load_view(&args) {

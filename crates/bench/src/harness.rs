@@ -102,10 +102,10 @@ pub struct Measurement {
     pub pdt_bytes: u64,
     /// Base-storage fetches spent materializing top-k.
     pub fetches: u64,
-    /// Path-index size (compressed vs materialized bytes).
-    pub path_index_footprint: vxv_index::Footprint,
-    /// Inverted-index size (compressed vs materialized bytes).
-    pub inverted_footprint: vxv_index::Footprint,
+    /// Aggregate engine report (segment count, work counters and
+    /// footprints summed across segments) — one read via
+    /// `ViewSearchEngine::stats()` instead of per-index peeking.
+    pub engine: vxv_core::EngineStats,
 }
 
 /// Phase averages for the Efficient pipeline.
@@ -167,12 +167,11 @@ pub fn measure_on_corpus(
     let prepared = engine.prepare(&view).expect("prepare view");
     let request = SearchRequest::new(&keywords).top_k(params.top_k).mode(KeywordMode::Conjunctive);
 
-    let mut m = Measurement { corpus_bytes: corpus.byte_size(), ..Measurement::default() };
-    {
-        use vxv_index::IndexFootprint;
-        m.path_index_footprint = engine.path_index().footprint();
-        m.inverted_footprint = engine.inverted_index().footprint();
-    }
+    let mut m = Measurement {
+        corpus_bytes: corpus.byte_size(),
+        engine: engine.stats(),
+        ..Measurement::default()
+    };
 
     let mut acc = (Duration::ZERO, Duration::ZERO, Duration::ZERO);
     for _ in 0..opts.runs {
@@ -272,7 +271,9 @@ mod tests {
         assert!(m.baseline.is_some() && m.gtp.is_some() && m.proj.is_some());
         assert!(m.efficient.total() > Duration::ZERO);
         assert!(m.pdt_bytes > 0);
-        assert!(m.path_index_footprint.entries > 0);
-        assert!(m.inverted_footprint.compressed_bytes > 0);
+        assert_eq!(m.engine.segments, 1);
+        assert_eq!(m.engine.documents, 5, "the INEX workload generates five documents");
+        assert!(m.engine.path_footprint.entries > 0);
+        assert!(m.engine.inverted_footprint.compressed_bytes > 0);
     }
 }

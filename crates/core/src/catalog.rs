@@ -25,7 +25,7 @@ use crate::engine::{EngineError, ViewSearchEngine};
 use crate::prepared::PreparedView;
 use crate::request::{SearchRequest, SearchResponse};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use vxv_xml::{Corpus, DocumentSource};
 
@@ -289,31 +289,7 @@ impl<S: DocumentSource> ViewCatalog<S> {
         &self,
         requests: &[NamedRequest],
     ) -> Vec<Result<SearchResponse, EngineError>> {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(requests.len())
-            .min(8);
-        if workers <= 1 {
-            return requests.iter().map(|r| self.search(&r.view, &r.request)).collect();
-        }
-        let slots: Vec<Mutex<Option<Result<SearchResponse, EngineError>>>> =
-            requests.iter().map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(req) = requests.get(i) else { break };
-                    let result = self.search(&req.view, &req.request);
-                    *slots[i].lock().unwrap() = Some(result);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| slot.into_inner().unwrap().expect("worker pool fills every slot"))
-            .collect()
+        crate::fanout::fan_out(requests, |r| self.search(&r.view, &r.request))
     }
 
     /// Counter snapshot; see [`CatalogStats`].

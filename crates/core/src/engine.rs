@@ -1,15 +1,32 @@
-//! The end-to-end engine: the modified query execution path of Fig. 3.
+//! The end-to-end engine: the modified query execution path of Fig. 3,
+//! over a **segmented** index.
 //!
 //! `prepare (parse → GenerateQPT → PrepareLists) → search (GeneratePDT
 //! index-only → regular evaluator over PDTs → score → materialize top-k
 //! from document storage)`.
 //!
-//! [`ViewSearchEngine`] **owns** its state — `Arc`-shared indices, the
-//! document catalog, and an `Arc` of its [`DocumentSource`] — so engine,
-//! [`PreparedView`] and [`crate::catalog::ViewCatalog`] are all
-//! `Send + Sync + 'static`: they live in servers, thread pools and async
-//! tasks without borrowing anything. Cloning an engine is an `Arc` bump;
-//! every clone shares the same indices, source and work counters.
+//! [`ViewSearchEngine`] **owns** its state — an atomically swappable
+//! **segment set** (`Arc<Vec<Arc<…>>>` of immutable
+//! [`vxv_index::IndexSegment`]s), per-segment document catalogs, and an
+//! `Arc` of its [`DocumentSource`] — so engine, [`PreparedView`] and
+//! [`crate::catalog::ViewCatalog`] are all `Send + Sync + 'static`.
+//! Cloning an engine is an `Arc` bump; every clone shares the same
+//! segment state, source and work counters.
+//!
+//! The segment set is the engine's unit of evolution:
+//!
+//! * [`ViewSearchEngine::ingest`] builds a **new** segment from new
+//!   documents (namespaced under fresh Dewey root ordinals) and swaps
+//!   the set — existing segments are never touched, and every
+//!   [`PreparedView`] keeps the snapshot it was prepared against, so
+//!   in-flight searches are never torn;
+//! * [`ViewSearchEngine::compact`] merges size-tiered groups of
+//!   segments into bigger ones whose indices are byte-identical to a
+//!   single build over the union — compaction can never change a
+//!   search result;
+//! * searches fan PDT generation across segments in parallel and merge
+//!   scores across segments exactly as a single-segment engine would
+//!   (the equivalence property the test suite pins down).
 //!
 //! The view-proportional work happens once in
 //! [`ViewSearchEngine::prepare`]; the returned [`PreparedView`] answers
@@ -24,9 +41,13 @@ use crate::qpt_gen::QptGenError;
 use crate::request::{PhaseTimings, SearchRequest};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
-use vxv_index::{IndexBundle, InvertedIndex, PathIndex};
-use vxv_xml::{Corpus, DiskStore, DocumentSource};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use vxv_index::{
+    Footprint, IndexBundle, IndexFootprint, IndexSegment, InvertedIndex, InvertedIndexStats,
+    PathIndex, PathIndexStats,
+};
+use vxv_xml::{parse_document, Corpus, DiskStore, DocumentSource};
 use vxv_xquery::{parse_query, EvalError, Query, QueryParseError};
 
 #[cfg(feature = "legacy-api")]
@@ -52,6 +73,9 @@ pub enum EngineError {
     EmptyQuery,
     /// No view with that name is registered in the catalog.
     ViewNotFound(String),
+    /// An [`ViewSearchEngine::ingest`] batch was rejected (parse failure,
+    /// duplicate document name, empty batch).
+    Ingest(String),
     /// The request's deadline passed before the search finished. Carries
     /// the phase work completed up to the abort.
     DeadlineExceeded {
@@ -78,6 +102,7 @@ impl fmt::Display for EngineError {
                 write!(f, "search request carries no non-empty keyword")
             }
             EngineError::ViewNotFound(name) => write!(f, "no view named '{name}' in catalog"),
+            EngineError::Ingest(what) => write!(f, "ingest rejected: {what}"),
             EngineError::DeadlineExceeded { timings } => {
                 write!(f, "deadline exceeded after {:?}", timings.total())
             }
@@ -108,14 +133,105 @@ impl From<EvalError> for EngineError {
     }
 }
 
-/// The engine's shared state: catalog, indices and source. Everything a
+/// One segment as the engine sees it: the immutable index triple plus
+/// the per-segment document catalog and, for ingested segments, the
+/// in-memory corpus their hits materialize from.
+pub(crate) struct EngineSegment {
+    /// Engine-unique id (monotonic across ingests and compactions).
+    pub(crate) id: u64,
+    /// The immutable (path index, inverted index, catalog) triple.
+    pub(crate) index: Arc<IndexSegment>,
+    /// `fn:doc(...)` name → catalog metadata, namespaced by segment.
+    pub(crate) catalog: HashMap<String, DocMeta>,
+    /// Base data for ingested documents (absent when the engine's main
+    /// [`DocumentSource`] covers this segment's documents).
+    pub(crate) side_corpus: Option<Arc<Corpus>>,
+}
+
+impl EngineSegment {
+    fn new(id: u64, index: Arc<IndexSegment>, side_corpus: Option<Arc<Corpus>>) -> EngineSegment {
+        let catalog = index
+            .docs()
+            .iter()
+            .map(|d| {
+                (
+                    d.name.clone(),
+                    DocMeta {
+                        name: d.name.clone(),
+                        root_tag: d.root_tag.clone(),
+                        root_ordinal: d.root_ordinal,
+                        segment: id,
+                    },
+                )
+            })
+            .collect();
+        EngineSegment { id, index, catalog, side_corpus }
+    }
+
+    fn info(&self) -> SegmentInfo {
+        SegmentInfo {
+            id: self.id,
+            generation: self.index.generation(),
+            documents: self.index.doc_count(),
+            footprint: self.index.footprint(),
+        }
+    }
+}
+
+/// The atomically swappable snapshot searches and prepared views hold.
+pub(crate) type SegmentSet = Vec<Arc<EngineSegment>>;
+
+/// Segment bookkeeping shared by every engine clone (including
+/// source-swapped ones): the swappable set, the Dewey root-ordinal
+/// allocator that namespaces ingested documents, and the id counter.
+struct SegmentState {
+    set: RwLock<Arc<SegmentSet>>,
+    next_ordinal: AtomicU32,
+    next_segment_id: AtomicU64,
+    /// Serializes set *mutations* (ingest / compact); readers only ever
+    /// take the `set` read lock for an `Arc` clone.
+    mutate: Mutex<()>,
+}
+
+impl SegmentState {
+    fn new(mut segments: Vec<Arc<EngineSegment>>) -> SegmentState {
+        // Invariant: an engine always holds at least one segment (an
+        // empty bundle — e.g. `IndexBundle::from_segments(vec![])` —
+        // cold-opens as one empty segment, so diagnostics accessors
+        // never panic and ingest has a set to grow).
+        if segments.is_empty() {
+            segments.push(Arc::new(EngineSegment::new(
+                1,
+                Arc::new(IndexSegment::build(&Corpus::new())),
+                None,
+            )));
+        }
+        let next_ordinal = segments
+            .iter()
+            .filter_map(|s| s.index.max_root_ordinal())
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(1);
+        let next_segment_id = segments.iter().map(|s| s.id).max().map(|m| m + 1).unwrap_or(1);
+        SegmentState {
+            set: RwLock::new(Arc::new(segments)),
+            next_ordinal: AtomicU32::new(next_ordinal),
+            next_segment_id: AtomicU64::new(next_segment_id),
+            mutate: Mutex::new(()),
+        }
+    }
+
+    fn snapshot(&self) -> Arc<SegmentSet> {
+        Arc::clone(&self.set.read().unwrap())
+    }
+}
+
+/// The engine's shared state: segment state, and source. Everything a
 /// [`PreparedView`] or a [`crate::catalog::ViewCatalog`] needs to answer
 /// searches, behind one `Arc` so prepared state never dangles.
 pub(crate) struct EngineInner<S: DocumentSource> {
     corpus: Option<Arc<Corpus>>,
-    catalog: HashMap<String, DocMeta>,
-    path_index: Arc<PathIndex>,
-    inverted: Arc<InvertedIndex>,
+    state: Arc<SegmentState>,
     source: Arc<S>,
 }
 
@@ -127,13 +243,18 @@ pub(crate) struct EngineInner<S: DocumentSource> {
 /// where *base data* is read during materialization — the corpus itself
 /// by default, or any other [`DocumentSource`] via [`Self::with_source`].
 /// Prepare-time document metadata (root tag and ordinal per document
-/// name) lives in a small catalog, so a cold engine never touches base
-/// documents outside top-k materialization.
+/// name) lives in per-segment catalogs, so a cold engine never touches
+/// base documents outside top-k materialization.
 ///
 /// The engine is a cheap `Arc` handle: clone it freely, share it across
 /// threads, move it into a server. Constructors accept owned values or
 /// `Arc`s (`impl Into<Arc<_>>`), so callers that still need the corpus or
 /// store afterwards pass an `Arc` clone and keep their handle.
+///
+/// The index is **segmented**: [`Self::ingest`] makes new documents
+/// searchable without rebuilding anything, [`Self::compact`] merges
+/// small segments in the background, and [`Self::stats`] /
+/// [`Self::segments`] report aggregate and per-segment state.
 pub struct ViewSearchEngine<S: DocumentSource = Corpus> {
     inner: Arc<EngineInner<S>>,
 }
@@ -146,59 +267,48 @@ impl<S: DocumentSource> Clone for ViewSearchEngine<S> {
 
 impl<S: DocumentSource> fmt::Debug for ViewSearchEngine<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let snapshot = self.snapshot();
         f.debug_struct("ViewSearchEngine")
-            .field("documents", &self.inner.catalog.len())
+            .field("segments", &snapshot.len())
+            .field("documents", &snapshot.iter().map(|s| s.catalog.len()).sum::<usize>())
             .field("source", &self.inner.source.kind())
             .finish_non_exhaustive()
     }
 }
 
-fn corpus_catalog(corpus: &Corpus) -> HashMap<String, DocMeta> {
-    corpus
-        .docs()
-        .filter_map(|d| {
-            let root = d.root()?;
-            Some((
-                d.name().to_string(),
-                DocMeta {
-                    name: d.name().to_string(),
-                    root_tag: d.node_tag(root).to_string(),
-                    root_ordinal: d.node(root).dewey.components()[0],
-                },
-            ))
-        })
-        .collect()
-}
-
 impl ViewSearchEngine<Corpus> {
-    /// Build indices over `corpus` and materialize from it. Pass an
-    /// `Arc<Corpus>` (keeping a clone) when the caller still needs the
-    /// corpus — e.g. to read its fetch counters.
+    /// Build a single-segment index over `corpus` and materialize from
+    /// it. Pass an `Arc<Corpus>` (keeping a clone) when the caller still
+    /// needs the corpus — e.g. to read its fetch counters.
     pub fn new(corpus: impl Into<Arc<Corpus>>) -> Self {
         let corpus = corpus.into();
+        let segment = Arc::new(EngineSegment::new(1, Arc::new(IndexSegment::build(&corpus)), None));
         ViewSearchEngine {
             inner: Arc::new(EngineInner {
-                catalog: corpus_catalog(&corpus),
-                path_index: Arc::new(PathIndex::build(&corpus)),
-                inverted: Arc::new(InvertedIndex::build(&corpus)),
+                state: Arc::new(SegmentState::new(vec![segment])),
                 source: Arc::clone(&corpus),
                 corpus: Some(corpus),
             }),
         }
     }
 
-    /// Reuse pre-built indices.
+    /// Reuse pre-built indices (as one segment).
     pub fn with_indices(
         corpus: impl Into<Arc<Corpus>>,
         path_index: impl Into<Arc<PathIndex>>,
         inverted: impl Into<Arc<InvertedIndex>>,
     ) -> Self {
         let corpus = corpus.into();
+        let index = Arc::new(IndexSegment::from_parts(
+            path_index.into(),
+            inverted.into(),
+            vxv_index::segment::corpus_doc_infos(&corpus),
+            0,
+        ));
+        let segment = Arc::new(EngineSegment::new(1, index, None));
         ViewSearchEngine {
             inner: Arc::new(EngineInner {
-                catalog: corpus_catalog(&corpus),
-                path_index: path_index.into(),
-                inverted: inverted.into(),
+                state: Arc::new(SegmentState::new(vec![segment])),
                 source: Arc::clone(&corpus),
                 corpus: Some(corpus),
             }),
@@ -207,31 +317,21 @@ impl ViewSearchEngine<Corpus> {
 }
 
 impl ViewSearchEngine<DiskStore> {
-    /// Cold-open an engine over persisted state: indices and document
-    /// catalog from an [`IndexBundle`], base data from a [`DiskStore`].
-    /// No corpus exists — searches are answered without re-tokenizing or
-    /// re-walking any base document.
+    /// Cold-open an engine over persisted state: one or more index
+    /// segments and their document catalogs from an [`IndexBundle`],
+    /// base data from a [`DiskStore`]. No corpus exists — searches are
+    /// answered without re-tokenizing or re-walking any base document.
     pub fn open(store: impl Into<Arc<DiskStore>>, bundle: IndexBundle) -> Self {
-        let (path_index, inverted, docs) = bundle.into_shared();
-        let catalog = docs
-            .iter()
-            .map(|d| {
-                (
-                    d.name.clone(),
-                    DocMeta {
-                        name: d.name.clone(),
-                        root_tag: d.root_tag.clone(),
-                        root_ordinal: d.root_ordinal,
-                    },
-                )
-            })
+        let segments: Vec<Arc<EngineSegment>> = bundle
+            .into_segments()
+            .into_iter()
+            .enumerate()
+            .map(|(i, index)| Arc::new(EngineSegment::new(i as u64 + 1, index, None)))
             .collect();
         ViewSearchEngine {
             inner: Arc::new(EngineInner {
                 corpus: None,
-                catalog,
-                path_index,
-                inverted,
+                state: Arc::new(SegmentState::new(segments)),
                 source: store.into(),
             }),
         }
@@ -241,15 +341,14 @@ impl ViewSearchEngine<DiskStore> {
 impl<S: DocumentSource> ViewSearchEngine<S> {
     /// Materialize top-k hits from `source` instead of the current
     /// backend. Indices and prepared plans are unaffected — only the
-    /// final per-hit base-data reads move. The indices stay shared
-    /// (`Arc`), so this is cheap whenever the catalog is.
+    /// final per-hit base-data reads move. The segment state stays
+    /// shared, so ingests and compactions on either handle are visible
+    /// to both.
     pub fn with_source<T: DocumentSource>(&self, source: impl Into<Arc<T>>) -> ViewSearchEngine<T> {
         ViewSearchEngine {
             inner: Arc::new(EngineInner {
                 corpus: self.inner.corpus.clone(),
-                catalog: self.inner.catalog.clone(),
-                path_index: Arc::clone(&self.inner.path_index),
-                inverted: Arc::clone(&self.inner.inverted),
+                state: Arc::clone(&self.inner.state),
                 source: source.into(),
             }),
         }
@@ -265,25 +364,34 @@ impl<S: DocumentSource> ViewSearchEngine<S> {
         self.with_source(store)
     }
 
-    /// The corpus the indices were built over, if the engine was
+    /// The current segment snapshot (what new prepared views capture).
+    pub(crate) fn snapshot(&self) -> Arc<SegmentSet> {
+        self.inner.state.snapshot()
+    }
+
+    /// The corpus the initial segment was built over, if the engine was
     /// constructed from one (`None` after a cold [`Self::open`]).
+    /// Ingested documents live in per-segment corpora, not here.
     pub fn corpus(&self) -> Option<&Corpus> {
         self.inner.corpus.as_deref()
     }
 
-    /// Catalog metadata for one document name (root tag and ordinal).
-    pub fn doc_meta(&self, name: &str) -> Option<&DocMeta> {
-        self.inner.catalog.get(name)
+    /// Catalog metadata for one document name (root tag, ordinal and
+    /// owning segment), searched across the current segment snapshot.
+    pub fn doc_meta(&self, name: &str) -> Option<DocMeta> {
+        self.snapshot().iter().find_map(|seg| seg.catalog.get(name).cloned())
     }
 
-    /// The engine's path index (for experiments reporting probe work).
-    pub fn path_index(&self) -> &PathIndex {
-        &self.inner.path_index
+    /// The first segment's path index — diagnostics for single-segment
+    /// engines (probe-counter tests, experiment tables). Multi-segment
+    /// callers should use [`Self::stats`] / [`Self::segments`].
+    pub fn path_index(&self) -> Arc<PathIndex> {
+        self.snapshot().first().expect("engine always has a segment").index.path_index_arc()
     }
 
-    /// The engine's inverted index.
-    pub fn inverted_index(&self) -> &InvertedIndex {
-        &self.inner.inverted
+    /// The first segment's inverted index (see [`Self::path_index`]).
+    pub fn inverted_index(&self) -> Arc<InvertedIndex> {
+        self.snapshot().first().expect("engine always has a segment").index.inverted_arc()
     }
 
     /// The base-data backend hits are materialized from.
@@ -296,10 +404,150 @@ impl<S: DocumentSource> ViewSearchEngine<S> {
         Arc::clone(&self.inner.source)
     }
 
+    /// Aggregate work counters and footprints, summed across every
+    /// segment in the current snapshot — the one report experiments and
+    /// operators read instead of per-index peeking.
+    pub fn stats(&self) -> EngineStats {
+        let snapshot = self.snapshot();
+        let mut stats = EngineStats { segments: snapshot.len(), ..EngineStats::default() };
+        for seg in snapshot.iter() {
+            stats.documents += seg.index.doc_count();
+            stats.path = stats.path + seg.index.path_index().stats();
+            stats.inverted = stats.inverted + seg.index.inverted().stats();
+            stats.path_footprint = stats.path_footprint + seg.index.path_index().footprint();
+            stats.inverted_footprint = stats.inverted_footprint + seg.index.inverted().footprint();
+        }
+        stats
+    }
+
+    /// Reset every segment's work counters.
+    pub fn reset_stats(&self) {
+        for seg in self.snapshot().iter() {
+            seg.index.reset_stats();
+        }
+    }
+
+    /// Per-segment breakdown (id, generation, document count, footprint)
+    /// in snapshot order — what `vxv inspect` and the `serve` loop's
+    /// `segments` command print so operators can see compaction state.
+    pub fn segments(&self) -> Vec<SegmentInfo> {
+        self.snapshot().iter().map(|seg| seg.info()).collect()
+    }
+
+    /// Make new documents searchable by building **one new segment**
+    /// over them and atomically swapping it into the segment set.
+    /// Existing segments are untouched; existing [`PreparedView`]s keep
+    /// the snapshot they were prepared against (snapshot isolation —
+    /// re-prepare to see the new documents).
+    ///
+    /// `docs` is a batch of `(name, xml)` pairs. Each document is parsed
+    /// under a fresh Dewey root ordinal above everything the engine
+    /// already holds, so ids never collide across segments. Hits from
+    /// ingested documents materialize from the segment's own in-memory
+    /// corpus — the engine's main [`DocumentSource`] is never consulted
+    /// for them. The whole batch is rejected (no state change) on a
+    /// parse error, a duplicate document name, or an empty batch.
+    pub fn ingest<N, X>(
+        &self,
+        docs: impl IntoIterator<Item = (N, X)>,
+    ) -> Result<IngestReport, EngineError>
+    where
+        N: Into<String>,
+        X: AsRef<str>,
+    {
+        let docs: Vec<(String, String)> =
+            docs.into_iter().map(|(n, x)| (n.into(), x.as_ref().to_string())).collect();
+        if docs.is_empty() {
+            return Err(EngineError::Ingest("empty document batch".into()));
+        }
+        let state = &self.inner.state;
+        let _mutating = state.mutate.lock().unwrap();
+        let snapshot = state.snapshot();
+        let mut corpus = Corpus::new();
+        let mut names = Vec::with_capacity(docs.len());
+        for (name, xml) in &docs {
+            let taken = corpus.doc(name).is_some()
+                || snapshot.iter().any(|seg| seg.catalog.contains_key(name));
+            if taken {
+                return Err(EngineError::Ingest(format!("document '{name}' already exists")));
+            }
+            let ordinal = state.next_ordinal.fetch_add(1, Ordering::Relaxed);
+            let doc = parse_document(name, xml, ordinal)
+                .map_err(|e| EngineError::Ingest(format!("{name}: {e}")))?;
+            corpus.add(doc);
+            names.push(name.clone());
+        }
+        let corpus = Arc::new(corpus);
+        let id = state.next_segment_id.fetch_add(1, Ordering::Relaxed);
+        let segment =
+            Arc::new(EngineSegment::new(id, Arc::new(IndexSegment::build(&corpus)), Some(corpus)));
+        let info = segment.info();
+        let mut next: SegmentSet = (*snapshot).clone();
+        next.push(segment);
+        *state.set.write().unwrap() = Arc::new(next);
+        Ok(IngestReport { segment: info, documents: names })
+    }
+
+    /// Run one round of **size-tiered compaction**: segments are grouped
+    /// into factor-of-four size tiers by compressed footprint, and every
+    /// tier holding two or more segments is merged into a single segment
+    /// (generation = deepest input + 1). The merged indices are
+    /// byte-identical to a single build over the union of the documents,
+    /// so search results can never change; views prepared before the
+    /// compaction keep their snapshot and stay valid.
+    ///
+    /// Returns what happened; call repeatedly (e.g. from a maintenance
+    /// loop) until `merges == 0` to fully settle the tiers.
+    pub fn compact(&self) -> CompactReport {
+        let state = &self.inner.state;
+        let _mutating = state.mutate.lock().unwrap();
+        let snapshot = state.snapshot();
+        // Factor-of-4 size tiers over the compressed footprint.
+        let tier_of = |seg: &EngineSegment| {
+            let bytes = seg.index.footprint().compressed_bytes.max(1);
+            (63 - bytes.leading_zeros() as u64) / 2
+        };
+        let mut tiers: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, seg) in snapshot.iter().enumerate() {
+            tiers.entry(tier_of(seg)).or_default().push(i);
+        }
+        let mut report = CompactReport { merged_segments: 0, merges: 0, segments: snapshot.len() };
+        let mut replacement: HashMap<usize, Arc<EngineSegment>> = HashMap::new();
+        let mut dropped: Vec<usize> = Vec::new();
+        for members in tiers.values() {
+            if members.len() < 2 {
+                continue;
+            }
+            let inputs: Vec<&IndexSegment> =
+                members.iter().map(|&i| snapshot[i].index.as_ref()).collect();
+            let merged_index = Arc::new(IndexSegment::merge(inputs));
+            let side = merge_side_corpora(members.iter().map(|&i| &snapshot[i]));
+            let id = state.next_segment_id.fetch_add(1, Ordering::Relaxed);
+            replacement.insert(members[0], Arc::new(EngineSegment::new(id, merged_index, side)));
+            dropped.extend(&members[1..]);
+            report.merged_segments += members.len();
+            report.merges += 1;
+        }
+        if report.merges == 0 {
+            return report;
+        }
+        let next: SegmentSet = snapshot
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !dropped.contains(i))
+            .map(|(i, seg)| replacement.remove(&i).unwrap_or_else(|| Arc::clone(seg)))
+            .collect();
+        report.segments = next.len();
+        *state.set.write().unwrap() = Arc::new(next);
+        report
+    }
+
     /// Analyze the view text once — parse, QPT generation, and the
-    /// `PrepareLists` probe phase — into a [`PreparedView`] that answers
-    /// many [`SearchRequest`]s. The prepared view owns an engine handle;
-    /// it outlives this binding and moves freely across threads.
+    /// `PrepareLists` probe phase against the **current segment
+    /// snapshot** — into a [`PreparedView`] that answers many
+    /// [`SearchRequest`]s. The prepared view owns an engine handle and
+    /// its snapshot; it outlives this binding and moves freely across
+    /// threads.
     pub fn prepare(&self, view: &str) -> Result<PreparedView<S>, EngineError> {
         self.prepare_query(parse_query(view)?)
     }
@@ -374,6 +622,97 @@ impl<S: DocumentSource> ViewSearchEngine<S> {
     ) -> Result<crate::prepared::QueryPlan, EngineError> {
         Ok(self.prepare(view)?.plan(keywords))
     }
+}
+
+/// Merge the side corpora of a compaction group: `None` when no member
+/// carries one, otherwise a fresh corpus holding every side document
+/// (ordinals are disjoint by construction).
+fn merge_side_corpora<'a>(
+    members: impl Iterator<Item = &'a Arc<EngineSegment>>,
+) -> Option<Arc<Corpus>> {
+    let mut merged: Option<Corpus> = None;
+    for seg in members {
+        if let Some(side) = &seg.side_corpus {
+            let target = merged.get_or_insert_with(Corpus::new);
+            for doc in side.docs() {
+                target.add(doc.clone());
+            }
+        }
+    }
+    merged.map(Arc::new)
+}
+
+/// One segment's operator-facing summary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// Engine-unique segment id (monotonic across ingests/compactions).
+    pub id: u64,
+    /// Merge depth: 0 for fresh builds, deepest input + 1 after merges.
+    pub generation: u32,
+    /// Documents the segment covers.
+    pub documents: usize,
+    /// Combined footprint of both index families.
+    pub footprint: Footprint,
+}
+
+/// Aggregate engine report: work counters and footprints summed across
+/// every segment (see [`ViewSearchEngine::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Segments in the current snapshot.
+    pub segments: usize,
+    /// Documents across all segments.
+    pub documents: usize,
+    /// Path-index counters, summed.
+    pub path: PathIndexStats,
+    /// Inverted-index counters, summed.
+    pub inverted: InvertedIndexStats,
+    /// Path-index footprints, summed.
+    pub path_footprint: Footprint,
+    /// Inverted-index footprints, summed.
+    pub inverted_footprint: Footprint,
+}
+
+impl EngineStats {
+    /// Index entries decoded by cursor consumption, both families.
+    pub fn entries_scanned(&self) -> u64 {
+        self.path.entries_returned + self.inverted.postings_scanned
+    }
+
+    /// Compressed blocks skipped by cursor seeks, both families.
+    pub fn blocks_skipped(&self) -> u64 {
+        self.path.blocks_skipped + self.inverted.blocks_skipped
+    }
+
+    /// Compressed bytes decoded, both families.
+    pub fn bytes_decoded(&self) -> u64 {
+        self.path.bytes_decoded + self.inverted.bytes_decoded
+    }
+
+    /// Combined footprint of both index families.
+    pub fn footprint(&self) -> Footprint {
+        self.path_footprint + self.inverted_footprint
+    }
+}
+
+/// What one [`ViewSearchEngine::ingest`] produced.
+#[derive(Clone, Debug)]
+pub struct IngestReport {
+    /// The freshly built segment.
+    pub segment: SegmentInfo,
+    /// Names of the ingested documents, in batch order.
+    pub documents: Vec<String>,
+}
+
+/// What one [`ViewSearchEngine::compact`] round did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Input segments consumed by merges this round.
+    pub merged_segments: usize,
+    /// Merge groups executed (0 = nothing to do).
+    pub merges: usize,
+    /// Segment count after the round.
+    pub segments: usize,
 }
 
 /// What the deprecated one-shot `search` reports (the prepared API's
@@ -641,6 +980,192 @@ mod tests {
 }
 
 #[cfg(test)]
+mod segment_tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        c.add_parsed(
+            "books.xml",
+            "<books><book><isbn>1</isbn><title>xml basics</title><year>1999</year></book></books>",
+        )
+        .unwrap();
+        c
+    }
+
+    const BOOKS_VIEW: &str = "for $b in fn:doc(books.xml)/books//book \
+         where $b/year > 1990 return <h> { $b/title } </h>";
+
+    #[test]
+    fn empty_bundles_cold_open_as_one_empty_segment() {
+        // A zero-segment bundle is constructible through the public API;
+        // the engine must normalize it instead of panicking later.
+        let dir = std::env::temp_dir().join(format!("vxv-empty-bundle-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = vxv_xml::DiskStore::persist(&Corpus::new(), &dir).unwrap();
+        let engine =
+            ViewSearchEngine::open(store, vxv_index::IndexBundle::from_segments(Vec::new()));
+        assert_eq!(engine.segments().len(), 1);
+        assert_eq!(engine.stats().documents, 0);
+        assert_eq!(engine.path_index().stats().probes, 0);
+        assert_eq!(engine.inverted_index().stats().lookups, 0);
+        assert!(engine.ingest([("a.xml", "<r><e>works</e></r>")]).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fresh_engines_hold_one_segment() {
+        let engine = ViewSearchEngine::new(corpus());
+        let segs = engine.segments();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].generation, 0);
+        assert_eq!(segs[0].documents, 1);
+        assert!(segs[0].footprint.compressed_bytes > 0);
+        let stats = engine.stats();
+        assert_eq!(stats.segments, 1);
+        assert_eq!(stats.documents, 1);
+        assert!(stats.footprint().compressed_bytes > 0);
+    }
+
+    #[test]
+    fn ingest_makes_new_documents_searchable_without_touching_old_segments() {
+        let engine = ViewSearchEngine::new(corpus());
+        let report = engine
+            .ingest([(
+                "more.xml",
+                "<books><book><isbn>2</isbn><title>xml advanced</title><year>2005</year></book></books>",
+            )])
+            .unwrap();
+        assert_eq!(report.documents, vec!["more.xml".to_string()]);
+        assert_eq!(report.segment.documents, 1);
+        assert_eq!(engine.segments().len(), 2);
+
+        // The new document answers searches, materialized from its own
+        // segment corpus (not the engine's base corpus).
+        let out = engine
+            .search_once(
+                "for $b in fn:doc(more.xml)/books//book return <h> { $b/title } </h>",
+                &SearchRequest::new(["advanced"]),
+            )
+            .unwrap();
+        assert_eq!(out.hits.len(), 1);
+        assert!(out.hits[0].xml.contains("xml advanced"), "{}", out.hits[0].xml);
+        // The old document still answers too.
+        let out = engine.search_once(BOOKS_VIEW, &SearchRequest::new(["basics"])).unwrap();
+        assert_eq!(out.hits.len(), 1);
+    }
+
+    #[test]
+    fn ingested_ordinals_never_collide() {
+        let engine = ViewSearchEngine::new(corpus());
+        engine.ingest([("a.xml", "<r><e>one</e></r>")]).unwrap();
+        engine.ingest([("b.xml", "<r><e>two</e></r>")]).unwrap();
+        let metas: Vec<DocMeta> =
+            ["books.xml", "a.xml", "b.xml"].iter().map(|n| engine.doc_meta(n).unwrap()).collect();
+        let mut ordinals: Vec<u32> = metas.iter().map(|m| m.root_ordinal).collect();
+        ordinals.sort();
+        ordinals.dedup();
+        assert_eq!(ordinals.len(), 3, "ordinals must be disjoint: {metas:?}");
+        // Each doc knows its owning segment.
+        assert_ne!(metas[0].segment, metas[1].segment);
+        assert_ne!(metas[1].segment, metas[2].segment);
+    }
+
+    #[test]
+    fn ingest_rejects_duplicates_and_bad_xml_atomically() {
+        let engine = ViewSearchEngine::new(corpus());
+        let e = engine.ingest([("books.xml", "<r/>")]).unwrap_err();
+        assert!(matches!(e, EngineError::Ingest(_)), "{e}");
+        let e = engine
+            .ingest([("ok.xml", "<r><e>fine</e></r>"), ("bad.xml", "<r><open>")])
+            .unwrap_err();
+        assert!(matches!(e, EngineError::Ingest(_)), "{e}");
+        // The failed batch changed nothing — not even its valid half.
+        assert_eq!(engine.segments().len(), 1);
+        assert!(engine.doc_meta("ok.xml").is_none());
+        let empty: [(&str, &str); 0] = [];
+        assert!(matches!(engine.ingest(empty), Err(EngineError::Ingest(_))));
+    }
+
+    #[test]
+    fn prepared_views_keep_their_snapshot_across_ingest() {
+        let engine = ViewSearchEngine::new(corpus());
+        let view = engine.prepare(BOOKS_VIEW).unwrap();
+        let before = view.search(&SearchRequest::new(["xml"])).unwrap();
+        engine
+            .ingest([("late.xml", "<books><book><title>late xml</title></book></books>")])
+            .unwrap();
+        // The old prepared view answers identically from its snapshot…
+        let after = view.search(&SearchRequest::new(["xml"])).unwrap();
+        assert_eq!(before.view_size, after.view_size);
+        assert_eq!(before.hits.len(), after.hits.len());
+        for (a, b) in before.hits.iter().zip(&after.hits) {
+            assert_eq!(a.score, b.score);
+            assert_eq!(a.xml, b.xml);
+        }
+        // …while a fresh prepare sees the new document.
+        assert!(engine.doc_meta("late.xml").is_some());
+    }
+
+    #[test]
+    fn compaction_merges_size_tiers_and_preserves_results() {
+        let engine = ViewSearchEngine::new(corpus());
+        for i in 0..3 {
+            engine
+                .ingest([(
+                    format!("doc{i}.xml"),
+                    format!(
+                        "<books><book><title>xml tiny {i}</title><year>2000</year></book></books>"
+                    ),
+                )])
+                .unwrap();
+        }
+        assert_eq!(engine.segments().len(), 4);
+        let view = engine.prepare(BOOKS_VIEW).unwrap();
+        let before = view.search(&SearchRequest::new(["xml"])).unwrap();
+
+        let mut rounds = 0;
+        while engine.compact().merges > 0 {
+            rounds += 1;
+            assert!(rounds < 16, "compaction must settle");
+        }
+        assert!(rounds >= 1, "similar-size segments must have merged");
+        assert!(engine.segments().len() < 4);
+        let merged = engine.segments();
+        assert!(merged.iter().any(|s| s.generation >= 1), "{merged:?}");
+
+        // Old view (pre-compaction snapshot) still answers identically.
+        let after = view.search(&SearchRequest::new(["xml"])).unwrap();
+        assert_eq!(before.hits.len(), after.hits.len());
+        // A fresh prepare over the compacted set answers identically too,
+        // including for the ingested docs (side corpora merged along).
+        let fresh = engine
+            .search_once(
+                "for $b in fn:doc(doc1.xml)/books//book return <h> { $b/title } </h>",
+                &SearchRequest::new(["tiny"]),
+            )
+            .unwrap();
+        assert_eq!(fresh.hits.len(), 1);
+        assert!(fresh.hits[0].xml.contains("xml tiny 1"));
+    }
+
+    #[test]
+    fn ingest_is_visible_across_engine_clones_and_source_swaps() {
+        let c = Arc::new(corpus());
+        let engine = ViewSearchEngine::new(Arc::clone(&c));
+        let clone = engine.clone();
+        let swapped: ViewSearchEngine<Corpus> = engine.with_source(Arc::clone(&c));
+        engine.ingest([("x.xml", "<r><e>shared state</e></r>")]).unwrap();
+        assert!(clone.doc_meta("x.xml").is_some());
+        assert!(swapped.doc_meta("x.xml").is_some());
+        let out = swapped
+            .search_once("for $e in fn:doc(x.xml)/r/e return $e", &SearchRequest::new(["shared"]))
+            .unwrap();
+        assert_eq!(out.hits.len(), 1);
+    }
+}
+
+#[cfg(test)]
 mod plan_tests {
     use super::*;
 
@@ -692,5 +1217,18 @@ mod plan_tests {
         let engine = ViewSearchEngine::new(Corpus::new());
         let e = engine.prepare("for $x in fn:doc(a.xml)/r return $x").unwrap_err();
         assert!(matches!(e, EngineError::UnknownDocument(_)));
+    }
+
+    #[test]
+    fn keyword_list_lengths_sum_across_segments() {
+        let mut c = Corpus::new();
+        c.add_parsed("a.xml", "<r><e>xml xml here</e></r>").unwrap();
+        let engine = ViewSearchEngine::new(c);
+        engine.ingest([("b.xml", "<r><e>xml there</e></r>")]).unwrap();
+        let view = engine.prepare("for $e in fn:doc(a.xml)/r/e return $e").unwrap();
+        let plan = view.plan(&["xml"]);
+        // One posting per element directly containing the keyword, across
+        // both segments (1 in a.xml + 1 in b.xml).
+        assert_eq!(plan.keyword_list_lengths, vec![("xml".to_string(), 2)]);
     }
 }

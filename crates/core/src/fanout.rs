@@ -1,0 +1,65 @@
+//! The crate's one scoped worker pool: fan independent items across a
+//! few threads, collect results **in item order**.
+//!
+//! Shared by [`crate::catalog::ViewCatalog::search_batch`] (one search
+//! per worker) and [`crate::prepared::PreparedView`]'s per-segment PDT
+//! generation, so pool policy (worker sizing, slot discipline) evolves
+//! in exactly one place. Single-item inputs and single-core hosts run
+//! inline without spawning.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Upper bound on workers per fan-out. Note fan-outs can nest — a batch
+/// worker's search fans its own PDT generation — so this also bounds the
+/// multiplication factor.
+const MAX_WORKERS: usize = 8;
+
+/// Apply `f` to every item on a scoped worker pool and return the
+/// results in item order. Work is claimed by index, so uneven item costs
+/// balance across workers.
+pub(crate) fn fan_out<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len())
+        .min(MAX_WORKERS);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(item);
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("worker pool fills every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let items: Vec<usize> = (0..50).collect();
+        let out = fan_out(&items, |i| i * 2);
+        assert_eq!(out, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs_run_inline() {
+        let empty: [u32; 0] = [];
+        assert!(fan_out(&empty, |x| *x).is_empty());
+        assert_eq!(fan_out(&[7u32], |x| *x + 1), vec![8]);
+    }
+}

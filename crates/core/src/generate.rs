@@ -52,6 +52,10 @@ pub struct DocMeta {
     pub root_tag: String,
     /// The document's Dewey root ordinal.
     pub root_ordinal: u32,
+    /// Id of the index segment that owns the document (0 for standalone
+    /// / un-segmented use). Ordinals are allocated per segment, so the
+    /// (segment, ordinal) pair survives ingestion and compaction.
+    pub segment: u64,
 }
 
 /// Work counters of one GeneratePDT run.
@@ -738,6 +742,7 @@ mod tests {
             name: doc.to_string(),
             root_tag: document.node_tag(root).to_string(),
             root_ordinal: document.node(root).dewey.components()[0],
+            segment: 0,
         };
         let (pdt, _) = generate_pdt(qpt, &path_index, &inverted, &kws, &meta);
         let oracle = oracle_pdt(document, qpt, &inverted, &kws);
@@ -882,7 +887,12 @@ mod tests {
         .unwrap();
         let path_index = PathIndex::build(&c);
         let inverted = InvertedIndex::build(&c);
-        let meta = DocMeta { name: "books.xml".into(), root_tag: "books".into(), root_ordinal: 1 };
+        let meta = DocMeta {
+            name: "books.xml".into(),
+            root_tag: "books".into(),
+            root_ordinal: 1,
+            segment: 0,
+        };
         let (_, stats) = generate_pdt(&book_qpt(), &path_index, &inverted, &[], &meta);
         assert_eq!(stats.probes, 3);
         assert_eq!(stats.entries, 3);
@@ -910,6 +920,7 @@ mod pending_tests {
             name: "d.xml".into(),
             root_tag: doc.node_tag(doc.root().unwrap()).to_string(),
             root_ordinal: 1,
+            segment: 0,
         };
         let (pdt, stats) = generate_pdt(qpt, &path_index, &inverted, &[], &meta);
         let oracle = oracle_pdt(doc, qpt, &inverted, &[]);

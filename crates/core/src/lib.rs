@@ -44,9 +44,28 @@
 //! result. Batches fan out over [`ViewCatalog::search_batch`]'s worker
 //! pool.
 //!
-//! Indices persist: [`vxv_index::IndexBundle`] serializes them next to a
-//! [`vxv_xml::DiskStore`], and [`ViewSearchEngine::open`] cold-starts an
-//! engine from disk without re-tokenizing or re-walking base documents.
+//! ## Segments: corpus → segments → snapshot → parallel merge
+//!
+//! The index is partitioned by document into immutable
+//! [`vxv_index::IndexSegment`]s behind an atomically swappable segment
+//! set. [`ViewSearchEngine::ingest`] makes new documents searchable by
+//! building **one new segment** (under fresh Dewey root ordinals) and
+//! swapping the set — never rewriting old segments;
+//! [`ViewSearchEngine::compact`] merges size-tiered segment groups into
+//! bigger ones whose indices are byte-identical to a single build over
+//! the union. A [`PreparedView`] freezes the snapshot it was prepared
+//! against (searches are never torn by concurrent ingests — re-prepare
+//! to see new documents), plans each QPT against the segment owning its
+//! projected document, fans per-segment PDT generation across a scoped
+//! worker pool, and merges scores across segments byte-identically to
+//! the single-segment pipeline. [`ViewSearchEngine::stats`] /
+//! [`ViewSearchEngine::segments`] aggregate per-segment work counters
+//! and footprints into one [`EngineStats`] report.
+//!
+//! Indices persist: [`vxv_index::IndexBundle`] serializes every segment
+//! next to a [`vxv_xml::DiskStore`] (versioned `indices.vxi`, v1 files
+//! still load), and [`ViewSearchEngine::open`] cold-starts an engine
+//! from disk without re-tokenizing or re-walking base documents.
 //!
 //! ```
 //! use vxv_core::{SearchRequest, ViewCatalog, ViewSearchEngine};
@@ -89,6 +108,7 @@
 pub mod catalog;
 pub mod control;
 pub mod engine;
+mod fanout;
 pub mod generate;
 pub mod oracle;
 pub mod pdt;
@@ -102,7 +122,9 @@ pub mod stream;
 
 pub use catalog::{CatalogStats, NamedRequest, ViewCatalog, DEFAULT_ADHOC_CAPACITY};
 pub use control::CancelToken;
-pub use engine::{EngineError, ViewSearchEngine};
+pub use engine::{
+    CompactReport, EngineError, EngineStats, IngestReport, SegmentInfo, ViewSearchEngine,
+};
 pub use generate::{generate_pdt, DocMeta, GenerateStats};
 pub use pdt::{Pdt, PdtElem, PdtNodeInfo};
 pub use prepare::{prepare_lists, MaterializedLists, NodePlan, PreparedLists};

@@ -7,13 +7,19 @@
 //! with its pattern expansion against the path dictionary — happens once,
 //! at [`crate::engine::ViewSearchEngine::prepare`] time. Each subsequent
 //! [`PreparedView::search`] pays only for what depends on the keywords:
-//! the single-pass PDT merge, view evaluation over the PDTs, scoring, and
-//! top-k materialization.
+//! the per-segment PDT merges, view evaluation over the PDTs, scoring,
+//! and top-k materialization.
 //!
-//! A `PreparedView` **owns** an engine handle (`Arc`-shared state), so it
-//! is `Send + Sync + 'static`: park it in a
-//! [`crate::catalog::ViewCatalog`], share it via `Arc`, move it across
-//! threads — clone-free concurrent searches are the intended use.
+//! A `PreparedView` **owns** an engine handle *and a frozen segment
+//! snapshot*: each QPT is planned against the segment that owns its
+//! projected document, and the snapshot's `Arc`s keep those segments
+//! alive even if the engine later ingests or compacts — searches are
+//! never torn by concurrent index evolution (re-prepare to see new
+//! documents). Views over several documents fan their per-segment PDT
+//! generation across a scoped worker pool; the cross-segment score
+//! merge is byte-identical to the single-segment pipeline because PDTs
+//! are per-document and idf is computed over the whole view sequence
+//! either way.
 //!
 //! Two execution shapes share one pipeline:
 //!
@@ -22,8 +28,8 @@
 //! * [`PreparedView::hits`] — rank, then return a pull-based
 //!   [`HitStream`] that materializes each hit on demand.
 
-use crate::control::ExecControl;
-use crate::engine::{EngineError, ViewSearchEngine};
+use crate::control::{ExecControl, Interrupt};
+use crate::engine::{EngineError, EngineSegment, SegmentSet, ViewSearchEngine};
 use crate::generate::{generate_pdt_from_lists_ctl, DocMeta, GenerateStats};
 use crate::pdt::Pdt;
 use crate::prepare::{prepare_lists, PreparedLists};
@@ -31,8 +37,9 @@ use crate::qpt::Qpt;
 use crate::qpt_gen::generate_qpts;
 use crate::request::{PhaseTimings, SearchHit, SearchRequest, SearchResponse};
 use crate::scoring::{score_and_rank, ElementStats, ScoringOutcome};
-use crate::stream::{materialize_segments, HitStream, PlannedHit, Segment};
+use crate::stream::{materialize_segments, FetchRouter, HitStream, PlannedHit, Segment};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vxv_index::tokenize::normalize_keyword;
 use vxv_xml::DocumentSource;
@@ -40,24 +47,30 @@ use vxv_xquery::{
     item_byte_len_with, item_sum_with, serialize_item_with, Evaluator, MapSource, Query,
 };
 
-/// One QPT with everything its searches reuse: catalog metadata and the
-/// cursor plan over the selected index rows (keyword-independent by
+/// One QPT with everything its searches reuse: catalog metadata, the
+/// owning segment (from the prepared snapshot), and the cursor plan over
+/// the segment's selected index rows (keyword-independent by
 /// construction; entries stay compressed in the index until a search's
 /// merge streams them).
-#[derive(Debug)]
 pub(crate) struct QptPlan {
     pub(crate) qpt: Qpt,
     pub(crate) meta: DocMeta,
+    pub(crate) segment: Arc<EngineSegment>,
     pub(crate) lists: PreparedLists,
 }
 
 /// A view with its analysis done: parse + QPT generation + index-probe
-/// planning, ready to answer [`SearchRequest`]s. Owns its engine handle —
-/// no borrows, no lifetimes; see the module docs.
+/// planning against a frozen segment snapshot, ready to answer
+/// [`SearchRequest`]s. Owns its engine handle — no borrows, no
+/// lifetimes; see the module docs.
 pub struct PreparedView<S: DocumentSource> {
     engine: ViewSearchEngine<S>,
     query: Query,
     plans: Vec<QptPlan>,
+    /// The segment set this view was prepared against (kept alive for
+    /// snapshot isolation across ingests/compactions).
+    snapshot: Arc<SegmentSet>,
+    router: FetchRouter<S>,
 }
 
 impl<S: DocumentSource> std::fmt::Debug for PreparedView<S> {
@@ -65,6 +78,7 @@ impl<S: DocumentSource> std::fmt::Debug for PreparedView<S> {
         f.debug_struct("PreparedView")
             .field("qpts", &self.plans.len())
             .field("probes", &self.probe_count())
+            .field("segments", &self.snapshot.len())
             .field("source", &self.engine.source().kind())
             .finish_non_exhaustive()
     }
@@ -85,22 +99,26 @@ struct RankedHits {
 }
 
 impl<S: DocumentSource> PreparedView<S> {
-    /// Analyze `query` against `engine`'s indices. Called via
-    /// [`ViewSearchEngine::prepare`] / [`ViewSearchEngine::prepare_query`].
+    /// Analyze `query` against `engine`'s current segment snapshot.
+    /// Called via [`ViewSearchEngine::prepare`] /
+    /// [`ViewSearchEngine::prepare_query`].
     pub(crate) fn build(engine: &ViewSearchEngine<S>, query: Query) -> Result<Self, EngineError> {
+        let snapshot = engine.snapshot();
         let qpts = generate_qpts(&query)?;
         let mut plans = Vec::with_capacity(qpts.len());
         for qpt in qpts {
-            // Root tag and ordinal are catalog metadata — present whether
-            // the engine was built from a corpus or cold-opened from disk.
-            let meta = engine
-                .doc_meta(&qpt.doc_name)
-                .cloned()
+            // Locate the segment owning the projected document; root tag
+            // and ordinal are catalog metadata — present whether the
+            // engine was built from a corpus or cold-opened from disk.
+            let (segment, meta) = snapshot
+                .iter()
+                .find_map(|seg| seg.catalog.get(&qpt.doc_name).map(|m| (seg, m.clone())))
                 .ok_or_else(|| EngineError::UnknownDocument(qpt.doc_name.clone()))?;
-            let lists = prepare_lists(&qpt, engine.path_index(), meta.root_ordinal);
-            plans.push(QptPlan { qpt, meta, lists });
+            let lists = prepare_lists(&qpt, segment.index.path_index(), meta.root_ordinal);
+            plans.push(QptPlan { qpt, meta, segment: Arc::clone(segment), lists });
         }
-        Ok(PreparedView { engine: engine.clone(), query, plans })
+        let router = FetchRouter::new(engine.source_arc(), &snapshot);
+        Ok(PreparedView { engine: engine.clone(), query, plans, snapshot, router })
     }
 
     /// The engine this view was prepared against (a shared handle).
@@ -116,6 +134,12 @@ impl<S: DocumentSource> PreparedView<S> {
     /// Number of base documents the view projects (= number of QPTs).
     pub fn qpt_count(&self) -> usize {
         self.plans.len()
+    }
+
+    /// Number of segments in the snapshot this view was prepared
+    /// against.
+    pub fn segment_count(&self) -> usize {
+        self.snapshot.len()
     }
 
     /// Logical index probes planned at prepare time — one per probed QPT
@@ -141,7 +165,6 @@ impl<S: DocumentSource> PreparedView<S> {
 
         // Final phase: execute each hit's materialization plan.
         let t3 = Instant::now();
-        let storage = self.engine.source();
         // Fetches are counted locally (not by diffing the source's global
         // counter) so concurrent searches on one source each report
         // exactly their own base-data work.
@@ -155,7 +178,7 @@ impl<S: DocumentSource> PreparedView<S> {
                     post: ranked.t_score + t3.elapsed(),
                 })
             })?;
-            let xml = materialize_segments(&planned.segments, storage, &mut fetches)?;
+            let xml = materialize_segments(&planned.segments, &self.router, &mut fetches)?;
             hits.push(SearchHit {
                 rank: i + 1,
                 score: planned.score,
@@ -192,7 +215,7 @@ impl<S: DocumentSource> PreparedView<S> {
         let ctl = ExecControl::new(request.deadline_budget(), request.cancel());
         let ranked = self.rank(request, &ctl)?;
         Ok(HitStream::new(
-            self.engine.source_arc(),
+            self.router.clone(),
             ranked.planned,
             ranked.view_size,
             ranked.matching,
@@ -202,9 +225,32 @@ impl<S: DocumentSource> PreparedView<S> {
         ))
     }
 
-    /// The shared ranking pipeline: PDT generation → view evaluation →
-    /// scoring → top-k cut, with each winner's materialization plan kept
-    /// symbolic ([`Segment`]s) instead of expanded.
+    /// Phase 1: one PDT per QPT, each merged from its owning segment's
+    /// cursors. Multi-document views fan across a scoped worker pool
+    /// (PDTs are independent by construction); results come back in plan
+    /// order, so downstream phases are order-deterministic either way.
+    fn generate_pdts(
+        &self,
+        keywords: &[String],
+        ctl: &ExecControl,
+    ) -> Result<Vec<(Pdt, GenerateStats)>, Interrupt> {
+        let run = |plan: &QptPlan| {
+            generate_pdt_from_lists_ctl(
+                &plan.qpt,
+                &plan.lists,
+                plan.segment.index.inverted(),
+                keywords,
+                &plan.meta,
+                ctl,
+            )
+        };
+        crate::fanout::fan_out(&self.plans, run).into_iter().collect()
+    }
+
+    /// The shared ranking pipeline: per-segment PDT generation → view
+    /// evaluation → scoring → top-k cut, with each winner's
+    /// materialization plan kept symbolic ([`Segment`]s) instead of
+    /// expanded.
     fn rank(&self, request: &SearchRequest, ctl: &ExecControl) -> Result<RankedHits, EngineError> {
         let keywords: Vec<String> =
             request.keywords().iter().map(|s| normalize_keyword(s)).collect();
@@ -212,23 +258,15 @@ impl<S: DocumentSource> PreparedView<S> {
             return Err(EngineError::EmptyQuery);
         }
 
-        // Phase 1: index-only PDTs from the prepared probe lists.
+        // Phase 1: index-only PDTs from the prepared probe lists, fanned
+        // across segments.
         let t0 = Instant::now();
         let pdt_timings = |t0: &Instant| PhaseTimings { pdt: t0.elapsed(), ..Default::default() };
-        let inverted = self.engine.inverted_index();
+        let generated =
+            self.generate_pdts(&keywords, ctl).map_err(|int| int.into_error(pdt_timings(&t0)))?;
         let mut pdts: Vec<Pdt> = Vec::with_capacity(self.plans.len());
         let mut pdt_stats = Vec::with_capacity(self.plans.len());
-        for plan in &self.plans {
-            ctl.check().map_err(|int| int.into_error(pdt_timings(&t0)))?;
-            let (pdt, stats) = generate_pdt_from_lists_ctl(
-                &plan.qpt,
-                &plan.lists,
-                inverted,
-                &keywords,
-                &plan.meta,
-                ctl,
-            )
-            .map_err(|int| int.into_error(pdt_timings(&t0)))?;
+        for (plan, (pdt, stats)) in self.plans.iter().zip(generated) {
             pdt_stats.push((plan.qpt.doc_name.clone(), stats, pdt.byte_size()));
             pdts.push(pdt);
         }
@@ -247,7 +285,9 @@ impl<S: DocumentSource> PreparedView<S> {
         })?;
 
         // Phase 3: score from PDT annotations, rank, plan top-k
-        // materialization.
+        // materialization. Scoring sees the whole view sequence at once —
+        // the cross-segment merge point — so idf and ranking are
+        // identical however many segments produced the PDTs.
         let t2 = Instant::now();
         let score_timings =
             |t2: &Instant| PhaseTimings { pdt: t_pdt, evaluator: t_eval, post: t2.elapsed() };
@@ -309,7 +349,8 @@ impl<S: DocumentSource> PreparedView<S> {
     }
 
     /// The query plan: per-QPT probe reports from the cached prepare-time
-    /// lists, plus the keywords' posting-list lengths — without running
+    /// lists (each against its owning segment), plus the keywords'
+    /// posting-list lengths summed across the snapshot — without running
     /// the query.
     pub fn plan<K: AsRef<str>>(&self, keywords: &[K]) -> QueryPlan {
         let qpts = self
@@ -330,6 +371,7 @@ impl<S: DocumentSource> PreparedView<S> {
                     .collect();
                 QptReport {
                     doc_name: plan.qpt.doc_name.clone(),
+                    segment: plan.meta.segment,
                     rendered: plan.qpt.to_string(),
                     nodes: plan.qpt.len(),
                     probes,
@@ -340,7 +382,8 @@ impl<S: DocumentSource> PreparedView<S> {
             .iter()
             .map(|k| {
                 let norm = normalize_keyword(k.as_ref());
-                let len = self.engine.inverted_index().list_len(&norm);
+                let len =
+                    self.snapshot.iter().map(|seg| seg.index.inverted().list_len(&norm)).sum();
                 (norm, len)
             })
             .collect();
@@ -379,7 +422,8 @@ pub struct ProbeReport {
     pub pattern: String,
     /// Number of predicates pushed into the probe.
     pub predicates: usize,
-    /// Full data paths the pattern expands to in the dictionary.
+    /// Full data paths the pattern expands to in the owning segment's
+    /// dictionary.
     pub expanded_paths: usize,
     /// Entries the plan holds for the projected document (relevant-list
     /// length, counted from block metadata without decoding interiors).
@@ -391,6 +435,8 @@ pub struct ProbeReport {
 pub struct QptReport {
     /// The document this QPT projects.
     pub doc_name: String,
+    /// Id of the index segment that owns the document.
+    pub segment: u64,
     /// Pretty-printed QPT (axes, edges, annotations, predicates).
     pub rendered: String,
     /// Pattern nodes in the QPT.
@@ -405,6 +451,7 @@ pub struct QptReport {
 pub struct QueryPlan {
     /// One report per base document the view references.
     pub qpts: Vec<QptReport>,
-    /// Per-keyword inverted-list lengths (the paper's selectivity knob).
+    /// Per-keyword inverted-list lengths, summed across segments (the
+    /// paper's selectivity knob).
     pub keyword_list_lengths: Vec<(String, usize)>,
 }

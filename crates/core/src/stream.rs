@@ -21,10 +21,12 @@
 //! the stream.
 
 use crate::control::ExecControl;
-use crate::engine::EngineError;
+use crate::engine::{EngineError, SegmentSet};
 use crate::request::{PhaseTimings, SearchHit};
+use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
-use vxv_xml::{DeweyId, DocumentSource};
+use vxv_xml::{Corpus, DeweyId, DocumentSource, SourceError};
 
 /// One piece of a hit's materialization plan.
 #[derive(Clone, Debug)]
@@ -33,6 +35,52 @@ pub(crate) enum Segment {
     Text(String),
     /// Expand the base-data subtree rooted at this Dewey ID.
     Fetch(DeweyId),
+}
+
+/// Routes each base-data fetch to the storage that owns the element:
+/// documents of **ingested** segments materialize from their segment's
+/// own in-memory corpus; everything else goes to the engine's main
+/// [`DocumentSource`]. Ownership is decided by the Dewey root ordinal —
+/// the engine's allocator guarantees ordinals never collide across
+/// segments, so the routing table is a plain per-ordinal map frozen
+/// with the prepared view's snapshot.
+pub(crate) struct FetchRouter<S: DocumentSource> {
+    source: Arc<S>,
+    side: HashMap<u32, Arc<Corpus>>,
+}
+
+impl<S: DocumentSource> Clone for FetchRouter<S> {
+    fn clone(&self) -> Self {
+        FetchRouter { source: Arc::clone(&self.source), side: self.side.clone() }
+    }
+}
+
+impl<S: DocumentSource> FetchRouter<S> {
+    pub(crate) fn new(source: Arc<S>, snapshot: &SegmentSet) -> Self {
+        let mut side = HashMap::new();
+        for seg in snapshot {
+            if let Some(corpus) = &seg.side_corpus {
+                // Map only ordinals the side corpus actually holds: a
+                // compacted segment may mix side-resident (ingested) and
+                // main-source documents in one catalog.
+                for doc in corpus.docs() {
+                    if let Some(root) = doc.root() {
+                        side.insert(doc.node(root).dewey.components()[0], Arc::clone(corpus));
+                    }
+                }
+            }
+        }
+        FetchRouter { source, side }
+    }
+
+    /// The serialized subtree at `dewey`, read from whichever backend
+    /// owns the element's root ordinal.
+    pub(crate) fn subtree_xml(&self, dewey: &DeweyId) -> Result<Option<String>, SourceError> {
+        match dewey.components().first().and_then(|ord| self.side.get(ord)) {
+            Some(corpus) => DocumentSource::subtree_xml(corpus.as_ref(), dewey),
+            None => self.source.subtree_xml(dewey),
+        }
+    }
 }
 
 /// A ranked hit whose materialization is still pending: scores and
@@ -50,7 +98,7 @@ pub(crate) struct PlannedHit {
 /// [`crate::PreparedView::search`] so both produce byte-identical XML.
 pub(crate) fn materialize_segments<S: DocumentSource>(
     segments: &[Segment],
-    storage: &S,
+    storage: &FetchRouter<S>,
     fetches: &mut u64,
 ) -> Result<String, EngineError> {
     let mut out = String::new();
@@ -78,7 +126,7 @@ pub(crate) fn materialize_segments<S: DocumentSource>(
 /// is `Send + Sync + 'static` — create it on one thread, drain it on
 /// another.
 pub struct HitStream<S: DocumentSource> {
-    storage: std::sync::Arc<S>,
+    storage: FetchRouter<S>,
     planned: std::vec::IntoIter<PlannedHit>,
     next_rank: usize,
     fetches: u64,
@@ -96,7 +144,7 @@ pub struct HitStream<S: DocumentSource> {
 impl<S: DocumentSource> HitStream<S> {
     #[allow(clippy::too_many_arguments)] // crate-internal constructor
     pub(crate) fn new(
-        storage: std::sync::Arc<S>,
+        storage: FetchRouter<S>,
         planned: Vec<PlannedHit>,
         view_size: usize,
         matching: usize,
@@ -185,7 +233,7 @@ impl<S: DocumentSource> Iterator for HitStream<S> {
             return Some(Err(int.into_error(self.timings())));
         }
         let planned = self.planned.next()?;
-        let out = materialize_segments(&planned.segments, self.storage.as_ref(), &mut self.fetches);
+        let out = materialize_segments(&planned.segments, &self.storage, &mut self.fetches);
         self.materialize_time += t0.elapsed();
         match out {
             Ok(xml) => {

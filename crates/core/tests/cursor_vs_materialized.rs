@@ -162,7 +162,7 @@ proptest! {
         let path_index = PathIndex::build(&corpus);
         let inverted = InvertedIndex::build(&corpus);
         let keywords: Vec<String> = WORDS.iter().map(|w| w.to_string()).collect();
-        let meta = DocMeta { name: "doc.xml".into(), root_tag: TAGS[tree.tag].into(), root_ordinal: 1 };
+        let meta = DocMeta { name: "doc.xml".into(), root_tag: TAGS[tree.tag].into(), root_ordinal: 1, segment: 0 };
 
         let plan = prepare_lists(&qpt, &path_index, 1);
         let materialized = plan.materialize();

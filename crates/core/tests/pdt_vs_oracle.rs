@@ -159,6 +159,7 @@ proptest! {
             name: "doc.xml".into(),
             root_tag: doc.node_tag(doc.root().unwrap()).to_string(),
             root_ordinal: 1,
+            segment: 0,
         };
         let (pdt, _) = generate_pdt(&qpt, &path_index, &inverted, &keywords, &meta);
         let oracle = oracle_pdt(doc, &qpt, &inverted, &keywords);

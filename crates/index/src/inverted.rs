@@ -44,6 +44,19 @@ pub struct InvertedIndexStats {
     pub bytes_decoded: u64,
 }
 
+impl std::ops::Add for InvertedIndexStats {
+    type Output = InvertedIndexStats;
+
+    fn add(self, rhs: InvertedIndexStats) -> InvertedIndexStats {
+        InvertedIndexStats {
+            lookups: self.lookups + rhs.lookups,
+            postings_scanned: self.postings_scanned + rhs.postings_scanned,
+            blocks_skipped: self.blocks_skipped + rhs.blocks_skipped,
+            bytes_decoded: self.bytes_decoded + rhs.bytes_decoded,
+        }
+    }
+}
+
 /// The corpus-wide inverted keyword index (block-compressed lists).
 #[derive(Debug, Default)]
 pub struct InvertedIndex {
@@ -105,6 +118,26 @@ impl InvertedIndex {
     /// Rebuild an index directly from compressed lists (persistence).
     pub(crate) fn from_lists(lists: HashMap<String, BlockList>) -> Self {
         InvertedIndex { lists, ..InvertedIndex::default() }
+    }
+
+    /// Merge several indices over **disjoint** document sets into one.
+    /// Each keyword's postings are decoded, concatenated, re-sorted in
+    /// Dewey order and re-encoded — byte-identical to the index a single
+    /// build over the union of the documents would have produced (the
+    /// compaction invariant the segment tests pin down).
+    pub fn merge<'a>(parts: impl IntoIterator<Item = &'a InvertedIndex>) -> InvertedIndex {
+        let mut idx = InvertedIndex::default();
+        for part in parts {
+            debug_assert!(part.staging.is_empty(), "finalize before merging");
+            for (token, list) in &part.lists {
+                idx.staging
+                    .entry(token.clone())
+                    .or_default()
+                    .extend(list.decode_all().into_iter().map(|(id, tf)| Posting { id, tf }));
+            }
+        }
+        idx.finalize();
+        idx
     }
 
     /// The compressed lists (persistence).

@@ -1,9 +1,10 @@
 #![warn(missing_docs)]
-//! # vxv-index — index substrate
+//! # vxv-index — segmented index substrate
 //!
 //! The two index families the paper's PDT-generation phase consumes
 //! (Fig. 3's "Structure (Path/Tag) Indices" and "Inverted List Indices"),
-//! stored block-compressed and consumed through streaming cursors:
+//! stored block-compressed, consumed through streaming cursors, and
+//! organized into **segments**:
 //!
 //! * [`PathIndex`] — the (Path, Value) table of Fig. 5. The engine plans
 //!   probes with [`PathIndex::select_rows`] (predicates evaluated once
@@ -16,16 +17,25 @@
 //! * [`TagIndex`] — plain per-tag element streams, the access path of the
 //!   structural-join (GTP+TermJoin) comparison system.
 //!
+//! An [`IndexSegment`] bundles one immutable (path index, inverted
+//! index, document catalog) triple; the corpus is **partitioned by
+//! document** across segments, so ingestion builds a new segment instead
+//! of rewriting old ones, per-document query work consults exactly one
+//! segment, and [`IndexSegment::merge`] compacts segments into a result
+//! byte-identical to a single build over the union — searches can never
+//! observe compaction.
+//!
 //! The probe → cursor contract is defined in [`cursor`]; the
 //! delta-varint block format (with per-block min/max skip metadata) in
 //! [`postings`]; sizes are reported uniformly via [`IndexFootprint`];
-//! and [`persist::IndexBundle`] serializes both indices plus a document
-//! catalog so a cold engine opens them from disk instead of rebuilding
+//! and [`persist::IndexBundle`] serializes any number of segments into a
+//! versioned `indices.vxi` (v2 segmented; v1 single-index files still
+//! load) so a cold engine opens them from disk instead of rebuilding
 //! from the corpus.
 //!
 //! All indices carry work counters — charged when cursors *consume*
 //! entries, not when lists are opened — so the experiments can report
-//! probe costs.
+//! probe costs; [`SegmentStats`] sums them per segment.
 
 pub mod cursor;
 pub mod footprint;
@@ -34,6 +44,7 @@ pub mod path_index;
 pub mod pattern;
 pub mod persist;
 pub mod postings;
+pub mod segment;
 pub mod tag_index;
 pub mod tokenize;
 
@@ -49,4 +60,5 @@ pub use path_index::{
 pub use pattern::{Axis, PathPattern, Step};
 pub use persist::{DocInfo, IndexBundle, PersistError};
 pub use postings::{BlockCursor, BlockList, DEFAULT_BLOCK_ENTRIES};
+pub use segment::{IndexSegment, SegmentStats};
 pub use tag_index::TagIndex;

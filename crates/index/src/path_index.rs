@@ -96,6 +96,20 @@ pub struct PathIndexStats {
     pub bytes_decoded: u64,
 }
 
+impl std::ops::Add for PathIndexStats {
+    type Output = PathIndexStats;
+
+    fn add(self, rhs: PathIndexStats) -> PathIndexStats {
+        PathIndexStats {
+            probes: self.probes + rhs.probes,
+            rows_read: self.rows_read + rhs.rows_read,
+            entries_returned: self.entries_returned + rhs.entries_returned,
+            blocks_skipped: self.blocks_skipped + rhs.blocks_skipped,
+            bytes_decoded: self.bytes_decoded + rhs.bytes_decoded,
+        }
+    }
+}
+
 /// The corpus-wide Path-Values index.
 #[derive(Debug, Default)]
 pub struct PathIndex {
@@ -185,6 +199,29 @@ impl PathIndex {
         self.tables.push(PathRows::default());
         self.staging.push(BTreeMap::new());
         id
+    }
+
+    /// Merge several indices over **disjoint** document sets into one.
+    /// Path dictionaries are re-interned in first-seen order; every
+    /// (Path, Value) row's entries are decoded, concatenated, re-sorted
+    /// in Dewey order and re-encoded — byte-identical to a single build
+    /// over the union of the documents.
+    pub fn merge<'a>(parts: impl IntoIterator<Item = &'a PathIndex>) -> PathIndex {
+        let mut idx = PathIndex::default();
+        for part in parts {
+            for (pid, path) in part.paths.iter().enumerate() {
+                let new_pid = idx.intern_path(path) as usize;
+                for (value, list) in &part.tables[pid].rows {
+                    idx.staging[new_pid].entry(value.clone()).or_default().extend(
+                        list.decode_all()
+                            .into_iter()
+                            .map(|(id, byte_len)| IdEntry { id, byte_len }),
+                    );
+                }
+            }
+        }
+        idx.finalize();
+        idx
     }
 
     /// Rebuild an index from its parts (persistence).

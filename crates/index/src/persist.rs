@@ -1,10 +1,9 @@
 //! On-disk persistence for the index layer.
 //!
 //! An [`IndexBundle`] packages everything a cold engine needs to answer
-//! searches without re-tokenizing or re-walking base documents: the
-//! block-compressed [`PathIndex`] and [`InvertedIndex`], plus a small
-//! document catalog (name, root tag, root ordinal — schema-level
-//! metadata the prepare phase consults). [`IndexBundle::save`] writes a
+//! searches without re-tokenizing or re-walking base documents: one or
+//! more [`IndexSegment`]s, each an immutable (path index, inverted
+//! index, document catalog) triple. [`IndexBundle::save`] writes a
 //! single `indices.vxi` file next to the document storage;
 //! [`IndexBundle::load`] reads it back, reconstructing the compressed
 //! lists byte-for-byte — the in-memory block format *is* the disk
@@ -12,12 +11,27 @@
 //!
 //! ## File format (`indices.vxi`, little-endian)
 //!
+//! Version 2 (written by [`IndexBundle::save`]) is segmented:
+//!
 //! ```text
-//! magic  "VXVIDX01"
-//! u32    doc count          { str name, str root_tag, u32 ordinal }*
-//! u32    keyword count      { str token, blocklist }*
-//! u32    path count         { str path }*
-//! per path: u32 row count   { u8 has_value, [str value], blocklist }*
+//! magic  "VXVIDX02"
+//! u32    segment count
+//! per segment:
+//!   u32  generation (merge depth)
+//!   segment body (identical to the v1 body below)
+//! ```
+//!
+//! Version 1 files — the pre-segmentation format — carry exactly one
+//! segment body after the magic and still load (as a single
+//! generation-0 segment); a tiny checked-in v1 fixture pins the
+//! compatibility path in CI. The shared body is:
+//!
+//! ```text
+//! magic  "VXVIDX01"          (v1 only; v2 bodies have no magic)
+//! u32    doc count           { str name, str root_tag, u32 ordinal }*
+//! u32    keyword count       { str token, blocklist }*
+//! u32    path count          { str path }*
+//! per path: u32 row count    { u8 has_value, [str value], blocklist }*
 //!
 //! blocklist := u64 entry_count, u64 uncompressed_bytes,
 //!              u64 data_len, data bytes,
@@ -27,17 +41,24 @@
 //! dewey     := u32 component count, u32* components
 //! str       := u32 byte length, utf-8 bytes
 //! ```
+//!
+//! Every read in the loader is bounds-checked through a typed
+//! [`PersistError`] path: a truncated or corrupt bundle can never panic
+//! at load time.
 
 use crate::inverted::InvertedIndex;
 use crate::path_index::PathIndex;
 use crate::postings::{BlockList, BlockMeta};
+use crate::segment::IndexSegment;
 use std::collections::HashMap;
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use vxv_xml::{Corpus, DeweyId};
 
-const MAGIC: &[u8; 8] = b"VXVIDX01";
+const MAGIC_V1: &[u8; 8] = b"VXVIDX01";
+const MAGIC_V2: &[u8; 8] = b"VXVIDX02";
 
 /// The file name [`IndexBundle::save`] writes inside the store directory.
 pub const INDEX_FILE: &str = "indices.vxi";
@@ -53,94 +74,61 @@ pub struct DocInfo {
     pub root_ordinal: u32,
 }
 
-/// Both indices plus the document catalog — everything a cold engine
-/// opens from disk.
+/// The persisted index state: one or more [`IndexSegment`]s — everything
+/// a cold engine opens from disk.
 #[derive(Debug)]
 pub struct IndexBundle {
-    /// The (Path, Value) index.
-    pub path_index: PathIndex,
-    /// The keyword inverted index.
-    pub inverted: InvertedIndex,
-    /// Per-document catalog metadata, in corpus order.
-    pub docs: Vec<DocInfo>,
+    /// The segments, in on-disk order.
+    pub segments: Vec<IndexSegment>,
 }
 
 impl IndexBundle {
-    /// Build both indices and the catalog from an in-memory corpus.
+    /// Build a single-segment bundle over an in-memory corpus.
     pub fn build(corpus: &Corpus) -> IndexBundle {
-        let docs = corpus
-            .docs()
-            .filter_map(|d| {
-                let root = d.root()?;
-                Some(DocInfo {
-                    name: d.name().to_string(),
-                    root_tag: d.node_tag(root).to_string(),
-                    root_ordinal: d.node(root).dewey.components()[0],
-                })
-            })
-            .collect();
-        IndexBundle {
-            path_index: PathIndex::build(corpus),
-            inverted: InvertedIndex::build(corpus),
-            docs,
-        }
+        IndexBundle { segments: vec![IndexSegment::build(corpus)] }
     }
 
-    /// Wrap pre-built parts.
+    /// Wrap pre-built segments.
+    pub fn from_segments(segments: Vec<IndexSegment>) -> IndexBundle {
+        IndexBundle { segments }
+    }
+
+    /// Wrap pre-built parts as a single generation-0 segment.
     pub fn from_parts(
         path_index: PathIndex,
         inverted: InvertedIndex,
         docs: Vec<DocInfo>,
     ) -> IndexBundle {
-        IndexBundle { path_index, inverted, docs }
+        IndexBundle { segments: vec![IndexSegment::from_parts(path_index, inverted, docs, 0)] }
     }
 
-    /// Split the bundle into `Arc`-shared indices plus the catalog — the
-    /// form a long-lived service owns, where one loaded index backs any
+    /// Catalog metadata across every segment, in segment order.
+    pub fn docs(&self) -> impl Iterator<Item = &DocInfo> {
+        self.segments.iter().flat_map(|s| s.docs().iter())
+    }
+
+    /// The largest Dewey root ordinal across all segments (`None` for an
+    /// empty bundle) — new segments are namespaced above it.
+    pub fn max_root_ordinal(&self) -> Option<u32> {
+        self.segments.iter().filter_map(|s| s.max_root_ordinal()).max()
+    }
+
+    /// Split the bundle into `Arc`-shared segments — the form a
+    /// long-lived service owns, where one loaded segment set backs any
     /// number of engines, catalogs and prepared views concurrently.
-    pub fn into_shared(
-        self,
-    ) -> (std::sync::Arc<PathIndex>, std::sync::Arc<InvertedIndex>, Vec<DocInfo>) {
-        (std::sync::Arc::new(self.path_index), std::sync::Arc::new(self.inverted), self.docs)
+    pub fn into_segments(self) -> Vec<Arc<IndexSegment>> {
+        self.segments.into_iter().map(Arc::new).collect()
     }
 
-    /// Serialize into `dir/indices.vxi` (directory created if needed).
-    /// Returns the written path.
+    /// Serialize into `dir/indices.vxi` (directory created if needed) in
+    /// the v2 segmented format. Returns the written path.
     pub fn save(&self, dir: &Path) -> io::Result<PathBuf> {
         let mut out: Vec<u8> = Vec::new();
-        out.extend_from_slice(MAGIC);
-        write_u32(&mut out, self.docs.len() as u32);
-        for d in &self.docs {
-            write_str(&mut out, &d.name);
-            write_str(&mut out, &d.root_tag);
-            write_u32(&mut out, d.root_ordinal);
-        }
-        let lists = self.inverted.lists();
-        let mut tokens: Vec<&String> = lists.keys().collect();
-        tokens.sort();
-        write_u32(&mut out, tokens.len() as u32);
-        for t in tokens {
-            write_str(&mut out, t);
-            write_blocklist(&mut out, &lists[t]);
-        }
-        let paths: Vec<&str> = self.path_index.paths().collect();
-        write_u32(&mut out, paths.len() as u32);
-        for p in &paths {
-            write_str(&mut out, p);
-        }
-        for pid in 0..paths.len() as u32 {
-            let rows: Vec<_> = self.path_index.rows_of(pid).collect();
-            write_u32(&mut out, rows.len() as u32);
-            for (value, list) in rows {
-                match value {
-                    Some(v) => {
-                        out.push(1);
-                        write_str(&mut out, v);
-                    }
-                    None => out.push(0),
-                }
-                write_blocklist(&mut out, list);
-            }
+        out.extend_from_slice(MAGIC_V2);
+        write_u32(&mut out, self.segments.len() as u32);
+        for seg in &self.segments {
+            write_u32(&mut out, seg.generation());
+            write_segment_body(&mut out, seg);
         }
         std::fs::create_dir_all(dir)?;
         let path = dir.join(INDEX_FILE);
@@ -148,49 +136,103 @@ impl IndexBundle {
         Ok(path)
     }
 
-    /// Load a bundle previously written by [`Self::save`] into `dir`.
+    /// Load a bundle from `dir`, accepting both the v2 segmented format
+    /// and v1 single-index files (loaded as one generation-0 segment).
     pub fn load(dir: &Path) -> Result<IndexBundle, PersistError> {
         let path = dir.join(INDEX_FILE);
         let buf = std::fs::read(&path).map_err(PersistError::Io)?;
         let mut r = Reader { buf: &buf, pos: 0 };
-        if r.take(MAGIC.len())? != MAGIC.as_slice() {
-            return Err(PersistError::bad("magic mismatch"));
-        }
-        let doc_count = r.u32()?;
-        let mut docs = Vec::with_capacity(doc_count as usize);
-        for _ in 0..doc_count {
-            docs.push(DocInfo { name: r.string()?, root_tag: r.string()?, root_ordinal: r.u32()? });
-        }
-        let kw_count = r.u32()?;
-        let mut lists = HashMap::with_capacity(kw_count as usize);
-        for _ in 0..kw_count {
-            let token = r.string()?;
-            lists.insert(token, r.blocklist()?);
-        }
-        let path_count = r.u32()?;
-        let mut paths = Vec::with_capacity(path_count as usize);
-        for _ in 0..path_count {
-            paths.push(r.string()?);
-        }
-        let mut tables = Vec::with_capacity(path_count as usize);
-        for _ in 0..path_count {
-            let row_count = r.u32()?;
-            let mut rows = Vec::with_capacity(row_count as usize);
-            for _ in 0..row_count {
-                let value = if r.u8()? == 1 { Some(r.string()?) } else { None };
-                rows.push((value, r.blocklist()?));
+        let magic = r.take(MAGIC_V2.len())?;
+        let segments = if magic == MAGIC_V2.as_slice() {
+            let seg_count = r.u32()?;
+            let mut segments = Vec::with_capacity(r.capacity_for(seg_count));
+            for _ in 0..seg_count {
+                let generation = r.u32()?;
+                segments.push(read_segment_body(&mut r, generation)?);
             }
-            tables.push(rows);
-        }
+            segments
+        } else if magic == MAGIC_V1.as_slice() {
+            vec![read_segment_body(&mut r, 0)?]
+        } else {
+            return Err(PersistError::bad("magic mismatch"));
+        };
         if r.pos != buf.len() {
             return Err(PersistError::bad("trailing bytes"));
         }
-        Ok(IndexBundle {
-            path_index: PathIndex::from_parts(paths, tables),
-            inverted: InvertedIndex::from_lists(lists),
-            docs,
-        })
+        Ok(IndexBundle { segments })
     }
+}
+
+fn write_segment_body(out: &mut Vec<u8>, seg: &IndexSegment) {
+    write_u32(out, seg.docs().len() as u32);
+    for d in seg.docs() {
+        write_str(out, &d.name);
+        write_str(out, &d.root_tag);
+        write_u32(out, d.root_ordinal);
+    }
+    let lists = seg.inverted().lists();
+    let mut tokens: Vec<&String> = lists.keys().collect();
+    tokens.sort();
+    write_u32(out, tokens.len() as u32);
+    for t in tokens {
+        write_str(out, t);
+        write_blocklist(out, &lists[t]);
+    }
+    let path_index = seg.path_index();
+    let paths: Vec<&str> = path_index.paths().collect();
+    write_u32(out, paths.len() as u32);
+    for p in &paths {
+        write_str(out, p);
+    }
+    for pid in 0..paths.len() as u32 {
+        let rows: Vec<_> = path_index.rows_of(pid).collect();
+        write_u32(out, rows.len() as u32);
+        for (value, list) in rows {
+            match value {
+                Some(v) => {
+                    out.push(1);
+                    write_str(out, v);
+                }
+                None => out.push(0),
+            }
+            write_blocklist(out, list);
+        }
+    }
+}
+
+fn read_segment_body(r: &mut Reader<'_>, generation: u32) -> Result<IndexSegment, PersistError> {
+    let doc_count = r.u32()?;
+    let mut docs = Vec::with_capacity(r.capacity_for(doc_count));
+    for _ in 0..doc_count {
+        docs.push(DocInfo { name: r.string()?, root_tag: r.string()?, root_ordinal: r.u32()? });
+    }
+    let kw_count = r.u32()?;
+    let mut lists = HashMap::with_capacity(r.capacity_for(kw_count));
+    for _ in 0..kw_count {
+        let token = r.string()?;
+        lists.insert(token, r.blocklist()?);
+    }
+    let path_count = r.u32()?;
+    let mut paths = Vec::with_capacity(r.capacity_for(path_count));
+    for _ in 0..path_count {
+        paths.push(r.string()?);
+    }
+    let mut tables = Vec::with_capacity(r.capacity_for(path_count));
+    for _ in 0..path_count {
+        let row_count = r.u32()?;
+        let mut rows = Vec::with_capacity(r.capacity_for(row_count));
+        for _ in 0..row_count {
+            let value = if r.u8()? == 1 { Some(r.string()?) } else { None };
+            rows.push((value, r.blocklist()?));
+        }
+        tables.push(rows);
+    }
+    Ok(IndexSegment::from_parts(
+        PathIndex::from_parts(paths, tables),
+        InvertedIndex::from_lists(lists),
+        docs,
+        generation,
+    ))
 }
 
 /// Errors while loading a persisted index bundle.
@@ -258,8 +300,19 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
+    /// A safe pre-allocation bound for a count field read from the file:
+    /// every counted item consumes at least one byte, so the remaining
+    /// buffer length caps how many can really follow. A corrupt count
+    /// then fails on a truncated read instead of aborting the process
+    /// inside the allocator.
+    fn capacity_for(&self, count: u32) -> usize {
+        (count as usize).min(self.buf.len() - self.pos)
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
-        if self.pos + n > self.buf.len() {
+        // Checked: a corrupt u64 length cast to usize can make `pos + n`
+        // overflow, which must surface as the typed error, not a panic.
+        if self.pos.checked_add(n).is_none_or(|end| end > self.buf.len()) {
             return Err(PersistError::bad("truncated file"));
         }
         let s = &self.buf[self.pos..self.pos + n];
@@ -272,11 +325,15 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, PersistError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let bytes: [u8; 4] =
+            self.take(4)?.try_into().map_err(|_| PersistError::bad("short u32 read"))?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     fn u64(&mut self) -> Result<u64, PersistError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let bytes: [u8; 8] =
+            self.take(8)?.try_into().map_err(|_| PersistError::bad("short u64 read"))?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     fn string(&mut self) -> Result<String, PersistError> {
@@ -286,8 +343,8 @@ impl<'a> Reader<'a> {
     }
 
     fn dewey(&mut self) -> Result<DeweyId, PersistError> {
-        let n = self.u32()? as usize;
-        let mut comps = Vec::with_capacity(n);
+        let n = self.u32()?;
+        let mut comps = Vec::with_capacity(self.capacity_for(n));
         for _ in 0..n {
             comps.push(self.u32()?);
         }
@@ -300,7 +357,7 @@ impl<'a> Reader<'a> {
         let data_len = self.u64()? as usize;
         let data = self.take(data_len)?.to_vec();
         let block_count = self.u32()?;
-        let mut blocks = Vec::with_capacity(block_count as usize);
+        let mut blocks = Vec::with_capacity(self.capacity_for(block_count));
         let mut decoded = 0u64;
         for _ in 0..block_count {
             let offset = self.u32()?;
@@ -328,6 +385,7 @@ impl<'a> Reader<'a> {
 mod tests {
     use super::*;
     use crate::cursor::collect_postings;
+    use crate::footprint::IndexFootprint;
     use crate::pattern::PathPattern;
 
     fn tmpdir(tag: &str) -> PathBuf {
@@ -349,6 +407,24 @@ mod tests {
         c
     }
 
+    fn assert_segments_equal(a: &IndexSegment, b: &IndexSegment) {
+        assert_eq!(a.docs(), b.docs());
+        assert_eq!(a.generation(), b.generation());
+        let mut kws: Vec<String> = a.inverted().keywords().map(|s| s.to_string()).collect();
+        kws.sort();
+        let mut other: Vec<String> = b.inverted().keywords().map(|s| s.to_string()).collect();
+        other.sort();
+        assert_eq!(kws, other);
+        for k in &kws {
+            assert_eq!(
+                collect_postings(a.inverted().postings(k)),
+                collect_postings(b.inverted().postings(k)),
+                "keyword {k}"
+            );
+        }
+        assert_eq!(a.footprint(), b.footprint());
+    }
+
     #[test]
     fn bundle_round_trips_through_disk() {
         let dir = tmpdir("roundtrip");
@@ -357,27 +433,36 @@ mod tests {
         bundle.save(&dir).unwrap();
         let loaded = IndexBundle::load(&dir).unwrap();
 
-        assert_eq!(loaded.docs, bundle.docs);
-        assert_eq!(loaded.docs[0].root_tag, "books");
-
-        // Inverted lists identical, keyword by keyword.
-        let mut kws: Vec<String> = bundle.inverted.keywords().map(|s| s.to_string()).collect();
-        kws.sort();
-        let mut loaded_kws: Vec<String> =
-            loaded.inverted.keywords().map(|s| s.to_string()).collect();
-        loaded_kws.sort();
-        assert_eq!(kws, loaded_kws);
-        for k in &kws {
-            assert_eq!(
-                collect_postings(bundle.inverted.postings(k)),
-                collect_postings(loaded.inverted.postings(k)),
-                "keyword {k}"
-            );
-        }
+        assert_eq!(loaded.segments.len(), 1);
+        assert_segments_equal(&loaded.segments[0], &bundle.segments[0]);
+        assert_eq!(loaded.segments[0].docs()[0].root_tag, "books");
 
         // Path probes identical.
         let pat = PathPattern::parse("/books//book/isbn").unwrap();
-        assert_eq!(bundle.path_index.lookup(&pat, &[]), loaded.path_index.lookup(&pat, &[]));
+        assert_eq!(
+            bundle.segments[0].path_index().lookup(&pat, &[]),
+            loaded.segments[0].path_index().lookup(&pat, &[])
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn multi_segment_bundles_round_trip_with_generations() {
+        let dir = tmpdir("multiseg");
+        let c1 = corpus();
+        let mut c2 = Corpus::new();
+        c2.add(vxv_xml::parse_document("extra.xml", "<extra><e>late doc</e></extra>", 9).unwrap());
+        let merged = IndexSegment::merge([&IndexSegment::build(&c1)]);
+        let bundle = IndexBundle::from_segments(vec![merged, IndexSegment::build(&c2)]);
+        bundle.save(&dir).unwrap();
+        let loaded = IndexBundle::load(&dir).unwrap();
+        assert_eq!(loaded.segments.len(), 2);
+        assert_eq!(loaded.segments[0].generation(), 1);
+        assert_eq!(loaded.segments[1].generation(), 0);
+        assert_eq!(loaded.max_root_ordinal(), Some(9));
+        for (a, b) in loaded.segments.iter().zip(&bundle.segments) {
+            assert_segments_equal(a, b);
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -387,7 +472,44 @@ mod tests {
         let c = corpus();
         let path = IndexBundle::build(&c).save(&dir).unwrap();
         let bytes = std::fs::read(&path).unwrap();
-        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        // Every truncation point must produce a typed error, never a
+        // panic (the Reader is fully bounds-checked).
+        for cut in [8, 9, bytes.len() / 4, bytes.len() / 2, bytes.len() - 1] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(
+                matches!(IndexBundle::load(&dir), Err(PersistError::Corrupt(_))),
+                "cut at {cut}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn absurd_count_fields_fail_typed_instead_of_aborting() {
+        // A 13-byte file claiming u32::MAX segments (or docs) must hit
+        // the typed truncation path, not a ~200 GB pre-allocation.
+        let dir = tmpdir("hugecount");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(INDEX_FILE);
+        for magic in [MAGIC_V2.as_slice(), MAGIC_V1.as_slice()] {
+            let mut bytes = magic.to_vec();
+            bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+            bytes.push(0);
+            std::fs::write(&path, &bytes).unwrap();
+            assert!(matches!(IndexBundle::load(&dir), Err(PersistError::Corrupt(_))));
+        }
+        // A near-usize::MAX blocklist data_len must not overflow the
+        // reader's bounds arithmetic either: one valid doc-count/kw-count
+        // prefix, then a keyword whose list claims u64::MAX bytes.
+        let mut bytes = MAGIC_V1.to_vec();
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // 0 docs
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // 1 keyword
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // token len 1
+        bytes.push(b'x');
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // entry count
+        bytes.extend_from_slice(&8u64.to_le_bytes()); // uncompressed
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // absurd data_len
+        std::fs::write(&path, &bytes).unwrap();
         assert!(matches!(IndexBundle::load(&dir), Err(PersistError::Corrupt(_))));
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -1,0 +1,242 @@
+//! [`IndexSegment`] — the unit of incremental indexing.
+//!
+//! A segment is an **immutable** triple: a [`PathIndex`], an
+//! [`InvertedIndex`], and the catalog ([`DocInfo`]) of the documents both
+//! cover. Segments partition the corpus by document — every document
+//! (and therefore every Dewey root ordinal) lives in exactly one segment
+//! — so a query that projects a document consults exactly one segment's
+//! indices, several projected documents fan out across segments in
+//! parallel, and ingesting new documents means *building a new segment*,
+//! never touching an existing one.
+//!
+//! Segments carry a **generation**: freshly built segments are
+//! generation 0; merging segments ([`IndexSegment::merge`]) produces a
+//! segment one generation above its deepest input. The engine's
+//! size-tiered compaction uses generations for observability (operators
+//! can see how often data has been rewritten).
+//!
+//! The merge invariant the property tests pin down: because both index
+//! families re-sort and re-encode on merge, a merged segment answers
+//! every probe, cursor scan and footprint query **identically** to the
+//! segment a single build over the union of the documents would produce
+//! — so compaction can never change a search result. (Internal
+//! enumeration orders — the path dictionary and the catalog — may
+//! differ from a union build's; neither is observable through probes.)
+
+use crate::footprint::{Footprint, IndexFootprint};
+use crate::inverted::{InvertedIndex, InvertedIndexStats};
+use crate::path_index::{PathIndex, PathIndexStats};
+use crate::persist::DocInfo;
+use std::sync::Arc;
+use vxv_xml::Corpus;
+
+/// Work-counter snapshot of one segment (both index families).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// The segment's path-index counters.
+    pub path: PathIndexStats,
+    /// The segment's inverted-index counters.
+    pub inverted: InvertedIndexStats,
+}
+
+impl std::ops::Add for SegmentStats {
+    type Output = SegmentStats;
+
+    fn add(self, rhs: SegmentStats) -> SegmentStats {
+        SegmentStats { path: self.path + rhs.path, inverted: self.inverted + rhs.inverted }
+    }
+}
+
+/// An immutable index segment: both indices plus the catalog of the
+/// documents they cover. See the module docs.
+#[derive(Debug)]
+pub struct IndexSegment {
+    path_index: Arc<PathIndex>,
+    inverted: Arc<InvertedIndex>,
+    docs: Vec<DocInfo>,
+    generation: u32,
+}
+
+/// Extract the per-document catalog metadata a segment (or bundle)
+/// carries for an in-memory corpus.
+pub fn corpus_doc_infos(corpus: &Corpus) -> Vec<DocInfo> {
+    corpus
+        .docs()
+        .filter_map(|d| {
+            let root = d.root()?;
+            Some(DocInfo {
+                name: d.name().to_string(),
+                root_tag: d.node_tag(root).to_string(),
+                root_ordinal: d.node(root).dewey.components()[0],
+            })
+        })
+        .collect()
+}
+
+impl IndexSegment {
+    /// Build a generation-0 segment over every document in `corpus`.
+    pub fn build(corpus: &Corpus) -> IndexSegment {
+        IndexSegment {
+            path_index: Arc::new(PathIndex::build(corpus)),
+            inverted: Arc::new(InvertedIndex::build(corpus)),
+            docs: corpus_doc_infos(corpus),
+            generation: 0,
+        }
+    }
+
+    /// Wrap pre-built parts into a segment.
+    pub fn from_parts(
+        path_index: impl Into<Arc<PathIndex>>,
+        inverted: impl Into<Arc<InvertedIndex>>,
+        docs: Vec<DocInfo>,
+        generation: u32,
+    ) -> IndexSegment {
+        IndexSegment { path_index: path_index.into(), inverted: inverted.into(), docs, generation }
+    }
+
+    /// Merge segments over disjoint document sets into one segment of
+    /// generation `max(input generations) + 1`. The merged indices
+    /// answer every probe identically to a single build over the union
+    /// of the documents (entries are re-sorted and re-encoded; only
+    /// unobservable enumeration orders may differ). The merged catalog
+    /// is name-sorted for stability across merge orders.
+    pub fn merge<'a>(parts: impl IntoIterator<Item = &'a IndexSegment>) -> IndexSegment {
+        let parts: Vec<&IndexSegment> = parts.into_iter().collect();
+        let mut docs: Vec<DocInfo> = parts.iter().flat_map(|s| s.docs.iter().cloned()).collect();
+        docs.sort_by(|a, b| a.name.cmp(&b.name));
+        IndexSegment {
+            path_index: Arc::new(PathIndex::merge(parts.iter().map(|s| s.path_index()))),
+            inverted: Arc::new(InvertedIndex::merge(parts.iter().map(|s| s.inverted()))),
+            docs,
+            generation: parts.iter().map(|s| s.generation).max().map(|g| g + 1).unwrap_or(0),
+        }
+    }
+
+    /// The segment's (Path, Value) index.
+    pub fn path_index(&self) -> &PathIndex {
+        &self.path_index
+    }
+
+    /// An owned handle to the segment's path index.
+    pub fn path_index_arc(&self) -> Arc<PathIndex> {
+        Arc::clone(&self.path_index)
+    }
+
+    /// The segment's inverted keyword index.
+    pub fn inverted(&self) -> &InvertedIndex {
+        &self.inverted
+    }
+
+    /// An owned handle to the segment's inverted index.
+    pub fn inverted_arc(&self) -> Arc<InvertedIndex> {
+        Arc::clone(&self.inverted)
+    }
+
+    /// Catalog metadata of the documents this segment covers.
+    pub fn docs(&self) -> &[DocInfo] {
+        &self.docs
+    }
+
+    /// Number of documents this segment covers.
+    pub fn doc_count(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Merge depth: 0 for freshly built segments, one above the deepest
+    /// input for merged ones.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// The largest Dewey root ordinal among this segment's documents
+    /// (`None` for an empty segment) — what the engine's ordinal
+    /// allocator namespaces new segments above.
+    pub fn max_root_ordinal(&self) -> Option<u32> {
+        self.docs.iter().map(|d| d.root_ordinal).max()
+    }
+
+    /// Combined work-counter snapshot of both indices.
+    pub fn stats(&self) -> SegmentStats {
+        SegmentStats { path: self.path_index.stats(), inverted: self.inverted.stats() }
+    }
+
+    /// Reset both indices' work counters.
+    pub fn reset_stats(&self) {
+        self.path_index.reset_stats();
+        self.inverted.reset_stats();
+    }
+}
+
+impl IndexFootprint for IndexSegment {
+    fn footprint(&self) -> Footprint {
+        self.path_index.footprint() + self.inverted.footprint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::collect_postings;
+    use crate::pattern::PathPattern;
+
+    fn part(name: &str, ordinal: u32, xml: &str) -> Corpus {
+        let mut c = Corpus::new();
+        let doc = vxv_xml::parse::parse_document(name, xml, ordinal).unwrap();
+        c.add(doc);
+        c
+    }
+
+    fn union(parts: &[&Corpus]) -> Corpus {
+        let mut all = Corpus::new();
+        for p in parts {
+            for d in p.docs() {
+                all.add(d.clone());
+            }
+        }
+        all
+    }
+
+    #[test]
+    fn merge_is_byte_identical_to_a_union_build() {
+        let a = part("a.xml", 1, "<books><book><t>xml search</t><y>1996</y></book></books>");
+        let b = part("b.xml", 2, "<books><book><t>ai</t><y>2002</y></book></books>");
+        let c = part("c.xml", 3, "<reviews><review><t>xml classics</t></review></reviews>");
+        let merged = IndexSegment::merge([&IndexSegment::build(&a), &IndexSegment::build(&b)]);
+        let merged = IndexSegment::merge([&merged, &IndexSegment::build(&c)]);
+        let unioned = IndexSegment::build(&union(&[&a, &b, &c]));
+
+        assert_eq!(merged.docs(), unioned.docs());
+        let mut kws: Vec<&str> = unioned.inverted().keywords().collect();
+        kws.sort();
+        for k in kws {
+            assert_eq!(
+                collect_postings(merged.inverted().postings(k)),
+                collect_postings(unioned.inverted().postings(k)),
+                "keyword {k}"
+            );
+        }
+        for pat in ["/books//book/t", "/books/book/y", "/reviews//t"] {
+            let p = PathPattern::parse(pat).unwrap();
+            assert_eq!(
+                merged.path_index().lookup(&p, &[]),
+                unioned.path_index().lookup(&p, &[]),
+                "pattern {pat}"
+            );
+        }
+        assert_eq!(merged.footprint(), unioned.footprint());
+    }
+
+    #[test]
+    fn generations_track_merge_depth() {
+        let a = IndexSegment::build(&part("a.xml", 1, "<r><e>x</e></r>"));
+        let b = IndexSegment::build(&part("b.xml", 2, "<r><e>y</e></r>"));
+        assert_eq!(a.generation(), 0);
+        let m1 = IndexSegment::merge([&a, &b]);
+        assert_eq!(m1.generation(), 1);
+        let c = IndexSegment::build(&part("c.xml", 3, "<r><e>z</e></r>"));
+        let m2 = IndexSegment::merge([&m1, &c]);
+        assert_eq!(m2.generation(), 2);
+        assert_eq!(m2.doc_count(), 3);
+        assert_eq!(m2.max_root_ordinal(), Some(3));
+    }
+}

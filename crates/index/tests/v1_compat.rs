@@ -1,0 +1,89 @@
+//! Backward compatibility: a checked-in v1 `indices.vxi` (written by the
+//! pre-segmentation format) must load through the v2 loader as a single
+//! generation-0 segment, with every list intact.
+//!
+//! The fixture under `tests/fixtures/v1/` was produced by the original
+//! single-index `IndexBundle::save` over the two-document corpus
+//! reconstructed below; if the loader ever stops accepting v1 bytes this
+//! test fails without needing any old code around.
+
+use std::path::Path;
+use vxv_index::cursor::collect_postings;
+use vxv_index::{IndexBundle, IndexSegment, PathPattern};
+use vxv_xml::Corpus;
+
+fn fixture_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/v1"))
+}
+
+/// The corpus the fixture was built from (kept in sync with the fixture
+/// generator; the fixture itself is frozen bytes).
+fn fixture_corpus() -> Corpus {
+    let mut c = Corpus::new();
+    c.add_parsed(
+        "books.xml",
+        "<books><book><isbn>111</isbn><title>XML search</title><year>1996</year></book>\
+         <book><isbn>222</isbn><title>AI</title></book></books>",
+    )
+    .unwrap();
+    c.add_parsed(
+        "reviews.xml",
+        "<reviews><review><isbn>111</isbn><content>all about xml</content></review></reviews>",
+    )
+    .unwrap();
+    c
+}
+
+#[test]
+fn v1_fixture_loads_as_a_single_generation_zero_segment() {
+    let bundle = IndexBundle::load(fixture_dir()).expect("v1 fixture loads");
+    assert_eq!(bundle.segments.len(), 1, "v1 files carry exactly one segment");
+    let seg = &bundle.segments[0];
+    assert_eq!(seg.generation(), 0);
+    assert_eq!(seg.doc_count(), 2);
+    assert_eq!(seg.docs()[0].name, "books.xml");
+    assert_eq!(seg.docs()[0].root_tag, "books");
+    assert_eq!(seg.max_root_ordinal(), Some(2));
+}
+
+#[test]
+fn v1_fixture_lists_match_a_fresh_build() {
+    let loaded = IndexBundle::load(fixture_dir()).expect("v1 fixture loads");
+    let fresh = IndexSegment::build(&fixture_corpus());
+    let seg = &loaded.segments[0];
+
+    let mut kws: Vec<String> = fresh.inverted().keywords().map(|s| s.to_string()).collect();
+    kws.sort();
+    let mut loaded_kws: Vec<String> = seg.inverted().keywords().map(|s| s.to_string()).collect();
+    loaded_kws.sort();
+    assert_eq!(kws, loaded_kws);
+    for k in &kws {
+        assert_eq!(
+            collect_postings(seg.inverted().postings(k)),
+            collect_postings(fresh.inverted().postings(k)),
+            "keyword {k}"
+        );
+    }
+    for pat in ["/books//book/isbn", "/books/book/title", "/reviews/review/content"] {
+        let p = PathPattern::parse(pat).unwrap();
+        assert_eq!(
+            seg.path_index().lookup(&p, &[]),
+            fresh.path_index().lookup(&p, &[]),
+            "pattern {pat}"
+        );
+    }
+}
+
+#[test]
+fn resaving_a_v1_bundle_produces_v2_bytes_that_load_identically() {
+    let bundle = IndexBundle::load(fixture_dir()).expect("v1 fixture loads");
+    let dir = std::env::temp_dir().join(format!("vxv-v1-resave-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = bundle.save(&dir).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    assert_eq!(&bytes[..8], b"VXVIDX02", "save always writes the current version");
+    let again = IndexBundle::load(&dir).unwrap();
+    assert_eq!(again.segments.len(), 1);
+    assert_eq!(again.segments[0].docs(), bundle.segments[0].docs());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -144,6 +144,76 @@ impl DiskStore {
         Ok(store)
     }
 
+    /// Persist an **ingested segment**'s documents into an existing store
+    /// directory and extend the catalog in place. Returns the segment
+    /// file namespace it allocated: files are written as
+    /// `seg{NNNN}-doc{NNNN}.xml` under the smallest namespace no catalog
+    /// entry uses yet, so successive ingests can never clobber each
+    /// other's documents (or the base `doc{NNNN}.xml` files
+    /// [`Self::persist`] writes) — even after an index-level compaction
+    /// shrank the *segment count*, the file namespaces stay monotone.
+    ///
+    /// The whole batch is validated first (document names and root
+    /// ordinals must be new to the store, and the batch internally
+    /// consistent); nothing is written and the catalog is unchanged on a
+    /// rejected batch.
+    pub fn append_segment(&mut self, corpus: &Corpus, dir: &Path) -> io::Result<u64> {
+        std::fs::create_dir_all(dir)?;
+        // Validate the entire batch before touching disk or the catalog.
+        let mut batch_ordinals = std::collections::HashSet::new();
+        for doc in corpus.docs() {
+            if self.docs.contains_key(doc.name()) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("document '{}' is already in the store", doc.name()),
+                ));
+            }
+            let root_ordinal = doc.root().map(|r| doc.node(r).dewey.components()[0]).unwrap_or(0);
+            let duplicate = !batch_ordinals.insert(root_ordinal)
+                || self.docs.values().any(|c| c.root_ordinal == root_ordinal);
+            if duplicate {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("root ordinal {root_ordinal} is already in the store"),
+                ));
+            }
+        }
+        let segment = self.next_segment_namespace();
+        for (i, doc) in corpus.docs().enumerate() {
+            let (xml, offsets) = serialize_with_offsets(doc);
+            let file_name = format!("seg{segment:04}-doc{i:04}.xml");
+            let path = dir.join(file_name);
+            std::fs::write(&path, xml.as_bytes())?;
+            let root_ordinal = doc.root().map(|r| doc.node(r).dewey.components()[0]).unwrap_or(0);
+            self.docs.insert(
+                doc.name().to_string(),
+                DocCatalog {
+                    path,
+                    root_ordinal,
+                    offsets: offsets.into_iter().map(|(d, o, l)| (d, (o, l))).collect(),
+                },
+            );
+        }
+        self.write_catalog(dir)?;
+        Ok(segment)
+    }
+
+    /// The smallest `seg{NNNN}-` file namespace no cataloged document
+    /// uses (namespaces are parsed from the catalog's file names, so
+    /// they survive reopen and outlive index-level compaction).
+    fn next_segment_namespace(&self) -> u64 {
+        self.docs
+            .values()
+            .filter_map(|c| {
+                let name = c.path.file_name()?.to_str()?;
+                let digits = name.strip_prefix("seg")?.split('-').next()?;
+                digits.parse::<u64>().ok()
+            })
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(1)
+    }
+
     /// Re-open a store previously written by [`Self::persist`] from its
     /// catalog alone: document files are located but neither read nor
     /// parsed (a cold open costs one catalog read, not a corpus walk).
@@ -536,6 +606,83 @@ mod tests {
         }
         // Counters start cold.
         assert_eq!(store.stats().full_reads, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn appended_segments_survive_a_cold_reopen() {
+        let dir = tmpdir("append");
+        let c = corpus();
+        let mut store = DiskStore::persist(&c, &dir).unwrap();
+        // Ingest a late document under a fresh ordinal, segment-namespaced.
+        let mut late = Corpus::new();
+        late.add(
+            crate::parse::parse_document("late.xml", "<late><e>new data</e></late>", 7).unwrap(),
+        );
+        let ns = store.append_segment(&late, &dir).unwrap();
+        assert_eq!(ns, 1);
+        assert_eq!(store.names().count(), 3);
+        assert_eq!(store.read_subtree_xml(&"7.1".parse().unwrap()).unwrap(), "<e>new data</e>");
+        // Per-segment file namespace: the base docs keep their files.
+        assert!(dir.join("seg0001-doc0000.xml").exists());
+        assert!(dir.join("doc0000.xml").exists());
+        // The rewritten catalog serves a cold reopen with everything.
+        let cold = DiskStore::open(&dir).unwrap();
+        assert_eq!(cold.names().count(), 3);
+        assert_eq!(cold.read_subtree_xml(&"7.1".parse().unwrap()).unwrap(), "<e>new data</e>");
+        assert_eq!(
+            cold.read_subtree_xml(&"1.1".parse().unwrap()).unwrap(),
+            "<book><isbn>111</isbn><title>XML Web</title></book>"
+        );
+        // Duplicate names and ordinals are rejected, not clobbered.
+        assert!(store.append_segment(&late, &dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_file_namespaces_stay_monotone_across_reopens() {
+        // The namespace comes from cataloged file names, not from any
+        // index-level segment count — so compaction (which rewrites only
+        // indices.vxi) can never make a later ingest reuse a namespace
+        // and clobber an earlier ingest's files.
+        let dir = tmpdir("monotone");
+        let c = corpus();
+        let mut store = DiskStore::persist(&c, &dir).unwrap();
+        let mut a = Corpus::new();
+        a.add(crate::parse::parse_document("a.xml", "<r><e>first</e></r>", 7).unwrap());
+        assert_eq!(store.append_segment(&a, &dir).unwrap(), 1);
+        // Reopen (as the CLI does per invocation) and ingest again: the
+        // fresh handle must pick namespace 2, not re-derive 1.
+        let mut reopened = DiskStore::open(&dir).unwrap();
+        let mut b = Corpus::new();
+        b.add(crate::parse::parse_document("b.xml", "<r><e>second</e></r>", 8).unwrap());
+        assert_eq!(reopened.append_segment(&b, &dir).unwrap(), 2);
+        assert!(dir.join("seg0001-doc0000.xml").exists());
+        assert!(dir.join("seg0002-doc0000.xml").exists());
+        assert_eq!(reopened.read_subtree_xml(&"7.1".parse().unwrap()).unwrap(), "<e>first</e>");
+        assert_eq!(reopened.read_subtree_xml(&"8.1".parse().unwrap()).unwrap(), "<e>second</e>");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejected_append_batches_change_nothing() {
+        let dir = tmpdir("atomic-append");
+        let c = corpus();
+        let mut store = DiskStore::persist(&c, &dir).unwrap();
+        let catalog_before = std::fs::read_to_string(dir.join(CATALOG_FILE)).unwrap();
+        // Batch of [fresh doc, doc whose ordinal collides with the store]:
+        // validation must reject it before any file or catalog mutation.
+        let mut bad = Corpus::new();
+        bad.add(crate::parse::parse_document("fresh.xml", "<r><e>ok</e></r>", 9).unwrap());
+        bad.add(crate::parse::parse_document("clash.xml", "<r><e>dup</e></r>", 1).unwrap());
+        assert!(store.append_segment(&bad, &dir).is_err());
+        assert_eq!(store.names().count(), 2, "in-memory catalog unchanged");
+        assert!(!dir.join("seg0001-doc0000.xml").exists(), "no orphan files");
+        assert_eq!(
+            std::fs::read_to_string(dir.join(CATALOG_FILE)).unwrap(),
+            catalog_before,
+            "on-disk catalog unchanged"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -104,6 +104,54 @@ fn cold_open_touches_base_documents_only_for_top_k() {
 }
 
 #[test]
+fn ingested_segments_round_trip_through_the_v2_bundle() {
+    // The store-level ingestion flow (`vxv ingest`): append documents to
+    // a persisted store as a new segment, extend the bundle, reopen cold
+    // — the multi-segment engine answers over old and new docs alike.
+    use vxv_index::IndexSegment;
+
+    let params = ExperimentParams { data_bytes: 32 * 1024, ..ExperimentParams::default() };
+    let corpus = generate(&params.generator_config());
+    let dir = tmpdir("ingest");
+    let mut store = DiskStore::persist(&corpus, &dir).unwrap();
+    let mut bundle =
+        IndexBundle::build(&corpus).save(&dir).map(|_| IndexBundle::load(&dir).unwrap()).unwrap();
+
+    // Ingest one late document under a fresh ordinal as segment #2.
+    let next = bundle.max_root_ordinal().unwrap() + 1;
+    let mut late = vxv_xml::Corpus::new();
+    late.add(
+        vxv_xml::parse_document(
+            "late.xml",
+            "<books><article><title>segmented xml ingestion</title></article></books>",
+            next,
+        )
+        .unwrap(),
+    );
+    store.append_segment(&late, &dir).unwrap();
+    bundle.segments.push(IndexSegment::build(&late));
+    bundle.save(&dir).unwrap();
+
+    // Cold reopen sees both segments and serves both generations of docs.
+    let cold =
+        ViewSearchEngine::open(DiskStore::open(&dir).unwrap(), IndexBundle::load(&dir).unwrap());
+    assert_eq!(cold.segments().len(), 2);
+    assert_eq!(cold.stats().documents, 6, "5 INEX docs + 1 ingested");
+    let out = cold
+        .search_once(
+            "for $a in fn:doc(late.xml)/books//article return <h> { $a/title } </h>",
+            &SearchRequest::new(["segmented"]),
+        )
+        .unwrap();
+    assert_eq!(out.hits.len(), 1);
+    assert!(out.hits[0].xml.contains("segmented xml ingestion"), "{}", out.hits[0].xml);
+    let old = cold.search_once(&params.view(), &SearchRequest::new(params.keywords())).unwrap();
+    assert!(old.view_size > 0);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn unknown_documents_still_error_on_a_cold_engine() {
     let params = ExperimentParams { data_bytes: 32 * 1024, ..ExperimentParams::default() };
     let corpus = generate(&params.generator_config());

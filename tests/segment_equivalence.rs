@@ -1,0 +1,339 @@
+//! The segmented-engine contract, property-tested:
+//!
+//! 1. **Split equivalence** — a corpus split into `k` random segments
+//!    (base corpus + ingested batches) answers every search with a
+//!    [`vxv_core::SearchResponse`] byte-identical to the single-segment
+//!    engine over the same documents: hits (scores compared bit-exactly,
+//!    tf vectors, byte lengths, XML), `view_size`, `matching`, `idf`,
+//!    fetch counts and per-document sweep counters.
+//! 2. **Snapshot isolation** — views prepared before an ingest keep
+//!    answering from their snapshot, byte-identically, while ingests
+//!    land concurrently.
+//! 3. **Compaction invariance** — merging segments (engine-level
+//!    size-tiered compaction) never changes any response, for old
+//!    snapshots and fresh prepares alike.
+
+use proptest::prelude::*;
+use vxv_core::{KeywordMode, SearchRequest, SearchResponse, ViewSearchEngine};
+use vxv_xml::Corpus;
+
+const WORDS: &[&str] = &["xml", "search", "data", "easy", "thorough", "views"];
+
+const VIEW: &str = "for $book in fn:doc(books.xml)/books//book \
+     where $book/year > 1995 \
+     return <bookrevs> \
+       { <book> {$book/title} </book> } \
+       { for $rev in fn:doc(reviews.xml)/reviews//review \
+         where $rev/isbn = $book/isbn \
+         return $rev/content } \
+     </bookrevs>";
+
+#[derive(Clone, Debug)]
+struct BookSpec {
+    isbn: Option<u8>,
+    year: Option<u16>,
+    title_words: Vec<usize>,
+}
+
+#[derive(Clone, Debug)]
+struct ReviewSpec {
+    isbn: Option<u8>,
+    content_words: Vec<usize>,
+}
+
+fn book_strategy() -> impl Strategy<Value = BookSpec> {
+    (
+        proptest::option::of(0u8..6),
+        proptest::option::of(1990u16..2006),
+        prop::collection::vec(0..WORDS.len(), 0..4),
+    )
+        .prop_map(|(isbn, year, title_words)| BookSpec { isbn, year, title_words })
+}
+
+fn review_strategy() -> impl Strategy<Value = ReviewSpec> {
+    (proptest::option::of(0u8..6), prop::collection::vec(0..WORDS.len(), 0..5))
+        .prop_map(|(isbn, content_words)| ReviewSpec { isbn, content_words })
+}
+
+fn words(ids: &[usize]) -> String {
+    ids.iter().map(|w| WORDS[*w]).collect::<Vec<_>>().join(" ")
+}
+
+fn books_xml(books: &[BookSpec]) -> String {
+    let mut x = String::from("<books>");
+    for b in books {
+        x.push_str("<book>");
+        if let Some(i) = b.isbn {
+            x.push_str(&format!("<isbn>{i}</isbn>"));
+        }
+        if !b.title_words.is_empty() {
+            x.push_str(&format!("<title>{}</title>", words(&b.title_words)));
+        }
+        if let Some(y) = b.year {
+            x.push_str(&format!("<year>{y}</year>"));
+        }
+        x.push_str("</book>");
+    }
+    x.push_str("</books>");
+    x
+}
+
+fn reviews_xml(reviews: &[ReviewSpec]) -> String {
+    let mut x = String::from("<reviews>");
+    for r in reviews {
+        x.push_str("<review>");
+        if let Some(i) = r.isbn {
+            x.push_str(&format!("<isbn>{i}</isbn>"));
+        }
+        if !r.content_words.is_empty() {
+            x.push_str(&format!("<content>{}</content>", words(&r.content_words)));
+        }
+        x.push_str("</review>");
+    }
+    x.push_str("</reviews>");
+    x
+}
+
+/// Build the single-segment reference engine plus a k-segment engine
+/// over the same (name, xml) documents, split at `cuts`.
+fn build_engines(
+    docs: &[(String, String)],
+    cuts: &[usize],
+) -> (ViewSearchEngine<Corpus>, ViewSearchEngine<Corpus>) {
+    let mut single_corpus = Corpus::new();
+    for (name, xml) in docs {
+        single_corpus.add_parsed(name, xml).unwrap();
+    }
+    let single = ViewSearchEngine::new(single_corpus);
+
+    // Partition into contiguous groups at the (sorted, deduped, in-range)
+    // cut points; group 0 seeds the engine, each later group is one
+    // ingest batch = one segment.
+    let mut points: Vec<usize> = cuts.iter().map(|c| c % docs.len()).filter(|c| *c > 0).collect();
+    points.sort();
+    points.dedup();
+    let mut groups: Vec<&[(String, String)]> = Vec::new();
+    let mut prev = 0;
+    for p in points {
+        groups.push(&docs[prev..p]);
+        prev = p;
+    }
+    groups.push(&docs[prev..]);
+
+    let mut base = Corpus::new();
+    for (name, xml) in groups[0] {
+        base.add_parsed(name, xml).unwrap();
+    }
+    let segmented = ViewSearchEngine::new(base);
+    for group in &groups[1..] {
+        segmented.ingest(group.iter().map(|(n, x)| (n.clone(), x.clone()))).unwrap();
+    }
+    assert_eq!(segmented.segments().len(), groups.len());
+    (single, segmented)
+}
+
+/// Byte-identity across everything a response reports (scores compared
+/// bit-exactly — "equivalent up to rounding" is not the claim).
+fn assert_identical(a: &SearchResponse, b: &SearchResponse) {
+    assert_eq!(a.view_size, b.view_size, "view_size");
+    assert_eq!(a.matching, b.matching, "matching");
+    assert_eq!(a.idf.len(), b.idf.len(), "idf len");
+    for (x, y) in a.idf.iter().zip(&b.idf) {
+        assert_eq!(x.to_bits(), y.to_bits(), "idf bits");
+    }
+    assert_eq!(a.fetches, b.fetches, "fetches");
+    assert_eq!(a.hits.len(), b.hits.len(), "hit count");
+    for (x, y) in a.hits.iter().zip(&b.hits) {
+        assert_eq!(x.rank, y.rank);
+        assert_eq!(x.score.to_bits(), y.score.to_bits(), "score bits at rank {}", x.rank);
+        assert_eq!(x.tf, y.tf, "tf at rank {}", x.rank);
+        assert_eq!(x.byte_len, y.byte_len, "byte_len at rank {}", x.rank);
+        assert_eq!(x.xml, y.xml, "xml at rank {}", x.rank);
+    }
+    // Per-document sweep counters sum to the same work either way.
+    assert_eq!(a.pdt_stats.len(), b.pdt_stats.len());
+    for ((da, sa, ba), (db, sb, bb)) in a.pdt_stats.iter().zip(&b.pdt_stats) {
+        assert_eq!(da, db, "pdt doc order");
+        assert_eq!(sa, sb, "sweep counters for {da}");
+        assert_eq!(ba, bb, "pdt bytes for {da}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn k_segment_split_is_byte_identical_to_single_segment(
+        books in prop::collection::vec(book_strategy(), 1..6),
+        reviews in prop::collection::vec(review_strategy(), 0..6),
+        noise_words in prop::collection::vec(0..WORDS.len(), 0..6),
+        cuts in prop::collection::vec(0usize..4, 0..3),
+        kw in prop::collection::vec(0..WORDS.len(), 1..3),
+        disjunctive in any::<bool>(),
+    ) {
+        // Four documents: two the view projects, two that only shape the
+        // shared dictionaries (path/value rows, posting lists).
+        let docs = vec![
+            ("books.xml".to_string(), books_xml(&books)),
+            ("reviews.xml".to_string(), reviews_xml(&reviews)),
+            ("noise.xml".to_string(),
+             format!("<books><book><title>{}</title></book></books>", words(&noise_words))),
+            ("other.xml".to_string(), "<reviews><review><isbn>1</isbn></review></reviews>".to_string()),
+        ];
+        let (single, segmented) = build_engines(&docs, &cuts);
+
+        let keywords: Vec<&str> = kw.iter().map(|w| WORDS[*w]).collect();
+        let mode = if disjunctive { KeywordMode::Disjunctive } else { KeywordMode::Conjunctive };
+        let request = SearchRequest::new(&keywords).top_k(5).mode(mode);
+
+        let a = single.search_once(VIEW, &request).unwrap();
+        let b = segmented.search_once(VIEW, &request).unwrap();
+        assert_identical(&a, &b);
+
+        // The segmented engine's aggregate catalog covers everything.
+        let stats = segmented.stats();
+        prop_assert_eq!(stats.documents, docs.len());
+        prop_assert_eq!(stats.segments, segmented.segments().len());
+    }
+
+    #[test]
+    fn compaction_preserves_every_response(
+        books in prop::collection::vec(book_strategy(), 1..5),
+        reviews in prop::collection::vec(review_strategy(), 0..5),
+        cuts in prop::collection::vec(0usize..4, 1..3),
+        kw in prop::collection::vec(0..WORDS.len(), 1..3),
+    ) {
+        let docs = vec![
+            ("books.xml".to_string(), books_xml(&books)),
+            ("reviews.xml".to_string(), reviews_xml(&reviews)),
+            ("noise.xml".to_string(), "<books><book><title>xml data</title></book></books>".to_string()),
+            ("other.xml".to_string(), "<r><e>views</e></r>".to_string()),
+        ];
+        let (_, segmented) = build_engines(&docs, &cuts);
+        let keywords: Vec<&str> = kw.iter().map(|w| WORDS[*w]).collect();
+        let request = SearchRequest::new(&keywords).top_k(5);
+
+        let snapshot_view = segmented.prepare(VIEW).unwrap();
+        let before = snapshot_view.search(&request).unwrap();
+
+        let mut rounds = 0;
+        while segmented.compact().merges > 0 {
+            rounds += 1;
+            prop_assert!(rounds < 16, "compaction must settle");
+        }
+
+        // Old snapshot still answers identically…
+        assert_identical(&before, &snapshot_view.search(&request).unwrap());
+        // …and so does a fresh prepare over the compacted set.
+        assert_identical(&before, &segmented.search_once(VIEW, &request).unwrap());
+    }
+}
+
+#[test]
+fn ingest_while_searching_is_snapshot_isolated() {
+    let mut base = Corpus::new();
+    base.add_parsed(
+        "books.xml",
+        &books_xml(&[BookSpec { isbn: Some(1), year: Some(2004), title_words: vec![0, 1] }]),
+    )
+    .unwrap();
+    base.add_parsed(
+        "reviews.xml",
+        &reviews_xml(&[ReviewSpec { isbn: Some(1), content_words: vec![0, 2] }]),
+    )
+    .unwrap();
+    let engine = ViewSearchEngine::new(base);
+    let view = engine.prepare(VIEW).unwrap();
+    let request = SearchRequest::new(["xml"]).top_k(5);
+    let baseline = view.search(&request).unwrap();
+
+    std::thread::scope(|scope| {
+        // Readers hammer the prepared view while the writer ingests new
+        // segments; every response must stay byte-identical to the
+        // pre-ingest baseline (the view's snapshot can't see new docs,
+        // and must never tear).
+        for _ in 0..3 {
+            scope.spawn(|| {
+                for _ in 0..25 {
+                    assert_identical(&baseline, &view.search(&request).unwrap());
+                }
+            });
+        }
+        scope.spawn(|| {
+            for i in 0..10 {
+                engine
+                    .ingest([(
+                        format!("late{i}.xml"),
+                        format!("<books><book><title>xml late {i}</title><year>2005</year></book></books>"),
+                    )])
+                    .unwrap();
+            }
+        });
+    });
+
+    // The ingests all landed: a fresh prepare of a view over an ingested
+    // doc finds it, and the old snapshot still answers identically.
+    assert_eq!(engine.segments().len(), 11);
+    assert_identical(&baseline, &view.search(&request).unwrap());
+    let fresh = engine
+        .search_once(
+            "for $b in fn:doc(late3.xml)/books//book return <h> { $b/title } </h>",
+            &SearchRequest::new(["late"]),
+        )
+        .unwrap();
+    assert_eq!(fresh.hits.len(), 1);
+    assert!(fresh.hits[0].xml.contains("xml late 3"));
+}
+
+#[test]
+fn multi_segment_search_works_cold_from_disk() {
+    // The v2 bundle round-trips a multi-segment engine's state: persist
+    // via the index/bundle layer, reopen cold, answer identically.
+    use vxv_core::IndexBundle;
+    use vxv_xml::DiskStore;
+
+    let dir = std::env::temp_dir().join(format!("vxv-seg-cold-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut c1 = Corpus::new();
+    c1.add_parsed(
+        "books.xml",
+        "<books><book><isbn>1</isbn><title>xml search</title><year>2000</year></book></books>",
+    )
+    .unwrap();
+    let mut c2 = Corpus::new();
+    c2.add(
+        vxv_xml::parse_document(
+            "reviews.xml",
+            "<reviews><review><isbn>1</isbn><content>xml classics</content></review></reviews>",
+            2,
+        )
+        .unwrap(),
+    );
+
+    // Two segments on disk, plus both documents in one store.
+    let mut store = DiskStore::persist(&c1, &dir).unwrap();
+    store.append_segment(&c2, &dir).unwrap();
+    let bundle = IndexBundle::from_segments(vec![
+        vxv_index::IndexSegment::build(&c1),
+        vxv_index::IndexSegment::build(&c2),
+    ]);
+    bundle.save(&dir).unwrap();
+
+    let cold =
+        ViewSearchEngine::open(DiskStore::open(&dir).unwrap(), IndexBundle::load(&dir).unwrap());
+    assert_eq!(cold.segments().len(), 2);
+    let out = cold.search_once(VIEW, &SearchRequest::new(["xml"])).unwrap();
+    assert_eq!(out.hits.len(), 1);
+    assert!(out.hits[0].xml.contains("xml search"), "{}", out.hits[0].xml);
+    assert!(out.hits[0].xml.contains("xml classics"), "{}", out.hits[0].xml);
+
+    // A warm single-segment engine over the union agrees byte-for-byte.
+    let mut all = Corpus::new();
+    for d in c1.docs().chain(c2.docs()) {
+        all.add(d.clone());
+    }
+    let warm = ViewSearchEngine::new(all);
+    assert_identical(&warm.search_once(VIEW, &SearchRequest::new(["xml"])).unwrap(), &out);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

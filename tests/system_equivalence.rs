@@ -37,6 +37,7 @@ fn gtp_and_efficient_build_identical_pdts_on_generated_data() {
                 name: qpt.doc_name.clone(),
                 root_tag: doc.node_tag(root).to_string(),
                 root_ordinal: doc.node(root).dewey.components()[0],
+                segment: 0,
             };
             let (efficient, _) = generate_pdt(qpt, &path_index, &inverted, &keywords, &meta);
             let (via_gtp, _, _) = gtp.build_pdt(qpt, &keywords);
@@ -84,6 +85,7 @@ fn pdts_are_much_smaller_than_the_data() {
             name: qpt.doc_name.clone(),
             root_tag: doc.node_tag(root).to_string(),
             root_ordinal: doc.node(root).dewey.components()[0],
+            segment: 0,
         };
         let (pdt, _) = generate_pdt(qpt, &path_index, &inverted, &keywords, &meta);
         total_pdt += pdt.byte_size();
