@@ -1,0 +1,156 @@
+//! Score-bounded top-k pruning on the INEX workload: the default pruned
+//! search path vs the exact reference (`SearchRequest::prune(false)`).
+//!
+//! Besides the criterion timings, the benchmark **asserts** (a) the two
+//! paths answer byte-identically (hits, score bits, order, idf,
+//! matching — the pruning equivalence contract), (b) pruning actually
+//! engages on this workload at k=10 (`blocks_pruned > 0`), and (c) the
+//! pruned path is not slower than the exact path — a regression that
+//! loosens the bounds until nothing prunes, or that makes the bound
+//! probes cost more than they save, fails here. CI runs this in quick
+//! mode and feeds the medians into the `bench_gate` regression check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+use vxv_core::{PreparedView, SearchRequest, SearchResponse, ViewSearchEngine};
+use vxv_inex::{generate, ExperimentParams};
+use vxv_xml::Corpus;
+
+struct Setup {
+    view: PreparedView<Corpus>,
+    pruned: SearchRequest,
+    exact: SearchRequest,
+}
+
+fn setup(kb: u64, top_k: usize) -> Setup {
+    // The paper's default join view over frequent (long-list) keywords
+    // with mid-sized elements: candidate subtrees span multiple
+    // compressed blocks, so the block-max bounds have interiors to
+    // skip, and the threshold prunes roughly half the candidates at
+    // k=10.
+    let params = ExperimentParams {
+        data_bytes: kb * 1024,
+        top_k,
+        num_joins: 1,
+        nesting: 2,
+        elem_size: 3,
+        selectivity: vxv_inex::Selectivity::Low,
+        ..ExperimentParams::default()
+    };
+    let corpus = generate(&params.generator_config());
+    let engine = ViewSearchEngine::new(corpus);
+    let view = engine.prepare(&params.view()).expect("prepare view");
+    let base = SearchRequest::new(params.keywords()).top_k(params.top_k).materialize(false);
+    Setup { view, pruned: base.clone(), exact: base.prune(false) }
+}
+
+fn assert_identical(a: &SearchResponse, b: &SearchResponse) {
+    assert_eq!(a.view_size, b.view_size, "view_size");
+    assert_eq!(a.matching, b.matching, "matching");
+    assert_eq!(a.idf.len(), b.idf.len());
+    for (x, y) in a.idf.iter().zip(&b.idf) {
+        assert_eq!(x.to_bits(), y.to_bits(), "idf bits");
+    }
+    assert_eq!(a.hits.len(), b.hits.len(), "hit count");
+    for (x, y) in a.hits.iter().zip(&b.hits) {
+        assert_eq!(x.score.to_bits(), y.score.to_bits(), "score bits at rank {}", x.rank);
+        assert_eq!(x.tf, y.tf, "tf at rank {}", x.rank);
+        assert_eq!(x.byte_len, y.byte_len, "byte_len at rank {}", x.rank);
+    }
+}
+
+/// Seconds per search over alternating measurement windows (drift on a
+/// shared machine hits both paths equally).
+fn secs_per_search(a: &mut dyn FnMut(), b: &mut dyn FnMut()) -> (f64, f64) {
+    let window = |f: &mut dyn FnMut()| {
+        let t0 = Instant::now();
+        let mut iters = 0u32;
+        while iters < 5 || t0.elapsed().as_millis() < 150 {
+            f();
+            iters += 1;
+        }
+        (iters, t0.elapsed().as_secs_f64())
+    };
+    let (mut ia, mut ta, mut ib, mut tb) = (0u32, 0f64, 0u32, 0f64);
+    for _ in 0..3 {
+        let (i, t) = window(a);
+        ia += i;
+        ta += t;
+        let (i, t) = window(b);
+        ib += i;
+        tb += t;
+    }
+    (ta / ia as f64, tb / ib as f64)
+}
+
+fn bench_topk_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk_pruning");
+    {
+        let kb = 2048u64;
+        let s = setup(kb, 10);
+
+        // Contract 1: byte-identity at several cut depths.
+        for k in [1usize, 10, usize::MAX] {
+            let exact = s.view.search(&s.exact.clone().top_k(k)).expect("exact");
+            let pruned = s.view.search(&s.pruned.clone().top_k(k)).expect("pruned");
+            assert_identical(&exact, &pruned);
+        }
+
+        // Contract 2: pruning engages on this workload at k=10.
+        let pruned = s.view.search(&s.pruned).expect("pruned");
+        assert!(
+            pruned.pruning.blocks_pruned > 0,
+            "block-max pruning must engage on the INEX workload: {:?}",
+            pruned.pruning
+        );
+        assert!(pruned.pruning.candidates_skipped > 0, "{:?}", pruned.pruning);
+        criterion::report_metric(
+            "topk_pruning/blocks_pruned",
+            pruned.pruning.blocks_pruned as f64,
+            "count",
+        );
+        criterion::report_metric(
+            "topk_pruning/candidates_skipped",
+            pruned.pruning.candidates_skipped as f64,
+            "count",
+        );
+
+        // Contract 3: pruned wall-time <= exact wall-time at k=10
+        // (small tolerance for scheduling noise only — the pruned path
+        // must win, not tie, on average).
+        let (pruned_spq, exact_spq) = secs_per_search(
+            &mut || {
+                s.view.search(&s.pruned).expect("pruned");
+            },
+            &mut || {
+                s.view.search(&s.exact).expect("exact");
+            },
+        );
+        println!(
+            "topk_pruning/{kb}KB k=10: pruned {:.3} ms/search, exact {:.3} ms/search ({:.2}x)",
+            pruned_spq * 1e3,
+            exact_spq * 1e3,
+            pruned_spq / exact_spq,
+        );
+        // The within-run ratio is hardware-independent (both paths ran
+        // on the same machine in alternating windows), so the gate can
+        // band it meaningfully even when absolute medians drift with
+        // runner hardware.
+        criterion::report_metric("topk_pruning/pruned_over_exact", pruned_spq / exact_spq, "ratio");
+        assert!(
+            pruned_spq <= exact_spq * 1.05,
+            "pruned search regressed past exact: {pruned_spq:.6}s vs {exact_spq:.6}s"
+        );
+
+        group.bench_with_input(BenchmarkId::new("pruned_k10", kb), &s, |b, s| {
+            b.iter(|| s.view.search(&s.pruned).expect("pruned"))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_k10", kb), &s, |b, s| {
+            b.iter(|| s.view.search(&s.exact).expect("exact"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk_pruning);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! `bench_gate` — the CI bench-regression gate.
+//!
+//! ```text
+//! bench_gate consolidate CRITERION_JSONL OUT_JSON
+//!     Merge the JSON-lines metrics the benches appended (medians +
+//!     prune counters) into one consolidated BENCH_PR.json artifact.
+//!
+//! bench_gate compare PR_JSON BASELINE_JSON [TOLERANCE]
+//!     Compare a PR run against the checked-in baseline with a
+//!     symmetric ±TOLERANCE band (default 0.25). Exits non-zero when a
+//!     timing leaves the band, a gated counter collapses to zero, or a
+//!     baseline bench went missing. New metrics are reported but pass.
+//! ```
+//!
+//! Refreshing the baseline after an intentional perf change is one
+//! documented step:
+//!
+//! ```text
+//! cp BENCH_PR.json crates/bench/BENCH_BASELINE.json
+//! ```
+
+use std::process::ExitCode;
+use vxv_bench::gate::{self, Verdict};
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("bench_gate: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("consolidate") => {
+            let [_, input, output] = args.as_slice() else {
+                return fail("usage: bench_gate consolidate CRITERION_JSONL OUT_JSON");
+            };
+            let content = match std::fs::read_to_string(input) {
+                Ok(c) => c,
+                Err(e) => return fail(&format!("cannot read {input}: {e}")),
+            };
+            let metrics = match gate::parse_jsonl(&content) {
+                Ok(m) => m,
+                Err(e) => return fail(&format!("{input}: {e}")),
+            };
+            if metrics.is_empty() {
+                return fail(&format!(
+                    "{input} holds no metrics — did the benches run with CRITERION_JSON set?"
+                ));
+            }
+            if let Err(e) = std::fs::write(output, gate::render(&metrics)) {
+                return fail(&format!("cannot write {output}: {e}"));
+            }
+            eprintln!("bench_gate: consolidated {} metric(s) into {output}", metrics.len());
+            ExitCode::SUCCESS
+        }
+        Some("compare") => {
+            let (pr_path, base_path, tolerance) = match args.as_slice() {
+                [_, pr, base] => (pr, base, 0.25),
+                [_, pr, base, tol] => match tol.parse::<f64>() {
+                    Ok(t) if t > 0.0 => (pr, base, t),
+                    _ => return fail("TOLERANCE must be a positive number (e.g. 0.25)"),
+                },
+                _ => return fail("usage: bench_gate compare PR_JSON BASELINE_JSON [TOLERANCE]"),
+            };
+            let read = |p: &str| -> Result<gate::Metrics, String> {
+                let c = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+                gate::parse_consolidated(&c).map_err(|e| format!("{p}: {e}"))
+            };
+            let (pr, base) = match (read(pr_path), read(base_path)) {
+                (Ok(pr), Ok(base)) => (pr, base),
+                (Err(e), _) | (_, Err(e)) => return fail(&e),
+            };
+            let verdicts = gate::compare(&pr, &base, tolerance);
+            for (id, v) in &verdicts {
+                match v {
+                    Verdict::Ok => println!("ok        {id}"),
+                    Verdict::OutOfBand { ratio } => {
+                        println!("OUT-OF-BAND  {id}: {ratio:.3}x of baseline (band ±{tolerance})")
+                    }
+                    Verdict::CounterWentToZero => {
+                        println!("ZEROED    {id}: gated counter collapsed to 0")
+                    }
+                    Verdict::Missing => println!("MISSING   {id}: bench no longer reports"),
+                    Verdict::New => println!("new       {id} (not gated; refresh baseline)"),
+                }
+            }
+            if gate::failed(&verdicts) {
+                eprintln!(
+                    "bench_gate: FAILED — if the change is intentional, refresh the baseline:\n  \
+                     cp {pr_path} crates/bench/BENCH_BASELINE.json"
+                );
+                ExitCode::FAILURE
+            } else {
+                eprintln!("bench_gate: ok ({} metric(s) within ±{tolerance})", verdicts.len());
+                ExitCode::SUCCESS
+            }
+        }
+        _ => fail("usage: bench_gate consolidate|compare ..."),
+    }
+}

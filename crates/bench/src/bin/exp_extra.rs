@@ -67,4 +67,29 @@ fn main() {
     }
     table.print();
     println!("(compressed = delta-varint blocks actually resident; raw = materialized vectors)");
+
+    println!();
+    print_preamble("Extra X4", "top-k pruning effectiveness vs k (block-max bounds)");
+    let mut table = Table::new(&[
+        "top k",
+        "Post(ms)",
+        "blocks pruned",
+        "cand skipped",
+        "early term",
+        "matching",
+    ]);
+    for k in [1usize, 10, 100] {
+        let params = ExperimentParams { data_bytes: base, top_k: k, ..ExperimentParams::default() };
+        let m = measure_point(&params, &MeasureOptions::default());
+        table.row(vec![
+            k.to_string(),
+            ms(m.efficient.post),
+            m.pruning.blocks_pruned.to_string(),
+            m.pruning.candidates_skipped.to_string(),
+            m.pruning.early_terminations.to_string(),
+            m.matching.to_string(),
+        ]);
+    }
+    table.print();
+    println!("(smaller k prunes more: exact tf probes are skipped once the score bound drops below the top-k threshold)");
 }

@@ -171,6 +171,12 @@ fn run_search<S: DocumentSource>(view: &PreparedView<S>, args: &Args) -> ExitCod
                     "timings: pdt {:?}, evaluator {:?}, post {:?}; {} base fetches",
                     t.pdt, t.evaluator, t.post, out.fetches
                 );
+                eprintln!(
+                    "pruning: {} block(s) pruned, {} candidate(s) skipped, {} early termination(s)",
+                    out.pruning.blocks_pruned,
+                    out.pruning.candidates_skipped,
+                    out.pruning.early_terminations
+                );
             }
             ExitCode::SUCCESS
         }
@@ -204,6 +210,13 @@ fn run_inspect<S: DocumentSource>(view: &PreparedView<S>, args: &Args) -> ExitCo
     for line in segment_lines(view.engine()) {
         println!("{line}");
     }
+    let stats = view.engine().stats();
+    println!(
+        "pruning totals: {} block(s) pruned, {} candidate(s) skipped, {} early termination(s)",
+        stats.pruning.blocks_pruned,
+        stats.pruning.candidates_skipped,
+        stats.pruning.early_terminations
+    );
     let out = view.plan(&args.keywords);
     for q in &out.qpts {
         println!("{}", q.rendered);

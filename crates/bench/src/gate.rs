@@ -1,0 +1,260 @@
+//! The bench-regression gate's data model: metric files written by the
+//! criterion stub (`CRITERION_JSON` JSON-lines) and by the benches
+//! themselves (`criterion::report_metric`), consolidated into a single
+//! `BENCH_PR.json` and compared against the checked-in
+//! `crates/bench/BENCH_BASELINE.json`.
+//!
+//! Formats are deliberately tiny and hand-parsed (the workspace builds
+//! offline — no serde):
+//!
+//! * **JSON lines** (append-only, one object per line):
+//!   `{"id": "bench/name", "value": 123.4, "unit": "ns"}`
+//! * **Consolidated** (`BENCH_PR.json` / `BENCH_BASELINE.json`): one
+//!   object with a sorted `"metrics"` map of the same entries.
+//!
+//! Refreshing the baseline after an intentional perf change is one
+//! step: `cp BENCH_PR.json crates/bench/BENCH_BASELINE.json`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One recorded metric: a median timing (`unit == "ns"`), a
+/// hardware-independent within-run ratio (`unit == "ratio"`, banded
+/// like a timing but immune to runner-hardware drift), or an auxiliary
+/// counter (`unit == "count"`, e.g. pruned blocks — gated only against
+/// collapsing to zero).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metric {
+    /// The value (median ns/iter for timings).
+    pub value: f64,
+    /// `"ns"`, `"ratio"`, or `"count"`.
+    pub unit: String,
+}
+
+/// Metrics keyed by benchmark id, sorted for stable serialization.
+pub type Metrics = BTreeMap<String, Metric>;
+
+/// Parse one JSON-lines file (later lines override earlier duplicates,
+/// so re-running a bench within one CI job keeps the freshest value).
+pub fn parse_jsonl(content: &str) -> Result<Metrics, String> {
+    let mut out = Metrics::new();
+    for (lineno, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (id, metric) = parse_object(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        out.insert(id, metric);
+    }
+    Ok(out)
+}
+
+/// Parse a consolidated metrics file written by [`render`].
+pub fn parse_consolidated(content: &str) -> Result<Metrics, String> {
+    // The body is the same `{...}` objects, one per metric, inside the
+    // "metrics" map; scan for them directly.
+    let mut out = Metrics::new();
+    let Some(start) = content.find("\"metrics\"") else {
+        return Err("missing \"metrics\" key".into());
+    };
+    let mut rest = &content[start..];
+    while let Some(open) = rest.find("{\"id\"") {
+        let Some(close) = rest[open..].find('}') else {
+            return Err("unterminated metric object".into());
+        };
+        let obj = &rest[open..open + close + 1];
+        let (id, metric) = parse_object(obj)?;
+        out.insert(id, metric);
+        rest = &rest[open + close + 1..];
+    }
+    Ok(out)
+}
+
+/// Render the consolidated form (`BENCH_PR.json`).
+pub fn render(metrics: &Metrics) -> String {
+    let mut out = String::from("{\n  \"metrics\": [\n");
+    for (i, (id, m)) in metrics.iter().enumerate() {
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"id\": \"{}\", \"value\": {}, \"unit\": \"{}\"}}{comma}",
+            escape(id),
+            m.value,
+            escape(&m.unit)
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect()
+}
+
+/// Parse one `{"id": "...", "value": N, "unit": "..."}` object.
+fn parse_object(obj: &str) -> Result<(String, Metric), String> {
+    let id = string_field(obj, "id")?;
+    let unit = string_field(obj, "unit")?;
+    let value = number_field(obj, "value")?;
+    Ok((id, Metric { value, unit }))
+}
+
+fn string_field(obj: &str, key: &str) -> Result<String, String> {
+    let pat = format!("\"{key}\"");
+    let at = obj.find(&pat).ok_or_else(|| format!("missing key {key}: {obj}"))?;
+    let rest = &obj[at + pat.len()..];
+    let open = rest.find('"').ok_or_else(|| format!("no value for {key}"))? + 1;
+    let mut out = String::new();
+    let mut chars = rest[open..].chars();
+    loop {
+        match chars.next() {
+            Some('\\') => match chars.next() {
+                Some(c) => out.push(c),
+                None => return Err(format!("dangling escape in {key}")),
+            },
+            Some('"') => return Ok(out),
+            Some(c) => out.push(c),
+            None => return Err(format!("unterminated string for {key}")),
+        }
+    }
+}
+
+fn number_field(obj: &str, key: &str) -> Result<f64, String> {
+    let pat = format!("\"{key}\"");
+    let at = obj.find(&pat).ok_or_else(|| format!("missing key {key}: {obj}"))?;
+    let rest = obj[at + pat.len()..].trim_start_matches([':', ' ']);
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().map_err(|e| format!("bad number for {key}: {e}"))
+}
+
+/// One metric's comparison verdict.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Verdict {
+    /// Within the tolerance band.
+    Ok,
+    /// Timing drifted outside ±tolerance (slower or faster — a faster
+    /// result also wants a baseline refresh so future regressions are
+    /// measured against it).
+    OutOfBand {
+        /// `pr / baseline`.
+        ratio: f64,
+    },
+    /// A counter that must stay positive hit zero (e.g. pruning stopped
+    /// engaging).
+    CounterWentToZero,
+    /// Metric present in the baseline but missing from the PR run — a
+    /// bench silently disappeared.
+    Missing,
+    /// Metric new in the PR run (informational; refresh the baseline to
+    /// start gating it).
+    New,
+}
+
+/// Compare a PR run against the baseline with a symmetric tolerance
+/// band (`0.25` = ±25%). Returns per-metric verdicts sorted by id.
+pub fn compare(pr: &Metrics, baseline: &Metrics, tolerance: f64) -> Vec<(String, Verdict)> {
+    let mut out = Vec::new();
+    for (id, base) in baseline {
+        let verdict = match pr.get(id) {
+            None => Verdict::Missing,
+            Some(m) if base.unit == "count" => {
+                if base.value > 0.0 && m.value == 0.0 {
+                    Verdict::CounterWentToZero
+                } else {
+                    Verdict::Ok
+                }
+            }
+            Some(m) => {
+                let ratio = if base.value > 0.0 { m.value / base.value } else { 1.0 };
+                if ratio > 1.0 + tolerance || ratio < 1.0 / (1.0 + tolerance) {
+                    Verdict::OutOfBand { ratio }
+                } else {
+                    Verdict::Ok
+                }
+            }
+        };
+        out.push((id.clone(), verdict));
+    }
+    for id in pr.keys() {
+        if !baseline.contains_key(id) {
+            out.push((id.clone(), Verdict::New));
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Does any verdict fail the gate? (`New` is informational only.)
+pub fn failed(verdicts: &[(String, Verdict)]) -> bool {
+    verdicts.iter().any(|(_, v)| {
+        matches!(v, Verdict::OutOfBand { .. } | Verdict::CounterWentToZero | Verdict::Missing)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(v: f64, unit: &str) -> Metric {
+        Metric { value: v, unit: unit.into() }
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_consolidated_form() {
+        let jsonl = "\n{\"id\": \"a/b\", \"value\": 1500.5, \"unit\": \"ns\"}\n\
+                     {\"id\": \"a/c\", \"value\": 12, \"unit\": \"count\"}\n\
+                     {\"id\": \"a/b\", \"value\": 1400, \"unit\": \"ns\"}\n";
+        let parsed = parse_jsonl(jsonl).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed["a/b"], m(1400.0, "ns"), "later lines win");
+        let rendered = render(&parsed);
+        assert_eq!(parse_consolidated(&rendered).unwrap(), parsed);
+    }
+
+    #[test]
+    fn compare_gates_on_band_counters_and_missing_benches() {
+        let mut base = Metrics::new();
+        base.insert("t/fast".into(), m(1000.0, "ns"));
+        base.insert("t/slow".into(), m(1000.0, "ns"));
+        base.insert("t/gone".into(), m(1000.0, "ns"));
+        base.insert("t/blocks".into(), m(50.0, "count"));
+        let mut pr = Metrics::new();
+        pr.insert("t/fast".into(), m(1100.0, "ns")); // +10%: ok
+        pr.insert("t/slow".into(), m(1400.0, "ns")); // +40%: fail
+        pr.insert("t/blocks".into(), m(0.0, "count")); // engagement lost
+        pr.insert("t/new".into(), m(5.0, "ns"));
+
+        let verdicts = compare(&pr, &base, 0.25);
+        let get = |id: &str| verdicts.iter().find(|(i, _)| i == id).unwrap().1.clone();
+        assert_eq!(get("t/fast"), Verdict::Ok);
+        assert!(matches!(get("t/slow"), Verdict::OutOfBand { ratio } if ratio > 1.39));
+        assert_eq!(get("t/gone"), Verdict::Missing);
+        assert_eq!(get("t/blocks"), Verdict::CounterWentToZero);
+        assert_eq!(get("t/new"), Verdict::New);
+        assert!(failed(&verdicts));
+
+        // Symmetric band: a 2x speedup is also out of band (refresh the
+        // baseline so the gain is locked in).
+        let mut fast = Metrics::new();
+        fast.insert("t/fast".into(), m(400.0, "ns"));
+        let mut base1 = Metrics::new();
+        base1.insert("t/fast".into(), m(1000.0, "ns"));
+        assert!(failed(&compare(&fast, &base1, 0.25)));
+    }
+
+    #[test]
+    fn counters_within_any_positive_value_pass() {
+        let mut base = Metrics::new();
+        base.insert("t/blocks".into(), m(50.0, "count"));
+        let mut pr = Metrics::new();
+        pr.insert("t/blocks".into(), m(3.0, "count"));
+        assert!(!failed(&compare(&pr, &base, 0.25)));
+    }
+}

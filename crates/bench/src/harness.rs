@@ -102,6 +102,10 @@ pub struct Measurement {
     pub pdt_bytes: u64,
     /// Base-storage fetches spent materializing top-k.
     pub fetches: u64,
+    /// Work avoided by score-bounded top-k pruning in one search of
+    /// this point (pruning is on by default; see
+    /// `SearchRequest::prune`).
+    pub pruning: vxv_core::PruneStats,
     /// Aggregate engine report (segment count, work counters and
     /// footprints summed across segments) — one read via
     /// `ViewSearchEngine::stats()` instead of per-index peeking.
@@ -186,6 +190,7 @@ pub fn measure_on_corpus(
         m.matching = out.matching;
         m.pdt_bytes = out.pdt_bytes();
         m.fetches = out.fetches;
+        m.pruning = out.pruning;
     }
     m.efficient = PhaseAverages {
         pdt: avg(acc.0, opts.runs),

@@ -8,6 +8,7 @@
 //! figure. Sizes are scaled to the host (`VXV_BASE_KB` overrides the base
 //! corpus size, `VXV_RUNS` the repetitions; the paper averaged 5 runs).
 
+pub mod gate;
 pub mod harness;
 pub mod table;
 

@@ -39,6 +39,7 @@ use crate::generate::DocMeta;
 use crate::prepared::PreparedView;
 use crate::qpt_gen::QptGenError;
 use crate::request::{PhaseTimings, SearchRequest};
+use crate::scoring::PruneStats;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -191,6 +192,39 @@ struct SegmentState {
     /// Serializes set *mutations* (ingest / compact); readers only ever
     /// take the `set` read lock for an `Arc` clone.
     mutate: Mutex<()>,
+    /// Engine-lifetime top-k pruning tallies, shared across clones and
+    /// source swaps like the segment set itself.
+    prune: PruneTallies,
+}
+
+/// Atomic accumulator behind [`EngineStats::pruning`].
+#[derive(Default)]
+struct PruneTallies {
+    blocks_pruned: AtomicU64,
+    candidates_skipped: AtomicU64,
+    early_terminations: AtomicU64,
+}
+
+impl PruneTallies {
+    fn add(&self, s: PruneStats) {
+        self.blocks_pruned.fetch_add(s.blocks_pruned, Ordering::Relaxed);
+        self.candidates_skipped.fetch_add(s.candidates_skipped, Ordering::Relaxed);
+        self.early_terminations.fetch_add(s.early_terminations, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> PruneStats {
+        PruneStats {
+            blocks_pruned: self.blocks_pruned.load(Ordering::Relaxed),
+            candidates_skipped: self.candidates_skipped.load(Ordering::Relaxed),
+            early_terminations: self.early_terminations.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.blocks_pruned.store(0, Ordering::Relaxed);
+        self.candidates_skipped.store(0, Ordering::Relaxed);
+        self.early_terminations.store(0, Ordering::Relaxed);
+    }
 }
 
 impl SegmentState {
@@ -218,6 +252,7 @@ impl SegmentState {
             next_ordinal: AtomicU32::new(next_ordinal),
             next_segment_id: AtomicU64::new(next_segment_id),
             mutate: Mutex::new(()),
+            prune: PruneTallies::default(),
         }
     }
 
@@ -409,7 +444,11 @@ impl<S: DocumentSource> ViewSearchEngine<S> {
     /// operators read instead of per-index peeking.
     pub fn stats(&self) -> EngineStats {
         let snapshot = self.snapshot();
-        let mut stats = EngineStats { segments: snapshot.len(), ..EngineStats::default() };
+        let mut stats = EngineStats {
+            segments: snapshot.len(),
+            pruning: self.inner.state.prune.snapshot(),
+            ..EngineStats::default()
+        };
         for seg in snapshot.iter() {
             stats.documents += seg.index.doc_count();
             stats.path = stats.path + seg.index.path_index().stats();
@@ -420,11 +459,18 @@ impl<S: DocumentSource> ViewSearchEngine<S> {
         stats
     }
 
-    /// Reset every segment's work counters.
+    /// Reset every segment's work counters and the pruning tallies.
     pub fn reset_stats(&self) {
         for seg in self.snapshot().iter() {
             seg.index.reset_stats();
         }
+        self.inner.state.prune.reset();
+    }
+
+    /// Fold one search's pruning counters into the engine-lifetime
+    /// tallies (shared across clones and source swaps).
+    pub(crate) fn record_prune(&self, s: PruneStats) {
+        self.inner.state.prune.add(s);
     }
 
     /// Per-segment breakdown (id, generation, document count, footprint)
@@ -671,6 +717,9 @@ pub struct EngineStats {
     pub path_footprint: Footprint,
     /// Inverted-index footprints, summed.
     pub inverted_footprint: Footprint,
+    /// Engine-lifetime top-k pruning tallies (blocks never decoded,
+    /// candidates never exactly scored, scoring passes cut short).
+    pub pruning: PruneStats,
 }
 
 impl EngineStats {

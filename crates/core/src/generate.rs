@@ -42,6 +42,21 @@ use vxv_xml::DeweyId;
 /// noise while bounding overrun to one small batch.
 const CHECK_EVERY: usize = 1024;
 
+/// Whether PDT generation resolves exact term frequencies eagerly
+/// (one inverted-index subtree probe per content element per keyword —
+/// the reference behavior) or leaves the annotations zeroed for the
+/// score-bounded top-k path, which probes lazily per *view element* and
+/// skips candidates whose score bound cannot reach the top-k.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum TfAnnotation {
+    /// Probe every content element's subtree tf during `finish_sweep`.
+    Exact,
+    /// Leave tf annotations zeroed; the caller resolves tf lazily
+    /// through the inverted index (content-ness is still recorded —
+    /// `info.tf.is_some()` keeps meaning "scoring reads this element").
+    Deferred,
+}
+
 /// Catalog facts about the projected document (not base data: name, root
 /// tag and root ordinal are schema-level metadata).
 #[derive(Clone, Debug)]
@@ -149,13 +164,22 @@ pub fn generate_pdt_from_lists(
     keywords: &[String],
     meta: &DocMeta,
 ) -> (Pdt, GenerateStats) {
-    generate_pdt_from_lists_ctl(qpt, lists, inverted, keywords, meta, &ExecControl::unchecked())
-        .expect("unchecked control never interrupts")
+    generate_pdt_from_lists_ctl(
+        qpt,
+        lists,
+        inverted,
+        keywords,
+        meta,
+        &ExecControl::unchecked(),
+        TfAnnotation::Exact,
+    )
+    .expect("unchecked control never interrupts")
 }
 
 /// As [`generate_pdt_from_lists`], polling `ctl` every [`CHECK_EVERY`]
 /// consumed entries — the merge loop is the one place a search can spend
-/// unbounded time between phase boundaries.
+/// unbounded time between phase boundaries — and honoring the caller's
+/// [`TfAnnotation`] choice.
 pub(crate) fn generate_pdt_from_lists_ctl(
     qpt: &Qpt,
     lists: &PreparedLists,
@@ -163,6 +187,7 @@ pub(crate) fn generate_pdt_from_lists_ctl(
     keywords: &[String],
     meta: &DocMeta,
     ctl: &ExecControl,
+    annotate: TfAnnotation,
 ) -> Result<(Pdt, GenerateStats), Interrupt> {
     let mut sweep = new_sweep(qpt, lists.probes);
 
@@ -225,7 +250,7 @@ pub(crate) fn generate_pdt_from_lists_ctl(
             heap.push(Reverse(HeapItem { entry: next, si }));
         }
     }
-    finish_sweep_ctl(sweep, inverted, keywords, meta, ctl)
+    finish_sweep_ctl(sweep, inverted, keywords, meta, ctl, annotate)
 }
 
 /// The seed's merge — a linear min-scan over fully materialized entry
@@ -296,18 +321,29 @@ fn finish_sweep(
     keywords: &[String],
     meta: &DocMeta,
 ) -> (Pdt, GenerateStats) {
-    finish_sweep_ctl(sweep, inverted, keywords, meta, &ExecControl::unchecked())
-        .expect("unchecked control never interrupts")
+    finish_sweep_ctl(
+        sweep,
+        inverted,
+        keywords,
+        meta,
+        &ExecControl::unchecked(),
+        TfAnnotation::Exact,
+    )
+    .expect("unchecked control never interrupts")
 }
 
 /// As [`finish_sweep`] with cooperative checks in the tf-annotation loop
-/// (one inverted-index range probe per PDT element).
+/// (one inverted-index range probe per PDT element). With
+/// [`TfAnnotation::Deferred`] the probe loop is skipped entirely — the
+/// score-bounded path resolves tf lazily and only where the top-k
+/// threshold demands it.
 fn finish_sweep_ctl(
     mut sweep: Sweep<'_>,
     inverted: &InvertedIndex,
     keywords: &[String],
     meta: &DocMeta,
     ctl: &ExecControl,
+    annotate: TfAnnotation,
 ) -> Result<(Pdt, GenerateStats), Interrupt> {
     while !sweep.stack.is_empty() {
         sweep.close_top();
@@ -323,13 +359,15 @@ fn finish_sweep_ctl(
         &sweep.emitted,
         keywords.len(),
     );
-    for (i, (dewey, info)) in pdt.info.iter_mut().enumerate() {
-        if (i + 1).is_multiple_of(CHECK_EVERY) {
-            ctl.check()?;
-        }
-        if let Some(tf) = &mut info.tf {
-            for (k, kw) in keywords.iter().enumerate() {
-                tf[k] = inverted.subtree_tf(kw, dewey);
+    if annotate == TfAnnotation::Exact {
+        for (i, (dewey, info)) in pdt.info.iter_mut().enumerate() {
+            if (i + 1).is_multiple_of(CHECK_EVERY) {
+                ctl.check()?;
+            }
+            if let Some(tf) = &mut info.tf {
+                for (k, kw) in keywords.iter().enumerate() {
+                    tf[k] = inverted.subtree_tf(kw, dewey);
+                }
             }
         }
     }

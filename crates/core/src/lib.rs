@@ -44,6 +44,22 @@
 //! result. Batches fan out over [`ViewCatalog::search_batch`]'s worker
 //! pool.
 //!
+//! ## Score-bounded top-k pruning
+//!
+//! Scoring is **score-bounded by default** ([`SearchRequest::prune`],
+//! on unless disabled): exact per-element tf probes are deferred out of
+//! PDT generation, the inverted index's block-max metadata
+//! ([`vxv_index::InvertedIndex::subtree_tf_estimate`]) bounds every
+//! candidate's score, and [`score_and_rank_bounded`] stops resolving
+//! candidates as soon as the best remaining bound falls strictly below
+//! the current k-th best exact score. Because idf, the matching count
+//! and every returned score stay exact, pruned responses are
+//! **byte-identical** to the exact reference path (`prune(false)`) —
+//! same hits, same score bits, same order — while the work avoided is
+//! reported per search in [`SearchResponse::pruning`] and accumulated
+//! into [`EngineStats::pruning`] ([`PruneStats`]: blocks never decoded,
+//! candidates never resolved, scoring passes cut short).
+//!
 //! ## Segments: corpus → segments → snapshot → parallel merge
 //!
 //! The index is partitioned by document into immutable
@@ -132,7 +148,10 @@ pub use prepared::{PreparedView, ProbeReport, QptReport, QueryPlan};
 pub use qpt::{Qpt, QptEdge, QptNode, QptNodeId};
 pub use qpt_gen::{generate_qpts, QptGenError};
 pub use request::{PhaseTimings, SearchHit, SearchRequest, SearchResponse};
-pub use scoring::{score_and_rank, ElementStats, KeywordMode, ScoredElement, ScoringOutcome};
+pub use scoring::{
+    score_and_rank, score_and_rank_bounded, BoundedCandidate, ElementStats, KeywordMode,
+    PruneStats, ScoredElement, ScoringOutcome,
+};
 pub use stream::HitStream;
 
 #[cfg(feature = "legacy-api")]

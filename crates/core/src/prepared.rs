@@ -30,13 +30,16 @@
 
 use crate::control::{ExecControl, Interrupt};
 use crate::engine::{EngineError, EngineSegment, SegmentSet, ViewSearchEngine};
-use crate::generate::{generate_pdt_from_lists_ctl, DocMeta, GenerateStats};
+use crate::generate::{generate_pdt_from_lists_ctl, DocMeta, GenerateStats, TfAnnotation};
 use crate::pdt::Pdt;
 use crate::prepare::{prepare_lists, PreparedLists};
 use crate::qpt::Qpt;
 use crate::qpt_gen::generate_qpts;
 use crate::request::{PhaseTimings, SearchHit, SearchRequest, SearchResponse};
-use crate::scoring::{score_and_rank, ElementStats, ScoringOutcome};
+use crate::scoring::{
+    score_and_rank, score_and_rank_bounded, BoundedCandidate, ElementStats, PruneStats,
+    ScoringOutcome,
+};
 use crate::stream::{materialize_segments, FetchRouter, HitStream, PlannedHit, Segment};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -92,6 +95,7 @@ struct RankedHits {
     matching: usize,
     idf: Vec<f64>,
     pdt_stats: Vec<(String, GenerateStats, u64)>,
+    pruning: PruneStats,
     t_pdt: Duration,
     t_eval: Duration,
     t_score: Duration,
@@ -201,6 +205,7 @@ impl<S: DocumentSource> PreparedView<S> {
             }),
             pdt_stats: ranked.pdt_stats,
             fetches,
+            pruning: ranked.pruning,
             plan: ranked.plan,
         })
     }
@@ -233,6 +238,7 @@ impl<S: DocumentSource> PreparedView<S> {
         &self,
         keywords: &[String],
         ctl: &ExecControl,
+        annotate: TfAnnotation,
     ) -> Result<Vec<(Pdt, GenerateStats)>, Interrupt> {
         let run = |plan: &QptPlan| {
             generate_pdt_from_lists_ctl(
@@ -242,6 +248,7 @@ impl<S: DocumentSource> PreparedView<S> {
                 keywords,
                 &plan.meta,
                 ctl,
+                annotate,
             )
         };
         crate::fanout::fan_out(&self.plans, run).into_iter().collect()
@@ -251,19 +258,31 @@ impl<S: DocumentSource> PreparedView<S> {
     /// evaluation → scoring → top-k cut, with each winner's
     /// materialization plan kept symbolic ([`Segment`]s) instead of
     /// expanded.
+    ///
+    /// By default the scoring phase is **score-bounded** (see
+    /// [`score_and_rank_bounded`]): exact per-element tf probes are
+    /// deferred out of PDT generation, per-keyword upper bounds from the
+    /// index's block-max metadata stand in for them, and candidates
+    /// whose bound falls strictly below the running top-k threshold are
+    /// never probed at all — with output byte-identical to the exact
+    /// path, which [`SearchRequest::prune`]`(false)` keeps available as
+    /// the reference.
     fn rank(&self, request: &SearchRequest, ctl: &ExecControl) -> Result<RankedHits, EngineError> {
         let keywords: Vec<String> =
             request.keywords().iter().map(|s| normalize_keyword(s)).collect();
         if keywords.iter().all(|k| k.trim().is_empty()) {
             return Err(EngineError::EmptyQuery);
         }
+        let prune = request.prunes();
+        let annotate = if prune { TfAnnotation::Deferred } else { TfAnnotation::Exact };
 
         // Phase 1: index-only PDTs from the prepared probe lists, fanned
         // across segments.
         let t0 = Instant::now();
         let pdt_timings = |t0: &Instant| PhaseTimings { pdt: t0.elapsed(), ..Default::default() };
-        let generated =
-            self.generate_pdts(&keywords, ctl).map_err(|int| int.into_error(pdt_timings(&t0)))?;
+        let generated = self
+            .generate_pdts(&keywords, ctl, annotate)
+            .map_err(|int| int.into_error(pdt_timings(&t0)))?;
         let mut pdts: Vec<Pdt> = Vec::with_capacity(self.plans.len());
         let mut pdt_stats = Vec::with_capacity(self.plans.len());
         for (plan, (pdt, stats)) in self.plans.iter().zip(generated) {
@@ -291,29 +310,48 @@ impl<S: DocumentSource> PreparedView<S> {
         let t2 = Instant::now();
         let score_timings =
             |t2: &Instant| PhaseTimings { pdt: t_pdt, evaluator: t_eval, post: t2.elapsed() };
-        let by_name: HashMap<&str, &Pdt> = pdts.iter().map(|p| (p.doc_name.as_str(), p)).collect();
-        let mut stats: Vec<ElementStats> = Vec::with_capacity(results.len());
-        for (i, item) in results.iter().enumerate() {
-            if (i + 1).is_multiple_of(256) {
-                ctl.check().map_err(|int| int.into_error(score_timings(&t2)))?;
+        // Doc name → (plan slot, PDT); the plan slot routes per-node
+        // probes to the segment owning the document.
+        let by_name: HashMap<&str, (usize, &Pdt)> =
+            pdts.iter().enumerate().map(|(i, p)| (p.doc_name.as_str(), (i, p))).collect();
+        let (ScoringOutcome { top, matching, idf, view_size }, pruning) = if prune {
+            self.score_bounded(
+                request,
+                ctl,
+                &keywords,
+                &pdts,
+                &results,
+                &by_name,
+                &score_timings,
+                &t2,
+            )?
+        } else {
+            let mut stats: Vec<ElementStats> = Vec::with_capacity(results.len());
+            for (i, item) in results.iter().enumerate() {
+                if (i + 1).is_multiple_of(256) {
+                    ctl.check().map_err(|int| int.into_error(score_timings(&t2)))?;
+                }
+                let tf: Vec<u32> = (0..keywords.len())
+                    .map(|ki| {
+                        item_sum_with(item, &mut |doc, n| {
+                            by_name
+                                .get(doc.name())
+                                .map(|(_, p)| p.tf(&doc.node(n).dewey, ki) as u64)
+                                .unwrap_or(0)
+                        }) as u32
+                    })
+                    .collect();
+                let byte_len = item_byte_len_with(item, &mut |doc, n| {
+                    by_name
+                        .get(doc.name())
+                        .map(|(_, p)| p.byte_len(&doc.node(n).dewey) as u64)
+                        .unwrap_or(0)
+                });
+                stats.push(ElementStats { tf, byte_len });
             }
-            let tf: Vec<u32> = (0..keywords.len())
-                .map(|ki| {
-                    item_sum_with(item, &mut |doc, n| {
-                        by_name
-                            .get(doc.name())
-                            .map(|p| p.tf(&doc.node(n).dewey, ki) as u64)
-                            .unwrap_or(0)
-                    }) as u32
-                })
-                .collect();
-            let byte_len = item_byte_len_with(item, &mut |doc, n| {
-                by_name.get(doc.name()).map(|p| p.byte_len(&doc.node(n).dewey) as u64).unwrap_or(0)
-            });
-            stats.push(ElementStats { tf, byte_len });
-        }
-        let ScoringOutcome { top, matching, idf, view_size } =
-            score_and_rank(&stats, request.keyword_mode(), request.k());
+            (score_and_rank(&stats, request.keyword_mode(), request.k()), PruneStats::default())
+        };
+        self.engine.record_prune(pruning);
 
         // Top-k winners become symbolic materialization plans: literal
         // XML for constructed tags, fetch points for base-data subtrees.
@@ -341,11 +379,242 @@ impl<S: DocumentSource> PreparedView<S> {
             matching,
             idf,
             pdt_stats,
+            pruning,
             t_pdt,
             t_eval,
             t_score,
             plan: request.wants_plan().then(|| self.plan(request.keywords())),
         })
+    }
+
+    /// The score-bounded phase 3, in three steps:
+    ///
+    /// 1. **Estimate pass** (fanned across plans, like the reference
+    ///    annotation): every content element gets one boundary-exact
+    ///    estimate probe per keyword — exact contains-bits and a tf
+    ///    upper bound that *is* the exact tf whenever no interior block
+    ///    was bounded (the common, small-subtree case).
+    /// 2. **Candidate pass**: one walk per view element aggregates the
+    ///    memoized per-node estimates into [`BoundedCandidate`]s — no
+    ///    index is touched.
+    /// 3. [`score_and_rank_bounded`] resolves exact tf lazily:
+    ///    fully-resolved candidates cost nothing, candidates bounded
+    ///    below the top-k threshold are never probed again, and the few
+    ///    interior nodes a surviving candidate does need are completed
+    ///    by decoding **only** their interior blocks — every block at
+    ///    most once across the whole search.
+    #[allow(clippy::too_many_arguments)] // one phase's worth of borrowed context
+    fn score_bounded(
+        &self,
+        request: &SearchRequest,
+        ctl: &ExecControl,
+        keywords: &[String],
+        pdts: &[Pdt],
+        results: &[vxv_xquery::Item<'_>],
+        by_name: &HashMap<&str, (usize, &Pdt)>,
+        timings: &dyn Fn(&Instant) -> PhaseTimings,
+        t2: &Instant,
+    ) -> Result<(ScoringOutcome, PruneStats), EngineError> {
+        /// How a candidate's exact tf vector is obtained on demand.
+        enum Resolution {
+            /// Every node's estimate was boundary-exact: this IS the tf.
+            Exact(Vec<u32>),
+            /// Some nodes bounded interior blocks: the exact tf is
+            /// `base` (the boundary-exact nodes' contribution) plus the
+            /// listed interior nodes' exact values, each resolved at
+            /// most once across all candidates sharing it.
+            Partial { base: Vec<u64>, interior: Vec<(usize, vxv_xml::NodeId)> },
+        }
+        /// Per-node estimate data, flat-indexed by node id (PDT
+        /// documents are small and dense; value-join views reference
+        /// the same base node from many view elements, and each
+        /// (node, keyword) range is probed once, not once per
+        /// referencing element).
+        #[derive(Clone, Copy, Default)]
+        struct NodeEst {
+            /// Does the node carry tf annotations at all?
+            content: bool,
+            /// Interior nodes become `resolved` once completed.
+            resolved: bool,
+            /// Interior blocks bounded (not decoded) across keywords.
+            blocks: u32,
+            /// The node's annotated byte length.
+            byte_len: u32,
+        }
+        /// Per-(node, keyword) estimate data, flat `[node * kws + k]`.
+        #[derive(Clone, Copy, Default)]
+        struct KwEst {
+            contains: bool,
+            /// Upper bound (0 when `contains` is false — exact).
+            bound: u64,
+            /// Boundary-block exact sum; grows into the full exact
+            /// value when the node is resolved.
+            sum: u64,
+        }
+        let kws = keywords.len();
+
+        // One pinned posting-list reader per (plan, keyword): the
+        // dictionary lookup happens once, and both the estimate pass
+        // and the lazy completions below probe through it.
+        let readers: Vec<Vec<vxv_index::TfReader<'_>>> = self
+            .plans
+            .iter()
+            .map(|plan| {
+                let inverted = plan.segment.index.inverted();
+                keywords.iter().map(|kw| inverted.tf_reader(kw)).collect()
+            })
+            .collect();
+
+        // Step 1: the estimate pass, one plan per worker, elements in
+        // document order (the same traversal the reference annotation
+        // loop uses, so block decodes stay sequential in the lists).
+        let pairs: Vec<(usize, &Pdt)> = pdts.iter().enumerate().collect();
+        let est = crate::fanout::fan_out(&pairs, |(pi, pdt)| {
+            let n = pdt.doc.len();
+            let mut nodes = vec![NodeEst::default(); n];
+            let mut kw_data = vec![KwEst::default(); n * kws];
+            let readers = &readers[*pi];
+            // Info keys and arena nodes are both in document order:
+            // advance a node cursor instead of searching per element.
+            let mut ni = 0usize;
+            for (count, (dewey, inf)) in pdt.info.iter().enumerate() {
+                if (count + 1).is_multiple_of(1024) {
+                    ctl.check()?;
+                }
+                while ni < n && pdt.doc.node(vxv_xml::NodeId(ni as u32)).dewey < *dewey {
+                    ni += 1;
+                }
+                debug_assert!(
+                    ni < n && pdt.doc.node(vxv_xml::NodeId(ni as u32)).dewey == *dewey,
+                    "every annotated element is a document node"
+                );
+                nodes[ni].byte_len = inf.byte_len;
+                if inf.tf.is_none() {
+                    continue;
+                }
+                nodes[ni].content = true;
+                for (k, reader) in readers.iter().enumerate() {
+                    let est = reader.subtree_estimate(dewey);
+                    nodes[ni].blocks += est.skipped_blocks as u32;
+                    let e = &mut kw_data[ni * kws + k];
+                    e.sum = est.boundary_sum;
+                    if est.contains {
+                        e.contains = true;
+                        // `contains == false` tightens the bound to the
+                        // exact value 0.
+                        e.bound = est.bound;
+                    }
+                }
+            }
+            Ok((nodes, kw_data))
+        });
+        let mut memos: Vec<(Vec<NodeEst>, Vec<KwEst>)> = est
+            .into_iter()
+            .collect::<Result<_, Interrupt>>()
+            .map_err(|int| int.into_error(timings(t2)))?;
+
+        // Step 2: aggregate per view element — memo reads only.
+        let mut cands: Vec<BoundedCandidate> = Vec::with_capacity(results.len());
+        let mut resolutions: Vec<Resolution> = Vec::with_capacity(results.len());
+        for (i, item) in results.iter().enumerate() {
+            if (i + 1).is_multiple_of(256) {
+                ctl.check().map_err(|int| int.into_error(timings(t2)))?;
+            }
+            let mut contains = vec![false; kws];
+            let mut tf_bound = vec![0u64; kws];
+            let mut exact_base = vec![0u64; kws];
+            let mut interior: Vec<(usize, vxv_xml::NodeId)> = Vec::new();
+            let mut bound_blocks = 0u64;
+            // Consecutive item nodes usually share a document; cache the
+            // plan-slot lookup on document identity.
+            let mut last_doc: (*const vxv_xml::Document, usize) = (std::ptr::null(), 0);
+            let byte_len = item_byte_len_with(item, &mut |doc, n| {
+                let pi = if std::ptr::eq(doc, last_doc.0) {
+                    last_doc.1
+                } else {
+                    let Some((pi, _)) = by_name.get(doc.name()) else { return 0 };
+                    last_doc = (doc as *const _, *pi);
+                    *pi
+                };
+                let (nodes, kw_data) = &memos[pi];
+                let ni = n.0 as usize;
+                let node = nodes[ni];
+                // Nodes without tf annotations contribute exactly zero —
+                // matching the reference, where `Pdt::tf` returns 0; byte
+                // lengths come from the same annotation table either way.
+                if !node.content {
+                    return node.byte_len as u64;
+                }
+                bound_blocks += node.blocks as u64;
+                let boundary_exact = node.blocks == 0;
+                if !boundary_exact {
+                    interior.push((pi, n));
+                }
+                for k in 0..kws {
+                    let e = kw_data[ni * kws + k];
+                    if e.contains {
+                        contains[k] = true;
+                        tf_bound[k] += e.bound;
+                        if boundary_exact {
+                            exact_base[k] += e.bound;
+                        }
+                    }
+                }
+                node.byte_len as u64
+            });
+            resolutions.push(if interior.is_empty() {
+                Resolution::Exact(exact_base.iter().map(|v| *v as u32).collect())
+            } else {
+                Resolution::Partial { base: exact_base, interior }
+            });
+            cands.push(BoundedCandidate { index: i, byte_len, contains, tf_bound, bound_blocks });
+        }
+
+        // Step 3: lazy exact resolution; the resolver is a cancellation
+        // checkpoint (a completion costs interior-block decodes), so
+        // pruning cannot change abort semantics — only make the abort
+        // arrive sooner.
+        let mut interrupt: Option<Interrupt> = None;
+        let outcome =
+            score_and_rank_bounded(&cands, request.keyword_mode(), request.k(), &mut |i| {
+                match &resolutions[i] {
+                    Resolution::Exact(tf) => Some(tf.clone()),
+                    Resolution::Partial { base, interior } => {
+                        if let Err(int) = ctl.check() {
+                            interrupt = Some(int);
+                            return None;
+                        }
+                        let mut tf = base.clone();
+                        for (pi, n) in interior {
+                            let (nodes, kw_data) = &mut memos[*pi];
+                            let ni = n.0 as usize;
+                            if !nodes[ni].resolved {
+                                // Complete the estimate by decoding only
+                                // the interior blocks, once per node no
+                                // matter how many elements share it —
+                                // through the same pinned readers the
+                                // estimate pass used.
+                                let dewey = &pdts[*pi].doc.node(*n).dewey;
+                                for (k, reader) in readers[*pi].iter().enumerate() {
+                                    kw_data[ni * kws + k].sum += reader.subtree_interior(dewey);
+                                }
+                                nodes[ni].resolved = true;
+                            }
+                            for k in 0..kws {
+                                tf[k] += kw_data[ni * kws + k].sum;
+                            }
+                        }
+                        Some(tf.iter().map(|v| *v as u32).collect())
+                    }
+                }
+            });
+        match outcome {
+            Some(pair) => Ok(pair),
+            None => Err(interrupt
+                .take()
+                .expect("bounded scoring aborts only on interrupt")
+                .into_error(timings(t2))),
+        }
     }
 
     /// The query plan: per-QPT probe reports from the cached prepare-time

@@ -9,7 +9,7 @@
 use crate::control::CancelToken;
 use crate::generate::GenerateStats;
 use crate::prepared::QueryPlan;
-use crate::scoring::KeywordMode;
+use crate::scoring::{KeywordMode, PruneStats};
 use std::time::Duration;
 
 /// One keyword search over a prepared view: what to look for and what to
@@ -32,6 +32,7 @@ pub struct SearchRequest {
     materialize: bool,
     collect_timings: bool,
     with_plan: bool,
+    prune: bool,
     deadline: Option<Duration>,
     cancel: Option<CancelToken>,
 }
@@ -51,6 +52,7 @@ impl SearchRequest {
             materialize: true,
             collect_timings: true,
             with_plan: false,
+            prune: true,
             deadline: None,
             cancel: None,
         }
@@ -86,6 +88,17 @@ impl SearchRequest {
     /// lengths) to the response.
     pub fn with_plan(mut self, on: bool) -> Self {
         self.with_plan = on;
+        self
+    }
+
+    /// Whether score-bounded top-k pruning may skip exact tf probes for
+    /// candidates whose block-max score upper bound provably cannot
+    /// reach the top-k (default **on**). Pruned responses are
+    /// byte-identical to exact ones — same hits, same score bits, same
+    /// order, same `matching`/`idf` — so `false` exists only as the
+    /// reference path for equivalence tests and A/B benchmarks.
+    pub fn prune(mut self, on: bool) -> Self {
+        self.prune = on;
         self
     }
 
@@ -135,6 +148,11 @@ impl SearchRequest {
     /// Whether the plan will be attached.
     pub fn wants_plan(&self) -> bool {
         self.with_plan
+    }
+
+    /// Whether score-bounded top-k pruning is enabled.
+    pub fn prunes(&self) -> bool {
+        self.prune
     }
 
     /// The wall-clock budget, if one was set.
@@ -200,6 +218,9 @@ pub struct SearchResponse {
     pub pdt_stats: Vec<(String, GenerateStats, u64)>,
     /// Base-data subtree fetches spent on materialization.
     pub fetches: u64,
+    /// Work avoided by score-bounded top-k pruning in this search (all
+    /// zeros when the request disabled pruning).
+    pub pruning: PruneStats,
     /// The query plan, when the request asked for it.
     pub plan: Option<QueryPlan>,
 }

@@ -16,6 +16,22 @@
 //!   cites [Zobel & Moffat], turning the score into keyword density; any
 //!   fixed choice preserves the paper's materialized-vs-virtual
 //!   equivalence as long as both sides share it).
+//!
+//! ## Score-bounded top-k pruning
+//!
+//! [`score_and_rank`] is the exact reference: it resolves every
+//! element's tf vector and sorts the lot. [`score_and_rank_bounded`] is
+//! the block-max (WAND-family) variant the engine uses by default: it
+//! takes per-element **score upper bounds** (derived from the inverted
+//! index's per-block max-tf metadata), processes candidates in
+//! descending bound order while a min-heap tracks the current top-k
+//! threshold, and stops — skipping every remaining exact tf resolution
+//! — as soon as the best remaining bound falls strictly below the
+//! threshold. Because idf, the matching count and every *returned*
+//! score are still computed exactly (contains-bits are exact; pruning
+//! is strict-inequality only), its output is **byte-identical** to
+//! [`score_and_rank`]'s: same hits, same score bits, same order. The
+//! work avoided is reported in [`PruneStats`].
 
 /// Conjunctive (`k1 & k2`) or disjunctive (`k1 | k2`) keyword semantics.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -111,6 +127,178 @@ pub fn score_and_rank(stats: &[ElementStats], mode: KeywordMode, k: usize) -> Sc
     ScoringOutcome { top: matches, matching, idf, view_size }
 }
 
+/// Work avoided by score-bounded top-k pruning (one search's worth, or
+/// an engine-lifetime aggregate in
+/// [`crate::engine::EngineStats::pruning`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Compressed index blocks under skipped candidates' subtree ranges
+    /// that were never decoded (what their exact tf probes would have
+    /// touched).
+    pub blocks_pruned: u64,
+    /// Candidates whose exact tf resolution was skipped because their
+    /// score upper bound fell strictly below the top-k threshold.
+    pub candidates_skipped: u64,
+    /// Scoring passes that terminated early (stopped consuming
+    /// candidates before exhausting them).
+    pub early_terminations: u64,
+}
+
+impl std::ops::Add for PruneStats {
+    type Output = PruneStats;
+
+    fn add(self, rhs: PruneStats) -> PruneStats {
+        PruneStats {
+            blocks_pruned: self.blocks_pruned + rhs.blocks_pruned,
+            candidates_skipped: self.candidates_skipped + rhs.candidates_skipped,
+            early_terminations: self.early_terminations + rhs.early_terminations,
+        }
+    }
+}
+
+/// One element entering [`score_and_rank_bounded`]: exact contains-bits
+/// and byte length, plus a per-keyword tf **upper bound** — everything
+/// idf/matching need, without any exact tf resolution.
+#[derive(Clone, Debug)]
+pub struct BoundedCandidate {
+    /// Position in the view result sequence (stable tie-breaker).
+    pub index: usize,
+    /// Aggregate byte length of the element (exact).
+    pub byte_len: u64,
+    /// Per-keyword: does the element contain the keyword at all?
+    /// **Exact** — idf and the matching count are computed from these.
+    pub contains: Vec<bool>,
+    /// Per-keyword upper bound on the element's aggregate tf; must
+    /// dominate the exact value (a violated bound can drop hits).
+    pub tf_bound: Vec<u64>,
+    /// Compressed blocks the element's exact tf probes would decode
+    /// (counted into [`PruneStats::blocks_pruned`] when skipped).
+    pub bound_blocks: u64,
+}
+
+/// Finite, non-NaN score ordering for the threshold heap (scores are
+/// sums/quotients of finite non-negative terms).
+#[derive(PartialEq)]
+struct HeapScore(f64);
+impl Eq for HeapScore {}
+impl PartialOrd for HeapScore {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapScore {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// As [`score_and_rank`], but with score-bounded pruning: exact tf
+/// vectors are pulled lazily through `exact_tf` (candidate index →
+/// per-keyword tf), candidates are consumed in descending
+/// upper-bound-score order, and consumption stops as soon as the best
+/// remaining bound is **strictly below** the current k-th best exact
+/// score — every candidate after that point provably cannot enter the
+/// top-k, tie-breaking included. Output is byte-identical to the exact
+/// path (see the module docs).
+///
+/// `exact_tf` may return `None` to abort (deadline/cancel checkpoints
+/// live in the caller's resolver); the whole call then returns `None`
+/// with no partial output.
+pub fn score_and_rank_bounded(
+    cands: &[BoundedCandidate],
+    mode: KeywordMode,
+    k: usize,
+    exact_tf: &mut dyn FnMut(usize) -> Option<Vec<u32>>,
+) -> Option<(ScoringOutcome, PruneStats)> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let view_size = cands.len();
+    let keyword_count = cands.first().map(|c| c.contains.len()).unwrap_or(0);
+
+    // idf from the exact contains-bits — identical to the reference's
+    // tf>0 counting (aggregate tf is positive iff some keyword
+    // occurrence exists under the element).
+    let mut df = vec![0usize; keyword_count];
+    for c in cands {
+        for (i, has) in c.contains.iter().enumerate() {
+            if *has {
+                df[i] += 1;
+            }
+        }
+    }
+    let idf: Vec<f64> =
+        df.iter().map(|d| if *d == 0 { 0.0 } else { view_size as f64 / *d as f64 }).collect();
+
+    // Matching candidates under the keyword semantics (zero keywords
+    // matches everything — pure view browse, as in the reference).
+    let matching_cands: Vec<&BoundedCandidate> = cands
+        .iter()
+        .filter(|c| {
+            keyword_count == 0
+                || match mode {
+                    KeywordMode::Conjunctive => c.contains.iter().all(|b| *b),
+                    KeywordMode::Disjunctive => c.contains.iter().any(|b| *b),
+                }
+        })
+        .collect();
+    let matching = matching_cands.len();
+
+    // Candidates in descending upper-bound order (ties in view order):
+    // the moment one bound drops below the threshold, so have all that
+    // follow. The bound uses the same float expression as the exact
+    // score, so IEEE rounding monotonicity keeps it dominating.
+    let ub_score = |c: &BoundedCandidate| -> f64 {
+        let raw: f64 = c.tf_bound.iter().zip(&idf).map(|(t, i)| *t as f64 * i).sum();
+        raw / (c.byte_len as f64).max(1.0)
+    };
+    let mut order: Vec<(f64, &BoundedCandidate)> =
+        matching_cands.iter().map(|c| (ub_score(c), *c)).collect();
+    order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.index.cmp(&b.1.index)));
+
+    let mut stats = PruneStats::default();
+    let mut scored: Vec<ScoredElement> = Vec::new();
+    let mut heap: BinaryHeap<Reverse<HeapScore>> =
+        BinaryHeap::with_capacity(k.saturating_add(1).min(order.len() + 1));
+    for (pos, (ub, c)) in order.iter().enumerate() {
+        // Terminate when no remaining candidate can enter the top-k:
+        // with k == 0 immediately, otherwise once the best remaining
+        // bound falls strictly below the k-th best exact score (ub order
+        // is descending, so every later candidate is bounded too — even
+        // ties are safe under the strict inequality).
+        let done =
+            k == 0 || (heap.len() == k && *ub < heap.peek().expect("heap holds k scores").0 .0);
+        if done {
+            stats.early_terminations = 1;
+            for (_, rest) in &order[pos..] {
+                stats.candidates_skipped += 1;
+                stats.blocks_pruned += rest.bound_blocks;
+            }
+            break;
+        }
+        let tf = exact_tf(c.index)?;
+        // The exact score, with the reference's own float expression.
+        let raw: f64 = tf.iter().zip(&idf).map(|(t, i)| *t as f64 * i).sum();
+        let score = raw / (c.byte_len as f64).max(1.0);
+        heap.push(Reverse(HeapScore(score)));
+        if heap.len() > k {
+            heap.pop();
+        }
+        scored.push(ScoredElement { index: c.index, score, tf, byte_len: c.byte_len });
+    }
+
+    // Exactly the reference's final ordering over the survivors — every
+    // pruned candidate scores strictly below all k of these.
+    scored.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.index.cmp(&b.index))
+    });
+    scored.truncate(k);
+    Some((ScoringOutcome { top: scored, matching, idf, view_size }, stats))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,5 +368,156 @@ mod tests {
         let stats = vec![es(&[1, 0], 10), es(&[2, 0], 10)];
         let out = score_and_rank(&stats, KeywordMode::Disjunctive, 10);
         assert_eq!(out.idf[1], 0.0);
+    }
+}
+
+#[cfg(test)]
+mod bounded_tests {
+    use super::*;
+
+    fn es(tf: &[u32], len: u64) -> ElementStats {
+        ElementStats { tf: tf.to_vec(), byte_len: len }
+    }
+
+    /// Wrap exact element stats as bounded candidates with a chosen
+    /// looseness (bound = tf * slack, a valid upper bound for slack>=1).
+    fn candidates(stats: &[ElementStats], slack: u64) -> Vec<BoundedCandidate> {
+        stats
+            .iter()
+            .enumerate()
+            .map(|(index, s)| BoundedCandidate {
+                index,
+                byte_len: s.byte_len,
+                contains: s.tf.iter().map(|t| *t > 0).collect(),
+                tf_bound: s.tf.iter().map(|t| *t as u64 * slack).collect(),
+                bound_blocks: 3,
+            })
+            .collect()
+    }
+
+    fn assert_outcomes_identical(a: &ScoringOutcome, b: &ScoringOutcome) {
+        assert_eq!(a.view_size, b.view_size, "view_size");
+        assert_eq!(a.matching, b.matching, "matching");
+        assert_eq!(a.idf.len(), b.idf.len());
+        for (x, y) in a.idf.iter().zip(&b.idf) {
+            assert_eq!(x.to_bits(), y.to_bits(), "idf bits");
+        }
+        assert_eq!(a.top.len(), b.top.len(), "top len");
+        for (x, y) in a.top.iter().zip(&b.top) {
+            assert_eq!(x.index, y.index, "index");
+            assert_eq!(x.score.to_bits(), y.score.to_bits(), "score bits");
+            assert_eq!(x.tf, y.tf, "tf");
+            assert_eq!(x.byte_len, y.byte_len, "byte_len");
+        }
+    }
+
+    /// Deterministic pseudo-random element stats (splitmix-ish).
+    fn random_stats(seed: u64, n: usize, kws: usize) -> Vec<ElementStats> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        (0..n)
+            .map(|_| ElementStats {
+                tf: (0..kws).map(|_| next() % 5).collect(),
+                byte_len: (next() % 300) as u64 + 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bounded_matches_exact_across_random_inputs() {
+        for seed in 0..40u64 {
+            let stats = random_stats(seed, (seed % 17) as usize + 1, (seed % 3) as usize + 1);
+            for k in [0usize, 1, 3, stats.len(), stats.len() + 5] {
+                for (mode, slack) in [
+                    (KeywordMode::Conjunctive, 1),
+                    (KeywordMode::Disjunctive, 1),
+                    (KeywordMode::Conjunctive, 4),
+                    (KeywordMode::Disjunctive, 4),
+                ] {
+                    let exact = score_and_rank(&stats, mode, k);
+                    let cands = candidates(&stats, slack);
+                    let mut resolutions = 0usize;
+                    let (bounded, prune) = score_and_rank_bounded(&cands, mode, k, &mut |i| {
+                        resolutions += 1;
+                        Some(stats[i].tf.clone())
+                    })
+                    .expect("no abort");
+                    assert_outcomes_identical(&exact, &bounded);
+                    assert_eq!(
+                        resolutions as u64 + prune.candidates_skipped,
+                        bounded.matching as u64,
+                        "every matching candidate is either resolved or counted skipped"
+                    );
+                    assert_eq!(prune.blocks_pruned, prune.candidates_skipped * 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ties_at_the_threshold_are_never_pruned() {
+        // Three identical elements, k=2: the third ties the threshold
+        // exactly, so it must still be resolved (strict-< pruning) and
+        // the reference's index tie-break decides.
+        let stats = vec![es(&[2], 10), es(&[2], 10), es(&[2], 10)];
+        let cands = candidates(&stats, 1);
+        let exact = score_and_rank(&stats, KeywordMode::Conjunctive, 2);
+        let (bounded, prune) =
+            score_and_rank_bounded(&cands, KeywordMode::Conjunctive, 2, &mut |i| {
+                Some(stats[i].tf.clone())
+            })
+            .unwrap();
+        assert_outcomes_identical(&exact, &bounded);
+        assert_eq!(prune.candidates_skipped, 0, "equal bounds cannot be pruned");
+    }
+
+    #[test]
+    fn clearly_dominated_candidates_are_skipped() {
+        // One heavy hitter and many lightweights with tiny bounds: k=1
+        // must resolve only the (few) candidates whose bound reaches the
+        // winner's score.
+        let mut stats = vec![es(&[50], 10)];
+        for _ in 0..20 {
+            stats.push(es(&[1], 1000));
+        }
+        let cands = candidates(&stats, 1);
+        let mut resolutions = 0usize;
+        let (bounded, prune) =
+            score_and_rank_bounded(&cands, KeywordMode::Conjunctive, 1, &mut |i| {
+                resolutions += 1;
+                Some(stats[i].tf.clone())
+            })
+            .unwrap();
+        let exact = score_and_rank(&stats, KeywordMode::Conjunctive, 1);
+        assert_outcomes_identical(&exact, &bounded);
+        assert_eq!(resolutions, 1, "only the winner needed exact resolution");
+        assert_eq!(prune.candidates_skipped, 20);
+        assert_eq!(prune.early_terminations, 1);
+        assert_eq!(bounded.matching, 21, "matching still counts pruned candidates");
+    }
+
+    #[test]
+    fn k_zero_skips_all_resolution_but_reports_matching_and_idf() {
+        let stats = vec![es(&[1, 2], 10), es(&[3, 0], 10)];
+        let cands = candidates(&stats, 1);
+        let exact = score_and_rank(&stats, KeywordMode::Disjunctive, 0);
+        let (bounded, prune) =
+            score_and_rank_bounded(&cands, KeywordMode::Disjunctive, 0, &mut |_| {
+                panic!("k=0 must not resolve anything")
+            })
+            .unwrap();
+        assert_outcomes_identical(&exact, &bounded);
+        assert_eq!(prune.candidates_skipped, 2);
+    }
+
+    #[test]
+    fn resolver_abort_propagates_as_none() {
+        let stats = vec![es(&[1], 10), es(&[2], 10)];
+        let cands = candidates(&stats, 1);
+        let out = score_and_rank_bounded(&cands, KeywordMode::Conjunctive, 2, &mut |_| None);
+        assert!(out.is_none(), "resolver abort must surface, not truncate");
     }
 }

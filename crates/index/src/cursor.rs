@@ -76,6 +76,19 @@ pub trait PostingCursor {
     /// representation allows. Forward-only: seeking to a target the
     /// cursor has already passed is a no-op.
     fn seek(&mut self, target: &DeweyId);
+
+    /// Upper bound on the tf of any posting this cursor can still
+    /// return — the cursor-level face of the block-max score-bound
+    /// contract. (The engine's own pruning path works at range
+    /// granularity through [`crate::InvertedIndex::subtree_tf_estimate`];
+    /// this hook is for consumers that stream a whole list and want a
+    /// cheap remaining-score ceiling, e.g. document-at-a-time rankers.)
+    /// Representations that track no bound return `u32::MAX` (never
+    /// prune); an exhausted cursor may return anything (the bound is
+    /// vacuous). The default is the conservative `u32::MAX`.
+    fn max_tf(&self) -> u32 {
+        u32::MAX
+    }
 }
 
 /// A streaming cursor over a Dewey-ordered path-index entry list.
@@ -112,6 +125,12 @@ impl PostingCursor for SlicePostingCursor<'_> {
     fn seek(&mut self, target: &DeweyId) {
         let ahead = &self.items[self.pos..];
         self.pos += ahead.partition_point(|p| p.id < *target);
+    }
+
+    fn max_tf(&self) -> u32 {
+        // Exact over the remaining suffix — the reference bound the
+        // block-max implementation must dominate.
+        self.items[self.pos..].iter().map(|p| p.tf).max().unwrap_or(0)
     }
 }
 
@@ -188,6 +207,21 @@ mod tests {
         c.seek(&"1.3".parse().unwrap());
         assert_eq!(c.next().unwrap().id.to_string(), "1.10");
         assert!(c.next().is_none());
+    }
+
+    #[test]
+    fn slice_max_tf_tracks_the_remaining_suffix() {
+        let items: Vec<Posting> = [("1.1", 9), ("1.2", 4), ("1.3", 2)]
+            .iter()
+            .map(|(s, tf)| Posting { id: s.parse().unwrap(), tf: *tf })
+            .collect();
+        let mut c = SlicePostingCursor::new(&items);
+        assert_eq!(c.max_tf(), 9);
+        c.next();
+        assert_eq!(c.max_tf(), 4);
+        c.next();
+        c.next();
+        assert_eq!(c.max_tf(), 0, "exhausted cursor bounds to zero");
     }
 
     #[test]

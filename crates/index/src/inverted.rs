@@ -16,11 +16,22 @@
 
 use crate::cursor::{PostingCursor, ScanCounters};
 use crate::footprint::{Footprint, IndexFootprint};
-use crate::postings::BlockList;
+use crate::postings::{BlockList, PayloadBound, RangeEstimate};
 use crate::tokenize::token_counts;
+
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use vxv_xml::{Corpus, DeweyId, Document};
+
+/// Posting lists compress in finer blocks than the path index's
+/// [`crate::postings::DEFAULT_BLOCK_ENTRIES`]: subtree-range probes and
+/// block-max pruning bounds both operate at block granularity, and
+/// element subtrees rarely hold more than a few dozen postings of one
+/// keyword — with 32-entry blocks a subtree almost never spans a whole
+/// block, so range estimates could never skip (or prune) one. Eight
+/// entries per block keeps the directory overhead a fraction of the
+/// entry data while letting mid-sized subtrees contain interior blocks.
+pub const INVERTED_BLOCK_ENTRIES: usize = 8;
 
 /// One posting: an element that directly contains the keyword `tf` times.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -111,7 +122,8 @@ impl InvertedIndex {
             };
             entries.extend(staged.into_iter().map(|p| (p.id, p.tf)));
             entries.sort_by(|a, b| a.0.cmp(&b.0));
-            self.lists.insert(token, BlockList::encode(&entries));
+            self.lists
+                .insert(token, BlockList::encode_with_block_size(&entries, INVERTED_BLOCK_ENTRIES));
         }
     }
 
@@ -184,9 +196,89 @@ impl InvertedIndex {
         total
     }
 
+    /// Largest tf of any single posting of `keyword` (0 when the
+    /// keyword is unindexed). List-level metadata; decodes nothing and
+    /// counts one lookup.
+    pub fn max_tf(&self, keyword: &str) -> u32 {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.lists.get(keyword).map(|l| l.max_payload()).unwrap_or(0)
+    }
+
+    /// Directory-only upper bound on [`Self::subtree_tf`]: candidate
+    /// blocks contribute `count × block max tf`, **no posting is
+    /// decoded**. `bound >= subtree_tf` always, so a top-k pruning
+    /// decision based on it can never drop a qualifying hit; `blocks`
+    /// is what the exact probe would have to decode. Counts one lookup
+    /// and no scan work.
+    pub fn subtree_tf_bound(&self, keyword: &str, root: &DeweyId) -> PayloadBound {
+        debug_assert!(self.staging.is_empty(), "finalize before probing");
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let Some(list) = self.lists.get(keyword) else { return PayloadBound::default() };
+        list.range_payload_bound(root, &root.subtree_upper_bound())
+    }
+
+    /// Boundary-exact estimate of [`Self::subtree_tf`] — the probe the
+    /// score-bounded top-k path issues once per candidate element:
+    /// boundary blocks are decoded, interior blocks contribute
+    /// `count × block max tf` from the directory alone. `contains` is
+    /// exact, `bound` dominates the exact tf and **equals** it when
+    /// `skipped_blocks == 0`, so small subtrees get their exact tf from
+    /// this single probe. Counts one lookup; decoded work is charged to
+    /// the scan counters as usual.
+    pub fn subtree_tf_estimate(&self, keyword: &str, root: &DeweyId) -> RangeEstimate {
+        debug_assert!(self.staging.is_empty(), "finalize before probing");
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let Some(list) = self.lists.get(keyword) else { return RangeEstimate::default() };
+        list.range_payload_estimate(root, &root.subtree_upper_bound(), Some(&self.scan))
+    }
+
+    /// Exact tf of the **interior** blocks a
+    /// [`Self::subtree_tf_estimate`] bounded without decoding: estimate
+    /// `boundary_sum` + this = exact [`Self::subtree_tf`], with every
+    /// block decoded at most once across the two probes. Counts one
+    /// lookup.
+    pub fn subtree_tf_interior(&self, keyword: &str, root: &DeweyId) -> u64 {
+        debug_assert!(self.staging.is_empty(), "finalize before probing");
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let Some(list) = self.lists.get(keyword) else { return 0 };
+        list.range_interior_payload_sum(root, &root.subtree_upper_bound(), Some(&self.scan))
+    }
+
+    /// Pin one keyword's posting list for repeated subtree probes: the
+    /// dictionary lookup happens once (counted as one lookup, like
+    /// opening a cursor), then every probe through the returned
+    /// [`TfReader`] costs only its directory walk and block decodes.
+    /// The score-bounded scorer opens one reader per (plan, keyword)
+    /// and probes every candidate element through it.
+    pub fn tf_reader(&self, keyword: &str) -> TfReader<'_> {
+        debug_assert!(self.staging.is_empty(), "finalize before probing");
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        TfReader { list: self.lists.get(keyword), scan: &self.scan }
+    }
+
     /// Does the subtree rooted at `root` contain `keyword` anywhere?
+    /// Short-circuits on the directory bound (no decode when no block
+    /// overlaps the range) and stops the scan at the first qualifying
+    /// posting instead of summing the whole range.
     pub fn contains_in_subtree(&self, keyword: &str, root: &DeweyId) -> bool {
-        self.subtree_tf(keyword, root) > 0
+        debug_assert!(self.staging.is_empty(), "finalize before probing");
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let Some(list) = self.lists.get(keyword) else { return false };
+        let hi = root.subtree_upper_bound();
+        if list.range_payload_bound(root, &hi).bound == 0 {
+            return false;
+        }
+        let mut cur = list.cursor(Some(&self.scan));
+        cur.seek_raw(root);
+        while let Some((id, tf)) = cur.next_raw() {
+            if id >= hi {
+                return false;
+            }
+            if tf > 0 {
+                return true;
+            }
+        }
+        false
     }
 
     /// All distinct indexed keywords (unordered).
@@ -223,6 +315,31 @@ impl IndexFootprint for InvertedIndex {
     }
 }
 
+/// One keyword's posting list pinned for repeated subtree-range probes
+/// (see [`InvertedIndex::tf_reader`]). Scan work is charged to the
+/// owning index's counters exactly as direct probes are.
+#[derive(Debug)]
+pub struct TfReader<'a> {
+    list: Option<&'a BlockList>,
+    scan: &'a ScanCounters,
+}
+
+impl TfReader<'_> {
+    /// As [`InvertedIndex::subtree_tf_estimate`], without re-resolving
+    /// the keyword.
+    pub fn subtree_estimate(&self, root: &DeweyId) -> RangeEstimate {
+        let Some(list) = self.list else { return RangeEstimate::default() };
+        list.range_payload_estimate(root, &root.subtree_upper_bound(), Some(self.scan))
+    }
+
+    /// As [`InvertedIndex::subtree_tf_interior`], without re-resolving
+    /// the keyword.
+    pub fn subtree_interior(&self, root: &DeweyId) -> u64 {
+        let Some(list) = self.list else { return 0 };
+        list.range_interior_payload_sum(root, &root.subtree_upper_bound(), Some(self.scan))
+    }
+}
+
 /// [`PostingCursor`] over one keyword's compressed list.
 #[derive(Debug)]
 pub struct PostingsCursor<'a> {
@@ -239,6 +356,13 @@ impl PostingCursor for PostingsCursor<'_> {
         if let Some(c) = self.inner.as_mut() {
             c.seek_raw(target);
         }
+    }
+
+    fn max_tf(&self) -> u32 {
+        // List-level block-max metadata: bounds every remaining posting
+        // without decoding (per-block maxima refine range probes via
+        // `InvertedIndex::subtree_tf_bound`).
+        self.inner.as_ref().map(|c| c.list_max_payload()).unwrap_or(0)
     }
 }
 
@@ -302,6 +426,94 @@ mod tests {
         assert_eq!(idx.subtree_tf("target", &e1), 1);
         assert_eq!(idx.subtree_tf("word0", &e1), 1);
         assert_eq!(idx.subtree_tf("word9", &e1), 0);
+    }
+
+    #[test]
+    fn subtree_tf_bound_dominates_exact_and_decodes_nothing() {
+        let mut c = Corpus::new();
+        let mut xml = String::from("<r>");
+        for i in 0..40 {
+            xml.push_str(&format!("<e><t>target target word{i}</t></e>"));
+        }
+        xml.push_str("</r>");
+        c.add_parsed("d", &xml).unwrap();
+        let idx = InvertedIndex::build(&c);
+        idx.reset_stats();
+        for root in ["1", "1.7", "1.39", "1.40.1"] {
+            let root: DeweyId = root.parse().unwrap();
+            let bound = idx.subtree_tf_bound("target", &root);
+            assert!(
+                bound.bound >= idx.subtree_tf("target", &root) as u64,
+                "bound must dominate at {root}"
+            );
+        }
+        assert_eq!(idx.subtree_tf_bound("nonexistent", &"1".parse().unwrap()).bound, 0);
+        // The bound probes themselves decoded nothing (only the exact
+        // probes above did): re-check with fresh counters.
+        idx.reset_stats();
+        idx.subtree_tf_bound("target", &"1".parse().unwrap());
+        let s = idx.stats();
+        assert_eq!(s.lookups, 1);
+        assert_eq!(s.postings_scanned, 0, "bound probes must not decode postings");
+        assert_eq!(s.bytes_decoded, 0);
+    }
+
+    #[test]
+    fn subtree_tf_estimate_is_exact_without_interiors_and_dominates_with() {
+        let mut c = Corpus::new();
+        let mut xml = String::from("<r>");
+        for i in 0..120 {
+            xml.push_str(&format!("<e><t>target target word{i}</t></e>"));
+        }
+        xml.push_str("</r>");
+        c.add_parsed("d", &xml).unwrap();
+        let idx = InvertedIndex::build(&c);
+        // Small subtree: no interior blocks, estimate == exact.
+        let leaf: DeweyId = "1.7".parse().unwrap();
+        let est = idx.subtree_tf_estimate("target", &leaf);
+        assert_eq!(est.skipped_blocks, 0);
+        assert_eq!(est.bound, idx.subtree_tf("target", &leaf) as u64);
+        assert!(est.contains);
+        // Whole-document subtree: interiors skipped, bound dominates.
+        let root: DeweyId = "1".parse().unwrap();
+        let est = idx.subtree_tf_estimate("target", &root);
+        assert!(est.skipped_blocks > 0, "wide range must skip interior blocks");
+        assert!(est.bound >= idx.subtree_tf("target", &root) as u64);
+        assert!(est.contains);
+        // Absent keyword / empty range.
+        let est = idx.subtree_tf_estimate("nonexistent", &root);
+        assert_eq!(est, RangeEstimate::default());
+    }
+
+    #[test]
+    fn max_tf_is_the_largest_single_posting() {
+        let idx = InvertedIndex::build(&corpus());
+        assert_eq!(idx.max_tf("search"), 2);
+        assert_eq!(idx.max_tf("xml"), 1);
+        assert_eq!(idx.max_tf("nonexistent"), 0);
+        let cur = idx.postings("search");
+        assert_eq!(cur.max_tf(), 2);
+        let mut none = idx.postings("nonexistent");
+        assert_eq!(none.max_tf(), 0);
+        assert!(none.next().is_none());
+        drop(cur);
+    }
+
+    #[test]
+    fn contains_in_subtree_stops_at_the_first_hit() {
+        let mut c = Corpus::new();
+        let mut xml = String::from("<r>");
+        for i in 0..64 {
+            xml.push_str(&format!("<e><t>common word{i}</t></e>"));
+        }
+        xml.push_str("</r>");
+        c.add_parsed("d", &xml).unwrap();
+        let idx = InvertedIndex::build(&c);
+        idx.reset_stats();
+        assert!(idx.contains_in_subtree("common", &"1".parse().unwrap()));
+        let scanned = idx.stats().postings_scanned;
+        assert!(scanned <= 2, "early exit must not sweep the range ({scanned} scanned)");
+        assert!(!idx.contains_in_subtree("common", &"2".parse().unwrap()));
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //!   never from base documents.
 //! * [`InvertedIndex`] — per-keyword Dewey-ordered posting lists of
 //!   Fig. 4(b), opened as [`PostingCursor`]s with `seek` + bounded scans
-//!   for subtree-range tf probes.
+//!   for subtree-range tf probes. Lists carry **block-max tf metadata**
+//!   ([`InvertedIndex::max_tf`], [`InvertedIndex::subtree_tf_bound`]):
+//!   directory-only upper bounds on what any range probe could return,
+//!   which top-k pruning uses to skip exact probes — and whole
+//!   compressed blocks — that provably cannot affect the top-k.
 //! * [`TagIndex`] — plain per-tag element streams, the access path of the
 //!   structural-join (GTP+TermJoin) comparison system.
 //!
@@ -26,11 +30,12 @@
 //! observe compaction.
 //!
 //! The probe → cursor contract is defined in [`cursor`]; the
-//! delta-varint block format (with per-block min/max skip metadata) in
-//! [`postings`]; sizes are reported uniformly via [`IndexFootprint`];
-//! and [`persist::IndexBundle`] serializes any number of segments into a
-//! versioned `indices.vxi` (v2 segmented; v1 single-index files still
-//! load) so a cold engine opens them from disk instead of rebuilding
+//! delta-varint block format (with per-block ID skip metadata and
+//! payload maxima) in [`postings`]; sizes are reported uniformly via
+//! [`IndexFootprint`]; and [`persist::IndexBundle`] serializes any
+//! number of segments into a versioned `indices.vxi` (v3 segmented with
+//! persisted payload bounds; v2 and v1 files still load, recomputing
+//! bounds) so a cold engine opens them from disk instead of rebuilding
 //! from the corpus.
 //!
 //! All indices carry work counters — charged when cursors *consume*
@@ -53,12 +58,14 @@ pub use cursor::{
     SlicePostingCursor,
 };
 pub use footprint::{Footprint, IndexFootprint};
-pub use inverted::{InvertedIndex, InvertedIndexStats, Posting, PostingsCursor};
+pub use inverted::{
+    InvertedIndex, InvertedIndexStats, Posting, PostingsCursor, TfReader, INVERTED_BLOCK_ENTRIES,
+};
 pub use path_index::{
     IdEntry, PathIndex, PathIndexStats, PlannedRow, ProbeResult, RowCursor, ValuePredicate,
 };
 pub use pattern::{Axis, PathPattern, Step};
 pub use persist::{DocInfo, IndexBundle, PersistError};
-pub use postings::{BlockCursor, BlockList, DEFAULT_BLOCK_ENTRIES};
+pub use postings::{BlockCursor, BlockList, PayloadBound, RangeEstimate, DEFAULT_BLOCK_ENTRIES};
 pub use segment::{IndexSegment, SegmentStats};
 pub use tag_index::TagIndex;

@@ -11,23 +11,29 @@
 //!
 //! ## File format (`indices.vxi`, little-endian)
 //!
-//! Version 2 (written by [`IndexBundle::save`]) is segmented:
+//! Version 3 (written by [`IndexBundle::save`]) is the segmented v2
+//! layout plus a **payload-bounds section per block list** — the
+//! block-max metadata ([`BlockList::max_payload`] and the per-block
+//! maxima) that top-k pruning consults, persisted so a cold open never
+//! decodes a list just to recover its bounds:
 //!
 //! ```text
-//! magic  "VXVIDX02"
+//! magic  "VXVIDX03"
 //! u32    segment count
 //! per segment:
 //!   u32  generation (merge depth)
-//!   segment body (identical to the v1 body below)
+//!   segment body (v1 body below, with the v3 blocklist)
 //! ```
 //!
-//! Version 1 files — the pre-segmentation format — carry exactly one
-//! segment body after the magic and still load (as a single
-//! generation-0 segment); a tiny checked-in v1 fixture pins the
-//! compatibility path in CI. The shared body is:
+//! Version 2 files (magic `VXVIDX02`, same shape, no bounds section)
+//! and version 1 files — the pre-segmentation format, exactly one
+//! segment body after the magic — both still load; their payload
+//! bounds are recomputed from the data during the load-time validation
+//! decode. Tiny checked-in v1 and v2 fixtures pin both compatibility
+//! paths in CI. The shared body is:
 //!
 //! ```text
-//! magic  "VXVIDX01"          (v1 only; v2 bodies have no magic)
+//! magic  "VXVIDX01"          (v1 only; v2/v3 bodies have no magic)
 //! u32    doc count           { str name, str root_tag, u32 ordinal }*
 //! u32    keyword count       { str token, blocklist }*
 //! u32    path count          { str path }*
@@ -38,13 +44,17 @@
 //!              u32 block count { u32 offset, u32 count, dewey max }*
 //!              (block count is 0 for single-block lists: the data is
 //!              one implicit block of entry_count entries)
+//!              v3 only: u32 list max payload,
+//!                       u32 max payload per directory block
 //! dewey     := u32 component count, u32* components
 //! str       := u32 byte length, utf-8 bytes
 //! ```
 //!
 //! Every read in the loader is bounds-checked through a typed
 //! [`PersistError`] path: a truncated or corrupt bundle can never panic
-//! at load time.
+//! at load time, and persisted payload bounds that disagree with the
+//! data are rejected as corruption (a stale bound could silently prune
+//! qualifying hits).
 
 use crate::inverted::InvertedIndex;
 use crate::path_index::PathIndex;
@@ -59,6 +69,15 @@ use vxv_xml::{Corpus, DeweyId};
 
 const MAGIC_V1: &[u8; 8] = b"VXVIDX01";
 const MAGIC_V2: &[u8; 8] = b"VXVIDX02";
+const MAGIC_V3: &[u8; 8] = b"VXVIDX03";
+
+/// Whether a block list being read carries the v3 payload-bounds
+/// section, or predates it (bounds recomputed from the data).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BoundsFormat {
+    Stored,
+    Recompute,
+}
 
 /// The file name [`IndexBundle::save`] writes inside the store directory.
 pub const INDEX_FILE: &str = "indices.vxi";
@@ -121,10 +140,11 @@ impl IndexBundle {
     }
 
     /// Serialize into `dir/indices.vxi` (directory created if needed) in
-    /// the v2 segmented format. Returns the written path.
+    /// the v3 segmented format (block-max payload bounds included).
+    /// Returns the written path.
     pub fn save(&self, dir: &Path) -> io::Result<PathBuf> {
         let mut out: Vec<u8> = Vec::new();
-        out.extend_from_slice(MAGIC_V2);
+        out.extend_from_slice(MAGIC_V3);
         write_u32(&mut out, self.segments.len() as u32);
         for seg in &self.segments {
             write_u32(&mut out, seg.generation());
@@ -136,23 +156,30 @@ impl IndexBundle {
         Ok(path)
     }
 
-    /// Load a bundle from `dir`, accepting both the v2 segmented format
-    /// and v1 single-index files (loaded as one generation-0 segment).
+    /// Load a bundle from `dir`, accepting the v3 segmented format, v2
+    /// segmented files (payload bounds recomputed on load), and v1
+    /// single-index files (loaded as one generation-0 segment, bounds
+    /// recomputed likewise).
     pub fn load(dir: &Path) -> Result<IndexBundle, PersistError> {
         let path = dir.join(INDEX_FILE);
         let buf = std::fs::read(&path).map_err(PersistError::Io)?;
         let mut r = Reader { buf: &buf, pos: 0 };
-        let magic = r.take(MAGIC_V2.len())?;
-        let segments = if magic == MAGIC_V2.as_slice() {
+        let magic = r.take(MAGIC_V3.len())?;
+        let segments = if magic == MAGIC_V3.as_slice() || magic == MAGIC_V2.as_slice() {
+            let bounds = if magic == MAGIC_V3.as_slice() {
+                BoundsFormat::Stored
+            } else {
+                BoundsFormat::Recompute
+            };
             let seg_count = r.u32()?;
             let mut segments = Vec::with_capacity(r.capacity_for(seg_count));
             for _ in 0..seg_count {
                 let generation = r.u32()?;
-                segments.push(read_segment_body(&mut r, generation)?);
+                segments.push(read_segment_body(&mut r, generation, bounds)?);
             }
             segments
         } else if magic == MAGIC_V1.as_slice() {
-            vec![read_segment_body(&mut r, 0)?]
+            vec![read_segment_body(&mut r, 0, BoundsFormat::Recompute)?]
         } else {
             return Err(PersistError::bad("magic mismatch"));
         };
@@ -200,7 +227,11 @@ fn write_segment_body(out: &mut Vec<u8>, seg: &IndexSegment) {
     }
 }
 
-fn read_segment_body(r: &mut Reader<'_>, generation: u32) -> Result<IndexSegment, PersistError> {
+fn read_segment_body(
+    r: &mut Reader<'_>,
+    generation: u32,
+    bounds: BoundsFormat,
+) -> Result<IndexSegment, PersistError> {
     let doc_count = r.u32()?;
     let mut docs = Vec::with_capacity(r.capacity_for(doc_count));
     for _ in 0..doc_count {
@@ -210,7 +241,7 @@ fn read_segment_body(r: &mut Reader<'_>, generation: u32) -> Result<IndexSegment
     let mut lists = HashMap::with_capacity(r.capacity_for(kw_count));
     for _ in 0..kw_count {
         let token = r.string()?;
-        lists.insert(token, r.blocklist()?);
+        lists.insert(token, r.blocklist(bounds)?);
     }
     let path_count = r.u32()?;
     let mut paths = Vec::with_capacity(r.capacity_for(path_count));
@@ -223,7 +254,7 @@ fn read_segment_body(r: &mut Reader<'_>, generation: u32) -> Result<IndexSegment
         let mut rows = Vec::with_capacity(r.capacity_for(row_count));
         for _ in 0..row_count {
             let value = if r.u8()? == 1 { Some(r.string()?) } else { None };
-            rows.push((value, r.blocklist()?));
+            rows.push((value, r.blocklist(bounds)?));
         }
         tables.push(rows);
     }
@@ -292,6 +323,12 @@ fn write_blocklist(out: &mut Vec<u8>, list: &BlockList) {
         write_u32(out, b.count);
         write_dewey(out, &b.max);
     }
+    // v3 bounds section: list-level max payload, then one max per
+    // directory block (nothing extra for single-block lists).
+    write_u32(out, list.max_payload);
+    for b in &list.blocks {
+        write_u32(out, b.max_payload);
+    }
 }
 
 struct Reader<'a> {
@@ -351,7 +388,7 @@ impl<'a> Reader<'a> {
         Ok(DeweyId::from_components(comps))
     }
 
-    fn blocklist(&mut self) -> Result<BlockList, PersistError> {
+    fn blocklist(&mut self, bounds: BoundsFormat) -> Result<BlockList, PersistError> {
         let len = self.u64()?;
         let uncompressed = self.u64()?;
         let data_len = self.u64()? as usize;
@@ -366,16 +403,33 @@ impl<'a> Reader<'a> {
                 return Err(PersistError::bad("block directory out of bounds"));
             }
             decoded += count as u64;
-            blocks.push(BlockMeta { offset, count, max: self.dewey()? });
+            blocks.push(BlockMeta { offset, count, max: self.dewey()?, max_payload: 0 });
         }
         if block_count > 0 && decoded != len {
             return Err(PersistError::bad("directory entry count mismatch"));
         }
-        let list = BlockList { data, blocks, len, uncompressed };
-        // Full bounds-checked decode: a corrupt-but-parseable list must
-        // fail here, not panic at query time.
-        if !list.validate() {
-            return Err(PersistError::bad("blocklist fails validation"));
+        let mut list = BlockList { data, blocks, len, uncompressed, max_payload: 0 };
+        match bounds {
+            BoundsFormat::Stored => {
+                // v3: read the persisted bounds, then run the full
+                // bounds-checked decode, which also verifies the stored
+                // maxima against the data — a stale bound is corruption
+                // (it could silently prune qualifying hits).
+                list.max_payload = self.u32()?;
+                for b in &mut list.blocks {
+                    b.max_payload = self.u32()?;
+                }
+                if !list.validate() {
+                    return Err(PersistError::bad("blocklist fails validation"));
+                }
+            }
+            BoundsFormat::Recompute => {
+                // v1/v2: no bounds on disk; the same validation decode
+                // computes them.
+                if !list.restore_bounds() {
+                    return Err(PersistError::bad("blocklist fails validation"));
+                }
+            }
         }
         Ok(list)
     }
@@ -511,6 +565,77 @@ mod tests {
         bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // absurd data_len
         std::fs::write(&path, &bytes).unwrap();
         assert!(matches!(IndexBundle::load(&dir), Err(PersistError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_writes_v3_and_round_trips_payload_bounds() {
+        let dir = tmpdir("v3bounds");
+        // Enough repeated tokens to force multi-block posting lists.
+        let mut c = Corpus::new();
+        let mut xml = String::from("<r>");
+        for i in 0..80 {
+            xml.push_str(&format!("<e><t>target target word{i}</t></e>"));
+        }
+        xml.push_str("</r>");
+        c.add_parsed("d.xml", &xml).unwrap();
+        let bundle = IndexBundle::build(&c);
+        let path = bundle.save(&dir).unwrap();
+        assert_eq!(&std::fs::read(&path).unwrap()[..8], MAGIC_V3);
+        let loaded = IndexBundle::load(&dir).unwrap();
+        let (a, b) = (bundle.segments[0].inverted(), loaded.segments[0].inverted());
+        for kw in ["target", "word3"] {
+            assert_eq!(a.max_tf(kw), b.max_tf(kw), "list max for {kw}");
+            let root: DeweyId = "1.5".parse().unwrap();
+            assert_eq!(
+                a.subtree_tf_bound(kw, &root),
+                b.subtree_tf_bound(kw, &root),
+                "range bound for {kw}"
+            );
+        }
+        assert!(b.max_tf("target") >= 2, "multi-occurrence tf survives the round trip");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_persisted_bounds_are_rejected_as_corruption() {
+        let dir = tmpdir("stalebounds");
+        let c = corpus();
+        let path = IndexBundle::build(&c).save(&dir).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        assert!(IndexBundle::load(&dir).is_ok());
+        // The file's final field is the last blocklist's bounds section;
+        // flipping any byte of that u32 desynchronizes the stored bound
+        // from the data, which the load-time validation decode must
+        // reject (a stale bound could silently prune qualifying hits).
+        for back in 1..=4 {
+            let mut bad = good.clone();
+            let i = bad.len() - back;
+            bad[i] = bad[i].wrapping_add(1);
+            std::fs::write(&path, &bad).unwrap();
+            assert!(
+                matches!(IndexBundle::load(&dir), Err(PersistError::Corrupt(_))),
+                "tampered bound byte {back} from the end must be rejected"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncation_inside_the_bounds_section_fails_typed() {
+        let dir = tmpdir("truncbounds");
+        let c = corpus();
+        let path = IndexBundle::build(&c).save(&dir).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Sweep every cut in the file's tail, which interleaves final
+        // blocklists with their v3 bounds sections.
+        for cut in (bytes.len().saturating_sub(64))..bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(
+                matches!(IndexBundle::load(&dir), Err(PersistError::Corrupt(_))),
+                "cut at {cut}"
+            );
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -25,17 +25,24 @@
 //! document order share long prefixes, most entries cost a few bytes.
 //!
 //! The per-block directory (`BlockMeta`) keeps the block's byte
-//! `offset`, entry `count`, and **max Dewey ID** (its min is implied:
-//! strictly above the previous block's max). Lists that fit in a single
-//! block — the common case for path-index rows keyed by high-cardinality
-//! values — store **no directory at all**: the whole buffer is one
-//! implicit block, so a one-entry row costs only its few delta-encoded
-//! bytes. [`BlockCursor::seek_raw`] binary-searches the directory for
-//! the first block whose `max` is not below the target and decodes only
-//! from there — whole blocks before it are skipped, counted in
-//! [`ScanCounters::blocks_skipped`]. Max comparisons use Dewey component
-//! order, so `1.2 < 1.10` and prefix-vs-extension cases (`1.1` vs
-//! `1.10`) can never cause a qualifying entry to be skipped.
+//! `offset`, entry `count`, **max Dewey ID** (its min is implied:
+//! strictly above the previous block's max), and **max payload** — the
+//! largest tf / byte-length in the block, the score-upper-bound
+//! metadata of the block-max (WAND-family) pruning literature. Lists
+//! that fit in a single block — the common case for path-index rows
+//! keyed by high-cardinality values — store **no directory at all**:
+//! the whole buffer is one implicit block, so a one-entry row costs
+//! only its few delta-encoded bytes (the list-level
+//! [`BlockList::max_payload`] still bounds it). [`BlockCursor::seek_raw`]
+//! binary-searches the directory for the first block whose `max` is not
+//! below the target and decodes only from there — whole blocks before
+//! it are skipped, counted in [`ScanCounters::blocks_skipped`].
+//! [`BlockList::range_payload_bound`] walks the same directory to bound
+//! the payload *sum* of a range without decoding anything — what top-k
+//! pruning uses to skip exact subtree-tf probes entirely. Max
+//! comparisons use Dewey component order, so `1.2 < 1.10` and
+//! prefix-vs-extension cases (`1.1` vs `1.10`) can never cause a
+//! qualifying entry to be skipped.
 
 use crate::cursor::ScanCounters;
 use vxv_xml::DeweyId;
@@ -53,6 +60,42 @@ pub(crate) struct BlockMeta {
     pub(crate) count: u32,
     /// Dewey ID of the block's last entry.
     pub(crate) max: DeweyId,
+    /// Largest payload (tf / byte length) of any entry in the block.
+    pub(crate) max_payload: u32,
+}
+
+/// A directory-only upper bound on the payload sum of a Dewey range —
+/// no entry is decoded to produce it (see
+/// [`BlockList::range_payload_bound`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PayloadBound {
+    /// Upper bound on the sum of payloads of entries in the range
+    /// (`Σ block count × block max payload` over candidate blocks).
+    pub bound: u64,
+    /// Compressed blocks overlapping the range — what an exact probe
+    /// would have to decode.
+    pub blocks: u64,
+}
+
+/// A boundary-exact payload estimate of a Dewey range (see
+/// [`BlockList::range_payload_estimate`]): the two boundary blocks are
+/// decoded, interior blocks contribute `count × block max` without
+/// decoding. When `skipped_blocks == 0` the bound **is** the exact sum.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RangeEstimate {
+    /// Upper bound on the payload sum of the range; exact when
+    /// `skipped_blocks == 0`.
+    pub bound: u64,
+    /// The exact payload sum of the decoded boundary blocks' in-range
+    /// entries — `boundary_sum` plus the interior blocks' exact sum
+    /// ([`BlockList::range_interior_payload_sum`]) is the exact range
+    /// sum, so completing an estimate never re-decodes a boundary.
+    pub boundary_sum: u64,
+    /// Interior blocks bounded from the directory instead of decoded —
+    /// the work an exact probe would add.
+    pub skipped_blocks: u64,
+    /// Exact: does the range hold any entry with a positive payload?
+    pub contains: bool,
 }
 
 /// A block-compressed, Dewey-ordered list of `(DeweyId, u32)` entries.
@@ -67,6 +110,8 @@ pub struct BlockList {
     /// Bytes a materialized representation would occupy
     /// (4 bytes per Dewey component + 4 payload bytes per entry).
     pub(crate) uncompressed: u64,
+    /// Largest payload of any entry in the list (0 for empty lists).
+    pub(crate) max_payload: u32,
 }
 
 impl BlockList {
@@ -89,7 +134,9 @@ impl BlockList {
         for chunk in entries.chunks(block_entries) {
             let offset = list.data.len() as u32;
             let mut prev: Option<&DeweyId> = None;
+            let mut chunk_max_payload = 0u32;
             for (id, payload) in chunk {
+                chunk_max_payload = chunk_max_payload.max(*payload);
                 if let Some(p) = prev {
                     assert!(p <= id, "entries must be Dewey-ordered");
                     let lcp = p.common_prefix_len(id);
@@ -116,8 +163,10 @@ impl BlockList {
                     offset,
                     count: chunk.len() as u32,
                     max: chunk[chunk.len() - 1].0.clone(),
+                    max_payload: chunk_max_payload,
                 });
             }
+            list.max_payload = list.max_payload.max(chunk_max_payload);
             list.len += chunk.len() as u64;
         }
         list
@@ -153,10 +202,151 @@ impl BlockList {
         self.len == 0
     }
 
-    /// Compressed bytes held (entry data plus directory).
+    /// Compressed bytes held (entry data, directory, and the payload
+    /// bounds the v3 format persists: 4 bytes per block + 4 list-level).
     pub fn compressed_bytes(&self) -> u64 {
-        let dir: u64 = self.blocks.iter().map(|b| 8 + 4 * b.max.len() as u64).sum();
-        self.data.len() as u64 + dir
+        let dir: u64 = self.blocks.iter().map(|b| 12 + 4 * b.max.len() as u64).sum();
+        self.data.len() as u64 + dir + 4
+    }
+
+    /// Largest payload (tf / byte length) of any entry — the list-level
+    /// score upper bound top-k pruning combines with idf.
+    pub fn max_payload(&self) -> u32 {
+        self.max_payload
+    }
+
+    /// Upper-bound the payload sum of entries with `lo <= id < hi` from
+    /// the block directory alone: candidate blocks contribute
+    /// `count × max payload`, and **nothing is decoded**. The result is
+    /// never below the exact [`count_range`](Self::count_range)-style
+    /// sum, so a pruning decision based on it can never drop a
+    /// qualifying top-k candidate. `blocks` reports how many compressed
+    /// blocks an exact probe of the range would touch.
+    pub fn range_payload_bound(&self, lo: &DeweyId, hi: &DeweyId) -> PayloadBound {
+        if self.len == 0 || lo >= hi {
+            return PayloadBound::default();
+        }
+        if self.blocks.is_empty() {
+            // Single implicit block: no ID metadata to exclude it, so it
+            // is always a candidate.
+            return PayloadBound { bound: self.len * self.max_payload as u64, blocks: 1 };
+        }
+        let start = self.blocks.partition_point(|m| m.max < *lo);
+        let mut out = PayloadBound::default();
+        // A block's min is strictly above the previous block's max, so
+        // once the previous max reaches `hi` the remaining blocks lie
+        // entirely above the range.
+        let mut prev_max = (start > 0).then(|| &self.blocks[start - 1].max);
+        for meta in &self.blocks[start..] {
+            if prev_max.map(|pm| *pm >= *hi).unwrap_or(false) {
+                break;
+            }
+            out.bound += meta.count as u64 * meta.max_payload as u64;
+            out.blocks += 1;
+            prev_max = Some(&meta.max);
+        }
+        out
+    }
+
+    /// Boundary-exact payload estimate of `lo <= id < hi`: decode the
+    /// (at most two) boundary blocks, bound every **interior** block —
+    /// fully contained in the range by the directory's ordering
+    /// invariants — as `count × block max` without decoding it. The
+    /// result dominates the exact sum, collapses *to* the exact sum
+    /// when no interior block exists (`skipped_blocks == 0`), and
+    /// reports exactly whether the range holds a positive-payload entry.
+    /// Decoded work is tallied into `counters` like any cursor scan.
+    pub fn range_payload_estimate(
+        &self,
+        lo: &DeweyId,
+        hi: &DeweyId,
+        counters: Option<&ScanCounters>,
+    ) -> RangeEstimate {
+        let mut est = RangeEstimate::default();
+        if self.len == 0 || lo >= hi {
+            return est;
+        }
+        let decode_block = |bi: usize, count: u32, est: &mut RangeEstimate| {
+            let mut cur = self.cursor(counters);
+            cur.jump_to_block(bi);
+            for _ in 0..count {
+                let (id, p) = cur.next_raw().expect("directory count is exact");
+                if id >= *hi {
+                    break;
+                }
+                if id >= *lo {
+                    est.bound += p as u64;
+                    est.boundary_sum += p as u64;
+                    if p > 0 {
+                        est.contains = true;
+                    }
+                }
+            }
+        };
+        if self.blocks.is_empty() {
+            // Single implicit block: it is its own boundary.
+            decode_block(0, self.len as u32, &mut est);
+            return est;
+        }
+        // Candidate blocks: `start` (first whose max reaches lo) through
+        // `last` (first whose max reaches hi). Blocks strictly between
+        // them lie fully inside the range: their min is above start's
+        // max (>= lo) and their max is below hi.
+        let start = self.blocks.partition_point(|m| m.max < *lo);
+        if start >= self.blocks.len() {
+            return est;
+        }
+        let last = start + self.blocks[start..].partition_point(|m| m.max < *hi);
+        decode_block(start, self.blocks[start].count, &mut est);
+        if last > start + 1 {
+            for meta in &self.blocks[start + 1..last.min(self.blocks.len())] {
+                est.bound += meta.count as u64 * meta.max_payload as u64;
+                est.skipped_blocks += 1;
+                // A fully-contained block with a positive max proves
+                // containment without decoding.
+                if meta.max_payload > 0 {
+                    est.contains = true;
+                }
+            }
+        }
+        if last > start && last < self.blocks.len() {
+            decode_block(last, self.blocks[last].count, &mut est);
+        }
+        est
+    }
+
+    /// Exact payload sum of the **interior** blocks of `lo <= id < hi` —
+    /// the blocks [`Self::range_payload_estimate`] bounded without
+    /// decoding. Adding this to the estimate's `boundary_sum` yields the
+    /// exact range sum while decoding every block at most once across
+    /// the two calls.
+    pub fn range_interior_payload_sum(
+        &self,
+        lo: &DeweyId,
+        hi: &DeweyId,
+        counters: Option<&ScanCounters>,
+    ) -> u64 {
+        if self.len == 0 || lo >= hi || self.blocks.is_empty() {
+            return 0;
+        }
+        let start = self.blocks.partition_point(|m| m.max < *lo);
+        if start >= self.blocks.len() {
+            return 0;
+        }
+        let last = start + self.blocks[start..].partition_point(|m| m.max < *hi);
+        let mut total = 0u64;
+        if last > start + 1 {
+            let mut cur = self.cursor(counters);
+            for bi in start + 1..last.min(self.blocks.len()) {
+                cur.jump_to_block(bi);
+                for _ in 0..self.blocks[bi].count {
+                    // Interior entries are in range by construction.
+                    let (_, p) = cur.next_raw().expect("directory count is exact");
+                    total += p as u64;
+                }
+            }
+        }
+        total
     }
 
     /// Bytes a fully materialized representation would occupy.
@@ -166,23 +356,57 @@ impl BlockList {
 
     /// Structurally validate the list with bounds-checked decoding:
     /// every block starts where the directory says, every entry decodes
-    /// inside the buffer, IDs are Dewey-ordered, directory maxima match
-    /// the data, counts sum to `len`, and the buffer is fully consumed.
+    /// inside the buffer, IDs are Dewey-ordered, directory maxima (IDs
+    /// **and** payload bounds, per block and list-level) match the data,
+    /// counts sum to `len`, and the buffer is fully consumed.
     /// Persistence uses this to reject corrupt-but-parseable files
     /// instead of panicking at query time.
     pub fn validate(&self) -> bool {
-        self.validate_inner().is_some()
+        match self.decode_check() {
+            None => false,
+            Some((block_maxes, list_max)) => {
+                list_max == self.max_payload
+                    && block_maxes.len() == self.blocks.len()
+                    && block_maxes.iter().zip(&self.blocks).all(|(m, b)| *m == b.max_payload)
+            }
+        }
     }
 
-    fn validate_inner(&self) -> Option<()> {
+    /// Recompute the payload bounds from the data (one bounds-checked
+    /// full decode) — how pre-v3 persisted lists, which carry no bounds,
+    /// acquire them at load time. Returns `false` when the list is
+    /// structurally corrupt.
+    pub(crate) fn restore_bounds(&mut self) -> bool {
+        match self.decode_check() {
+            None => false,
+            Some((block_maxes, list_max)) => {
+                if block_maxes.len() != self.blocks.len() {
+                    return false;
+                }
+                for (meta, max) in self.blocks.iter_mut().zip(block_maxes) {
+                    meta.max_payload = max;
+                }
+                self.max_payload = list_max;
+                true
+            }
+        }
+    }
+
+    /// The shared structural check: a fully bounds-checked decode that
+    /// also computes per-block and list-level payload maxima. `None`
+    /// when the buffer or directory is corrupt.
+    fn decode_check(&self) -> Option<(Vec<u32>, u32)> {
         let mut pos = 0usize;
         let mut decoded = 0u64;
         let mut prev: Option<DeweyId> = None;
+        let mut block_maxes = Vec::with_capacity(self.blocks.len());
+        let mut list_max = 0u32;
         for b in 0..self.total_blocks() {
             let (offset, count) = self.block_bounds(b);
             if offset as usize != pos || count == 0 {
                 return None;
             }
+            let mut block_max = 0u32;
             for i in 0..count {
                 let id = if i == 0 {
                     let n = try_read_varint(&self.data, &mut pos)? as usize;
@@ -205,7 +429,11 @@ impl BlockList {
                     }
                     DeweyId::from_components(comps)
                 };
-                try_read_varint(&self.data, &mut pos)?; // payload
+                let payload = try_read_varint(&self.data, &mut pos)?;
+                if payload > u32::MAX as u64 {
+                    return None;
+                }
+                block_max = block_max.max(payload as u32);
                 if prev.as_ref().map(|p| *p > id).unwrap_or(false) {
                     return None;
                 }
@@ -216,9 +444,11 @@ impl BlockList {
                 if Some(&meta.max) != prev.as_ref() {
                     return None;
                 }
+                block_maxes.push(block_max);
             }
+            list_max = list_max.max(block_max);
         }
-        (pos == self.data.len() && decoded == self.len).then_some(())
+        (pos == self.data.len() && decoded == self.len).then_some((block_maxes, list_max))
     }
 
     /// Open a streaming cursor; consumption work is tallied into
@@ -368,6 +598,13 @@ impl BlockCursor<'_> {
             }
             self.peeked = None;
         }
+    }
+
+    /// Largest payload of any entry in the underlying list — a bound on
+    /// every entry this cursor can still return (cursors are
+    /// forward-only, so the list-level maximum always applies).
+    pub fn list_max_payload(&self) -> u32 {
+        self.list.max_payload
     }
 
     pub(crate) fn jump_to_block(&mut self, b: usize) {
@@ -588,6 +825,121 @@ mod tests {
         let mut bad = BlockList::encode_with_block_size(&input, 2);
         bad.blocks[0].max = "9.9".parse().unwrap();
         assert!(!bad.validate(), "stale directory max must fail");
+    }
+
+    #[test]
+    fn payload_maxima_are_tracked_per_block_and_per_list() {
+        let input: Vec<(DeweyId, u32)> =
+            (1..=10u32).map(|i| (DeweyId::from_components(vec![1, i]), i * 3)).collect();
+        let list = BlockList::encode_with_block_size(&input, 4);
+        assert_eq!(list.max_payload(), 30);
+        assert_eq!(list.blocks.iter().map(|b| b.max_payload).collect::<Vec<_>>(), vec![12, 24, 30]);
+        // Single-block lists still carry the list-level max.
+        let one = BlockList::encode(&input[..2]);
+        assert!(one.blocks.is_empty());
+        assert_eq!(one.max_payload(), 6);
+        assert_eq!(BlockList::encode(&[]).max_payload(), 0);
+    }
+
+    #[test]
+    fn range_payload_bound_dominates_the_exact_sum() {
+        let input: Vec<(DeweyId, u32)> =
+            (1..=64u32).map(|i| (DeweyId::from_components(vec![1, i, 1]), i % 7 + 1)).collect();
+        for bs in [1, 3, 8, 64] {
+            let list = BlockList::encode_with_block_size(&input, bs);
+            for (lo, hi) in [("1.1", "1.9"), ("1", "2"), ("1.40", "1.41"), ("1.70", "1.80")] {
+                let lo: DeweyId = lo.parse().unwrap();
+                let hi: DeweyId = hi.parse().unwrap();
+                let exact: u64 = input
+                    .iter()
+                    .filter(|(id, _)| *id >= lo && *id < hi)
+                    .map(|(_, p)| *p as u64)
+                    .sum();
+                let b = list.range_payload_bound(&lo, &hi);
+                assert!(b.bound >= exact, "bs {bs} range {lo}..{hi}: {} < {exact}", b.bound);
+                if exact > 0 {
+                    assert!(b.blocks > 0, "a non-empty range must touch blocks");
+                }
+            }
+            // Empty / inverted ranges bound to zero.
+            let z = list.range_payload_bound(&"2".parse().unwrap(), &"1".parse().unwrap());
+            assert_eq!(z, PayloadBound::default());
+        }
+        // A range past the end of a multi-block list touches nothing.
+        let list = BlockList::encode_with_block_size(&input, 4);
+        let past = list.range_payload_bound(&"9".parse().unwrap(), &"10".parse().unwrap());
+        assert_eq!(past, PayloadBound::default());
+    }
+
+    #[test]
+    fn range_payload_bound_skips_interior_directory_walks() {
+        // A mid-list point range must touch O(1) candidate blocks, not
+        // the whole directory.
+        let input: Vec<(DeweyId, u32)> =
+            (1..=256u32).map(|i| (DeweyId::from_components(vec![1, i]), 2)).collect();
+        let list = BlockList::encode_with_block_size(&input, 4);
+        let b = list.range_payload_bound(&"1.100".parse().unwrap(), &"1.101".parse().unwrap());
+        assert!(b.blocks <= 2, "point range touched {} blocks", b.blocks);
+        assert!(b.bound <= 2 * 4 * 2, "bound {} too loose", b.bound);
+    }
+
+    #[test]
+    fn range_payload_estimate_is_boundary_exact() {
+        let input: Vec<(DeweyId, u32)> =
+            (1..=96u32).map(|i| (DeweyId::from_components(vec![1, i]), i % 5 + 1)).collect();
+        for bs in [1, 4, 16, 128] {
+            let list = BlockList::encode_with_block_size(&input, bs);
+            for (lo, hi) in
+                [("1.1", "1.97"), ("1.10", "1.12"), ("1.3", "1.90"), ("1", "2"), ("2", "3")]
+            {
+                let lo: DeweyId = lo.parse().unwrap();
+                let hi: DeweyId = hi.parse().unwrap();
+                let exact: u64 = input
+                    .iter()
+                    .filter(|(id, _)| *id >= lo && *id < hi)
+                    .map(|(_, p)| *p as u64)
+                    .sum();
+                let est = list.range_payload_estimate(&lo, &hi, None);
+                assert!(est.bound >= exact, "bs {bs} {lo}..{hi}: {} < {exact}", est.bound);
+                assert_eq!(est.contains, exact > 0, "bs {bs} {lo}..{hi} contains");
+                if est.skipped_blocks == 0 {
+                    assert_eq!(est.bound, exact, "bs {bs} {lo}..{hi}: boundary-only is exact");
+                }
+                // Completing the estimate with the interior sum is
+                // always exact, never re-decoding a boundary.
+                assert_eq!(
+                    est.boundary_sum + list.range_interior_payload_sum(&lo, &hi, None),
+                    exact,
+                    "bs {bs} {lo}..{hi}: boundary + interior must be exact"
+                );
+            }
+            // Tighter than (or equal to) the directory-only bound.
+            let lo: DeweyId = "1.3".parse().unwrap();
+            let hi: DeweyId = "1.90".parse().unwrap();
+            assert!(
+                list.range_payload_estimate(&lo, &hi, None).bound
+                    <= list.range_payload_bound(&lo, &hi).bound
+            );
+        }
+        // A wide range over small blocks must actually skip interiors.
+        let list = BlockList::encode_with_block_size(&input, 4);
+        let est =
+            list.range_payload_estimate(&"1.1".parse().unwrap(), &"1.97".parse().unwrap(), None);
+        assert!(est.skipped_blocks >= 20, "interiors skipped: {}", est.skipped_blocks);
+    }
+
+    #[test]
+    fn validate_rejects_tampered_payload_bounds() {
+        let input = entries(&["1.1", "1.2", "1.9", "1.10", "1.10.1", "2.3"]);
+        let mut bad = BlockList::encode_with_block_size(&input, 2);
+        bad.blocks[1].max_payload += 1;
+        assert!(!bad.validate(), "stale block max payload must fail");
+        let mut bad = BlockList::encode_with_block_size(&input, 2);
+        bad.max_payload = 0;
+        assert!(!bad.validate(), "stale list max payload must fail");
+        // restore_bounds repairs exactly that.
+        assert!(bad.restore_bounds());
+        assert!(bad.validate());
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! Guard against silently over-long CI property runs: ci.yml sets
+//! `PROPTEST_CASES` globally, and every crate's proptests re-read it
+//! through `ProptestConfig::default()` at test time. If the vendored
+//! stub ever stopped honoring the variable, CI would quietly run the
+//! 256-case default per property — blowing the runner budget without a
+//! visible failure. This binary pins the override end to end.
+//!
+//! It lives in its own integration-test binary (its own process) so the
+//! env mutation can never race another test's `ProptestConfig::default()`.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static RUNS: AtomicU32 = AtomicU32::new(0);
+
+proptest! {
+    // Deliberately NOT a #[test]: it is invoked from the test below,
+    // after the env override is in place (running it standalone would
+    // race the env mutation inside this binary).
+    fn counted_property(_x in 0u32..100) {
+        RUNS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn proptest_cases_env_override_is_honored() {
+    std::env::set_var("PROPTEST_CASES", "7");
+    assert_eq!(
+        ProptestConfig::default().cases,
+        7,
+        "ProptestConfig::default() must re-read PROPTEST_CASES"
+    );
+    RUNS.store(0, Ordering::Relaxed);
+    counted_property();
+    assert_eq!(
+        RUNS.load(Ordering::Relaxed),
+        7,
+        "a default-config property must run exactly PROPTEST_CASES cases"
+    );
+
+    // Unset: falls back to the 256-case default.
+    std::env::remove_var("PROPTEST_CASES");
+    assert_eq!(ProptestConfig::default().cases, 256);
+
+    // Garbage values fall back rather than panic.
+    std::env::set_var("PROPTEST_CASES", "not-a-number");
+    assert_eq!(ProptestConfig::default().cases, 256);
+    std::env::remove_var("PROPTEST_CASES");
+}

@@ -1,0 +1,110 @@
+//! Backward compatibility: a checked-in v2 `indices.vxi` (the
+//! segmented, pre-payload-bounds format) must load through the v3
+//! loader with every list intact and its block-max payload bounds
+//! recomputed from the data.
+//!
+//! The fixture under `tests/fixtures/v2/` was produced by the v2
+//! `IndexBundle::save` over the two-segment bundle reconstructed below
+//! (mirroring `v1_compat.rs`); if the loader ever stops accepting v2
+//! bytes — or stops restoring bounds for them — this test fails without
+//! needing any old code around.
+
+use std::path::Path;
+use vxv_index::cursor::collect_postings;
+use vxv_index::{IndexBundle, IndexSegment, PathPattern};
+use vxv_xml::{Corpus, DeweyId};
+
+fn fixture_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/v2"))
+}
+
+/// The corpora the fixture's two segments were built from (kept in sync
+/// with the fixture generator; the fixture itself is frozen bytes).
+fn fixture_corpora() -> (Corpus, Corpus) {
+    let mut c1 = Corpus::new();
+    c1.add_parsed(
+        "books.xml",
+        "<books><book><isbn>111</isbn><title>XML search</title><year>1996</year></book>\
+         <book><isbn>222</isbn><title>AI</title></book></books>",
+    )
+    .unwrap();
+    c1.add_parsed(
+        "reviews.xml",
+        "<reviews><review><isbn>111</isbn><content>all about xml</content></review></reviews>",
+    )
+    .unwrap();
+    let mut c2 = Corpus::new();
+    c2.add(vxv_xml::parse_document("extra.xml", "<extra><e>late xml doc</e></extra>", 9).unwrap());
+    (c1, c2)
+}
+
+#[test]
+fn v2_fixture_loads_with_segments_and_generations_intact() {
+    let bundle = IndexBundle::load(fixture_dir()).expect("v2 fixture loads");
+    assert_eq!(bundle.segments.len(), 2, "the fixture holds two segments");
+    assert_eq!(bundle.segments[0].generation(), 1, "merged segment keeps its generation");
+    assert_eq!(bundle.segments[1].generation(), 0);
+    assert_eq!(bundle.segments[0].doc_count(), 2);
+    assert_eq!(bundle.segments[1].docs()[0].name, "extra.xml");
+    assert_eq!(bundle.max_root_ordinal(), Some(9));
+}
+
+#[test]
+fn v2_fixture_lists_match_a_fresh_build_including_bounds() {
+    let loaded = IndexBundle::load(fixture_dir()).expect("v2 fixture loads");
+    let (c1, c2) = fixture_corpora();
+    let fresh = [IndexSegment::merge([&IndexSegment::build(&c1)]), IndexSegment::build(&c2)];
+
+    for (seg, want) in loaded.segments.iter().zip(&fresh) {
+        let mut kws: Vec<String> = want.inverted().keywords().map(|s| s.to_string()).collect();
+        kws.sort();
+        let mut loaded_kws: Vec<String> =
+            seg.inverted().keywords().map(|s| s.to_string()).collect();
+        loaded_kws.sort();
+        assert_eq!(kws, loaded_kws);
+        for k in &kws {
+            assert_eq!(
+                collect_postings(seg.inverted().postings(k)),
+                collect_postings(want.inverted().postings(k)),
+                "keyword {k}"
+            );
+            // Bounds were absent in v2 bytes: the loader recomputed them
+            // to exactly what a fresh build carries.
+            assert_eq!(seg.inverted().max_tf(k), want.inverted().max_tf(k), "max_tf {k}");
+            for root in ["1", "1.1", "9"] {
+                let root: DeweyId = root.parse().unwrap();
+                assert_eq!(
+                    seg.inverted().subtree_tf_bound(k, &root),
+                    want.inverted().subtree_tf_bound(k, &root),
+                    "bound for {k} at {root}"
+                );
+            }
+        }
+    }
+    let seg = &loaded.segments[0];
+    for pat in ["/books//book/isbn", "/books/book/title", "/reviews/review/content"] {
+        let p = PathPattern::parse(pat).unwrap();
+        assert_eq!(
+            seg.path_index().lookup(&p, &[]),
+            fresh[0].path_index().lookup(&p, &[]),
+            "pattern {pat}"
+        );
+    }
+}
+
+#[test]
+fn resaving_a_v2_bundle_produces_v3_bytes_that_load_identically() {
+    let bundle = IndexBundle::load(fixture_dir()).expect("v2 fixture loads");
+    let dir = std::env::temp_dir().join(format!("vxv-v2-resave-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = bundle.save(&dir).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    assert_eq!(&bytes[..8], b"VXVIDX03", "save always writes the current version");
+    let again = IndexBundle::load(&dir).unwrap();
+    assert_eq!(again.segments.len(), 2);
+    for (a, b) in again.segments.iter().zip(&bundle.segments) {
+        assert_eq!(a.docs(), b.docs());
+        assert_eq!(a.generation(), b.generation());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

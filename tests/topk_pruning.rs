@@ -1,0 +1,312 @@
+//! The score-bounded top-k pruning contract, property-tested:
+//!
+//! 1. **Byte-identity** — a pruned search (`SearchRequest::prune(true)`,
+//!    the default) answers byte-identically to the exact reference path
+//!    (`prune(false)`): same hits (score bits, tf vectors, byte
+//!    lengths, XML), same `view_size`/`matching`/`idf` bits, same fetch
+//!    counts — across random corpora, `top_k ∈ {1, 5, |results|}`,
+//!    conjunctive/disjunctive modes, and multi-segment splits.
+//! 2. **Abort semantics** — pruning must not change deadline/cancel
+//!    behavior: a bounded request either completes byte-identically or
+//!    aborts with the same typed error family as the exact path; a
+//!    pre-fired cancel token always aborts typed.
+//! 3. **Counters** — skipped candidates and pruned blocks are reported
+//!    per search and accumulate into `EngineStats::pruning`; the exact
+//!    path reports zeros.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use vxv_core::{
+    CancelToken, EngineError, KeywordMode, SearchRequest, SearchResponse, ViewSearchEngine,
+};
+use vxv_xml::Corpus;
+
+const WORDS: &[&str] = &["xml", "search", "data", "easy", "thorough", "views"];
+
+const VIEW: &str = "for $book in fn:doc(books.xml)/books//book \
+     where $book/year > 1995 \
+     return <bookrevs> \
+       { <book> {$book/title} </book> } \
+       { for $rev in fn:doc(reviews.xml)/reviews//review \
+         where $rev/isbn = $book/isbn \
+         return $rev/content } \
+     </bookrevs>";
+
+#[derive(Clone, Debug)]
+struct BookSpec {
+    isbn: Option<u8>,
+    year: Option<u16>,
+    title_words: Vec<usize>,
+}
+
+#[derive(Clone, Debug)]
+struct ReviewSpec {
+    isbn: Option<u8>,
+    content_words: Vec<usize>,
+}
+
+fn book_strategy() -> impl Strategy<Value = BookSpec> {
+    (
+        proptest::option::of(0u8..6),
+        proptest::option::of(1990u16..2006),
+        prop::collection::vec(0..WORDS.len(), 0..6),
+    )
+        .prop_map(|(isbn, year, title_words)| BookSpec { isbn, year, title_words })
+}
+
+fn review_strategy() -> impl Strategy<Value = ReviewSpec> {
+    (proptest::option::of(0u8..6), prop::collection::vec(0..WORDS.len(), 0..8))
+        .prop_map(|(isbn, content_words)| ReviewSpec { isbn, content_words })
+}
+
+fn words(ids: &[usize]) -> String {
+    ids.iter().map(|w| WORDS[*w]).collect::<Vec<_>>().join(" ")
+}
+
+fn books_xml(books: &[BookSpec]) -> String {
+    let mut x = String::from("<books>");
+    for b in books {
+        x.push_str("<book>");
+        if let Some(i) = b.isbn {
+            x.push_str(&format!("<isbn>{i}</isbn>"));
+        }
+        if !b.title_words.is_empty() {
+            x.push_str(&format!("<title>{}</title>", words(&b.title_words)));
+        }
+        if let Some(y) = b.year {
+            x.push_str(&format!("<year>{y}</year>"));
+        }
+        x.push_str("</book>");
+    }
+    x.push_str("</books>");
+    x
+}
+
+fn reviews_xml(reviews: &[ReviewSpec]) -> String {
+    let mut x = String::from("<reviews>");
+    for r in reviews {
+        x.push_str("<review>");
+        if let Some(i) = r.isbn {
+            x.push_str(&format!("<isbn>{i}</isbn>"));
+        }
+        if !r.content_words.is_empty() {
+            x.push_str(&format!("<content>{}</content>", words(&r.content_words)));
+        }
+        x.push_str("</review>");
+    }
+    x.push_str("</reviews>");
+    x
+}
+
+/// Build one engine over the documents, split into `1 + |cuts|`
+/// segments (group 0 seeds, later groups arrive by ingestion).
+fn build_engine(docs: &[(String, String)], cuts: &[usize]) -> ViewSearchEngine<Corpus> {
+    let mut points: Vec<usize> = cuts.iter().map(|c| c % docs.len()).filter(|c| *c > 0).collect();
+    points.sort();
+    points.dedup();
+    let mut groups: Vec<&[(String, String)]> = Vec::new();
+    let mut prev = 0;
+    for p in points {
+        groups.push(&docs[prev..p]);
+        prev = p;
+    }
+    groups.push(&docs[prev..]);
+    let mut base = Corpus::new();
+    for (name, xml) in groups[0] {
+        base.add_parsed(name, xml).unwrap();
+    }
+    let engine = ViewSearchEngine::new(base);
+    for group in &groups[1..] {
+        engine.ingest(group.iter().map(|(n, x)| (n.clone(), x.clone()))).unwrap();
+    }
+    engine
+}
+
+fn docs(books: &[BookSpec], reviews: &[ReviewSpec]) -> Vec<(String, String)> {
+    vec![
+        ("books.xml".to_string(), books_xml(books)),
+        ("reviews.xml".to_string(), reviews_xml(reviews)),
+        // Extra documents shape shared dictionaries and posting lists
+        // without entering the view.
+        (
+            "noise.xml".to_string(),
+            "<books><book><title>xml data views</title></book></books>".to_string(),
+        ),
+        ("other.xml".to_string(), "<r><e>search thorough</e></r>".to_string()),
+    ]
+}
+
+/// Full byte-identity across everything a response reports.
+fn assert_identical(exact: &SearchResponse, pruned: &SearchResponse) {
+    assert_eq!(exact.view_size, pruned.view_size, "view_size");
+    assert_eq!(exact.matching, pruned.matching, "matching");
+    assert_eq!(exact.idf.len(), pruned.idf.len(), "idf len");
+    for (x, y) in exact.idf.iter().zip(&pruned.idf) {
+        assert_eq!(x.to_bits(), y.to_bits(), "idf bits");
+    }
+    assert_eq!(exact.fetches, pruned.fetches, "fetches");
+    assert_eq!(exact.hits.len(), pruned.hits.len(), "hit count");
+    for (x, y) in exact.hits.iter().zip(&pruned.hits) {
+        assert_eq!(x.rank, y.rank);
+        assert_eq!(x.score.to_bits(), y.score.to_bits(), "score bits at rank {}", x.rank);
+        assert_eq!(x.tf, y.tf, "tf at rank {}", x.rank);
+        assert_eq!(x.byte_len, y.byte_len, "byte_len at rank {}", x.rank);
+        assert_eq!(x.xml, y.xml, "xml at rank {}", x.rank);
+    }
+    // The structural sweep is untouched by pruning.
+    assert_eq!(exact.pdt_stats.len(), pruned.pdt_stats.len());
+    for ((da, sa, ba), (db, sb, bb)) in exact.pdt_stats.iter().zip(&pruned.pdt_stats) {
+        assert_eq!(da, db, "pdt doc order");
+        assert_eq!(sa, sb, "sweep counters for {da}");
+        assert_eq!(ba, bb, "pdt bytes for {da}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pruned_answers_are_byte_identical_to_exact(
+        books in prop::collection::vec(book_strategy(), 1..7),
+        reviews in prop::collection::vec(review_strategy(), 0..8),
+        cuts in prop::collection::vec(0usize..4, 0..3),
+        kw in prop::collection::vec(0..WORDS.len(), 1..3),
+        disjunctive in any::<bool>(),
+    ) {
+        let engine = build_engine(&docs(&books, &reviews), &cuts);
+        let view = engine.prepare(VIEW).unwrap();
+        let keywords: Vec<&str> = kw.iter().map(|w| WORDS[*w]).collect();
+        let mode = if disjunctive { KeywordMode::Disjunctive } else { KeywordMode::Conjunctive };
+
+        // k = |results| comes from a probe run; then the sweep covers
+        // under-full, partial, and full top-k cuts.
+        let probe = view
+            .search(&SearchRequest::new(&keywords).mode(mode).top_k(usize::MAX).materialize(false))
+            .unwrap();
+        for k in [1usize, 5, probe.matching.max(1)] {
+            let base = SearchRequest::new(&keywords).mode(mode).top_k(k);
+            let exact = view.search(&base.clone().prune(false)).unwrap();
+            let pruned = view.search(&base).unwrap();
+            assert_identical(&exact, &pruned);
+            prop_assert_eq!(exact.pruning, vxv_core::PruneStats::default(),
+                "the exact path must report zero prune work");
+            prop_assert_eq!(
+                pruned.pruning.candidates_skipped > 0,
+                pruned.pruning.early_terminations > 0,
+                "skips and early termination come together: {:?}", pruned.pruning
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_does_not_change_abort_semantics(
+        books in prop::collection::vec(book_strategy(), 1..6),
+        reviews in prop::collection::vec(review_strategy(), 0..6),
+        budget_us in prop_oneof![Just(0u64), 1u64..300, Just(1_000_000u64)],
+        kw in 0..WORDS.len(),
+        pre_cancelled in any::<bool>(),
+    ) {
+        let engine = build_engine(&docs(&books, &reviews), &[]);
+        let view = engine.prepare(VIEW).unwrap();
+        let keywords = [WORDS[kw]];
+        let reference = view.search(&SearchRequest::new(keywords).prune(false)).unwrap();
+
+        let token = CancelToken::new();
+        if pre_cancelled {
+            token.cancel();
+        }
+        let request = SearchRequest::new(keywords)
+            .deadline(Duration::from_micros(budget_us))
+            .cancel_token(token);
+        match view.search(&request) {
+            // Completed in budget: must be the exact answer, bit for bit.
+            Ok(out) => {
+                prop_assert!(!pre_cancelled, "a pre-fired token must abort");
+                assert_identical(&reference, &out);
+            }
+            // Aborted: typed, with partial timings — never truncated.
+            Err(EngineError::DeadlineExceeded { .. }) => {
+                prop_assert!(!pre_cancelled, "cancellation outranks the deadline only when fired");
+            }
+            Err(EngineError::Cancelled { .. }) => prop_assert!(pre_cancelled),
+            Err(e) => prop_assert!(false, "unexpected error family: {e}"),
+        }
+    }
+}
+
+#[test]
+fn prune_counters_accumulate_into_engine_stats() {
+    let mut c = Corpus::new();
+    // One dominant book and many lightweight ones: k=1 must prune.
+    let mut books = String::from("<books>");
+    books.push_str(
+        "<book><isbn>0</isbn><title>xml xml xml xml xml xml</title><year>2000</year></book>",
+    );
+    for i in 1..40 {
+        books.push_str(&format!(
+            "<book><isbn>{i}</isbn><title>xml plus lots of words here to dilute the score \
+             density of this long title {i}</title><year>2000</year></book>"
+        ));
+    }
+    books.push_str("</books>");
+    c.add_parsed("books.xml", &books).unwrap();
+    let engine = ViewSearchEngine::new(c);
+    let view = engine
+        .prepare("for $b in fn:doc(books.xml)/books//book where $b/year > 1995 return <h> { $b/title } </h>")
+        .unwrap();
+
+    engine.reset_stats();
+    assert_eq!(engine.stats().pruning, vxv_core::PruneStats::default());
+
+    let exact = view.search(&SearchRequest::new(["xml"]).top_k(1).prune(false)).unwrap();
+    assert_eq!(
+        engine.stats().pruning,
+        vxv_core::PruneStats::default(),
+        "exact path records nothing"
+    );
+
+    let pruned = view.search(&SearchRequest::new(["xml"]).top_k(1)).unwrap();
+    assert_identical(&exact, &pruned);
+    assert!(
+        pruned.pruning.candidates_skipped > 0,
+        "the dominated candidates must be skipped: {:?}",
+        pruned.pruning
+    );
+    assert_eq!(pruned.pruning.early_terminations, 1);
+    assert_eq!(engine.stats().pruning, pruned.pruning, "per-search counters accumulate");
+
+    // A second search doubles the tallies; reset clears them.
+    view.search(&SearchRequest::new(["xml"]).top_k(1)).unwrap();
+    assert_eq!(engine.stats().pruning, pruned.pruning + pruned.pruning);
+    engine.reset_stats();
+    assert_eq!(engine.stats().pruning, vxv_core::PruneStats::default());
+}
+
+#[test]
+fn hit_streams_rank_identically_under_pruning() {
+    let mut c = Corpus::new();
+    c.add_parsed(
+        "books.xml",
+        &books_xml(&[
+            BookSpec { isbn: Some(1), year: Some(2000), title_words: vec![0, 0, 1] },
+            BookSpec { isbn: Some(2), year: Some(2001), title_words: vec![0] },
+            BookSpec { isbn: Some(3), year: Some(2002), title_words: vec![0, 2, 3] },
+        ]),
+    )
+    .unwrap();
+    c.add_parsed(
+        "reviews.xml",
+        &reviews_xml(&[ReviewSpec { isbn: Some(1), content_words: vec![0, 1, 1] }]),
+    )
+    .unwrap();
+    let engine = ViewSearchEngine::new(c);
+    let view = engine.prepare(VIEW).unwrap();
+    let eager = view.search(&SearchRequest::new(["xml"]).top_k(2)).unwrap();
+    let streamed: Vec<_> =
+        view.hits(&SearchRequest::new(["xml"]).top_k(2)).unwrap().map(|h| h.unwrap()).collect();
+    assert_eq!(eager.hits.len(), streamed.len());
+    for (a, b) in eager.hits.iter().zip(&streamed) {
+        assert_eq!(a.score.to_bits(), b.score.to_bits());
+        assert_eq!(a.xml, b.xml);
+    }
+}

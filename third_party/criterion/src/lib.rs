@@ -7,9 +7,16 @@
 //! `criterion_main!` macros.
 //!
 //! Measurement is deliberately simple: a short warm-up, then batches of
-//! iterations until ~`measurement_time` elapses, reporting mean ns/iter.
-//! Set `CRITERION_QUICK=1` to run each benchmark for a single batch
-//! (useful in CI where only compilation is being checked).
+//! iterations until ~`measurement_time` elapses, reporting mean and
+//! median ns/iter (median over per-sample means — robust to one-off
+//! stalls). Set `CRITERION_QUICK=1` to run each benchmark for a single
+//! batch (useful in CI where only compilation is being checked).
+//!
+//! When `CRITERION_JSON=<path>` is set, each benchmark additionally
+//! appends one JSON line `{"id": "...", "value": <median_ns>, "unit":
+//! "ns"}` to that file — the machine-readable feed the repo's
+//! `bench_gate` binary consolidates into `BENCH_PR.json` and compares
+//! against the checked-in regression baseline.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -57,6 +64,27 @@ fn quick() -> bool {
     std::env::var("CRITERION_QUICK").map(|v| v != "0").unwrap_or(false)
 }
 
+/// Append one metric line to the `CRITERION_JSON` file, if configured.
+/// Exposed so benches can record auxiliary counters (unit `"count"`)
+/// next to the timings.
+pub fn report_metric(id: &str, value: f64, unit: &str) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect();
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        let _ = writeln!(f, "{{\"id\": \"{escaped}\", \"value\": {value}, \"unit\": \"{unit}\"}}");
+    }
+}
+
 fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
     // Warm-up + calibration run.
     let mut b = Bencher { batch: 1, elapsed: Duration::ZERO };
@@ -69,14 +97,19 @@ fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
 
     let mut total = Duration::ZERO;
     let mut iters = 0u64;
+    let mut sample_ns: Vec<f64> = Vec::with_capacity(samples);
     for _ in 0..samples {
         let mut b = Bencher { batch, elapsed: Duration::ZERO };
         f(&mut b);
         total += b.elapsed;
         iters += batch;
+        sample_ns.push(b.elapsed.as_nanos() as f64 / batch.max(1) as f64);
     }
     let ns = total.as_nanos() as f64 / iters.max(1) as f64;
-    println!("bench {label:<50} {ns:>14.1} ns/iter ({iters} iters)");
+    sample_ns.sort_by(f64::total_cmp);
+    let median = sample_ns[sample_ns.len() / 2];
+    println!("bench {label:<50} {ns:>14.1} ns/iter (median {median:.1}, {iters} iters)");
+    report_metric(label, median, "ns");
 }
 
 /// A named set of related benchmarks.
