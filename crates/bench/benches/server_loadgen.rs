@@ -1,0 +1,138 @@
+//! Closed-loop Zipfian load generation over the loopback serving tier.
+//!
+//! Two phases, both asserted and both feeding the bench gate:
+//!
+//! * **Capacity**: default admission limits, a fixed injected service
+//!   delay, and a worker pool the server can absorb. Every request must
+//!   complete (zero sheds, zero protocol errors) and the p50/p99/p999
+//!   latencies are reported — the median as an `ns` metric, the tails
+//!   as `tail-ns` (double-width gate band: order statistics of the
+//!   noisiest samples). The injected delay anchors the percentiles —
+//!   they measure queueing + wire overhead *on top of* a known floor,
+//!   so the gate bands track real regressions rather than scheduler
+//!   noise.
+//! * **Overload**: one execution slot, zero queue depth, eight eager
+//!   workers. The server must shed most of the offered load with typed
+//!   `retry-after` hints while the admitted trickle still completes.
+//!   The shed *rate* is a within-run ratio (hardware-independent), so
+//!   the gate bands it directly; shed/completed counts guard against
+//!   the shedding path silently disappearing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use vxv_bench::loadgen::{self, LoadgenConfig};
+use vxv_core::{ViewCatalog, ViewSearchEngine};
+use vxv_inex::{generate, query_keywords, ExperimentParams, Selectivity};
+use vxv_server::{serve, AdmissionConfig, ServerConfig};
+
+fn quick() -> bool {
+    std::env::var("CRITERION_QUICK").map(|v| v != "0").unwrap_or(false)
+}
+
+/// INEX-style corpus with the same Table-1 view registered under
+/// several names, so the Zipf view choice exercises real catalog
+/// dispatch (hot view ≠ only view).
+fn setup(views: &[String]) -> Arc<ViewCatalog> {
+    let params = ExperimentParams { data_bytes: 32 * 1024, ..ExperimentParams::default() };
+    let catalog = ViewCatalog::new(ViewSearchEngine::new(generate(&params.generator_config())));
+    for name in views {
+        catalog.register(name, &params.view()).expect("view prepares");
+    }
+    Arc::new(catalog)
+}
+
+fn bench_server_loadgen(_c: &mut Criterion) {
+    let views: Vec<String> = (0..4).map(|i| format!("v{i}")).collect();
+    let keywords: Vec<String> = query_keywords(Selectivity::Medium, 5)
+        .into_iter()
+        .chain(query_keywords(Selectivity::Low, 5))
+        .map(String::from)
+        .collect();
+
+    // Phase 1: capacity — the server absorbs the whole offered load.
+    {
+        // 25ms anchor: scheduler spikes of a few ms stay a small
+        // fraction of every percentile, including the tails.
+        let config = ServerConfig {
+            service_delay: Some(Duration::from_millis(25)),
+            ..ServerConfig::default()
+        };
+        let server = serve(setup(&views), "127.0.0.1:0", config).expect("serve");
+        let lg = LoadgenConfig {
+            workers: 4,
+            requests_per_worker: if quick() { 10 } else { 40 },
+            think_time: Duration::from_millis(1),
+            ..LoadgenConfig::default()
+        };
+        let report = loadgen::run(server.addr(), &views, &keywords, &lg);
+        assert_eq!(report.other_errors, 0, "unexpected errors: {:?}", report.last_error);
+        assert_eq!(report.shed, 0, "capacity phase must not shed: {report:?}");
+        assert_eq!(report.completed, report.issued(), "every request completes");
+        let stats = server.shutdown();
+        assert_eq!(stats.protocol_errors, 0);
+        println!(
+            "server_loadgen/capacity: {} completed, p50 {:.2} ms, p99 {:.2} ms, p999 {:.2} ms, \
+             {:.0} req/s",
+            report.completed,
+            report.p50_ns() / 1e6,
+            report.p99_ns() / 1e6,
+            report.p999_ns() / 1e6,
+            report.throughput(),
+        );
+        criterion::report_metric("server_loadgen/p50", report.p50_ns(), "ns");
+        criterion::report_metric("server_loadgen/p99", report.p99_ns(), "tail-ns");
+        criterion::report_metric("server_loadgen/p999", report.p999_ns(), "tail-ns");
+        criterion::report_metric(
+            "server_loadgen/capacity_completed",
+            report.completed as f64,
+            "count",
+        );
+    }
+
+    // Phase 2: overload — one slot, no queue, eight eager workers.
+    {
+        let config = ServerConfig {
+            admission: AdmissionConfig {
+                max_in_flight: 1,
+                queue_depth: 0,
+                retry_after: Duration::from_millis(2),
+                ..AdmissionConfig::default()
+            },
+            service_delay: Some(Duration::from_millis(15)),
+            ..ServerConfig::default()
+        };
+        let server = serve(setup(&views), "127.0.0.1:0", config).expect("serve");
+        let lg = LoadgenConfig {
+            workers: 8,
+            requests_per_worker: if quick() { 8 } else { 25 },
+            think_time: Duration::ZERO,
+            ..LoadgenConfig::default()
+        };
+        let report = loadgen::run(server.addr(), &views, &keywords, &lg);
+        assert_eq!(report.other_errors, 0, "unexpected errors: {:?}", report.last_error);
+        assert!(report.shed > 0, "one slot + no queue must shed: {report:?}");
+        assert!(report.completed > 0, "the admitted trickle still completes: {report:?}");
+        let stats = server.shutdown();
+        assert_eq!(stats.protocol_errors, 0);
+        assert_eq!(stats.admission.shed, report.shed, "every shed is typed over the wire");
+        println!(
+            "server_loadgen/overload: {} issued, {} shed ({:.1}%), {} completed, {} deadline",
+            report.issued(),
+            report.shed,
+            report.shed_rate() * 100.0,
+            report.completed,
+            report.deadline_exceeded,
+        );
+        criterion::report_metric("server_loadgen/shed_rate", report.shed_rate(), "ratio");
+        criterion::report_metric("server_loadgen/overload_shed", report.shed as f64, "count");
+        criterion::report_metric(
+            "server_loadgen/overload_completed",
+            report.completed as f64,
+            "count",
+        );
+    }
+}
+
+criterion_group!(benches, bench_server_loadgen);
+criterion_main!(benches);

@@ -6,7 +6,8 @@
 //! vxv inspect --doc books.xml --view view.xq    # show QPTs and probe plans
 //! vxv persist --doc books.xml --out store/      # write documents + indices
 //! vxv search  --store store/ --view view.xq -k xml   # cold open from disk
-//! vxv serve   --store store/ --register reviews=view.xq   # request loop
+//! vxv serve   --store store/ --register reviews=view.xq   # stdin request loop
+//! vxv serve   --store store/ --listen 127.0.0.1:7070      # TCP serving tier
 //! vxv batch   --store store/ --register reviews=view.xq --file reqs.txt
 //! vxv ingest  --store store/ --doc late.xml      # add docs as a new segment
 //! vxv compact --store store/                     # merge all index segments
@@ -23,7 +24,10 @@
 //!
 //! `serve` builds a [`ViewCatalog`], registers every `--register
 //! NAME=VIEWFILE`, then reads commands from stdin (one per line) and
-//! writes responses to stdout. Multi-line responses end with a lone `.`:
+//! writes responses to stdout. Arguments may be double-quoted (`register
+//! reviews "my view.xq"`) and runs of whitespace collapse; on EOF or
+//! `quit` the loop exits cleanly, printing final catalog stats to
+//! stderr. Multi-line responses end with a lone `.`:
 //!
 //! ```text
 //! register NAME VIEWFILE     -> registered NAME
@@ -37,8 +41,14 @@
 //!                               segment; views registered earlier keep
 //!                               their snapshot — re-register to see the
 //!                               new document)
-//! quit                       -> (exits; EOF works too)
+//! quit                       -> (exits; EOF works too; both print
+//!                               final stats to stderr)
 //! ```
+//!
+//! With `--listen ADDR`, `serve` instead mounts the `vxv-server` TCP
+//! serving tier on `ADDR` (multi-tenant wire protocol, bounded
+//! admission queue, per-tenant quotas — see the `vxv_server` crate
+//! docs) and runs until killed; the stdin loop remains the default.
 //!
 //! Hit XML is emitted on one protocol line: backslash, newline and
 //! carriage return are escaped as `\\`, `\n`, `\r`, so pretty-printed
@@ -74,11 +84,12 @@ struct Args {
     top: usize,
     any: bool,
     deadline_ms: Option<u64>,
+    listen: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  vxv search  (--doc FILE... | --store DIR) --view FILE --keyword WORD... [--top N] [--any] [--deadline-ms N]\n  vxv inspect (--doc FILE... | --store DIR) --view FILE\n  vxv persist --doc FILE... --out DIR\n  vxv serve   (--doc FILE... | --store DIR) [--register NAME=VIEWFILE...] [--top N] [--any] [--deadline-ms N]\n  vxv batch   (--doc FILE... | --store DIR) --register NAME=VIEWFILE... --file REQS [--top N] [--any] [--deadline-ms N]\n  vxv ingest  --store DIR --doc FILE...\n  vxv compact --store DIR"
+        "usage:\n  vxv search  (--doc FILE... | --store DIR) --view FILE --keyword WORD... [--top N] [--any] [--deadline-ms N]\n  vxv inspect (--doc FILE... | --store DIR) --view FILE\n  vxv persist --doc FILE... --out DIR\n  vxv serve   (--doc FILE... | --store DIR) [--register NAME=VIEWFILE...] [--listen ADDR] [--top N] [--any] [--deadline-ms N]\n  vxv batch   (--doc FILE... | --store DIR) --register NAME=VIEWFILE... --file REQS [--top N] [--any] [--deadline-ms N]\n  vxv ingest  --store DIR --doc FILE...\n  vxv compact --store DIR"
     );
     ExitCode::from(2)
 }
@@ -97,6 +108,7 @@ fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
         top: 10,
         any: false,
         deadline_ms: None,
+        listen: None,
     };
     let mut it = argv;
     while let Some(flag) = it.next() {
@@ -115,6 +127,7 @@ fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
             "--top" => args.top = it.next()?.parse().ok()?,
             "--any" => args.any = true,
             "--deadline-ms" => args.deadline_ms = Some(it.next()?.parse().ok()?),
+            "--listen" => args.listen = Some(it.next()?),
             _ => {
                 eprintln!("unknown flag {flag}");
                 return None;
@@ -296,7 +309,9 @@ fn escape_protocol_line(s: &str) -> String {
 }
 
 /// The `serve` loop: one command per stdin line; see the module docs for
-/// the protocol.
+/// the protocol. Arguments tokenize with double-quote support (shared
+/// with the TCP wire protocol), so paths with spaces work; EOF and
+/// `quit` both exit cleanly through the final-stats epilogue.
 fn serve_loop<S: DocumentSource>(catalog: &ViewCatalog<S>, args: &Args) -> ExitCode {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
@@ -305,12 +320,20 @@ fn serve_loop<S: DocumentSource>(catalog: &ViewCatalog<S>, args: &Args) -> ExitC
         "vxv serve: {} view(s) registered; commands: register/search/list/stats/segments/add/quit",
         catalog.len()
     );
-    for line in stdin.lock().lines() {
+    'serve: for line in stdin.lock().lines() {
         let Ok(line) = line else { break };
-        let parts: Vec<&str> = line.split_whitespace().collect();
+        let tokens = match vxv_server::proto::tokenize(&line) {
+            Ok(t) => t,
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+                let _ = out.flush();
+                continue;
+            }
+        };
+        let parts: Vec<&str> = tokens.iter().map(String::as_str).collect();
         let reply = match parts.as_slice() {
             [] => continue,
-            ["quit"] | ["exit"] => break,
+            ["quit"] | ["exit"] => break 'serve,
             ["list"] => {
                 for name in catalog.names() {
                     let _ = writeln!(out, "{name}");
@@ -387,7 +410,29 @@ fn serve_loop<S: DocumentSource>(catalog: &ViewCatalog<S>, args: &Args) -> ExitC
         }
         let _ = out.flush();
     }
+    // Reached on `quit` and on EOF alike: never fall off silently.
+    let s = catalog.stats();
+    eprintln!(
+        "vxv serve: exiting; final stats hits={} misses={} prepares={} evictions={} named={} adhoc={}",
+        s.hits, s.misses, s.prepares, s.evictions, s.named, s.adhoc
+    );
     ExitCode::SUCCESS
+}
+
+/// `serve --listen ADDR`: mount the `vxv-server` TCP serving tier over
+/// the catalog and run in the foreground until killed.
+fn serve_listen<S: DocumentSource + 'static>(catalog: ViewCatalog<S>, addr: &str) -> ExitCode {
+    match vxv_server::serve(Arc::new(catalog), addr, vxv_server::ServerConfig::default()) {
+        Ok(handle) => {
+            eprintln!("vxv serve: listening on {}", handle.addr());
+            handle.join();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: bind {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// The `batch` command: parse the request file, fan it across the
@@ -451,7 +496,7 @@ fn run_batch<S: DocumentSource>(catalog: &ViewCatalog<S>, args: &Args) -> ExitCo
 
 /// Dispatch a catalog-backed command (`serve` / `batch`) over either
 /// backend.
-fn with_catalog<S: DocumentSource>(
+fn with_catalog<S: DocumentSource + 'static>(
     cmd: &str,
     engine: ViewSearchEngine<S>,
     args: &Args,
@@ -464,7 +509,10 @@ fn with_catalog<S: DocumentSource>(
         }
     };
     match cmd {
-        "serve" => serve_loop(&catalog, args),
+        "serve" => match args.listen.as_deref() {
+            Some(addr) => serve_listen(catalog, addr),
+            None => serve_loop(&catalog, args),
+        },
         _ => run_batch(&catalog, args),
     }
 }

@@ -18,7 +18,10 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// One recorded metric: a median timing (`unit == "ns"`), a
+/// One recorded metric: a median timing (`unit == "ns"`), a tail
+/// latency percentile (`unit == "tail-ns"`, banded at **2×** the
+/// tolerance — p99/p999 are order statistics of the noisiest samples,
+/// so a medians-width band would flap on scheduler jitter), a
 /// hardware-independent within-run ratio (`unit == "ratio"`, banded
 /// like a timing but immune to runner-hardware drift), or an auxiliary
 /// counter (`unit == "count"`, e.g. pruned blocks — gated only against
@@ -27,7 +30,7 @@ use std::fmt::Write as _;
 pub struct Metric {
     /// The value (median ns/iter for timings).
     pub value: f64,
-    /// `"ns"`, `"ratio"`, or `"count"`.
+    /// `"ns"`, `"tail-ns"`, `"ratio"`, or `"count"`.
     pub unit: String,
 }
 
@@ -172,8 +175,9 @@ pub fn compare(pr: &Metrics, baseline: &Metrics, tolerance: f64) -> Vec<(String,
                 }
             }
             Some(m) => {
+                let band = if base.unit == "tail-ns" { tolerance * 2.0 } else { tolerance };
                 let ratio = if base.value > 0.0 { m.value / base.value } else { 1.0 };
-                if ratio > 1.0 + tolerance || ratio < 1.0 / (1.0 + tolerance) {
+                if ratio > 1.0 + band || ratio < 1.0 / (1.0 + band) {
                     Verdict::OutOfBand { ratio }
                 } else {
                     Verdict::Ok
@@ -247,6 +251,26 @@ mod tests {
         let mut base1 = Metrics::new();
         base1.insert("t/fast".into(), m(1000.0, "ns"));
         assert!(failed(&compare(&fast, &base1, 0.25)));
+    }
+
+    #[test]
+    fn tail_latencies_get_a_doubled_band() {
+        let mut base = Metrics::new();
+        base.insert("t/p50".into(), m(1000.0, "ns"));
+        base.insert("t/p99".into(), m(1000.0, "tail-ns"));
+        let mut pr = Metrics::new();
+        pr.insert("t/p50".into(), m(1400.0, "ns")); // +40%: fail at ±25%
+        pr.insert("t/p99".into(), m(1400.0, "tail-ns")); // +40%: ok at ±50%
+        let verdicts = compare(&pr, &base, 0.25);
+        let get = |id: &str| verdicts.iter().find(|(i, _)| i == id).unwrap().1.clone();
+        assert!(matches!(get("t/p50"), Verdict::OutOfBand { .. }));
+        assert_eq!(get("t/p99"), Verdict::Ok);
+        // The doubled band still gates: +60% tail regressions fail.
+        let mut worse = Metrics::new();
+        worse.insert("t/p99".into(), m(1600.0, "tail-ns"));
+        let mut base1 = Metrics::new();
+        base1.insert("t/p99".into(), m(1000.0, "tail-ns"));
+        assert!(failed(&compare(&worse, &base1, 0.25)));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 pub mod gate;
 pub mod harness;
+pub mod loadgen;
 pub mod table;
 
 pub use harness::{measure_point, MeasureOptions, Measurement, SystemSet};

@@ -1,0 +1,355 @@
+//! Zipfian closed-loop load generator for the TCP serving tier.
+//!
+//! `N` workers each own one [`vxv_server::Client`] connection and issue
+//! requests back-to-back (closed loop: a worker never has more than one
+//! request outstanding). View and keyword choice are Zipf-skewed — a
+//! few hot views absorb most of the traffic, as in any real serving
+//! workload — and a fixed think time separates consecutive requests.
+//!
+//! Every response is classified by its typed wire outcome:
+//!
+//! * **completed** — `ok search …`; the end-to-end latency is recorded.
+//! * **shed** — `error overloaded retry-after-ms=N`; the worker honors
+//!   the hint and backs off for `N` ms before its next request, so the
+//!   measured shed *rate* reflects the server's pacing, not a tight
+//!   client-side retry storm.
+//! * **deadline_exceeded** — the wire deadline expired in queue or
+//!   mid-execution.
+//! * **other_errors** — anything else (kept, never panicked on, and
+//!   surfaced via [`LoadReport::last_error`] for debugging).
+//!
+//! The aggregate [`LoadReport`] exposes p50/p99/p999 latency and the
+//! shed rate — the two numbers the bench gate tracks for this tier.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+use vxv_server::Client;
+
+/// Shape of one load-generation run.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Concurrent closed-loop workers (one connection each).
+    pub workers: usize,
+    /// Requests each worker issues before disconnecting.
+    pub requests_per_worker: usize,
+    /// Pause between a response and the worker's next request.
+    pub think_time: Duration,
+    /// Zipf exponent for view *and* keyword choice (`0.0` = uniform;
+    /// `~1.0` = classic heavy skew).
+    pub zipf_exponent: f64,
+    /// Wire deadline attached to every request, if any.
+    pub deadline_ms: Option<u64>,
+    /// `top=` cut depth sent with every request.
+    pub top: usize,
+    /// Tenant all requests run as.
+    pub tenant: String,
+    /// Base RNG seed; worker `w` derives its own stream from it, so a
+    /// run is deterministic in *what* it sends (never in timing).
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            workers: 4,
+            requests_per_worker: 25,
+            think_time: Duration::from_millis(1),
+            zipf_exponent: 1.07,
+            deadline_ms: None,
+            top: 10,
+            tenant: "public".into(),
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Zipf(s) sampler over ranks `0..n` via inverse CDF + binary search.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the cumulative distribution for `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf over an empty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw one rank in `0..n` (rank 0 is the hottest).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let x = rng.gen::<f64>();
+        self.cdf.partition_point(|&c| c < x).min(self.cdf.len() - 1)
+    }
+}
+
+/// Aggregated outcome of a load-generation run.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Requests answered `ok search`.
+    pub completed: u64,
+    /// Requests answered `error overloaded` (admission shed).
+    pub shed: u64,
+    /// Requests answered `error deadline-exceeded`.
+    pub deadline_exceeded: u64,
+    /// Any other error outcome.
+    pub other_errors: u64,
+    /// End-to-end latency of each *completed* request, in nanoseconds.
+    pub latencies_ns: Vec<u64>,
+    /// Wall-clock duration of the whole run.
+    pub wall: Duration,
+    /// Most recent non-overload, non-deadline error, for diagnostics.
+    pub last_error: Option<String>,
+}
+
+impl LoadReport {
+    /// Total requests issued.
+    pub fn issued(&self) -> u64 {
+        self.completed + self.shed + self.deadline_exceeded + self.other_errors
+    }
+
+    /// Fraction of issued requests that were load-shed.
+    pub fn shed_rate(&self) -> f64 {
+        let issued = self.issued();
+        if issued == 0 {
+            0.0
+        } else {
+            self.shed as f64 / issued as f64
+        }
+    }
+
+    /// Completed requests per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    /// Nearest-rank percentile of completed-request latency, in
+    /// nanoseconds. `q` is a fraction in `(0, 1]`; returns 0 when no
+    /// request completed.
+    pub fn percentile_ns(&self, q: f64) -> f64 {
+        if self.latencies_ns.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_unstable();
+        let rank = (q * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1] as f64
+    }
+
+    /// Median completed-request latency (ns).
+    pub fn p50_ns(&self) -> f64 {
+        self.percentile_ns(0.50)
+    }
+
+    /// 99th-percentile completed-request latency (ns).
+    pub fn p99_ns(&self) -> f64 {
+        self.percentile_ns(0.99)
+    }
+
+    /// 99.9th-percentile completed-request latency (ns).
+    pub fn p999_ns(&self) -> f64 {
+        self.percentile_ns(0.999)
+    }
+
+    fn merge(&mut self, other: LoadReport) {
+        self.completed += other.completed;
+        self.shed += other.shed;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.other_errors += other.other_errors;
+        self.latencies_ns.extend(other.latencies_ns);
+        if other.last_error.is_some() {
+            self.last_error = other.last_error;
+        }
+    }
+}
+
+/// Run the closed loop against a live server: every worker draws its
+/// view from `views` and its keyword from `keywords` (both Zipf-ranked
+/// hottest-first), issues `requests_per_worker` searches, and the
+/// per-worker tallies are merged into one [`LoadReport`].
+///
+/// The views must already be registered for `config.tenant`; an unknown
+/// view shows up as `other_errors`, never a panic.
+pub fn run(
+    addr: SocketAddr,
+    views: &[String],
+    keywords: &[String],
+    config: &LoadgenConfig,
+) -> LoadReport {
+    assert!(!views.is_empty() && !keywords.is_empty(), "loadgen needs views and keywords");
+    let view_dist = Zipf::new(views.len(), config.zipf_exponent);
+    let keyword_dist = Zipf::new(keywords.len(), config.zipf_exponent);
+    let started = Instant::now();
+    let mut report = LoadReport::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.workers)
+            .map(|w| {
+                let (view_dist, keyword_dist) = (&view_dist, &keyword_dist);
+                scope.spawn(move || {
+                    worker(addr, views, keywords, view_dist, keyword_dist, config, w)
+                })
+            })
+            .collect();
+        for handle in handles {
+            report.merge(handle.join().expect("loadgen worker panicked"));
+        }
+    });
+    report.wall = started.elapsed();
+    report
+}
+
+fn worker(
+    addr: SocketAddr,
+    views: &[String],
+    keywords: &[String],
+    view_dist: &Zipf,
+    keyword_dist: &Zipf,
+    config: &LoadgenConfig,
+    index: usize,
+) -> LoadReport {
+    // Distinct, deterministic stream per worker: splitmix increments of
+    // the base seed keep streams uncorrelated without a second RNG.
+    let mut rng = StdRng::seed_from_u64(
+        config.seed.wrapping_add((index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+    );
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            return LoadReport {
+                other_errors: config.requests_per_worker as u64,
+                last_error: Some(format!("connect: {e}")),
+                ..LoadReport::default()
+            };
+        }
+    };
+    let mut options: Vec<String> = vec![format!("top={}", config.top)];
+    if let Some(ms) = config.deadline_ms {
+        options.push(format!("deadline-ms={ms}"));
+    }
+    let options: Vec<&str> = options.iter().map(String::as_str).collect();
+
+    let mut report = LoadReport::default();
+    for _ in 0..config.requests_per_worker {
+        let view = views[view_dist.sample(&mut rng)].as_str();
+        let keyword = keywords[keyword_dist.sample(&mut rng)].as_str();
+        let start = Instant::now();
+        match client.search(&config.tenant, view, &options, &[keyword]) {
+            Ok(_) => {
+                report.completed += 1;
+                report.latencies_ns.push(start.elapsed().as_nanos() as u64);
+            }
+            Err(e) if e.is_overloaded() => {
+                report.shed += 1;
+                // Honor the server's pacing hint (bounded, so a
+                // misconfigured hint can't stall the run).
+                if let Some(ms) = e.fault().and_then(|f| f.retry_after_ms) {
+                    std::thread::sleep(Duration::from_millis(ms.min(50)));
+                }
+            }
+            Err(e) if e.is_deadline_exceeded() => report.deadline_exceeded += 1,
+            Err(e) => {
+                report.other_errors += 1;
+                report.last_error = Some(e.to_string());
+            }
+        }
+        if !config.think_time.is_zero() {
+            std::thread::sleep(config.think_time);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vxv_core::{ViewCatalog, ViewSearchEngine};
+    use vxv_server::{serve, ServerConfig};
+    use vxv_xml::Corpus;
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let dist = Zipf::new(16, 1.07);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 16];
+        for _ in 0..20_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[8] * 4, "{counts:?}");
+        assert!(counts[0] > counts[15] * 8, "{counts:?}");
+        // Uniform at s=0: the head cannot dominate.
+        let flat = Zipf::new(16, 0.0);
+        let mut counts = [0u32; 16];
+        for _ in 0..20_000 {
+            counts[flat.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] < counts[15] * 2, "{counts:?}");
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let report = LoadReport {
+            latencies_ns: (1..=100).rev().collect(),
+            completed: 100,
+            ..LoadReport::default()
+        };
+        assert_eq!(report.p50_ns(), 50.0);
+        assert_eq!(report.p99_ns(), 99.0);
+        assert_eq!(report.p999_ns(), 100.0);
+        assert_eq!(LoadReport::default().p99_ns(), 0.0);
+    }
+
+    #[test]
+    fn closed_loop_completes_cleanly_at_capacity() {
+        let mut corpus = Corpus::new();
+        corpus
+            .add_parsed(
+                "books.xml",
+                "<books>\
+                   <book><title>xml keyword search</title></book>\
+                   <book><title>xml databases</title></book>\
+                 </books>",
+            )
+            .unwrap();
+        let catalog = Arc::new(ViewCatalog::new(ViewSearchEngine::new(corpus)));
+        let view = "for $b in fn:doc(books.xml)/books/book return <hit> { $b/title } </hit>";
+        catalog.register("hot", view).unwrap();
+        catalog.register("cold", view).unwrap();
+        let server = serve(catalog, "127.0.0.1:0", ServerConfig::default()).unwrap();
+
+        let config = LoadgenConfig {
+            workers: 2,
+            requests_per_worker: 5,
+            think_time: Duration::ZERO,
+            ..LoadgenConfig::default()
+        };
+        let report = run(
+            server.addr(),
+            &["hot".into(), "cold".into()],
+            &["xml".into(), "databases".into(), "search".into()],
+            &config,
+        );
+        assert_eq!(report.last_error, None);
+        assert_eq!((report.completed, report.issued()), (10, 10));
+        assert_eq!(report.shed_rate(), 0.0);
+        assert_eq!(report.latencies_ns.len(), 10);
+        assert!(report.p50_ns() > 0.0 && report.p99_ns() >= report.p50_ns());
+        server.shutdown();
+    }
+}

@@ -1,4 +1,5 @@
-//! [`ViewCatalog`] — the service tier: named prepared views, shared.
+//! [`ViewCatalog`] — the service tier: named prepared views, shared,
+//! **tenant-namespaced**.
 //!
 //! The paper makes view-proportional work a one-time cost; the catalog
 //! makes that cost *shared*. A server owns one `ViewCatalog` (which owns
@@ -15,7 +16,25 @@
 //!   cache, cold ones prepare and may evict the least-recently-used
 //!   entry;
 //! * **fans out batches** ([`ViewCatalog::search_batch`]) across a small
-//!   worker pool, returning per-request results in order.
+//!   worker pool, returning per-request results in order. Failures —
+//!   including sheds ([`EngineError::Overloaded`]) and tripped deadlines
+//!   — are **per-request**: one bad entry never poisons its siblings.
+//!
+//! ## Tenancy
+//!
+//! Every registration lives under a [`TenantId`], and the **tenant id
+//! leads the lookup key** (`(tenant, name)` — the OceanBase system-table
+//! idiom: tenancy in the key, not bolted on at the edge). The unscoped
+//! methods ([`ViewCatalog::register`], [`ViewCatalog::search`], …) are
+//! shorthand for the [`TenantId::public`] tenant, so single-tenant use
+//! reads exactly as before. Per-tenant quotas
+//! ([`crate::tenant::TenantQuotas`]) are enforced where the resource is
+//! consumed: `max_views` at registration
+//! ([`EngineError::QuotaExceeded`]), `max_concurrent` at search
+//! admission ([`EngineError::Overloaded`] — shed, never queued, at this
+//! layer; the serving tier adds the bounded queue). Every decision lands
+//! in the tenant's atomic counters
+//! ([`crate::tenant::TenantState::stats`]).
 //!
 //! Hit / miss / prepare counters ([`ViewCatalog::stats`]) make the cache
 //! observable — the concurrency tests assert "prepared once" through
@@ -24,18 +43,28 @@
 use crate::engine::{EngineError, ViewSearchEngine};
 use crate::prepared::PreparedView;
 use crate::request::{SearchRequest, SearchResponse};
-use std::collections::HashMap;
+use crate::tenant::{TenantId, TenantQuotas, TenantRegistry, TenantState};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Duration;
 use vxv_xml::{Corpus, DocumentSource};
 
 /// Default capacity of the ad-hoc LRU (distinct un-named view texts kept
 /// prepared).
 pub const DEFAULT_ADHOC_CAPACITY: usize = 32;
 
-/// One entry of a batch: which named view to search and with what.
+/// Backoff suggested to callers shed by a tenant's concurrent-search
+/// quota (the catalog itself never queues; the serving tier's admission
+/// queue computes its own, pressure-scaled value).
+pub const QUOTA_RETRY_AFTER: Duration = Duration::from_millis(25);
+
+/// One entry of a batch: which tenant and named view to search and with
+/// what.
 #[derive(Clone, Debug)]
 pub struct NamedRequest {
+    /// The tenant the view is registered under.
+    pub tenant: TenantId,
     /// The registered view name.
     pub view: String,
     /// The per-search request.
@@ -43,9 +72,19 @@ pub struct NamedRequest {
 }
 
 impl NamedRequest {
-    /// Address `request` at the view registered under `view`.
+    /// Address `request` at the view registered under `view` by the
+    /// public tenant.
     pub fn new(view: impl Into<String>, request: SearchRequest) -> Self {
-        NamedRequest { view: view.into(), request }
+        NamedRequest::for_tenant(TenantId::public(), view, request)
+    }
+
+    /// Address `request` at `tenant`'s view `view`.
+    pub fn for_tenant(
+        tenant: impl Into<TenantId>,
+        view: impl Into<String>,
+        request: SearchRequest,
+    ) -> Self {
+        NamedRequest { tenant: tenant.into(), view: view.into(), request }
     }
 }
 
@@ -60,7 +99,7 @@ pub struct CatalogStats {
     pub prepares: u64,
     /// Ad-hoc entries evicted by the LRU capacity bound.
     pub evictions: u64,
-    /// Currently registered named views.
+    /// Currently registered named views, across all tenants.
     pub named: usize,
     /// Currently cached ad-hoc views.
     pub adhoc: usize,
@@ -81,11 +120,16 @@ struct AdhocCache<S: DocumentSource> {
     entries: HashMap<String, AdhocEntry<S>>,
 }
 
-/// A registry of named [`PreparedView`]s over one shared engine; see the
-/// module docs.
+/// Tenant id leads every key, so one tenant's views form a contiguous
+/// range and quota counting is a prefix scan.
+type NamedViews<S> = BTreeMap<(TenantId, String), Arc<PreparedView<S>>>;
+
+/// A registry of named [`PreparedView`]s over one shared engine,
+/// namespaced by tenant; see the module docs.
 pub struct ViewCatalog<S: DocumentSource = Corpus> {
     engine: ViewSearchEngine<S>,
-    named: RwLock<HashMap<String, Arc<PreparedView<S>>>>,
+    named: RwLock<NamedViews<S>>,
+    tenants: TenantRegistry,
     adhoc: Mutex<AdhocCache<S>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -116,7 +160,8 @@ impl<S: DocumentSource> ViewCatalog<S> {
     pub fn with_adhoc_capacity(engine: ViewSearchEngine<S>, capacity: usize) -> Self {
         ViewCatalog {
             engine,
-            named: RwLock::new(HashMap::new()),
+            named: RwLock::new(BTreeMap::new()),
+            tenants: TenantRegistry::new(),
             adhoc: Mutex::new(AdhocCache { capacity, tick: 0, entries: HashMap::new() }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -130,24 +175,86 @@ impl<S: DocumentSource> ViewCatalog<S> {
         &self.engine
     }
 
-    /// Prepare `view_text` once and register it under `name`. Re-using a
-    /// name replaces the previous view (existing `Arc` handles keep
-    /// working). Returns the shared prepared view.
+    /// The tenant table: quotas and per-tenant counters. The serving
+    /// tier shares these `Arc<TenantState>` handles so its admission
+    /// queue and the catalog enforce the same numbers.
+    pub fn tenants(&self) -> &TenantRegistry {
+        &self.tenants
+    }
+
+    /// Shorthand: set `tenant`'s quotas (creating the tenant if new).
+    pub fn set_tenant_quotas(&self, tenant: &TenantId, quotas: TenantQuotas) -> Arc<TenantState> {
+        self.tenants.set_quotas(tenant, quotas)
+    }
+
+    /// Prepare `view_text` once and register it under the **public**
+    /// tenant's `name`. See [`Self::register_for`].
     pub fn register(
         &self,
         name: impl Into<String>,
         view_text: &str,
     ) -> Result<Arc<PreparedView<S>>, EngineError> {
+        self.register_for(&TenantId::public(), name, view_text)
+    }
+
+    /// Prepare `view_text` once and register it under `(tenant, name)`.
+    /// Re-using a name replaces the previous view (existing `Arc`
+    /// handles keep working) without consuming extra quota. A tenant at
+    /// its `max_views` quota is refused with
+    /// [`EngineError::QuotaExceeded`] **before** the prepare work runs.
+    pub fn register_for(
+        &self,
+        tenant: &TenantId,
+        name: impl Into<String>,
+        view_text: &str,
+    ) -> Result<Arc<PreparedView<S>>, EngineError> {
+        let name = name.into();
+        let max_views = self.tenants.tenant(tenant).quotas().max_views;
+        {
+            let named = self.named.read().unwrap();
+            let held = self.tenant_view_count(&named, tenant);
+            let replacing = named.contains_key(&(tenant.clone(), name.clone()));
+            if !replacing && held >= max_views {
+                return Err(EngineError::QuotaExceeded {
+                    tenant: tenant.to_string(),
+                    quota: format!("max_views={max_views}"),
+                });
+            }
+        }
         self.prepares.fetch_add(1, Ordering::Relaxed);
         let view = Arc::new(self.engine.prepare(view_text)?);
-        self.named.write().unwrap().insert(name.into(), Arc::clone(&view));
+        // Re-check under the write lock: a racing register may have
+        // consumed the last quota slot while this one prepared.
+        let mut named = self.named.write().unwrap();
+        let key = (tenant.clone(), name);
+        if !named.contains_key(&key) && self.tenant_view_count(&named, tenant) >= max_views {
+            return Err(EngineError::QuotaExceeded {
+                tenant: tenant.to_string(),
+                quota: format!("max_views={max_views}"),
+            });
+        }
+        named.insert(key, Arc::clone(&view));
         Ok(view)
     }
 
-    /// The prepared view registered under `name`, if any. Counts a
-    /// catalog hit or miss.
+    fn tenant_view_count(
+        &self,
+        named: &BTreeMap<(TenantId, String), Arc<PreparedView<S>>>,
+        tenant: &TenantId,
+    ) -> usize {
+        named.range((tenant.clone(), String::new())..).take_while(|((t, _), _)| t == tenant).count()
+    }
+
+    /// The prepared view registered under the public tenant's `name`, if
+    /// any. Counts a catalog hit or miss.
     pub fn get(&self, name: &str) -> Option<Arc<PreparedView<S>>> {
-        let found = self.named.read().unwrap().get(name).cloned();
+        self.get_for(&TenantId::public(), name)
+    }
+
+    /// The prepared view registered under `(tenant, name)`, if any.
+    /// Counts a catalog hit or miss.
+    pub fn get_for(&self, tenant: &TenantId, name: &str) -> Option<Arc<PreparedView<S>>> {
+        let found = self.named.read().unwrap().get(&(tenant.clone(), name.to_string())).cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -155,37 +262,89 @@ impl<S: DocumentSource> ViewCatalog<S> {
         found
     }
 
-    /// Registered view names, sorted.
+    /// The public tenant's registered view names, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.named.read().unwrap().keys().cloned().collect();
-        names.sort();
-        names
+        self.names_for(&TenantId::public())
     }
 
-    /// Number of registered named views.
+    /// `tenant`'s registered view names, sorted (a contiguous key range
+    /// — the payoff of the tenant-leading key).
+    pub fn names_for(&self, tenant: &TenantId) -> Vec<String> {
+        self.named
+            .read()
+            .unwrap()
+            .range((tenant.clone(), String::new())..)
+            .take_while(|((t, _), _)| t == tenant)
+            .map(|((_, name), _)| name.clone())
+            .collect()
+    }
+
+    /// Every registration as `(tenant, name)`, sorted tenant-first.
+    pub fn views(&self) -> Vec<(TenantId, String)> {
+        self.named.read().unwrap().keys().cloned().collect()
+    }
+
+    /// Number of registered named views, across all tenants.
     pub fn len(&self) -> usize {
         self.named.read().unwrap().len()
     }
 
-    /// True when no named view is registered.
+    /// True when no named view is registered (any tenant).
     pub fn is_empty(&self) -> bool {
         self.named.read().unwrap().is_empty()
     }
 
-    /// Drop the named view `name`. Returns whether it existed. In-flight
-    /// `Arc` handles stay valid; only the registration goes away.
+    /// Drop the public tenant's view `name`. See [`Self::evict_for`].
     pub fn evict(&self, name: &str) -> bool {
-        self.named.write().unwrap().remove(name).is_some()
+        self.evict_for(&TenantId::public(), name)
     }
 
-    /// Search the named view. `EngineError::ViewNotFound` if `name` was
-    /// never registered (or was evicted).
+    /// Drop `(tenant, name)`. Returns whether it existed. In-flight
+    /// `Arc` handles stay valid; only the registration goes away.
+    pub fn evict_for(&self, tenant: &TenantId, name: &str) -> bool {
+        self.named.write().unwrap().remove(&(tenant.clone(), name.to_string())).is_some()
+    }
+
+    /// Search the public tenant's named view. See [`Self::search_for`].
     pub fn search(
         &self,
         name: &str,
         request: &SearchRequest,
     ) -> Result<SearchResponse, EngineError> {
-        self.get(name).ok_or_else(|| EngineError::ViewNotFound(name.to_string()))?.search(request)
+        self.search_for(&TenantId::public(), name, request)
+    }
+
+    /// Search `(tenant, name)` under the tenant's concurrency quota.
+    ///
+    /// [`EngineError::ViewNotFound`] if the name was never registered
+    /// (or was evicted) for that tenant. A tenant already running
+    /// `max_concurrent` searches is **shed immediately** with
+    /// [`EngineError::Overloaded`] — the catalog never queues; callers
+    /// that want bounded queueing put the serving tier's admission
+    /// controller in front. Admitted / shed / completed /
+    /// deadline-exceeded land in the tenant's counters.
+    pub fn search_for(
+        &self,
+        tenant: &TenantId,
+        name: &str,
+        request: &SearchRequest,
+    ) -> Result<SearchResponse, EngineError> {
+        let view = self
+            .get_for(tenant, name)
+            .ok_or_else(|| EngineError::ViewNotFound(name.to_string()))?;
+        let state = self.tenants.tenant(tenant);
+        let Some(_permit) = state.try_begin_search() else {
+            state.record_shed();
+            return Err(EngineError::Overloaded { retry_after: QUOTA_RETRY_AFTER });
+        };
+        state.record_admitted();
+        let result = view.search(request);
+        match &result {
+            Ok(_) => state.record_completed(),
+            Err(EngineError::DeadlineExceeded { .. }) => state.record_deadline_exceeded(),
+            Err(_) => {}
+        }
+        result
     }
 
     /// Prepare-or-reuse an **ad-hoc** view text through the LRU: repeated
@@ -282,14 +441,18 @@ impl<S: DocumentSource> ViewCatalog<S> {
 
     /// Execute a batch of named requests across a small worker pool,
     /// returning per-request results **in request order**. Failures are
-    /// per-request — one bad name or tripped deadline never poisons its
-    /// neighbours. Single-request batches (and single-core hosts) run
-    /// inline.
+    /// **typed and per-request** — a bad name
+    /// ([`EngineError::ViewNotFound`]), a shed
+    /// ([`EngineError::Overloaded`]) or a tripped deadline
+    /// ([`EngineError::DeadlineExceeded`]) lands in that entry's slot
+    /// and never poisons its neighbours. Entries run under their own
+    /// tenant's concurrency quota. Single-request batches (and
+    /// single-core hosts) run inline.
     pub fn search_batch(
         &self,
         requests: &[NamedRequest],
     ) -> Vec<Result<SearchResponse, EngineError>> {
-        crate::fanout::fan_out(requests, |r| self.search(&r.view, &r.request))
+        crate::fanout::fan_out(requests, |r| self.search_for(&r.tenant, &r.view, &r.request))
     }
 
     /// Counter snapshot; see [`CatalogStats`].
@@ -361,6 +524,80 @@ mod tests {
         assert!(catalog.evict("a"));
         assert!(!catalog.evict("a"));
         assert_eq!(catalog.names(), vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn tenants_are_namespaced_by_leading_key() {
+        let catalog = ViewCatalog::new(ViewSearchEngine::new(corpus()));
+        let acme = TenantId::new("acme");
+        let beta = TenantId::new("beta");
+        catalog.register_for(&acme, "recent", VIEW_A).unwrap();
+        catalog.register_for(&beta, "recent", VIEW_B).unwrap();
+        // Same name, different tenants: distinct views.
+        let a = catalog.get_for(&acme, "recent").unwrap();
+        let b = catalog.get_for(&beta, "recent").unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(catalog.names_for(&acme), vec!["recent".to_string()]);
+        assert_eq!(catalog.names(), Vec::<String>::new(), "public tenant holds nothing");
+        assert_eq!(
+            catalog.views(),
+            vec![(acme.clone(), "recent".into()), (beta.clone(), "recent".into())]
+        );
+        // Eviction is tenant-scoped.
+        assert!(catalog.evict_for(&acme, "recent"));
+        assert!(catalog.get_for(&beta, "recent").is_some());
+        // Search is tenant-scoped: acme's registration is gone.
+        let err = catalog.search_for(&acme, "recent", &SearchRequest::new(["xml"])).unwrap_err();
+        assert!(matches!(err, EngineError::ViewNotFound(_)), "{err}");
+    }
+
+    #[test]
+    fn max_views_quota_refuses_registration_not_replacement() {
+        let catalog = ViewCatalog::new(ViewSearchEngine::new(corpus()));
+        let acme = TenantId::new("acme");
+        catalog.set_tenant_quotas(&acme, TenantQuotas { max_views: 1, ..Default::default() });
+        catalog.register_for(&acme, "one", VIEW_A).unwrap();
+        let err = catalog.register_for(&acme, "two", VIEW_B).unwrap_err();
+        assert!(
+            matches!(&err, EngineError::QuotaExceeded { tenant, quota }
+                if tenant == "acme" && quota == "max_views=1"),
+            "{err}"
+        );
+        // Replacing the existing name consumes no quota.
+        catalog.register_for(&acme, "one", VIEW_B).unwrap();
+        // Other tenants are unaffected.
+        catalog.register_for(&TenantId::new("beta"), "two", VIEW_B).unwrap();
+    }
+
+    #[test]
+    fn zero_concurrency_quota_sheds_with_retry_after() {
+        let catalog = ViewCatalog::new(ViewSearchEngine::new(corpus()));
+        let starved = TenantId::new("starved");
+        catalog.register_for(&starved, "v", VIEW_A).unwrap();
+        catalog
+            .set_tenant_quotas(&starved, TenantQuotas { max_concurrent: 0, ..Default::default() });
+        let err = catalog.search_for(&starved, "v", &SearchRequest::new(["xml"])).unwrap_err();
+        assert!(
+            matches!(err, EngineError::Overloaded { retry_after } if retry_after > Duration::ZERO),
+            "{err}"
+        );
+        let stats = catalog.tenants().tenant(&starved).stats();
+        assert_eq!((stats.shed, stats.admitted, stats.completed), (1, 0, 0));
+    }
+
+    #[test]
+    fn tenant_counters_track_outcomes() {
+        let catalog = ViewCatalog::new(ViewSearchEngine::new(corpus()));
+        catalog.register("v", VIEW_A).unwrap();
+        catalog.search("v", &SearchRequest::new(["xml"])).unwrap();
+        let err =
+            catalog.search("v", &SearchRequest::new(["xml"]).deadline(Duration::ZERO)).unwrap_err();
+        assert!(matches!(err, EngineError::DeadlineExceeded { .. }), "{err}");
+        let stats = catalog.tenants().tenant(&TenantId::public()).stats();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.deadline_exceeded, 1);
+        assert_eq!(stats.in_flight, 0, "permits released");
     }
 
     #[test]

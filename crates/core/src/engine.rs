@@ -89,6 +89,20 @@ pub enum EngineError {
         /// Partial per-phase wall-clock costs at the moment of abort.
         timings: PhaseTimings,
     },
+    /// The request was shed before executing — by a tenant's
+    /// concurrent-search quota or by the serving tier's bounded
+    /// admission queue. Nothing ran; retry after the suggested backoff.
+    Overloaded {
+        /// Suggested client backoff before retrying.
+        retry_after: std::time::Duration,
+    },
+    /// A tenant resource quota (e.g. registered views) was exceeded.
+    QuotaExceeded {
+        /// The tenant that hit its ceiling.
+        tenant: String,
+        /// Which quota tripped, human-readable (e.g. `max_views=8`).
+        quota: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -109,6 +123,12 @@ impl fmt::Display for EngineError {
             }
             EngineError::Cancelled { timings } => {
                 write!(f, "search cancelled after {:?}", timings.total())
+            }
+            EngineError::Overloaded { retry_after } => {
+                write!(f, "overloaded, retry after {}ms", retry_after.as_millis())
+            }
+            EngineError::QuotaExceeded { tenant, quota } => {
+                write!(f, "tenant '{tenant}' exceeded quota {quota}")
             }
         }
     }

@@ -135,8 +135,11 @@ pub mod qpt_gen;
 pub mod request;
 pub mod scoring;
 pub mod stream;
+pub mod tenant;
 
-pub use catalog::{CatalogStats, NamedRequest, ViewCatalog, DEFAULT_ADHOC_CAPACITY};
+pub use catalog::{
+    CatalogStats, NamedRequest, ViewCatalog, DEFAULT_ADHOC_CAPACITY, QUOTA_RETRY_AFTER,
+};
 pub use control::CancelToken;
 pub use engine::{
     CompactReport, EngineError, EngineStats, IngestReport, SegmentInfo, ViewSearchEngine,
@@ -153,6 +156,9 @@ pub use scoring::{
     PruneStats, ScoredElement, ScoringOutcome,
 };
 pub use stream::HitStream;
+pub use tenant::{
+    SearchPermit, TenantId, TenantQuotas, TenantRegistry, TenantState, TenantStats, PUBLIC_TENANT,
+};
 
 #[cfg(feature = "legacy-api")]
 #[allow(deprecated)]

@@ -1,0 +1,384 @@
+//! Multi-tenant state: identities, quotas, and per-tenant work counters.
+//!
+//! The serving tier shares one [`crate::catalog::ViewCatalog`] (and the
+//! indices behind it) across many tenants, so tenancy is woven through
+//! the core rather than bolted onto the network edge: the **tenant id
+//! leads every catalog lookup key** (the OceanBase system-table idiom),
+//! quotas are enforced where the resource is consumed, and every
+//! admission decision lands in an atomic counter a `stats` call can
+//! read without locks.
+//!
+//! Three quota knobs per tenant ([`TenantQuotas`]):
+//!
+//! * `max_views` — registered views ([`crate::ViewCatalog::register_for`]
+//!   rejects past it with [`crate::EngineError::QuotaExceeded`]);
+//! * `max_concurrent` — searches executing at once (a
+//!   [`SearchPermit`] is acquired per search; exhaustion sheds with
+//!   [`crate::EngineError::Overloaded`]);
+//! * `max_queue` — admission-queue slots a tenant may occupy (consulted
+//!   by the serving tier's bounded queue, so one tenant's backlog can
+//!   never fill the shared queue).
+//!
+//! Counters ([`TenantStats`]) follow the same discipline as
+//! [`crate::EngineStats`]: plain atomics bumped on the request path,
+//! snapshotted on demand — admitted, shed, completed and
+//! deadline-exceeded per tenant.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A tenant identity — the leading component of every tenant-scoped
+/// lookup key. Cheap to clone (shared string) and totally ordered so
+/// tenant-prefixed key ranges stay contiguous in sorted maps.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(Arc<str>);
+
+/// The tenant unscoped callers act as (single-tenant deployments never
+/// see another).
+pub const PUBLIC_TENANT: &str = "public";
+
+impl TenantId {
+    /// A tenant id from any string-ish value.
+    pub fn new(id: impl AsRef<str>) -> Self {
+        TenantId(Arc::from(id.as_ref()))
+    }
+
+    /// The default tenant unscoped API calls are attributed to.
+    pub fn public() -> Self {
+        TenantId::new(PUBLIC_TENANT)
+    }
+
+    /// The identity as a string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Default for TenantId {
+    fn default() -> Self {
+        TenantId::public()
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for TenantId {
+    fn from(s: &str) -> Self {
+        TenantId::new(s)
+    }
+}
+
+impl From<String> for TenantId {
+    fn from(s: String) -> Self {
+        TenantId::new(s)
+    }
+}
+
+/// Per-tenant resource ceilings. The default is unlimited on every axis,
+/// so single-tenant use never trips a quota it didn't ask for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TenantQuotas {
+    /// Registered views the tenant may hold at once.
+    pub max_views: usize,
+    /// Searches the tenant may have executing at once.
+    pub max_concurrent: usize,
+    /// Admission-queue slots the tenant may occupy at once (serving
+    /// tier; unused by direct library calls, which never queue).
+    pub max_queue: usize,
+}
+
+impl Default for TenantQuotas {
+    fn default() -> Self {
+        TenantQuotas { max_views: usize::MAX, max_concurrent: usize::MAX, max_queue: usize::MAX }
+    }
+}
+
+/// Counter snapshot for one tenant; see [`TenantState`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Searches that passed admission (quota permit acquired).
+    pub admitted: u64,
+    /// Searches shed by quota or queue pressure (never executed).
+    pub shed: u64,
+    /// Searches that ran to completion.
+    pub completed: u64,
+    /// Searches that aborted on their deadline.
+    pub deadline_exceeded: u64,
+    /// Searches executing right now.
+    pub in_flight: usize,
+    /// Admission-queue slots occupied right now.
+    pub queued: usize,
+}
+
+/// One tenant's live state: quotas (settable at runtime) plus the
+/// `EngineStats`-style atomics every admission decision lands in.
+/// Shared via `Arc` between the catalog and the serving tier so both
+/// enforce the same numbers.
+#[derive(Debug, Default)]
+pub struct TenantState {
+    max_views: AtomicUsize,
+    max_concurrent: AtomicUsize,
+    max_queue: AtomicUsize,
+    in_flight: AtomicUsize,
+    queued: AtomicUsize,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    completed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+}
+
+impl TenantState {
+    fn new(quotas: TenantQuotas) -> Self {
+        let state = TenantState::default();
+        state.set_quotas(quotas);
+        state
+    }
+
+    /// Replace the tenant's quotas (effective for the next admission;
+    /// in-flight work is never revoked).
+    pub fn set_quotas(&self, quotas: TenantQuotas) {
+        self.max_views.store(quotas.max_views, Ordering::Relaxed);
+        self.max_concurrent.store(quotas.max_concurrent, Ordering::Relaxed);
+        self.max_queue.store(quotas.max_queue, Ordering::Relaxed);
+    }
+
+    /// The current quotas.
+    pub fn quotas(&self) -> TenantQuotas {
+        TenantQuotas {
+            max_views: self.max_views.load(Ordering::Relaxed),
+            max_concurrent: self.max_concurrent.load(Ordering::Relaxed),
+            max_queue: self.max_queue.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> TenantStats {
+        TenantStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            queued: self.queued.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Try to take one concurrent-search slot. `None` when the tenant is
+    /// at `max_concurrent` — the caller decides whether to queue or shed
+    /// (and records the outcome; this method only moves `in_flight`).
+    pub fn try_begin_search(self: &Arc<Self>) -> Option<SearchPermit> {
+        let limit = self.max_concurrent.load(Ordering::Relaxed);
+        let mut current = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            if current >= limit {
+                return None;
+            }
+            match self.in_flight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(SearchPermit { tenant: Arc::clone(self) }),
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Try to take one admission-queue slot (serving tier). `false` when
+    /// the tenant is at `max_queue`.
+    pub fn try_enqueue(&self) -> bool {
+        let limit = self.max_queue.load(Ordering::Relaxed);
+        let mut current = self.queued.load(Ordering::Relaxed);
+        loop {
+            if current >= limit {
+                return false;
+            }
+            match self.queued.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Release one admission-queue slot taken by [`Self::try_enqueue`].
+    pub fn dequeue(&self) {
+        self.queued.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Record a search admitted past the quota gate.
+    pub fn record_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a search shed (by quota or queue pressure).
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a search that ran to completion.
+    pub fn record_completed(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a search that aborted on its deadline.
+    pub fn record_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// RAII concurrent-search slot: dropping it releases the tenant's
+/// `in_flight` count.
+#[derive(Debug)]
+pub struct SearchPermit {
+    tenant: Arc<TenantState>,
+}
+
+impl SearchPermit {
+    /// The tenant the permit was drawn from.
+    pub fn tenant(&self) -> &Arc<TenantState> {
+        &self.tenant
+    }
+}
+
+impl Drop for SearchPermit {
+    fn drop(&mut self) {
+        self.tenant.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// The tenant table: id → live state, created on first touch. Owned by
+/// the catalog; the serving tier shares the `Arc<TenantState>` handles.
+#[derive(Debug, Default)]
+pub struct TenantRegistry {
+    tenants: RwLock<HashMap<TenantId, Arc<TenantState>>>,
+}
+
+impl TenantRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        TenantRegistry::default()
+    }
+
+    /// The tenant's state, created with unlimited quotas on first touch.
+    pub fn tenant(&self, id: &TenantId) -> Arc<TenantState> {
+        if let Some(state) = self.tenants.read().unwrap().get(id) {
+            return Arc::clone(state);
+        }
+        let mut tenants = self.tenants.write().unwrap();
+        Arc::clone(
+            tenants
+                .entry(id.clone())
+                .or_insert_with(|| Arc::new(TenantState::new(TenantQuotas::default()))),
+        )
+    }
+
+    /// Set (or replace) a tenant's quotas, creating it if needed.
+    pub fn set_quotas(&self, id: &TenantId, quotas: TenantQuotas) -> Arc<TenantState> {
+        let state = self.tenant(id);
+        state.set_quotas(quotas);
+        state
+    }
+
+    /// Every known tenant id, sorted.
+    pub fn ids(&self) -> Vec<TenantId> {
+        let mut ids: Vec<TenantId> = self.tenants.read().unwrap().keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Counter snapshots for every known tenant, sorted by id.
+    pub fn stats(&self) -> Vec<(TenantId, TenantStats)> {
+        let mut out: Vec<(TenantId, TenantStats)> = self
+            .tenants
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(id, state)| (id.clone(), state.stats()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permits_respect_max_concurrent_and_release_on_drop() {
+        let registry = TenantRegistry::new();
+        let id = TenantId::new("acme");
+        let state =
+            registry.set_quotas(&id, TenantQuotas { max_concurrent: 2, ..Default::default() });
+        let a = state.try_begin_search().expect("slot 1");
+        let _b = state.try_begin_search().expect("slot 2");
+        assert!(state.try_begin_search().is_none(), "third concurrent search is refused");
+        assert_eq!(state.stats().in_flight, 2);
+        drop(a);
+        assert!(state.try_begin_search().is_some(), "released slot is reusable");
+    }
+
+    #[test]
+    fn zero_concurrency_quota_refuses_everything() {
+        let registry = TenantRegistry::new();
+        let id = TenantId::new("starved");
+        let state =
+            registry.set_quotas(&id, TenantQuotas { max_concurrent: 0, ..Default::default() });
+        assert!(state.try_begin_search().is_none());
+    }
+
+    #[test]
+    fn queue_slots_are_bounded_per_tenant() {
+        let registry = TenantRegistry::new();
+        let id = TenantId::new("queued");
+        let state = registry.set_quotas(&id, TenantQuotas { max_queue: 1, ..Default::default() });
+        assert!(state.try_enqueue());
+        assert!(!state.try_enqueue(), "second queue slot exceeds max_queue");
+        state.dequeue();
+        assert!(state.try_enqueue());
+    }
+
+    #[test]
+    fn registry_creates_on_first_touch_and_snapshots_sorted() {
+        let registry = TenantRegistry::new();
+        registry.tenant(&TenantId::new("b"));
+        registry.tenant(&TenantId::new("a"));
+        registry.tenant(&TenantId::new("a"));
+        assert_eq!(registry.ids(), vec![TenantId::new("a"), TenantId::new("b")]);
+        let stats = registry.stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].1, TenantStats::default());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let registry = TenantRegistry::new();
+        let state = registry.tenant(&TenantId::public());
+        state.record_admitted();
+        state.record_admitted();
+        state.record_shed();
+        state.record_completed();
+        state.record_deadline_exceeded();
+        let s = state.stats();
+        assert_eq!((s.admitted, s.shed, s.completed, s.deadline_exceeded), (2, 1, 1, 1));
+    }
+
+    #[test]
+    fn tenant_ids_order_and_display() {
+        assert!(TenantId::new("a") < TenantId::new("b"));
+        assert_eq!(TenantId::public().to_string(), PUBLIC_TENANT);
+        assert_eq!(TenantId::from("x").as_str(), "x");
+    }
+}

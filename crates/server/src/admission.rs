@@ -1,0 +1,313 @@
+//! Bounded admission: a global in-flight cap, a bounded wait queue, and
+//! typed load shedding — per tenant and for the server as a whole.
+//!
+//! Every search the server executes first passes [`AdmissionController::
+//! admit`]. The controller grants an [`AdmitPermit`] when a global
+//! execution slot **and** a tenant concurrency slot
+//! ([`vxv_core::tenant::TenantState::try_begin_search`]) are both free.
+//! Otherwise the request takes one bounded queue slot (global
+//! `queue_depth`, per-tenant `max_queue`) and waits on a condvar; if no
+//! slot exists, or the wait outlives `max_queue_wait` or the request's
+//! own deadline, the request is **shed with a typed error** — the
+//! protocol turns [`AdmitError::Shed`] into `error overloaded
+//! retry-after-ms=N`, so clients back off instead of piling on. Nothing
+//! ever waits unboundedly.
+//!
+//! Dropping the permit releases both slots and wakes one queued waiter,
+//! so the queue drains in arrival-ish order without a dedicated
+//! dispatcher thread. Counters mirror the per-tenant ones: admitted /
+//! shed / queue-timeouts plus live in-flight and queued gauges.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use vxv_core::tenant::{SearchPermit, TenantState};
+
+/// Knobs for the bounded admission queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Searches executing at once, across all connections and tenants.
+    pub max_in_flight: usize,
+    /// Requests waiting for a slot, across all tenants. Anything beyond
+    /// is shed immediately.
+    pub queue_depth: usize,
+    /// Backoff suggested in `overloaded` rejections.
+    pub retry_after: Duration,
+    /// Longest a request may sit in the queue before being shed (its own
+    /// deadline may cut the wait shorter).
+    pub max_queue_wait: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_in_flight: 8,
+            queue_depth: 32,
+            retry_after: Duration::from_millis(25),
+            max_queue_wait: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Why a request was not admitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// No execution slot and no queue slot (or the queue wait timed
+    /// out): retry after the suggested backoff.
+    Shed {
+        /// Suggested client backoff.
+        retry_after: Duration,
+    },
+    /// The request's own deadline expired while it was still queued —
+    /// the remaining budget reached zero before any work ran.
+    DeadlineExceeded,
+}
+
+/// Live admission gauges and lifetime counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionSnapshot {
+    /// Searches executing right now.
+    pub in_flight: usize,
+    /// Requests waiting in the queue right now.
+    pub queued: usize,
+    /// Requests granted a permit, lifetime.
+    pub admitted: u64,
+    /// Requests shed (queue full, tenant quota, or wait timeout),
+    /// lifetime.
+    pub shed: u64,
+    /// Sheds specifically caused by a `max_queue_wait` timeout.
+    pub queue_timeouts: u64,
+}
+
+#[derive(Debug)]
+struct Gate {
+    in_flight: usize,
+    queued: usize,
+}
+
+/// The server's admission gate; see the module docs.
+#[derive(Debug)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    gate: Mutex<Gate>,
+    available: Condvar,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    queue_timeouts: AtomicU64,
+}
+
+impl AdmissionController {
+    /// A controller enforcing `config`.
+    pub fn new(config: AdmissionConfig) -> Arc<Self> {
+        Arc::new(AdmissionController {
+            config,
+            gate: Mutex::new(Gate { in_flight: 0, queued: 0 }),
+            available: Condvar::new(),
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            queue_timeouts: AtomicU64::new(0),
+        })
+    }
+
+    /// The knobs this controller enforces.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Current gauges and counters.
+    pub fn snapshot(&self) -> AdmissionSnapshot {
+        let gate = self.gate.lock().unwrap();
+        AdmissionSnapshot {
+            in_flight: gate.in_flight,
+            queued: gate.queued,
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            queue_timeouts: self.queue_timeouts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Admit one search for `tenant`, queueing (bounded) if the server
+    /// or the tenant is at capacity. `deadline` is the request's own
+    /// absolute deadline: expiring while queued yields
+    /// [`AdmitError::DeadlineExceeded`] — the executing phase would have
+    /// zero budget left, so nothing runs.
+    ///
+    /// Every outcome is recorded in both the controller's and the
+    /// tenant's counters exactly once.
+    pub fn admit(
+        self: &Arc<Self>,
+        tenant: &Arc<TenantState>,
+        deadline: Option<Instant>,
+    ) -> Result<AdmitPermit, AdmitError> {
+        let queue_cutoff = Instant::now() + self.config.max_queue_wait;
+        let wait_until = deadline.map_or(queue_cutoff, |d| d.min(queue_cutoff));
+        let mut gate = self.gate.lock().unwrap();
+        let mut queued = false;
+        loop {
+            if gate.in_flight < self.config.max_in_flight {
+                if let Some(permit) = tenant.try_begin_search() {
+                    gate.in_flight += 1;
+                    if queued {
+                        gate.queued -= 1;
+                        tenant.dequeue();
+                    }
+                    drop(gate);
+                    tenant.record_admitted();
+                    self.admitted.fetch_add(1, Ordering::Relaxed);
+                    return Ok(AdmitPermit {
+                        controller: Arc::clone(self),
+                        tenant_permit: Some(permit),
+                    });
+                }
+            }
+            if !queued {
+                if gate.queued >= self.config.queue_depth || !tenant.try_enqueue() {
+                    drop(gate);
+                    tenant.record_shed();
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                    return Err(AdmitError::Shed { retry_after: self.config.retry_after });
+                }
+                gate.queued += 1;
+                queued = true;
+            }
+            let now = Instant::now();
+            if now >= wait_until {
+                gate.queued -= 1;
+                tenant.dequeue();
+                drop(gate);
+                // The request's own deadline firing first is a deadline
+                // failure (zero budget would remain); otherwise the wait
+                // aged out and the request is shed like any overload.
+                if deadline.is_some_and(|d| now >= d) {
+                    tenant.record_deadline_exceeded();
+                    return Err(AdmitError::DeadlineExceeded);
+                }
+                tenant.record_shed();
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                self.queue_timeouts.fetch_add(1, Ordering::Relaxed);
+                return Err(AdmitError::Shed { retry_after: self.config.retry_after });
+            }
+            let (g, _) = self.available.wait_timeout(gate, wait_until - now).unwrap();
+            gate = g;
+        }
+    }
+}
+
+/// RAII grant from [`AdmissionController::admit`]: holds one global
+/// execution slot and the tenant's [`SearchPermit`]. Dropping it
+/// releases both and wakes queued waiters.
+#[derive(Debug)]
+pub struct AdmitPermit {
+    controller: Arc<AdmissionController>,
+    tenant_permit: Option<SearchPermit>,
+}
+
+impl AdmitPermit {
+    /// The tenant state the permit was drawn from (for recording the
+    /// search's final outcome).
+    pub fn tenant(&self) -> &Arc<TenantState> {
+        self.tenant_permit.as_ref().expect("permit held until drop").tenant()
+    }
+}
+
+impl Drop for AdmitPermit {
+    fn drop(&mut self) {
+        // Free the tenant slot first so a queued waiter that wakes for
+        // the global slot can immediately take the tenant one too.
+        self.tenant_permit = None;
+        let mut gate = self.controller.gate.lock().unwrap();
+        gate.in_flight -= 1;
+        drop(gate);
+        self.controller.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vxv_core::tenant::{TenantId, TenantQuotas, TenantRegistry};
+
+    fn controller(max_in_flight: usize, queue_depth: usize) -> Arc<AdmissionController> {
+        AdmissionController::new(AdmissionConfig {
+            max_in_flight,
+            queue_depth,
+            retry_after: Duration::from_millis(5),
+            max_queue_wait: Duration::from_millis(100),
+        })
+    }
+
+    #[test]
+    fn admits_up_to_capacity_then_sheds_past_the_queue() {
+        let ctrl = controller(2, 0);
+        let registry = TenantRegistry::new();
+        let tenant = registry.tenant(&TenantId::public());
+        let a = ctrl.admit(&tenant, None).unwrap();
+        let _b = ctrl.admit(&tenant, None).unwrap();
+        // No queue: the third request is shed immediately with a backoff.
+        let err = ctrl.admit(&tenant, None).unwrap_err();
+        assert_eq!(err, AdmitError::Shed { retry_after: Duration::from_millis(5) });
+        let snap = ctrl.snapshot();
+        assert_eq!((snap.in_flight, snap.admitted, snap.shed), (2, 2, 1));
+        drop(a);
+        assert!(ctrl.admit(&tenant, None).is_ok(), "released slot is reusable");
+    }
+
+    #[test]
+    fn queued_request_proceeds_when_a_permit_releases() {
+        let ctrl = controller(1, 4);
+        let registry = TenantRegistry::new();
+        let tenant = registry.tenant(&TenantId::public());
+        let first = ctrl.admit(&tenant, None).unwrap();
+        let t = {
+            let ctrl = Arc::clone(&ctrl);
+            let tenant = Arc::clone(&tenant);
+            std::thread::spawn(move || ctrl.admit(&tenant, None).map(|_| ()))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        drop(first);
+        t.join().unwrap().expect("queued request admitted after release");
+        assert_eq!(ctrl.snapshot().queued, 0);
+    }
+
+    #[test]
+    fn queue_wait_times_out_as_a_shed_never_a_hang() {
+        let ctrl = controller(1, 4);
+        let registry = TenantRegistry::new();
+        let tenant = registry.tenant(&TenantId::public());
+        let _hold = ctrl.admit(&tenant, None).unwrap();
+        let start = Instant::now();
+        let err = ctrl.admit(&tenant, None).unwrap_err();
+        assert!(matches!(err, AdmitError::Shed { .. }), "{err:?}");
+        assert!(start.elapsed() >= Duration::from_millis(100), "waited out max_queue_wait");
+        assert_eq!(ctrl.snapshot().queue_timeouts, 1);
+    }
+
+    #[test]
+    fn own_deadline_expiring_in_queue_is_a_deadline_error() {
+        let ctrl = controller(1, 4);
+        let registry = TenantRegistry::new();
+        let tenant = registry.tenant(&TenantId::public());
+        let _hold = ctrl.admit(&tenant, None).unwrap();
+        let deadline = Instant::now() + Duration::from_millis(20);
+        let err = ctrl.admit(&tenant, Some(deadline)).unwrap_err();
+        assert_eq!(err, AdmitError::DeadlineExceeded);
+        assert_eq!(tenant.stats().deadline_exceeded, 1);
+        assert_eq!(ctrl.snapshot().queued, 0, "queue slot released");
+    }
+
+    #[test]
+    fn tenant_quota_sheds_only_that_tenant() {
+        let ctrl = controller(8, 8);
+        let registry = TenantRegistry::new();
+        let starved = registry.set_quotas(
+            &TenantId::new("starved"),
+            TenantQuotas { max_concurrent: 0, max_queue: 0, ..Default::default() },
+        );
+        let healthy = registry.tenant(&TenantId::new("healthy"));
+        let err = ctrl.admit(&starved, None).unwrap_err();
+        assert!(matches!(err, AdmitError::Shed { .. }), "{err:?}");
+        let _ok = ctrl.admit(&healthy, None).unwrap();
+        assert_eq!(starved.stats().shed, 1);
+        assert_eq!(healthy.stats().admitted, 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! A small blocking client for the wire protocol — what the integration
+//! tests, the load generator, and scripted drivers use.
+//!
+//! The client is strictly lockstep: one request line out, one response
+//! (single- or multi-line, fixed per command) back. Typed helpers parse
+//! responses into [`crate::proto::WireSearch`] / [`crate::proto::
+//! WireFault`], so callers branch on error *codes* (`overloaded`,
+//! `deadline-exceeded`, …) instead of string-matching messages.
+
+use crate::proto::{self, WireFault, WireSearch};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+
+/// What a request can come back as.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed mid-request.
+    Io(std::io::Error),
+    /// The server's bytes didn't parse as the protocol.
+    Protocol(String),
+    /// A well-formed `error <code> ...` response.
+    Server(WireFault),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(what) => write!(f, "protocol: {what}"),
+            ClientError::Server(fault) => {
+                write!(f, "server: {} {}", fault.code, fault.detail)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// The server fault, if this is a typed server error.
+    pub fn fault(&self) -> Option<&WireFault> {
+        match self {
+            ClientError::Server(fault) => Some(fault),
+            _ => None,
+        }
+    }
+
+    /// True when the server shed this request with `overloaded` (the
+    /// caller should back off `retry_after_ms` and retry).
+    pub fn is_overloaded(&self) -> bool {
+        self.fault().is_some_and(|f| f.code == proto::code::OVERLOADED)
+    }
+
+    /// True when the request's deadline expired (queued or executing).
+    pub fn is_deadline_exceeded(&self) -> bool {
+        self.fault().is_some_and(|f| f.code == proto::code::DEADLINE_EXCEEDED)
+    }
+}
+
+/// One blocking protocol connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server (tests: [`crate::ServerHandle::addr`]).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// The peer address.
+    pub fn peer_addr(&self) -> std::io::Result<SocketAddr> {
+        self.writer.peer_addr()
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), ClientError> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn read_response_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("connection closed mid-response".into()));
+        }
+        Ok(line.trim_end_matches(['\n', '\r']).to_string())
+    }
+
+    /// Send one request line and read a **single-line** response.
+    /// `error` responses become [`ClientError::Server`].
+    pub fn request_line(&mut self, line: &str) -> Result<String, ClientError> {
+        self.send(line)?;
+        let reply = self.read_response_line()?;
+        if let Some(fault) = proto::parse_error(&reply) {
+            return Err(ClientError::Server(fault));
+        }
+        Ok(reply)
+    }
+
+    /// Send one request line and read a **multi-line** response: an `ok`
+    /// header, body lines, and the closing `.`. A single `error` line
+    /// (sheds, deadline trips, 404s) becomes [`ClientError::Server`].
+    pub fn request_block(&mut self, line: &str) -> Result<(String, Vec<String>), ClientError> {
+        self.send(line)?;
+        let header = self.read_response_line()?;
+        if let Some(fault) = proto::parse_error(&header) {
+            return Err(ClientError::Server(fault));
+        }
+        let mut body = Vec::new();
+        loop {
+            let line = self.read_response_line()?;
+            if line == "." {
+                return Ok((header, body));
+            }
+            body.push(line);
+        }
+    }
+
+    /// `ping` → server liveness.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let reply = self.request_line("ping")?;
+        if reply == "ok pong" {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(format!("unexpected ping reply '{reply}'")))
+        }
+    }
+
+    /// Register `view_text` as `tenant`'s view `name`. The text may span
+    /// lines; it is escaped onto the wire.
+    pub fn register(
+        &mut self,
+        tenant: &str,
+        name: &str,
+        view_text: &str,
+    ) -> Result<(), ClientError> {
+        let line = format!("register {tenant} {name} {}", proto::escape_line(view_text));
+        self.request_line(&line).map(|_| ())
+    }
+
+    /// Search `tenant`'s view `name`. `options` are raw `key=value`
+    /// tokens (`top=5`, `mode=any`, `deadline-ms=100`, `materialize=0`);
+    /// pass `&[]` for defaults.
+    pub fn search(
+        &mut self,
+        tenant: &str,
+        name: &str,
+        options: &[&str],
+        keywords: &[&str],
+    ) -> Result<WireSearch, ClientError> {
+        let mut line = format!("search {tenant} {name}");
+        for opt in options {
+            line.push(' ');
+            line.push_str(opt);
+        }
+        for kw in keywords {
+            line.push(' ');
+            line.push_str(kw);
+        }
+        let (header, body) = self.request_block(&line)?;
+        proto::parse_search_response(&header, &body).map_err(ClientError::Protocol)
+    }
+
+    /// Set `tenant`'s quotas; `settings` are `views=N` / `concurrent=N`
+    /// / `queue=N` tokens.
+    pub fn quota(&mut self, tenant: &str, settings: &[&str]) -> Result<String, ClientError> {
+        let mut line = format!("quota {tenant}");
+        for s in settings {
+            line.push(' ');
+            line.push_str(s);
+        }
+        self.request_line(&line)
+    }
+
+    /// `stats [tenant]` → the raw stat lines.
+    pub fn stats(&mut self, tenant: Option<&str>) -> Result<Vec<String>, ClientError> {
+        let line = match tenant {
+            Some(t) => format!("stats {t}"),
+            None => "stats".to_string(),
+        };
+        let (_, body) = self.request_block(&line)?;
+        Ok(body)
+    }
+
+    /// `quit` — ask the server to close this connection.
+    pub fn quit(mut self) -> Result<(), ClientError> {
+        self.request_line("quit").map(|_| ())
+    }
+}

@@ -1,0 +1,78 @@
+#![warn(missing_docs)]
+//! # vxv-server — the network serving tier over a `ViewCatalog`
+//!
+//! A concurrent loopback TCP server that turns the service layer into a
+//! multi-tenant network service. One process owns one shared
+//! [`vxv_core::ViewCatalog`] (prepared views, tenant registry, engine);
+//! any number
+//! of clients speak a line-delimited protocol to it. Every request walks
+//! the same four stations:
+//!
+//! 1. **Accept** — a thread per connection behind a connection cap
+//!    ([`ServerConfig::max_connections`]); over-cap connections get one
+//!    `error overloaded retry-after-ms=N` line and are closed, so a
+//!    connection flood degrades into typed rejections, not latency.
+//!    Handlers poll a shutdown flag between reads (partial request bytes
+//!    survive the poll ticks), so shutdown is prompt without dropping
+//!    half-written responses.
+//! 2. **Admit** — every search passes the bounded
+//!    [`admission::AdmissionController`]: a global in-flight cap, a
+//!    bounded wait queue, per-tenant quotas
+//!    ([`vxv_core::tenant::TenantQuotas`]), and per-tenant + global
+//!    counters. Saturation sheds with `overloaded retry-after-ms=N`;
+//!    nothing waits forever ([`admission::AdmissionConfig::
+//!    max_queue_wait`]).
+//! 3. **Execute** — the admitted search runs against the tenant's
+//!    prepared view with the **remaining** deadline budget: the wire
+//!    field `deadline-ms=N` counts from the moment the server read the
+//!    request line, so time spent queued is spent budget, and a request
+//!    whose budget died in the queue never executes at all.
+//! 4. **Respond** — single-line `ok`/`error <code>` replies, or
+//!    `.`-terminated blocks for `search`/`batch`/`stats`/`segments`.
+//!    Scores ride the wire in Rust's shortest round-trip `f64` format,
+//!    so a parsed response is **bit-identical** to a direct
+//!    [`vxv_core::PreparedView::search`] — the loopback tests pin this.
+//!
+//! ## Wire protocol (one request per line)
+//!
+//! ```text
+//! ping                                         -> ok pong
+//! register <tenant> <name> <view text…>        -> ok registered <tenant> <name>
+//! search <tenant> <name> [top=N] [mode=any|all]
+//!        [deadline-ms=N] [materialize=0|1] <kw…>
+//!                                              -> ok search … + hit lines + .
+//! batch <tenant> [options…] <name>:<kw[,kw…]> …-> ok batch N + result lines + .
+//! stats [tenant]                               -> ok stats + counter lines + .
+//! quota <tenant> [views=N] [concurrent=N] [queue=N]
+//!                                              -> ok quota <tenant> …
+//! segments                                     -> ok segments N + lines + .
+//! quit                                         -> ok bye (connection closes)
+//! ```
+//!
+//! Errors are single lines: `error <code> [retry-after-ms=N] <detail>`
+//! with codes `bad-request`, `not-found`, `quota-exceeded`,
+//! `overloaded`, `deadline-exceeded`, `cancelled`, `internal`.
+//!
+//! ## Tenancy
+//!
+//! Tenants exist in the **core**, not the server: the catalog keys every
+//! view by `(tenant, name)` (tenant id leading, OceanBase-style), quotas
+//! live on [`vxv_core::tenant::TenantState`], and this crate only adds
+//! the bounded queue in front. `quota <tenant> concurrent=2 queue=4`
+//! caps one tenant without touching any other — an overloaded tenant's
+//! requests shed while its neighbours' flow.
+//!
+//! Everything binds loopback in tests (`127.0.0.1:0`); the build needs
+//! no network. The protocol module ([`proto`]) and client ([`Client`])
+//! are exported so the load generator in `crates/bench` and external
+//! drivers share one wire implementation.
+
+pub mod admission;
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionSnapshot, AdmitError};
+pub use client::{Client, ClientError};
+pub use proto::{WireFault, WireHit, WireSearch};
+pub use server::{serve, ServerConfig, ServerHandle, ServerStats};

@@ -1,0 +1,628 @@
+//! The line-delimited wire protocol: tokenizing, command parsing, and
+//! response formatting/parsing.
+//!
+//! Requests are one line each; see the crate docs for the command
+//! grammar. Responses are either a single line (`ok ...` / `error
+//! <code> ...`) or a multi-line block opened by an `ok <what> ...`
+//! header and closed by a lone `.`. Which shape a command produces is
+//! fixed per command (`search`/`batch`/`stats`/`segments` are
+//! multi-line; everything else is single-line), so a lockstep client
+//! always knows how much to read.
+//!
+//! Two invariants make the protocol safe to parse line-by-line:
+//!
+//! * any free-text field (hit XML, error detail, view text) is escaped
+//!   onto one line with [`escape_line`] (`\\`, `\n`, `\r`) — a
+//!   pretty-printed source document can never split a hit across lines
+//!   or fake the `.` terminator;
+//! * every `f64` (scores, idf) is formatted with `{}` — Rust's shortest
+//!   round-trip representation — so the bits a client parses back are
+//!   **identical** to the bits the engine produced. The loopback
+//!   byte-identity tests pin this.
+
+use std::time::Duration;
+use vxv_core::{EngineError, KeywordMode, SearchResponse};
+
+/// Wire error codes (the first token after `error`).
+pub mod code {
+    /// Malformed or unparsable request line.
+    pub const BAD_REQUEST: &str = "bad-request";
+    /// Unknown view (or document) name.
+    pub const NOT_FOUND: &str = "not-found";
+    /// A tenant resource quota (e.g. `max_views`) was exceeded.
+    pub const QUOTA_EXCEEDED: &str = "quota-exceeded";
+    /// Shed by admission control; carries `retry-after-ms=N`.
+    pub const OVERLOADED: &str = "overloaded";
+    /// The request's deadline passed (queued or executing).
+    pub const DEADLINE_EXCEEDED: &str = "deadline-exceeded";
+    /// The request's cancel token fired.
+    pub const CANCELLED: &str = "cancelled";
+    /// Any other engine-side failure.
+    pub const INTERNAL: &str = "internal";
+}
+
+/// Escape a free-text field onto a single protocol line: backslash,
+/// newline and carriage return become `\\`, `\n`, `\r`.
+pub fn escape_line(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Reverse [`escape_line`].
+pub fn unescape_line(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Split a command line into whitespace-separated tokens, honoring
+/// double quotes (`"two words"` is one token; `\"` and `\\` are escapes
+/// inside quotes). Runs of whitespace collapse; an empty quoted string
+/// is a valid (empty) token.
+pub fn tokenize(line: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut has_token = false;
+    let mut chars = line.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                has_token = true;
+            }
+            '\\' if in_quotes => match chars.next() {
+                Some('"') => cur.push('"'),
+                Some('\\') => cur.push('\\'),
+                Some(other) => {
+                    cur.push('\\');
+                    cur.push(other);
+                }
+                None => return Err("dangling backslash inside quotes".into()),
+            },
+            c if c.is_whitespace() && !in_quotes => {
+                if has_token {
+                    out.push(std::mem::take(&mut cur));
+                    has_token = false;
+                }
+            }
+            c => {
+                cur.push(c);
+                has_token = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quote".into());
+    }
+    if has_token {
+        out.push(cur);
+    }
+    Ok(out)
+}
+
+/// First whitespace-delimited word and the (left-trimmed) remainder.
+fn split_word(s: &str) -> (&str, &str) {
+    let s = s.trim_start();
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], s[i..].trim_start()),
+        None => (s, ""),
+    }
+}
+
+/// Per-search options carried as `key=value` tokens between the view
+/// name and the keywords.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchOpts {
+    /// `top=N` — how many hits to return.
+    pub top: Option<usize>,
+    /// `mode=any|all` — disjunctive / conjunctive matching.
+    pub mode: Option<KeywordMode>,
+    /// `deadline-ms=N` — total budget from the moment the server read
+    /// the request line (queue wait included).
+    pub deadline_ms: Option<u64>,
+    /// `materialize=0|1` — whether hits carry XML.
+    pub materialize: Option<bool>,
+}
+
+/// One parsed request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// `ping` — liveness check.
+    Ping,
+    /// `quit` (or `exit`) — close the connection.
+    Quit,
+    /// `register <tenant> <name> <view text…>` — prepare and register a
+    /// view; the view text is the raw remainder of the line, unescaped
+    /// through [`unescape_line`] so multi-line XQuery can ride one line.
+    Register {
+        /// Owning tenant.
+        tenant: String,
+        /// View name (unique per tenant).
+        name: String,
+        /// The XQuery view text.
+        view_text: String,
+    },
+    /// `search <tenant> <name> [key=value…] <kw…>` — one keyword search.
+    Search {
+        /// Tenant whose namespace is searched.
+        tenant: String,
+        /// Registered view name.
+        name: String,
+        /// Parsed `key=value` options.
+        opts: SearchOpts,
+        /// At least one keyword.
+        keywords: Vec<String>,
+    },
+    /// `batch <tenant> [key=value…] <name>:<kw[,kw…]> …` — several
+    /// searches admitted and executed independently.
+    Batch {
+        /// Tenant whose namespace is searched.
+        tenant: String,
+        /// Options applied to every entry.
+        opts: SearchOpts,
+        /// `(view name, keywords)` per entry.
+        entries: Vec<(String, Vec<String>)>,
+    },
+    /// `stats [tenant]` — server/admission/catalog/engine counters plus
+    /// per-tenant lines (all tenants, or just the named one).
+    Stats {
+        /// Restrict the tenant lines to this tenant.
+        tenant: Option<String>,
+    },
+    /// `quota <tenant> [views=N] [concurrent=N] [queue=N]` — set (or,
+    /// with no pairs, read) a tenant's quotas.
+    Quota {
+        /// The tenant to configure.
+        tenant: String,
+        /// New `max_views`, if given.
+        views: Option<usize>,
+        /// New `max_concurrent`, if given.
+        concurrent: Option<usize>,
+        /// New `max_queue`, if given.
+        queue: Option<usize>,
+    },
+    /// `segments` — per-segment index breakdown.
+    Segments,
+}
+
+fn parse_opt(opts: &mut SearchOpts, key: &str, value: &str) -> Result<bool, String> {
+    match key {
+        "top" => {
+            opts.top = Some(value.parse().map_err(|_| format!("bad top={value}"))?);
+        }
+        "mode" => {
+            opts.mode = Some(match value {
+                "any" => KeywordMode::Disjunctive,
+                "all" => KeywordMode::Conjunctive,
+                _ => return Err(format!("bad mode={value} (want any|all)")),
+            });
+        }
+        "deadline-ms" => {
+            opts.deadline_ms = Some(value.parse().map_err(|_| format!("bad deadline-ms={value}"))?);
+        }
+        "materialize" => {
+            opts.materialize = Some(match value {
+                "1" | "true" => true,
+                "0" | "false" => false,
+                _ => return Err(format!("bad materialize={value} (want 0|1)")),
+            });
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// Split a token stream into leading `key=value` options and trailing
+/// positional tokens. Unknown `key=value` tokens are rejected (they are
+/// almost certainly typos, not keywords).
+fn parse_opts(tokens: &[String]) -> Result<(SearchOpts, &[String]), String> {
+    let mut opts = SearchOpts::default();
+    for (i, token) in tokens.iter().enumerate() {
+        let Some((key, value)) = token.split_once('=') else {
+            return Ok((opts, &tokens[i..]));
+        };
+        if !parse_opt(&mut opts, key, value)? {
+            return Err(format!("unknown option '{key}=' (want top/mode/deadline-ms/materialize)"));
+        }
+    }
+    Ok((opts, &[]))
+}
+
+/// Parse one request line. The error string is the `bad-request` detail.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let (word, rest) = split_word(line);
+    match word {
+        "" => Err("empty command".into()),
+        "ping" => Ok(Command::Ping),
+        "quit" | "exit" => Ok(Command::Quit),
+        "segments" => Ok(Command::Segments),
+        "stats" => {
+            let tokens = tokenize(rest)?;
+            match tokens.len() {
+                0 => Ok(Command::Stats { tenant: None }),
+                1 => Ok(Command::Stats { tenant: Some(tokens[0].clone()) }),
+                _ => Err("usage: stats [tenant]".into()),
+            }
+        }
+        "register" => {
+            let (tenant, rest) = split_word(rest);
+            let (name, view) = split_word(rest);
+            if tenant.is_empty() || name.is_empty() || view.is_empty() {
+                return Err("usage: register <tenant> <name> <view text>".into());
+            }
+            Ok(Command::Register {
+                tenant: tenant.to_string(),
+                name: name.to_string(),
+                view_text: unescape_line(view),
+            })
+        }
+        "search" => {
+            let tokens = tokenize(rest)?;
+            if tokens.len() < 3 {
+                return Err("usage: search <tenant> <name> [key=value...] <keyword...>".into());
+            }
+            let (opts, keywords) = parse_opts(&tokens[2..])?;
+            if keywords.is_empty() {
+                return Err("search needs at least one keyword".into());
+            }
+            Ok(Command::Search {
+                tenant: tokens[0].clone(),
+                name: tokens[1].clone(),
+                opts,
+                keywords: keywords.to_vec(),
+            })
+        }
+        "batch" => {
+            let tokens = tokenize(rest)?;
+            if tokens.is_empty() {
+                return Err("usage: batch <tenant> [key=value...] <name>:<kw[,kw...]> ...".into());
+            }
+            let (opts, specs) = parse_opts(&tokens[1..])?;
+            if specs.is_empty() {
+                return Err("batch needs at least one <name>:<kw[,kw...]> entry".into());
+            }
+            let mut entries = Vec::with_capacity(specs.len());
+            for spec in specs {
+                let Some((name, kws)) = spec.split_once(':') else {
+                    return Err(format!("bad batch entry '{spec}' (want name:kw[,kw...])"));
+                };
+                let keywords: Vec<String> =
+                    kws.split(',').filter(|k| !k.is_empty()).map(str::to_string).collect();
+                if name.is_empty() || keywords.is_empty() {
+                    return Err(format!("bad batch entry '{spec}' (want name:kw[,kw...])"));
+                }
+                entries.push((name.to_string(), keywords));
+            }
+            Ok(Command::Batch { tenant: tokens[0].clone(), opts, entries })
+        }
+        "quota" => {
+            let tokens = tokenize(rest)?;
+            if tokens.is_empty() {
+                return Err("usage: quota <tenant> [views=N] [concurrent=N] [queue=N]".into());
+            }
+            let (mut views, mut concurrent, mut queue) = (None, None, None);
+            for token in &tokens[1..] {
+                let Some((key, value)) = token.split_once('=') else {
+                    return Err(format!("bad quota setting '{token}' (want key=N)"));
+                };
+                let parsed: usize =
+                    value.parse().map_err(|_| format!("bad quota value '{token}'"))?;
+                match key {
+                    "views" => views = Some(parsed),
+                    "concurrent" => concurrent = Some(parsed),
+                    "queue" => queue = Some(parsed),
+                    _ => {
+                        return Err(format!("unknown quota '{key}' (want views/concurrent/queue)"))
+                    }
+                }
+            }
+            Ok(Command::Quota { tenant: tokens[0].clone(), views, concurrent, queue })
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn join_f64(values: &[f64]) -> String {
+    if values.is_empty() {
+        return "-".into();
+    }
+    values.iter().map(|v| format!("{v}")).collect::<Vec<_>>().join(",")
+}
+
+fn join_u32(values: &[u32]) -> String {
+    if values.is_empty() {
+        return "-".into();
+    }
+    values.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+}
+
+fn parse_f64_list(s: &str) -> Result<Vec<f64>, String> {
+    if s == "-" {
+        return Ok(vec![]);
+    }
+    s.split(',').map(|v| v.parse().map_err(|_| format!("bad float '{v}'"))).collect()
+}
+
+fn parse_u32_list(s: &str) -> Result<Vec<u32>, String> {
+    if s == "-" {
+        return Ok(vec![]);
+    }
+    s.split(',').map(|v| v.parse().map_err(|_| format!("bad int '{v}'"))).collect()
+}
+
+/// Format a search response as its wire lines (header, one `hit` line
+/// per hit, closing `.`).
+pub fn format_search_response(resp: &SearchResponse) -> Vec<String> {
+    let mut lines = Vec::with_capacity(resp.hits.len() + 2);
+    lines.push(format!(
+        "ok search hits {} matching {} view {} idf {}",
+        resp.hits.len(),
+        resp.matching,
+        resp.view_size,
+        join_f64(&resp.idf)
+    ));
+    for hit in &resp.hits {
+        lines.push(format!(
+            "hit {} {} {} {} {}",
+            hit.rank,
+            hit.score,
+            join_u32(&hit.tf),
+            hit.byte_len,
+            escape_line(&hit.xml)
+        ));
+    }
+    lines.push(".".into());
+    lines
+}
+
+/// One hit parsed back off the wire. Scores round-trip bit-exactly
+/// (shortest-repr `f64` formatting), so comparing against a direct
+/// [`vxv_core::SearchHit`] is a byte-identity check.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireHit {
+    /// 1-based rank.
+    pub rank: usize,
+    /// TF-IDF score, bit-identical to the engine's.
+    pub score: f64,
+    /// Per-keyword term frequencies.
+    pub tf: Vec<u32>,
+    /// Byte length of the view element.
+    pub byte_len: u64,
+    /// Unescaped hit XML (empty when materialization was off).
+    pub xml: String,
+}
+
+/// A search response parsed back off the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireSearch {
+    /// Ranked hits.
+    pub hits: Vec<WireHit>,
+    /// Matching elements before the top-k cut.
+    pub matching: usize,
+    /// |V(D)| — size of the virtual view.
+    pub view_size: usize,
+    /// Per-keyword idf, bit-identical to the engine's.
+    pub idf: Vec<f64>,
+}
+
+/// Parse a `ok search ...` header plus its `hit` body lines.
+pub fn parse_search_response(header: &str, body: &[String]) -> Result<WireSearch, String> {
+    let tokens: Vec<&str> = header.split_whitespace().collect();
+    match tokens.as_slice() {
+        ["ok", "search", "hits", h, "matching", m, "view", v, "idf", idf] => {
+            let expected: usize = h.parse().map_err(|_| format!("bad hits '{h}'"))?;
+            let mut hits = Vec::with_capacity(expected);
+            for line in body {
+                let mut fields = line.splitn(6, ' ');
+                let (Some("hit"), Some(rank), Some(score), Some(tf), Some(len), xml) = (
+                    fields.next(),
+                    fields.next(),
+                    fields.next(),
+                    fields.next(),
+                    fields.next(),
+                    fields.next(),
+                ) else {
+                    return Err(format!("bad hit line '{line}'"));
+                };
+                hits.push(WireHit {
+                    rank: rank.parse().map_err(|_| format!("bad rank '{rank}'"))?,
+                    score: score.parse().map_err(|_| format!("bad score '{score}'"))?,
+                    tf: parse_u32_list(tf)?,
+                    byte_len: len.parse().map_err(|_| format!("bad byte_len '{len}'"))?,
+                    xml: unescape_line(xml.unwrap_or("")),
+                });
+            }
+            if hits.len() != expected {
+                return Err(format!("header says {expected} hits, body has {}", hits.len()));
+            }
+            Ok(WireSearch {
+                hits,
+                matching: m.parse().map_err(|_| format!("bad matching '{m}'"))?,
+                view_size: v.parse().map_err(|_| format!("bad view '{v}'"))?,
+                idf: parse_f64_list(idf)?,
+            })
+        }
+        _ => Err(format!("bad search header '{header}'")),
+    }
+}
+
+/// A single-line `error <code> [retry-after-ms=N] <detail>` response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireFault {
+    /// The error code (see [`code`]).
+    pub code: String,
+    /// Suggested backoff, present on `overloaded`.
+    pub retry_after_ms: Option<u64>,
+    /// Human-readable detail (unescaped).
+    pub detail: String,
+}
+
+/// Format an error line. `retry_after` is attached as `retry-after-ms=N`
+/// right after the code.
+pub fn format_error(code: &str, retry_after: Option<Duration>, detail: &str) -> String {
+    match retry_after {
+        Some(d) => {
+            format!("error {code} retry-after-ms={} {}", d.as_millis(), escape_line(detail))
+        }
+        None => format!("error {code} {}", escape_line(detail)),
+    }
+}
+
+/// Parse a line that may be an error. `Ok(None)` means the line is not
+/// an `error` line at all.
+pub fn parse_error(line: &str) -> Option<WireFault> {
+    let (word, rest) = split_word(line);
+    if word != "error" {
+        return None;
+    }
+    let (code, rest) = split_word(rest);
+    let (retry_after_ms, detail) = match rest.strip_prefix("retry-after-ms=") {
+        Some(tail) => {
+            let (ms, detail) = split_word(tail);
+            (ms.parse().ok(), detail)
+        }
+        None => (None, rest),
+    };
+    Some(WireFault { code: code.to_string(), retry_after_ms, detail: unescape_line(detail) })
+}
+
+/// Map an engine error to its wire `(code, retry_after, detail)`.
+pub fn engine_error_to_wire(e: &EngineError) -> (&'static str, Option<Duration>, String) {
+    match e {
+        EngineError::ViewNotFound(_) | EngineError::UnknownDocument(_) => {
+            (code::NOT_FOUND, None, e.to_string())
+        }
+        EngineError::Overloaded { retry_after } => {
+            (code::OVERLOADED, Some(*retry_after), e.to_string())
+        }
+        EngineError::QuotaExceeded { .. } => (code::QUOTA_EXCEEDED, None, e.to_string()),
+        EngineError::DeadlineExceeded { .. } => (code::DEADLINE_EXCEEDED, None, e.to_string()),
+        EngineError::Cancelled { .. } => (code::CANCELLED, None, e.to_string()),
+        EngineError::EmptyQuery | EngineError::Parse(_) | EngineError::QptGen(_) => {
+            (code::BAD_REQUEST, None, e.to_string())
+        }
+        _ => (code::INTERNAL, None, e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_handles_quotes_and_runs_of_whitespace() {
+        assert_eq!(tokenize("a   b\tc").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(tokenize("a \"two words\" c").unwrap(), vec!["a", "two words", "c"]);
+        assert_eq!(
+            tokenize(r#"say "a \"quoted\" word""#).unwrap(),
+            vec!["say", "a \"quoted\" word"]
+        );
+        assert_eq!(tokenize("\"\"").unwrap(), vec![""]);
+        assert_eq!(tokenize("  ").unwrap(), Vec::<String>::new());
+        assert!(tokenize("\"open").is_err());
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let ugly = "line one\nline\\two\r.";
+        let escaped = escape_line(ugly);
+        assert!(!escaped.contains('\n'));
+        assert_eq!(unescape_line(&escaped), ugly);
+    }
+
+    #[test]
+    fn parse_search_command_with_options() {
+        let cmd =
+            parse_command("search acme reviews top=5 mode=any deadline-ms=250 xml db").unwrap();
+        assert_eq!(
+            cmd,
+            Command::Search {
+                tenant: "acme".into(),
+                name: "reviews".into(),
+                opts: SearchOpts {
+                    top: Some(5),
+                    mode: Some(KeywordMode::Disjunctive),
+                    deadline_ms: Some(250),
+                    materialize: None,
+                },
+                keywords: vec!["xml".into(), "db".into()],
+            }
+        );
+        assert!(parse_command("search acme reviews").is_err(), "keywords required");
+        assert!(parse_command("search acme reviews topp=5 xml").is_err(), "typo'd option");
+    }
+
+    #[test]
+    fn parse_register_keeps_view_text_raw() {
+        let cmd = parse_command("register acme v for $b in fn:doc(x.xml)/a return $b").unwrap();
+        assert_eq!(
+            cmd,
+            Command::Register {
+                tenant: "acme".into(),
+                name: "v".into(),
+                view_text: "for $b in fn:doc(x.xml)/a return $b".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn parse_batch_entries() {
+        let cmd = parse_command("batch acme top=3 a:xml b:db,search").unwrap();
+        assert_eq!(
+            cmd,
+            Command::Batch {
+                tenant: "acme".into(),
+                opts: SearchOpts { top: Some(3), ..Default::default() },
+                entries: vec![
+                    ("a".into(), vec!["xml".into()]),
+                    ("b".into(), vec!["db".into(), "search".into()]),
+                ],
+            }
+        );
+        assert!(parse_command("batch acme nope").is_err());
+    }
+
+    #[test]
+    fn error_lines_round_trip_retry_after() {
+        let line = format_error(code::OVERLOADED, Some(Duration::from_millis(25)), "full");
+        let fault = parse_error(&line).unwrap();
+        assert_eq!(fault.code, code::OVERLOADED);
+        assert_eq!(fault.retry_after_ms, Some(25));
+        assert_eq!(fault.detail, "full");
+        assert!(parse_error("ok pong").is_none());
+    }
+
+    #[test]
+    fn f64_wire_format_round_trips_bit_exactly() {
+        for v in [0.1f64, 1.0 / 3.0, 2.0f64.sqrt(), 1e-300, 123456.789] {
+            let s = format!("{v}");
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{s}");
+        }
+    }
+}

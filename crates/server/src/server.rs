@@ -1,0 +1,512 @@
+//! The accept loop, per-connection handlers, and request execution.
+
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionSnapshot, AdmitError};
+use crate::proto::{self, code, Command, SearchOpts};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use vxv_core::tenant::TenantId;
+use vxv_core::{EngineError, SearchRequest, ViewCatalog};
+use vxv_xml::DocumentSource;
+
+/// Everything tunable about a server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Concurrent connections; further accepts are told `overloaded` and
+    /// closed.
+    pub max_connections: usize,
+    /// The admission-queue knobs (global in-flight cap, queue depth,
+    /// retry-after, max queue wait).
+    pub admission: AdmissionConfig,
+    /// Searches one connection's `batch` command may run at once (the
+    /// per-connection in-flight limit; single `search` commands are
+    /// sequential per connection by construction).
+    pub max_conn_in_flight: usize,
+    /// `top` when a search names none.
+    pub default_top_k: usize,
+    /// How often blocked reads wake up to check for shutdown.
+    pub poll_interval: Duration,
+    /// Test-only fault injection: stall every admitted search this long
+    /// before executing, so tests can hold permits predictably.
+    pub service_delay: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            admission: AdmissionConfig::default(),
+            max_conn_in_flight: 4,
+            default_top_k: 10,
+            poll_interval: Duration::from_millis(100),
+            service_delay: None,
+        }
+    }
+}
+
+/// Server-level counter snapshot (admission gauges included).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted, lifetime.
+    pub connections: u64,
+    /// Connections open right now.
+    pub active: usize,
+    /// Connections refused by the connection cap.
+    pub rejected: u64,
+    /// Request lines processed, lifetime.
+    pub requests: u64,
+    /// Request lines that failed to parse.
+    pub protocol_errors: u64,
+    /// The admission controller's gauges and counters.
+    pub admission: AdmissionSnapshot,
+}
+
+struct Shared<S: DocumentSource> {
+    catalog: Arc<ViewCatalog<S>>,
+    config: ServerConfig,
+    admission: Arc<AdmissionController>,
+    active: AtomicUsize,
+    connections: AtomicU64,
+    rejected: AtomicU64,
+    requests: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// A running server: address, live stats, and shutdown.
+///
+/// Dropping the handle does **not** stop the server; call
+/// [`ServerHandle::shutdown`] (tests) or [`ServerHandle::join`] (the
+/// CLI) explicitly.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    stats: Arc<dyn Fn() -> ServerStats + Send + Sync>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the OS-chosen port when `:0` was asked).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current server counters.
+    pub fn stats(&self) -> ServerStats {
+        (self.stats)()
+    }
+
+    /// Stop accepting, wake every connection handler, and join all
+    /// threads. In-flight requests finish; idle connections close at
+    /// their next poll tick.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.shutdown.store(true, Ordering::Release);
+        // The accept loop blocks in `accept()`; a self-connection wakes
+        // it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let workers = std::mem::take(&mut *self.workers.lock().unwrap());
+        for worker in workers {
+            let _ = worker.join();
+        }
+        (self.stats)()
+    }
+
+    /// Block until the server stops (it only stops via an external
+    /// [`ServerHandle::shutdown`] — this is the CLI's foreground mode).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+/// Bind `addr` and serve `catalog` until shutdown. Tests pass
+/// `127.0.0.1:0` and read the real port from [`ServerHandle::addr`].
+pub fn serve<S>(
+    catalog: Arc<ViewCatalog<S>>,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle>
+where
+    S: DocumentSource + Send + Sync + 'static,
+{
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        catalog,
+        config,
+        admission: AdmissionController::new(config.admission),
+        active: AtomicUsize::new(0),
+        connections: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+        requests: AtomicU64::new(0),
+        protocol_errors: AtomicU64::new(0),
+    });
+    let workers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        let workers = Arc::clone(&workers);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                if shared.active.load(Ordering::Acquire) >= shared.config.max_connections {
+                    shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    let mut stream = stream;
+                    let line = proto::format_error(
+                        code::OVERLOADED,
+                        Some(shared.config.admission.retry_after),
+                        "connection limit reached",
+                    );
+                    let _ = writeln!(stream, "{line}");
+                    continue;
+                }
+                shared.active.fetch_add(1, Ordering::AcqRel);
+                let shared = Arc::clone(&shared);
+                let conn_shutdown = Arc::clone(&shutdown);
+                let handle = std::thread::spawn(move || {
+                    handle_connection(&shared, &conn_shutdown, stream);
+                    shared.active.fetch_sub(1, Ordering::AcqRel);
+                });
+                workers.lock().unwrap().push(handle);
+            }
+        })
+    };
+
+    let stats = {
+        let shared = Arc::clone(&shared);
+        Arc::new(move || ServerStats {
+            connections: shared.connections.load(Ordering::Relaxed),
+            active: shared.active.load(Ordering::Relaxed),
+            rejected: shared.rejected.load(Ordering::Relaxed),
+            requests: shared.requests.load(Ordering::Relaxed),
+            protocol_errors: shared.protocol_errors.load(Ordering::Relaxed),
+            admission: shared.admission.snapshot(),
+        }) as Arc<dyn Fn() -> ServerStats + Send + Sync>
+    };
+    Ok(ServerHandle { addr, shutdown, accept: Some(accept), workers, stats })
+}
+
+/// One connection's read → dispatch → respond loop. Reads poll with a
+/// short timeout so the shutdown flag is observed within
+/// `poll_interval`; `BufRead::read_line` keeps partially-read bytes in
+/// the buffer across such timeouts, so slow senders are never corrupted.
+fn handle_connection<S: DocumentSource>(
+    shared: &Arc<Shared<S>>,
+    shutdown: &AtomicBool,
+    stream: TcpStream,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let Ok(mut writer) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                // EOF; a final unterminated line still gets answered.
+                if !line.trim().is_empty() {
+                    let _ = respond(shared, line.trim_end_matches(['\n', '\r']), &mut writer);
+                }
+                return;
+            }
+            Ok(_) => {
+                let quit = respond(shared, line.trim_end_matches(['\n', '\r']), &mut writer);
+                line.clear();
+                if quit {
+                    return;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Dispatch one request line and write its response. Returns whether the
+/// connection should close.
+fn respond<S: DocumentSource>(shared: &Arc<Shared<S>>, line: &str, writer: &mut TcpStream) -> bool {
+    if line.trim().is_empty() {
+        return false;
+    }
+    let arrival = Instant::now();
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    let command = match proto::parse_command(line) {
+        Ok(c) => c,
+        Err(detail) => {
+            shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            return write_lines(writer, &[proto::format_error(code::BAD_REQUEST, None, &detail)]);
+        }
+    };
+    let (lines, quit) = execute(shared, command, arrival);
+    write_lines(writer, &lines) || quit
+}
+
+/// Write response lines; returns whether the connection broke.
+fn write_lines(writer: &mut TcpStream, lines: &[String]) -> bool {
+    for line in lines {
+        if writeln!(writer, "{line}").is_err() {
+            return true;
+        }
+    }
+    writer.flush().is_err()
+}
+
+fn wire_error(e: &EngineError) -> String {
+    let (code, retry_after, detail) = proto::engine_error_to_wire(e);
+    proto::format_error(code, retry_after, &detail)
+}
+
+fn admit_error(e: AdmitError) -> String {
+    match e {
+        AdmitError::Shed { retry_after } => {
+            proto::format_error(code::OVERLOADED, Some(retry_after), "admission queue full")
+        }
+        AdmitError::DeadlineExceeded => {
+            proto::format_error(code::DEADLINE_EXCEEDED, None, "deadline expired while queued")
+        }
+    }
+}
+
+/// Run one command to its response lines. `arrival` anchors deadline
+/// budgets: `deadline-ms` counts from the moment the request line was
+/// read, so queue wait spends budget.
+fn execute<S: DocumentSource>(
+    shared: &Arc<Shared<S>>,
+    command: Command,
+    arrival: Instant,
+) -> (Vec<String>, bool) {
+    match command {
+        Command::Ping => (vec!["ok pong".into()], false),
+        Command::Quit => (vec!["ok bye".into()], true),
+        Command::Register { tenant, name, view_text } => {
+            let tenant = TenantId::new(tenant);
+            match shared.catalog.register_for(&tenant, &name, &view_text) {
+                Ok(_) => (vec![format!("ok registered {tenant} {name}")], false),
+                Err(e) => (vec![wire_error(&e)], false),
+            }
+        }
+        Command::Search { tenant, name, opts, keywords } => {
+            let tenant = TenantId::new(tenant);
+            let keywords: Vec<&str> = keywords.iter().map(String::as_str).collect();
+            let lines = match run_search(shared, &tenant, &name, opts, &keywords, arrival) {
+                Ok(resp) => proto::format_search_response(&resp),
+                Err(line) => vec![line],
+            };
+            (lines, false)
+        }
+        Command::Batch { tenant, opts, entries } => {
+            let tenant = TenantId::new(tenant);
+            let width = shared.config.max_conn_in_flight.clamp(1, entries.len().max(1));
+            let results = fan_out(&entries, width, |(name, keywords)| {
+                let keywords: Vec<&str> = keywords.iter().map(String::as_str).collect();
+                run_search(shared, &tenant, name, opts, &keywords, arrival)
+            });
+            let mut lines = Vec::with_capacity(results.len() + 2);
+            lines.push(format!("ok batch {}", results.len()));
+            for (i, result) in results.iter().enumerate() {
+                match result {
+                    Ok(resp) => {
+                        let top = resp
+                            .hits
+                            .first()
+                            .map(|h| format!("{}", h.score))
+                            .unwrap_or_else(|| "-".into());
+                        lines.push(format!(
+                            "result {i} ok hits {} matching {} top {top}",
+                            resp.hits.len(),
+                            resp.matching
+                        ));
+                    }
+                    Err(line) => lines.push(format!("result {i} {line}")),
+                }
+            }
+            lines.push(".".into());
+            (lines, false)
+        }
+        Command::Stats { tenant } => {
+            let mut lines = vec!["ok stats".to_string()];
+            let s = shared.catalog.engine().stats();
+            let c = shared.catalog.stats();
+            let a = shared.admission.snapshot();
+            lines.push(format!(
+                "server active {} connections {} rejected {} requests {} protocol-errors {}",
+                shared.active.load(Ordering::Relaxed),
+                shared.connections.load(Ordering::Relaxed),
+                shared.rejected.load(Ordering::Relaxed),
+                shared.requests.load(Ordering::Relaxed),
+                shared.protocol_errors.load(Ordering::Relaxed),
+            ));
+            lines.push(format!(
+                "admission in-flight {} queued {} admitted {} shed {} queue-timeouts {}",
+                a.in_flight, a.queued, a.admitted, a.shed, a.queue_timeouts
+            ));
+            lines.push(format!(
+                "catalog named {} adhoc {} hits {} misses {} prepares {} evictions {}",
+                c.named, c.adhoc, c.hits, c.misses, c.prepares, c.evictions
+            ));
+            lines.push(format!(
+                "engine segments {} documents {} entries-scanned {} blocks-skipped {}",
+                s.segments,
+                s.documents,
+                s.entries_scanned(),
+                s.blocks_skipped()
+            ));
+            let wanted = tenant.map(TenantId::new);
+            for (id, t) in shared.catalog.tenants().stats() {
+                if wanted.as_ref().is_some_and(|w| *w != id) {
+                    continue;
+                }
+                lines.push(format!(
+                    "tenant {id} admitted {} shed {} completed {} deadline-exceeded {} \
+                     in-flight {} queued {}",
+                    t.admitted, t.shed, t.completed, t.deadline_exceeded, t.in_flight, t.queued
+                ));
+            }
+            lines.push(".".into());
+            (lines, false)
+        }
+        Command::Quota { tenant, views, concurrent, queue } => {
+            let tenant = TenantId::new(tenant);
+            let state = shared.catalog.tenants().tenant(&tenant);
+            let mut quotas = state.quotas();
+            if let Some(v) = views {
+                quotas.max_views = v;
+            }
+            if let Some(c) = concurrent {
+                quotas.max_concurrent = c;
+            }
+            if let Some(q) = queue {
+                quotas.max_queue = q;
+            }
+            state.set_quotas(quotas);
+            (
+                vec![format!(
+                    "ok quota {tenant} views={} concurrent={} queue={}",
+                    quotas.max_views, quotas.max_concurrent, quotas.max_queue
+                )],
+                false,
+            )
+        }
+        Command::Segments => {
+            let segments = shared.catalog.engine().segments();
+            let mut lines = Vec::with_capacity(segments.len() + 2);
+            lines.push(format!("ok segments {}", segments.len()));
+            for s in &segments {
+                lines.push(format!(
+                    "segment {} gen {} docs {} compressed {} raw {}",
+                    s.id,
+                    s.generation,
+                    s.documents,
+                    s.footprint.compressed_bytes,
+                    s.footprint.uncompressed_bytes
+                ));
+            }
+            lines.push(".".into());
+            (lines, false)
+        }
+    }
+}
+
+/// The admit → execute → record path for one search. On success the
+/// caller formats the response; on failure the returned `String` is the
+/// finished wire error line.
+fn run_search<S: DocumentSource>(
+    shared: &Arc<Shared<S>>,
+    tenant: &TenantId,
+    name: &str,
+    opts: SearchOpts,
+    keywords: &[&str],
+    arrival: Instant,
+) -> Result<vxv_core::SearchResponse, String> {
+    // Resolve the view first: a 404 must not consume queue capacity.
+    let view = shared
+        .catalog
+        .get_for(tenant, name)
+        .ok_or_else(|| wire_error(&EngineError::ViewNotFound(name.to_string())))?;
+    let state = shared.catalog.tenants().tenant(tenant);
+    let deadline = opts.deadline_ms.map(|ms| arrival + Duration::from_millis(ms));
+    let permit = shared.admission.admit(&state, deadline).map_err(admit_error)?;
+
+    let mut request =
+        SearchRequest::new(keywords).top_k(opts.top.unwrap_or(shared.config.default_top_k));
+    if let Some(mode) = opts.mode {
+        request = request.mode(mode);
+    }
+    if let Some(materialize) = opts.materialize {
+        request = request.materialize(materialize);
+    }
+    // Deadline propagation: the engine gets the *remaining* budget —
+    // wire budget minus parse and queue wait — never the original one.
+    if let Some(deadline) = deadline {
+        let now = Instant::now();
+        if now >= deadline {
+            permit.tenant().record_deadline_exceeded();
+            return Err(proto::format_error(
+                code::DEADLINE_EXCEEDED,
+                None,
+                "budget exhausted before execution",
+            ));
+        }
+        request = request.deadline(deadline - now);
+    }
+    if let Some(delay) = shared.config.service_delay {
+        std::thread::sleep(delay);
+    }
+    let result = view.search(&request);
+    match &result {
+        Ok(_) => permit.tenant().record_completed(),
+        Err(EngineError::DeadlineExceeded { .. }) => permit.tenant().record_deadline_exceeded(),
+        Err(_) => {}
+    }
+    result.map_err(|e| wire_error(&e))
+}
+
+/// Run `f` over `items` on up to `width` scoped threads, claiming items
+/// by index; results come back in item order. The serving tier's local
+/// analogue of the catalog's batch pool, capped by the per-connection
+/// in-flight limit instead of the host's core count.
+fn fan_out<T: Sync, R: Send>(items: &[T], width: usize, f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let width = width.clamp(1, items.len());
+    if width == 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..width {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                *slots[i].lock().unwrap() = Some(f(item));
+            });
+        }
+    });
+    slots.into_iter().map(|slot| slot.into_inner().unwrap().expect("every slot filled")).collect()
+}

@@ -1,0 +1,156 @@
+//! Admission-control integration: saturation sheds with typed
+//! retry-after (never hangs), tenant quotas isolate tenants, and the
+//! connection cap degrades into rejections. Loopback only.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vxv_core::{ViewCatalog, ViewSearchEngine};
+use vxv_server::{serve, Client, ServerConfig};
+use vxv_xml::Corpus;
+
+fn corpus() -> Corpus {
+    let mut c = Corpus::new();
+    c.add_parsed(
+        "books.xml",
+        "<books>\
+           <book><title>xml search</title><year>2004</year></book>\
+           <book><title>xml databases</title><year>2005</year></book>\
+         </books>",
+    )
+    .unwrap();
+    c
+}
+
+const VIEW: &str = "for $b in fn:doc(books.xml)/books/book return <hit> { $b/title } </hit>";
+
+fn catalog() -> Arc<ViewCatalog> {
+    let catalog = Arc::new(ViewCatalog::new(ViewSearchEngine::new(corpus())));
+    catalog.register("books", VIEW).unwrap();
+    catalog
+}
+
+/// With one execution slot and a zero-depth queue, concurrent overload
+/// is answered promptly with `overloaded retry-after-ms=N` — no request
+/// ever waits unboundedly, and the slot holder still completes.
+#[test]
+fn queue_overflow_sheds_with_retry_after_and_never_hangs() {
+    let mut config = ServerConfig::default();
+    config.admission.max_in_flight = 1;
+    config.admission.queue_depth = 0;
+    config.admission.retry_after = Duration::from_millis(7);
+    config.service_delay = Some(Duration::from_millis(200));
+    let server = serve(catalog(), "127.0.0.1:0", config).unwrap();
+    let addr = server.addr();
+
+    let hold = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.search("public", "books", &[], &["xml"]).map(|r| r.hits.len())
+    });
+    std::thread::sleep(Duration::from_millis(60));
+
+    let mut sheds = 0;
+    std::thread::scope(|scope| {
+        let sheds = &mut sheds;
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let start = Instant::now();
+                    let result = client.search("public", "books", &[], &["xml"]);
+                    (result, start.elapsed())
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (result, elapsed) = handle.join().unwrap();
+            let err = result.expect_err("no queue, one busy slot: must shed");
+            assert!(err.is_overloaded(), "{err}");
+            assert_eq!(err.fault().unwrap().retry_after_ms, Some(7));
+            assert!(elapsed < Duration::from_millis(150), "shed promptly, not after {elapsed:?}");
+            *sheds += 1;
+        }
+    });
+    assert_eq!(sheds, 4);
+    assert!(hold.join().unwrap().unwrap() > 0, "the admitted search completed");
+
+    let stats = server.shutdown();
+    assert_eq!(stats.admission.shed, 4);
+    assert_eq!(stats.admission.admitted, 1);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+/// Per-tenant quota exhaustion sheds only that tenant: `starved`
+/// (concurrent=0, queue=0) is rejected while `healthy` — same server,
+/// same instant — completes.
+#[test]
+fn tenant_quota_exhaustion_sheds_only_that_tenant() {
+    let catalog = catalog();
+    let server = serve(Arc::clone(&catalog), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut admin = Client::connect(server.addr()).unwrap();
+    admin.register("starved", "books", VIEW).unwrap();
+    admin.register("healthy", "books", VIEW).unwrap();
+    admin.quota("starved", &["concurrent=0", "queue=0"]).unwrap();
+
+    let mut starved_client = Client::connect(server.addr()).unwrap();
+    let err = starved_client.search("starved", "books", &[], &["xml"]).unwrap_err();
+    assert!(err.is_overloaded(), "{err}");
+
+    let mut healthy_client = Client::connect(server.addr()).unwrap();
+    let ok = healthy_client.search("healthy", "books", &[], &["xml"]).unwrap();
+    assert!(!ok.hits.is_empty());
+
+    let starved = catalog.tenants().tenant(&"starved".into()).stats();
+    let healthy = catalog.tenants().tenant(&"healthy".into()).stats();
+    assert_eq!((starved.shed, starved.admitted), (1, 0));
+    assert_eq!((healthy.shed, healthy.admitted, healthy.completed), (0, 1, 1));
+
+    // Lifting the quota un-sheds the tenant on the spot.
+    admin.quota("starved", &["concurrent=8", "queue=8"]).unwrap();
+    let ok = starved_client.search("starved", "books", &[], &["xml"]).unwrap();
+    assert!(!ok.hits.is_empty());
+    server.shutdown();
+}
+
+/// `max_views` is enforced across the wire with a typed code, and
+/// re-registering an existing name is replacement, not growth.
+#[test]
+fn view_quota_is_typed_over_the_wire() {
+    let server = serve(catalog(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.quota("small", &["views=1"]).unwrap();
+    client.register("small", "one", VIEW).unwrap();
+    let err = client.register("small", "two", VIEW).unwrap_err();
+    assert_eq!(err.fault().unwrap().code, "quota-exceeded");
+    client.register("small", "one", VIEW).expect("replacement consumes no quota");
+    server.shutdown();
+}
+
+/// Past `max_connections`, new connections receive one typed
+/// `overloaded` line and are closed — a connection flood cannot stall
+/// established clients.
+#[test]
+fn connection_cap_rejects_with_typed_overload() {
+    let config = ServerConfig { max_connections: 1, ..Default::default() };
+    let server = serve(catalog(), "127.0.0.1:0", config).unwrap();
+    let mut first = Client::connect(server.addr()).unwrap();
+    first.ping().unwrap(); // guarantees the first connection is accepted
+
+    // The server pushes one error line at the rejected connection and
+    // closes it without waiting for a request.
+    {
+        use std::io::{BufRead, BufReader};
+        let second = std::net::TcpStream::connect(server.addr()).unwrap();
+        second.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let mut reply = String::new();
+        BufReader::new(second).read_line(&mut reply).unwrap();
+        let fault = vxv_server::proto::parse_error(reply.trim_end()).unwrap();
+        assert_eq!(fault.code, "overloaded");
+        assert!(fault.retry_after_ms.is_some(), "{reply}");
+    }
+
+    // The established client is unaffected.
+    first.ping().unwrap();
+    let stats = server.shutdown();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.active, 0);
+}

@@ -1,0 +1,256 @@
+//! Loopback integration: concurrent clients, byte-identity with direct
+//! searches, deadline propagation, protocol robustness. Every server
+//! binds `127.0.0.1:0` — no real network is touched.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vxv_core::tenant::TenantId;
+use vxv_core::{SearchRequest, ViewCatalog, ViewSearchEngine};
+use vxv_server::{serve, Client, ServerConfig};
+use vxv_xml::Corpus;
+
+fn corpus() -> Corpus {
+    let mut c = Corpus::new();
+    for (name, body) in [
+        (
+            "books.xml",
+            "<books>\
+               <book><title>xml keyword search</title><year>2004</year>\
+                 <blurb>search over virtual xml views with ranked keyword search</blurb></book>\
+               <book><title>database systems</title><year>2001</year>\
+                 <blurb>relational database engines and query planning</blurb></book>\
+               <book><title>xml databases</title><year>2005</year>\
+                 <blurb>storing xml inside a database with indexes</blurb></book>\
+             </books>",
+        ),
+        (
+            "papers.xml",
+            "<papers>\
+               <paper><title>virtual views</title><year>2007</year>\
+                 <abstract>efficient keyword search over virtual xml views</abstract></paper>\
+               <paper><title>ranking functions</title><year>2003</year>\
+                 <abstract>tf idf scoring for xml element ranking</abstract></paper>\
+             </papers>",
+        ),
+    ] {
+        c.add_parsed(name, body).unwrap();
+    }
+    c
+}
+
+const BOOKS_VIEW: &str = "for $b in fn:doc(books.xml)/books/book \
+     where $b/year > 2000 return <hit> { $b/title } { $b/blurb } </hit>";
+const PAPERS_VIEW: &str = "for $p in fn:doc(papers.xml)/papers/paper \
+     return <hit> { $p/title } { $p/abstract } </hit>";
+
+fn catalog() -> Arc<ViewCatalog> {
+    Arc::new(ViewCatalog::new(ViewSearchEngine::new(corpus())))
+}
+
+/// K client threads against one server: every response must be
+/// bit-identical to a direct `PreparedView::search` — same score bits,
+/// same idf bits, same XML, same order.
+#[test]
+fn concurrent_clients_are_byte_identical_to_direct_searches() {
+    let catalog = catalog();
+    catalog.register("books", BOOKS_VIEW).unwrap();
+    catalog.register("papers", PAPERS_VIEW).unwrap();
+    let server = serve(Arc::clone(&catalog), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    let cases: Vec<(&str, Vec<&str>)> = vec![
+        ("books", vec!["xml"]),
+        ("books", vec!["xml", "search"]),
+        ("books", vec!["database"]),
+        ("papers", vec!["keyword", "search"]),
+        ("papers", vec!["ranking"]),
+    ];
+    let direct: Vec<_> = cases
+        .iter()
+        .map(|(name, kws)| catalog.get(name).unwrap().search(&SearchRequest::new(kws)).unwrap())
+        .collect();
+
+    std::thread::scope(|scope| {
+        for worker in 0..8 {
+            let cases = &cases;
+            let direct = &direct;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for round in 0..4 {
+                    let i = (worker + round) % cases.len();
+                    let (name, kws) = &cases[i];
+                    let wire = client.search("public", name, &[], kws).unwrap();
+                    let want = &direct[i];
+                    assert_eq!(wire.matching, want.matching, "{name} {kws:?}");
+                    assert_eq!(wire.view_size, want.view_size);
+                    assert_eq!(wire.idf.len(), want.idf.len());
+                    for (w, d) in wire.idf.iter().zip(&want.idf) {
+                        assert_eq!(w.to_bits(), d.to_bits(), "idf bits for {name} {kws:?}");
+                    }
+                    assert_eq!(wire.hits.len(), want.hits.len());
+                    for (w, d) in wire.hits.iter().zip(&want.hits) {
+                        assert_eq!(w.rank, d.rank);
+                        assert_eq!(
+                            w.score.to_bits(),
+                            d.score.to_bits(),
+                            "score bits for {name} {kws:?}"
+                        );
+                        assert_eq!(w.tf, d.tf);
+                        assert_eq!(w.byte_len, d.byte_len);
+                        assert_eq!(w.xml, d.xml, "hit XML for {name} {kws:?}");
+                    }
+                }
+                client.quit().unwrap();
+            });
+        }
+    });
+
+    let stats = server.shutdown();
+    assert_eq!(stats.protocol_errors, 0);
+    assert_eq!(stats.admission.shed, 0, "default limits never shed this load");
+    assert_eq!(stats.admission.admitted, 32);
+}
+
+/// The whole command surface over one connection: register, search with
+/// options, quota read-back, stats, segments, and typed errors.
+#[test]
+fn full_command_surface_over_the_wire() {
+    let catalog = catalog();
+    let server = serve(Arc::clone(&catalog), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    client.ping().unwrap();
+    client.register("acme", "books", BOOKS_VIEW).unwrap();
+    assert_eq!(catalog.names_for(&TenantId::new("acme")), vec!["books".to_string()]);
+
+    // Options: top-k cut and disjunctive matching both apply.
+    let wire =
+        client.search("acme", "books", &["top=1", "mode=any"], &["xml", "relational"]).unwrap();
+    assert_eq!(wire.hits.len(), 1);
+    assert!(wire.matching >= 2, "disjunctive matches more than conjunctive");
+
+    // materialize=0: scores flow, XML stays home.
+    let bare = client.search("acme", "books", &["materialize=0"], &["xml"]).unwrap();
+    assert!(!bare.hits.is_empty());
+    assert!(bare.hits.iter().all(|h| h.xml.is_empty()));
+    assert_eq!(bare.hits[0].score.to_bits(), {
+        let direct = catalog
+            .get_for(&TenantId::new("acme"), "books")
+            .unwrap()
+            .search(&SearchRequest::new(["xml"]))
+            .unwrap();
+        direct.hits[0].score.to_bits()
+    });
+
+    // Unknown views and malformed lines are typed, and the connection
+    // survives both.
+    let err = client.search("acme", "nope", &[], &["xml"]).unwrap_err();
+    assert_eq!(err.fault().unwrap().code, "not-found");
+    let err = client.request_line("frobnicate the server").unwrap_err();
+    assert_eq!(err.fault().unwrap().code, "bad-request");
+    client.ping().unwrap();
+
+    // Quotas echo back effective values; stats carry the tenant line.
+    let reply = client.quota("acme", &["concurrent=3", "queue=2"]).unwrap();
+    assert!(reply.contains("concurrent=3") && reply.contains("queue=2"), "{reply}");
+    let stats = client.stats(Some("acme")).unwrap();
+    let tenant_line = stats.iter().find(|l| l.starts_with("tenant acme")).unwrap();
+    assert!(tenant_line.contains("admitted 2"), "{tenant_line}");
+    assert!(tenant_line.contains("completed 2"), "{tenant_line}");
+
+    let (header, body) = client.request_block("segments").unwrap();
+    assert_eq!(header, "ok segments 1");
+    assert_eq!(body.len(), 1);
+    assert!(body[0].starts_with("segment "), "{}", body[0]);
+
+    // Batch: one line per entry, errors typed per entry.
+    let (header, body) = client.request_block("batch acme books:xml nope:xml").unwrap();
+    assert_eq!(header, "ok batch 2");
+    assert!(body[0].starts_with("result 0 ok hits"), "{}", body[0]);
+    assert!(body[1].starts_with("result 1 error not-found"), "{}", body[1]);
+
+    client.quit().unwrap();
+    let stats = server.shutdown();
+    assert_eq!(stats.protocol_errors, 1);
+    assert_eq!(stats.active, 0);
+}
+
+/// Deadline propagation hands the engine the *remaining* budget: a
+/// request whose wire budget dies while queued behind a slow search is
+/// answered `deadline-exceeded` without ever executing — under
+/// original-budget semantics it would have run with a fresh 150 ms and
+/// succeeded.
+#[test]
+fn queued_deadline_gets_remaining_budget_not_original() {
+    let catalog = catalog();
+    catalog.register("books", BOOKS_VIEW).unwrap();
+    let mut config = ServerConfig::default();
+    config.admission.max_in_flight = 1;
+    config.service_delay = Some(Duration::from_millis(250));
+    let server = serve(Arc::clone(&catalog), "127.0.0.1:0", config).unwrap();
+    let addr = server.addr();
+
+    // Occupy the single execution slot for ~250 ms.
+    let hold = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.search("public", "books", &[], &["xml"]).map(|_| ())
+    });
+    std::thread::sleep(Duration::from_millis(60));
+
+    // 150 ms of budget cannot survive a ~190 ms queue wait.
+    let mut client = Client::connect(addr).unwrap();
+    let start = Instant::now();
+    let err = client.search("public", "books", &["deadline-ms=150"], &["xml"]).unwrap_err();
+    let waited = start.elapsed();
+    assert!(err.is_deadline_exceeded(), "{err}");
+    assert!(waited >= Duration::from_millis(100), "deadline honored, got {waited:?}");
+    assert!(waited < Duration::from_millis(250), "did not wait for the slot, got {waited:?}");
+
+    hold.join().unwrap().unwrap();
+    // An ample budget queued behind the same kind of load still runs.
+    let ok = client.search("public", "books", &["deadline-ms=5000"], &["xml"]).unwrap();
+    assert!(!ok.hits.is_empty());
+
+    let tenant = catalog.tenants().tenant(&TenantId::public()).stats();
+    assert_eq!(tenant.deadline_exceeded, 1);
+    assert_eq!(tenant.completed, 2);
+    server.shutdown();
+}
+
+/// Shutdown stops accepting and joins every handler; a final
+/// unterminated request line (EOF without newline) is still answered.
+#[test]
+fn shutdown_joins_and_eof_half_lines_are_served() {
+    let catalog = catalog();
+    catalog.register("books", BOOKS_VIEW).unwrap();
+    let server = serve(Arc::clone(&catalog), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    // Send a request with no trailing newline, then shut the write half:
+    // the handler sees EOF with a pending half-line and must answer it.
+    {
+        use std::io::{BufRead, BufReader, Write};
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.write_all(b"ping").unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut reply = String::new();
+        BufReader::new(&mut stream).read_line(&mut reply).unwrap();
+        assert_eq!(reply.trim_end(), "ok pong");
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.active, 0, "every handler joined");
+    // The listener is gone: new connections are refused (or reset).
+    let late = std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+    if let Ok(stream) = late {
+        use std::io::Read;
+        let mut buf = [0u8; 1];
+        let _ = stream.try_clone().and_then(|mut s| {
+            s.set_read_timeout(Some(Duration::from_millis(200)))?;
+            let n = s.read(&mut buf)?;
+            assert_eq!(n, 0, "no server behind the socket");
+            Ok(())
+        });
+    }
+}

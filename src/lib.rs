@@ -8,5 +8,6 @@ pub use vxv_baselines as baselines;
 pub use vxv_core as core;
 pub use vxv_index as index;
 pub use vxv_inex as inex;
+pub use vxv_server as server;
 pub use vxv_xml as xml;
 pub use vxv_xquery as xquery;

@@ -1,0 +1,102 @@
+//! `ViewCatalog::search_batch` failure isolation: every entry's result
+//! is **typed and per-request**. A bad view name, a zero-budget
+//! deadline, or a quota-starved tenant must land in *that entry's* slot
+//! — and the healthy siblings must come back byte-identical to running
+//! them sequentially.
+
+use std::sync::Arc;
+use std::time::Duration;
+use vxv_core::tenant::{TenantId, TenantQuotas};
+use vxv_core::{EngineError, NamedRequest, SearchRequest, ViewCatalog, ViewSearchEngine};
+use vxv_xml::Corpus;
+
+fn corpus() -> Corpus {
+    let mut c = Corpus::new();
+    c.add_parsed(
+        "books.xml",
+        "<books>\
+           <book><title>xml keyword search</title><year>2004</year></book>\
+           <book><title>xml databases</title><year>2005</year></book>\
+           <book><title>query planning</title><year>2001</year></book>\
+         </books>",
+    )
+    .unwrap();
+    c
+}
+
+const VIEW: &str = "for $b in fn:doc(books.xml)/books/book return <hit> { $b/title } </hit>";
+
+#[test]
+fn batch_errors_are_per_request_and_do_not_poison_siblings() {
+    let catalog = Arc::new(ViewCatalog::new(ViewSearchEngine::new(corpus())));
+    catalog.register("books", VIEW).unwrap();
+    let starved = TenantId::new("starved");
+    catalog.register_for(&starved, "books", VIEW).unwrap();
+    catalog.set_tenant_quotas(&starved, TenantQuotas { max_concurrent: 0, ..Default::default() });
+
+    let batch = vec![
+        // 0: healthy
+        NamedRequest::new("books", SearchRequest::new(["xml"])),
+        // 1: unknown view
+        NamedRequest::new("missing", SearchRequest::new(["xml"])),
+        // 2: zero budget — trips its deadline before any phase runs
+        NamedRequest::new("books", SearchRequest::new(["xml"]).deadline(Duration::ZERO)),
+        // 3: tenant with max_concurrent=0 — shed at admission
+        NamedRequest::for_tenant(starved.clone(), "books", SearchRequest::new(["xml"])),
+        // 4: healthy again, after every failure mode
+        NamedRequest::new("books", SearchRequest::new(["query", "planning"])),
+    ];
+    let results = catalog.search_batch(&batch);
+    assert_eq!(results.len(), 5);
+
+    assert!(matches!(results[1], Err(EngineError::ViewNotFound(_))), "{:?}", results[1]);
+    assert!(matches!(results[2], Err(EngineError::DeadlineExceeded { .. })), "{:?}", results[2]);
+    assert!(
+        matches!(results[3], Err(EngineError::Overloaded { retry_after }) if retry_after > Duration::ZERO),
+        "{:?}",
+        results[3]
+    );
+
+    // The healthy entries are byte-identical to sequential execution.
+    for (i, request) in [(0usize, &batch[0]), (4, &batch[4])] {
+        let got = results[i].as_ref().unwrap_or_else(|e| panic!("entry {i} poisoned: {e}"));
+        let want = catalog.search(&request.view, &request.request).unwrap();
+        assert_eq!(got.matching, want.matching);
+        assert_eq!(got.view_size, want.view_size);
+        assert_eq!(got.idf, want.idf);
+        assert_eq!(got.hits.len(), want.hits.len());
+        for (x, y) in got.hits.iter().zip(&want.hits) {
+            assert_eq!(x.rank, y.rank);
+            assert_eq!(x.score.to_bits(), y.score.to_bits(), "score bits, entry {i}");
+            assert_eq!(x.tf, y.tf);
+            assert_eq!(x.xml, y.xml);
+        }
+    }
+
+    // Counters tell the same story: the starved tenant shed exactly its
+    // own entry; the public tenant completed its two and tripped one
+    // deadline.
+    let starved_stats = catalog.tenants().tenant(&starved).stats();
+    assert_eq!((starved_stats.shed, starved_stats.admitted), (1, 0));
+    let public = catalog.tenants().tenant(&TenantId::public()).stats();
+    assert_eq!(public.deadline_exceeded, 1);
+    assert!(public.completed >= 2);
+}
+
+/// A batch where *every* entry fails still returns one typed error per
+/// slot (no early abort, no panic).
+#[test]
+fn all_failing_batch_returns_full_typed_results() {
+    let catalog = ViewCatalog::new(ViewSearchEngine::new(corpus()));
+    catalog.register("books", VIEW).unwrap();
+    let batch = vec![
+        NamedRequest::new("ghost", SearchRequest::new(["xml"])),
+        NamedRequest::new("books", SearchRequest::new(["xml"]).deadline(Duration::ZERO)),
+        NamedRequest::new("phantom", SearchRequest::new(["xml"])),
+    ];
+    let results = catalog.search_batch(&batch);
+    assert_eq!(results.len(), 3);
+    assert!(matches!(results[0], Err(EngineError::ViewNotFound(_))));
+    assert!(matches!(results[1], Err(EngineError::DeadlineExceeded { .. })));
+    assert!(matches!(results[2], Err(EngineError::ViewNotFound(_))));
+}

@@ -80,8 +80,21 @@ pub fn report_metric(id: &str, value: f64, unit: &str) {
             _ => vec![c],
         })
         .collect();
-    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
-        let _ = writeln!(f, "{{\"id\": \"{escaped}\", \"value\": {value}, \"unit\": \"{unit}\"}}");
+    // Cargo runs bench binaries with cwd = the *package* dir, so a
+    // relative path may point at a directory that doesn't exist there;
+    // create it rather than dropping the metric, and never fail
+    // silently — a lost line means a gate comparing against nothing.
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        Ok(mut f) => {
+            let _ =
+                writeln!(f, "{{\"id\": \"{escaped}\", \"value\": {value}, \"unit\": \"{unit}\"}}");
+        }
+        Err(e) => eprintln!("criterion: cannot append metric {id} to CRITERION_JSON={path}: {e}"),
     }
 }
 
