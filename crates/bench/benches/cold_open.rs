@@ -1,0 +1,58 @@
+//! Cold-open microbench: time `IndexBundle::open_mmap` against the
+//! eager `IndexBundle::load` on a saved v4 bundle, and **assert** the
+//! zero-copy contract — a v4 open decodes no posting bytes at all.
+//!
+//! The bundle is saved once in setup; each iteration re-opens it from
+//! disk the way a cold engine would. Open time for the mapped path
+//! should be metadata-only (header, directory, catalog) and independent
+//! of posting volume; the owned path additionally copies every section
+//! onto the heap. CI runs this benchmark in quick mode against the
+//! pinned baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vxv_index::IndexBundle;
+use vxv_inex::{generate, ExperimentParams};
+
+fn bench_cold_open(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cold_open");
+    let kb = 512u64;
+    let params = ExperimentParams { data_bytes: kb * 1024, ..ExperimentParams::default() };
+    let corpus = generate(&params.generator_config());
+    let bundle = IndexBundle::build(&corpus);
+    let dir = std::env::temp_dir().join(format!("vxv-cold-open-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let path = bundle.save(&dir).expect("save bundle");
+    println!(
+        "cold_open/{kb}KB: saved {} B bundle to {}",
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+        path.display()
+    );
+
+    // The zero-copy contract, checked once before timing: a v4 mmap
+    // open decodes nothing and maps its posting payload.
+    let opened = IndexBundle::open_mmap(&dir).expect("open_mmap");
+    let stats = opened.open_stats();
+    assert_eq!(stats.format_version, 4, "save must emit v4");
+    assert_eq!(stats.bytes_decoded, 0, "v4 open_mmap must decode zero posting bytes");
+    drop(opened);
+
+    group.bench_with_input(BenchmarkId::new("open_mmap", kb), &dir, |b, dir| {
+        b.iter(|| {
+            let bundle = IndexBundle::open_mmap(dir).expect("open_mmap");
+            assert_eq!(bundle.open_stats().bytes_decoded, 0);
+            bundle.segments.len()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("load_owned", kb), &dir, |b, dir| {
+        b.iter(|| {
+            let bundle = IndexBundle::load(dir).expect("load");
+            bundle.segments.len()
+        })
+    });
+    group.finish();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_cold_open);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Batched block-decode microbench: drain every prepared row stream of
+//! the INEX view through cursors, exercising the unrolled varint block
+//! decoder and the `DecodeScratch` reuse path with no merge or sweep on
+//! top.
+//!
+//! This is the floor under the streaming merge: regressions here (a
+//! dropped unroll, a scratch realloc per block, a bounds check back in
+//! the inner loop) surface as a per-entry decode slowdown before they
+//! blur into end-to-end timings. CI runs this benchmark in quick mode
+//! against the pinned baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vxv_core::prepare::prepare_lists;
+use vxv_core::{generate_qpts, Qpt};
+use vxv_index::{EntryCursor, PathIndex};
+use vxv_inex::{generate, ExperimentParams};
+use vxv_xquery::parse_query;
+
+fn setup(kb: u64) -> (Qpt, PathIndex, u32) {
+    let params = ExperimentParams { data_bytes: kb * 1024, ..ExperimentParams::default() };
+    let corpus = generate(&params.generator_config());
+    let query = parse_query(&params.view()).unwrap();
+    let qpts = generate_qpts(&query).unwrap();
+    let qpt = qpts.into_iter().find(|q| q.doc_name == "inex.xml").unwrap();
+    let path_index = PathIndex::build(&corpus);
+    let doc = corpus.doc("inex.xml").unwrap();
+    let root = doc.root().unwrap();
+    let root_ordinal = doc.node(root).dewey.components()[0];
+    (qpt, path_index, root_ordinal)
+}
+
+fn bench_decode_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_block");
+    let kb = 512u64;
+    let (qpt, path_index, root_ordinal) = setup(kb);
+    let plan = prepare_lists(&qpt, &path_index, root_ordinal);
+
+    let entries: u64 = {
+        let mut n = 0u64;
+        for (_, node_plan) in &plan.lists {
+            for row in &node_plan.rows {
+                let mut cur = row.cursor_for_doc(plan.root_ordinal);
+                while cur.next().is_some() {
+                    n += 1;
+                }
+            }
+        }
+        n
+    };
+    let rows: usize = plan.lists.iter().map(|(_, p)| p.rows.len()).sum();
+    println!("decode_block/{kb}KB: {rows} row streams, {entries} entries in doc range");
+    assert!(entries > 0, "workload must decode something");
+
+    // Entry-at-a-time drain: per-entry cursor overhead plus the batched
+    // block decode underneath.
+    group.bench_with_input(BenchmarkId::new("stream_drain", kb), &plan, |b, plan| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for (_, node_plan) in &plan.lists {
+                for row in &node_plan.rows {
+                    let mut cur = row.cursor_for_doc(plan.root_ordinal);
+                    while let Some(e) = cur.next() {
+                        total += e.byte_len as u64;
+                    }
+                }
+            }
+            total
+        })
+    });
+
+    // Block-at-a-time drain: the `next_block` bulk path the streaming
+    // merge feeds its arena from — no per-entry ID allocation at all.
+    let bounds = vxv_index::DocBounds::for_root(plan.root_ordinal);
+    group.bench_with_input(BenchmarkId::new("block_drain", kb), &plan, |b, plan| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for (_, node_plan) in &plan.lists {
+                for row in &node_plan.rows {
+                    let mut cur = row.cursor_in(&bounds);
+                    loop {
+                        let served = cur.next_block(|_, byte_len| {
+                            total += byte_len as u64;
+                        });
+                        if served == 0 {
+                            break;
+                        }
+                    }
+                }
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decode_block);
+criterion_main!(benches);

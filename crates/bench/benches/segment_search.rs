@@ -117,13 +117,24 @@ fn bench_segment_search(c: &mut Criterion) {
             seg_spq * 1e3,
             seg_spq / single_spq,
         );
-        // The contract: fanning per-segment PDT merges across workers must
-        // not lose to the sequential single-segment path beyond scheduling
-        // noise (generous bound — this is a regression tripwire, not a
-        // microbenchmark).
+        criterion::report_metric("segment_search/shard-speedup", single_spq / seg_spq, "ratio");
+        // The contract depends on what the host can actually run in
+        // parallel. With two or more cores the per-segment fan-out must
+        // *win* — at least 10% under the monolithic engine — because
+        // five independent PDT merges overlap. On a single core the
+        // fan-out runs inline by design (no threads, no hand-off), so
+        // the segmented path must hold parity with the single-segment
+        // engine within scheduling noise: its per-search index work is
+        // the same entries over per-document slices. Either way a
+        // regression that serializes the pool behind a lock, duplicates
+        // per-segment work, or adds per-segment dispatch cost fails
+        // here.
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let bound = if cores >= 2 { 0.9 } else { 1.1 };
         assert!(
-            seg_spq <= single_spq * 1.5,
-            "multi-segment search regressed: {seg_spq:.6}s vs single {single_spq:.6}s"
+            seg_spq <= single_spq * bound,
+            "multi-segment search lost its shard advantage on {cores} core(s): \
+             {seg_spq:.6}s vs single {single_spq:.6}s (bound {bound}x)"
         );
 
         group.bench_with_input(BenchmarkId::new("single_segment", kb), &s, |b, s| {

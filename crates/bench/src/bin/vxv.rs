@@ -85,11 +85,14 @@ struct Args {
     any: bool,
     deadline_ms: Option<u64>,
     listen: Option<String>,
+    /// Cold-open by reading the index file into owned buffers instead of
+    /// mapping it (the pre-v4 behavior; mapping is the default).
+    no_mmap: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  vxv search  (--doc FILE... | --store DIR) --view FILE --keyword WORD... [--top N] [--any] [--deadline-ms N]\n  vxv inspect (--doc FILE... | --store DIR) --view FILE\n  vxv persist --doc FILE... --out DIR\n  vxv serve   (--doc FILE... | --store DIR) [--register NAME=VIEWFILE...] [--listen ADDR] [--top N] [--any] [--deadline-ms N]\n  vxv batch   (--doc FILE... | --store DIR) --register NAME=VIEWFILE... --file REQS [--top N] [--any] [--deadline-ms N]\n  vxv ingest  --store DIR --doc FILE...\n  vxv compact --store DIR"
+        "usage:\n  vxv search  (--doc FILE... | --store DIR) --view FILE --keyword WORD... [--top N] [--any] [--deadline-ms N]\n  vxv inspect (--doc FILE... | --store DIR) --view FILE\n  vxv persist --doc FILE... --out DIR\n  vxv serve   (--doc FILE... | --store DIR) [--register NAME=VIEWFILE...] [--listen ADDR] [--top N] [--any] [--deadline-ms N]\n  vxv batch   (--doc FILE... | --store DIR) --register NAME=VIEWFILE... --file REQS [--top N] [--any] [--deadline-ms N]\n  vxv ingest  --store DIR --doc FILE...\n  vxv compact --store DIR\n(--store commands map the index file by default; --no-mmap loads owned buffers instead)"
     );
     ExitCode::from(2)
 }
@@ -109,6 +112,7 @@ fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
         any: false,
         deadline_ms: None,
         listen: None,
+        no_mmap: false,
     };
     let mut it = argv;
     while let Some(flag) = it.next() {
@@ -128,6 +132,7 @@ fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
             "--any" => args.any = true,
             "--deadline-ms" => args.deadline_ms = Some(it.next()?.parse().ok()?),
             "--listen" => args.listen = Some(it.next()?),
+            "--no-mmap" => args.no_mmap = true,
             _ => {
                 eprintln!("unknown flag {flag}");
                 return None;
@@ -709,13 +714,27 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 };
-                let bundle = match IndexBundle::load(dir) {
+                // Map the index file by default: cold open then costs
+                // O(header + directories), and posting blocks decode
+                // straight out of the mapping on first touch.
+                let t_open = std::time::Instant::now();
+                let opened =
+                    if args.no_mmap { IndexBundle::load(dir) } else { IndexBundle::open_mmap(dir) };
+                let bundle = match opened {
                     Ok(b) => b,
                     Err(e) => {
                         eprintln!("error: load indices: {e}");
                         return ExitCode::FAILURE;
                     }
                 };
+                let t_open = t_open.elapsed();
+                if cmd == "inspect" {
+                    let st = bundle.open_stats();
+                    println!(
+                        "cold open (format v{}): {t_open:?}; {} B mapped, {} B owned, {} posting B decoded",
+                        st.format_version, st.mapped_bytes, st.owned_bytes, st.bytes_decoded
+                    );
+                }
                 let engine = ViewSearchEngine::open(store, bundle);
                 if catalog_cmd {
                     with_catalog(&cmd, engine, &args)

@@ -1,44 +1,232 @@
-//! The crate's one scoped worker pool: fan independent items across a
-//! few threads, collect results **in item order**.
+//! The crate's one worker pool: fan independent items across a few
+//! threads, collect results **in item order**.
 //!
 //! Shared by [`crate::catalog::ViewCatalog::search_batch`] (one search
 //! per worker) and [`crate::prepared::PreparedView`]'s per-segment PDT
-//! generation, so pool policy (worker sizing, slot discipline) evolves
-//! in exactly one place. Single-item inputs and single-core hosts run
-//! inline without spawning.
+//! generation and scoring phases, so pool policy (worker sizing, slot
+//! discipline) evolves in exactly one place. Single-item inputs and
+//! single-core hosts run inline without spawning.
+//!
+//! The pool is **persistent**: worker threads are spawned lazily, up to
+//! [`MAX_WORKERS`], on the first fan-out and then reused by every later
+//! one — a search that fans out per segment in three phases pays the
+//! thread-spawn cost zero times, not three times per query. Each
+//! `fan_out` call runs a *batch*: the caller claims items alongside the
+//! pool (by index, so uneven item costs balance), then blocks until its
+//! helpers drain. While blocked it **helps execute queued work** from
+//! other batches, which is what makes nested fan-outs (a batch worker's
+//! search fanning its own PDT generation) deadlock-free even when every
+//! pool thread is busy.
+//!
+//! [`fan_out_init`] additionally gives every participating worker its
+//! own lazily-created state (e.g. a reusable
+//! [`vxv_index::DecodeScratch`]), so per-item probe loops allocate
+//! nothing.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
-/// Upper bound on workers per fan-out. Note fan-outs can nest — a batch
-/// worker's search fans its own PDT generation — so this also bounds the
-/// multiplication factor.
+/// Upper bound on pool threads, and on workers per fan-out. The pool is
+/// shared process-wide, so nested fan-outs multiply queued tasks, never
+/// threads.
 const MAX_WORKERS: usize = 8;
 
-/// Apply `f` to every item on a scoped worker pool and return the
-/// results in item order. Work is claimed by index, so uneven item costs
-/// balance across workers.
+/// A queued unit of pool work (a batch helper with its lifetime erased;
+/// see the safety argument in [`fan_out_init`]).
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    queue: Mutex<VecDeque<Task>>,
+    /// Signals workers that the queue is non-empty.
+    ready: Condvar,
+    /// Threads spawned so far (monotonic, capped at [`MAX_WORKERS`]).
+    threads: AtomicUsize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        threads: AtomicUsize::new(0),
+    })
+}
+
+impl Pool {
+    /// Queue `tasks` and make sure enough threads exist to run them.
+    fn submit(&'static self, tasks: Vec<Task>) {
+        let backlog = {
+            let mut q = self.queue.lock().unwrap();
+            q.extend(tasks);
+            q.len()
+        };
+        // Lazily grow toward MAX_WORKERS. A failed spawn is tolerable:
+        // waiting callers execute queued tasks themselves.
+        while self.threads.load(Ordering::Relaxed) < backlog.min(MAX_WORKERS) {
+            let n = self.threads.fetch_add(1, Ordering::Relaxed);
+            if n >= MAX_WORKERS {
+                self.threads.store(MAX_WORKERS, Ordering::Relaxed);
+                break;
+            }
+            let _ = std::thread::Builder::new()
+                .name(format!("vxv-fanout-{n}"))
+                .spawn(move || self.worker_loop());
+        }
+        self.ready.notify_all();
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let task = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    if let Some(t) = q.pop_front() {
+                        break t;
+                    }
+                    q = self.ready.wait(q).unwrap();
+                }
+            };
+            task();
+        }
+    }
+
+    /// Steal one queued task, if any (used by callers waiting on their
+    /// batch so nested fan-outs always make progress).
+    fn try_steal(&self) -> Option<Task> {
+        self.queue.lock().unwrap().pop_front()
+    }
+}
+
+/// Completion state of one fan-out call, shared between the caller and
+/// its queued helpers.
+struct Batch {
+    /// Helpers that have not yet finished.
+    pending: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Batch {
+    fn finish_one(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        *pending -= 1;
+        self.done.notify_all();
+    }
+
+    /// Block until every helper finished, executing queued pool work
+    /// while waiting. Called from a drop guard so the caller's frame
+    /// (which helpers borrow) outlives them even during unwinding.
+    fn wait(&self) {
+        loop {
+            {
+                let pending = self.pending.lock().unwrap();
+                if *pending == 0 {
+                    return;
+                }
+            }
+            // Help first: if every pool thread is parked inside another
+            // batch's wait (nested fan-out), someone must run the queue.
+            if let Some(task) = pool().try_steal() {
+                task();
+                continue;
+            }
+            let pending = self.pending.lock().unwrap();
+            if *pending == 0 {
+                return;
+            }
+            let _ = self.done.wait_timeout(pending, Duration::from_millis(1)).unwrap();
+        }
+    }
+}
+
+/// Waits for the batch on drop — the linchpin of the lifetime-erasure
+/// safety argument below.
+struct BatchGuard<'a>(&'a Batch);
+
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        self.0.wait();
+    }
+}
+
+/// Apply `f` to every item on the shared worker pool and return the
+/// results in item order. Work is claimed by index, so uneven item
+/// costs balance across workers.
 pub(crate) fn fan_out<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    fan_out_init(items, || (), move |(), t| f(t))
+}
+
+/// As [`fan_out`], with one lazily-initialized mutable state per
+/// participating worker, threaded through every call that worker makes.
+/// The scorer's estimate pass uses this to give each worker a reusable
+/// [`vxv_index::DecodeScratch`] so thousands of probes share a handful
+/// of allocations.
+pub(crate) fn fan_out_init<T: Sync, R: Send, S>(
+    items: &[T],
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, &T) -> R + Sync,
+) -> Vec<R> {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(items.len())
         .min(MAX_WORKERS);
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        let mut state = init();
+        return items.iter().map(|t| f(&mut state, t)).collect();
     }
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                let result = f(item);
-                *slots[i].lock().unwrap() = Some(result);
+    let batch = Batch {
+        pending: Mutex::new(workers - 1),
+        done: Condvar::new(),
+        panicked: AtomicBool::new(false),
+    };
+
+    // One claim loop shared by the caller and every helper.
+    let run_claims = |state: &mut S| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(item) = items.get(i) else { break };
+        let result = f(state, item);
+        *slots[i].lock().unwrap() = Some(result);
+    };
+
+    {
+        // SAFETY (lifetime erasure): the helpers below borrow `items`,
+        // `f`, `init`, `slots`, `next` and `batch` from this frame, yet
+        // are queued as 'static tasks. `guard` — created *before* the
+        // tasks are submitted and dropped at the end of this block, on
+        // return or unwind alike — blocks until `batch.pending` reaches
+        // zero, and every task decrements it exactly once (after its
+        // last touch of any borrow, panic or not). So no task can
+        // outlive the frame it borrows from.
+        let guard = BatchGuard(&batch);
+        let mut tasks: Vec<Task> = Vec::with_capacity(workers - 1);
+        for _ in 0..workers - 1 {
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(|| {
+                if catch_unwind(AssertUnwindSafe(|| {
+                    let mut state = init();
+                    run_claims(&mut state);
+                }))
+                .is_err()
+                {
+                    batch.panicked.store(true, Ordering::Relaxed);
+                }
+                batch.finish_one();
             });
+            tasks.push(unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Task>(task) });
         }
-    });
+        pool().submit(tasks);
+        let mut state = init();
+        run_claims(&mut state);
+        drop(guard);
+    }
+    if batch.panicked.load(Ordering::Relaxed) {
+        panic!("fan_out worker panicked");
+    }
     slots
         .into_iter()
         .map(|slot| slot.into_inner().unwrap().expect("worker pool fills every slot"))
@@ -61,5 +249,55 @@ mod tests {
         let empty: [u32; 0] = [];
         assert!(fan_out(&empty, |x| *x).is_empty());
         assert_eq!(fan_out(&[7u32], |x| *x + 1), vec![8]);
+    }
+
+    #[test]
+    fn nested_fan_outs_do_not_deadlock() {
+        // Outer workers fan out again while every pool thread may be
+        // busy: waiting callers must help drain the queue.
+        let outer: Vec<u64> = (0..8).collect();
+        let out = fan_out(&outer, |o| {
+            let inner: Vec<u64> = (0..16).map(|i| o * 100 + i).collect();
+            fan_out(&inner, |i| i + 1).into_iter().sum::<u64>()
+        });
+        let want: Vec<u64> =
+            outer.iter().map(|o| (0..16).map(|i| o * 100 + i + 1).sum::<u64>()).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn per_worker_state_is_initialized_once_per_participant() {
+        let inits = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..200).collect();
+        let out = fan_out_init(
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<usize>::new()
+            },
+            |scratch, i| {
+                scratch.push(*i); // reused buffer, grows per worker
+                *i * 3
+            },
+        );
+        assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
+        let n = inits.load(Ordering::Relaxed);
+        assert!((1..=MAX_WORKERS).contains(&n), "one state per participant, got {n}");
+    }
+
+    #[test]
+    fn worker_panics_propagate_and_do_not_poison_the_pool() {
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            fan_out(&items, |i| {
+                if *i == 13 {
+                    panic!("boom");
+                }
+                *i
+            })
+        });
+        assert!(result.is_err(), "a worker panic must surface to the caller");
+        // The pool keeps serving later batches.
+        assert_eq!(fan_out(&items, |i| i + 1)[0], 1);
     }
 }

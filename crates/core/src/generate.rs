@@ -1,13 +1,15 @@
 //! `GeneratePDT` — the single-pass, index-only PDT construction
 //! (paper §4.2.2 and Appendix E).
 //!
-//! The algorithm performs a k-way **heap merge** over the streaming
-//! cursors of a [`crate::prepare::PreparedLists`] plan: every selected
-//! index row contributes one [`vxv_index::EntryCursor`] (opened directly
-//! over the index's block-compressed storage, bounded to the projected
-//! document), and a binary heap keyed on `(DeweyId, stream)` pulls
-//! entries incrementally in document order. Nothing is materialized up
-//! front — entries are decoded only as the sweep consumes them.
+//! The algorithm performs a k-way merge over the streaming cursors of a
+//! [`crate::prepare::PreparedLists`] plan: every selected index row
+//! contributes one [`vxv_index::EntryCursor`] (opened directly over the
+//! index's block-compressed storage, bounded to the projected document),
+//! and a **loser tree** keyed on `(DeweyId, stream)` — with a fixed-width
+//! integer order-embedding of the ID so matches rarely touch the
+//! variable-length components — pulls entries incrementally in document
+//! order. Nothing is materialized up front — entries are decoded only as
+//! the sweep consumes them.
 //!
 //! The sweep itself is unchanged from the paper: the *Candidate Tree*
 //! materializes as a stack of currently-open elements (the pseudo-code's
@@ -32,9 +34,8 @@ use crate::control::{ExecControl, Interrupt};
 use crate::pdt::{Pdt, PdtElem};
 use crate::prepare::{prepare_lists, MaterializedLists, PreparedLists};
 use crate::qpt::{Qpt, QptNodeId};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
-use vxv_index::{Axis, EntryCursor, InvertedIndex, PathIndex};
+use std::collections::{BTreeMap, HashMap};
+use vxv_index::{Axis, InvertedIndex, PathIndex};
 use vxv_xml::DeweyId;
 
 /// How many merge-loop entries are consumed between cooperative
@@ -195,60 +196,112 @@ pub(crate) fn generate_pdt_from_lists_ctl(
     // equal Dewey IDs across nodes are consumed in probe order — the
     // same tie-break as the materialized reference merge (stream index
     // ascends with probe order, and ties within one node cannot occur:
-    // an element lives in exactly one (path, value) row).
+    // an element lives in exactly one (path, value) row). The alignment
+    // map is resolved once per stream, not once per entry.
     struct Stream<'a> {
         qnode: QptNodeId,
-        path_id: u32,
         value: Option<&'a str>,
-        cursor: vxv_index::RowCursor<'a>,
+        alignment: &'a [Vec<QptNodeId>],
     }
-    /// Heap key carrying its decoded entry — no per-entry ID clones.
-    struct HeapItem {
-        entry: vxv_index::IdEntry,
-        si: usize,
-    }
-    impl PartialEq for HeapItem {
-        fn eq(&self, other: &Self) -> bool {
-            self.entry.id == other.entry.id && self.si == other.si
+    /// Fixed-width order-embedding of a Dewey ID: the first eight
+    /// components, 16 bits each, saturating, with absent components
+    /// mapped below every present one. `a < b` implies
+    /// `key(a) <= key(b)` (and `key(a) < key(b)` implies `a < b`), so
+    /// the merge resolves almost every match with one integer compare
+    /// and falls back to the full (pointer-chasing) component compare
+    /// only on key ties.
+    fn dewey_key(comps: &[u32]) -> u128 {
+        let mut k = 0u128;
+        for i in 0..8 {
+            let c = comps.get(i).map(|c| c.saturating_add(1).min(0xFFFF)).unwrap_or(0);
+            k = (k << 16) | c as u128;
         }
+        k
     }
-    impl Eq for HeapItem {}
-    impl PartialOrd for HeapItem {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
+    /// One decoded entry, ready to rank: its merge key, subtree byte
+    /// length, the Dewey components as a slice of the shared pool, and
+    /// the stream it came from. Exactly 32 bytes and fully contiguous,
+    /// so the sort that establishes document order runs over a compact
+    /// cache-resident array instead of pointer-chasing per-entry heap
+    /// allocations.
+    #[derive(Clone, Copy)]
+    struct Slot {
+        key: u128,
+        byte_len: u32,
+        comps_start: u32,
+        comps_len: u32,
+        stream: u32,
     }
-    impl Ord for HeapItem {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.entry.id.cmp(&other.entry.id).then(self.si.cmp(&other.si))
-        }
-    }
+    // A content-heavy plan opens hundreds of tiny value-row streams
+    // (one per matching (path, value) row), each contributing a handful
+    // of entries inside this document's Dewey range. A k-way
+    // tournament over that many nearly-empty streams is memory-bound:
+    // every advance takes a cache miss into a different cursor. So
+    // instead we drain each stream's bounded run block-by-block into
+    // one arena of compact slots, sort the slots once (the runs are
+    // tiny and the slots are 32 bytes — the sort stays in L2), and feed
+    // the sweep with a single linear pass. Transient memory is
+    // O(entries in the document's range) slots plus their components —
+    // the same order as the PDT being built — and nothing per entry is
+    // heap-allocated until the sweep actually ingests it.
     let mut streams: Vec<Stream<'_>> = Vec::new();
-    let mut heap: BinaryHeap<Reverse<HeapItem>> = BinaryHeap::new();
+    let mut arena: Vec<Slot> = Vec::new();
+    let mut pool: Vec<u32> = Vec::new();
+    let bounds = vxv_index::DocBounds::for_root(lists.root_ordinal);
     for (qnode, plan) in &lists.lists {
         for row in &plan.rows {
-            let mut cursor = row.cursor_for_doc(lists.root_ordinal);
-            let Some(first) = cursor.next() else { continue };
-            heap.push(Reverse(HeapItem { entry: first, si: streams.len() }));
+            let mut cursor = row.cursor_in(&bounds);
+            let si = streams.len() as u32;
+            let before = arena.len();
+            loop {
+                let served = cursor.next_block(|comps, byte_len| {
+                    let comps_start = pool.len() as u32;
+                    pool.extend_from_slice(comps);
+                    arena.push(Slot {
+                        key: dewey_key(comps),
+                        byte_len,
+                        comps_start,
+                        comps_len: comps.len() as u32,
+                        stream: si,
+                    });
+                });
+                if served == 0 {
+                    break;
+                }
+            }
+            if arena.len() == before {
+                continue;
+            }
             streams.push(Stream {
                 qnode: *qnode,
-                path_id: row.path_id,
                 value: row.value.as_deref(),
-                cursor,
+                alignment: &lists.alignments[&(*qnode, row.path_id)],
             });
         }
     }
-    while let Some(Reverse(HeapItem { entry, si })) = heap.pop() {
-        let s = &mut streams[si];
+    // One integer compare decides almost every pair; ties (IDs deeper
+    // than the key covers, or one element probed by several QPT nodes)
+    // fall back to the full component compare and then break toward the
+    // earlier stream — the materialized reference merge's tie order.
+    // Equal (id, stream) pairs cannot occur (a row is keyed by ID), so
+    // the unstable sort is safe.
+    arena.sort_unstable_by(|a, b| {
+        a.key.cmp(&b.key).then_with(|| {
+            let ca = &pool[a.comps_start as usize..][..a.comps_len as usize];
+            let cb = &pool[b.comps_start as usize..][..b.comps_len as usize];
+            ca.cmp(cb).then(a.stream.cmp(&b.stream))
+        })
+    });
+    for slot in &arena {
+        let s = &streams[slot.stream as usize];
         sweep.stats.entries += 1;
         if sweep.stats.entries.is_multiple_of(CHECK_EVERY) {
             ctl.check()?;
         }
-        let alignment = &lists.alignments[&(s.qnode, s.path_id)];
-        sweep.ingest(entry.id, s.qnode, s.value, entry.byte_len, alignment);
-        if let Some(next) = s.cursor.next() {
-            heap.push(Reverse(HeapItem { entry: next, si }));
-        }
+        let id = DeweyId::from_components(
+            pool[slot.comps_start as usize..][..slot.comps_len as usize].to_vec(),
+        );
+        sweep.ingest(id, s.qnode, s.value, slot.byte_len, s.alignment);
     }
     finish_sweep_ctl(sweep, inverted, keywords, meta, ctl, annotate)
 }

@@ -251,7 +251,34 @@ impl<S: DocumentSource> PreparedView<S> {
                 annotate,
             )
         };
-        crate::fanout::fan_out(&self.plans, run).into_iter().collect()
+        // Plans whose segment dictionary holds none of the keywords
+        // produce keyword-empty PDTs from structure alone — cheap, so
+        // run them inline on the caller and fan only the plans with
+        // posting work to claim. (`has_keyword` is a pure dictionary
+        // probe; it charges no lookup counters.)
+        let hot: Vec<bool> = self
+            .plans
+            .iter()
+            .map(|plan| {
+                let inverted = plan.segment.index.inverted();
+                keywords.iter().any(|k| inverted.has_keyword(k))
+            })
+            .collect();
+        let hot_plans: Vec<&QptPlan> =
+            self.plans.iter().zip(&hot).filter(|(_, h)| **h).map(|(p, _)| p).collect();
+        let hot_results = crate::fanout::fan_out(&hot_plans, |plan| run(plan));
+        let mut hot_results = hot_results.into_iter();
+        self.plans
+            .iter()
+            .zip(&hot)
+            .map(|(plan, is_hot)| {
+                if *is_hot {
+                    hot_results.next().expect("one result per hot plan")
+                } else {
+                    run(plan)
+                }
+            })
+            .collect()
     }
 
     /// The shared ranking pipeline: per-segment PDT generation → view
@@ -469,45 +496,52 @@ impl<S: DocumentSource> PreparedView<S> {
         // document order (the same traversal the reference annotation
         // loop uses, so block decodes stay sequential in the lists).
         let pairs: Vec<(usize, &Pdt)> = pdts.iter().enumerate().collect();
-        let est = crate::fanout::fan_out(&pairs, |(pi, pdt)| {
-            let n = pdt.doc.len();
-            let mut nodes = vec![NodeEst::default(); n];
-            let mut kw_data = vec![KwEst::default(); n * kws];
-            let readers = &readers[*pi];
-            // Info keys and arena nodes are both in document order:
-            // advance a node cursor instead of searching per element.
-            let mut ni = 0usize;
-            for (count, (dewey, inf)) in pdt.info.iter().enumerate() {
-                if (count + 1).is_multiple_of(1024) {
-                    ctl.check()?;
-                }
-                while ni < n && pdt.doc.node(vxv_xml::NodeId(ni as u32)).dewey < *dewey {
-                    ni += 1;
-                }
-                debug_assert!(
-                    ni < n && pdt.doc.node(vxv_xml::NodeId(ni as u32)).dewey == *dewey,
-                    "every annotated element is a document node"
-                );
-                nodes[ni].byte_len = inf.byte_len;
-                if inf.tf.is_none() {
-                    continue;
-                }
-                nodes[ni].content = true;
-                for (k, reader) in readers.iter().enumerate() {
-                    let est = reader.subtree_estimate(dewey);
-                    nodes[ni].blocks += est.skipped_blocks as u32;
-                    let e = &mut kw_data[ni * kws + k];
-                    e.sum = est.boundary_sum;
-                    if est.contains {
-                        e.contains = true;
-                        // `contains == false` tightens the bound to the
-                        // exact value 0.
-                        e.bound = est.bound;
+        // Each worker carries one reusable decode scratch across all its
+        // estimate probes — thousands of boundary-block decodes, a
+        // handful of allocations.
+        let est = crate::fanout::fan_out_init(
+            &pairs,
+            vxv_index::DecodeScratch::default,
+            |scratch, (pi, pdt)| {
+                let n = pdt.doc.len();
+                let mut nodes = vec![NodeEst::default(); n];
+                let mut kw_data = vec![KwEst::default(); n * kws];
+                let readers = &readers[*pi];
+                // Info keys and arena nodes are both in document order:
+                // advance a node cursor instead of searching per element.
+                let mut ni = 0usize;
+                for (count, (dewey, inf)) in pdt.info.iter().enumerate() {
+                    if (count + 1).is_multiple_of(1024) {
+                        ctl.check()?;
+                    }
+                    while ni < n && pdt.doc.node(vxv_xml::NodeId(ni as u32)).dewey < *dewey {
+                        ni += 1;
+                    }
+                    debug_assert!(
+                        ni < n && pdt.doc.node(vxv_xml::NodeId(ni as u32)).dewey == *dewey,
+                        "every annotated element is a document node"
+                    );
+                    nodes[ni].byte_len = inf.byte_len;
+                    if inf.tf.is_none() {
+                        continue;
+                    }
+                    nodes[ni].content = true;
+                    for (k, reader) in readers.iter().enumerate() {
+                        let est = reader.subtree_estimate_with(dewey, scratch);
+                        nodes[ni].blocks += est.skipped_blocks as u32;
+                        let e = &mut kw_data[ni * kws + k];
+                        e.sum = est.boundary_sum;
+                        if est.contains {
+                            e.contains = true;
+                            // `contains == false` tightens the bound to the
+                            // exact value 0.
+                            e.bound = est.bound;
+                        }
                     }
                 }
-            }
-            Ok((nodes, kw_data))
-        });
+                Ok((nodes, kw_data))
+            },
+        );
         let mut memos: Vec<(Vec<NodeEst>, Vec<KwEst>)> = est
             .into_iter()
             .collect::<Result<_, Interrupt>>()
@@ -575,6 +609,9 @@ impl<S: DocumentSource> PreparedView<S> {
         // pruning cannot change abort semantics — only make the abort
         // arrive sooner.
         let mut interrupt: Option<Interrupt> = None;
+        // Completions are single-threaded: one scratch serves every
+        // interior-block decode the resolver performs.
+        let mut resolve_scratch = vxv_index::DecodeScratch::default();
         let outcome =
             score_and_rank_bounded(&cands, request.keyword_mode(), request.k(), &mut |i| {
                 match &resolutions[i] {
@@ -596,7 +633,8 @@ impl<S: DocumentSource> PreparedView<S> {
                                 // estimate pass used.
                                 let dewey = &pdts[*pi].doc.node(*n).dewey;
                                 for (k, reader) in readers[*pi].iter().enumerate() {
-                                    kw_data[ni * kws + k].sum += reader.subtree_interior(dewey);
+                                    kw_data[ni * kws + k].sum +=
+                                        reader.subtree_interior_with(dewey, &mut resolve_scratch);
                                 }
                                 nodes[ni].resolved = true;
                             }

@@ -16,7 +16,7 @@
 
 use crate::cursor::{PostingCursor, ScanCounters};
 use crate::footprint::{Footprint, IndexFootprint};
-use crate::postings::{BlockList, PayloadBound, RangeEstimate};
+use crate::postings::{BlockList, DecodeScratch, PayloadBound, RangeEstimate};
 use crate::tokenize::token_counts;
 
 use std::collections::HashMap;
@@ -286,6 +286,23 @@ impl InvertedIndex {
         self.lists.keys().map(|s| s.as_str())
     }
 
+    /// Whether `keyword` (token form, like every probe here) has any
+    /// postings in this index — a pure dictionary membership test for
+    /// fan-out planning: segments whose dictionaries can't match a plan
+    /// skip the spawn entirely. Charges **no** lookup and no scan work,
+    /// so planning with it never perturbs the experiment counters.
+    pub fn has_keyword(&self, keyword: &str) -> bool {
+        self.lists.get(keyword).is_some_and(|l| !l.is_empty())
+    }
+
+    /// Heap bytes this index's posting buffers actually own: zero for
+    /// every list decoding out of a shared file mapping. Compare with
+    /// [`IndexFootprint::footprint`]'s `compressed_bytes` for the
+    /// map-vs-owned residency split.
+    pub fn owned_data_bytes(&self) -> u64 {
+        self.lists.values().map(|l| l.owned_data_bytes()).sum()
+    }
+
     /// Snapshot of the work counters.
     pub fn stats(&self) -> InvertedIndexStats {
         InvertedIndexStats {
@@ -328,15 +345,47 @@ impl TfReader<'_> {
     /// As [`InvertedIndex::subtree_tf_estimate`], without re-resolving
     /// the keyword.
     pub fn subtree_estimate(&self, root: &DeweyId) -> RangeEstimate {
+        let mut scratch = DecodeScratch::default();
+        self.subtree_estimate_with(root, &mut scratch)
+    }
+
+    /// As [`Self::subtree_estimate`], decoding boundary blocks into a
+    /// caller-provided scratch. The scorer's estimate pass probes every
+    /// candidate element through one reader — an explicit scratch
+    /// parameter (rather than interior mutability) keeps `TfReader`
+    /// `Sync`, so readers can still be shared across the fan-out while
+    /// each worker brings its own scratch.
+    pub fn subtree_estimate_with(
+        &self,
+        root: &DeweyId,
+        scratch: &mut DecodeScratch,
+    ) -> RangeEstimate {
         let Some(list) = self.list else { return RangeEstimate::default() };
-        list.range_payload_estimate(root, &root.subtree_upper_bound(), Some(self.scan))
+        list.range_payload_estimate_with(
+            root,
+            &root.subtree_upper_bound(),
+            Some(self.scan),
+            scratch,
+        )
     }
 
     /// As [`InvertedIndex::subtree_tf_interior`], without re-resolving
     /// the keyword.
     pub fn subtree_interior(&self, root: &DeweyId) -> u64 {
+        let mut scratch = DecodeScratch::default();
+        self.subtree_interior_with(root, &mut scratch)
+    }
+
+    /// As [`Self::subtree_interior`], decoding into a caller-provided
+    /// scratch (see [`Self::subtree_estimate_with`]).
+    pub fn subtree_interior_with(&self, root: &DeweyId, scratch: &mut DecodeScratch) -> u64 {
         let Some(list) = self.list else { return 0 };
-        list.range_interior_payload_sum(root, &root.subtree_upper_bound(), Some(self.scan))
+        list.range_interior_payload_sum_with(
+            root,
+            &root.subtree_upper_bound(),
+            Some(self.scan),
+            scratch,
+        )
     }
 }
 
@@ -532,10 +581,12 @@ mod tests {
         let mut cur = idx.postings("xml");
         assert_eq!(idx.stats().lookups, 1);
         assert_eq!(idx.stats().postings_scanned, 0);
-        // ...consuming one posting scans exactly one.
+        // ...consuming one posting charges exactly one scan. The tally
+        // is batched in the cursor and flushed when it drops (or at the
+        // next block decode), so it becomes visible after the drop.
         cur.next().unwrap();
-        assert_eq!(idx.stats().postings_scanned, 1);
         drop(cur);
+        assert_eq!(idx.stats().postings_scanned, 1);
         idx.subtree_tf("search", &"1".parse().unwrap());
         let s = idx.stats();
         assert_eq!(s.lookups, 2);

@@ -30,21 +30,26 @@
 //! observe compaction.
 //!
 //! The probe → cursor contract is defined in [`cursor`]; the
-//! delta-varint block format (with per-block ID skip metadata and
-//! payload maxima) in [`postings`]; sizes are reported uniformly via
-//! [`IndexFootprint`]; and [`persist::IndexBundle`] serializes any
-//! number of segments into a versioned `indices.vxi` (v3 segmented with
-//! persisted payload bounds; v2 and v1 files still load, recomputing
-//! bounds) so a cold engine opens them from disk instead of rebuilding
-//! from the corpus.
+//! delta-varint block format (with per-block ID skip metadata, payload
+//! maxima, and a batched scratch decoder) in [`postings`]; sizes are
+//! reported uniformly via [`IndexFootprint`]; and
+//! [`persist::IndexBundle`] serializes any number of segments into a
+//! versioned `indices.vxi` (v4 sectioned: offset-addressed DATA +
+//! checksummed META, so [`persist::IndexBundle::open_mmap`] maps
+//! posting payloads zero-copy and decodes **nothing** at open; v1–v3
+//! files still load by decoding owned) so a cold engine opens indexes
+//! from disk instead of rebuilding from the corpus.
 //!
 //! All indices carry work counters — charged when cursors *consume*
-//! entries, not when lists are opened — so the experiments can report
-//! probe costs; [`SegmentStats`] sums them per segment.
+//! entries, not when lists are opened, with tallies batched in the
+//! cursor and flushed at block-decode boundaries and on drop — so the
+//! experiments can report probe costs; [`SegmentStats`] sums them per
+//! segment.
 
 pub mod cursor;
 pub mod footprint;
 pub mod inverted;
+pub mod mapped;
 pub mod path_index;
 pub mod pattern;
 pub mod persist;
@@ -61,11 +66,15 @@ pub use footprint::{Footprint, IndexFootprint};
 pub use inverted::{
     InvertedIndex, InvertedIndexStats, Posting, PostingsCursor, TfReader, INVERTED_BLOCK_ENTRIES,
 };
+pub use mapped::{Bytes, MappedFile};
 pub use path_index::{
-    IdEntry, PathIndex, PathIndexStats, PlannedRow, ProbeResult, RowCursor, ValuePredicate,
+    DocBounds, IdEntry, PathIndex, PathIndexStats, PlannedRow, ProbeResult, RowCursor,
+    ValuePredicate,
 };
 pub use pattern::{Axis, PathPattern, Step};
-pub use persist::{DocInfo, IndexBundle, PersistError};
-pub use postings::{BlockCursor, BlockList, PayloadBound, RangeEstimate, DEFAULT_BLOCK_ENTRIES};
+pub use persist::{DocInfo, IndexBundle, OpenStats, PersistError};
+pub use postings::{
+    BlockCursor, BlockList, DecodeScratch, PayloadBound, RangeEstimate, DEFAULT_BLOCK_ENTRIES,
+};
 pub use segment::{IndexSegment, SegmentStats};
 pub use tag_index::TagIndex;

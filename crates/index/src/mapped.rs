@@ -1,0 +1,335 @@
+//! Memory-mapped index files and the [`Bytes`] backing abstraction.
+//!
+//! The v4 on-disk format (see [`crate::persist`]) lays every posting
+//! buffer out as an offset-addressed slice of one contiguous DATA
+//! section, so a segment can be *searched in place*: map the file once,
+//! hand each [`crate::BlockList`] a `(offset, len)` window into the
+//! mapping, and let cursors decode straight out of the page cache.
+//! Cold open touches only the header and META section — no posting
+//! block is read until a query asks for it.
+//!
+//! Two pieces live here:
+//!
+//! * [`MappedFile`] — a read-only file mapping. With the default-on
+//!   `mmap` feature on a Unix target it is a real `mmap(2)` region
+//!   (declared directly against libc, which `std` already links); in
+//!   every other configuration — feature off, non-Unix, or Miri — it
+//!   degrades to reading the file into a heap buffer with the same API,
+//!   so `IndexBundle::open_mmap` exists and behaves identically
+//!   everywhere (the fallback merely loses the lazy-paging benefit).
+//! * [`Bytes`] — the backing storage of a [`crate::BlockList`]: either
+//!   an owned `Vec<u8>` (built in memory, or copied out of a legacy
+//!   v1–v3 file) or a shared window into an `Arc<MappedFile>`. Cursors
+//!   only ever see `&[u8]`, so the decode path is byte-identical across
+//!   backings — the property the mmap proptests pin down.
+
+use std::fmt;
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+use std::path::Path;
+use std::sync::Arc;
+
+/// The real `mmap(2)` path: Unix, `mmap` feature on, and not under
+/// Miri (Miri cannot model file-backed mappings; it exercises the
+/// fallback instead, which shares every byte-interpretation code path).
+#[cfg(all(feature = "mmap", unix, not(miri)))]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 0x1;
+    pub const MAP_PRIVATE: i32 = 0x2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+}
+
+enum MapInner {
+    /// A live `mmap(2)` region; unmapped on drop.
+    #[cfg(all(feature = "mmap", unix, not(miri)))]
+    Mapped { ptr: *const u8, len: usize },
+    /// Fallback: the whole file read into a heap buffer.
+    Heap(Vec<u8>),
+}
+
+// SAFETY: the mapped region is read-only (PROT_READ, MAP_PRIVATE) for
+// the lifetime of the value and is only ever exposed as `&[u8]`.
+unsafe impl Send for MapInner {}
+unsafe impl Sync for MapInner {}
+
+/// A read-only mapping of one file (see the module docs for when it is
+/// a true `mmap` versus a heap read). Shared across segments via
+/// `Arc<MappedFile>`; [`Bytes::Shared`] windows borrow from it.
+pub struct MappedFile {
+    inner: MapInner,
+}
+
+impl MappedFile {
+    /// Map `path` read-only. Empty files (and every non-mmap build)
+    /// yield a heap-backed mapping with the same API.
+    pub fn open(path: &Path) -> io::Result<MappedFile> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "file too large to map"));
+        }
+        Self::map(file, len as usize)
+    }
+
+    #[cfg(all(feature = "mmap", unix, not(miri)))]
+    fn map(file: File, len: usize) -> io::Result<MappedFile> {
+        use std::os::unix::io::AsRawFd;
+        if len == 0 {
+            // Zero-length mappings are invalid; an empty heap buffer is
+            // indistinguishable through the API.
+            return Ok(MappedFile { inner: MapInner::Heap(Vec::new()) });
+        }
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(MappedFile { inner: MapInner::Mapped { ptr: ptr as *const u8, len } })
+    }
+
+    #[cfg(not(all(feature = "mmap", unix, not(miri))))]
+    fn map(file: File, len: usize) -> io::Result<MappedFile> {
+        use std::io::Read;
+        let mut buf = Vec::with_capacity(len);
+        let mut file = file;
+        file.read_to_end(&mut buf)?;
+        Ok(MappedFile { inner: MapInner::Heap(buf) })
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(all(feature = "mmap", unix, not(miri)))]
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes, valid until `drop` unmaps it.
+            MapInner::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            MapInner::Heap(v) => v.as_slice(),
+        }
+    }
+
+    /// Mapped length in bytes.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            #[cfg(all(feature = "mmap", unix, not(miri)))]
+            MapInner::Mapped { len, .. } => *len,
+            MapInner::Heap(v) => v.len(),
+        }
+    }
+
+    /// True when the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when this mapping is a real `mmap` region (false for the
+    /// heap fallback) — what `vxv inspect` reports as map-vs-owned.
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            #[cfg(all(feature = "mmap", unix, not(miri)))]
+            MapInner::Mapped { .. } => true,
+            MapInner::Heap(_) => false,
+        }
+    }
+}
+
+impl Drop for MappedFile {
+    fn drop(&mut self) {
+        #[cfg(all(feature = "mmap", unix, not(miri)))]
+        if let MapInner::Mapped { ptr, len } = self.inner {
+            // SAFETY: `ptr`/`len` came from a successful mmap and are
+            // unmapped exactly once.
+            unsafe {
+                sys::munmap(ptr as *mut std::ffi::c_void, len);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for MappedFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MappedFile")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+/// The backing bytes of a [`crate::BlockList`]: owned, or a shared
+/// window into a mapped file. Dereferences to `&[u8]`, so every decode
+/// path is agnostic to the backing.
+#[derive(Clone)]
+pub enum Bytes {
+    /// Heap-owned buffer (in-memory builds, legacy-format loads).
+    Owned(Vec<u8>),
+    /// `map[offset..offset + len]` — a window into a shared mapping.
+    Shared {
+        /// The mapping this window borrows from.
+        map: Arc<MappedFile>,
+        /// Window start within the mapping.
+        offset: usize,
+        /// Window length in bytes.
+        len: usize,
+    },
+}
+
+impl Bytes {
+    /// A shared window into `map`. Returns `None` when the window falls
+    /// outside the mapping — the caller surfaces that as a typed
+    /// persistence error, never a panic.
+    pub fn shared(map: Arc<MappedFile>, offset: usize, len: usize) -> Option<Bytes> {
+        let end = offset.checked_add(len)?;
+        if end > map.len() {
+            return None;
+        }
+        Some(Bytes::Shared { map, offset, len })
+    }
+
+    /// True when the bytes live in a shared mapping (zero heap cost).
+    pub fn is_shared(&self) -> bool {
+        matches!(self, Bytes::Shared { .. })
+    }
+
+    /// Heap bytes owned by this value (0 for shared windows) — what
+    /// footprint reporting uses to show map-vs-owned residency.
+    pub fn owned_bytes(&self) -> u64 {
+        match self {
+            Bytes::Owned(v) => v.len() as u64,
+            Bytes::Shared { .. } => 0,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            Bytes::Owned(v) => v,
+            Bytes::Shared { map, offset, len } => &map.as_slice()[*offset..*offset + *len],
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::Owned(Vec::new())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes::Owned(v)
+    }
+}
+
+impl PartialEq for Bytes {
+    /// Content equality: an owned list and a mapped list holding the
+    /// same bytes compare equal (what the byte-identity tests assert).
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bytes::Owned(v) => f.debug_struct("Bytes::Owned").field("len", &v.len()).finish(),
+            Bytes::Shared { offset, len, .. } => {
+                f.debug_struct("Bytes::Shared").field("offset", offset).field("len", len).finish()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("vxv-mapped-{}-{name}", std::process::id()));
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn mapped_files_expose_their_bytes() {
+        let path = tmp("basic", b"hello mapped world");
+        let map = MappedFile::open(&path).unwrap();
+        assert_eq!(map.as_slice(), b"hello mapped world");
+        assert_eq!(map.len(), 18);
+        assert!(!map.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_files_map_as_empty() {
+        let path = tmp("empty", b"");
+        let map = MappedFile::open(&path).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.as_slice(), b"");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn shared_windows_are_bounds_checked() {
+        let path = tmp("windows", b"0123456789");
+        let map = Arc::new(MappedFile::open(&path).unwrap());
+        let w = Bytes::shared(Arc::clone(&map), 2, 5).unwrap();
+        assert_eq!(&w[..], b"23456");
+        assert!(w.is_shared());
+        assert_eq!(w.owned_bytes(), 0);
+        // Off the end, overflowing, and zero-length-at-end windows.
+        assert!(Bytes::shared(Arc::clone(&map), 8, 3).is_none());
+        assert!(Bytes::shared(Arc::clone(&map), usize::MAX, 2).is_none());
+        assert!(Bytes::shared(Arc::clone(&map), 10, 0).is_some());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn owned_and_shared_bytes_compare_by_content() {
+        let path = tmp("eq", b"same bytes");
+        let map = Arc::new(MappedFile::open(&path).unwrap());
+        let shared = Bytes::shared(map, 0, 10).unwrap();
+        let owned = Bytes::Owned(b"same bytes".to_vec());
+        assert_eq!(shared, owned);
+        assert_ne!(shared, Bytes::Owned(b"other bytes".to_vec()));
+        assert_eq!(owned.owned_bytes(), 10);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mappings_outlive_the_file_entry() {
+        // Deleting the file after mapping must not invalidate the bytes
+        // (POSIX keeps the pages; the heap fallback trivially copies).
+        let path = tmp("unlink", b"still here");
+        let map = MappedFile::open(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(map.as_slice(), b"still here");
+    }
+}

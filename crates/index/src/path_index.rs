@@ -251,6 +251,13 @@ impl PathIndex {
         self.paths.iter().map(|s| s.as_str())
     }
 
+    /// Heap bytes this index's row buffers actually own: zero for rows
+    /// decoding out of a shared file mapping (the map-vs-owned residency
+    /// split `vxv inspect` reports).
+    pub fn owned_data_bytes(&self) -> u64 {
+        self.tables.iter().flat_map(|t| t.rows.iter()).map(|(_, l)| l.owned_data_bytes()).sum()
+    }
+
     /// All full data paths matching a pattern (dictionary expansion).
     pub fn expand_pattern(&self, pattern: &PathPattern) -> Vec<u32> {
         (0..self.paths.len() as u32)
@@ -433,17 +440,42 @@ impl PlannedRow {
 
     /// Open a cursor over the whole row.
     pub fn cursor(&self) -> RowCursor<'_> {
-        RowCursor { inner: self.list.cursor(Some(&self.counters)), end: None }
+        RowCursor { inner: self.list.cursor(Some(&self.counters)), end: None, safe: 0 }
     }
 
     /// Open a cursor restricted to the document with Dewey root
     /// `root_ordinal`: seeks to the document's range and stops at its
     /// end.
     pub fn cursor_for_doc(&self, root_ordinal: u32) -> RowCursor<'_> {
-        let lo = DeweyId::root(root_ordinal);
+        self.cursor_in(&DocBounds::for_root(root_ordinal))
+    }
+
+    /// As [`Self::cursor_for_doc`] with the document range precomputed —
+    /// a merge opening hundreds of row cursors for one document builds
+    /// the bounds once instead of twice per row.
+    pub fn cursor_in(&self, bounds: &DocBounds) -> RowCursor<'_> {
         let mut inner = self.list.cursor(Some(&self.counters));
-        inner.seek_raw(&lo);
-        RowCursor { inner, end: Some(lo.subtree_upper_bound()) }
+        inner.seek_raw(&bounds.lo);
+        RowCursor { inner, end: Some(bounds.hi.clone()), safe: 0 }
+    }
+}
+
+/// Precomputed `[lo, hi)` Dewey range of one document, shared across the
+/// many row-cursor opens a single merge performs.
+#[derive(Clone, Debug)]
+pub struct DocBounds {
+    /// Root of the document (inclusive lower bound).
+    pub lo: DeweyId,
+    /// Upper bound of the document's subtree (exclusive).
+    pub hi: DeweyId,
+}
+
+impl DocBounds {
+    /// Bounds of the document whose Dewey root ordinal is `root_ordinal`.
+    pub fn for_root(root_ordinal: u32) -> Self {
+        let lo = DeweyId::root(root_ordinal);
+        let hi = lo.subtree_upper_bound();
+        DocBounds { lo, hi }
     }
 }
 
@@ -452,21 +484,45 @@ impl PlannedRow {
 pub struct RowCursor<'a> {
     inner: BlockCursor<'a>,
     end: Option<DeweyId>,
+    /// Upcoming entries proven `< end` by the block directory — served
+    /// without any per-entry bound compare.
+    safe: usize,
+}
+
+impl RowCursor<'_> {
+    /// Serve one decoded block's worth of entries to `f` as raw
+    /// `(components, byte_len)` pairs, bounded by the cursor's end.
+    /// Returns the number served; 0 means the cursor is exhausted (or
+    /// has reached its bound). The batch face of [`EntryCursor::next`]:
+    /// a merge that buffers one block per stream touches cursor state
+    /// once per block instead of once per entry.
+    pub fn next_block<F: FnMut(&[u32], u32)>(&mut self, f: F) -> usize {
+        self.safe = 0;
+        self.inner.drain_block(self.end.as_ref(), f)
+    }
 }
 
 impl EntryCursor for RowCursor<'_> {
     fn next(&mut self) -> Option<IdEntry> {
-        let (id, _) = self.inner.peek()?;
-        if let Some(end) = &self.end {
-            if *id >= *end {
-                return None;
+        if self.safe == 0 {
+            let (id, _) = self.inner.peek()?;
+            match &self.end {
+                Some(end) => {
+                    if *id >= *end {
+                        return None;
+                    }
+                    self.safe = self.inner.run_below(end).max(1);
+                }
+                None => self.safe = usize::MAX,
             }
         }
+        self.safe -= 1;
         let (id, byte_len) = self.inner.next_raw()?;
         Some(IdEntry { id, byte_len })
     }
 
     fn seek(&mut self, target: &DeweyId) {
+        self.safe = 0;
         self.inner.seek_raw(target);
     }
 }

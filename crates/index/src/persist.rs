@@ -4,59 +4,92 @@
 //! searches without re-tokenizing or re-walking base documents: one or
 //! more [`IndexSegment`]s, each an immutable (path index, inverted
 //! index, document catalog) triple. [`IndexBundle::save`] writes a
-//! single `indices.vxi` file next to the document storage;
-//! [`IndexBundle::load`] reads it back, reconstructing the compressed
-//! lists byte-for-byte — the in-memory block format *is* the disk
-//! format, so loading copies buffers without re-encoding.
+//! single `indices.vxi` file next to the document storage; it is opened
+//! two ways:
 //!
-//! ## File format (`indices.vxi`, little-endian)
+//! * [`IndexBundle::load`] — read the file into memory; every list owns
+//!   its bytes.
+//! * [`IndexBundle::open_mmap`] — map the file once and hand every list
+//!   a shared window into the mapping ([`crate::mapped`]); cursors
+//!   decode straight out of the page cache, so opening a multi-gigabyte
+//!   bundle costs O(header + metadata), and untouched posting blocks
+//!   are never read at all. [`IndexBundle::open_stats`] reports the
+//!   split (`bytes_decoded` at open is **zero** for v4 files either
+//!   way).
 //!
-//! Version 3 (written by [`IndexBundle::save`]) is the segmented v2
-//! layout plus a **payload-bounds section per block list** — the
-//! block-max metadata ([`BlockList::max_payload`] and the per-block
-//! maxima) that top-k pruning consults, persisted so a cold open never
-//! decodes a list just to recover its bounds:
+//! Prefer `open_mmap` for serving cold indexes — it is strictly lazier
+//! and the OS shares pages across processes; prefer `load` when the
+//! file will be deleted or rewritten while the engine runs, or when a
+//! fully-resident working set is wanted up front (e.g. latency-critical
+//! benchmarks that must not take page faults mid-query).
+//!
+//! ## v4 file format (`indices.vxi`, little-endian)
+//!
+//! Version 4 (written by [`IndexBundle::save`]) splits the file into
+//! offset-addressed **sections** so posting bytes can be consumed in
+//! place:
 //!
 //! ```text
-//! magic  "VXVIDX03"
+//! magic  "VXVIDX04"
+//! u32    section count (2)
+//! per section: u8 kind (1 = DATA, 2 = META), u64 offset, u64 len
+//! u64    FNV-1a checksum of the META section bytes
+//! -- zero padding to the DATA offset (64-byte aligned) --
+//! DATA   every block list's encoded bytes, concatenated, each chunk
+//!        zero-padded to 8-byte alignment
+//! META   the bundle's structural metadata (below)
+//! ```
+//!
+//! META is the v2/v3 body shape, except a block list's entry bytes are
+//! **referenced** — `(u64 data-relative offset, u64 len)` into DATA —
+//! instead of inlined:
+//!
+//! ```text
 //! u32    segment count
 //! per segment:
 //!   u32  generation (merge depth)
-//!   segment body (v1 body below, with the v3 blocklist)
-//! ```
-//!
-//! Version 2 files (magic `VXVIDX02`, same shape, no bounds section)
-//! and version 1 files — the pre-segmentation format, exactly one
-//! segment body after the magic — both still load; their payload
-//! bounds are recomputed from the data during the load-time validation
-//! decode. Tiny checked-in v1 and v2 fixtures pin both compatibility
-//! paths in CI. The shared body is:
-//!
-//! ```text
-//! magic  "VXVIDX01"          (v1 only; v2/v3 bodies have no magic)
-//! u32    doc count           { str name, str root_tag, u32 ordinal }*
-//! u32    keyword count       { str token, blocklist }*
-//! u32    path count          { str path }*
-//! per path: u32 row count    { u8 has_value, [str value], blocklist }*
+//!   u32  doc count           { str name, str root_tag, u32 ordinal }*
+//!   u32  keyword count       { str token, blocklist }*
+//!   u32  path count          { str path }*
+//!   per path: u32 row count  { u8 has_value, [str value], blocklist }*
 //!
 //! blocklist := u64 entry_count, u64 uncompressed_bytes,
-//!              u64 data_len, data bytes,
+//!              u64 data_offset, u64 data_len,       (window into DATA)
 //!              u32 block count { u32 offset, u32 count, dewey max }*
-//!              (block count is 0 for single-block lists: the data is
-//!              one implicit block of entry_count entries)
-//!              v3 only: u32 list max payload,
-//!                       u32 max payload per directory block
+//!              u32 list max payload,
+//!              u32 max payload per directory block
 //! dewey     := u32 component count, u32* components
 //! str       := u32 byte length, utf-8 bytes
 //! ```
 //!
-//! Every read in the loader is bounds-checked through a typed
-//! [`PersistError`] path: a truncated or corrupt bundle can never panic
-//! at load time, and persisted payload bounds that disagree with the
-//! data are rejected as corruption (a stale bound could silently prune
-//! qualifying hits).
+//! Opening a v4 bundle parses and checksums META, bounds-checks every
+//! directory and data window, and decodes **no posting block** — the
+//! batched decoder in [`crate::postings`] is fully bounds-checked, so
+//! deferring data validation to first touch is safe: bytes the checksum
+//! does not cover can end a scan early but can never cause a panic,
+//! out-of-bounds read, or allocator abort. The META checksum is what
+//! turns a tampered directory or stale payload bound — which *could*
+//! silently change answers — into a typed [`PersistError::Corrupt`] at
+//! open.
+//!
+//! ## Legacy formats
+//!
+//! v3 files (magic `VXVIDX03`: the segmented layout with inlined list
+//! bytes and persisted payload bounds), v2 (same, no bounds) and v1
+//! (single unsegmented body) all still load, into fully owned lists,
+//! through the original validation decode — their `bytes_decoded` at
+//! open equals the posting bytes they carry. Checked-in v1/v2/v3
+//! fixtures pin all three paths in CI; re-saving any of them writes v4.
+//! [`IndexBundle::open_mmap`] accepts legacy files too (it simply
+//! decodes owned lists out of the mapping), so callers can switch
+//! unconditionally.
+//!
+//! Every read on every path is bounds-checked through the typed
+//! [`PersistError`]: truncated files, out-of-range section tables and
+//! absurd count fields all fail cleanly, never panic or abort.
 
 use crate::inverted::InvertedIndex;
+use crate::mapped::{Bytes, MappedFile};
 use crate::path_index::PathIndex;
 use crate::postings::{BlockList, BlockMeta};
 use crate::segment::IndexSegment;
@@ -70,8 +103,16 @@ use vxv_xml::{Corpus, DeweyId};
 const MAGIC_V1: &[u8; 8] = b"VXVIDX01";
 const MAGIC_V2: &[u8; 8] = b"VXVIDX02";
 const MAGIC_V3: &[u8; 8] = b"VXVIDX03";
+const MAGIC_V4: &[u8; 8] = b"VXVIDX04";
 
-/// Whether a block list being read carries the v3 payload-bounds
+const SECTION_DATA: u8 = 1;
+const SECTION_META: u8 = 2;
+/// DATA starts on a cache-line/page-friendly boundary.
+const DATA_ALIGN: usize = 64;
+/// Each list's chunk inside DATA starts 8-byte aligned.
+const CHUNK_ALIGN: usize = 8;
+
+/// Whether a legacy block list being read carries the v3 payload-bounds
 /// section, or predates it (bounds recomputed from the data).
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum BoundsFormat {
@@ -93,23 +134,44 @@ pub struct DocInfo {
     pub root_ordinal: u32,
 }
 
+/// What opening a bundle actually cost and produced — the
+/// map-vs-owned/lazy-vs-eager split `vxv inspect` reports and the
+/// cold-open tests pin.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpenStats {
+    /// Posting bytes decoded while opening. **Zero** for v4 files (both
+    /// [`IndexBundle::load`] and [`IndexBundle::open_mmap`]): no block
+    /// is decoded until a query touches it. Legacy v1–v3 files decode
+    /// every list once for validation, so this equals their posting
+    /// payload.
+    pub bytes_decoded: u64,
+    /// Posting bytes backed by a shared file mapping (zero heap cost).
+    pub mapped_bytes: u64,
+    /// Posting bytes copied onto the heap at open.
+    pub owned_bytes: u64,
+    /// The on-disk format version the file carried (1–4).
+    pub format_version: u32,
+}
+
 /// The persisted index state: one or more [`IndexSegment`]s — everything
 /// a cold engine opens from disk.
 #[derive(Debug)]
 pub struct IndexBundle {
     /// The segments, in on-disk order.
     pub segments: Vec<IndexSegment>,
+    /// How the bundle was opened (zeroed for in-memory builds).
+    stats: OpenStats,
 }
 
 impl IndexBundle {
     /// Build a single-segment bundle over an in-memory corpus.
     pub fn build(corpus: &Corpus) -> IndexBundle {
-        IndexBundle { segments: vec![IndexSegment::build(corpus)] }
+        IndexBundle { segments: vec![IndexSegment::build(corpus)], stats: OpenStats::default() }
     }
 
     /// Wrap pre-built segments.
     pub fn from_segments(segments: Vec<IndexSegment>) -> IndexBundle {
-        IndexBundle { segments }
+        IndexBundle { segments, stats: OpenStats::default() }
     }
 
     /// Wrap pre-built parts as a single generation-0 segment.
@@ -118,7 +180,10 @@ impl IndexBundle {
         inverted: InvertedIndex,
         docs: Vec<DocInfo>,
     ) -> IndexBundle {
-        IndexBundle { segments: vec![IndexSegment::from_parts(path_index, inverted, docs, 0)] }
+        IndexBundle {
+            segments: vec![IndexSegment::from_parts(path_index, inverted, docs, 0)],
+            stats: OpenStats::default(),
+        }
     }
 
     /// Catalog metadata across every segment, in segment order.
@@ -132,6 +197,12 @@ impl IndexBundle {
         self.segments.iter().filter_map(|s| s.max_root_ordinal()).max()
     }
 
+    /// What the open cost: posting bytes decoded (zero for v4),
+    /// mapped-vs-owned residency, and the file's format version.
+    pub fn open_stats(&self) -> OpenStats {
+        self.stats
+    }
+
     /// Split the bundle into `Arc`-shared segments — the form a
     /// long-lived service owns, where one loaded segment set backs any
     /// number of engines, catalogs and prepared views concurrently.
@@ -140,89 +211,236 @@ impl IndexBundle {
     }
 
     /// Serialize into `dir/indices.vxi` (directory created if needed) in
-    /// the v3 segmented format (block-max payload bounds included).
-    /// Returns the written path.
+    /// the v4 sectioned format (offset-addressed DATA + checksummed
+    /// META). Returns the written path.
     pub fn save(&self, dir: &Path) -> io::Result<PathBuf> {
-        let mut out: Vec<u8> = Vec::new();
-        out.extend_from_slice(MAGIC_V3);
-        write_u32(&mut out, self.segments.len() as u32);
+        let mut data: Vec<u8> = Vec::new();
+        let mut meta: Vec<u8> = Vec::new();
+        write_u32(&mut meta, self.segments.len() as u32);
         for seg in &self.segments {
-            write_u32(&mut out, seg.generation());
-            write_segment_body(&mut out, seg);
+            write_u32(&mut meta, seg.generation());
+            write_segment_body(&mut meta, &mut data, seg);
         }
+        let data_off = DATA_ALIGN; // header is 54 bytes; pad to 64
+        let meta_off = data_off + data.len();
+        let mut out: Vec<u8> = Vec::with_capacity(meta_off + meta.len());
+        out.extend_from_slice(MAGIC_V4);
+        write_u32(&mut out, 2);
+        out.push(SECTION_DATA);
+        write_u64(&mut out, data_off as u64);
+        write_u64(&mut out, data.len() as u64);
+        out.push(SECTION_META);
+        write_u64(&mut out, meta_off as u64);
+        write_u64(&mut out, meta.len() as u64);
+        write_u64(&mut out, fnv1a(&meta));
+        debug_assert!(out.len() <= data_off, "header grew past the DATA offset");
+        out.resize(data_off, 0);
+        out.extend_from_slice(&data);
+        out.extend_from_slice(&meta);
         std::fs::create_dir_all(dir)?;
         let path = dir.join(INDEX_FILE);
         std::fs::write(&path, &out)?;
         Ok(path)
     }
 
-    /// Load a bundle from `dir`, accepting the v3 segmented format, v2
-    /// segmented files (payload bounds recomputed on load), and v1
-    /// single-index files (loaded as one generation-0 segment, bounds
-    /// recomputed likewise).
+    /// Load a bundle from `dir` into fully owned lists. Accepts v4
+    /// (posting bytes copied but **not decoded** — `bytes_decoded` stays
+    /// zero), v3, v2, and v1 files (legacy formats decode once for
+    /// validation, recomputing payload bounds where the file carries
+    /// none).
     pub fn load(dir: &Path) -> Result<IndexBundle, PersistError> {
         let path = dir.join(INDEX_FILE);
         let buf = std::fs::read(&path).map_err(PersistError::Io)?;
-        let mut r = Reader { buf: &buf, pos: 0 };
-        let magic = r.take(MAGIC_V3.len())?;
-        let segments = if magic == MAGIC_V3.as_slice() || magic == MAGIC_V2.as_slice() {
-            let bounds = if magic == MAGIC_V3.as_slice() {
-                BoundsFormat::Stored
-            } else {
-                BoundsFormat::Recompute
-            };
-            let seg_count = r.u32()?;
-            let mut segments = Vec::with_capacity(r.capacity_for(seg_count));
-            for _ in 0..seg_count {
-                let generation = r.u32()?;
-                segments.push(read_segment_body(&mut r, generation, bounds)?);
-            }
-            segments
-        } else if magic == MAGIC_V1.as_slice() {
-            vec![read_segment_body(&mut r, 0, BoundsFormat::Recompute)?]
-        } else {
-            return Err(PersistError::bad("magic mismatch"));
-        };
-        if r.pos != buf.len() {
-            return Err(PersistError::bad("trailing bytes"));
-        }
-        Ok(IndexBundle { segments })
+        parse_bundle(&buf, None)
+    }
+
+    /// Open `dir`'s bundle over a shared file mapping: the file is
+    /// mapped once ([`crate::mapped::MappedFile`]; a heap read on
+    /// non-mmap builds, same semantics) and every v4 list decodes in
+    /// place out of the mapping — cold open is O(header + metadata) and
+    /// touches no posting block. Legacy v1–v3 files are accepted too,
+    /// decoding into owned lists exactly as [`Self::load`] does.
+    pub fn open_mmap(dir: &Path) -> Result<IndexBundle, PersistError> {
+        let path = dir.join(INDEX_FILE);
+        let map = Arc::new(MappedFile::open(&path).map_err(PersistError::Io)?);
+        parse_bundle(map.as_slice(), Some(&map))
     }
 }
 
-fn write_segment_body(out: &mut Vec<u8>, seg: &IndexSegment) {
-    write_u32(out, seg.docs().len() as u32);
+/// Parse a bundle from `buf`; when `map` is given (and the file is v4),
+/// lists get shared windows into the mapping instead of owned copies.
+fn parse_bundle(buf: &[u8], map: Option<&Arc<MappedFile>>) -> Result<IndexBundle, PersistError> {
+    if buf.len() >= 8 && &buf[..8] == MAGIC_V4 {
+        parse_v4(buf, map)
+    } else {
+        parse_legacy(buf)
+    }
+}
+
+/// v4: section table + checksummed META; no posting decode.
+fn parse_v4(buf: &[u8], map: Option<&Arc<MappedFile>>) -> Result<IndexBundle, PersistError> {
+    let mut r = Reader::new(buf);
+    r.take(8)?; // magic, already matched
+    let section_count = r.u32()?;
+    let mut data_sec: Option<(usize, usize)> = None;
+    let mut meta_sec: Option<(usize, usize)> = None;
+    for _ in 0..section_count {
+        let kind = r.u8()?;
+        let offset = r.u64()?;
+        let len = r.u64()?;
+        let end = offset.checked_add(len).ok_or_else(|| PersistError::bad("section overflow"))?;
+        if end > buf.len() as u64 {
+            return Err(PersistError::bad("section out of bounds"));
+        }
+        let sec = Some((offset as usize, len as usize));
+        match kind {
+            SECTION_DATA => data_sec = sec,
+            SECTION_META => meta_sec = sec,
+            // Unknown sections are skipped: room for future additions
+            // without a version bump.
+            _ => {}
+        }
+    }
+    let checksum = r.u64()?;
+    let (data_off, data_len) = data_sec.ok_or_else(|| PersistError::bad("missing DATA section"))?;
+    let (meta_off, meta_len) = meta_sec.ok_or_else(|| PersistError::bad("missing META section"))?;
+    let meta = &buf[meta_off..meta_off + meta_len];
+    if fnv1a(meta) != checksum {
+        return Err(PersistError::bad("META checksum mismatch"));
+    }
+    let src = match map {
+        Some(m) => DataSource::Mapped { map: m, base: data_off, len: data_len },
+        None => DataSource::Owned(&buf[data_off..data_off + data_len]),
+    };
+    let mut r = Reader::new(meta);
+    let seg_count = r.u32()?;
+    let mut segments = Vec::with_capacity(r.capacity_for(seg_count));
+    for _ in 0..seg_count {
+        let generation = r.u32()?;
+        segments.push(read_segment_body(&mut r, generation, &ListFormat::V4(&src))?);
+    }
+    if r.pos != meta.len() {
+        return Err(PersistError::bad("trailing META bytes"));
+    }
+    let stats = OpenStats {
+        bytes_decoded: 0,
+        mapped_bytes: if map.is_some() { r.data_bytes } else { 0 },
+        owned_bytes: if map.is_some() { 0 } else { r.data_bytes },
+        format_version: 4,
+    };
+    Ok(IndexBundle { segments, stats })
+}
+
+/// v1–v3: inlined list bytes, validated (and therefore fully decoded)
+/// at load.
+fn parse_legacy(buf: &[u8]) -> Result<IndexBundle, PersistError> {
+    let mut r = Reader::new(buf);
+    let magic = r.take(MAGIC_V3.len())?;
+    let (segments, version) = if magic == MAGIC_V3.as_slice() || magic == MAGIC_V2.as_slice() {
+        let (bounds, version) = if magic == MAGIC_V3.as_slice() {
+            (BoundsFormat::Stored, 3)
+        } else {
+            (BoundsFormat::Recompute, 2)
+        };
+        let seg_count = r.u32()?;
+        let mut segments = Vec::with_capacity(r.capacity_for(seg_count));
+        for _ in 0..seg_count {
+            let generation = r.u32()?;
+            segments.push(read_segment_body(&mut r, generation, &ListFormat::Legacy(bounds))?);
+        }
+        (segments, version)
+    } else if magic == MAGIC_V1.as_slice() {
+        (vec![read_segment_body(&mut r, 0, &ListFormat::Legacy(BoundsFormat::Recompute))?], 1)
+    } else {
+        return Err(PersistError::bad("magic mismatch"));
+    };
+    if r.pos != buf.len() {
+        return Err(PersistError::bad("trailing bytes"));
+    }
+    let stats = OpenStats {
+        bytes_decoded: r.decoded,
+        mapped_bytes: 0,
+        owned_bytes: r.data_bytes,
+        format_version: version,
+    };
+    Ok(IndexBundle { segments, stats })
+}
+
+/// FNV-1a, the META integrity checksum — tiny, dependency-free, and
+/// plenty against accidental corruption (malice is out of scope for a
+/// local index file).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Where a v4 list's entry bytes come from.
+enum DataSource<'a> {
+    /// `load`: copy windows out of the in-memory DATA section.
+    Owned(&'a [u8]),
+    /// `open_mmap`: share windows of the mapping (`base`/`len` delimit
+    /// the DATA section inside it).
+    Mapped { map: &'a Arc<MappedFile>, base: usize, len: usize },
+}
+
+impl DataSource<'_> {
+    fn window(&self, rel: usize, len: usize) -> Option<Bytes> {
+        let end = rel.checked_add(len)?;
+        match self {
+            DataSource::Owned(d) => (end <= d.len()).then(|| Bytes::Owned(d[rel..end].to_vec())),
+            DataSource::Mapped { map, base, len: dlen } => {
+                if end > *dlen {
+                    return None;
+                }
+                Bytes::shared(Arc::clone(map), base.checked_add(rel)?, len)
+            }
+        }
+    }
+}
+
+/// How a segment body's block lists are encoded.
+enum ListFormat<'a> {
+    Legacy(BoundsFormat),
+    V4(&'a DataSource<'a>),
+}
+
+fn write_segment_body(meta: &mut Vec<u8>, data: &mut Vec<u8>, seg: &IndexSegment) {
+    write_u32(meta, seg.docs().len() as u32);
     for d in seg.docs() {
-        write_str(out, &d.name);
-        write_str(out, &d.root_tag);
-        write_u32(out, d.root_ordinal);
+        write_str(meta, &d.name);
+        write_str(meta, &d.root_tag);
+        write_u32(meta, d.root_ordinal);
     }
     let lists = seg.inverted().lists();
     let mut tokens: Vec<&String> = lists.keys().collect();
     tokens.sort();
-    write_u32(out, tokens.len() as u32);
+    write_u32(meta, tokens.len() as u32);
     for t in tokens {
-        write_str(out, t);
-        write_blocklist(out, &lists[t]);
+        write_str(meta, t);
+        write_blocklist(meta, data, &lists[t]);
     }
     let path_index = seg.path_index();
     let paths: Vec<&str> = path_index.paths().collect();
-    write_u32(out, paths.len() as u32);
+    write_u32(meta, paths.len() as u32);
     for p in &paths {
-        write_str(out, p);
+        write_str(meta, p);
     }
     for pid in 0..paths.len() as u32 {
         let rows: Vec<_> = path_index.rows_of(pid).collect();
-        write_u32(out, rows.len() as u32);
+        write_u32(meta, rows.len() as u32);
         for (value, list) in rows {
             match value {
                 Some(v) => {
-                    out.push(1);
-                    write_str(out, v);
+                    meta.push(1);
+                    write_str(meta, v);
                 }
-                None => out.push(0),
+                None => meta.push(0),
             }
-            write_blocklist(out, list);
+            write_blocklist(meta, data, list);
         }
     }
 }
@@ -230,7 +448,7 @@ fn write_segment_body(out: &mut Vec<u8>, seg: &IndexSegment) {
 fn read_segment_body(
     r: &mut Reader<'_>,
     generation: u32,
-    bounds: BoundsFormat,
+    fmt: &ListFormat<'_>,
 ) -> Result<IndexSegment, PersistError> {
     let doc_count = r.u32()?;
     let mut docs = Vec::with_capacity(r.capacity_for(doc_count));
@@ -241,7 +459,7 @@ fn read_segment_body(
     let mut lists = HashMap::with_capacity(r.capacity_for(kw_count));
     for _ in 0..kw_count {
         let token = r.string()?;
-        lists.insert(token, r.blocklist(bounds)?);
+        lists.insert(token, r.blocklist(fmt)?);
     }
     let path_count = r.u32()?;
     let mut paths = Vec::with_capacity(r.capacity_for(path_count));
@@ -254,7 +472,7 @@ fn read_segment_body(
         let mut rows = Vec::with_capacity(r.capacity_for(row_count));
         for _ in 0..row_count {
             let value = if r.u8()? == 1 { Some(r.string()?) } else { None };
-            rows.push((value, r.blocklist(bounds)?));
+            rows.push((value, r.blocklist(fmt)?));
         }
         tables.push(rows);
     }
@@ -312,31 +530,46 @@ fn write_dewey(out: &mut Vec<u8>, d: &DeweyId) {
     }
 }
 
-fn write_blocklist(out: &mut Vec<u8>, list: &BlockList) {
-    write_u64(out, list.len);
-    write_u64(out, list.uncompressed);
-    write_u64(out, list.data.len() as u64);
-    out.extend_from_slice(&list.data);
-    write_u32(out, list.blocks.len() as u32);
-    for b in &list.blocks {
-        write_u32(out, b.offset);
-        write_u32(out, b.count);
-        write_dewey(out, &b.max);
+fn write_blocklist(meta: &mut Vec<u8>, data: &mut Vec<u8>, list: &BlockList) {
+    // Each chunk starts 8-byte aligned so a mapped decode never starts
+    // mid-word of its neighbour.
+    while !data.len().is_multiple_of(CHUNK_ALIGN) {
+        data.push(0);
     }
-    // v3 bounds section: list-level max payload, then one max per
-    // directory block (nothing extra for single-block lists).
-    write_u32(out, list.max_payload);
+    let rel = data.len() as u64;
+    data.extend_from_slice(&list.data);
+    write_u64(meta, list.len);
+    write_u64(meta, list.uncompressed);
+    write_u64(meta, rel);
+    write_u64(meta, list.data.len() as u64);
+    write_u32(meta, list.blocks.len() as u32);
     for b in &list.blocks {
-        write_u32(out, b.max_payload);
+        write_u32(meta, b.offset);
+        write_u32(meta, b.count);
+        write_dewey(meta, &b.max);
+    }
+    // Bounds: list-level max payload, then one max per directory block
+    // (nothing extra for single-block lists).
+    write_u32(meta, list.max_payload);
+    for b in &list.blocks {
+        write_u32(meta, b.max_payload);
     }
 }
 
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// Posting bytes decoded so far (legacy validation decodes).
+    decoded: u64,
+    /// Posting bytes referenced so far (all formats).
+    data_bytes: u64,
 }
 
 impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0, decoded: 0, data_bytes: 0 }
+    }
+
     /// A safe pre-allocation bound for a count field read from the file:
     /// every counted item consumes at least one byte, so the remaining
     /// buffer length caps how many can really follow. A corrupt count
@@ -388,29 +621,49 @@ impl<'a> Reader<'a> {
         Ok(DeweyId::from_components(comps))
     }
 
-    fn blocklist(&mut self, bounds: BoundsFormat) -> Result<BlockList, PersistError> {
+    fn blocklist(&mut self, fmt: &ListFormat<'_>) -> Result<BlockList, PersistError> {
         let len = self.u64()?;
         let uncompressed = self.u64()?;
-        let data_len = self.u64()? as usize;
-        let data = self.take(data_len)?.to_vec();
+        let data: Bytes = match fmt {
+            ListFormat::Legacy(_) => {
+                let data_len = self.u64()? as usize;
+                Bytes::Owned(self.take(data_len)?.to_vec())
+            }
+            ListFormat::V4(src) => {
+                let rel = self.u64()?;
+                let data_len = self.u64()?;
+                if rel > usize::MAX as u64 || data_len > usize::MAX as u64 {
+                    return Err(PersistError::bad("data window overflow"));
+                }
+                src.window(rel as usize, data_len as usize)
+                    .ok_or_else(|| PersistError::bad("data window out of bounds"))?
+            }
+        };
+        self.data_bytes += data.len() as u64;
+        // Every entry costs at least one encoded byte, so an entry count
+        // beyond the data length is corrupt — and, unchecked, would size
+        // downstream pre-allocations.
+        if len > data.len() as u64 {
+            return Err(PersistError::bad("entry count exceeds data length"));
+        }
         let block_count = self.u32()?;
         let mut blocks = Vec::with_capacity(self.capacity_for(block_count));
-        let mut decoded = 0u64;
+        let mut counted = 0u64;
         for _ in 0..block_count {
             let offset = self.u32()?;
             let count = self.u32()?;
             if offset as usize > data.len() {
                 return Err(PersistError::bad("block directory out of bounds"));
             }
-            decoded += count as u64;
+            counted += count as u64;
             blocks.push(BlockMeta { offset, count, max: self.dewey()?, max_payload: 0 });
         }
-        if block_count > 0 && decoded != len {
+        if block_count > 0 && counted != len {
             return Err(PersistError::bad("directory entry count mismatch"));
         }
         let mut list = BlockList { data, blocks, len, uncompressed, max_payload: 0 };
-        match bounds {
-            BoundsFormat::Stored => {
+        match fmt {
+            ListFormat::Legacy(BoundsFormat::Stored) => {
                 // v3: read the persisted bounds, then run the full
                 // bounds-checked decode, which also verifies the stored
                 // maxima against the data — a stale bound is corruption
@@ -422,12 +675,37 @@ impl<'a> Reader<'a> {
                 if !list.validate() {
                     return Err(PersistError::bad("blocklist fails validation"));
                 }
+                self.decoded += list.data.len() as u64;
             }
-            BoundsFormat::Recompute => {
+            ListFormat::Legacy(BoundsFormat::Recompute) => {
                 // v1/v2: no bounds on disk; the same validation decode
                 // computes them.
                 if !list.restore_bounds() {
                     return Err(PersistError::bad("blocklist fails validation"));
+                }
+                self.decoded += list.data.len() as u64;
+            }
+            ListFormat::V4(_) => {
+                // v4: bounds come from the checksummed META; cheap
+                // structural checks only, **no decode** — the batched
+                // decoder tolerates anything the checksum doesn't cover.
+                list.max_payload = self.u32()?;
+                for b in &mut list.blocks {
+                    b.max_payload = self.u32()?;
+                }
+                let mut prev: Option<&BlockMeta> = None;
+                for b in &list.blocks {
+                    if let Some(p) = prev {
+                        if p.offset >= b.offset || p.max >= b.max {
+                            return Err(PersistError::bad("unordered block directory"));
+                        }
+                    } else if b.offset != 0 {
+                        return Err(PersistError::bad("first block not at offset zero"));
+                    }
+                    if b.count == 0 || b.max_payload > list.max_payload {
+                        return Err(PersistError::bad("inconsistent block directory"));
+                    }
+                    prev = Some(b);
                 }
             }
         }
@@ -527,12 +805,16 @@ mod tests {
         let path = IndexBundle::build(&c).save(&dir).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         // Every truncation point must produce a typed error, never a
-        // panic (the Reader is fully bounds-checked).
-        for cut in [8, 9, bytes.len() / 4, bytes.len() / 2, bytes.len() - 1] {
+        // panic (header parsing and the Reader are fully bounds-checked).
+        for cut in [8, 9, 20, 40, bytes.len() / 4, bytes.len() / 2, bytes.len() - 1] {
             std::fs::write(&path, &bytes[..cut]).unwrap();
             assert!(
                 matches!(IndexBundle::load(&dir), Err(PersistError::Corrupt(_))),
                 "cut at {cut}"
+            );
+            assert!(
+                matches!(IndexBundle::open_mmap(&dir), Err(PersistError::Corrupt(_))),
+                "mmap cut at {cut}"
             );
         }
         std::fs::remove_dir_all(&dir).unwrap();
@@ -565,12 +847,60 @@ mod tests {
         bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // absurd data_len
         std::fs::write(&path, &bytes).unwrap();
         assert!(matches!(IndexBundle::load(&dir), Err(PersistError::Corrupt(_))));
+        // A v4 section table claiming u32::MAX sections, or sections
+        // placed past the end of the file, must fail the same way.
+        let mut bytes = MAGIC_V4.to_vec();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(IndexBundle::load(&dir), Err(PersistError::Corrupt(_))));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn save_writes_v3_and_round_trips_payload_bounds() {
-        let dir = tmpdir("v3bounds");
+    fn out_of_bounds_section_tables_fail_typed() {
+        let dir = tmpdir("sections");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(INDEX_FILE);
+        let table = |entries: &[(u8, u64, u64)]| -> Vec<u8> {
+            let mut b = MAGIC_V4.to_vec();
+            b.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for (kind, off, len) in entries {
+                b.push(*kind);
+                b.extend_from_slice(&off.to_le_bytes());
+                b.extend_from_slice(&len.to_le_bytes());
+            }
+            b.extend_from_slice(&0u64.to_le_bytes()); // checksum
+            b.resize(128, 0);
+            b
+        };
+        let cases: Vec<(&str, Vec<u8>)> = vec![
+            // Offsets past the end of the file.
+            ("data oob", table(&[(SECTION_DATA, 4096, 16), (SECTION_META, 64, 8)])),
+            ("meta oob", table(&[(SECTION_DATA, 64, 8), (SECTION_META, 4096, 16)])),
+            // offset + len overflowing u64.
+            ("overflow", table(&[(SECTION_DATA, u64::MAX, 16), (SECTION_META, 64, 8)])),
+            // Required sections absent entirely.
+            ("no data", table(&[(SECTION_META, 64, 8)])),
+            ("no meta", table(&[(SECTION_DATA, 64, 8)])),
+            ("empty table", table(&[])),
+        ];
+        for (what, bytes) in cases {
+            std::fs::write(&path, &bytes).unwrap();
+            assert!(
+                matches!(IndexBundle::load(&dir), Err(PersistError::Corrupt(_))),
+                "{what} must be a typed error"
+            );
+            assert!(
+                matches!(IndexBundle::open_mmap(&dir), Err(PersistError::Corrupt(_))),
+                "{what} must be a typed error under mmap"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_writes_v4_and_round_trips_payload_bounds() {
+        let dir = tmpdir("v4bounds");
         // Enough repeated tokens to force multi-block posting lists.
         let mut c = Corpus::new();
         let mut xml = String::from("<r>");
@@ -581,7 +911,7 @@ mod tests {
         c.add_parsed("d.xml", &xml).unwrap();
         let bundle = IndexBundle::build(&c);
         let path = bundle.save(&dir).unwrap();
-        assert_eq!(&std::fs::read(&path).unwrap()[..8], MAGIC_V3);
+        assert_eq!(&std::fs::read(&path).unwrap()[..8], MAGIC_V4);
         let loaded = IndexBundle::load(&dir).unwrap();
         let (a, b) = (bundle.segments[0].inverted(), loaded.segments[0].inverted());
         for kw in ["target", "word3"] {
@@ -598,16 +928,91 @@ mod tests {
     }
 
     #[test]
+    fn v4_cold_open_decodes_zero_posting_bytes() {
+        let dir = tmpdir("coldopen");
+        let c = corpus();
+        let bundle = IndexBundle::build(&c);
+        bundle.save(&dir).unwrap();
+        // Owned v4 load: bytes are copied but no posting block decodes.
+        let owned = IndexBundle::load(&dir).unwrap();
+        let s = owned.open_stats();
+        assert_eq!(s.bytes_decoded, 0, "v4 load must not decode postings");
+        assert_eq!(s.format_version, 4);
+        assert!(s.owned_bytes > 0);
+        assert_eq!(s.mapped_bytes, 0);
+        // Mapped open: same, with the residency on the mapping side.
+        let mapped = IndexBundle::open_mmap(&dir).unwrap();
+        let s = mapped.open_stats();
+        assert_eq!(s.bytes_decoded, 0, "mmap open must not decode postings");
+        assert_eq!(s.format_version, 4);
+        assert_eq!(s.owned_bytes, 0);
+        assert!(s.mapped_bytes > 0);
+        // Both answer identically to the in-memory build.
+        for opened in [&owned, &mapped] {
+            assert_eq!(opened.segments.len(), 1);
+            assert_segments_equal(&opened.segments[0], &bundle.segments[0]);
+        }
+        // In-memory bundles report zeroed stats.
+        assert_eq!(bundle.open_stats(), OpenStats::default());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_mmap_accepts_legacy_files_by_decoding_owned() {
+        // The v2 fixture exercises open_mmap's legacy fallback: the file
+        // maps, then decodes into owned lists exactly as load() does.
+        let dir = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/v2"));
+        let mapped = IndexBundle::open_mmap(&dir).unwrap();
+        let loaded = IndexBundle::load(&dir).unwrap();
+        let s = mapped.open_stats();
+        assert_eq!(s.format_version, 2);
+        assert!(s.bytes_decoded > 0, "legacy loads decode for validation");
+        assert!(s.owned_bytes > 0);
+        assert_eq!(s.mapped_bytes, 0, "legacy lists are owned even under open_mmap");
+        assert_eq!(mapped.segments.len(), loaded.segments.len());
+        for (a, b) in mapped.segments.iter().zip(&loaded.segments) {
+            assert_segments_equal(a, b);
+        }
+    }
+
+    #[test]
+    fn tampered_data_sections_never_panic_queries() {
+        // The META checksum does not cover DATA — by design: covering it
+        // would force an O(index) read at open. Corrupt posting bytes
+        // must therefore be tolerated at query time: scans end early,
+        // nothing panics.
+        let dir = tmpdir("tamperdata");
+        let c = corpus();
+        let path = IndexBundle::build(&c).save(&dir).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // DATA starts at the fixed 64-byte offset; stomp a few bytes.
+        for b in &mut bytes[64..70] {
+            *b ^= 0xff;
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let bundle = IndexBundle::load(&dir).unwrap();
+        for seg in &bundle.segments {
+            let kws: Vec<String> = seg.inverted().keywords().map(|s| s.to_string()).collect();
+            for k in &kws {
+                // May be empty or short — must not panic.
+                let _ = collect_postings(seg.inverted().postings(k));
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn stale_persisted_bounds_are_rejected_as_corruption() {
         let dir = tmpdir("stalebounds");
         let c = corpus();
         let path = IndexBundle::build(&c).save(&dir).unwrap();
         let good = std::fs::read(&path).unwrap();
         assert!(IndexBundle::load(&dir).is_ok());
-        // The file's final field is the last blocklist's bounds section;
-        // flipping any byte of that u32 desynchronizes the stored bound
-        // from the data, which the load-time validation decode must
-        // reject (a stale bound could silently prune qualifying hits).
+        // The file's tail is the META section, whose final fields are the
+        // last blocklist's payload bounds; flipping any byte there
+        // desynchronizes bounds that pruning trusts, which the META
+        // checksum must reject (a stale bound could silently prune
+        // qualifying hits).
         for back in 1..=4 {
             let mut bad = good.clone();
             let i = bad.len() - back;
@@ -616,6 +1021,10 @@ mod tests {
             assert!(
                 matches!(IndexBundle::load(&dir), Err(PersistError::Corrupt(_))),
                 "tampered bound byte {back} from the end must be rejected"
+            );
+            assert!(
+                matches!(IndexBundle::open_mmap(&dir), Err(PersistError::Corrupt(_))),
+                "tampered bound byte {back} from the end must be rejected under mmap"
             );
         }
         std::fs::remove_dir_all(&dir).unwrap();
@@ -627,8 +1036,8 @@ mod tests {
         let c = corpus();
         let path = IndexBundle::build(&c).save(&dir).unwrap();
         let bytes = std::fs::read(&path).unwrap();
-        // Sweep every cut in the file's tail, which interleaves final
-        // blocklists with their v3 bounds sections.
+        // Sweep every cut in the file's tail — the META section with the
+        // final blocklists' directories and bounds.
         for cut in (bytes.len().saturating_sub(64))..bytes.len() {
             std::fs::write(&path, &bytes[..cut]).unwrap();
             assert!(
@@ -644,6 +1053,7 @@ mod tests {
         let dir = tmpdir("missing");
         std::fs::create_dir_all(&dir).unwrap();
         assert!(matches!(IndexBundle::load(&dir), Err(PersistError::Io(_))));
+        assert!(matches!(IndexBundle::open_mmap(&dir), Err(PersistError::Io(_))));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

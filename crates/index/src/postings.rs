@@ -24,6 +24,29 @@
 //! Because sibling ordinals are small integers and consecutive IDs in
 //! document order share long prefixes, most entries cost a few bytes.
 //!
+//! ## Backing bytes
+//!
+//! The encoded buffer is a [`Bytes`] value: heap-owned for lists built
+//! in memory (or loaded from legacy v1–v3 files), or a shared window
+//! into a memory-mapped v4 file ([`crate::mapped`]). Every decode path
+//! sees only `&[u8]`, so owned and mapped lists answer byte-identically.
+//!
+//! ## Batched decode
+//!
+//! Decoding is **block-batched**: a whole block is expanded in one pass
+//! into a reusable [`DecodeScratch`] — a flat component arena plus
+//! per-entry metadata — by a varint decoder with a one-byte fast path
+//! (the overwhelmingly common case for lcp/suffix/ordinal/payload
+//! values). Probes that only *compare* IDs (range estimates, subtree-tf
+//! sums) work directly on scratch slices and allocate nothing per
+//! entry; streaming cursors materialize one `DeweyId` per entry they
+//! actually hand out. The `*_with` probe variants accept a
+//! caller-provided scratch so hot loops (the score-bounded estimate
+//! pass, the PDT merge) reuse one buffer across thousands of probes.
+//! The decoder is fully bounds-checked: corrupt or truncated bytes end
+//! the stream, they never panic or over-read — which is what makes it
+//! safe to point cursors straight at an untrusted mapping.
+//!
 //! The per-block directory (`BlockMeta`) keeps the block's byte
 //! `offset`, entry `count`, **max Dewey ID** (its min is implied:
 //! strictly above the previous block's max), and **max payload** — the
@@ -43,12 +66,28 @@
 //! comparisons use Dewey component order, so `1.2 < 1.10` and
 //! prefix-vs-extension cases (`1.1` vs `1.10`) can never cause a
 //! qualifying entry to be skipped.
+//!
+//! Consumers that want bulk rather than entry-at-a-time access use
+//! [`BlockCursor::drain_block`]: it serves one decoded block's worth of
+//! `(components, payload)` pairs straight off the scratch — no per-entry
+//! `DeweyId` allocation — stopping early at an optional exclusive bound
+//! (checked per entry only when the block directory cannot prove the
+//! whole block is below it). The PDT merge drains its streams this way.
+//! [`ScanCounters`] tallies are batched inside the cursor and flushed at
+//! block-decode boundaries and on drop, so consuming a block costs two
+//! atomic adds, not two per entry.
 
 use crate::cursor::ScanCounters;
+use crate::mapped::Bytes;
 use vxv_xml::DeweyId;
 
 /// Default number of entries per compressed block.
 pub const DEFAULT_BLOCK_ENTRIES: usize = 32;
+
+/// Ceiling on one entry's component count. Real Dewey IDs are as deep
+/// as their document tree — tens of components; anything past this is
+/// corrupt data, rejected before it can size an allocation.
+const MAX_COMPONENTS: usize = 1 << 16;
 
 /// Directory entry for one compressed block. A block's minimum ID is
 /// implied: it is strictly greater than the previous block's `max`.
@@ -98,13 +137,166 @@ pub struct RangeEstimate {
     pub contains: bool,
 }
 
+/// Per-entry metadata of a batch-decoded block (parallel to the flat
+/// component arena in [`DecodeScratch`]).
+#[derive(Clone, Copy, Debug)]
+struct EntryMeta {
+    /// End offset of this entry's components in the arena (its start is
+    /// the previous entry's end).
+    end: u32,
+    /// The entry's payload (tf / byte length).
+    payload: u32,
+    /// Encoded size of the entry in the block, for byte accounting.
+    bytes: u32,
+}
+
+/// Reusable scratch for batched block decoding: a flat `u32` component
+/// arena plus per-entry `(end, payload, encoded bytes)` metadata.
+///
+/// One scratch holds one decoded block at a time; reusing it across
+/// blocks and probes amortizes its allocations to nothing. Probes that
+/// only compare IDs read entries as `&[u32]` slices straight from the
+/// arena — no per-entry `DeweyId` is ever built. Cursors own one
+/// internally; the `*_with` methods on [`BlockList`] (and the
+/// `TfReader` probe variants in `vxv-index::inverted`) accept a
+/// caller-provided scratch for hot loops.
+#[derive(Clone, Debug, Default)]
+pub struct DecodeScratch {
+    comps: Vec<u32>,
+    meta: Vec<EntryMeta>,
+}
+
+impl DecodeScratch {
+    /// Entries currently decoded.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// True when nothing is decoded.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// Discard the decoded block, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.comps.clear();
+        self.meta.clear();
+    }
+
+    /// Entry `i` as `(components, payload)`. The slice borrows the
+    /// arena — compare it, copy it, but decode nothing.
+    pub fn entry(&self, i: usize) -> (&[u32], u32) {
+        let start = if i == 0 { 0 } else { self.meta[i - 1].end as usize };
+        let m = self.meta[i];
+        (&self.comps[start..m.end as usize], m.payload)
+    }
+
+    /// Encoded size of entry `i` in the block, for
+    /// [`ScanCounters::add_bytes`]-style accounting.
+    fn entry_bytes(&self, i: usize) -> u64 {
+        self.meta[i].bytes as u64
+    }
+}
+
+/// Bounds-checked varint with a one-byte fast path (values < 128 — the
+/// common case for every field the block format stores).
+#[inline(always)]
+fn read_varint_checked(data: &[u8], pos: &mut usize) -> Option<u64> {
+    let b = *data.get(*pos)?;
+    *pos += 1;
+    if b < 0x80 {
+        return Some(u64::from(b));
+    }
+    let mut v = u64::from(b & 0x7f);
+    let mut shift = 7u32;
+    loop {
+        let b = *data.get(*pos)?;
+        *pos += 1;
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+/// Batch-decode `count` delta-encoded entries starting at `data[pos]`
+/// into `scratch`. Returns the end byte position, or `None` on any
+/// structural problem (truncation, overflow, absurd lengths) — corrupt
+/// bytes end the stream, they never panic.
+fn decode_block_into(
+    data: &[u8],
+    mut pos: usize,
+    count: u32,
+    scratch: &mut DecodeScratch,
+) -> Option<usize> {
+    scratch.clear();
+    scratch.meta.reserve(count as usize);
+    // (start, len) of the previous entry's components in the arena.
+    let mut prev_start = 0usize;
+    let mut prev_len = 0usize;
+    for i in 0..count {
+        let entry_start_byte = pos;
+        let entry_start = scratch.comps.len();
+        if i == 0 {
+            let n = read_varint_checked(data, &mut pos)? as usize;
+            // Each component costs at least one byte: a count beyond the
+            // remaining bytes (or any absurd depth) is corruption, caught
+            // before it can size an allocation.
+            if n > data.len() - pos || n > MAX_COMPONENTS {
+                return None;
+            }
+            scratch.comps.reserve(n);
+            for _ in 0..n {
+                let c = read_varint_checked(data, &mut pos)?;
+                if c > u32::MAX as u64 {
+                    return None;
+                }
+                scratch.comps.push(c as u32);
+            }
+        } else {
+            let lcp = read_varint_checked(data, &mut pos)? as usize;
+            if lcp > prev_len {
+                return None;
+            }
+            let suffix_len = read_varint_checked(data, &mut pos)? as usize;
+            if suffix_len > data.len() - pos || lcp + suffix_len > MAX_COMPONENTS {
+                return None;
+            }
+            scratch.comps.extend_from_within(prev_start..prev_start + lcp);
+            for _ in 0..suffix_len {
+                let c = read_varint_checked(data, &mut pos)?;
+                if c > u32::MAX as u64 {
+                    return None;
+                }
+                scratch.comps.push(c as u32);
+            }
+        }
+        let payload = read_varint_checked(data, &mut pos)?;
+        if payload > u32::MAX as u64 || scratch.comps.len() > u32::MAX as usize {
+            return None;
+        }
+        scratch.meta.push(EntryMeta {
+            end: scratch.comps.len() as u32,
+            payload: payload as u32,
+            bytes: (pos - entry_start_byte) as u32,
+        });
+        prev_start = entry_start;
+        prev_len = scratch.comps.len() - entry_start;
+    }
+    Some(pos)
+}
+
 /// A block-compressed, Dewey-ordered list of `(DeweyId, u32)` entries.
 ///
 /// `blocks` is empty for lists that fit in one block; the data buffer is
 /// then a single implicit block of `len` entries.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BlockList {
-    pub(crate) data: Vec<u8>,
+    pub(crate) data: Bytes,
     pub(crate) blocks: Vec<BlockMeta>,
     pub(crate) len: u64,
     /// Bytes a materialized representation would occupy
@@ -130,9 +322,10 @@ impl BlockList {
     pub fn encode_with_block_size(entries: &[(DeweyId, u32)], block_entries: usize) -> BlockList {
         assert!(block_entries > 0, "block size must be positive");
         let mut list = BlockList::default();
+        let mut data = Vec::new();
         let single_block = entries.len() <= block_entries;
         for chunk in entries.chunks(block_entries) {
-            let offset = list.data.len() as u32;
+            let offset = data.len() as u32;
             let mut prev: Option<&DeweyId> = None;
             let mut chunk_max_payload = 0u32;
             for (id, payload) in chunk {
@@ -141,18 +334,18 @@ impl BlockList {
                     assert!(p <= id, "entries must be Dewey-ordered");
                     let lcp = p.common_prefix_len(id);
                     let suffix = &id.components()[lcp..];
-                    write_varint(&mut list.data, lcp as u64);
-                    write_varint(&mut list.data, suffix.len() as u64);
+                    write_varint(&mut data, lcp as u64);
+                    write_varint(&mut data, suffix.len() as u64);
                     for c in suffix {
-                        write_varint(&mut list.data, *c as u64);
+                        write_varint(&mut data, *c as u64);
                     }
                 } else {
-                    write_varint(&mut list.data, id.len() as u64);
+                    write_varint(&mut data, id.len() as u64);
                     for c in id.components() {
-                        write_varint(&mut list.data, *c as u64);
+                        write_varint(&mut data, *c as u64);
                     }
                 }
-                write_varint(&mut list.data, *payload as u64);
+                write_varint(&mut data, *payload as u64);
                 list.uncompressed += 4 * id.len() as u64 + 4;
                 prev = Some(id);
             }
@@ -169,11 +362,16 @@ impl BlockList {
             list.max_payload = list.max_payload.max(chunk_max_payload);
             list.len += chunk.len() as u64;
         }
+        list.data = Bytes::Owned(data);
         list
     }
 
     /// Number of physical blocks (directory entries, or one implicit
     /// block for short lists).
+    pub fn block_count(&self) -> usize {
+        self.total_blocks()
+    }
+
     fn total_blocks(&self) -> usize {
         if self.blocks.is_empty() {
             usize::from(self.len > 0)
@@ -192,6 +390,29 @@ impl BlockList {
         }
     }
 
+    /// Batch-decode block `b` into `scratch`. Returns `false` (leaving
+    /// `scratch` cleared) on corrupt bytes — never panics, so it is safe
+    /// to call on an untrusted mapping. This is the single decode
+    /// routine every cursor and probe goes through.
+    pub fn decode_block(&self, b: usize, scratch: &mut DecodeScratch) -> bool {
+        if b >= self.total_blocks() {
+            scratch.clear();
+            return false;
+        }
+        let (offset, count) = self.block_bounds(b);
+        if offset as usize > self.data.len() {
+            scratch.clear();
+            return false;
+        }
+        match decode_block_into(&self.data, offset as usize, count, scratch) {
+            Some(_) => true,
+            None => {
+                scratch.clear();
+                false
+            }
+        }
+    }
+
     /// Total entries in the list.
     pub fn len(&self) -> u64 {
         self.len
@@ -203,10 +424,17 @@ impl BlockList {
     }
 
     /// Compressed bytes held (entry data, directory, and the payload
-    /// bounds the v3 format persists: 4 bytes per block + 4 list-level).
+    /// bounds the v3+ formats persist: 4 bytes per block + 4 list-level).
     pub fn compressed_bytes(&self) -> u64 {
         let dir: u64 = self.blocks.iter().map(|b| 12 + 4 * b.max.len() as u64).sum();
         self.data.len() as u64 + dir + 4
+    }
+
+    /// Heap bytes this list's data buffer actually owns: its full size
+    /// for owned lists, **zero** for lists decoding out of a shared
+    /// mapping — the map-vs-owned residency split `vxv inspect` prints.
+    pub fn owned_data_bytes(&self) -> u64 {
+        self.data.owned_bytes()
     }
 
     /// Largest payload (tf / byte length) of any entry — the list-level
@@ -248,6 +476,40 @@ impl BlockList {
         out
     }
 
+    /// Decode block `bi` into `scratch` and fold its in-range entries
+    /// into `est`, charging each visited entry to `counters` exactly as
+    /// a streaming cursor would.
+    fn estimate_boundary_block(
+        &self,
+        bi: usize,
+        lo: &[u32],
+        hi: &[u32],
+        counters: Option<&ScanCounters>,
+        scratch: &mut DecodeScratch,
+        est: &mut RangeEstimate,
+    ) {
+        if !self.decode_block(bi, scratch) {
+            return;
+        }
+        for i in 0..scratch.len() {
+            let (comps, p) = scratch.entry(i);
+            if let Some(c) = counters {
+                c.add_entries(1);
+                c.add_bytes(scratch.entry_bytes(i));
+            }
+            if comps >= hi {
+                break;
+            }
+            if comps >= lo {
+                est.bound += p as u64;
+                est.boundary_sum += p as u64;
+                if p > 0 {
+                    est.contains = true;
+                }
+            }
+        }
+    }
+
     /// Boundary-exact payload estimate of `lo <= id < hi`: decode the
     /// (at most two) boundary blocks, bound every **interior** block —
     /// fully contained in the range by the directory's ordering
@@ -262,42 +524,40 @@ impl BlockList {
         hi: &DeweyId,
         counters: Option<&ScanCounters>,
     ) -> RangeEstimate {
+        let mut scratch = DecodeScratch::default();
+        self.range_payload_estimate_with(lo, hi, counters, &mut scratch)
+    }
+
+    /// As [`Self::range_payload_estimate`], reusing a caller-provided
+    /// scratch — the form hot probe loops call so per-probe allocation
+    /// drops to zero.
+    pub fn range_payload_estimate_with(
+        &self,
+        lo: &DeweyId,
+        hi: &DeweyId,
+        counters: Option<&ScanCounters>,
+        scratch: &mut DecodeScratch,
+    ) -> RangeEstimate {
         let mut est = RangeEstimate::default();
         if self.len == 0 || lo >= hi {
             return est;
         }
-        let decode_block = |bi: usize, count: u32, est: &mut RangeEstimate| {
-            let mut cur = self.cursor(counters);
-            cur.jump_to_block(bi);
-            for _ in 0..count {
-                let (id, p) = cur.next_raw().expect("directory count is exact");
-                if id >= *hi {
-                    break;
-                }
-                if id >= *lo {
-                    est.bound += p as u64;
-                    est.boundary_sum += p as u64;
-                    if p > 0 {
-                        est.contains = true;
-                    }
-                }
-            }
-        };
+        let (lo, hi) = (lo.components(), hi.components());
         if self.blocks.is_empty() {
             // Single implicit block: it is its own boundary.
-            decode_block(0, self.len as u32, &mut est);
+            self.estimate_boundary_block(0, lo, hi, counters, scratch, &mut est);
             return est;
         }
         // Candidate blocks: `start` (first whose max reaches lo) through
         // `last` (first whose max reaches hi). Blocks strictly between
         // them lie fully inside the range: their min is above start's
         // max (>= lo) and their max is below hi.
-        let start = self.blocks.partition_point(|m| m.max < *lo);
+        let start = self.blocks.partition_point(|m| m.max.components() < lo);
         if start >= self.blocks.len() {
             return est;
         }
-        let last = start + self.blocks[start..].partition_point(|m| m.max < *hi);
-        decode_block(start, self.blocks[start].count, &mut est);
+        let last = start + self.blocks[start..].partition_point(|m| m.max.components() < hi);
+        self.estimate_boundary_block(start, lo, hi, counters, scratch, &mut est);
         if last > start + 1 {
             for meta in &self.blocks[start + 1..last.min(self.blocks.len())] {
                 est.bound += meta.count as u64 * meta.max_payload as u64;
@@ -310,7 +570,7 @@ impl BlockList {
             }
         }
         if last > start && last < self.blocks.len() {
-            decode_block(last, self.blocks[last].count, &mut est);
+            self.estimate_boundary_block(last, lo, hi, counters, scratch, &mut est);
         }
         est
     }
@@ -326,6 +586,19 @@ impl BlockList {
         hi: &DeweyId,
         counters: Option<&ScanCounters>,
     ) -> u64 {
+        let mut scratch = DecodeScratch::default();
+        self.range_interior_payload_sum_with(lo, hi, counters, &mut scratch)
+    }
+
+    /// As [`Self::range_interior_payload_sum`], reusing a caller-provided
+    /// scratch.
+    pub fn range_interior_payload_sum_with(
+        &self,
+        lo: &DeweyId,
+        hi: &DeweyId,
+        counters: Option<&ScanCounters>,
+        scratch: &mut DecodeScratch,
+    ) -> u64 {
         if self.len == 0 || lo >= hi || self.blocks.is_empty() {
             return 0;
         }
@@ -336,12 +609,17 @@ impl BlockList {
         let last = start + self.blocks[start..].partition_point(|m| m.max < *hi);
         let mut total = 0u64;
         if last > start + 1 {
-            let mut cur = self.cursor(counters);
             for bi in start + 1..last.min(self.blocks.len()) {
-                cur.jump_to_block(bi);
-                for _ in 0..self.blocks[bi].count {
+                if !self.decode_block(bi, scratch) {
+                    break;
+                }
+                for i in 0..scratch.len() {
                     // Interior entries are in range by construction.
-                    let (_, p) = cur.next_raw().expect("directory count is exact");
+                    let (_, p) = scratch.entry(i);
+                    if let Some(c) = counters {
+                        c.add_entries(1);
+                        c.add_bytes(scratch.entry_bytes(i));
+                    }
                     total += p as u64;
                 }
             }
@@ -392,13 +670,16 @@ impl BlockList {
         }
     }
 
-    /// The shared structural check: a fully bounds-checked decode that
-    /// also computes per-block and list-level payload maxima. `None`
-    /// when the buffer or directory is corrupt.
+    /// The shared structural check: a fully bounds-checked batched
+    /// decode that also verifies ordering and computes per-block and
+    /// list-level payload maxima. `None` when the buffer or directory
+    /// is corrupt.
     fn decode_check(&self) -> Option<(Vec<u32>, u32)> {
         let mut pos = 0usize;
         let mut decoded = 0u64;
-        let mut prev: Option<DeweyId> = None;
+        let mut scratch = DecodeScratch::default();
+        // The previous block's final ID, for cross-block ordering.
+        let mut carry: Vec<u32> = Vec::new();
         let mut block_maxes = Vec::with_capacity(self.blocks.len());
         let mut list_max = 0u32;
         for b in 0..self.total_blocks() {
@@ -406,46 +687,26 @@ impl BlockList {
             if offset as usize != pos || count == 0 {
                 return None;
             }
+            pos = decode_block_into(&self.data, pos, count, &mut scratch)?;
             let mut block_max = 0u32;
-            for i in 0..count {
-                let id = if i == 0 {
-                    let n = try_read_varint(&self.data, &mut pos)? as usize;
-                    let mut comps = Vec::with_capacity(n);
-                    for _ in 0..n {
-                        comps.push(try_read_varint(&self.data, &mut pos)? as u32);
-                    }
-                    DeweyId::from_components(comps)
-                } else {
-                    let p = prev.as_ref()?;
-                    let lcp = try_read_varint(&self.data, &mut pos)? as usize;
-                    if lcp > p.len() {
-                        return None;
-                    }
-                    let suffix_len = try_read_varint(&self.data, &mut pos)? as usize;
-                    let mut comps = Vec::with_capacity(lcp + suffix_len);
-                    comps.extend_from_slice(&p.components()[..lcp]);
-                    for _ in 0..suffix_len {
-                        comps.push(try_read_varint(&self.data, &mut pos)? as u32);
-                    }
-                    DeweyId::from_components(comps)
-                };
-                let payload = try_read_varint(&self.data, &mut pos)?;
-                if payload > u32::MAX as u64 {
+            for i in 0..scratch.len() {
+                let (comps, payload) = scratch.entry(i);
+                block_max = block_max.max(payload);
+                let prev: &[u32] = if i == 0 { &carry } else { scratch.entry(i - 1).0 };
+                if (b > 0 || i > 0) && prev > comps {
                     return None;
                 }
-                block_max = block_max.max(payload as u32);
-                if prev.as_ref().map(|p| *p > id).unwrap_or(false) {
-                    return None;
-                }
-                prev = Some(id);
                 decoded += 1;
             }
+            let last = scratch.entry(scratch.len() - 1).0;
             if let Some(meta) = self.blocks.get(b) {
-                if Some(&meta.max) != prev.as_ref() {
+                if meta.max.components() != last {
                     return None;
                 }
                 block_maxes.push(block_max);
             }
+            carry.clear();
+            carry.extend_from_slice(last);
             list_max = list_max.max(block_max);
         }
         (pos == self.data.len() && decoded == self.len).then_some((block_maxes, list_max))
@@ -457,12 +718,12 @@ impl BlockList {
         BlockCursor {
             list: self,
             next_block: 0,
-            remaining: 0,
-            pos: 0,
-            prev: DeweyId::default(),
-            fresh: true,
+            scratch: DecodeScratch::default(),
+            idx: 0,
             peeked: None,
             counters,
+            pending_entries: 0,
+            pending_bytes: 0,
         }
     }
 
@@ -482,17 +743,20 @@ impl BlockList {
         if self.len == 0 || lo >= hi {
             return 0;
         }
+        let (lo_c, hi_c) = (lo.components(), hi.components());
+        let mut scratch = DecodeScratch::default();
         let mut total = 0u64;
-        let count_block = |bi: usize, count: u32| -> u64 {
-            let mut cur = self.cursor(None);
-            cur.jump_to_block(bi);
+        let count_block = |bi: usize, scratch: &mut DecodeScratch| -> u64 {
+            if !self.decode_block(bi, scratch) {
+                return 0;
+            }
             let mut n = 0u64;
-            for _ in 0..count {
-                let (id, _) = cur.next_raw().expect("directory count is exact");
-                if id >= *hi {
+            for i in 0..scratch.len() {
+                let (comps, _) = scratch.entry(i);
+                if comps >= hi_c {
                     break;
                 }
-                if id >= *lo {
+                if comps >= lo_c {
                     n += 1;
                 }
             }
@@ -500,7 +764,7 @@ impl BlockList {
         };
         if self.blocks.is_empty() {
             // Single implicit block: decode it.
-            return count_block(0, self.len as u32);
+            return count_block(0, &mut scratch);
         }
         // A block's min is strictly above the previous block's max, so
         // `prev_max >= lo` proves the block lies fully above `lo`.
@@ -514,7 +778,7 @@ impl BlockList {
             if min_above_lo && meta.max < *hi {
                 total += meta.count as u64;
             } else {
-                total += count_block(bi, meta.count);
+                total += count_block(bi, &mut scratch);
             }
             if meta.max >= *hi {
                 break;
@@ -526,21 +790,33 @@ impl BlockList {
 }
 
 /// Streaming decoder over a [`BlockList`], with directory-driven skips.
+///
+/// Decoding is block-batched into an internal [`DecodeScratch`]: the
+/// cursor expands a whole block in one pass, then serves entries from
+/// the scratch — work counters are still charged per entry *consumed*,
+/// exactly as the entry-at-a-time decoder charged them.
 #[derive(Clone, Debug)]
 pub struct BlockCursor<'a> {
     list: &'a BlockList,
-    /// Index of the next block not yet opened.
+    /// Index of the next block not yet decoded into `scratch`.
     next_block: usize,
-    /// Entries left to decode in the currently open block.
-    remaining: u32,
-    /// Byte position of the next entry.
-    pos: usize,
-    /// Previously decoded ID (delta base).
-    prev: DeweyId,
-    /// True when the next entry is a block's full-ID first entry.
-    fresh: bool,
+    /// The current block, batch-decoded.
+    scratch: DecodeScratch,
+    /// Next entry in `scratch` to hand out.
+    idx: usize,
     peeked: Option<(DeweyId, u32)>,
     counters: Option<&'a ScanCounters>,
+    /// Consumption not yet flushed to `counters`. Tallying locally and
+    /// flushing per decoded block (and on drop) keeps the hot merge loop
+    /// free of per-entry atomic traffic.
+    pending_entries: u64,
+    pending_bytes: u64,
+}
+
+impl Drop for BlockCursor<'_> {
+    fn drop(&mut self) {
+        self.flush_counters();
+    }
 }
 
 impl BlockCursor<'_> {
@@ -549,13 +825,13 @@ impl BlockCursor<'_> {
         if let Some(e) = self.peeked.take() {
             return Some(e);
         }
-        self.decode_next()
+        self.pop_entry()
     }
 
     /// The next pair without consuming it.
     pub fn peek(&mut self) -> Option<&(DeweyId, u32)> {
         if self.peeked.is_none() {
-            self.peeked = self.decode_next();
+            self.peeked = self.pop_entry();
         }
         self.peeked.as_ref()
     }
@@ -574,14 +850,15 @@ impl BlockCursor<'_> {
             if b >= self.list.blocks.len() {
                 // Past the end of the list.
                 self.peeked = None;
-                self.remaining = 0;
+                self.scratch.clear();
+                self.idx = 0;
                 self.next_block = self.list.blocks.len();
                 return;
             }
             // If a block is open and the target may still be inside it,
             // scan within; otherwise jump, counting fully skipped blocks.
-            let open_block =
-                (self.remaining > 0 || self.peeked.is_some()).then(|| self.next_block - 1);
+            let open_block = (self.idx < self.scratch.len() || self.peeked.is_some())
+                .then(|| self.next_block - 1);
             if open_block.map(|ob| b > ob).unwrap_or(true) && b >= self.next_block {
                 let skipped = (b - self.next_block) as u64;
                 if skipped > 0 {
@@ -607,51 +884,125 @@ impl BlockCursor<'_> {
         self.list.max_payload
     }
 
+    /// Reposition at the start of block `b`; its entries decode on the
+    /// next consumption.
     pub(crate) fn jump_to_block(&mut self, b: usize) {
-        let (offset, count) = self.list.block_bounds(b);
-        self.pos = offset as usize;
-        self.remaining = count;
-        self.fresh = true;
-        self.next_block = b + 1;
+        self.next_block = b;
+        self.scratch.clear();
+        self.idx = 0;
         self.peeked = None;
     }
 
-    fn decode_next(&mut self) -> Option<(DeweyId, u32)> {
-        while self.remaining == 0 {
+    /// Serve the next entry from the scratch, batch-decoding the next
+    /// block when the current one is exhausted. Corrupt bytes end the
+    /// stream — never a panic, even over an untrusted mapping.
+    fn pop_entry(&mut self) -> Option<(DeweyId, u32)> {
+        while self.idx >= self.scratch.len() {
             if self.next_block >= self.list.total_blocks() {
                 return None;
             }
             let b = self.next_block;
-            self.jump_to_block(b);
-        }
-        let start = self.pos;
-        let data = &self.list.data;
-        let id = if self.fresh {
-            let n = read_varint(data, &mut self.pos) as usize;
-            let mut comps = Vec::with_capacity(n);
-            for _ in 0..n {
-                comps.push(read_varint(data, &mut self.pos) as u32);
+            self.next_block += 1;
+            // Block boundary: publish tallies so observers lag by at
+            // most one block even while the cursor stays open.
+            self.flush_counters();
+            if !self.list.decode_block(b, &mut self.scratch) {
+                self.next_block = self.list.total_blocks();
+                return None;
             }
-            self.fresh = false;
-            DeweyId::from_components(comps)
-        } else {
-            let lcp = read_varint(data, &mut self.pos) as usize;
-            let suffix_len = read_varint(data, &mut self.pos) as usize;
-            let mut comps = Vec::with_capacity(lcp + suffix_len);
-            comps.extend_from_slice(&self.prev.components()[..lcp]);
-            for _ in 0..suffix_len {
-                comps.push(read_varint(data, &mut self.pos) as u32);
-            }
-            DeweyId::from_components(comps)
-        };
-        let payload = read_varint(data, &mut self.pos) as u32;
-        self.prev = id.clone();
-        self.remaining -= 1;
-        if let Some(c) = self.counters {
-            c.add_entries(1);
-            c.add_bytes((self.pos - start) as u64);
+            self.idx = 0;
         }
+        let (comps, payload) = self.scratch.entry(self.idx);
+        let id = DeweyId::from_components(comps.to_vec());
+        self.pending_entries += 1;
+        self.pending_bytes += self.scratch.entry_bytes(self.idx);
+        self.idx += 1;
         Some((id, payload))
+    }
+
+    /// Serve every remaining decoded entry of the current block (the
+    /// peeked one included) to `f` as a raw `(components, payload)`
+    /// pair, stopping before the first entry `>= bound`. Decodes the
+    /// next block first when none is open. Returns the number served.
+    ///
+    /// This is the batch face of the cursor: a k-way merge drains one
+    /// block at a time into its own contiguous scratch and touches the
+    /// cursor again only at block boundaries, instead of bouncing
+    /// through per-cursor state for every entry.
+    pub fn drain_block<F: FnMut(&[u32], u32)>(
+        &mut self,
+        bound: Option<&DeweyId>,
+        mut f: F,
+    ) -> usize {
+        if self.peek().is_none() {
+            return 0;
+        }
+        let mut served = 0usize;
+        if let Some((id, payload)) = self.peeked.take() {
+            if let Some(b) = bound {
+                if id >= *b {
+                    self.peeked = Some((id, payload));
+                    return 0;
+                }
+            }
+            f(id.components(), payload);
+            served += 1;
+        }
+        // The peeked entry was already tallied when it was popped; only
+        // the direct scratch serves below add to the pending counters.
+        let block_safe = match bound {
+            None => true,
+            Some(b) => self
+                .next_block
+                .checked_sub(1)
+                .and_then(|n| self.list.blocks.get(n))
+                .map(|m| m.max < *b)
+                .unwrap_or(false),
+        };
+        while self.idx < self.scratch.len() {
+            let (comps, payload) = self.scratch.entry(self.idx);
+            if !block_safe {
+                if let Some(b) = bound {
+                    if comps >= b.components() {
+                        break;
+                    }
+                }
+            }
+            f(comps, payload);
+            let bytes = self.scratch.entry_bytes(self.idx);
+            self.pending_entries += 1;
+            self.pending_bytes += bytes;
+            self.idx += 1;
+            served += 1;
+        }
+        served
+    }
+
+    /// Entries immediately servable (the peeked one plus the rest of the
+    /// current decoded block) when the whole block sorts below `end`,
+    /// else 0. Lets a bounded consumer skip the per-entry bound compare
+    /// for every block the directory proves is entirely in range.
+    pub fn run_below(&mut self, end: &DeweyId) -> usize {
+        if self.peek().is_none() {
+            return 0;
+        }
+        let Some(b) = self.next_block.checked_sub(1) else { return 0 };
+        match self.list.blocks.get(b) {
+            Some(m) if m.max < *end => (self.scratch.len() - self.idx) + 1,
+            _ => 0,
+        }
+    }
+
+    /// Publish locally tallied consumption to the shared counters.
+    fn flush_counters(&mut self) {
+        if let Some(c) = self.counters {
+            if self.pending_entries > 0 {
+                c.add_entries(self.pending_entries);
+                c.add_bytes(self.pending_bytes);
+            }
+        }
+        self.pending_entries = 0;
+        self.pending_bytes = 0;
     }
 }
 
@@ -664,39 +1015,6 @@ fn write_varint(out: &mut Vec<u8>, mut v: u64) {
             return;
         }
         out.push(byte | 0x80);
-    }
-}
-
-/// Bounds- and overflow-checked variant of [`read_varint`], for
-/// validating untrusted buffers.
-fn try_read_varint(data: &[u8], pos: &mut usize) -> Option<u64> {
-    let mut v = 0u64;
-    let mut shift = 0u32;
-    loop {
-        let byte = *data.get(*pos)?;
-        *pos += 1;
-        v |= u64::from(byte & 0x7f) << shift;
-        if byte & 0x80 == 0 {
-            return Some(v);
-        }
-        shift += 7;
-        if shift >= 64 {
-            return None;
-        }
-    }
-}
-
-fn read_varint(data: &[u8], pos: &mut usize) -> u64 {
-    let mut v = 0u64;
-    let mut shift = 0;
-    loop {
-        let byte = data[*pos];
-        *pos += 1;
-        v |= u64::from(byte & 0x7f) << shift;
-        if byte & 0x80 == 0 {
-            return v;
-        }
-        shift += 7;
     }
 }
 
@@ -747,9 +1065,13 @@ mod tests {
         let (id, _) = cur.next_raw().unwrap();
         assert_eq!(id.to_string(), "1.50");
         use std::sync::atomic::Ordering;
+        // Skips are published at seek time; consumption tallies are
+        // batched and flushed when the cursor drops (or at the next
+        // block decode), so read them after the drop.
         assert!(counters.blocks_skipped.load(Ordering::Relaxed) >= 10);
+        drop(cur);
         assert!(counters.bytes_decoded.load(Ordering::Relaxed) > 0);
-        // Only the landing block's prefix was decoded, not 50 entries.
+        // Only the landing block's prefix was consumed, not 50 entries.
         assert!(counters.entries.load(Ordering::Relaxed) <= 4);
     }
 
@@ -807,24 +1129,102 @@ mod tests {
             let list = BlockList::encode_with_block_size(&input, bs);
             assert!(list.validate(), "block size {bs}");
         }
+        let tamper = |list: &BlockList, f: &dyn Fn(&mut Vec<u8>)| -> BlockList {
+            let mut bad = list.clone();
+            let mut data = bad.data.to_vec();
+            f(&mut data);
+            bad.data = Bytes::Owned(data);
+            bad
+        };
         // Inflated entry count: decodes fine but len disagrees.
         let mut bad = BlockList::encode(&input);
         bad.len += 1;
         assert!(!bad.validate(), "inflated len must fail");
         // Truncated data buffer.
-        let mut bad = BlockList::encode(&input);
-        bad.data.pop();
+        let list = BlockList::encode(&input);
+        let bad = tamper(&list, &|d| {
+            d.pop();
+        });
         assert!(!bad.validate(), "truncated data must fail");
         // A never-terminating varint (all continuation bits).
-        let mut bad = BlockList::encode(&input);
-        for b in &mut bad.data {
-            *b |= 0x80;
-        }
+        let bad = tamper(&list, &|d| {
+            for b in d.iter_mut() {
+                *b |= 0x80;
+            }
+        });
         assert!(!bad.validate(), "unterminated varints must fail");
         // Directory max no longer matches the data.
         let mut bad = BlockList::encode_with_block_size(&input, 2);
         bad.blocks[0].max = "9.9".parse().unwrap();
         assert!(!bad.validate(), "stale directory max must fail");
+    }
+
+    #[test]
+    fn corrupt_buffers_end_cursors_without_panicking() {
+        // Cursors may be pointed at unvalidated mapped bytes: every kind
+        // of garbage must end the stream cleanly, never panic or abort.
+        let input = entries(&["1.1", "1.2", "1.9", "1.10", "1.10.1", "2.3"]);
+        let list = BlockList::encode_with_block_size(&input, 2);
+        type Corruption = Box<dyn Fn(&mut Vec<u8>)>;
+        let corruptions: Vec<Corruption> = vec![
+            Box::new(|d| d.truncate(1)),
+            Box::new(|d| d.clear()),
+            Box::new(|d| {
+                for b in d.iter_mut() {
+                    *b |= 0x80;
+                }
+            }),
+            // Absurd first-entry component count.
+            Box::new(|d| d[0] = 0x7f),
+            // Absurd lcp for a delta entry.
+            Box::new(|d| {
+                let mid = d.len() / 2;
+                d[mid] = 0x7f;
+            }),
+        ];
+        for (ci, f) in corruptions.iter().enumerate() {
+            let mut bad = list.clone();
+            let mut data = bad.data.to_vec();
+            f(&mut data);
+            bad.data = Bytes::Owned(data);
+            // Full scan terminates.
+            let mut cur = bad.cursor(None);
+            let mut n = 0;
+            while cur.next_raw().is_some() {
+                n += 1;
+                assert!(n <= input.len(), "corruption {ci} yielded extra entries");
+            }
+            // Seeks and range probes terminate too.
+            let mut cur = bad.cursor(None);
+            cur.seek_raw(&"1.10".parse().unwrap());
+            let _ = cur.next_raw();
+            let lo: DeweyId = "1".parse().unwrap();
+            let hi: DeweyId = "3".parse().unwrap();
+            let _ = bad.range_payload_estimate(&lo, &hi, None);
+            let _ = bad.range_interior_payload_sum(&lo, &hi, None);
+            let _ = bad.count_range(&lo, &hi);
+            assert!(!bad.validate(), "corruption {ci} must fail validation");
+        }
+    }
+
+    #[test]
+    fn batched_scratch_decode_matches_streaming() {
+        let input: Vec<(DeweyId, u32)> =
+            (1..=100u32).map(|i| (DeweyId::from_components(vec![1, i, i % 3]), i * 2)).collect();
+        for bs in [1, 4, 32, 128] {
+            let list = BlockList::encode_with_block_size(&input, bs);
+            let mut scratch = DecodeScratch::default();
+            let mut all: Vec<(DeweyId, u32)> = Vec::new();
+            for b in 0..list.block_count() {
+                assert!(list.decode_block(b, &mut scratch), "bs {bs} block {b}");
+                for i in 0..scratch.len() {
+                    let (comps, p) = scratch.entry(i);
+                    all.push((DeweyId::from_components(comps.to_vec()), p));
+                }
+            }
+            assert_eq!(all, list.decode_all(), "bs {bs}");
+            assert_eq!(all, input, "bs {bs}");
+        }
     }
 
     #[test]
@@ -912,6 +1312,13 @@ mod tests {
                     exact,
                     "bs {bs} {lo}..{hi}: boundary + interior must be exact"
                 );
+                // The scratch-reusing variants answer identically.
+                let mut scratch = DecodeScratch::default();
+                assert_eq!(
+                    list.range_payload_estimate_with(&lo, &hi, None, &mut scratch),
+                    est,
+                    "bs {bs} {lo}..{hi}: _with variant"
+                );
             }
             // Tighter than (or equal to) the directory-only bound.
             let lo: DeweyId = "1.3".parse().unwrap();
@@ -951,5 +1358,49 @@ mod tests {
         cur.seek_raw(&"1".parse().unwrap());
         assert!(cur.next_raw().is_none());
         assert_eq!(list.count_range(&"1".parse().unwrap(), &"2".parse().unwrap()), 0);
+    }
+
+    #[test]
+    fn mapped_and_owned_lists_decode_identically() {
+        use crate::mapped::MappedFile;
+        use std::sync::Arc;
+        let input: Vec<(DeweyId, u32)> =
+            (1..=48u32).map(|i| (DeweyId::from_components(vec![1, i]), i)).collect();
+        let owned = BlockList::encode_with_block_size(&input, 4);
+        // Write the raw data buffer to a file and rebuild the list over
+        // a shared mapping of it.
+        let path = std::env::temp_dir().join(format!("vxv-postings-mapped-{}", std::process::id()));
+        std::fs::write(&path, &owned.data[..]).unwrap();
+        let map = Arc::new(MappedFile::open(&path).unwrap());
+        let mapped = BlockList {
+            data: Bytes::shared(map, 0, owned.data.len()).unwrap(),
+            blocks: owned.blocks.clone(),
+            len: owned.len,
+            uncompressed: owned.uncompressed,
+            max_payload: owned.max_payload,
+        };
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(mapped, owned, "content equality across backings");
+        assert_eq!(mapped.decode_all(), owned.decode_all());
+        assert_eq!(mapped.owned_data_bytes(), 0);
+        assert!(owned.owned_data_bytes() > 0);
+        // Counter-for-counter identical consumption.
+        let (a, b) = (ScanCounters::default(), ScanCounters::default());
+        let mut ca = owned.cursor(Some(&a));
+        let mut cb = mapped.cursor(Some(&b));
+        let t: DeweyId = "1.30".parse().unwrap();
+        ca.seek_raw(&t);
+        cb.seek_raw(&t);
+        assert_eq!(ca.next_raw(), cb.next_raw());
+        use std::sync::atomic::Ordering;
+        assert_eq!(a.entries.load(Ordering::Relaxed), b.entries.load(Ordering::Relaxed));
+        assert_eq!(
+            a.blocks_skipped.load(Ordering::Relaxed),
+            b.blocks_skipped.load(Ordering::Relaxed)
+        );
+        assert_eq!(
+            a.bytes_decoded.load(Ordering::Relaxed),
+            b.bytes_decoded.load(Ordering::Relaxed)
+        );
     }
 }

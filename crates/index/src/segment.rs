@@ -155,6 +155,14 @@ impl IndexSegment {
         self.docs.iter().map(|d| d.root_ordinal).max()
     }
 
+    /// Heap bytes this segment's posting/row buffers actually own —
+    /// zero when every list decodes out of a shared file mapping
+    /// ([`crate::IndexBundle::open_mmap`]); the map-vs-owned residency
+    /// split `vxv inspect` reports.
+    pub fn owned_data_bytes(&self) -> u64 {
+        self.path_index.owned_data_bytes() + self.inverted.owned_data_bytes()
+    }
+
     /// Combined work-counter snapshot of both indices.
     pub fn stats(&self) -> SegmentStats {
         SegmentStats { path: self.path_index.stats(), inverted: self.inverted.stats() }

@@ -1,0 +1,203 @@
+//! Byte-identity of the mmap'd open path.
+//!
+//! The whole point of `IndexBundle::open_mmap` is that it changes *how*
+//! posting bytes are backed, never *what* any probe answers. These
+//! properties pin that down across random corpora and multi-segment
+//! bundles: every search-relevant probe — postings, bounds, estimates,
+//! containment, path lookups — answers identically through an owned
+//! load and a mapped open, **including the probe/prune work counters**
+//! (entries scanned, blocks skipped, bytes decoded), since the
+//! experiments report those as results.
+//!
+//! A second sweep mutates and truncates saved files to pin the failure
+//! mode: every out-of-bounds section offset or corrupt structure
+//! surfaces as a typed `PersistError`, never a panic, allocator abort,
+//! or out-of-bounds read through the mapping.
+
+use proptest::prelude::*;
+use vxv_index::cursor::collect_postings;
+use vxv_index::footprint::IndexFootprint;
+use vxv_index::{IndexBundle, IndexSegment, PathPattern, PersistError};
+use vxv_xml::{Corpus, DeweyId, DocumentBuilder};
+
+const TAGS: &[&str] = &["a", "b", "c"];
+const WORDS: &[&str] = &["red", "blue", "green", "xml"];
+
+#[derive(Clone, Debug)]
+struct Spec {
+    tag: usize,
+    words: Vec<usize>,
+    children: Vec<Spec>,
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    let leaf = (0..TAGS.len(), prop::collection::vec(0..WORDS.len(), 0..4))
+        .prop_map(|(tag, words)| Spec { tag, words, children: vec![] });
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        (
+            0..TAGS.len(),
+            prop::collection::vec(0..WORDS.len(), 0..4),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(tag, words, children)| Spec { tag, words, children })
+    })
+}
+
+/// One to three segments, each over one generated document, namespaced
+/// at distinct root ordinals.
+fn bundle_strategy() -> impl Strategy<Value = Vec<Spec>> {
+    prop::collection::vec(spec_strategy(), 1..4)
+}
+
+fn build_segment(spec: &Spec, ordinal: u32) -> IndexSegment {
+    fn rec(b: &mut DocumentBuilder, s: &Spec) {
+        b.begin(TAGS[s.tag]);
+        let text = s.words.iter().map(|w| WORDS[*w]).collect::<Vec<_>>().join(" ");
+        if !text.is_empty() {
+            b.text(&text);
+        }
+        for c in &s.children {
+            rec(b, c);
+        }
+        b.end();
+    }
+    let mut b = DocumentBuilder::new(format!("doc{ordinal}.xml"), ordinal);
+    rec(&mut b, spec);
+    let mut c = Corpus::new();
+    c.add(b.finish());
+    IndexSegment::build(&c)
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "vxv-mmapprop-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Drive an identical probe workload through a segment and return every
+/// answer as comparable strings, plus the counter snapshot it cost.
+fn probe_workload(seg: &IndexSegment) -> (Vec<String>, vxv_index::SegmentStats) {
+    seg.reset_stats();
+    let mut out = Vec::new();
+    let inv = seg.inverted();
+    let mut kws: Vec<String> = inv.keywords().map(|s| s.to_string()).collect();
+    kws.sort();
+    let roots: Vec<DeweyId> =
+        ["1", "1.1", "1.2.1", "9", "9.1"].iter().map(|s| s.parse().unwrap()).collect();
+    for k in &kws {
+        out.push(format!("{k}: {:?}", collect_postings(inv.postings(k))));
+        out.push(format!("{k} max_tf {}", inv.max_tf(k)));
+        for r in &roots {
+            out.push(format!("{k}@{r} bound {:?}", inv.subtree_tf_bound(k, r)));
+            out.push(format!("{k}@{r} est {:?}", inv.subtree_tf_estimate(k, r)));
+            out.push(format!("{k}@{r} interior {}", inv.subtree_tf_interior(k, r)));
+            out.push(format!("{k}@{r} contains {}", inv.contains_in_subtree(k, r)));
+            out.push(format!("{k}@{r} tf {}", inv.subtree_tf(k, r)));
+        }
+    }
+    for pat in ["/a", "//b", "/a//c", "//a/b"] {
+        let p = PathPattern::parse(pat).unwrap();
+        out.push(format!("{pat}: {:?}", seg.path_index().lookup(&p, &[])));
+    }
+    (out, seg.stats())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(32)
+    ))]
+
+    /// Mapped cold-open answers byte-identically to an owned load —
+    /// answers *and* probe/prune counters — and decodes nothing at open.
+    #[test]
+    fn mmap_open_is_byte_identical_to_owned_load(specs in bundle_strategy()) {
+        let segments: Vec<IndexSegment> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| build_segment(s, 1 + 8 * i as u32))
+            .collect();
+        let bundle = IndexBundle::from_segments(segments);
+        let dir = tmpdir("identity");
+        bundle.save(&dir).unwrap();
+
+        let owned = IndexBundle::load(&dir).unwrap();
+        let mapped = IndexBundle::open_mmap(&dir).unwrap();
+        // Cold open decodes no posting block on either path.
+        prop_assert_eq!(owned.open_stats().bytes_decoded, 0);
+        prop_assert_eq!(mapped.open_stats().bytes_decoded, 0);
+        // Residency is the only difference: the mapped bundle owns no
+        // posting bytes.
+        prop_assert_eq!(
+            owned.segments.iter().map(|s| s.owned_data_bytes()).sum::<u64>(),
+            owned.open_stats().owned_bytes
+        );
+        prop_assert_eq!(mapped.segments.iter().map(|s| s.owned_data_bytes()).sum::<u64>(), 0);
+
+        prop_assert_eq!(owned.segments.len(), mapped.segments.len());
+        for (a, b) in owned.segments.iter().zip(&mapped.segments) {
+            let (answers_a, stats_a) = probe_workload(a);
+            let (answers_b, stats_b) = probe_workload(b);
+            prop_assert_eq!(answers_a, answers_b);
+            // Same probes, same work: scanned entries, skipped blocks
+            // and decoded bytes all match counter-for-counter.
+            prop_assert_eq!(stats_a, stats_b);
+            // And both match the original in-memory build.
+            prop_assert_eq!(a.footprint(), b.footprint());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+        // The mapped bundle stays fully usable after the file is gone
+        // (the mapping pins the pages).
+        for seg in &mapped.segments {
+            let _ = probe_workload(seg);
+        }
+    }
+
+    /// Every truncation of a saved bundle fails typed through both open
+    /// paths — unaligned cuts included, since the cut offset is
+    /// arbitrary. Never a panic, never an abort.
+    #[test]
+    fn truncated_mappings_fail_typed(spec in spec_strategy(), frac in 0u32..1000) {
+        let bundle = IndexBundle::from_segments(vec![build_segment(&spec, 1)]);
+        let dir = tmpdir("trunc");
+        let path = bundle.save(&dir).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let cut = (bytes.len() * frac as usize / 1000).min(bytes.len() - 1);
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        prop_assert!(matches!(IndexBundle::load(&dir), Err(PersistError::Corrupt(_))));
+        prop_assert!(matches!(IndexBundle::open_mmap(&dir), Err(PersistError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Arbitrary single-byte corruption anywhere in the file either
+    /// fails typed or loads a bundle whose probes complete without
+    /// panicking (flips in DATA or padding are tolerated by design —
+    /// the decoder is bounds-checked; flips in the header or META are
+    /// caught by the section table checks and checksum).
+    #[test]
+    fn corrupted_mappings_never_panic(spec in spec_strategy(), pos_frac in 0u32..1000, flip in 1u32..256) {
+        let flip = flip as u8;
+        let bundle = IndexBundle::from_segments(vec![build_segment(&spec, 1)]);
+        let dir = tmpdir("flip");
+        let path = bundle.save(&dir).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let pos = (bytes.len() * pos_frac as usize / 1000).min(bytes.len() - 1);
+        bytes[pos] ^= flip;
+        std::fs::write(&path, &bytes).unwrap();
+        for opened in [IndexBundle::load(&dir), IndexBundle::open_mmap(&dir)] {
+            match opened {
+                Err(PersistError::Corrupt(_)) => {}
+                Err(PersistError::Io(e)) => prop_assert!(false, "unexpected io error: {e}"),
+                Ok(b) => {
+                    for seg in &b.segments {
+                        let _ = probe_workload(seg);
+                    }
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -99,7 +99,7 @@ fn resaving_a_v2_bundle_produces_v3_bytes_that_load_identically() {
     let _ = std::fs::remove_dir_all(&dir);
     let path = bundle.save(&dir).unwrap();
     let bytes = std::fs::read(&path).unwrap();
-    assert_eq!(&bytes[..8], b"VXVIDX03", "save always writes the current version");
+    assert_eq!(&bytes[..8], b"VXVIDX04", "save always writes the current version");
     let again = IndexBundle::load(&dir).unwrap();
     assert_eq!(again.segments.len(), 2);
     for (a, b) in again.segments.iter().zip(&bundle.segments) {

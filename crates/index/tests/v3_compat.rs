@@ -1,0 +1,161 @@
+//! Backward compatibility: a checked-in v3 `indices.vxi` (the segmented
+//! format with inlined list bytes and persisted payload bounds) must
+//! load through the v4 loader into fully owned lists, with every list
+//! and every stored bound intact — and re-saving it must write current
+//! v4 bytes.
+//!
+//! The fixture under `tests/fixtures/v3/` was produced by the v3
+//! `IndexBundle::save` over the two-segment bundle reconstructed below
+//! (mirroring `v1_compat.rs` / `v2_compat.rs`); if the loader ever
+//! stops accepting v3 bytes this test fails without needing any old
+//! code around.
+
+use std::path::{Path, PathBuf};
+use vxv_index::cursor::collect_postings;
+use vxv_index::{IndexBundle, IndexSegment, PathPattern, PersistError};
+use vxv_xml::{Corpus, DeweyId};
+
+fn fixture_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/v3"))
+}
+
+/// The corpora the fixture's two segments were built from (kept in sync
+/// with the fixture generator; the fixture itself is frozen bytes).
+fn fixture_corpora() -> (Corpus, Corpus) {
+    let mut c1 = Corpus::new();
+    c1.add_parsed(
+        "books.xml",
+        "<books><book><isbn>111</isbn><title>XML search</title><year>1996</year></book>\
+         <book><isbn>222</isbn><title>AI</title></book></books>",
+    )
+    .unwrap();
+    c1.add_parsed(
+        "reviews.xml",
+        "<reviews><review><isbn>111</isbn><content>all about xml</content></review></reviews>",
+    )
+    .unwrap();
+    let mut c2 = Corpus::new();
+    c2.add(vxv_xml::parse_document("extra.xml", "<extra><e>late xml doc</e></extra>", 9).unwrap());
+    (c1, c2)
+}
+
+#[test]
+fn v3_fixture_loads_with_segments_and_generations_intact() {
+    let bundle = IndexBundle::load(fixture_dir()).expect("v3 fixture loads");
+    assert_eq!(bundle.segments.len(), 2, "the fixture holds two segments");
+    assert_eq!(bundle.segments[0].generation(), 1, "merged segment keeps its generation");
+    assert_eq!(bundle.segments[1].generation(), 0);
+    assert_eq!(bundle.segments[0].doc_count(), 2);
+    assert_eq!(bundle.segments[1].docs()[0].name, "extra.xml");
+    assert_eq!(bundle.max_root_ordinal(), Some(9));
+    // v3 lists are validated (fully decoded) at load, into owned bytes.
+    let stats = bundle.open_stats();
+    assert_eq!(stats.format_version, 3);
+    assert!(stats.bytes_decoded > 0, "legacy loads decode for validation");
+    assert!(stats.owned_bytes > 0);
+    assert_eq!(stats.mapped_bytes, 0);
+}
+
+#[test]
+fn v3_fixture_lists_match_a_fresh_build_including_bounds() {
+    let loaded = IndexBundle::load(fixture_dir()).expect("v3 fixture loads");
+    let (c1, c2) = fixture_corpora();
+    let fresh = [IndexSegment::merge([&IndexSegment::build(&c1)]), IndexSegment::build(&c2)];
+
+    for (seg, want) in loaded.segments.iter().zip(&fresh) {
+        let mut kws: Vec<String> = want.inverted().keywords().map(|s| s.to_string()).collect();
+        kws.sort();
+        let mut loaded_kws: Vec<String> =
+            seg.inverted().keywords().map(|s| s.to_string()).collect();
+        loaded_kws.sort();
+        assert_eq!(kws, loaded_kws);
+        for k in &kws {
+            assert_eq!(
+                collect_postings(seg.inverted().postings(k)),
+                collect_postings(want.inverted().postings(k)),
+                "keyword {k}"
+            );
+            // v3 bounds were stored in the file: they must equal what a
+            // fresh build computes.
+            assert_eq!(seg.inverted().max_tf(k), want.inverted().max_tf(k), "max_tf {k}");
+            for root in ["1", "1.1", "9"] {
+                let root: DeweyId = root.parse().unwrap();
+                assert_eq!(
+                    seg.inverted().subtree_tf_bound(k, &root),
+                    want.inverted().subtree_tf_bound(k, &root),
+                    "bound for {k} at {root}"
+                );
+            }
+        }
+    }
+    let seg = &loaded.segments[0];
+    for pat in ["/books//book/isbn", "/books/book/title", "/reviews/review/content"] {
+        let p = PathPattern::parse(pat).unwrap();
+        assert_eq!(
+            seg.path_index().lookup(&p, &[]),
+            fresh[0].path_index().lookup(&p, &[]),
+            "pattern {pat}"
+        );
+    }
+}
+
+#[test]
+fn resaving_a_v3_bundle_produces_v4_bytes_that_load_identically() {
+    let bundle = IndexBundle::load(fixture_dir()).expect("v3 fixture loads");
+    let dir = std::env::temp_dir().join(format!("vxv-v3-resave-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = bundle.save(&dir).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    assert_eq!(&bytes[..8], b"VXVIDX04", "save always writes the current version");
+    let again = IndexBundle::load(&dir).unwrap();
+    assert_eq!(again.open_stats().format_version, 4);
+    assert_eq!(again.open_stats().bytes_decoded, 0, "v4 reload decodes nothing");
+    assert_eq!(again.segments.len(), 2);
+    for (a, b) in again.segments.iter().zip(&bundle.segments) {
+        assert_eq!(a.docs(), b.docs());
+        assert_eq!(a.generation(), b.generation());
+        let mut kws: Vec<String> = b.inverted().keywords().map(|s| s.to_string()).collect();
+        kws.sort();
+        for k in &kws {
+            assert_eq!(
+                collect_postings(a.inverted().postings(k)),
+                collect_postings(b.inverted().postings(k)),
+                "keyword {k}"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn tampered_or_truncated_v3_files_fail_typed() {
+    // Stale bounds and truncations must surface as typed corruption —
+    // never a panic or an allocator abort — through both open paths.
+    let good = std::fs::read(fixture_dir().join("indices.vxi")).unwrap();
+    let dir: PathBuf = std::env::temp_dir().join(format!("vxv-v3-tamper-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("indices.vxi");
+    // The file's final bytes are the last blocklist's stored payload
+    // bounds: flipping them desynchronizes bound from data.
+    for back in 1..=4 {
+        let mut bad = good.clone();
+        let i = bad.len() - back;
+        bad[i] = bad[i].wrapping_add(1);
+        std::fs::write(&path, &bad).unwrap();
+        assert!(
+            matches!(IndexBundle::load(&dir), Err(PersistError::Corrupt(_))),
+            "tampered bound byte {back} from the end"
+        );
+        assert!(
+            matches!(IndexBundle::open_mmap(&dir), Err(PersistError::Corrupt(_))),
+            "tampered bound byte {back} from the end, mmap path"
+        );
+    }
+    // Truncation sweep across the tail.
+    for cut in (good.len().saturating_sub(48))..good.len() {
+        std::fs::write(&path, &good[..cut]).unwrap();
+        assert!(matches!(IndexBundle::load(&dir), Err(PersistError::Corrupt(_))), "cut {cut}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
