@@ -1,0 +1,131 @@
+//! Real-time append latency: the acknowledged path (WAL framing,
+//! memtable indexing, snapshot publish) measured per document over a
+//! fixed 512-append run, with periodic seals included — the tail a
+//! serving tier actually sees, not just the happy median.
+//!
+//! Reported metrics (fed into the `bench_gate` regression check):
+//! - `ingest_latency/append_p50` (`ns`) — median acknowledged append.
+//! - `ingest_latency/append_p99` (`tail-ns`, wide band) — worst-case
+//!   appends, dominated by seal/publish rounds.
+//! - `ingest_latency/flushes` (`count`) — seals over the run; doc sizes
+//!   and the byte threshold are fixed, so this is deterministic and
+//!   pins the seal cadence itself.
+//!
+//! fsync is off here (the WAL is still written, just not flushed):
+//! per-record fsync measures the filesystem, not the engine, and is
+//! printed for reference without gating.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+use vxv_core::{FsyncPolicy, SearchRequest, ViewSearchEngine, WriteConfig};
+use vxv_xml::Corpus;
+
+const DOCS: usize = 512;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("vxv-bench-ingest-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn doc_xml(i: usize) -> String {
+    format!(
+        "<books><book><isbn>{i}</isbn><title>xml search wave {} entry {i}</title>\
+         <year>{}</year></book></books>",
+        i % 7,
+        1990 + (i % 16)
+    )
+}
+
+fn live_engine(dir: &std::path::Path, fsync: FsyncPolicy) -> ViewSearchEngine<Corpus> {
+    let mut corpus = Corpus::new();
+    corpus.add_parsed("books.xml", "<books><book><title>seed</title></book></books>").unwrap();
+    let engine = ViewSearchEngine::new(corpus);
+    engine
+        .enable_writes(
+            dir.join(vxv_index::wal::WAL_FILE),
+            WriteConfig {
+                fsync,
+                // Seal roughly every 64 appends so the measured run
+                // includes the seal/publish cost, not just memtable
+                // growth.
+                memtable_max_bytes: 8 << 10,
+                compact_interval: None,
+                ..WriteConfig::default()
+            },
+        )
+        .unwrap();
+    engine
+}
+
+/// Run `DOCS` single-doc appends, returning per-append nanos (sorted)
+/// and the flush count.
+fn measured_run(fsync: FsyncPolicy, tag: &str) -> (Vec<f64>, u64) {
+    let dir = temp_dir(tag);
+    let engine = live_engine(&dir, fsync);
+    let mut lat = Vec::with_capacity(DOCS);
+    for i in 0..DOCS {
+        let name = format!("doc{i}.xml");
+        let xml = doc_xml(i);
+        let t0 = Instant::now();
+        engine.append([(name, xml)]).unwrap();
+        lat.push(t0.elapsed().as_nanos() as f64);
+    }
+    let stats = engine.stats().writes;
+    assert_eq!(stats.wal_appends, DOCS as u64);
+
+    // The run is real: the last append is searchable pre-flush, and the
+    // log replays every acknowledged record.
+    let out = engine
+        .search_once(
+            &format!(
+                "for $b in fn:doc(doc{}.xml)/books//book return <h> {{ $b/title }} </h>",
+                DOCS - 1
+            ),
+            &SearchRequest::new(["xml"]),
+        )
+        .unwrap();
+    assert_eq!(out.hits.len(), 1);
+    let replay = vxv_index::wal::replay(&dir.join(vxv_index::wal::WAL_FILE)).unwrap();
+    assert_eq!(replay.records, DOCS as u64);
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (lat, stats.flushes)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    sorted[((sorted.len() as f64 * p) as usize).min(sorted.len() - 1)]
+}
+
+fn bench_ingest_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest_latency");
+    // Warm-up run absorbs cold-cache effects, then the measured run.
+    let _ = measured_run(FsyncPolicy::Never, "warmup");
+    let (lat, flushes) = measured_run(FsyncPolicy::Never, "measured");
+    let p50 = percentile(&lat, 0.50);
+    let p99 = percentile(&lat, 0.99);
+    println!(
+        "ingest_latency: {DOCS} appends, p50 {:.1} us, p99 {:.1} us, {flushes} flush(es)",
+        p50 / 1e3,
+        p99 / 1e3
+    );
+    criterion::report_metric("ingest_latency/append_p50", p50, "ns");
+    criterion::report_metric("ingest_latency/append_p99", p99, "tail-ns");
+    criterion::report_metric("ingest_latency/flushes", flushes as f64, "count");
+
+    // Reference only (filesystem-dependent, not gated): what per-record
+    // durability costs on this machine.
+    let (durable, _) = measured_run(FsyncPolicy::PerRecord, "durable");
+    println!(
+        "ingest_latency: per-record fsync p50 {:.1} us ({:.1}x the unsynced path)",
+        percentile(&durable, 0.50) / 1e3,
+        percentile(&durable, 0.50) / p50.max(1.0)
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest_latency);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! WAL replay speed: how fast a crashed engine gets back to serving.
+//!
+//! Two costs are measured over a 512-record log:
+//! - `wal_replay/decode_512` (`ns`) — [`vxv_index::wal::replay`] alone:
+//!   framing, checksum validation, batch decode. This is the pure log
+//!   format cost and should stay linear in bytes.
+//! - `wal_replay/recover_512` (`ns`) — full
+//!   [`ViewSearchEngine::enable_writes`] recovery: decode plus
+//!   re-parsing and re-indexing every batch into the memtable. This is
+//!   the real crash-to-serving time.
+//! - `wal_replay/decode_mb_per_s` (`count`) — decode throughput, so the
+//!   gate catches a format change that bloats or slows the log even if
+//!   absolute timings drift.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+use vxv_core::{FsyncPolicy, ViewSearchEngine, WriteConfig};
+use vxv_xml::Corpus;
+
+const RECORDS: usize = 512;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("vxv-bench-replay-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn base_engine() -> ViewSearchEngine<Corpus> {
+    let mut corpus = Corpus::new();
+    corpus.add_parsed("books.xml", "<books><book><title>seed</title></book></books>").unwrap();
+    ViewSearchEngine::new(corpus)
+}
+
+fn config() -> WriteConfig {
+    WriteConfig { fsync: FsyncPolicy::Never, compact_interval: None, ..WriteConfig::default() }
+}
+
+/// Median of a few timed runs of `f` (`CRITERION_QUICK` runs once).
+fn median_ns(runs: usize, mut f: impl FnMut()) -> f64 {
+    let quick = std::env::var("CRITERION_QUICK").map(|v| v != "0").unwrap_or(false);
+    let runs = if quick { 1 } else { runs };
+    let mut samples: Vec<f64> = (0..runs.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn bench_wal_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_replay");
+    let dir = temp_dir("log");
+    let wal_path = dir.join(vxv_index::wal::WAL_FILE);
+
+    // Write the log once through the real append path.
+    let writer = base_engine();
+    writer.enable_writes(&wal_path, config()).unwrap();
+    for i in 0..RECORDS {
+        writer
+            .append([(
+                format!("doc{i}.xml"),
+                format!(
+                    "<books><book><isbn>{i}</isbn><title>xml search entry {i}</title>\
+                     <year>{}</year></book></books>",
+                    1990 + (i % 16)
+                ),
+            )])
+            .unwrap();
+    }
+    drop(writer);
+    let wal_bytes = std::fs::metadata(&wal_path).unwrap().len();
+
+    // Pure decode: framing + checksums + batch decode, no indexing.
+    let decode_ns = median_ns(9, || {
+        let replay = vxv_index::wal::replay(&wal_path).unwrap();
+        assert_eq!(replay.records, RECORDS as u64);
+        assert!(replay.truncated.is_none());
+    });
+
+    // Full recovery: decode plus re-indexing everything into a fresh
+    // engine's memtable — crash-to-serving.
+    let recover_ns = median_ns(5, || {
+        let engine = base_engine();
+        let report = engine.enable_writes(&wal_path, config()).unwrap();
+        assert_eq!(report.records, RECORDS as u64);
+        assert_eq!(engine.stats().documents, 1 + RECORDS);
+    });
+
+    let mb = wal_bytes as f64 / (1024.0 * 1024.0);
+    let decode_mbps = mb / (decode_ns / 1e9);
+    println!(
+        "wal_replay: {RECORDS} records ({wal_bytes} B), decode {:.2} ms ({decode_mbps:.0} MB/s), \
+         full recovery {:.2} ms",
+        decode_ns / 1e6,
+        recover_ns / 1e6
+    );
+    criterion::report_metric("wal_replay/decode_512", decode_ns, "ns");
+    criterion::report_metric("wal_replay/recover_512", recover_ns, "ns");
+    criterion::report_metric("wal_replay/decode_mb_per_s", decode_mbps, "count");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    group.finish();
+}
+
+criterion_group!(benches, bench_wal_replay);
+criterion_main!(benches);

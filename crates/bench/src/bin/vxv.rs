@@ -37,13 +37,20 @@
 //! stats                      -> stats hits=.. misses=.. prepares=.. ...
 //! segments                   -> one line per index segment (id,
 //!                               generation, docs, footprint), then .
-//! add NAME XMLFILE           -> added NAME segment I (builds a new
-//!                               segment; views registered earlier keep
-//!                               their snapshot — re-register to see the
-//!                               new document)
+//! add NAME XMLFILE           -> added NAME segment I (views registered
+//!                               earlier keep their snapshot —
+//!                               re-register to see the new document)
+//! flush                      -> flushed 0|1 (seal the live memtable)
 //! quit                       -> (exits; EOF works too; both print
 //!                               final stats to stderr)
 //! ```
+//!
+//! With `--store`, `serve` enables the **real-time write path**: a
+//! write-ahead log (`wal.vxl`, replayed on startup) is kept next to the
+//! store, `add` appends durably into a searchable memtable, and a
+//! background thread compacts sealed segments. `--fsync
+//! per-record|interval-ms=N|off` picks the durability schedule; `stats`
+//! gains a `writes ...` counter line.
 //!
 //! With `--listen ADDR`, `serve` instead mounts the `vxv-server` TCP
 //! serving tier on `ADDR` (multi-tenant wire protocol, bounded
@@ -67,8 +74,8 @@ use std::sync::Arc;
 use std::time::Duration;
 use vxv_core::KeywordMode;
 use vxv_core::{
-    DocumentSource, IndexBundle, NamedRequest, PreparedView, SearchRequest, ViewCatalog,
-    ViewSearchEngine,
+    DocumentSource, FsyncPolicy, IndexBundle, NamedRequest, PreparedView, SearchRequest,
+    ViewCatalog, ViewSearchEngine, WriteConfig,
 };
 use vxv_index::IndexSegment;
 use vxv_xml::{parse_document, Corpus, DiskStore};
@@ -88,11 +95,14 @@ struct Args {
     /// Cold-open by reading the index file into owned buffers instead of
     /// mapping it (the pre-v4 behavior; mapping is the default).
     no_mmap: bool,
+    /// WAL fsync schedule for `serve --store`: `per-record` (default),
+    /// `interval-ms=N`, or `off`.
+    fsync: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  vxv search  (--doc FILE... | --store DIR) --view FILE --keyword WORD... [--top N] [--any] [--deadline-ms N]\n  vxv inspect (--doc FILE... | --store DIR) --view FILE\n  vxv persist --doc FILE... --out DIR\n  vxv serve   (--doc FILE... | --store DIR) [--register NAME=VIEWFILE...] [--listen ADDR] [--top N] [--any] [--deadline-ms N]\n  vxv batch   (--doc FILE... | --store DIR) --register NAME=VIEWFILE... --file REQS [--top N] [--any] [--deadline-ms N]\n  vxv ingest  --store DIR --doc FILE...\n  vxv compact --store DIR\n(--store commands map the index file by default; --no-mmap loads owned buffers instead)"
+        "usage:\n  vxv search  (--doc FILE... | --store DIR) --view FILE --keyword WORD... [--top N] [--any] [--deadline-ms N]\n  vxv inspect (--doc FILE... | --store DIR) --view FILE\n  vxv persist --doc FILE... --out DIR\n  vxv serve   (--doc FILE... | --store DIR) [--register NAME=VIEWFILE...] [--listen ADDR] [--fsync per-record|interval-ms=N|off] [--top N] [--any] [--deadline-ms N]\n  vxv batch   (--doc FILE... | --store DIR) --register NAME=VIEWFILE... --file REQS [--top N] [--any] [--deadline-ms N]\n  vxv ingest  --store DIR --doc FILE...\n  vxv compact --store DIR\n(--store commands map the index file by default; --no-mmap loads owned buffers instead)"
     );
     ExitCode::from(2)
 }
@@ -113,6 +123,7 @@ fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
         deadline_ms: None,
         listen: None,
         no_mmap: false,
+        fsync: None,
     };
     let mut it = argv;
     while let Some(flag) = it.next() {
@@ -133,6 +144,7 @@ fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
             "--deadline-ms" => args.deadline_ms = Some(it.next()?.parse().ok()?),
             "--listen" => args.listen = Some(it.next()?),
             "--no-mmap" => args.no_mmap = true,
+            "--fsync" => args.fsync = Some(it.next()?),
             _ => {
                 eprintln!("unknown flag {flag}");
                 return None;
@@ -140,6 +152,28 @@ fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
         }
     }
     Some((cmd, args))
+}
+
+/// Parse `--fsync per-record|interval-ms=N|off` into a [`WriteConfig`].
+fn write_config(args: &Args) -> Result<WriteConfig, String> {
+    let mut config = WriteConfig::default();
+    if let Some(spec) = args.fsync.as_deref() {
+        config.fsync = match spec {
+            "per-record" => FsyncPolicy::PerRecord,
+            "off" | "never" => FsyncPolicy::Never,
+            other => match other.strip_prefix("interval-ms=") {
+                Some(ms) => FsyncPolicy::Interval(Duration::from_millis(
+                    ms.parse().map_err(|_| format!("bad --fsync interval '{other}'"))?,
+                )),
+                None => {
+                    return Err(format!(
+                        "bad --fsync '{other}' (want per-record|interval-ms=N|off)"
+                    ))
+                }
+            },
+        };
+    }
+    Ok(config)
 }
 
 fn load_corpus(args: &Args) -> Result<Corpus, String> {
@@ -235,6 +269,18 @@ fn run_inspect<S: DocumentSource>(view: &PreparedView<S>, args: &Args) -> ExitCo
         stats.pruning.candidates_skipped,
         stats.pruning.early_terminations
     );
+    let w = stats.writes;
+    println!(
+        "write path: enabled {}, {} WAL append(s) ({} B), {} memtable entr(ies), \
+         {} flush(es), {} compaction(s), {} replayed record(s)",
+        w.enabled,
+        w.wal_appends,
+        w.wal_bytes,
+        w.memtable_entries,
+        w.flushes,
+        w.compactions,
+        w.replay_records
+    );
     let out = view.plan(&args.keywords);
     for q in &out.qpts {
         println!("{}", q.rendered);
@@ -322,7 +368,7 @@ fn serve_loop<S: DocumentSource>(catalog: &ViewCatalog<S>, args: &Args) -> ExitC
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     eprintln!(
-        "vxv serve: {} view(s) registered; commands: register/search/list/stats/segments/add/quit",
+        "vxv serve: {} view(s) registered; commands: register/search/list/stats/segments/add/flush/quit",
         catalog.len()
     );
     'serve: for line in stdin.lock().lines() {
@@ -353,6 +399,19 @@ fn serve_loop<S: DocumentSource>(catalog: &ViewCatalog<S>, args: &Args) -> ExitC
                     "stats hits={} misses={} prepares={} evictions={} named={} adhoc={}",
                     s.hits, s.misses, s.prepares, s.evictions, s.named, s.adhoc
                 );
+                let w = catalog.engine().stats().writes;
+                let _ = writeln!(
+                    out,
+                    "writes enabled={} wal-appends={} wal-bytes={} memtable-entries={} \
+                     flushes={} compactions={} replay-records={}",
+                    if w.enabled { 1 } else { 0 },
+                    w.wal_appends,
+                    w.wal_bytes,
+                    w.memtable_entries,
+                    w.flushes,
+                    w.compactions,
+                    w.replay_records
+                );
                 Ok(())
             }
             ["segments"] => {
@@ -363,15 +422,31 @@ fn serve_loop<S: DocumentSource>(catalog: &ViewCatalog<S>, args: &Args) -> ExitC
                 Ok(())
             }
             ["add", name, path] => match std::fs::read_to_string(path) {
-                Ok(xml) => match catalog.engine().ingest([(name.to_string(), xml)]) {
-                    Ok(report) => {
-                        let _ = writeln!(out, "added {name} segment {}", report.segment.id);
-                        Ok(())
+                // With the write path on, `add` is durable: WAL first,
+                // then the searchable memtable. Otherwise it falls back
+                // to the bulk-load segment-per-batch ingest.
+                Ok(xml) => {
+                    let engine = catalog.engine();
+                    let result = if engine.writes_enabled() {
+                        engine.append([(name.to_string(), xml)])
+                    } else {
+                        engine.ingest([(name.to_string(), xml)])
+                    };
+                    match result {
+                        Ok(report) => {
+                            let _ = writeln!(out, "added {name} segment {}", report.segment.id);
+                            Ok(())
+                        }
+                        Err(e) => Err(format!("{e}")),
                     }
-                    Err(e) => Err(format!("{e}")),
-                },
+                }
                 Err(e) => Err(format!("cannot read document {path}: {e}")),
             },
+            ["flush"] => {
+                let flushed = catalog.engine().flush_memtable();
+                let _ = writeln!(out, "flushed {}", if flushed { 1 } else { 0 });
+                Ok(())
+            }
             ["register", name, path] => match std::fs::read_to_string(path) {
                 Ok(text) => match catalog.register(name.to_string(), &text) {
                     Ok(_) => {
@@ -736,6 +811,33 @@ fn main() -> ExitCode {
                     );
                 }
                 let engine = ViewSearchEngine::open(store, bundle);
+                if cmd == "serve" {
+                    // A store-backed serve is a live service: turn on the
+                    // write path (WAL next to the store, replay first).
+                    let config = match write_config(&args) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    match engine.enable_writes(dir.join(vxv_index::wal::WAL_FILE), config) {
+                        Ok(report) => eprintln!(
+                            "vxv serve: WAL replayed {} record(s), {} document(s){}",
+                            report.records,
+                            report.documents,
+                            if report.truncated_tail.is_some() {
+                                " (torn tail truncated)"
+                            } else {
+                                ""
+                            }
+                        ),
+                        Err(e) => {
+                            eprintln!("error: enable writes: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
                 if catalog_cmd {
                     with_catalog(&cmd, engine, &args)
                 } else {

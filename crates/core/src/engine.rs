@@ -36,14 +36,19 @@
 //! experiments verify.
 
 use crate::generate::DocMeta;
+use crate::memtable::MemTable;
 use crate::prepared::PreparedView;
 use crate::qpt_gen::QptGenError;
 use crate::request::{PhaseTimings, SearchRequest};
 use crate::scoring::PruneStats;
 use std::collections::HashMap;
 use std::fmt;
+use std::path::Path;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::{self, JoinHandle, ThreadId};
+use std::time::Duration;
+use vxv_index::wal::{self, FsyncPolicy, WalWriter};
 use vxv_index::{
     Footprint, IndexBundle, IndexFootprint, IndexSegment, InvertedIndex, InvertedIndexStats,
     PathIndex, PathIndexStats,
@@ -209,12 +214,128 @@ struct SegmentState {
     set: RwLock<Arc<SegmentSet>>,
     next_ordinal: AtomicU32,
     next_segment_id: AtomicU64,
-    /// Serializes set *mutations* (ingest / compact); readers only ever
-    /// take the `set` read lock for an `Arc` clone.
+    /// Serializes set *mutations* (ingest / append / compact); readers
+    /// only ever take the `set` read lock for an `Arc` clone.
+    ///
+    /// Lock order: `mutate` before `write` — never the reverse.
     mutate: Mutex<()>,
     /// Engine-lifetime top-k pruning tallies, shared across clones and
     /// source swaps like the segment set itself.
     prune: PruneTallies,
+    /// The real-time write path (WAL + memtable), present after
+    /// [`ViewSearchEngine::enable_writes`].
+    write: Mutex<Option<WriteState>>,
+    /// Write-path counters, shared across clones like `prune`.
+    write_tallies: WriteTallies,
+    /// The background compaction thread, if one is running.
+    compactor: Mutex<Option<Compactor>>,
+}
+
+/// Tuning knobs for the real-time write path (see
+/// [`ViewSearchEngine::enable_writes`]).
+#[derive(Clone, Copy, Debug)]
+pub struct WriteConfig {
+    /// When the WAL is fsynced (see [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
+    /// Seal the memtable into an ordinary segment once it holds this
+    /// many raw XML bytes.
+    pub memtable_max_bytes: u64,
+    /// Seal the memtable once its accumulation is this old (checked at
+    /// append time).
+    pub memtable_max_age: Duration,
+    /// Background compaction cadence; `None` runs no compactor thread
+    /// (call [`ViewSearchEngine::compact`] manually).
+    pub compact_interval: Option<Duration>,
+}
+
+impl Default for WriteConfig {
+    fn default() -> WriteConfig {
+        WriteConfig {
+            fsync: FsyncPolicy::PerRecord,
+            memtable_max_bytes: 4 << 20,
+            memtable_max_age: Duration::from_secs(30),
+            compact_interval: Some(Duration::from_millis(200)),
+        }
+    }
+}
+
+/// The live write path: the open WAL, the mutable memtable, and the id
+/// of the memtable's currently published snapshot segment.
+struct WriteState {
+    wal: WalWriter,
+    memtable: MemTable,
+    config: WriteConfig,
+    /// Segment id of the memtable's snapshot currently in the set
+    /// (`None` right after a seal or before the first append). The
+    /// next append replaces this segment; compaction must never merge
+    /// it away.
+    live: Option<u64>,
+}
+
+/// Atomic accumulator behind [`EngineStats::writes`].
+#[derive(Default)]
+struct WriteTallies {
+    wal_appends: AtomicU64,
+    wal_bytes: AtomicU64,
+    flushes: AtomicU64,
+    compactions: AtomicU64,
+    replay_records: AtomicU64,
+}
+
+/// The background compaction thread and its shutdown signal.
+struct Compactor {
+    shutdown: Arc<(Mutex<bool>, Condvar)>,
+    /// The compactor thread's own id — shutdown skips the join when the
+    /// final engine handle is dropped *on* the compactor thread (it
+    /// briefly upgrades a `Weak` to run a round), where joining would
+    /// deadlock on self.
+    thread_id: ThreadId,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Compactor {
+    fn stop(&mut self) {
+        let (flag, cv) = &*self.shutdown;
+        if let Ok(mut stop) = flag.lock() {
+            *stop = true;
+        }
+        cv.notify_all();
+        if let Some(handle) = self.handle.take() {
+            if thread::current().id() != self.thread_id {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Start the background compaction loop: wake every `interval`, upgrade
+/// the weak state handle, run one tiered round, release. Holding only a
+/// `Weak` between rounds means the thread never keeps a dropped engine
+/// alive; the condvar makes shutdown immediate instead of
+/// sleep-granular.
+fn spawn_compactor(state: &Arc<SegmentState>, interval: Duration) -> Compactor {
+    let weak = Arc::downgrade(state);
+    let shutdown = Arc::new((Mutex::new(false), Condvar::new()));
+    let signal = Arc::clone(&shutdown);
+    let handle = thread::Builder::new()
+        .name("vxv-compactor".into())
+        .spawn(move || loop {
+            {
+                let (flag, cv) = &*signal;
+                let mut stop = flag.lock().unwrap();
+                if !*stop {
+                    let (guard, _timeout) = cv.wait_timeout(stop, interval).unwrap();
+                    stop = guard;
+                }
+                if *stop {
+                    break;
+                }
+            }
+            let Some(state) = weak.upgrade() else { break };
+            state.compact_once();
+        })
+        .expect("spawn vxv-compactor thread");
+    Compactor { shutdown, thread_id: handle.thread().id(), handle: Some(handle) }
 }
 
 /// Atomic accumulator behind [`EngineStats::pruning`].
@@ -273,11 +394,169 @@ impl SegmentState {
             next_segment_id: AtomicU64::new(next_segment_id),
             mutate: Mutex::new(()),
             prune: PruneTallies::default(),
+            write: Mutex::new(None),
+            write_tallies: WriteTallies::default(),
+            compactor: Mutex::new(None),
         }
     }
 
     fn snapshot(&self) -> Arc<SegmentSet> {
         Arc::clone(&self.set.read().unwrap())
+    }
+
+    /// Index one write batch: dup-check, parse under fresh ordinals,
+    /// log to the WAL (when `durable` — replay skips this), add to the
+    /// memtable, publish its snapshot segment into the set, and seal on
+    /// threshold. Caller holds `mutate`; nothing is acknowledged until
+    /// the WAL append succeeded.
+    fn apply_batch(
+        &self,
+        ws: &mut WriteState,
+        docs: &[(String, String)],
+        durable: bool,
+    ) -> Result<IngestReport, EngineError> {
+        let snapshot = self.snapshot();
+        let mut parsed = Vec::with_capacity(docs.len());
+        let mut names: Vec<String> = Vec::with_capacity(docs.len());
+        for (name, xml) in docs {
+            let taken = ws.memtable.contains(name)
+                || names.iter().any(|n| n == name)
+                || snapshot.iter().any(|seg| seg.catalog.contains_key(name));
+            if taken {
+                return Err(EngineError::Ingest(format!("document '{name}' already exists")));
+            }
+            let ordinal = self.next_ordinal.fetch_add(1, Ordering::Relaxed);
+            let doc = parse_document(name, xml, ordinal)
+                .map_err(|e| EngineError::Ingest(format!("{name}: {e}")))?;
+            parsed.push((doc, xml.len() as u64));
+            names.push(name.clone());
+        }
+        if durable {
+            let framed = ws
+                .wal
+                .append_batch(docs)
+                .map_err(|e| EngineError::Ingest(format!("WAL append: {e}")))?;
+            self.write_tallies.wal_appends.fetch_add(1, Ordering::Relaxed);
+            self.write_tallies.wal_bytes.fetch_add(framed, Ordering::Relaxed);
+        }
+        for (doc, bytes) in parsed {
+            ws.memtable.add(doc, bytes);
+        }
+        // Publish the grown memtable as a fresh immutable snapshot
+        // segment, replacing its previous snapshot in the set. The
+        // memtable segment sits *last* so single-segment diagnostics
+        // accessors keep reading the base segment.
+        let (index, corpus) = ws.memtable.snapshot();
+        let id = self.next_segment_id.fetch_add(1, Ordering::Relaxed);
+        let segment = Arc::new(EngineSegment::new(id, index, Some(corpus)));
+        let info = segment.info();
+        let mut next: SegmentSet =
+            snapshot.iter().filter(|seg| Some(seg.id) != ws.live).cloned().collect();
+        next.push(segment);
+        *self.set.write().unwrap() = Arc::new(next);
+        ws.live = Some(id);
+        if ws.memtable.bytes() >= ws.config.memtable_max_bytes
+            || ws.memtable.age() >= ws.config.memtable_max_age
+        {
+            self.seal(ws);
+        }
+        Ok(IngestReport { segment: info, documents: names })
+    }
+
+    /// Seal the memtable: its last published snapshot stays in the set
+    /// as an ordinary segment (nothing is rewritten) and the builder
+    /// restarts empty. Caller holds `mutate`.
+    fn seal(&self, ws: &mut WriteState) {
+        if ws.memtable.entries() == 0 {
+            return;
+        }
+        ws.live = None;
+        ws.memtable = MemTable::new();
+        self.write_tallies.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One round of size-tiered compaction (see
+    /// [`ViewSearchEngine::compact`]). The live memtable snapshot is
+    /// never merged — the next append would republish its documents on
+    /// top of the merged copy.
+    fn compact_once(&self) -> CompactReport {
+        let _mutating = self.mutate.lock().unwrap();
+        let live = self.write.lock().unwrap().as_ref().and_then(|w| w.live);
+        let snapshot = self.snapshot();
+        // Factor-of-4 size tiers over the compressed footprint.
+        let tier_of = |seg: &EngineSegment| {
+            let bytes = seg.index.footprint().compressed_bytes.max(1);
+            (63 - bytes.leading_zeros() as u64) / 2
+        };
+        let mut tiers: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, seg) in snapshot.iter().enumerate() {
+            if Some(seg.id) == live {
+                continue;
+            }
+            tiers.entry(tier_of(seg)).or_default().push(i);
+        }
+        let mut report = CompactReport { merged_segments: 0, merges: 0, segments: snapshot.len() };
+        let mut replacement: HashMap<usize, Arc<EngineSegment>> = HashMap::new();
+        let mut dropped: Vec<usize> = Vec::new();
+        for members in tiers.values() {
+            if members.len() < 2 {
+                continue;
+            }
+            let inputs: Vec<&IndexSegment> =
+                members.iter().map(|&i| snapshot[i].index.as_ref()).collect();
+            let merged_index = Arc::new(IndexSegment::merge(inputs));
+            let side = merge_side_corpora(members.iter().map(|&i| &snapshot[i]));
+            let id = self.next_segment_id.fetch_add(1, Ordering::Relaxed);
+            replacement.insert(members[0], Arc::new(EngineSegment::new(id, merged_index, side)));
+            dropped.extend(&members[1..]);
+            report.merged_segments += members.len();
+            report.merges += 1;
+        }
+        if report.merges == 0 {
+            return report;
+        }
+        let next: SegmentSet = snapshot
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !dropped.contains(i))
+            .map(|(i, seg)| replacement.remove(&i).unwrap_or_else(|| Arc::clone(seg)))
+            .collect();
+        report.segments = next.len();
+        *self.set.write().unwrap() = Arc::new(next);
+        self.write_tallies.compactions.fetch_add(1, Ordering::Relaxed);
+        report
+    }
+
+    fn write_stats(&self) -> WriteStats {
+        let write = self.write.lock().unwrap();
+        WriteStats {
+            enabled: write.is_some(),
+            memtable_entries: write.as_ref().map_or(0, |w| w.memtable.entries() as u64),
+            wal_appends: self.write_tallies.wal_appends.load(Ordering::Relaxed),
+            wal_bytes: self.write_tallies.wal_bytes.load(Ordering::Relaxed),
+            flushes: self.write_tallies.flushes.load(Ordering::Relaxed),
+            compactions: self.write_tallies.compactions.load(Ordering::Relaxed),
+            replay_records: self.write_tallies.replay_records.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for SegmentState {
+    fn drop(&mut self) {
+        // Stop the background compactor first (join unless we *are* the
+        // compactor thread), then make Interval/Never WALs durable on
+        // this clean exit. `get_mut` can't deadlock — we hold the only
+        // reference — and a poisoned lock just skips the courtesy sync.
+        if let Ok(compactor) = self.compactor.get_mut() {
+            if let Some(mut c) = compactor.take() {
+                c.stop();
+            }
+        }
+        if let Ok(write) = self.write.get_mut() {
+            if let Some(ws) = write.as_mut() {
+                let _ = ws.wal.sync();
+            }
+        }
     }
 }
 
@@ -391,6 +670,21 @@ impl ViewSearchEngine<DiskStore> {
             }),
         }
     }
+
+    /// Cold-open with the write path on: [`Self::open`] followed by
+    /// [`ViewSearchEngine::enable_writes`] — the one-call startup a
+    /// serving process uses, recovering every acknowledged append from
+    /// the WAL before taking traffic.
+    pub fn open_with_writes(
+        store: impl Into<Arc<DiskStore>>,
+        bundle: IndexBundle,
+        wal_path: impl AsRef<Path>,
+        config: WriteConfig,
+    ) -> Result<(Self, ReplayReport), EngineError> {
+        let engine = Self::open(store, bundle);
+        let report = engine.enable_writes(wal_path, config)?;
+        Ok((engine, report))
+    }
 }
 
 impl<S: DocumentSource> ViewSearchEngine<S> {
@@ -467,6 +761,7 @@ impl<S: DocumentSource> ViewSearchEngine<S> {
         let mut stats = EngineStats {
             segments: snapshot.len(),
             pruning: self.inner.state.prune.snapshot(),
+            writes: self.inner.state.write_stats(),
             ..EngineStats::default()
         };
         for seg in snapshot.iter() {
@@ -565,47 +860,114 @@ impl<S: DocumentSource> ViewSearchEngine<S> {
     /// Returns what happened; call repeatedly (e.g. from a maintenance
     /// loop) until `merges == 0` to fully settle the tiers.
     pub fn compact(&self) -> CompactReport {
+        self.inner.state.compact_once()
+    }
+
+    /// Turn on the real-time write path: replay the WAL at `wal_path`
+    /// (recovering every acknowledged [`Self::append`] batch, truncating
+    /// a torn tail record typed), open it for appending, and start the
+    /// background compaction thread per [`WriteConfig`]. After this,
+    /// [`Self::append`] makes documents durable *and* immediately
+    /// searchable.
+    ///
+    /// Replay rebuilds the memtable (and any segments it sealed)
+    /// deterministically: batches re-apply in log order under the same
+    /// ordinal allocation, so a recovered engine answers searches
+    /// byte-identically to one that never crashed. A missing WAL file
+    /// starts an empty log; a file that is not a WAL is a typed error
+    /// (nothing is clobbered).
+    pub fn enable_writes(
+        &self,
+        wal_path: impl AsRef<Path>,
+        config: WriteConfig,
+    ) -> Result<ReplayReport, EngineError> {
+        let wal_path = wal_path.as_ref();
         let state = &self.inner.state;
         let _mutating = state.mutate.lock().unwrap();
-        let snapshot = state.snapshot();
-        // Factor-of-4 size tiers over the compressed footprint.
-        let tier_of = |seg: &EngineSegment| {
-            let bytes = seg.index.footprint().compressed_bytes.max(1);
-            (63 - bytes.leading_zeros() as u64) / 2
+        if state.write.lock().unwrap().is_some() {
+            return Err(EngineError::Ingest("writes already enabled".into()));
+        }
+        let replay =
+            wal::replay(wal_path).map_err(|e| EngineError::Ingest(format!("WAL replay: {e}")))?;
+        let mut report = ReplayReport {
+            records: replay.records,
+            documents: 0,
+            wal_bytes: replay.valid_bytes,
+            truncated_tail: replay.truncated.map(|t| format!("{t:?}")),
         };
-        let mut tiers: HashMap<u64, Vec<usize>> = HashMap::new();
-        for (i, seg) in snapshot.iter().enumerate() {
-            tiers.entry(tier_of(seg)).or_default().push(i);
+        let wal = WalWriter::open(wal_path, replay.valid_bytes, config.fsync)
+            .map_err(|e| EngineError::Ingest(format!("WAL open: {e}")))?;
+        let mut ws = WriteState { wal, memtable: MemTable::new(), config, live: None };
+        for batch in &replay.batches {
+            report.documents += batch.len();
+            state.apply_batch(&mut ws, batch, false)?;
         }
-        let mut report = CompactReport { merged_segments: 0, merges: 0, segments: snapshot.len() };
-        let mut replacement: HashMap<usize, Arc<EngineSegment>> = HashMap::new();
-        let mut dropped: Vec<usize> = Vec::new();
-        for members in tiers.values() {
-            if members.len() < 2 {
-                continue;
+        state.write_tallies.replay_records.fetch_add(replay.records, Ordering::Relaxed);
+        *state.write.lock().unwrap() = Some(ws);
+        if let Some(interval) = config.compact_interval {
+            let mut compactor = state.compactor.lock().unwrap();
+            if compactor.is_none() {
+                *compactor = Some(spawn_compactor(state, interval));
             }
-            let inputs: Vec<&IndexSegment> =
-                members.iter().map(|&i| snapshot[i].index.as_ref()).collect();
-            let merged_index = Arc::new(IndexSegment::merge(inputs));
-            let side = merge_side_corpora(members.iter().map(|&i| &snapshot[i]));
-            let id = state.next_segment_id.fetch_add(1, Ordering::Relaxed);
-            replacement.insert(members[0], Arc::new(EngineSegment::new(id, merged_index, side)));
-            dropped.extend(&members[1..]);
-            report.merged_segments += members.len();
-            report.merges += 1;
         }
-        if report.merges == 0 {
-            return report;
+        Ok(report)
+    }
+
+    /// Whether [`Self::enable_writes`] has run on this engine's shared
+    /// state.
+    pub fn writes_enabled(&self) -> bool {
+        self.inner.state.write.lock().unwrap().is_some()
+    }
+
+    /// Durably append a batch of `(name, xml)` documents: the batch is
+    /// WAL-logged first (fsynced per [`WriteConfig::fsync`]), then
+    /// indexed into the memtable and published to searches **before
+    /// any flush** — a successful return means the documents are both
+    /// recoverable and visible to the next prepare. The whole batch is
+    /// rejected atomically (nothing logged, nothing visible) on a parse
+    /// error, duplicate name, or empty batch; requires
+    /// [`Self::enable_writes`].
+    ///
+    /// Existing [`PreparedView`]s keep their snapshot, exactly as with
+    /// [`Self::ingest`]; the memtable's snapshot segment participates
+    /// in search, pruning and scoring like any flushed segment, so
+    /// pruned and exact responses stay byte-identical.
+    pub fn append<N, X>(
+        &self,
+        docs: impl IntoIterator<Item = (N, X)>,
+    ) -> Result<IngestReport, EngineError>
+    where
+        N: Into<String>,
+        X: AsRef<str>,
+    {
+        let docs: Vec<(String, String)> =
+            docs.into_iter().map(|(n, x)| (n.into(), x.as_ref().to_string())).collect();
+        if docs.is_empty() {
+            return Err(EngineError::Ingest("empty document batch".into()));
         }
-        let next: SegmentSet = snapshot
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !dropped.contains(i))
-            .map(|(i, seg)| replacement.remove(&i).unwrap_or_else(|| Arc::clone(seg)))
-            .collect();
-        report.segments = next.len();
-        *state.set.write().unwrap() = Arc::new(next);
-        report
+        let state = &self.inner.state;
+        let _mutating = state.mutate.lock().unwrap();
+        let mut write = state.write.lock().unwrap();
+        let Some(ws) = write.as_mut() else {
+            return Err(EngineError::Ingest("writes not enabled; call enable_writes first".into()));
+        };
+        state.apply_batch(ws, &docs, true)
+    }
+
+    /// Seal the memtable now (size/age thresholds normally do this):
+    /// its published snapshot stays in the set as an ordinary segment
+    /// for the background compactor to fold in. Returns whether a
+    /// non-empty memtable was sealed.
+    pub fn flush_memtable(&self) -> bool {
+        let state = &self.inner.state;
+        let _mutating = state.mutate.lock().unwrap();
+        let mut write = state.write.lock().unwrap();
+        let Some(ws) = write.as_mut() else { return false };
+        if ws.memtable.entries() == 0 {
+            return false;
+        }
+        state.seal(ws);
+        true
     }
 
     /// Analyze the view text once — parse, QPT generation, and the
@@ -740,6 +1102,45 @@ pub struct EngineStats {
     /// Engine-lifetime top-k pruning tallies (blocks never decoded,
     /// candidates never exactly scored, scoring passes cut short).
     pub pruning: PruneStats,
+    /// Real-time write-path counters (all zero until
+    /// [`ViewSearchEngine::enable_writes`]).
+    pub writes: WriteStats,
+}
+
+/// Write-path counters (see [`EngineStats::writes`]): engine-lifetime
+/// tallies plus the memtable-entries gauge, shared across engine clones
+/// and source swaps like the pruning tallies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WriteStats {
+    /// Whether the write path is on.
+    pub enabled: bool,
+    /// Append batches logged to the WAL.
+    pub wal_appends: u64,
+    /// Framed bytes appended to the WAL.
+    pub wal_bytes: u64,
+    /// Documents currently buffered in the memtable (gauge).
+    pub memtable_entries: u64,
+    /// Memtable seals — each left one ordinary segment in the set.
+    pub flushes: u64,
+    /// Background/manual compaction rounds that merged at least one
+    /// tier.
+    pub compactions: u64,
+    /// WAL records recovered at [`ViewSearchEngine::enable_writes`].
+    pub replay_records: u64,
+}
+
+/// What [`ViewSearchEngine::enable_writes`] recovered from the WAL.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Intact records (append batches) replayed.
+    pub records: u64,
+    /// Documents across all replayed batches.
+    pub documents: usize,
+    /// Bytes of intact log (the tail past this, if any, was truncated).
+    pub wal_bytes: u64,
+    /// Human-readable description of the torn tail that was truncated,
+    /// if one was found.
+    pub truncated_tail: Option<String>,
 }
 
 impl EngineStats {

@@ -83,6 +83,26 @@
 //! still load), and [`ViewSearchEngine::open`] cold-starts an engine
 //! from disk without re-tokenizing or re-walking base documents.
 //!
+//! ## The real-time write path: WAL → memtable → flush → compact
+//!
+//! [`ViewSearchEngine::enable_writes`] turns the bulk-load engine into
+//! a live one. Every [`ViewSearchEngine::append`] batch is logged to a
+//! checksummed write-ahead log ([`vxv_index::wal`], fsync schedule per
+//! [`WriteConfig`]) **before** it is indexed into an in-memory
+//! memtable, whose snapshot is published into the segment set as an
+//! ordinary immutable segment — so a freshly appended document is
+//! searchable before any flush, and pruned == exact byte-identity
+//! holds with a memtable in the set. On a size/age threshold (or
+//! [`ViewSearchEngine::flush_memtable`]) the memtable seals: its last
+//! snapshot simply stays behind as a normal segment, and a background
+//! compaction thread folds sealed segments into bigger ones with the
+//! usual size-tiered [`ViewSearchEngine::compact`] (clean shutdown:
+//! joined when the last engine handle drops). `enable_writes` replays
+//! the WAL on startup — truncating a torn tail record typed, never
+//! panicking — so a crash at any write boundary recovers to exactly
+//! the acknowledged state. [`EngineStats::writes`] reports the
+//! counters ([`WriteStats`]).
+//!
 //! ```
 //! use vxv_core::{SearchRequest, ViewCatalog, ViewSearchEngine};
 //! use vxv_xml::Corpus;
@@ -126,6 +146,7 @@ pub mod control;
 pub mod engine;
 mod fanout;
 pub mod generate;
+mod memtable;
 pub mod oracle;
 pub mod pdt;
 pub mod prepare;
@@ -142,7 +163,8 @@ pub use catalog::{
 };
 pub use control::CancelToken;
 pub use engine::{
-    CompactReport, EngineError, EngineStats, IngestReport, SegmentInfo, ViewSearchEngine,
+    CompactReport, EngineError, EngineStats, IngestReport, ReplayReport, SegmentInfo,
+    ViewSearchEngine, WriteConfig, WriteStats,
 };
 pub use generate::{generate_pdt, DocMeta, GenerateStats};
 pub use pdt::{Pdt, PdtElem, PdtNodeInfo};
@@ -169,5 +191,5 @@ pub use engine::SearchOutcome;
 #[deprecated(since = "0.1.0", note = "renamed to `QueryPlan`")]
 pub type ExplainOutput = QueryPlan;
 
-pub use vxv_index::{Footprint, IndexBundle, IndexFootprint};
+pub use vxv_index::{Footprint, FsyncPolicy, IndexBundle, IndexFootprint};
 pub use vxv_xml::DocumentSource;

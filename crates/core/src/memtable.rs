@@ -1,0 +1,154 @@
+//! The searchable in-memory front end of the real-time write path.
+//!
+//! A [`MemTable`] is the *mutable* accumulation buffer behind
+//! [`crate::ViewSearchEngine`]'s `append`: freshly written documents
+//! are parsed once, indexed incrementally into a live
+//! [`vxv_index::PathIndex`] + [`vxv_index::InvertedIndex`] pair, and
+//! published to searches through [`MemTable::snapshot`] — an immutable
+//! [`vxv_index::IndexSegment`] built from `clone_shared` copies of both
+//! indices. Because every compressed list is refcounted, a snapshot
+//! copies only the index *directories*; posting bytes are shared with
+//! the live builder, which never mutates encoded lists in place (it
+//! re-encodes into fresh lists), so published snapshots are torn-free
+//! by construction.
+//!
+//! The snapshot slots into the engine's atomically swappable segment
+//! set like any other segment — searches, pruning, scoring and
+//! materialization cannot tell a memtable snapshot from a flushed
+//! segment, which is exactly why pruned == exact byte-identity holds
+//! with a memtable in the set. Sealing a memtable is therefore trivial:
+//! the engine *keeps* the last published snapshot as an ordinary
+//! segment and resets the builder; no data is rewritten at flush time
+//! (the background compactor folds sealed memtables into bigger
+//! segments later).
+
+use std::sync::Arc;
+use std::time::Instant;
+use vxv_index::segment::corpus_doc_infos;
+use vxv_index::{IndexSegment, InvertedIndex, PathIndex};
+use vxv_xml::{Corpus, Document};
+
+/// The mutable in-memory segment builder. One lives inside the engine's
+/// write state while writes are enabled; it is **not** itself
+/// searchable — [`MemTable::snapshot`] publishes an immutable segment
+/// after every append.
+pub(crate) struct MemTable {
+    corpus: Corpus,
+    path: PathIndex,
+    inverted: InvertedIndex,
+    /// Documents indexed since the last seal.
+    entries: usize,
+    /// Raw XML bytes indexed since the last seal (the seal threshold's
+    /// size input).
+    bytes: u64,
+    /// When this builder started accumulating (the seal threshold's
+    /// age input).
+    created: Instant,
+}
+
+impl MemTable {
+    pub(crate) fn new() -> MemTable {
+        MemTable {
+            corpus: Corpus::new(),
+            path: PathIndex::default(),
+            inverted: InvertedIndex::default(),
+            entries: 0,
+            bytes: 0,
+            created: Instant::now(),
+        }
+    }
+
+    /// Index one parsed document. The caller has already allocated its
+    /// Dewey root ordinal and checked name uniqueness.
+    pub(crate) fn add(&mut self, doc: Document, raw_bytes: u64) {
+        self.path.add_document(&doc);
+        self.inverted.add_document(&doc);
+        self.corpus.add(doc);
+        self.entries += 1;
+        self.bytes += raw_bytes;
+    }
+
+    /// Whether a document by this name is buffered here.
+    pub(crate) fn contains(&self, name: &str) -> bool {
+        self.corpus.doc(name).is_some()
+    }
+
+    /// Documents indexed since the last seal.
+    pub(crate) fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Raw XML bytes indexed since the last seal.
+    pub(crate) fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Age of the current accumulation.
+    pub(crate) fn age(&self) -> std::time::Duration {
+        self.created.elapsed()
+    }
+
+    /// Publish the current contents as an immutable segment: a
+    /// generation-0 [`IndexSegment`] over `clone_shared` copies of both
+    /// indices, plus a corpus clone for hit materialization. O(index
+    /// directories + buffered documents), never O(posting bytes).
+    pub(crate) fn snapshot(&self) -> (Arc<IndexSegment>, Arc<Corpus>) {
+        let index = IndexSegment::from_parts(
+            self.path.clone_shared(),
+            self.inverted.clone_shared(),
+            corpus_doc_infos(&self.corpus),
+            0,
+        );
+        (Arc::new(index), Arc::new(self.corpus.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vxv_index::cursor::collect_postings;
+    use vxv_xml::parse_document;
+
+    #[test]
+    fn snapshot_equals_a_bulk_build_over_the_same_documents() {
+        let mut mt = MemTable::new();
+        let mut reference = Corpus::new();
+        for (i, (name, xml)) in [
+            ("a.xml", "<r><e>xml search</e></r>"),
+            ("b.xml", "<r><e>xml views</e><e>virtual</e></r>"),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let doc = parse_document(name, xml, i as u32 + 1).unwrap();
+            reference.add(doc.clone());
+            mt.add(doc, xml.len() as u64);
+        }
+        let (snap, corpus) = mt.snapshot();
+        let bulk = IndexSegment::build(&reference);
+        assert_eq!(snap.docs(), bulk.docs());
+        for kw in ["xml", "search", "views", "virtual"] {
+            assert_eq!(
+                collect_postings(snap.inverted().postings(kw)),
+                collect_postings(bulk.inverted().postings(kw)),
+                "keyword {kw}"
+            );
+        }
+        assert!(corpus.doc("a.xml").is_some());
+        assert_eq!(mt.entries(), 2);
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_appends() {
+        let mut mt = MemTable::new();
+        mt.add(parse_document("a.xml", "<r><e>first</e></r>", 1).unwrap(), 10);
+        let (snap1, _) = mt.snapshot();
+        mt.add(parse_document("b.xml", "<r><e>second</e></r>", 2).unwrap(), 10);
+        // The earlier snapshot still covers exactly one document.
+        assert_eq!(snap1.doc_count(), 1);
+        assert_eq!(collect_postings(snap1.inverted().postings("second")).len(), 0);
+        let (snap2, _) = mt.snapshot();
+        assert_eq!(snap2.doc_count(), 2);
+        assert_eq!(collect_postings(snap2.inverted().postings("second")).len(), 1);
+    }
+}

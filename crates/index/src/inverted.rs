@@ -132,6 +132,16 @@ impl InvertedIndex {
         InvertedIndex { lists, ..InvertedIndex::default() }
     }
 
+    /// An immutable snapshot sharing this index's compressed lists —
+    /// list *data* is refcounted, so this copies only the per-keyword
+    /// directories. Work counters start fresh (the same convention as
+    /// merged segments). The memtable uses this to publish a searchable
+    /// segment per append without re-encoding anything.
+    pub fn clone_shared(&self) -> InvertedIndex {
+        debug_assert!(self.staging.is_empty(), "finalize before snapshotting");
+        InvertedIndex { lists: self.lists.clone(), ..InvertedIndex::default() }
+    }
+
     /// Merge several indices over **disjoint** document sets into one.
     /// Each keyword's postings are decoded, concatenated, re-sorted in
     /// Dewey order and re-encoded — byte-identical to the index a single

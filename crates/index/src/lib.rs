@@ -45,6 +45,13 @@
 //! cursor and flushed at block-decode boundaries and on drop — so the
 //! experiments can report probe costs; [`SegmentStats`] sums them per
 //! segment.
+//!
+//! The real-time write path's durability layer also lives here:
+//! [`wal`] is a checksummed, length-prefixed write-ahead log
+//! (`wal.vxl`) whose replay truncates torn tail records typed — the
+//! engine logs every append batch before making it searchable, so a
+//! crash at any write boundary recovers to exactly the acknowledged
+//! state.
 
 pub mod cursor;
 pub mod footprint;
@@ -57,6 +64,7 @@ pub mod postings;
 pub mod segment;
 pub mod tag_index;
 pub mod tokenize;
+pub mod wal;
 
 pub use cursor::{
     collect_entries, collect_postings, EntryCursor, PostingCursor, ScanCounters, SliceEntryCursor,
@@ -78,3 +86,4 @@ pub use postings::{
 };
 pub use segment::{IndexSegment, SegmentStats};
 pub use tag_index::TagIndex;
+pub use wal::{FsyncPolicy, TornTail, WalError, WalReplay, WalWriter, WAL_FILE};

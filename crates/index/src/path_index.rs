@@ -241,6 +241,22 @@ impl PathIndex {
         PathIndex { paths, path_ids, tables, staging, ..PathIndex::default() }
     }
 
+    /// An immutable snapshot sharing this index's compressed rows —
+    /// every row list is behind an `Arc`, so this copies only the path
+    /// dictionary and row directories. Work counters start fresh (the
+    /// same convention as merged segments). The memtable uses this to
+    /// publish a searchable segment per append without re-encoding.
+    pub fn clone_shared(&self) -> PathIndex {
+        debug_assert!(self.staging.iter().all(|s| s.is_empty()), "finalize before snapshotting");
+        PathIndex {
+            paths: self.paths.clone(),
+            path_ids: self.path_ids.clone(),
+            tables: self.tables.clone(),
+            staging: vec![BTreeMap::new(); self.tables.len()],
+            ..PathIndex::default()
+        }
+    }
+
     /// The per-path rows (persistence).
     pub(crate) fn rows_of(&self, pid: u32) -> impl Iterator<Item = (&Option<String>, &BlockList)> {
         self.tables[pid as usize].rows.iter().map(|(v, l)| (v, l.as_ref()))

@@ -1,0 +1,469 @@
+//! Write-ahead log for the engine's real-time write path.
+//!
+//! Every acknowledged append is recorded here *before* it becomes
+//! visible to searches, so a crash at any write boundary recovers to
+//! exactly the acknowledged state: replay rebuilds the memtable (and
+//! any segments it had sealed) from the log, and a torn tail — a record
+//! the process died in the middle of writing — is detected by length
+//! and checksum validation and **truncated, typed, never panicking**.
+//!
+//! ## File format (`wal.vxl`, little-endian)
+//!
+//! ```text
+//! magic  "VXVWAL01"
+//! record*
+//!
+//! record := u32 payload_len, u64 fnv1a(payload), payload
+//! payload := u32 doc_count,
+//!            per doc: u32 name_len, name bytes, u32 xml_len, xml bytes
+//! ```
+//!
+//! One record is one **append batch** — the durability unit matches the
+//! acknowledgement unit, so replay can never resurrect half a batch.
+//! The checksum is FNV-1a over the payload bytes, the same integrity
+//! primitive [`crate::persist`] uses for the bundle META section:
+//! plenty against accidental corruption (torn writes, bit rot); malice
+//! is out of scope for a local log file.
+//!
+//! ## Recovery contract
+//!
+//! [`replay`] reads the log front to back and stops at the first record
+//! that fails validation (short header, length overrunning the file,
+//! checksum mismatch, or malformed payload). Everything before that
+//! point is returned as [`WalReplay::batches`]; the damaged tail is
+//! reported in [`WalReplay::truncated`] and *physically removed* when
+//! [`WalWriter::open`] reopens the log for appending, so the next
+//! record lands on a clean boundary. A missing file replays as empty
+//! (first boot); only a wrong magic is a hard [`WalError::Corrupt`] —
+//! that file is not a WAL at all, and silently clobbering it would be
+//! data invention in the other direction.
+//!
+//! ## Durability knobs
+//!
+//! [`FsyncPolicy`] picks the fsync schedule: `PerRecord` (every append
+//! is durable when acknowledged), `Interval` (group commit: fsync at
+//! most once per window — a crash can lose the last window of
+//! *acknowledged-but-unsynced* batches, but never tears one), or
+//! `Never` (leave flushing to the OS; crash-consistency still holds
+//! because torn tails truncate cleanly).
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// The WAL file magic.
+pub const WAL_MAGIC: &[u8; 8] = b"VXVWAL01";
+
+/// The file name the engine uses for its WAL inside a store directory.
+pub const WAL_FILE: &str = "wal.vxl";
+
+/// Fixed per-record framing overhead: u32 length + u64 checksum.
+const RECORD_HEADER: usize = 4 + 8;
+
+/// Hard cap on a single record's payload, so a corrupt length field
+/// cannot drive a multi-gigabyte allocation before the checksum gets a
+/// chance to reject it.
+const MAX_PAYLOAD: u32 = 1 << 30;
+
+/// When the log should be fsynced. See the module docs for the
+/// durability each schedule buys.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync after every appended record: an acknowledged append
+    /// survives any crash.
+    PerRecord,
+    /// Group commit: fsync at most once per window. Acknowledged
+    /// batches inside an unsynced window can be lost to a crash (never
+    /// torn).
+    Interval(Duration),
+    /// Never fsync explicitly; the OS flushes when it pleases.
+    Never,
+}
+
+/// Why the WAL could not be opened or replayed.
+#[derive(Debug)]
+pub enum WalError {
+    /// The file exists but does not start with [`WAL_MAGIC`] — it is
+    /// not a WAL, and replay refuses to guess.
+    Corrupt(String),
+    /// An I/O error talking to the file.
+    Io(io::Error),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Corrupt(msg) => write!(f, "corrupt WAL: {msg}"),
+            WalError::Io(e) => write!(f, "WAL I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> WalError {
+        WalError::Io(e)
+    }
+}
+
+/// Why replay stopped before the end of the file — the torn tail a
+/// crash mid-write leaves behind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TornTail {
+    /// Fewer than the 12 record-header bytes (u32 length + u64
+    /// checksum) remained.
+    ShortHeader {
+        /// How many tail bytes were present.
+        bytes: usize,
+    },
+    /// The header's payload length ran past the end of the file (or
+    /// past the 1 GiB payload cap).
+    ShortPayload {
+        /// The length the header claimed.
+        claimed: u64,
+        /// The payload bytes actually present.
+        present: u64,
+    },
+    /// The payload was fully present but its checksum did not match.
+    ChecksumMismatch {
+        /// Checksum stored in the record header.
+        stored: u64,
+        /// Checksum computed over the payload bytes.
+        computed: u64,
+    },
+    /// The checksum matched but the payload did not parse as a batch —
+    /// only possible if corruption collides with FNV-1a, but replay
+    /// still refuses to invent documents out of it.
+    MalformedPayload,
+}
+
+/// One replayed append batch: `(document name, raw XML)` pairs in the
+/// order they were acknowledged.
+pub type WalBatch = Vec<(String, String)>;
+
+/// What [`replay`] recovered from the log.
+#[derive(Debug, Default)]
+pub struct WalReplay {
+    /// Every intact batch, in append order.
+    pub batches: Vec<WalBatch>,
+    /// Total intact records (same as `batches.len()`, kept for stats).
+    pub records: u64,
+    /// Bytes of intact data replayed (magic + intact records).
+    pub valid_bytes: u64,
+    /// Total file length encountered, including any torn tail.
+    pub file_bytes: u64,
+    /// Why replay stopped early, if it did. `None` means the whole
+    /// file validated.
+    pub truncated: Option<TornTail>,
+}
+
+/// FNV-1a over the payload bytes — same primitive, same constants as
+/// the bundle META checksum in [`crate::persist`].
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Encode one append batch into a WAL payload.
+fn encode_payload(docs: &[(String, String)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(docs.len() as u32).to_le_bytes());
+    for (name, xml) in docs {
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&(xml.len() as u32).to_le_bytes());
+        out.extend_from_slice(xml.as_bytes());
+    }
+    out
+}
+
+/// Decode a validated payload back into a batch. Returns `None` on any
+/// structural mismatch (replay maps that to
+/// [`TornTail::MalformedPayload`] rather than trusting the bytes).
+fn decode_payload(payload: &[u8]) -> Option<WalBatch> {
+    let mut pos = 0usize;
+    let take_u32 = |pos: &mut usize| -> Option<u32> {
+        let bytes = payload.get(*pos..*pos + 4)?;
+        *pos += 4;
+        Some(u32::from_le_bytes(bytes.try_into().ok()?))
+    };
+    let take_str = |pos: &mut usize| -> Option<String> {
+        let len = take_u32(pos)? as usize;
+        let bytes = payload.get(*pos..pos.checked_add(len)?)?;
+        *pos += len;
+        String::from_utf8(bytes.to_vec()).ok()
+    };
+    let count = take_u32(&mut pos)? as usize;
+    let mut docs = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let name = take_str(&mut pos)?;
+        let xml = take_str(&mut pos)?;
+        docs.push((name, xml));
+    }
+    (pos == payload.len()).then_some(docs)
+}
+
+/// Replay the WAL at `path`: every intact record's batch, in order,
+/// plus where (and why) validation stopped. A missing file replays as
+/// empty; a present file with the wrong magic is [`WalError::Corrupt`].
+/// Damaged tails are *reported*, not repaired — [`WalWriter::open`]
+/// does the truncation when the engine reopens the log for writing.
+pub fn replay(path: &Path) -> Result<WalReplay, WalError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(WalReplay::default()),
+        Err(e) => return Err(WalError::Io(e)),
+    };
+    replay_bytes(&bytes)
+}
+
+/// [`replay`] over an in-memory image — the corruption sweep tests
+/// drive this directly so they can damage every byte offset without
+/// touching disk.
+pub fn replay_bytes(bytes: &[u8]) -> Result<WalReplay, WalError> {
+    let mut out = WalReplay { file_bytes: bytes.len() as u64, ..WalReplay::default() };
+    if bytes.is_empty() {
+        return Ok(out);
+    }
+    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        // A short prefix of the magic is a torn first write; anything
+        // else claiming to be this file is not a WAL.
+        if WAL_MAGIC.starts_with(&bytes[..bytes.len().min(WAL_MAGIC.len())]) {
+            out.truncated = Some(TornTail::ShortHeader { bytes: bytes.len() });
+            return Ok(out);
+        }
+        return Err(WalError::Corrupt(format!(
+            "bad magic {:?}, expected {:?}",
+            &bytes[..bytes.len().min(8)],
+            WAL_MAGIC
+        )));
+    }
+    let mut pos = WAL_MAGIC.len();
+    out.valid_bytes = pos as u64;
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        if remaining < RECORD_HEADER {
+            out.truncated = Some(TornTail::ShortHeader { bytes: remaining });
+            return Ok(out);
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let stored = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
+        let payload_start = pos + RECORD_HEADER;
+        let present = (bytes.len() - payload_start) as u64;
+        if len > MAX_PAYLOAD || u64::from(len) > present {
+            out.truncated = Some(TornTail::ShortPayload {
+                claimed: u64::from(len),
+                present: present.min(u64::from(len)),
+            });
+            return Ok(out);
+        }
+        let payload = &bytes[payload_start..payload_start + len as usize];
+        let computed = fnv1a(payload);
+        if computed != stored {
+            out.truncated = Some(TornTail::ChecksumMismatch { stored, computed });
+            return Ok(out);
+        }
+        let Some(batch) = decode_payload(payload) else {
+            out.truncated = Some(TornTail::MalformedPayload);
+            return Ok(out);
+        };
+        pos = payload_start + len as usize;
+        out.valid_bytes = pos as u64;
+        out.records += 1;
+        out.batches.push(batch);
+    }
+    Ok(out)
+}
+
+/// An open WAL positioned for appending. Created by [`WalWriter::open`]
+/// after a [`replay`], which hands it the validated prefix length so
+/// any torn tail is physically truncated before the first new append.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    last_sync: Instant,
+    /// Bytes durably framed so far (magic + complete records).
+    len: u64,
+}
+
+impl WalWriter {
+    /// Open (or create) the WAL at `path` for appending, truncating it
+    /// to `valid_bytes` — the intact prefix a prior [`replay`]
+    /// validated. Writes the magic if the file is new/empty.
+    pub fn open(path: &Path, valid_bytes: u64, policy: FsyncPolicy) -> Result<WalWriter, WalError> {
+        // Never truncate blindly at open: the validated-prefix set_len
+        // below is the only truncation, so a crash between open and
+        // set_len cannot empty the log.
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let mut len = valid_bytes;
+        if len < WAL_MAGIC.len() as u64 {
+            file.set_len(0)?;
+            file.write_all(WAL_MAGIC)?;
+            len = WAL_MAGIC.len() as u64;
+        } else {
+            file.set_len(len)?;
+        }
+        file.seek(SeekFrom::Start(len))?;
+        if !matches!(policy, FsyncPolicy::Never) {
+            file.sync_all()?;
+        }
+        Ok(WalWriter { file, path: path.to_path_buf(), policy, last_sync: Instant::now(), len })
+    }
+
+    /// The path this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes of intact log framed so far.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the log holds no records yet (just the magic).
+    pub fn is_empty(&self) -> bool {
+        self.len <= WAL_MAGIC.len() as u64
+    }
+
+    /// Append one batch as a single record and apply the fsync policy.
+    /// Returns the record's framed size in bytes. When this returns
+    /// `Ok`, the batch is on its way to disk per the policy — callers
+    /// acknowledge the write only after this succeeds.
+    pub fn append_batch(&mut self, docs: &[(String, String)]) -> Result<u64, WalError> {
+        let payload = encode_payload(docs);
+        let mut record = Vec::with_capacity(RECORD_HEADER + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        record.extend_from_slice(&payload);
+        self.file.write_all(&record)?;
+        self.len += record.len() as u64;
+        match self.policy {
+            FsyncPolicy::PerRecord => self.file.sync_data()?,
+            FsyncPolicy::Interval(window) => {
+                if self.last_sync.elapsed() >= window {
+                    self.file.sync_data()?;
+                    self.last_sync = Instant::now();
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(record.len() as u64)
+    }
+
+    /// Force an fsync regardless of policy (engine shutdown does this
+    /// so `Interval`/`Never` logs are durable on clean exits).
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.file.sync_data()?;
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("vxv-wal-{tag}-{}", std::process::id()))
+    }
+
+    fn batch(pairs: &[(&str, &str)]) -> WalBatch {
+        pairs.iter().map(|(n, x)| (n.to_string(), x.to_string())).collect()
+    }
+
+    #[test]
+    fn roundtrip_batches() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path, 0, FsyncPolicy::Never).unwrap();
+        w.append_batch(&batch(&[("a.xml", "<r><e>x</e></r>")])).unwrap();
+        w.append_batch(&batch(&[("b.xml", "<r/>"), ("c.xml", "<r><e>y</e></r>")])).unwrap();
+        drop(w);
+
+        let r = replay(&path).unwrap();
+        assert_eq!(r.records, 2);
+        assert!(r.truncated.is_none());
+        assert_eq!(r.batches[0], batch(&[("a.xml", "<r><e>x</e></r>")]));
+        assert_eq!(r.batches[1], batch(&[("b.xml", "<r/>"), ("c.xml", "<r><e>y</e></r>")]));
+        assert_eq!(r.valid_bytes, r.file_bytes);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_replays_empty() {
+        let r = replay(Path::new("/nonexistent/vxv-wal-nope")).unwrap();
+        assert_eq!(r.records, 0);
+        assert!(r.truncated.is_none());
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_intact_prefix() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path, 0, FsyncPolicy::Never).unwrap();
+        w.append_batch(&batch(&[("a.xml", "<r/>")])).unwrap();
+        let intact = w.len();
+        w.append_batch(&batch(&[("b.xml", "<r><e>zzz</e></r>")])).unwrap();
+        drop(w);
+
+        // Chop mid-way through the second record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..intact as usize + 5]).unwrap();
+
+        let r = replay(&path).unwrap();
+        assert_eq!(r.records, 1);
+        assert_eq!(r.valid_bytes, intact);
+        assert!(matches!(r.truncated, Some(TornTail::ShortHeader { .. })));
+
+        // Reopening for writing removes the tail physically.
+        let w = WalWriter::open(&path, r.valid_bytes, FsyncPolicy::Never).unwrap();
+        assert_eq!(w.len(), intact);
+        drop(w);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), intact);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checksum_flip_detected() {
+        let path = temp_path("flip");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path, 0, FsyncPolicy::Never).unwrap();
+        w.append_batch(&batch(&[("a.xml", "<r><e>hello</e></r>")])).unwrap();
+        drop(w);
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        let r = replay_bytes(&bytes).unwrap();
+        assert_eq!(r.records, 0);
+        assert!(matches!(r.truncated, Some(TornTail::ChecksumMismatch { .. })));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_magic_is_typed_corrupt() {
+        let err = replay_bytes(b"NOTAWAL0rest").unwrap_err();
+        assert!(matches!(err, WalError::Corrupt(_)));
+    }
+
+    #[test]
+    fn oversized_length_field_is_a_torn_tail_not_an_allocation() {
+        let mut bytes = WAL_MAGIC.to_vec();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 32]);
+        let r = replay_bytes(&bytes).unwrap();
+        assert_eq!(r.records, 0);
+        assert!(matches!(r.truncated, Some(TornTail::ShortPayload { .. })));
+    }
+}

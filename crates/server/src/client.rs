@@ -150,6 +150,14 @@ impl Client {
         self.request_line(&line).map(|_| ())
     }
 
+    /// Durably append document `name` with `xml` as `tenant`. The XML
+    /// may span lines; it is escaped onto the wire. Returns the server's
+    /// acknowledgement line (`ok ingested <name> segment <id> …`).
+    pub fn ingest(&mut self, tenant: &str, name: &str, xml: &str) -> Result<String, ClientError> {
+        let line = format!("ingest {tenant} {name} {}", proto::escape_line(xml));
+        self.request_line(&line)
+    }
+
     /// Search `tenant`'s view `name`. `options` are raw `key=value`
     /// tokens (`top=5`, `mode=any`, `deadline-ms=100`, `materialize=0`);
     /// pass `&[]` for defaults.

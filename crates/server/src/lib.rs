@@ -38,6 +38,7 @@
 //! ```text
 //! ping                                         -> ok pong
 //! register <tenant> <name> <view text…>        -> ok registered <tenant> <name>
+//! ingest <tenant> <name> <xml…>                -> ok ingested <name> segment <id> …
 //! search <tenant> <name> [top=N] [mode=any|all]
 //!        [deadline-ms=N] [materialize=0|1] <kw…>
 //!                                              -> ok search … + hit lines + .

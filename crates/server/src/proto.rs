@@ -167,6 +167,18 @@ pub enum Command {
         /// The XQuery view text.
         view_text: String,
     },
+    /// `ingest <tenant> <name> <xml…>` — durably append one document;
+    /// the XML is the raw remainder of the line, unescaped through
+    /// [`unescape_line`] so real documents ride one line. Admitted
+    /// through the same controller and tenant accounting as searches.
+    Ingest {
+        /// Tenant performing the write (admission accounting).
+        tenant: String,
+        /// Document name (`fn:doc(...)` key; engine-unique).
+        name: String,
+        /// The document's XML text.
+        xml: String,
+    },
     /// `search <tenant> <name> [key=value…] <kw…>` — one keyword search.
     Search {
         /// Tenant whose namespace is searched.
@@ -279,6 +291,18 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                 tenant: tenant.to_string(),
                 name: name.to_string(),
                 view_text: unescape_line(view),
+            })
+        }
+        "ingest" => {
+            let (tenant, rest) = split_word(rest);
+            let (name, xml) = split_word(rest);
+            if tenant.is_empty() || name.is_empty() || xml.is_empty() {
+                return Err("usage: ingest <tenant> <name> <xml>".into());
+            }
+            Ok(Command::Ingest {
+                tenant: tenant.to_string(),
+                name: name.to_string(),
+                xml: unescape_line(xml),
             })
         }
         "search" => {
@@ -588,6 +612,21 @@ mod tests {
                 view_text: "for $b in fn:doc(x.xml)/a return $b".into(),
             }
         );
+    }
+
+    #[test]
+    fn parse_ingest_unescapes_the_document() {
+        let cmd = parse_command("ingest acme d.xml <r>\\n  <e>line two</e>\\n</r>").unwrap();
+        assert_eq!(
+            cmd,
+            Command::Ingest {
+                tenant: "acme".into(),
+                name: "d.xml".into(),
+                xml: "<r>\n  <e>line two</e>\n</r>".into(),
+            }
+        );
+        assert!(parse_command("ingest acme d.xml").is_err(), "xml required");
+        assert!(parse_command("ingest acme").is_err(), "name required");
     }
 
     #[test]

@@ -309,6 +309,20 @@ fn execute<S: DocumentSource>(
                 Err(e) => (vec![wire_error(&e)], false),
             }
         }
+        Command::Ingest { tenant, name, xml } => {
+            let tenant = TenantId::new(tenant);
+            let lines = match run_ingest(shared, &tenant, &name, &xml, arrival) {
+                Ok(report) => {
+                    vec![format!(
+                        "ok ingested {name} segment {} documents {}",
+                        report.segment.id,
+                        report.documents.len()
+                    )]
+                }
+                Err(line) => vec![line],
+            };
+            (lines, false)
+        }
         Command::Search { tenant, name, opts, keywords } => {
             let tenant = TenantId::new(tenant);
             let keywords: Vec<&str> = keywords.iter().map(String::as_str).collect();
@@ -374,6 +388,18 @@ fn execute<S: DocumentSource>(
                 s.documents,
                 s.entries_scanned(),
                 s.blocks_skipped()
+            ));
+            let w = s.writes;
+            lines.push(format!(
+                "writes enabled {} wal-appends {} wal-bytes {} memtable-entries {} \
+                 flushes {} compactions {} replay-records {}",
+                if w.enabled { 1 } else { 0 },
+                w.wal_appends,
+                w.wal_bytes,
+                w.memtable_entries,
+                w.flushes,
+                w.compactions,
+                w.replay_records
             ));
             let wanted = tenant.map(TenantId::new);
             for (id, t) in shared.catalog.tenants().stats() {
@@ -481,6 +507,36 @@ fn run_search<S: DocumentSource>(
         Ok(_) => permit.tenant().record_completed(),
         Err(EngineError::DeadlineExceeded { .. }) => permit.tenant().record_deadline_exceeded(),
         Err(_) => {}
+    }
+    result.map_err(|e| wire_error(&e))
+}
+
+/// The admit → append → record path for one write. Writes share the
+/// searches' admission controller and tenant accounting, so a tenant
+/// hammering `ingest` is shed and counted exactly like one hammering
+/// `search`. Durable [`vxv_core::ViewSearchEngine::append`] when the
+/// engine's write path is enabled; the non-durable in-memory `ingest`
+/// otherwise (search-only deployments keep working).
+fn run_ingest<S: DocumentSource>(
+    shared: &Arc<Shared<S>>,
+    tenant: &TenantId,
+    name: &str,
+    xml: &str,
+    _arrival: Instant,
+) -> Result<vxv_core::IngestReport, String> {
+    let state = shared.catalog.tenants().tenant(tenant);
+    let permit = shared.admission.admit(&state, None).map_err(admit_error)?;
+    if let Some(delay) = shared.config.service_delay {
+        std::thread::sleep(delay);
+    }
+    let engine = shared.catalog.engine();
+    let result = if engine.writes_enabled() {
+        engine.append([(name, xml)])
+    } else {
+        engine.ingest([(name, xml)])
+    };
+    if result.is_ok() {
+        permit.tenant().record_completed();
     }
     result.map_err(|e| wire_error(&e))
 }

@@ -254,3 +254,77 @@ fn shutdown_joins_and_eof_half_lines_are_served() {
         });
     }
 }
+
+/// The write path over the wire: `ingest` lands in the WAL + memtable
+/// and is searchable before any flush; counters surface in `stats`; a
+/// multi-line document survives the line escaping round trip.
+#[test]
+fn wire_ingest_is_durable_and_immediately_searchable() {
+    let dir = std::env::temp_dir().join(format!("vxv-wire-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal = dir.join("wal.vxl");
+
+    let engine = ViewSearchEngine::new(corpus());
+    engine.enable_writes(&wal, vxv_core::WriteConfig::default()).unwrap();
+    let catalog = Arc::new(ViewCatalog::new(engine.clone()));
+    catalog.register("books", BOOKS_VIEW).unwrap();
+    let server = serve(Arc::clone(&catalog), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    let mut client = Client::connect(addr).unwrap();
+    let xml = "<books>\n  <book><title>streamed xml</title><year>2024</year>\
+               \n    <blurb>wire ingest durability</blurb></book>\n</books>";
+    let ack = client.ingest("acme", "fresh.xml", xml).unwrap();
+    assert!(ack.starts_with("ok ingested fresh.xml segment "), "{ack}");
+
+    // Searchable before any flush, through a view over the new doc.
+    catalog
+        .register(
+            "fresh",
+            "for $b in fn:doc(fresh.xml)/books/book return <hit> { $b/title } { $b/blurb } </hit>",
+        )
+        .unwrap();
+    let out = client.search("public", "fresh", &[], &["durability"]).unwrap();
+    assert_eq!(out.hits.len(), 1);
+    assert!(out.hits[0].xml.contains("wire ingest durability"), "{}", out.hits[0].xml);
+
+    // Duplicate names are rejected with a typed wire error.
+    let err = client.ingest("acme", "fresh.xml", "<r/>").unwrap_err();
+    assert!(format!("{err}").contains("already exists"), "{err}");
+
+    // Write counters ride the stats block.
+    let stats = client.stats(None).unwrap();
+    let writes = stats.iter().find(|l| l.starts_with("writes ")).expect("writes line");
+    assert!(writes.contains("enabled 1"), "{writes}");
+    assert!(writes.contains("wal-appends 1"), "{writes}");
+    assert!(writes.contains("memtable-entries 1"), "{writes}");
+
+    server.shutdown();
+    drop(catalog);
+    drop(engine); // joins the compactor, syncs the WAL
+
+    // The acknowledged write is on disk: a fresh engine replays it.
+    let recovered = ViewSearchEngine::new(corpus());
+    let report = recovered.enable_writes(&wal, vxv_core::WriteConfig::default()).unwrap();
+    assert_eq!(report.records, 1);
+    assert_eq!(report.documents, 1);
+    assert!(recovered.doc_meta("fresh.xml").is_some());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Without `enable_writes` the wire `ingest` still works (non-durable
+/// in-memory path), so search-only deployments are unaffected.
+#[test]
+fn wire_ingest_without_write_path_falls_back_to_plain_ingest() {
+    let catalog = catalog();
+    let server = serve(Arc::clone(&catalog), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let ack = client.ingest("acme", "plain.xml", "<r><e>plain path</e></r>").unwrap();
+    assert!(ack.starts_with("ok ingested plain.xml"), "{ack}");
+    assert!(catalog.engine().doc_meta("plain.xml").is_some());
+    let stats = client.stats(None).unwrap();
+    let writes = stats.iter().find(|l| l.starts_with("writes ")).expect("writes line");
+    assert!(writes.contains("enabled 0"), "{writes}");
+    server.shutdown();
+}

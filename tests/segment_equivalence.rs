@@ -285,6 +285,158 @@ fn ingest_while_searching_is_snapshot_isolated() {
     assert!(fresh.hits[0].xml.contains("xml late 3"));
 }
 
+/// A live engine (write path + background compactor) over `books.xml` /
+/// `reviews.xml`, compacting aggressively so the lifecycle tests below
+/// actually race against it.
+fn live_engine(tag: &str) -> (ViewSearchEngine<Corpus>, std::path::PathBuf) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "vxv-compactor-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut base = Corpus::new();
+    base.add_parsed(
+        "books.xml",
+        &books_xml(&[BookSpec { isbn: Some(1), year: Some(2004), title_words: vec![0, 1] }]),
+    )
+    .unwrap();
+    base.add_parsed(
+        "reviews.xml",
+        &reviews_xml(&[ReviewSpec { isbn: Some(1), content_words: vec![0, 2] }]),
+    )
+    .unwrap();
+    let engine = ViewSearchEngine::new(base);
+    engine
+        .enable_writes(
+            dir.join(vxv_index::wal::WAL_FILE),
+            vxv_core::WriteConfig {
+                // Seal every append into its own segment so the
+                // compactor always has tiers to fold...
+                memtable_max_bytes: 1,
+                // ...and runs hot enough to overlap the test body.
+                compact_interval: Some(std::time::Duration::from_millis(1)),
+                ..vxv_core::WriteConfig::default()
+            },
+        )
+        .unwrap();
+    (engine, dir)
+}
+
+#[test]
+fn background_compactor_shuts_down_cleanly_on_drop() {
+    // Pass/fail here is "does drop return": a compactor that self-joins
+    // or never wakes hangs this test rather than failing an assert.
+    for round in 0..5 {
+        let (engine, dir) = live_engine("drop");
+        for i in 0..6 {
+            engine
+                .ingest([(
+                    format!("late{i}.xml"),
+                    format!("<books><book><title>xml {i}</title></book></books>"),
+                )])
+                .unwrap();
+        }
+        // Drop the engine and every clone at once — including from a
+        // moment where the compactor is mid-round.
+        let clone = engine.clone();
+        drop(engine);
+        drop(clone);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = round;
+    }
+}
+
+#[test]
+fn background_compaction_never_deadlocks_under_active_searches() {
+    let (engine, dir) = live_engine("race");
+    let view = engine.prepare(VIEW).unwrap();
+    let request = SearchRequest::new(["xml"]).top_k(5);
+    let baseline = view.search(&request).unwrap();
+
+    std::thread::scope(|scope| {
+        // Readers: prepared-view searches and fresh prepares, racing
+        // the compactor's segment-set swaps.
+        for _ in 0..3 {
+            scope.spawn(|| {
+                for _ in 0..40 {
+                    assert_identical(&baseline, &view.search(&request).unwrap());
+                    let fresh = engine.search_once(VIEW, &request).unwrap();
+                    assert_eq!(fresh.view_size, baseline.view_size);
+                }
+            });
+        }
+        // Writer: durable appends, each sealing a new segment for the
+        // compactor to chew on.
+        scope.spawn(|| {
+            for i in 0..25 {
+                engine
+                    .append([(
+                        format!("late{i}.xml"),
+                        format!("<books><book><title>xml late {i}</title><year>2005</year></book></books>"),
+                    )])
+                    .unwrap();
+            }
+        });
+    });
+
+    // The compactor demonstrably ran, every appended doc is findable,
+    // and the snapshot stayed byte-stable throughout.
+    assert_identical(&baseline, &view.search(&request).unwrap());
+    for _ in 0..200 {
+        if engine.stats().writes.compactions > 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert!(engine.stats().writes.compactions > 0, "compactor never merged anything");
+    let fresh = engine
+        .search_once(
+            "for $b in fn:doc(late19.xml)/books//book return <h> { $b/title } </h>",
+            &SearchRequest::new(["late"]),
+        )
+        .unwrap();
+    assert_eq!(fresh.hits.len(), 1);
+    drop(view);
+    drop(engine);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn ingest_while_compacting_keeps_old_snapshots_byte_identical() {
+    let (engine, dir) = live_engine("snapshot");
+    let view = engine.prepare(VIEW).unwrap();
+    let request = SearchRequest::new(["xml"]).top_k(5);
+    let baseline = view.search(&request).unwrap();
+
+    // Interleave appends with explicit compaction rounds on top of the
+    // background cadence; the pre-write snapshot must never move.
+    for i in 0..12 {
+        engine
+            .append([(
+                format!("late{i}.xml"),
+                format!("<books><book><title>xml wave {i}</title></book></books>"),
+            )])
+            .unwrap();
+        if i % 3 == 0 {
+            let _ = engine.compact();
+        }
+        assert_identical(&baseline, &view.search(&request).unwrap());
+    }
+    // Settle compaction fully; the snapshot still answers identically,
+    // and a fresh prepare sees all 12 appends.
+    while engine.compact().merges > 0 {}
+    assert_identical(&baseline, &view.search(&request).unwrap());
+    assert_eq!(engine.stats().documents, 2 + 12);
+    drop(view);
+    drop(engine);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn multi_segment_search_works_cold_from_disk() {
     // The v2 bundle round-trips a multi-segment engine's state: persist

@@ -1,0 +1,285 @@
+//! Kill-at-any-write-boundary recovery: an engine whose process died
+//! with the WAL truncated at **any** byte boundary reopens
+//! byte-identical — hits, score bits, work counters — to a no-crash
+//! engine that performed exactly the acknowledged writes.
+//!
+//! The sweep test cuts a real WAL at every byte offset and recovers
+//! each image; the property test throws randomized append histories and
+//! cut points at the same contract. Both compare through the full
+//! [`SearchResponse`] (bit-exact scores, tf vectors, XML, fetch and
+//! sweep counters) — "roughly the same documents" is not the claim.
+
+use proptest::prelude::*;
+use vxv_core::{SearchRequest, SearchResponse, ViewSearchEngine, WriteConfig};
+use vxv_xml::Corpus;
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BASE_BOOKS: &str = "<books><book><isbn>1</isbn><title>xml search</title>\
+     <year>2001</year></book></books>";
+
+const BASE_VIEW: &str =
+    "for $b in fn:doc(books.xml)/books//book where $b/year > 1995 return <h> { $b/title } </h>";
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "vxv-recovery-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn base_engine() -> ViewSearchEngine<Corpus> {
+    let mut corpus = Corpus::new();
+    corpus.add_parsed("books.xml", BASE_BOOKS).unwrap();
+    ViewSearchEngine::new(corpus)
+}
+
+/// The per-document view a recovered append must answer through.
+fn doc_view(name: &str) -> String {
+    format!("for $b in fn:doc({name})/books//book return <h> {{ $b/title }} </h>")
+}
+
+/// Byte-identity across everything a response reports.
+fn assert_identical(a: &SearchResponse, b: &SearchResponse) {
+    assert_eq!(a.view_size, b.view_size, "view_size");
+    assert_eq!(a.matching, b.matching, "matching");
+    assert_eq!(a.idf.len(), b.idf.len(), "idf len");
+    for (x, y) in a.idf.iter().zip(&b.idf) {
+        assert_eq!(x.to_bits(), y.to_bits(), "idf bits");
+    }
+    assert_eq!(a.fetches, b.fetches, "fetches");
+    assert_eq!(a.hits.len(), b.hits.len(), "hit count");
+    for (x, y) in a.hits.iter().zip(&b.hits) {
+        assert_eq!(x.rank, y.rank);
+        assert_eq!(x.score.to_bits(), y.score.to_bits(), "score bits at rank {}", x.rank);
+        assert_eq!(x.tf, y.tf, "tf at rank {}", x.rank);
+        assert_eq!(x.byte_len, y.byte_len, "byte_len at rank {}", x.rank);
+        assert_eq!(x.xml, y.xml, "xml at rank {}", x.rank);
+    }
+    assert_eq!(a.pdt_stats.len(), b.pdt_stats.len());
+    for ((da, sa, ba), (db, sb, bb)) in a.pdt_stats.iter().zip(&b.pdt_stats) {
+        assert_eq!(da, db, "pdt doc order");
+        assert_eq!(sa, sb, "sweep counters for {da}");
+        assert_eq!(ba, bb, "pdt bytes for {da}");
+    }
+}
+
+/// Compare the recovered engine against a no-crash engine that ran the
+/// same acknowledged batches: base view, every appended doc's view,
+/// document counts, replay accounting.
+fn assert_recovered_matches(
+    recovered: &ViewSearchEngine<Corpus>,
+    batches: &[Vec<(String, String)>],
+    acknowledged: usize,
+    context: &str,
+) {
+    let reference = base_engine();
+    let ref_dir = fresh_dir("reference");
+    reference
+        .enable_writes(ref_dir.join(vxv_index::wal::WAL_FILE), WriteConfig::default())
+        .unwrap();
+    for batch in &batches[..acknowledged] {
+        reference.append(batch.iter().cloned()).unwrap();
+    }
+
+    let docs: usize = batches[..acknowledged].iter().map(Vec::len).sum();
+    assert_eq!(recovered.stats().documents, 1 + docs, "{context}: document count");
+    assert_eq!(reference.stats().documents, 1 + docs, "{context}: reference documents");
+    assert_eq!(
+        recovered.stats().writes.replay_records,
+        acknowledged as u64,
+        "{context}: replay accounting"
+    );
+
+    let request = SearchRequest::new(["xml", "search"]).top_k(10);
+    assert_identical(
+        &recovered.search_once(BASE_VIEW, &request).unwrap(),
+        &reference.search_once(BASE_VIEW, &request).unwrap(),
+    );
+    for batch in &batches[..acknowledged] {
+        for (name, _) in batch {
+            let view = doc_view(name);
+            assert_identical(
+                &recovered.search_once(&view, &request).unwrap(),
+                &reference.search_once(&view, &request).unwrap(),
+            );
+        }
+    }
+    // Documents past the acknowledged point never resurrect.
+    for batch in &batches[acknowledged..] {
+        for (name, _) in batch {
+            assert!(
+                recovered.search_once(&doc_view(name), &request).is_err(),
+                "{context}: unacknowledged {name} resurrected"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+/// Run all `batches` through a durable engine and return the WAL image
+/// plus the acknowledged byte boundary after each batch (index 0 is the
+/// empty log).
+fn written_wal(batches: &[Vec<(String, String)>], dir: &Path) -> (Vec<u8>, Vec<u64>) {
+    let engine = base_engine();
+    let wal_path = dir.join(vxv_index::wal::WAL_FILE);
+    engine.enable_writes(&wal_path, WriteConfig::default()).unwrap();
+    let mut boundaries = vec![vxv_index::wal::WAL_MAGIC.len() as u64];
+    for batch in batches {
+        engine.append(batch.iter().cloned()).unwrap();
+        boundaries.push(std::fs::metadata(&wal_path).unwrap().len());
+    }
+    drop(engine);
+    let bytes = std::fs::read(&wal_path).unwrap();
+    assert_eq!(bytes.len() as u64, *boundaries.last().unwrap());
+    (bytes, boundaries)
+}
+
+#[test]
+fn every_byte_truncation_recovers_to_the_acknowledged_engine() {
+    let batches: Vec<Vec<(String, String)>> = vec![
+        vec![(
+            "late0.xml".to_string(),
+            "<books><book><title>xml alpha</title></book></books>".to_string(),
+        )],
+        vec![
+            (
+                "late1.xml".to_string(),
+                "<books><book><title>search beta</title></book></books>".to_string(),
+            ),
+            (
+                "late2.xml".to_string(),
+                "<books><book><title>xml search gamma</title></book></books>".to_string(),
+            ),
+        ],
+        vec![(
+            "late3.xml".to_string(),
+            "<books><book><title>delta</title></book></books>".to_string(),
+        )],
+    ];
+    let dir = fresh_dir("sweep");
+    let (bytes, boundaries) = written_wal(&batches, &dir);
+    let wal_path = dir.join(vxv_index::wal::WAL_FILE);
+
+    for cut in 0..=bytes.len() {
+        std::fs::write(&wal_path, &bytes[..cut]).unwrap();
+        let recovered = base_engine();
+        let report = recovered
+            .enable_writes(&wal_path, WriteConfig::default())
+            .unwrap_or_else(|e| panic!("cut at {cut}: recovery must never fail, got {e}"));
+
+        let acknowledged = boundaries[1..].iter().filter(|&&b| b <= cut as u64).count();
+        assert_eq!(report.records as usize, acknowledged, "cut at {cut}");
+        let on_boundary = cut == 0 || boundaries.contains(&(cut as u64));
+        assert_eq!(
+            report.truncated_tail.is_none(),
+            on_boundary,
+            "cut at {cut}: torn tail reported iff mid-record"
+        );
+        assert_recovered_matches(&recovered, &batches, acknowledged, &format!("cut at {cut}"));
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn recovery_continues_accepting_durable_appends() {
+    // Crash mid-record, recover, append more, crash cleanly, recover
+    // again: the second recovery sees old + new acknowledged writes.
+    let batches: Vec<Vec<(String, String)>> = vec![
+        vec![(
+            "late0.xml".to_string(),
+            "<books><book><title>xml alpha</title></book></books>".to_string(),
+        )],
+        vec![(
+            "late1.xml".to_string(),
+            "<books><book><title>xml beta</title></book></books>".to_string(),
+        )],
+    ];
+    let dir = fresh_dir("continue");
+    let (bytes, boundaries) = written_wal(&batches, &dir);
+    let wal_path = dir.join(vxv_index::wal::WAL_FILE);
+
+    // Tear the second record.
+    std::fs::write(&wal_path, &bytes[..boundaries[1] as usize + 3]).unwrap();
+    let recovered = base_engine();
+    let report = recovered.enable_writes(&wal_path, WriteConfig::default()).unwrap();
+    assert_eq!(report.records, 1);
+    assert!(report.truncated_tail.is_some());
+    recovered
+        .append([(
+            "late9.xml".to_string(),
+            "<books><book><title>xml nine</title></book></books>".to_string(),
+        )])
+        .unwrap();
+    drop(recovered);
+
+    let again = base_engine();
+    let report = again.enable_writes(&wal_path, WriteConfig::default()).unwrap();
+    assert_eq!(report.records, 2, "first batch + post-recovery append");
+    assert!(report.truncated_tail.is_none(), "reopen truncated the torn tail physically");
+    let request = SearchRequest::new(["xml"]).top_k(10);
+    let hit = again.search_once(&doc_view("late9.xml"), &request).unwrap();
+    assert_eq!(hit.hits.len(), 1);
+    assert!(again.search_once(&doc_view("late1.xml"), &request).is_err(), "torn batch stays dead");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+const WORDS: &[&str] = &["xml", "search", "data", "views"];
+
+fn doc_xml(word_ids: &[usize]) -> String {
+    let words = word_ids.iter().map(|w| WORDS[*w]).collect::<Vec<_>>().join(" ");
+    format!("<books><book><title>{words}</title><year>2003</year></book></books>")
+}
+
+proptest! {
+    // Each case builds many engines; default-config case counts come
+    // from PROPTEST_CASES (CI pins it), capped here for local runs.
+    #![proptest_config(ProptestConfig {
+        cases: ProptestConfig::default().cases.min(24),
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_histories_recover_at_random_cuts(
+        specs in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(0..WORDS.len(), 1..4), 1..3),
+            1..4,
+        ),
+        cut_seed in any::<u32>(),
+    ) {
+        let mut next_doc = 0;
+        let batches: Vec<Vec<(String, String)>> = specs
+            .iter()
+            .map(|batch| {
+                batch
+                    .iter()
+                    .map(|word_ids| {
+                        let name = format!("late{next_doc}.xml");
+                        next_doc += 1;
+                        (name, doc_xml(word_ids))
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let dir = fresh_dir("prop");
+        let (bytes, boundaries) = written_wal(&batches, &dir);
+        let wal_path = dir.join(vxv_index::wal::WAL_FILE);
+
+        let cut = cut_seed as usize % (bytes.len() + 1);
+        std::fs::write(&wal_path, &bytes[..cut]).unwrap();
+        let recovered = base_engine();
+        let report = recovered.enable_writes(&wal_path, WriteConfig::default()).unwrap();
+        let acknowledged = boundaries[1..].iter().filter(|&&b| b <= cut as u64).count();
+        prop_assert_eq!(report.records as usize, acknowledged);
+        assert_recovered_matches(&recovered, &batches, acknowledged, &format!("cut at {cut}"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,273 @@
+//! The real-time write path's visible contract: an acknowledged append
+//! is searchable **before any flush**, score-bounded pruning stays
+//! byte-identical to the exact path with a memtable in the segment set,
+//! seals fire on the size/age thresholds, batches reject atomically,
+//! and every stage is accounted in [`vxv_core::WriteStats`].
+
+use vxv_core::{SearchRequest, SearchResponse, ViewSearchEngine, WriteConfig};
+use vxv_xml::Corpus;
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "vxv-write-path-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A live engine over one base document, with the write path enabled
+/// under `config` (compaction left manual unless the config says
+/// otherwise).
+fn live_engine(dir: &std::path::Path, config: WriteConfig) -> ViewSearchEngine<Corpus> {
+    let mut corpus = Corpus::new();
+    corpus
+        .add_parsed(
+            "books.xml",
+            "<books><book><isbn>1</isbn><title>xml search</title><year>2001</year></book></books>",
+        )
+        .unwrap();
+    let engine = ViewSearchEngine::new(corpus);
+    engine.enable_writes(dir.join(vxv_index::wal::WAL_FILE), config).unwrap();
+    engine
+}
+
+/// Manual-compaction config so tests control every transition.
+fn manual() -> WriteConfig {
+    WriteConfig { compact_interval: None, ..WriteConfig::default() }
+}
+
+fn doc_view(name: &str) -> String {
+    format!("for $b in fn:doc({name})/books//book return <h> {{ $b/title }} </h>")
+}
+
+fn assert_identical(a: &SearchResponse, b: &SearchResponse) {
+    assert_eq!(a.view_size, b.view_size, "view_size");
+    assert_eq!(a.matching, b.matching, "matching");
+    for (x, y) in a.idf.iter().zip(&b.idf) {
+        assert_eq!(x.to_bits(), y.to_bits(), "idf bits");
+    }
+    assert_eq!(a.hits.len(), b.hits.len(), "hit count");
+    for (x, y) in a.hits.iter().zip(&b.hits) {
+        assert_eq!(x.rank, y.rank);
+        assert_eq!(x.score.to_bits(), y.score.to_bits(), "score bits at rank {}", x.rank);
+        assert_eq!(x.tf, y.tf, "tf at rank {}", x.rank);
+        assert_eq!(x.xml, y.xml, "xml at rank {}", x.rank);
+    }
+}
+
+#[test]
+fn appended_document_is_searchable_before_any_flush() {
+    let dir = fresh_dir("visible");
+    let engine = live_engine(&dir, manual());
+    let report = engine
+        .append([(
+            "fresh.xml".to_string(),
+            "<books><book><title>durability made searchable</title></book></books>".to_string(),
+        )])
+        .unwrap();
+    assert_eq!(report.documents, vec!["fresh.xml".to_string()]);
+
+    // No flush has happened — the hit comes straight from the memtable
+    // snapshot segment.
+    let w = engine.stats().writes;
+    assert!(w.enabled);
+    assert_eq!(w.flushes, 0);
+    assert_eq!(w.memtable_entries, 1);
+    assert_eq!(w.wal_appends, 1);
+    assert!(w.wal_bytes > 0);
+
+    let out = engine
+        .search_once(&doc_view("fresh.xml"), &SearchRequest::new(["durability"]).top_k(5))
+        .unwrap();
+    assert_eq!(out.hits.len(), 1);
+    assert!(out.hits[0].xml.contains("durability made searchable"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn pruned_equals_exact_with_a_memtable_in_the_segment_set() {
+    let dir = fresh_dir("pruned");
+    let engine = live_engine(&dir, manual());
+    for i in 0..4 {
+        engine
+            .append([(
+                format!("late{i}.xml"),
+                format!("<books><book><title>xml search extra {i}</title></book></books>"),
+            )])
+            .unwrap();
+    }
+    assert_eq!(engine.stats().writes.memtable_entries, 4, "all four still in the memtable");
+
+    let views: Vec<String> =
+        (0..4).map(|i| doc_view(&format!("late{i}.xml"))).chain([doc_view("books.xml")]).collect();
+    for view in &views {
+        for keywords in [&["xml"][..], &["xml", "search"][..], &["extra"][..]] {
+            let exact = engine
+                .search_once(view, &SearchRequest::new(keywords).top_k(5).prune(false))
+                .unwrap();
+            let pruned = engine
+                .search_once(view, &SearchRequest::new(keywords).top_k(5).prune(true))
+                .unwrap();
+            assert_identical(&exact, &pruned);
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn memtable_seals_on_the_size_threshold() {
+    let dir = fresh_dir("size-seal");
+    let engine = live_engine(&dir, WriteConfig { memtable_max_bytes: 1, ..manual() });
+    for i in 0..3 {
+        engine
+            .append([(
+                format!("late{i}.xml"),
+                format!("<books><book><title>sealed {i}</title></book></books>"),
+            )])
+            .unwrap();
+    }
+    let w = engine.stats().writes;
+    assert_eq!(w.flushes, 3, "every append crosses the 1-byte threshold");
+    assert_eq!(w.memtable_entries, 0);
+    // Sealed segments stay behind as ordinary segments; everything is
+    // still searchable.
+    for i in 0..3 {
+        let out = engine
+            .search_once(&doc_view(&format!("late{i}.xml")), &SearchRequest::new(["sealed"]))
+            .unwrap();
+        assert_eq!(out.hits.len(), 1, "late{i}.xml");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn memtable_seals_on_the_age_threshold() {
+    let dir = fresh_dir("age-seal");
+    let engine = live_engine(&dir, WriteConfig { memtable_max_age: Duration::ZERO, ..manual() });
+    engine
+        .append([(
+            "late0.xml".to_string(),
+            "<books><book><title>aged out</title></book></books>".to_string(),
+        )])
+        .unwrap();
+    let w = engine.stats().writes;
+    assert_eq!(w.flushes, 1, "a zero max-age seals at the first append");
+    assert_eq!(w.memtable_entries, 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn explicit_flush_is_idempotent() {
+    let dir = fresh_dir("flush");
+    let engine = live_engine(&dir, manual());
+    assert!(!engine.flush_memtable(), "empty memtable has nothing to seal");
+    engine
+        .append([(
+            "late0.xml".to_string(),
+            "<books><book><title>flush me</title></book></books>".to_string(),
+        )])
+        .unwrap();
+    assert!(engine.flush_memtable());
+    assert!(!engine.flush_memtable(), "second flush is a no-op");
+    let w = engine.stats().writes;
+    assert_eq!(w.flushes, 1);
+    assert_eq!(w.memtable_entries, 0);
+    let out = engine.search_once(&doc_view("late0.xml"), &SearchRequest::new(["flush"])).unwrap();
+    assert_eq!(out.hits.len(), 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_bad_batch_rejects_atomically_with_nothing_logged() {
+    let dir = fresh_dir("atomic");
+    let engine = live_engine(&dir, manual());
+    let before = engine.stats();
+
+    // Second document fails to parse: the whole batch must vanish.
+    let err = engine
+        .append([
+            ("good.xml".to_string(), "<books><book><title>ok</title></book></books>".to_string()),
+            ("bad.xml".to_string(), "<books><unclosed>".to_string()),
+        ])
+        .unwrap_err();
+    assert!(format!("{err}").contains("bad.xml"), "{err}");
+
+    // Duplicate names reject the same way — including against the base
+    // corpus.
+    let err = engine.append([("books.xml".to_string(), "<books/>".to_string())]).unwrap_err();
+    assert!(format!("{err}").contains("already exists"), "{err}");
+
+    let after = engine.stats();
+    assert_eq!(after.documents, before.documents, "nothing became visible");
+    assert_eq!(after.writes.wal_appends, 0, "nothing was logged");
+    assert_eq!(after.writes.memtable_entries, 0);
+    assert!(
+        engine.search_once(&doc_view("good.xml"), &SearchRequest::new(["ok"])).is_err(),
+        "half-applied batch leaked"
+    );
+
+    // The WAL replays empty: a rejected batch is unrecoverable by
+    // construction, not by luck.
+    let replay = vxv_index::wal::replay(&dir.join(vxv_index::wal::WAL_FILE)).unwrap();
+    assert_eq!(replay.records, 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn append_without_enable_writes_is_a_typed_error() {
+    let mut corpus = Corpus::new();
+    corpus.add_parsed("books.xml", "<books/>").unwrap();
+    let engine = ViewSearchEngine::new(corpus);
+    assert!(!engine.writes_enabled());
+    let err = engine.append([("late.xml".to_string(), "<books/>".to_string())]).unwrap_err();
+    assert!(format!("{err}").contains("writes not enabled"), "{err}");
+    assert!(!engine.stats().writes.enabled);
+}
+
+#[test]
+fn sealed_segments_compact_while_new_appends_stay_live() {
+    let dir = fresh_dir("compact");
+    // Tiny size threshold: every append becomes its own sealed segment,
+    // which manual compaction then folds together.
+    let engine = live_engine(&dir, WriteConfig { memtable_max_bytes: 1, ..manual() });
+    for i in 0..4 {
+        engine
+            .append([(
+                format!("late{i}.xml"),
+                format!("<books><book><title>xml tier {i}</title></book></books>"),
+            )])
+            .unwrap();
+    }
+    let segments_before = engine.segments().len();
+    let report = engine.compact();
+    assert!(report.merges > 0, "four same-tier seals must merge");
+    assert!(engine.segments().len() < segments_before);
+    assert!(engine.stats().writes.compactions > 0);
+
+    // Everything — base, sealed, merged — still answers.
+    for i in 0..4 {
+        let out = engine
+            .search_once(&doc_view(&format!("late{i}.xml")), &SearchRequest::new(["tier"]))
+            .unwrap();
+        assert_eq!(out.hits.len(), 1, "late{i}.xml");
+    }
+    // And the write path keeps accepting appends after compaction.
+    engine
+        .append([(
+            "late9.xml".to_string(),
+            "<books><book><title>post compact</title></book></books>".to_string(),
+        )])
+        .unwrap();
+    let out = engine.search_once(&doc_view("late9.xml"), &SearchRequest::new(["compact"])).unwrap();
+    assert_eq!(out.hits.len(), 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
