@@ -8,6 +8,9 @@
 //! vxv search  --store store/ --view view.xq -k xml   # cold open from disk
 //! vxv serve   --store store/ --register reviews=view.xq   # stdin request loop
 //! vxv serve   --store store/ --listen 127.0.0.1:7070      # TCP serving tier
+//! vxv serve   --doc a.xml --doc b.xml --shards 4 --listen 127.0.0.1:7070
+//!                                     # N-shard scatter-gather router
+//! vxv cache   --connect 127.0.0.1:7070   # live cache/shard counters
 //! vxv batch   --store store/ --register reviews=view.xq --file reqs.txt
 //! vxv ingest  --store store/ --doc late.xml      # add docs as a new segment
 //! vxv compact --store store/                     # merge all index segments
@@ -41,6 +44,8 @@
 //!                               earlier keep their snapshot —
 //!                               re-register to see the new document)
 //! flush                      -> flushed 0|1 (seal the live memtable)
+//! checkpoint                 -> checkpointed ... (persist + truncate
+//!                               the WAL; needs --store)
 //! quit                       -> (exits; EOF works too; both print
 //!                               final stats to stderr)
 //! ```
@@ -98,11 +103,19 @@ struct Args {
     /// WAL fsync schedule for `serve --store`: `per-record` (default),
     /// `interval-ms=N`, or `off`.
     fsync: Option<String>,
+    /// Partition the `--doc` corpus across N scatter-gather shards
+    /// (`serve --listen`; 1 = the plain single-engine path).
+    shards: Option<usize>,
+    /// Result-cache capacity in bytes (0 disables; default 32 MiB).
+    cache_bytes: Option<u64>,
+    /// `cache --connect ADDR`: inspect a live server instead of
+    /// building a local engine.
+    connect: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  vxv search  (--doc FILE... | --store DIR) --view FILE --keyword WORD... [--top N] [--any] [--deadline-ms N]\n  vxv inspect (--doc FILE... | --store DIR) --view FILE\n  vxv persist --doc FILE... --out DIR\n  vxv serve   (--doc FILE... | --store DIR) [--register NAME=VIEWFILE...] [--listen ADDR] [--fsync per-record|interval-ms=N|off] [--top N] [--any] [--deadline-ms N]\n  vxv batch   (--doc FILE... | --store DIR) --register NAME=VIEWFILE... --file REQS [--top N] [--any] [--deadline-ms N]\n  vxv ingest  --store DIR --doc FILE...\n  vxv compact --store DIR\n(--store commands map the index file by default; --no-mmap loads owned buffers instead)"
+        "usage:\n  vxv search  (--doc FILE... | --store DIR) --view FILE --keyword WORD... [--top N] [--any] [--deadline-ms N]\n  vxv inspect (--doc FILE... | --store DIR) --view FILE\n  vxv persist --doc FILE... --out DIR\n  vxv serve   (--doc FILE... | --store DIR) [--register NAME=VIEWFILE...] [--listen ADDR] [--shards N] [--cache-bytes N] [--fsync per-record|interval-ms=N|off] [--top N] [--any] [--deadline-ms N]\n  vxv batch   (--doc FILE... | --store DIR) --register NAME=VIEWFILE... --file REQS [--top N] [--any] [--deadline-ms N]\n  vxv cache   (--connect ADDR | --doc FILE... --register NAME=VIEWFILE... --keyword WORD...) [--cache-bytes N]\n  vxv ingest  --store DIR --doc FILE...\n  vxv compact --store DIR\n(--store commands map the index file by default; --no-mmap loads owned buffers instead)"
     );
     ExitCode::from(2)
 }
@@ -124,6 +137,9 @@ fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
         listen: None,
         no_mmap: false,
         fsync: None,
+        shards: None,
+        cache_bytes: None,
+        connect: None,
     };
     let mut it = argv;
     while let Some(flag) = it.next() {
@@ -145,6 +161,9 @@ fn parse_args(mut argv: std::env::Args) -> Option<(String, Args)> {
             "--listen" => args.listen = Some(it.next()?),
             "--no-mmap" => args.no_mmap = true,
             "--fsync" => args.fsync = Some(it.next()?),
+            "--shards" => args.shards = Some(it.next()?.parse().ok()?),
+            "--cache-bytes" => args.cache_bytes = Some(it.next()?.parse().ok()?),
+            "--connect" => args.connect = Some(it.next()?),
             _ => {
                 eprintln!("unknown flag {flag}");
                 return None;
@@ -368,7 +387,8 @@ fn serve_loop<S: DocumentSource>(catalog: &ViewCatalog<S>, args: &Args) -> ExitC
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     eprintln!(
-        "vxv serve: {} view(s) registered; commands: register/search/list/stats/segments/add/flush/quit",
+        "vxv serve: {} view(s) registered; commands: \
+         register/search/list/stats/segments/add/flush/checkpoint/quit",
         catalog.len()
     );
     'serve: for line in stdin.lock().lines() {
@@ -403,14 +423,30 @@ fn serve_loop<S: DocumentSource>(catalog: &ViewCatalog<S>, args: &Args) -> ExitC
                 let _ = writeln!(
                     out,
                     "writes enabled={} wal-appends={} wal-bytes={} memtable-entries={} \
-                     flushes={} compactions={} replay-records={}",
+                     flushes={} compactions={} checkpoints={} replay-records={}",
                     if w.enabled { 1 } else { 0 },
                     w.wal_appends,
                     w.wal_bytes,
                     w.memtable_entries,
                     w.flushes,
                     w.compactions,
+                    w.checkpoints,
                     w.replay_records
+                );
+                let k = catalog.engine().result_cache().stats();
+                let _ = writeln!(
+                    out,
+                    "cache hits={} misses={} inserts={} evictions={} stale={} entries={} \
+                     bytes={} probe-hits={} probe-misses={}",
+                    k.hits,
+                    k.misses,
+                    k.inserts,
+                    k.evictions,
+                    k.stale,
+                    k.entries,
+                    k.bytes,
+                    k.probe_hits,
+                    k.probe_misses
                 );
                 Ok(())
             }
@@ -447,6 +483,26 @@ fn serve_loop<S: DocumentSource>(catalog: &ViewCatalog<S>, args: &Args) -> ExitC
                 let _ = writeln!(out, "flushed {}", if flushed { 1 } else { 0 });
                 Ok(())
             }
+            ["checkpoint"] => match args.store.as_deref() {
+                // Seal + persist + truncate the WAL so the next restart
+                // replays only post-checkpoint records.
+                None => Err("checkpoint needs --store DIR".into()),
+                Some(dir) => match catalog.engine().checkpoint(std::path::Path::new(dir)) {
+                    Ok(r) => {
+                        let _ = writeln!(
+                            out,
+                            "checkpointed flushed {} segments {} documents {} \
+                             wal-bytes-truncated {}",
+                            if r.flushed { 1 } else { 0 },
+                            r.segments,
+                            r.documents_persisted,
+                            r.wal_bytes_truncated
+                        );
+                        Ok(())
+                    }
+                    Err(e) => Err(format!("{e}")),
+                },
+            },
             ["register", name, path] => match std::fs::read_to_string(path) {
                 Ok(text) => match catalog.register(name.to_string(), &text) {
                     Ok(_) => {
@@ -512,6 +568,150 @@ fn serve_listen<S: DocumentSource + 'static>(catalog: ViewCatalog<S>, addr: &str
             eprintln!("error: bind {addr}: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `serve --shards N --listen ADDR`: partition the `--doc` corpus
+/// across N engines by the deterministic doc→shard map and mount the
+/// TCP tier over the [`vxv_core::ShardedCatalog`] router.
+fn run_serve_sharded(args: &Args) -> ExitCode {
+    let n = args.shards.unwrap_or(1).max(1);
+    if args.store.is_some() {
+        eprintln!("error: --shards needs an in-memory --doc corpus (per-shard stores land later)");
+        return ExitCode::FAILURE;
+    }
+    let Some(addr) = args.listen.as_deref() else {
+        eprintln!("error: --shards N requires --listen ADDR (the TCP serving tier)");
+        return ExitCode::FAILURE;
+    };
+    let corpus = match load_corpus(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sharded = Arc::new(vxv_core::ShardedCatalog::partition(&corpus, n));
+    if let Some(bytes) = args.cache_bytes {
+        for i in 0..sharded.shard_count() {
+            sharded.shard(i).engine().result_cache().set_capacity(bytes);
+        }
+    }
+    for (name, path) in &args.registers {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read view {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = sharded.register(name.clone(), &text) {
+            eprintln!("error: register {name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match vxv_server::serve_sharded(sharded, addr, vxv_server::ServerConfig::default()) {
+        Ok(handle) => {
+            eprintln!("vxv serve: {n} shard(s) listening on {}", handle.addr());
+            handle.join();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: bind {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `cache` subcommand. `--connect ADDR` prints a live server's
+/// cache/engine/shard counter lines; the local form builds a catalog,
+/// runs every `--keyword` search twice over every registered view, and
+/// prints the resulting cache counters (the second pass should be all
+/// hits — a quick coherence/temperature check).
+fn run_cache(args: &Args) -> ExitCode {
+    if let Some(addr) = args.connect.as_deref() {
+        let mut client = match vxv_server::Client::connect(addr) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: connect {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let stats = match client.stats(None) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: stats: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for line in stats.iter().filter(|l| {
+            l.starts_with("cache ") || l.starts_with("engine ") || l.starts_with("writes ")
+        }) {
+            println!("{line}");
+        }
+        match client.shards() {
+            Ok(lines) => {
+                for line in lines {
+                    println!("{line}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: shards: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        if args.registers.is_empty() || args.keywords.is_empty() {
+            eprintln!(
+                "error: cache needs --connect ADDR, or --register NAME=VIEWFILE... with \
+                 --keyword WORD... for the local round trip"
+            );
+            return ExitCode::FAILURE;
+        }
+        let corpus = match load_corpus(args) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let engine = ViewSearchEngine::new(corpus);
+        if let Some(bytes) = args.cache_bytes {
+            engine.result_cache().set_capacity(bytes);
+        }
+        let catalog = match build_catalog(engine, args) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let request = base_request(args, &args.keywords);
+        for pass in ["cold", "warm"] {
+            for (name, _) in &args.registers {
+                if let Err(e) = catalog.search(name, &request) {
+                    eprintln!("error: {pass} search {name}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let k = catalog.engine().result_cache().stats();
+        println!(
+            "cache hits {} misses {} inserts {} evictions {} stale {} entries {} bytes {} \
+             capacity {} probe-hits {} probe-misses {}",
+            k.hits,
+            k.misses,
+            k.inserts,
+            k.evictions,
+            k.stale,
+            k.entries,
+            k.bytes,
+            k.capacity,
+            k.probe_hits,
+            k.probe_misses
+        );
+        ExitCode::SUCCESS
     }
 }
 
@@ -766,6 +966,8 @@ fn main() -> ExitCode {
         }
         "ingest" => run_ingest(&args),
         "compact" => run_compact(&args),
+        "cache" => run_cache(&args),
+        "serve" if args.shards.is_some_and(|n| n > 1) => run_serve_sharded(&args),
         "search" | "inspect" | "serve" | "batch" => {
             let catalog_cmd = cmd == "serve" || cmd == "batch";
             let view_text = if catalog_cmd || (cmd == "inspect" && args.view.is_none()) {

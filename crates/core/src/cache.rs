@@ -1,0 +1,433 @@
+//! Epoch-keyed result caching for hot searches.
+//!
+//! Under real traffic the same few (view, keyword-set) pairs dominate —
+//! Zipf-head requests recompute identical responses from postings over
+//! and over. The [`ResultCache`] short-circuits that: a completed
+//! [`crate::SearchResponse`] is stored under a key that includes the
+//! engine's **segment-set epoch**, the monotone counter every
+//! ingest/append/flush/compact swap bumps. Invalidation is therefore
+//! implicit and race-free: a swapped set means a new epoch means every
+//! old entry simply stops being addressable — a hit can only ever
+//! return a response computed against the exact segment set the caller
+//! is searching, so cached hits are byte-identical (hits, score bits,
+//! order) to a fresh search at that epoch.
+//!
+//! The cache is bounded in **bytes** (responses carry materialized XML;
+//! counting entries would let a few fat views evict everything) with
+//! LRU replacement, and capacity `0` disables it entirely. Counters
+//! (hits / misses / inserts / evictions / stale purges, plus the
+//! prepared views' pinned-probe counters) surface in
+//! [`crate::EngineStats::cache`] so operators can see hit ratios next
+//! to every other engine number — a zeroed hit counter under Zipfian
+//! load is a regression the bench gate fails on.
+
+use crate::request::{SearchRequest, SearchResponse};
+use crate::tenant::TenantId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default result-cache capacity in bytes (per engine / shard).
+pub const DEFAULT_RESULT_CACHE_BYTES: u64 = 32 << 20;
+
+/// Cache key: who asked, what they asked, and against which segment-set
+/// epoch. Tenant leads (the same leading-key discipline the catalog
+/// uses), the request collapses to a fingerprint, and the epoch makes
+/// every set swap an implicit invalidation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The requesting tenant.
+    pub tenant: TenantId,
+    /// The registered view name the request ran against.
+    pub view: String,
+    /// [`request_fingerprint`] of the search request.
+    pub fingerprint: u64,
+    /// The engine's segment-set epoch the response was computed at.
+    pub epoch: u64,
+}
+
+/// Counter snapshot (see [`crate::EngineStats::cache`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Responses served from the cache.
+    pub hits: u64,
+    /// Lookups that found no entry at the current epoch.
+    pub misses: u64,
+    /// Responses stored.
+    pub inserts: u64,
+    /// Entries evicted by the byte-capacity LRU.
+    pub evictions: u64,
+    /// Dead-epoch entries purged after a segment-set swap.
+    pub stale: u64,
+    /// Entries resident right now (gauge).
+    pub entries: u64,
+    /// Bytes resident right now (gauge).
+    pub bytes: u64,
+    /// Capacity in bytes (0 = disabled).
+    pub capacity: u64,
+    /// Pinned posting-list reuses inside prepared views (dictionary
+    /// re-seeks skipped).
+    pub probe_hits: u64,
+    /// Pinned posting-list resolutions (first touch per view epoch).
+    pub probe_misses: u64,
+}
+
+/// FNV-1a fingerprint of everything in a [`SearchRequest`] that can
+/// change the response bytes. Deadline and cancel tokens are excluded:
+/// they bound *when* a search aborts, never what a completed response
+/// contains.
+pub fn request_fingerprint(request: &SearchRequest) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for kw in request.keywords() {
+        eat(kw.as_bytes());
+        eat(&[0xff]);
+    }
+    eat(&(request.k() as u64).to_le_bytes());
+    eat(&[
+        match request.keyword_mode() {
+            crate::scoring::KeywordMode::Conjunctive => 0,
+            crate::scoring::KeywordMode::Disjunctive => 1,
+        },
+        request.materializes() as u8,
+        request.collects_timings() as u8,
+        request.wants_plan() as u8,
+        request.prunes() as u8,
+    ]);
+    h
+}
+
+/// Approximate resident size of a cached response: the strings it owns
+/// plus a fixed per-hit / per-entry overhead for the fixed-size fields.
+fn response_bytes(response: &SearchResponse) -> u64 {
+    let mut bytes = 256u64;
+    for hit in &response.hits {
+        bytes += hit.xml.len() as u64 + hit.tf.len() as u64 * 4 + 64;
+    }
+    for (name, _, _) in &response.pdt_stats {
+        bytes += name.len() as u64 + 80;
+    }
+    bytes += response.idf.len() as u64 * 8;
+    bytes
+}
+
+struct Entry {
+    response: Arc<SearchResponse>,
+    bytes: u64,
+    /// LRU clock value of the last touch.
+    tick: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    bytes: u64,
+    tick: u64,
+}
+
+/// The byte-bounded, epoch-keyed LRU result cache. One per engine
+/// (shared by every clone through the segment state); all methods take
+/// `&self` and are safe under concurrent searches.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+    stale: AtomicU64,
+    probe_hits: AtomicU64,
+    probe_misses: AtomicU64,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("ResultCache")
+            .field("entries", &stats.entries)
+            .field("bytes", &stats.bytes)
+            .field("capacity", &stats.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        ResultCache::with_capacity(DEFAULT_RESULT_CACHE_BYTES)
+    }
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` bytes of responses (0
+    /// disables caching: every get misses, every insert is dropped).
+    pub fn with_capacity(capacity: u64) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Inner::default()),
+            capacity: AtomicU64::new(capacity),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
+            probe_hits: AtomicU64::new(0),
+            probe_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Change the byte capacity. Shrinking (or disabling with 0) evicts
+    /// immediately.
+    pub fn set_capacity(&self, capacity: u64) {
+        self.capacity.store(capacity, Ordering::Relaxed);
+        let mut inner = self.inner.lock().unwrap();
+        self.evict_to_fit(&mut inner, capacity);
+    }
+
+    /// The configured byte capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Look up a response for `key`, refreshing its LRU position.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<SearchResponse>> {
+        if self.capacity() == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.tick = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.response))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a completed response under `key`, evicting LRU entries
+    /// until the cache fits its capacity. A response bigger than the
+    /// whole capacity is not stored.
+    pub fn insert(&self, key: CacheKey, response: Arc<SearchResponse>) {
+        let capacity = self.capacity();
+        if capacity == 0 {
+            return;
+        }
+        let bytes = response_bytes(&response);
+        if bytes > capacity {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.remove(&key) {
+            inner.bytes -= old.bytes;
+        }
+        inner.bytes += bytes;
+        inner.map.insert(key, Entry { response, bytes, tick });
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.evict_to_fit(&mut inner, capacity);
+    }
+
+    /// Purge every entry whose epoch predates `epoch` — called by the
+    /// engine right after a segment-set swap. Old-epoch keys could never
+    /// be *hit* again anyway (the key no longer forms); this frees their
+    /// bytes eagerly instead of waiting for LRU pressure.
+    pub fn invalidate_below(&self, epoch: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let dead: Vec<CacheKey> = inner.map.keys().filter(|k| k.epoch < epoch).cloned().collect();
+        for key in dead {
+            if let Some(entry) = inner.map.remove(&key) {
+                inner.bytes -= entry.bytes;
+                self.stale.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drop everything (counters keep accumulating).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        let dropped = inner.map.len() as u64;
+        inner.map.clear();
+        inner.bytes = 0;
+        self.stale.fetch_add(dropped, Ordering::Relaxed);
+    }
+
+    fn evict_to_fit(&self, inner: &mut Inner, capacity: u64) {
+        while inner.bytes > capacity {
+            let Some(victim) = inner.map.iter().min_by_key(|(_, e)| e.tick).map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if let Some(entry) = inner.map.remove(&victim) {
+                inner.bytes -= entry.bytes;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Record one pinned-probe cache hit (a prepared view reused a
+    /// pinned posting list instead of re-seeking the dictionary).
+    pub(crate) fn record_probe_hit(&self) {
+        self.probe_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one pinned-probe cache miss (first resolution of a
+    /// keyword for a view at the current epoch).
+    pub(crate) fn record_probe_miss(&self) {
+        self.probe_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counter + gauge snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let (entries, bytes) = {
+            let inner = self.inner.lock().unwrap();
+            (inner.map.len() as u64, inner.bytes)
+        };
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            stale: self.stale.load(Ordering::Relaxed),
+            entries,
+            bytes,
+            capacity: self.capacity(),
+            probe_hits: self.probe_hits.load(Ordering::Relaxed),
+            probe_misses: self.probe_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset the counters (entries stay resident).
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.inserts.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.stale.store(0, Ordering::Relaxed);
+        self.probe_hits.store(0, Ordering::Relaxed);
+        self.probe_misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::PruneStats;
+
+    fn response(xml_bytes: usize) -> Arc<SearchResponse> {
+        Arc::new(SearchResponse {
+            hits: vec![crate::request::SearchHit {
+                rank: 1,
+                score: 1.0,
+                tf: vec![1],
+                byte_len: xml_bytes as u64,
+                xml: "x".repeat(xml_bytes),
+            }],
+            view_size: 1,
+            matching: 1,
+            idf: vec![1.0],
+            timings: None,
+            pdt_stats: Vec::new(),
+            fetches: 0,
+            pruning: PruneStats::default(),
+            plan: None,
+        })
+    }
+
+    fn key(view: &str, fingerprint: u64, epoch: u64) -> CacheKey {
+        CacheKey { tenant: TenantId::public(), view: view.into(), fingerprint, epoch }
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_response_at_the_same_epoch() {
+        let cache = ResultCache::default();
+        let resp = response(10);
+        cache.insert(key("v", 7, 3), Arc::clone(&resp));
+        let got = cache.get(&key("v", 7, 3)).expect("hit");
+        assert!(Arc::ptr_eq(&got, &resp));
+        assert!(cache.get(&key("v", 7, 4)).is_none(), "other epoch never hits");
+        assert!(cache.get(&key("v", 8, 3)).is_none(), "other request never hits");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 2, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_when_over_capacity() {
+        // Each entry is ~400 bytes; capacity fits two.
+        let cache = ResultCache::with_capacity(900);
+        cache.insert(key("a", 1, 1), response(20));
+        cache.insert(key("b", 2, 1), response(20));
+        // Touch "a" so "b" is the LRU victim.
+        cache.get(&key("a", 1, 1)).unwrap();
+        cache.insert(key("c", 3, 1), response(20));
+        assert!(cache.get(&key("a", 1, 1)).is_some());
+        assert!(cache.get(&key("b", 2, 1)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key("c", 3, 1)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn invalidate_below_purges_dead_epochs() {
+        let cache = ResultCache::default();
+        cache.insert(key("a", 1, 1), response(4));
+        cache.insert(key("b", 2, 2), response(4));
+        cache.invalidate_below(2);
+        let s = cache.stats();
+        assert_eq!(s.stale, 1);
+        assert_eq!(s.entries, 1);
+        assert!(cache.get(&key("b", 2, 2)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = ResultCache::with_capacity(0);
+        cache.insert(key("a", 1, 1), response(4));
+        assert!(cache.get(&key("a", 1, 1)).is_none());
+        let s = cache.stats();
+        assert_eq!(s.inserts, 0);
+        assert_eq!(s.entries, 0);
+    }
+
+    #[test]
+    fn fingerprint_separates_request_shapes() {
+        let base = SearchRequest::new(["xml", "search"]);
+        let fp = request_fingerprint(&base);
+        assert_eq!(fp, request_fingerprint(&SearchRequest::new(["xml", "search"])));
+        assert_ne!(fp, request_fingerprint(&SearchRequest::new(["xml"])));
+        assert_ne!(fp, request_fingerprint(&SearchRequest::new(["xml", "search"]).top_k(5)));
+        assert_ne!(
+            fp,
+            request_fingerprint(
+                &SearchRequest::new(["xml", "search"]).mode(crate::KeywordMode::Disjunctive)
+            )
+        );
+        assert_ne!(
+            fp,
+            request_fingerprint(&SearchRequest::new(["xml", "search"]).materialize(false))
+        );
+        assert_ne!(fp, request_fingerprint(&SearchRequest::new(["xml", "search"]).prune(false)));
+        // Keyword boundaries must not merge: ["ab","c"] != ["a","bc"].
+        assert_ne!(
+            request_fingerprint(&SearchRequest::new(["ab", "c"])),
+            request_fingerprint(&SearchRequest::new(["a", "bc"]))
+        );
+        // Deadlines never change response bytes, so they share entries.
+        assert_eq!(
+            fp,
+            request_fingerprint(
+                &SearchRequest::new(["xml", "search"])
+                    .deadline(std::time::Duration::from_millis(5))
+            )
+        );
+    }
+}

@@ -99,6 +99,9 @@ pub struct CatalogStats {
     pub prepares: u64,
     /// Ad-hoc entries evicted by the LRU capacity bound.
     pub evictions: u64,
+    /// Named views re-prepared because the engine's segment-set epoch
+    /// moved past the one they were prepared at.
+    pub refreshes: u64,
     /// Currently registered named views, across all tenants.
     pub named: usize,
     /// Currently cached ad-hoc views.
@@ -120,21 +123,36 @@ struct AdhocCache<S: DocumentSource> {
     entries: HashMap<String, AdhocEntry<S>>,
 }
 
+/// One named registration: the prepared view plus the original view
+/// text, kept so the catalog can re-prepare when the engine's segment
+/// set moves past the epoch the view was prepared at.
+struct NamedEntry<S: DocumentSource> {
+    text: String,
+    view: Arc<PreparedView<S>>,
+}
+
 /// Tenant id leads every key, so one tenant's views form a contiguous
 /// range and quota counting is a prefix scan.
-type NamedViews<S> = BTreeMap<(TenantId, String), Arc<PreparedView<S>>>;
+type NamedViews<S> = BTreeMap<(TenantId, String), NamedEntry<S>>;
 
 /// A registry of named [`PreparedView`]s over one shared engine,
 /// namespaced by tenant; see the module docs.
 pub struct ViewCatalog<S: DocumentSource = Corpus> {
     engine: ViewSearchEngine<S>,
     named: RwLock<NamedViews<S>>,
-    tenants: TenantRegistry,
+    /// Shared (`Arc`) so a sharded deployment can hand every shard's
+    /// catalog the same tenant table — quotas and counters are
+    /// per-tenant, never per-shard.
+    tenants: Arc<TenantRegistry>,
     adhoc: Mutex<AdhocCache<S>>,
+    /// Serializes epoch refreshes: one thread re-prepares a stale view,
+    /// racers wait and pick up the fresh entry.
+    refresh: Mutex<()>,
     hits: AtomicU64,
     misses: AtomicU64,
     prepares: AtomicU64,
     evictions: AtomicU64,
+    refreshes: AtomicU64,
 }
 
 impl<S: DocumentSource> std::fmt::Debug for ViewCatalog<S> {
@@ -158,15 +176,28 @@ impl<S: DocumentSource> ViewCatalog<S> {
     /// A catalog whose ad-hoc LRU keeps at most `capacity` prepared
     /// views (0 disables ad-hoc caching: every ad-hoc search prepares).
     pub fn with_adhoc_capacity(engine: ViewSearchEngine<S>, capacity: usize) -> Self {
+        Self::with_registry(engine, Arc::new(TenantRegistry::new()), capacity)
+    }
+
+    /// A catalog sharing an **external** tenant registry — the sharded
+    /// router gives every shard's catalog one registry so quotas and
+    /// per-tenant counters stay global, not per-shard.
+    pub fn with_registry(
+        engine: ViewSearchEngine<S>,
+        tenants: Arc<TenantRegistry>,
+        capacity: usize,
+    ) -> Self {
         ViewCatalog {
             engine,
             named: RwLock::new(BTreeMap::new()),
-            tenants: TenantRegistry::new(),
+            tenants,
             adhoc: Mutex::new(AdhocCache { capacity, tick: 0, entries: HashMap::new() }),
+            refresh: Mutex::new(()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             prepares: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            refreshes: AtomicU64::new(0),
         }
     }
 
@@ -180,6 +211,12 @@ impl<S: DocumentSource> ViewCatalog<S> {
     /// queue and the catalog enforce the same numbers.
     pub fn tenants(&self) -> &TenantRegistry {
         &self.tenants
+    }
+
+    /// The tenant registry as a shareable handle (what
+    /// [`Self::with_registry`] accepts).
+    pub fn tenants_handle(&self) -> Arc<TenantRegistry> {
+        Arc::clone(&self.tenants)
     }
 
     /// Shorthand: set `tenant`'s quotas (creating the tenant if new).
@@ -233,15 +270,11 @@ impl<S: DocumentSource> ViewCatalog<S> {
                 quota: format!("max_views={max_views}"),
             });
         }
-        named.insert(key, Arc::clone(&view));
+        named.insert(key, NamedEntry { text: view_text.to_string(), view: Arc::clone(&view) });
         Ok(view)
     }
 
-    fn tenant_view_count(
-        &self,
-        named: &BTreeMap<(TenantId, String), Arc<PreparedView<S>>>,
-        tenant: &TenantId,
-    ) -> usize {
+    fn tenant_view_count(&self, named: &NamedViews<S>, tenant: &TenantId) -> usize {
         named.range((tenant.clone(), String::new())..).take_while(|((t, _), _)| t == tenant).count()
     }
 
@@ -253,13 +286,56 @@ impl<S: DocumentSource> ViewCatalog<S> {
 
     /// The prepared view registered under `(tenant, name)`, if any.
     /// Counts a catalog hit or miss.
+    ///
+    /// **Epoch refresh**: a registered view prepared at an older
+    /// segment-set epoch than the engine's current one is re-prepared
+    /// from its stored text before being returned, so name lookups
+    /// always see documents appended/ingested since registration (and
+    /// the result cache keys on a *live* epoch). Refreshes are
+    /// single-flight — one thread prepares, racers wait and share the
+    /// fresh view — and a failing re-prepare serves the stale view
+    /// rather than failing reads.
     pub fn get_for(&self, tenant: &TenantId, name: &str) -> Option<Arc<PreparedView<S>>> {
-        let found = self.named.read().unwrap().get(&(tenant.clone(), name.to_string())).cloned();
-        match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        let key = (tenant.clone(), name.to_string());
+        let found = {
+            let named = self.named.read().unwrap();
+            named.get(&key).map(|e| Arc::clone(&e.view))
         };
-        found
+        let Some(view) = found else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        if view.epoch() == self.engine.epoch() {
+            return Some(view);
+        }
+
+        // Stale: re-prepare under the refresh lock. Re-check after
+        // acquiring it — the thread ahead of us may have done the work.
+        let _flight = self.refresh.lock().unwrap();
+        let text = {
+            let named = self.named.read().unwrap();
+            let entry = named.get(&key)?;
+            if entry.view.epoch() == self.engine.epoch() {
+                return Some(Arc::clone(&entry.view));
+            }
+            entry.text.clone()
+        };
+        match self.engine.prepare(&text) {
+            Ok(fresh) => {
+                let fresh = Arc::new(fresh);
+                self.refreshes.fetch_add(1, Ordering::Relaxed);
+                let mut named = self.named.write().unwrap();
+                if let Some(entry) = named.get_mut(&key) {
+                    entry.view = Arc::clone(&fresh);
+                }
+                Some(fresh)
+            }
+            // The engine moved in a way the view can no longer prepare
+            // against (e.g. its document was dropped mid-flight): the
+            // frozen snapshot still answers correctly for what it saw.
+            Err(_) => Some(view),
+        }
     }
 
     /// The public tenant's registered view names, sorted.
@@ -338,7 +414,11 @@ impl<S: DocumentSource> ViewCatalog<S> {
             return Err(EngineError::Overloaded { retry_after: QUOTA_RETRY_AFTER });
         };
         state.record_admitted();
-        let result = view.search(request);
+        // Named searches go through the engine's epoch-keyed result
+        // cache: hot (tenant, view, request) shapes at the current
+        // epoch are answered from memory, byte-identical to a fresh
+        // search (the epoch in the key guarantees it).
+        let result = view.search_cached(tenant, name, request);
         match &result {
             Ok(_) => state.record_completed(),
             Err(EngineError::DeadlineExceeded { .. }) => state.record_deadline_exceeded(),
@@ -462,6 +542,7 @@ impl<S: DocumentSource> ViewCatalog<S> {
             misses: self.misses.load(Ordering::Relaxed),
             prepares: self.prepares.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            refreshes: self.refreshes.load(Ordering::Relaxed),
             named: self.named.read().unwrap().len(),
             adhoc: self.adhoc.lock().unwrap().entries.len(),
         }
@@ -590,8 +671,12 @@ mod tests {
         let catalog = ViewCatalog::new(ViewSearchEngine::new(corpus()));
         catalog.register("v", VIEW_A).unwrap();
         catalog.search("v", &SearchRequest::new(["xml"])).unwrap();
-        let err =
-            catalog.search("v", &SearchRequest::new(["xml"]).deadline(Duration::ZERO)).unwrap_err();
+        // A different request shape (so the result cache can't answer
+        // it instantly — deadlines are excluded from the cache key on
+        // purpose) with an already-expired deadline.
+        let err = catalog
+            .search("v", &SearchRequest::new(["search"]).deadline(Duration::ZERO))
+            .unwrap_err();
         assert!(matches!(err, EngineError::DeadlineExceeded { .. }), "{err}");
         let stats = catalog.tenants().tenant(&TenantId::public()).stats();
         assert_eq!(stats.admitted, 2);

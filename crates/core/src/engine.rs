@@ -35,6 +35,7 @@
 //! which the [`DocumentSource::fetch_count`] counter lets tests and
 //! experiments verify.
 
+use crate::cache::{CacheStats, ResultCache};
 use crate::generate::DocMeta;
 use crate::memtable::MemTable;
 use crate::prepared::PreparedView;
@@ -108,6 +109,15 @@ pub enum EngineError {
         /// Which quota tripped, human-readable (e.g. `max_views=8`).
         quota: String,
     },
+    /// A view references documents the deterministic doc→shard map
+    /// assigns to different shards, so no single shard can own it
+    /// (raised by [`crate::router::ShardedCatalog`]).
+    CrossShard {
+        /// The view name being registered.
+        view: String,
+        /// Each referenced document with its assigned shard.
+        docs: Vec<(String, usize)>,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -134,6 +144,13 @@ impl fmt::Display for EngineError {
             }
             EngineError::QuotaExceeded { tenant, quota } => {
                 write!(f, "tenant '{tenant}' exceeded quota {quota}")
+            }
+            EngineError::CrossShard { view, docs } => {
+                write!(f, "view '{view}' spans shards:")?;
+                for (doc, shard) in docs {
+                    write!(f, " {doc}→{shard}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -212,6 +229,14 @@ pub(crate) type SegmentSet = Vec<Arc<EngineSegment>>;
 /// allocator that namespaces ingested documents, and the id counter.
 struct SegmentState {
     set: RwLock<Arc<SegmentSet>>,
+    /// Segment-set generation: bumped (under the `set` write lock) on
+    /// every swap — ingest, append publish, compaction. Prepared views
+    /// record the epoch they captured; the result cache keys on it, so
+    /// a swap invalidates every cached response implicitly.
+    epoch: AtomicU64,
+    /// The epoch-keyed result cache (see [`crate::cache::ResultCache`]),
+    /// shared across clones like the tallies.
+    cache: ResultCache,
     next_ordinal: AtomicU32,
     next_segment_id: AtomicU64,
     /// Serializes set *mutations* (ingest / append / compact); readers
@@ -280,6 +305,7 @@ struct WriteTallies {
     flushes: AtomicU64,
     compactions: AtomicU64,
     replay_records: AtomicU64,
+    checkpoints: AtomicU64,
 }
 
 /// The background compaction thread and its shutdown signal.
@@ -390,6 +416,8 @@ impl SegmentState {
         let next_segment_id = segments.iter().map(|s| s.id).max().map(|m| m + 1).unwrap_or(1);
         SegmentState {
             set: RwLock::new(Arc::new(segments)),
+            epoch: AtomicU64::new(1),
+            cache: ResultCache::default(),
             next_ordinal: AtomicU32::new(next_ordinal),
             next_segment_id: AtomicU64::new(next_segment_id),
             mutate: Mutex::new(()),
@@ -402,6 +430,27 @@ impl SegmentState {
 
     fn snapshot(&self) -> Arc<SegmentSet> {
         Arc::clone(&self.set.read().unwrap())
+    }
+
+    /// The snapshot and the epoch it belongs to, read under one lock so
+    /// the pair is always consistent (a concurrent swap gives either the
+    /// old set with the old epoch or the new set with the new one).
+    fn snapshot_and_epoch(&self) -> (Arc<SegmentSet>, u64) {
+        let set = self.set.read().unwrap();
+        (Arc::clone(&set), self.epoch.load(Ordering::Acquire))
+    }
+
+    /// Swap in a new segment set and bump the epoch, both under the
+    /// `set` write lock — the single choke point every mutation
+    /// (ingest / append publish / compaction) goes through. Stale cache
+    /// entries are purged after the lock drops.
+    fn publish(&self, next: SegmentSet) {
+        let epoch = {
+            let mut set = self.set.write().unwrap();
+            *set = Arc::new(next);
+            self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+        };
+        self.cache.invalidate_below(epoch);
     }
 
     /// Index one write batch: dup-check, parse under fresh ordinals,
@@ -453,7 +502,7 @@ impl SegmentState {
         let mut next: SegmentSet =
             snapshot.iter().filter(|seg| Some(seg.id) != ws.live).cloned().collect();
         next.push(segment);
-        *self.set.write().unwrap() = Arc::new(next);
+        self.publish(next);
         ws.live = Some(id);
         if ws.memtable.bytes() >= ws.config.memtable_max_bytes
             || ws.memtable.age() >= ws.config.memtable_max_age
@@ -522,7 +571,7 @@ impl SegmentState {
             .map(|(i, seg)| replacement.remove(&i).unwrap_or_else(|| Arc::clone(seg)))
             .collect();
         report.segments = next.len();
-        *self.set.write().unwrap() = Arc::new(next);
+        self.publish(next);
         self.write_tallies.compactions.fetch_add(1, Ordering::Relaxed);
         report
     }
@@ -537,6 +586,7 @@ impl SegmentState {
             flushes: self.write_tallies.flushes.load(Ordering::Relaxed),
             compactions: self.write_tallies.compactions.load(Ordering::Relaxed),
             replay_records: self.write_tallies.replay_records.load(Ordering::Relaxed),
+            checkpoints: self.write_tallies.checkpoints.load(Ordering::Relaxed),
         }
     }
 }
@@ -718,6 +768,25 @@ impl<S: DocumentSource> ViewSearchEngine<S> {
         self.inner.state.snapshot()
     }
 
+    /// The snapshot together with its epoch, read consistently.
+    pub(crate) fn snapshot_and_epoch(&self) -> (Arc<SegmentSet>, u64) {
+        self.inner.state.snapshot_and_epoch()
+    }
+
+    /// The segment-set epoch: a monotone generation counter bumped on
+    /// every set swap (ingest, append publish, compaction). A
+    /// [`PreparedView`] whose [`PreparedView::epoch`] differs from this
+    /// was prepared against a superseded set; the result cache keys on
+    /// it so swaps invalidate cached responses implicitly.
+    pub fn epoch(&self) -> u64 {
+        self.inner.state.epoch.load(Ordering::Acquire)
+    }
+
+    /// The engine's epoch-keyed result cache (shared by every clone).
+    pub fn result_cache(&self) -> &ResultCache {
+        &self.inner.state.cache
+    }
+
     /// The corpus the initial segment was built over, if the engine was
     /// constructed from one (`None` after a cold [`Self::open`]).
     /// Ingested documents live in per-segment corpora, not here.
@@ -762,6 +831,7 @@ impl<S: DocumentSource> ViewSearchEngine<S> {
             segments: snapshot.len(),
             pruning: self.inner.state.prune.snapshot(),
             writes: self.inner.state.write_stats(),
+            cache: self.inner.state.cache.stats(),
             ..EngineStats::default()
         };
         for seg in snapshot.iter() {
@@ -845,7 +915,7 @@ impl<S: DocumentSource> ViewSearchEngine<S> {
         let info = segment.info();
         let mut next: SegmentSet = (*snapshot).clone();
         next.push(segment);
-        *state.set.write().unwrap() = Arc::new(next);
+        state.publish(next);
         Ok(IngestReport { segment: info, documents: names })
     }
 
@@ -968,6 +1038,74 @@ impl<S: DocumentSource> ViewSearchEngine<S> {
         }
         state.seal(ws);
         true
+    }
+
+    /// Checkpoint the write path into `dir`, bounding restart replay
+    /// cost: seal the memtable (so every WAL-recovered document lives in
+    /// an ordinary segment), persist any appended documents' base data
+    /// into the store catalog in `dir`, save the whole segment set as
+    /// the index bundle, and **truncate the WAL to empty** — a restart
+    /// replays only records appended after this call. All of it happens
+    /// under the mutation lock, so no append can slip between the
+    /// persist and the truncation; requires [`Self::enable_writes`].
+    ///
+    /// `dir` is the store/bundle directory the engine was opened from
+    /// (`store.vxc` + `indices.vxi`); a directory without a store
+    /// catalog gets a fresh one holding just the appended documents.
+    pub fn checkpoint(&self, dir: impl AsRef<Path>) -> Result<CheckpointReport, EngineError> {
+        let dir = dir.as_ref();
+        let state = &self.inner.state;
+        let _mutating = state.mutate.lock().unwrap();
+        let mut write = state.write.lock().unwrap();
+        let Some(ws) = write.as_mut() else {
+            return Err(EngineError::Ingest("writes not enabled; call enable_writes first".into()));
+        };
+        let flushed = ws.memtable.entries() > 0;
+        if flushed {
+            state.seal(ws);
+        }
+        let snapshot = state.snapshot();
+        // Appended documents materialize from in-memory side corpora
+        // that WAL replay rebuilds; once the WAL is truncated they must
+        // come from the disk store instead. Persist the ones the store
+        // doesn't hold yet through a fresh handle — the live store
+        // handle keeps serving reads from its own catalog, and the side
+        // corpora keep covering these documents until a restart.
+        let mut store = if dir.join(vxv_xml::diskstore::CATALOG_FILE).exists() {
+            DiskStore::open(dir)
+                .map_err(|e| EngineError::Ingest(format!("checkpoint store open: {e}")))?
+        } else {
+            DiskStore::default()
+        };
+        let known: std::collections::HashSet<String> =
+            store.names().map(|n| n.to_string()).collect();
+        let mut side = Corpus::new();
+        for seg in snapshot.iter() {
+            if let Some(corpus) = &seg.side_corpus {
+                for doc in corpus.docs() {
+                    if !known.contains(doc.name()) && side.doc(doc.name()).is_none() {
+                        side.add(doc.clone());
+                    }
+                }
+            }
+        }
+        let documents_persisted = side.docs().count();
+        if documents_persisted > 0 {
+            store
+                .append_segment(&side, dir)
+                .map_err(|e| EngineError::Ingest(format!("checkpoint store: {e}")))?;
+        }
+        IndexBundle::save_segments(snapshot.iter().map(|s| s.index.as_ref()), dir)
+            .map_err(|e| EngineError::Ingest(format!("checkpoint bundle: {e}")))?;
+        let wal_bytes_truncated = ws.wal.len().saturating_sub(wal::WAL_MAGIC.len() as u64);
+        ws.wal.checkpoint().map_err(|e| EngineError::Ingest(format!("WAL checkpoint: {e}")))?;
+        state.write_tallies.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(CheckpointReport {
+            flushed,
+            segments: snapshot.len(),
+            documents_persisted,
+            wal_bytes_truncated,
+        })
     }
 
     /// Analyze the view text once — parse, QPT generation, and the
@@ -1105,6 +1243,8 @@ pub struct EngineStats {
     /// Real-time write-path counters (all zero until
     /// [`ViewSearchEngine::enable_writes`]).
     pub writes: WriteStats,
+    /// Result- and probe-cache counters (see [`crate::cache`]).
+    pub cache: CacheStats,
 }
 
 /// Write-path counters (see [`EngineStats::writes`]): engine-lifetime
@@ -1127,6 +1267,22 @@ pub struct WriteStats {
     pub compactions: u64,
     /// WAL records recovered at [`ViewSearchEngine::enable_writes`].
     pub replay_records: u64,
+    /// Checkpoints taken ([`ViewSearchEngine::checkpoint`]): bundle +
+    /// store persisted, WAL truncated to empty.
+    pub checkpoints: u64,
+}
+
+/// What one [`ViewSearchEngine::checkpoint`] persisted and truncated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// Whether a non-empty memtable was sealed first.
+    pub flushed: bool,
+    /// Segments persisted into the bundle.
+    pub segments: usize,
+    /// Appended documents newly written into the store catalog.
+    pub documents_persisted: usize,
+    /// WAL record bytes dropped by the truncation.
+    pub wal_bytes_truncated: u64,
 }
 
 /// What [`ViewSearchEngine::enable_writes`] recovered from the WAL.

@@ -141,6 +141,7 @@
 //! `legacy-api` cargo feature for one release; disable default features
 //! to build against the owned API only.
 
+pub mod cache;
 pub mod catalog;
 pub mod control;
 pub mod engine;
@@ -154,17 +155,19 @@ pub mod prepared;
 pub mod qpt;
 pub mod qpt_gen;
 pub mod request;
+pub mod router;
 pub mod scoring;
 pub mod stream;
 pub mod tenant;
 
+pub use cache::{request_fingerprint, CacheKey, CacheStats, ResultCache};
 pub use catalog::{
     CatalogStats, NamedRequest, ViewCatalog, DEFAULT_ADHOC_CAPACITY, QUOTA_RETRY_AFTER,
 };
 pub use control::CancelToken;
 pub use engine::{
-    CompactReport, EngineError, EngineStats, IngestReport, ReplayReport, SegmentInfo,
-    ViewSearchEngine, WriteConfig, WriteStats,
+    CheckpointReport, CompactReport, EngineError, EngineStats, IngestReport, ReplayReport,
+    SegmentInfo, ViewSearchEngine, WriteConfig, WriteStats,
 };
 pub use generate::{generate_pdt, DocMeta, GenerateStats};
 pub use pdt::{Pdt, PdtElem, PdtNodeInfo};
@@ -173,6 +176,7 @@ pub use prepared::{PreparedView, ProbeReport, QptReport, QueryPlan};
 pub use qpt::{Qpt, QptEdge, QptNode, QptNodeId};
 pub use qpt_gen::{generate_qpts, QptGenError};
 pub use request::{PhaseTimings, SearchHit, SearchRequest, SearchResponse};
+pub use router::{shard_of, ScatterHit, ScatterResponse, ShardReport, ShardedCatalog};
 pub use scoring::{
     score_and_rank, score_and_rank_bounded, BoundedCandidate, ElementStats, KeywordMode,
     PruneStats, ScoredElement, ScoringOutcome,

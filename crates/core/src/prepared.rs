@@ -28,6 +28,7 @@
 //! * [`PreparedView::hits`] — rank, then return a pull-based
 //!   [`HitStream`] that materializes each hit on demand.
 
+use crate::cache::{request_fingerprint, CacheKey};
 use crate::control::{ExecControl, Interrupt};
 use crate::engine::{EngineError, EngineSegment, SegmentSet, ViewSearchEngine};
 use crate::generate::{generate_pdt_from_lists_ctl, DocMeta, GenerateStats, TfAnnotation};
@@ -42,7 +43,7 @@ use crate::scoring::{
 };
 use crate::stream::{materialize_segments, FetchRouter, HitStream, PlannedHit, Segment};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 use vxv_index::tokenize::normalize_keyword;
 use vxv_xml::DocumentSource;
@@ -73,8 +74,23 @@ pub struct PreparedView<S: DocumentSource> {
     /// The segment set this view was prepared against (kept alive for
     /// snapshot isolation across ingests/compactions).
     snapshot: Arc<SegmentSet>,
+    /// The engine epoch the snapshot was taken at. A prepared view is
+    /// frozen: this never changes, so comparing it against
+    /// [`ViewSearchEngine::epoch`] tells callers (and the result cache)
+    /// whether the view still reflects the live segment set.
+    epoch: u64,
+    /// Hot-keyword probe cache: pinned posting lists keyed by
+    /// `(plan slot, normalized keyword)`. The pins share the snapshot's
+    /// lifetime — a new prepare (new epoch) starts with an empty cache,
+    /// which is exactly epoch invalidation.
+    pins: RwLock<HashMap<(usize, String), Arc<vxv_index::PinnedList>>>,
     router: FetchRouter<S>,
 }
+
+/// Distinct `(plan, keyword)` pins kept per view before the probe cache
+/// stops inserting — a safety valve against unbounded keyword churn, not
+/// a tuning knob (real workloads are far below it).
+const PROBE_CACHE_MAX_PINS: usize = 4096;
 
 impl<S: DocumentSource> std::fmt::Debug for PreparedView<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -107,7 +123,7 @@ impl<S: DocumentSource> PreparedView<S> {
     /// Called via [`ViewSearchEngine::prepare`] /
     /// [`ViewSearchEngine::prepare_query`].
     pub(crate) fn build(engine: &ViewSearchEngine<S>, query: Query) -> Result<Self, EngineError> {
-        let snapshot = engine.snapshot();
+        let (snapshot, epoch) = engine.snapshot_and_epoch();
         let qpts = generate_qpts(&query)?;
         let mut plans = Vec::with_capacity(qpts.len());
         for qpt in qpts {
@@ -122,7 +138,48 @@ impl<S: DocumentSource> PreparedView<S> {
             plans.push(QptPlan { qpt, meta, segment: Arc::clone(segment), lists });
         }
         let router = FetchRouter::new(engine.source_arc(), &snapshot);
-        Ok(PreparedView { engine: engine.clone(), query, plans, snapshot, router })
+        Ok(PreparedView {
+            engine: engine.clone(),
+            query,
+            plans,
+            snapshot,
+            epoch,
+            pins: RwLock::new(HashMap::new()),
+            router,
+        })
+    }
+
+    /// The engine epoch this view was prepared at. Stale when it no
+    /// longer equals [`ViewSearchEngine::epoch`] — the view still
+    /// answers searches (snapshot isolation), it just doesn't see
+    /// documents ingested since.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Resolve one `(plan, keyword)` posting-list pin, consulting the
+    /// view's probe cache first. A hit skips the dictionary lookup
+    /// entirely (charging no index `lookups` counter); a miss pins the
+    /// list and publishes it for subsequent searches. Pins are cheap —
+    /// the block data is refcounted — and live exactly as long as the
+    /// prepared snapshot.
+    fn pinned_list(&self, pi: usize, plan: &QptPlan, keyword: &str) -> Arc<vxv_index::PinnedList> {
+        let cache = self.engine.result_cache();
+        if let Some(pin) = self.pins.read().unwrap().get(&(pi, keyword.to_string())) {
+            cache.record_probe_hit();
+            return Arc::clone(pin);
+        }
+        cache.record_probe_miss();
+        let pin = Arc::new(plan.segment.index.inverted().pin_list(keyword));
+        let mut pins = self.pins.write().unwrap();
+        if pins.len() < PROBE_CACHE_MAX_PINS {
+            // Two racing misses may both pin; keep the first insert so
+            // every hit after the race shares one allocation.
+            return Arc::clone(
+                pins.entry((pi, keyword.to_string())).or_insert_with(|| Arc::clone(&pin)),
+            );
+        }
+        pin
     }
 
     /// The engine this view was prepared against (a shared handle).
@@ -208,6 +265,44 @@ impl<S: DocumentSource> PreparedView<S> {
             pruning: ranked.pruning,
             plan: ranked.plan,
         })
+    }
+
+    /// [`Self::search`] through the engine's epoch-keyed result cache:
+    /// a response already computed for `(tenant, view_name, request
+    /// shape)` at this view's epoch is returned without touching the
+    /// index; otherwise the search runs and its response is stored.
+    /// Because the epoch is part of the key, a hit is byte-identical
+    /// (hits, score bits, order) to a fresh search against this view's
+    /// snapshot — cached responses do carry the *original* run's
+    /// [`PhaseTimings`], which is what makes them fast.
+    pub fn search_cached(
+        &self,
+        tenant: &crate::tenant::TenantId,
+        view_name: &str,
+        request: &SearchRequest,
+    ) -> Result<SearchResponse, EngineError> {
+        // A control that is already tripped must fail typed, never be
+        // answered — deadlines and cancel tokens are excluded from the
+        // cache fingerprint, so without this guard a zero-budget
+        // request could ride an earlier request's cached response.
+        if request.deadline_budget().is_some_and(|d| d.is_zero())
+            || request.cancel().is_some_and(|t| t.is_cancelled())
+        {
+            return self.search(request);
+        }
+        let cache = self.engine.result_cache();
+        let key = CacheKey {
+            tenant: tenant.clone(),
+            view: view_name.to_string(),
+            fingerprint: request_fingerprint(request),
+            epoch: self.epoch,
+        };
+        if let Some(hit) = cache.get(&key) {
+            return Ok((*hit).clone());
+        }
+        let response = self.search(request)?;
+        cache.insert(key, Arc::new(response.clone()));
+        Ok(response)
     }
 
     /// Rank once, then pull hits incrementally: returns a [`HitStream`]
@@ -480,15 +575,23 @@ impl<S: DocumentSource> PreparedView<S> {
         }
         let kws = keywords.len();
 
-        // One pinned posting-list reader per (plan, keyword): the
-        // dictionary lookup happens once, and both the estimate pass
-        // and the lazy completions below probe through it.
+        // One pinned posting-list reader per (plan, keyword). Pins come
+        // from the view's probe cache — hot keywords skip the dictionary
+        // lookup on every search after the first — and both the estimate
+        // pass and the lazy completions below probe through them.
+        let pins: Vec<Vec<Arc<vxv_index::PinnedList>>> = self
+            .plans
+            .iter()
+            .enumerate()
+            .map(|(pi, plan)| keywords.iter().map(|kw| self.pinned_list(pi, plan, kw)).collect())
+            .collect();
         let readers: Vec<Vec<vxv_index::TfReader<'_>>> = self
             .plans
             .iter()
-            .map(|plan| {
+            .zip(&pins)
+            .map(|(plan, plan_pins)| {
                 let inverted = plan.segment.index.inverted();
-                keywords.iter().map(|kw| inverted.tf_reader(kw)).collect()
+                plan_pins.iter().map(|pin| inverted.tf_reader_pinned(pin)).collect()
             })
             .collect();
 

@@ -201,8 +201,10 @@ impl PhaseTimings {
     }
 }
 
-/// Everything one search reports back.
-#[derive(Debug)]
+/// Everything one search reports back. `Clone` exists so the
+/// epoch-keyed result cache can hand out copies of a stored response;
+/// the clone cost is dominated by the materialized hit XML.
+#[derive(Clone, Debug)]
 pub struct SearchResponse {
     /// Ranked hits, materialized if the request asked for it.
     pub hits: Vec<SearchHit>,

@@ -1,0 +1,695 @@
+//! [`ShardedCatalog`] — the N-shard scatter-gather router.
+//!
+//! One machine, N independent engines: the corpus is **partitioned by
+//! document** across shards with a deterministic hash
+//! ([`shard_of`]), each shard is an ordinary
+//! [`ViewSearchEngine`] + [`ViewCatalog`] pair, and this router is the
+//! single facade in front of them. The payoff under write traffic is
+//! *blast-radius isolation*: an append lands on exactly one shard, so
+//! it bumps **one** shard's segment-set epoch — the other shards' result
+//! caches, probe pins, and prepared views stay hot. With one engine,
+//! every append invalidates everything.
+//!
+//! ## Why routed searches are byte-identical to a union build
+//!
+//! A view's QPTs each project one base document, and idf is computed
+//! over the **view sequence** — never over unrelated corpus documents
+//! (see [`crate::prepared`]). So a view whose referenced documents all
+//! live on shard *i* answers searches on shard *i* byte-identically
+//! (hits, score bits, order, `matching`, `idf`) to the same view over a
+//! single engine holding *every* shard's documents: the extra documents
+//! a union engine holds can influence nothing the view touches. The
+//! router therefore routes `register`/`search` to the one shard the
+//! view's documents hash to, and rejects views whose documents hash to
+//! *different* shards with the typed [`EngineError::CrossShard`] —
+//! never a silently re-scored merge.
+//!
+//! Cross-shard requests exist too, as their own explicitly-shaped API:
+//! [`ShardedCatalog::search_scatter`] fans one request over several
+//! named views (wherever they live) through the process-wide worker
+//! pool and gathers a global top-k with a bounded min-heap and a
+//! deterministic tie-break. Its hits keep their per-view scores — idf
+//! is per view by definition, the gather does not pretend otherwise.
+//!
+//! Tenancy stays global: every shard's catalog shares **one**
+//! [`TenantRegistry`] (see [`ViewCatalog::with_registry`]), so quotas
+//! and per-tenant counters mean the same thing they mean with one
+//! engine.
+
+use crate::cache::CacheStats;
+use crate::catalog::{CatalogStats, NamedRequest, ViewCatalog, DEFAULT_ADHOC_CAPACITY};
+use crate::engine::{
+    CheckpointReport, EngineError, EngineStats, IngestReport, ReplayReport, ViewSearchEngine,
+    WriteConfig,
+};
+use crate::prepared::PreparedView;
+use crate::qpt_gen::generate_qpts;
+use crate::request::{SearchRequest, SearchResponse};
+use crate::tenant::{TenantId, TenantRegistry};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
+use vxv_xml::{Corpus, DocumentSource};
+use vxv_xquery::parse_query;
+
+/// The deterministic doc→shard map: FNV-1a over the document name,
+/// modulo the shard count. Stable across runs and processes — routing
+/// is a pure function of the name, never of arrival order.
+pub fn shard_of(doc_name: &str, shards: usize) -> usize {
+    debug_assert!(shards > 0, "a sharded catalog has at least one shard");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in doc_name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// One hit of a cross-shard gather: a [`crate::SearchHit`] plus where
+/// it came from. Scores are the per-view TF-IDF scores — idf is scoped
+/// to each view's sequence, so scores are comparable the way any two
+/// views' scores are, and the gather's ordering is deterministic
+/// regardless.
+#[derive(Clone, Debug)]
+pub struct ScatterHit {
+    /// Global rank after the gather (1-based).
+    pub rank: usize,
+    /// The view this hit came from.
+    pub view: String,
+    /// The shard that view lives on.
+    pub shard: usize,
+    /// The hit's score within its view.
+    pub score: f64,
+    /// Per-keyword term frequencies.
+    pub tf: Vec<u32>,
+    /// Aggregate byte length of the view element.
+    pub byte_len: u64,
+    /// Materialized XML (empty if the request disabled it).
+    pub xml: String,
+}
+
+/// What a [`ShardedCatalog::search_scatter`] gather returns.
+#[derive(Clone, Debug)]
+pub struct ScatterResponse {
+    /// Global top-k across every fanned view, deterministically ordered
+    /// (score desc by total order, then view name, then per-view rank).
+    pub hits: Vec<ScatterHit>,
+    /// Sum of the fanned views' `matching` counts.
+    pub matching: usize,
+    /// Sum of the fanned views' `view_size`s.
+    pub view_size: usize,
+    /// How many named views the request fanned over.
+    pub fanned: usize,
+}
+
+/// Min-heap key for the bounded top-k gather: orders by score
+/// ascending (so the heap root is the weakest survivor), with the
+/// deterministic tie-break inverted to match.
+struct GatherKey {
+    score: f64,
+    view: String,
+    rank: usize,
+}
+
+impl GatherKey {
+    /// Total order: score (total_cmp), then view name, then rank —
+    /// never ambiguous, even for NaN or negative-zero scores.
+    fn cmp_key(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.view.cmp(&self.view))
+            .then_with(|| other.rank.cmp(&self.rank))
+    }
+}
+
+impl PartialEq for GatherKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_key(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for GatherKey {}
+impl PartialOrd for GatherKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for GatherKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.cmp_key(other)
+    }
+}
+
+/// A per-shard report wrapper: which shard produced it.
+#[derive(Clone, Debug)]
+pub struct ShardReport<T> {
+    /// The shard index.
+    pub shard: usize,
+    /// The shard's own report.
+    pub report: T,
+}
+
+/// N independent [`ViewCatalog`]s behind one facade, routed by the
+/// deterministic doc→shard map; see the module docs.
+pub struct ShardedCatalog<S: DocumentSource = Corpus> {
+    shards: Vec<Arc<ViewCatalog<S>>>,
+    tenants: Arc<TenantRegistry>,
+    /// Which shard owns each registered `(tenant, view)` — recorded at
+    /// registration, consulted on every named search.
+    routes: RwLock<HashMap<(TenantId, String), usize>>,
+}
+
+impl<S: DocumentSource> std::fmt::Debug for ShardedCatalog<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCatalog")
+            .field("shards", &self.shards.len())
+            .field("routes", &self.routes.read().unwrap().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: DocumentSource> ShardedCatalog<S> {
+    /// Wrap `engines` — one per shard, in shard order — sharing a
+    /// single tenant registry across every shard's catalog.
+    pub fn from_engines(engines: Vec<ViewSearchEngine<S>>) -> Self {
+        assert!(!engines.is_empty(), "a sharded catalog needs at least one shard");
+        let tenants = Arc::new(TenantRegistry::new());
+        let shards = engines
+            .into_iter()
+            .map(|engine| {
+                Arc::new(ViewCatalog::with_registry(
+                    engine,
+                    Arc::clone(&tenants),
+                    DEFAULT_ADHOC_CAPACITY,
+                ))
+            })
+            .collect();
+        ShardedCatalog { shards, tenants, routes: RwLock::new(HashMap::new()) }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard the doc→shard map assigns `doc_name` to.
+    pub fn shard_of_doc(&self, doc_name: &str) -> usize {
+        shard_of(doc_name, self.shards.len())
+    }
+
+    /// Shard `i`'s catalog (panics if out of range).
+    pub fn shard(&self, i: usize) -> &Arc<ViewCatalog<S>> {
+        &self.shards[i]
+    }
+
+    /// The shared tenant table (one registry across all shards).
+    pub fn tenants(&self) -> &TenantRegistry {
+        &self.tenants
+    }
+
+    /// Where `(tenant, view)` is registered, if anywhere.
+    pub fn route_of(&self, tenant: &TenantId, view: &str) -> Option<usize> {
+        self.routes.read().unwrap().get(&(tenant.clone(), view.to_string())).copied()
+    }
+
+    /// Resolve the single shard `view_text`'s referenced documents hash
+    /// to, or [`EngineError::CrossShard`] when they disagree.
+    fn owning_shard(&self, name: &str, view_text: &str) -> Result<usize, EngineError> {
+        let query = parse_query(view_text)?;
+        let qpts = generate_qpts(&query)?;
+        let docs: Vec<(String, usize)> =
+            qpts.iter().map(|q| (q.doc_name.clone(), self.shard_of_doc(&q.doc_name))).collect();
+        let Some(&(_, first)) = docs.first() else {
+            // A view referencing no documents can live anywhere;
+            // pick shard 0 deterministically.
+            return Ok(0);
+        };
+        if docs.iter().any(|&(_, s)| s != first) {
+            return Err(EngineError::CrossShard { view: name.to_string(), docs });
+        }
+        Ok(first)
+    }
+
+    /// Register `view_text` under the public tenant's `name` on the
+    /// shard owning its documents. See [`Self::register_for`].
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        view_text: &str,
+    ) -> Result<Arc<PreparedView<S>>, EngineError> {
+        self.register_for(&TenantId::public(), name, view_text)
+    }
+
+    /// Route `view_text` to the one shard its referenced documents hash
+    /// to, register it there under `(tenant, name)`, and record the
+    /// route. Documents hashing to different shards are a typed
+    /// [`EngineError::CrossShard`] — the router never silently splits a
+    /// view.
+    pub fn register_for(
+        &self,
+        tenant: &TenantId,
+        name: impl Into<String>,
+        view_text: &str,
+    ) -> Result<Arc<PreparedView<S>>, EngineError> {
+        let name = name.into();
+        let shard = self.owning_shard(&name, view_text)?;
+        let view = self.shards[shard].register_for(tenant, &name, view_text)?;
+        let prev = self.routes.write().unwrap().insert((tenant.clone(), name.clone()), shard);
+        // Re-registration may move a view between shards (its text
+        // changed): drop the stale twin so exactly one shard serves it.
+        if let Some(old) = prev {
+            if old != shard {
+                self.shards[old].evict_for(tenant, &name);
+            }
+        }
+        Ok(view)
+    }
+
+    /// The prepared view under the public tenant's `name`. See
+    /// [`Self::get_for`].
+    pub fn get(&self, name: &str) -> Option<Arc<PreparedView<S>>> {
+        self.get_for(&TenantId::public(), name)
+    }
+
+    /// The prepared view under `(tenant, name)`, routed to its owning
+    /// shard (with that catalog's epoch refresh behavior).
+    pub fn get_for(&self, tenant: &TenantId, name: &str) -> Option<Arc<PreparedView<S>>> {
+        let shard = self.route_of(tenant, name)?;
+        self.shards[shard].get_for(tenant, name)
+    }
+
+    /// Drop `(tenant, name)` from its owning shard. Returns whether it
+    /// existed.
+    pub fn evict_for(&self, tenant: &TenantId, name: &str) -> bool {
+        let Some(shard) = self.routes.write().unwrap().remove(&(tenant.clone(), name.to_string()))
+        else {
+            return false;
+        };
+        self.shards[shard].evict_for(tenant, name)
+    }
+
+    /// Search the public tenant's `name`. See [`Self::search_for`].
+    pub fn search(
+        &self,
+        name: &str,
+        request: &SearchRequest,
+    ) -> Result<SearchResponse, EngineError> {
+        self.search_for(&TenantId::public(), name, request)
+    }
+
+    /// Route a named search to the shard owning the view and run it
+    /// there — admission quota, epoch refresh, result cache and all.
+    /// Byte-identical to the same search against a single engine
+    /// holding every shard's documents (see the module docs).
+    pub fn search_for(
+        &self,
+        tenant: &TenantId,
+        name: &str,
+        request: &SearchRequest,
+    ) -> Result<SearchResponse, EngineError> {
+        let Some(shard) = self.route_of(tenant, name) else {
+            return Err(EngineError::ViewNotFound(name.to_string()));
+        };
+        self.shards[shard].search_for(tenant, name, request)
+    }
+
+    /// Fan a batch of named requests across the worker pool, each
+    /// routed to its view's owning shard; results come back in request
+    /// order with per-request errors, exactly like
+    /// [`ViewCatalog::search_batch`].
+    pub fn search_batch(
+        &self,
+        requests: &[NamedRequest],
+    ) -> Vec<Result<SearchResponse, EngineError>> {
+        crate::fanout::fan_out(requests, |r| self.search_for(&r.tenant, &r.view, &r.request))
+    }
+
+    /// **Scatter-gather**: run `request` against every named view in
+    /// `views` (each routed to its shard, fanned across the worker
+    /// pool), then gather a single global top-`k` with a bounded
+    /// min-heap. Hit ordering is deterministic: score descending by
+    /// total order, ties broken by view name, then per-view rank. Any
+    /// per-view failure fails the scatter (use [`Self::search_batch`]
+    /// for per-request error isolation).
+    pub fn search_scatter(
+        &self,
+        tenant: &TenantId,
+        views: &[String],
+        request: &SearchRequest,
+    ) -> Result<ScatterResponse, EngineError> {
+        let fanned = crate::fanout::fan_out(views, |name| {
+            self.search_for(tenant, name, request).map(|resp| (name.clone(), resp))
+        });
+        let mut responses = Vec::with_capacity(fanned.len());
+        for result in fanned {
+            responses.push(result?);
+        }
+
+        let k = request.k();
+        let mut matching = 0usize;
+        let mut view_size = 0usize;
+        // Bounded min-heap: the root is the weakest of the current
+        // top-k, so each new hit either replaces it or is dropped in
+        // O(log k) — gather cost is items × log k, independent of how
+        // many hits the fanned views returned in total.
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(GatherKey, usize, usize)>> =
+            std::collections::BinaryHeap::with_capacity(k + 1);
+        for (vi, (name, resp)) in responses.iter().enumerate() {
+            matching += resp.matching;
+            view_size += resp.view_size;
+            for (hi, hit) in resp.hits.iter().enumerate() {
+                let key = GatherKey { score: hit.score, view: name.clone(), rank: hit.rank };
+                heap.push(std::cmp::Reverse((key, vi, hi)));
+                if heap.len() > k {
+                    heap.pop();
+                }
+            }
+        }
+        let mut picked: Vec<(GatherKey, usize, usize)> =
+            heap.into_iter().map(|std::cmp::Reverse(t)| t).collect();
+        picked.sort_by(|a, b| b.0.cmp_key(&a.0));
+        let hits = picked
+            .into_iter()
+            .enumerate()
+            .map(|(rank, (key, vi, hi))| {
+                let (name, resp) = &responses[vi];
+                let hit = &resp.hits[hi];
+                ScatterHit {
+                    rank: rank + 1,
+                    view: name.clone(),
+                    shard: self.route_of(tenant, name).unwrap_or(0),
+                    score: key.score,
+                    tf: hit.tf.clone(),
+                    byte_len: hit.byte_len,
+                    xml: hit.xml.clone(),
+                }
+            })
+            .collect();
+        Ok(ScatterResponse { hits, matching, view_size, fanned: responses.len() })
+    }
+
+    /// Route an append batch: each document goes to the shard its name
+    /// hashes to, per-shard sub-batches run **in parallel** (shards
+    /// have independent WALs and mutate locks — this is the second
+    /// sharding win under write traffic). Returns one report per shard
+    /// that received documents, in shard order. All-or-nothing holds
+    /// *per shard*, not across shards: a failing sub-batch reports its
+    /// error in its slot without undoing sibling shards.
+    pub fn append<N, X>(
+        &self,
+        docs: impl IntoIterator<Item = (N, X)>,
+    ) -> Vec<ShardReport<Result<IngestReport, EngineError>>>
+    where
+        N: Into<String>,
+        X: AsRef<str>,
+    {
+        let mut buckets: Vec<Vec<(String, String)>> = vec![Vec::new(); self.shards.len()];
+        for (name, xml) in docs {
+            let name = name.into();
+            let shard = self.shard_of_doc(&name);
+            buckets[shard].push((name, xml.as_ref().to_string()));
+        }
+        let work: Vec<(usize, Vec<(String, String)>)> =
+            buckets.into_iter().enumerate().filter(|(_, b)| !b.is_empty()).collect();
+        let reports = crate::fanout::fan_out(&work, |(shard, batch)| {
+            (*shard, self.shards[*shard].engine().append(batch.clone()))
+        });
+        reports.into_iter().map(|(shard, report)| ShardReport { shard, report }).collect()
+    }
+
+    /// Enable the real-time write path on every shard: shard `i` logs
+    /// to `<base_dir>/shard-<i>/wal.vxl`. Returns per-shard replay
+    /// reports.
+    pub fn enable_writes(
+        &self,
+        base_dir: impl AsRef<Path>,
+        config: WriteConfig,
+    ) -> Result<Vec<ShardReport<ReplayReport>>, EngineError> {
+        let base = base_dir.as_ref();
+        let mut reports = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter().enumerate() {
+            let dir = self.shard_dir(base, i);
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| EngineError::Ingest(format!("shard {i} dir: {e}")))?;
+            let report = shard.engine().enable_writes(dir.join(vxv_index::WAL_FILE), config)?;
+            reports.push(ShardReport { shard: i, report });
+        }
+        Ok(reports)
+    }
+
+    /// Checkpoint every shard into `<base_dir>/shard-<i>/` (flush +
+    /// persist + WAL truncation; see
+    /// [`ViewSearchEngine::checkpoint`]).
+    pub fn checkpoint(
+        &self,
+        base_dir: impl AsRef<Path>,
+    ) -> Result<Vec<ShardReport<CheckpointReport>>, EngineError> {
+        let base = base_dir.as_ref();
+        let mut reports = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter().enumerate() {
+            let dir = self.shard_dir(base, i);
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| EngineError::Ingest(format!("shard {i} dir: {e}")))?;
+            reports.push(ShardReport { shard: i, report: shard.engine().checkpoint(&dir)? });
+        }
+        Ok(reports)
+    }
+
+    /// The directory shard `i`'s durable state lives under.
+    pub fn shard_dir(&self, base: &Path, i: usize) -> PathBuf {
+        base.join(format!("shard-{i}"))
+    }
+
+    /// How many registered `(tenant, view)` routes each shard owns, in
+    /// shard order.
+    pub fn routes_per_shard(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.shards.len()];
+        for &shard in self.routes.read().unwrap().values() {
+            counts[shard] += 1;
+        }
+        counts
+    }
+
+    /// Per-shard engine stats, in shard order.
+    pub fn shard_stats(&self) -> Vec<EngineStats> {
+        self.shards.iter().map(|s| s.engine().stats()).collect()
+    }
+
+    /// Result/probe cache counters summed across shards (gauges sum
+    /// too: total resident entries/bytes and total capacity).
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            let s = shard.engine().result_cache().stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.inserts += s.inserts;
+            total.evictions += s.evictions;
+            total.stale += s.stale;
+            total.entries += s.entries;
+            total.bytes += s.bytes;
+            total.capacity += s.capacity;
+            total.probe_hits += s.probe_hits;
+            total.probe_misses += s.probe_misses;
+        }
+        total
+    }
+
+    /// Catalog counters summed across shards.
+    pub fn catalog_stats(&self) -> CatalogStats {
+        let mut total = CatalogStats::default();
+        for shard in &self.shards {
+            let s = shard.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.prepares += s.prepares;
+            total.evictions += s.evictions;
+            total.refreshes += s.refreshes;
+            total.named += s.named;
+            total.adhoc += s.adhoc;
+        }
+        total
+    }
+}
+
+impl ShardedCatalog<Corpus> {
+    /// Partition `corpus` into `shards` sub-corpora by the doc→shard
+    /// map and build one engine per shard. Root ordinals are preserved
+    /// (they are globally unique already), so per-document index
+    /// content is byte-identical to what a union build produces for
+    /// that document.
+    pub fn partition(corpus: &Corpus, shards: usize) -> Self {
+        assert!(shards > 0, "a sharded catalog needs at least one shard");
+        let mut parts: Vec<Corpus> = (0..shards).map(|_| Corpus::new()).collect();
+        for doc in corpus.docs() {
+            parts[shard_of(doc.name(), shards)].add(doc.clone());
+        }
+        Self::from_engines(parts.into_iter().map(ViewSearchEngine::new).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        for i in 0..8 {
+            c.add_parsed(
+                &format!("doc{i}.xml"),
+                &format!(
+                    "<lib><item><name>entry {i} xml search</name><year>200{i}</year></item></lib>"
+                ),
+            )
+            .unwrap();
+        }
+        c
+    }
+
+    fn view_for(doc: usize) -> String {
+        format!(
+            "for $i in fn:doc(doc{doc}.xml)/lib/item where $i/year > 1999 \
+             return <v> {{ $i/name }} </v>"
+        )
+    }
+
+    #[test]
+    fn shard_of_is_deterministic_and_in_range() {
+        for n in 1..6 {
+            for doc in ["a.xml", "b.xml", "some/longer/name.xml"] {
+                let s = shard_of(doc, n);
+                assert!(s < n);
+                assert_eq!(s, shard_of(doc, n), "stable");
+            }
+        }
+    }
+
+    #[test]
+    fn routed_search_matches_union_engine() {
+        let union = ViewCatalog::new(ViewSearchEngine::new(corpus()));
+        let sharded = ShardedCatalog::partition(&corpus(), 3);
+        for doc in 0..8 {
+            let name = format!("v{doc}");
+            union.register(&name, &view_for(doc)).unwrap();
+            sharded.register(&name, &view_for(doc)).unwrap();
+        }
+        let request = SearchRequest::new(["xml", "search"]).top_k(5);
+        for doc in 0..8 {
+            let name = format!("v{doc}");
+            let a = union.search(&name, &request).unwrap();
+            let b = sharded.search(&name, &request).unwrap();
+            assert_eq!(a.matching, b.matching);
+            assert_eq!(a.view_size, b.view_size);
+            assert_eq!(a.idf, b.idf);
+            assert_eq!(a.hits.len(), b.hits.len());
+            for (x, y) in a.hits.iter().zip(&b.hits) {
+                assert_eq!(x.score.to_bits(), y.score.to_bits(), "score bits");
+                assert_eq!(x.xml, y.xml);
+                assert_eq!(x.tf, y.tf);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_view_is_not_found_and_routes_are_recorded() {
+        let sharded = ShardedCatalog::partition(&corpus(), 4);
+        sharded.register("v0", &view_for(0)).unwrap();
+        let expected = sharded.shard_of_doc("doc0.xml");
+        assert_eq!(sharded.route_of(&TenantId::public(), "v0"), Some(expected));
+        let err = sharded.search("nope", &SearchRequest::new(["xml"])).unwrap_err();
+        assert!(matches!(err, EngineError::ViewNotFound(_)), "{err}");
+        assert!(sharded.evict_for(&TenantId::public(), "v0"));
+        assert!(!sharded.evict_for(&TenantId::public(), "v0"));
+    }
+
+    #[test]
+    fn cross_shard_views_are_rejected_typed() {
+        let sharded = ShardedCatalog::partition(&corpus(), 8);
+        // Find two documents on different shards (with 8 docs over 8
+        // shards there is always a pair).
+        let mut split = None;
+        'outer: for a in 0..8 {
+            for b in 0..8 {
+                if sharded.shard_of_doc(&format!("doc{a}.xml"))
+                    != sharded.shard_of_doc(&format!("doc{b}.xml"))
+                {
+                    split = Some((a, b));
+                    break 'outer;
+                }
+            }
+        }
+        let (a, b) = split.expect("two docs on different shards");
+        let text = format!(
+            "for $x in fn:doc(doc{a}.xml)/lib/item, $y in fn:doc(doc{b}.xml)/lib/item \
+             return <p> {{ $x/name }} {{ $y/name }} </p>"
+        );
+        let err = sharded.register("both", &text).unwrap_err();
+        assert!(matches!(err, EngineError::CrossShard { .. }), "{err}");
+        assert_eq!(sharded.route_of(&TenantId::public(), "both"), None);
+    }
+
+    #[test]
+    fn scatter_gathers_global_topk_deterministically() {
+        let sharded = ShardedCatalog::partition(&corpus(), 3);
+        let names: Vec<String> = (0..8)
+            .map(|doc| {
+                let name = format!("v{doc}");
+                sharded.register(&name, &view_for(doc)).unwrap();
+                name
+            })
+            .collect();
+        let request = SearchRequest::new(["xml"]).top_k(3);
+        let out = sharded.search_scatter(&TenantId::public(), &names, &request).unwrap();
+        assert_eq!(out.fanned, 8);
+        assert_eq!(out.hits.len(), 3, "bounded to k");
+        assert_eq!(out.matching, 8, "every view matched once");
+        // Deterministic: a second scatter returns the identical order.
+        let again = sharded.search_scatter(&TenantId::public(), &names, &request).unwrap();
+        for (x, y) in out.hits.iter().zip(&again.hits) {
+            assert_eq!((x.rank, &x.view, x.shard), (y.rank, &y.view, y.shard));
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+        // Ranks are 1-based and contiguous.
+        assert_eq!(out.hits.iter().map(|h| h.rank).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn shared_tenant_registry_spans_shards() {
+        let sharded = ShardedCatalog::partition(&corpus(), 2);
+        let acme = TenantId::new("acme");
+        sharded.register_for(&acme, "v0", &view_for(0)).unwrap();
+        sharded.register_for(&acme, "v1", &view_for(1)).unwrap();
+        sharded.search_for(&acme, "v0", &SearchRequest::new(["xml"])).unwrap();
+        sharded.search_for(&acme, "v1", &SearchRequest::new(["xml"])).unwrap();
+        // Both searches landed in ONE tenant state, wherever the views
+        // live.
+        let stats = sharded.tenants().tenant(&acme).stats();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn append_routes_by_hash_and_isolates_other_shards_epochs() {
+        let sharded = ShardedCatalog::partition(&corpus(), 4);
+        let dir = std::env::temp_dir().join(format!("vxv-router-append-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        sharded.enable_writes(&dir, WriteConfig::default()).unwrap();
+        let before: Vec<u64> = (0..4).map(|i| sharded.shard(i).engine().epoch()).collect();
+        let new_doc = "fresh.xml";
+        let target = sharded.shard_of_doc(new_doc);
+        let reports = sharded.append([(new_doc, "<lib><item><name>fresh xml</name></item></lib>")]);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].shard, target);
+        reports[0].report.as_ref().unwrap();
+        for (i, &was) in before.iter().enumerate() {
+            let now = sharded.shard(i).engine().epoch();
+            if i == target {
+                assert!(now > was, "target shard epoch bumps");
+            } else {
+                assert_eq!(now, was, "other shards' epochs (and caches) untouched");
+            }
+        }
+        drop(sharded);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,302 @@
+//! Property tests for the read-scale layer: N-shard routing is
+//! byte-identical to a single-engine union build (score bits and
+//! pruning included), the epoch-keyed result cache never serves a stale
+//! response under interleaved append/flush/compact/search traffic, and
+//! WAL checkpointing bounds restart replay to post-checkpoint records.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use vxv_core::{
+    KeywordMode, SearchRequest, SearchResponse, ShardedCatalog, ViewCatalog, ViewSearchEngine,
+    WriteConfig,
+};
+use vxv_xml::Corpus;
+
+const WORDS: &[&str] = &["alpha", "beta", "gamma", "delta", "xml", "search"];
+
+/// One synthetic document: `<lib>` of items, each with a name made of
+/// pool words and a year some view predicates filter on.
+fn doc_xml(items: &[Vec<usize>]) -> String {
+    let mut xml = String::from("<lib>");
+    for (i, words) in items.iter().enumerate() {
+        let name: Vec<&str> = words.iter().map(|&w| WORDS[w % WORDS.len()]).collect();
+        let year = 1995 + (i * 3) % 12;
+        xml.push_str(&format!("<item><name>{}</name><year>{year}</year></item>", name.join(" ")));
+    }
+    xml.push_str("</lib>");
+    xml
+}
+
+fn view_for(doc: &str) -> String {
+    format!(
+        "for $i in fn:doc({doc})/lib/item where $i/year > 1999 \
+         return <v> {{ $i/name }} </v>"
+    )
+}
+
+/// Full response byte-identity: counts, idf bits, and per-hit rank,
+/// score bits, tf, byte length, XML.
+fn same_response(a: &SearchResponse, b: &SearchResponse) -> Result<(), String> {
+    if a.matching != b.matching {
+        return Err(format!("matching {} vs {}", a.matching, b.matching));
+    }
+    if a.view_size != b.view_size {
+        return Err(format!("view_size {} vs {}", a.view_size, b.view_size));
+    }
+    if a.idf.len() != b.idf.len() {
+        return Err("idf length".into());
+    }
+    for (x, y) in a.idf.iter().zip(&b.idf) {
+        if x.to_bits() != y.to_bits() {
+            return Err(format!("idf bits {x} vs {y}"));
+        }
+    }
+    if a.hits.len() != b.hits.len() {
+        return Err(format!("hits {} vs {}", a.hits.len(), b.hits.len()));
+    }
+    for (x, y) in a.hits.iter().zip(&b.hits) {
+        if x.rank != y.rank {
+            return Err(format!("rank {} vs {}", x.rank, y.rank));
+        }
+        if x.score.to_bits() != y.score.to_bits() {
+            return Err(format!("score bits {} vs {}", x.score, y.score));
+        }
+        if x.tf != y.tf {
+            return Err(format!("tf {:?} vs {:?}", x.tf, y.tf));
+        }
+        if x.byte_len != y.byte_len {
+            return Err(format!("byte_len {} vs {}", x.byte_len, y.byte_len));
+        }
+        if x.xml != y.xml {
+            return Err(format!("xml '{}' vs '{}'", x.xml, y.xml));
+        }
+    }
+    Ok(())
+}
+
+fn request(kws: &[usize], k: usize, any: bool, prune: bool) -> SearchRequest {
+    let keywords: Vec<&str> = kws.iter().map(|&w| WORDS[w % WORDS.len()]).collect();
+    let mode = if any { KeywordMode::Disjunctive } else { KeywordMode::Conjunctive };
+    SearchRequest::new(keywords).top_k(k).mode(mode).prune(prune)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The tentpole acceptance property: for random corpora, shard
+    /// counts, and requests (pruned and exact), every view's routed
+    /// search over a [`ShardedCatalog`] is byte-identical — hits, score
+    /// bits, order, `matching`, `idf` — to the same view over one
+    /// engine holding every document.
+    #[test]
+    fn routed_shards_are_byte_identical_to_union_build(
+        docs in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(0usize..WORDS.len(), 1..4), 1..5),
+            2..7,
+        ),
+        shards in 1usize..6,
+        kws in prop::collection::vec(0usize..WORDS.len(), 1..4),
+        disjunctive in any::<bool>(),
+        prune in any::<bool>(),
+    ) {
+        let mut corpus = Corpus::new();
+        for (d, items) in docs.iter().enumerate() {
+            corpus.add_parsed(&format!("d{d}.xml"), &doc_xml(items)).unwrap();
+        }
+        let union = ViewCatalog::new(ViewSearchEngine::new(corpus.clone()));
+        let sharded = ShardedCatalog::partition(&corpus, shards);
+        for d in 0..docs.len() {
+            let name = format!("v{d}");
+            let text = view_for(&format!("d{d}.xml"));
+            union.register(&name, &text).unwrap();
+            sharded.register(&name, &text).unwrap();
+        }
+        let req = request(&kws, 4, disjunctive, prune);
+        for d in 0..docs.len() {
+            let name = format!("v{d}");
+            let a = union.search(&name, &req).unwrap();
+            let b = sharded.search(&name, &req).unwrap();
+            if let Err(why) = same_response(&a, &b) {
+                prop_assert!(false, "view {name} over {shards} shard(s): {why}");
+            }
+        }
+    }
+}
+
+/// One mutation/search op in the interleaving proptest.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Append a fresh document (durable write path) and register a view
+    /// over it, so later searches cover memtable-backed epochs.
+    Append(Vec<usize>),
+    Flush,
+    Compact,
+    /// Search view `view % live views` with the given keyword picks.
+    Search {
+        view: usize,
+        kws: Vec<usize>,
+        any: bool,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        prop::collection::vec(0usize..WORDS.len(), 1..4).prop_map(Op::Append),
+        Just(Op::Flush),
+        Just(Op::Compact),
+        (0usize..8, prop::collection::vec(0usize..WORDS.len(), 1..3), any::<bool>())
+            .prop_map(|(view, kws, any)| Op::Search { view, kws, any }),
+        (0usize..8, prop::collection::vec(0usize..WORDS.len(), 1..3), any::<bool>())
+            .prop_map(|(view, kws, any)| Op::Search { view, kws, any }),
+    ]
+}
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The cache-coherence satellite: under arbitrary interleavings of
+    /// append / flush / compact / search, a response served through the
+    /// epoch-keyed cache is always byte-identical to a freshly prepared
+    /// exact search at that moment — the cache can serve *identical*
+    /// bytes or recompute, never stale ones. Every search runs twice so
+    /// the second round is answered at the same epoch (a cache hit
+    /// whenever capacity allows) and must still match.
+    #[test]
+    fn interleaved_writes_never_serve_stale_cache(
+        ops in prop::collection::vec(op_strategy(), 1..14),
+    ) {
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("vxv-coherence-{}-{case}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut corpus = Corpus::new();
+        corpus.add_parsed("base0.xml", &doc_xml(&[vec![0, 4], vec![1, 5]])).unwrap();
+        corpus.add_parsed("base1.xml", &doc_xml(&[vec![2, 4, 5]])).unwrap();
+        let catalog = ViewCatalog::new(ViewSearchEngine::new(corpus));
+        catalog.engine().enable_writes(dir.join("wal.vxl"), WriteConfig::default()).unwrap();
+
+        // (name, text) of every live view; grows as appends land.
+        let mut views: Vec<(String, String)> = Vec::new();
+        for (d, doc) in ["base0.xml", "base1.xml"].iter().enumerate() {
+            let name = format!("v{d}");
+            let text = view_for(doc);
+            catalog.register(&name, &text).unwrap();
+            views.push((name, text));
+        }
+
+        let mut appended = 0usize;
+        for op in &ops {
+            match op {
+                Op::Append(words) => {
+                    let doc = format!("extra{appended}.xml");
+                    appended += 1;
+                    catalog
+                        .engine()
+                        .append([(doc.as_str(), doc_xml(std::slice::from_ref(words)).as_str())])
+                        .unwrap();
+                    let name = format!("x{appended}");
+                    let text = view_for(&doc);
+                    catalog.register(&name, &text).unwrap();
+                    views.push((name, text));
+                }
+                Op::Flush => {
+                    catalog.engine().flush_memtable();
+                }
+                Op::Compact => {
+                    catalog.engine().compact();
+                }
+                Op::Search { view, kws, any } => {
+                    let (name, text) = &views[view % views.len()];
+                    let req = request(kws, 3, *any, true);
+                    for round in ["first", "repeat"] {
+                        // Through the catalog: admission + epoch refresh
+                        // + result cache.
+                        let cached = catalog.search(name, &req).unwrap();
+                        // Fresh prepare at the current segment set: the
+                        // exact, cache-free reference.
+                        let fresh = catalog
+                            .engine()
+                            .prepare(text)
+                            .unwrap()
+                            .search(&req.clone().prune(false))
+                            .unwrap();
+                        if let Err(why) = same_response(&cached, &fresh) {
+                            prop_assert!(false, "{round} search of {name}: {why}");
+                        }
+                    }
+                }
+            }
+        }
+        // Counter sanity: the cache was consulted and never under- or
+        // over-counted (hits + misses == cached-path lookups).
+        let stats = catalog.engine().result_cache().stats();
+        let searches = 2 * ops
+            .iter()
+            .filter(|op| matches!(op, Op::Search { .. }))
+            .count() as u64;
+        prop_assert_eq!(stats.hits + stats.misses, searches);
+
+        drop(catalog);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The WAL-checkpointing satellite, end to end: after a checkpoint
+/// persists the flushed state, a restart replays **only** records
+/// appended after the checkpoint (pinned by the replay_records
+/// counter), and every document — persisted or replayed — is
+/// searchable.
+#[test]
+fn checkpoint_bounds_restart_replay() {
+    let dir = std::env::temp_dir().join(format!("vxv-ckpt-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal = dir.join("wal.vxl");
+
+    let mut corpus = Corpus::new();
+    corpus.add_parsed("base0.xml", &doc_xml(&[vec![0, 4], vec![1, 5]])).unwrap();
+    let store = vxv_xml::DiskStore::persist(&corpus, &dir).unwrap();
+    vxv_core::IndexBundle::build(&corpus).save(&dir).unwrap();
+
+    {
+        let engine = ViewSearchEngine::open(store, vxv_core::IndexBundle::load(&dir).unwrap());
+        let replay = engine.enable_writes(&wal, WriteConfig::default()).unwrap();
+        assert_eq!(replay.records, 0, "fresh WAL");
+
+        engine.append([("pre1.xml", doc_xml(&[vec![2, 4]]).as_str())]).unwrap();
+        engine.append([("pre2.xml", doc_xml(&[vec![3, 5]]).as_str())]).unwrap();
+        assert!(engine.flush_memtable());
+        let report = engine.checkpoint(&dir).unwrap();
+        assert_eq!(report.documents_persisted, 2, "both appended docs hit the store");
+        assert!(report.wal_bytes_truncated > 0, "two records were dropped");
+        assert_eq!(engine.stats().writes.checkpoints, 1);
+
+        // This one lands *after* the checkpoint: the only record a
+        // restart may replay.
+        engine.append([("post.xml", doc_xml(&[vec![0, 5]]).as_str())]).unwrap();
+    } // drop joins the compactor and syncs the WAL
+
+    let store = vxv_xml::DiskStore::open(&dir).unwrap();
+    let engine = ViewSearchEngine::open(store, vxv_core::IndexBundle::load(&dir).unwrap());
+    let replay = engine.enable_writes(&wal, WriteConfig::default()).unwrap();
+    assert_eq!(replay.records, 1, "only the post-checkpoint record replays");
+    assert_eq!(replay.documents, 1);
+
+    // Persisted and replayed documents alike are present and searchable.
+    for doc in ["base0.xml", "pre1.xml", "pre2.xml", "post.xml"] {
+        assert!(engine.doc_meta(doc).is_some(), "{doc} missing after restart");
+        let text = format!("for $i in fn:doc({doc})/lib/item return <v> {{ $i/name }} </v>");
+        let view = engine.prepare(&text).unwrap();
+        let out = view
+            .search(&SearchRequest::new([WORDS[4], WORDS[5]]).mode(KeywordMode::Disjunctive))
+            .unwrap();
+        assert!(out.view_size > 0, "{doc} view is empty after restart");
+    }
+
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -266,6 +266,28 @@ impl InvertedIndex {
         TfReader { list: self.lists.get(keyword), scan: &self.scan }
     }
 
+    /// Pin one keyword's list as an **owned** handle that outlives any
+    /// borrow of this index: the list *data* is refcounted (same sharing
+    /// as [`Self::clone_shared`]), so the pin copies only the block
+    /// directory. Counts one lookup — the dictionary resolution this pin
+    /// exists to amortize. Prepared views cache these per (plan,
+    /// keyword) so Zipf-head terms resolve once per segment epoch; turn
+    /// a pin back into a probe-ready reader with
+    /// [`Self::tf_reader_pinned`].
+    pub fn pin_list(&self, keyword: &str) -> PinnedList {
+        debug_assert!(self.staging.is_empty(), "finalize before probing");
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        PinnedList { list: self.lists.get(keyword).cloned() }
+    }
+
+    /// A [`TfReader`] over a previously pinned list. Charges **no**
+    /// lookup (the pin already paid it); scan work from probes is still
+    /// charged to this index's counters, so the I/O-cost proxies stay
+    /// honest about decode work.
+    pub fn tf_reader_pinned<'a>(&'a self, pinned: &'a PinnedList) -> TfReader<'a> {
+        TfReader { list: pinned.list.as_ref(), scan: &self.scan }
+    }
+
     /// Does the subtree rooted at `root` contain `keyword` anywhere?
     /// Short-circuits on the directory bound (no decode when no block
     /// overlaps the range) and stops the scan at the first qualifying
@@ -349,6 +371,24 @@ impl IndexFootprint for InvertedIndex {
 pub struct TfReader<'a> {
     list: Option<&'a BlockList>,
     scan: &'a ScanCounters,
+}
+
+/// An owned pin of one keyword's posting list (see
+/// [`InvertedIndex::pin_list`]): a dictionary resolution that survives
+/// across searches without borrowing the index. Holding one keeps the
+/// refcounted list data alive; it is probe-ready only through
+/// [`InvertedIndex::tf_reader_pinned`], which re-attaches the owning
+/// index's scan counters.
+#[derive(Clone, Debug, Default)]
+pub struct PinnedList {
+    list: Option<BlockList>,
+}
+
+impl PinnedList {
+    /// Whether the keyword had any list at pin time.
+    pub fn is_present(&self) -> bool {
+        self.list.is_some()
+    }
 }
 
 impl TfReader<'_> {

@@ -72,7 +72,8 @@ pub use cursor::{
 };
 pub use footprint::{Footprint, IndexFootprint};
 pub use inverted::{
-    InvertedIndex, InvertedIndexStats, Posting, PostingsCursor, TfReader, INVERTED_BLOCK_ENTRIES,
+    InvertedIndex, InvertedIndexStats, PinnedList, Posting, PostingsCursor, TfReader,
+    INVERTED_BLOCK_ENTRIES,
 };
 pub use mapped::{Bytes, MappedFile};
 pub use path_index::{

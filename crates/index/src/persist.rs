@@ -214,10 +214,21 @@ impl IndexBundle {
     /// the v4 sectioned format (offset-addressed DATA + checksummed
     /// META). Returns the written path.
     pub fn save(&self, dir: &Path) -> io::Result<PathBuf> {
+        IndexBundle::save_segments(self.segments.iter(), dir)
+    }
+
+    /// As [`Self::save`], over borrowed segments — a live engine
+    /// checkpoints its `Arc`-shared segment set through this without
+    /// cloning or rebuilding a bundle.
+    pub fn save_segments<'a>(
+        segments: impl IntoIterator<Item = &'a IndexSegment>,
+        dir: &Path,
+    ) -> io::Result<PathBuf> {
+        let segments: Vec<&IndexSegment> = segments.into_iter().collect();
         let mut data: Vec<u8> = Vec::new();
         let mut meta: Vec<u8> = Vec::new();
-        write_u32(&mut meta, self.segments.len() as u32);
-        for seg in &self.segments {
+        write_u32(&mut meta, segments.len() as u32);
+        for seg in &segments {
             write_u32(&mut meta, seg.generation());
             write_segment_body(&mut meta, &mut data, seg);
         }

@@ -367,6 +367,23 @@ impl WalWriter {
         self.last_sync = Instant::now();
         Ok(())
     }
+
+    /// Checkpoint: drop every record, leaving just the magic. Call only
+    /// after the state those records rebuild has been durably persisted
+    /// elsewhere (the engine does this after flushing the memtable and
+    /// saving the segment bundle, under its mutation lock so no append
+    /// can land between the persist and the truncation). The truncation
+    /// is fsynced even under `Never` — a checkpoint that might resurrect
+    /// already-persisted batches on replay would double-apply them.
+    pub fn checkpoint(&mut self) -> Result<(), WalError> {
+        let magic = WAL_MAGIC.len() as u64;
+        self.file.set_len(magic)?;
+        self.file.seek(SeekFrom::Start(magic))?;
+        self.file.sync_all()?;
+        self.len = magic;
+        self.last_sync = Instant::now();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

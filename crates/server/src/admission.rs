@@ -13,11 +13,24 @@
 //! retry-after-ms=N`, so clients back off instead of piling on. Nothing
 //! ever waits unboundedly.
 //!
-//! Dropping the permit releases both slots and wakes one queued waiter,
-//! so the queue drains in arrival-ish order without a dedicated
-//! dispatcher thread. Counters mirror the per-tenant ones: admitted /
-//! shed / queue-timeouts plus live in-flight and queued gauges.
+//! Dropping the permit releases both slots and wakes queued waiters.
+//! Counters mirror the per-tenant ones: admitted / shed / queue-timeouts
+//! plus live in-flight and queued gauges.
+//!
+//! ## Per-tenant round-robin fairness
+//!
+//! The queue drains in **round-robin order over tenants**, not FIFO
+//! over requests: tenants with queued waiters form a rotation, freed
+//! slots go to the tenant whose turn it is, and a tenant that takes a
+//! slot moves to the back of the rotation while it still has waiters.
+//! A chatty tenant that floods the queue therefore delays its *own*
+//! later requests, never another tenant's — one queued request from a
+//! quiet tenant is admitted after at most one turn of every other
+//! waiting tenant, instead of behind the flood. A tenant whose own
+//! concurrency quota is exhausted is skipped (its turn is not a
+//! blockade), and new arrivals never barge past a non-empty queue.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -79,10 +92,60 @@ pub struct AdmissionSnapshot {
     pub queue_timeouts: u64,
 }
 
+/// One tenant's slot in the round-robin rotation. Keyed by the
+/// registry's `Arc<TenantState>` identity — the registry hands out one
+/// state per tenant, so pointer identity *is* tenant identity.
+#[derive(Debug)]
+struct Turn {
+    key: usize,
+    state: Arc<TenantState>,
+    waiters: usize,
+}
+
 #[derive(Debug)]
 struct Gate {
     in_flight: usize,
     queued: usize,
+    /// Tenants with queued waiters, in turn order: the front tenant's
+    /// waiters go first; taking a slot rotates the tenant to the back.
+    rotation: VecDeque<Turn>,
+}
+
+impl Gate {
+    /// Whether a queued waiter of `key`'s tenant may take the next
+    /// slot: it is first in rotation, or every tenant ahead of it is
+    /// blocked on its own concurrency quota (a blocked tenant's turn
+    /// is skipped, not a blockade — it keeps its place for when a
+    /// permit frees).
+    fn turn_eligible(&self, key: usize) -> bool {
+        for turn in &self.rotation {
+            if turn.key == key {
+                return true;
+            }
+            if turn.state.stats().in_flight < turn.state.quotas().max_concurrent {
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Remove one waiter of `key`'s tenant from the queue bookkeeping.
+    /// `took_turn` marks an admission (vs a timeout/deadline exit): a
+    /// front tenant that consumed its turn and still has waiters
+    /// rotates to the back, handing the next slot to its neighbours.
+    fn leave_queue(&mut self, key: usize, took_turn: bool) {
+        self.queued -= 1;
+        let Some(pos) = self.rotation.iter().position(|t| t.key == key) else {
+            debug_assert!(false, "queued waiter's tenant is in rotation");
+            return;
+        };
+        self.rotation[pos].waiters -= 1;
+        if self.rotation[pos].waiters == 0 {
+            self.rotation.remove(pos);
+        } else if took_turn && pos == 0 {
+            self.rotation.rotate_left(1);
+        }
+    }
 }
 
 /// The server's admission gate; see the module docs.
@@ -101,7 +164,7 @@ impl AdmissionController {
     pub fn new(config: AdmissionConfig) -> Arc<Self> {
         Arc::new(AdmissionController {
             config,
-            gate: Mutex::new(Gate { in_flight: 0, queued: 0 }),
+            gate: Mutex::new(Gate { in_flight: 0, queued: 0, rotation: VecDeque::new() }),
             available: Condvar::new(),
             admitted: AtomicU64::new(0),
             shed: AtomicU64::new(0),
@@ -141,15 +204,25 @@ impl AdmissionController {
     ) -> Result<AdmitPermit, AdmitError> {
         let queue_cutoff = Instant::now() + self.config.max_queue_wait;
         let wait_until = deadline.map_or(queue_cutoff, |d| d.min(queue_cutoff));
+        let key = Arc::as_ptr(tenant) as usize;
         let mut gate = self.gate.lock().unwrap();
         let mut queued = false;
         loop {
-            if gate.in_flight < self.config.max_in_flight {
+            // A fresh arrival takes the fast path only past an EMPTY
+            // queue (no barging); a queued waiter proceeds only on its
+            // tenant's round-robin turn.
+            let eligible = if queued { gate.turn_eligible(key) } else { gate.queued == 0 };
+            if eligible && gate.in_flight < self.config.max_in_flight {
                 if let Some(permit) = tenant.try_begin_search() {
                     gate.in_flight += 1;
                     if queued {
-                        gate.queued -= 1;
+                        gate.leave_queue(key, true);
                         tenant.dequeue();
+                        // More slots may remain free: hand the next
+                        // tenant in rotation its turn right away.
+                        if gate.queued > 0 {
+                            self.available.notify_all();
+                        }
                     }
                     drop(gate);
                     tenant.record_admitted();
@@ -169,10 +242,16 @@ impl AdmissionController {
                 }
                 gate.queued += 1;
                 queued = true;
+                match gate.rotation.iter_mut().find(|t| t.key == key) {
+                    Some(turn) => turn.waiters += 1,
+                    None => {
+                        gate.rotation.push_back(Turn { key, state: Arc::clone(tenant), waiters: 1 })
+                    }
+                }
             }
             let now = Instant::now();
             if now >= wait_until {
-                gate.queued -= 1;
+                gate.leave_queue(key, false);
                 tenant.dequeue();
                 drop(gate);
                 // The request's own deadline firing first is a deadline
@@ -293,6 +372,69 @@ mod tests {
         assert_eq!(err, AdmitError::DeadlineExceeded);
         assert_eq!(tenant.stats().deadline_exceeded, 1);
         assert_eq!(ctrl.snapshot().queued, 0, "queue slot released");
+    }
+
+    #[test]
+    fn round_robin_keeps_a_quiet_tenant_from_starving_behind_a_flood() {
+        // One execution slot, held while a greedy tenant floods the
+        // queue with 4 waiters and a meek tenant queues 1. FIFO would
+        // admit meek 5th; round-robin admits it 2nd — right after
+        // greedy's first turn.
+        let ctrl = AdmissionController::new(AdmissionConfig {
+            max_in_flight: 1,
+            queue_depth: 16,
+            retry_after: Duration::from_millis(5),
+            max_queue_wait: Duration::from_secs(10),
+        });
+        let registry = TenantRegistry::new();
+        let holder = registry.tenant(&TenantId::new("holder"));
+        let greedy = registry.tenant(&TenantId::new("greedy"));
+        let meek = registry.tenant(&TenantId::new("meek"));
+        let hold = ctrl.admit(&holder, None).unwrap();
+
+        let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let mut threads = Vec::new();
+        for _ in 0..4 {
+            let ctrl = Arc::clone(&ctrl);
+            let greedy = Arc::clone(&greedy);
+            let order = Arc::clone(&order);
+            threads.push(std::thread::spawn(move || {
+                let permit = ctrl.admit(&greedy, None).unwrap();
+                order.lock().unwrap().push("greedy");
+                std::thread::sleep(Duration::from_millis(5));
+                drop(permit);
+            }));
+        }
+        // Let every greedy waiter reach the queue before meek arrives —
+        // the fairness claim is exactly "arriving later than the flood
+        // does not mean finishing after it".
+        while ctrl.snapshot().queued < 4 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        {
+            let ctrl = Arc::clone(&ctrl);
+            let meek = Arc::clone(&meek);
+            let order = Arc::clone(&order);
+            threads.push(std::thread::spawn(move || {
+                let permit = ctrl.admit(&meek, None).unwrap();
+                order.lock().unwrap().push("meek");
+                std::thread::sleep(Duration::from_millis(5));
+                drop(permit);
+            }));
+        }
+        while ctrl.snapshot().queued < 5 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(hold);
+        for t in threads {
+            t.join().unwrap();
+        }
+        let order = order.lock().unwrap();
+        assert_eq!(order.len(), 5);
+        assert_eq!(
+            order[1], "meek",
+            "round-robin admits the quiet tenant on the second turn, got {order:?}"
+        );
     }
 
     #[test]

@@ -202,6 +202,12 @@ impl Client {
         Ok(body)
     }
 
+    /// `shards` → the raw per-shard topology lines.
+    pub fn shards(&mut self) -> Result<Vec<String>, ClientError> {
+        let (_, body) = self.request_block("shards")?;
+        Ok(body)
+    }
+
     /// `quit` — ask the server to close this connection.
     pub fn quit(mut self) -> Result<(), ClientError> {
         self.request_line("quit").map(|_| ())

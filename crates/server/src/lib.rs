@@ -47,6 +47,7 @@
 //! quota <tenant> [views=N] [concurrent=N] [queue=N]
 //!                                              -> ok quota <tenant> …
 //! segments                                     -> ok segments N + lines + .
+//! shards                                       -> ok shards N + lines + .
 //! quit                                         -> ok bye (connection closes)
 //! ```
 //!
@@ -76,4 +77,4 @@ pub mod server;
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionSnapshot, AdmitError};
 pub use client::{Client, ClientError};
 pub use proto::{WireFault, WireHit, WireSearch};
-pub use server::{serve, ServerConfig, ServerHandle, ServerStats};
+pub use server::{serve, serve_sharded, ServerConfig, ServerHandle, ServerStats};

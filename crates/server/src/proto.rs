@@ -220,6 +220,10 @@ pub enum Command {
     },
     /// `segments` — per-segment index breakdown.
     Segments,
+    /// `shards` — per-shard topology: routed views, segments,
+    /// documents, epoch, and cache counters (a single-engine server
+    /// reports one shard).
+    Shards,
 }
 
 fn parse_opt(opts: &mut SearchOpts, key: &str, value: &str) -> Result<bool, String> {
@@ -273,6 +277,7 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         "ping" => Ok(Command::Ping),
         "quit" | "exit" => Ok(Command::Quit),
         "segments" => Ok(Command::Segments),
+        "shards" => Ok(Command::Shards),
         "stats" => {
             let tokens = tokenize(rest)?;
             match tokens.len() {
@@ -547,9 +552,10 @@ pub fn engine_error_to_wire(e: &EngineError) -> (&'static str, Option<Duration>,
         EngineError::QuotaExceeded { .. } => (code::QUOTA_EXCEEDED, None, e.to_string()),
         EngineError::DeadlineExceeded { .. } => (code::DEADLINE_EXCEEDED, None, e.to_string()),
         EngineError::Cancelled { .. } => (code::CANCELLED, None, e.to_string()),
-        EngineError::EmptyQuery | EngineError::Parse(_) | EngineError::QptGen(_) => {
-            (code::BAD_REQUEST, None, e.to_string())
-        }
+        EngineError::EmptyQuery
+        | EngineError::Parse(_)
+        | EngineError::QptGen(_)
+        | EngineError::CrossShard { .. } => (code::BAD_REQUEST, None, e.to_string()),
         _ => (code::INTERNAL, None, e.to_string()),
     }
 }

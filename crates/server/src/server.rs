@@ -7,8 +7,11 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use vxv_core::tenant::TenantId;
-use vxv_core::{EngineError, SearchRequest, ViewCatalog};
+use vxv_core::tenant::{TenantId, TenantRegistry};
+use vxv_core::{
+    CatalogStats, EngineError, PreparedView, SearchRequest, ShardedCatalog, ViewCatalog,
+    ViewSearchEngine,
+};
 use vxv_xml::DocumentSource;
 
 /// Everything tunable about a server.
@@ -63,8 +66,88 @@ pub struct ServerStats {
     pub admission: AdmissionSnapshot,
 }
 
+/// What a server fronts: one catalog, or N of them behind the
+/// scatter-gather router. Both arms answer the same verbs, so the
+/// connection handlers never care which is behind them; the sharded arm
+/// routes by the deterministic doc→shard map
+/// ([`vxv_core::shard_of`]) exactly like direct [`ShardedCatalog`] use.
+enum Backend<S: DocumentSource> {
+    Single(Arc<ViewCatalog<S>>),
+    Sharded(Arc<ShardedCatalog<S>>),
+}
+
+impl<S: DocumentSource> Backend<S> {
+    fn tenants(&self) -> &TenantRegistry {
+        match self {
+            Backend::Single(c) => c.tenants(),
+            Backend::Sharded(s) => s.tenants(),
+        }
+    }
+
+    fn register(&self, tenant: &TenantId, name: &str, text: &str) -> Result<(), EngineError> {
+        match self {
+            Backend::Single(c) => c.register_for(tenant, name, text).map(|_| ()),
+            Backend::Sharded(s) => s.register_for(tenant, name, text).map(|_| ()),
+        }
+    }
+
+    fn get(&self, tenant: &TenantId, name: &str) -> Option<Arc<PreparedView<S>>> {
+        match self {
+            Backend::Single(c) => c.get_for(tenant, name),
+            Backend::Sharded(s) => s.get_for(tenant, name),
+        }
+    }
+
+    /// Append (durable) or ingest (search-only deployments) one
+    /// document into the engine owning it — the single engine, or the
+    /// shard its name hashes to.
+    fn ingest(&self, name: &str, xml: &str) -> Result<vxv_core::IngestReport, EngineError> {
+        let engine = match self {
+            Backend::Single(c) => c.engine(),
+            Backend::Sharded(s) => s.shard(s.shard_of_doc(name)).engine(),
+        };
+        if engine.writes_enabled() {
+            engine.append([(name, xml)])
+        } else {
+            engine.ingest([(name, xml)])
+        }
+    }
+
+    /// Every engine behind the facade, in shard order (a single catalog
+    /// is shard 0 of 1).
+    fn engines(&self) -> Vec<&ViewSearchEngine<S>> {
+        match self {
+            Backend::Single(c) => vec![c.engine()],
+            Backend::Sharded(s) => (0..s.shard_count()).map(|i| s.shard(i).engine()).collect(),
+        }
+    }
+
+    fn catalog_stats(&self) -> CatalogStats {
+        match self {
+            Backend::Single(c) => c.stats(),
+            Backend::Sharded(s) => s.catalog_stats(),
+        }
+    }
+
+    fn cache_stats(&self) -> vxv_core::CacheStats {
+        match self {
+            Backend::Single(c) => c.engine().result_cache().stats(),
+            Backend::Sharded(s) => s.cache_stats(),
+        }
+    }
+
+    /// Registered views per shard (the router's routes; a single
+    /// catalog reports its named-view count).
+    fn views_per_shard(&self) -> Vec<usize> {
+        match self {
+            Backend::Single(c) => vec![c.stats().named],
+            Backend::Sharded(s) => s.routes_per_shard(),
+        }
+    }
+}
+
 struct Shared<S: DocumentSource> {
-    catalog: Arc<ViewCatalog<S>>,
+    backend: Backend<S>,
     config: ServerConfig,
     admission: Arc<AdmissionController>,
     active: AtomicUsize,
@@ -135,10 +218,36 @@ pub fn serve<S>(
 where
     S: DocumentSource + Send + Sync + 'static,
 {
+    serve_backend(Backend::Single(catalog), addr, config)
+}
+
+/// Bind `addr` and serve a [`ShardedCatalog`] until shutdown: the same
+/// wire protocol, with registers/searches routed to owning shards,
+/// ingests routed by the doc→shard map, and the `shards` command
+/// reporting per-shard topology.
+pub fn serve_sharded<S>(
+    sharded: Arc<ShardedCatalog<S>>,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle>
+where
+    S: DocumentSource + Send + Sync + 'static,
+{
+    serve_backend(Backend::Sharded(sharded), addr, config)
+}
+
+fn serve_backend<S>(
+    backend: Backend<S>,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle>
+where
+    S: DocumentSource + Send + Sync + 'static,
+{
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
-        catalog,
+        backend,
         config,
         admission: AdmissionController::new(config.admission),
         active: AtomicUsize::new(0),
@@ -304,8 +413,8 @@ fn execute<S: DocumentSource>(
         Command::Quit => (vec!["ok bye".into()], true),
         Command::Register { tenant, name, view_text } => {
             let tenant = TenantId::new(tenant);
-            match shared.catalog.register_for(&tenant, &name, &view_text) {
-                Ok(_) => (vec![format!("ok registered {tenant} {name}")], false),
+            match shared.backend.register(&tenant, &name, &view_text) {
+                Ok(()) => (vec![format!("ok registered {tenant} {name}")], false),
                 Err(e) => (vec![wire_error(&e)], false),
             }
         }
@@ -363,8 +472,7 @@ fn execute<S: DocumentSource>(
         }
         Command::Stats { tenant } => {
             let mut lines = vec!["ok stats".to_string()];
-            let s = shared.catalog.engine().stats();
-            let c = shared.catalog.stats();
+            let c = shared.backend.catalog_stats();
             let a = shared.admission.snapshot();
             lines.push(format!(
                 "server active {} connections {} rejected {} requests {} protocol-errors {}",
@@ -379,30 +487,65 @@ fn execute<S: DocumentSource>(
                 a.in_flight, a.queued, a.admitted, a.shed, a.queue_timeouts
             ));
             lines.push(format!(
-                "catalog named {} adhoc {} hits {} misses {} prepares {} evictions {}",
-                c.named, c.adhoc, c.hits, c.misses, c.prepares, c.evictions
+                "catalog named {} adhoc {} hits {} misses {} prepares {} refreshes {} \
+                 evictions {}",
+                c.named, c.adhoc, c.hits, c.misses, c.prepares, c.refreshes, c.evictions
             ));
+            // Engine and write counters summed across shards (a single
+            // catalog is one shard).
+            let engines = shared.backend.engines();
+            let (mut segments, mut documents) = (0usize, 0usize);
+            let (mut scanned, mut skipped) = (0u64, 0u64);
+            let mut w = vxv_core::WriteStats::default();
+            for engine in &engines {
+                let s = engine.stats();
+                segments += s.segments;
+                documents += s.documents;
+                scanned += s.entries_scanned();
+                skipped += s.blocks_skipped();
+                w.enabled |= s.writes.enabled;
+                w.wal_appends += s.writes.wal_appends;
+                w.wal_bytes += s.writes.wal_bytes;
+                w.memtable_entries += s.writes.memtable_entries;
+                w.flushes += s.writes.flushes;
+                w.compactions += s.writes.compactions;
+                w.replay_records += s.writes.replay_records;
+                w.checkpoints += s.writes.checkpoints;
+            }
             lines.push(format!(
-                "engine segments {} documents {} entries-scanned {} blocks-skipped {}",
-                s.segments,
-                s.documents,
-                s.entries_scanned(),
-                s.blocks_skipped()
+                "engine shards {} segments {segments} documents {documents} \
+                 entries-scanned {scanned} blocks-skipped {skipped}",
+                engines.len()
             ));
-            let w = s.writes;
+            let k = shared.backend.cache_stats();
+            lines.push(format!(
+                "cache hits {} misses {} inserts {} evictions {} stale {} entries {} \
+                 bytes {} capacity {} probe-hits {} probe-misses {}",
+                k.hits,
+                k.misses,
+                k.inserts,
+                k.evictions,
+                k.stale,
+                k.entries,
+                k.bytes,
+                k.capacity,
+                k.probe_hits,
+                k.probe_misses
+            ));
             lines.push(format!(
                 "writes enabled {} wal-appends {} wal-bytes {} memtable-entries {} \
-                 flushes {} compactions {} replay-records {}",
+                 flushes {} compactions {} checkpoints {} replay-records {}",
                 if w.enabled { 1 } else { 0 },
                 w.wal_appends,
                 w.wal_bytes,
                 w.memtable_entries,
                 w.flushes,
                 w.compactions,
+                w.checkpoints,
                 w.replay_records
             ));
             let wanted = tenant.map(TenantId::new);
-            for (id, t) in shared.catalog.tenants().stats() {
+            for (id, t) in shared.backend.tenants().stats() {
                 if wanted.as_ref().is_some_and(|w| *w != id) {
                     continue;
                 }
@@ -417,7 +560,7 @@ fn execute<S: DocumentSource>(
         }
         Command::Quota { tenant, views, concurrent, queue } => {
             let tenant = TenantId::new(tenant);
-            let state = shared.catalog.tenants().tenant(&tenant);
+            let state = shared.backend.tenants().tenant(&tenant);
             let mut quotas = state.quotas();
             if let Some(v) = views {
                 quotas.max_views = v;
@@ -438,17 +581,49 @@ fn execute<S: DocumentSource>(
             )
         }
         Command::Segments => {
-            let segments = shared.catalog.engine().segments();
-            let mut lines = Vec::with_capacity(segments.len() + 2);
-            lines.push(format!("ok segments {}", segments.len()));
-            for s in &segments {
+            let engines = shared.backend.engines();
+            let sharded = engines.len() > 1;
+            let mut lines = vec![String::new()];
+            for (i, engine) in engines.iter().enumerate() {
+                for s in engine.segments() {
+                    let mut line = format!(
+                        "segment {} gen {} docs {} compressed {} raw {}",
+                        s.id,
+                        s.generation,
+                        s.documents,
+                        s.footprint.compressed_bytes,
+                        s.footprint.uncompressed_bytes
+                    );
+                    if sharded {
+                        line.push_str(&format!(" shard {i}"));
+                    }
+                    lines.push(line);
+                }
+            }
+            lines[0] = format!("ok segments {}", lines.len() - 1);
+            lines.push(".".into());
+            (lines, false)
+        }
+        Command::Shards => {
+            let engines = shared.backend.engines();
+            let views = shared.backend.views_per_shard();
+            let mut lines = Vec::with_capacity(engines.len() + 2);
+            lines.push(format!("ok shards {}", engines.len()));
+            for (i, engine) in engines.iter().enumerate() {
+                let s = engine.stats();
+                let k = engine.result_cache().stats();
                 lines.push(format!(
-                    "segment {} gen {} docs {} compressed {} raw {}",
-                    s.id,
-                    s.generation,
+                    "shard {i} views {} segments {} documents {} epoch {} writes {} \
+                     cache-hits {} cache-misses {} probe-hits {} probe-misses {}",
+                    views.get(i).copied().unwrap_or(0),
+                    s.segments,
                     s.documents,
-                    s.footprint.compressed_bytes,
-                    s.footprint.uncompressed_bytes
+                    engine.epoch(),
+                    if s.writes.enabled { 1 } else { 0 },
+                    k.hits,
+                    k.misses,
+                    k.probe_hits,
+                    k.probe_misses
                 ));
             }
             lines.push(".".into());
@@ -470,10 +645,10 @@ fn run_search<S: DocumentSource>(
 ) -> Result<vxv_core::SearchResponse, String> {
     // Resolve the view first: a 404 must not consume queue capacity.
     let view = shared
-        .catalog
-        .get_for(tenant, name)
+        .backend
+        .get(tenant, name)
         .ok_or_else(|| wire_error(&EngineError::ViewNotFound(name.to_string())))?;
-    let state = shared.catalog.tenants().tenant(tenant);
+    let state = shared.backend.tenants().tenant(tenant);
     let deadline = opts.deadline_ms.map(|ms| arrival + Duration::from_millis(ms));
     let permit = shared.admission.admit(&state, deadline).map_err(admit_error)?;
 
@@ -502,7 +677,9 @@ fn run_search<S: DocumentSource>(
     if let Some(delay) = shared.config.service_delay {
         std::thread::sleep(delay);
     }
-    let result = view.search(&request);
+    // Through the epoch-keyed result cache: a hit is the byte-identical
+    // response computed at this view's epoch, served without a search.
+    let result = view.search_cached(tenant, name, &request);
     match &result {
         Ok(_) => permit.tenant().record_completed(),
         Err(EngineError::DeadlineExceeded { .. }) => permit.tenant().record_deadline_exceeded(),
@@ -524,17 +701,12 @@ fn run_ingest<S: DocumentSource>(
     xml: &str,
     _arrival: Instant,
 ) -> Result<vxv_core::IngestReport, String> {
-    let state = shared.catalog.tenants().tenant(tenant);
+    let state = shared.backend.tenants().tenant(tenant);
     let permit = shared.admission.admit(&state, None).map_err(admit_error)?;
     if let Some(delay) = shared.config.service_delay {
         std::thread::sleep(delay);
     }
-    let engine = shared.catalog.engine();
-    let result = if engine.writes_enabled() {
-        engine.append([(name, xml)])
-    } else {
-        engine.ingest([(name, xml)])
-    };
+    let result = shared.backend.ingest(name, xml);
     if result.is_ok() {
         permit.tenant().record_completed();
     }

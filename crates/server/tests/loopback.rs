@@ -313,6 +313,76 @@ fn wire_ingest_is_durable_and_immediately_searchable() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// A sharded server behind `serve_sharded`: registers route to owning
+/// shards, wire searches are byte-identical to a single-engine union
+/// build, repeats are served by the result cache, ingests route by the
+/// doc→shard map, and `shards`/`stats` report the topology and cache
+/// counters.
+#[test]
+fn sharded_server_routes_and_caches_over_the_wire() {
+    use vxv_core::{shard_of, ShardedCatalog};
+    let sharded = Arc::new(ShardedCatalog::partition(&corpus(), 2));
+    let server =
+        vxv_server::serve_sharded(Arc::clone(&sharded), "127.0.0.1:0", ServerConfig::default())
+            .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    client.register("public", "books", BOOKS_VIEW).unwrap();
+    client.register("public", "papers", PAPERS_VIEW).unwrap();
+    let tenant = TenantId::public();
+    assert_eq!(sharded.route_of(&tenant, "books"), Some(sharded.shard_of_doc("books.xml")));
+    assert_eq!(sharded.route_of(&tenant, "papers"), Some(sharded.shard_of_doc("papers.xml")));
+
+    // Byte-identity with a single-engine union build, over the wire.
+    let union = catalog();
+    union.register("books", BOOKS_VIEW).unwrap();
+    let want = union.get("books").unwrap().search(&SearchRequest::new(["xml", "search"])).unwrap();
+    let wire = client.search("public", "books", &[], &["xml", "search"]).unwrap();
+    assert_eq!(wire.hits.len(), want.hits.len());
+    assert_eq!(wire.matching, want.matching);
+    for (w, d) in wire.hits.iter().zip(&want.hits) {
+        assert_eq!(w.score.to_bits(), d.score.to_bits(), "score bits");
+        assert_eq!(w.xml, d.xml);
+    }
+
+    // The identical request again is answered from the result cache —
+    // still byte-identical — and the hit counter says so.
+    let before = sharded.cache_stats().hits;
+    let again = client.search("public", "books", &[], &["xml", "search"]).unwrap();
+    assert_eq!(again, wire);
+    assert_eq!(sharded.cache_stats().hits, before + 1, "served from cache");
+
+    // A view spanning both shards is rejected typed (when its two
+    // documents actually hash apart; the map is deterministic).
+    if shard_of("books.xml", 2) != shard_of("papers.xml", 2) {
+        let cross = "for $b in fn:doc(books.xml)/books/book, \
+                     $p in fn:doc(papers.xml)/papers/paper \
+                     return <x> { $b/title } { $p/title } </x>";
+        let err = client.register("public", "cross", cross).unwrap_err();
+        assert_eq!(err.fault().unwrap().code, "bad-request", "{err}");
+        assert!(format!("{err}").contains("spans shards"), "{err}");
+    }
+
+    // Ingest routes by hash (non-durable fallback; no write path here).
+    client.ingest("public", "routed.xml", "<r><e>routed doc</e></r>").unwrap();
+    let target = sharded.shard_of_doc("routed.xml");
+    assert!(sharded.shard(target).engine().doc_meta("routed.xml").is_some());
+    assert!(sharded.shard(1 - target).engine().doc_meta("routed.xml").is_none());
+
+    // Topology and cache counters ride the wire.
+    let shards = client.shards().unwrap();
+    assert_eq!(shards.len(), 2);
+    assert!(shards.iter().all(|l| l.starts_with("shard ")), "{shards:?}");
+    assert!(shards.iter().any(|l| l.contains("cache-hits 1")), "{shards:?}");
+    let stats = client.stats(None).unwrap();
+    let cache = stats.iter().find(|l| l.starts_with("cache ")).expect("cache line");
+    assert!(cache.contains("hits 1"), "{cache}");
+    let engine = stats.iter().find(|l| l.starts_with("engine ")).expect("engine line");
+    assert!(engine.contains("shards 2"), "{engine}");
+
+    server.shutdown();
+}
+
 /// Without `enable_writes` the wire `ingest` still works (non-durable
 /// in-memory path), so search-only deployments are unaffected.
 #[test]
