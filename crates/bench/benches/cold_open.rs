@@ -32,7 +32,7 @@ fn bench_cold_open(c: &mut Criterion) {
     // open decodes nothing and maps its posting payload.
     let opened = IndexBundle::open_mmap(&dir).expect("open_mmap");
     let stats = opened.open_stats();
-    assert_eq!(stats.format_version, 4, "save must emit v4");
+    assert_eq!(stats.format_version, 5, "save must emit v5");
     assert_eq!(stats.bytes_decoded, 0, "v4 open_mmap must decode zero posting bytes");
     drop(opened);
 

@@ -1,0 +1,232 @@
+//! Positional query terms (phrase / proximity / prefix / boosts) on the
+//! INEX workload, against the same pruned-vs-exact contract the plain
+//! bag-of-words path is held to.
+//!
+//! Besides the criterion timings, the benchmark **asserts** (a) every
+//! term shape answers byte-identically on the pruned and exact paths
+//! (positional terms resolve exactly inside the estimate pass, so
+//! pruning soundness extends to them by construction — this catches a
+//! regression that breaks that), (b) the phrase actually matches and
+//! obeys the containment ladder phrase ⊆ near(w) ⊆ near(w′>w), (c)
+//! block-max pruning still engages under non-uniform boosts, and (d)
+//! phrase probes decode position bytes while word probes decode none.
+//! CI runs this in quick mode and feeds the medians and counters into
+//! the `bench_gate` regression check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+use vxv_core::{PreparedView, SearchRequest, SearchResponse, ViewSearchEngine};
+use vxv_inex::{generate, ExperimentParams};
+use vxv_xml::Corpus;
+
+struct Setup {
+    engine: ViewSearchEngine<Corpus>,
+    view: PreparedView<Corpus>,
+    /// The plain bag-of-words request the positional shapes derive from.
+    bag: SearchRequest,
+    phrase: SearchRequest,
+    near: SearchRequest,
+    prefix: SearchRequest,
+    boosted: SearchRequest,
+}
+
+fn setup(kb: u64, top_k: usize) -> Setup {
+    // Low-selectivity (frequent) keywords: both words are planted at
+    // ~6% per position, so the adjacent bigram occurs often enough for
+    // a phrase over them to have real matches, and the inverted lists
+    // are long enough for pruning and position decoding to matter.
+    let params = ExperimentParams {
+        data_bytes: kb * 1024,
+        top_k,
+        num_joins: 1,
+        nesting: 2,
+        elem_size: 3,
+        selectivity: vxv_inex::Selectivity::Low,
+        ..ExperimentParams::default()
+    };
+    let corpus = generate(&params.generator_config());
+    let engine = ViewSearchEngine::new(corpus);
+    let view = engine.prepare(&params.view()).expect("prepare view");
+    let kws = params.keywords();
+    let (a, b) = (kws[0], kws[1]);
+    let base = SearchRequest::new(kws).top_k(params.top_k).materialize(false);
+    Setup {
+        engine,
+        view,
+        bag: base.clone(),
+        phrase: positional(&base, |r| r.phrase([&a, &b])),
+        near: positional(&base, |r| r.near(4, [&a, &b])),
+        // "con*" unions the planted medium keyword "control" with the
+        // ~1/16th of the background vocabulary whose first syllable is
+        // "con" — a genuine multi-word dictionary-range expansion.
+        prefix: positional(&base, |r| r.prefix("con")),
+        // Non-uniform per-keyword weights: 0.25 on the first word, 4.0
+        // on the second.
+        boosted: positional(&base, |r| {
+            r.term(vxv_core::QueryTerm::Word(a.to_string()))
+                .boost(0.25)
+                .term(vxv_core::QueryTerm::Word(b.to_string()))
+                .boost(4.0)
+        }),
+    }
+}
+
+/// Replace `base`'s word terms with one positional term built by `f`,
+/// keeping k / materialize / mode.
+fn positional(
+    base: &SearchRequest,
+    f: impl FnOnce(SearchRequest) -> SearchRequest,
+) -> SearchRequest {
+    f(SearchRequest::new(Vec::<String>::new())).top_k(base.k()).materialize(false)
+}
+
+fn assert_identical(a: &SearchResponse, b: &SearchResponse) {
+    assert_eq!(a.view_size, b.view_size, "view_size");
+    assert_eq!(a.matching, b.matching, "matching");
+    assert_eq!(a.idf.len(), b.idf.len());
+    for (x, y) in a.idf.iter().zip(&b.idf) {
+        assert_eq!(x.to_bits(), y.to_bits(), "idf bits");
+    }
+    assert_eq!(a.hits.len(), b.hits.len(), "hit count");
+    for (x, y) in a.hits.iter().zip(&b.hits) {
+        assert_eq!(x.score.to_bits(), y.score.to_bits(), "score bits at rank {}", x.rank);
+        assert_eq!(x.tf, y.tf, "tf at rank {}", x.rank);
+        assert_eq!(x.byte_len, y.byte_len, "byte_len at rank {}", x.rank);
+    }
+}
+
+/// Seconds per search over alternating measurement windows (drift on a
+/// shared machine hits both paths equally).
+fn secs_per_search(a: &mut dyn FnMut(), b: &mut dyn FnMut()) -> (f64, f64) {
+    let window = |f: &mut dyn FnMut()| {
+        let t0 = Instant::now();
+        let mut iters = 0u32;
+        while iters < 5 || t0.elapsed().as_millis() < 150 {
+            f();
+            iters += 1;
+        }
+        (iters, t0.elapsed().as_secs_f64())
+    };
+    let (mut ia, mut ta, mut ib, mut tb) = (0u32, 0f64, 0u32, 0f64);
+    for _ in 0..3 {
+        let (i, t) = window(a);
+        ia += i;
+        ta += t;
+        let (i, t) = window(b);
+        ib += i;
+        tb += t;
+    }
+    (ta / ia as f64, tb / ib as f64)
+}
+
+fn bench_positional_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("positional_search");
+    {
+        let kb = 2048u64;
+        let s = setup(kb, 10);
+
+        // Contract 1: pruned == exact, byte for byte, for every term
+        // shape at several cut depths.
+        for req in [&s.bag, &s.phrase, &s.near, &s.prefix, &s.boosted] {
+            for k in [1usize, 10, usize::MAX] {
+                let exact = s.view.search(&req.clone().top_k(k).prune(false)).expect("exact");
+                let pruned = s.view.search(&req.clone().top_k(k)).expect("pruned");
+                assert_identical(&exact, &pruned);
+            }
+        }
+
+        // Contract 2: the phrase matches, and widening the constraint
+        // only adds matches: phrase ⊆ near(4) ⊆ near(64) ⊆ bag.
+        let bag = s.view.search(&s.bag).expect("bag");
+        let phrase = s.view.search(&s.phrase).expect("phrase");
+        let near4 = s.view.search(&s.near).expect("near");
+        let near64 = s.view.search(&positional(&s.bag, |r| {
+            r.near(64, [s.bag.keywords()[0].as_str(), s.bag.keywords()[1].as_str()])
+        }));
+        let near64 = near64.expect("near64");
+        assert!(phrase.matching > 0, "the planted bigram must occur in the view");
+        assert!(phrase.matching <= near4.matching, "phrase ⊆ near(4)");
+        assert!(near4.matching <= near64.matching, "near(4) ⊆ near(64)");
+        assert!(near64.matching <= bag.matching, "near(64) ⊆ conjunctive bag");
+        criterion::report_metric(
+            "positional_search/phrase_matching",
+            phrase.matching as f64,
+            "count",
+        );
+
+        // Contract 3: block-max pruning still engages when boosts skew
+        // the per-keyword bounds (the estimator scales bounds by the
+        // same factors the exact scorer uses).
+        let boosted = s.view.search(&s.boosted).expect("boosted");
+        assert!(
+            boosted.pruning.blocks_pruned > 0,
+            "boosted bounds must still prune on the INEX workload: {:?}",
+            boosted.pruning
+        );
+        criterion::report_metric(
+            "positional_search/boosted_blocks_pruned",
+            boosted.pruning.blocks_pruned as f64,
+            "count",
+        );
+
+        // Contract 4: phrase probes decode position bytes; word probes
+        // never touch them (lazy decoding — the bag path pays nothing
+        // for the positions the v5 format carries).
+        s.engine.reset_stats();
+        s.view.search(&s.bag).expect("bag");
+        assert_eq!(
+            s.engine.stats().inverted.positions_bytes,
+            0,
+            "word terms must not decode position blocks"
+        );
+        s.view.search(&s.phrase).expect("phrase");
+        let pos_bytes = s.engine.stats().inverted.positions_bytes;
+        assert!(pos_bytes > 0, "phrase probes decode position blocks");
+        criterion::report_metric(
+            "positional_search/phrase_positions_bytes",
+            pos_bytes as f64,
+            "count",
+        );
+
+        // Within-run cost of the positional constraint: phrase time
+        // over bag time on alternating windows. Hardware-independent,
+        // so the gate can band it; a blow-up here means the position
+        // intersection stopped being block-lazy.
+        let (phrase_spq, bag_spq) = secs_per_search(
+            &mut || {
+                s.view.search(&s.phrase).expect("phrase");
+            },
+            &mut || {
+                s.view.search(&s.bag).expect("bag");
+            },
+        );
+        println!(
+            "positional_search/{kb}KB k=10: phrase {:.3} ms/search, bag {:.3} ms/search ({:.2}x)",
+            phrase_spq * 1e3,
+            bag_spq * 1e3,
+            phrase_spq / bag_spq,
+        );
+        criterion::report_metric(
+            "positional_search/phrase_over_bag",
+            phrase_spq / bag_spq,
+            "ratio",
+        );
+
+        group.bench_with_input(BenchmarkId::new("phrase_k10", kb), &s, |b, s| {
+            b.iter(|| s.view.search(&s.phrase).expect("phrase"))
+        });
+        group.bench_with_input(BenchmarkId::new("near4_k10", kb), &s, |b, s| {
+            b.iter(|| s.view.search(&s.near).expect("near"))
+        });
+        group.bench_with_input(BenchmarkId::new("prefix_k10", kb), &s, |b, s| {
+            b.iter(|| s.view.search(&s.prefix).expect("prefix"))
+        });
+        group.bench_with_input(BenchmarkId::new("boosted_k10", kb), &s, |b, s| {
+            b.iter(|| s.view.search(&s.boosted).expect("boosted"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_positional_search);
+criterion_main!(benches);

@@ -23,6 +23,12 @@
 //! written by `vxv persist`: indices and the document catalog are read
 //! from disk, and base documents are touched only to materialize hits.
 //!
+//! Every `--keyword` (and every `KW` in `serve`/`batch` request lines)
+//! is one **query term**, not just a word: `xml` (word), `auto*`
+//! (prefix), `~3:virtual,views` (proximity), `"virtual views"`
+//! (phrase — shell-quote so the spaces survive), each with an optional
+//! `^BOOST` suffix (`xml^2.5`). See `docs/QUERY.md` for the grammar.
+//!
 //! ## `serve` — line-oriented request loop
 //!
 //! `serve` builds a [`ViewCatalog`], registers every `--register
@@ -115,7 +121,7 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  vxv search  (--doc FILE... | --store DIR) --view FILE --keyword WORD... [--top N] [--any] [--deadline-ms N]\n  vxv inspect (--doc FILE... | --store DIR) --view FILE\n  vxv persist --doc FILE... --out DIR\n  vxv serve   (--doc FILE... | --store DIR) [--register NAME=VIEWFILE...] [--listen ADDR] [--shards N] [--cache-bytes N] [--fsync per-record|interval-ms=N|off] [--top N] [--any] [--deadline-ms N]\n  vxv batch   (--doc FILE... | --store DIR) --register NAME=VIEWFILE... --file REQS [--top N] [--any] [--deadline-ms N]\n  vxv cache   (--connect ADDR | --doc FILE... --register NAME=VIEWFILE... --keyword WORD...) [--cache-bytes N]\n  vxv ingest  --store DIR --doc FILE...\n  vxv compact --store DIR\n(--store commands map the index file by default; --no-mmap loads owned buffers instead)"
+        "usage:\n  vxv search  (--doc FILE... | --store DIR) --view FILE --keyword TERM... [--top N] [--any] [--deadline-ms N]\n              TERM: word | stem* | ~W:a,b | \"a phrase\" — each with optional ^BOOST\n  vxv inspect (--doc FILE... | --store DIR) --view FILE\n  vxv persist --doc FILE... --out DIR\n  vxv serve   (--doc FILE... | --store DIR) [--register NAME=VIEWFILE...] [--listen ADDR] [--shards N] [--cache-bytes N] [--fsync per-record|interval-ms=N|off] [--top N] [--any] [--deadline-ms N]\n  vxv batch   (--doc FILE... | --store DIR) --register NAME=VIEWFILE... --file REQS [--top N] [--any] [--deadline-ms N]\n  vxv cache   (--connect ADDR | --doc FILE... --register NAME=VIEWFILE... --keyword WORD...) [--cache-bytes N]\n  vxv ingest  --store DIR --doc FILE...\n  vxv compact --store DIR\n(--store commands map the index file by default; --no-mmap loads owned buffers instead)"
     );
     ExitCode::from(2)
 }
@@ -216,17 +222,29 @@ fn load_view(args: &Args) -> Result<String, String> {
     std::fs::read_to_string(view_path).map_err(|e| format!("cannot read view {view_path}: {e}"))
 }
 
-fn base_request(args: &Args, keywords: &[String]) -> SearchRequest {
+/// Build the request every command shares. Each keyword token is one
+/// query term: a plain word, a `stem*` prefix, a `~W:a,b` proximity
+/// group, or a phrase (a token with interior spaces — shell-quote it:
+/// `--keyword "virtual views"`), each with an optional `^BOOST` suffix.
+/// The error string is the term parser's diagnostic.
+fn base_request(args: &Args, keywords: &[String]) -> Result<SearchRequest, String> {
     let mode = if args.any { KeywordMode::Disjunctive } else { KeywordMode::Conjunctive };
-    let mut request = SearchRequest::new(keywords).top_k(args.top).mode(mode);
+    let mut request =
+        SearchRequest::parse_terms(keywords).map_err(|e| e.to_string())?.top_k(args.top).mode(mode);
     if let Some(ms) = args.deadline_ms {
         request = request.deadline(Duration::from_millis(ms));
     }
-    request
+    Ok(request)
 }
 
 fn run_search<S: DocumentSource>(view: &PreparedView<S>, args: &Args) -> ExitCode {
-    let request = base_request(args, &args.keywords);
+    let request = match base_request(args, &args.keywords) {
+        Ok(request) => request,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     match view.search(&request) {
         Ok(out) => {
             eprintln!(
@@ -473,7 +491,7 @@ fn serve_loop<S: DocumentSource>(catalog: &ViewCatalog<S>, args: &Args) -> ExitC
                             let _ = writeln!(out, "added {name} segment {}", report.segment.id);
                             Ok(())
                         }
-                        Err(e) => Err(format!("{e}")),
+                        Err(e) => Err(e.to_string()),
                     }
                 }
                 Err(e) => Err(format!("cannot read document {path}: {e}")),
@@ -500,7 +518,7 @@ fn serve_loop<S: DocumentSource>(catalog: &ViewCatalog<S>, args: &Args) -> ExitC
                         );
                         Ok(())
                     }
-                    Err(e) => Err(format!("{e}")),
+                    Err(e) => Err(e.to_string()),
                 },
             },
             ["register", name, path] => match std::fs::read_to_string(path) {
@@ -509,13 +527,15 @@ fn serve_loop<S: DocumentSource>(catalog: &ViewCatalog<S>, args: &Args) -> ExitC
                         let _ = writeln!(out, "registered {name}");
                         Ok(())
                     }
-                    Err(e) => Err(format!("{e}")),
+                    Err(e) => Err(e.to_string()),
                 },
                 Err(e) => Err(format!("cannot read view {path}: {e}")),
             },
             ["search", name, kws @ ..] if !kws.is_empty() => {
                 let keywords: Vec<String> = kws.iter().map(|s| s.to_string()).collect();
-                match catalog.search(name, &base_request(args, &keywords)) {
+                match base_request(args, &keywords)
+                    .and_then(|req| catalog.search(name, &req).map_err(|e| format!("{e}")))
+                {
                     Ok(resp) => {
                         let _ = writeln!(
                             out,
@@ -536,7 +556,7 @@ fn serve_loop<S: DocumentSource>(catalog: &ViewCatalog<S>, args: &Args) -> ExitC
                         let _ = writeln!(out, ".");
                         Ok(())
                     }
-                    Err(e) => Err(format!("{e}")),
+                    Err(e) => Err(e.to_string()),
                 }
             }
             _ => Err(format!("unrecognized command: {line}")),
@@ -687,7 +707,13 @@ fn run_cache(args: &Args) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let request = base_request(args, &args.keywords);
+        let request = match base_request(args, &args.keywords) {
+            Ok(request) => request,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         for pass in ["cold", "warm"] {
             for (name, _) in &args.registers {
                 if let Err(e) = catalog.search(name, &request) {
@@ -731,13 +757,27 @@ fn run_batch<S: DocumentSource>(catalog: &ViewCatalog<S>, args: &Args) -> ExitCo
     };
     let mut requests: Vec<NamedRequest> = Vec::new();
     for line in content.lines() {
-        let parts: Vec<&str> = line.split_whitespace().collect();
+        // Same tokenizer as the serve REPL and the wire protocol, so
+        // quoted phrase terms ("virtual views") work in batch files.
+        let parts = match vxv_server::proto::tokenize(line) {
+            Ok(tokens) => tokens,
+            Err(e) => {
+                eprintln!("error: bad request line '{line}': {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         match parts.as_slice() {
             [] => continue,
             [first, ..] if first.starts_with('#') => continue,
             [name, kws @ ..] if !kws.is_empty() => {
-                let keywords: Vec<String> = kws.iter().map(|s| s.to_string()).collect();
-                requests.push(NamedRequest::new(*name, base_request(args, &keywords)));
+                let keywords: Vec<String> = kws.to_vec();
+                match base_request(args, &keywords) {
+                    Ok(request) => requests.push(NamedRequest::new(name.as_str(), request)),
+                    Err(e) => {
+                        eprintln!("error: bad request line '{line}': {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             _ => {
                 eprintln!("error: bad request line (want NAME KW [KW...]): {line}");

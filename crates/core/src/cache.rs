@@ -75,8 +75,12 @@ pub struct CacheStats {
 /// FNV-1a fingerprint of everything in a [`SearchRequest`] that can
 /// change the response bytes. Deadline and cancel tokens are excluded:
 /// they bound *when* a search aborts, never what a completed response
-/// contains.
+/// contains. Terms are tagged by kind before their words, so a phrase
+/// never collides with the same words as a bag (`"xml search"` ≠
+/// `["xml", "search"]`), and boosts contribute their exact bit
+/// patterns.
 pub fn request_fingerprint(request: &SearchRequest) -> u64 {
+    use crate::term::QueryTerm;
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {
@@ -84,9 +88,39 @@ pub fn request_fingerprint(request: &SearchRequest) -> u64 {
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
     };
-    for kw in request.keywords() {
-        eat(kw.as_bytes());
-        eat(&[0xff]);
+    for term in request.terms() {
+        match term {
+            QueryTerm::Word(w) => {
+                eat(&[0]);
+                eat(w.as_bytes());
+                eat(&[0xff]);
+            }
+            QueryTerm::Prefix(p) => {
+                eat(&[1]);
+                eat(p.as_bytes());
+                eat(&[0xff]);
+            }
+            QueryTerm::Phrase(words) => {
+                eat(&[2]);
+                for w in words {
+                    eat(w.as_bytes());
+                    eat(&[0xff]);
+                }
+                eat(&[0xfe]);
+            }
+            QueryTerm::Near { window, words } => {
+                eat(&[3]);
+                eat(&window.to_le_bytes());
+                for w in words {
+                    eat(w.as_bytes());
+                    eat(&[0xff]);
+                }
+                eat(&[0xfe]);
+            }
+        }
+    }
+    for boost in request.boosts() {
+        eat(&boost.to_bits().to_le_bytes());
     }
     eat(&(request.k() as u64).to_le_bytes());
     eat(&[
@@ -428,6 +462,30 @@ mod tests {
                 &SearchRequest::new(["xml", "search"])
                     .deadline(std::time::Duration::from_millis(5))
             )
+        );
+    }
+
+    #[test]
+    fn fingerprint_separates_term_shapes() {
+        let none = SearchRequest::new(std::iter::empty::<&str>());
+        // A phrase is not its bag of words, a prefix is not its stem,
+        // and proximity windows are part of the shape.
+        let bag = request_fingerprint(&SearchRequest::new(["xml", "search"]));
+        let phrase = request_fingerprint(&none.clone().phrase(["xml", "search"]));
+        let near2 = request_fingerprint(&none.clone().near(2, ["xml", "search"]));
+        let near3 = request_fingerprint(&none.clone().near(3, ["xml", "search"]));
+        let word = request_fingerprint(&SearchRequest::new(["auto"]));
+        let prefix = request_fingerprint(&none.clone().prefix("auto"));
+        let distinct = [bag, phrase, near2, near3, word, prefix];
+        for (i, a) in distinct.iter().enumerate() {
+            for b in &distinct[i + 1..] {
+                assert_ne!(a, b, "term shapes must not collide");
+            }
+        }
+        // Boosts change the response bytes, so they change the key.
+        assert_ne!(
+            request_fingerprint(&SearchRequest::new(["xml"])),
+            request_fingerprint(&SearchRequest::new(["xml"]).boost(2.0))
         );
     }
 }

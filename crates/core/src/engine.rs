@@ -78,6 +78,16 @@ pub enum EngineError {
     Source(vxv_xml::source::SourceError),
     /// The request carried no non-empty keyword; nothing to rank.
     EmptyQuery,
+    /// A query term failed validation (malformed syntax, empty phrase
+    /// word, non-positive boost, …). The payload is the reason.
+    InvalidTerm(String),
+    /// The request carries a phrase or proximity term, but at least one
+    /// index segment stores no per-occurrence positions (it was loaded
+    /// from a pre-v5 bundle; positions are recorded at tokenization
+    /// time and cannot be synthesized from the postings). Rebuild the
+    /// index from the base documents to upgrade; word and prefix terms
+    /// keep working either way.
+    PositionsUnavailable,
     /// No view with that name is registered in the catalog.
     ViewNotFound(String),
     /// An [`ViewSearchEngine::ingest`] batch was rejected (parse failure,
@@ -131,6 +141,13 @@ impl fmt::Display for EngineError {
             EngineError::EmptyQuery => {
                 write!(f, "search request carries no non-empty keyword")
             }
+            EngineError::InvalidTerm(why) => write!(f, "invalid query term: {why}"),
+            EngineError::PositionsUnavailable => write!(
+                f,
+                "phrase/proximity terms need per-occurrence positions, but a segment \
+                 was loaded from a pre-v5 bundle without them (rebuild the index from \
+                 the base documents to upgrade)"
+            ),
             EngineError::ViewNotFound(name) => write!(f, "no view named '{name}' in catalog"),
             EngineError::Ingest(what) => write!(f, "ingest rejected: {what}"),
             EngineError::DeadlineExceeded { timings } => {
@@ -173,6 +190,12 @@ impl From<QptGenError> for EngineError {
 impl From<EvalError> for EngineError {
     fn from(e: EvalError) -> Self {
         EngineError::Eval(e)
+    }
+}
+
+impl From<crate::term::TermParseError> for EngineError {
+    fn from(e: crate::term::TermParseError) -> Self {
+        EngineError::InvalidTerm(e.0)
     }
 }
 

@@ -34,6 +34,7 @@ use crate::control::{ExecControl, Interrupt};
 use crate::pdt::{Pdt, PdtElem};
 use crate::prepare::{prepare_lists, MaterializedLists, PreparedLists};
 use crate::qpt::{Qpt, QptNodeId};
+use crate::term::ResolvedTerms;
 use std::collections::{BTreeMap, HashMap};
 use vxv_index::{Axis, InvertedIndex, PathIndex};
 use vxv_xml::DeweyId;
@@ -143,6 +144,9 @@ struct Sweep<'a> {
 }
 
 /// Generate the PDT for `qpt` using only the path and inverted indices.
+/// `keywords` are plain bag-of-words slots (already in token form);
+/// prepared views pass full positional terms through the crate-private
+/// `generate_pdt_from_lists_ctl` instead.
 pub fn generate_pdt(
     qpt: &Qpt,
     path_index: &PathIndex,
@@ -169,7 +173,7 @@ pub fn generate_pdt_from_lists(
         qpt,
         lists,
         inverted,
-        keywords,
+        &ResolvedTerms::from_keywords(keywords),
         meta,
         &ExecControl::unchecked(),
         TfAnnotation::Exact,
@@ -179,13 +183,14 @@ pub fn generate_pdt_from_lists(
 
 /// As [`generate_pdt_from_lists`], polling `ctl` every [`CHECK_EVERY`]
 /// consumed entries — the merge loop is the one place a search can spend
-/// unbounded time between phase boundaries — and honoring the caller's
-/// [`TfAnnotation`] choice.
+/// unbounded time between phase boundaries — honoring the caller's
+/// [`TfAnnotation`] choice, and annotating one tf slot per resolved
+/// query term (word, prefix, phrase, or proximity).
 pub(crate) fn generate_pdt_from_lists_ctl(
     qpt: &Qpt,
     lists: &PreparedLists,
     inverted: &InvertedIndex,
-    keywords: &[String],
+    terms: &ResolvedTerms,
     meta: &DocMeta,
     ctl: &ExecControl,
     annotate: TfAnnotation,
@@ -303,7 +308,7 @@ pub(crate) fn generate_pdt_from_lists_ctl(
         );
         sweep.ingest(id, s.qnode, s.value, slot.byte_len, s.alignment);
     }
-    finish_sweep_ctl(sweep, inverted, keywords, meta, ctl, annotate)
+    finish_sweep_ctl(sweep, inverted, terms, meta, ctl, annotate)
 }
 
 /// The seed's merge — a linear min-scan over fully materialized entry
@@ -377,7 +382,7 @@ fn finish_sweep(
     finish_sweep_ctl(
         sweep,
         inverted,
-        keywords,
+        &ResolvedTerms::from_keywords(keywords),
         meta,
         &ExecControl::unchecked(),
         TfAnnotation::Exact,
@@ -386,14 +391,15 @@ fn finish_sweep(
 }
 
 /// As [`finish_sweep`] with cooperative checks in the tf-annotation loop
-/// (one inverted-index range probe per PDT element). With
-/// [`TfAnnotation::Deferred`] the probe loop is skipped entirely — the
-/// score-bounded path resolves tf lazily and only where the top-k
-/// threshold demands it.
+/// (one inverted-index range probe per PDT element per term — prefix
+/// terms sum their dictionary expansion, phrase/proximity terms count
+/// position-list intersections). With [`TfAnnotation::Deferred`] the
+/// probe loop is skipped entirely — the score-bounded path resolves tf
+/// lazily and only where the top-k threshold demands it.
 fn finish_sweep_ctl(
     mut sweep: Sweep<'_>,
     inverted: &InvertedIndex,
-    keywords: &[String],
+    terms: &ResolvedTerms,
     meta: &DocMeta,
     ctl: &ExecControl,
     annotate: TfAnnotation,
@@ -405,21 +411,16 @@ fn finish_sweep_ctl(
 
     sweep.stats.emitted = sweep.emitted.len();
     let stats = sweep.stats;
-    let mut pdt = Pdt::assemble(
-        &meta.name,
-        &meta.root_tag,
-        meta.root_ordinal,
-        &sweep.emitted,
-        keywords.len(),
-    );
+    let mut pdt =
+        Pdt::assemble(&meta.name, &meta.root_tag, meta.root_ordinal, &sweep.emitted, terms.len());
     if annotate == TfAnnotation::Exact {
         for (i, (dewey, info)) in pdt.info.iter_mut().enumerate() {
             if (i + 1).is_multiple_of(CHECK_EVERY) {
                 ctl.check()?;
             }
             if let Some(tf) = &mut info.tf {
-                for (k, kw) in keywords.iter().enumerate() {
-                    tf[k] = inverted.subtree_tf(kw, dewey);
+                for (k, slot) in tf.iter_mut().enumerate() {
+                    *slot = terms.subtree_tf_in(inverted, k, dewey);
                 }
             }
         }

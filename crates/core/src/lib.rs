@@ -159,6 +159,7 @@ pub mod router;
 pub mod scoring;
 pub mod stream;
 pub mod tenant;
+pub mod term;
 
 pub use cache::{request_fingerprint, CacheKey, CacheStats, ResultCache};
 pub use catalog::{
@@ -178,13 +179,14 @@ pub use qpt_gen::{generate_qpts, QptGenError};
 pub use request::{PhaseTimings, SearchHit, SearchRequest, SearchResponse};
 pub use router::{shard_of, ScatterHit, ScatterResponse, ShardReport, ShardedCatalog};
 pub use scoring::{
-    score_and_rank, score_and_rank_bounded, BoundedCandidate, ElementStats, KeywordMode,
-    PruneStats, ScoredElement, ScoringOutcome,
+    score_and_rank, score_and_rank_boosted, score_and_rank_bounded, score_and_rank_bounded_boosted,
+    BoundedCandidate, ElementStats, KeywordMode, PruneStats, ScoredElement, ScoringOutcome,
 };
 pub use stream::HitStream;
 pub use tenant::{
     SearchPermit, TenantId, TenantQuotas, TenantRegistry, TenantState, TenantStats, PUBLIC_TENANT,
 };
+pub use term::{QueryTerm, TermParseError};
 
 #[cfg(feature = "legacy-api")]
 #[allow(deprecated)]
@@ -197,3 +199,8 @@ pub type ExplainOutput = QueryPlan;
 
 pub use vxv_index::{Footprint, FsyncPolicy, IndexBundle, IndexFootprint};
 pub use vxv_xml::DocumentSource;
+
+/// The query-language reference — `docs/QUERY.md` rendered as rustdoc,
+/// so its examples compile and run as doctests (`cargo test --doc`).
+#[doc = include_str!("../../../docs/QUERY.md")]
+pub mod query_reference {}

@@ -38,10 +38,11 @@ use crate::qpt::Qpt;
 use crate::qpt_gen::generate_qpts;
 use crate::request::{PhaseTimings, SearchHit, SearchRequest, SearchResponse};
 use crate::scoring::{
-    score_and_rank, score_and_rank_bounded, BoundedCandidate, ElementStats, PruneStats,
-    ScoringOutcome,
+    score_and_rank_boosted, score_and_rank_bounded_boosted, BoundedCandidate, ElementStats,
+    PruneStats, ScoringOutcome,
 };
 use crate::stream::{materialize_segments, FetchRouter, HitStream, PlannedHit, Segment};
+use crate::term::{QueryTerm, ResolvedTerms};
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
@@ -331,7 +332,7 @@ impl<S: DocumentSource> PreparedView<S> {
     /// order, so downstream phases are order-deterministic either way.
     fn generate_pdts(
         &self,
-        keywords: &[String],
+        terms: &ResolvedTerms,
         ctl: &ExecControl,
         annotate: TfAnnotation,
     ) -> Result<Vec<(Pdt, GenerateStats)>, Interrupt> {
@@ -340,24 +341,21 @@ impl<S: DocumentSource> PreparedView<S> {
                 &plan.qpt,
                 &plan.lists,
                 plan.segment.index.inverted(),
-                keywords,
+                terms,
                 &plan.meta,
                 ctl,
                 annotate,
             )
         };
-        // Plans whose segment dictionary holds none of the keywords
-        // produce keyword-empty PDTs from structure alone — cheap, so
-        // run them inline on the caller and fan only the plans with
-        // posting work to claim. (`has_keyword` is a pure dictionary
-        // probe; it charges no lookup counters.)
+        // Plans whose segment dictionary can't match any term produce
+        // keyword-empty PDTs from structure alone — cheap, so run them
+        // inline on the caller and fan only the plans with posting work
+        // to claim. (`might_match` issues pure dictionary probes; it
+        // charges no lookup counters.)
         let hot: Vec<bool> = self
             .plans
             .iter()
-            .map(|plan| {
-                let inverted = plan.segment.index.inverted();
-                keywords.iter().any(|k| inverted.has_keyword(k))
-            })
+            .map(|plan| terms.might_match(plan.segment.index.inverted()))
             .collect();
         let hot_plans: Vec<&QptPlan> =
             self.plans.iter().zip(&hot).filter(|(_, h)| **h).map(|(p, _)| p).collect();
@@ -382,7 +380,8 @@ impl<S: DocumentSource> PreparedView<S> {
     /// expanded.
     ///
     /// By default the scoring phase is **score-bounded** (see
-    /// [`score_and_rank_bounded`]): exact per-element tf probes are
+    /// [`crate::scoring::score_and_rank_bounded`]): exact per-element tf
+    /// probes are
     /// deferred out of PDT generation, per-keyword upper bounds from the
     /// index's block-max metadata stand in for them, and candidates
     /// whose bound falls strictly below the running top-k threshold are
@@ -390,10 +389,17 @@ impl<S: DocumentSource> PreparedView<S> {
     /// path, which [`SearchRequest::prune`]`(false)` keeps available as
     /// the reference.
     fn rank(&self, request: &SearchRequest, ctl: &ExecControl) -> Result<RankedHits, EngineError> {
-        let keywords: Vec<String> =
-            request.keywords().iter().map(|s| normalize_keyword(s)).collect();
-        if keywords.iter().all(|k| k.trim().is_empty()) {
-            return Err(EngineError::EmptyQuery);
+        let terms = ResolvedTerms::resolve(request)?;
+        // Phrase/proximity terms need per-occurrence positions in every
+        // segment a plan touches — reject upfront with a typed error
+        // rather than letting a positionless segment contribute silent
+        // zero counts (pre-v5 bundles load without positions).
+        if terms.has_positional() {
+            for plan in &self.plans {
+                if !plan.segment.index.inverted().has_positions() {
+                    return Err(EngineError::PositionsUnavailable);
+                }
+            }
         }
         let prune = request.prunes();
         let annotate = if prune { TfAnnotation::Deferred } else { TfAnnotation::Exact };
@@ -403,7 +409,7 @@ impl<S: DocumentSource> PreparedView<S> {
         let t0 = Instant::now();
         let pdt_timings = |t0: &Instant| PhaseTimings { pdt: t0.elapsed(), ..Default::default() };
         let generated = self
-            .generate_pdts(&keywords, ctl, annotate)
+            .generate_pdts(&terms, ctl, annotate)
             .map_err(|int| int.into_error(pdt_timings(&t0)))?;
         let mut pdts: Vec<Pdt> = Vec::with_capacity(self.plans.len());
         let mut pdt_stats = Vec::with_capacity(self.plans.len());
@@ -440,7 +446,7 @@ impl<S: DocumentSource> PreparedView<S> {
             self.score_bounded(
                 request,
                 ctl,
-                &keywords,
+                &terms,
                 &pdts,
                 &results,
                 &by_name,
@@ -453,7 +459,7 @@ impl<S: DocumentSource> PreparedView<S> {
                 if (i + 1).is_multiple_of(256) {
                     ctl.check().map_err(|int| int.into_error(score_timings(&t2)))?;
                 }
-                let tf: Vec<u32> = (0..keywords.len())
+                let tf: Vec<u32> = (0..terms.len())
                     .map(|ki| {
                         item_sum_with(item, &mut |doc, n| {
                             by_name
@@ -471,7 +477,15 @@ impl<S: DocumentSource> PreparedView<S> {
                 });
                 stats.push(ElementStats { tf, byte_len });
             }
-            (score_and_rank(&stats, request.keyword_mode(), request.k()), PruneStats::default())
+            (
+                score_and_rank_boosted(
+                    &stats,
+                    request.keyword_mode(),
+                    request.k(),
+                    request.boosts(),
+                ),
+                PruneStats::default(),
+            )
         };
         self.engine.record_prune(pruning);
 
@@ -505,7 +519,7 @@ impl<S: DocumentSource> PreparedView<S> {
             t_pdt,
             t_eval,
             t_score,
-            plan: request.wants_plan().then(|| self.plan(request.keywords())),
+            plan: request.wants_plan().then(|| self.plan_for_terms(request, &terms)),
         })
     }
 
@@ -519,7 +533,7 @@ impl<S: DocumentSource> PreparedView<S> {
     /// 2. **Candidate pass**: one walk per view element aggregates the
     ///    memoized per-node estimates into [`BoundedCandidate`]s — no
     ///    index is touched.
-    /// 3. [`score_and_rank_bounded`] resolves exact tf lazily:
+    /// 3. [`score_and_rank_bounded_boosted`] resolves exact tf lazily:
     ///    fully-resolved candidates cost nothing, candidates bounded
     ///    below the top-k threshold are never probed again, and the few
     ///    interior nodes a surviving candidate does need are completed
@@ -530,7 +544,7 @@ impl<S: DocumentSource> PreparedView<S> {
         &self,
         request: &SearchRequest,
         ctl: &ExecControl,
-        keywords: &[String],
+        terms: &ResolvedTerms,
         pdts: &[Pdt],
         results: &[vxv_xquery::Item<'_>],
         by_name: &HashMap<&str, (usize, &Pdt)>,
@@ -573,25 +587,83 @@ impl<S: DocumentSource> PreparedView<S> {
             /// value when the node is resolved.
             sum: u64,
         }
-        let kws = keywords.len();
+        let kws = terms.len();
 
-        // One pinned posting-list reader per (plan, keyword). Pins come
-        // from the view's probe cache — hot keywords skip the dictionary
-        // lookup on every search after the first — and both the estimate
-        // pass and the lazy completions below probe through them.
-        let pins: Vec<Vec<Arc<vxv_index::PinnedList>>> = self
+        // How one term slot is probed against one plan's segment.
+        // Word/Prefix terms estimate through tf readers (one per word the
+        // term covers in that segment's dictionary); Phrase/Near terms
+        // resolve *exactly* through a positional reader — their estimate
+        // IS the count, so they never bound interior blocks and pruning
+        // stays byte-identical to the reference.
+        enum TermProbe<'a> {
+            Words(Vec<vxv_index::TfReader<'a>>),
+            Positional(vxv_index::PositionalReader<'a>),
+        }
+
+        // One pinned posting list per (plan, term, covered word). Pins
+        // come from the view's probe cache — hot keywords skip the
+        // dictionary lookup on every search after the first — and both
+        // the estimate pass and the lazy completions below probe through
+        // them. Prefix terms expand against each segment's own sorted
+        // dictionary; phrase/proximity terms pin each distinct word once.
+        let pins: Vec<Vec<Vec<Arc<vxv_index::PinnedList>>>> = self
             .plans
             .iter()
             .enumerate()
-            .map(|(pi, plan)| keywords.iter().map(|kw| self.pinned_list(pi, plan, kw)).collect())
+            .map(|(pi, plan)| {
+                terms
+                    .terms()
+                    .iter()
+                    .map(|term| match term {
+                        QueryTerm::Word(w) => vec![self.pinned_list(pi, plan, w)],
+                        QueryTerm::Prefix(p) => plan
+                            .segment
+                            .index
+                            .inverted()
+                            .prefix_matches(p)
+                            .iter()
+                            .map(|w| self.pinned_list(pi, plan, w))
+                            .collect(),
+                        QueryTerm::Phrase(words) | QueryTerm::Near { words, .. } => {
+                            let (distinct, _) = distinct_words(words);
+                            distinct.iter().map(|w| self.pinned_list(pi, plan, w)).collect()
+                        }
+                    })
+                    .collect()
+            })
             .collect();
-        let readers: Vec<Vec<vxv_index::TfReader<'_>>> = self
+        let probes: Vec<Vec<TermProbe<'_>>> = self
             .plans
             .iter()
             .zip(&pins)
             .map(|(plan, plan_pins)| {
                 let inverted = plan.segment.index.inverted();
-                plan_pins.iter().map(|pin| inverted.tf_reader_pinned(pin)).collect()
+                terms
+                    .terms()
+                    .iter()
+                    .zip(plan_pins)
+                    .map(|(term, term_pins)| match term {
+                        QueryTerm::Word(_) | QueryTerm::Prefix(_) => TermProbe::Words(
+                            term_pins.iter().map(|pin| inverted.tf_reader_pinned(pin)).collect(),
+                        ),
+                        QueryTerm::Phrase(words) | QueryTerm::Near { words, .. } => {
+                            // Pin order above is distinct-word order, so
+                            // the same expansion maps instances to pins.
+                            let (_, instance_of) = distinct_words(words);
+                            let window = match term {
+                                QueryTerm::Near { window, .. } => Some(*window),
+                                _ => None,
+                            };
+                            let pin_refs: Vec<&vxv_index::PinnedList> =
+                                term_pins.iter().map(|p| p.as_ref()).collect();
+                            TermProbe::Positional(inverted.positional_reader_pinned(
+                                &pin_refs,
+                                instance_of,
+                                window,
+                            ))
+                        }
+                    })
+                    .collect()
             })
             .collect();
 
@@ -604,12 +676,12 @@ impl<S: DocumentSource> PreparedView<S> {
         // handful of allocations.
         let est = crate::fanout::fan_out_init(
             &pairs,
-            vxv_index::DecodeScratch::default,
-            |scratch, (pi, pdt)| {
+            || (vxv_index::DecodeScratch::default(), vxv_index::PositionsScratch::default()),
+            |(scratch, pos_scratch), (pi, pdt)| {
                 let n = pdt.doc.len();
                 let mut nodes = vec![NodeEst::default(); n];
                 let mut kw_data = vec![KwEst::default(); n * kws];
-                let readers = &readers[*pi];
+                let probes = &probes[*pi];
                 // Info keys and arena nodes are both in document order:
                 // advance a node cursor instead of searching per element.
                 let mut ni = 0usize;
@@ -629,16 +701,32 @@ impl<S: DocumentSource> PreparedView<S> {
                         continue;
                     }
                     nodes[ni].content = true;
-                    for (k, reader) in readers.iter().enumerate() {
-                        let est = reader.subtree_estimate_with(dewey, scratch);
-                        nodes[ni].blocks += est.skipped_blocks as u32;
+                    for (k, probe) in probes.iter().enumerate() {
                         let e = &mut kw_data[ni * kws + k];
-                        e.sum = est.boundary_sum;
-                        if est.contains {
-                            e.contains = true;
-                            // `contains == false` tightens the bound to the
-                            // exact value 0.
-                            e.bound = est.bound;
+                        match probe {
+                            TermProbe::Words(readers) => {
+                                for reader in readers {
+                                    let est = reader.subtree_estimate_with(dewey, scratch);
+                                    nodes[ni].blocks += est.skipped_blocks as u32;
+                                    e.sum += est.boundary_sum;
+                                    if est.contains {
+                                        e.contains = true;
+                                        // `contains == false` tightens the
+                                        // bound to the exact value 0.
+                                        e.bound += est.bound;
+                                    }
+                                }
+                            }
+                            TermProbe::Positional(reader) => {
+                                // Exact by construction: the match count
+                                // is both the sum and the bound, and no
+                                // interior block is ever deferred.
+                                let count =
+                                    reader.subtree_count_with(dewey, scratch, pos_scratch) as u64;
+                                e.sum = count;
+                                e.bound = count;
+                                e.contains = count > 0;
+                            }
                         }
                     }
                 }
@@ -715,8 +803,12 @@ impl<S: DocumentSource> PreparedView<S> {
         // Completions are single-threaded: one scratch serves every
         // interior-block decode the resolver performs.
         let mut resolve_scratch = vxv_index::DecodeScratch::default();
-        let outcome =
-            score_and_rank_bounded(&cands, request.keyword_mode(), request.k(), &mut |i| {
+        let outcome = score_and_rank_bounded_boosted(
+            &cands,
+            request.keyword_mode(),
+            request.k(),
+            request.boosts(),
+            &mut |i| {
                 match &resolutions[i] {
                     Resolution::Exact(tf) => Some(tf.clone()),
                     Resolution::Partial { base, interior } => {
@@ -735,9 +827,15 @@ impl<S: DocumentSource> PreparedView<S> {
                                 // through the same pinned readers the
                                 // estimate pass used.
                                 let dewey = &pdts[*pi].doc.node(*n).dewey;
-                                for (k, reader) in readers[*pi].iter().enumerate() {
-                                    kw_data[ni * kws + k].sum +=
-                                        reader.subtree_interior_with(dewey, &mut resolve_scratch);
+                                for (k, probe) in probes[*pi].iter().enumerate() {
+                                    // Positional slots are already exact
+                                    // (their estimate was the count).
+                                    if let TermProbe::Words(readers) = probe {
+                                        for reader in readers {
+                                            kw_data[ni * kws + k].sum += reader
+                                                .subtree_interior_with(dewey, &mut resolve_scratch);
+                                        }
+                                    }
                                 }
                                 nodes[ni].resolved = true;
                             }
@@ -748,7 +846,8 @@ impl<S: DocumentSource> PreparedView<S> {
                         Some(tf.iter().map(|v| *v as u32).collect())
                     }
                 }
-            });
+            },
+        );
         match outcome {
             Some(pair) => Ok(pair),
             None => Err(interrupt
@@ -758,13 +857,10 @@ impl<S: DocumentSource> PreparedView<S> {
         }
     }
 
-    /// The query plan: per-QPT probe reports from the cached prepare-time
-    /// lists (each against its owning segment), plus the keywords'
-    /// posting-list lengths summed across the snapshot — without running
-    /// the query.
-    pub fn plan<K: AsRef<str>>(&self, keywords: &[K]) -> QueryPlan {
-        let qpts = self
-            .plans
+    /// The per-QPT half of a [`QueryPlan`]: probe reports from the cached
+    /// prepare-time lists, each against its owning segment.
+    fn qpt_reports(&self) -> Vec<QptReport> {
+        self.plans
             .iter()
             .map(|plan| {
                 let probes = plan
@@ -787,7 +883,14 @@ impl<S: DocumentSource> PreparedView<S> {
                     probes,
                 }
             })
-            .collect();
+            .collect()
+    }
+
+    /// The query plan: per-QPT probe reports from the cached prepare-time
+    /// lists (each against its owning segment), plus the keywords'
+    /// posting-list lengths summed across the snapshot — without running
+    /// the query.
+    pub fn plan<K: AsRef<str>>(&self, keywords: &[K]) -> QueryPlan {
         let keyword_list_lengths = keywords
             .iter()
             .map(|k| {
@@ -797,8 +900,63 @@ impl<S: DocumentSource> PreparedView<S> {
                 (norm, len)
             })
             .collect();
-        QueryPlan { qpts, keyword_list_lengths }
+        QueryPlan { qpts: self.qpt_reports(), keyword_list_lengths }
     }
+
+    /// [`Self::plan`], term-aware: each slot is labelled with the
+    /// request's display form and sized by what the term actually reads —
+    /// Word by its posting-list length, Prefix by the dictionary
+    /// expansion's summed lengths (per segment, since each segment
+    /// expands against its own dictionary), Phrase/Near by the rarest
+    /// word's length (the selectivity that drives the position
+    /// intersection).
+    fn plan_for_terms(&self, request: &SearchRequest, terms: &ResolvedTerms) -> QueryPlan {
+        let sum_len = |w: &str| -> usize {
+            self.snapshot.iter().map(|seg| seg.index.inverted().list_len(w)).sum()
+        };
+        let keyword_list_lengths = request
+            .keywords()
+            .iter()
+            .zip(terms.terms())
+            .map(|(label, term)| {
+                let len = match term {
+                    QueryTerm::Word(w) => sum_len(w),
+                    QueryTerm::Prefix(p) => self
+                        .snapshot
+                        .iter()
+                        .map(|seg| {
+                            let inv = seg.index.inverted();
+                            inv.prefix_matches(p).iter().map(|w| inv.list_len(w)).sum::<usize>()
+                        })
+                        .sum(),
+                    QueryTerm::Phrase(words) | QueryTerm::Near { words, .. } => {
+                        words.iter().map(|w| sum_len(w)).min().unwrap_or(0)
+                    }
+                };
+                (label.clone(), len)
+            })
+            .collect();
+        QueryPlan { qpts: self.qpt_reports(), keyword_list_lengths }
+    }
+}
+
+/// Collapse a phrase/proximity term's word list to its distinct words
+/// plus an `instance_of` map (slot i of the original list is distinct
+/// word `instance_of[i]`) — repeated words pin one list and decode its
+/// positions once.
+fn distinct_words(words: &[String]) -> (Vec<&String>, Vec<usize>) {
+    let mut distinct: Vec<&String> = Vec::new();
+    let mut instance_of = Vec::with_capacity(words.len());
+    for w in words {
+        match distinct.iter().position(|d| *d == w) {
+            Some(i) => instance_of.push(i),
+            None => {
+                instance_of.push(distinct.len());
+                distinct.push(w);
+            }
+        }
+    }
+    (distinct, instance_of)
 }
 
 /// Split one result item into a symbolic materialization plan: serialize

@@ -10,6 +10,7 @@ use crate::control::CancelToken;
 use crate::generate::GenerateStats;
 use crate::prepared::QueryPlan;
 use crate::scoring::{KeywordMode, PruneStats};
+use crate::term::{QueryTerm, TermParseError};
 use std::time::Duration;
 
 /// One keyword search over a prepared view: what to look for and what to
@@ -24,9 +25,32 @@ use std::time::Duration;
 ///     .collect_timings(false);
 /// assert_eq!(req.keywords(), ["xml", "search"]);
 /// ```
+///
+/// Beyond plain keywords, a request can carry positional and weighted
+/// [`QueryTerm`]s — each occupies one scoring slot exactly like a
+/// keyword (see [`crate::term`] for semantics and syntax):
+///
+/// ```
+/// use vxv_core::SearchRequest;
+/// let req = SearchRequest::new(["xml"])
+///     .phrase(["keyword", "search"])
+///     .near(3, ["virtual", "views"])
+///     .prefix("index")
+///     .boost(2.0); // boosts the most recently added term
+/// assert_eq!(req.keywords(), ["xml", "keyword search", "~3:virtual,views", "index*"]);
+/// assert_eq!(req.boosts(), [1.0, 1.0, 1.0, 2.0]);
+/// ```
 #[derive(Clone, Debug)]
 pub struct SearchRequest {
-    keywords: Vec<String>,
+    terms: Vec<QueryTerm>,
+    /// Per-term weights. **Empty means unboosted** — scoring then uses
+    /// the legacy `tf × idf` expression, keeping unboosted responses
+    /// byte-identical to the pre-boost engine. Non-empty is always the
+    /// same length as `terms`.
+    boosts: Vec<f64>,
+    /// Cached [`QueryTerm`] display forms, what [`Self::keywords`]
+    /// returns.
+    display: Vec<String>,
     top_k: usize,
     mode: KeywordMode,
     materialize: bool,
@@ -39,14 +63,21 @@ pub struct SearchRequest {
 
 impl SearchRequest {
     /// A conjunctive top-10 search for `keywords`, with materialization
-    /// and timing collection on and plan reporting off.
+    /// and timing collection on and plan reporting off. Each keyword
+    /// becomes one [`QueryTerm::Word`] **verbatim** — no query syntax is
+    /// interpreted here; use [`Self::parse_terms`] for the textual term
+    /// language.
     pub fn new<I, K>(keywords: I) -> Self
     where
         I: IntoIterator<Item = K>,
         K: AsRef<str>,
     {
+        let terms: Vec<QueryTerm> =
+            keywords.into_iter().map(|k| QueryTerm::Word(k.as_ref().to_string())).collect();
         SearchRequest {
-            keywords: keywords.into_iter().map(|k| k.as_ref().to_string()).collect(),
+            display: terms.iter().map(|t| t.to_string()).collect(),
+            terms,
+            boosts: Vec::new(),
             top_k: 10,
             mode: KeywordMode::Conjunctive,
             materialize: true,
@@ -56,6 +87,83 @@ impl SearchRequest {
             deadline: None,
             cancel: None,
         }
+    }
+
+    /// A request whose terms come from the textual query language: each
+    /// token is parsed by [`QueryTerm::parse`] (quoting happens at the
+    /// transport layer — a phrase arrives as one token with interior
+    /// whitespace). Everything else starts as [`Self::new`]'s defaults.
+    pub fn parse_terms<I, K>(tokens: I) -> Result<Self, TermParseError>
+    where
+        I: IntoIterator<Item = K>,
+        K: AsRef<str>,
+    {
+        let mut request = SearchRequest::new(std::iter::empty::<&str>());
+        for token in tokens {
+            let (term, boost) = QueryTerm::parse(token.as_ref())?;
+            request = request.term(term);
+            if let Some(b) = boost {
+                request = request.boost(b);
+            }
+        }
+        Ok(request)
+    }
+
+    /// Append one term (one scoring slot). Its boost defaults to 1.0;
+    /// chain [`Self::boost`] to change it.
+    pub fn term(mut self, term: QueryTerm) -> Self {
+        self.display.push(term.to_string());
+        self.terms.push(term);
+        if !self.boosts.is_empty() {
+            self.boosts.push(1.0);
+        }
+        self
+    }
+
+    /// Append a phrase term: `words` occurring consecutively, in order,
+    /// in one element's token stream. A single word collapses to a
+    /// plain [`QueryTerm::Word`].
+    pub fn phrase<I, K>(self, words: I) -> Self
+    where
+        I: IntoIterator<Item = K>,
+        K: AsRef<str>,
+    {
+        let mut words: Vec<String> = words.into_iter().map(|w| w.as_ref().to_string()).collect();
+        self.term(match words.len() {
+            1 => QueryTerm::Word(words.remove(0)),
+            _ => QueryTerm::Phrase(words),
+        })
+    }
+
+    /// Append a proximity term: every word within `window` token
+    /// positions of an occurrence of the first word.
+    pub fn near<I, K>(self, window: u32, words: I) -> Self
+    where
+        I: IntoIterator<Item = K>,
+        K: AsRef<str>,
+    {
+        let words = words.into_iter().map(|w| w.as_ref().to_string()).collect();
+        self.term(QueryTerm::Near { window, words })
+    }
+
+    /// Append a prefix term matching every indexed keyword that starts
+    /// with `stem` (pass it without the `*`).
+    pub fn prefix<K: AsRef<str>>(self, stem: K) -> Self {
+        self.term(QueryTerm::Prefix(stem.as_ref().to_string()))
+    }
+
+    /// Weight the **most recently added** term by `factor` (> 0,
+    /// finite): its slot contributes `tf × idf × factor` to the score.
+    /// The first boost switches the whole request to boosted scoring
+    /// (every other term gets an explicit 1.0).
+    pub fn boost(mut self, factor: f64) -> Self {
+        if self.boosts.is_empty() {
+            self.boosts = vec![1.0; self.terms.len()];
+        }
+        if let Some(last) = self.boosts.last_mut() {
+            *last = factor;
+        }
+        self
     }
 
     /// How many top-ranked hits to return (and to materialize).
@@ -120,9 +228,22 @@ impl SearchRequest {
         self
     }
 
-    /// The raw (un-normalized) keywords.
+    /// The raw (un-normalized) terms in display form, one string per
+    /// scoring slot — for plain keywords this is the keyword itself.
     pub fn keywords(&self) -> &[String] {
-        &self.keywords
+        &self.display
+    }
+
+    /// The raw (un-normalized) terms, one per scoring slot.
+    pub fn terms(&self) -> &[QueryTerm] {
+        &self.terms
+    }
+
+    /// Per-term boosts. Empty when no [`Self::boost`] was applied —
+    /// scoring then uses the unboosted legacy expression; otherwise the
+    /// same length as [`Self::terms`].
+    pub fn boosts(&self) -> &[f64] {
+        &self.boosts
     }
 
     /// The `k` of top-k.

@@ -83,6 +83,34 @@ pub struct ScoringOutcome {
 /// `stats` must cover the *entire* view result sequence (idf is a
 /// view-level statistic).
 pub fn score_and_rank(stats: &[ElementStats], mode: KeywordMode, k: usize) -> ScoringOutcome {
+    score_and_rank_boosted(stats, mode, k, &[])
+}
+
+/// One slot's contribution to the raw (un-normalized) score. With no
+/// boosts this is **literally** the legacy `tf × idf` float expression,
+/// so unboosted responses stay byte-identical to the pre-boost engine;
+/// boosted slots multiply by their (positive, finite) weight. The same
+/// expression scores exact tf vectors and upper bounds, which keeps
+/// bound domination under IEEE rounding monotonicity — multiplication
+/// by a positive boost preserves `x >= y  ⇒  x·b >= y·b`.
+fn raw_score<T: Copy + Into<u64>>(tf: &[T], idf: &[f64], boosts: &[f64]) -> f64 {
+    if boosts.is_empty() {
+        tf.iter().zip(idf).map(|(t, i)| (*t).into() as f64 * i).sum()
+    } else {
+        tf.iter().zip(idf).zip(boosts).map(|((t, i), b)| (*t).into() as f64 * i * b).sum()
+    }
+}
+
+/// As [`score_and_rank`] with per-keyword boosts: slot `k` contributes
+/// `tf × idf × boosts[k]`. An **empty** `boosts` means unboosted and
+/// uses the legacy float expression verbatim (byte-identical scores);
+/// otherwise `boosts` must have one positive finite weight per keyword.
+pub fn score_and_rank_boosted(
+    stats: &[ElementStats],
+    mode: KeywordMode,
+    k: usize,
+    boosts: &[f64],
+) -> ScoringOutcome {
     let view_size = stats.len();
     let keyword_count = stats.first().map(|s| s.tf.len()).unwrap_or(0);
 
@@ -107,7 +135,7 @@ pub fn score_and_rank(stats: &[ElementStats], mode: KeywordMode, k: usize) -> Sc
         if !ok && keyword_count > 0 {
             continue;
         }
-        let raw: f64 = s.tf.iter().zip(&idf).map(|(t, i)| *t as f64 * i).sum();
+        let raw = raw_score(&s.tf, &idf, boosts);
         let norm = (s.byte_len as f64).max(1.0);
         matches.push(ScoredElement {
             index,
@@ -210,6 +238,21 @@ pub fn score_and_rank_bounded(
     k: usize,
     exact_tf: &mut dyn FnMut(usize) -> Option<Vec<u32>>,
 ) -> Option<(ScoringOutcome, PruneStats)> {
+    score_and_rank_bounded_boosted(cands, mode, k, &[], exact_tf)
+}
+
+/// As [`score_and_rank_bounded`] with per-keyword boosts — the bounded
+/// counterpart of [`score_and_rank_boosted`], byte-identical to it on
+/// the same inputs. Boosts scale upper bounds and exact scores through
+/// the **same** float expression, so bound domination (and therefore
+/// pruning soundness) is preserved for any positive finite weights.
+pub fn score_and_rank_bounded_boosted(
+    cands: &[BoundedCandidate],
+    mode: KeywordMode,
+    k: usize,
+    boosts: &[f64],
+    exact_tf: &mut dyn FnMut(usize) -> Option<Vec<u32>>,
+) -> Option<(ScoringOutcome, PruneStats)> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
@@ -249,8 +292,7 @@ pub fn score_and_rank_bounded(
     // follow. The bound uses the same float expression as the exact
     // score, so IEEE rounding monotonicity keeps it dominating.
     let ub_score = |c: &BoundedCandidate| -> f64 {
-        let raw: f64 = c.tf_bound.iter().zip(&idf).map(|(t, i)| *t as f64 * i).sum();
-        raw / (c.byte_len as f64).max(1.0)
+        raw_score(&c.tf_bound, &idf, boosts) / (c.byte_len as f64).max(1.0)
     };
     let mut order: Vec<(f64, &BoundedCandidate)> =
         matching_cands.iter().map(|c| (ub_score(c), *c)).collect();
@@ -278,8 +320,7 @@ pub fn score_and_rank_bounded(
         }
         let tf = exact_tf(c.index)?;
         // The exact score, with the reference's own float expression.
-        let raw: f64 = tf.iter().zip(&idf).map(|(t, i)| *t as f64 * i).sum();
-        let score = raw / (c.byte_len as f64).max(1.0);
+        let score = raw_score(&tf, &idf, boosts) / (c.byte_len as f64).max(1.0);
         heap.push(Reverse(HeapScore(score)));
         if heap.len() > k {
             heap.pop();
@@ -519,5 +560,50 @@ mod bounded_tests {
         let cands = candidates(&stats, 1);
         let out = score_and_rank_bounded(&cands, KeywordMode::Conjunctive, 2, &mut |_| None);
         assert!(out.is_none(), "resolver abort must surface, not truncate");
+    }
+
+    #[test]
+    fn boosts_reweight_the_ranking() {
+        // Without boosts both elements tie on idf symmetry; boosting the
+        // second keyword must promote the element that carries it.
+        let stats = vec![es(&[2, 0], 10), es(&[0, 2], 10)];
+        let plain = score_and_rank(&stats, KeywordMode::Disjunctive, 2);
+        assert_eq!(plain.top[0].index, 0, "ties break in view order unboosted");
+        let boosted = score_and_rank_boosted(&stats, KeywordMode::Disjunctive, 2, &[1.0, 3.0]);
+        assert_eq!(boosted.top[0].index, 1, "boosted keyword outranks");
+        assert_eq!(boosted.idf, plain.idf, "boosts scale scores, never idf");
+    }
+
+    #[test]
+    fn unit_boosts_are_bit_identical_to_unboosted() {
+        // ×1.0 is exact in IEEE arithmetic, so an all-ones boost vector
+        // must reproduce the legacy expression bit for bit.
+        for seed in 0..10u64 {
+            let stats = random_stats(seed, (seed % 13) as usize + 2, 3);
+            let a = score_and_rank(&stats, KeywordMode::Disjunctive, 5);
+            let b = score_and_rank_boosted(&stats, KeywordMode::Disjunctive, 5, &[1.0, 1.0, 1.0]);
+            assert_outcomes_identical(&a, &b);
+        }
+    }
+
+    #[test]
+    fn bounded_boosted_matches_exact_boosted_across_random_inputs() {
+        for seed in 0..30u64 {
+            let stats = random_stats(seed, (seed % 17) as usize + 1, 2);
+            let boosts = [0.25 + (seed % 7) as f64, 1.0 + (seed % 3) as f64];
+            for (k, slack) in [(1usize, 1u64), (3, 4), (stats.len(), 2)] {
+                let exact = score_and_rank_boosted(&stats, KeywordMode::Disjunctive, k, &boosts);
+                let cands = candidates(&stats, slack);
+                let (bounded, _) = score_and_rank_bounded_boosted(
+                    &cands,
+                    KeywordMode::Disjunctive,
+                    k,
+                    &boosts,
+                    &mut |i| Some(stats[i].tf.clone()),
+                )
+                .expect("no abort");
+                assert_outcomes_identical(&exact, &bounded);
+            }
+        }
     }
 }

@@ -1,0 +1,365 @@
+//! The positional query-term model: what a [`crate::SearchRequest`]
+//! searches *for*.
+//!
+//! A request carries a sequence of [`QueryTerm`]s — the generalization
+//! of the bag-of-words keyword list. Each term occupies one scoring
+//! slot: it produces one tf column, one idf component, and one entry in
+//! every hit's tf vector, exactly as a plain keyword does. The four
+//! shapes:
+//!
+//! * [`QueryTerm::Word`] — the classic single keyword; `tf` is the
+//!   aggregate occurrence count in the element's subtree.
+//! * [`QueryTerm::Prefix`] — matches every indexed keyword starting
+//!   with the prefix (expanded per segment against the sorted term
+//!   dictionary); `tf` is the sum over the expansion.
+//! * [`QueryTerm::Phrase`] — consecutive occurrence of the words in
+//!   order within one element's own token stream; `tf` is the number of
+//!   phrase starts in the subtree. Occurrences never span elements.
+//! * [`QueryTerm::Near`] — every word within a `window` of an
+//!   occurrence of the first word (in the same element's token
+//!   stream); `tf` is the number of qualifying anchors.
+//!
+//! Phrase and proximity terms need per-occurrence positions
+//! ([`vxv_index::PositionsList`], stored by v5 bundles); searching them
+//! against an index without positions fails typed
+//! ([`crate::EngineError::PositionsUnavailable`]) instead of returning
+//! a silently-wrong bag-of-words answer.
+//!
+//! The textual syntax (one token per term, parsed by
+//! [`QueryTerm::parse`]) is what the wire protocol and CLI speak:
+//!
+//! | token | term |
+//! |---|---|
+//! | `xml` | `Word("xml")` |
+//! | `auto*` | `Prefix("auto")` |
+//! | `xml search` (one quoted token) | `Phrase(["xml", "search"])` |
+//! | `~3:xml,search` | `Near { window: 3, words: [...] }` |
+//! | any of the above + `^2.5` | the term with boost 2.5 |
+
+use std::fmt;
+
+/// One scoring slot of a search request. See the [module docs](self)
+/// for the semantics of each shape.
+///
+/// ```
+/// use vxv_core::QueryTerm;
+/// assert_eq!(QueryTerm::parse("xml").unwrap(), (QueryTerm::Word("xml".into()), None));
+/// assert_eq!(QueryTerm::parse("auto*").unwrap(), (QueryTerm::Prefix("auto".into()), None));
+/// assert_eq!(
+///     QueryTerm::parse("xml search^2").unwrap(),
+///     (QueryTerm::Phrase(vec!["xml".into(), "search".into()]), Some(2.0)),
+/// );
+/// assert_eq!(
+///     QueryTerm::parse("~3:xml,search").unwrap(),
+///     (QueryTerm::Near { window: 3, words: vec!["xml".into(), "search".into()] }, None),
+/// );
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryTerm {
+    /// A single keyword (bag-of-words semantics, the legacy shape).
+    Word(String),
+    /// Every indexed keyword starting with the prefix (the `*` is not
+    /// stored).
+    Prefix(String),
+    /// The words occurring consecutively, in order, in one element's
+    /// token stream.
+    Phrase(Vec<String>),
+    /// Every word within `window` token positions of an occurrence of
+    /// `words[0]`, in one element's token stream.
+    Near {
+        /// Maximum ordinal distance from the anchor (the first word).
+        window: u32,
+        /// The words; the first is the anchor.
+        words: Vec<String>,
+    },
+}
+
+/// A query token [`QueryTerm::parse`] rejected, with the reason.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TermParseError(pub String);
+
+impl fmt::Display for TermParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid query term: {}", self.0)
+    }
+}
+
+impl std::error::Error for TermParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, TermParseError> {
+    Err(TermParseError(msg.into()))
+}
+
+impl QueryTerm {
+    /// Parse one query token into a term and its optional boost:
+    /// a trailing `^F` is the boost, a leading `~N:` makes a proximity
+    /// term, a trailing `*` a prefix term, and interior whitespace a
+    /// phrase (a one-word phrase collapses to [`QueryTerm::Word`]).
+    /// Words are taken verbatim — normalization to token form happens
+    /// when the request is resolved against an index.
+    pub fn parse(token: &str) -> Result<(QueryTerm, Option<f64>), TermParseError> {
+        let (body, boost) = match token.rsplit_once('^') {
+            Some((body, suffix)) => {
+                let Ok(b) = suffix.parse::<f64>() else {
+                    return err(format!("boost '{suffix}' is not a number"));
+                };
+                if !b.is_finite() || b <= 0.0 {
+                    return err(format!("boost {b} must be finite and positive"));
+                }
+                (body, Some(b))
+            }
+            None => (token, None),
+        };
+        let body = body.trim();
+        // Tolerate a literally-quoted phrase token (`"virtual views"`)
+        // surviving into the body — e.g. `vxv search -k '"a b"'`, where
+        // the shell keeps the inner quotes. One balanced pair only;
+        // lone or interior quotes stay part of the words.
+        let body = match body.strip_prefix('"').and_then(|b| b.strip_suffix('"')) {
+            Some(inner) => inner.trim(),
+            None => body,
+        };
+        if body.is_empty() {
+            return err("empty term");
+        }
+        let term = if let Some(rest) = body.strip_prefix('~') {
+            let Some((n, words)) = rest.split_once(':') else {
+                return err(format!("proximity term '~{rest}' needs the ~N:w1,w2 form"));
+            };
+            let Ok(window) = n.parse::<u32>() else {
+                return err(format!("proximity window '{n}' is not an unsigned integer"));
+            };
+            let words: Vec<String> =
+                words.split(',').map(str::trim).filter(|w| !w.is_empty()).map(Into::into).collect();
+            if words.len() < 2 {
+                return err("proximity term needs at least two comma-separated words");
+            }
+            QueryTerm::Near { window, words }
+        } else if let Some(stem) = body.strip_suffix('*') {
+            if stem.is_empty() || stem.contains('*') || stem.contains(char::is_whitespace) {
+                return err(format!("prefix term '{body}' must be one word with one trailing *"));
+            }
+            QueryTerm::Prefix(stem.to_string())
+        } else if body.contains('*') {
+            return err(format!("'*' is only valid at the end of a prefix term, got '{body}'"));
+        } else {
+            let words: Vec<String> = body.split_whitespace().map(Into::into).collect();
+            match <[String; 1]>::try_from(words) {
+                Ok([word]) => QueryTerm::Word(word),
+                Err(words) => QueryTerm::Phrase(words),
+            }
+        };
+        Ok((term, boost))
+    }
+
+    /// The words this term touches in the inverted index, in term order.
+    pub fn words(&self) -> &[String] {
+        match self {
+            QueryTerm::Word(w) | QueryTerm::Prefix(w) => std::slice::from_ref(w),
+            QueryTerm::Phrase(words) | QueryTerm::Near { words, .. } => words,
+        }
+    }
+
+    /// Whether answering this term requires per-occurrence positions.
+    pub fn is_positional(&self) -> bool {
+        matches!(self, QueryTerm::Phrase(_) | QueryTerm::Near { .. })
+    }
+}
+
+impl fmt::Display for QueryTerm {
+    /// The parseable token form: `Display` then [`QueryTerm::parse`]
+    /// round-trips every valid term.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryTerm::Word(w) => write!(f, "{w}"),
+            QueryTerm::Prefix(p) => write!(f, "{p}*"),
+            QueryTerm::Phrase(words) => write!(f, "{}", words.join(" ")),
+            QueryTerm::Near { window, words } => write!(f, "~{window}:{}", words.join(",")),
+        }
+    }
+}
+
+/// A request's terms normalized to token form and validated — built
+/// once per search in [`crate::PreparedView`]'s ranking pipeline, then
+/// shared by the PDT annotation loop, the score-bounded estimator, and
+/// the plan report.
+pub(crate) struct ResolvedTerms {
+    terms: Vec<QueryTerm>,
+}
+
+impl ResolvedTerms {
+    /// Normalize and validate `request`'s terms. Word terms may
+    /// normalize to the empty string (they match nothing, like the
+    /// legacy keyword path); phrase / proximity / prefix terms with an
+    /// empty word are rejected typed, as are non-positive boosts. A
+    /// request whose every term is an empty word — including a request
+    /// with no terms at all — is [`crate::EngineError::EmptyQuery`].
+    pub(crate) fn resolve(
+        request: &crate::request::SearchRequest,
+    ) -> Result<ResolvedTerms, crate::engine::EngineError> {
+        use crate::engine::EngineError;
+        use vxv_index::tokenize::normalize_keyword;
+        let invalid = |msg: String| EngineError::InvalidTerm(msg);
+        let mut terms = Vec::with_capacity(request.terms().len());
+        for term in request.terms() {
+            let norm = |w: &String| normalize_keyword(w);
+            terms.push(match term {
+                QueryTerm::Word(w) => QueryTerm::Word(norm(w)),
+                QueryTerm::Prefix(p) => {
+                    let p = norm(p);
+                    if p.trim().is_empty() {
+                        return Err(invalid("prefix term with empty stem".into()));
+                    }
+                    QueryTerm::Prefix(p)
+                }
+                QueryTerm::Phrase(words) => {
+                    let words: Vec<String> = words.iter().map(norm).collect();
+                    if words.is_empty() || words.iter().any(|w| w.trim().is_empty()) {
+                        return Err(invalid("phrase term with an empty word".into()));
+                    }
+                    QueryTerm::Phrase(words)
+                }
+                QueryTerm::Near { window, words } => {
+                    let words: Vec<String> = words.iter().map(norm).collect();
+                    if words.len() < 2 || words.iter().any(|w| w.trim().is_empty()) {
+                        return Err(invalid(
+                            "proximity term needs two or more non-empty words".into(),
+                        ));
+                    }
+                    QueryTerm::Near { window: *window, words }
+                }
+            });
+        }
+        for b in request.boosts() {
+            if !b.is_finite() || *b <= 0.0 {
+                return Err(invalid(format!("boost {b} must be finite and positive")));
+            }
+        }
+        let all_empty = terms.iter().all(|t| match t {
+            QueryTerm::Word(w) => w.trim().is_empty(),
+            _ => false,
+        });
+        if all_empty {
+            return Err(EngineError::EmptyQuery);
+        }
+        Ok(ResolvedTerms { terms })
+    }
+
+    /// Wrap already-normalized bag-of-words keywords (the public
+    /// [`crate::generate::generate_pdt`] surface, which predates terms).
+    pub(crate) fn from_keywords(keywords: &[String]) -> ResolvedTerms {
+        ResolvedTerms { terms: keywords.iter().map(|k| QueryTerm::Word(k.clone())).collect() }
+    }
+
+    /// Number of scoring slots (one per term).
+    pub(crate) fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The normalized terms, slot order.
+    pub(crate) fn terms(&self) -> &[QueryTerm] {
+        &self.terms
+    }
+
+    /// Whether any term needs per-occurrence positions.
+    pub(crate) fn has_positional(&self) -> bool {
+        self.terms.iter().any(QueryTerm::is_positional)
+    }
+
+    /// Whether any term could match in `inverted` — pure dictionary
+    /// probes, no counters; the prepared view's fan-out uses this to
+    /// keep posting-free plans off the worker pool.
+    pub(crate) fn might_match(&self, inverted: &vxv_index::InvertedIndex) -> bool {
+        self.terms.iter().any(|t| match t {
+            QueryTerm::Word(w) => inverted.has_keyword(w),
+            QueryTerm::Prefix(p) => inverted.has_prefix(p),
+            QueryTerm::Phrase(words) | QueryTerm::Near { words, .. } => {
+                words.iter().all(|w| inverted.has_keyword(w))
+            }
+        })
+    }
+
+    /// Exact subtree tf of slot `k` under `root` — the term-aware
+    /// generalization of [`vxv_index::InvertedIndex::subtree_tf`],
+    /// used by the exact (`prune(false)`) annotation path.
+    pub(crate) fn subtree_tf_in(
+        &self,
+        inverted: &vxv_index::InvertedIndex,
+        k: usize,
+        root: &vxv_xml::DeweyId,
+    ) -> u32 {
+        match &self.terms[k] {
+            QueryTerm::Word(w) => inverted.subtree_tf(w, root),
+            QueryTerm::Prefix(p) => {
+                inverted.prefix_matches(p).iter().map(|w| inverted.subtree_tf(w, root)).sum()
+            }
+            QueryTerm::Phrase(words) => inverted.positional_subtree_tf(words, None, root),
+            QueryTerm::Near { window, words } => {
+                inverted.positional_subtree_tf(words, Some(*window), root)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_covers_every_shape() {
+        assert_eq!(QueryTerm::parse("xml").unwrap(), (QueryTerm::Word("xml".into()), None));
+        assert_eq!(QueryTerm::parse("auto*").unwrap(), (QueryTerm::Prefix("auto".into()), None));
+        assert_eq!(
+            QueryTerm::parse("xml search").unwrap(),
+            (QueryTerm::Phrase(vec!["xml".into(), "search".into()]), None)
+        );
+        assert_eq!(
+            QueryTerm::parse("~2:fast,search").unwrap(),
+            (QueryTerm::Near { window: 2, words: vec!["fast".into(), "search".into()] }, None)
+        );
+        assert_eq!(QueryTerm::parse("xml^2.5").unwrap().1, Some(2.5));
+        assert_eq!(QueryTerm::parse("auto*^3").unwrap().0, QueryTerm::Prefix("auto".into()));
+    }
+
+    #[test]
+    fn parse_strips_one_balanced_pair_of_quotes() {
+        // A shell-quoted phrase token whose quotes survive into the arg.
+        assert_eq!(
+            QueryTerm::parse("\"xml search\"").unwrap(),
+            (QueryTerm::Phrase(vec!["xml".into(), "search".into()]), None)
+        );
+        assert_eq!(QueryTerm::parse("\"xml\"").unwrap().0, QueryTerm::Word("xml".into()));
+        assert_eq!(
+            QueryTerm::parse("\"xml search\"^2").unwrap(),
+            (QueryTerm::Phrase(vec!["xml".into(), "search".into()]), Some(2.0))
+        );
+        // Lone or interior quotes are NOT stripped — they stay in the word.
+        assert_eq!(QueryTerm::parse("\"xml").unwrap().0, QueryTerm::Word("\"xml".into()));
+        assert!(QueryTerm::parse("\"\"").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_tokens() {
+        for bad in [
+            "", "  ", "^2", "xml^zero", "xml^-1", "xml^inf", "*", "a*b", "au*to*", "~x:a,b",
+            "~2:a", "~2a,b",
+        ] {
+            assert!(QueryTerm::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let terms = vec![
+            QueryTerm::Word("xml".into()),
+            QueryTerm::Prefix("auto".into()),
+            QueryTerm::Phrase(vec!["fast".into(), "xml".into(), "search".into()]),
+            QueryTerm::Near { window: 4, words: vec!["fast".into(), "search".into()] },
+        ];
+        for term in terms {
+            let (parsed, boost) = QueryTerm::parse(&term.to_string()).unwrap();
+            assert_eq!(parsed, term);
+            assert_eq!(boost, None);
+        }
+    }
+}

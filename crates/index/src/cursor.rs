@@ -40,6 +40,11 @@ pub struct ScanCounters {
     pub blocks_skipped: AtomicU64,
     /// Compressed bytes decoded.
     pub bytes_decoded: AtomicU64,
+    /// Position-record bytes decoded for phrase/proximity verification
+    /// (counted separately from `bytes_decoded`: positions are only
+    /// touched when a positional query demands them, and the
+    /// `positional_search` bench gates on this staying honest).
+    pub positions_bytes: AtomicU64,
 }
 
 impl ScanCounters {
@@ -58,11 +63,17 @@ impl ScanCounters {
         self.bytes_decoded.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Reset all three counters to zero.
+    /// Add `n` decoded position-record bytes.
+    pub fn add_positions_bytes(&self, n: u64) {
+        self.positions_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reset all counters to zero.
     pub fn reset(&self) {
         self.entries.store(0, Ordering::Relaxed);
         self.blocks_skipped.store(0, Ordering::Relaxed);
         self.bytes_decoded.store(0, Ordering::Relaxed);
+        self.positions_bytes.store(0, Ordering::Relaxed);
     }
 }
 

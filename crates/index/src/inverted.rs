@@ -16,11 +16,13 @@
 
 use crate::cursor::{PostingCursor, ScanCounters};
 use crate::footprint::{Footprint, IndexFootprint};
+use crate::positions::{count_subtree_matches, PositionsList, PositionsScratch};
 use crate::postings::{BlockList, DecodeScratch, PayloadBound, RangeEstimate};
-use crate::tokenize::token_counts;
+use crate::tokenize::token_positions;
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use vxv_xml::{Corpus, DeweyId, Document};
 
 /// Posting lists compress in finer blocks than the path index's
@@ -53,6 +55,8 @@ pub struct InvertedIndexStats {
     pub blocks_skipped: u64,
     /// Compressed bytes decoded.
     pub bytes_decoded: u64,
+    /// Position-record bytes decoded for phrase/proximity probes.
+    pub positions_bytes: u64,
 }
 
 impl std::ops::Add for InvertedIndexStats {
@@ -64,19 +68,75 @@ impl std::ops::Add for InvertedIndexStats {
             postings_scanned: self.postings_scanned + rhs.postings_scanned,
             blocks_skipped: self.blocks_skipped + rhs.blocks_skipped,
             bytes_decoded: self.bytes_decoded + rhs.bytes_decoded,
+            positions_bytes: self.positions_bytes + rhs.positions_bytes,
         }
     }
 }
 
 /// The corpus-wide inverted keyword index (block-compressed lists).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct InvertedIndex {
     lists: HashMap<String, BlockList>,
+    /// Per-keyword position records, chunked on the tf list's block
+    /// boundaries (see [`crate::positions`]). Present for every list
+    /// when [`Self::has_positions`]; empty when the index was loaded
+    /// from a pre-v5 bundle that never stored positions.
+    positions: HashMap<String, PositionsList>,
+    /// Whether this index carries position records — freshly built
+    /// indices always do; legacy loads (v1–v4) do not, and merging a
+    /// positionless part into anything drops positions from the result.
+    has_positions: bool,
+    /// The sorted term dictionary, rebuilt whenever the lists change;
+    /// prefix terms resolve against it with two binary searches. Shared
+    /// (`Arc`) so snapshots don't re-sort.
+    sorted: Arc<Vec<String>>,
     /// Raw postings staged by [`Self::add_document`] until
-    /// [`Self::finalize`] sorts and compresses them.
-    staging: HashMap<String, Vec<Posting>>,
+    /// [`Self::finalize`] sorts and compresses them: per keyword, each
+    /// element's token ordinals (`positions.len()` is the tf).
+    staging: HashMap<String, Vec<(DeweyId, Vec<u32>)>>,
     lookups: AtomicU64,
     scan: ScanCounters,
+}
+
+impl Default for InvertedIndex {
+    fn default() -> InvertedIndex {
+        InvertedIndex {
+            lists: HashMap::new(),
+            positions: HashMap::new(),
+            has_positions: true,
+            sorted: Arc::new(Vec::new()),
+            staging: HashMap::new(),
+            lookups: AtomicU64::new(0),
+            scan: ScanCounters::default(),
+        }
+    }
+}
+
+/// Decode one keyword's `(tf list, positions)` pair back into per-entry
+/// ordinal lists for re-encoding (finalize/merge). Corrupt position
+/// chunks degrade to synthetic ordinals `0..tf` — tf (and therefore
+/// every bag-of-words score) is preserved exactly; only positional
+/// matches on an already-corrupt mapped segment are best-effort.
+fn decode_all_pairs(list: &BlockList, pos: &PositionsList) -> Vec<(DeweyId, Vec<u32>)> {
+    let mut out = Vec::with_capacity(list.len() as usize);
+    let mut scratch = DecodeScratch::default();
+    let mut ps = PositionsScratch::default();
+    let total = list.block_count();
+    let mut tfs: Vec<u32> = Vec::new();
+    for b in 0..total {
+        if !list.decode_block(b, &mut scratch) {
+            break;
+        }
+        tfs.clear();
+        tfs.extend((0..scratch.len()).map(|i| scratch.entry(i).1));
+        let ok = pos.decode_chunk(b, total, &tfs, &mut ps).is_some();
+        for i in 0..scratch.len() {
+            let (comps, tf) = scratch.entry(i);
+            let ordinals = if ok { ps.positions(i).to_vec() } else { (0..tf).collect() };
+            out.push((DeweyId::from_components(comps.to_vec()), ordinals));
+        }
+    }
+    out
 }
 
 impl InvertedIndex {
@@ -102,34 +162,77 @@ impl InvertedIndex {
         for node_id in doc.iter() {
             let node = doc.node(node_id);
             let Some(text) = &node.text else { continue };
-            for (token, count) in token_counts(text) {
-                self.staging
-                    .entry(token)
-                    .or_default()
-                    .push(Posting { id: node.dewey.clone(), tf: count });
+            for (token, ordinals) in token_positions(text) {
+                self.staging.entry(token).or_default().push((node.dewey.clone(), ordinals));
             }
         }
     }
 
     /// Merge staged postings into the compressed lists, in Dewey order
     /// (documents may interleave ordinals). Idempotent; [`Self::build`]
-    /// and [`Self::add_document`] call it for you.
+    /// and [`Self::add_document`] call it for you. Position records are
+    /// re-encoded alongside the tf lists when this index carries them
+    /// (staged ordinals are dropped when it doesn't — a positionless
+    /// index stays positionless, it never becomes half-positional).
     pub fn finalize(&mut self) {
+        let changed = !self.staging.is_empty();
         for (token, staged) in self.staging.drain() {
-            let mut entries: Vec<(DeweyId, u32)> = match self.lists.remove(&token) {
-                Some(existing) => existing.decode_all(),
+            let mut entries: Vec<(DeweyId, Vec<u32>)> = match self.lists.remove(&token) {
+                Some(existing) => {
+                    if self.has_positions {
+                        let pos = self.positions.remove(&token).unwrap_or_default();
+                        decode_all_pairs(&existing, &pos)
+                    } else {
+                        existing
+                            .decode_all()
+                            .into_iter()
+                            .map(|(id, tf)| (id, (0..tf).collect()))
+                            .collect()
+                    }
+                }
                 None => Vec::new(),
             };
-            entries.extend(staged.into_iter().map(|p| (p.id, p.tf)));
+            entries.extend(staged);
             entries.sort_by(|a, b| a.0.cmp(&b.0));
-            self.lists
-                .insert(token, BlockList::encode_with_block_size(&entries, INVERTED_BLOCK_ENTRIES));
+            let tf_entries: Vec<(DeweyId, u32)> =
+                entries.iter().map(|(id, ps)| (id.clone(), ps.len() as u32)).collect();
+            self.lists.insert(
+                token.clone(),
+                BlockList::encode_with_block_size(&tf_entries, INVERTED_BLOCK_ENTRIES),
+            );
+            if self.has_positions {
+                let refs: Vec<&[u32]> = entries.iter().map(|(_, ps)| ps.as_slice()).collect();
+                self.positions.insert(token, PositionsList::encode(&refs, INVERTED_BLOCK_ENTRIES));
+            }
+        }
+        if changed {
+            self.rebuild_dictionary();
         }
     }
 
+    fn rebuild_dictionary(&mut self) {
+        let mut words: Vec<String> = self.lists.keys().cloned().collect();
+        words.sort_unstable();
+        self.sorted = Arc::new(words);
+    }
+
     /// Rebuild an index directly from compressed lists (persistence).
-    pub(crate) fn from_lists(lists: HashMap<String, BlockList>) -> Self {
-        InvertedIndex { lists, ..InvertedIndex::default() }
+    /// `positions` is `Some` only when the bundle stored a position
+    /// record for **every** list (v5 with positions); otherwise the
+    /// index is positionless and positional probes on it return an
+    /// engine-level typed error, never wrong answers.
+    pub(crate) fn from_lists(
+        lists: HashMap<String, BlockList>,
+        positions: Option<HashMap<String, PositionsList>>,
+    ) -> Self {
+        let mut idx = match positions {
+            Some(positions) => {
+                InvertedIndex { lists, positions, has_positions: true, ..InvertedIndex::default() }
+            }
+            None => InvertedIndex { lists, has_positions: false, ..InvertedIndex::default() },
+        };
+        idx.rebuild_dictionary();
+        idx
     }
 
     /// An immutable snapshot sharing this index's compressed lists —
@@ -139,7 +242,13 @@ impl InvertedIndex {
     /// segment per append without re-encoding anything.
     pub fn clone_shared(&self) -> InvertedIndex {
         debug_assert!(self.staging.is_empty(), "finalize before snapshotting");
-        InvertedIndex { lists: self.lists.clone(), ..InvertedIndex::default() }
+        InvertedIndex {
+            lists: self.lists.clone(),
+            positions: self.positions.clone(),
+            has_positions: self.has_positions,
+            sorted: Arc::clone(&self.sorted),
+            ..InvertedIndex::default()
+        }
     }
 
     /// Merge several indices over **disjoint** document sets into one.
@@ -151,11 +260,21 @@ impl InvertedIndex {
         let mut idx = InvertedIndex::default();
         for part in parts {
             debug_assert!(part.staging.is_empty(), "finalize before merging");
+            // Any positionless part poisons the merged result: a list
+            // that is half-positional would silently miss phrases, so
+            // positions survive compaction only when every input has
+            // them (always true for freshly built segments).
+            idx.has_positions &= part.has_positions;
             for (token, list) in &part.lists {
-                idx.staging
-                    .entry(token.clone())
-                    .or_default()
-                    .extend(list.decode_all().into_iter().map(|(id, tf)| Posting { id, tf }));
+                let staged = idx.staging.entry(token.clone()).or_default();
+                if part.has_positions {
+                    let pos = part.positions.get(token).cloned().unwrap_or_default();
+                    staged.extend(decode_all_pairs(list, &pos));
+                } else {
+                    staged.extend(
+                        list.decode_all().into_iter().map(|(id, tf)| (id, (0..tf).collect())),
+                    );
+                }
             }
         }
         idx.finalize();
@@ -166,6 +285,33 @@ impl InvertedIndex {
     pub(crate) fn lists(&self) -> &HashMap<String, BlockList> {
         debug_assert!(self.staging.is_empty(), "finalize before serializing");
         &self.lists
+    }
+
+    /// The position records (persistence). Meaningful only when
+    /// [`Self::has_positions`].
+    pub(crate) fn position_lists(&self) -> &HashMap<String, PositionsList> {
+        debug_assert!(self.staging.is_empty(), "finalize before serializing");
+        &self.positions
+    }
+
+    /// Whether this index stores per-occurrence positions — phrase and
+    /// proximity probes are answerable only when it does. False exactly
+    /// for indices loaded from pre-v5 bundles (the engine surfaces that
+    /// as a typed error instead of a wrong answer).
+    pub fn has_positions(&self) -> bool {
+        self.has_positions
+    }
+
+    /// Every indexed keyword whose token form starts with `prefix`, in
+    /// sorted order — two binary searches over the sorted term
+    /// dictionary, so a prefix term expands without touching any
+    /// posting list. Counts one lookup (the dictionary probe).
+    pub fn prefix_matches(&self, prefix: &str) -> &[String] {
+        debug_assert!(self.staging.is_empty(), "finalize before probing");
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let start = self.sorted.partition_point(|w| w.as_str() < prefix);
+        let end = start + self.sorted[start..].partition_point(|w| w.starts_with(prefix));
+        &self.sorted[start..end]
     }
 
     /// Open a streaming cursor over a keyword's posting list (lowercased
@@ -204,6 +350,57 @@ impl InvertedIndex {
             total += tf;
         }
         total
+    }
+
+    /// Exact number of phrase (`window == None`) or proximity
+    /// (`window == Some(w)`) matches of `words` inside the subtree
+    /// rooted at `root` — per-element position-list intersection summed
+    /// over the Dewey range (see [`crate::positions`] for the match
+    /// semantics; occurrences live in one element's own token stream,
+    /// so matches never span elements). Returns 0 when any word is
+    /// unindexed, or when this index has no positions (the engine
+    /// rejects positional queries on such indices upfront with a typed
+    /// error — this probe's 0 is never surfaced as an answer). Counts
+    /// one lookup per distinct word; decode work, including position
+    /// bytes, is charged to the scan counters.
+    pub fn positional_subtree_tf(
+        &self,
+        words: &[String],
+        window: Option<u32>,
+        root: &DeweyId,
+    ) -> u32 {
+        debug_assert!(self.staging.is_empty(), "finalize before probing");
+        if !self.has_positions || words.is_empty() {
+            return 0;
+        }
+        // Dedup repeated words so "the the" collects one range.
+        let mut distinct: Vec<&String> = Vec::new();
+        let mut instance_of = Vec::with_capacity(words.len());
+        for w in words {
+            match distinct.iter().position(|d| *d == w) {
+                Some(i) => instance_of.push(i),
+                None => {
+                    instance_of.push(distinct.len());
+                    distinct.push(w);
+                }
+            }
+        }
+        let sources: Vec<Option<(&BlockList, &PositionsList)>> = distinct
+            .iter()
+            .map(|w| {
+                self.lookups.fetch_add(1, Ordering::Relaxed);
+                Some((self.lists.get(*w)?, self.positions.get(*w)?))
+            })
+            .collect();
+        count_subtree_matches(
+            &sources,
+            &instance_of,
+            window,
+            root,
+            Some(&self.scan),
+            &mut DecodeScratch::default(),
+            &mut PositionsScratch::default(),
+        )
     }
 
     /// Largest tf of any single posting of `keyword` (0 when the
@@ -277,7 +474,10 @@ impl InvertedIndex {
     pub fn pin_list(&self, keyword: &str) -> PinnedList {
         debug_assert!(self.staging.is_empty(), "finalize before probing");
         self.lookups.fetch_add(1, Ordering::Relaxed);
-        PinnedList { list: self.lists.get(keyword).cloned() }
+        PinnedList {
+            list: self.lists.get(keyword).cloned(),
+            positions: self.positions.get(keyword).cloned(),
+        }
     }
 
     /// A [`TfReader`] over a previously pinned list. Charges **no**
@@ -286,6 +486,29 @@ impl InvertedIndex {
     /// honest about decode work.
     pub fn tf_reader_pinned<'a>(&'a self, pinned: &'a PinnedList) -> TfReader<'a> {
         TfReader { list: pinned.list.as_ref(), scan: &self.scan }
+    }
+
+    /// A [`PositionalReader`] over previously pinned lists: `pins[i]`
+    /// is the i-th **distinct** word of a phrase/near term and
+    /// `instance_of[j]` maps the term's j-th word instance onto `pins`
+    /// (so "the the end" pins two lists, not three). Like
+    /// [`Self::tf_reader_pinned`], charges no lookup — the pins already
+    /// paid it; probe decode work (including position bytes) is charged
+    /// to this index's scan counters.
+    pub fn positional_reader_pinned<'a>(
+        &'a self,
+        pins: &[&'a PinnedList],
+        instance_of: Vec<usize>,
+        window: Option<u32>,
+    ) -> PositionalReader<'a> {
+        let lists = pins
+            .iter()
+            .map(|p| match (&p.list, &p.positions) {
+                (Some(l), Some(ps)) => Some((l, ps)),
+                _ => None,
+            })
+            .collect();
+        PositionalReader { lists, instance_of, window, scan: &self.scan }
     }
 
     /// Does the subtree rooted at `root` contain `keyword` anywhere?
@@ -327,12 +550,23 @@ impl InvertedIndex {
         self.lists.get(keyword).is_some_and(|l| !l.is_empty())
     }
 
+    /// Whether any indexed keyword starts with `prefix` — the planning
+    /// counterpart of [`Self::prefix_matches`]: same two binary
+    /// searches over the sorted dictionary, but like
+    /// [`Self::has_keyword`] it charges **no** lookup, so fan-out
+    /// planning never perturbs the experiment counters.
+    pub fn has_prefix(&self, prefix: &str) -> bool {
+        let start = self.sorted.partition_point(|w| w.as_str() < prefix);
+        self.sorted.get(start).is_some_and(|w| w.starts_with(prefix))
+    }
+
     /// Heap bytes this index's posting buffers actually own: zero for
     /// every list decoding out of a shared file mapping. Compare with
     /// [`IndexFootprint::footprint`]'s `compressed_bytes` for the
     /// map-vs-owned residency split.
     pub fn owned_data_bytes(&self) -> u64 {
-        self.lists.values().map(|l| l.owned_data_bytes()).sum()
+        self.lists.values().map(|l| l.owned_data_bytes()).sum::<u64>()
+            + self.positions.values().map(|p| p.owned_data_bytes()).sum::<u64>()
     }
 
     /// Snapshot of the work counters.
@@ -342,6 +576,7 @@ impl InvertedIndex {
             postings_scanned: self.scan.entries.load(Ordering::Relaxed),
             blocks_skipped: self.scan.blocks_skipped.load(Ordering::Relaxed),
             bytes_decoded: self.scan.bytes_decoded.load(Ordering::Relaxed),
+            positions_bytes: self.scan.positions_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -359,6 +594,12 @@ impl IndexFootprint for InvertedIndex {
             fp.compressed_bytes += k.len() as u64 + l.compressed_bytes();
             fp.uncompressed_bytes += k.len() as u64 + l.uncompressed_bytes();
             fp.entries += l.len();
+        }
+        for p in self.positions.values() {
+            // Position records have one on-disk representation; they
+            // count equally on both sides of the ratio.
+            fp.compressed_bytes += p.byte_len() as u64;
+            fp.uncompressed_bytes += p.byte_len() as u64;
         }
         fp
     }
@@ -382,12 +623,57 @@ pub struct TfReader<'a> {
 #[derive(Clone, Debug, Default)]
 pub struct PinnedList {
     list: Option<BlockList>,
+    /// The keyword's position records, pinned alongside the tf list
+    /// when the owning index stores them (positional probes need both).
+    positions: Option<PositionsList>,
 }
 
 impl PinnedList {
     /// Whether the keyword had any list at pin time.
     pub fn is_present(&self) -> bool {
         self.list.is_some()
+    }
+}
+
+/// A phrase/proximity probe over pinned position lists (see
+/// [`InvertedIndex::positional_reader_pinned`]): one reader per
+/// positional term, probed once per candidate element by the
+/// score-bounded scorer — positional terms always resolve **exactly**
+/// (their per-element match count has no cheap sound upper bound short
+/// of intersecting), which keeps pruned == exact trivially for them
+/// while word terms still prune on block-max bounds.
+#[derive(Debug)]
+pub struct PositionalReader<'a> {
+    /// Per **distinct** word: its `(tf list, positions)`, or `None`
+    /// when the word is unindexed (no element can match the term).
+    lists: Vec<Option<(&'a BlockList, &'a PositionsList)>>,
+    /// Maps the term's word instances onto `lists`.
+    instance_of: Vec<usize>,
+    /// `None` = phrase (adjacent, ordered); `Some(w)` = near within `w`.
+    window: Option<u32>,
+    scan: &'a ScanCounters,
+}
+
+impl PositionalReader<'_> {
+    /// Exact number of matches of the term in the subtree rooted at
+    /// `root` — the positional analogue of an exact subtree-tf probe,
+    /// decoding into caller-provided scratches (same `Sync` rationale
+    /// as [`TfReader::subtree_estimate_with`]).
+    pub fn subtree_count_with(
+        &self,
+        root: &DeweyId,
+        scratch: &mut DecodeScratch,
+        pos_scratch: &mut PositionsScratch,
+    ) -> u32 {
+        count_subtree_matches(
+            &self.lists,
+            &self.instance_of,
+            self.window,
+            root,
+            Some(self.scan),
+            scratch,
+            pos_scratch,
+        )
     }
 }
 
@@ -653,6 +939,99 @@ mod tests {
         let s = idx.stats();
         assert_eq!(s.lookups, 2);
         assert_eq!(s.postings_scanned, 0, "length probes decode nothing");
+    }
+
+    fn words(ws: &[&str]) -> Vec<String> {
+        ws.iter().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn positional_subtree_tf_counts_phrases_per_element() {
+        let idx = InvertedIndex::build(&corpus());
+        assert!(idx.has_positions());
+        let root: DeweyId = "1".parse().unwrap();
+        // "xml search" appears adjacent twice in the review content
+        // ("search and XML search" has one adjacent pair) plus never in
+        // the title "XML Web Services".
+        assert_eq!(idx.positional_subtree_tf(&words(&["xml", "search"]), None, &root), 1);
+        // Proximity within 2 also admits "search and XML" (anchor
+        // "search" at 0, "xml" at 2).
+        assert_eq!(idx.positional_subtree_tf(&words(&["search", "xml"]), Some(2), &root), 2);
+        // Out-of-subtree roots and unindexed words count zero.
+        assert_eq!(
+            idx.positional_subtree_tf(&words(&["xml", "search"]), None, &"1.2".parse().unwrap()),
+            0
+        );
+        assert_eq!(idx.positional_subtree_tf(&words(&["xml", "nonexistent"]), None, &root), 0);
+        // Repeated words intersect against one collected range.
+        assert_eq!(idx.positional_subtree_tf(&words(&["search", "search"]), Some(4), &root), 2);
+    }
+
+    #[test]
+    fn positional_probes_charge_position_bytes() {
+        let idx = InvertedIndex::build(&corpus());
+        idx.reset_stats();
+        let root: DeweyId = "1".parse().unwrap();
+        idx.positional_subtree_tf(&words(&["xml", "search"]), None, &root);
+        let s = idx.stats();
+        assert_eq!(s.lookups, 2, "one lookup per distinct word");
+        assert!(s.positions_bytes > 0, "phrase probes decode position bytes");
+        assert!(s.bytes_decoded > 0);
+        // Bag-of-words probes never touch positions.
+        idx.reset_stats();
+        idx.subtree_tf("search", &root);
+        assert_eq!(idx.stats().positions_bytes, 0);
+    }
+
+    #[test]
+    fn pinned_positional_reader_matches_direct_probe() {
+        let idx = InvertedIndex::build(&corpus());
+        let pins = [idx.pin_list("xml"), idx.pin_list("search")];
+        let refs: Vec<&PinnedList> = pins.iter().collect();
+        let reader = idx.positional_reader_pinned(&refs, vec![0, 1], None);
+        let mut scratch = DecodeScratch::default();
+        let mut ps = crate::positions::PositionsScratch::default();
+        for root in ["1", "1.1", "1.1.2", "1.2"] {
+            let root: DeweyId = root.parse().unwrap();
+            assert_eq!(
+                reader.subtree_count_with(&root, &mut scratch, &mut ps),
+                idx.positional_subtree_tf(&words(&["xml", "search"]), None, &root),
+                "pinned and direct probes must agree at {root}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_matches_resolves_sorted_dictionary_ranges() {
+        let idx = InvertedIndex::build(&corpus());
+        assert_eq!(idx.prefix_matches("sea"), &["search".to_string()]);
+        assert_eq!(idx.prefix_matches("s"), &["search".to_string(), "services".to_string()]);
+        assert!(idx.prefix_matches("zz").is_empty());
+        // The empty prefix matches the whole dictionary, sorted.
+        let all = idx.prefix_matches("");
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(all.len(), idx.keywords().count());
+        // Exact word is a prefix of itself.
+        assert_eq!(idx.prefix_matches("search"), &["search".to_string()]);
+    }
+
+    #[test]
+    fn merge_preserves_positions_and_drops_them_when_any_part_lacks_them() {
+        let idx = InvertedIndex::build(&corpus());
+        let merged = InvertedIndex::merge([&idx]);
+        assert!(merged.has_positions());
+        let root: DeweyId = "1".parse().unwrap();
+        assert_eq!(
+            merged.positional_subtree_tf(&words(&["xml", "search"]), None, &root),
+            idx.positional_subtree_tf(&words(&["xml", "search"]), None, &root),
+        );
+        // A positionless part poisons the merge: tf is preserved, the
+        // positional surface is gone.
+        let positionless = InvertedIndex::from_lists(idx.lists().clone(), None);
+        assert!(!positionless.has_positions());
+        let mixed = InvertedIndex::merge([&idx, &positionless]);
+        assert!(!mixed.has_positions());
+        assert_eq!(mixed.positional_subtree_tf(&words(&["xml", "search"]), None, &root), 0);
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod mapped;
 pub mod path_index;
 pub mod pattern;
 pub mod persist;
+pub mod positions;
 pub mod postings;
 pub mod segment;
 pub mod tag_index;
@@ -72,8 +73,8 @@ pub use cursor::{
 };
 pub use footprint::{Footprint, IndexFootprint};
 pub use inverted::{
-    InvertedIndex, InvertedIndexStats, PinnedList, Posting, PostingsCursor, TfReader,
-    INVERTED_BLOCK_ENTRIES,
+    InvertedIndex, InvertedIndexStats, PinnedList, PositionalReader, Posting, PostingsCursor,
+    TfReader, INVERTED_BLOCK_ENTRIES,
 };
 pub use mapped::{Bytes, MappedFile};
 pub use path_index::{
@@ -82,6 +83,7 @@ pub use path_index::{
 };
 pub use pattern::{Axis, PathPattern, Step};
 pub use persist::{DocInfo, IndexBundle, OpenStats, PersistError};
+pub use positions::{PositionsList, PositionsScratch};
 pub use postings::{
     BlockCursor, BlockList, DecodeScratch, PayloadBound, RangeEstimate, DEFAULT_BLOCK_ENTRIES,
 };

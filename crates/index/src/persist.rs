@@ -14,7 +14,7 @@
 //!   decode straight out of the page cache, so opening a multi-gigabyte
 //!   bundle costs O(header + metadata), and untouched posting blocks
 //!   are never read at all. [`IndexBundle::open_stats`] reports the
-//!   split (`bytes_decoded` at open is **zero** for v4 files either
+//!   split (`bytes_decoded` at open is **zero** for v4/v5 files either
 //!   way).
 //!
 //! Prefer `open_mmap` for serving cold indexes — it is strictly lazier
@@ -23,33 +23,35 @@
 //! fully-resident working set is wanted up front (e.g. latency-critical
 //! benchmarks that must not take page faults mid-query).
 //!
-//! ## v4 file format (`indices.vxi`, little-endian)
+//! ## v5 file format (`indices.vxi`, little-endian)
 //!
-//! Version 4 (written by [`IndexBundle::save`]) splits the file into
-//! offset-addressed **sections** so posting bytes can be consumed in
-//! place:
+//! Version 5 (written by [`IndexBundle::save`]) keeps v4's
+//! offset-addressed **section** framing so posting bytes are consumed
+//! in place:
 //!
 //! ```text
-//! magic  "VXVIDX04"
+//! magic  "VXVIDX05"
 //! u32    section count (2)
 //! per section: u8 kind (1 = DATA, 2 = META), u64 offset, u64 len
 //! u64    FNV-1a checksum of the META section bytes
 //! -- zero padding to the DATA offset (64-byte aligned) --
-//! DATA   every block list's encoded bytes, concatenated, each chunk
-//!        zero-padded to 8-byte alignment
+//! DATA   every block list's encoded bytes (and every keyword's
+//!        position records), concatenated, each chunk zero-padded to
+//!        8-byte alignment
 //! META   the bundle's structural metadata (below)
 //! ```
 //!
 //! META is the v2/v3 body shape, except a block list's entry bytes are
 //! **referenced** — `(u64 data-relative offset, u64 len)` into DATA —
-//! instead of inlined:
+//! instead of inlined, and each inverted keyword carries an optional
+//! positions record after its block list:
 //!
 //! ```text
 //! u32    segment count
 //! per segment:
 //!   u32  generation (merge depth)
 //!   u32  doc count           { str name, str root_tag, u32 ordinal }*
-//!   u32  keyword count       { str token, blocklist }*
+//!   u32  keyword count       { str token, blocklist, positions }*
 //!   u32  path count          { str path }*
 //!   per path: u32 row count  { u8 has_value, [str value], blocklist }*
 //!
@@ -58,28 +60,40 @@
 //!              u32 block count { u32 offset, u32 count, dewey max }*
 //!              u32 list max payload,
 //!              u32 max payload per directory block
+//! positions := u8 present (0 | 1); if 1:
+//!              u64 data_offset, u64 data_len,       (window into DATA)
+//!              u32 chunk count, u32* chunk starts
 //! dewey     := u32 component count, u32* components
 //! str       := u32 byte length, utf-8 bytes
 //! ```
 //!
-//! Opening a v4 bundle parses and checksums META, bounds-checks every
-//! directory and data window, and decodes **no posting block** — the
-//! batched decoder in [`crate::postings`] is fully bounds-checked, so
-//! deferring data validation to first touch is safe: bytes the checksum
-//! does not cover can end a scan early but can never cause a panic,
-//! out-of-bounds read, or allocator abort. The META checksum is what
-//! turns a tampered directory or stale payload bound — which *could*
-//! silently change answers — into a typed [`PersistError::Corrupt`] at
-//! open.
+//! A segment is **positional** only when every keyword's record is
+//! present — re-saving a positionless (pre-v5) bundle writes v5 with
+//! every `present` flag zero, and such a segment keeps answering
+//! bag-of-words queries while positional ones fail typed at the engine.
+//!
+//! Opening a v4/v5 bundle parses and checksums META, bounds-checks
+//! every directory and data window, and decodes **no posting block**
+//! (and no position chunk) — the batched decoders in
+//! [`crate::postings`] and [`crate::positions`] are fully
+//! bounds-checked, so deferring data validation to first touch is safe:
+//! bytes the checksum does not cover can end a scan early but can never
+//! cause a panic, out-of-bounds read, or allocator abort. The META
+//! checksum is what turns a tampered directory, stale payload bound, or
+//! desynchronized positions chunk table — which *could* silently change
+//! answers — into a typed [`PersistError::Corrupt`] at open.
 //!
 //! ## Legacy formats
 //!
-//! v3 files (magic `VXVIDX03`: the segmented layout with inlined list
-//! bytes and persisted payload bounds), v2 (same, no bounds) and v1
-//! (single unsegmented body) all still load, into fully owned lists,
-//! through the original validation decode — their `bytes_decoded` at
-//! open equals the posting bytes they carry. Checked-in v1/v2/v3
-//! fixtures pin all three paths in CI; re-saving any of them writes v4.
+//! v4 files (magic `VXVIDX04`: the same sectioned layout without
+//! position records) load exactly as before — zero decode at open,
+//! mapped or owned — and come up positionless. v3 files (magic
+//! `VXVIDX03`: the segmented layout with inlined list bytes and
+//! persisted payload bounds), v2 (same, no bounds) and v1 (single
+//! unsegmented body) all still load, into fully owned lists, through
+//! the original validation decode — their `bytes_decoded` at open
+//! equals the posting bytes they carry. Checked-in v1–v4 fixtures pin
+//! all four paths in CI; re-saving any of them writes v5.
 //! [`IndexBundle::open_mmap`] accepts legacy files too (it simply
 //! decodes owned lists out of the mapping), so callers can switch
 //! unconditionally.
@@ -91,6 +105,7 @@
 use crate::inverted::InvertedIndex;
 use crate::mapped::{Bytes, MappedFile};
 use crate::path_index::PathIndex;
+use crate::positions::PositionsList;
 use crate::postings::{BlockList, BlockMeta};
 use crate::segment::IndexSegment;
 use std::collections::HashMap;
@@ -104,6 +119,7 @@ const MAGIC_V1: &[u8; 8] = b"VXVIDX01";
 const MAGIC_V2: &[u8; 8] = b"VXVIDX02";
 const MAGIC_V3: &[u8; 8] = b"VXVIDX03";
 const MAGIC_V4: &[u8; 8] = b"VXVIDX04";
+const MAGIC_V5: &[u8; 8] = b"VXVIDX05";
 
 const SECTION_DATA: u8 = 1;
 const SECTION_META: u8 = 2;
@@ -139,17 +155,17 @@ pub struct DocInfo {
 /// cold-open tests pin.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OpenStats {
-    /// Posting bytes decoded while opening. **Zero** for v4 files (both
-    /// [`IndexBundle::load`] and [`IndexBundle::open_mmap`]): no block
-    /// is decoded until a query touches it. Legacy v1–v3 files decode
-    /// every list once for validation, so this equals their posting
-    /// payload.
+    /// Posting bytes decoded while opening. **Zero** for v4/v5 files
+    /// (both [`IndexBundle::load`] and [`IndexBundle::open_mmap`]): no
+    /// block is decoded until a query touches it. Legacy v1–v3 files
+    /// decode every list once for validation, so this equals their
+    /// posting payload.
     pub bytes_decoded: u64,
     /// Posting bytes backed by a shared file mapping (zero heap cost).
     pub mapped_bytes: u64,
     /// Posting bytes copied onto the heap at open.
     pub owned_bytes: u64,
-    /// The on-disk format version the file carried (1–4).
+    /// The on-disk format version the file carried (1–5).
     pub format_version: u32,
 }
 
@@ -211,8 +227,8 @@ impl IndexBundle {
     }
 
     /// Serialize into `dir/indices.vxi` (directory created if needed) in
-    /// the v4 sectioned format (offset-addressed DATA + checksummed
-    /// META). Returns the written path.
+    /// the v5 sectioned format (offset-addressed DATA + checksummed
+    /// META, per-keyword position records). Returns the written path.
     pub fn save(&self, dir: &Path) -> io::Result<PathBuf> {
         IndexBundle::save_segments(self.segments.iter(), dir)
     }
@@ -235,7 +251,7 @@ impl IndexBundle {
         let data_off = DATA_ALIGN; // header is 54 bytes; pad to 64
         let meta_off = data_off + data.len();
         let mut out: Vec<u8> = Vec::with_capacity(meta_off + meta.len());
-        out.extend_from_slice(MAGIC_V4);
+        out.extend_from_slice(MAGIC_V5);
         write_u32(&mut out, 2);
         out.push(SECTION_DATA);
         write_u64(&mut out, data_off as u64);
@@ -254,11 +270,11 @@ impl IndexBundle {
         Ok(path)
     }
 
-    /// Load a bundle from `dir` into fully owned lists. Accepts v4
-    /// (posting bytes copied but **not decoded** — `bytes_decoded` stays
-    /// zero), v3, v2, and v1 files (legacy formats decode once for
-    /// validation, recomputing payload bounds where the file carries
-    /// none).
+    /// Load a bundle from `dir` into fully owned lists. Accepts v5 and
+    /// v4 (posting bytes copied but **not decoded** — `bytes_decoded`
+    /// stays zero), v3, v2, and v1 files (legacy formats decode once
+    /// for validation, recomputing payload bounds where the file
+    /// carries none).
     pub fn load(dir: &Path) -> Result<IndexBundle, PersistError> {
         let path = dir.join(INDEX_FILE);
         let buf = std::fs::read(&path).map_err(PersistError::Io)?;
@@ -267,7 +283,7 @@ impl IndexBundle {
 
     /// Open `dir`'s bundle over a shared file mapping: the file is
     /// mapped once ([`crate::mapped::MappedFile`]; a heap read on
-    /// non-mmap builds, same semantics) and every v4 list decodes in
+    /// non-mmap builds, same semantics) and every v4/v5 list decodes in
     /// place out of the mapping — cold open is O(header + metadata) and
     /// touches no posting block. Legacy v1–v3 files are accepted too,
     /// decoding into owned lists exactly as [`Self::load`] does.
@@ -278,18 +294,26 @@ impl IndexBundle {
     }
 }
 
-/// Parse a bundle from `buf`; when `map` is given (and the file is v4),
-/// lists get shared windows into the mapping instead of owned copies.
+/// Parse a bundle from `buf`; when `map` is given (and the file is
+/// v4/v5), lists get shared windows into the mapping instead of owned
+/// copies.
 fn parse_bundle(buf: &[u8], map: Option<&Arc<MappedFile>>) -> Result<IndexBundle, PersistError> {
-    if buf.len() >= 8 && &buf[..8] == MAGIC_V4 {
-        parse_v4(buf, map)
+    if buf.len() >= 8 && &buf[..8] == MAGIC_V5 {
+        parse_sectioned(buf, map, 5)
+    } else if buf.len() >= 8 && &buf[..8] == MAGIC_V4 {
+        parse_sectioned(buf, map, 4)
     } else {
         parse_legacy(buf)
     }
 }
 
-/// v4: section table + checksummed META; no posting decode.
-fn parse_v4(buf: &[u8], map: Option<&Arc<MappedFile>>) -> Result<IndexBundle, PersistError> {
+/// v4/v5: section table + checksummed META; no posting decode. v5
+/// additionally carries per-keyword position records.
+fn parse_sectioned(
+    buf: &[u8],
+    map: Option<&Arc<MappedFile>>,
+    version: u32,
+) -> Result<IndexBundle, PersistError> {
     let mut r = Reader::new(buf);
     r.take(8)?; // magic, already matched
     let section_count = r.u32()?;
@@ -323,12 +347,13 @@ fn parse_v4(buf: &[u8], map: Option<&Arc<MappedFile>>) -> Result<IndexBundle, Pe
         Some(m) => DataSource::Mapped { map: m, base: data_off, len: data_len },
         None => DataSource::Owned(&buf[data_off..data_off + data_len]),
     };
+    let fmt = if version == 5 { ListFormat::V5(&src) } else { ListFormat::V4(&src) };
     let mut r = Reader::new(meta);
     let seg_count = r.u32()?;
     let mut segments = Vec::with_capacity(r.capacity_for(seg_count));
     for _ in 0..seg_count {
         let generation = r.u32()?;
-        segments.push(read_segment_body(&mut r, generation, &ListFormat::V4(&src))?);
+        segments.push(read_segment_body(&mut r, generation, &fmt)?);
     }
     if r.pos != meta.len() {
         return Err(PersistError::bad("trailing META bytes"));
@@ -337,7 +362,7 @@ fn parse_v4(buf: &[u8], map: Option<&Arc<MappedFile>>) -> Result<IndexBundle, Pe
         bytes_decoded: 0,
         mapped_bytes: if map.is_some() { r.data_bytes } else { 0 },
         owned_bytes: if map.is_some() { 0 } else { r.data_bytes },
-        format_version: 4,
+        format_version: version,
     };
     Ok(IndexBundle { segments, stats })
 }
@@ -417,6 +442,8 @@ impl DataSource<'_> {
 enum ListFormat<'a> {
     Legacy(BoundsFormat),
     V4(&'a DataSource<'a>),
+    /// v4's referenced lists plus a positions record per keyword.
+    V5(&'a DataSource<'a>),
 }
 
 fn write_segment_body(meta: &mut Vec<u8>, data: &mut Vec<u8>, seg: &IndexSegment) {
@@ -427,12 +454,34 @@ fn write_segment_body(meta: &mut Vec<u8>, data: &mut Vec<u8>, seg: &IndexSegment
         write_u32(meta, d.root_ordinal);
     }
     let lists = seg.inverted().lists();
+    let positional = seg.inverted().has_positions();
+    let position_lists = seg.inverted().position_lists();
     let mut tokens: Vec<&String> = lists.keys().collect();
     tokens.sort();
     write_u32(meta, tokens.len() as u32);
     for t in tokens {
         write_str(meta, t);
         write_blocklist(meta, data, &lists[t]);
+        // The keyword's positions record: present for positional
+        // segments, flag 0 otherwise (a re-saved pre-v5 bundle stays
+        // positionless in v5 clothing).
+        match position_lists.get(t).filter(|_| positional) {
+            Some(p) => {
+                meta.push(1);
+                while !data.len().is_multiple_of(CHUNK_ALIGN) {
+                    data.push(0);
+                }
+                write_u64(meta, data.len() as u64);
+                write_u64(meta, p.byte_len() as u64);
+                data.extend_from_slice(&p.data);
+                let starts = p.starts();
+                write_u32(meta, starts.len() as u32);
+                for s in starts {
+                    write_u32(meta, *s);
+                }
+            }
+            None => meta.push(0),
+        }
     }
     let path_index = seg.path_index();
     let paths: Vec<&str> = path_index.paths().collect();
@@ -468,10 +517,27 @@ fn read_segment_body(
     }
     let kw_count = r.u32()?;
     let mut lists = HashMap::with_capacity(r.capacity_for(kw_count));
+    let mut position_lists: HashMap<String, PositionsList> = HashMap::new();
+    let mut all_positional = true;
     for _ in 0..kw_count {
         let token = r.string()?;
-        lists.insert(token, r.blocklist(fmt)?);
+        let list = r.blocklist(fmt)?;
+        if let ListFormat::V5(src) = fmt {
+            match r.positions(src, &list)? {
+                Some(p) => {
+                    position_lists.insert(token.clone(), p);
+                }
+                None => all_positional = false,
+            }
+        }
+        lists.insert(token, list);
     }
+    // A segment is positional only when every keyword carried a record
+    // (v5 with positions); v4 and older segments never are.
+    let positions = match fmt {
+        ListFormat::V5(_) if all_positional => Some(position_lists),
+        _ => None,
+    };
     let path_count = r.u32()?;
     let mut paths = Vec::with_capacity(r.capacity_for(path_count));
     for _ in 0..path_count {
@@ -489,7 +555,7 @@ fn read_segment_body(
     }
     Ok(IndexSegment::from_parts(
         PathIndex::from_parts(paths, tables),
-        InvertedIndex::from_lists(lists),
+        InvertedIndex::from_lists(lists, positions),
         docs,
         generation,
     ))
@@ -632,6 +698,41 @@ impl<'a> Reader<'a> {
         Ok(DeweyId::from_components(comps))
     }
 
+    /// One keyword's v5 positions record: `None` when the flag says the
+    /// keyword stored no positions. The chunk table is META-covered, so
+    /// a desynchronized table (wrong chunk count, non-monotone starts,
+    /// out-of-window offsets) is typed corruption at open; the position
+    /// *bytes* live in DATA and are validated lazily at first decode,
+    /// like posting blocks.
+    fn positions(
+        &mut self,
+        src: &DataSource<'_>,
+        list: &BlockList,
+    ) -> Result<Option<PositionsList>, PersistError> {
+        if self.u8()? != 1 {
+            return Ok(None);
+        }
+        let rel = self.u64()?;
+        let data_len = self.u64()?;
+        if rel > usize::MAX as u64 || data_len > usize::MAX as u64 {
+            return Err(PersistError::bad("positions window overflow"));
+        }
+        let data = src
+            .window(rel as usize, data_len as usize)
+            .ok_or_else(|| PersistError::bad("positions window out of bounds"))?;
+        self.data_bytes += data.len() as u64;
+        let n = self.u32()?;
+        let mut starts = Vec::with_capacity(self.capacity_for(n));
+        for _ in 0..n {
+            starts.push(self.u32()?);
+        }
+        let p = PositionsList { data, starts };
+        if !p.structure_ok(list) {
+            return Err(PersistError::bad("positions chunk table mismatch"));
+        }
+        Ok(Some(p))
+    }
+
     fn blocklist(&mut self, fmt: &ListFormat<'_>) -> Result<BlockList, PersistError> {
         let len = self.u64()?;
         let uncompressed = self.u64()?;
@@ -640,7 +741,7 @@ impl<'a> Reader<'a> {
                 let data_len = self.u64()? as usize;
                 Bytes::Owned(self.take(data_len)?.to_vec())
             }
-            ListFormat::V4(src) => {
+            ListFormat::V4(src) | ListFormat::V5(src) => {
                 let rel = self.u64()?;
                 let data_len = self.u64()?;
                 if rel > usize::MAX as u64 || data_len > usize::MAX as u64 {
@@ -696,8 +797,8 @@ impl<'a> Reader<'a> {
                 }
                 self.decoded += list.data.len() as u64;
             }
-            ListFormat::V4(_) => {
-                // v4: bounds come from the checksummed META; cheap
+            ListFormat::V4(_) | ListFormat::V5(_) => {
+                // v4/v5: bounds come from the checksummed META; cheap
                 // structural checks only, **no decode** — the batched
                 // decoder tolerates anything the checksum doesn't cover.
                 list.max_payload = self.u32()?;
@@ -910,8 +1011,8 @@ mod tests {
     }
 
     #[test]
-    fn save_writes_v4_and_round_trips_payload_bounds() {
-        let dir = tmpdir("v4bounds");
+    fn save_writes_v5_and_round_trips_payload_bounds() {
+        let dir = tmpdir("v5bounds");
         // Enough repeated tokens to force multi-block posting lists.
         let mut c = Corpus::new();
         let mut xml = String::from("<r>");
@@ -922,7 +1023,7 @@ mod tests {
         c.add_parsed("d.xml", &xml).unwrap();
         let bundle = IndexBundle::build(&c);
         let path = bundle.save(&dir).unwrap();
-        assert_eq!(&std::fs::read(&path).unwrap()[..8], MAGIC_V4);
+        assert_eq!(&std::fs::read(&path).unwrap()[..8], MAGIC_V5);
         let loaded = IndexBundle::load(&dir).unwrap();
         let (a, b) = (bundle.segments[0].inverted(), loaded.segments[0].inverted());
         for kw in ["target", "word3"] {
@@ -939,23 +1040,23 @@ mod tests {
     }
 
     #[test]
-    fn v4_cold_open_decodes_zero_posting_bytes() {
+    fn v5_cold_open_decodes_zero_posting_bytes() {
         let dir = tmpdir("coldopen");
         let c = corpus();
         let bundle = IndexBundle::build(&c);
         bundle.save(&dir).unwrap();
-        // Owned v4 load: bytes are copied but no posting block decodes.
+        // Owned v5 load: bytes are copied but no posting block decodes.
         let owned = IndexBundle::load(&dir).unwrap();
         let s = owned.open_stats();
-        assert_eq!(s.bytes_decoded, 0, "v4 load must not decode postings");
-        assert_eq!(s.format_version, 4);
+        assert_eq!(s.bytes_decoded, 0, "v5 load must not decode postings");
+        assert_eq!(s.format_version, 5);
         assert!(s.owned_bytes > 0);
         assert_eq!(s.mapped_bytes, 0);
         // Mapped open: same, with the residency on the mapping side.
         let mapped = IndexBundle::open_mmap(&dir).unwrap();
         let s = mapped.open_stats();
         assert_eq!(s.bytes_decoded, 0, "mmap open must not decode postings");
-        assert_eq!(s.format_version, 4);
+        assert_eq!(s.format_version, 5);
         assert_eq!(s.owned_bytes, 0);
         assert!(s.mapped_bytes > 0);
         // Both answer identically to the in-memory build.
@@ -965,6 +1066,69 @@ mod tests {
         }
         // In-memory bundles report zeroed stats.
         assert_eq!(bundle.open_stats(), OpenStats::default());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v5_round_trips_positions_for_phrase_probes() {
+        let dir = tmpdir("v5positions");
+        let mut c = Corpus::new();
+        c.add_parsed(
+            "d.xml",
+            "<r><a>fast xml search</a><b>search xml fast</b><c>fast search</c></r>",
+        )
+        .unwrap();
+        let built = IndexBundle::build(&c);
+        built.save(&dir).unwrap();
+        let phrase = ["fast".to_string(), "search".to_string()];
+        let root: DeweyId = "1".parse().unwrap();
+        let want = built.segments[0].inverted().positional_subtree_tf(&phrase, None, &root);
+        assert_eq!(want, 1, "only <c> holds the adjacent pair");
+        for opened in [IndexBundle::load(&dir).unwrap(), IndexBundle::open_mmap(&dir).unwrap()] {
+            let inv = opened.segments[0].inverted();
+            assert!(inv.has_positions(), "v5 load must restore positions");
+            assert_eq!(inv.positional_subtree_tf(&phrase, None, &root), want);
+            assert_eq!(
+                inv.positional_subtree_tf(&phrase, Some(2), &root),
+                3,
+                "near(2) matches all three"
+            );
+        }
+        // Re-saving a positionless bundle writes v5 with every flag
+        // zero: it loads positionless, not corrupt.
+        let positionless = IndexSegment::from_parts(
+            PathIndex::build(&c),
+            InvertedIndex::from_lists(built.segments[0].inverted().lists().clone(), None),
+            built.segments[0].docs().to_vec(),
+            0,
+        );
+        IndexBundle::from_segments(vec![positionless]).save(&dir).unwrap();
+        let reloaded = IndexBundle::load(&dir).unwrap();
+        assert_eq!(reloaded.open_stats().format_version, 5);
+        assert!(!reloaded.segments[0].inverted().has_positions());
+        assert_eq!(reloaded.segments[0].inverted().subtree_tf("search", &root), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tampered_positions_chunk_tables_are_rejected_at_open() {
+        let dir = tmpdir("tamperpositions");
+        let mut c = Corpus::new();
+        c.add_parsed("d.xml", "<r><a>alpha beta alpha</a></r>").unwrap();
+        let path = IndexBundle::build(&c).save(&dir).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        // The META checksum covers the positions records (windows and
+        // chunk tables); flipping any tail byte must fail typed.
+        for back in 5..=12 {
+            let mut bad = good.clone();
+            let i = bad.len() - back;
+            bad[i] ^= 0x01;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(
+                matches!(IndexBundle::load(&dir), Err(PersistError::Corrupt(_))),
+                "flipped META byte {back} from the end must be rejected"
+            );
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,546 @@
+//! Per-occurrence token positions alongside the tf postings — the
+//! storage half of the positional query layer (phrase and proximity
+//! matching).
+//!
+//! For every posting `(element, tf)` of a keyword, the element's text
+//! holds the keyword at `tf` token ordinals (0-based positions in the
+//! element's **own** token stream — positions never cross element
+//! boundaries, so a phrase cannot straddle two elements). A
+//! [`PositionsList`] stores those ordinals as a byte stream parallel to
+//! the keyword's [`BlockList`]:
+//!
+//! * the stream is chunked with **exactly the tf list's block
+//!   boundaries** — chunk `b` holds the concatenated position records
+//!   of the entries in tf block `b`, so decoding a tf block hands over
+//!   everything needed to delimit its position records;
+//! * one entry's record is exactly `tf` varints: the first is the
+//!   absolute token ordinal, the rest are strictly-positive deltas.
+//!   Because `positions.len() == tf` **by construction**, records carry
+//!   no length prefix — the tf payloads decoded from the block are the
+//!   lengths;
+//! * single-block lists (empty tf directory) store no chunk table at
+//!   all: the whole buffer is one implicit chunk, mirroring the tf
+//!   side's implicit block.
+//!
+//! Positions are **lazily decoded**: bag-of-words scoring never touches
+//! them (tf is already in the postings), and the v5 bundle format maps
+//! them as opaque DATA bytes that only a phrase/near probe pages in.
+//! Decoded position bytes are charged to
+//! [`ScanCounters::positions_bytes`], separately from posting bytes.
+//!
+//! Like every decoder in this crate, position decoding is fully
+//! bounds-checked: corrupt or truncated bytes end the stream (the probe
+//! sees fewer matches), they never panic or over-read — safe to point
+//! at an untrusted mapping.
+
+use crate::cursor::ScanCounters;
+use crate::mapped::Bytes;
+use crate::postings::{read_varint_checked, write_varint, BlockList, DecodeScratch};
+use vxv_xml::DeweyId;
+
+/// The position records of one keyword's posting list, chunked on the
+/// tf list's block boundaries. See the module docs for the layout.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PositionsList {
+    pub(crate) data: Bytes,
+    /// Byte start of each chunk, parallel to the tf list's directory;
+    /// empty when the tf list is a single implicit block (the whole
+    /// buffer is then chunk 0).
+    pub(crate) starts: Vec<u32>,
+}
+
+impl PositionsList {
+    /// Encode per-entry position lists (parallel to the tf entries, in
+    /// the same order) with the same chunking `BlockList::
+    /// encode_with_block_size` applies: `block_entries` entries per
+    /// chunk, no chunk table when everything fits one block.
+    ///
+    /// # Panics
+    /// Panics if `block_entries` is zero or any entry's positions are
+    /// not strictly increasing.
+    pub fn encode(positions: &[&[u32]], block_entries: usize) -> PositionsList {
+        assert!(block_entries > 0, "block size must be positive");
+        let single_block = positions.len() <= block_entries;
+        let mut data = Vec::new();
+        let mut starts = Vec::new();
+        for chunk in positions.chunks(block_entries) {
+            if !single_block {
+                starts.push(data.len() as u32);
+            }
+            for ps in chunk {
+                let mut prev = 0u32;
+                for (i, p) in ps.iter().enumerate() {
+                    if i == 0 {
+                        write_varint(&mut data, *p as u64);
+                    } else {
+                        assert!(*p > prev, "positions must be strictly increasing");
+                        write_varint(&mut data, (*p - prev) as u64);
+                    }
+                    prev = *p;
+                }
+            }
+        }
+        PositionsList { data: Bytes::Owned(data), starts }
+    }
+
+    /// Total encoded bytes.
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Heap bytes actually owned (zero when mapped).
+    pub fn owned_data_bytes(&self) -> u64 {
+        self.data.owned_bytes()
+    }
+
+    /// The chunk table (persistence).
+    pub(crate) fn starts(&self) -> &[u32] {
+        &self.starts
+    }
+
+    /// Structural sanity used at load time (no decode): the chunk table
+    /// must be monotone and in-bounds, and its length must match the tf
+    /// list's directory.
+    pub(crate) fn structure_ok(&self, tf: &BlockList) -> bool {
+        if self.starts.len() != tf.blocks.len() {
+            return false;
+        }
+        let mut prev = 0u32;
+        for (i, s) in self.starts.iter().enumerate() {
+            if (i == 0 && *s != 0) || *s < prev || *s as usize > self.data.len() {
+                return false;
+            }
+            prev = *s;
+        }
+        true
+    }
+
+    /// Byte range of chunk `b` (of `total` chunks), or `None` when the
+    /// table is inconsistent.
+    fn chunk_range(&self, b: usize, total: usize) -> Option<(usize, usize)> {
+        if self.starts.is_empty() {
+            return (b == 0 && total <= 1).then_some((0, self.data.len()));
+        }
+        let s = *self.starts.get(b)? as usize;
+        let e = match self.starts.get(b + 1) {
+            Some(v) => *v as usize,
+            None => self.data.len(),
+        };
+        (s <= e && e <= self.data.len()).then_some((s, e))
+    }
+
+    /// Decode chunk `b`'s records into `out`, delimited by the per-entry
+    /// term frequencies `tfs` (the payloads of the decoded tf block).
+    /// Returns the chunk's byte length for counter accounting, or
+    /// `None` on any structural problem — corruption truncates, never
+    /// panics. `out` always holds one (possibly short) span per entry.
+    pub fn decode_chunk(
+        &self,
+        b: usize,
+        total: usize,
+        tfs: &[u32],
+        out: &mut PositionsScratch,
+    ) -> Option<u64> {
+        out.clear();
+        let (start, end) = self.chunk_range(b, total)?;
+        let data = &self.data[start..end];
+        let mut pos = 0usize;
+        for &tf in tfs {
+            let span_start = out.flat.len() as u32;
+            let mut prev = 0u32;
+            for i in 0..tf {
+                let Some(v) = read_varint_checked(data, &mut pos) else {
+                    out.spans.push((span_start, out.flat.len() as u32 - span_start));
+                    return None;
+                };
+                let p = if i == 0 { v } else { prev as u64 + v };
+                if p > u32::MAX as u64 || (i > 0 && v == 0) {
+                    out.spans.push((span_start, out.flat.len() as u32 - span_start));
+                    return None;
+                }
+                prev = p as u32;
+                out.flat.push(prev);
+            }
+            out.spans.push((span_start, tf));
+        }
+        // A chunk with trailing bytes is inconsistent with the tf block.
+        (pos == data.len()).then_some((end - start) as u64)
+    }
+
+    /// Full-decode validation against the tf list: every chunk must
+    /// decode to exactly its entries' tf counts with strictly increasing
+    /// positions and no slack bytes. Used by tests and legacy-style
+    /// eager checks; the v5 loader is lazy like v4.
+    pub fn validate(&self, tf: &BlockList) -> bool {
+        if !self.starts.is_empty() && self.starts.len() != tf.blocks.len() {
+            return false;
+        }
+        let total = tf.block_count();
+        if total == 0 {
+            return self.data.is_empty() && self.starts.is_empty();
+        }
+        let mut scratch = DecodeScratch::default();
+        let mut pos_scratch = PositionsScratch::default();
+        for b in 0..total {
+            if !tf.decode_block(b, &mut scratch) {
+                return false;
+            }
+            let tfs: Vec<u32> = (0..scratch.len()).map(|i| scratch.entry(i).1).collect();
+            if self.decode_chunk(b, total, &tfs, &mut pos_scratch).is_none() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Reusable scratch for decoded position records: a flat ordinal arena
+/// plus per-entry `(start, len)` spans.
+#[derive(Clone, Debug, Default)]
+pub struct PositionsScratch {
+    flat: Vec<u32>,
+    spans: Vec<(u32, u32)>,
+}
+
+impl PositionsScratch {
+    /// Entries currently decoded.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when nothing is decoded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Discard decoded records, keeping allocations.
+    pub fn clear(&mut self) {
+        self.flat.clear();
+        self.spans.clear();
+    }
+
+    /// Entry `i`'s positions (sorted ascending).
+    pub fn positions(&self, i: usize) -> &[u32] {
+        let (s, l) = self.spans[i];
+        &self.flat[s as usize..(s + l) as usize]
+    }
+}
+
+/// The in-range postings of one query word, materialized for positional
+/// intersection: Dewey IDs with spans into a shared position arena.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct RangePostings {
+    pub(crate) flat: Vec<u32>,
+    /// `(id, start, len)` — positions of the word in that element.
+    pub(crate) entries: Vec<(DeweyId, u32, u32)>,
+}
+
+impl RangePostings {
+    pub(crate) fn clear(&mut self) {
+        self.flat.clear();
+        self.entries.clear();
+    }
+
+    fn positions(&self, i: usize) -> &[u32] {
+        let (_, s, l) = self.entries[i];
+        &self.flat[s as usize..(s + l) as usize]
+    }
+}
+
+/// Collect the postings of `lo <= id < hi` from `(list, positions)`
+/// into `out`, decoding only the candidate blocks (and their position
+/// chunks). Work is charged to `counters` like any cursor scan;
+/// position bytes go to `positions_bytes`. Corrupt bytes truncate the
+/// collection — never panic.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn collect_range(
+    list: &BlockList,
+    positions: &PositionsList,
+    lo: &DeweyId,
+    hi: &DeweyId,
+    counters: Option<&ScanCounters>,
+    scratch: &mut DecodeScratch,
+    pos_scratch: &mut PositionsScratch,
+    out: &mut RangePostings,
+) {
+    out.clear();
+    if list.is_empty() || lo >= hi {
+        return;
+    }
+    let total = list.block_count();
+    let (first, last) = if list.blocks.is_empty() {
+        (0usize, 0usize)
+    } else {
+        let start = list.blocks.partition_point(|m| m.max < *lo);
+        if start >= list.blocks.len() {
+            return;
+        }
+        let last = start + list.blocks[start..].partition_point(|m| m.max < *hi);
+        (start, last.min(list.blocks.len() - 1))
+    };
+    let (lo_c, hi_c) = (lo.components(), hi.components());
+    let mut tfs: Vec<u32> = Vec::new();
+    for b in first..=last {
+        if !list.decode_block(b, scratch) {
+            return;
+        }
+        tfs.clear();
+        tfs.extend((0..scratch.len()).map(|i| scratch.entry(i).1));
+        let chunk_bytes = positions.decode_chunk(b, total, &tfs, pos_scratch);
+        if let Some(c) = counters {
+            c.add_positions_bytes(chunk_bytes.unwrap_or(0));
+        }
+        for i in 0..scratch.len() {
+            let (comps, _) = scratch.entry(i);
+            if let Some(c) = counters {
+                c.add_entries(1);
+                c.add_bytes(scratch.entry_bytes(i));
+            }
+            if comps >= hi_c {
+                return;
+            }
+            if comps < lo_c {
+                continue;
+            }
+            if i >= pos_scratch.len() {
+                // Truncated position chunk: stop at what decoded.
+                return;
+            }
+            let span_start = out.flat.len() as u32;
+            let ps = pos_scratch.positions(i);
+            out.flat.extend_from_slice(ps);
+            out.entries.push((
+                DeweyId::from_components(comps.to_vec()),
+                span_start,
+                ps.len() as u32,
+            ));
+        }
+    }
+}
+
+/// Count the phrase / proximity matches of one element given each word
+/// *instance*'s positions in that element (`words[i]` = positions of
+/// the i-th word of the query term).
+///
+/// * `window == None` — **phrase**: a match is a start ordinal `s` with
+///   word `i` at `s + i` for every `i` (adjacent, in order).
+/// * `window == Some(w)` — **near**: a match is an occurrence `p` of
+///   word 0 with every other word within `w` ordinals of `p` (unordered
+///   proximity, anchored on the first word).
+pub(crate) fn count_element_matches(words: &[&[u32]], window: Option<u32>) -> u32 {
+    let Some((first, rest)) = words.split_first() else { return 0 };
+    if words.iter().any(|w| w.is_empty()) {
+        return 0;
+    }
+    let mut count = 0u32;
+    match window {
+        None => {
+            'starts: for &s in *first {
+                for (i, w) in rest.iter().enumerate() {
+                    let want = s as u64 + i as u64 + 1;
+                    if want > u32::MAX as u64 || w.binary_search(&(want as u32)).is_err() {
+                        continue 'starts;
+                    }
+                }
+                count = count.saturating_add(1);
+            }
+        }
+        Some(win) => {
+            'anchors: for &p in *first {
+                for w in rest {
+                    let lo = p.saturating_sub(win);
+                    let at = w.partition_point(|&q| q < lo);
+                    let ok = w.get(at).is_some_and(|&q| q as u64 <= p as u64 + win as u64);
+                    if !ok {
+                        continue 'anchors;
+                    }
+                }
+                count = count.saturating_add(1);
+            }
+        }
+    }
+    count
+}
+
+/// Exact count of phrase / near matches of a word list inside the
+/// subtree rooted at `root`: per-element position intersection summed
+/// over the range. `sources[i]` is the i-th query word's `(tf list,
+/// positions)` — `None` when the word is unindexed (no element can
+/// match). `dedup[i]` maps word instances to distinct sources so a
+/// repeated word ("the the") collects its range once.
+pub(crate) fn count_subtree_matches(
+    sources: &[Option<(&BlockList, &PositionsList)>],
+    instance_of: &[usize],
+    window: Option<u32>,
+    root: &DeweyId,
+    counters: Option<&ScanCounters>,
+    scratch: &mut DecodeScratch,
+    pos_scratch: &mut PositionsScratch,
+) -> u32 {
+    if instance_of.is_empty() || sources.iter().any(|s| s.is_none()) {
+        return 0;
+    }
+    let hi = root.subtree_upper_bound();
+    // Materialize each distinct word's in-range postings, cheapest list
+    // first so an empty range short-circuits before the long lists pay.
+    let mut order: Vec<usize> = (0..sources.len()).collect();
+    order.sort_by_key(|&i| sources[i].map(|(l, _)| l.len()).unwrap_or(0));
+    let mut collected: Vec<RangePostings> = vec![RangePostings::default(); sources.len()];
+    for i in order {
+        let (list, positions) = sources[i].expect("checked above");
+        collect_range(
+            list,
+            positions,
+            root,
+            &hi,
+            counters,
+            scratch,
+            pos_scratch,
+            &mut collected[i],
+        );
+        if collected[i].entries.is_empty() {
+            return 0;
+        }
+    }
+    // Intersect by element: walk the first instance's elements and
+    // binary-search the rest (lists are Dewey-ordered).
+    let first = &collected[instance_of[0]];
+    let mut total = 0u32;
+    let mut word_positions: Vec<&[u32]> = Vec::with_capacity(instance_of.len());
+    'elements: for ei in 0..first.entries.len() {
+        let id = &first.entries[ei].0;
+        word_positions.clear();
+        word_positions.push(first.positions(ei));
+        for &src in &instance_of[1..] {
+            let c = &collected[src];
+            let Ok(at) = c.entries.binary_search_by(|(eid, _, _)| eid.cmp(id)) else {
+                continue 'elements;
+            };
+            word_positions.push(c.positions(at));
+        }
+        total = total.saturating_add(count_element_matches(&word_positions, window));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::postings::BlockList;
+
+    fn ids(list: &[(&str, &[u32])]) -> (Vec<(DeweyId, u32)>, Vec<Vec<u32>>) {
+        let tf: Vec<(DeweyId, u32)> =
+            list.iter().map(|(s, ps)| (s.parse().unwrap(), ps.len() as u32)).collect();
+        let ps: Vec<Vec<u32>> = list.iter().map(|(_, ps)| ps.to_vec()).collect();
+        (tf, ps)
+    }
+
+    fn encode_pair(list: &[(&str, &[u32])], block_entries: usize) -> (BlockList, PositionsList) {
+        let (tf, ps) = ids(list);
+        let tf_list = BlockList::encode_with_block_size(&tf, block_entries);
+        let refs: Vec<&[u32]> = ps.iter().map(|v| v.as_slice()).collect();
+        let pos = PositionsList::encode(&refs, block_entries);
+        (tf_list, pos)
+    }
+
+    #[test]
+    fn round_trips_across_block_boundaries() {
+        let entries: Vec<(String, Vec<u32>)> =
+            (0..25).map(|i| (format!("1.{i}"), vec![i, i + 3, i + 10])).collect();
+        let borrowed: Vec<(&str, &[u32])> =
+            entries.iter().map(|(s, p)| (s.as_str(), p.as_slice())).collect();
+        let (tf, pos) = encode_pair(&borrowed, 8);
+        assert!(pos.validate(&tf));
+        assert_eq!(pos.starts().len(), tf.block_count());
+        let mut scratch = DecodeScratch::default();
+        let mut ps = PositionsScratch::default();
+        let total = tf.block_count();
+        let mut seen = 0usize;
+        for b in 0..total {
+            assert!(tf.decode_block(b, &mut scratch));
+            let tfs: Vec<u32> = (0..scratch.len()).map(|i| scratch.entry(i).1).collect();
+            assert!(pos.decode_chunk(b, total, &tfs, &mut ps).is_some());
+            for i in 0..scratch.len() {
+                assert_eq!(ps.positions(i), entries[seen].1.as_slice());
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, entries.len());
+    }
+
+    #[test]
+    fn single_block_lists_carry_no_chunk_table() {
+        let (tf, pos) = encode_pair(&[("1.1", &[0, 2]), ("1.2", &[5])], 8);
+        assert!(tf.blocks.is_empty());
+        assert!(pos.starts().is_empty());
+        assert!(pos.validate(&tf));
+    }
+
+    #[test]
+    fn corrupt_positions_truncate_instead_of_panicking() {
+        let (tf, pos) = encode_pair(&[("1.1", &[0, 2]), ("1.2", &[5])], 8);
+        // Truncate the byte stream: decode_chunk reports failure.
+        let truncated = PositionsList {
+            data: Bytes::Owned(pos.data[..pos.data.len() - 1].to_vec()),
+            starts: vec![],
+        };
+        assert!(!truncated.validate(&tf));
+        let mut ps = PositionsScratch::default();
+        assert!(truncated.decode_chunk(0, 1, &[2, 1], &mut ps).is_none());
+        // Zero deltas (duplicate positions) are structural corruption.
+        let dup = PositionsList { data: Bytes::Owned(vec![0, 0, 5]), starts: vec![] };
+        assert!(dup.decode_chunk(0, 1, &[2, 1], &mut ps).is_none());
+    }
+
+    #[test]
+    fn phrase_counts_adjacent_runs() {
+        // "a b" with a at {0, 5, 9}, b at {1, 7, 10}: starts 0 and 9.
+        assert_eq!(count_element_matches(&[&[0, 5, 9], &[1, 7, 10]], None), 2);
+        // Three-word phrase.
+        assert_eq!(count_element_matches(&[&[3], &[4], &[5]], None), 1);
+        assert_eq!(count_element_matches(&[&[3], &[5], &[4]], None), 0);
+        // Empty word list / missing word.
+        assert_eq!(count_element_matches(&[], None), 0);
+        assert_eq!(count_element_matches(&[&[1], &[]], None), 0);
+    }
+
+    #[test]
+    fn near_counts_windowed_anchors() {
+        // anchor word at {0, 10}; other at {3}: window 3 admits anchor 0 only.
+        assert_eq!(count_element_matches(&[&[0, 10], &[3]], Some(3)), 1);
+        assert_eq!(count_element_matches(&[&[0, 10], &[3]], Some(7)), 2);
+        assert_eq!(count_element_matches(&[&[0, 10], &[3]], Some(2)), 0);
+        // Window 0: exact co-position (never true for distinct ordinals).
+        assert_eq!(count_element_matches(&[&[4], &[4]], Some(0)), 1);
+    }
+
+    #[test]
+    fn subtree_matches_sum_over_elements_in_range() {
+        // Two elements with "x y" phrases, one outside the probed range.
+        let (xl, xp) = encode_pair(&[("1.1.1", &[0]), ("1.2.1", &[0, 4]), ("2.1", &[1])], 2);
+        let (yl, yp) = encode_pair(&[("1.1.1", &[1]), ("1.2.1", &[1, 5]), ("2.1", &[0])], 2);
+        let sources = vec![Some((&xl, &xp)), Some((&yl, &yp))];
+        let mut scratch = DecodeScratch::default();
+        let mut ps = PositionsScratch::default();
+        let count = count_subtree_matches(
+            &sources,
+            &[0, 1],
+            None,
+            &"1".parse().unwrap(),
+            None,
+            &mut scratch,
+            &mut ps,
+        );
+        assert_eq!(count, 3, "1.1.1 has one start, 1.2.1 has two");
+        let count = count_subtree_matches(
+            &sources,
+            &[0, 1],
+            None,
+            &"2".parse().unwrap(),
+            None,
+            &mut scratch,
+            &mut ps,
+        );
+        assert_eq!(count, 0, "y precedes x in 2.1 — no phrase");
+    }
+}

@@ -193,7 +193,7 @@ impl DecodeScratch {
 
     /// Encoded size of entry `i` in the block, for
     /// [`ScanCounters::add_bytes`]-style accounting.
-    fn entry_bytes(&self, i: usize) -> u64 {
+    pub(crate) fn entry_bytes(&self, i: usize) -> u64 {
         self.meta[i].bytes as u64
     }
 }
@@ -201,7 +201,7 @@ impl DecodeScratch {
 /// Bounds-checked varint with a one-byte fast path (values < 128 — the
 /// common case for every field the block format stores).
 #[inline(always)]
-fn read_varint_checked(data: &[u8], pos: &mut usize) -> Option<u64> {
+pub(crate) fn read_varint_checked(data: &[u8], pos: &mut usize) -> Option<u64> {
     let b = *data.get(*pos)?;
     *pos += 1;
     if b < 0x80 {
@@ -1006,7 +1006,7 @@ impl BlockCursor<'_> {
     }
 }
 
-fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn write_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;

@@ -26,6 +26,22 @@ pub fn token_counts(text: &str) -> Vec<(String, u32)> {
     out
 }
 
+/// Token positions per distinct token, in first-seen order: for each
+/// token, the 0-based ordinals it occupies in `text`'s token stream
+/// (sorted ascending by construction). `positions.len()` is the token's
+/// term frequency, so [`token_counts`] is exactly this with lengths.
+/// Phrase and proximity queries intersect these ordinals.
+pub fn token_positions(text: &str) -> Vec<(String, Vec<u32>)> {
+    let mut out: Vec<(String, Vec<u32>)> = Vec::new();
+    for (i, t) in tokens(text).enumerate() {
+        match out.iter_mut().find(|(w, _)| *w == t) {
+            Some((_, ps)) => ps.push(i as u32),
+            None => out.push((t, vec![i as u32])),
+        }
+    }
+    out
+}
+
 /// Number of occurrences of `keyword` (already lowercased) in `text`.
 pub fn count_keyword(text: &str, keyword: &str) -> u32 {
     tokens(text).filter(|t| t == keyword).count() as u32
@@ -56,6 +72,21 @@ mod tests {
     fn keyword_counting_is_case_insensitive() {
         assert_eq!(count_keyword("XML xml Xml", "xml"), 3);
         assert_eq!(count_keyword("nothing here", "xml"), 0);
+    }
+
+    #[test]
+    fn positions_are_token_ordinals_and_lengths_are_counts() {
+        let p = token_positions("search and search again");
+        assert_eq!(
+            p,
+            vec![("search".into(), vec![0, 2]), ("and".into(), vec![1]), ("again".into(), vec![3]),]
+        );
+        let counts = token_counts("search and search again");
+        assert_eq!(
+            p.iter().map(|(w, ps)| (w.clone(), ps.len() as u32)).collect::<Vec<_>>(),
+            counts,
+            "positions must agree with token_counts"
+        );
     }
 
     #[test]

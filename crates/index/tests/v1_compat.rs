@@ -81,7 +81,7 @@ fn resaving_a_v1_bundle_produces_v2_bytes_that_load_identically() {
     let _ = std::fs::remove_dir_all(&dir);
     let path = bundle.save(&dir).unwrap();
     let bytes = std::fs::read(&path).unwrap();
-    assert_eq!(&bytes[..8], b"VXVIDX04", "save always writes the current version");
+    assert_eq!(&bytes[..8], b"VXVIDX05", "save always writes the current version");
     let again = IndexBundle::load(&dir).unwrap();
     assert_eq!(again.segments.len(), 1);
     assert_eq!(again.segments[0].docs(), bundle.segments[0].docs());

@@ -106,9 +106,9 @@ fn resaving_a_v3_bundle_produces_v4_bytes_that_load_identically() {
     let _ = std::fs::remove_dir_all(&dir);
     let path = bundle.save(&dir).unwrap();
     let bytes = std::fs::read(&path).unwrap();
-    assert_eq!(&bytes[..8], b"VXVIDX04", "save always writes the current version");
+    assert_eq!(&bytes[..8], b"VXVIDX05", "save always writes the current version");
     let again = IndexBundle::load(&dir).unwrap();
-    assert_eq!(again.open_stats().format_version, 4);
+    assert_eq!(again.open_stats().format_version, 5);
     assert_eq!(again.open_stats().bytes_decoded, 0, "v4 reload decodes nothing");
     assert_eq!(again.segments.len(), 2);
     for (a, b) in again.segments.iter().zip(&bundle.segments) {

@@ -1,21 +1,25 @@
-//! Backward compatibility: a checked-in v2 `indices.vxi` (the
-//! segmented, pre-payload-bounds format) must load through the v3
-//! loader with every list intact and its block-max payload bounds
-//! recomputed from the data.
+//! Backward compatibility: a checked-in v4 `indices.vxi` (the zero-copy
+//! block format, from before per-occurrence positions existed) must
+//! load through the current loader with every list and stored bound
+//! intact — and **without** positions: `has_positions()` reports false
+//! so the engine can fail phrase/proximity requests typed instead of
+//! returning silent zero counts. Re-saving writes current v5 bytes that
+//! stay positionless (positions are recorded at tokenization time and
+//! cannot be synthesized from the postings).
 //!
-//! The fixture under `tests/fixtures/v2/` was produced by the v2
+//! The fixture under `tests/fixtures/v4/` was produced by the v4
 //! `IndexBundle::save` over the two-segment bundle reconstructed below
-//! (mirroring `v1_compat.rs`); if the loader ever stops accepting v2
-//! bytes — or stops restoring bounds for them — this test fails without
-//! needing any old code around.
+//! (mirroring `v1_compat.rs` / `v2_compat.rs` / `v3_compat.rs`); if the
+//! loader ever stops accepting v4 bytes this test fails without needing
+//! any old code around.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use vxv_index::cursor::collect_postings;
-use vxv_index::{IndexBundle, IndexSegment, PathPattern};
+use vxv_index::{IndexBundle, IndexSegment, PathPattern, PersistError};
 use vxv_xml::{Corpus, DeweyId};
 
 fn fixture_dir() -> &'static Path {
-    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/v2"))
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/v4"))
 }
 
 /// The corpora the fixture's two segments were built from (kept in sync
@@ -39,23 +43,31 @@ fn fixture_corpora() -> (Corpus, Corpus) {
 }
 
 #[test]
-fn v2_fixture_loads_with_segments_and_generations_intact() {
-    let bundle = IndexBundle::load(fixture_dir()).expect("v2 fixture loads");
+fn v4_fixture_loads_without_positions() {
+    let bundle = IndexBundle::load(fixture_dir()).expect("v4 fixture loads");
     assert_eq!(bundle.segments.len(), 2, "the fixture holds two segments");
     assert_eq!(bundle.segments[0].generation(), 1, "merged segment keeps its generation");
     assert_eq!(bundle.segments[1].generation(), 0);
     assert_eq!(bundle.segments[0].doc_count(), 2);
     assert_eq!(bundle.segments[1].docs()[0].name, "extra.xml");
     assert_eq!(bundle.max_root_ordinal(), Some(9));
+    assert_eq!(bundle.open_stats().format_version, 4);
+    for seg in &bundle.segments {
+        assert!(
+            !seg.inverted().has_positions(),
+            "pre-v5 bytes carry no positions — the loader must not invent them"
+        );
+    }
 }
 
 #[test]
-fn v2_fixture_lists_match_a_fresh_build_including_bounds() {
-    let loaded = IndexBundle::load(fixture_dir()).expect("v2 fixture loads");
+fn v4_fixture_lists_match_a_fresh_build_including_bounds() {
+    let loaded = IndexBundle::load(fixture_dir()).expect("v4 fixture loads");
     let (c1, c2) = fixture_corpora();
     let fresh = [IndexSegment::merge([&IndexSegment::build(&c1)]), IndexSegment::build(&c2)];
 
     for (seg, want) in loaded.segments.iter().zip(&fresh) {
+        assert!(want.inverted().has_positions(), "fresh builds record positions");
         let mut kws: Vec<String> = want.inverted().keywords().map(|s| s.to_string()).collect();
         kws.sort();
         let mut loaded_kws: Vec<String> =
@@ -68,8 +80,6 @@ fn v2_fixture_lists_match_a_fresh_build_including_bounds() {
                 collect_postings(want.inverted().postings(k)),
                 "keyword {k}"
             );
-            // Bounds were absent in v2 bytes: the loader recomputed them
-            // to exactly what a fresh build carries.
             assert_eq!(seg.inverted().max_tf(k), want.inverted().max_tf(k), "max_tf {k}");
             for root in ["1", "1.1", "9"] {
                 let root: DeweyId = root.parse().unwrap();
@@ -93,18 +103,52 @@ fn v2_fixture_lists_match_a_fresh_build_including_bounds() {
 }
 
 #[test]
-fn resaving_a_v2_bundle_produces_v3_bytes_that_load_identically() {
-    let bundle = IndexBundle::load(fixture_dir()).expect("v2 fixture loads");
-    let dir = std::env::temp_dir().join(format!("vxv-v2-resave-{}", std::process::id()));
+fn resaving_a_v4_bundle_produces_v5_bytes_that_stay_positionless() {
+    let bundle = IndexBundle::load(fixture_dir()).expect("v4 fixture loads");
+    let dir = std::env::temp_dir().join(format!("vxv-v4-resave-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let path = bundle.save(&dir).unwrap();
     let bytes = std::fs::read(&path).unwrap();
     assert_eq!(&bytes[..8], b"VXVIDX05", "save always writes the current version");
     let again = IndexBundle::load(&dir).unwrap();
+    assert_eq!(again.open_stats().format_version, 5);
     assert_eq!(again.segments.len(), 2);
     for (a, b) in again.segments.iter().zip(&bundle.segments) {
         assert_eq!(a.docs(), b.docs());
         assert_eq!(a.generation(), b.generation());
+        assert!(
+            !a.inverted().has_positions(),
+            "re-saving cannot synthesize positions — only a rebuild can"
+        );
+        let mut kws: Vec<String> = b.inverted().keywords().map(|s| s.to_string()).collect();
+        kws.sort();
+        for k in &kws {
+            assert_eq!(
+                collect_postings(a.inverted().postings(k)),
+                collect_postings(b.inverted().postings(k)),
+                "keyword {k}"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn tampered_or_truncated_v4_files_fail_typed() {
+    let good = std::fs::read(fixture_dir().join("indices.vxi")).unwrap();
+    let dir: PathBuf = std::env::temp_dir().join(format!("vxv-v4-tamper-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("indices.vxi");
+    // Truncation sweep across the tail: typed corruption through both
+    // open paths, never a panic or an allocator abort.
+    for cut in (good.len().saturating_sub(48))..good.len() {
+        std::fs::write(&path, &good[..cut]).unwrap();
+        assert!(matches!(IndexBundle::load(&dir), Err(PersistError::Corrupt(_))), "cut {cut}");
+        assert!(
+            matches!(IndexBundle::open_mmap(&dir), Err(PersistError::Corrupt(_))),
+            "cut {cut}, mmap path"
+        );
     }
     std::fs::remove_dir_all(&dir).unwrap();
 }

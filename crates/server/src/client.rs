@@ -160,7 +160,10 @@ impl Client {
 
     /// Search `tenant`'s view `name`. `options` are raw `key=value`
     /// tokens (`top=5`, `mode=any`, `deadline-ms=100`, `materialize=0`);
-    /// pass `&[]` for defaults.
+    /// pass `&[]` for defaults. Each keyword token is one query term
+    /// (`xml`, `auto*`, `~3:virtual,views`, `xml^2.5`, or a phrase with
+    /// interior spaces — quoted automatically via
+    /// [`proto::quote_token`]).
     pub fn search(
         &mut self,
         tenant: &str,
@@ -175,7 +178,7 @@ impl Client {
         }
         for kw in keywords {
             line.push(' ');
-            line.push_str(kw);
+            line.push_str(&proto::quote_token(kw));
         }
         let (header, body) = self.request_block(&line)?;
         proto::parse_search_response(&header, &body).map_err(ClientError::Protocol)

@@ -37,6 +37,11 @@ pub mod code {
     pub const DEADLINE_EXCEEDED: &str = "deadline-exceeded";
     /// The request's cancel token fired.
     pub const CANCELLED: &str = "cancelled";
+    /// The request is well-formed but this deployment cannot serve it
+    /// (e.g. a phrase/proximity term against a pre-v5 index without
+    /// stored positions). Retrying won't help until the index is
+    /// rebuilt.
+    pub const UNSUPPORTED: &str = "unsupported";
     /// Any other engine-side failure.
     pub const INTERNAL: &str = "internal";
 }
@@ -53,6 +58,26 @@ pub fn escape_line(s: &str) -> String {
             other => out.push(other),
         }
     }
+    out
+}
+
+/// Quote a token for a command line if [`tokenize`] would otherwise
+/// split or mangle it: phrase terms carry interior whitespace, so
+/// `xml search` goes on the wire as `"xml search"` (with `"` and `\`
+/// escaped). Tokens that survive tokenization verbatim pass through.
+pub fn quote_token(token: &str) -> String {
+    if !token.is_empty() && !token.chars().any(|c| c.is_whitespace() || c == '"' || c == '\\') {
+        return token.to_string();
+    }
+    let mut out = String::with_capacity(token.len() + 2);
+    out.push('"');
+    for c in token.chars() {
+        if c == '"' || c == '\\' {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out.push('"');
     out
 }
 
@@ -260,6 +285,20 @@ fn parse_opts(tokens: &[String]) -> Result<(SearchOpts, &[String]), String> {
     let mut opts = SearchOpts::default();
     for (i, token) in tokens.iter().enumerate() {
         let Some((key, value)) = token.split_once('=') else {
+            // A known option past the first term is a misplaced option,
+            // not a keyword (index tokens are alphanumeric runs — a
+            // `top=5` "term" can never match; it would only poison a
+            // conjunctive search). Reject it loudly.
+            for late in &tokens[i..] {
+                if let Some((key, _)) = late.split_once('=') {
+                    if matches!(key, "top" | "mode" | "deadline-ms" | "materialize") {
+                        return Err(format!(
+                            "misplaced option '{late}': options go between the view name and \
+                             the first term"
+                        ));
+                    }
+                }
+            }
             return Ok((opts, &tokens[i..]));
         };
         if !parse_opt(&mut opts, key, value)? {
@@ -553,9 +592,11 @@ pub fn engine_error_to_wire(e: &EngineError) -> (&'static str, Option<Duration>,
         EngineError::DeadlineExceeded { .. } => (code::DEADLINE_EXCEEDED, None, e.to_string()),
         EngineError::Cancelled { .. } => (code::CANCELLED, None, e.to_string()),
         EngineError::EmptyQuery
+        | EngineError::InvalidTerm(_)
         | EngineError::Parse(_)
         | EngineError::QptGen(_)
         | EngineError::CrossShard { .. } => (code::BAD_REQUEST, None, e.to_string()),
+        EngineError::PositionsUnavailable => (code::UNSUPPORTED, None, e.to_string()),
         _ => (code::INTERNAL, None, e.to_string()),
     }
 }
@@ -575,6 +616,21 @@ mod tests {
         assert_eq!(tokenize("\"\"").unwrap(), vec![""]);
         assert_eq!(tokenize("  ").unwrap(), Vec::<String>::new());
         assert!(tokenize("\"open").is_err());
+    }
+
+    #[test]
+    fn quote_token_round_trips_through_tokenize() {
+        for term in
+            ["xml", "auto*", "~3:virtual,views", "xml^2.5", "virtual views", "a \"b\" c\\d", ""]
+        {
+            let line = format!("search t v {}", quote_token(term));
+            let tokens = tokenize(&line).unwrap();
+            assert_eq!(tokens.len(), 4, "term {term:?}");
+            assert_eq!(tokens[3], term, "term {term:?}");
+        }
+        // Plain terms pass through unquoted — the wire stays readable.
+        assert_eq!(quote_token("xml^2"), "xml^2");
+        assert_eq!(quote_token("two words"), "\"two words\"");
     }
 
     #[test]
@@ -605,6 +661,13 @@ mod tests {
         );
         assert!(parse_command("search acme reviews").is_err(), "keywords required");
         assert!(parse_command("search acme reviews topp=5 xml").is_err(), "typo'd option");
+        // A known option after the first term is a misplaced option,
+        // never a keyword — it must fail loudly, not silently poison a
+        // conjunctive search with an unmatchable term.
+        assert!(parse_command("search acme reviews xml top=5").is_err(), "misplaced option");
+        // Unknown key=value-shaped tokens among terms stay terms (the
+        // options region ended); only the four known keys are reserved.
+        assert!(parse_command("search acme reviews xml a=b").is_ok());
     }
 
     #[test]

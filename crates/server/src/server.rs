@@ -652,8 +652,13 @@ fn run_search<S: DocumentSource>(
     let deadline = opts.deadline_ms.map(|ms| arrival + Duration::from_millis(ms));
     let permit = shared.admission.admit(&state, deadline).map_err(admit_error)?;
 
-    let mut request =
-        SearchRequest::new(keywords).top_k(opts.top.unwrap_or(shared.config.default_top_k));
+    // Each wire token is one query term: plain words, quoted phrases
+    // ("virtual views"), proximity (~3:a,b), prefixes (auto*), and ^N
+    // boosts all parse here; a malformed term is a bad request before
+    // any index work.
+    let mut request = SearchRequest::parse_terms(keywords)
+        .map_err(|e| wire_error(&EngineError::from(e)))?
+        .top_k(opts.top.unwrap_or(shared.config.default_top_k));
     if let Some(mode) = opts.mode {
         request = request.mode(mode);
     }

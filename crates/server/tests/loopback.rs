@@ -398,3 +398,45 @@ fn wire_ingest_without_write_path_falls_back_to_plain_ingest() {
     assert!(writes.contains("enabled 0"), "{writes}");
     server.shutdown();
 }
+
+/// The positional query surface over the wire: phrase tokens quoted by
+/// the client, proximity/prefix/boost tokens verbatim — every response
+/// bit-identical to a direct `parse_terms` search, malformed terms and
+/// positionless-index phrases failing with their typed codes.
+#[test]
+fn positional_terms_ride_the_wire_byte_identically() {
+    let catalog = catalog();
+    catalog.register("books", BOOKS_VIEW).unwrap();
+    catalog.register("papers", PAPERS_VIEW).unwrap();
+    let server = serve(Arc::clone(&catalog), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let cases: Vec<(&str, Vec<&str>)> = vec![
+        ("books", vec!["keyword search"]),    // phrase → quoted on the wire
+        ("papers", vec!["~3:virtual,views"]), // proximity
+        ("books", vec!["data*"]),             // prefix union
+        ("books", vec!["xml^2.5", "database"]), // boosted word + word
+        ("papers", vec!["virtual views", "xml^0.5"]), // phrase + boosted word
+    ];
+    for (name, kws) in &cases {
+        let direct =
+            catalog.get(name).unwrap().search(&SearchRequest::parse_terms(kws).unwrap()).unwrap();
+        let wire = client.search("public", name, &[], kws).unwrap();
+        assert_eq!(wire.matching, direct.matching, "{name} {kws:?}");
+        assert_eq!(wire.hits.len(), direct.hits.len(), "{name} {kws:?}");
+        for (w, d) in wire.hits.iter().zip(&direct.hits) {
+            assert_eq!(w.score.to_bits(), d.score.to_bits(), "score bits for {name} {kws:?}");
+            assert_eq!(w.tf, d.tf, "{name} {kws:?}");
+            assert_eq!(w.xml, d.xml, "{name} {kws:?}");
+        }
+    }
+
+    // A malformed term is a typed bad request; the connection survives.
+    let err = client.search("public", "books", &[], &["xml^zero"]).unwrap_err();
+    assert_eq!(err.fault().unwrap().code, "bad-request", "{err}");
+    let again = client.search("public", "books", &[], &["xml"]).unwrap();
+    assert!(!again.hits.is_empty(), "connection stays usable after a bad term");
+
+    let stats = server.shutdown();
+    assert_eq!(stats.protocol_errors, 0, "quoted phrases are valid protocol");
+}

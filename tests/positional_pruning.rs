@@ -1,0 +1,429 @@
+//! The positional query language on the pruned path, property-tested:
+//!
+//! 1. **Byte-identity** — a pruned search (`prune(true)`, the default)
+//!    over any mix of word / phrase / proximity / prefix terms, with or
+//!    without boosts, answers byte-identically to the exact reference
+//!    path (`prune(false)`): same hits (score bits, tf vectors, byte
+//!    lengths, XML), same `view_size`/`matching`/`idf` bits — across
+//!    random corpora, top-k cuts, modes, and multi-segment splits.
+//! 2. **Semantics** — phrases match only consecutive in-order runs,
+//!    proximity windows widen monotonically, prefixes union their
+//!    dictionary range, boosts reweight slots (×1.0 is bit-identical
+//!    to unboosted).
+//! 3. **Compatibility** — a pre-v5 bundle (no stored positions)
+//!    answers word and prefix requests normally and fails phrase /
+//!    proximity requests with the typed
+//!    [`EngineError::PositionsUnavailable`] — never a silent zero.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use vxv_core::{
+    EngineError, KeywordMode, QueryTerm, SearchRequest, SearchResponse, ViewSearchEngine,
+};
+use vxv_xml::{Corpus, DiskStore};
+
+/// Overlapping stems on purpose: "se" and "da" each expand to two
+/// dictionary words, so prefix terms exercise real range unions.
+const WORDS: &[&str] = &["xml", "search", "seam", "data", "dawn", "easy", "views"];
+const PREFIXES: &[&str] = &["se", "da", "xml", "vi"];
+const FACTORS: &[f64] = &[1.0, 0.5, 2.5, 3.25];
+
+const VIEW: &str = "for $book in fn:doc(books.xml)/books//book \
+     where $book/year > 1995 \
+     return <bookrevs> \
+       { <book> {$book/title} </book> } \
+       { for $rev in fn:doc(reviews.xml)/reviews//review \
+         where $rev/isbn = $book/isbn \
+         return $rev/content } \
+     </bookrevs>";
+
+#[derive(Clone, Debug)]
+enum TermSpec {
+    Word(usize),
+    Phrase(Vec<usize>),
+    Near(u32, Vec<usize>),
+    Prefix(usize),
+}
+
+fn term_strategy() -> impl Strategy<Value = (TermSpec, Option<usize>)> {
+    let spec = prop_oneof![
+        (0..WORDS.len()).prop_map(TermSpec::Word),
+        prop::collection::vec(0..WORDS.len(), 2..4).prop_map(TermSpec::Phrase),
+        (0u32..4, prop::collection::vec(0..WORDS.len(), 2..4))
+            .prop_map(|(w, ids)| TermSpec::Near(w, ids)),
+        (0..PREFIXES.len()).prop_map(TermSpec::Prefix),
+    ];
+    (spec, proptest::option::of(0..FACTORS.len()))
+}
+
+fn build_request(terms: &[(TermSpec, Option<usize>)]) -> SearchRequest {
+    let mut req = SearchRequest::new(std::iter::empty::<&str>());
+    for (spec, boost) in terms {
+        req = match spec {
+            TermSpec::Word(i) => req.term(QueryTerm::Word(WORDS[*i].to_string())),
+            TermSpec::Phrase(ids) => req.phrase(ids.iter().map(|i| WORDS[*i])),
+            TermSpec::Near(w, ids) => req.near(*w, ids.iter().map(|i| WORDS[*i])),
+            TermSpec::Prefix(p) => req.prefix(PREFIXES[*p]),
+        };
+        if let Some(b) = boost {
+            req = req.boost(FACTORS[*b]);
+        }
+    }
+    req
+}
+
+#[derive(Clone, Debug)]
+struct BookSpec {
+    isbn: Option<u8>,
+    year: Option<u16>,
+    title_words: Vec<usize>,
+}
+
+#[derive(Clone, Debug)]
+struct ReviewSpec {
+    isbn: Option<u8>,
+    content_words: Vec<usize>,
+}
+
+fn book_strategy() -> impl Strategy<Value = BookSpec> {
+    (
+        proptest::option::of(0u8..6),
+        proptest::option::of(1990u16..2006),
+        prop::collection::vec(0..WORDS.len(), 0..8),
+    )
+        .prop_map(|(isbn, year, title_words)| BookSpec { isbn, year, title_words })
+}
+
+fn review_strategy() -> impl Strategy<Value = ReviewSpec> {
+    (proptest::option::of(0u8..6), prop::collection::vec(0..WORDS.len(), 0..10))
+        .prop_map(|(isbn, content_words)| ReviewSpec { isbn, content_words })
+}
+
+fn words(ids: &[usize]) -> String {
+    ids.iter().map(|w| WORDS[*w]).collect::<Vec<_>>().join(" ")
+}
+
+fn books_xml(books: &[BookSpec]) -> String {
+    let mut x = String::from("<books>");
+    for b in books {
+        x.push_str("<book>");
+        if let Some(i) = b.isbn {
+            x.push_str(&format!("<isbn>{i}</isbn>"));
+        }
+        if !b.title_words.is_empty() {
+            x.push_str(&format!("<title>{}</title>", words(&b.title_words)));
+        }
+        if let Some(y) = b.year {
+            x.push_str(&format!("<year>{y}</year>"));
+        }
+        x.push_str("</book>");
+    }
+    x.push_str("</books>");
+    x
+}
+
+fn reviews_xml(reviews: &[ReviewSpec]) -> String {
+    let mut x = String::from("<reviews>");
+    for r in reviews {
+        x.push_str("<review>");
+        if let Some(i) = r.isbn {
+            x.push_str(&format!("<isbn>{i}</isbn>"));
+        }
+        if !r.content_words.is_empty() {
+            x.push_str(&format!("<content>{}</content>", words(&r.content_words)));
+        }
+        x.push_str("</review>");
+    }
+    x.push_str("</reviews>");
+    x
+}
+
+fn build_engine(docs: &[(String, String)], cuts: &[usize]) -> ViewSearchEngine<Corpus> {
+    let mut points: Vec<usize> = cuts.iter().map(|c| c % docs.len()).filter(|c| *c > 0).collect();
+    points.sort();
+    points.dedup();
+    let mut groups: Vec<&[(String, String)]> = Vec::new();
+    let mut prev = 0;
+    for p in points {
+        groups.push(&docs[prev..p]);
+        prev = p;
+    }
+    groups.push(&docs[prev..]);
+    let mut base = Corpus::new();
+    for (name, xml) in groups[0] {
+        base.add_parsed(name, xml).unwrap();
+    }
+    let engine = ViewSearchEngine::new(base);
+    for group in &groups[1..] {
+        engine.ingest(group.iter().map(|(n, x)| (n.clone(), x.clone()))).unwrap();
+    }
+    engine
+}
+
+fn docs(books: &[BookSpec], reviews: &[ReviewSpec]) -> Vec<(String, String)> {
+    vec![
+        ("books.xml".to_string(), books_xml(books)),
+        ("reviews.xml".to_string(), reviews_xml(reviews)),
+        // Extra documents shape shared dictionaries and posting lists
+        // without entering the view.
+        (
+            "noise.xml".to_string(),
+            "<books><book><title>xml search data seam dawn</title></book></books>".to_string(),
+        ),
+        ("other.xml".to_string(), "<r><e>search easy views</e></r>".to_string()),
+    ]
+}
+
+/// Full byte-identity across everything a response reports.
+fn assert_identical(exact: &SearchResponse, pruned: &SearchResponse) {
+    assert_eq!(exact.view_size, pruned.view_size, "view_size");
+    assert_eq!(exact.matching, pruned.matching, "matching");
+    assert_eq!(exact.idf.len(), pruned.idf.len(), "idf len");
+    for (x, y) in exact.idf.iter().zip(&pruned.idf) {
+        assert_eq!(x.to_bits(), y.to_bits(), "idf bits");
+    }
+    assert_eq!(exact.fetches, pruned.fetches, "fetches");
+    assert_eq!(exact.hits.len(), pruned.hits.len(), "hit count");
+    for (x, y) in exact.hits.iter().zip(&pruned.hits) {
+        assert_eq!(x.rank, y.rank);
+        assert_eq!(x.score.to_bits(), y.score.to_bits(), "score bits at rank {}", x.rank);
+        assert_eq!(x.tf, y.tf, "tf at rank {}", x.rank);
+        assert_eq!(x.byte_len, y.byte_len, "byte_len at rank {}", x.rank);
+        assert_eq!(x.xml, y.xml, "xml at rank {}", x.rank);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn positional_pruned_answers_are_byte_identical_to_exact(
+        books in prop::collection::vec(book_strategy(), 1..7),
+        reviews in prop::collection::vec(review_strategy(), 0..8),
+        cuts in prop::collection::vec(0usize..4, 0..3),
+        terms in prop::collection::vec(term_strategy(), 1..4),
+        disjunctive in any::<bool>(),
+    ) {
+        let engine = build_engine(&docs(&books, &reviews), &cuts);
+        let view = engine.prepare(VIEW).unwrap();
+        let mode = if disjunctive { KeywordMode::Disjunctive } else { KeywordMode::Conjunctive };
+
+        let probe = view
+            .search(&build_request(&terms).mode(mode).top_k(usize::MAX).materialize(false))
+            .unwrap();
+        for k in [1usize, 5, probe.matching.max(1)] {
+            let base = build_request(&terms).mode(mode).top_k(k);
+            let exact = view.search(&base.clone().prune(false)).unwrap();
+            let pruned = view.search(&base).unwrap();
+            assert_identical(&exact, &pruned);
+            prop_assert_eq!(exact.pruning, vxv_core::PruneStats::default(),
+                "the exact path must report zero prune work");
+        }
+    }
+
+    #[test]
+    fn unit_boosts_answer_bit_identically_to_unboosted(
+        books in prop::collection::vec(book_strategy(), 1..6),
+        reviews in prop::collection::vec(review_strategy(), 0..6),
+        terms in prop::collection::vec(term_strategy().prop_map(|(s, _)| (s, None)), 1..4),
+    ) {
+        let engine = build_engine(&docs(&books, &reviews), &[]);
+        let view = engine.prepare(VIEW).unwrap();
+        let plain = view.search(&build_request(&terms).top_k(5)).unwrap();
+        // The same request with an explicit ×1.0 on every slot switches
+        // to the boosted scoring expression; ×1.0 is exact in IEEE
+        // arithmetic, so the answers must agree bit for bit.
+        let mut req = build_request(&terms);
+        for _ in &terms {
+            req = req.boost(1.0);
+        }
+        prop_assert!(!req.boosts().is_empty(), "boosted scoring is active");
+        let boosted = view.search(&req.top_k(5)).unwrap();
+        assert_identical(&plain, &boosted);
+    }
+}
+
+/// A small deterministic corpus where phrase, proximity, and bag
+/// semantics all disagree: "xml search" is adjacent in book 1 only,
+/// within distance 2 in book 3, and co-present in all three.
+fn positional_corpus() -> ViewSearchEngine<Corpus> {
+    let mut c = Corpus::new();
+    c.add_parsed(
+        "books.xml",
+        "<books>\
+         <book><isbn>1</isbn><title>xml search easy</title><year>2000</year></book>\
+         <book><isbn>2</isbn><title>search data data xml</title><year>2001</year></book>\
+         <book><isbn>3</isbn><title>xml data search</title><year>2002</year></book>\
+         </books>",
+    )
+    .unwrap();
+    c.add_parsed(
+        "reviews.xml",
+        "<reviews><review><isbn>1</isbn><content>data</content></review></reviews>",
+    )
+    .unwrap();
+    ViewSearchEngine::new(c)
+}
+
+#[test]
+fn phrases_match_only_consecutive_runs() {
+    let engine = positional_corpus();
+    let view = engine.prepare(VIEW).unwrap();
+
+    let bag = view.search(&SearchRequest::new(["xml", "search"])).unwrap();
+    assert_eq!(bag.matching, 3, "both words co-occur in every book");
+
+    let phrase = view
+        .search(&SearchRequest::new(std::iter::empty::<&str>()).phrase(["xml", "search"]))
+        .unwrap();
+    assert_eq!(phrase.matching, 1, "only book 1 has the words adjacent in order");
+    assert_eq!(phrase.hits[0].tf, vec![1]);
+    assert!(phrase.hits[0].xml.contains("xml search easy"));
+
+    // Order matters: "search xml" starts no run anywhere.
+    let reversed = view
+        .search(&SearchRequest::new(std::iter::empty::<&str>()).phrase(["search", "xml"]))
+        .unwrap();
+    assert_eq!(reversed.matching, 0);
+}
+
+#[test]
+fn proximity_windows_widen_monotonically() {
+    let engine = positional_corpus();
+    let view = engine.prepare(VIEW).unwrap();
+    let near = |w: u32| {
+        view.search(&SearchRequest::new(std::iter::empty::<&str>()).near(w, ["xml", "search"]))
+            .unwrap()
+            .matching
+    };
+    assert_eq!(near(0), 0, "distinct words never share an ordinal");
+    assert_eq!(near(1), 1, "book 1: adjacent");
+    assert_eq!(near(2), 2, "book 3 joins: distance 2");
+    assert_eq!(near(3), 3, "book 2 joins: distance 3");
+    assert_eq!(near(10), 3, "wider windows add nothing");
+}
+
+#[test]
+fn prefix_terms_union_their_dictionary_range() {
+    let mut c = Corpus::new();
+    c.add_parsed(
+        "books.xml",
+        "<books>\
+         <book><isbn>1</isbn><title>search</title><year>2000</year></book>\
+         <book><isbn>2</isbn><title>seam seam</title><year>2001</year></book>\
+         <book><isbn>3</isbn><title>xml</title><year>2002</year></book>\
+         </books>",
+    )
+    .unwrap();
+    c.add_parsed("reviews.xml", "<reviews></reviews>").unwrap();
+    let engine = ViewSearchEngine::new(c);
+    let view = engine.prepare(VIEW).unwrap();
+
+    let out = view.search(&SearchRequest::new(std::iter::empty::<&str>()).prefix("se")).unwrap();
+    assert_eq!(out.matching, 2, "\"se*\" covers search and seam");
+    assert_eq!(out.hits[0].tf, vec![2], "seam seam outscores one search");
+    assert!(out.hits[0].xml.contains("seam"));
+
+    let none = view.search(&SearchRequest::new(std::iter::empty::<&str>()).prefix("zz")).unwrap();
+    assert_eq!(none.matching, 0, "an empty dictionary range matches nothing");
+}
+
+#[test]
+fn boosts_reweight_the_ranking() {
+    // Two books with equal-length titles so score density depends only
+    // on tf·idf: both slots have idf = 2 (each matches one of two
+    // elements), so unboosted tf decides — two "data" beat one phrase.
+    let mut c = Corpus::new();
+    c.add_parsed(
+        "books.xml",
+        "<books>\
+         <book><isbn>1</isbn><title>xml search aaaa</title><year>2000</year></book>\
+         <book><isbn>2</isbn><title>data data aaaaa</title><year>2001</year></book>\
+         </books>",
+    )
+    .unwrap();
+    c.add_parsed("reviews.xml", "<reviews></reviews>").unwrap();
+    let engine = ViewSearchEngine::new(c);
+    let view = engine.prepare(VIEW).unwrap();
+
+    let base =
+        || SearchRequest::new(["data"]).phrase(["xml", "search"]).mode(KeywordMode::Disjunctive);
+    let plain = view.search(&base()).unwrap();
+    assert!(plain.hits[0].xml.contains("data data"), "unboosted: tf of data wins");
+
+    // Boosting the phrase slot (the last appended term) 50× flips the
+    // order; identically on the exact reference path.
+    let boosted = view.search(&base().boost(50.0)).unwrap();
+    assert!(boosted.hits[0].xml.contains("xml search"), "boosted: the phrase slot wins");
+    let exact = view.search(&base().boost(50.0).prune(false)).unwrap();
+    assert_identical(&exact, &boosted);
+}
+
+#[test]
+fn invalid_terms_fail_typed_before_any_index_work() {
+    let engine = positional_corpus();
+    let view = engine.prepare(VIEW).unwrap();
+    let empty_prefix = SearchRequest::new(std::iter::empty::<&str>()).prefix("");
+    assert!(matches!(view.search(&empty_prefix), Err(EngineError::InvalidTerm(_))));
+    let bad_boost = SearchRequest::new(["xml"]).boost(-2.0);
+    assert!(matches!(view.search(&bad_boost), Err(EngineError::InvalidTerm(_))));
+    let nothing = SearchRequest::new(std::iter::empty::<&str>());
+    assert!(matches!(view.search(&nothing), Err(EngineError::EmptyQuery)));
+}
+
+/// Open an engine over the checked-in v4 fixture bundle (built before
+/// positions existed): the store is reconstructed from the corpora the
+/// fixture was generated from; the index bytes are the frozen fixture.
+fn v4_engine(dir: &std::path::Path) -> ViewSearchEngine<DiskStore> {
+    let mut corpus = Corpus::new();
+    corpus
+        .add_parsed(
+            "books.xml",
+            "<books><book><isbn>111</isbn><title>XML search</title><year>1996</year></book>\
+             <book><isbn>222</isbn><title>AI</title></book></books>",
+        )
+        .unwrap();
+    corpus
+        .add_parsed(
+            "reviews.xml",
+            "<reviews><review><isbn>111</isbn><content>all about xml</content></review></reviews>",
+        )
+        .unwrap();
+    corpus.add(
+        vxv_xml::parse_document("extra.xml", "<extra><e>late xml doc</e></extra>", 9).unwrap(),
+    );
+    let store = DiskStore::persist(&corpus, dir).unwrap();
+    std::fs::copy(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/crates/index/tests/fixtures/v4/indices.vxi"),
+        dir.join("indices.vxi"),
+    )
+    .unwrap();
+    let bundle = vxv_core::IndexBundle::load(dir).unwrap();
+    ViewSearchEngine::open(Arc::new(store), bundle)
+}
+
+#[test]
+fn pre_v5_bundles_answer_words_and_fail_positional_typed() {
+    let dir = std::env::temp_dir().join(format!("vxv-pos-v4-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let engine = v4_engine(&dir);
+    let view = engine.prepare(VIEW).unwrap();
+
+    // Bag-of-words and prefix terms never touch positions: both answer.
+    let bag = view.search(&SearchRequest::new(["xml"])).unwrap();
+    assert_eq!(bag.matching, 1);
+    let pre = view.search(&SearchRequest::new(std::iter::empty::<&str>()).prefix("xm")).unwrap();
+    assert_eq!(pre.matching, 1);
+
+    // Phrase and proximity terms need stored positions: typed failure,
+    // on both the pruned and the exact path.
+    for req in [
+        SearchRequest::new(std::iter::empty::<&str>()).phrase(["xml", "search"]),
+        SearchRequest::new(std::iter::empty::<&str>()).near(2, ["xml", "search"]),
+    ] {
+        assert!(matches!(view.search(&req.clone()), Err(EngineError::PositionsUnavailable)));
+        assert!(matches!(view.search(&req.prune(false)), Err(EngineError::PositionsUnavailable)));
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
